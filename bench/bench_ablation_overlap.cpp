@@ -1,0 +1,48 @@
+// Ablation: overlapped time (eq. (1), T = max) vs a non-overlapping
+// serial model (T = sum).  The paper's key structural asymmetry is that
+// time overlaps while energy cannot (§II-B); this quantifies what the
+// overlap assumption is worth and shows it is what creates the sharp
+// roofline inflection.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "Ablation: overlapped (eq. 1) vs serial time model, Fermi Table II");
+
+  const MachineParams m = presets::fermi_table2();
+  report::Table t({"I (flop:B)", "T overlap (norm)", "T serial (norm)",
+                   "overlap speedup", "E/T overlap [W/pf]",
+                   "E/T serial [W/pf]"});
+  for (double i : {0.25, 0.5, 1.0, 2.0, 3.58, 4.0, 8.0, 16.0, 64.0, 512.0}) {
+    const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+    const TimeBreakdown overlap = predict_time(m, k);
+    const double serial = overlap.flops_seconds + overlap.mem_seconds;
+    const EnergyBreakdown e = predict_energy(m, k);  // energy is additive
+    t.add_row({report::fmt(i, 4),
+               report::fmt(overlap.total_seconds / overlap.flops_seconds, 4),
+               report::fmt(serial / overlap.flops_seconds, 4),
+               report::fmt(serial / overlap.total_seconds, 4),
+               report::fmt(e.total_joules / overlap.total_seconds /
+                               m.flop_power(), 4),
+               report::fmt(e.total_joules / serial / m.flop_power(), 4)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nObservations:\n"
+         "  * overlap buys at most 2x, maximized exactly at I = B_tau ("
+      << report::fmt(m.time_balance(), 3)
+      << ");\n"
+         "  * the serial model has no sharp inflection -- the roofline's "
+         "kink comes from\n    the max() in eq. (1);\n"
+         "  * energy is identical in both (it cannot be overlapped), so "
+         "the serial model\n    draws less average power: eq. (8)'s peak "
+         "P at I = B_tau is an overlap effect.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the power-cap extension (§V-B; listed as future work in
+// §VII, implemented here).  Sweeps cap values on the GTX 580 single-
+// precision configuration and shows where the cap starts to bite, how
+// much time it costs, and what it does to energy.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "Ablation: power caps on the GTX 580 (single precision)");
+
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  std::cout << "Model max power " << report::fmt(max_power(m), 4)
+            << " W at I = B_tau = " << report::fmt(m.time_balance(), 3)
+            << "; compute-bound limit "
+            << report::fmt(compute_bound_power_limit(m), 4)
+            << " W; board rating " << presets::kGtx580PowerCapWatts
+            << " W.\n\n";
+
+  {
+    report::Table t({"cap [W]", "violation onset I", "slowdown @ B_tau",
+                     "energy overhead @ B_tau", "slowdown @ I=64"});
+    for (double cap : {150.0, 200.0, 244.0, 300.0, 350.0, 400.0}) {
+      const KernelProfile at_b =
+          KernelProfile::from_intensity(m.time_balance(), 1e9);
+      const KernelProfile at_64 = KernelProfile::from_intensity(64.0, 1e9);
+      const CappedRun rb = run_with_cap(m, at_b, cap);
+      const CappedRun r64 = run_with_cap(m, at_64, cap);
+      const double t0 = predict_time(m, at_b).total_seconds;
+      const double e0 = predict_energy(m, at_b).total_joules;
+      const double onset = cap_violation_onset(m, cap);
+      t.add_row({report::fmt(cap, 4),
+                 onset < 0.0 ? "never" : report::fmt(onset, 3),
+                 rb.feasible ? report::fmt(rb.seconds / t0, 4) : "inf",
+                 rb.feasible ? report::fmt(rb.joules / e0, 4) : "inf",
+                 r64.feasible
+                     ? report::fmt(r64.seconds /
+                                       predict_time(m, at_64).total_seconds,
+                                   4)
+                     : "inf"});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nCapped roofline at the 244 W rating (the Fig. 4b "
+               "departure):\n";
+  {
+    report::Table t({"I (flop:B)", "roofline", "capped roofline",
+                     "throttle scale"});
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      const double uncapped = normalized_speed(m, i);
+      const double capped =
+          capped_normalized_speed(m, i, presets::kGtx580PowerCapWatts);
+      t.add_row({report::fmt(i, 4), report::fmt(uncapped, 3),
+                 report::fmt(capped, 3),
+                 report::fmt(capped / uncapped, 3)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Extension bench: the energy roofline with a network channel — the
+// co-design thread the paper's §I builds on ([1], [3]).  A symmetric
+// cluster of i7-950 nodes with a 10 GB/s interconnect: per-channel
+// balance points, channel classification for §I's motivating workloads,
+// and weak-scaling onsets of network-boundedness.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "Cluster energy roofline: 64 x i7-950 + 10 GB/s interconnect");
+
+  ClusterParams cluster;
+  cluster.name = "i7-950 cluster";
+  cluster.node = presets::i7_950(Precision::kDouble);
+  cluster.nodes = 64.0;
+  cluster.time_per_net_byte = 1.0 / 10e9;
+  cluster.energy_per_net_byte = 10e-9;  // NIC + switch share
+
+  {
+    report::Table t({"Channel", "time-balance [flop/B]",
+                     "energy-balance [flop/B]"});
+    t.add_row({"memory (DRAM)",
+               report::fmt(cluster.node.time_balance(), 4),
+               report::fmt(cluster.node.energy_balance(), 4)});
+    t.add_row({"network", report::fmt(cluster.net_time_balance(), 4),
+               report::fmt(cluster.net_energy_balance(), 4)});
+    t.print(std::cout);
+    std::cout << "\nThe interconnect's balance points dwarf DRAM's: a "
+                 "flop:network-byte ratio of\n~5 is the new bar, in both "
+                 "metrics -- communication avoidance matters more at\n"
+                 "cluster scale (the [3] exascale-FFT argument).\n\n";
+  }
+
+  {
+    std::cout << "Channel classification of per-node workloads:\n";
+    report::Table t({"Workload", "W/node", "Q/node", "M/node",
+                     "bound", "T [ms]", "E [J] (cluster)"});
+    struct Row {
+      const char* name;
+      DistributedProfile w;
+    };
+    const double n_local = 1e7;
+    const Row rows[] = {
+        {"stencil + halo",
+         {8.0 * n_local, 16.0 * n_local, halo_net_bytes(n_local)}},
+        {"CG dot (allreduce)",
+         {2.0 * n_local, 16.0 * n_local, allreduce_net_bytes(1.0)}},
+        {"3-D FFT transpose",
+         {5.0 * n_local * std::log2(64.0 * n_local), 16.0 * n_local,
+          fft_transpose_net_bytes(64.0 * n_local, 64.0)}},
+        {"matmul panel (I=64)",
+         {64.0 * 8.0 * n_local, 8.0 * n_local,
+          allreduce_net_bytes(std::sqrt(n_local))}},
+    };
+    for (const Row& row : rows) {
+      const DistributedTime time = predict_time(cluster, row.w);
+      const DistributedEnergy energy = predict_energy(cluster, row.w);
+      t.add_row({row.name, report::fmt_si(row.w.flops, "flop"),
+                 report::fmt_si(row.w.mem_bytes, "B"),
+                 report::fmt_si(row.w.net_bytes, "B"),
+                 to_string(time.bound),
+                 report::fmt(time.total_seconds * 1e3, 4),
+                 report::fmt(energy.total_joules, 4)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\nEnergy share by channel (3-D FFT transpose case):\n";
+    const double n_local = 1e7;
+    DistributedProfile w{5.0 * n_local * std::log2(64.0 * n_local),
+                         16.0 * n_local,
+                         fft_transpose_net_bytes(64.0 * n_local, 64.0)};
+    const DistributedEnergy e = predict_energy(cluster, w);
+    report::Table t({"Component", "J", "%"});
+    const auto row = [&](const char* name, double j) {
+      t.add_row({name, report::fmt(j, 4),
+                 report::fmt(100.0 * j / e.total_joules, 3)});
+    };
+    row("flops", e.flops_joules);
+    row("DRAM", e.mem_joules);
+    row("network", e.net_joules);
+    row("constant power", e.const_joules);
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+// Shared apparatus for the benchmark harness: the simulated §IV-A
+// experimental setup (platform presets + achieved-fraction derating +
+// PowerMon sessions) used by the Fig. 4 / Table IV / Fig. 5 benches.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rme/rme.hpp"
+
+namespace rme::bench {
+
+/// A platform under test: machine ground truth plus the achieved
+/// fractions §IV-B reports for tuned kernels on it.
+struct Platform {
+  MachineParams machine;
+  double flop_fraction;
+  double bw_fraction;
+  double power_cap;  ///< Board cap; huge when effectively uncapped.
+  const char* label;
+};
+
+inline Platform gtx580_platform(Precision p) {
+  // §IV-B achieved fractions: double precision sustains 196/197.63 =
+  // 99.3% of peak flops and 170/192.4 = 88.3% of bandwidth; single
+  // precision reaches 1398/1581.06 = 88.4% and 168/192.4 = 87.3%.
+  const bool single = p == Precision::kSingle;
+  return Platform{presets::gtx580(p), single ? 0.884 : 0.993,
+                  single ? 0.873 : 0.883, presets::kGtx580PowerCapWatts,
+                  single ? "NVIDIA GTX 580 (single)"
+                         : "NVIDIA GTX 580 (double)"};
+}
+
+inline Platform i7_950_platform(Precision p) {
+  // §IV-B: CPU sustains 93.3% of peak flops / ~73-74% of peak bandwidth.
+  return Platform{presets::i7_950(p), 0.933, p == Precision::kSingle ? 0.731
+                                                                     : 0.738,
+                  1e18, p == Precision::kSingle ? "Intel i7-950 (single)"
+                                                : "Intel i7-950 (double)"};
+}
+
+/// The §IV-A measurement stack for a platform: 128 Hz PowerMon over the
+/// interposer rails, N repetitions, seeded noise.
+inline power::MeasurementSession make_session(const Platform& p,
+                                              std::size_t reps = 100,
+                                              double noise = 0.01,
+                                              std::uint64_t seed = 0xA11CE) {
+  sim::SimConfig sim_cfg;
+  sim_cfg.flop_fraction = p.flop_fraction;
+  sim_cfg.bw_fraction = p.bw_fraction;
+  sim_cfg.power_cap_watts = p.power_cap;
+  sim_cfg.noise = sim::NoiseModel(seed, noise);
+  power::PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;  // the paper's 7.8125 ms interval
+  return power::MeasurementSession(
+      sim::Executor(p.machine, sim_cfg),
+      power::PowerMon(power::gtx580_rails(), mon_cfg),
+      power::SessionConfig{reps});
+}
+
+/// Fig. 4's intensity grids: ¼..16 flop:byte double, ¼..64 single —
+/// with long-running kernels so 128 Hz sampling resolves power.
+inline std::vector<sim::KernelDesc> fig4_sweep(Precision p) {
+  const double hi = p == Precision::kSingle ? 64.0 : 16.0;
+  return sim::intensity_sweep(sim::pow2_grid(0.25, hi), 8e9, p);
+}
+
+inline void print_heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace rme::bench

@@ -1,0 +1,45 @@
+// Reproduces Fig. 2a: the time roofline (sharp inflection at B_tau) vs
+// the energy "arch line" (smooth, half-efficiency at B_eps) for the
+// Table II Fermi parameters with pi0 = 0, over I in [1/2, 512].
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "Fig. 2a: roofline (time) vs arch line (energy), Fermi Table II");
+
+  const MachineParams m = presets::fermi_table2();
+  const auto grid = log_intensity_grid(0.5, 512.0, 2);
+  const Curve roof = time_roofline(m, grid);
+  const Curve arch = energy_arch_line(m, grid);
+
+  report::Table t({"Intensity (flop:B)", "Roofline (rel. 515 GFLOP/s)",
+                   "Arch line (rel. 40 GFLOP/J)"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    t.add_row({report::fmt(grid[i], 4), report::fmt(roof[i].value, 4),
+               report::fmt(arch[i].value, 4)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nBalance points: B_tau = " << report::fmt(m.time_balance(), 3)
+            << " flop/B (roofline inflection), B_eps = "
+            << report::fmt(m.energy_balance(), 3)
+            << " flop/B (arch line at 1/2).\n"
+            << "Balance gap B_eps/B_tau = "
+            << report::fmt(m.balance_gap(), 3) << "\n\n";
+
+  report::ChartConfig cfg;
+  cfg.height = 18;
+  cfg.y_label = "relative performance (log2)";
+  report::AsciiChart chart(cfg);
+  chart.add_series({"roofline (GFLOP/s)", '#', time_roofline(m, log_intensity_grid(0.5, 512.0, 12))});
+  chart.add_series({"arch line (GFLOP/J)", '*', energy_arch_line(m, log_intensity_grid(0.5, 512.0, 12))});
+  chart.add_marker({"B_tau", m.time_balance(), '|'});
+  chart.add_marker({"B_eps", m.energy_balance(), ':'});
+  chart.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig. 2b: the "power line" — average power normalized to
+// flop power vs intensity, Fermi Table II parameters, pi0 = 0.
+// Dashed levels of the figure: y = 1 (flop power), y = B_eps/B_tau = 4.0
+// (memory-bound limit), y = 1 + B_eps/B_tau = 5.0 (max, at I = B_tau).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading("Fig. 2b: power line, Fermi Table II (pi0 = 0)");
+
+  const MachineParams m = presets::fermi_table2();
+  const auto grid = log_intensity_grid(0.5, 512.0, 2);
+  const Curve line = power_line(m, grid);
+
+  report::Table t({"Intensity (flop:B)", "P / pi_flop"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    t.add_row({report::fmt(grid[i], 4), report::fmt(line[i].value, 4)});
+  }
+  t.print(std::cout);
+
+  const double gap = m.energy_balance() / m.time_balance();
+  std::cout << "\nFigure levels: flop power y=1; memory-bound limit y="
+            << report::fmt(gap, 3) << " (paper: 4.0); max power y="
+            << report::fmt(1.0 + gap, 3) << " (paper: 5.0) at I=B_tau="
+            << report::fmt(m.time_balance(), 3) << "\n\n";
+
+  report::ChartConfig cfg;
+  cfg.height = 14;
+  cfg.y_label = "power relative to flop power (log2)";
+  report::AsciiChart chart(cfg);
+  chart.add_series({"P(I)/pi_flop", '*',
+                    power_line(m, log_intensity_grid(0.5, 512.0, 12))});
+  chart.add_marker({"B_tau", m.time_balance(), '|'});
+  chart.add_marker({"B_eps", m.energy_balance(), ':'});
+  chart.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces the §VII work-communication trade-off analysis around
+// eq. (10): for a transform (W, Q) -> (fW, Q/m), when is there a
+// "greenup" dE > 1, when a speedup, and what are the hard limits on f?
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "SsVII / eq. (10): work-communication trade-off, Fermi Table II, "
+      "pi0 = 0");
+
+  MachineParams m = presets::fermi_table2();  // pi0 = 0, B_eps > B_tau
+
+  // Part 1: the eq. (10) bound f* = 1 + ((m-1)/m) B_eps/I and its hard
+  // m->inf limit 1 + B_eps/I, across baseline intensities.
+  {
+    report::Table t({"baseline I", "f* (m=2)", "f* (m=4)", "f* (m=16)",
+                     "limit m->inf (1 + B_eps/I)"});
+    for (double i : {0.5, 1.0, 2.0, 3.6, 8.0, 14.4, 64.0}) {
+      t.add_row({report::fmt(i, 3),
+                 report::fmt(greenup_work_bound(m, i, 2.0), 4),
+                 report::fmt(greenup_work_bound(m, i, 4.0), 4),
+                 report::fmt(greenup_work_bound(m, i, 16.0), 4),
+                 report::fmt(greenup_work_limit(m, i), 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\nCompute-bound baselines (I >= B_tau): the limit is "
+                 "1 + B_eps/B_tau = "
+              << report::fmt(greenup_work_limit_compute_bound(m), 4)
+              << " (1 + the balance gap).\n\n";
+  }
+
+  // Part 2: outcome classification across the (f, m) grid for a
+  // baseline in the interesting window B_tau < I < B_eps (compute-bound
+  // in time, memory-bound in energy).
+  {
+    const double i = 8.0;
+    const KernelProfile base = KernelProfile::from_intensity(i, 1e9);
+    std::cout << "Outcome grid at baseline I = " << i
+              << " (between B_tau = " << report::fmt(m.time_balance(), 3)
+              << " and B_eps = " << report::fmt(m.energy_balance(), 3)
+              << "):\n";
+    report::Table t({"f \\ m", "1.5", "2", "4", "16"});
+    for (double f : {1.0, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+      std::vector<std::string> row = {report::fmt(f, 3)};
+      for (double mult : {1.5, 2.0, 4.0, 16.0}) {
+        row.push_back(to_string(classify(m, base, Transform{f, mult})));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  // Part 3: exact greenup/speedup values along the eq. (10) boundary,
+  // and with constant power switched on (eq. 10 is pi0 = 0; with pi0 the
+  // true break-even f is smaller for compute-bound baselines).
+  {
+    std::cout << "\nBoundary check (f = f*, m = 4): greenup is exactly 1 "
+                 "with pi0 = 0, below 1 with pi0 > 0:\n";
+    report::Table t({"baseline I", "dE at f* (pi0 = 0)",
+                     "dE at f* (GTX 580 double, pi0 = 122 W)"});
+    const MachineParams gtx = presets::gtx580(Precision::kDouble);
+    for (double i : {2.0, 4.0, 8.0}) {
+      const KernelProfile base = KernelProfile::from_intensity(i, 1e9);
+      const double f_fermi = greenup_work_bound(m, i, 4.0);
+      const double f_gtx = greenup_work_bound(gtx, i, 4.0);
+      t.add_row({report::fmt(i, 3),
+                 report::fmt(greenup(m, base, Transform{f_fermi, 4.0}), 6),
+                 report::fmt(greenup(gtx, base, Transform{f_gtx, 4.0}), 6)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

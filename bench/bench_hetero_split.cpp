@@ -1,0 +1,46 @@
+// Extension bench: heterogeneous CPU+GPU work splitting under the
+// energy-roofline characterization (the Amdahl-style lineage of the
+// paper's §I).  Compares the time-optimal and energy-optimal splits of
+// a (W, Q) workload across the i7-950 and GTX 580 under both idle
+// policies.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "Heterogeneous split: GTX 580 (A) + i7-950 (B), double precision");
+
+  const MachineParams gpu = presets::gtx580(Precision::kDouble);
+  const MachineParams cpu = presets::i7_950(Precision::kDouble);
+
+  for (IdlePolicy policy : {IdlePolicy::kAlwaysOn, IdlePolicy::kPowerGated}) {
+    std::cout << "Idle policy: " << to_string(policy) << "\n";
+    report::Table t({"I (flop:B)", "time-opt alpha", "T [s]", "E [J]",
+                     "energy-opt alpha", "T [s]", "E [J]", "disagree?"});
+    for (double i : {0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0}) {
+      const KernelProfile k = KernelProfile::from_intensity(i, 1e11);
+      const HeteroSplit ts = time_optimal_split(gpu, cpu, k, policy);
+      const HeteroSplit es = energy_optimal_split(gpu, cpu, k, policy);
+      t.add_row({report::fmt(i, 4), report::fmt(ts.alpha, 3),
+                 report::fmt(ts.seconds, 3), report::fmt(ts.joules, 4),
+                 report::fmt(es.alpha, 3), report::fmt(es.seconds, 3),
+                 report::fmt(es.joules, 4),
+                 split_optima_disagree(gpu, cpu, k, policy) ? "YES" : "no"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Reading the tables: minimizing time shares ~20% of compute-bound "
+         "work with the\nCPU (its peak-rate share), but the CPU is ~3.6x "
+         "less energy-efficient, so the\nenergy optimum under power gating "
+         "leaves it idle -- the balance-gap story at\nsystem scale.  Under "
+         "always-on idle power the gap narrows: once both devices\nburn "
+         "pi0 anyway, using the CPU is closer to free.\n";
+  return 0;
+}

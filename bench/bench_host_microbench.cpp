@@ -1,0 +1,137 @@
+// Host intensity microbenchmarks under google-benchmark: the §IV-B
+// kernels run for real on this machine's CPU (polynomial with degree-
+// controlled intensity, FMA/load mix, STREAM), then a host "roofline"
+// summary in the paper's format.  Energy is attached from RAPL when the
+// sysfs interface exists, else from the model — the documented
+// substitution for PowerMon 2.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+namespace {
+
+constexpr std::size_t kElements = 1u << 20;
+
+void BM_Polynomial(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const std::vector<double> x = ubench::ramp_input(kElements);
+  const std::vector<double> coeffs = ubench::default_coefficients(degree);
+  std::vector<double> y(kElements);
+  for (auto _ : state) {
+    ubench::polynomial_eval(x, y, coeffs);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  const auto counts =
+      ubench::polynomial_counts(degree, kElements, Precision::kDouble);
+  state.counters["flop_per_byte"] = counts.intensity();
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      counts.flops * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Polynomial)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FmaMix(benchmark::State& state) {
+  const int fmas = static_cast<int>(state.range(0));
+  const std::vector<double> x = ubench::ramp_input(kElements);
+  for (auto _ : state) {
+    double sink = ubench::fma_mix_run(x, fmas);
+    benchmark::DoNotOptimize(sink);
+  }
+  const auto counts =
+      ubench::fma_mix_counts(fmas, kElements, Precision::kDouble);
+  state.counters["flop_per_byte"] = counts.intensity();
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      counts.flops * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FmaMix)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_StreamTriad(benchmark::State& state) {
+  std::vector<double> a(kElements, 1.0), b(kElements, 2.0), c(kElements, 0.0);
+  for (auto _ : state) {
+    ubench::stream_triad(a, b, c, 3.0);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      3.0 * 8.0 * kElements * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StreamTriad);
+
+void host_roofline_summary() {
+  bench::print_heading("Host roofline summary (real kernels, this machine)");
+  ubench::HostSweepConfig cfg;
+  cfg.elements = kElements;
+  cfg.repetitions = 3;
+  const auto poly = ubench::run_polynomial_sweep({1, 4, 16, 64}, cfg);
+  const auto mix = ubench::run_fma_mix_sweep({1, 4, 16, 64}, cfg);
+
+  report::Table t({"kernel", "I (flop:B)", "GFLOP/s", "GB/s",
+                   "model E (i7-950 coeffs) [J]"});
+  const MachineParams coeffs = presets::i7_950(Precision::kDouble);
+  for (const auto& results : {poly, mix}) {
+    for (const auto& r : results) {
+      t.add_row({r.kernel, report::fmt(r.intensity(), 3),
+                 report::fmt(r.gflops(), 3),
+                 report::fmt(r.gbytes_per_second(), 3),
+                 report::fmt(ubench::model_energy(coeffs, r), 3)});
+    }
+  }
+  t.print(std::cout);
+
+  bench::print_heading("Host blocked matmul (SsII-A: intensity ~ b)");
+  report::Table mm({"block", "I (flop:B)", "GFLOP/s"});
+  for (const auto& p : ubench::run_matmul_sweep(192, {2, 8, 32, 96}, 2)) {
+    mm.add_row({std::to_string(p.block),
+                report::fmt(p.counts.intensity(), 3),
+                report::fmt(p.gflops(), 3)});
+  }
+  mm.print(std::cout);
+
+  const power::SysfsRapl rapl;
+  std::printf("\nRAPL (sysfs powercap): %s\n",
+              rapl.available()
+                  ? "available -- energy columns can be measured directly"
+                  : "not available in this environment -- energy attached "
+                    "from Table IV model coefficients (documented "
+                    "substitution)");
+
+  bench::print_heading("Host SpMV (CSR, banded)");
+  {
+    const auto a = ubench::banded_matrix(1u << 17, 8, 11);
+    const double seconds = ubench::time_spmv(a, 3);
+    const KernelProfile p = ubench::spmv_profile(a);
+    report::Table sp({"n", "nnz", "I (flop:B)", "GFLOP/s", "GB/s"});
+    sp.add_row({std::to_string(a.rows), std::to_string(a.nnz()),
+                report::fmt(p.intensity(), 3),
+                report::fmt(p.flops / seconds / 1e9, 3),
+                report::fmt(p.bytes / seconds / 1e9, 3)});
+    sp.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::print_heading("Host STREAM");
+  report::Table s({"kernel", "GB/s"});
+  for (const auto& r : ubench::run_stream(kElements, 3)) {
+    s.add_row({to_string(r.kernel), report::fmt(r.gbytes_per_second(), 3)});
+  }
+  s.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  host_roofline_summary();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces §V-A: sanity-checking the fitted Table IV coefficients
+// against Keckler et al.'s published circuit-level energies — the
+// instruction-overhead estimate and the bottom-up memory-energy range.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "SsV-A: fitted coefficients vs circuit-level estimates (GTX 580)");
+
+  const MachineParams gtx = presets::gtx580(Precision::kDouble);
+  const FlopOverhead f = flop_overhead(gtx.energy_per_flop);
+  {
+    report::Table t({"Quantity", "Paper", "This library"});
+    t.add_row({"fitted eps_d", "212 pJ/flop",
+               report::fmt(f.fitted_pj, 4) + " pJ/flop"});
+    t.add_row({"FMA functional unit (Keckler)", "50 pJ = 25 pJ/flop",
+               report::fmt(f.functional_unit_pj, 4) + " pJ/flop"});
+    t.add_row({"ratio", "'about eight times larger'",
+               report::fmt(f.overhead_ratio, 3) + "x"});
+    t.add_row({"instruction/uarch overhead", "~187 pJ/flop",
+               report::fmt(f.overhead_pj, 4) + " pJ/flop"});
+    t.print(std::cout);
+  }
+
+  std::cout << "\n";
+  const MemEnergyCrossCheck c =
+      mem_energy_cross_check(gtx.energy_per_byte, f.overhead_pj * 1e-12);
+  {
+    report::Table t({"Memory-energy component", "Paper", "This library"});
+    t.add_row({"DRAM + interface + wire (Keckler)", "253-389 pJ/B",
+               report::fmt(KecklerEstimates{}.dram_low_pj_per_b, 4) + "-" +
+                   report::fmt(KecklerEstimates{}.dram_high_pj_per_b, 4) +
+                   " pJ/B"});
+    t.add_row({"instruction overhead per byte (sp)", "~47 pJ/B",
+               report::fmt(c.overhead_pj_per_b, 4) + " pJ/B"});
+    t.add_row({"L1+L2 SRAM read/write", "~7 pJ/B",
+               report::fmt(c.cache_pj_per_b, 3) + " pJ/B"});
+    t.add_row({"bottom-up total", "307-443 pJ/B",
+               report::fmt(c.bottom_up_low_pj_per_b, 4) + "-" +
+                   report::fmt(c.bottom_up_high_pj_per_b, 4) + " pJ/B"});
+    t.add_row({"fitted eps_mem", "513 pJ/B",
+               report::fmt(c.fitted_pj_per_b, 4) + " pJ/B"});
+    t.add_row({"unexplained (cache mgmt, tags)", "fitted > bottom-up",
+               report::fmt(c.unexplained_pj_per_b, 3) + " pJ/B"});
+    t.print(std::cout);
+  }
+
+  std::cout << "\nAlso from SsV-A: measured GTX 580 idle power was "
+            << presets::kGtx580IdleWatts
+            << " W, so the fitted pi0 = 122 W 'accounts for much more "
+               "than just idle power'.\n";
+  return 0;
+}

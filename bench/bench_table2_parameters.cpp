@@ -1,0 +1,65 @@
+// Reproduces Table II: sample model parameters for the NVIDIA Fermi GPU
+// (Keckler et al. numbers) and the derived balance points, plus the
+// full Table I-style derived-quantity listing for all preset platforms.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading(
+      "Table II: sample model parameters (NVIDIA Fermi, Keckler et al.)");
+
+  const MachineParams fermi = presets::fermi_table2();
+  {
+    report::Table t({"Variable", "Paper value", "This library"});
+    t.add_row({"tau_flop", "(515 Gflop/s)^-1 ~ 1.9 ps/flop",
+               report::fmt_si(fermi.time_per_flop, "s/flop")});
+    t.add_row({"tau_mem", "(144 GB/s)^-1 ~ 6.9 ps/byte",
+               report::fmt_si(fermi.time_per_byte, "s/B")});
+    t.add_row({"B_tau", "6.9/1.9 ~ 3.6 flop/B",
+               report::fmt(fermi.time_balance(), 3) + " flop/B"});
+    t.add_row({"eps_flop", "~25 pJ/flop",
+               report::fmt_si(fermi.energy_per_flop, "J/flop")});
+    t.add_row({"eps_mem", "~360 pJ/byte",
+               report::fmt_si(fermi.energy_per_byte, "J/B")});
+    t.add_row({"B_eps", "360/25 = 14.4 flop/B",
+               report::fmt(fermi.energy_balance(), 3) + " flop/B"});
+    t.print(std::cout);
+  }
+
+  bench::print_heading("Derived quantities (Table I) for every preset");
+  {
+    report::Table t({"Machine", "B_tau", "B_eps", "B-hat fix pt", "eta_flop",
+                     "pi_flop [W]", "peak GF/s", "peak GB/s", "peak GF/J",
+                     "gap B_eps/B_tau"});
+    const auto add = [&](const MachineParams& m) {
+      t.add_row({m.name, report::fmt(m.time_balance(), 3),
+                 report::fmt(m.energy_balance(), 3),
+                 report::fmt(m.balance_fixed_point(), 3),
+                 report::fmt(m.flop_efficiency(), 3),
+                 report::fmt(m.flop_power(), 4),
+                 report::fmt(m.peak_flops() / kGiga, 4),
+                 report::fmt(m.peak_bandwidth() / kGiga, 4),
+                 report::fmt(m.peak_flops_per_joule() / kGiga, 3),
+                 report::fmt(m.balance_gap(), 3)});
+    };
+    add(fermi);
+    add(presets::gtx580(Precision::kSingle));
+    add(presets::gtx580(Precision::kDouble));
+    add(presets::i7_950(Precision::kSingle));
+    add(presets::i7_950(Precision::kDouble));
+    t.print(std::cout);
+  }
+
+  std::cout << "\nPaper cross-check: the Fig. 4 annotations (B_tau, B_eps "
+               "with const=0, and the\ntrue effective balance point at "
+               "y=1/2) derive from Tables III+IV via eq. (6):\n"
+               "  GTX 580 double: 1.0 / 2.4 / 0.79   GTX 580 single: "
+               "8.2 / 5.1 / 4.5\n"
+               "  i7-950  double: 2.1 / 1.2 / 1.1    i7-950  single: "
+               "4.2 / 2.1 / 2.1\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Table III: the experimental platforms' peak rates, plus
+// the achieved rates §IV-B reports (via the simulator's achieved
+// fractions), which calibrate the Fig. 4 "measured" points.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+int main() {
+  bench::print_heading("Table III: platforms");
+  {
+    report::Table t({"Device", "Model", "Peak GFLOP/s single (double)",
+                     "Peak GB/s", "TDP (chip only) W"});
+    const auto add = [&](const presets::PlatformPeaks& p) {
+      t.add_row({p.device, p.model,
+                 report::fmt(p.gflops_single, 6) + " (" +
+                     report::fmt(p.gflops_double, 6) + ")",
+                 report::fmt(p.bandwidth_gbs, 4),
+                 report::fmt(p.tdp_watts, 3)});
+    };
+    add(presets::table3_cpu());
+    add(presets::table3_gpu());
+    t.print(std::cout);
+  }
+
+  bench::print_heading(
+      "Achieved rates (simulated tuned kernels; paper's §IV-B numbers)");
+  {
+    report::Table t({"Platform", "Achieved GFLOP/s", "% of peak",
+                     "Achieved GB/s", "% of peak", "Paper reports"});
+    struct Row {
+      bench::Platform p;
+      Precision prec;
+      const char* paper;
+    };
+    const Row rows[] = {
+        {bench::gtx580_platform(Precision::kDouble), Precision::kDouble,
+         "196 GFLOP/s (99.3%), 170 GB/s (88.3%)"},
+        {bench::gtx580_platform(Precision::kSingle), Precision::kSingle,
+         "1398 GFLOP/s, 168 GB/s"},
+        {bench::i7_950_platform(Precision::kSingle), Precision::kSingle,
+         "99.4 GFLOP/s (93.3%), 18.7 GB/s (73.1%)"},
+        {bench::i7_950_platform(Precision::kDouble), Precision::kDouble,
+         "49.7 GFLOP/s (93.3%), 18.9 GB/s (73.8%)"},
+    };
+    for (const Row& row : rows) {
+      sim::SimConfig cfg;
+      cfg.flop_fraction = row.p.flop_fraction;
+      cfg.bw_fraction = row.p.bw_fraction;
+      // Uncapped here: Table III reports capability, not the Fig. 4b
+      // cap-throttled behaviour.
+      const sim::Executor exec(row.p.machine, cfg);
+      const auto compute =
+          exec.run(sim::fma_load_mix(256.0, 1e9, row.prec));
+      const auto memory = exec.run(sim::fma_load_mix(0.125, 1e9, row.prec));
+      t.add_row({row.p.label,
+                 report::fmt(compute.achieved_flops() / kGiga, 4),
+                 report::fmt(100.0 * compute.achieved_flops() /
+                                 row.p.machine.peak_flops(), 3),
+                 report::fmt(memory.achieved_bandwidth() / kGiga, 4),
+                 report::fmt(100.0 * memory.achieved_bandwidth() /
+                                 row.p.machine.peak_bandwidth(), 3),
+                 row.paper});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

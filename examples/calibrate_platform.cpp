@@ -1,0 +1,78 @@
+// Example: calibrate a platform end to end (the §IV "model
+// instantiation" procedure), then export the sweep as CSV and re-fit
+// from the file — the workflow a user with real RAPL measurements
+// would follow with their own data.
+//
+// Build & run:  ./examples/calibrate_platform [out.csv]
+
+#include <iostream>
+
+#include "rme/rme.hpp"
+
+using namespace rme;
+
+namespace {
+
+power::MeasurementSession make_apparatus(const MachineParams& m) {
+  sim::SimConfig sim_cfg;
+  sim_cfg.noise = sim::NoiseModel(0xFEED, 0.01);
+  power::PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;
+  return power::MeasurementSession(
+      sim::Executor(m, sim_cfg),
+      power::PowerMon(power::gtx580_rails(), mon_cfg),
+      power::SessionConfig{15});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string csv_path =
+      argc > 1 ? argv[1] : "/tmp/rme_calibration_sweep.csv";
+
+  // The apparatus: PowerMon at 128 Hz over a simulated GTX 580 (swap in
+  // your own Executor / RAPL-backed session on real hardware).
+  const auto sp = make_apparatus(presets::gtx580(Precision::kSingle));
+  const auto dp = make_apparatus(presets::gtx580(Precision::kDouble));
+
+  std::cout << "Calibrating platform (intensity sweep x 2 precisions, "
+               "eq. (9) regression)...\n\n";
+  const power::CalibrationResult result = power::calibrate_platform(sp, dp);
+
+  report::Table t({"Quantity", "Value"});
+  t.add_row({"achieved GFLOP/s (single)",
+             report::fmt(result.achieved_gflops_single, 5)});
+  t.add_row({"achieved GFLOP/s (double)",
+             report::fmt(result.achieved_gflops_double, 5)});
+  t.add_row({"achieved GB/s", report::fmt(result.achieved_gbs, 4)});
+  t.add_row({"eps_s",
+             report::fmt(result.fit.coefficients.eps_single * 1e12, 4) +
+                 " pJ/flop"});
+  t.add_row({"eps_d",
+             report::fmt(result.fit.coefficients.eps_double() * 1e12, 4) +
+                 " pJ/flop"});
+  t.add_row({"eps_mem",
+             report::fmt(result.fit.coefficients.eps_mem * 1e12, 4) +
+                 " pJ/B"});
+  t.add_row({"pi0",
+             report::fmt(result.fit.coefficients.const_power, 4) + " W"});
+  t.add_row({"R^2", report::fmt(result.fit.regression.r_squared, 6)});
+  t.print(std::cout);
+
+  std::cout << "\nCalibrated machine (double precision):\n  "
+            << result.double_precision << "\n"
+            << "  B_tau = " << result.double_precision.time_balance()
+            << ", effective energy balance = "
+            << result.double_precision.balance_fixed_point() << "\n\n";
+
+  // Export the raw sweep and prove the CSV round trip refits cleanly.
+  fit::save_samples(csv_path, result.samples);
+  const auto reloaded = fit::load_samples(csv_path);
+  const fit::EnergyFit refit = fit::fit_energy_coefficients(reloaded);
+  std::cout << "Exported " << result.samples.size() << " samples to "
+            << csv_path << "; re-fit from file gives eps_mem = "
+            << report::fmt(refit.coefficients.eps_mem * 1e12, 4)
+            << " pJ/B (fit it yourself: `rme_cli fit " << csv_path
+            << "`).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: characterize a machine, characterize an algorithm, and
+// ask the model the paper's three questions — how fast, how efficient,
+// how much power — plus whether time- and energy-optimization disagree.
+//
+// Build & run:  ./examples/quickstart
+
+#include <iostream>
+
+#include "rme/rme.hpp"
+
+using namespace rme;
+
+int main() {
+  // 1. A machine: five cost coefficients (Table I).  Use the paper's
+  //    GTX 580 double-precision characterization, or build your own.
+  const MachineParams machine = presets::gtx580(Precision::kDouble);
+  std::cout << machine << "\n\n";
+
+  std::cout << "Balance points:\n"
+            << "  time-balance   B_tau  = " << machine.time_balance()
+            << " flop/B\n"
+            << "  energy-balance B_eps  = " << machine.energy_balance()
+            << " flop/B (const power ignored)\n"
+            << "  effective (y=1/2)     = " << machine.balance_fixed_point()
+            << " flop/B\n"
+            << "  balance gap           = " << machine.balance_gap() << "\n\n";
+
+  // 2. Two algorithms, characterized by work W and traffic Q (§II-A):
+  //    a stencil-like streaming kernel and a blocked matrix multiply.
+  struct NamedKernel {
+    const char* name;
+    KernelProfile profile;
+  };
+  const NamedKernel kernels[] = {
+      {"7-point stencil (I ~ 0.5)", KernelProfile{1e10, 2e10}},
+      {"blocked DGEMM  (I ~ 32)", KernelProfile{3.2e11, 1e10}},
+  };
+
+  for (const NamedKernel& k : kernels) {
+    const double i = k.profile.intensity();
+    const TimeBreakdown t = predict_time(machine, k.profile);
+    const EnergyBreakdown e = predict_energy(machine, k.profile);
+    std::cout << k.name << ":\n"
+              << "  intensity       " << i << " flop/B\n"
+              << "  time            " << t.total_seconds << " s ("
+              << to_string(time_bound(machine, i)) << " in time)\n"
+              << "  energy          " << e.total_joules << " J ("
+              << to_string(energy_bound(machine, i)) << " in energy)\n"
+              << "  avg power       " << average_power(machine, i) << " W\n"
+              << "  speed           "
+              << achieved_flops(machine, i) / kGiga << " GFLOP/s ("
+              << 100.0 * normalized_speed(machine, i) << "% of peak)\n"
+              << "  efficiency      "
+              << achieved_flops_per_joule(machine, i) / kGiga
+              << " GFLOP/J ("
+              << 100.0 * normalized_efficiency(machine, i) << "% of peak)\n"
+              << "  time/energy classifications "
+              << (classifications_disagree(machine, i) ? "DISAGREE"
+                                                       : "agree")
+              << "\n\n";
+  }
+
+  // 3. The picture: roofline, arch line, power line (Fig. 2).
+  const auto grid = log_intensity_grid(0.25, 64.0, 10);
+  report::ChartConfig cfg;
+  cfg.height = 14;
+  cfg.y_label = "normalized performance (log2)";
+  report::AsciiChart chart(cfg);
+  chart.add_series({"time roofline", '#', time_roofline(machine, grid)});
+  chart.add_series({"energy arch line", '*', energy_arch_line(machine, grid)});
+  chart.add_marker({"B_tau", machine.time_balance(), '|'});
+  chart.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Example: should you race to halt?  §II-D / §V-B analysis for a kernel
+// on the i7-950 under the DVFS model: sweep core frequency, find the
+// energy-optimal point, and see how the answer flips with intensity and
+// with constant power.
+//
+// Build & run:  ./examples/race_to_halt [intensity]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "rme/rme.hpp"
+
+using namespace rme;
+
+namespace {
+
+void analyze(const char* label, const MachineParams& machine,
+             const DvfsModel& dvfs, double intensity) {
+  const KernelProfile k = KernelProfile::from_intensity(intensity, 5e9);
+  std::cout << label << " (I = " << intensity << " flop/B, "
+            << to_string(time_bound(machine, intensity)) << " in time):\n";
+  report::Table t({"f ratio", "time [ms]", "energy [J]", "power [W]"});
+  for (const DvfsPoint& p : frequency_sweep(machine, dvfs, k, 7)) {
+    t.add_row({report::fmt(p.ratio, 3), report::fmt(p.seconds * 1e3, 4),
+               report::fmt(p.joules, 4), report::fmt(p.avg_watts, 4)});
+  }
+  t.print(std::cout);
+  const DvfsPoint best = min_energy_point(machine, dvfs, k);
+  std::cout << "  -> energy-optimal ratio " << report::fmt(best.ratio, 3)
+            << "; race-to-halt "
+            << (race_to_halt_optimal(machine, dvfs, k) ? "IS" : "is NOT")
+            << " optimal here.\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double intensity = argc > 1 ? std::strtod(argv[1], nullptr) : 32.0;
+  const MachineParams cpu = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+
+  std::cout << "Machine: " << cpu.name << ", B_tau = " << cpu.time_balance()
+            << ", effective energy balance = " << cpu.balance_fixed_point()
+            << ".\nSince B_tau > effective balance, the model predicts "
+               "race-to-halt works for\ncompute-bound kernels today "
+               "(SsV-B).\n\n";
+
+  analyze("Your kernel", cpu, dvfs, intensity);
+
+  DvfsModel loose = dvfs;
+  loose.min_ratio = 0.5;
+  analyze("Contrast: a memory-bound kernel", cpu, loose,
+          cpu.time_balance() / 16.0);
+
+  MachineParams future = cpu;
+  future.const_power = 0.0;
+  analyze("Contrast: the same kernel on a pi0 = 0 future machine", future,
+          dvfs, intensity);
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full reproduction driver: configure, build, test, and regenerate every
+# table and figure, capturing outputs at the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    echo
+    echo "################################################################"
+    echo "### $b"
+    echo "################################################################"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. Tests: test_output.txt  Benches: bench_output.txt"

@@ -1,0 +1,84 @@
+#include "rme/core/advisor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rme {
+
+Advice advise(const MachineParams& m, const KernelProfile& k,
+              double target_fraction) {
+  Advice a;
+  a.intensity = k.intensity();
+  a.bound_in_time = time_bound(m, a.intensity);
+  a.bound_in_energy = energy_bound(m, a.intensity);
+  a.classifications_differ = a.bound_in_time != a.bound_in_energy;
+
+  a.speed_fraction = normalized_speed(m, a.intensity);
+  a.efficiency_fraction = normalized_efficiency(m, a.intensity);
+  a.speed_headroom = 1.0 / a.speed_fraction;
+  a.efficiency_headroom = 1.0 / a.efficiency_fraction;
+
+  a.intensity_for_target_speed =
+      intensity_for_fraction(Metric::kTime, m, target_fraction);
+  a.intensity_for_target_efficiency =
+      intensity_for_fraction(Metric::kEnergy, m, target_fraction);
+  // §II-D milestone comparison: the time ceiling arrives at I = B_τ;
+  // half the energy ceiling at the effective balance point.  (A
+  // symmetric-fraction comparison would always name energy, because the
+  // arch line approaches its ceiling only asymptotically.)
+  a.harder_goal = m.balance_fixed_point() > m.time_balance()
+                      ? Metric::kEnergy
+                      : Metric::kTime;
+
+  std::ostringstream oss;
+  oss << "At I = " << a.intensity << " flop/B the kernel is "
+      << to_string(a.bound_in_time) << " in time and "
+      << to_string(a.bound_in_energy) << " in energy";
+  if (a.classifications_differ) {
+    oss << " (the metrics disagree: this is the balance-gap window)";
+  }
+  oss << ". It runs at " << 100.0 * a.speed_fraction
+      << "% of peak speed and " << 100.0 * a.efficiency_fraction
+      << "% of peak energy efficiency. Reaching "
+      << 100.0 * target_fraction << "% of peak requires I >= "
+      << a.intensity_for_target_speed << " (time) / "
+      << a.intensity_for_target_efficiency << " (energy); "
+      << (a.harder_goal == Metric::kEnergy
+              ? "by milestones, energy is the harder goal here "
+                "(balance gap: effective balance exceeds B_tau)."
+              : "by milestones, time is the harder goal here "
+                "(constant power keeps the energy balance below B_tau; "
+                "race-to-halt applies).");
+  a.summary = oss.str();
+  return a;
+}
+
+CapacityAdvice advise_capacity(const MachineParams& m,
+                               const AlgorithmModel& alg, double n,
+                               double target_fraction, double word_bytes) {
+  CapacityAdvice c;
+  // The intensity targets per metric, then invert the algorithm's I(Z)
+  // by bisection (I is monotone non-decreasing in Z for all models).
+  const double i_speed =
+      intensity_for_fraction(Metric::kTime, m, target_fraction);
+  const double i_energy =
+      intensity_for_fraction(Metric::kEnergy, m, target_fraction);
+  const auto z_for = [&](double target_i) -> double {
+    const double z_min = 16.0 * word_bytes;
+    const double z_max = 1e12;
+    if (alg.intensity(n, z_max, word_bytes) < target_i) return -1.0;
+    if (alg.intensity(n, z_min, word_bytes) >= target_i) return z_min;
+    double lo = z_min;
+    double hi = z_max;
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = std::sqrt(lo * hi);
+      (alg.intensity(n, mid, word_bytes) >= target_i ? hi : lo) = mid;
+    }
+    return hi;
+  };
+  c.z_for_target_speed = z_for(i_speed);
+  c.z_for_target_efficiency = z_for(i_energy);
+  return c;
+}
+
+}  // namespace rme

@@ -1,0 +1,72 @@
+#pragma once
+// The optimization advisor: the paper's §II-D reading of rooflines and
+// arch lines ("a roofline or arch line provides two pieces of
+// information: the target performance tuning goal, and by how much
+// intensity must increase to improve performance by a desired amount")
+// as a callable API.
+//
+// Given a machine and a kernel, the advisor reports where the kernel
+// sits in both metrics, how far the ceilings are, what intensity would
+// reach a target fraction of each ceiling, and — for algorithms with a
+// known Q(Z) law — how much fast memory that intensity requires.
+
+#include <string>
+
+#include "rme/core/algorithms.hpp"
+#include "rme/core/machine.hpp"
+#include "rme/core/metrics.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// What the rooflines say about one kernel on one machine.
+struct Advice {
+  double intensity = 0.0;
+  Bound bound_in_time = Bound::kMemory;
+  Bound bound_in_energy = Bound::kMemory;
+  bool classifications_differ = false;
+
+  /// Achieved fraction of each ceiling at the current intensity.
+  double speed_fraction = 0.0;
+  double efficiency_fraction = 0.0;
+
+  /// Headroom: the factor still available under each ceiling (≥ 1).
+  double speed_headroom = 1.0;
+  double efficiency_headroom = 1.0;
+
+  /// The intensity needed to reach `target_fraction` of each ceiling —
+  /// the §II-D "how much must intensity increase" numbers.
+  double intensity_for_target_speed = 0.0;
+  double intensity_for_target_efficiency = 0.0;
+
+  /// Which metric's natural milestone needs more intensity — the §II-D
+  /// comparison: reaching the time ceiling needs I ≥ B_τ; being within
+  /// 2× of the energy ceiling needs I at the effective balance point.
+  /// kEnergy when the effective balance exceeds B_τ (the balance-gap
+  /// future); kTime on today's constant-power-dominated machines.
+  Metric harder_goal = Metric::kTime;
+
+  /// One-paragraph human-readable guidance.
+  std::string summary;
+};
+
+/// Analyze a kernel on a machine against a target fraction of peak
+/// (default: within 90% of each ceiling).
+[[nodiscard]] Advice advise(const MachineParams& m, const KernelProfile& k,
+                            double target_fraction = 0.9);
+
+/// Fast-memory sizing advice for an algorithm with a Q(n, Z) law: the Z
+/// needed to reach the target fraction of each ceiling (negative if the
+/// algorithm's intensity cannot reach it at any Z, e.g. reductions).
+struct CapacityAdvice {
+  double z_for_target_speed = -1.0;
+  double z_for_target_efficiency = -1.0;
+};
+
+[[nodiscard]] CapacityAdvice advise_capacity(const MachineParams& m,
+                                             const AlgorithmModel& alg,
+                                             double n,
+                                             double target_fraction = 0.9,
+                                             double word_bytes = 8.0);
+
+}  // namespace rme

@@ -1,0 +1,132 @@
+#include "rme/core/algorithms.hpp"
+
+#include <cmath>
+
+namespace rme {
+
+namespace {
+
+// --- matmul ---------------------------------------------------------------
+
+double matmul_work(double n) { return 2.0 * n * n * n; }
+
+double matmul_traffic(double n, double z, double w) {
+  // Blocked i-j-k with b×b tiles sized so three tiles fit: 3b²w ≤ Z.
+  const double b = std::sqrt(z / (3.0 * w));
+  // Each of the (n/b)³ block-multiplies streams one A, B, C tile pair;
+  // classic accounting: Q ≈ 2n³w/b + 2n²w (read A,B per block column +
+  // read/write C once).
+  return 2.0 * n * n * n * w / b + 2.0 * n * n * w;
+}
+
+// --- reduction ------------------------------------------------------------
+
+double reduction_work(double n) { return n; }
+
+double reduction_traffic(double n, double /*z*/, double w) { return n * w; }
+
+// --- stencil --------------------------------------------------------------
+
+double stencil_work(double n) { return 8.0 * n; }
+
+double stencil_traffic(double n, double /*z*/, double w) {
+  return 2.0 * n * w;  // ideal blocking: each cell read and written once
+}
+
+// --- SpMV -----------------------------------------------------------------
+
+constexpr double kNnzPerRow = 8.0;
+
+double spmv_work(double n) { return 2.0 * kNnzPerRow * n; }
+
+double spmv_traffic(double n, double /*z*/, double w) {
+  const double nnz = kNnzPerRow * n;
+  // CSR: values (w) + column indices (4 B) per nonzero; row pointers +
+  // source and destination vectors.
+  return nnz * (w + 4.0) + 3.0 * n * w;
+}
+
+// --- FFT ------------------------------------------------------------------
+
+double fft_work(double n) { return 5.0 * n * std::log2(n); }
+
+double fft_traffic(double n, double z, double w) {
+  const double words_in_cache = std::fmax(z / w, 4.0);
+  const double passes =
+      std::ceil(std::log2(n) / std::log2(words_in_cache));
+  return 2.0 * n * w * std::fmax(passes, 1.0);
+}
+
+}  // namespace
+
+const AlgorithmModel& matmul_model() {
+  static const AlgorithmModel model{"matmul (blocked n^3)", matmul_work,
+                                    matmul_traffic};
+  return model;
+}
+
+const AlgorithmModel& reduction_model() {
+  static const AlgorithmModel model{"reduction (sum)", reduction_work,
+                                    reduction_traffic};
+  return model;
+}
+
+const AlgorithmModel& stencil_model() {
+  static const AlgorithmModel model{"stencil (7-point sweep)", stencil_work,
+                                    stencil_traffic};
+  return model;
+}
+
+const AlgorithmModel& spmv_model() {
+  static const AlgorithmModel model{"SpMV (CSR, 8 nnz/row)", spmv_work,
+                                    spmv_traffic};
+  return model;
+}
+
+const AlgorithmModel& fft_model() {
+  static const AlgorithmModel model{"FFT (cache-oblivious)", fft_work,
+                                    fft_traffic};
+  return model;
+}
+
+std::vector<const AlgorithmModel*> all_algorithm_models() {
+  return {&matmul_model(), &reduction_model(), &stencil_model(),
+          &spmv_model(), &fft_model()};
+}
+
+namespace {
+
+template <class Predicate>
+double z_search(const AlgorithmModel& alg, double n, double word_bytes,
+                double z_max, Predicate satisfied) {
+  const double z_min = 16.0 * word_bytes;
+  if (!satisfied(alg.intensity(n, z_max, word_bytes))) return -1.0;
+  if (satisfied(alg.intensity(n, z_min, word_bytes))) return z_min;
+  double lo = z_min;
+  double hi = z_max;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    (satisfied(alg.intensity(n, mid, word_bytes)) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace
+
+double z_for_time_bound(const AlgorithmModel& alg, double n,
+                        const MachineParams& m, double word_bytes,
+                        double z_max) {
+  const double target = m.time_balance();
+  return z_search(alg, n, word_bytes, z_max,
+                  [&](double i) { return i >= target; });
+}
+
+double z_for_energy_bound(const AlgorithmModel& alg, double n,
+                          const MachineParams& m, double word_bytes,
+                          double z_max) {
+  return z_search(alg, n, word_bytes, z_max, [&](double i) {
+    return i >= m.effective_energy_balance(i);
+  });
+}
+
+}  // namespace rme

@@ -1,0 +1,84 @@
+#pragma once
+// Algorithm characterizations: W(n) and Q(n, Z) for the computations
+// §II-A uses to motivate intensity.
+//
+// "A well-known result among algorithm designers is that no algorithm
+// for n×n matrix multiply can have an intensity exceeding I = O(√Z)
+// [Hong & Kung] … Contrast this to summing the elements of an array …
+// it has an intensity of I = O(1) … In short, the concept of intensity
+// measures the inherent locality of an algorithm."
+//
+// Each model returns a KernelProfile as a function of problem size n
+// and fast-memory capacity Z, so the roofline/arch-line machinery can
+// ask: at what Z does this algorithm become compute-bound in time?  in
+// energy?  — and how do the answers diverge when there is a balance gap.
+
+#include <string>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// Problem-size-and-cache-aware algorithm model.
+struct AlgorithmModel {
+  std::string name;
+  /// Work in flops for problem size n (n is algorithm-specific: matrix
+  /// dimension, element count, …).
+  double (*work)(double n);
+  /// Slow-memory traffic in bytes for size n with Z bytes of fast
+  /// memory and w bytes per word.
+  double (*traffic)(double n, double z_bytes, double word_bytes);
+
+  [[nodiscard]] KernelProfile profile(double n, double z_bytes,
+                                      double word_bytes = 8.0) const {
+    return KernelProfile{work(n), traffic(n, z_bytes, word_bytes)};
+  }
+  [[nodiscard]] double intensity(double n, double z_bytes,
+                                 double word_bytes = 8.0) const {
+    return work(n) / traffic(n, z_bytes, word_bytes);
+  }
+};
+
+/// n×n×n matrix multiplication, cache-blocked: W = 2n³,
+/// Q = 3n²w + 2n³w/√(Z/w)·c — intensity Θ(√Z) (Hong & Kung bound).
+[[nodiscard]] const AlgorithmModel& matmul_model();
+
+/// Array reduction (sum of n elements): W = n, Q = n·w — intensity
+/// Θ(1), independent of Z (§II-A's bandwidth-bound example).
+[[nodiscard]] const AlgorithmModel& reduction_model();
+
+/// 3-D 7-point stencil, one sweep over n cells with ideal blocking:
+/// W = 8n, Q ≈ 2n·w (read + write each cell once) — intensity Θ(1).
+[[nodiscard]] const AlgorithmModel& stencil_model();
+
+/// Sparse matrix-vector multiply with nnz = c·n (c = 8 nonzeros/row),
+/// CSR: W = 2·nnz, Q = nnz·(w + 4) + 3n·w — intensity Θ(1) and low.
+[[nodiscard]] const AlgorithmModel& spmv_model();
+
+/// 1-D FFT of n points, cache-oblivious: W = 5n·log2 n,
+/// Q = 2n·w·ceil(log n / log(Z/w)) — intensity Θ(log Z).
+[[nodiscard]] const AlgorithmModel& fft_model();
+
+/// All built-in algorithm models.
+[[nodiscard]] std::vector<const AlgorithmModel*> all_algorithm_models();
+
+/// The smallest fast-memory capacity Z at which `alg` at size n becomes
+/// compute-bound in TIME on machine m (I(Z) ≥ B_τ), or a negative value
+/// if no Z in (w, z_max] achieves it (e.g. reductions never do).
+[[nodiscard]] double z_for_time_bound(const AlgorithmModel& alg, double n,
+                                      const MachineParams& m,
+                                      double word_bytes = 8.0,
+                                      double z_max = 1e12);
+
+/// Same for ENERGY: the smallest Z with I(Z) at or above the machine's
+/// effective energy-balance fixed point.  With a balance gap
+/// (B_ε > B_τ), this exceeds z_for_time_bound — more cache is needed to
+/// be energy-efficient than time-efficient (§II-D made quantitative).
+[[nodiscard]] double z_for_energy_bound(const AlgorithmModel& alg, double n,
+                                        const MachineParams& m,
+                                        double word_bytes = 8.0,
+                                        double z_max = 1e12);
+
+}  // namespace rme

@@ -1,0 +1,78 @@
+#include "rme/core/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rme {
+
+const char* to_string(Channel c) noexcept {
+  switch (c) {
+    case Channel::kCompute:
+      return "compute-bound";
+    case Channel::kMemory:
+      return "memory-bound";
+    case Channel::kNetwork:
+      return "network-bound";
+  }
+  return "?";
+}
+
+DistributedTime predict_time(const ClusterParams& c,
+                             const DistributedProfile& w) noexcept {
+  DistributedTime t;
+  t.flops_seconds = w.flops * c.node.time_per_flop;
+  t.mem_seconds = w.mem_bytes * c.node.time_per_byte;
+  t.net_seconds = w.net_bytes * c.time_per_net_byte;
+  t.total_seconds =
+      std::max({t.flops_seconds, t.mem_seconds, t.net_seconds});
+  if (t.total_seconds == t.net_seconds && t.net_seconds > 0.0) {
+    t.bound = Channel::kNetwork;
+  } else if (t.total_seconds == t.mem_seconds &&
+             t.mem_seconds > t.flops_seconds) {
+    t.bound = Channel::kMemory;
+  } else {
+    t.bound = Channel::kCompute;
+  }
+  return t;
+}
+
+DistributedEnergy predict_energy(const ClusterParams& c,
+                                 const DistributedProfile& w) noexcept {
+  DistributedEnergy e;
+  const DistributedTime t = predict_time(c, w);
+  e.flops_joules = c.nodes * w.flops * c.node.energy_per_flop;
+  e.mem_joules = c.nodes * w.mem_bytes * c.node.energy_per_byte;
+  e.net_joules = c.nodes * w.net_bytes * c.energy_per_net_byte;
+  e.const_joules = c.nodes * c.node.const_power * t.total_seconds;
+  e.total_joules =
+      e.flops_joules + e.mem_joules + e.net_joules + e.const_joules;
+  return e;
+}
+
+double halo_net_bytes(double n_local, double word) noexcept {
+  return 6.0 * std::cbrt(n_local) * std::cbrt(n_local) * word;
+}
+
+double allreduce_net_bytes(double vector_len, double word) noexcept {
+  return 2.0 * vector_len * word;
+}
+
+double fft_transpose_net_bytes(double n, double p, double word) noexcept {
+  return (n / p) * word;
+}
+
+double network_bound_onset(const ClusterParams& cluster, double flops,
+                           double mem_bytes,
+                           double (*net_bytes_of_p)(double, double),
+                           double n_local, double p_max) {
+  for (double p = 2.0; p <= p_max; p *= 2.0) {
+    DistributedProfile w;
+    w.flops = flops;
+    w.mem_bytes = mem_bytes;
+    w.net_bytes = net_bytes_of_p(n_local, p);
+    if (predict_time(cluster, w).bound == Channel::kNetwork) return p;
+  }
+  return -1.0;
+}
+
+}  // namespace rme

@@ -1,0 +1,115 @@
+#pragma once
+// Distributed-memory extension: the energy roofline with a network
+// channel.
+//
+// The paper's co-design agenda (its §I cites the authors' balance-
+// principles and exascale-FFT communication work [1], [3]) treats
+// communication channels uniformly: each has a time cost and an energy
+// cost per unit of traffic.  A cluster adds a third channel — the
+// interconnect — to the two-level node model:
+//
+//   T_node = max(W·τ_flop, Q·τ_mem, M·τ_net)        (overlap)
+//   E_node = W·ε_flop + Q·ε_mem + M·ε_net + π0·T
+//   E_total = p · E_node                             (p symmetric nodes)
+//
+// where M is the per-node network traffic.  Each channel contributes
+// its own balance point (flops per network byte), so an algorithm can
+// be compute-, memory-, or NETWORK-bound — in time and, separately, in
+// energy.  Halo-exchange, allreduce, and 3-D-FFT traffic models supply
+// the M(n, p) of §I's motivating workloads.
+
+#include <string>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// A symmetric cluster: p identical nodes plus an interconnect.
+struct ClusterParams {
+  std::string name;
+  MachineParams node;       ///< Per-node machine (incl. per-node π_0).
+  double nodes = 1.0;       ///< p.
+  double time_per_net_byte = 0.0;    ///< τ_net [s/B], per node, throughput.
+  double energy_per_net_byte = 0.0;  ///< ε_net [J/B] (NIC + switch share).
+
+  /// Network time-balance: flops per network byte at which compute and
+  /// network time break even on a node.
+  [[nodiscard]] double net_time_balance() const noexcept {
+    return time_per_net_byte / node.time_per_flop;
+  }
+  /// Network energy-balance: ε_net / ε_flop [flop/B].
+  [[nodiscard]] double net_energy_balance() const noexcept {
+    return energy_per_net_byte / node.energy_per_flop;
+  }
+};
+
+/// Per-node workload characterization: arithmetic, local memory
+/// traffic, and network traffic.
+struct DistributedProfile {
+  double flops = 0.0;      ///< W per node.
+  double mem_bytes = 0.0;  ///< Q per node.
+  double net_bytes = 0.0;  ///< M per node.
+
+  [[nodiscard]] double mem_intensity() const noexcept {
+    return flops / mem_bytes;
+  }
+  [[nodiscard]] double net_intensity() const noexcept {
+    return flops / net_bytes;
+  }
+};
+
+/// Which channel bounds a distributed execution.
+enum class Channel { kCompute, kMemory, kNetwork };
+
+[[nodiscard]] const char* to_string(Channel c) noexcept;
+
+/// Three-channel time/energy prediction for one node (all nodes are
+/// symmetric, so makespan equals node time).
+struct DistributedTime {
+  double flops_seconds = 0.0;
+  double mem_seconds = 0.0;
+  double net_seconds = 0.0;
+  double total_seconds = 0.0;
+  Channel bound = Channel::kCompute;
+};
+
+struct DistributedEnergy {
+  double flops_joules = 0.0;  ///< Whole-cluster (p·node) values.
+  double mem_joules = 0.0;
+  double net_joules = 0.0;
+  double const_joules = 0.0;
+  double total_joules = 0.0;
+};
+
+[[nodiscard]] DistributedTime predict_time(const ClusterParams& c,
+                                           const DistributedProfile& w) noexcept;
+[[nodiscard]] DistributedEnergy predict_energy(
+    const ClusterParams& c, const DistributedProfile& w) noexcept;
+
+// --- Traffic models for §I's motivating workloads -------------------------
+
+/// 3-D halo exchange (stencil): per node, n_local cells arranged in a
+/// cube exchange 6 faces of (n_local^(2/3)) cells, `word` bytes each.
+[[nodiscard]] double halo_net_bytes(double n_local, double word = 8.0) noexcept;
+
+/// Ring/recursive-doubling allreduce of a length-v vector: ~2·v·word
+/// bytes per node, independent of p (bandwidth-optimal algorithms).
+[[nodiscard]] double allreduce_net_bytes(double vector_len,
+                                         double word = 8.0) noexcept;
+
+/// Distributed 3-D FFT of n points on p nodes (one all-to-all
+/// transpose): each node sends its whole local slab, (n/p)·word bytes.
+[[nodiscard]] double fft_transpose_net_bytes(double n, double p,
+                                             double word = 8.0) noexcept;
+
+/// Weak-scaling sweep: the node count at which a workload whose local
+/// problem is fixed becomes network-bound in time (first p where
+/// net time ≥ max(compute, memory) time), or -1 if never within p_max.
+/// `net_bytes_of_p` maps node count to per-node network traffic.
+[[nodiscard]] double network_bound_onset(
+    const ClusterParams& cluster, double flops, double mem_bytes,
+    double (*net_bytes_of_p)(double n_local, double p), double n_local,
+    double p_max = 1e6);
+
+}  // namespace rme

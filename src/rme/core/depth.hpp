@@ -1,0 +1,48 @@
+#pragma once
+// Work-depth (concurrency-limited) time refinement — §VII limitation #1.
+//
+// The basic model assumes throughput-based costs, valid only with enough
+// concurrency.  Following the balance-principles analysis the authors
+// cite ([1], Czechowski et al.), we refine execution time with Brent's
+// bound and a memory-concurrency (little's-law) term:
+//
+//   T_flops = (W/p + D)·τ_flop          p processors, critical path D
+//   T_mem   = max(Q·τ_mem, (Q/c)·L)     c outstanding misses, latency L
+//   T       = max(T_flops, T_mem).
+//
+// With p → ∞ (or D ≪ W/p) and c·τ_mem ≥ L this degenerates exactly to
+// the throughput model of eq. (3), which tests assert.
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// Concurrency characterization of machine and algorithm.
+struct ConcurrencyParams {
+  double processors = 1.0;        ///< p: parallel work lanes.
+  double depth = 0.0;             ///< D: critical-path length in flops.
+  double mem_concurrency = 1.0;   ///< c: sustainable outstanding transfers.
+  double mem_latency = 0.0;       ///< L: seconds per (non-overlapped) mop.
+};
+
+/// Time under the work-depth refinement (see file comment).
+[[nodiscard]] TimeBreakdown predict_time_depth(
+    const MachineParams& m, const KernelProfile& k,
+    const ConcurrencyParams& c) noexcept;
+
+/// Energy under the refinement: same per-op energies, but constant power
+/// burns over the (longer) refined duration.
+[[nodiscard]] EnergyBreakdown predict_energy_depth(
+    const MachineParams& m, const KernelProfile& k,
+    const ConcurrencyParams& c) noexcept;
+
+/// Largest machine width p for which the throughput assumption holds
+/// within `slack` (ratio ≥ 1): depth costs a machine-width stall per
+/// critical-path step, so W·τ + D·p·τ ≤ slack·W·τ ⇒ p ≤ (slack−1)·W/D.
+/// Returns +inf when depth is zero (any width is fine).
+[[nodiscard]] double max_processors_for_throughput(
+    const KernelProfile& k, const ConcurrencyParams& c,
+    double slack = 1.01) noexcept;
+
+}  // namespace rme

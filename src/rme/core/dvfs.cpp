@@ -1,0 +1,62 @@
+#include "rme/core/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rme {
+
+MachineParams at_frequency(const MachineParams& nominal, const DvfsModel& dvfs,
+                           double ratio) noexcept {
+  const double r = std::clamp(ratio, dvfs.min_ratio, dvfs.max_ratio);
+  const double v = dvfs.voltage(r);
+  const double v_nom = dvfs.voltage(1.0);  // == 1.0 by construction
+  MachineParams m = nominal;
+  m.time_per_flop = nominal.time_per_flop / r;
+  // time_per_byte unchanged: separate memory clock domain.
+  m.energy_per_flop = nominal.energy_per_flop * (v * v) / (v_nom * v_nom);
+  // energy_per_byte unchanged: DRAM and interface energy.
+  const double fixed = dvfs.fixed_fraction * nominal.const_power;
+  const double leak = dvfs.static_fraction * nominal.const_power * (v / v_nom);
+  const double clock = (1.0 - dvfs.fixed_fraction - dvfs.static_fraction) *
+                       nominal.const_power * r * (v * v) / (v_nom * v_nom);
+  m.const_power = fixed + leak + clock;
+  return m;
+}
+
+std::vector<DvfsPoint> frequency_sweep(const MachineParams& nominal,
+                                       const DvfsModel& dvfs,
+                                       const KernelProfile& k, int steps) {
+  std::vector<DvfsPoint> points;
+  if (steps < 2) steps = 2;
+  points.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double r = dvfs.min_ratio + (dvfs.max_ratio - dvfs.min_ratio) *
+                                          static_cast<double>(i) /
+                                          (steps - 1);
+    const MachineParams m = at_frequency(nominal, dvfs, r);
+    DvfsPoint p;
+    p.ratio = r;
+    p.seconds = predict_time(m, k).total_seconds;
+    p.joules = predict_energy(m, k).total_joules;
+    p.avg_watts = p.joules / p.seconds;
+    points.push_back(p);
+  }
+  return points;
+}
+
+DvfsPoint min_energy_point(const MachineParams& nominal, const DvfsModel& dvfs,
+                           const KernelProfile& k, int steps) {
+  const auto sweep = frequency_sweep(nominal, dvfs, k, steps);
+  return *std::min_element(sweep.begin(), sweep.end(),
+                           [](const DvfsPoint& a, const DvfsPoint& b) {
+                             return a.joules < b.joules;
+                           });
+}
+
+bool race_to_halt_optimal(const MachineParams& nominal, const DvfsModel& dvfs,
+                          const KernelProfile& k, int steps) {
+  const DvfsPoint best = min_energy_point(nominal, dvfs, k, steps);
+  return best.ratio >= dvfs.max_ratio - 1e-12;
+}
+
+}  // namespace rme

@@ -1,0 +1,81 @@
+#pragma once
+// DVFS extension and race-to-halt analysis.
+//
+// §II-D and §VII argue that when B_τ > B̂_ε, race-to-halt (run at maximum
+// frequency, then idle) is the right first-order energy strategy, and that
+// a large constant power π_0 is what makes this true today.  This module
+// makes that argument executable: it scales a MachineParams with a simple
+// voltage-frequency model and evaluates E(f) for a kernel, exposing the
+// frequency that minimizes energy and the condition under which f_max is
+// optimal.
+
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// Voltage/frequency scaling model.  Frequency ratios are relative to
+/// nominal (1.0).  Voltage follows V(r) = v_floor + (1 − v_floor)·r in
+/// normalized units, the standard near-linear DVFS approximation.
+///
+/// Component scaling at ratio r:
+///   τ_flop   ∝ 1/r                  (core clock)
+///   τ_mem    unchanged               (memory clock domain is separate)
+///   ε_flop   ∝ V(r)²                (CV² switching energy per op)
+///   ε_mem    unchanged               (DRAM + off-chip interface)
+///   π_0      = fixed_fraction·π_0                      (board, uncore, DRAM
+///                                                       refresh, PSU loss)
+///            + static_fraction·π_0·V(r)                (core leakage ≈ ∝ V)
+///            + remaining·π_0·r·V(r)²                   (clock tree ≈ ∝ f·V²)
+///
+/// The measured π_0 of Table IV (122 W on both platforms) is whole-system
+/// constant power, most of which does not live in the scaled core domain —
+/// hence the large default fixed fraction.  This is exactly what makes
+/// race-to-halt optimal on today's machines (§V-B) in this model.
+struct DvfsModel {
+  double v_floor = 0.6;          ///< Normalized voltage at r → 0.
+  double fixed_fraction = 0.7;   ///< Fraction of π_0 outside the DVFS domain.
+  double static_fraction = 0.2;  ///< Fraction of π_0 that is leakage-like.
+  double min_ratio = 0.25;       ///< Lowest supported frequency ratio.
+  double max_ratio = 1.0;        ///< Highest supported frequency ratio.
+
+  [[nodiscard]] double voltage(double ratio) const noexcept {
+    return v_floor + (1.0 - v_floor) * ratio;
+  }
+};
+
+/// Machine parameters rescaled to core-frequency ratio `r`.
+[[nodiscard]] MachineParams at_frequency(const MachineParams& nominal,
+                                         const DvfsModel& dvfs,
+                                         double ratio) noexcept;
+
+/// One point of the E(f) / T(f) trade-off sweep.
+struct DvfsPoint {
+  double ratio = 1.0;
+  double seconds = 0.0;
+  double joules = 0.0;
+  double avg_watts = 0.0;
+};
+
+/// Sweep frequency ratios (inclusive grid of `steps` points between the
+/// model's min and max ratio) for one kernel profile.
+[[nodiscard]] std::vector<DvfsPoint> frequency_sweep(
+    const MachineParams& nominal, const DvfsModel& dvfs,
+    const KernelProfile& k, int steps = 16);
+
+/// The frequency ratio minimizing energy for this kernel (grid argmin).
+[[nodiscard]] DvfsPoint min_energy_point(const MachineParams& nominal,
+                                         const DvfsModel& dvfs,
+                                         const KernelProfile& k,
+                                         int steps = 64);
+
+/// True if running flat-out (r = max_ratio) minimizes energy — i.e.
+/// race-to-halt is optimal for this kernel on this machine.
+[[nodiscard]] bool race_to_halt_optimal(const MachineParams& nominal,
+                                        const DvfsModel& dvfs,
+                                        const KernelProfile& k,
+                                        int steps = 64);
+
+}  // namespace rme

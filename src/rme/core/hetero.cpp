@@ -1,0 +1,114 @@
+#include "rme/core/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rme {
+
+const char* to_string(IdlePolicy policy) noexcept {
+  return policy == IdlePolicy::kAlwaysOn ? "always-on" : "power-gated";
+}
+
+namespace {
+
+double busy_seconds(const MachineParams& m, const KernelProfile& k,
+                    double share) noexcept {
+  if (share <= 0.0) return 0.0;
+  return predict_time(m, KernelProfile{k.flops * share, k.bytes * share})
+      .total_seconds;
+}
+
+double dynamic_joules(const MachineParams& m, const KernelProfile& k,
+                      double share) noexcept {
+  return share * (k.flops * m.energy_per_flop + k.bytes * m.energy_per_byte);
+}
+
+}  // namespace
+
+HeteroSplit evaluate_split(const MachineParams& a, const MachineParams& b,
+                           const KernelProfile& k, double alpha,
+                           IdlePolicy policy) noexcept {
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  HeteroSplit s;
+  s.alpha = alpha;
+  s.device_a_seconds = busy_seconds(a, k, alpha);
+  s.device_b_seconds = busy_seconds(b, k, 1.0 - alpha);
+  s.seconds = std::max(s.device_a_seconds, s.device_b_seconds);
+
+  const double dyn = dynamic_joules(a, k, alpha) +
+                     dynamic_joules(b, k, 1.0 - alpha);
+  double constant = 0.0;
+  if (policy == IdlePolicy::kAlwaysOn) {
+    constant = (a.const_power + b.const_power) * s.seconds;
+  } else {
+    constant = a.const_power * s.device_a_seconds +
+               b.const_power * s.device_b_seconds;
+  }
+  s.joules = dyn + constant;
+  return s;
+}
+
+HeteroSplit time_optimal_split(const MachineParams& a, const MachineParams& b,
+                               const KernelProfile& k,
+                               IdlePolicy policy) noexcept {
+  // T_A grows and T_B shrinks in alpha; the makespan is minimized where
+  // they cross (both linear in alpha, so bisection converges fast).
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double ta = busy_seconds(a, k, mid);
+    const double tb = busy_seconds(b, k, 1.0 - mid);
+    (ta < tb ? lo : hi) = mid;
+  }
+  return evaluate_split(a, b, k, 0.5 * (lo + hi), policy);
+}
+
+HeteroSplit energy_optimal_split(const MachineParams& a,
+                                 const MachineParams& b,
+                                 const KernelProfile& k, IdlePolicy policy,
+                                 int grid) noexcept {
+  if (grid < 2) grid = 2;
+  HeteroSplit best = evaluate_split(a, b, k, 0.0, policy);
+  for (int i = 1; i <= grid; ++i) {
+    const HeteroSplit s =
+        evaluate_split(a, b, k, static_cast<double>(i) / grid, policy);
+    if (s.joules < best.joules) best = s;
+  }
+  // Local golden-section refinement around the grid winner.
+  double lo = std::max(0.0, best.alpha - 1.0 / grid);
+  double hi = std::min(1.0, best.alpha + 1.0 / grid);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = hi - kInvPhi * (hi - lo);
+  double x2 = lo + kInvPhi * (hi - lo);
+  double f1 = evaluate_split(a, b, k, x1, policy).joules;
+  double f2 = evaluate_split(a, b, k, x2, policy).joules;
+  for (int iter = 0; iter < 80; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kInvPhi * (hi - lo);
+      f1 = evaluate_split(a, b, k, x1, policy).joules;
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kInvPhi * (hi - lo);
+      f2 = evaluate_split(a, b, k, x2, policy).joules;
+    }
+  }
+  const HeteroSplit refined =
+      evaluate_split(a, b, k, 0.5 * (lo + hi), policy);
+  return refined.joules < best.joules ? refined : best;
+}
+
+bool split_optima_disagree(const MachineParams& a, const MachineParams& b,
+                           const KernelProfile& k, IdlePolicy policy,
+                           double tol) noexcept {
+  const HeteroSplit t = time_optimal_split(a, b, k, policy);
+  const HeteroSplit e = energy_optimal_split(a, b, k, policy);
+  return std::fabs(t.alpha - e.alpha) > tol;
+}
+
+}  // namespace rme

@@ -1,0 +1,70 @@
+#pragma once
+// Heterogeneous two-device extension.
+//
+// The paper's lineage is the Amdahl-style heterogeneous analyses it
+// cites ([4]-[6]: Hill & Marty, Woo & Lee, Multi-Amdahl), which ask how
+// to divide work between unlike devices.  With the energy-roofline
+// characterization in hand the question becomes concrete: split a
+// (W, Q) workload across two machines running concurrently and compare
+// the split that minimizes *time* with the one that minimizes *energy*.
+// When the devices' balance points and constant powers differ, the two
+// optima part ways — the balance-gap story at system scale.
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// What an idle device burns while the other one finishes.
+enum class IdlePolicy {
+  kAlwaysOn,    ///< Both devices burn π_0 for the whole makespan.
+  kPowerGated,  ///< Each device burns π_0 only while it is busy.
+};
+
+[[nodiscard]] const char* to_string(IdlePolicy policy) noexcept;
+
+/// A concurrent split: fraction `alpha` of both W and Q to device A,
+/// the rest to device B.
+struct HeteroSplit {
+  double alpha = 0.5;
+  double seconds = 0.0;       ///< Makespan max(T_A, T_B).
+  double joules = 0.0;        ///< Total energy under the idle policy.
+  double device_a_seconds = 0.0;
+  double device_b_seconds = 0.0;
+};
+
+/// Evaluates a specific split.  alpha ∈ [0, 1]; a device receiving zero
+/// work contributes zero busy time (and, under kPowerGated, no constant
+/// energy).
+[[nodiscard]] HeteroSplit evaluate_split(const MachineParams& a,
+                                         const MachineParams& b,
+                                         const KernelProfile& k, double alpha,
+                                         IdlePolicy policy) noexcept;
+
+/// The split minimizing makespan.  For this model the makespan is
+/// piecewise monotone in alpha with a unique minimum where the two
+/// devices finish together (or at a boundary); found by bisection on
+/// T_A(alpha) − T_B(alpha).
+[[nodiscard]] HeteroSplit time_optimal_split(const MachineParams& a,
+                                             const MachineParams& b,
+                                             const KernelProfile& k,
+                                             IdlePolicy policy) noexcept;
+
+/// The split minimizing total energy (grid + local refinement; the
+/// energy landscape under kAlwaysOn couples the devices through the
+/// makespan, so boundaries 0/1 are always candidates).
+[[nodiscard]] HeteroSplit energy_optimal_split(const MachineParams& a,
+                                               const MachineParams& b,
+                                               const KernelProfile& k,
+                                               IdlePolicy policy,
+                                               int grid = 512) noexcept;
+
+/// True when the time- and energy-optimal alphas differ by more than
+/// `tol` — the heterogeneous analogue of the balance gap.
+[[nodiscard]] bool split_optima_disagree(const MachineParams& a,
+                                         const MachineParams& b,
+                                         const KernelProfile& k,
+                                         IdlePolicy policy,
+                                         double tol = 0.01) noexcept;
+
+}  // namespace rme

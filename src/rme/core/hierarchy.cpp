@@ -1,0 +1,42 @@
+#include "rme/core/hierarchy.hpp"
+
+namespace rme {
+
+HierarchicalEnergy predict_energy_multilevel(
+    const MachineParams& m, const HierarchicalProfile& p) noexcept {
+  HierarchicalEnergy e;
+  e.flops_joules = p.flops * m.energy_per_flop;
+  e.level_joules.reserve(p.levels.size());
+  double traffic_joules = 0.0;
+  for (const LevelTraffic& level : p.levels) {
+    const double j = level.joules();
+    e.level_joules.push_back(j);
+    traffic_joules += j;
+  }
+  const KernelProfile two_level{p.flops, p.dram_bytes()};
+  e.const_joules =
+      m.const_power * predict_time(m, two_level).total_seconds;
+  e.total_joules = e.flops_joules + traffic_joules + e.const_joules;
+  return e;
+}
+
+MachineParams with_cache_charge(const MachineParams& m,
+                                double cache_crossings,
+                                double cache_energy_per_byte) noexcept {
+  MachineParams out = m;
+  out.name = m.name + " +cache-charged";
+  out.energy_per_byte =
+      m.energy_per_byte + cache_crossings * cache_energy_per_byte;
+  return out;
+}
+
+double effective_intensity(const MachineParams& m,
+                           const HierarchicalProfile& p) noexcept {
+  double weighted_bytes = 0.0;
+  for (const LevelTraffic& level : p.levels) {
+    weighted_bytes += level.bytes * level.energy_per_byte / m.energy_per_byte;
+  }
+  return p.flops / weighted_bytes;
+}
+
+}  // namespace rme

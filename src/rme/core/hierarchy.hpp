@@ -1,0 +1,81 @@
+#pragma once
+// Multi-level memory-hierarchy energy extension (§V-C and §VII
+// limitation #2).
+//
+// The two-level model underestimated measured FMM energy by ~33% until
+// the authors added a per-byte cache-access term (fitted at 187 pJ/B for
+// combined L1+L2 traffic).  This module generalizes eq. (2) to
+//     E = W·ε_flop + Σ_l Q_l·ε_l + π_0·T,
+// where level 0 is DRAM (the model's ε_mem) and deeper entries are cache
+// levels with their own per-byte costs and traffic.
+
+#include <string>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// Per-level traffic with its energy cost.
+struct LevelTraffic {
+  std::string name;             ///< e.g. "DRAM", "L2", "L1".
+  double bytes = 0.0;           ///< Traffic observed at this level.
+  double energy_per_byte = 0.0; ///< ε_l [J/B].
+
+  [[nodiscard]] double joules() const noexcept {
+    return bytes * energy_per_byte;
+  }
+};
+
+/// A kernel profile extended with per-level traffic.  `flops` is W; the
+/// level vector replaces the single Q of the basic model.  Execution
+/// *time* still follows the two-level model using DRAM traffic (the
+/// bandwidth-limiting level); caches affect energy only, as in §V-C.
+struct HierarchicalProfile {
+  double flops = 0.0;
+  std::vector<LevelTraffic> levels;
+
+  /// DRAM (level 0) traffic, used for the time model.  Zero if absent.
+  [[nodiscard]] double dram_bytes() const noexcept {
+    return levels.empty() ? 0.0 : levels.front().bytes;
+  }
+};
+
+/// Energy breakdown for the multi-level model.
+struct HierarchicalEnergy {
+  double flops_joules = 0.0;
+  std::vector<double> level_joules;  ///< Parallel to profile.levels.
+  double const_joules = 0.0;
+  double total_joules = 0.0;
+};
+
+/// E = W·ε_flop + Σ_l Q_l·ε_l + π_0·T, with T from the two-level time
+/// model on DRAM traffic.  The DRAM level's ε comes from the profile (so
+/// callers may override the machine's ε_mem with a fitted value).
+[[nodiscard]] HierarchicalEnergy predict_energy_multilevel(
+    const MachineParams& m, const HierarchicalProfile& p) noexcept;
+
+/// The paper's fitted cache-access cost for the GTX 580 (§V-C): about
+/// 187 pJ per byte of combined L1+L2 traffic.
+inline constexpr double kPaperCacheEnergyPerByte = 187.0e-12;
+
+/// "Effective intensity" of a hierarchical profile: W over the
+/// energy-weighted traffic Σ Q_l·ε_l / ε_mem — the intensity a two-level
+/// model would need to charge the same communication energy.
+[[nodiscard]] double effective_intensity(const MachineParams& m,
+                                         const HierarchicalProfile& p) noexcept;
+
+/// A machine whose per-byte communication energy charges cache transit:
+/// each DRAM byte is assumed to cross the cache interfaces
+/// `cache_crossings` times at `cache_energy_per_byte` each, so
+///   ε_mem' = ε_mem + cache_crossings · ε_cache.
+/// The multi-level "arch line" is then exactly the two-level arch line
+/// of this augmented machine — which lowers measured energy-efficiency
+/// and raises the energy-balance point (the §V-C effect folded back
+/// into the §II model).
+[[nodiscard]] MachineParams with_cache_charge(
+    const MachineParams& m, double cache_crossings,
+    double cache_energy_per_byte = kPaperCacheEnergyPerByte) noexcept;
+
+}  // namespace rme

@@ -1,0 +1,49 @@
+#include "rme/core/machine.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace rme {
+
+const char* to_string(Precision p) noexcept {
+  return p == Precision::kSingle ? "single" : "double";
+}
+
+double MachineParams::effective_energy_balance(double intensity) const noexcept {
+  const double eta = flop_efficiency();
+  const double slack = std::fmax(0.0, time_balance() - intensity);
+  return eta * energy_balance() + (1.0 - eta) * slack;
+}
+
+double MachineParams::balance_fixed_point() const noexcept {
+  // Solve B̂_ε(I) = I.  With eq. (6), for I < B_τ the equation is linear:
+  //   η·B_ε + (1-η)(B_τ - I) = I
+  //   I = (η·B_ε + (1-η)·B_τ) / (2 - η).
+  // If that solution lands at or above B_τ, the max() term vanishes and the
+  // fixed point is simply η·B_ε (which is ≥ B_τ in that branch).
+  const double eta = flop_efficiency();
+  const double b_tau = time_balance();
+  const double b_eps = energy_balance();
+  const double below = (eta * b_eps + (1.0 - eta) * b_tau) / (2.0 - eta);
+  if (below < b_tau) return below;
+  return eta * b_eps;
+}
+
+bool MachineParams::valid() const noexcept {
+  const auto pos = [](double v) { return std::isfinite(v) && v > 0.0; };
+  return pos(time_per_flop) && pos(time_per_byte) && pos(energy_per_flop) &&
+         pos(energy_per_byte) && std::isfinite(const_power) &&
+         const_power >= 0.0;
+}
+
+std::ostream& operator<<(std::ostream& os, const MachineParams& m) {
+  os << "MachineParams{" << m.name << ": tau_flop=" << m.time_per_flop
+     << " s/flop, tau_mem=" << m.time_per_byte
+     << " s/B, eps_flop=" << m.energy_per_flop
+     << " J/flop, eps_mem=" << m.energy_per_byte << " J/B, pi0=" << m.const_power
+     << " W, B_tau=" << m.time_balance() << ", B_eps=" << m.energy_balance()
+     << "}";
+  return os;
+}
+
+}  // namespace rme

@@ -1,0 +1,115 @@
+#pragma once
+// MachineParams: the five-coefficient machine characterization of §II
+// (Table I of the paper), plus the derived balance quantities.
+
+#include <iosfwd>
+#include <string>
+
+#include "rme/core/units.hpp"
+
+namespace rme {
+
+/// Floating-point precision of a kernel / machine configuration.
+enum class Precision { kSingle, kDouble };
+
+[[nodiscard]] const char* to_string(Precision p) noexcept;
+
+/// Number of bytes per word for a given precision.
+[[nodiscard]] constexpr int word_bytes(Precision p) noexcept {
+  return p == Precision::kSingle ? 4 : 8;
+}
+
+/// The machine characterization of the energy-roofline model (Table I):
+///
+///   τ_flop  time per work (arithmetic) operation      [s / flop]
+///   τ_mem   time per memory operation ("mop")         [s / byte]
+///   ε_flop  energy per arithmetic operation           [J / flop]
+///   ε_mem   energy per mop                            [J / byte]
+///   π_0     constant power                            [W]
+///
+/// All the paper's derived quantities — time-balance B_τ, energy-balance
+/// B_ε, constant energy per flop ε_0, flop energy-efficiency η_flop, and
+/// the effective energy-balance B̂_ε(I) of eq. (6) — are methods here.
+struct MachineParams {
+  std::string name;            ///< Human-readable platform label.
+  double time_per_flop = 0.0;  ///< τ_flop [s/flop], throughput-based.
+  double time_per_byte = 0.0;  ///< τ_mem [s/byte], throughput-based.
+  double energy_per_flop = 0.0;  ///< ε_flop [J/flop].
+  double energy_per_byte = 0.0;  ///< ε_mem [J/byte].
+  double const_power = 0.0;      ///< π_0 [W].
+
+  /// Classical time-balance point B_τ = τ_mem / τ_flop [flop/byte], §II-B.
+  [[nodiscard]] double time_balance() const noexcept {
+    return time_per_byte / time_per_flop;
+  }
+
+  /// Energy-balance point B_ε = ε_mem / ε_flop [flop/byte], eq. (4).
+  [[nodiscard]] double energy_balance() const noexcept {
+    return energy_per_byte / energy_per_flop;
+  }
+
+  /// Constant energy per flop ε_0 = π_0 · τ_flop [J/flop], §II-B.
+  [[nodiscard]] double const_energy_per_flop() const noexcept {
+    return const_power * time_per_flop;
+  }
+
+  /// Actual energy to execute one flop, ε̂_flop = ε_flop + ε_0 [J/flop].
+  [[nodiscard]] double actual_energy_per_flop() const noexcept {
+    return energy_per_flop + const_energy_per_flop();
+  }
+
+  /// Constant-flop energy efficiency η_flop = ε_flop / ε̂_flop ∈ (0, 1].
+  /// Equals 1 exactly when the machine needs no constant power (π_0 = 0).
+  [[nodiscard]] double flop_efficiency() const noexcept {
+    return energy_per_flop / actual_energy_per_flop();
+  }
+
+  /// Effective energy-balance B̂_ε(I), eq. (6):
+  ///   B̂_ε(I) = η_flop·B_ε + (1 − η_flop)·max(0, B_τ − I).
+  [[nodiscard]] double effective_energy_balance(double intensity) const noexcept;
+
+  /// The intensity at which energy efficiency reaches half its peak — the
+  /// fixed point B̂_ε(I) = I.  This is the "true energy-balance point"
+  /// annotated on Fig. 4 (e.g. 0.79 for the GTX 580 double precision).
+  /// When π_0 = 0 this equals B_ε exactly.
+  [[nodiscard]] double balance_fixed_point() const noexcept;
+
+  /// Balance gap B_ε / B_τ, §II-D.  Values > 1 mean energy-efficiency is
+  /// harder to reach than time-efficiency.
+  [[nodiscard]] double balance_gap() const noexcept {
+    return energy_balance() / time_balance();
+  }
+
+  /// Peak arithmetic throughput [flop/s] — inverse of τ_flop.
+  [[nodiscard]] double peak_flops() const noexcept { return 1.0 / time_per_flop; }
+
+  /// Peak memory bandwidth [byte/s] — inverse of τ_mem.
+  [[nodiscard]] double peak_bandwidth() const noexcept {
+    return 1.0 / time_per_byte;
+  }
+
+  /// Peak energy efficiency [flop/J] — inverse of ε̂_flop (flops only,
+  /// zero traffic, constant power burning for the flop duration).
+  [[nodiscard]] double peak_flops_per_joule() const noexcept {
+    return 1.0 / actual_energy_per_flop();
+  }
+
+  /// Power per flop π_flop = ε_flop / τ_flop [W], excluding constant
+  /// power (§III).
+  [[nodiscard]] double flop_power() const noexcept {
+    return energy_per_flop / time_per_flop;
+  }
+
+  /// Power per mop ε_mem / τ_mem [W], excluding constant power.
+  [[nodiscard]] double mem_power() const noexcept {
+    return energy_per_byte / time_per_byte;
+  }
+
+  /// True if every coefficient is finite, positive where required
+  /// (π_0 may be zero), i.e. the parameters describe a usable machine.
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+std::ostream& operator<<(std::ostream& os, const MachineParams& m);
+
+}  // namespace rme

@@ -1,0 +1,57 @@
+#pragma once
+// Machine presets encoding the paper's Tables II, III, and IV.
+//
+// Table II gives the illustrative NVIDIA Fermi parameters from Keckler et
+// al. used to draw Fig. 2.  Table III gives the manufacturer peak rates of
+// the two experimental platforms; Table IV gives the energy coefficients
+// the authors *fitted* on those platforms via eq. (9).  Combining III and
+// IV yields a complete MachineParams per (platform, precision), which is
+// what Figs. 4 and 5 plot and what our simulator uses as ground truth.
+
+#include "rme/core/machine.hpp"
+
+namespace rme::presets {
+
+/// Table II: NVIDIA "Fermi" GPU illustration (Keckler et al. [14]).
+/// τ_flop = (515 Gflop/s)^-1, τ_mem = (144 GB/s)^-1, ε_flop = 25 pJ/flop,
+/// ε_mem = 360 pJ/B, π_0 = 0.  B_τ ≈ 3.6 flop/B, B_ε = 14.4 flop/B.
+[[nodiscard]] MachineParams fermi_table2();
+
+/// Tables III+IV: NVIDIA GeForce GTX 580 (GPU-only power).
+/// Peaks: 1581.06 GFLOP/s single / 197.63 double, 192.4 GB/s.
+/// Fitted: ε_s = 99.7 pJ/flop, ε_d = 212 pJ/flop, ε_mem = 513 pJ/B,
+/// π_0 = 122 W.
+[[nodiscard]] MachineParams gtx580(Precision p);
+
+/// Tables III+IV: Intel Core i7-950 (desktop, Nehalem, 4 cores).
+/// Peaks: 106.56 GFLOP/s single / 53.28 double, 25.6 GB/s.
+/// Fitted: ε_s = 371 pJ/flop, ε_d = 670 pJ/flop, ε_mem = 795 pJ/B,
+/// π_0 = 122 W.
+[[nodiscard]] MachineParams i7_950(Precision p);
+
+/// §V-B: NVIDIA's reported maximum board power for the GTX 580.  The
+/// model (power line) exceeds this near I = B_τ in single precision,
+/// which is the paper's explanation for the measured roofline departure
+/// in Fig. 4b / Fig. 5b.
+inline constexpr double kGtx580PowerCapWatts = 244.0;
+
+/// Table III TDP column (chip only) — both platforms list 130 W.
+inline constexpr double kTableIIITdpWatts = 130.0;
+
+/// Measured GTX 580 idle power reported in §V-A (powered on, idle).
+inline constexpr double kGtx580IdleWatts = 39.6;
+
+/// Peak rates of Table III in natural units, for reporting.
+struct PlatformPeaks {
+  const char* device;
+  const char* model;
+  double gflops_single;
+  double gflops_double;
+  double bandwidth_gbs;
+  double tdp_watts;
+};
+
+[[nodiscard]] PlatformPeaks table3_cpu() noexcept;
+[[nodiscard]] PlatformPeaks table3_gpu() noexcept;
+
+}  // namespace rme::presets

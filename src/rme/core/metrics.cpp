@@ -1,0 +1,89 @@
+#include "rme/core/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rme {
+
+double energy_delay_product(const MachineParams& m, const KernelProfile& k,
+                            double delay_weight) noexcept {
+  const double t = predict_time(m, k).total_seconds;
+  const double e = predict_energy(m, k).total_joules;
+  return e * std::pow(t, delay_weight);
+}
+
+double flops_per_watt(const MachineParams& m, double intensity) noexcept {
+  // (flops/second) / (joules/second) == flops/joule.
+  return achieved_flops_per_joule(m, intensity);
+}
+
+const char* to_string(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kTime:
+      return "time";
+    case Metric::kEnergy:
+      return "energy";
+    case Metric::kEdp:
+      return "EDP";
+    case Metric::kEd2p:
+      return "ED2P";
+  }
+  return "?";
+}
+
+double metric_value(Metric metric, const MachineParams& m,
+                    const KernelProfile& k) noexcept {
+  switch (metric) {
+    case Metric::kTime:
+      return predict_time(m, k).total_seconds;
+    case Metric::kEnergy:
+      return predict_energy(m, k).total_joules;
+    case Metric::kEdp:
+      return energy_delay_product(m, k, 1.0);
+    case Metric::kEd2p:
+      return energy_delay_product(m, k, 2.0);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+DvfsPoint metric_optimal_frequency(Metric metric,
+                                   const MachineParams& nominal,
+                                   const DvfsModel& dvfs,
+                                   const KernelProfile& k, int steps) {
+  DvfsPoint best;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (const DvfsPoint& p : frequency_sweep(nominal, dvfs, k, steps)) {
+    const MachineParams m = at_frequency(nominal, dvfs, p.ratio);
+    const double value = metric_value(metric, m, k);
+    if (value < best_value) {
+      best_value = value;
+      best = p;
+    }
+  }
+  return best;
+}
+
+double intensity_for_fraction(Metric metric, const MachineParams& m,
+                              double fraction, double i_lo, double i_hi) {
+  // Best value of the metric at the compute-bound limit, per unit work.
+  const KernelProfile limit = KernelProfile::from_intensity(i_hi, 1.0);
+  const double best = metric_value(metric, m, limit);
+  // All four metrics improve monotonically with intensity at fixed W, so
+  // bisect on the first intensity whose value ≤ best/fraction.
+  const double target = best / fraction;
+  if (metric_value(metric, m, KernelProfile::from_intensity(i_lo, 1.0)) <=
+      target) {
+    return i_lo;
+  }
+  double lo = i_lo;
+  double hi = i_hi;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    const double value =
+        metric_value(metric, m, KernelProfile::from_intensity(mid, 1.0));
+    (value > target ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+}  // namespace rme

@@ -1,0 +1,65 @@
+#pragma once
+// Trade-off metrics beyond raw time and energy (§VI "Metrics").
+//
+// The paper reasons directly about T, E, and P, but notes that
+// multiobjective optimization often uses fused metrics: the
+// energy-delay product (EDP) and its generalizations E·T^w (Gonzalez &
+// Horowitz; Bekas & Curioni's FTTSE), flops-per-Watt (the Green500
+// metric), and The Green Index.  This module evaluates those metrics
+// under the model, so one can ask *which frequency, intensity, or
+// transform a given metric prefers* — and when the metrics disagree.
+
+#include <vector>
+
+#include "rme/core/dvfs.hpp"
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// Generalized energy-delay product E·T^w.  w = 0 is energy, w = 1 the
+/// classic EDP, w = 2 ED²P (favoring speed ever more strongly).
+[[nodiscard]] double energy_delay_product(const MachineParams& m,
+                                          const KernelProfile& k,
+                                          double delay_weight = 1.0) noexcept;
+
+/// Flops per Watt = flops per Joule per second... dimensionally it *is*
+/// flops/Joule scaled by nothing: FLOP/s per Watt == FLOP/J.  Exposed
+/// under its Green500 name for clarity at call sites.
+[[nodiscard]] double flops_per_watt(const MachineParams& m,
+                                    double intensity) noexcept;
+
+/// A metric choice for optimization comparisons.
+enum class Metric {
+  kTime,    ///< minimize T
+  kEnergy,  ///< minimize E
+  kEdp,     ///< minimize E·T
+  kEd2p,    ///< minimize E·T²
+};
+
+[[nodiscard]] const char* to_string(Metric metric) noexcept;
+
+/// Value of a metric for a kernel (lower is better for all of them).
+[[nodiscard]] double metric_value(Metric metric, const MachineParams& m,
+                                  const KernelProfile& k) noexcept;
+
+/// The DVFS operating point a metric prefers (grid argmin over the
+/// model's frequency range).  Race-to-halt corresponds to kTime always
+/// choosing max_ratio; the interesting question is what kEnergy and
+/// kEdp choose (§II-D's race-to-halt discussion, generalized).
+[[nodiscard]] DvfsPoint metric_optimal_frequency(Metric metric,
+                                                 const MachineParams& nominal,
+                                                 const DvfsModel& dvfs,
+                                                 const KernelProfile& k,
+                                                 int steps = 64);
+
+/// Minimum intensity at which a metric reaches `fraction` of its best
+/// (I → ∞) value — a "how much locality do I need" query per metric.
+/// Returns +inf if the fraction is not reachable on the grid.
+[[nodiscard]] double intensity_for_fraction(Metric metric,
+                                            const MachineParams& m,
+                                            double fraction,
+                                            double i_lo = 1e-3,
+                                            double i_hi = 1e6);
+
+}  // namespace rme

@@ -1,0 +1,91 @@
+#include "rme/core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace rme {
+
+const char* to_string(Bound b) noexcept {
+  return b == Bound::kCompute ? "compute-bound" : "memory-bound";
+}
+
+TimeBreakdown predict_time(const MachineParams& m,
+                           const KernelProfile& k) noexcept {
+  TimeBreakdown t;
+  t.flops_seconds = k.flops * m.time_per_flop;
+  t.mem_seconds = k.bytes * m.time_per_byte;
+  t.total_seconds = std::max(t.flops_seconds, t.mem_seconds);
+  return t;
+}
+
+TimeBreakdown predict_time_serial(const MachineParams& m,
+                                  const KernelProfile& k) noexcept {
+  TimeBreakdown t;
+  t.flops_seconds = k.flops * m.time_per_flop;
+  t.mem_seconds = k.bytes * m.time_per_byte;
+  t.total_seconds = t.flops_seconds + t.mem_seconds;
+  return t;
+}
+
+double normalized_speed_serial(const MachineParams& m,
+                               double intensity) noexcept {
+  return 1.0 / (1.0 + m.time_balance() / intensity);
+}
+
+EnergyBreakdown predict_energy(const MachineParams& m,
+                               const KernelProfile& k) noexcept {
+  EnergyBreakdown e;
+  e.flops_joules = k.flops * m.energy_per_flop;
+  e.mem_joules = k.bytes * m.energy_per_byte;
+  e.const_joules = m.const_power * predict_time(m, k).total_seconds;
+  e.total_joules = e.flops_joules + e.mem_joules + e.const_joules;
+  return e;
+}
+
+double normalized_speed(const MachineParams& m, double intensity) noexcept {
+  return std::min(1.0, intensity / m.time_balance());
+}
+
+double normalized_efficiency(const MachineParams& m,
+                             double intensity) noexcept {
+  return 1.0 / (1.0 + m.effective_energy_balance(intensity) / intensity);
+}
+
+double achieved_flops(const MachineParams& m, double intensity) noexcept {
+  return m.peak_flops() * normalized_speed(m, intensity);
+}
+
+double achieved_flops_per_joule(const MachineParams& m,
+                                double intensity) noexcept {
+  return m.peak_flops_per_joule() * normalized_efficiency(m, intensity);
+}
+
+Bound time_bound(const MachineParams& m, double intensity) noexcept {
+  return intensity < m.time_balance() ? Bound::kMemory : Bound::kCompute;
+}
+
+Bound energy_bound(const MachineParams& m, double intensity) noexcept {
+  return intensity < m.balance_fixed_point() ? Bound::kMemory : Bound::kCompute;
+}
+
+bool classifications_disagree(const MachineParams& m,
+                              double intensity) noexcept {
+  return time_bound(m, intensity) != energy_bound(m, intensity);
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeBreakdown& t) {
+  os << "Time{flops=" << t.flops_seconds << " s, mem=" << t.mem_seconds
+     << " s, total=" << t.total_seconds << " s, " << to_string(t.bound())
+     << "}";
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const EnergyBreakdown& e) {
+  os << "Energy{flops=" << e.flops_joules << " J, mem=" << e.mem_joules
+     << " J, const=" << e.const_joules << " J, total=" << e.total_joules
+     << " J}";
+  return os;
+}
+
+}  // namespace rme

@@ -1,0 +1,133 @@
+#pragma once
+// The energy-roofline model proper: eqs. (1)-(6) of the paper.
+//
+// Given a machine characterization (MachineParams) and an algorithm
+// characterization (W flops, Q bytes — a KernelProfile), these functions
+// produce the model's time and energy predictions, their breakdowns, and
+// the compute-/memory-bound classifications in *both* metrics, which can
+// disagree whenever the balance gap B_ε/B_τ differs from one.
+
+#include <iosfwd>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/units.hpp"
+
+namespace rme {
+
+/// Algorithm characterization of §II-A: total work W (flops) and total
+/// slow-memory traffic Q (bytes).  Intensity I = W/Q.
+struct KernelProfile {
+  double flops = 0.0;  ///< W: useful arithmetic operations.
+  double bytes = 0.0;  ///< Q: slow-memory traffic in bytes.
+
+  [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+
+  /// Profile with unit work at a given intensity; the model is scale
+  /// invariant in W for all normalized quantities.
+  [[nodiscard]] static KernelProfile from_intensity(double intensity,
+                                                    double flops = 1.0) {
+    return KernelProfile{flops, flops / intensity};
+  }
+};
+
+/// Which resource bounds the execution.
+enum class Bound { kMemory, kCompute };
+
+[[nodiscard]] const char* to_string(Bound b) noexcept;
+
+/// Component times of eq. (3): T_flops = W·τ_flop, T_mem = Q·τ_mem and
+/// their overlapped total T = max(T_flops, T_mem)  (eq. (1)).
+struct TimeBreakdown {
+  double flops_seconds = 0.0;
+  double mem_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] Bound bound() const noexcept {
+    return flops_seconds >= mem_seconds ? Bound::kCompute : Bound::kMemory;
+  }
+  /// Communication penalty max(1, B_τ/I): total over flop-only time.
+  [[nodiscard]] double communication_penalty() const noexcept {
+    return total_seconds / flops_seconds;
+  }
+};
+
+/// Component energies of eq. (4): E_flops = W·ε_flop, E_mem = Q·ε_mem,
+/// E_0 = π_0·T, and their sum  (eq. (2) — energy does not overlap).
+struct EnergyBreakdown {
+  double flops_joules = 0.0;
+  double mem_joules = 0.0;
+  double const_joules = 0.0;
+  double total_joules = 0.0;
+
+  /// Compute-bound in energy means flops dominate the *dynamic* energy:
+  /// the energy-balance comparison E_flops vs E_mem (I vs B_ε).
+  [[nodiscard]] Bound dynamic_bound() const noexcept {
+    return flops_joules >= mem_joules ? Bound::kCompute : Bound::kMemory;
+  }
+  /// Effective energy communication penalty 1 + B̂_ε(I)/I of eq. (5):
+  /// total over the ideal flops-only energy W·ε̂_flop.
+  [[nodiscard]] double communication_penalty(
+      const MachineParams& m) const noexcept {
+    return total_joules / (flops_joules / m.flop_efficiency());
+  }
+};
+
+/// Eq. (1)/(3): overlapped execution time.
+[[nodiscard]] TimeBreakdown predict_time(const MachineParams& m,
+                                         const KernelProfile& k) noexcept;
+
+/// Non-overlapping (serial) time model: T = T_flops + T_mem.  The paper
+/// assumes overlap "optimistically" (§II-B); this variant is the
+/// pessimistic bound, used by the overlap ablation and by consumers
+/// modeling devices that cannot overlap compute with transfers.
+[[nodiscard]] TimeBreakdown predict_time_serial(const MachineParams& m,
+                                                const KernelProfile& k) noexcept;
+
+/// Normalized speed under the serial model:
+///   (W·τ_flop)/T = 1 / (1 + B_τ/I) — a smooth curve, like the arch
+/// line: the roofline's sharp kink is an overlap artifact.
+[[nodiscard]] double normalized_speed_serial(const MachineParams& m,
+                                             double intensity) noexcept;
+
+/// Eq. (2)/(4): total energy (flops + mops + constant-power·T).
+[[nodiscard]] EnergyBreakdown predict_energy(const MachineParams& m,
+                                             const KernelProfile& k) noexcept;
+
+/// Normalized speed, the "roofline": (W·τ_flop)/T = min(1, I/B_τ).
+[[nodiscard]] double normalized_speed(const MachineParams& m,
+                                      double intensity) noexcept;
+
+/// Normalized energy efficiency, the "arch line":
+///   (W·ε̂_flop)/E = 1 / (1 + B̂_ε(I)/I)           (from eq. (5)).
+/// A smooth curve — energy cannot be overlapped — reaching 1/2 at the
+/// fixed point I = B̂_ε(I) (= B_ε when π_0 = 0).
+[[nodiscard]] double normalized_efficiency(const MachineParams& m,
+                                           double intensity) noexcept;
+
+/// Achieved arithmetic throughput [flop/s] at a given intensity.
+[[nodiscard]] double achieved_flops(const MachineParams& m,
+                                    double intensity) noexcept;
+
+/// Achieved energy efficiency [flop/J] at a given intensity.
+[[nodiscard]] double achieved_flops_per_joule(const MachineParams& m,
+                                              double intensity) noexcept;
+
+/// Classification in time: I < B_τ is memory-bound (§II-C).
+[[nodiscard]] Bound time_bound(const MachineParams& m,
+                               double intensity) noexcept;
+
+/// Classification in energy: I < fixed point of B̂_ε is memory-bound in
+/// energy (dominated by communication + constant energy).
+[[nodiscard]] Bound energy_bound(const MachineParams& m,
+                                 double intensity) noexcept;
+
+/// §II-D: does the time/energy classification disagree at this intensity?
+/// True exactly when I lies inside the (min, max) of the two balance
+/// points — e.g. compute-bound in time but memory-bound in energy.
+[[nodiscard]] bool classifications_disagree(const MachineParams& m,
+                                            double intensity) noexcept;
+
+std::ostream& operator<<(std::ostream& os, const TimeBreakdown& t);
+std::ostream& operator<<(std::ostream& os, const EnergyBreakdown& e);
+
+}  // namespace rme

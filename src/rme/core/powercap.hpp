@@ -1,0 +1,60 @@
+#pragma once
+// Power-cap extension (§V-B / §VII "limitations").
+//
+// The paper's model demands power that grows toward I = B_τ (eq. (8)); on
+// the GTX 580 in single precision the demanded power (≈387 W) exceeds the
+// board limit (244 W), and the measured roofline departs from the model
+// near B_τ (Figs. 4b, 5b).  The paper lists incorporating power caps as
+// future work; we implement it.
+//
+// Throttle model: under a cap C, the device scales its execution rate by
+// s ∈ (0, 1] uniformly across flops and mops.  Dynamic power scales with
+// rate (energy per operation is unchanged), so
+//     s = min(1, (C − π_0) / P_dyn(I)),   P_dyn(I) = P(I) − π_0,
+//     T_capped = T / s,
+//     E_capped = W·ε_flop + Q·ε_mem + π_0·T_capped.
+// Capping never changes dynamic energy but inflates constant energy.
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// Result of executing a profile under a power cap.
+struct CappedRun {
+  double scale = 1.0;          ///< Rate scale s; 1 means the cap is inactive.
+  double seconds = 0.0;        ///< Throttled execution time.
+  double joules = 0.0;         ///< Total energy including inflated E_0.
+  double avg_watts = 0.0;      ///< Average power (≤ cap by construction).
+  bool capped = false;         ///< True if the cap bound the run.
+  bool feasible = true;        ///< False if cap ≤ π_0 (cannot run at all).
+};
+
+/// Execute a profile on machine `m` under `cap_watts`.
+[[nodiscard]] CappedRun run_with_cap(const MachineParams& m,
+                                     const KernelProfile& k,
+                                     double cap_watts) noexcept;
+
+/// Normalized speed under a cap: min(1, I/B_τ) · s(I).  This is the
+/// "measured" roofline shape of Fig. 4b near B_τ.
+[[nodiscard]] double capped_normalized_speed(const MachineParams& m,
+                                             double intensity,
+                                             double cap_watts) noexcept;
+
+/// Normalized energy efficiency under a cap.
+[[nodiscard]] double capped_normalized_efficiency(const MachineParams& m,
+                                                  double intensity,
+                                                  double cap_watts) noexcept;
+
+/// Average power under a cap (the clipped power line of Fig. 5b).
+[[nodiscard]] double capped_average_power(const MachineParams& m,
+                                          double intensity,
+                                          double cap_watts) noexcept;
+
+/// The lowest intensity at which the *uncapped* model first demands more
+/// power than the cap, or a negative value if it never does.  Near this
+/// region measurements depart from the ideal roofline.
+[[nodiscard]] double cap_violation_onset(const MachineParams& m,
+                                         double cap_watts) noexcept;
+
+}  // namespace rme

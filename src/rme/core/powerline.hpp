@@ -1,0 +1,39 @@
+#pragma once
+// The "power line" model of §III: average power as a function of
+// intensity, eq. (7), its limits, and the max-power bound eq. (8).
+
+#include "rme/core/machine.hpp"
+
+namespace rme {
+
+/// Average power P(I) = E/T predicted by the model, eq. (7).  Includes
+/// constant power π_0.  Exactly equals predict_energy / predict_time for
+/// any profile with this intensity (an identity our tests assert).
+///
+///   I ≥ B_τ (compute-bound):  P = π_flop·(1 + B_ε/I) + π_0
+///   I < B_τ (memory-bound):   P = π_flop·(I + B_ε)/B_τ + π_0
+[[nodiscard]] double average_power(const MachineParams& m,
+                                   double intensity) noexcept;
+
+/// Average power normalized to the flop power π_flop (Fig. 2b, π_0 = 0
+/// illustration).
+[[nodiscard]] double normalized_power(const MachineParams& m,
+                                      double intensity) noexcept;
+
+/// Average power normalized to "flop + const" power π_flop + π_0, which
+/// is the y-axis normalization of Fig. 5.
+[[nodiscard]] double normalized_power_flop_const(const MachineParams& m,
+                                                 double intensity) noexcept;
+
+/// Maximum of P(I) over all intensities — attained at I = B_τ, eq. (8):
+///   P_max = π_flop·(1 + B_ε/B_τ) + π_0.
+[[nodiscard]] double max_power(const MachineParams& m) noexcept;
+
+/// Severely memory-bound limit (I → 0): the memory subsystem's power
+/// ε_mem/τ_mem + π_0, which equals π_flop·B_ε/B_τ + π_0.
+[[nodiscard]] double memory_bound_power_limit(const MachineParams& m) noexcept;
+
+/// Severely compute-bound limit (I → ∞): π_flop + π_0.
+[[nodiscard]] double compute_bound_power_limit(const MachineParams& m) noexcept;
+
+}  // namespace rme

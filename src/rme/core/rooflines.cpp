@@ -1,0 +1,81 @@
+#include "rme/core/rooflines.hpp"
+
+#include <cmath>
+
+#include "rme/core/model.hpp"
+#include "rme/core/powerline.hpp"
+#include "rme/core/units.hpp"
+
+namespace rme {
+
+namespace {
+
+template <class Fn>
+Curve map_grid(const std::vector<double>& grid, Fn&& fn) {
+  Curve curve;
+  curve.reserve(grid.size());
+  for (double intensity : grid) {
+    curve.push_back(CurvePoint{intensity, fn(intensity)});
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<double> log_intensity_grid(double lo, double hi,
+                                       int points_per_octave) {
+  std::vector<double> grid;
+  if (!(lo > 0.0) || !(hi >= lo) || points_per_octave < 1) return grid;
+  const double octaves = std::log2(hi / lo);
+  const int n = static_cast<int>(std::ceil(octaves * points_per_octave));
+  grid.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    grid.push_back(lo * std::exp2(octaves * i / n));
+  }
+  grid.back() = hi;  // avoid round-off drift on the final endpoint
+  return grid;
+}
+
+Curve time_roofline(const MachineParams& m, const std::vector<double>& grid) {
+  return map_grid(grid, [&](double i) { return normalized_speed(m, i); });
+}
+
+Curve time_roofline_serial(const MachineParams& m,
+                           const std::vector<double>& grid) {
+  return map_grid(grid,
+                  [&](double i) { return normalized_speed_serial(m, i); });
+}
+
+Curve energy_arch_line(const MachineParams& m,
+                       const std::vector<double>& grid) {
+  return map_grid(grid, [&](double i) { return normalized_efficiency(m, i); });
+}
+
+Curve power_line(const MachineParams& m, const std::vector<double>& grid) {
+  return map_grid(grid, [&](double i) { return normalized_power(m, i); });
+}
+
+Curve power_line_flop_const(const MachineParams& m,
+                            const std::vector<double>& grid) {
+  return map_grid(grid,
+                  [&](double i) { return normalized_power_flop_const(m, i); });
+}
+
+Curve achieved_gflops_curve(const MachineParams& m,
+                            const std::vector<double>& grid) {
+  return map_grid(grid,
+                  [&](double i) { return achieved_flops(m, i) / kGiga; });
+}
+
+Curve achieved_gflops_per_joule_curve(const MachineParams& m,
+                                      const std::vector<double>& grid) {
+  return map_grid(
+      grid, [&](double i) { return achieved_flops_per_joule(m, i) / kGiga; });
+}
+
+Curve average_power_watts_curve(const MachineParams& m,
+                                const std::vector<double>& grid) {
+  return map_grid(grid, [&](double i) { return average_power(m, i); });
+}
+
+}  // namespace rme

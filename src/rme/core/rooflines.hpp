@@ -1,0 +1,55 @@
+#pragma once
+// Curve generators for roofline / arch-line / power-line diagrams
+// (Figs. 2, 4, 5).  Each produces a series of (intensity, value) points
+// over a log-spaced intensity range, ready for the report module or for
+// external plotting.
+
+#include <vector>
+
+#include "rme/core/machine.hpp"
+
+namespace rme {
+
+/// One point of a performance-vs-intensity curve.
+struct CurvePoint {
+  double intensity = 0.0;
+  double value = 0.0;
+};
+
+using Curve = std::vector<CurvePoint>;
+
+/// Log-spaced intensity grid [lo, hi] with `points_per_octave` samples per
+/// doubling (inclusive of both endpoints).
+[[nodiscard]] std::vector<double> log_intensity_grid(double lo, double hi,
+                                                     int points_per_octave = 8);
+
+/// Time roofline: normalized speed min(1, I/B_τ) over the grid (Fig. 2a red).
+[[nodiscard]] Curve time_roofline(const MachineParams& m,
+                                  const std::vector<double>& grid);
+
+/// Serial (non-overlapping) "roofline": 1/(1 + B_τ/I) — smooth like the
+/// arch line; the overlap ablation's comparison curve.
+[[nodiscard]] Curve time_roofline_serial(const MachineParams& m,
+                                         const std::vector<double>& grid);
+
+/// Energy arch line: normalized efficiency 1/(1 + B̂_ε(I)/I) (Fig. 2a blue).
+[[nodiscard]] Curve energy_arch_line(const MachineParams& m,
+                                     const std::vector<double>& grid);
+
+/// Power line: P(I)/π_flop (Fig. 2b) over the grid.
+[[nodiscard]] Curve power_line(const MachineParams& m,
+                               const std::vector<double>& grid);
+
+/// Power line with the Fig. 5 normalization P(I)/(π_flop + π_0).
+[[nodiscard]] Curve power_line_flop_const(const MachineParams& m,
+                                          const std::vector<double>& grid);
+
+/// Absolute-units variants, convenient for table output.
+[[nodiscard]] Curve achieved_gflops_curve(const MachineParams& m,
+                                          const std::vector<double>& grid);
+[[nodiscard]] Curve achieved_gflops_per_joule_curve(
+    const MachineParams& m, const std::vector<double>& grid);
+[[nodiscard]] Curve average_power_watts_curve(const MachineParams& m,
+                                              const std::vector<double>& grid);
+
+}  // namespace rme

@@ -1,0 +1,101 @@
+#include "rme/core/tradeoff.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rme {
+
+namespace {
+
+KernelProfile transformed(const KernelProfile& baseline, const Transform& t) {
+  return KernelProfile{baseline.flops * t.f, baseline.bytes / t.m};
+}
+
+}  // namespace
+
+double speedup(const MachineParams& machine, const KernelProfile& baseline,
+               const Transform& t) noexcept {
+  const double before = predict_time(machine, baseline).total_seconds;
+  const double after = predict_time(machine, transformed(baseline, t)).total_seconds;
+  return before / after;
+}
+
+double greenup(const MachineParams& machine, const KernelProfile& baseline,
+               const Transform& t) noexcept {
+  const double before = predict_energy(machine, baseline).total_joules;
+  const double after =
+      predict_energy(machine, transformed(baseline, t)).total_joules;
+  return before / after;
+}
+
+double greenup_work_bound(const MachineParams& machine,
+                          double baseline_intensity, double m) noexcept {
+  return 1.0 +
+         ((m - 1.0) / m) * machine.energy_balance() / baseline_intensity;
+}
+
+double greenup_work_limit(const MachineParams& machine,
+                          double baseline_intensity) noexcept {
+  return 1.0 + machine.energy_balance() / baseline_intensity;
+}
+
+double greenup_work_limit_compute_bound(const MachineParams& machine) noexcept {
+  return 1.0 + machine.balance_gap();
+}
+
+const char* to_string(TradeoffOutcome o) noexcept {
+  switch (o) {
+    case TradeoffOutcome::kSpeedupAndGreenup:
+      return "speedup+greenup";
+    case TradeoffOutcome::kSpeedupOnly:
+      return "speedup-only";
+    case TradeoffOutcome::kGreenupOnly:
+      return "greenup-only";
+    case TradeoffOutcome::kNeither:
+      return "neither";
+  }
+  return "?";
+}
+
+TradeoffOutcome classify(const MachineParams& machine,
+                         const KernelProfile& baseline,
+                         const Transform& t) noexcept {
+  const bool faster = speedup(machine, baseline, t) >= 1.0;
+  const bool greener = greenup(machine, baseline, t) >= 1.0;
+  if (faster && greener) return TradeoffOutcome::kSpeedupAndGreenup;
+  if (faster) return TradeoffOutcome::kSpeedupOnly;
+  if (greener) return TradeoffOutcome::kGreenupOnly;
+  return TradeoffOutcome::kNeither;
+}
+
+std::ostream& operator<<(std::ostream& os, TradeoffOutcome o) {
+  return os << to_string(o);
+}
+
+TradeoffBoundaries tradeoff_boundaries(const MachineParams& machine,
+                                       double baseline_intensity, double m) {
+  TradeoffBoundaries b;
+  // Time: T1/T0 = max(f, B_tau/(m·I)) / max(1, B_tau/I).  Extra work is
+  // free while it hides under the (reduced) memory time.
+  b.f_speedup = std::max(1.0, machine.time_balance() / baseline_intensity);
+  b.f_greenup_eq10 = greenup_work_bound(machine, baseline_intensity, m);
+
+  // Exact greenup boundary: greenup(f) is continuous and strictly
+  // decreasing in f, with greenup(1) ≥ 1 (traffic got cheaper) — bisect
+  // on greenup(f) = 1.
+  const KernelProfile baseline =
+      KernelProfile::from_intensity(baseline_intensity, 1.0);
+  double lo = 1.0;
+  double hi = std::max(2.0, 2.0 * b.f_greenup_eq10);
+  while (greenup(machine, baseline, Transform{hi, m}) > 1.0 && hi < 1e12) {
+    hi *= 2.0;
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (greenup(machine, baseline, Transform{mid, m}) > 1.0 ? lo : hi) = mid;
+  }
+  b.f_greenup_exact = 0.5 * (lo + hi);
+  return b;
+}
+
+}  // namespace rme

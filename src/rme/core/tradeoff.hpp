@@ -1,0 +1,84 @@
+#pragma once
+// §VII work-communication trade-offs: an algorithm transform that performs
+// f× more work in exchange for m× less memory traffic, (W, Q) → (fW, Q/m).
+//
+// The paper derives (eq. (10)) the condition for a "greenup" ΔE > 1 when
+// π_0 = 0.  We implement both the exact greenup/speedup under the full
+// model (with constant power) and the paper's closed-form boundary.
+
+#include <iosfwd>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+
+/// The transform parameters: new work fW, new traffic Q/m  (f, m ≥ 1 for
+/// a genuine work-communication trade-off; the functions accept any
+/// positive values).
+struct Transform {
+  double f = 1.0;  ///< Work multiplier (> 1 means extra work).
+  double m = 1.0;  ///< Traffic divisor (> 1 means less communication).
+};
+
+/// Speedup ΔT = T(W,Q) / T(fW, Q/m) under the overlapped time model.
+[[nodiscard]] double speedup(const MachineParams& machine,
+                             const KernelProfile& baseline,
+                             const Transform& t) noexcept;
+
+/// Greenup ΔE = E(W,Q) / E(fW, Q/m) under the full energy model
+/// (including constant power; §VII uses π_0 = 0 as the interesting case).
+[[nodiscard]] double greenup(const MachineParams& machine,
+                             const KernelProfile& baseline,
+                             const Transform& t) noexcept;
+
+/// Eq. (10): with π_0 = 0, ΔE > 1  iff  f < 1 + ((m-1)/m)·(B_ε/I).
+/// Returns that upper bound on f for a given baseline intensity.
+[[nodiscard]] double greenup_work_bound(const MachineParams& machine,
+                                        double baseline_intensity,
+                                        double m) noexcept;
+
+/// The hard upper limit as m → ∞: f < 1 + B_ε/I  (§VII).
+[[nodiscard]] double greenup_work_limit(const MachineParams& machine,
+                                        double baseline_intensity) noexcept;
+
+/// §VII: if the baseline is already compute-bound in time (I ≥ B_τ), the
+/// limit specializes to f < 1 + B_ε/B_τ = 1 + balance gap.
+[[nodiscard]] double greenup_work_limit_compute_bound(
+    const MachineParams& machine) noexcept;
+
+/// Outcome of applying a transform, in both metrics.
+enum class TradeoffOutcome {
+  kSpeedupAndGreenup,  ///< faster and greener
+  kSpeedupOnly,        ///< faster but burns more energy
+  kGreenupOnly,        ///< greener but slower
+  kNeither             ///< strictly worse in both metrics
+};
+
+[[nodiscard]] const char* to_string(TradeoffOutcome o) noexcept;
+
+/// Classify a transform at a baseline profile (ties count as improvements).
+[[nodiscard]] TradeoffOutcome classify(const MachineParams& machine,
+                                       const KernelProfile& baseline,
+                                       const Transform& t) noexcept;
+
+/// Region boundaries in the (f, m) plane for a given baseline intensity
+/// (the companion-TR-style analysis the paper says it is pursuing).
+struct TradeoffBoundaries {
+  /// Largest f with ΔT ≥ 1 at this m.  Closed form: max(1, B_τ/I) for a
+  /// memory-bound baseline (the overlap hides extra work until it
+  /// becomes the bottleneck); exactly 1 for a compute-bound baseline.
+  double f_speedup = 1.0;
+  /// Largest f with ΔE ≥ 1 ignoring constant power — eq. (10).
+  double f_greenup_eq10 = 1.0;
+  /// Largest f with ΔE ≥ 1 under the full model (π_0 > 0 couples E to
+  /// T, so this is found numerically; equals eq. (10) when π_0 = 0).
+  double f_greenup_exact = 1.0;
+};
+
+[[nodiscard]] TradeoffBoundaries tradeoff_boundaries(
+    const MachineParams& machine, double baseline_intensity, double m);
+
+std::ostream& operator<<(std::ostream& os, TradeoffOutcome o);
+
+}  // namespace rme

@@ -1,0 +1,150 @@
+#pragma once
+// Strong arithmetic quantity types for the energy-roofline model.
+//
+// The model (Choi, Bedard, Fowler, Vuduc — "A Roofline Model of Energy",
+// IPDPS 2013) mixes quantities with easily-confused dimensions: time per
+// flop, energy per byte, flops per Joule, Joules per second.  These thin
+// wrappers catch unit mix-ups at compile time at API boundaries while
+// staying trivially convertible to `double` for numeric kernels.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace rme {
+
+/// A dimension-tagged floating-point quantity.
+///
+/// `Quantity` supports the closed operations (+, -, scaling by a plain
+/// number, ratio of same dimension) that are always dimensionally valid.
+/// Cross-dimension products/quotients (e.g. Joules / Seconds = Watts) are
+/// declared explicitly below, next to the types they relate.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const noexcept = default;
+
+  constexpr Quantity& operator+=(Quantity o) noexcept {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) noexcept {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) noexcept {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) noexcept {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) noexcept {
+    return Quantity{-a.value_};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity{s * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two same-dimension quantities is a plain number.
+  friend constexpr double operator/(Quantity a, Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+namespace tags {
+struct Time {};
+struct Energy {};
+struct Power {};
+struct Work {};       // arithmetic operations (flops)
+struct Traffic {};    // memory traffic (bytes)
+struct Intensity {};  // flops per byte
+}  // namespace tags
+
+using Seconds = Quantity<tags::Time>;
+using Joules = Quantity<tags::Energy>;
+using Watts = Quantity<tags::Power>;
+using FlopCount = Quantity<tags::Work>;
+using ByteCount = Quantity<tags::Traffic>;
+using Intensity = Quantity<tags::Intensity>;
+
+// --- Cross-dimension relations ---------------------------------------------
+
+/// Energy dissipated over a duration at constant power.
+constexpr Joules operator*(Watts p, Seconds t) noexcept {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) noexcept { return p * t; }
+
+/// Average power of an energy spent over a duration.
+constexpr Watts operator/(Joules e, Seconds t) noexcept {
+  return Watts{e.value() / t.value()};
+}
+
+/// Operational intensity I = W / Q  (flops per byte), §II-A.
+constexpr Intensity operator/(FlopCount w, ByteCount q) noexcept {
+  return Intensity{w.value() / q.value()};
+}
+
+// --- SI prefixes, as multipliers --------------------------------------------
+
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Convenience constructors used throughout presets and tests.
+constexpr Joules picojoules(double v) noexcept { return Joules{v * kPico}; }
+constexpr Joules nanojoules(double v) noexcept { return Joules{v * kNano}; }
+constexpr Joules microjoules(double v) noexcept { return Joules{v * kMicro}; }
+constexpr Seconds picoseconds(double v) noexcept { return Seconds{v * kPico}; }
+constexpr Seconds nanoseconds(double v) noexcept { return Seconds{v * kNano}; }
+constexpr Seconds milliseconds(double v) noexcept { return Seconds{v * kMilli}; }
+constexpr Watts watts(double v) noexcept { return Watts{v}; }
+constexpr FlopCount gigaflops(double v) noexcept { return FlopCount{v * kGiga}; }
+constexpr ByteCount gigabytes(double v) noexcept { return ByteCount{v * kGiga}; }
+
+/// Throughput helpers: "X Gflop/s" -> seconds per flop, and inverse.
+constexpr double seconds_per_flop_from_gflops(double gflops) noexcept {
+  return 1.0 / (gflops * kGiga);
+}
+constexpr double seconds_per_byte_from_gbs(double gb_per_s) noexcept {
+  return 1.0 / (gb_per_s * kGiga);
+}
+
+/// Approximate-equality helper used pervasively by tests and fitting code.
+[[nodiscard]] inline bool approx_equal(double a, double b,
+                                       double rel_tol = 1e-9,
+                                       double abs_tol = 0.0) noexcept {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+}  // namespace rme

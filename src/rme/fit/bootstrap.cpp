@@ -1,0 +1,71 @@
+#include "rme/fit/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rme/fit/linalg.hpp"
+#include "rme/sim/noise.hpp"
+
+namespace rme::fit {
+
+double energy_balance_statistic(const EnergyCoefficients& c) {
+  return c.eps_mem / c.eps_double();
+}
+
+BootstrapEstimate bootstrap_energy_fit(
+    const std::vector<EnergySample>& samples,
+    const std::function<double(const EnergyCoefficients&)>& statistic,
+    std::size_t resamples, std::uint64_t seed, double confidence) {
+  if (samples.size() < 8) {
+    throw std::invalid_argument(
+        "bootstrap_energy_fit: need at least 8 samples");
+  }
+  const rme::sim::NoiseModel rng(seed, 0.0);
+
+  BootstrapEstimate est;
+  std::vector<double> values;
+  values.reserve(resamples);
+  std::vector<EnergySample> draw(samples.size());
+  std::uint64_t salt = 0;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform(++salt) * static_cast<double>(samples.size()));
+      draw[i] = samples[std::min(idx, samples.size() - 1)];
+    }
+    try {
+      const EnergyFit fit = fit_energy_coefficients(draw);
+      values.push_back(statistic(fit.coefficients));
+    } catch (const std::invalid_argument&) {
+      ++est.failures;  // e.g. a draw with one precision only
+    } catch (const SingularMatrixError&) {
+      ++est.failures;
+    }
+  }
+  est.resamples = values.size();
+  if (values.empty()) return est;
+
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  est.mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - est.mean) * (v - est.mean);
+  est.std_error =
+      values.size() > 1
+          ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+          : 0.0;
+
+  std::sort(values.begin(), values.end());
+  const double alpha = 0.5 * (1.0 - confidence);
+  const auto pick = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    return values[idx];
+  };
+  est.ci_lo = pick(alpha);
+  est.ci_hi = pick(1.0 - alpha);
+  return est;
+}
+
+}  // namespace rme::fit

@@ -1,0 +1,43 @@
+#pragma once
+// Bootstrap confidence intervals for the eq. (9) fit.
+//
+// The delta method (linreg's covariance propagation) assumes local
+// linearity of the derived quantity; the nonparametric bootstrap makes
+// no such assumption and cross-checks it: resample the observation set
+// with replacement, refit, and read the dispersion of the refitted
+// quantities.  Deterministic given the seed, like everything else in
+// this library.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rme/fit/energy_fit.hpp"
+
+namespace rme::fit {
+
+/// Summary of a bootstrapped statistic.
+struct BootstrapEstimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  double ci_lo = 0.0;  ///< Percentile interval lower bound.
+  double ci_hi = 0.0;  ///< Percentile interval upper bound.
+  std::size_t resamples = 0;
+  std::size_t failures = 0;  ///< Resamples whose refit was singular.
+};
+
+/// Bootstrap a scalar functional of the energy fit.  `statistic` maps a
+/// fitted coefficient set to the quantity of interest (e.g. B_ε).
+/// `confidence` sets the percentile interval (default 95%).  Resamples
+/// that fail to fit (rank-deficient draws, e.g. all-one-precision) are
+/// skipped and counted.
+[[nodiscard]] BootstrapEstimate bootstrap_energy_fit(
+    const std::vector<EnergySample>& samples,
+    const std::function<double(const EnergyCoefficients&)>& statistic,
+    std::size_t resamples = 200, std::uint64_t seed = 1,
+    double confidence = 0.95);
+
+/// Convenience statistic: the double-precision energy balance.
+[[nodiscard]] double energy_balance_statistic(const EnergyCoefficients& c);
+
+}  // namespace rme::fit

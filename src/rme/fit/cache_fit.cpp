@@ -1,0 +1,80 @@
+#include "rme/fit/cache_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rme::fit {
+
+double estimate_energy_two_level(const MachineParams& m,
+                                 const CacheSample& s) noexcept {
+  return s.flops * m.energy_per_flop + s.dram_bytes * m.energy_per_byte +
+         m.const_power * s.seconds;
+}
+
+double estimate_energy_with_cache(const MachineParams& m, const CacheSample& s,
+                                  double cache_eps) noexcept {
+  return estimate_energy_two_level(m, s) + cache_eps * s.cache_bytes;
+}
+
+double calibrate_cache_energy(const MachineParams& m,
+                              const CacheSample& reference) {
+  if (reference.cache_bytes <= 0.0) {
+    throw std::invalid_argument(
+        "calibrate_cache_energy: reference sample has no cache traffic");
+  }
+  const double residual =
+      reference.joules - estimate_energy_two_level(m, reference);
+  return residual / reference.cache_bytes;
+}
+
+namespace {
+
+ErrorStats collect_errors(std::vector<double> rel_errors) {
+  ErrorStats stats;
+  if (rel_errors.empty()) return stats;
+  double sum_abs = 0.0;
+  double sum_signed = 0.0;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(rel_errors.size());
+  for (double e : rel_errors) {
+    sum_signed += e;
+    sum_abs += std::fabs(e);
+    abs_errors.push_back(std::fabs(e));
+  }
+  std::sort(abs_errors.begin(), abs_errors.end());
+  const std::size_t n = abs_errors.size();
+  stats.median_abs_rel_error =
+      n % 2 == 1 ? abs_errors[n / 2]
+                 : 0.5 * (abs_errors[n / 2 - 1] + abs_errors[n / 2]);
+  stats.mean_abs_rel_error = sum_abs / static_cast<double>(n);
+  stats.max_abs_rel_error = abs_errors.back();
+  stats.mean_signed_rel_error = sum_signed / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace
+
+ErrorStats two_level_error(const MachineParams& m,
+                           const std::vector<CacheSample>& samples) {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  for (const CacheSample& s : samples) {
+    errors.push_back((estimate_energy_two_level(m, s) - s.joules) / s.joules);
+  }
+  return collect_errors(std::move(errors));
+}
+
+ErrorStats cache_aware_error(const MachineParams& m,
+                             const std::vector<CacheSample>& samples,
+                             double cache_eps) {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  for (const CacheSample& s : samples) {
+    errors.push_back(
+        (estimate_energy_with_cache(m, s, cache_eps) - s.joules) / s.joules);
+  }
+  return collect_errors(std::move(errors));
+}
+
+}  // namespace rme::fit

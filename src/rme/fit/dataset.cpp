@@ -1,0 +1,130 @@
+#include "rme/fit/dataset.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rme::fit {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream iss(line);
+  while (std::getline(iss, cell, ',')) {
+    // Trim surrounding whitespace.
+    const auto begin = cell.find_first_not_of(" \t\r");
+    const auto end = cell.find_last_not_of(" \t\r");
+    cells.push_back(begin == std::string::npos
+                        ? std::string{}
+                        : cell.substr(begin, end - begin + 1));
+  }
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return s;
+}
+
+Precision parse_precision(const std::string& text, std::size_t line_no) {
+  const std::string t = to_lower(text);
+  if (t == "single" || t == "sp" || t == "0" || t == "float") {
+    return Precision::kSingle;
+  }
+  if (t == "double" || t == "dp" || t == "1") {
+    return Precision::kDouble;
+  }
+  throw DatasetError("dataset line " + std::to_string(line_no) +
+                     ": unknown precision '" + text + "'");
+}
+
+double parse_number(const std::string& text, std::size_t line_no,
+                    const char* column) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw DatasetError("dataset line " + std::to_string(line_no) +
+                       ": bad number '" + text + "' in column " + column);
+  }
+}
+
+}  // namespace
+
+void write_samples_csv(std::ostream& os,
+                       const std::vector<EnergySample>& samples) {
+  os << "flops,bytes,seconds,joules,precision\n";
+  os << std::setprecision(17);
+  for (const EnergySample& s : samples) {
+    os << s.flops << ',' << s.bytes << ',' << s.seconds << ',' << s.joules
+       << ',' << to_string(s.precision) << '\n';
+  }
+}
+
+std::vector<EnergySample> read_samples_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw DatasetError("dataset: empty input (header required)");
+  }
+  const std::vector<std::string> header = split_csv_line(line);
+  const auto column = [&](const char* name) -> std::size_t {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (to_lower(header[i]) == name) return i;
+    }
+    throw DatasetError(std::string("dataset: missing column '") + name +
+                       "'");
+  };
+  const std::size_t c_flops = column("flops");
+  const std::size_t c_bytes = column("bytes");
+  const std::size_t c_seconds = column("seconds");
+  const std::size_t c_joules = column("joules");
+  const std::size_t c_prec = column("precision");
+
+  std::vector<EnergySample> samples;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // skip blank lines
+    }
+    const std::vector<std::string> cells = split_csv_line(line);
+    const std::size_t needed =
+        std::max({c_flops, c_bytes, c_seconds, c_joules, c_prec}) + 1;
+    if (cells.size() < needed) {
+      throw DatasetError("dataset line " + std::to_string(line_no) +
+                         ": too few columns");
+    }
+    EnergySample s;
+    s.flops = parse_number(cells[c_flops], line_no, "flops");
+    s.bytes = parse_number(cells[c_bytes], line_no, "bytes");
+    s.seconds = parse_number(cells[c_seconds], line_no, "seconds");
+    s.joules = parse_number(cells[c_joules], line_no, "joules");
+    s.precision = parse_precision(cells[c_prec], line_no);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+void save_samples(const std::string& path,
+                  const std::vector<EnergySample>& samples) {
+  std::ofstream f(path);
+  if (!f) throw DatasetError("dataset: cannot open " + path + " for write");
+  write_samples_csv(f, samples);
+}
+
+std::vector<EnergySample> load_samples(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw DatasetError("dataset: cannot open " + path);
+  return read_samples_csv(f);
+}
+
+}  // namespace rme::fit

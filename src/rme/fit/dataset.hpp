@@ -1,0 +1,41 @@
+#pragma once
+// Dataset I/O for measurement samples.
+//
+// The fitting pipelines consume (W, Q, T, E, R) tuples; this module
+// reads and writes them as CSV so users can fit coefficients for their
+// own machines from externally collected measurements (e.g. RAPL logs),
+// or export this library's simulated sweeps for plotting.
+//
+// Format (header required, extra columns ignored):
+//   flops,bytes,seconds,joules,precision
+//   3.2e9,8e8,0.0162,2.98,double
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rme/fit/energy_fit.hpp"
+
+namespace rme::fit {
+
+/// Thrown on malformed dataset input, with a line number in the message.
+class DatasetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes samples as CSV (with header).
+void write_samples_csv(std::ostream& os,
+                       const std::vector<EnergySample>& samples);
+
+/// Parses CSV samples.  Column order is taken from the header; the five
+/// canonical columns are required, unknown columns are ignored.
+/// Precision accepts "single"/"double" (also "0"/"1", "sp"/"dp").
+[[nodiscard]] std::vector<EnergySample> read_samples_csv(std::istream& is);
+
+/// Convenience file wrappers.
+void save_samples(const std::string& path,
+                  const std::vector<EnergySample>& samples);
+[[nodiscard]] std::vector<EnergySample> load_samples(const std::string& path);
+
+}  // namespace rme::fit

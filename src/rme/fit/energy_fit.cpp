@@ -1,0 +1,77 @@
+#include "rme/fit/energy_fit.hpp"
+
+#include <stdexcept>
+
+namespace rme::fit {
+
+MachineParams EnergyCoefficients::to_machine(const MachineParams& peaks,
+                                             Precision p) const {
+  MachineParams m = peaks;
+  m.energy_per_flop = p == Precision::kSingle ? eps_single : eps_double();
+  m.energy_per_byte = eps_mem;
+  m.const_power = const_power;
+  return m;
+}
+
+EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples) {
+  bool has_single = false;
+  bool has_double = false;
+  for (const EnergySample& s : samples) {
+    (s.precision == Precision::kSingle ? has_single : has_double) = true;
+  }
+  if (!has_single || !has_double) {
+    throw std::invalid_argument(
+        "fit_energy_coefficients: need samples of both precisions to "
+        "identify the double-precision increment");
+  }
+
+  DesignBuilder design({"eps_s", "eps_mem", "pi0", "delta_eps_d"});
+  for (const EnergySample& s : samples) {
+    if (s.flops <= 0.0 || s.seconds <= 0.0) {
+      throw std::invalid_argument(
+          "fit_energy_coefficients: flops and seconds must be positive");
+    }
+    const double r = s.precision == Precision::kDouble ? 1.0 : 0.0;
+    design.add({1.0, s.bytes / s.flops, s.seconds / s.flops, r},
+               s.joules / s.flops);
+  }
+
+  EnergyFit fit;
+  fit.regression = design.fit();
+  fit.coefficients.eps_single = fit.regression.by_name("eps_s").value;
+  fit.coefficients.eps_mem = fit.regression.by_name("eps_mem").value;
+  fit.coefficients.const_power = fit.regression.by_name("pi0").value;
+  fit.coefficients.delta_double = fit.regression.by_name("delta_eps_d").value;
+  return fit;
+}
+
+DerivedQuantity fitted_energy_balance(const EnergyFit& fit, Precision p) {
+  const double eps_mem = fit.coefficients.eps_mem;
+  const double eps_flop = p == Precision::kSingle
+                              ? fit.coefficients.eps_single
+                              : fit.coefficients.eps_double();
+  DerivedQuantity q;
+  q.value = eps_mem / eps_flop;
+  // B_ε = ε_mem / ε_flop with ε_flop = ε_s (+ Δε_d for double):
+  //   ∂B/∂ε_mem = 1/ε_flop,  ∂B/∂ε_s = ∂B/∂Δε_d = −ε_mem/ε_flop².
+  std::vector<std::pair<std::string, double>> gradient = {
+      {"eps_mem", 1.0 / eps_flop},
+      {"eps_s", -eps_mem / (eps_flop * eps_flop)},
+  };
+  if (p == Precision::kDouble) {
+    gradient.emplace_back("delta_eps_d", -eps_mem / (eps_flop * eps_flop));
+  }
+  q.std_error = delta_method_stderr(fit.regression, gradient);
+  return q;
+}
+
+DerivedQuantity fitted_const_energy_per_flop(const EnergyFit& fit,
+                                             double time_per_flop) {
+  DerivedQuantity q;
+  q.value = fit.coefficients.const_power * time_per_flop;
+  q.std_error = delta_method_stderr(fit.regression,
+                                    {{"pi0", time_per_flop}});
+  return q;
+}
+
+}  // namespace rme::fit

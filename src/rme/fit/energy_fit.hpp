@@ -1,0 +1,74 @@
+#pragma once
+// The eq. (9) fitting pipeline that produces Table IV.
+//
+// The paper had no manufacturer specs for energy coefficients, so it fit
+//     E/W = ε_s + ε_mem·(Q/W) + π_0·(T/W) + Δε_d·R
+// by OLS over microbenchmark runs, where R = 1 for double precision
+// (footnote 8: normalizing by W yields high-quality fits).  This module
+// assembles exactly that design matrix from measurement samples and
+// returns the four machine energy coefficients.
+
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/fit/linreg.hpp"
+
+namespace rme::fit {
+
+/// One observation: the 4-tuple (W, Q, T, R) plus measured energy E.
+struct EnergySample {
+  double flops = 0.0;     ///< W (precision-native flops).
+  double bytes = 0.0;     ///< Q.
+  double seconds = 0.0;   ///< Measured T.
+  double joules = 0.0;    ///< Measured E.
+  Precision precision = Precision::kSingle;  ///< R = 0 single, 1 double.
+};
+
+/// The fitted coefficients of eq. (9) — a Table IV row set.
+struct EnergyCoefficients {
+  double eps_single = 0.0;   ///< ε_s  [J/flop].
+  double delta_double = 0.0; ///< Δε_d [J/flop].
+  double eps_mem = 0.0;      ///< ε_mem [J/byte].
+  double const_power = 0.0;  ///< π_0 [W].
+
+  /// ε_d = ε_s + Δε_d.
+  [[nodiscard]] double eps_double() const noexcept {
+    return eps_single + delta_double;
+  }
+
+  /// Build a MachineParams from these coefficients plus peak rates.
+  [[nodiscard]] MachineParams to_machine(const MachineParams& peaks,
+                                         Precision p) const;
+};
+
+/// Fit result: coefficients plus the underlying regression diagnostics.
+struct EnergyFit {
+  EnergyCoefficients coefficients;
+  Regression regression;
+};
+
+/// Runs the eq. (9) regression.  Requires samples from both precisions
+/// to identify Δε_d; throws std::invalid_argument otherwise.
+[[nodiscard]] EnergyFit fit_energy_coefficients(
+    const std::vector<EnergySample>& samples);
+
+/// A fitted derived quantity with its propagated uncertainty.
+struct DerivedQuantity {
+  double value = 0.0;
+  double std_error = 0.0;
+};
+
+/// Energy-balance point B_ε = ε_mem/ε_flop(p) of the fit, with its
+/// delta-method standard error from the coefficient covariance.  The
+/// derived balance points drive all the paper's qualitative conclusions
+/// (race-to-halt, the balance gap), so knowing how well the data pins
+/// them down matters as much as the point estimates.
+[[nodiscard]] DerivedQuantity fitted_energy_balance(const EnergyFit& fit,
+                                                    Precision p);
+
+/// Constant energy per flop ε₀ = π₀·τ_flop with propagated uncertainty
+/// (τ_flop is treated as exact, as the paper takes it from Table III).
+[[nodiscard]] DerivedQuantity fitted_const_energy_per_flop(
+    const EnergyFit& fit, double time_per_flop);
+
+}  // namespace rme::fit

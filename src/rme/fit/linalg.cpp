@@ -1,0 +1,164 @@
+#include "rme/fit/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rme::fit {
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        s += (*this)(r, i) * (*this)(r, j);
+      }
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& y) const {
+  if (y.size() != rows_) throw std::invalid_argument("transpose_times: size");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out[c] += (*this)(r, c) * y[r];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(const std::vector<double>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("times: size");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      s += (*this)(r, c) * x[c];
+    }
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix cholesky_factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_factor: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) {
+          throw SingularMatrixError("cholesky: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b) {
+  const Matrix l = cholesky_factor(a);
+  const std::size_t n = a.rows();
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve: size");
+  // Forward substitution L·z = b.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * z[k];
+    z[i] = s / l(i, i);
+  }
+  // Backward substitution Lᵀ·x = z.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Matrix spd_inverse(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    e.assign(n, 0.0);
+    e[col] = 1.0;
+    const std::vector<double> x = cholesky_solve(a, e);
+    for (std::size_t row = 0; row < n; ++row) inv(row, col) = x[row];
+  }
+  return inv;
+}
+
+std::vector<double> qr_least_squares(const Matrix& a,
+                                     const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) throw std::invalid_argument("qr_least_squares: rows < cols");
+  if (b.size() != m) throw std::invalid_argument("qr_least_squares: size");
+
+  // Householder QR, applying reflectors to a working copy of [A | b].
+  Matrix r = a;
+  std::vector<double> y = b;
+  std::vector<double> v(m, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the reflector for column k.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      throw SingularMatrixError("qr: rank-deficient design matrix");
+    }
+    const double alpha = r(k, k) >= 0.0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      v[i] = r(i, k) - (i == k ? alpha : 0.0);
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    // Apply H = I − 2vvᵀ/‖v‖² to R and y.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
+      const double f = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i] * y[i];
+    const double f = 2.0 * dot / vnorm2;
+    for (std::size_t i = k; i < m; ++i) y[i] -= f * v[i];
+  }
+
+  // Back-substitute the n×n upper triangle.  Pivots are judged against
+  // the largest diagonal magnitude: a pivot many orders smaller marks a
+  // numerically rank-deficient design.
+  double max_diag = 0.0;
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    max_diag = std::max(max_diag, std::fabs(r(ii, ii)));
+  }
+  const double pivot_floor = 1e-10 * max_diag;
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= r(ii, j) * x[j];
+    if (std::fabs(r(ii, ii)) <= pivot_floor) {
+      throw SingularMatrixError("qr: rank-deficient design matrix");
+    }
+    x[ii] = s / r(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace rme::fit

@@ -1,0 +1,74 @@
+#pragma once
+// Small dense linear algebra for the regression substrate.
+//
+// Ordinary least squares on a handful of regressors needs only: a dense
+// row-major matrix, normal equations with Cholesky, and a Householder QR
+// for better conditioning.  Both solvers are implemented so the linreg
+// tests can cross-validate one against the other.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rme::fit {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept {
+    return data_;
+  }
+
+  /// A^T · A  (cols × cols, symmetric positive semi-definite).
+  [[nodiscard]] Matrix gram() const;
+
+  /// A^T · y  for a length-rows vector.
+  [[nodiscard]] std::vector<double> transpose_times(
+      const std::vector<double>& y) const;
+
+  /// A · x  for a length-cols vector.
+  [[nodiscard]] std::vector<double> times(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Thrown when a factorization encounters a singular / non-SPD system.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Solves A·x = b for symmetric positive-definite A via Cholesky.
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& a,
+                                                 const std::vector<double>& b);
+
+/// In-place lower-triangular Cholesky factor of an SPD matrix.
+[[nodiscard]] Matrix cholesky_factor(const Matrix& a);
+
+/// Inverse of an SPD matrix via its Cholesky factor (needed for OLS
+/// standard errors: (XᵀX)⁻¹).
+[[nodiscard]] Matrix spd_inverse(const Matrix& a);
+
+/// Least-squares solution of min ‖A·x − b‖₂ via Householder QR
+/// (rows ≥ cols required).
+[[nodiscard]] std::vector<double> qr_least_squares(const Matrix& a,
+                                                   const std::vector<double>& b);
+
+}  // namespace rme::fit

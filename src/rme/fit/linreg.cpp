@@ -1,0 +1,161 @@
+#include "rme/fit/linreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "rme/fit/student_t.hpp"
+
+namespace rme::fit {
+
+const Coefficient& Regression::by_name(const std::string& name) const {
+  return coefficients[index_of(name)];
+}
+
+std::size_t Regression::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    if (coefficients[i].name == name) return i;
+  }
+  throw std::out_of_range("Regression: no coefficient named " + name);
+}
+
+double delta_method_stderr(
+    const Regression& reg,
+    const std::vector<std::pair<std::string, double>>& gradient) {
+  // Assemble the (sparse) gradient into a dense vector.
+  std::vector<double> g(reg.coefficients.size(), 0.0);
+  for (const auto& [name, value] : gradient) {
+    g[reg.index_of(name)] = value;
+  }
+  double var = 0.0;
+  for (std::size_t j = 0; j < g.size(); ++j) {
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      var += g[j] * reg.covariance(j, k) * g[k];
+    }
+  }
+  return std::sqrt(std::max(var, 0.0));
+}
+
+Regression ols(const Matrix& x, const std::vector<double>& y,
+               std::vector<std::string> names, Solver solver) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  if (y.size() != n) throw std::invalid_argument("ols: y size mismatch");
+  if (n <= p) throw std::invalid_argument("ols: need more rows than columns");
+  if (names.empty()) {
+    names.reserve(p);
+    for (std::size_t j = 0; j < p; ++j) {
+      std::string generated = "x";
+      generated += std::to_string(j);
+      names.push_back(std::move(generated));
+    }
+  }
+  if (names.size() != p) throw std::invalid_argument("ols: names size");
+
+  // Column equilibration: eq. (9)-style designs mix regressors spanning
+  // many orders of magnitude (seconds-per-flop vs dimensionless flags),
+  // which wrecks both the QR pivot test and normal-equation
+  // conditioning.  Scale each column to unit norm, fit, then unscale.
+  std::vector<double> col_norm(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      col_norm[j] += x(i, j) * x(i, j);
+    }
+  }
+  Matrix xs(n, p);
+  for (std::size_t j = 0; j < p; ++j) {
+    col_norm[j] = std::sqrt(col_norm[j]);
+    if (col_norm[j] == 0.0) {
+      throw SingularMatrixError("ols: zero column in design matrix");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      xs(i, j) = x(i, j) / col_norm[j];
+    }
+  }
+
+  std::vector<double> beta =
+      solver == Solver::kQr
+          ? qr_least_squares(xs, y)
+          : cholesky_solve(xs.gram(), xs.transpose_times(y));
+  for (std::size_t j = 0; j < p; ++j) beta[j] /= col_norm[j];
+
+  Regression reg;
+  reg.observations = n;
+  reg.dof = n - p;
+
+  // Residuals and sums of squares.
+  const std::vector<double> fitted = x.times(beta);
+  reg.residuals.resize(n);
+  double rss = 0.0;
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(n);
+  double tss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    reg.residuals[i] = y[i] - fitted[i];
+    rss += reg.residuals[i] * reg.residuals[i];
+    tss += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  reg.r_squared = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+  reg.adj_r_squared =
+      1.0 - (1.0 - reg.r_squared) * static_cast<double>(n - 1) /
+                static_cast<double>(reg.dof);
+  const double sigma2 = rss / static_cast<double>(reg.dof);
+  reg.residual_std_error = std::sqrt(sigma2);
+
+  // Standard errors from (XᵀX)⁻¹, computed on the equilibrated gram and
+  // unscaled: Cov(β)_{jk} = σ²·[(Xs'Xs)⁻¹]_{jk} / (norm_j·norm_k).
+  const Matrix cov = spd_inverse(xs.gram());
+  reg.covariance = Matrix(p, p);
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t k = 0; k < p; ++k) {
+      reg.covariance(j, k) =
+          sigma2 * cov(j, k) / (col_norm[j] * col_norm[k]);
+    }
+  }
+  reg.coefficients.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    Coefficient& c = reg.coefficients[j];
+    c.name = std::move(names[j]);
+    c.value = beta[j];
+    c.std_error = std::sqrt(reg.covariance(j, j));
+    c.t_stat = c.std_error > 0.0 ? c.value / c.std_error : 0.0;
+    c.p_value = c.std_error > 0.0
+                    ? two_sided_p_value(c.t_stat,
+                                        static_cast<double>(reg.dof))
+                    : 0.0;
+  }
+  return reg;
+}
+
+DesignBuilder::DesignBuilder(std::vector<std::string> column_names)
+    : names_(std::move(column_names)) {
+  if (names_.empty()) {
+    throw std::invalid_argument("DesignBuilder: need at least one column");
+  }
+}
+
+void DesignBuilder::add(const std::vector<double>& row, double response) {
+  if (row.size() != names_.size()) {
+    throw std::invalid_argument("DesignBuilder: row width mismatch");
+  }
+  rows_.insert(rows_.end(), row.begin(), row.end());
+  responses_.push_back(response);
+}
+
+Regression DesignBuilder::fit(Solver solver) const {
+  const std::size_t n = responses_.size();
+  const std::size_t p = names_.size();
+  Matrix x(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      x(i, j) = rows_[i * p + j];
+    }
+  }
+  return ols(x, responses_, names_, solver);
+}
+
+}  // namespace rme::fit

@@ -1,0 +1,86 @@
+#include "rme/fmm/driver.hpp"
+
+#include "rme/fmm/traffic.hpp"
+#include "rme/ubench/timer.hpp"
+
+namespace rme::fmm {
+
+namespace {
+
+std::vector<Body> make_cloud(const DriverConfig& config) {
+  return config.cloud == CloudKind::kUniform
+             ? uniform_cloud(config.points, config.seed)
+             : clustered_cloud(config.points, config.seed);
+}
+
+}  // namespace
+
+DriverResult run_fmm_phase(const DriverConfig& config) {
+  DriverResult result;
+  const Octree tree =
+      Octree::with_leaf_size(make_cloud(config), config.leaf_q);
+  const UList ulist(tree);
+
+  result.tree_level = tree.level();
+  result.leaves = tree.leaves().size();
+  result.mean_leaf_population = tree.mean_leaf_population();
+  result.mean_ulist_length = ulist.mean_list_length();
+  result.counts = count_interactions(tree, ulist);
+
+  const VariantResult run = run_variant(tree, ulist, config.variant);
+  result.host_seconds = run.seconds;
+  if (config.verify) {
+    const std::vector<double> reference =
+        evaluate_ulist_reference(tree, ulist);
+    result.max_deviation = max_relative_difference(run.phi, reference);
+  }
+
+  rme::sim::ProfilerSession session = rme::sim::ProfilerSession::gtx580_like();
+  result.counters = trace_variant(tree, ulist, config.variant, session);
+  return result;
+}
+
+std::vector<QSweepPoint> q_scaling_study(std::size_t points,
+                                         const std::vector<int>& levels,
+                                         const MachineParams& machine,
+                                         std::uint64_t seed,
+                                         double l2_bytes) {
+  constexpr double kWord = 8.0;  // double precision
+  std::vector<QSweepPoint> sweep;
+  sweep.reserve(levels.size());
+  const std::vector<Body> cloud = uniform_cloud(points, seed);
+  for (int level : levels) {
+    const Octree tree(cloud, level);
+    const UList ulist(tree);
+    const InteractionCounts counts = count_interactions(tree, ulist);
+
+    QSweepPoint p;
+    p.level = level;
+    p.mean_leaf_population = tree.mean_leaf_population();
+    p.flops = counts.flops;
+    const double n = static_cast<double>(tree.bodies().size());
+    const double footprint = 5.0 * kWord * n;  // pos(3) + charge + phi
+    if (footprint <= l2_bytes) {
+      p.dram_bytes = footprint;  // compulsory traffic only
+    } else {
+      // Each target leaf streams its whole source neighborhood from
+      // DRAM (4 words per source), plus one potential write per target.
+      double neighborhood_bytes = 0.0;
+      for (std::size_t b = 0; b < tree.leaves().size(); ++b) {
+        double sources = 0.0;
+        for (std::size_t s : ulist.neighbors(b)) {
+          sources += static_cast<double>(tree.leaves()[s].size());
+        }
+        neighborhood_bytes += 4.0 * kWord * sources;
+      }
+      p.dram_bytes = neighborhood_bytes + kWord * n;
+    }
+    p.intensity = p.flops / p.dram_bytes;
+    p.time_bound_on = time_bound(machine, p.intensity);
+    p.energy_bound_on = energy_bound(machine, p.intensity);
+    sweep.push_back(p);
+  }
+  return sweep;
+}
+
+}  // namespace rme::fmm

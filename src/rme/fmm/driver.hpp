@@ -1,0 +1,81 @@
+#pragma once
+// FMM U-list driver: one-call orchestration of the full §V-C workflow
+// (points → octree → U-lists → kernel → counters → energy picture),
+// plus the q-scaling study the paper's intensity discussion implies:
+// leaves hold O(q) points, flops grow as O(q²) per O(q) data, so the
+// phase's intensity grows linearly in q and crosses from memory- to
+// compute-bound as leaves deepen.
+
+#include <cstdint>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+#include "rme/fmm/energy_estimator.hpp"
+#include "rme/fmm/kernels.hpp"
+#include "rme/fmm/octree.hpp"
+#include "rme/fmm/ulist.hpp"
+#include "rme/fmm/variants.hpp"
+
+namespace rme::fmm {
+
+/// Cloud shape for the driver's point generator.
+enum class CloudKind { kUniform, kClustered };
+
+/// Driver configuration.
+struct DriverConfig {
+  std::size_t points = 4000;
+  std::size_t leaf_q = 32;     ///< Target points per leaf.
+  std::uint64_t seed = 1;
+  CloudKind cloud = CloudKind::kUniform;
+  VariantSpec variant = reference_variant(Precision::kDouble);
+  bool verify = true;          ///< Check the variant against the reference.
+};
+
+/// Everything one run of the phase produces.
+struct DriverResult {
+  int tree_level = 0;
+  std::size_t leaves = 0;
+  double mean_leaf_population = 0.0;
+  double mean_ulist_length = 0.0;
+  InteractionCounts counts;
+  double host_seconds = 0.0;      ///< Real execution time of the variant.
+  double max_deviation = 0.0;     ///< vs reference (0 when verify off).
+  rme::sim::CounterSet counters;  ///< Profiler-style traffic counters.
+
+  /// Operational intensity of the phase against DRAM traffic.
+  [[nodiscard]] double dram_intensity() const noexcept {
+    return counters.flops / counters.dram_bytes;
+  }
+};
+
+/// Runs the full pipeline once.
+[[nodiscard]] DriverResult run_fmm_phase(const DriverConfig& config);
+
+/// One point of the q-scaling study.
+struct QSweepPoint {
+  int level = 0;                     ///< Octree refinement level.
+  double mean_leaf_population = 0.0; ///< q̄ = n / occupied leaves.
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+  double intensity = 0.0;
+  Bound time_bound_on = Bound::kMemory;   ///< vs the given machine.
+  Bound energy_bound_on = Bound::kMemory;
+};
+
+/// Sweeps octree refinement (shallower level = larger leaves = larger
+/// q) and classifies the phase on `machine` — the "FMM_U is typically
+/// compute-bound" claim (§V-C) made quantitative: O(q²) flops per O(q)
+/// data means intensity grows with q̄ and crosses B_tau.
+///
+/// Traffic model (analytic, so the study scales to large q): flops are
+/// exact (11 per pair); DRAM traffic is compulsory (5 words per body:
+/// position + charge + potential) while the working set fits the L2 of
+/// the profiled device (`l2_bytes`), and per-leaf neighborhood
+/// streaming once it does not.
+[[nodiscard]] std::vector<QSweepPoint> q_scaling_study(
+    std::size_t points, const std::vector<int>& levels,
+    const MachineParams& machine, std::uint64_t seed = 1,
+    double l2_bytes = 768.0 * 1024.0);
+
+}  // namespace rme::fmm

@@ -1,0 +1,84 @@
+#include "rme/fmm/energy_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rme::fmm {
+
+VariantObservation observe_variant(const Octree& tree, const UList& ulist,
+                                   const VariantSpec& spec,
+                                   const UlistPlatform& platform,
+                                   std::uint64_t salt) {
+  VariantObservation obs;
+  obs.spec = spec;
+
+  rme::sim::ProfilerSession session = rme::sim::ProfilerSession::gtx580_like();
+  obs.counters = trace_variant(tree, ulist, spec, session);
+
+  const MachineParams& m = platform.machine;
+  const double flops = obs.counters.flops;
+  const double dram = obs.counters.dram_bytes;
+  const double cache = obs.counters.cache_bytes();
+
+  // Ground-truth execution: overlapped time on the derated machine.
+  const double t_flops =
+      flops * m.time_per_flop / platform.flop_fraction;
+  const double t_mem = dram * m.time_per_byte / platform.bw_fraction;
+  const double seconds = std::max(t_flops, t_mem);
+  // Ground-truth energy *includes the cache-access cost* — the quantity
+  // eq. (2) misses until §V-C's calibration adds it back.
+  const double joules = flops * m.energy_per_flop + dram * m.energy_per_byte +
+                        cache * platform.cache_energy_per_byte +
+                        m.const_power * seconds;
+
+  obs.sample.flops = flops;
+  obs.sample.dram_bytes = dram;
+  obs.sample.cache_bytes = cache;
+  obs.sample.seconds = platform.noise.perturb(seconds, 2 * salt + 1);
+  obs.sample.joules = platform.noise.perturb(joules, 2 * salt + 2);
+  return obs;
+}
+
+std::vector<VariantObservation> observe_variants(
+    const Octree& tree, const UList& ulist,
+    const std::vector<VariantSpec>& specs, const UlistPlatform& platform) {
+  std::vector<VariantObservation> observations;
+  observations.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    observations.push_back(
+        observe_variant(tree, ulist, specs[i], platform, i));
+  }
+  return observations;
+}
+
+UlistStudy run_ulist_study(const std::vector<VariantObservation>& observations,
+                           const MachineParams& machine,
+                           const VariantSpec& reference) {
+  const auto is_reference = [&](const VariantObservation& o) {
+    return o.spec.name() == reference.name();
+  };
+  const auto ref =
+      std::find_if(observations.begin(), observations.end(), is_reference);
+  if (ref == observations.end()) {
+    throw std::invalid_argument(
+        "run_ulist_study: reference variant not among observations");
+  }
+
+  UlistStudy study;
+  study.calibrated_cache_eps =
+      rme::fit::calibrate_cache_energy(machine, ref->sample);
+
+  std::vector<rme::fit::CacheSample> validation;
+  validation.reserve(observations.size());
+  for (const VariantObservation& o : observations) {
+    if (is_reference(o)) continue;
+    validation.push_back(o.sample);
+  }
+  study.validated_variants = validation.size();
+  study.two_level = rme::fit::two_level_error(machine, validation);
+  study.cache_aware = rme::fit::cache_aware_error(machine, validation,
+                                                  study.calibrated_cache_eps);
+  return study;
+}
+
+}  // namespace rme::fmm

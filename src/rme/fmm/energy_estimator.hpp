@@ -1,0 +1,73 @@
+#pragma once
+// The §V-C energy-estimation experiment, end to end.
+//
+// Pipeline (exactly the paper's):
+//   1. run every variant, read its counters (flops, DRAM/L1/L2 bytes);
+//   2. "measure" its energy on the simulated GPU — ground truth includes
+//      a per-byte cache-access cost the two-level model knows nothing
+//      about;
+//   3. estimate energy with eq. (2): it *underestimates* (paper: −33%);
+//   4. calibrate ε_cache from the reference variant's residual
+//      (paper: ≈187 pJ/B);
+//   5. re-estimate all other variants with the cache term and report the
+//      median error (paper: 4.1%).
+
+#include <cstdint>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/fit/cache_fit.hpp"
+#include "rme/fmm/traffic.hpp"
+#include "rme/fmm/variants.hpp"
+#include "rme/sim/noise.hpp"
+
+namespace rme::fmm {
+
+/// Ground-truth configuration of the simulated measurement platform.
+struct UlistPlatform {
+  MachineParams machine;  ///< Fitted coefficients (e.g. GTX 580).
+  /// Ground-truth cache-access energy the estimator must discover
+  /// (§V-C fitted ≈187 pJ/B on the GTX 580).
+  double cache_energy_per_byte = 187.0e-12;
+  /// Achievable fractions of peak for this irregular kernel.
+  double flop_fraction = 0.85;
+  double bw_fraction = 0.80;
+  /// Measurement noise on the "measured" energy/time.
+  rme::sim::NoiseModel noise{0x5eedULL, 0.01};
+};
+
+/// One variant's observation: profiler counters + measured time/energy.
+struct VariantObservation {
+  VariantSpec spec;
+  rme::sim::CounterSet counters;
+  rme::fit::CacheSample sample;  ///< flops/dram/cache bytes + T, E.
+};
+
+/// Observes one variant: traces it through a fresh GTX 580-like cache
+/// hierarchy and synthesizes its measured time/energy on the platform.
+[[nodiscard]] VariantObservation observe_variant(const Octree& tree,
+                                                 const UList& ulist,
+                                                 const VariantSpec& spec,
+                                                 const UlistPlatform& platform,
+                                                 std::uint64_t salt);
+
+/// Observes a whole variant population.
+[[nodiscard]] std::vector<VariantObservation> observe_variants(
+    const Octree& tree, const UList& ulist,
+    const std::vector<VariantSpec>& specs, const UlistPlatform& platform);
+
+/// The full §V-C study result.
+struct UlistStudy {
+  rme::fit::ErrorStats two_level;    ///< Errors of the plain eq. (2).
+  rme::fit::ErrorStats cache_aware;  ///< Errors with the fitted term.
+  double calibrated_cache_eps = 0.0; ///< Fitted ε_cache [J/B].
+  std::size_t validated_variants = 0;
+};
+
+/// Calibrates on the observation whose spec matches `reference` and
+/// validates on all others.  Throws if the reference is absent.
+[[nodiscard]] UlistStudy run_ulist_study(
+    const std::vector<VariantObservation>& observations,
+    const MachineParams& machine, const VariantSpec& reference);
+
+}  // namespace rme::fmm

@@ -1,0 +1,92 @@
+#include "rme/fmm/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rme::fmm {
+
+InteractionCounts count_interactions(const Octree& tree, const UList& ulist) {
+  InteractionCounts c;
+  c.pairs = ulist.total_pairs(tree);
+  c.flops = kFlopsPerPair * c.pairs;
+  return c;
+}
+
+std::vector<double> evaluate_ulist_reference(const Octree& tree,
+                                             const UList& ulist) {
+  const std::vector<Body>& bodies = tree.bodies();
+  const std::vector<Leaf>& leaves = tree.leaves();
+  std::vector<double> phi(bodies.size(), 0.0);
+
+  for (std::size_t b = 0; b < leaves.size(); ++b) {
+    const Leaf& target_leaf = leaves[b];
+    for (std::uint32_t t = target_leaf.begin; t < target_leaf.end; ++t) {
+      const Point3& tp = bodies[t].pos;
+      double acc = 0.0;
+      for (std::size_t s_leaf : ulist.neighbors(b)) {
+        const Leaf& source_leaf = leaves[s_leaf];
+        for (std::uint32_t s = source_leaf.begin; s < source_leaf.end; ++s) {
+          const double dx = tp.x - bodies[s].pos.x;
+          const double dy = tp.y - bodies[s].pos.y;
+          const double dz = tp.z - bodies[s].pos.z;
+          const double r = dx * dx + dy * dy + dz * dz;
+          if (r > 0.0) {
+            acc += bodies[s].charge / std::sqrt(r);
+          }
+        }
+      }
+      phi[t] = acc;
+    }
+  }
+  return phi;
+}
+
+std::vector<double> evaluate_bruteforce_neighbors(const Octree& tree) {
+  const std::vector<Body>& bodies = tree.bodies();
+  const std::vector<Leaf>& leaves = tree.leaves();
+  std::vector<double> phi(bodies.size(), 0.0);
+
+  // Per-body: find its leaf's cell coordinate, then scan *all* bodies and
+  // keep those whose cell is within Chebyshev distance 1 — an independent
+  // path to the same interaction set.
+  std::vector<CellCoord> body_cell(bodies.size());
+  for (const Leaf& leaf : leaves) {
+    const CellCoord c = morton_decode(leaf.code);
+    for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) body_cell[i] = c;
+  }
+  const auto adjacent = [](const CellCoord& a, const CellCoord& b) {
+    const auto d = [](std::uint32_t p, std::uint32_t q) {
+      return p > q ? p - q : q - p;
+    };
+    return d(a.x, b.x) <= 1 && d(a.y, b.y) <= 1 && d(a.z, b.z) <= 1;
+  };
+  for (std::size_t t = 0; t < bodies.size(); ++t) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < bodies.size(); ++s) {
+      if (!adjacent(body_cell[t], body_cell[s])) continue;
+      const double dx = bodies[t].pos.x - bodies[s].pos.x;
+      const double dy = bodies[t].pos.y - bodies[s].pos.y;
+      const double dz = bodies[t].pos.z - bodies[s].pos.z;
+      const double r = dx * dx + dy * dy + dz * dz;
+      if (r > 0.0) acc += bodies[s].charge / std::sqrt(r);
+    }
+    phi[t] = acc;
+  }
+  return phi;
+}
+
+double max_relative_difference(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_relative_difference: size mismatch");
+  }
+  double max_abs = 0.0;
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_abs = std::fmax(max_abs, std::fabs(a[i]));
+    max_diff = std::fmax(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_abs > 0.0 ? max_diff / max_abs : max_diff;
+}
+
+}  // namespace rme::fmm

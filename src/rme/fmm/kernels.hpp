@@ -1,0 +1,45 @@
+#pragma once
+// The FMM U-list interaction kernel, Algorithm 1 of the paper:
+//
+//   for each target leaf B:
+//     for each target t ∈ B:
+//       for each source leaf S ∈ U(B):
+//         for each source s ∈ S:
+//           (δx,δy,δz) = t − s;  r = δx²+δy²+δz²
+//           w = rsqrt(r);  φ_t += d_s · w
+//
+// Each pair is 11 scalar flops counting the reciprocal square root as
+// one flop.  Self-pairs (r = 0) contribute nothing.
+
+#include <vector>
+
+#include "rme/fmm/octree.hpp"
+#include "rme/fmm/ulist.hpp"
+
+namespace rme::fmm {
+
+/// Work accounting for one full U-list evaluation.
+struct InteractionCounts {
+  double pairs = 0.0;
+  double flops = 0.0;  ///< 11 · pairs.
+};
+
+[[nodiscard]] InteractionCounts count_interactions(const Octree& tree,
+                                                   const UList& ulist);
+
+/// Reference (scalar, straightforward) evaluation of Algorithm 1.
+/// Returns φ per body, indexed like tree.bodies().
+[[nodiscard]] std::vector<double> evaluate_ulist_reference(const Octree& tree,
+                                                           const UList& ulist);
+
+/// Brute-force evaluation restricted to the same neighbor structure, via
+/// an independent path (per-body neighbor search instead of per-leaf
+/// lists) — used to cross-check the U-list construction itself.
+[[nodiscard]] std::vector<double> evaluate_bruteforce_neighbors(
+    const Octree& tree);
+
+/// Max |a−b| over two potential vectors, scaled by max |a|.
+[[nodiscard]] double max_relative_difference(const std::vector<double>& a,
+                                             const std::vector<double>& b);
+
+}  // namespace rme::fmm

@@ -1,0 +1,38 @@
+#include "rme/fmm/morton.hpp"
+
+namespace rme::fmm {
+
+std::uint64_t morton_spread(std::uint32_t v) noexcept {
+  std::uint64_t x = v & 0x1fffffULL;  // 21 bits
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+std::uint32_t morton_compact(std::uint64_t v) noexcept {
+  std::uint64_t x = v & 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3ULL;
+  x = (x ^ (x >> 4)) & 0x100f00f00f00f00fULL;
+  x = (x ^ (x >> 8)) & 0x1f0000ff0000ffULL;
+  x = (x ^ (x >> 16)) & 0x1f00000000ffffULL;
+  x = (x ^ (x >> 32)) & 0x1fffffULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z) noexcept {
+  return morton_spread(x) | (morton_spread(y) << 1) | (morton_spread(z) << 2);
+}
+
+CellCoord morton_decode(std::uint64_t code) noexcept {
+  CellCoord c;
+  c.x = morton_compact(code);
+  c.y = morton_compact(code >> 1);
+  c.z = morton_compact(code >> 2);
+  return c;
+}
+
+}  // namespace rme::fmm

@@ -1,0 +1,31 @@
+#pragma once
+// 64-bit Morton (Z-order) codes for the linear octree: 21 bits per
+// dimension interleaved.
+
+#include <cstdint>
+
+namespace rme::fmm {
+
+/// Maximum octree refinement supported by 64-bit codes.
+inline constexpr int kMaxMortonLevel = 21;
+
+/// Spreads the low 21 bits of `v` so consecutive bits land 3 apart.
+[[nodiscard]] std::uint64_t morton_spread(std::uint32_t v) noexcept;
+
+/// Inverse of morton_spread.
+[[nodiscard]] std::uint32_t morton_compact(std::uint64_t v) noexcept;
+
+/// Interleaves three 21-bit coordinates into a Morton code.
+[[nodiscard]] std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y,
+                                          std::uint32_t z) noexcept;
+
+/// Decoded cell coordinates.
+struct CellCoord {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+};
+
+[[nodiscard]] CellCoord morton_decode(std::uint64_t code) noexcept;
+
+}  // namespace rme::fmm

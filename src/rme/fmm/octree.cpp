@@ -1,0 +1,85 @@
+#include "rme/fmm/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rme::fmm {
+
+namespace {
+
+std::uint32_t quantize(double v, double lo, double inv_extent,
+                       std::uint32_t cells) noexcept {
+  const double t = (v - lo) * inv_extent;
+  const auto cell = static_cast<std::int64_t>(t * cells);
+  return static_cast<std::uint32_t>(
+      std::clamp<std::int64_t>(cell, 0, static_cast<std::int64_t>(cells) - 1));
+}
+
+}  // namespace
+
+Octree::Octree(std::vector<Body> bodies, int level)
+    : bodies_(std::move(bodies)), level_(level) {
+  if (level < 0 || level > kMaxMortonLevel) {
+    throw std::invalid_argument("Octree: level out of range");
+  }
+  box_ = BoundingBox::of(bodies_).cubified();
+  const std::uint32_t cells = grid_dim();
+  const double inv_x = box_.extent_x() > 0.0 ? 1.0 / box_.extent_x() : 0.0;
+
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    const Point3& p = bodies_[i].pos;
+    const std::uint64_t code =
+        morton_encode(quantize(p.x, box_.lo.x, inv_x, cells),
+                      quantize(p.y, box_.lo.y, inv_x, cells),
+                      quantize(p.z, box_.lo.z, inv_x, cells));
+    keyed[i] = {code, static_cast<std::uint32_t>(i)};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<Body> sorted;
+  sorted.reserve(bodies_.size());
+  for (const auto& [code, idx] : keyed) sorted.push_back(bodies_[idx]);
+  bodies_ = std::move(sorted);
+
+  for (std::size_t i = 0; i < keyed.size();) {
+    const std::uint64_t code = keyed[i].first;
+    std::size_t j = i;
+    while (j < keyed.size() && keyed[j].first == code) ++j;
+    Leaf leaf;
+    leaf.code = code;
+    leaf.begin = static_cast<std::uint32_t>(i);
+    leaf.end = static_cast<std::uint32_t>(j);
+    leaf_index_.emplace(code, leaves_.size());
+    leaves_.push_back(leaf);
+    i = j;
+  }
+}
+
+Octree Octree::with_leaf_size(std::vector<Body> bodies, std::size_t q) {
+  if (q == 0) throw std::invalid_argument("Octree: q must be positive");
+  const double n = static_cast<double>(bodies.size());
+  // A uniform cloud at level L occupies ≲ 8^L cells; aim for n/8^L ≈ q.
+  int level = 0;
+  while (level < kMaxMortonLevel &&
+         n / std::pow(8.0, level + 1) >= static_cast<double>(q)) {
+    ++level;
+  }
+  return Octree(std::move(bodies), level);
+}
+
+std::optional<std::size_t> Octree::leaf_of(std::uint64_t code) const {
+  const auto it = leaf_index_.find(code);
+  if (it == leaf_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Octree::mean_leaf_population() const noexcept {
+  if (leaves_.empty()) return 0.0;
+  return static_cast<double>(bodies_.size()) /
+         static_cast<double>(leaves_.size());
+}
+
+}  // namespace rme::fmm

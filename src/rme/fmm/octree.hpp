@@ -1,0 +1,75 @@
+#pragma once
+// Linear octree over Morton-sorted bodies.
+//
+// The FMM U-list phase needs: bodies binned into leaf nodes, each leaf
+// holding O(q) points (§V-C: "each leaf contains O(q) points for some
+// user-selected q, with q typically on the order of hundreds or
+// thousands").  We build a uniform-depth linear octree: bodies are
+// quantized to a 2^level grid on the cubified bounding box, sorted by
+// Morton code, and leaves are the occupied cells.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rme/fmm/morton.hpp"
+#include "rme/fmm/point.hpp"
+
+namespace rme::fmm {
+
+/// One occupied leaf cell: a contiguous range of sorted body indices.
+struct Leaf {
+  std::uint64_t code = 0;   ///< Morton code of the cell at tree level.
+  std::uint32_t begin = 0;  ///< First body index (inclusive).
+  std::uint32_t end = 0;    ///< Last body index (exclusive).
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return end - begin; }
+};
+
+/// A uniform-depth linear octree.
+class Octree {
+ public:
+  /// Bins `bodies` at `level` (0 ≤ level ≤ kMaxMortonLevel).  Bodies are
+  /// copied and sorted internally.
+  Octree(std::vector<Body> bodies, int level);
+
+  /// Chooses the deepest level with mean occupied-leaf population ≥ q,
+  /// approximating leaves of O(q) points.
+  [[nodiscard]] static Octree with_leaf_size(std::vector<Body> bodies,
+                                             std::size_t q);
+
+  [[nodiscard]] const std::vector<Body>& bodies() const noexcept {
+    return bodies_;
+  }
+  [[nodiscard]] const std::vector<Leaf>& leaves() const noexcept {
+    return leaves_;
+  }
+  [[nodiscard]] int level() const noexcept { return level_; }
+  [[nodiscard]] const BoundingBox& box() const noexcept { return box_; }
+
+  /// Cells per axis at this level.
+  [[nodiscard]] std::uint32_t grid_dim() const noexcept {
+    return 1u << level_;
+  }
+
+  /// Index of the leaf with the given cell code, if occupied.
+  [[nodiscard]] std::optional<std::size_t> leaf_of(std::uint64_t code) const;
+
+  /// Cell coordinate of a leaf.
+  [[nodiscard]] CellCoord coord_of(const Leaf& leaf) const noexcept {
+    return morton_decode(leaf.code);
+  }
+
+  /// Mean bodies per occupied leaf.
+  [[nodiscard]] double mean_leaf_population() const noexcept;
+
+ private:
+  std::vector<Body> bodies_;
+  std::vector<Leaf> leaves_;
+  std::unordered_map<std::uint64_t, std::size_t> leaf_index_;
+  BoundingBox box_;
+  int level_ = 0;
+};
+
+}  // namespace rme::fmm

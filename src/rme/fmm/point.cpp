@@ -1,0 +1,81 @@
+#include "rme/fmm/point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rme/sim/noise.hpp"
+
+namespace rme::fmm {
+
+BoundingBox BoundingBox::of(const std::vector<Body>& bodies) {
+  BoundingBox box;
+  if (bodies.empty()) return box;
+  box.lo = box.hi = bodies.front().pos;
+  for (const Body& b : bodies) {
+    box.lo.x = std::min(box.lo.x, b.pos.x);
+    box.lo.y = std::min(box.lo.y, b.pos.y);
+    box.lo.z = std::min(box.lo.z, b.pos.z);
+    box.hi.x = std::max(box.hi.x, b.pos.x);
+    box.hi.y = std::max(box.hi.y, b.pos.y);
+    box.hi.z = std::max(box.hi.z, b.pos.z);
+  }
+  return box;
+}
+
+BoundingBox BoundingBox::cubified() const {
+  const double ext =
+      std::max({extent_x(), extent_y(), extent_z(), 1e-300});
+  BoundingBox box;
+  const Point3 center{0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y),
+                      0.5 * (lo.z + hi.z)};
+  const double half = 0.5 * ext;
+  box.lo = Point3{center.x - half, center.y - half, center.z - half};
+  box.hi = Point3{center.x + half, center.y + half, center.z + half};
+  return box;
+}
+
+bool BoundingBox::contains(const Point3& p) const noexcept {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+         p.z >= lo.z && p.z <= hi.z;
+}
+
+std::vector<Body> uniform_cloud(std::size_t n, std::uint64_t seed) {
+  const rme::sim::NoiseModel rng(seed, 0.0);
+  std::vector<Body> bodies(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Body& b = bodies[i];
+    b.pos.x = rng.uniform(3 * i + 0);
+    b.pos.y = rng.uniform(3 * i + 1);
+    b.pos.z = rng.uniform(3 * i + 2);
+    b.charge = 0.5 + rng.uniform(0x1000000 + i);
+  }
+  return bodies;
+}
+
+std::vector<Body> clustered_cloud(std::size_t n, std::uint64_t seed,
+                                  int clusters) {
+  const rme::sim::NoiseModel rng(seed, 0.0);
+  if (clusters < 1) clusters = 1;
+  std::vector<Point3> centers(static_cast<std::size_t>(clusters));
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    centers[c] = Point3{0.2 + 0.6 * rng.uniform(7000 + 3 * c),
+                        0.2 + 0.6 * rng.uniform(7001 + 3 * c),
+                        0.2 + 0.6 * rng.uniform(7002 + 3 * c)};
+  }
+  std::vector<Body> bodies(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point3& c = centers[i % centers.size()];
+    Body& b = bodies[i];
+    // Gaussian blob around each center, clamped into the unit cube.
+    const double sx = 0.06 * rng.standard_normal(5 * i + 0);
+    const double sy = 0.06 * rng.standard_normal(5 * i + 1);
+    const double sz = 0.06 * rng.standard_normal(5 * i + 2);
+    b.pos.x = std::clamp(c.x + sx, 0.0, 1.0 - 1e-12);
+    b.pos.y = std::clamp(c.y + sy, 0.0, 1.0 - 1e-12);
+    b.pos.z = std::clamp(c.z + sz, 0.0, 1.0 - 1e-12);
+    b.charge = 0.5 + rng.uniform(0x2000000 + i);
+  }
+  return bodies;
+}
+
+}  // namespace rme::fmm

@@ -1,0 +1,54 @@
+#pragma once
+// Geometry primitives for the FMM U-list phase (§V-C).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rme::fmm {
+
+/// A 3-D point.
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// A source/target body: position, source density d_s, and the target
+/// potential φ_t accumulated by the U-list kernel.
+struct Body {
+  Point3 pos;
+  double charge = 0.0;
+};
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point3 lo;
+  Point3 hi;
+
+  [[nodiscard]] static BoundingBox of(const std::vector<Body>& bodies);
+
+  /// Expands to a cube (equal extents) centered on the original box —
+  /// octrees need cubic cells.
+  [[nodiscard]] BoundingBox cubified() const;
+
+  [[nodiscard]] double extent_x() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] double extent_y() const noexcept { return hi.y - lo.y; }
+  [[nodiscard]] double extent_z() const noexcept { return hi.z - lo.z; }
+
+  [[nodiscard]] bool contains(const Point3& p) const noexcept;
+};
+
+/// Deterministic pseudo-random body clouds for tests and benches.
+/// `seed` selects the stream; positions are in [0, 1)³; charges in
+/// [0.5, 1.5).
+[[nodiscard]] std::vector<Body> uniform_cloud(std::size_t n,
+                                              std::uint64_t seed);
+
+/// A clustered (Plummer-like shells) distribution — stresses non-uniform
+/// leaf occupancy.
+[[nodiscard]] std::vector<Body> clustered_cloud(std::size_t n,
+                                                std::uint64_t seed,
+                                                int clusters = 8);
+
+}  // namespace rme::fmm

@@ -1,0 +1,98 @@
+#include "rme/fmm/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rme::fmm {
+
+namespace {
+
+struct Accessor {
+  const AddressMap& map;
+  std::uint32_t word;
+  bool soa;
+
+  void read_position(rme::sim::ProfilerSession& s, std::uint32_t i) const {
+    if (soa) {
+      s.on_access(map.soa_x + static_cast<std::uint64_t>(i) * word, word,
+                  false);
+      s.on_access(map.soa_y + static_cast<std::uint64_t>(i) * word, word,
+                  false);
+      s.on_access(map.soa_z + static_cast<std::uint64_t>(i) * word, word,
+                  false);
+    } else {
+      // AoS record: {x, y, z, charge} contiguous; reading the position
+      // touches the first three fields.
+      s.on_access(map.aos_base + static_cast<std::uint64_t>(i) * 4 * word,
+                  3 * word, false);
+    }
+  }
+  void read_source(rme::sim::ProfilerSession& s, std::uint32_t i) const {
+    if (soa) {
+      read_position(s, i);
+      s.on_access(map.soa_charge + static_cast<std::uint64_t>(i) * word, word,
+                  false);
+    } else {
+      s.on_access(map.aos_base + static_cast<std::uint64_t>(i) * 4 * word,
+                  4 * word, false);
+    }
+  }
+  void write_phi(rme::sim::ProfilerSession& s, std::uint32_t i) const {
+    s.on_access(map.phi_base + static_cast<std::uint64_t>(i) * word, word,
+                true);
+  }
+};
+
+}  // namespace
+
+rme::sim::CounterSet trace_variant(const Octree& tree, const UList& ulist,
+                                   const VariantSpec& spec,
+                                   rme::sim::ProfilerSession& session,
+                                   const AddressMap& map) {
+  const Accessor acc{map, static_cast<std::uint32_t>(word_bytes(spec.precision)),
+                     spec.layout == Layout::kSoA};
+  const std::vector<Leaf>& leaves = tree.leaves();
+  const int block = std::clamp(spec.block, 1, 64);
+
+  for (std::size_t b = 0; b < leaves.size(); ++b) {
+    const Leaf& target_leaf = leaves[b];
+    for (std::uint32_t t0 = target_leaf.begin; t0 < target_leaf.end;
+         t0 += static_cast<std::uint32_t>(block)) {
+      const std::uint32_t t1 = std::min<std::uint32_t>(
+          t0 + static_cast<std::uint32_t>(block), target_leaf.end);
+      for (std::uint32_t t = t0; t < t1; ++t) acc.read_position(session, t);
+      for (std::size_t s_leaf : ulist.neighbors(b)) {
+        const Leaf& source_leaf = leaves[s_leaf];
+        for (std::uint32_t s = source_leaf.begin; s < source_leaf.end; ++s) {
+          acc.read_source(session, s);
+          session.on_flops(kFlopsPerPair * static_cast<double>(t1 - t0));
+        }
+      }
+      for (std::uint32_t t = t0; t < t1; ++t) acc.write_phi(session, t);
+    }
+  }
+  return session.counters();
+}
+
+double expected_l1_bytes(const Octree& tree, const UList& ulist,
+                           const VariantSpec& spec) {
+  const double word = word_bytes(spec.precision);
+  const std::vector<Leaf>& leaves = tree.leaves();
+  const int block = std::clamp(spec.block, 1, 64);
+  double bytes = 0.0;
+  for (std::size_t b = 0; b < leaves.size(); ++b) {
+    const double targets = leaves[b].size();
+    double sources = 0.0;
+    for (std::size_t s_leaf : ulist.neighbors(b)) {
+      sources += static_cast<double>(leaves[s_leaf].size());
+    }
+    const double passes =
+        std::ceil(targets / static_cast<double>(block));
+    // Target positions (3 words) + phi write (1 word) once per target;
+    // each source (4 words) once per pass.
+    bytes += targets * 4.0 * word + passes * sources * 4.0 * word;
+  }
+  return bytes;
+}
+
+}  // namespace rme::fmm

@@ -1,0 +1,42 @@
+#pragma once
+// Memory-trace generation for U-list variants: replays each variant's
+// access pattern through the cache simulator to obtain the per-level
+// byte counters that the paper read from the hardware profiler (§V-C).
+//
+// The trace mirrors the engine in variants.cpp exactly: per target leaf,
+// per target block, target positions are read once, then every source in
+// U(B) is streamed (positions + charge); potentials are written once per
+// target.  Blocking therefore divides the number of source-streaming
+// passes — variants genuinely differ in traffic, which is the point of
+// the experiment.
+
+#include "rme/fmm/octree.hpp"
+#include "rme/fmm/ulist.hpp"
+#include "rme/fmm/variants.hpp"
+#include "rme/sim/counters.hpp"
+
+namespace rme::fmm {
+
+/// Simulated address-space layout for the body arrays.
+struct AddressMap {
+  std::uint64_t soa_x = 0x0000'0000ULL;
+  std::uint64_t soa_y = 0x4000'0000ULL;
+  std::uint64_t soa_z = 0x8000'0000ULL;
+  std::uint64_t soa_charge = 0xC000'0000ULL;
+  std::uint64_t aos_base = 0x0000'0000ULL;
+  std::uint64_t phi_base = 0x1'0000'0000ULL;
+};
+
+/// Replays the variant's access pattern into `session`, also recording
+/// its flops; returns the resulting counter set.
+[[nodiscard]] rme::sim::CounterSet trace_variant(
+    const Octree& tree, const UList& ulist, const VariantSpec& spec,
+    rme::sim::ProfilerSession& session, const AddressMap& map = {});
+
+/// Analytic count of the trace's core↔L1 request bytes — must equal the
+/// traced l1_bytes exactly; used by tests to validate the tracer.
+[[nodiscard]] double expected_l1_bytes(const Octree& tree,
+                                         const UList& ulist,
+                                         const VariantSpec& spec);
+
+}  // namespace rme::fmm

@@ -1,0 +1,58 @@
+#include "rme/fmm/ulist.hpp"
+
+#include <algorithm>
+
+namespace rme::fmm {
+
+UList::UList(const Octree& tree) {
+  const std::vector<Leaf>& leaves = tree.leaves();
+  lists_.resize(leaves.size());
+  const std::int64_t dim = tree.grid_dim();
+  for (std::size_t b = 0; b < leaves.size(); ++b) {
+    const CellCoord c = tree.coord_of(leaves[b]);
+    std::vector<std::size_t>& list = lists_[b];
+    list.reserve(27);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const std::int64_t nx = static_cast<std::int64_t>(c.x) + dx;
+          const std::int64_t ny = static_cast<std::int64_t>(c.y) + dy;
+          const std::int64_t nz = static_cast<std::int64_t>(c.z) + dz;
+          if (nx < 0 || ny < 0 || nz < 0 || nx >= dim || ny >= dim ||
+              nz >= dim) {
+            continue;
+          }
+          const std::uint64_t code =
+              morton_encode(static_cast<std::uint32_t>(nx),
+                            static_cast<std::uint32_t>(ny),
+                            static_cast<std::uint32_t>(nz));
+          if (const auto idx = tree.leaf_of(code)) {
+            list.push_back(*idx);
+          }
+        }
+      }
+    }
+    std::sort(list.begin(), list.end());
+  }
+}
+
+double UList::total_pairs(const Octree& tree) const noexcept {
+  const std::vector<Leaf>& leaves = tree.leaves();
+  double pairs = 0.0;
+  for (std::size_t b = 0; b < lists_.size(); ++b) {
+    const double targets = leaves[b].size();
+    for (std::size_t s : lists_[b]) {
+      pairs += targets * static_cast<double>(leaves[s].size());
+    }
+  }
+  return pairs;
+}
+
+double UList::mean_list_length() const noexcept {
+  if (lists_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& list : lists_) total += static_cast<double>(list.size());
+  return total / static_cast<double>(lists_.size());
+}
+
+}  // namespace rme::fmm

@@ -1,0 +1,44 @@
+#pragma once
+// U-list construction: for each target leaf B, the list U(B) of source
+// leaves adjacent to it (the 3×3×3 cell neighborhood including B itself),
+// per Algorithm 1 of the paper.
+
+#include <cstddef>
+#include <vector>
+
+#include "rme/fmm/octree.hpp"
+
+namespace rme::fmm {
+
+/// Per-leaf neighbor lists over an octree.
+class UList {
+ public:
+  explicit UList(const Octree& tree);
+
+  /// U(B) for target leaf `b`: indices of occupied neighbor leaves
+  /// (including `b` itself), in ascending leaf order.
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(
+      std::size_t b) const {
+    return lists_[b];
+  }
+
+  [[nodiscard]] std::size_t num_leaves() const noexcept {
+    return lists_.size();
+  }
+
+  /// Total number of (target body, source body) interaction pairs.
+  [[nodiscard]] double total_pairs(const Octree& tree) const noexcept;
+
+  /// Mean |U(B)| over leaves (≤ 27 for interior leaves).
+  [[nodiscard]] double mean_list_length() const noexcept;
+
+ private:
+  std::vector<std::vector<std::size_t>> lists_;
+};
+
+/// Flop accounting of Algorithm 1: 11 scalar flops per interaction pair
+/// (3 subs, 3 mults, 2 adds for r, one rsqrt counted as 1 flop, and a
+/// multiply-add for the accumulation).
+inline constexpr double kFlopsPerPair = 11.0;
+
+}  // namespace rme::fmm

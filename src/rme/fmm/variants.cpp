@@ -1,0 +1,233 @@
+#include "rme/fmm/variants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "rme/ubench/timer.hpp"
+
+namespace rme::fmm {
+
+const char* to_string(Layout l) noexcept {
+  return l == Layout::kAoS ? "aos" : "soa";
+}
+
+std::string VariantSpec::name() const {
+  return std::string(to_string(layout)) + "_b" + std::to_string(block) + "_u" +
+         std::to_string(unroll) + "_t" + std::to_string(threads) + "_" +
+         (precision == Precision::kSingle ? "sp" : "dp");
+}
+
+std::vector<VariantSpec> variant_grid() {
+  std::vector<VariantSpec> specs;
+  for (Layout layout : {Layout::kAoS, Layout::kSoA}) {
+    for (int block : {1, 2, 4, 8}) {
+      for (int unroll : {1, 2, 4}) {
+        for (unsigned threads : {1u, 2u, 4u}) {
+          for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+            specs.push_back(VariantSpec{layout, block, unroll, threads, p});
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+VariantSpec reference_variant(Precision p) {
+  return VariantSpec{Layout::kSoA, 1, 1, 1, p};
+}
+
+namespace {
+
+/// SoA views of the body data in a given precision.
+template <class T>
+struct SoaData {
+  std::vector<T> x, y, z, charge;
+
+  explicit SoaData(const std::vector<Body>& bodies) {
+    const std::size_t n = bodies.size();
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    charge.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<T>(bodies[i].pos.x);
+      y[i] = static_cast<T>(bodies[i].pos.y);
+      z[i] = static_cast<T>(bodies[i].pos.z);
+      charge[i] = static_cast<T>(bodies[i].charge);
+    }
+  }
+};
+
+/// AoS record in a given precision.
+template <class T>
+struct AosBody {
+  T x, y, z, charge;
+};
+
+template <class T>
+std::vector<AosBody<T>> to_aos(const std::vector<Body>& bodies) {
+  std::vector<AosBody<T>> out(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    out[i] = AosBody<T>{static_cast<T>(bodies[i].pos.x),
+                        static_cast<T>(bodies[i].pos.y),
+                        static_cast<T>(bodies[i].pos.z),
+                        static_cast<T>(bodies[i].charge)};
+  }
+  return out;
+}
+
+template <class T>
+inline T rsqrt_acc(T tx, T ty, T tz, T sx, T sy, T sz, T sq) {
+  const T dx = tx - sx;
+  const T dy = ty - sy;
+  const T dz = tz - sz;
+  const T r = dx * dx + dy * dy + dz * dz;
+  return r > T(0) ? sq / std::sqrt(r) : T(0);
+}
+
+/// The engine: templated on element type and unroll; layout dispatched
+/// via accessor lambdas would defeat unrolling, so we instantiate both.
+template <class T, int Unroll, class GetX, class GetY, class GetZ, class GetQ>
+void ulist_engine_leafrange(const Octree& tree, const UList& ulist,
+                            std::size_t leaf_begin, std::size_t leaf_end,
+                            int block, GetX get_x, GetY get_y, GetZ get_z,
+                            GetQ get_q, std::vector<double>& phi) {
+  const std::vector<Leaf>& leaves = tree.leaves();
+  for (std::size_t b = leaf_begin; b < leaf_end; ++b) {
+    const Leaf& target_leaf = leaves[b];
+    for (std::uint32_t t0 = target_leaf.begin; t0 < target_leaf.end;
+         t0 += static_cast<std::uint32_t>(block)) {
+      const std::uint32_t t1 = std::min<std::uint32_t>(
+          t0 + static_cast<std::uint32_t>(block), target_leaf.end);
+      // Accumulators for the target block stay live across all sources.
+      T acc[64];  // block ≤ 64 enforced by run_variant
+      T tx[64], ty[64], tz[64];
+      const std::uint32_t bt = t1 - t0;
+      for (std::uint32_t i = 0; i < bt; ++i) {
+        acc[i] = T(0);
+        tx[i] = get_x(t0 + i);
+        ty[i] = get_y(t0 + i);
+        tz[i] = get_z(t0 + i);
+      }
+      for (std::size_t s_leaf : ulist.neighbors(b)) {
+        const Leaf& source_leaf = leaves[s_leaf];
+        std::uint32_t s = source_leaf.begin;
+        const std::uint32_t s_end = source_leaf.end;
+        // Unrolled main loop.
+        for (; s + Unroll <= s_end; s += Unroll) {
+          for (int u = 0; u < Unroll; ++u) {
+            const T sx = get_x(s + static_cast<std::uint32_t>(u));
+            const T sy = get_y(s + static_cast<std::uint32_t>(u));
+            const T sz = get_z(s + static_cast<std::uint32_t>(u));
+            const T sq = get_q(s + static_cast<std::uint32_t>(u));
+            for (std::uint32_t i = 0; i < bt; ++i) {
+              acc[i] += rsqrt_acc(tx[i], ty[i], tz[i], sx, sy, sz, sq);
+            }
+          }
+        }
+        // Remainder.
+        for (; s < s_end; ++s) {
+          const T sx = get_x(s);
+          const T sy = get_y(s);
+          const T sz = get_z(s);
+          const T sq = get_q(s);
+          for (std::uint32_t i = 0; i < bt; ++i) {
+            acc[i] += rsqrt_acc(tx[i], ty[i], tz[i], sx, sy, sz, sq);
+          }
+        }
+      }
+      for (std::uint32_t i = 0; i < bt; ++i) {
+        phi[t0 + i] = static_cast<double>(acc[i]);
+      }
+    }
+  }
+}
+
+template <class T, int Unroll, class GetX, class GetY, class GetZ, class GetQ>
+void ulist_engine(const Octree& tree, const UList& ulist, int block,
+                  unsigned threads, GetX get_x, GetY get_y, GetZ get_z,
+                  GetQ get_q, std::vector<double>& phi) {
+  const std::size_t num_leaves = tree.leaves().size();
+  if (threads <= 1 || num_leaves < 2 * threads) {
+    ulist_engine_leafrange<T, Unroll>(tree, ulist, 0, num_leaves, block, get_x,
+                                      get_y, get_z, get_q, phi);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (num_leaves + threads - 1) / threads;
+  for (unsigned w = 0; w < threads; ++w) {
+    const std::size_t begin = w * chunk;
+    if (begin >= num_leaves) break;
+    const std::size_t end = std::min(begin + chunk, num_leaves);
+    pool.emplace_back([&, begin, end] {
+      ulist_engine_leafrange<T, Unroll>(tree, ulist, begin, end, block, get_x,
+                                        get_y, get_z, get_q, phi);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+template <class T, int Unroll>
+void dispatch_layout(const Octree& tree, const UList& ulist,
+                     const VariantSpec& spec, std::vector<double>& phi) {
+  if (spec.layout == Layout::kSoA) {
+    const SoaData<T> soa(tree.bodies());
+    ulist_engine<T, Unroll>(
+        tree, ulist, spec.block, spec.threads,
+        [&](std::uint32_t i) { return soa.x[i]; },
+        [&](std::uint32_t i) { return soa.y[i]; },
+        [&](std::uint32_t i) { return soa.z[i]; },
+        [&](std::uint32_t i) { return soa.charge[i]; }, phi);
+  } else {
+    const std::vector<AosBody<T>> aos = to_aos<T>(tree.bodies());
+    ulist_engine<T, Unroll>(
+        tree, ulist, spec.block, spec.threads,
+        [&](std::uint32_t i) { return aos[i].x; },
+        [&](std::uint32_t i) { return aos[i].y; },
+        [&](std::uint32_t i) { return aos[i].z; },
+        [&](std::uint32_t i) { return aos[i].charge; }, phi);
+  }
+}
+
+template <class T>
+void dispatch_unroll(const Octree& tree, const UList& ulist,
+                     const VariantSpec& spec, std::vector<double>& phi) {
+  switch (spec.unroll) {
+    case 2:
+      dispatch_layout<T, 2>(tree, ulist, spec, phi);
+      break;
+    case 4:
+      dispatch_layout<T, 4>(tree, ulist, spec, phi);
+      break;
+    default:
+      dispatch_layout<T, 1>(tree, ulist, spec, phi);
+      break;
+  }
+}
+
+}  // namespace
+
+VariantResult run_variant(const Octree& tree, const UList& ulist,
+                          const VariantSpec& spec) {
+  VariantResult result;
+  result.spec = spec;
+  result.counts = count_interactions(tree, ulist);
+  result.phi.assign(tree.bodies().size(), 0.0);
+
+  VariantSpec clamped = spec;
+  clamped.block = std::clamp(clamped.block, 1, 64);
+
+  const rme::ubench::Stopwatch sw;
+  if (spec.precision == Precision::kSingle) {
+    dispatch_unroll<float>(tree, ulist, clamped, result.phi);
+  } else {
+    dispatch_unroll<double>(tree, ulist, clamped, result.phi);
+  }
+  result.seconds = sw.seconds();
+  return result;
+}
+
+}  // namespace rme::fmm

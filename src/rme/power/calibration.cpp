@@ -1,0 +1,82 @@
+#include "rme/power/calibration.hpp"
+
+#include "rme/sim/kernel_desc.hpp"
+
+namespace rme::power {
+
+namespace {
+
+std::vector<rme::fit::EnergySample> sweep_samples(
+    const MeasurementSession& session, Precision prec,
+    const CalibrationConfig& config) {
+  std::vector<double> grid = config.intensities;
+  if (grid.empty()) grid = rme::sim::pow2_grid(0.25, 64.0);
+  std::vector<rme::fit::EnergySample> samples;
+  samples.reserve(grid.size());
+  for (const auto& result : session.measure_sweep(
+           rme::sim::intensity_sweep(grid, config.words, prec))) {
+    rme::fit::EnergySample s;
+    s.flops = result.kernel.flops;
+    s.bytes = result.kernel.bytes;
+    s.seconds = result.seconds.median;
+    s.joules = result.joules.median;
+    s.precision = prec;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+/// Median achieved flop rate of a deeply compute-bound probe.
+double probe_flops(const MeasurementSession& session, Precision prec,
+                   const CalibrationConfig& config) {
+  const auto kernel = rme::sim::fma_load_mix(config.probe_intensity_hi,
+                                             config.words, prec);
+  const SessionResult r = session.measure(kernel);
+  return kernel.flops / r.seconds.median;
+}
+
+/// Median achieved bandwidth of a deeply memory-bound probe.
+double probe_bandwidth(const MeasurementSession& session, Precision prec,
+                       const CalibrationConfig& config) {
+  const auto kernel = rme::sim::fma_load_mix(config.probe_intensity_lo,
+                                             config.words, prec);
+  const SessionResult r = session.measure(kernel);
+  return kernel.bytes / r.seconds.median;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_platform(const MeasurementSession& single_session,
+                                     const MeasurementSession& double_session,
+                                     const CalibrationConfig& config) {
+  CalibrationResult result;
+
+  result.samples = sweep_samples(single_session, Precision::kSingle, config);
+  const auto dp = sweep_samples(double_session, Precision::kDouble, config);
+  result.samples.insert(result.samples.end(), dp.begin(), dp.end());
+
+  result.fit = rme::fit::fit_energy_coefficients(result.samples);
+
+  result.achieved_gflops_single =
+      probe_flops(single_session, Precision::kSingle, config) / 1e9;
+  result.achieved_gflops_double =
+      probe_flops(double_session, Precision::kDouble, config) / 1e9;
+  // Bandwidth is a shared resource; take the double-precision probe.
+  result.achieved_gbs =
+      probe_bandwidth(double_session, Precision::kDouble, config) / 1e9;
+
+  const auto make_machine = [&](Precision p, double gflops) {
+    MachineParams m;
+    m.name = std::string("calibrated (") + to_string(p) + ")";
+    m.time_per_flop = 1.0 / (gflops * 1e9);
+    m.time_per_byte = 1.0 / (result.achieved_gbs * 1e9);
+    return result.fit.coefficients.to_machine(m, p);
+  };
+  result.single_precision =
+      make_machine(Precision::kSingle, result.achieved_gflops_single);
+  result.double_precision =
+      make_machine(Precision::kDouble, result.achieved_gflops_double);
+  return result;
+}
+
+}  // namespace rme::power

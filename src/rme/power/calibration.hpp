@@ -1,0 +1,53 @@
+#pragma once
+// End-to-end platform calibration: the complete §IV "Model
+// instantiation" procedure as one reusable component.
+//
+// Given a measurement apparatus (executor + PowerMon sessions) for both
+// precisions, the calibrator runs the intensity microbenchmark sweep,
+// measures achieved peak rates (for τ_flop, τ_mem, as the paper took
+// them from Table III peaks), fits the energy coefficients via eq. (9),
+// and returns ready-to-use MachineParams — a Table III + Table IV in
+// one call.  This is what a user with real hardware counters (e.g.
+// RAPL) would run to characterize their own platform.
+
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/fit/energy_fit.hpp"
+#include "rme/power/session.hpp"
+
+namespace rme::power {
+
+/// Calibration protocol parameters.
+struct CalibrationConfig {
+  /// Intensity grid for the sweep (flop per byte); defaults to the
+  /// paper's ¼..64 powers of two when empty.
+  std::vector<double> intensities;
+  /// Streamed words per kernel (sets run length; keep runs well above
+  /// one PowerMon sampling interval).
+  double words = 8e9;
+  /// Peak-rate probes: a deeply compute-bound and a deeply memory-bound
+  /// kernel measure achievable τ_flop and τ_mem.
+  double probe_intensity_hi = 512.0;
+  double probe_intensity_lo = 1.0 / 64.0;
+};
+
+/// A calibrated platform: fitted machines for both precisions plus the
+/// regression diagnostics.
+struct CalibrationResult {
+  MachineParams single_precision;
+  MachineParams double_precision;
+  rme::fit::EnergyFit fit;  ///< Coefficients + regression stats.
+  double achieved_gflops_single = 0.0;
+  double achieved_gflops_double = 0.0;
+  double achieved_gbs = 0.0;
+  std::vector<rme::fit::EnergySample> samples;  ///< Raw sweep data.
+};
+
+/// Runs the full procedure against per-precision measurement sessions.
+[[nodiscard]] CalibrationResult calibrate_platform(
+    const MeasurementSession& single_session,
+    const MeasurementSession& double_session,
+    const CalibrationConfig& config = {});
+
+}  // namespace rme::power

@@ -1,0 +1,40 @@
+#include "rme/power/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rme::power {
+
+double AdcModel::quantize_volts(double v) const noexcept {
+  if (volts_lsb <= 0.0) return v;
+  return std::round(v / volts_lsb) * volts_lsb;
+}
+
+double AdcModel::quantize_amps(double a) const noexcept {
+  if (amps_lsb <= 0.0) return a;
+  return std::round(a / amps_lsb) * amps_lsb;
+}
+
+Channel::Channel(std::string name, double nominal_volts, double power_fraction)
+    : name_(std::move(name)), volts_(nominal_volts), fraction_(power_fraction) {
+  if (nominal_volts <= 0.0) {
+    throw std::invalid_argument("Channel: nominal voltage must be positive");
+  }
+  if (power_fraction < 0.0 || power_fraction > 1.0) {
+    throw std::invalid_argument("Channel: power fraction must be in [0, 1]");
+  }
+}
+
+ChannelSample Channel::sample(const rme::sim::PowerTrace& trace, double t,
+                              const AdcModel& adc) const {
+  ChannelSample s;
+  s.timestamp = t;
+  const double rail_watts = fraction_ * trace.watts_at(t);
+  s.volts = adc.quantize_volts(volts_);
+  const double raw_amps = s.volts > 0.0 ? rail_watts / s.volts : 0.0;
+  s.amps = adc.quantize_amps(raw_amps);
+  return s;
+}
+
+}  // namespace rme::power

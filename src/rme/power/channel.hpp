@@ -1,0 +1,53 @@
+#pragma once
+// A DC power channel as PowerMon 2 sees one: a named rail at a nominal
+// voltage, carrying some share of a device's power draw.  PowerMon
+// samples voltage and current per channel through digital power-monitor
+// ICs with finite resolution; instantaneous power is their product
+// (§IV-A "Measurement method").
+
+#include <string>
+
+#include "rme/sim/power_trace.hpp"
+
+namespace rme::power {
+
+/// One measured sample on one channel.
+struct ChannelSample {
+  double timestamp = 0.0;
+  double volts = 0.0;
+  double amps = 0.0;
+
+  [[nodiscard]] double watts() const noexcept { return volts * amps; }
+};
+
+/// ADC quantization applied to raw voltage/current readings.
+struct AdcModel {
+  double volts_lsb = 0.0;  ///< Voltage resolution; 0 disables quantization.
+  double amps_lsb = 0.0;   ///< Current resolution; 0 disables quantization.
+
+  [[nodiscard]] double quantize_volts(double v) const noexcept;
+  [[nodiscard]] double quantize_amps(double a) const noexcept;
+};
+
+/// A rail carrying a fixed share of the device's total power.
+class Channel {
+ public:
+  Channel(std::string name, double nominal_volts, double power_fraction);
+
+  /// Sample this channel at time `t` of the device trace: the channel's
+  /// power is `power_fraction` of the trace's instantaneous power; the
+  /// reported current is that power over the (quantized) rail voltage.
+  [[nodiscard]] ChannelSample sample(const rme::sim::PowerTrace& trace,
+                                     double t, const AdcModel& adc) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double nominal_volts() const noexcept { return volts_; }
+  [[nodiscard]] double power_fraction() const noexcept { return fraction_; }
+
+ private:
+  std::string name_;
+  double volts_;
+  double fraction_;
+};
+
+}  // namespace rme::power

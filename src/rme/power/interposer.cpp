@@ -1,0 +1,33 @@
+#include "rme/power/interposer.hpp"
+
+#include <cmath>
+
+namespace rme::power {
+
+std::vector<Channel> gtx580_rails() {
+  // PCIe spec limits: 8-pin <= 150 W, 6-pin <= 75 W, slot 12 V <= 66 W,
+  // slot 3.3 V <= 10 W.  Shares below reflect a high load split.
+  return {
+      Channel{"PSU 12V 8-pin", 12.0, 0.50},
+      Channel{"PSU 12V 6-pin", 12.0, 0.28},
+      Channel{"PCIe slot 12V", 12.0, 0.19},
+      Channel{"PCIe slot 3.3V", 3.3, 0.03},
+  };
+}
+
+std::vector<Channel> atx_cpu_rails() {
+  return {
+      Channel{"ATX 12V 4-pin", 12.0, 0.55},
+      Channel{"ATX 12V", 12.0, 0.20},
+      Channel{"ATX 5V", 5.0, 0.15},
+      Channel{"ATX 3.3V", 3.3, 0.10},
+  };
+}
+
+bool rails_form_partition(const std::vector<Channel>& rails, double tol) {
+  double sum = 0.0;
+  for (const Channel& c : rails) sum += c.power_fraction();
+  return std::fabs(sum - 1.0) <= tol;
+}
+
+}  // namespace rme::power

@@ -1,0 +1,27 @@
+#pragma once
+// The custom PCIe interposer of §IV-A: the GTX 580 draws power from an
+// 8-pin and a 6-pin 12 V PSU connector plus the motherboard PCIe slot
+// (12 V and 3.3 V rails).  The interposer intercepts the slot pins so
+// all four sources can be measured and summed.  Here it is a deterministic
+// split of the device power trace into per-rail channels.
+
+#include <vector>
+
+#include "rme/power/channel.hpp"
+
+namespace rme::power {
+
+/// The four GPU power sources of the paper's setup, with representative
+/// load sharing (high-power boards draw most current through the 8-pin).
+[[nodiscard]] std::vector<Channel> gtx580_rails();
+
+/// The CPU system's four ATX sources (§IV-A: 20-pin 3.3/5/12 V plus the
+/// 4-pin 12 V CPU connector).
+[[nodiscard]] std::vector<Channel> atx_cpu_rails();
+
+/// Validates that a rail set forms a partition of the device power
+/// (fractions sum to 1 within `tol`).
+[[nodiscard]] bool rails_form_partition(const std::vector<Channel>& rails,
+                                        double tol = 1e-9);
+
+}  // namespace rme::power

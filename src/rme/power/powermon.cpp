@@ -1,0 +1,61 @@
+#include "rme/power/powermon.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rme::power {
+
+bool PowerMonConfig::within_hardware_limits(
+    std::size_t channels) const noexcept {
+  if (channels == 0 || channels > kMaxChannels) return false;
+  if (sample_hz <= 0.0 || sample_hz > kMaxPerChannelHz) return false;
+  if (sample_hz * static_cast<double>(channels) > kMaxAggregateHz) {
+    return false;
+  }
+  return true;
+}
+
+PowerMon::PowerMon(std::vector<Channel> channels, PowerMonConfig config)
+    : channels_(std::move(channels)), config_(config) {
+  if (!config_.within_hardware_limits(channels_.size())) {
+    throw std::invalid_argument(
+        "PowerMon: channel count / sample rate exceeds PowerMon 2 limits");
+  }
+}
+
+Measurement PowerMon::measure(const rme::sim::PowerTrace& trace) const {
+  Measurement m;
+  m.duration_seconds = trace.duration();
+  m.true_energy_joules = trace.energy();
+  if (m.duration_seconds <= 0.0) return m;
+
+  const double dt = 1.0 / config_.sample_hz;
+  double sum = 0.0;
+  for (double t = config_.phase_offset_seconds; t < m.duration_seconds;
+       t += dt) {
+    double tick_watts = 0.0;
+    for (const Channel& c : channels_) {
+      tick_watts += c.sample(trace, t, config_.adc).watts();
+    }
+    m.sample_watts.push_back(tick_watts);
+    sum += tick_watts;
+  }
+  m.samples = m.sample_watts.size();
+  if (m.samples == 0) {
+    // Run shorter than one sampling interval: fall back to a single
+    // mid-run sample, as the real instrument would catch at most one tick.
+    double tick_watts = 0.0;
+    const double mid = 0.5 * m.duration_seconds;
+    for (const Channel& c : channels_) {
+      tick_watts += c.sample(trace, mid, config_.adc).watts();
+    }
+    m.sample_watts.push_back(tick_watts);
+    m.samples = 1;
+    sum = tick_watts;
+  }
+  m.avg_watts = sum / static_cast<double>(m.samples);
+  m.energy_joules = m.avg_watts * m.duration_seconds;
+  return m;
+}
+
+}  // namespace rme::power

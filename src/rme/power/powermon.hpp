@@ -1,0 +1,71 @@
+#pragma once
+// PowerMon 2 simulation (§IV-A; Bedard et al. [16]).
+//
+// The instrument measures DC voltage and current on up to eight channels
+// at up to 1024 Hz per channel (3072 Hz aggregate).  The paper sampled
+// every 7.8125 ms (128 Hz) per channel, computed instantaneous power as
+// V·I summed over channels, averaged over samples, and took
+// E = P̄ · T.  This class reproduces exactly that pipeline against a
+// simulated device power trace.
+
+#include <cstddef>
+#include <vector>
+
+#include "rme/power/channel.hpp"
+#include "rme/sim/power_trace.hpp"
+
+namespace rme::power {
+
+/// Instrument configuration.
+struct PowerMonConfig {
+  double sample_hz = 128.0;  ///< Per-channel sample rate (paper: 128 Hz).
+  AdcModel adc{};            ///< Quantization; defaults to ideal.
+  double phase_offset_seconds = 0.0;  ///< First-sample offset into the trace.
+
+  /// PowerMon 2 hardware limits.
+  static constexpr std::size_t kMaxChannels = 8;
+  static constexpr double kMaxPerChannelHz = 1024.0;
+  static constexpr double kMaxAggregateHz = 3072.0;
+
+  [[nodiscard]] bool within_hardware_limits(std::size_t channels) const noexcept;
+};
+
+/// The result of measuring one run.
+struct Measurement {
+  std::vector<double> sample_watts;  ///< Summed V·I across channels, per tick.
+  double avg_watts = 0.0;            ///< Mean of sample_watts.
+  double duration_seconds = 0.0;     ///< Trace duration (timestamped span).
+  double energy_joules = 0.0;        ///< avg_watts × duration (§IV-A method).
+  std::size_t samples = 0;
+
+  /// Difference between the instrument's energy and the trace's exact
+  /// integral — sampling/quantization error, useful for validation.
+  double true_energy_joules = 0.0;
+  [[nodiscard]] double energy_error() const noexcept {
+    return true_energy_joules != 0.0
+               ? (energy_joules - true_energy_joules) / true_energy_joules
+               : 0.0;
+  }
+};
+
+/// The instrument.
+class PowerMon {
+ public:
+  PowerMon(std::vector<Channel> channels, PowerMonConfig config);
+
+  /// Sample the trace at the configured rate and reduce per §IV-A.
+  [[nodiscard]] Measurement measure(const rme::sim::PowerTrace& trace) const;
+
+  [[nodiscard]] const std::vector<Channel>& channels() const noexcept {
+    return channels_;
+  }
+  [[nodiscard]] const PowerMonConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::vector<Channel> channels_;
+  PowerMonConfig config_;
+};
+
+}  // namespace rme::power

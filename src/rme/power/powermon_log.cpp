@@ -1,0 +1,84 @@
+#include "rme/power/powermon_log.hpp"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rme::power {
+
+std::size_t write_powermon_log(std::ostream& os,
+                               const std::vector<Channel>& channels,
+                               const PowerMonConfig& config,
+                               const rme::sim::PowerTrace& trace) {
+  os << "# PowerMon2 " << channels.size() << " channels @ "
+     << config.sample_hz << " Hz\n";
+  const double duration = trace.duration();
+  const double dt = 1.0 / config.sample_hz;
+  std::size_t tick = 0;
+  std::ostringstream line;
+  line << std::setprecision(12);
+  for (double t = config.phase_offset_seconds; t < duration; t += dt) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      const ChannelSample s = channels[c].sample(trace, t, config.adc);
+      line.str("");
+      line << "PM2 " << tick << ' ' << t << ' ' << c << ' ';
+      // Channel names may contain spaces; encode them with underscores.
+      for (char ch : channels[c].name()) {
+        line << (ch == ' ' ? '_' : ch);
+      }
+      line << ' ' << s.volts << ' ' << s.amps;
+      os << line.str() << '\n';
+    }
+    ++tick;
+  }
+  return tick;
+}
+
+std::vector<LogRecord> parse_powermon_log(std::istream& is) {
+  std::vector<LogRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.rfind("PM2 ", 0) != 0) continue;  // banner / comments
+    std::istringstream iss(line);
+    std::string magic;
+    LogRecord r;
+    iss >> magic >> r.tick >> r.t_seconds >> r.channel >> r.channel_name >>
+        r.volts >> r.amps;
+    if (!iss) {
+      throw std::runtime_error("powermon log: malformed record at line " +
+                               std::to_string(line_no));
+    }
+    for (char& ch : r.channel_name) {
+      if (ch == '_') ch = ' ';
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Measurement reduce_log(const std::vector<LogRecord>& records,
+                       double duration_seconds) {
+  Measurement m;
+  m.duration_seconds = duration_seconds;
+  if (records.empty()) return m;
+  // Group by tick, summing channel powers.
+  std::map<std::uint64_t, double> per_tick;
+  for (const LogRecord& r : records) {
+    per_tick[r.tick] += r.watts();
+  }
+  double sum = 0.0;
+  for (const auto& [tick, watts] : per_tick) {
+    m.sample_watts.push_back(watts);
+    sum += watts;
+  }
+  m.samples = m.sample_watts.size();
+  m.avg_watts = sum / static_cast<double>(m.samples);
+  m.energy_joules = m.avg_watts * duration_seconds;
+  return m;
+}
+
+}  // namespace rme::power

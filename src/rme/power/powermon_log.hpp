@@ -1,0 +1,52 @@
+#pragma once
+// PowerMon 2 record-stream emulation.
+//
+// The real instrument "reports formatted and time-stamped measurements
+// without the need for additional software" (§IV-A): a line-oriented
+// stream of per-channel voltage/current samples.  This module emits and
+// parses that stream, so downstream tooling (and tests) can consume
+// measurements exactly as they would from the device's serial port.
+//
+// Record format (one line per channel per tick):
+//   PM2 <tick> <t_seconds> <channel_index> <channel_name> <volts> <amps>
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rme/power/channel.hpp"
+#include "rme/power/powermon.hpp"
+#include "rme/sim/power_trace.hpp"
+
+namespace rme::power {
+
+/// One parsed log record.
+struct LogRecord {
+  std::uint64_t tick = 0;
+  double t_seconds = 0.0;
+  std::size_t channel = 0;
+  std::string channel_name;
+  double volts = 0.0;
+  double amps = 0.0;
+
+  [[nodiscard]] double watts() const noexcept { return volts * amps; }
+};
+
+/// Samples `trace` through `channels` at the configured rate and writes
+/// the formatted record stream to `os`.  Returns the number of ticks.
+std::size_t write_powermon_log(std::ostream& os,
+                               const std::vector<Channel>& channels,
+                               const PowerMonConfig& config,
+                               const rme::sim::PowerTrace& trace);
+
+/// Parses a record stream (lines not starting with "PM2" are ignored,
+/// like the device's banner output).  Throws std::runtime_error with a
+/// line number on malformed PM2 records.
+[[nodiscard]] std::vector<LogRecord> parse_powermon_log(std::istream& is);
+
+/// Reduces parsed records the way §IV-A reduces raw samples: sum V·I
+/// across channels per tick, average over ticks, E = P̄·duration.
+[[nodiscard]] Measurement reduce_log(const std::vector<LogRecord>& records,
+                                     double duration_seconds);
+
+}  // namespace rme::power

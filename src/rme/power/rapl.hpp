@@ -1,0 +1,86 @@
+#pragma once
+// RAPL-style cumulative energy counters.
+//
+// The calibration note for this reproduction ("microbenchmarks plus RAPL
+// counters on commodity CPU") motivates a RAPL-compatible interface: a
+// monotonically-increasing energy register in fixed-point energy units
+// that wraps around at 32 bits, exactly like MSR_PKG_ENERGY_STATUS.
+// `RaplCounter` is backed by a simulated power trace; `SysfsRapl` reads
+// the Linux powercap sysfs interface when it exists, so the same
+// consuming code runs on real hardware.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rme/sim/power_trace.hpp"
+
+namespace rme::power {
+
+/// A simulated RAPL energy-status register.
+class RaplCounter {
+ public:
+  /// `energy_unit_joules`: value of one counter LSB.  Real parts use
+  /// 1/2^ESU joules (often ~15.3 µJ); default 15.2587890625 µJ = 2^-16 J.
+  explicit RaplCounter(const rme::sim::PowerTrace& trace,
+                       double energy_unit_joules = 0x1.0p-16);
+
+  /// Raw 32-bit register value at time `t` (wraps around).
+  [[nodiscard]] std::uint32_t read_raw(double t) const noexcept;
+
+  /// Energy in Joules represented by a raw value.
+  [[nodiscard]] double to_joules(std::uint64_t raw) const noexcept {
+    return static_cast<double>(raw) * unit_;
+  }
+
+  [[nodiscard]] double energy_unit() const noexcept { return unit_; }
+
+  /// Wraparound period in Joules: 2^32 × unit.
+  [[nodiscard]] double wrap_joules() const noexcept {
+    return 4294967296.0 * unit_;
+  }
+
+ private:
+  const rme::sim::PowerTrace* trace_;
+  double unit_;
+};
+
+/// Computes energy deltas between successive raw readings, handling
+/// 32-bit wraparound (single wrap per interval, like real RAPL readers
+/// that sample faster than the wrap period).
+class RaplReader {
+ public:
+  explicit RaplReader(double energy_unit_joules) : unit_(energy_unit_joules) {}
+
+  /// First call primes the reader and returns 0; subsequent calls return
+  /// the energy consumed since the previous call.
+  double update(std::uint32_t raw) noexcept;
+
+  [[nodiscard]] double total_joules() const noexcept { return total_; }
+  void reset() noexcept;
+
+ private:
+  double unit_;
+  double total_ = 0.0;
+  std::optional<std::uint32_t> last_;
+};
+
+/// Linux powercap sysfs backend: reads energy_uj for a RAPL zone.
+/// All methods degrade gracefully (return nullopt) when the interface is
+/// absent, as in containers or non-Intel hosts.
+class SysfsRapl {
+ public:
+  explicit SysfsRapl(
+      std::string zone_path = "/sys/class/powercap/intel-rapl:0");
+
+  /// True if the zone's energy_uj file exists and is readable.
+  [[nodiscard]] bool available() const;
+
+  /// Current cumulative energy [J], or nullopt if unavailable.
+  [[nodiscard]] std::optional<double> read_joules() const;
+
+ private:
+  std::string energy_file_;
+};
+
+}  // namespace rme::power

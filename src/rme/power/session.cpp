@@ -1,0 +1,88 @@
+#include "rme/power/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "rme/core/units.hpp"
+
+namespace rme::power {
+
+SampleStats summarize(std::vector<double> values) {
+  SampleStats s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+double SessionResult::median_gflops() const noexcept {
+  return kernel.flops / seconds.median / rme::kGiga;
+}
+
+double SessionResult::median_gbytes_per_s() const noexcept {
+  return kernel.bytes / seconds.median / rme::kGiga;
+}
+
+double SessionResult::median_gflops_per_joule() const noexcept {
+  return kernel.flops / joules.median / rme::kGiga;
+}
+
+MeasurementSession::MeasurementSession(rme::sim::Executor executor,
+                                       PowerMon powermon, SessionConfig config)
+    : executor_(std::move(executor)),
+      powermon_(std::move(powermon)),
+      config_(config) {}
+
+SessionResult MeasurementSession::measure(
+    const rme::sim::KernelDesc& kernel) const {
+  SessionResult result;
+  result.kernel = kernel;
+  std::vector<double> secs, joules, watts;
+  secs.reserve(config_.repetitions);
+  joules.reserve(config_.repetitions);
+  watts.reserve(config_.repetitions);
+
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    const rme::sim::RunResult run = executor_.run(kernel, rep);
+    const Measurement meas = powermon_.measure(run.trace);
+    RepMeasurement r;
+    // Time comes from the host clock (the run), power/energy from the
+    // instrument, exactly as in the paper's protocol.
+    r.seconds = run.seconds;
+    r.avg_watts = meas.avg_watts;
+    r.joules = meas.avg_watts * run.seconds;
+    r.capped = run.capped;
+    result.any_capped = result.any_capped || r.capped;
+    result.reps.push_back(r);
+    secs.push_back(r.seconds);
+    joules.push_back(r.joules);
+    watts.push_back(r.avg_watts);
+  }
+  result.seconds = summarize(std::move(secs));
+  result.joules = summarize(std::move(joules));
+  result.watts = summarize(std::move(watts));
+  return result;
+}
+
+std::vector<SessionResult> MeasurementSession::measure_sweep(
+    const std::vector<rme::sim::KernelDesc>& kernels) const {
+  std::vector<SessionResult> results;
+  results.reserve(kernels.size());
+  for (const rme::sim::KernelDesc& k : kernels) {
+    results.push_back(measure(k));
+  }
+  return results;
+}
+
+}  // namespace rme::power

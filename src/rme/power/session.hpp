@@ -1,0 +1,82 @@
+#pragma once
+// Measurement sessions: the experimental protocol of §IV-A.
+//
+// "We executed the benchmarks 100 times each and took power samples every
+// 7.8125 ms (128 Hz) on each channel."  A MeasurementSession runs a
+// kernel repeatedly on the simulator, measures each run with PowerMon,
+// and aggregates — producing the (W, Q, T, E) tuples that Fig. 4 plots
+// and the eq. (9) regression consumes.
+
+#include <cstddef>
+#include <vector>
+
+#include "rme/power/powermon.hpp"
+#include "rme/sim/executor.hpp"
+
+namespace rme::power {
+
+/// One repetition's reduced measurement.
+struct RepMeasurement {
+  double seconds = 0.0;
+  double joules = 0.0;
+  double avg_watts = 0.0;
+  bool capped = false;
+};
+
+/// Robust location/scale summary of a sample.
+struct SampleStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] SampleStats summarize(std::vector<double> values);
+
+/// Aggregated result of a session over one kernel.
+struct SessionResult {
+  rme::sim::KernelDesc kernel;
+  std::vector<RepMeasurement> reps;
+  SampleStats seconds;
+  SampleStats joules;
+  SampleStats watts;
+  bool any_capped = false;
+
+  /// Achieved throughput / efficiency from the median rep.
+  [[nodiscard]] double median_gflops() const noexcept;
+  [[nodiscard]] double median_gbytes_per_s() const noexcept;
+  [[nodiscard]] double median_gflops_per_joule() const noexcept;
+  [[nodiscard]] double intensity() const noexcept {
+    return kernel.intensity();
+  }
+};
+
+/// Session configuration; defaults follow the paper's protocol.
+struct SessionConfig {
+  std::size_t repetitions = 100;
+};
+
+/// Runs kernels through (Executor → PowerTrace → PowerMon) repeatedly.
+class MeasurementSession {
+ public:
+  MeasurementSession(rme::sim::Executor executor, PowerMon powermon,
+                     SessionConfig config = {});
+
+  [[nodiscard]] SessionResult measure(const rme::sim::KernelDesc& kernel) const;
+
+  /// Convenience: measure a whole intensity sweep.
+  [[nodiscard]] std::vector<SessionResult> measure_sweep(
+      const std::vector<rme::sim::KernelDesc>& kernels) const;
+
+  [[nodiscard]] const rme::sim::Executor& executor() const noexcept {
+    return executor_;
+  }
+
+ private:
+  rme::sim::Executor executor_;
+  PowerMon powermon_;
+  SessionConfig config_;
+};
+
+}  // namespace rme::power

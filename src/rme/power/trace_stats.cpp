@@ -1,0 +1,78 @@
+#include "rme/power/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rme::power {
+
+std::vector<TraceSegment> segment_trace(const std::vector<double>& watts,
+                                        double threshold) {
+  std::vector<TraceSegment> segments;
+  for (std::size_t i = 0; i < watts.size();) {
+    const bool active = watts[i] >= threshold;
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < watts.size() && (watts[j] >= threshold) == active) {
+      sum += watts[j];
+      ++j;
+    }
+    TraceSegment seg;
+    seg.begin = i;
+    seg.end = j;
+    seg.active = active;
+    seg.mean_watts = sum / static_cast<double>(j - i);
+    segments.push_back(seg);
+    i = j;
+  }
+  return segments;
+}
+
+double auto_threshold(const std::vector<double>& watts, double quantile) {
+  if (watts.empty()) return 0.0;
+  std::vector<double> sorted = watts;
+  std::sort(sorted.begin(), sorted.end());
+  const auto clampq = std::clamp(quantile, 0.0, 0.49);
+  const std::size_t lo_idx = static_cast<std::size_t>(
+      clampq * static_cast<double>(sorted.size() - 1));
+  const std::size_t hi_idx = static_cast<std::size_t>(
+      (1.0 - clampq) * static_cast<double>(sorted.size() - 1));
+  return 0.5 * (sorted[lo_idx] + sorted[hi_idx]);
+}
+
+double plateau_watts(const std::vector<double>& watts, double threshold) {
+  double best_mean = 0.0;
+  std::size_t best_len = 0;
+  for (const TraceSegment& seg : segment_trace(watts, threshold)) {
+    if (seg.active && seg.samples() > best_len) {
+      best_len = seg.samples();
+      best_mean = seg.mean_watts;
+    }
+  }
+  return best_mean;
+}
+
+double active_energy(const std::vector<double>& watts, double threshold,
+                     double sample_period_seconds) {
+  double sum = 0.0;
+  for (double w : watts) {
+    if (w >= threshold) sum += w;
+  }
+  return sum * sample_period_seconds;
+}
+
+std::vector<double> sample_trace(const rme::sim::PowerTrace& trace,
+                                 double hz) {
+  std::vector<double> samples;
+  if (hz <= 0.0) return samples;
+  const double duration = trace.duration();
+  // Integer stepping avoids accumulated floating-point drift producing
+  // a spurious extra sample at the end of the window.
+  const auto count = static_cast<std::size_t>(std::ceil(duration * hz - 1e-9));
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    samples.push_back(trace.watts_at(static_cast<double>(i) / hz));
+  }
+  return samples;
+}
+
+}  // namespace rme::power

@@ -1,0 +1,55 @@
+#pragma once
+// Power-trace analysis utilities.
+//
+// Real measurement pipelines never see clean plateaus: traces carry
+// idle heads/tails, ramps, and sampling noise.  These helpers segment a
+// sampled power series into idle/active phases, locate the compute
+// plateau, and integrate energy over just the active window — the
+// post-processing the paper's team would apply to PowerMon dumps before
+// fitting (isolating kernel energy from idle energy).
+
+#include <cstddef>
+#include <vector>
+
+#include "rme/sim/power_trace.hpp"
+
+namespace rme::power {
+
+/// A contiguous run of samples classified as active (above threshold)
+/// or idle.
+struct TraceSegment {
+  std::size_t begin = 0;  ///< First sample index (inclusive).
+  std::size_t end = 0;    ///< Last sample index (exclusive).
+  bool active = false;
+  double mean_watts = 0.0;
+
+  [[nodiscard]] std::size_t samples() const noexcept { return end - begin; }
+};
+
+/// Splits a sampled power series into alternating idle/active segments.
+/// `threshold_watts` separates the classes (e.g. midway between idle
+/// power and expected active power).
+[[nodiscard]] std::vector<TraceSegment> segment_trace(
+    const std::vector<double>& sample_watts, double threshold_watts);
+
+/// Picks a threshold automatically: midpoint between the lowest and
+/// highest `quantile`-trimmed sample values.  Robust to a few outliers.
+[[nodiscard]] double auto_threshold(const std::vector<double>& sample_watts,
+                                    double quantile = 0.05);
+
+/// Mean power over the largest active segment — the plateau estimate.
+/// Returns 0 if no active segment exists.
+[[nodiscard]] double plateau_watts(const std::vector<double>& sample_watts,
+                                   double threshold_watts);
+
+/// Energy of the active window: Σ active-sample power × sample period.
+[[nodiscard]] double active_energy(const std::vector<double>& sample_watts,
+                                   double threshold_watts,
+                                   double sample_period_seconds);
+
+/// Samples a PowerTrace at `hz` into a plain series (no instrument
+/// model — for analysis code and tests).
+[[nodiscard]] std::vector<double> sample_trace(const rme::sim::PowerTrace& trace,
+                                               double hz);
+
+}  // namespace rme::power

@@ -1,0 +1,139 @@
+#include "rme/report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace rme::report {
+
+AsciiChart::AsciiChart(ChartConfig config) : config_(std::move(config)) {}
+
+void AsciiChart::add_series(Series series) {
+  series_.push_back(std::move(series));
+}
+
+void AsciiChart::add_marker(VerticalMarker marker) {
+  markers_.push_back(std::move(marker));
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  const int w = std::max(config_.width, 8);
+  const int h = std::max(config_.height, 4);
+
+  // Data bounds across all series.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const Series& s : series_) {
+    for (const rme::CurvePoint& p : s.points) {
+      if (p.intensity <= 0.0 && config_.log_x) continue;
+      if (p.value <= 0.0 && config_.log_y) continue;
+      x_min = std::min(x_min, p.intensity);
+      x_max = std::max(x_max, p.intensity);
+      y_min = std::min(y_min, p.value);
+      y_max = std::max(y_max, p.value);
+    }
+  }
+  if (!(x_min < x_max)) {
+    os << "(no plottable data)\n";
+    return;
+  }
+  if (!(y_min < y_max)) {
+    y_min *= 0.5;
+    y_max *= 2.0;
+    if (!(y_min < y_max)) {
+      y_min = 0.0;
+      y_max = 1.0;
+    }
+  }
+
+  const auto x_of = [&](double x) {
+    const double t = config_.log_x
+                         ? (std::log(x) - std::log(x_min)) /
+                               (std::log(x_max) - std::log(x_min))
+                         : (x - x_min) / (x_max - x_min);
+    return static_cast<int>(std::lround(t * (w - 1)));
+  };
+  const auto row_of = [&](double y) {
+    const double t = config_.log_y
+                         ? (std::log(y) - std::log(y_min)) /
+                               (std::log(y_max) - std::log(y_min))
+                         : (y - y_min) / (y_max - y_min);
+    return (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const VerticalMarker& m : markers_) {
+    if (m.x < x_min || m.x > x_max) continue;
+    const int col = std::clamp(x_of(m.x), 0, w - 1);
+    for (int r = 0; r < h; ++r) {
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(col)] =
+          m.glyph;
+    }
+  }
+
+  for (const Series& s : series_) {
+    for (const rme::CurvePoint& p : s.points) {
+      if ((config_.log_x && p.intensity <= 0.0) ||
+          (config_.log_y && p.value <= 0.0)) {
+        continue;
+      }
+      const int col = std::clamp(x_of(p.intensity), 0, w - 1);
+      const int row = std::clamp(row_of(p.value), 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          s.glyph;
+    }
+  }
+
+  // Render with a y-axis gutter.
+  std::ostringstream top, bottom;
+  top << std::setprecision(3) << y_max;
+  bottom << std::setprecision(3) << y_min;
+  const std::size_t gutter =
+      std::max(top.str().size(), bottom.str().size()) + 1;
+
+  if (!config_.y_label.empty()) {
+    os << std::string(gutter, ' ') << config_.y_label << '\n';
+  }
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = top.str();
+    if (r == h - 1) label = bottom.str();
+    os << std::setw(static_cast<int>(gutter)) << std::right << label << '|'
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(gutter, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  std::ostringstream lo, hi;
+  lo << std::setprecision(3) << x_min;
+  hi << std::setprecision(3) << x_max;
+  os << std::string(gutter + 1, ' ') << lo.str()
+     << std::string(static_cast<std::size_t>(std::max(
+                        1, w - static_cast<int>(lo.str().size()) -
+                               static_cast<int>(hi.str().size()))),
+                    ' ')
+     << hi.str() << '\n';
+  os << std::string(gutter + 1, ' ') << config_.x_label << '\n';
+
+  for (const Series& s : series_) {
+    os << "  " << s.glyph << " " << s.name << '\n';
+  }
+  for (const VerticalMarker& m : markers_) {
+    os << "  " << m.glyph << " " << m.name << " (x=" << m.x << ")\n";
+  }
+}
+
+std::string AsciiChart::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace rme::report

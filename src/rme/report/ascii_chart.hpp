@@ -1,0 +1,55 @@
+#pragma once
+// Log-log ASCII charts: terminal renderings of the paper's roofline /
+// arch-line / power-line figures, with multiple overlaid series and
+// vertical marker lines for balance points.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rme/core/rooflines.hpp"
+
+namespace rme::report {
+
+/// Chart configuration.
+struct ChartConfig {
+  int width = 72;    ///< Plot-area columns.
+  int height = 20;   ///< Plot-area rows.
+  bool log_x = true;
+  bool log_y = true;
+  std::string x_label = "intensity (flop:byte)";
+  std::string y_label;
+};
+
+/// One overlaid series.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  rme::Curve points;
+};
+
+/// A vertical marker (e.g. a balance point).
+struct VerticalMarker {
+  std::string name;
+  double x = 0.0;
+  char glyph = '|';
+};
+
+/// Renders series into a character grid chart with axes and a legend.
+class AsciiChart {
+ public:
+  explicit AsciiChart(ChartConfig config = {});
+
+  void add_series(Series series);
+  void add_marker(VerticalMarker marker);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ChartConfig config_;
+  std::vector<Series> series_;
+  std::vector<VerticalMarker> markers_;
+};
+
+}  // namespace rme::report

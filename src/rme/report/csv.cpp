@@ -1,0 +1,41 @@
+#include "rme/report/csv.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rme::report {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *os_ << ',';
+    *os_ << escape(cells[i]);
+  }
+  *os_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values,
+                                  int digits) {
+  std::ostringstream oss;
+  oss << std::setprecision(digits);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) oss << ',';
+    oss << values[i];
+  }
+  *os_ << oss.str() << '\n';
+}
+
+}  // namespace rme::report

@@ -1,0 +1,25 @@
+#pragma once
+// Minimal CSV emission for bench outputs (series consumers, plotting).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rme::report {
+
+/// RFC-4180-style CSV writer: quotes fields containing separators,
+/// quotes, or newlines; doubles embedded quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_numeric(const std::vector<double>& values, int digits = 9);
+
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace rme::report

@@ -1,0 +1,160 @@
+#include "rme/report/heatmap.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rme::report {
+
+namespace {
+
+void validate_grid(std::size_t rows, std::size_t cols,
+                   std::size_t xs, std::size_t ys) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("heatmap: empty grid");
+  }
+  if (xs != cols || ys != rows) {
+    throw std::invalid_argument("heatmap: axis/grid size mismatch");
+  }
+}
+
+template <class Cell>
+void check_rect(const std::vector<std::vector<Cell>>& grid) {
+  if (grid.empty() || grid.front().empty()) {
+    throw std::invalid_argument("heatmap: empty grid");
+  }
+  for (const auto& row : grid) {
+    if (row.size() != grid.front().size()) {
+      throw std::invalid_argument("heatmap: ragged rows");
+    }
+  }
+}
+
+void print_axes(std::ostream& os, const std::vector<double>& xs,
+                const std::string& x_label, const std::string& y_label) {
+  std::ostringstream lo, hi;
+  lo << std::setprecision(3) << xs.front();
+  hi << std::setprecision(3) << xs.back();
+  os << "  +" << std::string(xs.size(), '-') << "\n   " << lo.str();
+  const int pad = static_cast<int>(xs.size()) -
+                  static_cast<int>(lo.str().size() + hi.str().size());
+  os << std::string(static_cast<std::size_t>(std::max(1, pad)), ' ')
+     << hi.str() << "\n   " << x_label;
+  if (!y_label.empty()) os << "   (rows: " << y_label << ")";
+  os << "\n";
+}
+
+}  // namespace
+
+Heatmap::Heatmap(std::vector<double> xs, std::vector<double> ys,
+                 std::vector<std::vector<double>> values,
+                 HeatmapConfig config)
+    : xs_(std::move(xs)),
+      ys_(std::move(ys)),
+      values_(std::move(values)),
+      config_(std::move(config)) {
+  check_rect(values_);
+  validate_grid(values_.size(), values_.front().size(), xs_.size(),
+                ys_.size());
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -min_;
+  for (const auto& row : values_) {
+    for (double v : row) {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+  }
+}
+
+Heatmap Heatmap::sample(std::vector<double> xs, std::vector<double> ys,
+                        const std::function<double(double, double)>& field,
+                        HeatmapConfig config) {
+  std::vector<std::vector<double>> values;
+  values.reserve(ys.size());
+  for (double y : ys) {
+    std::vector<double> row;
+    row.reserve(xs.size());
+    for (double x : xs) row.push_back(field(x, y));
+    values.push_back(std::move(row));
+  }
+  return Heatmap(std::move(xs), std::move(ys), std::move(values),
+                 std::move(config));
+}
+
+void Heatmap::print(std::ostream& os) const {
+  if (!config_.title.empty()) os << config_.title << "\n";
+  const double span = max_ > min_ ? max_ - min_ : 1.0;
+  const std::string& ramp = config_.ramp;
+  for (std::size_t r = 0; r < values_.size(); ++r) {
+    std::ostringstream label;
+    label << std::setprecision(3) << ys_[r];
+    os << std::setw(8) << std::right << label.str() << " |";
+    for (double v : values_[r]) {
+      const double t = (v - min_) / span;
+      const auto idx = static_cast<std::size_t>(
+          std::min(t, 1.0) * static_cast<double>(ramp.size() - 1));
+      os << ramp[idx];
+    }
+    os << '\n';
+  }
+  os << std::string(8, ' ');
+  print_axes(os, xs_, config_.x_label, config_.y_label);
+  os << "   scale: '" << ramp.front() << "' = " << std::setprecision(4)
+     << min_ << "  ..  '" << ramp.back() << "' = " << max_ << "\n";
+}
+
+std::string Heatmap::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+CategoryMap::CategoryMap(std::vector<double> xs, std::vector<double> ys,
+                         std::vector<std::vector<int>> categories,
+                         std::vector<std::pair<char, std::string>> legend,
+                         HeatmapConfig config)
+    : xs_(std::move(xs)),
+      ys_(std::move(ys)),
+      cats_(std::move(categories)),
+      legend_(std::move(legend)),
+      config_(std::move(config)) {
+  check_rect(cats_);
+  validate_grid(cats_.size(), cats_.front().size(), xs_.size(), ys_.size());
+  for (const auto& row : cats_) {
+    for (int c : row) {
+      if (c < 0 || static_cast<std::size_t>(c) >= legend_.size()) {
+        throw std::invalid_argument("heatmap: category out of legend range");
+      }
+    }
+  }
+}
+
+void CategoryMap::print(std::ostream& os) const {
+  if (!config_.title.empty()) os << config_.title << "\n";
+  for (std::size_t r = 0; r < cats_.size(); ++r) {
+    std::ostringstream label;
+    label << std::setprecision(3) << ys_[r];
+    os << std::setw(8) << std::right << label.str() << " |";
+    for (int c : cats_[r]) {
+      os << legend_[static_cast<std::size_t>(c)].first;
+    }
+    os << '\n';
+  }
+  os << std::string(8, ' ');
+  print_axes(os, xs_, config_.x_label, config_.y_label);
+  for (const auto& [glyph, meaning] : legend_) {
+    os << "   " << glyph << " = " << meaning << '\n';
+  }
+}
+
+std::string CategoryMap::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace rme::report

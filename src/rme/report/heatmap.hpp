@@ -1,0 +1,73 @@
+#pragma once
+// ASCII heatmaps: 2-D maps of a scalar field over (x, y) grids, used
+// for iso-efficiency maps (efficiency over intensity × constant power)
+// and trade-off region maps (outcome over f × m).
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rme::report {
+
+/// Heatmap configuration.
+struct HeatmapConfig {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Glyph ramp from low to high value; cells are binned uniformly
+  /// between the data min and max.
+  std::string ramp = " .:-=+*#%@";
+};
+
+/// A dense grid of values with axis coordinates.
+class Heatmap {
+ public:
+  /// `values[row][col]` with row 0 at the TOP (printed first); `xs` and
+  /// `ys` label the columns / rows.  Throws on ragged input.
+  Heatmap(std::vector<double> xs, std::vector<double> ys,
+          std::vector<std::vector<double>> values, HeatmapConfig config);
+
+  /// Builds by sampling a field f(x, y) over the grids (ys.front() is
+  /// the top row).
+  static Heatmap sample(std::vector<double> xs, std::vector<double> ys,
+                        const std::function<double(double, double)>& field,
+                        HeatmapConfig config);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] double min_value() const noexcept { return min_; }
+  [[nodiscard]] double max_value() const noexcept { return max_; }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<std::vector<double>> values_;
+  HeatmapConfig config_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A categorical map: same layout, but each cell holds a small integer
+/// category rendered through a per-category glyph table (e.g. trade-off
+/// outcomes over an (f, m) grid).
+class CategoryMap {
+ public:
+  CategoryMap(std::vector<double> xs, std::vector<double> ys,
+              std::vector<std::vector<int>> categories,
+              std::vector<std::pair<char, std::string>> legend,
+              HeatmapConfig config);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<std::vector<int>> cats_;
+  std::vector<std::pair<char, std::string>> legend_;
+  HeatmapConfig config_;
+};
+
+}  // namespace rme::report

@@ -1,0 +1,53 @@
+#include "rme/report/markdown.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rme::report {
+
+std::string md_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '|') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+MarkdownTable::MarkdownTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("MarkdownTable: need at least one column");
+  }
+}
+
+void MarkdownTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("MarkdownTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void MarkdownTable::print(std::ostream& os) const {
+  os << '|';
+  for (const std::string& hdr : headers_) os << ' ' << md_escape(hdr) << " |";
+  os << "\n|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const std::string& cell : row) os << ' ' << md_escape(cell) << " |";
+    os << '\n';
+  }
+}
+
+std::string MarkdownTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace rme::report

@@ -1,0 +1,29 @@
+#pragma once
+// Markdown table emission — used to generate EXPERIMENTS.md sections
+// directly from bench results, so the recorded numbers are exactly what
+// the harness produced.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rme::report {
+
+/// GitHub-flavored markdown table.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes pipes so arbitrary cell content cannot break the table.
+[[nodiscard]] std::string md_escape(const std::string& text);
+
+}  // namespace rme::report

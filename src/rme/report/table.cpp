@@ -1,0 +1,111 @@
+#include "rme/report/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rme::report {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  if (aligns_.size() != headers_.size()) {
+    throw std::invalid_argument("Table: aligns/headers size mismatch");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_cell = [&](const std::string& text, std::size_t c) {
+    if (aligns_[c] == Align::kLeft) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << text;
+    } else {
+      os << std::right << std::setw(static_cast<int>(widths[c])) << text;
+    }
+  };
+  const auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + (c + 1 < widths.size() ? 2 : 0), '-');
+    }
+    os << '\n';
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    print_cell(headers_[c], c);
+    if (c + 1 < headers_.size()) os << "  ";
+  }
+  os << '\n';
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      print_cell(row[c], c);
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream oss;
+  oss << std::setprecision(digits) << value;
+  return oss.str();
+}
+
+std::string fmt_si(double value, const std::string& unit, int digits) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::fabs(value);
+  for (const Prefix& p : kPrefixes) {
+    if (mag >= p.scale) {
+      return fmt(value / p.scale, digits) + " " + p.symbol + unit;
+    }
+  }
+  const Prefix& last = kPrefixes[sizeof(kPrefixes) / sizeof(Prefix) - 1];
+  return fmt(value / last.scale, digits) + " " + last.symbol + unit;
+}
+
+}  // namespace rme::report

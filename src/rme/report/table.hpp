@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-width console tables for the benchmark harness: every bench
+// binary prints the paper's rows through this.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rme::report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator at the current position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with column widths fitted to content.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/// Formats a double with `digits` significant digits.
+[[nodiscard]] std::string fmt(double value, int digits = 4);
+
+/// Formats a double in engineering style with a unit (e.g. "212 pJ").
+[[nodiscard]] std::string fmt_si(double value, const std::string& unit,
+                                 int digits = 3);
+
+}  // namespace rme::report

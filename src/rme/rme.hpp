@@ -1,0 +1,74 @@
+#pragma once
+// Umbrella header for the rme library — everything a downstream user
+// needs to model, simulate, measure, fit, and reproduce the paper's
+// experiments.
+//
+//   rme::        — the analytic model (machine params, rooflines, arch
+//                  lines, power lines, trade-offs, extensions)
+//   rme::sim     — the machine/cache simulator substrate
+//   rme::power   — PowerMon 2 / PCIe interposer / RAPL measurement stack
+//   rme::fit     — OLS regression and the eq. (9)/§V-C fitting pipelines
+//   rme::ubench  — host intensity microbenchmarks
+//   rme::fmm     — the FMM U-list application of §V-C
+//   rme::report  — tables, CSV, ASCII charts
+
+#include "rme/core/advisor.hpp"
+#include "rme/core/algorithms.hpp"
+#include "rme/core/cluster.hpp"
+#include "rme/core/depth.hpp"
+#include "rme/core/dvfs.hpp"
+#include "rme/core/hierarchy.hpp"
+#include "rme/core/keckler.hpp"
+#include "rme/core/machine.hpp"
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/hetero.hpp"
+#include "rme/core/metrics.hpp"
+#include "rme/core/model.hpp"
+#include "rme/core/powercap.hpp"
+#include "rme/core/powerline.hpp"
+#include "rme/core/rooflines.hpp"
+#include "rme/core/tradeoff.hpp"
+#include "rme/core/units.hpp"
+#include "rme/fit/bootstrap.hpp"
+#include "rme/fit/cache_fit.hpp"
+#include "rme/fit/dataset.hpp"
+#include "rme/fit/energy_fit.hpp"
+#include "rme/fit/linalg.hpp"
+#include "rme/fit/linreg.hpp"
+#include "rme/fit/student_t.hpp"
+#include "rme/fmm/driver.hpp"
+#include "rme/fmm/energy_estimator.hpp"
+#include "rme/fmm/kernels.hpp"
+#include "rme/fmm/morton.hpp"
+#include "rme/fmm/octree.hpp"
+#include "rme/fmm/point.hpp"
+#include "rme/fmm/traffic.hpp"
+#include "rme/fmm/ulist.hpp"
+#include "rme/fmm/variants.hpp"
+#include "rme/power/calibration.hpp"
+#include "rme/power/channel.hpp"
+#include "rme/power/interposer.hpp"
+#include "rme/power/powermon.hpp"
+#include "rme/power/powermon_log.hpp"
+#include "rme/power/rapl.hpp"
+#include "rme/power/session.hpp"
+#include "rme/power/trace_stats.hpp"
+#include "rme/report/ascii_chart.hpp"
+#include "rme/report/csv.hpp"
+#include "rme/report/heatmap.hpp"
+#include "rme/report/markdown.hpp"
+#include "rme/report/table.hpp"
+#include "rme/sim/cache.hpp"
+#include "rme/sim/composite.hpp"
+#include "rme/sim/counters.hpp"
+#include "rme/sim/executor.hpp"
+#include "rme/sim/kernel_desc.hpp"
+#include "rme/sim/noise.hpp"
+#include "rme/sim/power_trace.hpp"
+#include "rme/ubench/fma_mix.hpp"
+#include "rme/ubench/host_runner.hpp"
+#include "rme/ubench/matmul.hpp"
+#include "rme/ubench/polynomial.hpp"
+#include "rme/ubench/spmv.hpp"
+#include "rme/ubench/stream.hpp"
+#include "rme/ubench/timer.hpp"

@@ -1,0 +1,179 @@
+#include "rme/sim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace rme::sim {
+
+bool CacheConfig::valid() const noexcept {
+  if (size_bytes == 0 || line_bytes == 0 || ways == 0) return false;
+  if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes))) {
+    return false;
+  }
+  const std::uint64_t sets = num_sets();
+  if (sets == 0 || !std::has_single_bit(sets)) return false;
+  return sets * line_bytes * ways == size_bytes;
+}
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  if (!config_.valid()) {
+    throw std::invalid_argument("CacheConfig: sizes must be powers of two "
+                                "and size = sets*ways*line");
+  }
+  set_mask_ = config_.num_sets() - 1;
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(config_.line_bytes)));
+  lines_.resize(config_.num_sets() * config_.ways);
+}
+
+void Cache::reset() {
+  for (Line& l : lines_) l = Line{};
+  counters_ = CacheCounters{};
+  tick_ = 0;
+}
+
+bool Cache::lookup_touch(std::uint64_t line_addr, bool mark_dirty) {
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      line.dirty = line.dirty || mark_dirty;
+      return true;
+    }
+  }
+  return false;
+}
+
+Cache::Line* Cache::install(std::uint64_t line_addr, bool dirty,
+                            bool* evicted_dirty,
+                            std::uint64_t* victim_line) {
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
+  Line* base = &lines_[set * config_.ways];
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid && victim->dirty) {
+    if (evicted_dirty) *evicted_dirty = true;
+    if (victim_line) {
+      *victim_line =
+          (victim->tag << std::countr_zero(set_mask_ + 1) | set)
+          << line_shift_;
+    }
+    ++counters_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = dirty;
+  return victim;
+}
+
+Cache::AccessResult Cache::access(std::uint64_t address, bool is_write) {
+  AccessResult result;
+  const std::uint64_t line_addr = address >> line_shift_;
+  ++tick_;
+
+  if (lookup_touch(line_addr, is_write)) {
+    result.hit = true;
+    if (is_write) {
+      ++counters_.write_hits;
+    } else {
+      ++counters_.read_hits;
+    }
+    return result;
+  }
+
+  // Demand miss: allocate (write-allocate on writes).
+  install(line_addr, is_write, &result.writeback, &result.victim_line);
+  if (is_write) {
+    ++counters_.write_misses;
+  } else {
+    ++counters_.read_misses;
+  }
+
+  // Next-line prefetch: install line+1 clean if absent.  Prefetch
+  // victims' writebacks are tallied in the counters; they are not
+  // surfaced in AccessResult (standalone-cache feature — see
+  // CacheHierarchy's constructor).
+  if (config_.next_line_prefetch) {
+    const std::uint64_t next = line_addr + 1;
+    if (!lookup_touch(next, false)) {
+      install(next, /*dirty=*/false, nullptr, nullptr);
+      ++counters_.prefetch_fills;
+    }
+  }
+  return result;
+}
+
+CacheHierarchy::CacheHierarchy(CacheConfig l1, CacheConfig l2)
+    : l1_(l1), l2_(l2) {
+  if (l2.size_bytes < l1.size_bytes) {
+    throw std::invalid_argument("CacheHierarchy: L2 must not be smaller "
+                                "than L1");
+  }
+  if (l1.next_line_prefetch || l2.next_line_prefetch) {
+    // Prefetch victims' writebacks are not propagated between levels;
+    // the prefetcher is a standalone-cache feature.
+    throw std::invalid_argument(
+        "CacheHierarchy: next_line_prefetch is not supported inside a "
+        "hierarchy");
+  }
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  core_l1_bytes_ = 0.0;
+}
+
+void CacheHierarchy::access(std::uint64_t address, std::uint32_t size,
+                            bool is_write) {
+  core_l1_bytes_ += size;
+  const std::uint32_t line = l1_.config().line_bytes;
+  const std::uint64_t first = address / line;
+  const std::uint64_t last = (address + (size ? size - 1 : 0)) / line;
+  for (std::uint64_t la = first; la <= last; ++la) {
+    access_line(la * line, is_write);
+  }
+}
+
+void CacheHierarchy::access_line(std::uint64_t line_address, bool is_write) {
+  const Cache::AccessResult r1 = l1_.access(line_address, is_write);
+  if (r1.writeback) {
+    // Dirty L1 victim written down to L2.
+    (void)l2_.access(r1.victim_line, /*is_write=*/true);
+  }
+  if (!r1.hit) {
+    // Fill from L2 (a read at L2 regardless of the demand type —
+    // write-allocate fetches the line first).
+    const Cache::AccessResult r2 = l2_.access(line_address, false);
+    (void)r2;  // L2 writebacks/misses are tallied in its counters.
+  }
+}
+
+HierarchyTraffic CacheHierarchy::traffic() const noexcept {
+  HierarchyTraffic t;
+  const double l1_line = l1_.config().line_bytes;
+  const double l2_line = l2_.config().line_bytes;
+  t.l1_bytes = core_l1_bytes_;
+  t.l2_bytes = (static_cast<double>(l1_.counters().misses()) +
+                static_cast<double>(l1_.counters().writebacks)) *
+               l1_line;
+  t.dram_bytes = (static_cast<double>(l2_.counters().misses()) +
+                  static_cast<double>(l2_.counters().writebacks)) *
+                 l2_line;
+  return t;
+}
+
+}  // namespace rme::sim

@@ -1,0 +1,133 @@
+#pragma once
+// Trace-driven cache simulator — the substitute for the hardware
+// profiler counters of §V-C.
+//
+// The paper derives per-level traffic (DRAM bytes from L2 read misses;
+// L1/L2 bytes from cache counters) using NVIDIA's Compute Visual
+// Profiler.  We obtain the same counts by replaying each kernel's memory
+// trace through a two-level, set-associative, write-back/write-allocate
+// LRU hierarchy.
+
+#include <cstdint>
+#include <vector>
+
+namespace rme::sim {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  /// Next-line prefetch on miss: a demand miss also allocates line+1
+  /// (clean).  Streaming kernels trade extra fills for fewer demand
+  /// misses — the counters expose both so tests and traffic studies can
+  /// quantify the trade.
+  bool next_line_prefetch = false;
+
+  [[nodiscard]] std::uint64_t num_sets() const noexcept {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
+  }
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+/// Byte/event counters accumulated at one level.
+struct CacheCounters {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t writebacks = 0;  ///< Dirty lines evicted to the next level.
+  std::uint64_t prefetch_fills = 0;  ///< Lines allocated by the prefetcher.
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return read_hits + read_misses + write_hits + write_misses;
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t a = accesses();
+    return a ? static_cast<double>(read_hits + write_hits) /
+                   static_cast<double>(a)
+             : 0.0;
+  }
+};
+
+/// One set-associative write-back/write-allocate LRU cache level.
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;           ///< A dirty victim was evicted.
+    std::uint64_t victim_line = 0;    ///< Line address of the victim.
+  };
+
+  /// Accesses the line containing `address`.  On a miss the line is
+  /// allocated (possibly evicting an LRU victim).
+  AccessResult access(std::uint64_t address, bool is_write);
+
+  [[nodiscard]] const CacheCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  void reset();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< Larger = more recently used.
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  /// True (and LRU-touched, possibly dirtied) if the line is resident.
+  bool lookup_touch(std::uint64_t line_addr, bool mark_dirty);
+  /// Allocates a line (evicting LRU), reporting any dirty victim.
+  Line* install(std::uint64_t line_addr, bool dirty, bool* evicted_dirty,
+                std::uint64_t* victim_line);
+
+  CacheConfig config_;
+  std::uint64_t set_mask_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  ///< num_sets × ways, row-major by set.
+  CacheCounters counters_;
+};
+
+/// Per-level traffic in bytes observed by replaying a trace through an
+/// L1 → L2 → DRAM hierarchy.
+struct HierarchyTraffic {
+  double l1_bytes = 0.0;    ///< Bytes moved across the core↔L1 interface.
+  double l2_bytes = 0.0;    ///< Bytes moved across the L1↔L2 interface.
+  double dram_bytes = 0.0;  ///< Bytes moved across the L2↔DRAM interface.
+};
+
+/// Two-level inclusive hierarchy with DRAM traffic counting.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(CacheConfig l1, CacheConfig l2);
+
+  /// One `size`-byte access at `address` (split across lines as needed).
+  void access(std::uint64_t address, std::uint32_t size, bool is_write);
+
+  [[nodiscard]] const Cache& l1() const noexcept { return l1_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
+
+  /// Interface traffic: every access moves `size` bytes core↔L1; every
+  /// L1 miss or writeback moves a line L1↔L2; every L2 miss or
+  /// writeback moves a line L2↔DRAM.
+  [[nodiscard]] HierarchyTraffic traffic() const noexcept;
+
+  void reset();
+
+ private:
+  void access_line(std::uint64_t line_address, bool is_write);
+
+  Cache l1_;
+  Cache l2_;
+  double core_l1_bytes_ = 0.0;
+};
+
+}  // namespace rme::sim

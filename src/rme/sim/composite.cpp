@@ -1,0 +1,58 @@
+#include "rme/sim/composite.hpp"
+
+#include "rme/core/model.hpp"
+
+namespace rme::sim {
+
+double CompositeKernel::total_flops() const noexcept {
+  double sum = 0.0;
+  for (const KernelDesc& k : phases) sum += k.flops;
+  return sum;
+}
+
+double CompositeKernel::total_bytes() const noexcept {
+  double sum = 0.0;
+  for (const KernelDesc& k : phases) sum += k.bytes;
+  return sum;
+}
+
+CompositeResult run_composite(const Executor& executor,
+                              const CompositeKernel& kernel,
+                              std::uint64_t run_id) {
+  CompositeResult result;
+  result.kernel = kernel;
+  result.phase_runs.reserve(kernel.phases.size());
+  for (std::size_t i = 0; i < kernel.phases.size(); ++i) {
+    RunResult run =
+        executor.run(kernel.phases[i], run_id * 7919 + i);
+    result.seconds += run.seconds;
+    result.joules += run.joules;
+    for (const PowerPhase& phase : run.trace.phases()) {
+      result.trace.append(phase.seconds, phase.watts);
+    }
+    result.phase_runs.push_back(std::move(run));
+  }
+  result.avg_watts =
+      result.seconds > 0.0 ? result.joules / result.seconds : 0.0;
+  return result;
+}
+
+CompositePrediction predict_composite(const MachineParams& m,
+                                      const CompositeKernel& kernel) noexcept {
+  CompositePrediction p;
+  for (const KernelDesc& k : kernel.phases) {
+    p.seconds += predict_time(m, k.profile()).total_seconds;
+    p.joules += predict_energy(m, k.profile()).total_joules;
+  }
+  return p;
+}
+
+double phase_separation_penalty(const MachineParams& m,
+                                const CompositeKernel& kernel) noexcept {
+  const double composite = predict_composite(m, kernel).seconds;
+  const KernelProfile merged{kernel.total_flops(), kernel.total_bytes()};
+  const double monolithic = predict_time(m, merged).total_seconds;
+  return monolithic > 0.0 ? composite / monolithic : 1.0;
+}
+
+}  // namespace rme::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Composite kernels: multi-phase workloads on the simulator.
+//
+// Real applications are sequences of phases with different intensities
+// (an FMM timestep: tree build (memory-bound) → U-list (compute-bound);
+// a CG iteration: SpMV → dots → axpys).  A CompositeKernel runs its
+// phases back to back on one Executor; times add, energies add, and the
+// stitched power trace shows each phase's plateau — which is exactly
+// what an instrument pointed at a real application sees (§VI's
+// Esmaeilzadeh observation: power is highly application-dependent).
+
+#include <string>
+#include <vector>
+
+#include "rme/sim/executor.hpp"
+
+namespace rme::sim {
+
+/// A named sequence of kernel phases.
+struct CompositeKernel {
+  std::string name;
+  std::vector<KernelDesc> phases;
+
+  /// Aggregate work/traffic across phases.
+  [[nodiscard]] double total_flops() const noexcept;
+  [[nodiscard]] double total_bytes() const noexcept;
+  /// The *aggregate* intensity — note this is NOT what determines the
+  /// composite's time/energy (phases do not overlap with one another).
+  [[nodiscard]] double aggregate_intensity() const noexcept {
+    return total_flops() / total_bytes();
+  }
+};
+
+/// Result of one composite run.
+struct CompositeResult {
+  CompositeKernel kernel;
+  std::vector<RunResult> phase_runs;
+  double seconds = 0.0;   ///< Sum of phase times.
+  double joules = 0.0;    ///< Sum of phase energies.
+  double avg_watts = 0.0;
+  PowerTrace trace;       ///< Stitched phase traces.
+};
+
+/// Runs the phases sequentially (phase i gets run_id salt `base + i`).
+[[nodiscard]] CompositeResult run_composite(const Executor& executor,
+                                            const CompositeKernel& kernel,
+                                            std::uint64_t run_id = 0);
+
+/// Analytic prediction for a composite on a machine: Σ per-phase model
+/// times/energies (no cross-phase overlap).
+struct CompositePrediction {
+  double seconds = 0.0;
+  double joules = 0.0;
+};
+
+[[nodiscard]] CompositePrediction predict_composite(
+    const MachineParams& m, const CompositeKernel& kernel) noexcept;
+
+/// Why composite ≠ monolithic: running the same total (W, Q) as one
+/// overlapped kernel is never slower than as separate phases.  Returns
+/// the time ratio composite / monolithic (≥ 1).
+[[nodiscard]] double phase_separation_penalty(
+    const MachineParams& m, const CompositeKernel& kernel) noexcept;
+
+}  // namespace rme::sim

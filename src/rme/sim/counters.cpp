@@ -1,0 +1,47 @@
+#include "rme/sim/counters.hpp"
+
+namespace rme::sim {
+
+ProfilerSession::ProfilerSession(CacheConfig l1, CacheConfig l2)
+    : hierarchy_(l1, l2) {}
+
+CounterSet ProfilerSession::counters() const {
+  CounterSet c;
+  const HierarchyTraffic t = hierarchy_.traffic();
+  c.flops = flops_;
+  c.dram_bytes = t.dram_bytes;
+  c.l1_bytes = t.l1_bytes;
+  c.l2_bytes = t.l2_bytes;
+  return c;
+}
+
+void ProfilerSession::reset() {
+  hierarchy_.reset();
+  flops_ = 0.0;
+}
+
+ProfilerSession ProfilerSession::gtx580_like() {
+  CacheConfig l1;
+  l1.size_bytes = 16 * 1024;
+  l1.line_bytes = 128;
+  l1.ways = 4;
+  CacheConfig l2;
+  l2.size_bytes = 768 * 1024;
+  l2.line_bytes = 128;
+  l2.ways = 12;  // 512 sets (the simulator needs a power-of-two set count)
+  return ProfilerSession(l1, l2);
+}
+
+ProfilerSession ProfilerSession::i7_950_like() {
+  CacheConfig l1;
+  l1.size_bytes = 32 * 1024;
+  l1.line_bytes = 64;
+  l1.ways = 8;
+  CacheConfig l2;
+  l2.size_bytes = 256 * 1024;
+  l2.line_bytes = 64;
+  l2.ways = 8;
+  return ProfilerSession(l1, l2);
+}
+
+}  // namespace rme::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Hardware-counter façade over the cache simulator — the drop-in
+// replacement for the NVIDIA Compute Visual Profiler counters the paper
+// read (§V-C: flops from the input, DRAM bytes from L2 read misses,
+// L1/L2 bytes from cache counters).
+
+#include <cstdint>
+#include <memory>
+
+#include "rme/sim/cache.hpp"
+
+namespace rme::sim {
+
+/// The counter values an energy estimator consumes.
+struct CounterSet {
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+  double l1_bytes = 0.0;
+  double l2_bytes = 0.0;
+
+  /// Combined cache-interface traffic (the quantity the paper multiplies
+  /// by the fitted 187 pJ/B cache-access cost).
+  [[nodiscard]] double cache_bytes() const noexcept {
+    return l1_bytes + l2_bytes;
+  }
+};
+
+/// A profiling session: instrumented kernels report their memory
+/// accesses and flop counts here; afterwards `counters()` returns the
+/// profiler-style counter set.
+class ProfilerSession {
+ public:
+  ProfilerSession(CacheConfig l1, CacheConfig l2);
+
+  /// Record a memory access of `size` bytes at `address`.
+  void on_access(std::uint64_t address, std::uint32_t size, bool is_write) {
+    hierarchy_.access(address, size, is_write);
+  }
+  /// Record `n` arithmetic operations.
+  void on_flops(double n) noexcept { flops_ += n; }
+
+  [[nodiscard]] CounterSet counters() const;
+  [[nodiscard]] const CacheHierarchy& hierarchy() const noexcept {
+    return hierarchy_;
+  }
+  void reset();
+
+  /// GTX 580-like cache geometry (Fermi: 16 KiB L1 per SM, 768 KiB L2;
+  /// we model the portion one thread block sees plus the shared L2).
+  [[nodiscard]] static ProfilerSession gtx580_like();
+
+  /// Nehalem-like geometry (32 KiB L1d, 256 KiB L2 per core).
+  [[nodiscard]] static ProfilerSession i7_950_like();
+
+ private:
+  CacheHierarchy hierarchy_;
+  double flops_ = 0.0;
+};
+
+}  // namespace rme::sim

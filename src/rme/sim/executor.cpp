@@ -1,0 +1,67 @@
+#include "rme/sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rme/core/powercap.hpp"
+
+namespace rme::sim {
+
+Executor::Executor(MachineParams machine, SimConfig config)
+    : machine_(std::move(machine)), config_(config) {}
+
+MachineParams Executor::effective_machine() const {
+  MachineParams m = machine_;
+  m.time_per_flop = machine_.time_per_flop / config_.flop_fraction;
+  m.time_per_byte = machine_.time_per_byte / config_.bw_fraction;
+  return m;
+}
+
+RunResult Executor::run(const KernelDesc& kernel, std::uint64_t run_id) const {
+  RunResult r;
+  r.kernel = kernel;
+
+  const KernelProfile profile = kernel.profile();
+  const MachineParams eff = effective_machine();
+
+  // Noise-free uncapped model values on the *nominal* machine — what the
+  // analytic model predicts before any measurement imperfection.
+  r.model_seconds = predict_time(machine_, profile).total_seconds;
+  r.model_joules = predict_energy(machine_, profile).total_joules;
+
+  // Ground-truth execution on the effective (derated) machine, throttled
+  // by the board power cap.
+  const CappedRun capped =
+      run_with_cap(eff, profile, config_.power_cap_watts);
+  r.capped = capped.capped;
+
+  const std::uint64_t salt_t = run_id * 2654435761ULL + 1;
+  const std::uint64_t salt_e = run_id * 2654435761ULL + 2;
+  r.seconds = config_.noise.perturb(capped.seconds, salt_t);
+  r.joules = config_.noise.perturb(capped.joules, salt_e);
+  r.avg_watts = r.joules / r.seconds;
+
+  // Power trace: idle head, a short ramp at half dynamic power, the
+  // compute plateau (total kernel energy preserved exactly), idle tail.
+  const double plateau_watts = r.avg_watts;
+  const double dyn_watts = std::max(plateau_watts - eff.const_power, 0.0);
+  const double ramp_seconds = std::min(0.02 * r.seconds, 1e-3);
+  const double ramp_watts = eff.const_power + 0.5 * dyn_watts;
+  // Keep total kernel-interval energy == r.joules by bumping the plateau.
+  const double plateau_seconds = r.seconds - ramp_seconds;
+  const double plateau_adjust =
+      plateau_seconds > 0.0
+          ? (r.joules - ramp_seconds * ramp_watts) / plateau_seconds
+          : plateau_watts;
+  if (config_.idle_head_seconds > 0.0) {
+    r.trace.append(config_.idle_head_seconds, config_.idle_power_watts);
+  }
+  r.trace.append(ramp_seconds, ramp_watts);
+  r.trace.append(plateau_seconds, plateau_adjust);
+  if (config_.idle_tail_seconds > 0.0) {
+    r.trace.append(config_.idle_tail_seconds, config_.idle_power_watts);
+  }
+  return r;
+}
+
+}  // namespace rme::sim

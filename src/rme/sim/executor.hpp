@@ -1,0 +1,91 @@
+#pragma once
+// The machine simulator: executes KernelDescs against a MachineParams
+// ground truth, standing in for the paper's physical testbed (§IV-A).
+//
+// What it models, and why:
+//  * overlapped time and additive energy — the physics the model
+//    postulates (eqs. (1)-(4)); the simulator *is* that physics, so
+//    model-vs-"measurement" comparisons exercise the real analysis path;
+//  * achievable fractions of peak — real kernels reach 73-99% of peak
+//    (§IV-B: e.g. the CPU benchmark sustains 73.1% of peak bandwidth);
+//  * a board power cap — the GTX 580's 244 W limit, which produces the
+//    measured departure from the roofline near B_τ (Figs. 4b / 5b);
+//  * seeded measurement noise and a power trace (ramp / plateau / idle
+//    tail) for the PowerMon measurement stack to sample.
+
+#include <cstdint>
+#include <limits>
+
+#include "rme/core/machine.hpp"
+#include "rme/sim/kernel_desc.hpp"
+#include "rme/sim/noise.hpp"
+#include "rme/sim/power_trace.hpp"
+
+namespace rme::sim {
+
+/// Simulator configuration, orthogonal to the machine's cost parameters.
+struct SimConfig {
+  /// Fraction of peak arithmetic throughput real tuned kernels achieve.
+  double flop_fraction = 1.0;
+  /// Fraction of peak memory bandwidth real tuned kernels achieve.
+  double bw_fraction = 1.0;
+  /// Board power cap [W]; +inf disables (no throttling).
+  double power_cap_watts = std::numeric_limits<double>::infinity();
+  /// Idle power [W] drawn before/after the kernel (e.g. 39.6 W on the
+  /// GTX 580, §V-A).
+  double idle_power_watts = 0.0;
+  /// Duration of the idle head/tail included in the power trace [s].
+  double idle_head_seconds = 0.0;
+  double idle_tail_seconds = 0.0;
+  /// Relative Gaussian noise applied to measured time and energy.
+  NoiseModel noise{};
+};
+
+/// Result of one simulated run.
+struct RunResult {
+  KernelDesc kernel;
+  double seconds = 0.0;      ///< Measured (noisy, possibly throttled) time.
+  double joules = 0.0;       ///< Measured energy over the kernel interval.
+  double avg_watts = 0.0;    ///< joules / seconds.
+  double model_seconds = 0.0;  ///< Noise-free uncapped model prediction.
+  double model_joules = 0.0;   ///< Noise-free uncapped model prediction.
+  bool capped = false;         ///< True if the power cap throttled the run.
+  PowerTrace trace;            ///< Instantaneous power incl. idle phases.
+
+  [[nodiscard]] double achieved_flops() const noexcept {
+    return kernel.flops / seconds;
+  }
+  [[nodiscard]] double achieved_bandwidth() const noexcept {
+    return kernel.bytes / seconds;
+  }
+  [[nodiscard]] double achieved_flops_per_joule() const noexcept {
+    return kernel.flops / joules;
+  }
+};
+
+/// Executes kernels on a simulated machine.
+class Executor {
+ public:
+  Executor(MachineParams machine, SimConfig config);
+
+  /// Run a kernel; `run_id` salts the noise so repeated runs differ the
+  /// way real repetitions do but the whole experiment stays reproducible.
+  [[nodiscard]] RunResult run(const KernelDesc& kernel,
+                              std::uint64_t run_id = 0) const;
+
+  /// The machine's ground-truth cost parameters.
+  [[nodiscard]] const MachineParams& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// The machine as *achievable* by tuned kernels: peak rates derated by
+  /// the configured fractions.  This is the roofline measurements track.
+  [[nodiscard]] MachineParams effective_machine() const;
+
+ private:
+  MachineParams machine_;
+  SimConfig config_;
+};
+
+}  // namespace rme::sim

@@ -1,0 +1,44 @@
+#include "rme/sim/kernel_desc.hpp"
+
+#include <cmath>
+
+namespace rme::sim {
+
+KernelDesc fma_load_mix(double flops_per_byte, double words, Precision p) {
+  KernelDesc k;
+  const double bytes = words * word_bytes(p);
+  k.name = "fma_load_mix(I=" + std::to_string(flops_per_byte) + ")";
+  k.bytes = bytes;
+  k.flops = flops_per_byte * bytes;
+  k.precision = p;
+  return k;
+}
+
+KernelDesc polynomial(int degree, double words, Precision p) {
+  KernelDesc k;
+  k.name = "polynomial(degree=" + std::to_string(degree) + ")";
+  k.bytes = words * word_bytes(p);
+  k.flops = 2.0 * degree * words;  // Horner: one FMA (2 flops) per degree
+  k.precision = p;
+  return k;
+}
+
+std::vector<KernelDesc> intensity_sweep(const std::vector<double>& intensities,
+                                        double words, Precision p) {
+  std::vector<KernelDesc> kernels;
+  kernels.reserve(intensities.size());
+  for (double intensity : intensities) {
+    kernels.push_back(fma_load_mix(intensity, words, p));
+  }
+  return kernels;
+}
+
+std::vector<double> pow2_grid(double lo, double hi) {
+  std::vector<double> grid;
+  for (double v = lo; v <= hi * (1.0 + 1e-12); v *= 2.0) {
+    grid.push_back(v);
+  }
+  return grid;
+}
+
+}  // namespace rme::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Abstract kernel descriptors executed by the machine simulator.
+//
+// The paper's microbenchmarks (§IV-B) are kernels whose *only* relevant
+// properties are W, Q, and precision: a GPU FMA/load mix and a CPU
+// polynomial whose degree sets the intensity.  A KernelDesc captures
+// exactly that, plus metadata, and this header provides the sweep
+// generators that mirror how the authors varied intensity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme::sim {
+
+/// A simulated kernel: W flops at a given precision against Q bytes of
+/// slow-memory traffic.
+struct KernelDesc {
+  std::string name;
+  double flops = 0.0;
+  double bytes = 0.0;
+  Precision precision = Precision::kDouble;
+
+  [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+  [[nodiscard]] KernelProfile profile() const noexcept {
+    return KernelProfile{flops, bytes};
+  }
+};
+
+/// The GPU-style microbenchmark: a mix of independent FMAs (two flops
+/// each) and loads.  `flops_per_byte` sets the intensity; `words`
+/// streaming words of the given precision set Q.
+[[nodiscard]] KernelDesc fma_load_mix(double flops_per_byte, double words,
+                                      Precision p);
+
+/// The CPU-style microbenchmark: polynomial evaluation of the given
+/// degree over `words` streamed elements.  Horner's rule performs
+/// 2·degree flops per element, so I = 2·degree / word_bytes.
+[[nodiscard]] KernelDesc polynomial(int degree, double words, Precision p);
+
+/// An intensity sweep in the style of Fig. 4: kernels at each grid
+/// intensity with a fixed memory footprint (`words` per kernel).
+[[nodiscard]] std::vector<KernelDesc> intensity_sweep(
+    const std::vector<double>& intensities, double words, Precision p);
+
+/// The Fig. 4 intensity grid: powers of two from `lo` to `hi` inclusive
+/// (¼ … 16 for double, ¼ … 64 for single in the paper).
+[[nodiscard]] std::vector<double> pow2_grid(double lo, double hi);
+
+}  // namespace rme::sim

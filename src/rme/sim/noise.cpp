@@ -1,0 +1,45 @@
+#include "rme/sim/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rme::sim {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Uniform in (0, 1): top 53 bits of the mixed word, never exactly zero.
+double to_unit_open(std::uint64_t bits) noexcept {
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return u > 0.0 ? u : 0x1.0p-53;
+}
+
+}  // namespace
+
+double NoiseModel::uniform(std::uint64_t salt) const noexcept {
+  return to_unit_open(splitmix64(seed_ ^ splitmix64(salt)));
+}
+
+double NoiseModel::standard_normal(std::uint64_t salt) const noexcept {
+  // Box-Muller on two independent salted streams.
+  const double u1 = to_unit_open(splitmix64(seed_ ^ splitmix64(salt)));
+  const double u2 =
+      to_unit_open(splitmix64((seed_ + 0x517cc1b727220a95ULL) ^
+                              splitmix64(salt ^ 0xd1b54a32d192ed03ULL)));
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double NoiseModel::perturb(double value, std::uint64_t salt) const noexcept {
+  if (relative_sigma_ <= 0.0) return value;
+  const double factor = 1.0 + relative_sigma_ * standard_normal(salt);
+  return value * std::fmax(factor, 1e-6);
+}
+
+}  // namespace rme::sim

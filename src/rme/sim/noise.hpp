@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic, seed-salted measurement-noise models.
+//
+// The simulator stands in for a physical testbed, so its "measurements"
+// carry realistic perturbations: run-to-run timing jitter and power-
+// sampling noise.  Every draw is a pure function of (seed, salt), so the
+// whole reproduction is bit-stable across runs — a property the tests
+// assert and the benches rely on for stable output.
+
+#include <cstdint>
+
+namespace rme::sim {
+
+/// Gaussian relative-noise generator, deterministic per (seed, salt).
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  NoiseModel(std::uint64_t seed, double relative_sigma)
+      : seed_(seed), relative_sigma_(relative_sigma) {}
+
+  /// Multiplies `value` by (1 + sigma·z) with z a standard normal draw
+  /// derived from (seed, salt).  Clamped so the result stays positive.
+  [[nodiscard]] double perturb(double value, std::uint64_t salt) const noexcept;
+
+  /// A standard-normal draw for (seed, salt) — exposed for tests and for
+  /// composite noise models.
+  [[nodiscard]] double standard_normal(std::uint64_t salt) const noexcept;
+
+  /// A uniform draw in [0, 1) for (seed, salt).
+  [[nodiscard]] double uniform(std::uint64_t salt) const noexcept;
+
+  [[nodiscard]] double relative_sigma() const noexcept {
+    return relative_sigma_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  double relative_sigma_ = 0.0;
+};
+
+/// SplitMix64 — the mixing function used to derive per-salt streams.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
+}  // namespace rme::sim

@@ -1,0 +1,57 @@
+#include "rme/sim/power_trace.hpp"
+
+#include <algorithm>
+
+namespace rme::sim {
+
+void PowerTrace::append(double seconds, double watts) {
+  if (seconds <= 0.0) return;
+  phases_.push_back(PowerPhase{seconds, watts});
+}
+
+double PowerTrace::duration() const noexcept {
+  double total = 0.0;
+  for (const PowerPhase& p : phases_) total += p.seconds;
+  return total;
+}
+
+double PowerTrace::energy() const noexcept {
+  double total = 0.0;
+  for (const PowerPhase& p : phases_) total += p.seconds * p.watts;
+  return total;
+}
+
+double PowerTrace::average_power() const noexcept {
+  const double d = duration();
+  return d > 0.0 ? energy() / d : 0.0;
+}
+
+double PowerTrace::watts_at(double t) const noexcept {
+  if (phases_.empty()) return 0.0;
+  double elapsed = 0.0;
+  for (const PowerPhase& p : phases_) {
+    elapsed += p.seconds;
+    if (t < elapsed) return p.watts;
+  }
+  return phases_.back().watts;
+}
+
+double PowerTrace::energy_between(double t0, double t1) const noexcept {
+  const double d = duration();
+  t0 = std::clamp(t0, 0.0, d);
+  t1 = std::clamp(t1, 0.0, d);
+  if (t1 <= t0) return 0.0;
+  double total = 0.0;
+  double start = 0.0;
+  for (const PowerPhase& p : phases_) {
+    const double end = start + p.seconds;
+    const double lo = std::max(t0, start);
+    const double hi = std::min(t1, end);
+    if (hi > lo) total += (hi - lo) * p.watts;
+    start = end;
+    if (start >= t1) break;
+  }
+  return total;
+}
+
+}  // namespace rme::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Piecewise-constant instantaneous-power timelines.
+//
+// The PowerMon substrate samples these the way the real instrument
+// sampled DC rails (§IV-A): the executor emits a trace (ramp, compute
+// plateau, idle tail), and the measurement stack integrates samples back
+// into average power and energy.
+
+#include <cstddef>
+#include <vector>
+
+namespace rme::sim {
+
+/// One constant-power phase of an execution.
+struct PowerPhase {
+  double seconds = 0.0;
+  double watts = 0.0;
+};
+
+/// An append-only timeline of power phases starting at t = 0.
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+
+  /// Appends a phase; zero- or negative-duration phases are ignored.
+  void append(double seconds, double watts);
+
+  [[nodiscard]] const std::vector<PowerPhase>& phases() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+
+  /// Total duration of the trace.
+  [[nodiscard]] double duration() const noexcept;
+
+  /// Exact integral of power over the trace — ground-truth energy.
+  [[nodiscard]] double energy() const noexcept;
+
+  /// Exact average power (energy / duration); 0 for an empty trace.
+  [[nodiscard]] double average_power() const noexcept;
+
+  /// Instantaneous power at time t (clamped to trace bounds; the last
+  /// phase's power is returned at or past the end).
+  [[nodiscard]] double watts_at(double t) const noexcept;
+
+  /// Exact integral of power over [t0, t1] (clamped to trace bounds).
+  [[nodiscard]] double energy_between(double t0, double t1) const noexcept;
+
+ private:
+  std::vector<PowerPhase> phases_;
+};
+
+}  // namespace rme::sim

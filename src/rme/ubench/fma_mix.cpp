@@ -1,0 +1,81 @@
+#include "rme/ubench/fma_mix.hpp"
+
+#include <thread>
+
+namespace rme::ubench {
+
+FmaMixCounts fma_mix_counts(int fmas_per_element, std::size_t n,
+                            Precision p) noexcept {
+  FmaMixCounts c;
+  c.flops = 2.0 * fmas_per_element * static_cast<double>(n);
+  c.bytes = static_cast<double>(word_bytes(p)) * static_cast<double>(n);
+  return c;
+}
+
+namespace {
+
+// Multiplier chosen so accumulators neither overflow nor denormalize
+// over long FMA chains: a0 = a0 * kMul + x stays bounded for |x| <= 1.
+template <class T>
+inline constexpr T kMul = static_cast<T>(0.999999);
+
+template <class T>
+T fma_range(const T* x, std::size_t n, int fmas) {
+  T a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const T v = x[i];
+    for (int k = 0; k < fmas; k += 4) {
+      a0 = a0 * kMul<T> + v;
+      if (k + 1 < fmas) a1 = a1 * kMul<T> + v;
+      if (k + 2 < fmas) a2 = a2 * kMul<T> + v;
+      if (k + 3 < fmas) a3 = a3 * kMul<T> + v;
+    }
+  }
+  return a0 + a1 + a2 + a3;
+}
+
+}  // namespace
+
+float fma_mix_run(const std::vector<float>& x, int fmas_per_element) {
+  return fma_range(x.data(), x.size(), fmas_per_element);
+}
+
+double fma_mix_run(const std::vector<double>& x, int fmas_per_element) {
+  return fma_range(x.data(), x.size(), fmas_per_element);
+}
+
+double fma_mix_run_mt(const std::vector<double>& x, int fmas_per_element,
+                      unsigned threads) {
+  if (threads <= 1 || x.size() < 2 * threads) {
+    return fma_mix_run(x, fmas_per_element);
+  }
+  std::vector<double> partials(threads, 0.0);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (x.size() + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = t * chunk;
+    if (begin >= x.size()) break;
+    const std::size_t len = std::min(chunk, x.size() - begin);
+    pool.emplace_back([&, t, begin, len] {
+      partials[t] = fma_range(x.data() + begin, len, fmas_per_element);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+double fma_mix_reference(const std::vector<double>& x, int fmas_per_element) {
+  // Identical arithmetic, written without the unrolled structure.
+  double acc[4] = {0, 0, 0, 0};
+  for (double v : x) {
+    for (int k = 0; k < fmas_per_element; ++k) {
+      acc[k % 4] = acc[k % 4] * kMul<double> + v;
+    }
+  }
+  return acc[0] + acc[1] + acc[2] + acc[3];
+}
+
+}  // namespace rme::ubench

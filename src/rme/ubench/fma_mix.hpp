@@ -1,0 +1,48 @@
+#pragma once
+// The GPU-style intensity microbenchmark of §IV-B, on the host: a mix of
+// independent fused multiply-adds (2 flops each) and memory loads.  The
+// flops-per-element knob sets the intensity; independent accumulators
+// keep the FMA chain latency-hidden, mirroring the paper's fully
+// unrolled kernel.
+
+#include <cstddef>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme::ubench {
+
+/// Work/traffic accounting for an FMA/load-mix run.
+struct FmaMixCounts {
+  double flops = 0.0;
+  double bytes = 0.0;
+  [[nodiscard]] KernelProfile profile() const noexcept {
+    return KernelProfile{flops, bytes};
+  }
+  [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+};
+
+/// Expected counts: `fmas_per_element` FMAs (2 flops each) per streamed
+/// element; traffic is one read per element (accumulators live in
+/// registers).
+[[nodiscard]] FmaMixCounts fma_mix_counts(int fmas_per_element, std::size_t n,
+                                          Precision p) noexcept;
+
+/// Runs the kernel: for each x[i], applies `fmas_per_element` FMAs
+/// spread over 4 independent accumulators; returns their sum (so the
+/// work cannot be optimized away).
+[[nodiscard]] float fma_mix_run(const std::vector<float>& x,
+                                int fmas_per_element);
+[[nodiscard]] double fma_mix_run(const std::vector<double>& x,
+                                 int fmas_per_element);
+
+/// Multithreaded variant partitioning the array.
+[[nodiscard]] double fma_mix_run_mt(const std::vector<double>& x,
+                                    int fmas_per_element, unsigned threads);
+
+/// Scalar reference of the same reduction for correctness checks.
+[[nodiscard]] double fma_mix_reference(const std::vector<double>& x,
+                                       int fmas_per_element);
+
+}  // namespace rme::ubench

@@ -1,0 +1,80 @@
+#include "rme/ubench/host_runner.hpp"
+
+#include <functional>
+
+#include "rme/power/rapl.hpp"
+#include "rme/ubench/fma_mix.hpp"
+#include "rme/ubench/polynomial.hpp"
+#include "rme/ubench/timer.hpp"
+
+namespace rme::ubench {
+
+std::vector<HostResult> run_polynomial_sweep(const std::vector<int>& degrees,
+                                             const HostSweepConfig& config) {
+  std::vector<HostResult> results;
+  results.reserve(degrees.size());
+  const std::vector<double> x = ramp_input(config.elements);
+  std::vector<double> y(config.elements);
+  for (int degree : degrees) {
+    const std::vector<double> coeffs = default_coefficients(degree);
+    const Timing t = time_repeated(
+        [&] {
+          polynomial_eval_mt(x, y, coeffs, config.threads);
+          do_not_optimize(y.data());
+        },
+        config.repetitions);
+    const PolynomialCounts counts =
+        polynomial_counts(degree, config.elements, Precision::kDouble);
+    HostResult r;
+    r.kernel = "polynomial(degree=" + std::to_string(degree) + ")";
+    r.flops = counts.flops;
+    r.bytes = counts.bytes;
+    r.seconds = t.best_seconds;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<HostResult> run_fma_mix_sweep(
+    const std::vector<int>& fmas_per_element, const HostSweepConfig& config) {
+  std::vector<HostResult> results;
+  results.reserve(fmas_per_element.size());
+  const std::vector<double> x = ramp_input(config.elements);
+  for (int fmas : fmas_per_element) {
+    double sink = 0.0;
+    const Timing t = time_repeated(
+        [&] {
+          sink = fma_mix_run_mt(x, fmas, config.threads);
+          do_not_optimize(sink);
+        },
+        config.repetitions);
+    const FmaMixCounts counts =
+        fma_mix_counts(fmas, config.elements, Precision::kDouble);
+    HostResult r;
+    r.kernel = "fma_mix(fmas=" + std::to_string(fmas) + ")";
+    r.flops = counts.flops;
+    r.bytes = counts.bytes;
+    r.seconds = t.best_seconds;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+double model_energy(const MachineParams& m, const HostResult& r) noexcept {
+  return r.flops * m.energy_per_flop + r.bytes * m.energy_per_byte +
+         m.const_power * r.seconds;
+}
+
+std::optional<double> rapl_energy_around(const std::function<void()>& fn) {
+  // The workload always runs; only the measurement is optional.
+  const rme::power::SysfsRapl rapl;
+  const std::optional<double> before =
+      rapl.available() ? rapl.read_joules() : std::nullopt;
+  fn();
+  if (!before) return std::nullopt;
+  const std::optional<double> after = rapl.read_joules();
+  if (!after) return std::nullopt;
+  return *after - *before;
+}
+
+}  // namespace rme::ubench

@@ -1,0 +1,62 @@
+#pragma once
+// Runs the intensity microbenchmarks on the *host* CPU, producing real
+// (W, Q, T) tuples — the time half of the paper's experiment on whatever
+// machine this library runs on.  The energy half is attached from a
+// model or RAPL, per the documented substitution (we have no PowerMon 2).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme::ubench {
+
+/// One measured host kernel run.
+struct HostResult {
+  std::string kernel;
+  double flops = 0.0;
+  double bytes = 0.0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+  [[nodiscard]] double gflops() const noexcept {
+    return flops / seconds / 1e9;
+  }
+  [[nodiscard]] double gbytes_per_second() const noexcept {
+    return bytes / seconds / 1e9;
+  }
+  [[nodiscard]] KernelProfile profile() const noexcept {
+    return KernelProfile{flops, bytes};
+  }
+};
+
+/// Host sweep configuration.
+struct HostSweepConfig {
+  std::size_t elements = 1u << 22;  ///< Working-set elements per kernel.
+  std::size_t repetitions = 5;
+  unsigned threads = 1;
+};
+
+/// Polynomial kernels at each degree (intensity = degree / word_bytes).
+[[nodiscard]] std::vector<HostResult> run_polynomial_sweep(
+    const std::vector<int>& degrees, const HostSweepConfig& config);
+
+/// FMA/load-mix kernels at each FMA count per element.
+[[nodiscard]] std::vector<HostResult> run_fma_mix_sweep(
+    const std::vector<int>& fmas_per_element, const HostSweepConfig& config);
+
+/// Attach model-predicted energy to a host result, using machine
+/// coefficients (e.g. Table IV values or a host calibration).
+[[nodiscard]] double model_energy(const MachineParams& m,
+                                  const HostResult& r) noexcept;
+
+/// Read RAPL package energy around a callable if the sysfs interface is
+/// available; returns nullopt otherwise (e.g. in containers).
+[[nodiscard]] std::optional<double> rapl_energy_around(
+    const std::function<void()>& fn);
+
+}  // namespace rme::ubench

@@ -1,0 +1,95 @@
+#include "rme/ubench/matmul.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "rme/sim/noise.hpp"
+#include "rme/ubench/timer.hpp"
+
+namespace rme::ubench {
+
+MatmulCounts matmul_counts(std::size_t n, std::size_t block,
+                           std::size_t word_bytes) noexcept {
+  MatmulCounts c;
+  const double nd = static_cast<double>(n);
+  const double bd = static_cast<double>(block);
+  const double w = static_cast<double>(word_bytes);
+  c.flops = 2.0 * nd * nd * nd;
+  // (n/b)³ block products × two b² tiles streamed each + C read+write.
+  c.bytes = 2.0 * nd * nd * nd * w / bd + 2.0 * nd * nd * w;
+  return c;
+}
+
+void matmul_blocked(const std::vector<double>& a,
+                    const std::vector<double>& b, std::vector<double>& c,
+                    std::size_t n, std::size_t block) {
+  if (block == 0 || n % block != 0) {
+    throw std::invalid_argument("matmul_blocked: block must divide n");
+  }
+  if (a.size() != n * n || b.size() != n * n || c.size() != n * n) {
+    throw std::invalid_argument("matmul_blocked: matrix size mismatch");
+  }
+  for (std::size_t ii = 0; ii < n; ii += block) {
+    for (std::size_t kk = 0; kk < n; kk += block) {
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        for (std::size_t i = ii; i < ii + block; ++i) {
+          for (std::size_t k = kk; k < kk + block; ++k) {
+            const double aik = a[i * n + k];
+            for (std::size_t j = jj; j < jj + block; ++j) {
+              c[i * n + j] += aik * b[k * n + j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void matmul_naive(const std::vector<double>& a, const std::vector<double>& b,
+                  std::vector<double>& c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+}
+
+std::vector<double> matmul_input(std::size_t n, std::uint64_t seed) {
+  const rme::sim::NoiseModel rng(seed, 0.0);
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = 2.0 * rng.uniform(i) - 1.0;
+  }
+  return m;
+}
+
+std::vector<MatmulSweepPoint> run_matmul_sweep(
+    std::size_t n, const std::vector<std::size_t>& blocks,
+    std::size_t reps) {
+  const std::vector<double> a = matmul_input(n, 1);
+  const std::vector<double> b = matmul_input(n, 2);
+  std::vector<double> c(n * n, 0.0);
+
+  std::vector<MatmulSweepPoint> sweep;
+  sweep.reserve(blocks.size());
+  for (std::size_t block : blocks) {
+    const Timing t = time_repeated(
+        [&] {
+          c.assign(n * n, 0.0);
+          matmul_blocked(a, b, c, n, block);
+          do_not_optimize(c.data());
+        },
+        reps);
+    MatmulSweepPoint p;
+    p.block = block;
+    p.seconds = t.best_seconds;
+    p.counts = matmul_counts(n, block);
+    sweep.push_back(p);
+  }
+  return sweep;
+}
+
+}  // namespace rme::ubench

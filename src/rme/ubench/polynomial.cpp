@@ -1,0 +1,111 @@
+#include "rme/ubench/polynomial.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+
+namespace rme::ubench {
+
+PolynomialCounts polynomial_counts(int degree, std::size_t n,
+                                   Precision p) noexcept {
+  PolynomialCounts c;
+  c.flops = 2.0 * degree * static_cast<double>(n);
+  c.bytes = 2.0 * word_bytes(p) * static_cast<double>(n);  // read x, write y
+  return c;
+}
+
+namespace {
+
+template <class T>
+void horner_range(const T* x, T* y, std::size_t n, const T* coeffs,
+                  std::size_t terms) {
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = coeffs[0];
+    for (std::size_t k = 1; k < terms; ++k) {
+      acc = acc * x[i] + coeffs[k];
+    }
+    y[i] = acc;
+  }
+}
+
+template <class T>
+void eval_impl(const std::vector<T>& x, std::vector<T>& y,
+               const std::vector<T>& coeffs) {
+  if (coeffs.empty()) throw std::invalid_argument("polynomial: no coefficients");
+  y.resize(x.size());
+  horner_range(x.data(), y.data(), x.size(), coeffs.data(), coeffs.size());
+}
+
+template <class T>
+void eval_mt_impl(const std::vector<T>& x, std::vector<T>& y,
+                  const std::vector<T>& coeffs, unsigned threads) {
+  if (coeffs.empty()) throw std::invalid_argument("polynomial: no coefficients");
+  y.resize(x.size());
+  if (threads <= 1 || x.size() < 2 * threads) {
+    horner_range(x.data(), y.data(), x.size(), coeffs.data(), coeffs.size());
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (x.size() + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = t * chunk;
+    if (begin >= x.size()) break;
+    const std::size_t len = std::min(chunk, x.size() - begin);
+    pool.emplace_back([&, begin, len] {
+      horner_range(x.data() + begin, y.data() + begin, len, coeffs.data(),
+                   coeffs.size());
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace
+
+void polynomial_eval(const std::vector<float>& x, std::vector<float>& y,
+                     const std::vector<float>& coeffs) {
+  eval_impl(x, y, coeffs);
+}
+
+void polynomial_eval(const std::vector<double>& x, std::vector<double>& y,
+                     const std::vector<double>& coeffs) {
+  eval_impl(x, y, coeffs);
+}
+
+void polynomial_eval_mt(const std::vector<float>& x, std::vector<float>& y,
+                        const std::vector<float>& coeffs, unsigned threads) {
+  eval_mt_impl(x, y, coeffs, threads);
+}
+
+void polynomial_eval_mt(const std::vector<double>& x, std::vector<double>& y,
+                        const std::vector<double>& coeffs, unsigned threads) {
+  eval_mt_impl(x, y, coeffs, threads);
+}
+
+std::vector<double> default_coefficients(int degree) {
+  if (degree < 0) throw std::invalid_argument("polynomial: negative degree");
+  std::vector<double> coeffs(static_cast<std::size_t>(degree) + 1);
+  // Alternating, decaying coefficients keep Horner numerically tame on
+  // [-1, 1] for any degree.
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    coeffs[k] = (k % 2 == 0 ? 1.0 : -1.0) / static_cast<double>(k + 1);
+  }
+  return coeffs;
+}
+
+std::vector<double> ramp_input(std::size_t n, double lo, double hi) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = lo + (hi - lo) * static_cast<double>(i) /
+                    static_cast<double>(n > 1 ? n - 1 : 1);
+  }
+  return x;
+}
+
+double polynomial_reference(double x, const std::vector<double>& coeffs) {
+  double acc = 0.0;
+  for (double c : coeffs) acc = acc * x + c;
+  return acc;
+}
+
+}  // namespace rme::ubench

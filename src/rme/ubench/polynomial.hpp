@@ -1,0 +1,56 @@
+#pragma once
+// The CPU intensity microbenchmark of §IV-B: polynomial evaluation.
+//
+// "The CPU microbenchmark evaluates a polynomial … Changing the degree
+// of the polynomial effectively varies the computation's intensity."
+// Horner's rule performs one multiply-add (2 flops) per degree per
+// element; streaming n elements in and results out moves 2 words per
+// element, so I = 2·degree / (2·word_bytes) = degree / word_bytes.
+
+#include <cstddef>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme::ubench {
+
+/// Work/traffic accounting for a polynomial run.
+struct PolynomialCounts {
+  double flops = 0.0;
+  double bytes = 0.0;
+  [[nodiscard]] KernelProfile profile() const noexcept {
+    return KernelProfile{flops, bytes};
+  }
+  [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+};
+
+/// Expected counts for evaluating a degree-`degree` polynomial over `n`
+/// elements of the given precision (read x, write y).
+[[nodiscard]] PolynomialCounts polynomial_counts(int degree, std::size_t n,
+                                                 Precision p) noexcept;
+
+/// Evaluates y[i] = poly(x[i]) by Horner's rule, single-threaded.
+/// `coeffs` has degree+1 entries, highest degree first.
+void polynomial_eval(const std::vector<float>& x, std::vector<float>& y,
+                     const std::vector<float>& coeffs);
+void polynomial_eval(const std::vector<double>& x, std::vector<double>& y,
+                     const std::vector<double>& coeffs);
+
+/// Same, partitioned over `threads` std::threads (the paper's kernel is
+/// OpenMP-parallel over 4 cores).
+void polynomial_eval_mt(const std::vector<float>& x, std::vector<float>& y,
+                        const std::vector<float>& coeffs, unsigned threads);
+void polynomial_eval_mt(const std::vector<double>& x, std::vector<double>& y,
+                        const std::vector<double>& coeffs, unsigned threads);
+
+/// Deterministic test coefficients / inputs.
+[[nodiscard]] std::vector<double> default_coefficients(int degree);
+[[nodiscard]] std::vector<double> ramp_input(std::size_t n, double lo = -1.0,
+                                             double hi = 1.0);
+
+/// Scalar reference for correctness checks: evaluates poly at one point.
+[[nodiscard]] double polynomial_reference(double x,
+                                          const std::vector<double>& coeffs);
+
+}  // namespace rme::ubench

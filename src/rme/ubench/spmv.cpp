@@ -1,0 +1,98 @@
+#include "rme/ubench/spmv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rme/sim/noise.hpp"
+#include "rme/ubench/timer.hpp"
+
+namespace rme::ubench {
+
+bool CsrMatrix::valid() const {
+  if (row_ptr.size() != rows + 1) return false;
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz()) return false;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) return false;
+  }
+  if (col_idx.size() != values.size()) return false;
+  for (std::uint32_t c : col_idx) {
+    if (c >= cols) return false;
+  }
+  return true;
+}
+
+CsrMatrix banded_matrix(std::size_t n, std::size_t band, std::uint64_t seed) {
+  const rme::sim::NoiseModel rng(seed, 0.0);
+  CsrMatrix a;
+  a.rows = n;
+  a.cols = n;
+  a.row_ptr.reserve(n + 1);
+  a.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t lo =
+        r >= band / 2 ? r - band / 2 : 0;
+    const std::size_t hi = std::min(lo + band, n);
+    for (std::size_t c = lo; c < hi; ++c) {
+      a.col_idx.push_back(static_cast<std::uint32_t>(c));
+      a.values.push_back(2.0 * rng.uniform(r * band + (c - lo)) - 1.0);
+    }
+    a.row_ptr.push_back(static_cast<std::uint32_t>(a.values.size()));
+  }
+  return a;
+}
+
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y) {
+  if (x.size() != a.cols) {
+    throw std::invalid_argument("spmv: x size mismatch");
+  }
+  y.resize(a.rows);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      acc += a.values[k] * x[a.col_idx[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<double> spmv_reference(const CsrMatrix& a,
+                                   const std::vector<double>& x) {
+  // Independent path: expand to a dense matrix, then dense mat-vec.
+  std::vector<double> dense(a.rows * a.cols, 0.0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (std::uint32_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      dense[r * a.cols + a.col_idx[k]] += a.values[k];
+    }
+  }
+  std::vector<double> y(a.rows, 0.0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (std::size_t c = 0; c < a.cols; ++c) {
+      y[r] += dense[r * a.cols + c] * x[c];
+    }
+  }
+  return y;
+}
+
+KernelProfile spmv_profile(const CsrMatrix& a) noexcept {
+  const double nnz = static_cast<double>(a.nnz());
+  const double n = static_cast<double>(a.rows);
+  KernelProfile p;
+  p.flops = 2.0 * nnz;
+  p.bytes = nnz * (8.0 + 4.0) + (n + 1.0) * 4.0 + 2.0 * n * 8.0;
+  return p;
+}
+
+double time_spmv(const CsrMatrix& a, std::size_t reps) {
+  std::vector<double> x(a.cols, 1.0);
+  std::vector<double> y(a.rows, 0.0);
+  const Timing t = time_repeated(
+      [&] {
+        spmv(a, x, y);
+        do_not_optimize(y.data());
+      },
+      reps);
+  return t.best_seconds;
+}
+
+}  // namespace rme::ubench

@@ -1,0 +1,47 @@
+#pragma once
+// Sparse matrix-vector multiply (CSR) on the host — a real low-intensity
+// kernel matching the §II-A SpMV characterization in core/algorithms.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rme/core/model.hpp"
+
+namespace rme::ubench {
+
+/// A CSR matrix.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  ///< rows + 1 entries.
+  std::vector<std::uint32_t> col_idx;  ///< nnz entries.
+  std::vector<double> values;          ///< nnz entries.
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+  /// Structural validity: monotone row_ptr, in-range column indices.
+  [[nodiscard]] bool valid() const;
+};
+
+/// A banded test matrix: `band` nonzeros per row clustered around the
+/// diagonal (deterministic values from `seed`).
+[[nodiscard]] CsrMatrix banded_matrix(std::size_t n, std::size_t band,
+                                      std::uint64_t seed);
+
+/// y = A·x (sizes checked; throws std::invalid_argument).
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y);
+
+/// Dense reference for correctness checks on small matrices.
+[[nodiscard]] std::vector<double> spmv_reference(const CsrMatrix& a,
+                                                 const std::vector<double>& x);
+
+/// Work/traffic accounting matching core/algorithms' SpMV model:
+/// 2 flops per nonzero; values (8 B) + indices (4 B) per nonzero plus
+/// row pointers and the two vectors.
+[[nodiscard]] KernelProfile spmv_profile(const CsrMatrix& a) noexcept;
+
+/// Timed run on the host: returns best-of-`reps` seconds.
+[[nodiscard]] double time_spmv(const CsrMatrix& a, std::size_t reps = 5);
+
+}  // namespace rme::ubench

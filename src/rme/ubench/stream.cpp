@@ -1,0 +1,100 @@
+#include "rme/ubench/stream.hpp"
+
+#include <functional>
+
+#include "rme/ubench/timer.hpp"
+
+namespace rme::ubench {
+
+const char* to_string(StreamKernel k) noexcept {
+  switch (k) {
+    case StreamKernel::kCopy:
+      return "copy";
+    case StreamKernel::kScale:
+      return "scale";
+    case StreamKernel::kAdd:
+      return "add";
+    case StreamKernel::kTriad:
+      return "triad";
+  }
+  return "?";
+}
+
+StreamCounts stream_counts(StreamKernel k, std::size_t word_bytes) noexcept {
+  StreamCounts c;
+  const double w = static_cast<double>(word_bytes);
+  switch (k) {
+    case StreamKernel::kCopy:
+      c.bytes_per_element = 2.0 * w;
+      c.flops_per_element = 0.0;
+      break;
+    case StreamKernel::kScale:
+      c.bytes_per_element = 2.0 * w;
+      c.flops_per_element = 1.0;
+      break;
+    case StreamKernel::kAdd:
+      c.bytes_per_element = 3.0 * w;
+      c.flops_per_element = 1.0;
+      break;
+    case StreamKernel::kTriad:
+      c.bytes_per_element = 3.0 * w;
+      c.flops_per_element = 2.0;
+      break;
+  }
+  return c;
+}
+
+void stream_copy(const std::vector<double>& a, std::vector<double>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) b[i] = a[i];
+}
+
+void stream_scale(const std::vector<double>& a, std::vector<double>& b,
+                  double q) {
+  for (std::size_t i = 0; i < a.size(); ++i) b[i] = q * a[i];
+}
+
+void stream_add(const std::vector<double>& a, const std::vector<double>& b,
+                std::vector<double>& c) {
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+}
+
+void stream_triad(const std::vector<double>& a, const std::vector<double>& b,
+                  std::vector<double>& c, double q) {
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + q * b[i];
+}
+
+std::vector<StreamResult> run_stream(std::size_t n, std::size_t reps) {
+  std::vector<double> a(n, 1.0), b(n, 2.0), c(n, 0.0);
+  const double q = 3.0;
+
+  std::vector<StreamResult> results;
+  const auto record = [&](StreamKernel k, const std::function<void()>& fn) {
+    const Timing t = time_repeated(fn, reps);
+    const StreamCounts counts = stream_counts(k, sizeof(double));
+    StreamResult r;
+    r.kernel = k;
+    r.seconds = t.best_seconds;
+    r.bytes = counts.bytes_per_element * static_cast<double>(n);
+    results.push_back(r);
+  };
+
+  record(StreamKernel::kCopy, [&] {
+    stream_copy(a, c);
+    do_not_optimize(c.data());
+  });
+  record(StreamKernel::kScale, [&] {
+    stream_scale(c, b, q);
+    do_not_optimize(b.data());
+  });
+  record(StreamKernel::kAdd, [&] {
+    stream_add(a, b, c);
+    do_not_optimize(c.data());
+  });
+  record(StreamKernel::kTriad, [&] {
+    stream_triad(b, c, a, q);
+    do_not_optimize(a.data());
+  });
+  return results;
+}
+
+}  // namespace rme::ubench

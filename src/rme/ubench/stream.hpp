@@ -1,0 +1,50 @@
+#pragma once
+// STREAM-style bandwidth kernels (McCalpin).  §IV-B validates the CPU
+// microbenchmark's achieved bandwidth against STREAM ("comparable to
+// that of the STREAM benchmark"), so the suite carries its own copy /
+// scale / add / triad kernels with exact byte accounting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rme::ubench {
+
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+[[nodiscard]] const char* to_string(StreamKernel k) noexcept;
+
+/// Bytes moved and flops performed per element, per kernel (classic
+/// STREAM accounting: copy/scale move 2 words, add/triad move 3).
+struct StreamCounts {
+  double bytes_per_element = 0.0;
+  double flops_per_element = 0.0;
+};
+
+[[nodiscard]] StreamCounts stream_counts(StreamKernel k,
+                                         std::size_t word_bytes) noexcept;
+
+/// The four kernels over pre-allocated arrays (b ← a, etc.).
+void stream_copy(const std::vector<double>& a, std::vector<double>& b);
+void stream_scale(const std::vector<double>& a, std::vector<double>& b,
+                  double q);
+void stream_add(const std::vector<double>& a, const std::vector<double>& b,
+                std::vector<double>& c);
+void stream_triad(const std::vector<double>& a, const std::vector<double>& b,
+                  std::vector<double>& c, double q);
+
+/// Result of a full STREAM pass.
+struct StreamResult {
+  StreamKernel kernel;
+  double seconds = 0.0;
+  double bytes = 0.0;
+  [[nodiscard]] double gbytes_per_second() const noexcept {
+    return bytes / seconds / 1e9;
+  }
+};
+
+/// Runs all four kernels over n-element arrays, best of `reps`.
+[[nodiscard]] std::vector<StreamResult> run_stream(std::size_t n,
+                                                   std::size_t reps = 5);
+
+}  // namespace rme::ubench

@@ -1,0 +1,30 @@
+#include "rme/ubench/timer.hpp"
+
+#include <algorithm>
+
+namespace rme::ubench {
+
+Timing time_repeated(const std::function<void()>& fn, std::size_t reps) {
+  Timing t;
+  if (reps == 0) return t;
+  fn();  // warm-up: page-in, cache priming, frequency ramp
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  t.repetitions = reps;
+  t.best_seconds = samples.front();
+  t.median_seconds = reps % 2 == 1
+                         ? samples[reps / 2]
+                         : 0.5 * (samples[reps / 2 - 1] + samples[reps / 2]);
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  t.mean_seconds = sum / static_cast<double>(reps);
+  return t;
+}
+
+}  // namespace rme::ubench

@@ -1,0 +1,43 @@
+#pragma once
+// Timing harness for the host microbenchmarks.
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rme::ubench {
+
+/// Prevents the optimizer from deleting a computed value.
+template <class T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Timing summary over repetitions.
+struct Timing {
+  double best_seconds = 0.0;
+  double median_seconds = 0.0;
+  double mean_seconds = 0.0;
+  std::size_t repetitions = 0;
+};
+
+/// Times `fn` `reps` times (after one untimed warm-up) and summarizes.
+[[nodiscard]] Timing time_repeated(const std::function<void()>& fn,
+                                   std::size_t reps = 5);
+
+}  // namespace rme::ubench

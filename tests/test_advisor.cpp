@@ -1,0 +1,105 @@
+// The optimization advisor: §II-D's roofline-reading, as an API.
+
+#include "rme/core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Advisor, ClassifiesAndQuantifiesHeadroom) {
+  const MachineParams m = presets::fermi_table2();
+  // A memory-bound kernel at I = B_tau/4: 25% of peak speed.
+  const KernelProfile k =
+      KernelProfile::from_intensity(m.time_balance() / 4.0, 1e9);
+  const Advice a = advise(m, k);
+  EXPECT_EQ(a.bound_in_time, Bound::kMemory);
+  EXPECT_NEAR(a.speed_fraction, 0.25, 1e-9);
+  EXPECT_NEAR(a.speed_headroom, 4.0, 1e-9);
+  EXPECT_LT(a.efficiency_fraction, 0.25);  // arch line is below there
+  EXPECT_GT(a.efficiency_headroom, 4.0);
+}
+
+TEST(Advisor, TargetsAreConsistentWithModel) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+  const Advice a = advise(m, k, 0.9);
+  EXPECT_NEAR(normalized_speed(m, a.intensity_for_target_speed), 0.9, 1e-3);
+  EXPECT_NEAR(normalized_efficiency(m, a.intensity_for_target_efficiency),
+              0.9, 1e-3);
+}
+
+TEST(Advisor, EnergyIsHarderOnFermi) {
+  // pi0 = 0, B_eps = 4x B_tau: the energy target needs far more
+  // intensity (§II-D: "energy-efficiency is even harder to achieve").
+  const MachineParams m = presets::fermi_table2();
+  const Advice a =
+      advise(m, KernelProfile::from_intensity(8.0, 1e9));
+  EXPECT_EQ(a.harder_goal, Metric::kEnergy);
+  EXPECT_GT(a.intensity_for_target_efficiency,
+            10.0 * a.intensity_for_target_speed);
+  EXPECT_TRUE(a.classifications_differ);  // I = 8 is in the gap window
+  EXPECT_NE(a.summary.find("balance-gap window"), std::string::npos);
+}
+
+TEST(Advisor, TimeIsHarderOnTodaysMachines) {
+  // GTX 580 double: constant power pulls the effective energy balance
+  // below B_tau, so the time ceiling needs more intensity.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const Advice a =
+      advise(m, KernelProfile::from_intensity(16.0, 1e9));
+  EXPECT_EQ(a.harder_goal, Metric::kTime);
+  EXPECT_FALSE(a.classifications_differ);
+  EXPECT_NE(a.summary.find("race-to-halt applies"), std::string::npos);
+  // Even so, the 90%-of-ceiling intensity is larger for energy: the
+  // arch line approaches its ceiling only asymptotically.
+  EXPECT_GT(a.intensity_for_target_efficiency,
+            a.intensity_for_target_speed);
+}
+
+TEST(Advisor, SummaryIsInformative) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const Advice a = advise(m, KernelProfile::from_intensity(0.5, 1e9));
+  EXPECT_NE(a.summary.find("memory-bound"), std::string::npos);
+  EXPECT_NE(a.summary.find("% of peak"), std::string::npos);
+}
+
+TEST(AdvisorCapacity, MatmulNeedsFiniteZ) {
+  const MachineParams m = presets::fermi_table2();
+  const CapacityAdvice c = advise_capacity(m, matmul_model(), 4096.0, 0.9);
+  ASSERT_GT(c.z_for_target_speed, 0.0);
+  ASSERT_GT(c.z_for_target_efficiency, 0.0);
+  // The returned Z actually achieves the target intensity.
+  const double i_speed =
+      intensity_for_fraction(Metric::kTime, m, 0.9);
+  EXPECT_GE(matmul_model().intensity(4096.0, c.z_for_target_speed),
+            i_speed * (1.0 - 1e-6));
+  // Energy target needs more cache on a pi0 = 0 balance-gap machine.
+  EXPECT_GT(c.z_for_target_efficiency, c.z_for_target_speed);
+}
+
+TEST(AdvisorCapacity, ReductionCannotReachTargets) {
+  const MachineParams m = presets::fermi_table2();
+  const CapacityAdvice c =
+      advise_capacity(m, reduction_model(), 1e9, 0.9);
+  EXPECT_LT(c.z_for_target_speed, 0.0);
+  EXPECT_LT(c.z_for_target_efficiency, 0.0);
+}
+
+TEST(AdvisorCapacity, SymmetricTargetsAlwaysCostMoreForEnergy) {
+  // At a symmetric 90%-of-ceiling target the energy requirement always
+  // exceeds the time requirement (the arch line converges to its
+  // ceiling only asymptotically) — even on the GTX 580 dp where the
+  // *milestone* comparison inverts (see test_algorithms'
+  // EnergyBoundNeedsLessCacheOnTodaysMachines).
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const CapacityAdvice c = advise_capacity(m, matmul_model(), 4096.0, 0.9);
+  ASSERT_GT(c.z_for_target_speed, 0.0);
+  ASSERT_GT(c.z_for_target_efficiency, 0.0);
+  EXPECT_GT(c.z_for_target_efficiency, c.z_for_target_speed);
+}
+
+}  // namespace
+}  // namespace rme

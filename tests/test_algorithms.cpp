@@ -1,0 +1,127 @@
+// §II-A algorithm characterizations: the matmul O(√Z) intensity bound,
+// the Z-independent reduction, and the cache-capacity requirements for
+// time- vs energy-efficiency.
+
+#include "rme/core/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+constexpr double kN = 4096.0;       // matrix dim / element count
+constexpr double kZ = 1u << 20;     // 1 MiB fast memory
+constexpr double kWord = 8.0;
+
+TEST(Algorithms, MatmulWorkIsTwoNCubed) {
+  EXPECT_DOUBLE_EQ(matmul_model().work(kN), 2.0 * kN * kN * kN);
+}
+
+TEST(Algorithms, MatmulIntensityScalesAsSqrtZ) {
+  // §II-A: "if we improve an architecture by doubling Z, we will
+  // improve the inherent algorithmic intensity of a matrix multiply
+  // algorithm by no more than √2" — and asymptotically by exactly √2.
+  const AlgorithmModel& mm = matmul_model();
+  const double i1 = mm.intensity(kN, kZ, kWord);
+  const double i2 = mm.intensity(kN, 2.0 * kZ, kWord);
+  EXPECT_GT(i2, i1);
+  EXPECT_LT(i2 / i1, std::sqrt(2.0) + 1e-9);   // never more than √2
+  EXPECT_GT(i2 / i1, std::sqrt(2.0) * 0.95);   // and close to it here
+}
+
+TEST(Algorithms, ReductionIntensityIndependentOfZ) {
+  // §II-A: "increasing Z has no effect on the intensity of this kind of
+  // reduction."
+  const AlgorithmModel& red = reduction_model();
+  EXPECT_DOUBLE_EQ(red.intensity(kN, kZ, kWord),
+                   red.intensity(kN, 1e9, kWord));
+  EXPECT_DOUBLE_EQ(red.intensity(kN, kZ, kWord), 1.0 / kWord);
+}
+
+TEST(Algorithms, StencilAndSpmvAreLowConstantIntensity) {
+  EXPECT_NEAR(stencil_model().intensity(1e6, kZ, kWord), 8.0 / 16.0, 1e-12);
+  const double spmv_i = spmv_model().intensity(1e6, kZ, kWord);
+  EXPECT_GT(spmv_i, 0.05);
+  EXPECT_LT(spmv_i, 0.5);
+  // Z-independent for both.
+  EXPECT_DOUBLE_EQ(spmv_model().intensity(1e6, kZ, kWord),
+                   spmv_model().intensity(1e6, 64.0 * kZ, kWord));
+}
+
+TEST(Algorithms, FftIntensityGrowsLogarithmicallyInZ) {
+  const AlgorithmModel& fft = fft_model();
+  const double i_small = fft.intensity(1e8, 1u << 12, kWord);
+  const double i_big = fft.intensity(1e8, 1u << 24, kWord);
+  EXPECT_GT(i_big, i_small);
+  // Quadrupling the exponent of Z reduces passes roughly 2x, not 4x:
+  // sublinear (logarithmic) improvement.
+  EXPECT_LT(i_big / i_small, 8.0);
+}
+
+TEST(Algorithms, ProfileMatchesWorkAndTraffic) {
+  const AlgorithmModel& mm = matmul_model();
+  const KernelProfile p = mm.profile(kN, kZ, kWord);
+  EXPECT_DOUBLE_EQ(p.flops, mm.work(kN));
+  EXPECT_DOUBLE_EQ(p.bytes, mm.traffic(kN, kZ, kWord));
+  EXPECT_NEAR(p.intensity(), mm.intensity(kN, kZ, kWord), 1e-12);
+}
+
+TEST(Algorithms, AllModelsAreRegistered) {
+  const auto models = all_algorithm_models();
+  EXPECT_EQ(models.size(), 5u);
+  for (const AlgorithmModel* model : models) {
+    EXPECT_FALSE(model->name.empty());
+    EXPECT_GT(model->work(1e6), 0.0);
+    EXPECT_GT(model->traffic(1e6, kZ, kWord), 0.0);
+  }
+}
+
+TEST(Algorithms, ZForTimeBoundMatmul) {
+  // The Z at which blocked matmul becomes compute-bound in time on the
+  // Fermi (B_tau = 3.58): intensity(Z*) == B_tau, and monotonicity
+  // around it.
+  const MachineParams m = presets::fermi_table2();
+  const double z_star = z_for_time_bound(matmul_model(), kN, m);
+  ASSERT_GT(z_star, 0.0);
+  EXPECT_NEAR(matmul_model().intensity(kN, z_star, kWord),
+              m.time_balance(), 0.01 * m.time_balance());
+  EXPECT_LT(matmul_model().intensity(kN, z_star / 4.0, kWord),
+            m.time_balance());
+}
+
+TEST(Algorithms, ReductionNeverBecomesComputeBound) {
+  const MachineParams m = presets::fermi_table2();
+  EXPECT_LT(z_for_time_bound(reduction_model(), 1e9, m), 0.0);
+  EXPECT_LT(z_for_energy_bound(reduction_model(), 1e9, m), 0.0);
+}
+
+TEST(Algorithms, EnergyBoundNeedsMoreCacheWhenGapExists) {
+  // On the pi0 = 0 Fermi, B_eps = 4x B_tau: matmul needs ~16x the fast
+  // memory to be energy-efficient that it needs to be time-efficient
+  // (intensity ∝ √Z).  The balance gap as a hardware-provisioning rule.
+  const MachineParams m = presets::fermi_table2();
+  const double z_time = z_for_time_bound(matmul_model(), kN, m);
+  const double z_energy = z_for_energy_bound(matmul_model(), kN, m);
+  ASSERT_GT(z_time, 0.0);
+  ASSERT_GT(z_energy, 0.0);
+  EXPECT_GT(z_energy, 8.0 * z_time);
+  EXPECT_LT(z_energy, 32.0 * z_time);
+}
+
+TEST(Algorithms, EnergyBoundNeedsLessCacheOnTodaysMachines) {
+  // On the GTX 580 (double) the effective energy balance sits BELOW
+  // B_tau (const power), so energy-efficiency is the easier target.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const double z_time = z_for_time_bound(matmul_model(), kN, m);
+  const double z_energy = z_for_energy_bound(matmul_model(), kN, m);
+  ASSERT_GT(z_time, 0.0);
+  ASSERT_GT(z_energy, 0.0);
+  EXPECT_LT(z_energy, z_time);
+}
+
+}  // namespace
+}  // namespace rme

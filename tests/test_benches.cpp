@@ -1,0 +1,140 @@
+// Smoke/integration tests for the benchmark harness: every table/figure
+// binary runs as a subprocess and must exit cleanly with its headline
+// content present.  This pins the deliverable that regenerates the
+// paper's results.  (bench_host_microbench is exercised separately — it
+// is host-timing-dependent and slow under google-benchmark.)
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef RME_BENCH_DIR
+#error "RME_BENCH_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_bench(const std::string& name) {
+  const std::string cmd = std::string(RME_BENCH_DIR) + "/" + name + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  std::array<char, 512> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe)) {
+    result.output += buffer.data();
+  }
+  result.exit_code = WEXITSTATUS(pclose(pipe));
+  return result;
+}
+
+void expect_contains(const RunResult& r,
+                     std::initializer_list<const char*> needles) {
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* needle : needles) {
+    EXPECT_NE(r.output.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Benches, Table2) {
+  expect_contains(run_bench("bench_table2_parameters"),
+                  {"Table II", "14.4", "3.58"});
+}
+
+TEST(Benches, Fig2a) {
+  expect_contains(run_bench("bench_fig2a_arch_line"),
+                  {"roofline", "arch line", "Balance points"});
+}
+
+TEST(Benches, Fig2b) {
+  expect_contains(run_bench("bench_fig2b_power_line"),
+                  {"power line", "max power"});
+}
+
+TEST(Benches, Table3) {
+  expect_contains(run_bench("bench_table3_platforms"),
+                  {"Table III", "1581.06", "GTX 580"});
+}
+
+TEST(Benches, Fig4) {
+  expect_contains(run_bench("bench_fig4_intensity_sweep"),
+                  {"Fig. 4 subplot", "capped", "race-to-halt works"});
+}
+
+TEST(Benches, Table4) {
+  expect_contains(run_bench("bench_table4_fitted_coefficients"),
+                  {"Table IV", "eps_mem", "R^2"});
+}
+
+TEST(Benches, Fig5) {
+  expect_contains(run_bench("bench_fig5_power_lines"),
+                  {"Fig. 5 subplot", "244 W"});
+}
+
+TEST(Benches, KecklerCheck) {
+  expect_contains(run_bench("bench_keckler_check"),
+                  {"187", "307", "443", "513"});
+}
+
+TEST(Benches, FmmuEnergy) {
+  expect_contains(run_bench("bench_fmmu_energy"),
+                  {"U-list", "calibrated cache energy", "median"});
+}
+
+TEST(Benches, Greenup) {
+  expect_contains(run_bench("bench_greenup_tradeoff"),
+                  {"eq. (10)", "greenup"});
+}
+
+TEST(Benches, AblationOverlap) {
+  expect_contains(run_bench("bench_ablation_overlap"),
+                  {"overlap", "serial"});
+}
+
+TEST(Benches, AblationConstPower) {
+  expect_contains(run_bench("bench_ablation_const_power"),
+                  {"Inversion threshold", "race-to-halt"});
+}
+
+TEST(Benches, AblationPowercap) {
+  expect_contains(run_bench("bench_ablation_powercap"),
+                  {"violation onset", "throttle"});
+}
+
+TEST(Benches, AblationDvfs) {
+  expect_contains(run_bench("bench_ablation_dvfs"),
+                  {"race-to-halt IS optimal", "race-to-halt is NOT optimal"});
+}
+
+TEST(Benches, AblationMetrics) {
+  expect_contains(run_bench("bench_ablation_metrics"),
+                  {"EDP", "90%"});
+}
+
+TEST(Benches, HeteroSplit) {
+  expect_contains(run_bench("bench_hetero_split"),
+                  {"Idle policy", "time-opt alpha", "disagree"});
+}
+
+TEST(Benches, AlgorithmIntensities) {
+  expect_contains(run_bench("bench_algorithm_intensities"),
+                  {"matmul", "sqrt", "compute-bound"});
+}
+
+TEST(Benches, ClusterRooflines) {
+  expect_contains(run_bench("bench_cluster_rooflines"),
+                  {"network", "Channel classification"});
+}
+
+TEST(Benches, RegionMaps) {
+  expect_contains(run_bench("bench_region_maps"),
+                  {"speedup+greenup", "scale:"});
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Bootstrap confidence intervals for the eq. (9) fit, cross-checked
+// against the delta method.
+
+#include "rme/fit/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+#include "rme/sim/noise.hpp"
+
+namespace rme::fit {
+namespace {
+
+std::vector<EnergySample> noisy_samples(double sigma, std::uint64_t seed) {
+  std::vector<EnergySample> samples;
+  const rme::sim::NoiseModel noise(seed, sigma);
+  std::uint64_t salt = 0;
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams m = presets::gtx580(prec);
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      for (int rep = 0; rep < 6; ++rep) {
+        const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+        EnergySample s;
+        s.flops = k.flops;
+        s.bytes = k.bytes;
+        s.seconds = noise.perturb(predict_time(m, k).total_seconds, ++salt);
+        s.joules = noise.perturb(predict_energy(m, k).total_joules, ++salt);
+        s.precision = prec;
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(Bootstrap, CiCoversTruthOnNoisyData) {
+  const auto samples = noisy_samples(0.02, 99);
+  const BootstrapEstimate est = bootstrap_energy_fit(
+      samples, energy_balance_statistic, 120, 7);
+  const double truth = 513.0 / 212.0;
+  EXPECT_GT(est.resamples, 100u);
+  EXPECT_GT(est.std_error, 0.0);
+  EXPECT_LE(est.ci_lo, est.ci_hi);
+  EXPECT_LE(est.ci_lo, truth * 1.05);
+  EXPECT_GE(est.ci_hi, truth * 0.95);
+  EXPECT_NEAR(est.mean, truth, 0.2 * truth);
+}
+
+TEST(Bootstrap, AgreesWithDeltaMethodWithinFactor) {
+  // The two uncertainty estimates should be the same order of
+  // magnitude (they estimate the same sampling distribution).
+  const auto samples = noisy_samples(0.02, 123);
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  const DerivedQuantity delta =
+      fitted_energy_balance(fit, Precision::kDouble);
+  const BootstrapEstimate boot = bootstrap_energy_fit(
+      samples, energy_balance_statistic, 150, 11);
+  EXPECT_GT(boot.std_error, 0.2 * delta.std_error);
+  EXPECT_LT(boot.std_error, 5.0 * delta.std_error);
+}
+
+TEST(Bootstrap, NearZeroSpreadOnCleanData) {
+  // Noise-free data: every resample refits the same coefficients.
+  std::vector<EnergySample> samples;
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams m = presets::gtx580(prec);
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+      EnergySample s;
+      s.flops = k.flops;
+      s.bytes = k.bytes;
+      s.seconds = predict_time(m, k).total_seconds;
+      s.joules = predict_energy(m, k).total_joules;
+      s.precision = prec;
+      samples.push_back(s);
+    }
+  }
+  const BootstrapEstimate est =
+      bootstrap_energy_fit(samples, energy_balance_statistic, 60, 3);
+  const double truth = 513.0 / 212.0;
+  // Resamples can be rank-deficient (few distinct rows drawn); the
+  // successful ones agree exactly.
+  EXPECT_GT(est.resamples, 10u);
+  EXPECT_NEAR(est.mean, truth, 0.05 * truth);
+  EXPECT_LT(est.std_error, 0.05 * truth);
+}
+
+TEST(Bootstrap, Determinism) {
+  const auto samples = noisy_samples(0.02, 5);
+  const BootstrapEstimate a =
+      bootstrap_energy_fit(samples, energy_balance_statistic, 50, 42);
+  const BootstrapEstimate b =
+      bootstrap_energy_fit(samples, energy_balance_statistic, 50, 42);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.ci_lo, b.ci_lo);
+  const BootstrapEstimate c =
+      bootstrap_energy_fit(samples, energy_balance_statistic, 50, 43);
+  EXPECT_NE(a.mean, c.mean);
+}
+
+TEST(Bootstrap, RejectsTinySamples) {
+  EXPECT_THROW(bootstrap_energy_fit({}, energy_balance_statistic),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rme::fit

@@ -1,0 +1,280 @@
+// Cache simulator: geometry validation, hit/miss/LRU/write-back
+// semantics, and hierarchy traffic accounting.
+
+#include "rme/sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rme::sim {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.size_bytes = 1024;  // 4 sets × 2 ways × 128 B... no: 8 sets below
+  c.line_bytes = 64;
+  c.ways = 2;
+  return c;  // 8 sets
+}
+
+TEST(CacheConfig, Validity) {
+  CacheConfig c = tiny_cache();
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.num_sets(), 8u);
+  c.line_bytes = 48;  // not a power of two
+  EXPECT_FALSE(c.valid());
+  c = tiny_cache();
+  c.size_bytes = 1000;  // not sets*ways*line
+  EXPECT_FALSE(c.valid());
+  c = tiny_cache();
+  c.ways = 0;
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(Cache, ConstructorRejectsInvalidConfig) {
+  CacheConfig c;
+  c.size_bytes = 100;
+  c.line_bytes = 3;
+  c.ways = 1;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(tiny_cache());
+  const auto first = cache.access(0x1000, false);
+  EXPECT_FALSE(first.hit);
+  const auto second = cache.access(0x1000, false);
+  EXPECT_TRUE(second.hit);
+  // Same line, different byte: still a hit.
+  const auto third = cache.access(0x103F, false);
+  EXPECT_TRUE(third.hit);
+  EXPECT_EQ(cache.counters().read_misses, 1u);
+  EXPECT_EQ(cache.counters().read_hits, 2u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way set: fill both ways, touch the first, insert a third line —
+  // the least-recently-used (second) way must be the victim.
+  Cache cache(tiny_cache());
+  const std::uint64_t set_stride = 8 * 64;  // lines mapping to set 0
+  cache.access(0 * set_stride, false);      // line A
+  cache.access(1 * set_stride, false);      // line B
+  cache.access(0 * set_stride, false);      // touch A (B becomes LRU)
+  cache.access(2 * set_stride, false);      // line C evicts B
+  EXPECT_TRUE(cache.access(0 * set_stride, false).hit);   // A still in
+  EXPECT_FALSE(cache.access(1 * set_stride, false).hit);  // B was evicted
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  Cache cache(tiny_cache());
+  const std::uint64_t set_stride = 8 * 64;
+  cache.access(0, true);                 // dirty line A in set 0
+  cache.access(1 * set_stride, false);   // clean line B
+  const auto r = cache.access(2 * set_stride, false);  // evicts A (LRU)
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_line, 0u);
+  EXPECT_EQ(cache.counters().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  Cache cache(tiny_cache());
+  const std::uint64_t set_stride = 8 * 64;
+  cache.access(0, false);
+  cache.access(1 * set_stride, false);
+  const auto r = cache.access(2 * set_stride, false);
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksLineDirty) {
+  Cache cache(tiny_cache());
+  const std::uint64_t set_stride = 8 * 64;
+  cache.access(0, false);               // clean fill
+  cache.access(0, true);                // dirty it via write hit
+  cache.access(1 * set_stride, false);
+  const auto r = cache.access(2 * set_stride, false);  // evicts line 0
+  EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, HitRateAndReset) {
+  Cache cache(tiny_cache());
+  cache.access(0, false);
+  cache.access(0, false);
+  cache.access(0, true);
+  EXPECT_EQ(cache.counters().accesses(), 3u);
+  EXPECT_NEAR(cache.counters().hit_rate(), 2.0 / 3.0, 1e-12);
+  cache.reset();
+  EXPECT_EQ(cache.counters().accesses(), 0u);
+  EXPECT_FALSE(cache.access(0, false).hit);  // cold again
+}
+
+TEST(Cache, WorkingSetWithinCapacityHasNoCapacityMisses) {
+  // Sequentially touching exactly the cache's capacity leaves every line
+  // resident; a second pass is all hits.
+  const CacheConfig cfg = tiny_cache();  // 1 KiB
+  Cache cache(cfg);
+  for (std::uint64_t a = 0; a < cfg.size_bytes; a += cfg.line_bytes) {
+    cache.access(a, false);
+  }
+  EXPECT_EQ(cache.counters().read_misses, 16u);  // compulsory only
+  for (std::uint64_t a = 0; a < cfg.size_bytes; a += cfg.line_bytes) {
+    EXPECT_TRUE(cache.access(a, false).hit);
+  }
+}
+
+TEST(Cache, StreamingLargerThanCapacityThrashes) {
+  const CacheConfig cfg = tiny_cache();
+  Cache cache(cfg);
+  const std::uint64_t span = 8 * cfg.size_bytes;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < span; a += cfg.line_bytes) {
+      cache.access(a, false);
+    }
+  }
+  // LRU on a cyclic scan 8x capacity: every access misses, both passes.
+  EXPECT_EQ(cache.counters().read_hits, 0u);
+}
+
+TEST(Cache, NextLinePrefetchTurnsStreamingMissesIntoHits) {
+  CacheConfig cfg = tiny_cache();
+  cfg.next_line_prefetch = true;
+  Cache cache(cfg);
+  // Sequential line-stride scan: every odd line was prefetched by its
+  // predecessor's miss, so roughly half the accesses hit.
+  for (std::uint64_t a = 0; a < 4096; a += cfg.line_bytes) {
+    cache.access(a, false);
+  }
+  const CacheCounters& c = cache.counters();
+  EXPECT_GT(c.read_hits, 20u);  // ~half of 64 accesses
+  EXPECT_GT(c.prefetch_fills, 20u);
+  EXPECT_LT(c.read_misses, 40u);
+  // Without the prefetcher the same scan misses every access.
+  Cache plain(tiny_cache());
+  for (std::uint64_t a = 0; a < 4096; a += 64) {
+    plain.access(a, false);
+  }
+  EXPECT_EQ(plain.counters().read_hits, 0u);
+  EXPECT_EQ(plain.counters().prefetch_fills, 0u);
+}
+
+TEST(Cache, PrefetchedLinesAreClean) {
+  CacheConfig cfg = tiny_cache();
+  cfg.next_line_prefetch = true;
+  Cache cache(cfg);
+  cache.access(0, false);   // miss; prefetches line 1 clean
+  EXPECT_TRUE(cache.access(64, false).hit);  // prefetched
+  // Force eviction of the prefetched line (set 1, 2 ways): insert two
+  // more lines mapping to set 1.  Evicting the clean prefetched line
+  // must not produce a writeback.
+  const std::uint64_t set_stride = 8 * 64;
+  (void)cache.access(64 + set_stride, false);   // line 9 -> set 1
+  const auto r = cache.access(64 + 2 * set_stride, false);  // evicts line 1
+  EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, PrefetchHurtsRandomlyStridedAccess) {
+  // With a stride of 2 lines, every prefetch is useless and pollutes
+  // the set: the prefetcher fills lines that are never touched.
+  CacheConfig cfg = tiny_cache();
+  cfg.next_line_prefetch = true;
+  Cache cache(cfg);
+  for (std::uint64_t a = 0; a < 8192; a += 2 * cfg.line_bytes) {
+    cache.access(a, false);
+  }
+  EXPECT_EQ(cache.counters().read_hits, 0u);  // no stride-2 benefit
+  EXPECT_EQ(cache.counters().prefetch_fills,
+            cache.counters().read_misses);  // pure pollution
+}
+
+TEST(Hierarchy, RejectsPrefetchingLevels) {
+  CacheConfig l1 = tiny_cache();
+  l1.next_line_prefetch = true;
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 8192;
+  EXPECT_THROW(CacheHierarchy(l1, l2), std::invalid_argument);
+}
+
+TEST(Hierarchy, RequiresL2AtLeastL1) {
+  CacheConfig l1 = tiny_cache();
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 512;
+  l2.ways = 1;
+  EXPECT_THROW(CacheHierarchy(l1, l2), std::invalid_argument);
+}
+
+TEST(Hierarchy, TrafficAccounting) {
+  CacheConfig l1 = tiny_cache();       // 1 KiB
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 8192;                // 8 KiB, 64 sets... 8192/(64*2)=64 sets
+  CacheHierarchy h(l1, l2);
+  // Read 4 KiB sequentially: fits L2, not L1.
+  for (std::uint64_t a = 0; a < 4096; a += 8) {
+    h.access(a, 8, false);
+  }
+  const HierarchyTraffic t1 = h.traffic();
+  EXPECT_DOUBLE_EQ(t1.l1_bytes, 4096.0);          // every requested byte
+  EXPECT_DOUBLE_EQ(t1.l2_bytes, 4096.0);          // 64 line fills
+  EXPECT_DOUBLE_EQ(t1.dram_bytes, 4096.0);        // all cold in L2 too
+  // Second pass: L1 misses again (4 KiB > 1 KiB) but L2 holds it all.
+  for (std::uint64_t a = 0; a < 4096; a += 8) {
+    h.access(a, 8, false);
+  }
+  const HierarchyTraffic t2 = h.traffic();
+  EXPECT_DOUBLE_EQ(t2.l1_bytes, 8192.0);
+  EXPECT_DOUBLE_EQ(t2.l2_bytes, 8192.0);
+  EXPECT_DOUBLE_EQ(t2.dram_bytes, 4096.0);  // no new DRAM traffic
+}
+
+TEST(Hierarchy, SmallWorkingSetStaysInL1) {
+  CacheConfig l1 = tiny_cache();
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 8192;
+  CacheHierarchy h(l1, l2);
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t a = 0; a < 512; a += 8) {
+      h.access(a, 8, false);
+    }
+  }
+  const HierarchyTraffic t = h.traffic();
+  EXPECT_DOUBLE_EQ(t.l1_bytes, 10.0 * 512.0);
+  EXPECT_DOUBLE_EQ(t.l2_bytes, 512.0);   // first-pass fills only
+  EXPECT_DOUBLE_EQ(t.dram_bytes, 512.0);
+}
+
+TEST(Hierarchy, DirtyL1EvictionsReachL2) {
+  CacheConfig l1 = tiny_cache();
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 8192;
+  CacheHierarchy h(l1, l2);
+  // Write a 2 KiB region (2× L1): L1 evicts dirty lines into L2.
+  for (std::uint64_t a = 0; a < 2048; a += 8) {
+    h.access(a, 8, true);
+  }
+  EXPECT_GT(h.l1().counters().writebacks, 0u);
+  const HierarchyTraffic t = h.traffic();
+  // L1↔L2 traffic includes both fills and writebacks.
+  EXPECT_GT(t.l2_bytes, 2048.0);
+}
+
+TEST(Hierarchy, StraddlingAccessTouchesTwoLines) {
+  CacheConfig l1 = tiny_cache();
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 8192;
+  CacheHierarchy h(l1, l2);
+  h.access(60, 8, false);  // crosses the 64 B line boundary
+  EXPECT_EQ(h.l1().counters().read_misses, 2u);
+}
+
+TEST(Hierarchy, ResetClearsEverything) {
+  CacheConfig l1 = tiny_cache();
+  CacheConfig l2 = tiny_cache();
+  l2.size_bytes = 8192;
+  CacheHierarchy h(l1, l2);
+  h.access(0, 8, false);
+  h.reset();
+  const HierarchyTraffic t = h.traffic();
+  EXPECT_DOUBLE_EQ(t.l1_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(t.l2_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(t.dram_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace rme::sim

@@ -1,0 +1,101 @@
+// §V-C cache-energy calibration math on controlled synthetic data.
+
+#include "rme/fit/cache_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/hierarchy.hpp"
+
+namespace rme::fit {
+namespace {
+
+const double kTrueCacheEps = rme::kPaperCacheEnergyPerByte;  // 187 pJ/B
+
+/// Synthesizes a sample whose measured energy includes the cache term.
+CacheSample make_sample(const MachineParams& m, double flops, double dram,
+                        double cache, double seconds) {
+  CacheSample s;
+  s.flops = flops;
+  s.dram_bytes = dram;
+  s.cache_bytes = cache;
+  s.seconds = seconds;
+  s.joules = flops * m.energy_per_flop + dram * m.energy_per_byte +
+             cache * kTrueCacheEps + m.const_power * seconds;
+  return s;
+}
+
+TEST(CacheFit, TwoLevelEstimateMatchesEq2) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const CacheSample s = make_sample(m, 1e9, 2e8, 0.0, 0.01);
+  EXPECT_NEAR(estimate_energy_two_level(m, s), s.joules, 1e-12 * s.joules);
+}
+
+TEST(CacheFit, TwoLevelUnderestimatesWithCacheTraffic) {
+  // The §V-C observation: eq. (2) misses the cache energy entirely.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const CacheSample s = make_sample(m, 1e9, 2e8, 5e9, 0.01);
+  EXPECT_LT(estimate_energy_two_level(m, s), s.joules);
+}
+
+TEST(CacheFit, CalibrationRecoversTrueCacheEnergy) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const CacheSample ref = make_sample(m, 1e9, 2e8, 5e9, 0.01);
+  const double eps = calibrate_cache_energy(m, ref);
+  EXPECT_NEAR(eps, kTrueCacheEps, 1e-9 * kTrueCacheEps);
+}
+
+TEST(CacheFit, CalibrationRejectsZeroCacheTraffic) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const CacheSample ref = make_sample(m, 1e9, 2e8, 0.0, 0.01);
+  EXPECT_THROW((void)calibrate_cache_energy(m, ref), std::invalid_argument);
+}
+
+TEST(CacheFit, CacheAwareEstimateIsExactOnCleanData) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const CacheSample s = make_sample(m, 2e9, 3e8, 8e9, 0.02);
+  const double est = estimate_energy_with_cache(m, s, kTrueCacheEps);
+  EXPECT_NEAR(est, s.joules, 1e-12 * s.joules);
+}
+
+TEST(CacheFit, ErrorStatsOnPopulation) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  std::vector<CacheSample> samples;
+  for (int v = 1; v <= 20; ++v) {
+    samples.push_back(make_sample(m, 1e9 * v, 1e8 * v, 2e9 * v,
+                                  0.005 * v));
+  }
+  const ErrorStats two = two_level_error(m, samples);
+  // Every estimate is low by the same (relative) cache contribution.
+  EXPECT_LT(two.mean_signed_rel_error, -0.05);
+  EXPECT_GT(two.median_abs_rel_error, 0.05);
+  const ErrorStats aware = cache_aware_error(m, samples, kTrueCacheEps);
+  EXPECT_LT(aware.median_abs_rel_error, 1e-9);
+  EXPECT_LT(aware.max_abs_rel_error, 1e-9);
+}
+
+TEST(CacheFit, ErrorStatsShapes) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  // Empty population: all-zero stats.
+  const ErrorStats empty = two_level_error(m, {});
+  EXPECT_DOUBLE_EQ(empty.median_abs_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_abs_rel_error, 0.0);
+  // Median with an even count is the midpoint of the central pair.
+  std::vector<CacheSample> two_samples = {
+      make_sample(m, 1e9, 1e8, 1e9, 0.01),
+      make_sample(m, 1e9, 1e8, 4e9, 0.01),
+  };
+  const ErrorStats s = two_level_error(m, two_samples);
+  EXPECT_GT(s.max_abs_rel_error, s.median_abs_rel_error);
+}
+
+TEST(CacheFit, WrongCacheCoefficientLeavesResidualError) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  std::vector<CacheSample> samples = {make_sample(m, 1e9, 1e8, 5e9, 0.01)};
+  const ErrorStats off =
+      cache_aware_error(m, samples, 0.5 * kTrueCacheEps);
+  EXPECT_GT(off.median_abs_rel_error, 0.01);
+}
+
+}  // namespace
+}  // namespace rme::fit

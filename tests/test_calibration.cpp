@@ -1,0 +1,102 @@
+// End-to-end platform calibration (the §IV "model instantiation"
+// procedure as a component): from measurement sessions to usable
+// MachineParams.
+
+#include "rme/power/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/power/interposer.hpp"
+
+namespace rme::power {
+namespace {
+
+MeasurementSession apparatus(const MachineParams& m, double flop_frac,
+                             double bw_frac, double noise) {
+  rme::sim::SimConfig sim_cfg;
+  sim_cfg.flop_fraction = flop_frac;
+  sim_cfg.bw_fraction = bw_frac;
+  sim_cfg.noise = rme::sim::NoiseModel(0xCA11B, noise);
+  PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;
+  return MeasurementSession(rme::sim::Executor(m, sim_cfg),
+                            PowerMon(gtx580_rails(), mon_cfg),
+                            SessionConfig{9});
+}
+
+TEST(Calibration, RecoversGroundTruthMachine) {
+  const auto sp = apparatus(presets::gtx580(Precision::kSingle), 1.0, 1.0,
+                            0.005);
+  const auto dp = apparatus(presets::gtx580(Precision::kDouble), 1.0, 1.0,
+                            0.005);
+  const CalibrationResult r = calibrate_platform(sp, dp);
+
+  // Energy coefficients: Table IV within a few percent.
+  EXPECT_NEAR(r.fit.coefficients.eps_single * 1e12, 99.7, 8.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_double() * 1e12, 212.0, 15.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_mem * 1e12, 513.0, 30.0);
+  EXPECT_NEAR(r.fit.coefficients.const_power, 122.0, 6.0);
+  EXPECT_GT(r.fit.regression.r_squared, 0.99);
+
+  // Peak rates recovered from the probes (no derating configured).
+  EXPECT_NEAR(r.achieved_gflops_single, 1581.06, 20.0);
+  EXPECT_NEAR(r.achieved_gflops_double, 197.63, 3.0);
+  EXPECT_NEAR(r.achieved_gbs, 192.4, 3.0);
+
+  // The assembled machines have the right derived balance points.
+  EXPECT_NEAR(r.double_precision.time_balance(), 1.03, 0.05);
+  EXPECT_NEAR(r.double_precision.energy_balance(), 2.42, 0.2);
+  EXPECT_NEAR(r.single_precision.time_balance(), 8.22, 0.3);
+  EXPECT_EQ(r.single_precision.name, "calibrated (single)");
+  EXPECT_TRUE(r.double_precision.valid());
+}
+
+TEST(Calibration, DeratedPlatformYieldsAchievableMachine) {
+  // With achieved fractions below 1, the calibrated machine reflects
+  // what tuned kernels actually sustain — peaks scale down, energy
+  // coefficients stay put (energy per op does not depend on how close
+  // to peak you run).
+  const auto sp = apparatus(presets::gtx580(Precision::kSingle), 0.884,
+                            0.873, 0.0);
+  const auto dp = apparatus(presets::gtx580(Precision::kDouble), 0.993,
+                            0.883, 0.0);
+  const CalibrationResult r = calibrate_platform(sp, dp);
+  EXPECT_NEAR(r.achieved_gflops_double, 197.63 * 0.993, 2.0);
+  EXPECT_NEAR(r.achieved_gbs, 192.4 * 0.883, 2.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_mem * 1e12, 513.0, 30.0);
+}
+
+TEST(Calibration, SamplesAreExposedForExport) {
+  const auto sp = apparatus(presets::i7_950(Precision::kSingle), 1.0, 1.0,
+                            0.0);
+  const auto dp = apparatus(presets::i7_950(Precision::kDouble), 1.0, 1.0,
+                            0.0);
+  CalibrationConfig cfg;
+  cfg.intensities = {0.5, 2.0, 8.0};
+  const CalibrationResult r = calibrate_platform(sp, dp, cfg);
+  EXPECT_EQ(r.samples.size(), 6u);  // 3 intensities x 2 precisions
+  int singles = 0;
+  for (const auto& s : r.samples) {
+    if (s.precision == Precision::kSingle) ++singles;
+    EXPECT_GT(s.joules, 0.0);
+    EXPECT_GT(s.seconds, 0.0);
+  }
+  EXPECT_EQ(singles, 3);
+}
+
+TEST(Calibration, CustomIntensityGridIsUsed) {
+  const auto sp = apparatus(presets::i7_950(Precision::kSingle), 1.0, 1.0,
+                            0.0);
+  const auto dp = apparatus(presets::i7_950(Precision::kDouble), 1.0, 1.0,
+                            0.0);
+  CalibrationConfig cfg;
+  cfg.intensities = {1.0, 4.0, 16.0, 64.0};
+  cfg.words = 4e9;
+  const CalibrationResult r = calibrate_platform(sp, dp, cfg);
+  EXPECT_NEAR(r.fit.coefficients.eps_mem * 1e12, 795.0, 40.0);
+  EXPECT_NEAR(r.fit.coefficients.const_power, 122.0, 6.0);
+}
+
+}  // namespace
+}  // namespace rme::power

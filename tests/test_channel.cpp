@@ -1,0 +1,102 @@
+// DC channels, ADC quantization, and the PCIe interposer rail splits.
+
+#include "rme/power/channel.hpp"
+#include "rme/power/interposer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rme::power {
+namespace {
+
+rme::sim::PowerTrace constant_trace(double watts, double seconds = 1.0) {
+  rme::sim::PowerTrace t;
+  t.append(seconds, watts);
+  return t;
+}
+
+TEST(Adc, ZeroLsbIsIdentity) {
+  const AdcModel adc{};
+  EXPECT_DOUBLE_EQ(adc.quantize_volts(12.07), 12.07);
+  EXPECT_DOUBLE_EQ(adc.quantize_amps(3.333), 3.333);
+}
+
+TEST(Adc, QuantizesToLsbGrid) {
+  AdcModel adc;
+  adc.volts_lsb = 0.01;
+  adc.amps_lsb = 0.001;
+  EXPECT_NEAR(adc.quantize_volts(12.074), 12.07, 1e-12);
+  EXPECT_NEAR(adc.quantize_volts(12.076), 12.08, 1e-12);
+  EXPECT_NEAR(adc.quantize_amps(3.3334), 3.333, 1e-12);
+}
+
+TEST(Channel, RejectsInvalidArguments) {
+  EXPECT_THROW(Channel("bad", 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(Channel("bad", -12.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(Channel("bad", 12.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(Channel("bad", 12.0, 1.5), std::invalid_argument);
+}
+
+TEST(Channel, SampleComputesCurrentFromPowerShare) {
+  const Channel ch("12V", 12.0, 0.5);
+  const auto trace = constant_trace(240.0);
+  const ChannelSample s = ch.sample(trace, 0.5, AdcModel{});
+  EXPECT_DOUBLE_EQ(s.volts, 12.0);
+  EXPECT_DOUBLE_EQ(s.amps, 10.0);  // 120 W / 12 V
+  EXPECT_DOUBLE_EQ(s.watts(), 120.0);
+  EXPECT_DOUBLE_EQ(s.timestamp, 0.5);
+}
+
+TEST(Channel, QuantizationChangesMeasuredPower) {
+  const Channel ch("3.3V", 3.3, 1.0);
+  AdcModel adc;
+  adc.amps_lsb = 0.1;
+  const auto trace = constant_trace(10.0);  // 3.0303 A → 3.0 A
+  const ChannelSample s = ch.sample(trace, 0.0, adc);
+  EXPECT_NEAR(s.amps, 3.0, 1e-12);
+  EXPECT_NEAR(s.watts(), 9.9, 1e-9);
+}
+
+TEST(Interposer, Gtx580RailsFormPartition) {
+  const auto rails = gtx580_rails();
+  EXPECT_EQ(rails.size(), 4u);
+  EXPECT_TRUE(rails_form_partition(rails));
+}
+
+TEST(Interposer, AtxCpuRailsFormPartition) {
+  const auto rails = atx_cpu_rails();
+  EXPECT_EQ(rails.size(), 4u);
+  EXPECT_TRUE(rails_form_partition(rails));
+}
+
+TEST(Interposer, RailPowersSumToDevicePower) {
+  const auto rails = gtx580_rails();
+  const auto trace = constant_trace(200.0);
+  double sum = 0.0;
+  for (const Channel& ch : rails) {
+    sum += ch.sample(trace, 0.1, AdcModel{}).watts();
+  }
+  EXPECT_NEAR(sum, 200.0, 1e-9);
+}
+
+TEST(Interposer, PartitionDetectsBadFractions) {
+  std::vector<Channel> rails = {Channel{"a", 12.0, 0.5},
+                                Channel{"b", 12.0, 0.4}};
+  EXPECT_FALSE(rails_form_partition(rails));
+  rails.emplace_back("c", 5.0, 0.1);
+  EXPECT_TRUE(rails_form_partition(rails));
+}
+
+TEST(Interposer, RailVoltagesMatchPcieSpec) {
+  const auto rails = gtx580_rails();
+  int twelve = 0;
+  int three3 = 0;
+  for (const Channel& ch : rails) {
+    if (ch.nominal_volts() == 12.0) ++twelve;
+    if (ch.nominal_volts() == 3.3) ++three3;
+  }
+  EXPECT_EQ(twelve, 3);  // 8-pin, 6-pin, slot 12 V
+  EXPECT_EQ(three3, 1);  // slot 3.3 V
+}
+
+}  // namespace
+}  // namespace rme::power

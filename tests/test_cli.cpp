@@ -1,0 +1,164 @@
+// Integration tests for the rme_cli tool: every subcommand is run as a
+// subprocess; outputs are checked for the numbers the library computes.
+// The binary path is injected by CMake as RME_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifndef RME_CLI_PATH
+#error "RME_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(RME_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  std::array<char, 512> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe)) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, MachinesListsAllPresets) {
+  const CliResult r = run_cli("machines");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* name :
+       {"fermi", "gtx580-sp", "gtx580-dp", "i7-sp", "i7-dp"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(r.output.find("14.4"), std::string::npos);  // Fermi B_eps
+}
+
+TEST(Cli, BalanceReportsRaceToHaltVerdict) {
+  const CliResult gtx = run_cli("balance gtx580-dp");
+  EXPECT_EQ(gtx.exit_code, 0);
+  EXPECT_NE(gtx.output.find("race-to-halt"), std::string::npos);
+  const CliResult fermi = run_cli("balance fermi");
+  EXPECT_EQ(fermi.exit_code, 0);
+  EXPECT_NE(fermi.output.find("harder target"), std::string::npos);
+}
+
+TEST(Cli, PredictComputesModelValues) {
+  // 3.2e11 flops / 1e10 bytes on the GTX 580 dp: I = 32, compute-bound,
+  // T = 1.62 s (see the quickstart example).
+  const CliResult r = run_cli("predict gtx580-dp 3.2e11 1e10");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("32 flop/B"), std::string::npos);
+  EXPECT_NE(r.output.find("compute-bound"), std::string::npos);
+  EXPECT_NE(r.output.find("1.62 s"), std::string::npos);
+}
+
+TEST(Cli, PredictFlagsDisagreementWindow) {
+  // I = 0.9 on the GTX 580 dp sits between the effective balance (0.79)
+  // and B_tau (1.03): the classifications disagree.
+  const CliResult r = run_cli("predict gtx580-dp 9e8 1e9");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("DISAGREE"), std::string::npos);
+}
+
+TEST(Cli, ChartRendersSeries) {
+  const CliResult r = run_cli("chart fermi");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("roofline"), std::string::npos);
+  EXPECT_NE(r.output.find("arch line"), std::string::npos);
+  EXPECT_NE(r.output.find("B_tau"), std::string::npos);
+}
+
+TEST(Cli, GreenupEvaluatesEq10) {
+  const CliResult r = run_cli("greenup fermi 8 1.5 4");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("greenup dE"), std::string::npos);
+  EXPECT_NE(r.output.find("eq. (10)"), std::string::npos);
+}
+
+TEST(Cli, UnknownMachineFails) {
+  const CliResult r = run_cli("balance riscv-v9000");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown machine"), std::string::npos);
+}
+
+TEST(Cli, FitFromCsv) {
+  // Write a small noise-free dataset (GTX 580 model data) and fit it.
+  const std::string path = "/tmp/rme_cli_fit_test.csv";
+  {
+    std::ofstream f(path);
+    f << "flops,bytes,seconds,joules,precision\n";
+    // Values computed from the model: E = W*eps + Q*eps_mem + pi0*T.
+    const double tau_s = 1.0 / 1581.06e9;
+    const double tau_d = 1.0 / 197.63e9;
+    const double tau_m = 1.0 / 192.4e9;
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      const double w = 1e9;
+      const double q = w / i;
+      const double t_s = std::max(w * tau_s, q * tau_m);
+      const double t_d = std::max(w * tau_d, q * tau_m);
+      f << w << ',' << q << ',' << t_s << ','
+        << (w * 99.7e-12 + q * 513e-12 + 122.0 * t_s) << ",single\n";
+      f << w << ',' << q << ',' << t_d << ','
+        << (w * 212e-12 + q * 513e-12 + 122.0 * t_d) << ",double\n";
+    }
+  }
+  const CliResult r = run_cli("fit " + std::string(path));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("eps_mem"), std::string::npos);
+  EXPECT_NE(r.output.find("513"), std::string::npos);   // recovered
+  EXPECT_NE(r.output.find("122"), std::string::npos);   // pi0
+  std::remove(path.c_str());
+}
+
+TEST(Cli, SweepPrintsFig4StyleTable) {
+  const CliResult r = run_cli("sweep gtx580-dp 0.25 16");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("GFLOP/J"), std::string::npos);
+  EXPECT_NE(r.output.find("B_tau"), std::string::npos);
+  EXPECT_NE(r.output.find("max power"), std::string::npos);
+}
+
+TEST(Cli, CapReportsOnsetAndThrottle) {
+  const CliResult r = run_cli("cap gtx580-sp 244");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("binds from I"), std::string::npos);
+  EXPECT_NE(r.output.find("throttle scale"), std::string::npos);
+  const CliResult never = run_cli("cap i7-dp 500");
+  EXPECT_EQ(never.exit_code, 0);
+  EXPECT_NE(never.output.find("never binds"), std::string::npos);
+}
+
+TEST(Cli, AdviseSummarizesKernelPosition) {
+  const CliResult r = run_cli("advise fermi 8e9 1e9");  // I = 8: gap window
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("harder goal"), std::string::npos);
+  EXPECT_NE(r.output.find("balance-gap window"), std::string::npos);
+  const CliResult gtx = run_cli("advise gtx580-dp 3.2e11 1e10");
+  EXPECT_EQ(gtx.exit_code, 0);
+  EXPECT_NE(gtx.output.find("race-to-halt applies"), std::string::npos);
+}
+
+TEST(Cli, FitMissingFileErrors) {
+  const CliResult r = run_cli("fit /nonexistent/data.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Distributed-memory extension: three-channel rooflines, traffic
+// models, and the network-bound onset under weak scaling.
+
+#include "rme/core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+ClusterParams test_cluster(double nodes = 64.0) {
+  ClusterParams c;
+  c.name = "test cluster";
+  c.node = presets::i7_950(Precision::kDouble);
+  c.nodes = nodes;
+  // 10 GB/s injection bandwidth; network bytes are expensive in energy
+  // (NIC + switch), a typical HPC ratio.
+  c.time_per_net_byte = 1.0 / 10e9;
+  c.energy_per_net_byte = 10e-9;  // 10 nJ/B
+  return c;
+}
+
+TEST(Cluster, BalancePoints) {
+  const ClusterParams c = test_cluster();
+  // tau_net / tau_flop: flops per network byte to break even in time.
+  EXPECT_NEAR(c.net_time_balance(), 53.28e9 / 10e9, 1e-9);
+  EXPECT_NEAR(c.net_energy_balance(), 10e-9 / 670e-12, 1e-6);
+  // Network balance dwarfs memory balance: the interconnect is the
+  // scarcer channel in both metrics.
+  EXPECT_GT(c.net_time_balance(), c.node.time_balance());
+  EXPECT_GT(c.net_energy_balance(), c.node.energy_balance());
+}
+
+TEST(Cluster, TimeIsMaxOfThreeChannels) {
+  const ClusterParams c = test_cluster();
+  DistributedProfile w;
+  w.flops = 1e9;
+  w.mem_bytes = 1e8;
+  w.net_bytes = 1e7;
+  const DistributedTime t = predict_time(c, w);
+  EXPECT_DOUBLE_EQ(t.flops_seconds, 1e9 * c.node.time_per_flop);
+  EXPECT_DOUBLE_EQ(t.mem_seconds, 1e8 * c.node.time_per_byte);
+  EXPECT_DOUBLE_EQ(t.net_seconds, 1e7 * c.time_per_net_byte);
+  EXPECT_DOUBLE_EQ(t.total_seconds,
+                   std::max({t.flops_seconds, t.mem_seconds,
+                             t.net_seconds}));
+}
+
+TEST(Cluster, ChannelClassification) {
+  const ClusterParams c = test_cluster();
+  // Pure compute.
+  DistributedProfile compute{1e12, 1e6, 1e3};
+  EXPECT_EQ(predict_time(c, compute).bound, Channel::kCompute);
+  // Memory-heavy.
+  DistributedProfile memory{1e9, 1e11, 1e3};
+  EXPECT_EQ(predict_time(c, memory).bound, Channel::kMemory);
+  // Network-heavy.
+  DistributedProfile network{1e9, 1e6, 1e10};
+  EXPECT_EQ(predict_time(c, network).bound, Channel::kNetwork);
+  EXPECT_STREQ(to_string(Channel::kNetwork), "network-bound");
+}
+
+TEST(Cluster, EnergySumsAllChannelsTimesNodes) {
+  const ClusterParams c = test_cluster(16.0);
+  DistributedProfile w{1e10, 1e9, 1e8};
+  const DistributedEnergy e = predict_energy(c, w);
+  EXPECT_DOUBLE_EQ(e.flops_joules, 16.0 * 1e10 * 670e-12);
+  EXPECT_DOUBLE_EQ(e.mem_joules, 16.0 * 1e9 * 795e-12);
+  EXPECT_DOUBLE_EQ(e.net_joules, 16.0 * 1e8 * 10e-9);
+  EXPECT_DOUBLE_EQ(e.const_joules,
+                   16.0 * 122.0 * predict_time(c, w).total_seconds);
+  EXPECT_DOUBLE_EQ(e.total_joules, e.flops_joules + e.mem_joules +
+                                       e.net_joules + e.const_joules);
+}
+
+TEST(Cluster, SingleNodeNoNetworkDegeneratesToNodeModel) {
+  const ClusterParams c = test_cluster(1.0);
+  DistributedProfile w{1e10, 1e9, 0.0};
+  const KernelProfile k{1e10, 1e9};
+  EXPECT_NEAR(predict_time(c, w).total_seconds,
+              rme::predict_time(c.node, k).total_seconds, 1e-15);
+  EXPECT_NEAR(predict_energy(c, w).total_joules,
+              rme::predict_energy(c.node, k).total_joules, 1e-9);
+}
+
+TEST(Cluster, TrafficModels) {
+  // Halo: 6 faces of (n^(1/3))² cells.
+  EXPECT_NEAR(halo_net_bytes(1e6, 8.0), 6.0 * 1e4 * 8.0, 1.0);
+  // Allreduce: 2 passes over the vector.
+  EXPECT_DOUBLE_EQ(allreduce_net_bytes(1e6), 1.6e7);
+  // FFT transpose: the whole local slab.
+  EXPECT_DOUBLE_EQ(fft_transpose_net_bytes(1e9, 64.0), (1e9 / 64.0) * 8.0);
+}
+
+TEST(Cluster, HaloExchangeScalesWeakly) {
+  // Halo traffic is p-independent at fixed local size: a stencil never
+  // becomes network-bound under weak scaling on this cluster.
+  const ClusterParams c = test_cluster();
+  const double n_local = 1e7;
+  const double flops = 8.0 * n_local;
+  const double mem = 2.0 * 8.0 * n_local;
+  const double onset = network_bound_onset(
+      c, flops, mem, [](double n, double) { return halo_net_bytes(n); },
+      n_local, 1e5);
+  EXPECT_LT(onset, 0.0);
+}
+
+TEST(Cluster, FftBecomesNetworkBoundEventually) {
+  // A distributed FFT's transpose sends the whole local slab while the
+  // local work per point shrinks only logarithmically — at a fixed
+  // GLOBAL size, adding nodes shrinks local compute linearly but the
+  // per-node traffic:compute ratio stays ~constant; model it with
+  // growing per-node communication share instead: use a fixed local
+  // slab whose transpose traffic grows with p (all-to-all with per-peer
+  // overheads ~ p·packets).  Simplified model: net bytes = slab + 1k·p.
+  const ClusterParams c = test_cluster();
+  const double n_local = 1e6;
+  const double flops = 5.0 * n_local * std::log2(1e9);
+  const double mem = 2.0 * 8.0 * n_local;
+  const double onset = network_bound_onset(
+      c, flops, mem,
+      [](double n, double p) { return n * 8.0 * 0.001 + 1024.0 * p; },
+      n_local, 1e6);
+  EXPECT_GT(onset, 1.0);  // becomes network-bound at some p
+}
+
+// ---- Property suite: the three-channel model degenerates correctly ----
+
+class ClusterChannelProperties
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ClusterChannelProperties, Invariants) {
+  const auto [flops, mem, net] = GetParam();
+  const ClusterParams c = test_cluster(8.0);
+  const DistributedProfile w{flops, mem, net};
+  const DistributedTime t = predict_time(c, w);
+  const DistributedEnergy e = predict_energy(c, w);
+  // 1. Time is the max channel; the named bound is the argmax.
+  EXPECT_GE(t.total_seconds, t.flops_seconds);
+  EXPECT_GE(t.total_seconds, t.mem_seconds);
+  EXPECT_GE(t.total_seconds, t.net_seconds);
+  const double bound_seconds = t.bound == Channel::kCompute
+                                   ? t.flops_seconds
+                                   : t.bound == Channel::kMemory
+                                         ? t.mem_seconds
+                                         : t.net_seconds;
+  EXPECT_DOUBLE_EQ(bound_seconds, t.total_seconds);
+  // 2. Energy components are nonnegative and sum to the total.
+  EXPECT_GE(e.net_joules, 0.0);
+  EXPECT_NEAR(e.total_joules,
+              e.flops_joules + e.mem_joules + e.net_joules + e.const_joules,
+              1e-9 * e.total_joules);
+  // 3. Dropping the network traffic never increases time or energy.
+  const DistributedProfile no_net{flops, mem, 0.0};
+  EXPECT_LE(predict_time(c, no_net).total_seconds,
+            t.total_seconds * (1.0 + 1e-12));
+  EXPECT_LE(predict_energy(c, no_net).total_joules,
+            e.total_joules * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClusterChannelProperties,
+    ::testing::Combine(::testing::Values(1e8, 1e10, 1e12),
+                       ::testing::Values(1e6, 1e9, 1e11),
+                       ::testing::Values(0.0, 1e5, 1e8, 1e10)));
+
+}  // namespace
+}  // namespace rme

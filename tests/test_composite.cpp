@@ -1,0 +1,134 @@
+// Composite (multi-phase) kernels on the simulator.
+
+#include "rme/sim/composite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/power/powermon.hpp"
+#include "rme/power/interposer.hpp"
+#include "rme/power/trace_stats.hpp"
+
+namespace rme::sim {
+namespace {
+
+CompositeKernel fmm_step_like() {
+  CompositeKernel k;
+  k.name = "fmm-step";
+  // Memory-bound tree build, compute-bound U-list, memory-bound update.
+  k.phases = {
+      fma_load_mix(0.25, 4e9, Precision::kDouble),
+      fma_load_mix(32.0, 4e9, Precision::kDouble),
+      fma_load_mix(0.5, 2e9, Precision::kDouble),
+  };
+  return k;
+}
+
+Executor ideal_executor(const MachineParams& m) {
+  SimConfig cfg;
+  cfg.noise = NoiseModel(0, 0.0);
+  return Executor(m, cfg);
+}
+
+TEST(Composite, Aggregates) {
+  const CompositeKernel k = fmm_step_like();
+  EXPECT_DOUBLE_EQ(k.total_bytes(), (4e9 + 4e9 + 2e9) * 8.0);
+  EXPECT_DOUBLE_EQ(
+      k.total_flops(),
+      0.25 * 4e9 * 8.0 + 32.0 * 4e9 * 8.0 + 0.5 * 2e9 * 8.0);
+  EXPECT_NEAR(k.aggregate_intensity(), k.total_flops() / k.total_bytes(),
+              1e-12);
+}
+
+TEST(Composite, TimesAndEnergiesAdd) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const Executor exec = ideal_executor(m);
+  const CompositeKernel k = fmm_step_like();
+  const CompositeResult r = run_composite(exec, k);
+  ASSERT_EQ(r.phase_runs.size(), 3u);
+  double t = 0.0;
+  double e = 0.0;
+  for (const RunResult& phase : r.phase_runs) {
+    t += phase.seconds;
+    e += phase.joules;
+  }
+  EXPECT_DOUBLE_EQ(r.seconds, t);
+  EXPECT_DOUBLE_EQ(r.joules, e);
+  EXPECT_NEAR(r.avg_watts, e / t, 1e-9);
+}
+
+TEST(Composite, MatchesAnalyticPrediction) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const Executor exec = ideal_executor(m);
+  const CompositeKernel k = fmm_step_like();
+  const CompositeResult run = run_composite(exec, k);
+  const CompositePrediction pred = predict_composite(m, k);
+  EXPECT_NEAR(run.seconds, pred.seconds, 1e-9 * pred.seconds);
+  EXPECT_NEAR(run.joules, pred.joules, 1e-9 * pred.joules);
+}
+
+TEST(Composite, StitchedTraceCoversWholeRun) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const Executor exec = ideal_executor(m);
+  const CompositeResult r = run_composite(exec, fmm_step_like());
+  EXPECT_NEAR(r.trace.duration(), r.seconds, 1e-9 * r.seconds);
+  EXPECT_NEAR(r.trace.energy(), r.joules, 1e-9 * r.joules);
+}
+
+TEST(Composite, PhasesAreVisibleInThePowerTrace) {
+  // The compute-bound middle phase draws distinctly different power
+  // than the memory-bound phases — segmentation finds >1 power level.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const Executor exec = ideal_executor(m);
+  const CompositeResult r = run_composite(exec, fmm_step_like());
+  const auto samples = rme::power::sample_trace(r.trace, 1024.0);
+  const double threshold = rme::power::auto_threshold(samples);
+  const auto segments = rme::power::segment_trace(samples, threshold);
+  EXPECT_GE(segments.size(), 3u);  // low / high / low at least
+}
+
+TEST(Composite, PowerMonMeasuresTheComposite) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const Executor exec = ideal_executor(m);
+  const CompositeResult r = run_composite(exec, fmm_step_like());
+  rme::power::PowerMonConfig cfg;
+  cfg.sample_hz = 128.0;
+  const rme::power::PowerMon mon(rme::power::gtx580_rails(), cfg);
+  const auto meas = mon.measure(r.trace);
+  EXPECT_NEAR(meas.energy_joules, r.joules, 0.02 * r.joules);
+}
+
+TEST(Composite, PhaseSeparationPenalty) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  // Two complementary phases (pure compute + pure memory) suffer the
+  // full 2x loss vs a perfectly overlapped monolith at I = B_tau.
+  CompositeKernel k;
+  const double b = m.time_balance();
+  // Phase 1: intensity far above B_tau; phase 2: far below; aggregate
+  // intensity lands near B_tau.
+  k.phases = {fma_load_mix(1e3 * b, 1e9, Precision::kDouble),
+              fma_load_mix(b / 1e3, 1e9 * 1e3, Precision::kDouble)};
+  const double penalty = phase_separation_penalty(m, k);
+  EXPECT_GT(penalty, 1.5);
+  EXPECT_LE(penalty, 2.0 + 1e-9);
+  // A single-phase composite has no penalty.
+  CompositeKernel single;
+  single.phases = {fma_load_mix(4.0, 1e9, Precision::kDouble)};
+  EXPECT_NEAR(phase_separation_penalty(m, single), 1.0, 1e-12);
+}
+
+TEST(Composite, DeterministicPerRunId) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  SimConfig cfg;
+  cfg.noise = NoiseModel(5, 0.02);
+  const Executor exec(m, cfg);
+  const CompositeKernel k = fmm_step_like();
+  const CompositeResult a = run_composite(exec, k, 3);
+  const CompositeResult b = run_composite(exec, k, 3);
+  const CompositeResult c = run_composite(exec, k, 4);
+  EXPECT_DOUBLE_EQ(a.joules, b.joules);
+  EXPECT_NE(a.joules, c.joules);
+}
+
+}  // namespace
+}  // namespace rme::sim

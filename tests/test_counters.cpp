@@ -1,0 +1,72 @@
+// Profiler-counter façade over the cache simulator.
+
+#include "rme/sim/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rme::sim {
+namespace {
+
+TEST(Counters, CacheBytesCombinesL1AndL2) {
+  CounterSet c;
+  c.l1_bytes = 100.0;
+  c.l2_bytes = 50.0;
+  EXPECT_DOUBLE_EQ(c.cache_bytes(), 150.0);
+}
+
+TEST(ProfilerSession, FlopCounting) {
+  ProfilerSession s = ProfilerSession::gtx580_like();
+  s.on_flops(11.0);
+  s.on_flops(22.0);
+  EXPECT_DOUBLE_EQ(s.counters().flops, 33.0);
+}
+
+TEST(ProfilerSession, AccessesFlowIntoHierarchy) {
+  ProfilerSession s = ProfilerSession::gtx580_like();
+  for (std::uint64_t a = 0; a < 4096; a += 8) {
+    s.on_access(a, 8, false);
+  }
+  const CounterSet c = s.counters();
+  EXPECT_DOUBLE_EQ(c.l1_bytes, 4096.0);
+  EXPECT_GT(c.dram_bytes, 0.0);
+  EXPECT_LE(c.dram_bytes, c.l2_bytes + 1e-9);
+}
+
+TEST(ProfilerSession, ResetClears) {
+  ProfilerSession s = ProfilerSession::i7_950_like();
+  s.on_access(0, 8, true);
+  s.on_flops(5.0);
+  s.reset();
+  const CounterSet c = s.counters();
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+  EXPECT_DOUBLE_EQ(c.l1_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(c.dram_bytes, 0.0);
+}
+
+TEST(ProfilerSession, PresetGeometriesAreValid) {
+  const ProfilerSession gpu = ProfilerSession::gtx580_like();
+  EXPECT_TRUE(gpu.hierarchy().l1().config().valid());
+  EXPECT_TRUE(gpu.hierarchy().l2().config().valid());
+  EXPECT_EQ(gpu.hierarchy().l1().config().size_bytes, 16u * 1024u);
+  EXPECT_EQ(gpu.hierarchy().l2().config().size_bytes, 768u * 1024u);
+  const ProfilerSession cpu = ProfilerSession::i7_950_like();
+  EXPECT_TRUE(cpu.hierarchy().l1().config().valid());
+  EXPECT_TRUE(cpu.hierarchy().l2().config().valid());
+}
+
+TEST(ProfilerSession, RepeatedSmallWorkingSetMostlyHitsL1) {
+  ProfilerSession s = ProfilerSession::gtx580_like();
+  for (int pass = 0; pass < 20; ++pass) {
+    for (std::uint64_t a = 0; a < 8192; a += 8) {  // 8 KiB < 16 KiB L1
+      s.on_access(a, 8, false);
+    }
+  }
+  const CounterSet c = s.counters();
+  EXPECT_DOUBLE_EQ(c.l1_bytes, 20.0 * 8192.0);
+  // Only compulsory fills leave L1.
+  EXPECT_NEAR(c.l2_bytes, 8192.0, 1.0);
+  EXPECT_NEAR(c.dram_bytes, 8192.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rme::sim

@@ -1,0 +1,102 @@
+// Work-depth refinement (§VII limitation #1).
+
+#include "rme/core/depth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Depth, DegeneratesToThroughputModel) {
+  // Zero depth and latency fully hidden by concurrency reproduce eq. (3).
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+  ConcurrencyParams c;
+  c.processors = 512.0;
+  c.depth = 0.0;
+  c.mem_concurrency = 64.0;
+  c.mem_latency = 0.0;
+  const TimeBreakdown refined = predict_time_depth(m, k, c);
+  const TimeBreakdown basic = predict_time(m, k);
+  EXPECT_NEAR(refined.total_seconds, basic.total_seconds,
+              1e-12 * basic.total_seconds);
+}
+
+TEST(Depth, CriticalPathAddsSerialTime) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k{1e6, 1e3};
+  ConcurrencyParams c;
+  c.processors = 100.0;
+  c.depth = 1e5;  // long dependence chain
+  const TimeBreakdown refined = predict_time_depth(m, k, c);
+  // flops time = (W + D·p)·tau = (1e6 + 1e7)·tau — depth dominates.
+  EXPECT_NEAR(refined.flops_seconds,
+              (1e6 + 1e5 * 100.0) * m.time_per_flop, 1e-18);
+  EXPECT_GT(refined.total_seconds, predict_time(m, k).total_seconds);
+}
+
+TEST(Depth, LatencyBoundMemory) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k{1e3, 1e6};
+  ConcurrencyParams c;
+  c.processors = 1.0;
+  c.mem_concurrency = 1.0;            // one outstanding transfer
+  c.mem_latency = 100e-9;             // 100 ns per transfer
+  const TimeBreakdown refined = predict_time_depth(m, k, c);
+  // Latency term: (Q/c)·L = 1e6·100ns = 0.1 s ≫ bandwidth term.
+  EXPECT_NEAR(refined.mem_seconds, 0.1, 1e-9);
+  EXPECT_EQ(refined.bound(), Bound::kMemory);
+}
+
+TEST(Depth, SufficientConcurrencyHidesLatency) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k{1e3, 1e6};
+  ConcurrencyParams c;
+  c.processors = 1.0;
+  c.mem_latency = 100e-9;
+  // Little's law: need c ≥ L/tau_mem outstanding bytes.
+  c.mem_concurrency = c.mem_latency / m.time_per_byte * 2.0;
+  const TimeBreakdown refined = predict_time_depth(m, k, c);
+  EXPECT_NEAR(refined.mem_seconds, 1e6 * m.time_per_byte,
+              1e-9 * refined.mem_seconds);
+}
+
+TEST(Depth, ZeroMemConcurrencyIsInfinitelySlow) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k{1e3, 1e6};
+  ConcurrencyParams c;
+  c.mem_concurrency = 0.0;
+  c.mem_latency = 1e-9;
+  EXPECT_TRUE(std::isinf(predict_time_depth(m, k, c).total_seconds));
+}
+
+TEST(Depth, EnergyUsesRefinedDuration) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);  // pi0 > 0
+  const KernelProfile k{1e6, 1e3};
+  ConcurrencyParams c;
+  c.processors = 100.0;
+  c.depth = 1e5;
+  const EnergyBreakdown refined = predict_energy_depth(m, k, c);
+  const EnergyBreakdown basic = predict_energy(m, k);
+  // Dynamic energy identical; constant energy grows with the longer T.
+  EXPECT_DOUBLE_EQ(refined.flops_joules, basic.flops_joules);
+  EXPECT_DOUBLE_EQ(refined.mem_joules, basic.mem_joules);
+  EXPECT_GT(refined.const_joules, basic.const_joules);
+}
+
+TEST(Depth, MaxProcessorsForThroughput) {
+  const KernelProfile k{1e9, 1e6};
+  ConcurrencyParams c;
+  c.depth = 1e3;
+  // p ≤ (slack-1)·W/D = 0.01·1e9/1e3 = 1e4.
+  EXPECT_NEAR(max_processors_for_throughput(k, c, 1.01), 1e4, 1e-6);
+  c.depth = 0.0;
+  EXPECT_TRUE(std::isinf(max_processors_for_throughput(k, c)));
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,136 @@
+// DVFS extension and race-to-halt analysis (§II-D, §VII).
+
+#include "rme/core/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/units.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Dvfs, NominalRatioReproducesBaseMachine) {
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+  const MachineParams at1 = at_frequency(base, dvfs, 1.0);
+  EXPECT_DOUBLE_EQ(at1.time_per_flop, base.time_per_flop);
+  EXPECT_DOUBLE_EQ(at1.time_per_byte, base.time_per_byte);
+  EXPECT_DOUBLE_EQ(at1.energy_per_flop, base.energy_per_flop);
+  EXPECT_DOUBLE_EQ(at1.energy_per_byte, base.energy_per_byte);
+  EXPECT_NEAR(at1.const_power, base.const_power, 1e-9);
+}
+
+TEST(Dvfs, CoreClockScalesFlopTimeOnly) {
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+  const MachineParams half = at_frequency(base, dvfs, 0.5);
+  EXPECT_DOUBLE_EQ(half.time_per_flop, 2.0 * base.time_per_flop);
+  EXPECT_DOUBLE_EQ(half.time_per_byte, base.time_per_byte);  // mem domain
+  EXPECT_DOUBLE_EQ(half.energy_per_byte, base.energy_per_byte);
+}
+
+TEST(Dvfs, VoltageScalingReducesFlopEnergy) {
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;  // v_floor = 0.6
+  const MachineParams half = at_frequency(base, dvfs, 0.5);
+  const double v = dvfs.voltage(0.5);  // 0.8
+  EXPECT_NEAR(half.energy_per_flop, base.energy_per_flop * v * v, 1e-18);
+  EXPECT_LT(half.energy_per_flop, base.energy_per_flop);
+}
+
+TEST(Dvfs, ConstPowerDecreasesWithFrequency) {
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+  EXPECT_LT(at_frequency(base, dvfs, 0.5).const_power, base.const_power);
+  EXPECT_LT(at_frequency(base, dvfs, 0.25).const_power,
+            at_frequency(base, dvfs, 0.5).const_power);
+}
+
+TEST(Dvfs, RatiosClampToModelRange) {
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  DvfsModel dvfs;
+  dvfs.min_ratio = 0.5;
+  const MachineParams below = at_frequency(base, dvfs, 0.1);
+  const MachineParams at_min = at_frequency(base, dvfs, 0.5);
+  EXPECT_DOUBLE_EQ(below.time_per_flop, at_min.time_per_flop);
+}
+
+TEST(Dvfs, SweepShapeAndMonotoneTimes) {
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+  const KernelProfile k = KernelProfile::from_intensity(16.0, 1e9);
+  const auto sweep = frequency_sweep(base, dvfs, k, 9);
+  ASSERT_EQ(sweep.size(), 9u);
+  EXPECT_DOUBLE_EQ(sweep.front().ratio, dvfs.min_ratio);
+  EXPECT_DOUBLE_EQ(sweep.back().ratio, dvfs.max_ratio);
+  // Compute-bound kernel: time strictly decreases with frequency.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].seconds, sweep[i - 1].seconds);
+  }
+}
+
+TEST(Dvfs, RaceToHaltOptimalForComputeBoundOnHighConstPowerMachine) {
+  // The i7-950 burns 122 W of constant power against ~36 W of flop
+  // power: finishing sooner dominates, so f_max minimizes energy —
+  // the paper's explanation for why race-to-halt works today (§V-B).
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+  const KernelProfile k = KernelProfile::from_intensity(64.0, 1e9);
+  EXPECT_TRUE(race_to_halt_optimal(base, dvfs, k));
+  const DvfsPoint best = min_energy_point(base, dvfs, k);
+  EXPECT_DOUBLE_EQ(best.ratio, dvfs.max_ratio);
+}
+
+TEST(Dvfs, RaceToHaltBreaksForMemoryBoundKernel) {
+  // A strongly memory-bound kernel's runtime is set by the memory
+  // domain; lowering the core clock only sheds energy.  Race-to-halt is
+  // NOT optimal there — the slowest ratio that stays memory-bound wins.
+  const MachineParams base = presets::i7_950(Precision::kDouble);
+  DvfsModel dvfs;
+  dvfs.min_ratio = 0.5;
+  // I = B_tau/100: memory-bound at every supported ratio (B_tau(r) =
+  // r·B_tau ≥ 0.5·B_tau ≫ I).
+  const KernelProfile k =
+      KernelProfile::from_intensity(base.time_balance() / 100.0, 1e9);
+  EXPECT_FALSE(race_to_halt_optimal(base, dvfs, k));
+  const DvfsPoint best = min_energy_point(base, dvfs, k);
+  EXPECT_DOUBLE_EQ(best.ratio, dvfs.min_ratio);
+  // And its time is unchanged from nominal (still memory-bound).
+  const auto sweep = frequency_sweep(base, dvfs, k, 3);
+  EXPECT_NEAR(sweep.front().seconds, sweep.back().seconds, 1e-12);
+}
+
+TEST(Dvfs, RaceToHaltBreaksWhenConstPowerVanishes) {
+  // §V-B: "If architects could drive pi0 → 0, then the situation could
+  // reverse."  With no constant power and a voltage floor below nominal,
+  // slowing down strictly reduces compute-bound energy too.
+  MachineParams base = presets::i7_950(Precision::kDouble);
+  base.const_power = 0.0;
+  const DvfsModel dvfs;
+  const KernelProfile k = KernelProfile::from_intensity(64.0, 1e9);
+  EXPECT_FALSE(race_to_halt_optimal(base, dvfs, k));
+}
+
+TEST(Dvfs, EnergySweepIsConsistentWithModel) {
+  const MachineParams base = presets::gtx580(Precision::kDouble);
+  const DvfsModel dvfs;
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+  for (const DvfsPoint& p : frequency_sweep(base, dvfs, k, 5)) {
+    const MachineParams m = at_frequency(base, dvfs, p.ratio);
+    EXPECT_NEAR(p.seconds, predict_time(m, k).total_seconds, 1e-15);
+    EXPECT_NEAR(p.joules, predict_energy(m, k).total_joules, 1e-12);
+    EXPECT_NEAR(p.avg_watts, p.joules / p.seconds, 1e-9);
+  }
+}
+
+TEST(Dvfs, VoltageModel) {
+  DvfsModel dvfs;
+  dvfs.v_floor = 0.6;
+  EXPECT_DOUBLE_EQ(dvfs.voltage(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(dvfs.voltage(0.0), 0.6);
+  EXPECT_DOUBLE_EQ(dvfs.voltage(0.5), 0.8);
+}
+
+}  // namespace
+}  // namespace rme

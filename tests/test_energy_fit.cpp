@@ -1,0 +1,212 @@
+// The eq. (9) fitting pipeline (Table IV) on synthetic and simulated data.
+
+#include "rme/fit/energy_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+#include "rme/core/units.hpp"
+#include "rme/sim/executor.hpp"
+
+namespace rme::fit {
+namespace {
+
+/// Builds noise-free samples straight from the analytic model: both
+/// precisions of a platform over an intensity sweep.
+std::vector<EnergySample> model_samples(const MachineParams& sp,
+                                        const MachineParams& dp) {
+  std::vector<EnergySample> samples;
+  for (double i = 0.25; i <= 64.0; i *= 2.0) {
+    for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+      const MachineParams& m = prec == Precision::kSingle ? sp : dp;
+      const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+      EnergySample s;
+      s.flops = k.flops;
+      s.bytes = k.bytes;
+      s.seconds = predict_time(m, k).total_seconds;
+      s.joules = predict_energy(m, k).total_joules;
+      s.precision = prec;
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+TEST(EnergyFit, RecoversTable4CoefficientsExactly) {
+  // Noise-free model data must return the ground-truth Table IV values.
+  const auto samples = model_samples(presets::gtx580(Precision::kSingle),
+                                     presets::gtx580(Precision::kDouble));
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 99.7, 0.01);
+  EXPECT_NEAR(fit.coefficients.eps_double() / kPico, 212.0, 0.01);
+  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 513.0, 0.01);
+  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.001);
+  EXPECT_GT(fit.regression.r_squared, 1.0 - 1e-9);
+}
+
+TEST(EnergyFit, RecoversCpuCoefficients) {
+  const auto samples = model_samples(presets::i7_950(Precision::kSingle),
+                                     presets::i7_950(Precision::kDouble));
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 371.0, 0.1);
+  EXPECT_NEAR(fit.coefficients.delta_double / kPico, 670.0 - 371.0, 0.1);
+  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 795.0, 0.1);
+  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.01);
+}
+
+TEST(EnergyFit, RecoversCoefficientsFromNoisySimulatorRuns) {
+  // End-to-end: simulated measurements with 1% noise; fit should land
+  // within a few percent of ground truth, like the paper's regression
+  // (footnote 8: R² near unity, p below 1e-14).
+  std::vector<EnergySample> samples;
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams m = presets::gtx580(prec);
+    rme::sim::SimConfig cfg;
+    cfg.noise = rme::sim::NoiseModel(404, 0.01);
+    const rme::sim::Executor exec(m, cfg);
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      for (std::uint64_t rep = 0; rep < 20; ++rep) {
+        const auto k = rme::sim::fma_load_mix(i, 1e8, prec);
+        const auto r = exec.run(k, rep * 1000 + static_cast<std::uint64_t>(i * 16));
+        EnergySample s;
+        s.flops = k.flops;
+        s.bytes = k.bytes;
+        s.seconds = r.seconds;
+        s.joules = r.joules;
+        s.precision = prec;
+        samples.push_back(s);
+      }
+    }
+  }
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 99.7,
+              0.10 * 99.7);
+  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 513.0, 0.05 * 513.0);
+  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.05 * 122.0);
+  EXPECT_GT(fit.regression.r_squared, 0.99);
+  EXPECT_LT(fit.regression.by_name("eps_mem").p_value, 1e-14);
+  EXPECT_LT(fit.regression.by_name("pi0").p_value, 1e-14);
+}
+
+TEST(EnergyFit, RequiresBothPrecisions) {
+  std::vector<EnergySample> samples;
+  for (double i = 0.5; i <= 8.0; i *= 2.0) {
+    EnergySample s;
+    s.flops = 1e9;
+    s.bytes = 1e9 / i;
+    s.seconds = 0.01;
+    s.joules = 1.0;
+    s.precision = Precision::kSingle;
+    samples.push_back(s);
+  }
+  EXPECT_THROW((void)fit_energy_coefficients(samples),
+               std::invalid_argument);
+}
+
+TEST(EnergyFit, RejectsNonPositiveObservations) {
+  std::vector<EnergySample> samples(6);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].flops = 1e9;
+    samples[i].bytes = 1e8 * static_cast<double>(i + 1);
+    samples[i].seconds = 0.01;
+    samples[i].joules = 1.0 + static_cast<double>(i);
+    samples[i].precision = i % 2 ? Precision::kDouble : Precision::kSingle;
+  }
+  samples[3].flops = 0.0;
+  EXPECT_THROW((void)fit_energy_coefficients(samples),
+               std::invalid_argument);
+}
+
+TEST(EnergyFit, DerivedBalanceUncertaintyNoiseless) {
+  // Noise-free data: the derived B_eps matches ground truth and its
+  // propagated standard error is essentially zero.
+  const auto samples = model_samples(presets::gtx580(Precision::kSingle),
+                                     presets::gtx580(Precision::kDouble));
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  const DerivedQuantity b_dp =
+      fitted_energy_balance(fit, Precision::kDouble);
+  EXPECT_NEAR(b_dp.value, 513.0 / 212.0, 1e-3);
+  EXPECT_LT(b_dp.std_error, 1e-6 * b_dp.value);
+  const DerivedQuantity b_sp =
+      fitted_energy_balance(fit, Precision::kSingle);
+  EXPECT_NEAR(b_sp.value, 513.0 / 99.7, 1e-3);
+}
+
+TEST(EnergyFit, DerivedBalanceUncertaintyCoversTruthUnderNoise) {
+  // With measurement noise the fitted B_eps scatters; the delta-method
+  // interval (±3 s.e.) must cover the ground truth, and the s.e. must
+  // be meaningful (neither zero nor absurdly wide).
+  std::vector<EnergySample> samples;
+  const rme::sim::NoiseModel noise(777, 0.02);
+  std::uint64_t salt = 0;
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams m = presets::gtx580(prec);
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      for (int rep = 0; rep < 10; ++rep) {
+        const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+        EnergySample s;
+        s.flops = k.flops;
+        s.bytes = k.bytes;
+        s.seconds = noise.perturb(predict_time(m, k).total_seconds, ++salt);
+        s.joules = noise.perturb(predict_energy(m, k).total_joules, ++salt);
+        s.precision = prec;
+        samples.push_back(s);
+      }
+    }
+  }
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  const DerivedQuantity b = fitted_energy_balance(fit, Precision::kDouble);
+  const double truth = 513.0 / 212.0;
+  EXPECT_GT(b.std_error, 0.0);
+  EXPECT_LT(b.std_error, 0.5 * truth);
+  EXPECT_NEAR(b.value, truth, 3.0 * b.std_error + 0.15 * truth);
+}
+
+TEST(EnergyFit, ConstEnergyPerFlopUncertainty) {
+  const auto samples = model_samples(presets::gtx580(Precision::kSingle),
+                                     presets::gtx580(Precision::kDouble));
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  const double tau = presets::gtx580(Precision::kDouble).time_per_flop;
+  const DerivedQuantity e0 = fitted_const_energy_per_flop(fit, tau);
+  EXPECT_NEAR(e0.value / kPico, 617.3, 1.0);  // 122 W / 197.63 Gflop/s
+  EXPECT_NEAR(e0.std_error,
+              fit.regression.by_name("pi0").std_error * tau, 1e-18);
+}
+
+TEST(EnergyFit, CovarianceMatrixIsConsistentWithStdErrors) {
+  const auto samples = model_samples(presets::i7_950(Precision::kSingle),
+                                     presets::i7_950(Precision::kDouble));
+  const EnergyFit fit = fit_energy_coefficients(samples);
+  const auto& reg = fit.regression;
+  for (std::size_t j = 0; j < reg.coefficients.size(); ++j) {
+    EXPECT_NEAR(std::sqrt(reg.covariance(j, j)),
+                reg.coefficients[j].std_error,
+                1e-12 * (reg.coefficients[j].std_error + 1e-300));
+  }
+  // Delta method with a unit gradient on one coefficient reduces to
+  // that coefficient's standard error.
+  EXPECT_NEAR(delta_method_stderr(reg, {{"eps_mem", 1.0}}),
+              reg.by_name("eps_mem").std_error, 1e-15);
+}
+
+TEST(EnergyCoefficients, ToMachineInstallsFittedValues) {
+  EnergyCoefficients c;
+  c.eps_single = 100e-12;
+  c.delta_double = 110e-12;
+  c.eps_mem = 500e-12;
+  c.const_power = 120.0;
+  const MachineParams peaks = presets::gtx580(Precision::kDouble);
+  const MachineParams m = c.to_machine(peaks, Precision::kDouble);
+  EXPECT_DOUBLE_EQ(m.energy_per_flop, 210e-12);
+  EXPECT_DOUBLE_EQ(m.energy_per_byte, 500e-12);
+  EXPECT_DOUBLE_EQ(m.const_power, 120.0);
+  EXPECT_DOUBLE_EQ(m.time_per_flop, peaks.time_per_flop);
+  const MachineParams msp = c.to_machine(peaks, Precision::kSingle);
+  EXPECT_DOUBLE_EQ(msp.energy_per_flop, 100e-12);
+}
+
+}  // namespace
+}  // namespace rme::fit

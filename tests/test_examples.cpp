@@ -1,0 +1,91 @@
+// Smoke/integration tests for the example binaries: each runs as a
+// subprocess and must exit cleanly with its headline output present.
+// Paths are injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef RME_EXAMPLES_DIR
+#error "RME_EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_example(const std::string& name, const std::string& args = "") {
+  const std::string cmd =
+      std::string(RME_EXAMPLES_DIR) + "/" + name + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  std::array<char, 512> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe)) {
+    result.output += buffer.data();
+  }
+  result.exit_code = WEXITSTATUS(pclose(pipe));
+  return result;
+}
+
+TEST(Examples, Quickstart) {
+  const RunResult r = run_example("quickstart");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Balance points"), std::string::npos);
+  EXPECT_NE(r.output.find("blocked DGEMM"), std::string::npos);
+  EXPECT_NE(r.output.find("time roofline"), std::string::npos);
+}
+
+TEST(Examples, FmmEnergy) {
+  const RunResult r = run_example("fmm_energy", "1500");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("U-list phase"), std::string::npos);
+  EXPECT_NE(r.output.find("Calibrated cache energy"), std::string::npos);
+  EXPECT_NE(r.output.find("Cache-aware estimate"), std::string::npos);
+}
+
+TEST(Examples, TradeoffExplorer) {
+  const RunResult r = run_example("tradeoff_explorer", "4.0 1.5 8");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("speedup dT"), std::string::npos);
+  EXPECT_NE(r.output.find("eq.(10) f*"), std::string::npos);
+}
+
+TEST(Examples, RaceToHalt) {
+  const RunResult r = run_example("race_to_halt", "32");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("race-to-halt IS optimal"), std::string::npos);
+  EXPECT_NE(r.output.find("race-to-halt is NOT optimal"),
+            std::string::npos);
+}
+
+TEST(Examples, PowercapStudy) {
+  const RunResult r = run_example("powercap_study", "244");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cap starts to bind"), std::string::npos);
+  EXPECT_NE(r.output.find("throttle"), std::string::npos);
+}
+
+TEST(Examples, CalibratePlatform) {
+  const RunResult r =
+      run_example("calibrate_platform", "/tmp/rme_test_calib.csv");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("eps_mem"), std::string::npos);
+  EXPECT_NE(r.output.find("re-fit from file"), std::string::npos);
+  std::remove("/tmp/rme_test_calib.csv");
+}
+
+TEST(Examples, AppEnergyBudget) {
+  const RunResult r = run_example("app_energy_budget");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("CG iteration"), std::string::npos);
+  EXPECT_NE(r.output.find("SpMV"), std::string::npos);
+  EXPECT_NE(r.output.find("energy share"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Machine-simulator executor: model fidelity, derating, capping, noise,
+// and power-trace bookkeeping.
+
+#include "rme/sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/powerline.hpp"
+
+namespace rme::sim {
+namespace {
+
+SimConfig ideal_config() {
+  SimConfig cfg;
+  cfg.flop_fraction = 1.0;
+  cfg.bw_fraction = 1.0;
+  cfg.noise = NoiseModel(0, 0.0);
+  return cfg;
+}
+
+TEST(Executor, IdealRunMatchesModelExactly) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const Executor exec(m, ideal_config());
+  const KernelDesc k = fma_load_mix(2.0, 1e8, Precision::kDouble);
+  const RunResult r = exec.run(k);
+  EXPECT_NEAR(r.seconds, r.model_seconds, 1e-12 * r.seconds);
+  EXPECT_NEAR(r.joules, r.model_joules, 1e-12 * r.joules);
+  EXPECT_FALSE(r.capped);
+  EXPECT_NEAR(r.avg_watts, average_power(m, 2.0), 1e-9 * r.avg_watts);
+}
+
+TEST(Executor, ModelValuesAreTheAnalyticModel) {
+  const MachineParams m = presets::i7_950(Precision::kSingle);
+  const Executor exec(m, ideal_config());
+  const KernelDesc k = fma_load_mix(4.0, 1e8, Precision::kSingle);
+  const RunResult r = exec.run(k);
+  EXPECT_DOUBLE_EQ(r.model_seconds,
+                   predict_time(m, k.profile()).total_seconds);
+  EXPECT_DOUBLE_EQ(r.model_joules,
+                   predict_energy(m, k.profile()).total_joules);
+}
+
+TEST(Executor, DeratingSlowsTheRun) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  SimConfig cfg = ideal_config();
+  cfg.flop_fraction = 0.933;  // the paper's achieved fractions (§IV-B)
+  cfg.bw_fraction = 0.738;
+  const Executor exec(m, cfg);
+  // Memory-bound kernel: time stretches by 1/bw_fraction.
+  const KernelDesc k = fma_load_mix(0.25, 1e8, Precision::kDouble);
+  const RunResult r = exec.run(k);
+  EXPECT_NEAR(r.seconds, r.model_seconds / 0.738, 1e-9 * r.seconds);
+}
+
+TEST(Executor, EffectiveMachineDeratesPeaks) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  SimConfig cfg = ideal_config();
+  cfg.flop_fraction = 0.9;
+  cfg.bw_fraction = 0.8;
+  const Executor exec(m, cfg);
+  const MachineParams eff = exec.effective_machine();
+  EXPECT_NEAR(eff.peak_flops(), 0.9 * m.peak_flops(), 1.0);
+  EXPECT_NEAR(eff.peak_bandwidth(), 0.8 * m.peak_bandwidth(), 1.0);
+  // Energy coefficients are untouched by derating.
+  EXPECT_DOUBLE_EQ(eff.energy_per_flop, m.energy_per_flop);
+}
+
+TEST(Executor, AchievedRatesMatchDeratedPeaksAtExtremes) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  SimConfig cfg = ideal_config();
+  cfg.flop_fraction = 0.993;  // §IV-B: 99.3% of peak when compute-bound
+  cfg.bw_fraction = 0.883;    // 88.3% of peak when bandwidth-bound
+  const Executor exec(m, cfg);
+  // Strongly compute-bound kernel: ~196 GFLOP/s (paper's number).
+  const RunResult hi = exec.run(fma_load_mix(64.0, 1e8, Precision::kDouble));
+  EXPECT_NEAR(hi.achieved_flops() / 1e9, 196.2, 1.0);
+  // Strongly memory-bound kernel: ~170 GB/s (paper's number).
+  const RunResult lo = exec.run(fma_load_mix(0.25, 1e8, Precision::kDouble));
+  EXPECT_NEAR(lo.achieved_bandwidth() / 1e9, 169.9, 1.0);
+}
+
+TEST(Executor, PowerCapThrottles) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  SimConfig cfg = ideal_config();
+  cfg.power_cap_watts = presets::kGtx580PowerCapWatts;
+  const Executor exec(m, cfg);
+  const double b = m.time_balance();
+  const RunResult r = exec.run(fma_load_mix(b, 1e8, Precision::kSingle));
+  EXPECT_TRUE(r.capped);
+  EXPECT_GT(r.seconds, r.model_seconds);
+  EXPECT_LE(r.avg_watts, cfg.power_cap_watts * 1.001);
+}
+
+TEST(Executor, NoiseIsDeterministicPerRunId) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  SimConfig cfg = ideal_config();
+  cfg.noise = NoiseModel(123, 0.02);
+  const Executor exec(m, cfg);
+  const KernelDesc k = fma_load_mix(2.0, 1e8, Precision::kDouble);
+  const RunResult a = exec.run(k, 7);
+  const RunResult b = exec.run(k, 7);
+  const RunResult c = exec.run(k, 8);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.joules, b.joules);
+  EXPECT_NE(a.seconds, c.seconds);
+}
+
+TEST(Executor, NoisyRunsScatterAroundModel) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  SimConfig cfg = ideal_config();
+  cfg.noise = NoiseModel(99, 0.02);
+  const Executor exec(m, cfg);
+  const KernelDesc k = fma_load_mix(2.0, 1e8, Precision::kDouble);
+  double sum = 0.0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    sum += exec.run(k, static_cast<std::uint64_t>(i)).seconds;
+  }
+  const double mean = sum / reps;
+  EXPECT_NEAR(mean, exec.run(k, 0).model_seconds, 0.01 * mean);
+}
+
+TEST(Executor, TraceEnergyMatchesReportedJoules) {
+  // The kernel-interval trace must integrate to exactly the reported
+  // energy (the plateau is adjusted to preserve it).
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  SimConfig cfg = ideal_config();
+  const Executor exec(m, cfg);
+  const RunResult r = exec.run(fma_load_mix(1.0, 1e8, Precision::kDouble));
+  EXPECT_NEAR(r.trace.energy(), r.joules, 1e-9 * r.joules);
+  EXPECT_NEAR(r.trace.duration(), r.seconds, 1e-9 * r.seconds);
+}
+
+TEST(Executor, IdleHeadAndTailAppearInTrace) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  SimConfig cfg = ideal_config();
+  cfg.idle_power_watts = presets::kGtx580IdleWatts;
+  cfg.idle_head_seconds = 0.5;
+  cfg.idle_tail_seconds = 0.25;
+  const Executor exec(m, cfg);
+  const RunResult r = exec.run(fma_load_mix(1.0, 1e8, Precision::kDouble));
+  EXPECT_NEAR(r.trace.duration(), r.seconds + 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(r.trace.watts_at(0.0), presets::kGtx580IdleWatts);
+  // Kernel energy is the integral over the kernel interval only.
+  EXPECT_NEAR(r.trace.energy_between(0.5, 0.5 + r.seconds), r.joules,
+              1e-9 * r.joules);
+}
+
+TEST(KernelDesc, FmaLoadMixAccounting) {
+  const KernelDesc k = fma_load_mix(4.0, 1e6, Precision::kSingle);
+  EXPECT_DOUBLE_EQ(k.bytes, 4e6);
+  EXPECT_DOUBLE_EQ(k.flops, 16e6);
+  EXPECT_DOUBLE_EQ(k.intensity(), 4.0);
+}
+
+TEST(KernelDesc, PolynomialAccounting) {
+  // Horner: 2·degree flops per element; traffic = one word per element.
+  const KernelDesc k = polynomial(8, 1e6, Precision::kDouble);
+  EXPECT_DOUBLE_EQ(k.flops, 16e6);
+  EXPECT_DOUBLE_EQ(k.bytes, 8e6);
+  EXPECT_DOUBLE_EQ(k.intensity(), 2.0);
+}
+
+TEST(KernelDesc, IntensitySweep) {
+  const std::vector<double> grid = pow2_grid(0.25, 16.0);
+  ASSERT_EQ(grid.size(), 7u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.25);
+  EXPECT_DOUBLE_EQ(grid.back(), 16.0);
+  const auto kernels = intensity_sweep(grid, 1e6, Precision::kDouble);
+  ASSERT_EQ(kernels.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(kernels[i].intensity(), grid[i], 1e-12);
+    EXPECT_DOUBLE_EQ(kernels[i].bytes, 8e6);
+  }
+}
+
+}  // namespace
+}  // namespace rme::sim

@@ -1,0 +1,89 @@
+// FMM driver orchestration and the q-scaling study.
+
+#include "rme/fmm/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme::fmm {
+namespace {
+
+TEST(Driver, EndToEndUniform) {
+  DriverConfig cfg;
+  cfg.points = 2000;
+  cfg.leaf_q = 32;
+  const DriverResult r = run_fmm_phase(cfg);
+  EXPECT_GT(r.leaves, 1u);
+  EXPECT_GE(r.mean_leaf_population, 32.0);
+  EXPECT_GT(r.mean_ulist_length, 1.0);
+  EXPECT_LE(r.mean_ulist_length, 27.0);
+  EXPECT_GT(r.counts.pairs, 0.0);
+  EXPECT_DOUBLE_EQ(r.counts.flops, 11.0 * r.counts.pairs);
+  EXPECT_GT(r.host_seconds, 0.0);
+  EXPECT_LT(r.max_deviation, 1e-10);  // verified against the reference
+  EXPECT_NEAR(r.counters.flops, r.counts.flops, 1e-6 * r.counts.flops);
+  EXPECT_GT(r.dram_intensity(), 0.0);
+}
+
+TEST(Driver, ClusteredCloudWorksToo) {
+  DriverConfig cfg;
+  cfg.points = 2000;
+  cfg.leaf_q = 64;
+  cfg.cloud = CloudKind::kClustered;
+  cfg.variant = VariantSpec{Layout::kAoS, 4, 2, 2, Precision::kSingle};
+  const DriverResult r = run_fmm_phase(cfg);
+  EXPECT_GT(r.leaves, 0u);
+  EXPECT_LT(r.max_deviation, 5e-4);  // single precision tolerance
+}
+
+TEST(Driver, VerifyCanBeDisabled) {
+  DriverConfig cfg;
+  cfg.points = 1000;
+  cfg.verify = false;
+  const DriverResult r = run_fmm_phase(cfg);
+  EXPECT_DOUBLE_EQ(r.max_deviation, 0.0);
+}
+
+TEST(QSweep, IntensityGrowsWithLeafSize) {
+  // O(q²) flops per O(q) data: shallower trees (larger leaves) raise
+  // intensity monotonically.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto sweep = q_scaling_study(200000, {5, 4, 3, 2}, m, 7);
+  ASSERT_EQ(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].intensity, sweep[i - 1].intensity)
+        << "level=" << sweep[i].level;
+    EXPECT_GT(sweep[i].mean_leaf_population,
+              sweep[i - 1].mean_leaf_population);
+  }
+}
+
+TEST(QSweep, PhaseCrossesFromMemoryToComputeBound) {
+  // §V-C: "the FMM_U phase is typically compute-bound" — for q̄ in the
+  // hundreds it is (time AND energy) on the GTX 580, while degenerate
+  // single-particle leaves are memory-bound.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto sweep = q_scaling_study(200000, {6, 3}, m, 7);
+  ASSERT_EQ(sweep.size(), 2u);
+  EXPECT_EQ(sweep[0].time_bound_on, Bound::kMemory);   // q̄ ~ 1-2
+  EXPECT_EQ(sweep[1].time_bound_on, Bound::kCompute);  // q̄ ~ 390
+  EXPECT_EQ(sweep[1].energy_bound_on, Bound::kCompute);
+  EXPECT_GT(sweep[1].intensity, m.time_balance());
+  EXPECT_GT(sweep[1].mean_leaf_population, 100.0);
+}
+
+TEST(QSweep, FlopsScaleLinearlyWithLeafPopulationAtFixedN) {
+  // pairs ≈ n · (neighborhood population) ∝ n·q̄, so total flops scale
+  // ~linearly in the population ratio at fixed n.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto sweep = q_scaling_study(200000, {4, 2}, m, 7);
+  ASSERT_EQ(sweep.size(), 2u);
+  const double pop_ratio =
+      sweep[1].mean_leaf_population / sweep[0].mean_leaf_population;
+  const double flop_ratio = sweep[1].flops / sweep[0].flops;
+  EXPECT_NEAR(flop_ratio, pop_ratio, 0.5 * pop_ratio);
+}
+
+}  // namespace
+}  // namespace rme::fmm

@@ -1,0 +1,124 @@
+// The §V-C study end-to-end: eq. (2) underestimates, calibration
+// recovers the cache energy, and the cache-aware estimate validates with
+// a small median error across the variant population.
+
+#include "rme/fmm/energy_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme::fmm {
+namespace {
+
+struct Study {
+  Octree tree;
+  UList ulist;
+  UlistPlatform platform;
+  std::vector<VariantObservation> observations;
+  UlistStudy result;
+
+  Study()
+      : tree(uniform_cloud(1200, 51), 2),
+        ulist(tree),
+        platform{presets::gtx580(Precision::kDouble)} {
+    // One precision, single-threaded specs: the §V-C population is the
+    // set of cache-only kernels.
+    std::vector<VariantSpec> specs;
+    for (const VariantSpec& s : variant_grid()) {
+      if (s.precision == Precision::kDouble && s.threads == 1) {
+        specs.push_back(s);
+      }
+    }
+    observations = observe_variants(tree, ulist, specs, platform);
+    result = run_ulist_study(observations, platform.machine,
+                             reference_variant(Precision::kDouble));
+  }
+};
+
+const Study& shared_study() {
+  static const Study s;
+  return s;
+}
+
+TEST(UlistEnergy, ObservationsCarryCountersAndMeasurements) {
+  const Study& s = shared_study();
+  ASSERT_FALSE(s.observations.empty());
+  for (const VariantObservation& o : s.observations) {
+    EXPECT_GT(o.counters.flops, 0.0) << o.spec.name();
+    EXPECT_GT(o.counters.dram_bytes, 0.0);
+    EXPECT_GT(o.counters.cache_bytes(), 0.0);
+    EXPECT_GT(o.sample.seconds, 0.0);
+    EXPECT_GT(o.sample.joules, 0.0);
+  }
+}
+
+TEST(UlistEnergy, TwoLevelModelUnderestimates) {
+  // The paper's −33%: plain eq. (2) misses the cache energy, so the mean
+  // signed error over the population is clearly negative.
+  const Study& s = shared_study();
+  EXPECT_LT(s.result.two_level.mean_signed_rel_error, -0.05);
+}
+
+TEST(UlistEnergy, CalibrationRecoversCacheEnergyScale) {
+  // ε_cache fitted from one variant's residual lands near the ground
+  // truth 187 pJ/B (within noise and model mismatch).
+  const Study& s = shared_study();
+  EXPECT_NEAR(s.result.calibrated_cache_eps,
+              s.platform.cache_energy_per_byte,
+              0.25 * s.platform.cache_energy_per_byte);
+}
+
+TEST(UlistEnergy, CacheAwareEstimateHasSmallMedianError) {
+  // The paper reports a 4.1% median error after adding the cache term.
+  const Study& s = shared_study();
+  EXPECT_LT(s.result.cache_aware.median_abs_rel_error, 0.05);
+  // And it must be a drastic improvement over the two-level estimate.
+  EXPECT_LT(s.result.cache_aware.median_abs_rel_error,
+            0.5 * s.result.two_level.median_abs_rel_error);
+}
+
+TEST(UlistEnergy, ValidationExcludesReference) {
+  const Study& s = shared_study();
+  EXPECT_EQ(s.result.validated_variants, s.observations.size() - 1);
+}
+
+TEST(UlistEnergy, MissingReferenceThrows) {
+  const Study& s = shared_study();
+  VariantSpec absent = reference_variant(Precision::kSingle);  // not observed
+  EXPECT_THROW(
+      (void)run_ulist_study(s.observations, s.platform.machine, absent),
+      std::invalid_argument);
+}
+
+TEST(UlistEnergy, ObservationIsDeterministic) {
+  const Study& s = shared_study();
+  const VariantObservation a =
+      observe_variant(s.tree, s.ulist, reference_variant(), s.platform, 3);
+  const VariantObservation b =
+      observe_variant(s.tree, s.ulist, reference_variant(), s.platform, 3);
+  EXPECT_DOUBLE_EQ(a.sample.joules, b.sample.joules);
+  EXPECT_DOUBLE_EQ(a.sample.seconds, b.sample.seconds);
+}
+
+TEST(UlistEnergy, GroundTruthIncludesCacheTerm) {
+  // Reconstruct the noise-free ground truth for one observation and
+  // verify the measured energy scatters around it.
+  const Study& s = shared_study();
+  const VariantObservation& o = s.observations.front();
+  const MachineParams& m = s.platform.machine;
+  const double t_flops =
+      o.counters.flops * m.time_per_flop / s.platform.flop_fraction;
+  const double t_mem =
+      o.counters.dram_bytes * m.time_per_byte / s.platform.bw_fraction;
+  const double seconds = std::max(t_flops, t_mem);
+  const double joules =
+      o.counters.flops * m.energy_per_flop +
+      o.counters.dram_bytes * m.energy_per_byte +
+      o.counters.cache_bytes() * s.platform.cache_energy_per_byte +
+      m.const_power * seconds;
+  EXPECT_NEAR(o.sample.joules, joules, 0.05 * joules);
+}
+
+}  // namespace
+}  // namespace rme::fmm

@@ -1,0 +1,129 @@
+// Algorithm 1 kernels: reference correctness against an independent
+// neighbor-search path, and every variant in the grid against the
+// reference (parameterized suite).
+
+#include "rme/fmm/kernels.hpp"
+#include "rme/fmm/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rme::fmm {
+namespace {
+
+struct Fixture {
+  Octree tree;
+  UList ulist;
+  std::vector<double> reference;
+
+  explicit Fixture(std::size_t n, int level, std::uint64_t seed)
+      : tree(uniform_cloud(n, seed), level),
+        ulist(tree),
+        reference(evaluate_ulist_reference(tree, ulist)) {}
+};
+
+const Fixture& shared_fixture() {
+  static const Fixture f(1500, 2, 31);
+  return f;
+}
+
+TEST(Kernels, ReferenceAgreesWithBruteForceNeighbors) {
+  const Fixture& f = shared_fixture();
+  const std::vector<double> brute = evaluate_bruteforce_neighbors(f.tree);
+  EXPECT_LT(max_relative_difference(f.reference, brute), 1e-12);
+}
+
+TEST(Kernels, PotentialsArePositive) {
+  // All charges are positive, so every potential must be too.
+  const Fixture& f = shared_fixture();
+  for (double phi : f.reference) {
+    EXPECT_GT(phi, 0.0);
+  }
+}
+
+TEST(Kernels, InteractionCountsMatchUListPairs) {
+  const Fixture& f = shared_fixture();
+  const InteractionCounts c = count_interactions(f.tree, f.ulist);
+  EXPECT_DOUBLE_EQ(c.pairs, f.ulist.total_pairs(f.tree));
+  EXPECT_DOUBLE_EQ(c.flops, 11.0 * c.pairs);
+}
+
+TEST(Kernels, SelfPairContributesNothing) {
+  // Two coincident bodies: their mutual term is guarded, not infinite.
+  std::vector<Body> bodies = {Body{{0.5, 0.5, 0.5}, 1.0},
+                              Body{{0.5, 0.5, 0.5}, 2.0},
+                              Body{{0.6, 0.5, 0.5}, 1.0}};
+  const Octree tree(std::move(bodies), 0);
+  const UList ulist(tree);
+  const std::vector<double> phi = evaluate_ulist_reference(tree, ulist);
+  for (double p : phi) {
+    EXPECT_TRUE(std::isfinite(p));
+  }
+  // The third body sees both coincident charges at distance 0.1.
+  EXPECT_NEAR(phi[2], (1.0 + 2.0) / 0.1, 1e-9);
+}
+
+TEST(Kernels, MaxRelativeDifferenceValidation) {
+  EXPECT_THROW(max_relative_difference({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(max_relative_difference({2.0, 4.0}, {2.0, 4.0}), 0.0);
+  EXPECT_NEAR(max_relative_difference({0.0, 4.0}, {0.0, 4.4}), 0.1, 1e-12);
+}
+
+TEST(Variants, GridHas144DistinctSpecs) {
+  const auto grid = variant_grid();
+  EXPECT_EQ(grid.size(), 144u);
+  std::set<std::string> names;
+  for (const VariantSpec& spec : grid) {
+    EXPECT_TRUE(names.insert(spec.name()).second) << spec.name();
+  }
+}
+
+TEST(Variants, ReferenceVariantShape) {
+  const VariantSpec ref = reference_variant();
+  EXPECT_EQ(ref.layout, Layout::kSoA);
+  EXPECT_EQ(ref.block, 1);
+  EXPECT_EQ(ref.unroll, 1);
+  EXPECT_EQ(ref.threads, 1u);
+  EXPECT_EQ(ref.name(), "soa_b1_u1_t1_dp");
+}
+
+class VariantCorrectness : public ::testing::TestWithParam<VariantSpec> {};
+
+TEST_P(VariantCorrectness, MatchesReferencePotentials) {
+  const Fixture& f = shared_fixture();
+  const VariantSpec spec = GetParam();
+  const VariantResult result = run_variant(f.tree, f.ulist, spec);
+  ASSERT_EQ(result.phi.size(), f.reference.size());
+  // Single precision carries its own rounding; double agrees tightly.
+  const double tol =
+      spec.precision == Precision::kSingle ? 5e-4 : 1e-10;
+  EXPECT_LT(max_relative_difference(result.phi, f.reference), tol)
+      << spec.name();
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.counts.pairs, f.ulist.total_pairs(f.tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, VariantCorrectness, ::testing::ValuesIn(variant_grid()),
+    [](const ::testing::TestParamInfo<VariantSpec>& info) {
+      return info.param.name();
+    });
+
+TEST(Variants, BlockLargerThanLeafIsClamped) {
+  const Fixture& f = shared_fixture();
+  VariantSpec spec = reference_variant();
+  spec.block = 1000;  // clamped to 64 internally
+  const VariantResult result = run_variant(f.tree, f.ulist, spec);
+  EXPECT_LT(max_relative_difference(result.phi, f.reference), 1e-10);
+}
+
+TEST(Variants, LayoutToString) {
+  EXPECT_STREQ(to_string(Layout::kAoS), "aos");
+  EXPECT_STREQ(to_string(Layout::kSoA), "soa");
+}
+
+}  // namespace
+}  // namespace rme::fmm

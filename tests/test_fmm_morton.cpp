@@ -1,0 +1,83 @@
+// Morton codes: round trips, ordering, and bit-level properties.
+
+#include "rme/fmm/morton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/sim/noise.hpp"
+
+namespace rme::fmm {
+namespace {
+
+TEST(Morton, SpreadCompactRoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 2u, 7u, 255u, 1u << 20, (1u << 21) - 1}) {
+    EXPECT_EQ(morton_compact(morton_spread(v)), v) << v;
+  }
+}
+
+TEST(Morton, SpreadBitsAreThreeApart) {
+  const std::uint64_t s = morton_spread(0x1FFFFF);  // all 21 bits set
+  for (int b = 0; b < 63; ++b) {
+    const bool set = (s >> b) & 1;
+    EXPECT_EQ(set, b % 3 == 0) << "bit " << b;
+  }
+}
+
+TEST(Morton, EncodeDecodeRoundTrip) {
+  const rme::sim::NoiseModel rng(99, 0.0);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform(3 * i) * 2097152.0);
+    const auto y =
+        static_cast<std::uint32_t>(rng.uniform(3 * i + 1) * 2097152.0);
+    const auto z =
+        static_cast<std::uint32_t>(rng.uniform(3 * i + 2) * 2097152.0);
+    const CellCoord c = morton_decode(morton_encode(x, y, z));
+    EXPECT_EQ(c.x, x);
+    EXPECT_EQ(c.y, y);
+    EXPECT_EQ(c.z, z);
+  }
+}
+
+TEST(Morton, UnitCellsMapToOctants) {
+  EXPECT_EQ(morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(1, 1, 0), 3u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+  EXPECT_EQ(morton_encode(1, 1, 1), 7u);
+}
+
+TEST(Morton, CodesAreUniquePerCell) {
+  // All 8x8x8 cells at level 3 produce distinct codes in [0, 512).
+  std::vector<bool> seen(512, false);
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const std::uint64_t code = morton_encode(x, y, z);
+        ASSERT_LT(code, 512u);
+        EXPECT_FALSE(seen[code]);
+        seen[code] = true;
+      }
+    }
+  }
+}
+
+TEST(Morton, PreservesOctantLocality) {
+  // All cells of the low octant sort before any cell of the high octant
+  // at the same level — the property linear octrees rely on.
+  const std::uint64_t low_max = morton_encode(3, 3, 3);    // octant (0,0,0)
+  const std::uint64_t high_min = morton_encode(4, 4, 4);   // octant (1,1,1)
+  EXPECT_LT(low_max, high_min);
+}
+
+TEST(Morton, MaxLevelConstant) {
+  EXPECT_EQ(kMaxMortonLevel, 21);
+  // The largest encodable coordinate round-trips.
+  const std::uint32_t max_coord = (1u << 21) - 1;
+  const CellCoord c =
+      morton_decode(morton_encode(max_coord, max_coord, max_coord));
+  EXPECT_EQ(c.x, max_coord);
+}
+
+}  // namespace
+}  // namespace rme::fmm

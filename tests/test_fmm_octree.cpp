@@ -1,0 +1,162 @@
+// Linear octree construction invariants.
+
+#include "rme/fmm/octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rme::fmm {
+namespace {
+
+TEST(BoundingBox, OfBodiesAndCubified) {
+  std::vector<Body> bodies = {
+      Body{{0.0, 0.5, 0.2}, 1.0},
+      Body{{1.0, 0.7, 0.4}, 1.0},
+  };
+  const BoundingBox box = BoundingBox::of(bodies);
+  EXPECT_DOUBLE_EQ(box.lo.x, 0.0);
+  EXPECT_DOUBLE_EQ(box.hi.x, 1.0);
+  EXPECT_DOUBLE_EQ(box.lo.y, 0.5);
+  const BoundingBox cube = box.cubified();
+  EXPECT_DOUBLE_EQ(cube.extent_x(), cube.extent_y());
+  EXPECT_DOUBLE_EQ(cube.extent_x(), cube.extent_z());
+  EXPECT_DOUBLE_EQ(cube.extent_x(), 1.0);
+  for (const Body& b : bodies) {
+    EXPECT_TRUE(cube.contains(b.pos));
+  }
+}
+
+TEST(Cloud, UniformCloudIsDeterministic) {
+  const auto a = uniform_cloud(100, 7);
+  const auto b = uniform_cloud(100, 7);
+  const auto c = uniform_cloud(100, 8);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_DOUBLE_EQ(a[42].pos.x, b[42].pos.x);
+  EXPECT_NE(a[42].pos.x, c[42].pos.x);
+  for (const Body& body : a) {
+    EXPECT_GE(body.pos.x, 0.0);
+    EXPECT_LT(body.pos.x, 1.0);
+    EXPECT_GE(body.charge, 0.5);
+    EXPECT_LT(body.charge, 1.5);
+  }
+}
+
+TEST(Cloud, ClusteredCloudStaysInUnitCube) {
+  const auto bodies = clustered_cloud(500, 3, 4);
+  ASSERT_EQ(bodies.size(), 500u);
+  for (const Body& body : bodies) {
+    EXPECT_GE(body.pos.x, 0.0);
+    EXPECT_LE(body.pos.x, 1.0);
+    EXPECT_GE(body.pos.z, 0.0);
+    EXPECT_LE(body.pos.z, 1.0);
+  }
+}
+
+TEST(Octree, LeavesPartitionBodies) {
+  const Octree tree(uniform_cloud(1000, 1), 3);
+  std::size_t covered = 0;
+  std::uint32_t prev_end = 0;
+  for (const Leaf& leaf : tree.leaves()) {
+    EXPECT_EQ(leaf.begin, prev_end);  // contiguous, ordered ranges
+    EXPECT_GT(leaf.size(), 0u);
+    covered += leaf.size();
+    prev_end = leaf.end;
+  }
+  EXPECT_EQ(covered, tree.bodies().size());
+}
+
+TEST(Octree, BodiesAreMortonSorted) {
+  const Octree tree(uniform_cloud(2000, 2), 4);
+  // Every leaf's bodies must actually lie in that leaf's cell.
+  const BoundingBox& box = tree.box();
+  const double cell = box.extent_x() / tree.grid_dim();
+  for (const Leaf& leaf : tree.leaves()) {
+    const CellCoord c = tree.coord_of(leaf);
+    for (std::uint32_t i = leaf.begin; i < leaf.end; ++i) {
+      const Point3& p = tree.bodies()[i].pos;
+      EXPECT_GE(p.x, box.lo.x + c.x * cell - 1e-12);
+      EXPECT_LE(p.x, box.lo.x + (c.x + 1) * cell + 1e-12);
+      EXPECT_GE(p.y, box.lo.y + c.y * cell - 1e-12);
+      EXPECT_LE(p.y, box.lo.y + (c.y + 1) * cell + 1e-12);
+      EXPECT_GE(p.z, box.lo.z + c.z * cell - 1e-12);
+      EXPECT_LE(p.z, box.lo.z + (c.z + 1) * cell + 1e-12);
+    }
+  }
+}
+
+TEST(Octree, LeafCodesAreUniqueAndSorted) {
+  const Octree tree(uniform_cloud(3000, 3), 3);
+  std::set<std::uint64_t> codes;
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const Leaf& leaf : tree.leaves()) {
+    EXPECT_TRUE(codes.insert(leaf.code).second);
+    if (!first) EXPECT_GT(leaf.code, prev);
+    prev = leaf.code;
+    first = false;
+  }
+}
+
+TEST(Octree, LeafLookup) {
+  const Octree tree(uniform_cloud(500, 4), 2);
+  for (std::size_t i = 0; i < tree.leaves().size(); ++i) {
+    const auto found = tree.leaf_of(tree.leaves()[i].code);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, i);
+  }
+  // A code no leaf occupies (level 2 codes < 64; probe an unused one).
+  std::set<std::uint64_t> used;
+  for (const Leaf& leaf : tree.leaves()) used.insert(leaf.code);
+  for (std::uint64_t code = 0; code < 64; ++code) {
+    if (!used.contains(code)) {
+      EXPECT_FALSE(tree.leaf_of(code).has_value());
+      break;
+    }
+  }
+}
+
+TEST(Octree, LevelZeroHasSingleLeaf) {
+  const Octree tree(uniform_cloud(100, 5), 0);
+  ASSERT_EQ(tree.leaves().size(), 1u);
+  EXPECT_EQ(tree.leaves()[0].size(), 100u);
+}
+
+TEST(Octree, RejectsBadLevels) {
+  EXPECT_THROW(Octree(uniform_cloud(10, 6), -1), std::invalid_argument);
+  EXPECT_THROW(Octree(uniform_cloud(10, 6), 22), std::invalid_argument);
+}
+
+TEST(Octree, WithLeafSizeAimsAtQ) {
+  const std::size_t n = 32768;
+  const Octree tree = Octree::with_leaf_size(uniform_cloud(n, 7), 64);
+  // n/8^L ≥ 64 ⇒ L ≤ 3; deepest such level is 3 → mean population ≥ 64.
+  EXPECT_EQ(tree.level(), 3);
+  EXPECT_GE(tree.mean_leaf_population(), 64.0);
+}
+
+TEST(Octree, WithLeafSizeRejectsZeroQ) {
+  EXPECT_THROW(Octree::with_leaf_size(uniform_cloud(10, 8), 0),
+               std::invalid_argument);
+}
+
+TEST(Octree, ClusteredCloudHasNonuniformLeaves) {
+  const Octree tree(clustered_cloud(4000, 9, 4), 4);
+  std::uint32_t min_pop = 0xffffffff;
+  std::uint32_t max_pop = 0;
+  for (const Leaf& leaf : tree.leaves()) {
+    min_pop = std::min(min_pop, leaf.size());
+    max_pop = std::max(max_pop, leaf.size());
+  }
+  EXPECT_GT(max_pop, 4u * std::max(min_pop, 1u));
+}
+
+TEST(Octree, MeanLeafPopulation) {
+  const Octree tree(uniform_cloud(800, 10), 1);
+  // Level 1: at most 8 leaves; a uniform cloud occupies all of them.
+  EXPECT_EQ(tree.leaves().size(), 8u);
+  EXPECT_DOUBLE_EQ(tree.mean_leaf_population(), 100.0);
+}
+
+}  // namespace
+}  // namespace rme::fmm

@@ -1,0 +1,124 @@
+// U-list construction: adjacency, symmetry, and pair accounting.
+
+#include "rme/fmm/ulist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rme::fmm {
+namespace {
+
+TEST(UList, EveryLeafNeighborsItself) {
+  const Octree tree(uniform_cloud(2000, 21), 3);
+  const UList ulist(tree);
+  for (std::size_t b = 0; b < tree.leaves().size(); ++b) {
+    const auto& n = ulist.neighbors(b);
+    EXPECT_TRUE(std::find(n.begin(), n.end(), b) != n.end()) << b;
+  }
+}
+
+TEST(UList, NeighborhoodIsSymmetric) {
+  // s ∈ U(b) ⇔ b ∈ U(s): adjacency is mutual.
+  const Octree tree(uniform_cloud(3000, 22), 3);
+  const UList ulist(tree);
+  for (std::size_t b = 0; b < tree.leaves().size(); ++b) {
+    for (std::size_t s : ulist.neighbors(b)) {
+      const auto& back = ulist.neighbors(s);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), b) != back.end())
+          << b << " <-> " << s;
+    }
+  }
+}
+
+TEST(UList, NeighborsAreChebyshevAdjacent) {
+  const Octree tree(uniform_cloud(3000, 23), 3);
+  const UList ulist(tree);
+  for (std::size_t b = 0; b < tree.leaves().size(); ++b) {
+    const CellCoord cb = tree.coord_of(tree.leaves()[b]);
+    for (std::size_t s : ulist.neighbors(b)) {
+      const CellCoord cs = tree.coord_of(tree.leaves()[s]);
+      EXPECT_LE(std::abs(static_cast<int>(cb.x) - static_cast<int>(cs.x)), 1);
+      EXPECT_LE(std::abs(static_cast<int>(cb.y) - static_cast<int>(cs.y)), 1);
+      EXPECT_LE(std::abs(static_cast<int>(cb.z) - static_cast<int>(cs.z)), 1);
+    }
+  }
+}
+
+TEST(UList, AtMost27Neighbors) {
+  const Octree tree(uniform_cloud(8000, 24), 3);
+  const UList ulist(tree);
+  for (std::size_t b = 0; b < tree.leaves().size(); ++b) {
+    EXPECT_LE(ulist.neighbors(b).size(), 27u);
+  }
+}
+
+TEST(UList, DenseGridBoundaryCounts) {
+  // With every level-2 cell occupied, a corner leaf has 8 neighbors, an
+  // edge leaf 12, a face leaf 18, and an interior leaf 27.
+  std::vector<Body> bodies;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      for (int z = 0; z < 4; ++z) {
+        bodies.push_back(Body{{(x + 0.5) / 4.0, (y + 0.5) / 4.0,
+                               (z + 0.5) / 4.0},
+                              1.0});
+      }
+    }
+  }
+  const Octree tree(std::move(bodies), 2);
+  ASSERT_EQ(tree.leaves().size(), 64u);
+  const UList ulist(tree);
+  std::size_t corner_count = 0;
+  std::size_t interior_count = 0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    const CellCoord c = tree.coord_of(tree.leaves()[b]);
+    const auto on_edge = [](std::uint32_t v) { return v == 0 || v == 3; };
+    const int edges = on_edge(c.x) + on_edge(c.y) + on_edge(c.z);
+    if (edges == 3) {
+      EXPECT_EQ(ulist.neighbors(b).size(), 8u);
+      ++corner_count;
+    } else if (edges == 0) {
+      EXPECT_EQ(ulist.neighbors(b).size(), 27u);
+      ++interior_count;
+    }
+  }
+  EXPECT_EQ(corner_count, 8u);
+  EXPECT_EQ(interior_count, 8u);  // the 2x2x2 interior cells
+}
+
+TEST(UList, SingleLeafTree) {
+  const Octree tree(uniform_cloud(64, 25), 0);
+  const UList ulist(tree);
+  ASSERT_EQ(ulist.num_leaves(), 1u);
+  EXPECT_EQ(ulist.neighbors(0), std::vector<std::size_t>{0});
+  EXPECT_DOUBLE_EQ(ulist.total_pairs(tree), 64.0 * 64.0);
+}
+
+TEST(UList, TotalPairsMatchesManualSum) {
+  const Octree tree(uniform_cloud(500, 26), 2);
+  const UList ulist(tree);
+  double expected = 0.0;
+  for (std::size_t b = 0; b < tree.leaves().size(); ++b) {
+    for (std::size_t s : ulist.neighbors(b)) {
+      expected += static_cast<double>(tree.leaves()[b].size()) *
+                  static_cast<double>(tree.leaves()[s].size());
+    }
+  }
+  EXPECT_DOUBLE_EQ(ulist.total_pairs(tree), expected);
+}
+
+TEST(UList, MeanListLength) {
+  const Octree tree(uniform_cloud(8000, 27), 2);  // dense 4x4x4 occupancy
+  const UList ulist(tree);
+  // Dense 4^3 grid: mean |U| = (8·8 + 24·12 + 24·18 + 8·27)/64 = 15.625.
+  EXPECT_NEAR(ulist.mean_list_length(), 15.625, 1e-9);
+}
+
+TEST(UList, FlopAccountingConstant) {
+  EXPECT_DOUBLE_EQ(kFlopsPerPair, 11.0);
+}
+
+}  // namespace
+}  // namespace rme::fmm

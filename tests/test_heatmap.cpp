@@ -1,0 +1,93 @@
+// ASCII heatmaps and category maps.
+
+#include "rme/report/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme::report {
+namespace {
+
+TEST(Heatmap, SampleAndExtremes) {
+  const Heatmap h = Heatmap::sample(
+      {1.0, 2.0, 3.0}, {10.0, 20.0},
+      [](double x, double y) { return x * y; }, HeatmapConfig{});
+  EXPECT_DOUBLE_EQ(h.min_value(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 60.0);
+}
+
+TEST(Heatmap, RendersRampAndScale) {
+  HeatmapConfig cfg;
+  cfg.title = "test map";
+  cfg.x_label = "x";
+  cfg.ramp = " #";
+  const Heatmap h = Heatmap::sample(
+      {0.0, 1.0}, {0.0, 1.0},
+      [](double x, double y) { return x + y; }, cfg);
+  const std::string out = h.to_string();
+  EXPECT_NE(out.find("test map"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("scale:"), std::string::npos);
+}
+
+TEST(Heatmap, ConstantFieldDoesNotDivideByZero) {
+  const Heatmap h = Heatmap::sample(
+      {1.0, 2.0}, {1.0, 2.0}, [](double, double) { return 5.0; },
+      HeatmapConfig{});
+  EXPECT_NO_THROW((void)h.to_string());
+  EXPECT_DOUBLE_EQ(h.min_value(), h.max_value());
+}
+
+TEST(Heatmap, Validation) {
+  EXPECT_THROW(Heatmap({1.0}, {1.0}, {}, HeatmapConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(Heatmap({1.0, 2.0}, {1.0}, {{1.0}}, HeatmapConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(Heatmap({1.0, 2.0}, {1.0, 2.0}, {{1.0, 2.0}, {3.0}},
+                       HeatmapConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Heatmap, EfficiencyMapHasExpectedGradient) {
+  // Absolute energy efficiency (flop/J) over (I, pi0) for the GTX 580:
+  // rises with intensity, falls with constant power.  (The *normalized*
+  // efficiency would rise with pi0 — it is relative to the machine's
+  // own degraded peak — which is why this map uses absolute units.)
+  const MachineParams base = presets::gtx580(Precision::kDouble);
+  const auto field = [&](double intensity, double pi0) {
+    MachineParams m = base;
+    m.const_power = pi0;
+    return achieved_flops_per_joule(m, intensity);
+  };
+  const std::vector<double> xs = {0.25, 1.0, 4.0, 16.0};
+  const std::vector<double> ys = {0.0, 61.0, 122.0};
+  const Heatmap h = Heatmap::sample(xs, ys, field, HeatmapConfig{});
+  EXPECT_GT(field(16.0, 0.0), field(0.25, 0.0));
+  EXPECT_GT(field(16.0, 0.0), field(16.0, 122.0));
+  EXPECT_NEAR(h.max_value(), field(16.0, 0.0), 1e-12);
+}
+
+TEST(CategoryMap, RendersLegendGlyphs) {
+  HeatmapConfig cfg;
+  cfg.title = "outcomes";
+  const CategoryMap map({1.0, 2.0}, {1.0, 2.0}, {{0, 1}, {1, 0}},
+                        {{'.', "no"}, {'#', "yes"}}, cfg);
+  const std::string out = map.to_string();
+  EXPECT_NE(out.find("outcomes"), std::string::npos);
+  EXPECT_NE(out.find(". = no"), std::string::npos);
+  EXPECT_NE(out.find("# = yes"), std::string::npos);
+}
+
+TEST(CategoryMap, RejectsOutOfRangeCategories) {
+  EXPECT_THROW(CategoryMap({1.0}, {1.0}, {{2}}, {{'.', "only"}},
+                           HeatmapConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(CategoryMap({1.0}, {1.0}, {{-1}}, {{'.', "only"}},
+                           HeatmapConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rme::report

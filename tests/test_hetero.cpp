@@ -1,0 +1,133 @@
+// Heterogeneous two-device splits: evaluation semantics and the
+// time-vs-energy optimal-split disagreement.
+
+#include "rme/core/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+const MachineParams kGpu = presets::gtx580(Precision::kDouble);
+const MachineParams kCpu = presets::i7_950(Precision::kDouble);
+
+TEST(Hetero, PolicyNames) {
+  EXPECT_STREQ(to_string(IdlePolicy::kAlwaysOn), "always-on");
+  EXPECT_STREQ(to_string(IdlePolicy::kPowerGated), "power-gated");
+}
+
+TEST(Hetero, BoundarySplitsMatchSingleDevice) {
+  const KernelProfile k = KernelProfile::from_intensity(8.0, 1e11);
+  // alpha = 1: everything on device A; under power gating this is
+  // exactly A's single-device prediction.
+  const HeteroSplit all_a =
+      evaluate_split(kGpu, kCpu, k, 1.0, IdlePolicy::kPowerGated);
+  EXPECT_NEAR(all_a.seconds, predict_time(kGpu, k).total_seconds, 1e-15);
+  EXPECT_NEAR(all_a.joules, predict_energy(kGpu, k).total_joules,
+              1e-9 * all_a.joules);
+  EXPECT_DOUBLE_EQ(all_a.device_b_seconds, 0.0);
+
+  const HeteroSplit all_b =
+      evaluate_split(kGpu, kCpu, k, 0.0, IdlePolicy::kPowerGated);
+  EXPECT_NEAR(all_b.joules, predict_energy(kCpu, k).total_joules,
+              1e-9 * all_b.joules);
+}
+
+TEST(Hetero, AlwaysOnChargesBothDevicesOverMakespan) {
+  const KernelProfile k = KernelProfile::from_intensity(8.0, 1e11);
+  const HeteroSplit gated =
+      evaluate_split(kGpu, kCpu, k, 0.7, IdlePolicy::kPowerGated);
+  const HeteroSplit on =
+      evaluate_split(kGpu, kCpu, k, 0.7, IdlePolicy::kAlwaysOn);
+  EXPECT_DOUBLE_EQ(gated.seconds, on.seconds);  // time is policy-free
+  EXPECT_GT(on.joules, gated.joules);           // idle device burns pi0
+  const double expected_extra =
+      kGpu.const_power * (on.seconds - gated.device_a_seconds) +
+      kCpu.const_power * (on.seconds - gated.device_b_seconds);
+  EXPECT_NEAR(on.joules - gated.joules, expected_extra,
+              1e-9 * on.joules);
+}
+
+TEST(Hetero, AlphaIsClamped) {
+  const KernelProfile k = KernelProfile::from_intensity(4.0, 1e10);
+  const HeteroSplit s =
+      evaluate_split(kGpu, kCpu, k, 1.7, IdlePolicy::kPowerGated);
+  EXPECT_DOUBLE_EQ(s.alpha, 1.0);
+}
+
+TEST(Hetero, TimeOptimalSplitBalancesCompletionTimes) {
+  const KernelProfile k = KernelProfile::from_intensity(16.0, 1e11);
+  const HeteroSplit s =
+      time_optimal_split(kGpu, kCpu, k, IdlePolicy::kPowerGated);
+  // Both devices can contribute, so the optimum equalizes finish times.
+  EXPECT_NEAR(s.device_a_seconds, s.device_b_seconds,
+              1e-6 * s.device_a_seconds);
+  // Compute-bound: the GPU (197.6 GF/s) gets ~78.8% vs CPU 53.28 GF/s.
+  EXPECT_NEAR(s.alpha, 197.63 / (197.63 + 53.28), 1e-3);
+  // And beats either device alone.
+  EXPECT_LT(s.seconds, predict_time(kGpu, k).total_seconds);
+  EXPECT_LT(s.seconds, predict_time(kCpu, k).total_seconds);
+}
+
+TEST(Hetero, TimeOptimalSplitIsGridOptimal) {
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e11);
+  const HeteroSplit best =
+      time_optimal_split(kGpu, kCpu, k, IdlePolicy::kAlwaysOn);
+  for (double alpha = 0.0; alpha <= 1.0; alpha += 0.01) {
+    const HeteroSplit s =
+        evaluate_split(kGpu, kCpu, k, alpha, IdlePolicy::kAlwaysOn);
+    EXPECT_GE(s.seconds, best.seconds * (1.0 - 1e-9)) << alpha;
+  }
+}
+
+TEST(Hetero, EnergyOptimalSplitIsGridOptimal) {
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e11);
+  for (IdlePolicy policy :
+       {IdlePolicy::kAlwaysOn, IdlePolicy::kPowerGated}) {
+    const HeteroSplit best = energy_optimal_split(kGpu, kCpu, k, policy);
+    for (double alpha = 0.0; alpha <= 1.0; alpha += 0.01) {
+      const HeteroSplit s = evaluate_split(kGpu, kCpu, k, alpha, policy);
+      EXPECT_GE(s.joules, best.joules * (1.0 - 1e-9))
+          << alpha << " " << to_string(policy);
+    }
+  }
+}
+
+TEST(Hetero, PowerGatedEnergyPrefersTheEfficientDevice) {
+  // Under power gating with a strongly compute-bound kernel, dynamic +
+  // busy-time constant energy is simply additive: the GPU is ~3.6x more
+  // energy-efficient (1.21 vs 0.34 GF/J), so all-GPU minimizes energy.
+  const KernelProfile k = KernelProfile::from_intensity(64.0, 1e11);
+  const HeteroSplit s =
+      energy_optimal_split(kGpu, kCpu, k, IdlePolicy::kPowerGated);
+  EXPECT_GT(s.alpha, 0.99);
+}
+
+TEST(Hetero, TimeAndEnergyOptimaDisagree) {
+  // The headline: for compute-bound work across these two devices, the
+  // time optimum shares ~21% with the CPU while the energy optimum
+  // (power-gated) gives the CPU nothing.
+  const KernelProfile k = KernelProfile::from_intensity(64.0, 1e11);
+  EXPECT_TRUE(
+      split_optima_disagree(kGpu, kCpu, k, IdlePolicy::kPowerGated));
+}
+
+TEST(Hetero, IdenticalDevicesAgreeOnHalfSplit) {
+  const KernelProfile k = KernelProfile::from_intensity(16.0, 1e11);
+  const HeteroSplit t =
+      time_optimal_split(kGpu, kGpu, k, IdlePolicy::kAlwaysOn);
+  EXPECT_NEAR(t.alpha, 0.5, 1e-6);
+  const HeteroSplit e =
+      energy_optimal_split(kGpu, kGpu, k, IdlePolicy::kAlwaysOn);
+  // Energy under always-on is minimized by the shortest makespan too.
+  EXPECT_NEAR(e.alpha, 0.5, 0.01);
+  EXPECT_FALSE(
+      split_optima_disagree(kGpu, kGpu, k, IdlePolicy::kAlwaysOn, 0.02));
+}
+
+}  // namespace
+}  // namespace rme

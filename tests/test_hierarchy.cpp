@@ -1,0 +1,132 @@
+// Multi-level memory-hierarchy energy extension (§V-C / §VII).
+
+#include "rme/core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+HierarchicalProfile gtx_profile() {
+  HierarchicalProfile p;
+  p.flops = 1e9;
+  p.levels = {
+      LevelTraffic{"DRAM", 2e8, 513e-12},
+      LevelTraffic{"L2", 6e8, kPaperCacheEnergyPerByte},
+      LevelTraffic{"L1", 1.2e9, kPaperCacheEnergyPerByte},
+  };
+  return p;
+}
+
+TEST(Hierarchy, LevelJoules) {
+  const LevelTraffic level{"L2", 1e9, 187e-12};
+  EXPECT_DOUBLE_EQ(level.joules(), 0.187);
+}
+
+TEST(Hierarchy, DegeneratesToTwoLevelModel) {
+  // With only a DRAM level, the multi-level energy equals eq. (2).
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  HierarchicalProfile p;
+  p.flops = 1e9;
+  p.levels = {LevelTraffic{"DRAM", 5e8, m.energy_per_byte}};
+  const HierarchicalEnergy e = predict_energy_multilevel(m, p);
+  const EnergyBreakdown two =
+      predict_energy(m, KernelProfile{p.flops, 5e8});
+  EXPECT_NEAR(e.total_joules, two.total_joules, 1e-12 * e.total_joules);
+}
+
+TEST(Hierarchy, CacheTrafficAddsEnergyNotTime) {
+  // §V-C: cache levels add energy; runtime is set by the DRAM level.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  HierarchicalProfile with_cache = gtx_profile();
+  HierarchicalProfile without = with_cache;
+  without.levels.resize(1);
+  const HierarchicalEnergy e1 = predict_energy_multilevel(m, with_cache);
+  const HierarchicalEnergy e0 = predict_energy_multilevel(m, without);
+  EXPECT_GT(e1.total_joules, e0.total_joules);
+  EXPECT_DOUBLE_EQ(e1.const_joules, e0.const_joules);  // same runtime
+}
+
+TEST(Hierarchy, BreakdownIsConsistent) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const HierarchicalProfile p = gtx_profile();
+  const HierarchicalEnergy e = predict_energy_multilevel(m, p);
+  ASSERT_EQ(e.level_joules.size(), p.levels.size());
+  double sum = e.flops_joules + e.const_joules;
+  for (std::size_t i = 0; i < p.levels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(e.level_joules[i], p.levels[i].joules());
+    sum += e.level_joules[i];
+  }
+  EXPECT_NEAR(e.total_joules, sum, 1e-12 * sum);
+}
+
+TEST(Hierarchy, PaperCacheConstant) {
+  EXPECT_DOUBLE_EQ(kPaperCacheEnergyPerByte, 187e-12);
+}
+
+TEST(Hierarchy, EffectiveIntensityWeightsByEnergy) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  HierarchicalProfile p;
+  p.flops = 1e9;
+  // One DRAM byte's worth of energy split across two levels.
+  p.levels = {LevelTraffic{"DRAM", 1e8, m.energy_per_byte},
+              LevelTraffic{"L2", 1e8, m.energy_per_byte}};
+  // Energy-weighted traffic = 2e8 bytes of DRAM-equivalent.
+  EXPECT_NEAR(effective_intensity(m, p), 1e9 / 2e8, 1e-9);
+}
+
+TEST(Hierarchy, CacheChargeAugmentsMemoryEnergy) {
+  const MachineParams base = presets::gtx580(Precision::kDouble);
+  const MachineParams charged = with_cache_charge(base, 3.0);
+  EXPECT_DOUBLE_EQ(charged.energy_per_byte,
+                   base.energy_per_byte + 3.0 * kPaperCacheEnergyPerByte);
+  EXPECT_DOUBLE_EQ(charged.energy_per_flop, base.energy_per_flop);
+  EXPECT_DOUBLE_EQ(charged.time_per_byte, base.time_per_byte);
+  EXPECT_NE(charged.name, base.name);
+}
+
+TEST(Hierarchy, CacheChargeRaisesEnergyBalance) {
+  // Charging cache transit makes communication more expensive in
+  // energy: B_eps grows, the arch line drops, and the energy-efficiency
+  // target gets harder — the §V-C effect folded into the §II model.
+  const MachineParams base = presets::gtx580(Precision::kDouble);
+  const MachineParams charged = with_cache_charge(base, 3.0);
+  EXPECT_GT(charged.energy_balance(), base.energy_balance());
+  for (double i : {0.5, 2.0, 8.0}) {
+    EXPECT_LT(normalized_efficiency(charged, i),
+              normalized_efficiency(base, i))
+        << i;
+  }
+}
+
+TEST(Hierarchy, CacheChargeMatchesMultilevelEnergy) {
+  // The augmented two-level machine charges exactly what the explicit
+  // multi-level model charges when cache traffic = crossings × DRAM.
+  const MachineParams base = presets::gtx580(Precision::kDouble);
+  const double crossings = 2.5;
+  const MachineParams charged = with_cache_charge(base, crossings);
+  const double flops = 1e9;
+  const double dram = 4e8;
+  HierarchicalProfile p;
+  p.flops = flops;
+  p.levels = {LevelTraffic{"DRAM", dram, base.energy_per_byte},
+              LevelTraffic{"cache", crossings * dram,
+                           kPaperCacheEnergyPerByte}};
+  const double multilevel = predict_energy_multilevel(base, p).total_joules;
+  const double two_level =
+      predict_energy(charged, KernelProfile{flops, dram}).total_joules;
+  EXPECT_NEAR(two_level, multilevel, 1e-9 * multilevel);
+}
+
+TEST(Hierarchy, EmptyLevelsMeansFlopsAndNoTraffic) {
+  const MachineParams m = presets::fermi_table2();  // pi0 = 0
+  HierarchicalProfile p;
+  p.flops = 1e9;
+  const HierarchicalEnergy e = predict_energy_multilevel(m, p);
+  EXPECT_DOUBLE_EQ(e.total_joules, 1e9 * m.energy_per_flop);
+}
+
+}  // namespace
+}  // namespace rme

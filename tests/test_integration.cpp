@@ -1,0 +1,189 @@
+// End-to-end integration: the full Fig. 4 / Table IV pipeline —
+// simulated platform → PowerMon measurement sessions → eq. (9)
+// regression → recovered machine — plus the Fig. 4b power-cap signature.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+#include "rme/core/powerline.hpp"
+#include "rme/core/units.hpp"
+#include "rme/fit/energy_fit.hpp"
+#include "rme/power/calibration.hpp"
+#include "rme/power/interposer.hpp"
+#include "rme/power/session.hpp"
+
+namespace rme {
+namespace {
+
+using power::MeasurementSession;
+using power::PowerMon;
+using power::PowerMonConfig;
+using power::SessionConfig;
+using power::SessionResult;
+using sim::Executor;
+using sim::SimConfig;
+
+/// The experimental apparatus of §IV-A for one platform+precision.
+MeasurementSession make_apparatus(const MachineParams& m, double noise,
+                                  std::size_t reps,
+                                  double cap = 1e18) {
+  SimConfig sim_cfg;
+  sim_cfg.noise = sim::NoiseModel(777, noise);
+  sim_cfg.power_cap_watts = cap;
+  PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;  // the paper's 7.8125 ms interval
+  return MeasurementSession(Executor(m, sim_cfg),
+                            PowerMon(power::gtx580_rails(), mon_cfg),
+                            SessionConfig{reps});
+}
+
+/// Long-running kernels (≈0.3 s and up) so 128 Hz sampling resolves the
+/// power plateau even at the memory-bound end of the sweep.
+std::vector<sim::KernelDesc> sweep(Precision p) {
+  return sim::intensity_sweep(sim::pow2_grid(0.25, 64.0), 8e9, p);
+}
+
+TEST(Integration, Fig4PipelineRecoversTable4OnGtx580) {
+  std::vector<fit::EnergySample> samples;
+  for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+    const auto session = make_apparatus(presets::gtx580(p), 0.01, 9);
+    for (const SessionResult& r : session.measure_sweep(sweep(p))) {
+      fit::EnergySample s;
+      s.flops = r.kernel.flops;
+      s.bytes = r.kernel.bytes;
+      s.seconds = r.seconds.median;
+      s.joules = r.joules.median;
+      s.precision = p;
+      samples.push_back(s);
+    }
+  }
+  const fit::EnergyFit fit = fit::fit_energy_coefficients(samples);
+  // Table IV, within a few percent despite noise and 128 Hz sampling.
+  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 99.7, 15.0);
+  EXPECT_NEAR(fit.coefficients.eps_double() / kPico, 212.0, 25.0);
+  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 513.0, 40.0);
+  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 8.0);
+  EXPECT_GT(fit.regression.r_squared, 0.99);
+
+  // The recovered machine reproduces the Fig. 4a balance annotations.
+  const MachineParams recovered = fit.coefficients.to_machine(
+      presets::gtx580(Precision::kDouble), Precision::kDouble);
+  EXPECT_NEAR(recovered.energy_balance(), 2.42, 0.25);
+  EXPECT_NEAR(recovered.balance_fixed_point(), 0.79, 0.10);
+}
+
+TEST(Integration, MeasuredPointsTrackRooflineAndArchLine) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const auto session = make_apparatus(m, 0.005, 5);
+  for (const SessionResult& r : session.measure_sweep(sweep(Precision::kDouble))) {
+    const double i = r.intensity();
+    const double speed =
+        (r.kernel.flops / r.seconds.median) / m.peak_flops();
+    const double eff = (r.kernel.flops / r.joules.median) /
+                       m.peak_flops_per_joule();
+    EXPECT_NEAR(speed, normalized_speed(m, i), 0.03) << i;
+    EXPECT_NEAR(eff, normalized_efficiency(m, i), 0.03) << i;
+  }
+}
+
+TEST(Integration, MeasuredPowerTracksPowerLine) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto session = make_apparatus(m, 0.005, 5);
+  for (const SessionResult& r : session.measure_sweep(sweep(Precision::kDouble))) {
+    EXPECT_NEAR(r.watts.median, average_power(m, r.intensity()),
+                0.03 * average_power(m, r.intensity()))
+        << r.intensity();
+  }
+}
+
+TEST(Integration, PowerCapProducesFig4bDeparture) {
+  // GTX 580 single precision with the 244 W board cap: measurements
+  // depart from the roofline near B_tau, exactly the Fig. 4b shape.
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  const auto capped = make_apparatus(m, 0.0, 3,
+                                     presets::kGtx580PowerCapWatts);
+  const auto uncapped = make_apparatus(m, 0.0, 3);
+
+  const auto kernels = sweep(Precision::kSingle);
+  bool any_departure = false;
+  for (const auto& kernel : kernels) {
+    const SessionResult rc = capped.measure(kernel);
+    const SessionResult ru = uncapped.measure(kernel);
+    const double i = kernel.intensity();
+    if (std::fabs(std::log2(i / m.time_balance())) < 1.01) {
+      // Within an octave of B_tau: the cap must bite.
+      EXPECT_GT(rc.seconds.median, 1.2 * ru.seconds.median) << i;
+      EXPECT_TRUE(rc.any_capped) << i;
+      any_departure = true;
+    }
+    // Measured power never exceeds the board cap.
+    EXPECT_LE(rc.watts.median, presets::kGtx580PowerCapWatts * 1.02) << i;
+  }
+  EXPECT_TRUE(any_departure);
+}
+
+TEST(Integration, RaceToHaltObservationHoldsEndToEnd) {
+  // §V-B: once compute-bound in time, measured efficiency is within 2x
+  // of its peak on every platform/precision — measured, not just modeled.
+  for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+    for (const MachineParams& m : {presets::gtx580(p), presets::i7_950(p)}) {
+      const auto session = make_apparatus(m, 0.0, 3);
+      const auto kernel = sim::fma_load_mix(
+          2.0 * m.time_balance(), 2e9, p);  // compute-bound in time
+      const SessionResult r = session.measure(kernel);
+      const double eff = (kernel.flops / r.joules.median) /
+                         m.peak_flops_per_joule();
+      EXPECT_GT(eff, 0.5) << m.name;
+    }
+  }
+}
+
+TEST(Integration, CalibrateThenPredictClosedLoop) {
+  // Characterize an "unknown" platform through the measurement stack,
+  // then use the calibrated machine to predict a kernel the calibration
+  // never saw; the prediction must match a fresh measurement within a
+  // few percent.  This is the full intended use of the library.
+  const MachineParams truth = presets::i7_950(Precision::kDouble);
+  const MachineParams truth_sp = presets::i7_950(Precision::kSingle);
+  const auto sp_session = make_apparatus(truth_sp, 0.005, 7);
+  const auto dp_session = make_apparatus(truth, 0.005, 7);
+  const power::CalibrationResult calib =
+      power::calibrate_platform(sp_session, dp_session);
+
+  // An unseen kernel: intensity 3 (between grid points), different size.
+  const auto kernel = sim::fma_load_mix(3.0, 5e9, Precision::kDouble);
+  const SessionResult measured = dp_session.measure(kernel);
+
+  const KernelProfile profile = kernel.profile();
+  const double predicted_t =
+      predict_time(calib.double_precision, profile).total_seconds;
+  const double predicted_e =
+      predict_energy(calib.double_precision, profile).total_joules;
+  EXPECT_NEAR(predicted_t, measured.seconds.median,
+              0.03 * measured.seconds.median);
+  EXPECT_NEAR(predicted_e, measured.joules.median,
+              0.05 * measured.joules.median);
+}
+
+TEST(Integration, AchievedPeaksMatchPaperNumbers) {
+  // §IV-B reports 196 GFLOP/s and 170 GB/s for the GPU double case when
+  // the achieved fractions are 99.3% and 88.3%.
+  MachineParams m = presets::gtx580(Precision::kDouble);
+  SimConfig cfg;
+  cfg.flop_fraction = 0.993;
+  cfg.bw_fraction = 0.883;
+  cfg.noise = sim::NoiseModel(1, 0.0);
+  const Executor exec(m, cfg);
+  const auto compute = exec.run(sim::fma_load_mix(64.0, 2e9,
+                                                  Precision::kDouble));
+  EXPECT_NEAR(compute.achieved_flops() / 1e9, 196.2, 1.0);
+  const auto memory = exec.run(sim::fma_load_mix(0.25, 2e9,
+                                                 Precision::kDouble));
+  EXPECT_NEAR(memory.achieved_bandwidth() / 1e9, 169.9, 1.0);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,72 @@
+// §V-A cross-check arithmetic: the paper's reconciliation of fitted
+// coefficients with Keckler et al.'s circuit-level estimates.
+
+#include "rme/core/keckler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Keckler, FlopOverheadIs187pJ) {
+  // "our estimate in table IV is about eight times larger ... these
+  // overheads account for roughly 187 pJ/flop."
+  const MachineParams gtx = presets::gtx580(Precision::kDouble);
+  const FlopOverhead f = flop_overhead(gtx.energy_per_flop);
+  EXPECT_NEAR(f.fitted_pj, 212.0, 0.01);
+  EXPECT_NEAR(f.functional_unit_pj, 25.0, 1e-12);
+  EXPECT_NEAR(f.overhead_pj, 187.0, 0.01);
+  EXPECT_NEAR(f.overhead_ratio, 212.0 / 25.0, 1e-9);
+  EXPECT_GT(f.overhead_ratio, 8.0);  // "about eight times larger"
+  EXPECT_LT(f.overhead_ratio, 9.0);
+}
+
+TEST(Keckler, MemoryBottomUpRangeIs307To443) {
+  // "Adding this number to the baseline produces an estimate of
+  // 300-436 pJ/Byte ... total cost estimate to 307-443 pJ/Byte."
+  const MachineParams gtx = presets::gtx580(Precision::kDouble);
+  const FlopOverhead f = flop_overhead(gtx.energy_per_flop);
+  const MemEnergyCrossCheck c =
+      mem_energy_cross_check(gtx.energy_per_byte, f.overhead_pj * 1e-12);
+  // ~187 pJ / 4 B ≈ 47 pJ/B of instruction overhead (single precision).
+  EXPECT_NEAR(c.overhead_pj_per_b, 46.75, 0.05);
+  // L1+L2 read+write: 4 × 1.75 = 7 pJ/B.
+  EXPECT_NEAR(c.cache_pj_per_b, 7.0, 1e-12);
+  EXPECT_NEAR(c.bottom_up_low_pj_per_b, 306.75, 0.1);   // paper: 307
+  EXPECT_NEAR(c.bottom_up_high_pj_per_b, 442.75, 0.1);  // paper: 443
+}
+
+TEST(Keckler, FittedMemEnergyExceedsBottomUp) {
+  // "Our estimate of eps_mem is larger, which may reflect additional
+  // overheads for cache management, such as tag matching."
+  const MachineParams gtx = presets::gtx580(Precision::kDouble);
+  const FlopOverhead f = flop_overhead(gtx.energy_per_flop);
+  const MemEnergyCrossCheck c =
+      mem_energy_cross_check(gtx.energy_per_byte, f.overhead_pj * 1e-12);
+  EXPECT_TRUE(c.fitted_exceeds_bottom_up);
+  EXPECT_NEAR(c.fitted_pj_per_b, 513.0, 0.01);
+  EXPECT_GT(c.unexplained_pj_per_b, 50.0);
+  EXPECT_LT(c.unexplained_pj_per_b, 120.0);  // ~70 pJ/B unexplained
+}
+
+TEST(Keckler, CustomEstimatesFlowThrough) {
+  KecklerEstimates k;
+  k.flop_pj = 10.0;
+  k.dram_low_pj_per_b = 100.0;
+  k.dram_high_pj_per_b = 200.0;
+  k.cache_rw_pj_per_b = 1.0;
+  const FlopOverhead f = flop_overhead(50e-12, k);
+  EXPECT_NEAR(f.overhead_pj, 40.0, 1e-9);
+  const MemEnergyCrossCheck c =
+      mem_energy_cross_check(300e-12, f.overhead_pj * 1e-12, 8.0, k);
+  EXPECT_NEAR(c.overhead_pj_per_b, 5.0, 1e-9);
+  EXPECT_NEAR(c.cache_pj_per_b, 4.0, 1e-9);
+  EXPECT_NEAR(c.bottom_up_low_pj_per_b, 109.0, 1e-9);
+  EXPECT_NEAR(c.bottom_up_high_pj_per_b, 209.0, 1e-9);
+  EXPECT_TRUE(c.fitted_exceeds_bottom_up);
+}
+
+}  // namespace
+}  // namespace rme

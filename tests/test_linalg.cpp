@@ -1,0 +1,163 @@
+// Dense linear algebra: Cholesky, QR, inverse, and cross-validation.
+
+#include "rme/fit/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rme::fit {
+namespace {
+
+Matrix make_spd3() {
+  // A = Bᵀ·B + I for a well-conditioned SPD matrix.
+  Matrix a(3, 3);
+  a(0, 0) = 4.0;  a(0, 1) = 1.0;  a(0, 2) = 0.5;
+  a(1, 0) = 1.0;  a(1, 1) = 3.0;  a(1, 2) = 0.25;
+  a(2, 0) = 0.5;  a(2, 1) = 0.25; a(2, 2) = 2.0;
+  return a;
+}
+
+TEST(Matrix, BasicAccessors) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  Matrix a(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  a(2, 0) = 5; a(2, 1) = 6;
+  const Matrix g = a.gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 35.0);   // 1+9+25
+  EXPECT_DOUBLE_EQ(g(0, 1), 44.0);   // 2+12+30
+  EXPECT_DOUBLE_EQ(g(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 56.0);   // 4+16+36
+}
+
+TEST(Matrix, TransposeTimesAndTimes) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  const auto aty = a.transpose_times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(aty[0], 4.0);
+  EXPECT_DOUBLE_EQ(aty[1], 6.0);
+  const auto ax = a.times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(ax[0], 3.0);
+  EXPECT_DOUBLE_EQ(ax[1], 7.0);
+  EXPECT_THROW((void)a.times({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)a.transpose_times({1.0}), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix a = make_spd3();
+  const Matrix l = cholesky_factor(a);
+  // L·Lᵀ == A.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += l(i, k) * l(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix a = make_spd3();
+  const std::vector<double> x_true = {1.0, -2.0, 3.0};
+  const std::vector<double> b = a.times(x_true);
+  const std::vector<double> x = cholesky_solve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-12);
+  }
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // indefinite
+  EXPECT_THROW(cholesky_factor(a), SingularMatrixError);
+  Matrix rect(2, 3);
+  EXPECT_THROW(cholesky_factor(rect), std::invalid_argument);
+}
+
+TEST(SpdInverse, TimesOriginalIsIdentity) {
+  const Matrix a = make_spd3();
+  const Matrix inv = spd_inverse(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += a(i, k) * inv(k, j);
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Qr, ExactSystemSolved) {
+  Matrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 4;
+  const std::vector<double> x_true = {0.5, -1.5, 2.0};
+  const std::vector<double> b = a.times(x_true);
+  const std::vector<double> x = qr_least_squares(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-12);
+  }
+}
+
+TEST(Qr, OverdeterminedLeastSquares) {
+  // Fit y = 2 + 3x over noisy-free samples: exact recovery.
+  Matrix a(5, 2);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = i;
+    y[static_cast<std::size_t>(i)] = 2.0 + 3.0 * i;
+  }
+  const std::vector<double> x = qr_least_squares(a, y);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Qr, AgreesWithNormalEquations) {
+  // Random-ish overdetermined system: both solvers match.
+  const std::size_t n = 12;
+  Matrix a(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 3.0;
+    a(i, 0) = 1.0;
+    a(i, 1) = std::sin(t);
+    a(i, 2) = t * t;
+    y[i] = 0.7 - 1.3 * std::sin(t) + 0.2 * t * t + 0.01 * std::cos(7.0 * t);
+  }
+  const auto x_qr = qr_least_squares(a, y);
+  const auto x_ne = cholesky_solve(a.gram(), a.transpose_times(y));
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(x_qr[j], x_ne[j], 1e-9);
+  }
+}
+
+TEST(Qr, RejectsBadShapes) {
+  Matrix wide(2, 3);
+  EXPECT_THROW(qr_least_squares(wide, {1.0, 2.0}), std::invalid_argument);
+  Matrix a(3, 2);
+  EXPECT_THROW(qr_least_squares(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // collinear columns
+  }
+  EXPECT_THROW(qr_least_squares(a, {0, 1, 2, 3}), SingularMatrixError);
+}
+
+}  // namespace
+}  // namespace rme::fit

@@ -1,0 +1,167 @@
+// OLS regression with inference.
+
+#include "rme/fit/linreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/sim/noise.hpp"
+
+namespace rme::fit {
+namespace {
+
+TEST(Ols, ExactRecoveryOnNoiselessData) {
+  // y = 2 + 3·x1 − 0.5·x2, no noise: coefficients exact, R² = 1.
+  const std::size_t n = 20;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = static_cast<double>(i);
+    const double x2 = std::sin(static_cast<double>(i));
+    x(i, 0) = 1.0;
+    x(i, 1) = x1;
+    x(i, 2) = x2;
+    y[i] = 2.0 + 3.0 * x1 - 0.5 * x2;
+  }
+  const Regression reg = ols(x, y, {"intercept", "x1", "x2"});
+  EXPECT_NEAR(reg.by_name("intercept").value, 2.0, 1e-10);
+  EXPECT_NEAR(reg.by_name("x1").value, 3.0, 1e-10);
+  EXPECT_NEAR(reg.by_name("x2").value, -0.5, 1e-10);
+  EXPECT_NEAR(reg.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(reg.observations, n);
+  EXPECT_EQ(reg.dof, n - 3);
+}
+
+TEST(Ols, NoisyRecoveryWithinStandardErrors) {
+  const rme::sim::NoiseModel noise(7, 0.0);
+  const std::size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(i) / 40.0;
+    x(i, 0) = 1.0;
+    x(i, 1) = xi;
+    y[i] = 1.5 + 0.75 * xi + 0.05 * noise.standard_normal(i);
+  }
+  const Regression reg = ols(x, y, {"b0", "b1"});
+  EXPECT_NEAR(reg.by_name("b0").value, 1.5,
+              4.0 * reg.by_name("b0").std_error);
+  EXPECT_NEAR(reg.by_name("b1").value, 0.75,
+              4.0 * reg.by_name("b1").std_error);
+  EXPECT_GT(reg.r_squared, 0.99);
+  // Both coefficients overwhelmingly significant.
+  EXPECT_LT(reg.by_name("b1").p_value, 1e-14);
+  // Residual std error ≈ the injected 0.05 noise.
+  EXPECT_NEAR(reg.residual_std_error, 0.05, 0.01);
+}
+
+TEST(Ols, InsignificantRegressorHasLargePValue) {
+  // A column of pure noise uncorrelated with y.
+  const rme::sim::NoiseModel noise(11, 0.0);
+  const std::size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = noise.standard_normal(2 * i);
+    y[i] = 5.0 + 0.3 * noise.standard_normal(2 * i + 1);
+  }
+  const Regression reg = ols(x, y, {"b0", "junk"});
+  EXPECT_GT(reg.by_name("junk").p_value, 0.01);
+  EXPECT_LT(std::fabs(reg.by_name("junk").value), 0.2);
+}
+
+TEST(Ols, ResidualsSumToZeroWithIntercept) {
+  const std::size_t n = 30;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i * i);
+    y[i] = 1.0 + 0.1 * static_cast<double>(i);
+  }
+  const Regression reg = ols(x, y);
+  double sum = 0.0;
+  for (double r : reg.residuals) sum += r;
+  EXPECT_NEAR(sum, 0.0, 1e-8);
+}
+
+TEST(Ols, SolversAgree) {
+  const rme::sim::NoiseModel noise(13, 0.0);
+  const std::size_t n = 50;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / 10.0;
+    x(i, 0) = 1.0;
+    x(i, 1) = t;
+    x(i, 2) = t * t;
+    y[i] = 0.3 + 1.1 * t - 0.2 * t * t + 0.01 * noise.standard_normal(i);
+  }
+  const Regression qr = ols(x, y, {}, Solver::kQr);
+  const Regression ne = ols(x, y, {}, Solver::kNormalEquations);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(qr.coefficients[j].value, ne.coefficients[j].value, 1e-8);
+    EXPECT_NEAR(qr.coefficients[j].std_error, ne.coefficients[j].std_error,
+                1e-8);
+  }
+}
+
+TEST(Ols, DefaultNamesAreGenerated) {
+  Matrix x(5, 2);
+  std::vector<double> y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  const Regression reg = ols(x, y);
+  EXPECT_EQ(reg.coefficients[0].name, "x0");
+  EXPECT_EQ(reg.coefficients[1].name, "x1");
+  EXPECT_THROW((void)reg.by_name("nope"), std::out_of_range);
+}
+
+TEST(Ols, ShapeValidation) {
+  Matrix x(3, 3);
+  std::vector<double> y(3);
+  EXPECT_THROW(ols(x, y), std::invalid_argument);  // n must exceed p
+  Matrix x2(5, 2);
+  EXPECT_THROW(ols(x2, y), std::invalid_argument);  // y size mismatch
+}
+
+TEST(DesignBuilder, BuildAndFit) {
+  DesignBuilder design({"one", "slope"});
+  for (int i = 0; i < 10; ++i) {
+    design.add({1.0, static_cast<double>(i)}, 4.0 - 0.5 * i);
+  }
+  EXPECT_EQ(design.observations(), 10u);
+  const Regression reg = design.fit();
+  EXPECT_NEAR(reg.by_name("one").value, 4.0, 1e-10);
+  EXPECT_NEAR(reg.by_name("slope").value, -0.5, 1e-10);
+}
+
+TEST(DesignBuilder, Validation) {
+  EXPECT_THROW(DesignBuilder({}), std::invalid_argument);
+  DesignBuilder design({"a", "b"});
+  EXPECT_THROW(design.add({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Ols, AdjustedRSquaredBelowRSquared) {
+  const rme::sim::NoiseModel noise(17, 0.0);
+  const std::size_t n = 25;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i);
+    y[i] = 2.0 + 0.5 * static_cast<double>(i) +
+           0.8 * noise.standard_normal(i);
+  }
+  const Regression reg = ols(x, y);
+  EXPECT_LT(reg.adj_r_squared, reg.r_squared);
+  EXPECT_GT(reg.adj_r_squared, 0.0);
+}
+
+}  // namespace
+}  // namespace rme::fit

@@ -1,0 +1,212 @@
+// MachineParams derived quantities and the paper's preset platforms.
+//
+// The key fixture: all balance points annotated on Figs. 4 and 5 must be
+// *derivable* from Tables III and IV through eq. (6) — this is the
+// internal-consistency check of the whole reproduction.
+
+#include "rme/core/machine.hpp"
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rme {
+namespace {
+
+TEST(MachineParams, Table2FermiBalancePoints) {
+  const MachineParams m = presets::fermi_table2();
+  // Table II: B_tau = 6.9/1.9 ≈ 3.6 flop/byte.
+  EXPECT_NEAR(m.time_balance(), 515.0 / 144.0, 1e-12);
+  EXPECT_NEAR(m.time_balance(), 3.58, 0.01);
+  // Table II: B_eps = 360/25 = 14.4 flop/byte.
+  EXPECT_NEAR(m.energy_balance(), 14.4, 1e-12);
+  // pi0 = 0 so eta = 1 and the effective balance equals B_eps everywhere.
+  EXPECT_DOUBLE_EQ(m.flop_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(m.effective_energy_balance(0.1), 14.4);
+  EXPECT_DOUBLE_EQ(m.effective_energy_balance(100.0), 14.4);
+  EXPECT_DOUBLE_EQ(m.balance_fixed_point(), 14.4);
+  // Peak energy efficiency = 1/25 pJ = 40 Gflop/J (the Fig. 2a y-axis).
+  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 40.0, 1e-9);
+}
+
+TEST(MachineParams, Gtx580DoubleDerivedPoints) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  // Fig. 4a annotations: B_tau = 1.0, B_eps(const=0) = 2.4, true
+  // effective balance point 0.79, peak 1.2 GFLOP/J.
+  EXPECT_NEAR(m.time_balance(), 1.03, 0.01);
+  EXPECT_NEAR(m.energy_balance(), 2.42, 0.01);
+  EXPECT_NEAR(m.balance_fixed_point(), 0.79, 0.01);
+  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 1.21, 0.01);
+}
+
+TEST(MachineParams, Gtx580SingleDerivedPoints) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  // Fig. 4b annotations: 8.2, 5.1 (const=0), 4.5; peak 5.7 GFLOP/J.
+  EXPECT_NEAR(m.time_balance(), 8.22, 0.01);
+  EXPECT_NEAR(m.energy_balance(), 5.15, 0.01);
+  EXPECT_NEAR(m.balance_fixed_point(), 4.52, 0.01);
+  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 5.65, 0.05);
+}
+
+TEST(MachineParams, I7_950DoubleDerivedPoints) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  // Fig. 4a annotations: 2.1, 1.2 (const=0), 1.1; peak 0.34 GFLOP/J.
+  EXPECT_NEAR(m.time_balance(), 2.08, 0.01);
+  EXPECT_NEAR(m.energy_balance(), 1.19, 0.01);
+  EXPECT_NEAR(m.balance_fixed_point(), 1.06, 0.01);
+  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 0.338, 0.005);
+}
+
+TEST(MachineParams, I7_950SingleDerivedPoints) {
+  const MachineParams m = presets::i7_950(Precision::kSingle);
+  // Fig. 4b annotations: 4.2, 2.1 (const=0), 2.1; peak 0.66 GFLOP/J.
+  EXPECT_NEAR(m.time_balance(), 4.16, 0.01);
+  EXPECT_NEAR(m.energy_balance(), 2.14, 0.01);
+  EXPECT_NEAR(m.balance_fixed_point(), 2.09, 0.01);
+  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 0.66, 0.01);
+}
+
+TEST(MachineParams, BalanceGapGtx580DoubleExceedsOne) {
+  // Ignoring constant power, B_eps > B_tau on the GPU in double
+  // precision (the paper's hypothetical future scenario, §V-B).
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  EXPECT_GT(m.balance_gap(), 2.0);
+}
+
+TEST(MachineParams, EffectiveBalanceBelowPlainBalanceWhenConstPower) {
+  // §II-D: higher constant power lowers eta and thus B-hat below B_eps.
+  for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams gpu = presets::gtx580(p);
+    EXPECT_LT(gpu.balance_fixed_point(), gpu.energy_balance())
+        << gpu.name;
+    const MachineParams cpu = presets::i7_950(p);
+    EXPECT_LT(cpu.balance_fixed_point(), cpu.energy_balance())
+        << cpu.name;
+  }
+}
+
+TEST(MachineParams, RaceToHaltConditionHoldsOnAllMeasuredPlatforms) {
+  // §V-B: "In all cases, the time-balance point exceeds the y=1/2
+  // energy-balance point, which means that time-efficiency will tend to
+  // imply energy-efficiency" — race-to-halt works today.
+  for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+    EXPECT_GT(presets::gtx580(p).time_balance(),
+              presets::gtx580(p).balance_fixed_point());
+    EXPECT_GT(presets::i7_950(p).time_balance(),
+              presets::i7_950(p).balance_fixed_point());
+  }
+}
+
+TEST(MachineParams, ConstEnergyPerFlop) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  // eps0 = pi0 * tau_flop = 122 W / 197.63 Gflop/s ≈ 617 pJ.
+  EXPECT_NEAR(m.const_energy_per_flop() / kPico, 617.3, 0.5);
+  EXPECT_NEAR(m.actual_energy_per_flop() / kPico, 829.3, 0.5);
+  EXPECT_NEAR(m.flop_efficiency(), 212.0 / 829.3, 1e-3);
+}
+
+TEST(MachineParams, FlopAndMemPower) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  // pi_flop = eps_flop / tau_flop = 99.7 pJ × 1581.06 Gflop/s ≈ 158 W.
+  EXPECT_NEAR(m.flop_power(), 99.7e-12 * 1581.06e9, 1e-6);
+  EXPECT_NEAR(m.mem_power(), 513e-12 * 192.4e9, 1e-6);
+}
+
+TEST(MachineParams, EffectiveBalanceContinuousAtTimeBalance) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const double b = m.time_balance();
+  EXPECT_NEAR(m.effective_energy_balance(b - 1e-9),
+              m.effective_energy_balance(b + 1e-9), 1e-6);
+}
+
+TEST(MachineParams, EffectiveBalanceMonotoneNonincreasing) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  double prev = m.effective_energy_balance(1e-3);
+  for (double i = 1e-3; i < 1e3; i *= 1.5) {
+    const double cur = m.effective_energy_balance(i);
+    EXPECT_LE(cur, prev + 1e-15);
+    prev = cur;
+  }
+}
+
+TEST(MachineParams, FixedPointSolvesEquation) {
+  for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+    for (const MachineParams& m :
+         {presets::gtx580(p), presets::i7_950(p), presets::fermi_table2()}) {
+      const double fp = m.balance_fixed_point();
+      EXPECT_NEAR(m.effective_energy_balance(fp), fp, 1e-9 * fp) << m.name;
+    }
+  }
+}
+
+TEST(MachineParams, ValidityChecks) {
+  MachineParams m = presets::fermi_table2();
+  EXPECT_TRUE(m.valid());
+  m.const_power = 0.0;
+  EXPECT_TRUE(m.valid());  // zero constant power is legitimate
+  m.time_per_flop = 0.0;
+  EXPECT_FALSE(m.valid());
+  m = presets::fermi_table2();
+  m.energy_per_byte = -1.0;
+  EXPECT_FALSE(m.valid());
+  m = presets::fermi_table2();
+  m.const_power = -5.0;
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(MachineParams, StreamOutputContainsName) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  std::ostringstream oss;
+  oss << m;
+  EXPECT_NE(oss.str().find("GTX 580"), std::string::npos);
+  EXPECT_NE(oss.str().find("B_tau"), std::string::npos);
+}
+
+TEST(Presets, Table3Peaks) {
+  const presets::PlatformPeaks cpu = presets::table3_cpu();
+  EXPECT_DOUBLE_EQ(cpu.gflops_single, 106.56);
+  EXPECT_DOUBLE_EQ(cpu.gflops_double, 53.28);
+  EXPECT_DOUBLE_EQ(cpu.bandwidth_gbs, 25.6);
+  const presets::PlatformPeaks gpu = presets::table3_gpu();
+  EXPECT_DOUBLE_EQ(gpu.gflops_single, 1581.06);
+  EXPECT_DOUBLE_EQ(gpu.gflops_double, 197.63);
+  EXPECT_DOUBLE_EQ(gpu.bandwidth_gbs, 192.4);
+}
+
+TEST(Presets, SingleEnergyBelowDoubleEnergy) {
+  // Table IV: eps_s < eps_d on both platforms.
+  EXPECT_LT(presets::gtx580(Precision::kSingle).energy_per_flop,
+            presets::gtx580(Precision::kDouble).energy_per_flop);
+  EXPECT_LT(presets::i7_950(Precision::kSingle).energy_per_flop,
+            presets::i7_950(Precision::kDouble).energy_per_flop);
+}
+
+TEST(Presets, CpuCoefficientsExceedGpu) {
+  // §V-A: "the estimates of CPU energy costs for both flops and memory
+  // are higher than their GPU counterparts."
+  for (Precision p : {Precision::kSingle, Precision::kDouble}) {
+    EXPECT_GT(presets::i7_950(p).energy_per_flop,
+              presets::gtx580(p).energy_per_flop);
+    EXPECT_GT(presets::i7_950(p).energy_per_byte,
+              presets::gtx580(p).energy_per_byte);
+  }
+}
+
+TEST(Presets, IdenticalConstPower) {
+  // Table IV: "the pi0 coefficients turned out to be identical to three
+  // digits on the two platforms" — both 122 W.
+  EXPECT_DOUBLE_EQ(presets::gtx580(Precision::kSingle).const_power, 122.0);
+  EXPECT_DOUBLE_EQ(presets::i7_950(Precision::kDouble).const_power, 122.0);
+}
+
+TEST(Precision, WordBytes) {
+  EXPECT_EQ(word_bytes(Precision::kSingle), 4);
+  EXPECT_EQ(word_bytes(Precision::kDouble), 8);
+  EXPECT_STREQ(to_string(Precision::kSingle), "single");
+  EXPECT_STREQ(to_string(Precision::kDouble), "double");
+}
+
+}  // namespace
+}  // namespace rme

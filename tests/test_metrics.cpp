@@ -1,0 +1,128 @@
+// Trade-off metrics (§VI): EDP/ED²P, flops-per-Watt, metric-optimal
+// frequency selection, and intensity requirements per metric.
+
+#include "rme/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Metrics, EdpDefinition) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const KernelProfile k = KernelProfile::from_intensity(4.0, 1e9);
+  const double t = predict_time(m, k).total_seconds;
+  const double e = predict_energy(m, k).total_joules;
+  EXPECT_NEAR(energy_delay_product(m, k, 0.0), e, 1e-12 * e);
+  EXPECT_NEAR(energy_delay_product(m, k, 1.0), e * t, 1e-12 * e * t);
+  EXPECT_NEAR(energy_delay_product(m, k, 2.0), e * t * t,
+              1e-9 * e * t * t);
+}
+
+TEST(Metrics, FlopsPerWattIsFlopsPerJoule) {
+  // Dimensional identity: FLOP/s per Watt == FLOP/J.
+  const MachineParams m = presets::i7_950(Precision::kSingle);
+  for (double i : {0.5, 2.0, 8.0, 64.0}) {
+    EXPECT_DOUBLE_EQ(flops_per_watt(m, i), achieved_flops_per_joule(m, i));
+  }
+}
+
+TEST(Metrics, MetricValueDispatch) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+  EXPECT_DOUBLE_EQ(metric_value(Metric::kTime, m, k),
+                   predict_time(m, k).total_seconds);
+  EXPECT_DOUBLE_EQ(metric_value(Metric::kEnergy, m, k),
+                   predict_energy(m, k).total_joules);
+  EXPECT_DOUBLE_EQ(metric_value(Metric::kEdp, m, k),
+                   energy_delay_product(m, k, 1.0));
+  EXPECT_DOUBLE_EQ(metric_value(Metric::kEd2p, m, k),
+                   energy_delay_product(m, k, 2.0));
+}
+
+TEST(Metrics, Names) {
+  EXPECT_STREQ(to_string(Metric::kTime), "time");
+  EXPECT_STREQ(to_string(Metric::kEnergy), "energy");
+  EXPECT_STREQ(to_string(Metric::kEdp), "EDP");
+  EXPECT_STREQ(to_string(Metric::kEd2p), "ED2P");
+}
+
+TEST(Metrics, TimeMetricAlwaysRacesToHalt) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const DvfsModel dvfs;
+  for (double i : {0.25, 2.0, 64.0}) {
+    const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+    const DvfsPoint best =
+        metric_optimal_frequency(Metric::kTime, m, dvfs, k);
+    // Memory-bound kernels tie across frequencies; compute-bound ones
+    // strictly prefer max.  In both cases max_ratio is optimal.
+    const DvfsPoint at_max = frequency_sweep(m, dvfs, k, 64).back();
+    EXPECT_LE(at_max.seconds, best.seconds * (1.0 + 1e-12)) << i;
+  }
+}
+
+TEST(Metrics, MetricsDisagreeOnFrequencyForMemoryBoundKernels) {
+  // Memory-bound kernel: time is indifferent, energy prefers the
+  // slowest clock, EDP sits with energy (T constant).  This is the
+  // §II-D race-to-halt discussion expressed through metric choice.
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  DvfsModel dvfs;
+  dvfs.min_ratio = 0.5;
+  const KernelProfile k =
+      KernelProfile::from_intensity(m.time_balance() / 64.0, 1e9);
+  const DvfsPoint energy_best =
+      metric_optimal_frequency(Metric::kEnergy, m, dvfs, k);
+  EXPECT_DOUBLE_EQ(energy_best.ratio, dvfs.min_ratio);
+  const DvfsPoint edp_best =
+      metric_optimal_frequency(Metric::kEdp, m, dvfs, k);
+  EXPECT_DOUBLE_EQ(edp_best.ratio, dvfs.min_ratio);
+}
+
+TEST(Metrics, Ed2pFavorsSpeedMoreThanEdp) {
+  // For a compute-bound kernel on a pi0 = 0 machine, energy prefers the
+  // slowest ratio; heavier delay weighting pushes the optimum upward.
+  MachineParams m = presets::i7_950(Precision::kDouble);
+  m.const_power = 0.0;
+  const DvfsModel dvfs;
+  const KernelProfile k = KernelProfile::from_intensity(64.0, 1e9);
+  const double r_e =
+      metric_optimal_frequency(Metric::kEnergy, m, dvfs, k).ratio;
+  const double r_edp =
+      metric_optimal_frequency(Metric::kEdp, m, dvfs, k).ratio;
+  const double r_ed2p =
+      metric_optimal_frequency(Metric::kEd2p, m, dvfs, k).ratio;
+  EXPECT_LE(r_e, r_edp + 1e-12);
+  EXPECT_LE(r_edp, r_ed2p + 1e-12);
+  EXPECT_LT(r_e, r_ed2p);  // the chain is strict end to end
+}
+
+TEST(Metrics, IntensityForFractionOrdering) {
+  // Reaching a fixed fraction of peak takes more intensity for energy
+  // than for time on a machine with B_eps > B_tau (Fermi) — the balance
+  // gap as a locality requirement (§II-D).
+  const MachineParams m = presets::fermi_table2();
+  const double i_time = intensity_for_fraction(Metric::kTime, m, 0.9);
+  const double i_energy = intensity_for_fraction(Metric::kEnergy, m, 0.9);
+  EXPECT_GT(i_energy, i_time);
+  // And the thresholds are self-consistent.
+  const double t_at = metric_value(Metric::kTime, m,
+                                   KernelProfile::from_intensity(i_time, 1.0));
+  const double t_best = metric_value(
+      Metric::kTime, m, KernelProfile::from_intensity(1e6, 1.0));
+  EXPECT_NEAR(t_best / t_at, 0.9, 1e-3);
+}
+
+TEST(Metrics, IntensityForFractionBoundaries) {
+  const MachineParams m = presets::fermi_table2();
+  // Trivial fraction: any intensity qualifies, returns the low bound
+  // (time at I = 1e-3 is 3580x the ideal, i.e. ~2.8e-4 of peak > 1e-4).
+  EXPECT_DOUBLE_EQ(intensity_for_fraction(Metric::kTime, m, 1e-4, 1e-3),
+                   1e-3);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,300 @@
+// The time/energy model of eqs. (1)-(6): predictions, breakdowns,
+// classifications, and the model's structural invariants (property-style
+// parameterized suites over machines × intensities).
+
+#include "rme/core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/units.hpp"
+
+namespace rme {
+namespace {
+
+MachineParams machine_by_name(const std::string& which) {
+  if (which == "fermi") return presets::fermi_table2();
+  if (which == "gtx_sp") return presets::gtx580(Precision::kSingle);
+  if (which == "gtx_dp") return presets::gtx580(Precision::kDouble);
+  if (which == "i7_sp") return presets::i7_950(Precision::kSingle);
+  return presets::i7_950(Precision::kDouble);
+}
+
+const char* const kAllMachines[] = {"fermi", "gtx_sp", "gtx_dp", "i7_sp",
+                                    "i7_dp"};
+
+TEST(KernelProfile, IntensityAndFromIntensity) {
+  const KernelProfile k{880.0, 110.0};
+  EXPECT_DOUBLE_EQ(k.intensity(), 8.0);
+  const KernelProfile j = KernelProfile::from_intensity(4.0, 100.0);
+  EXPECT_DOUBLE_EQ(j.flops, 100.0);
+  EXPECT_DOUBLE_EQ(j.bytes, 25.0);
+  EXPECT_DOUBLE_EQ(j.intensity(), 4.0);
+}
+
+TEST(PredictTime, ComponentsAndOverlap) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k{1e9, 1e9};  // I = 1 < B_tau = 3.58: memory bound
+  const TimeBreakdown t = predict_time(m, k);
+  EXPECT_DOUBLE_EQ(t.flops_seconds, 1e9 * m.time_per_flop);
+  EXPECT_DOUBLE_EQ(t.mem_seconds, 1e9 * m.time_per_byte);
+  EXPECT_DOUBLE_EQ(t.total_seconds, std::max(t.flops_seconds, t.mem_seconds));
+  EXPECT_EQ(t.bound(), Bound::kMemory);
+}
+
+TEST(PredictTime, CommunicationPenaltyEqualsMaxOfOneAndBalanceOverI) {
+  const MachineParams m = presets::fermi_table2();
+  // Memory-bound: penalty = B_tau / I.
+  {
+    const KernelProfile k = KernelProfile::from_intensity(1.0, 1e6);
+    EXPECT_NEAR(predict_time(m, k).communication_penalty(),
+                m.time_balance() / 1.0, 1e-12);
+  }
+  // Compute-bound: penalty = 1.
+  {
+    const KernelProfile k = KernelProfile::from_intensity(64.0, 1e6);
+    EXPECT_DOUBLE_EQ(predict_time(m, k).communication_penalty(), 1.0);
+  }
+}
+
+TEST(PredictEnergy, ComponentsAreAdditive) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const KernelProfile k{1e9, 5e8};
+  const EnergyBreakdown e = predict_energy(m, k);
+  EXPECT_DOUBLE_EQ(e.flops_joules, 1e9 * m.energy_per_flop);
+  EXPECT_DOUBLE_EQ(e.mem_joules, 5e8 * m.energy_per_byte);
+  EXPECT_DOUBLE_EQ(e.const_joules,
+                   m.const_power * predict_time(m, k).total_seconds);
+  EXPECT_DOUBLE_EQ(e.total_joules,
+                   e.flops_joules + e.mem_joules + e.const_joules);
+}
+
+TEST(PredictEnergy, Equation5Identity) {
+  // E = W·eps_hat·(1 + B_hat(I)/I) must equal the additive eq. (2)/(4).
+  const MachineParams m = presets::i7_950(Precision::kSingle);
+  for (double i : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+    const double direct = predict_energy(m, k).total_joules;
+    const double eq5 = k.flops * m.actual_energy_per_flop() *
+                       (1.0 + m.effective_energy_balance(i) / i);
+    EXPECT_NEAR(direct, eq5, 1e-9 * direct) << "I=" << i;
+  }
+}
+
+TEST(PredictEnergy, CommunicationPenaltyMatchesEq5) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  const double i = 2.0;
+  const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+  const EnergyBreakdown e = predict_energy(m, k);
+  EXPECT_NEAR(e.communication_penalty(m),
+              1.0 + m.effective_energy_balance(i) / i, 1e-12);
+}
+
+TEST(NormalizedSpeed, RooflineShape) {
+  const MachineParams m = presets::fermi_table2();
+  const double b = m.time_balance();
+  EXPECT_NEAR(normalized_speed(m, b / 2.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(normalized_speed(m, b), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_speed(m, 10.0 * b), 1.0);
+}
+
+TEST(NormalizedEfficiency, HalfAtEnergyBalanceWhenNoConstPower) {
+  // §II-C: the energy-balance point is where efficiency is half of peak.
+  const MachineParams m = presets::fermi_table2();  // pi0 = 0
+  EXPECT_NEAR(normalized_efficiency(m, m.energy_balance()), 0.5, 1e-12);
+}
+
+TEST(NormalizedEfficiency, HalfAtFixedPointWithConstPower) {
+  for (const char* name : kAllMachines) {
+    const MachineParams m = machine_by_name(name);
+    EXPECT_NEAR(normalized_efficiency(m, m.balance_fixed_point()), 0.5, 1e-9)
+        << name;
+  }
+}
+
+TEST(NormalizedEfficiency, ArchLineIsSmoothWhereRooflineKinks) {
+  // §II-C: the roofline has a sharp inflection at I = B_tau while the
+  // arch line is smooth.  Discretely: with step h in log space, a smooth
+  // curve's second difference is O(h²) while a kink's is O(h) — so at a
+  // fine step the arch's max second difference is orders of magnitude
+  // below the roofline's.
+  const MachineParams m = presets::fermi_table2();
+  const double step = std::exp2(1.0 / 16.0);
+  double arch_max = 0.0;
+  double roof_max = 0.0;
+  double arch_prev2 = 0.0, arch_prev = 0.0;
+  double roof_prev2 = 0.0, roof_prev = 0.0;
+  int count = 0;
+  for (double i = 0.125; i < 512.0; i *= step, ++count) {
+    const double arch = std::log(normalized_efficiency(m, i));
+    const double roof = std::log(normalized_speed(m, i));
+    if (count >= 2) {
+      arch_max = std::fmax(arch_max,
+                           std::fabs(arch - 2.0 * arch_prev + arch_prev2));
+      roof_max = std::fmax(roof_max,
+                           std::fabs(roof - 2.0 * roof_prev + roof_prev2));
+    }
+    arch_prev2 = arch_prev;
+    arch_prev = arch;
+    roof_prev2 = roof_prev;
+    roof_prev = roof;
+  }
+  EXPECT_LT(arch_max, 0.002);   // smooth: ~0.25·h² ≈ 5e-4
+  EXPECT_GT(roof_max, 0.02);    // kink: ~h ≈ 4e-2
+}
+
+TEST(AchievedRates, ScaleWithPeaks) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  EXPECT_NEAR(achieved_flops(m, 1e6), m.peak_flops(), 1e-3);
+  EXPECT_NEAR(achieved_flops_per_joule(m, 1e9), m.peak_flops_per_joule(),
+              1.0);
+  EXPECT_NEAR(achieved_flops(m, m.time_balance() / 4.0),
+              m.peak_flops() / 4.0, 1e-3);
+}
+
+TEST(Classification, DisagreementWindow) {
+  // On the GTX 580 double precision: fixed point 0.79 < B_tau 1.03, so
+  // intensities between them are memory-bound in time but compute-bound
+  // in energy.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const double mid = 0.5 * (m.balance_fixed_point() + m.time_balance());
+  EXPECT_EQ(time_bound(m, mid), Bound::kMemory);
+  EXPECT_EQ(energy_bound(m, mid), Bound::kCompute);
+  EXPECT_TRUE(classifications_disagree(m, mid));
+  EXPECT_FALSE(classifications_disagree(m, 100.0));
+  EXPECT_FALSE(classifications_disagree(m, 0.01));
+}
+
+TEST(Classification, HypotheticalBalanceGapWindow) {
+  // Fermi Table II (pi0 = 0): B_tau = 3.58 < B_eps = 14.4, so
+  // intensities in between are compute-bound in time but memory-bound in
+  // energy — the §II-D scenario where energy is the harder target.
+  const MachineParams m = presets::fermi_table2();
+  const double mid = 8.0;
+  EXPECT_EQ(time_bound(m, mid), Bound::kCompute);
+  EXPECT_EQ(energy_bound(m, mid), Bound::kMemory);
+  EXPECT_TRUE(classifications_disagree(m, mid));
+}
+
+TEST(SerialModel, SumsComponentTimes) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+  const TimeBreakdown serial = predict_time_serial(m, k);
+  const TimeBreakdown overlap = predict_time(m, k);
+  EXPECT_DOUBLE_EQ(serial.flops_seconds, overlap.flops_seconds);
+  EXPECT_DOUBLE_EQ(serial.mem_seconds, overlap.mem_seconds);
+  EXPECT_DOUBLE_EQ(serial.total_seconds,
+                   serial.flops_seconds + serial.mem_seconds);
+}
+
+TEST(SerialModel, OverlapBuysAtMostTwoX) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  for (double i = 0.125; i <= 512.0; i *= 2.0) {
+    const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+    const double ratio = predict_time_serial(m, k).total_seconds /
+                         predict_time(m, k).total_seconds;
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LE(ratio, 2.0 + 1e-12);
+  }
+  // Exactly 2x at the balance point, where both components are equal.
+  const KernelProfile at_b =
+      KernelProfile::from_intensity(m.time_balance(), 1e9);
+  EXPECT_NEAR(predict_time_serial(m, at_b).total_seconds /
+                  predict_time(m, at_b).total_seconds,
+              2.0, 1e-9);
+}
+
+TEST(SerialModel, NormalizedSpeedIsSmoothHalfAtBalance) {
+  // The serial "roofline" looks like an arch line: 1/(1 + B_tau/I),
+  // reaching 1/2 at I = B_tau — no kink.
+  const MachineParams m = presets::fermi_table2();
+  EXPECT_NEAR(normalized_speed_serial(m, m.time_balance()), 0.5, 1e-12);
+  for (double i = 0.25; i <= 64.0; i *= 2.0) {
+    const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+    EXPECT_NEAR(normalized_speed_serial(m, i),
+                k.flops * m.time_per_flop /
+                    predict_time_serial(m, k).total_seconds,
+                1e-12);
+    EXPECT_LE(normalized_speed_serial(m, i), normalized_speed(m, i));
+  }
+}
+
+TEST(ToString, Bounds) {
+  EXPECT_STREQ(to_string(Bound::kCompute), "compute-bound");
+  EXPECT_STREQ(to_string(Bound::kMemory), "memory-bound");
+}
+
+// ---- Property-style parameterized suites -----------------------------
+
+class ModelProperties
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(ModelProperties, SpeedWithinUnitInterval) {
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  const double s = normalized_speed(m, i);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST_P(ModelProperties, EfficiencyWithinUnitInterval) {
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  const double e = normalized_efficiency(m, i);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 1.0);  // always below 1: some traffic energy remains
+}
+
+TEST_P(ModelProperties, EnergyEfficiencyImpliesTimeEfficiencyHere) {
+  // §V-B observation: on all measured platforms the fixed point is below
+  // B_tau, so being within 2x of peak energy efficiency does NOT yet
+  // guarantee compute-bound in time, but I ≥ B_eps ⇒ I ≥ fixed point.
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  if (i >= m.energy_balance()) {
+    EXPECT_GE(i, m.balance_fixed_point());
+  }
+}
+
+TEST_P(ModelProperties, TimeScalesLinearlyInWork) {
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  const KernelProfile k1 = KernelProfile::from_intensity(i, 1e6);
+  const KernelProfile k2 = KernelProfile::from_intensity(i, 3e6);
+  EXPECT_NEAR(predict_time(m, k2).total_seconds,
+              3.0 * predict_time(m, k1).total_seconds,
+              1e-9 * predict_time(m, k2).total_seconds);
+  EXPECT_NEAR(predict_energy(m, k2).total_joules,
+              3.0 * predict_energy(m, k1).total_joules,
+              1e-9 * predict_energy(m, k2).total_joules);
+}
+
+TEST_P(ModelProperties, ReducingTrafficNeverHurts) {
+  // Fixing W and raising I (shrinking Q) cannot increase time or energy.
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  const KernelProfile lo = KernelProfile::from_intensity(i, 1e6);
+  const KernelProfile hi = KernelProfile::from_intensity(2.0 * i, 1e6);
+  EXPECT_LE(predict_time(m, hi).total_seconds,
+            predict_time(m, lo).total_seconds * (1.0 + 1e-12));
+  EXPECT_LE(predict_energy(m, hi).total_joules,
+            predict_energy(m, lo).total_joules * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndIntensities, ModelProperties,
+    ::testing::Combine(::testing::ValuesIn(kAllMachines),
+                       ::testing::Values(0.125, 0.25, 0.5, 1.0, 2.0, 3.58,
+                                         4.0, 8.0, 14.4, 16.0, 64.0, 512.0)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, double>>& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_I";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 1000));
+      return name;
+    });
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,111 @@
+// Deterministic noise model: reproducibility and distribution sanity.
+
+#include "rme/sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace rme::sim {
+namespace {
+
+TEST(SplitMix, KnownProperties) {
+  // Deterministic, and distinct for consecutive inputs.
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Noise, DeterministicPerSeedAndSalt) {
+  const NoiseModel a(42, 0.05);
+  const NoiseModel b(42, 0.05);
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    EXPECT_DOUBLE_EQ(a.perturb(1.0, salt), b.perturb(1.0, salt));
+    EXPECT_DOUBLE_EQ(a.standard_normal(salt), b.standard_normal(salt));
+    EXPECT_DOUBLE_EQ(a.uniform(salt), b.uniform(salt));
+  }
+}
+
+TEST(Noise, DifferentSaltsDiffer) {
+  const NoiseModel n(42, 0.05);
+  std::set<double> values;
+  for (std::uint64_t salt = 0; salt < 256; ++salt) {
+    values.insert(n.perturb(1.0, salt));
+  }
+  EXPECT_GT(values.size(), 250u);  // essentially all distinct
+}
+
+TEST(Noise, DifferentSeedsDiffer) {
+  const NoiseModel a(1, 0.05);
+  const NoiseModel b(2, 0.05);
+  int same = 0;
+  for (std::uint64_t salt = 0; salt < 100; ++salt) {
+    if (a.perturb(1.0, salt) == b.perturb(1.0, salt)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Noise, ZeroSigmaIsIdentity) {
+  const NoiseModel n(7, 0.0);
+  for (std::uint64_t salt = 0; salt < 16; ++salt) {
+    EXPECT_DOUBLE_EQ(n.perturb(3.14, salt), 3.14);
+  }
+}
+
+TEST(Noise, PerturbedValuesStayPositive) {
+  const NoiseModel n(9, 0.5);  // huge sigma
+  for (std::uint64_t salt = 0; salt < 2000; ++salt) {
+    EXPECT_GT(n.perturb(1.0, salt), 0.0);
+  }
+}
+
+TEST(Noise, UniformInUnitInterval) {
+  const NoiseModel n(11, 0.0);
+  for (std::uint64_t salt = 0; salt < 2000; ++salt) {
+    const double u = n.uniform(salt);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Noise, StandardNormalMoments) {
+  const NoiseModel n(13, 0.0);
+  const int kSamples = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double z = n.standard_normal(static_cast<std::uint64_t>(i));
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Noise, PerturbRelativeSigmaIsApplied) {
+  const NoiseModel n(17, 0.02);
+  const int kSamples = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = n.perturb(100.0, static_cast<std::uint64_t>(i));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double sd = std::sqrt(sum_sq / kSamples - mean * mean);
+  EXPECT_NEAR(mean, 100.0, 0.2);
+  EXPECT_NEAR(sd, 2.0, 0.2);  // 2% of 100
+}
+
+TEST(Noise, AccessorsRoundTrip) {
+  const NoiseModel n(0xabcdef, 0.07);
+  EXPECT_EQ(n.seed(), 0xabcdefULL);
+  EXPECT_DOUBLE_EQ(n.relative_sigma(), 0.07);
+}
+
+}  // namespace
+}  // namespace rme::sim

@@ -1,0 +1,89 @@
+// Power-trace timeline semantics.
+
+#include "rme/sim/power_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rme::sim {
+namespace {
+
+PowerTrace make_trace() {
+  PowerTrace t;
+  t.append(1.0, 40.0);   // idle head
+  t.append(2.0, 200.0);  // compute
+  t.append(1.0, 40.0);   // idle tail
+  return t;
+}
+
+TEST(PowerTrace, EmptyTrace) {
+  const PowerTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(t.energy(), 0.0);
+  EXPECT_DOUBLE_EQ(t.average_power(), 0.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(1.0), 0.0);
+}
+
+TEST(PowerTrace, IgnoresNonPositivePhases) {
+  PowerTrace t;
+  t.append(0.0, 100.0);
+  t.append(-1.0, 100.0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(PowerTrace, DurationAndEnergy) {
+  const PowerTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.duration(), 4.0);
+  EXPECT_DOUBLE_EQ(t.energy(), 40.0 + 400.0 + 40.0);
+  EXPECT_DOUBLE_EQ(t.average_power(), 480.0 / 4.0);
+}
+
+TEST(PowerTrace, InstantaneousLookup) {
+  const PowerTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.watts_at(0.5), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(1.5), 200.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(2.999), 200.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(3.5), 40.0);
+  // At/after the end: last phase's power.
+  EXPECT_DOUBLE_EQ(t.watts_at(4.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(100.0), 40.0);
+}
+
+TEST(PowerTrace, PhaseBoundaryBelongsToNextPhase) {
+  const PowerTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.watts_at(1.0), 200.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(3.0), 40.0);
+}
+
+TEST(PowerTrace, EnergyBetween) {
+  const PowerTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.energy_between(0.0, 4.0), t.energy());
+  EXPECT_DOUBLE_EQ(t.energy_between(1.0, 3.0), 400.0);
+  EXPECT_DOUBLE_EQ(t.energy_between(0.5, 1.5), 0.5 * 40.0 + 0.5 * 200.0);
+  EXPECT_DOUBLE_EQ(t.energy_between(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.energy_between(3.0, 2.0), 0.0);  // inverted interval
+}
+
+TEST(PowerTrace, EnergyBetweenClampsToBounds) {
+  const PowerTrace t = make_trace();
+  EXPECT_DOUBLE_EQ(t.energy_between(-5.0, 100.0), t.energy());
+  EXPECT_DOUBLE_EQ(t.energy_between(3.5, 100.0), 0.5 * 40.0);
+}
+
+TEST(PowerTrace, EnergyBetweenIsAdditive) {
+  const PowerTrace t = make_trace();
+  const double parts = t.energy_between(0.0, 1.3) +
+                       t.energy_between(1.3, 2.7) +
+                       t.energy_between(2.7, 4.0);
+  EXPECT_NEAR(parts, t.energy(), 1e-12);
+}
+
+TEST(PowerTrace, SinglePhase) {
+  PowerTrace t;
+  t.append(0.25, 120.0);
+  EXPECT_DOUBLE_EQ(t.average_power(), 120.0);
+  EXPECT_DOUBLE_EQ(t.energy(), 30.0);
+}
+
+}  // namespace
+}  // namespace rme::sim

@@ -1,0 +1,140 @@
+// The power-line model of §III: eq. (7), its identity with E/T, the
+// max-power bound of eq. (8), and the asymptotic limits.
+
+#include "rme/core/powerline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+namespace {
+
+MachineParams machine_by_name(const std::string& which) {
+  if (which == "fermi") return presets::fermi_table2();
+  if (which == "gtx_sp") return presets::gtx580(Precision::kSingle);
+  if (which == "gtx_dp") return presets::gtx580(Precision::kDouble);
+  if (which == "i7_sp") return presets::i7_950(Precision::kSingle);
+  return presets::i7_950(Precision::kDouble);
+}
+
+const char* const kAllMachines[] = {"fermi", "gtx_sp", "gtx_dp", "i7_sp",
+                                    "i7_dp"};
+
+class PowerLineIdentity
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(PowerLineIdentity, AveragePowerEqualsEnergyOverTime) {
+  // Eq. (7) was derived as E/T; the closed form must match the ratio of
+  // the component models exactly, for every machine and intensity.
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+  const double e_over_t = predict_energy(m, k).total_joules /
+                          predict_time(m, k).total_seconds;
+  EXPECT_NEAR(average_power(m, i), e_over_t, 1e-9 * e_over_t);
+}
+
+TEST_P(PowerLineIdentity, PowerBetweenLimits) {
+  const MachineParams m = machine_by_name(std::get<0>(GetParam()));
+  const double i = std::get<1>(GetParam());
+  const double p = average_power(m, i);
+  EXPECT_GT(p, m.const_power);
+  EXPECT_LE(p, max_power(m) * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndIntensities, PowerLineIdentity,
+    ::testing::Combine(::testing::ValuesIn(kAllMachines),
+                       ::testing::Values(0.125, 0.5, 1.0, 2.0, 3.58, 8.0,
+                                         14.4, 64.0, 512.0)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, double>>& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_I";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 1000));
+      return name;
+    });
+
+TEST(PowerLine, MaxAtTimeBalance) {
+  // §III: "The algorithm requires the maximum power when I = B_tau."
+  const MachineParams m = presets::fermi_table2();
+  const double b = m.time_balance();
+  const double at_b = average_power(m, b);
+  EXPECT_NEAR(at_b, max_power(m), 1e-9 * at_b);
+  EXPECT_LT(average_power(m, b / 2.0), at_b);
+  EXPECT_LT(average_power(m, b * 2.0), at_b);
+}
+
+TEST(PowerLine, Equation8Bound) {
+  // P_max = pi_flop (1 + B_eps/B_tau) + pi0.
+  for (const char* name : kAllMachines) {
+    const MachineParams m = machine_by_name(name);
+    const double expected =
+        m.flop_power() * (1.0 + m.energy_balance() / m.time_balance()) +
+        m.const_power;
+    EXPECT_NEAR(max_power(m), expected, 1e-9 * expected) << name;
+  }
+}
+
+TEST(PowerLine, Fig2bNormalizedValues) {
+  // Fig. 2b (Fermi, pi0 = 0): flop power line at y=1, memory-bound lower
+  // limit at y = B_eps/B_tau ≈ 4.0, maximum at 1 + B_eps/B_tau ≈ 5.0.
+  const MachineParams m = presets::fermi_table2();
+  const double gap = m.energy_balance() / m.time_balance();
+  EXPECT_NEAR(gap, 4.03, 0.01);
+  EXPECT_NEAR(normalized_power(m, 1e9), 1.0, 1e-3);       // I → ∞
+  EXPECT_NEAR(normalized_power(m, 1e-9), gap, 1e-3);      // I → 0
+  EXPECT_NEAR(normalized_power(m, m.time_balance()), 1.0 + gap, 1e-9);
+}
+
+TEST(PowerLine, MemoryBoundLimitIsMemPowerPlusConst) {
+  for (const char* name : kAllMachines) {
+    const MachineParams m = machine_by_name(name);
+    EXPECT_NEAR(memory_bound_power_limit(m), m.mem_power() + m.const_power,
+                1e-9 * memory_bound_power_limit(m))
+        << name;
+  }
+}
+
+TEST(PowerLine, ComputeBoundLimit) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  EXPECT_NEAR(compute_bound_power_limit(m), m.flop_power() + m.const_power,
+              1e-12);
+  // P(I) approaches the limit from above as I → ∞.
+  EXPECT_GT(average_power(m, 1e4), compute_bound_power_limit(m));
+  EXPECT_NEAR(average_power(m, 1e9), compute_bound_power_limit(m), 1e-3);
+}
+
+TEST(PowerLine, Gtx580SinglePrecisionDemandExceedsBoardCap) {
+  // §V-B: the model demands ≈387 W near B_tau on the GTX 580 in single
+  // precision, above the 244 W board limit.
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  EXPECT_GT(max_power(m), 370.0);
+  EXPECT_LT(max_power(m), 400.0);
+  EXPECT_GT(max_power(m), presets::kGtx580PowerCapWatts);
+}
+
+TEST(PowerLine, Gtx580DoubleMaxPowerMatchesFig5a) {
+  // Fig. 5a shows the double-precision GTX 580 model peaking near 260 W.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  EXPECT_NEAR(max_power(m), 262.0, 3.0);
+}
+
+TEST(PowerLine, I7DoubleMaxPowerMatchesFig5a) {
+  // Fig. 5a shows the i7-950 model peaking near 180 W.
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  EXPECT_NEAR(max_power(m), 178.0, 3.0);
+}
+
+TEST(PowerLine, NormalizedFlopConstAtExtremes) {
+  // Fig. 5's normalization: P/(pi_flop + pi0) → 1 as I → ∞.
+  const MachineParams m = presets::i7_950(Precision::kSingle);
+  EXPECT_NEAR(normalized_power_flop_const(m, 1e9), 1.0, 1e-3);
+  EXPECT_GT(normalized_power_flop_const(m, m.time_balance()), 1.0);
+}
+
+}  // namespace
+}  // namespace rme

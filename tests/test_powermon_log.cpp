@@ -1,0 +1,113 @@
+// PowerMon 2 record-stream emulation: emission, parsing, and the
+// §IV-A reduction applied to parsed records.
+
+#include "rme/power/powermon_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rme/power/interposer.hpp"
+
+namespace rme::power {
+namespace {
+
+rme::sim::PowerTrace constant_trace(double watts, double seconds) {
+  rme::sim::PowerTrace t;
+  t.append(seconds, watts);
+  return t;
+}
+
+TEST(PowerMonLog, WritesOneRecordPerChannelPerTick) {
+  const auto rails = gtx580_rails();
+  PowerMonConfig cfg;
+  cfg.sample_hz = 128.0;
+  std::stringstream ss;
+  const std::size_t ticks =
+      write_powermon_log(ss, rails, cfg, constant_trace(240.0, 0.5));
+  EXPECT_EQ(ticks, 64u);  // 0.5 s at 128 Hz
+  const auto records = parse_powermon_log(ss);
+  EXPECT_EQ(records.size(), 64u * rails.size());
+}
+
+TEST(PowerMonLog, RoundTripPreservesSamples) {
+  const auto rails = gtx580_rails();
+  PowerMonConfig cfg;
+  cfg.sample_hz = 64.0;
+  std::stringstream ss;
+  write_powermon_log(ss, rails, cfg, constant_trace(200.0, 0.25));
+  const auto records = parse_powermon_log(ss);
+  ASSERT_FALSE(records.empty());
+  for (const LogRecord& r : records) {
+    ASSERT_LT(r.channel, rails.size());
+    const Channel& ch = rails[r.channel];
+    EXPECT_EQ(r.channel_name, ch.name());  // underscores decoded back
+    EXPECT_DOUBLE_EQ(r.volts, ch.nominal_volts());
+    EXPECT_NEAR(r.watts(), ch.power_fraction() * 200.0, 1e-9);
+  }
+}
+
+TEST(PowerMonLog, TimestampsAdvanceAtSampleRate) {
+  const auto rails = atx_cpu_rails();
+  PowerMonConfig cfg;
+  cfg.sample_hz = 128.0;
+  std::stringstream ss;
+  write_powermon_log(ss, rails, cfg, constant_trace(100.0, 0.1));
+  const auto records = parse_powermon_log(ss);
+  ASSERT_GE(records.size(), 2u * rails.size());
+  const double dt = records[rails.size()].t_seconds - records[0].t_seconds;
+  EXPECT_NEAR(dt, 1.0 / 128.0, 1e-12);
+  EXPECT_EQ(records[rails.size()].tick, records[0].tick + 1);
+}
+
+TEST(PowerMonLog, ReductionMatchesDirectMeasurement) {
+  // Parsing the text stream and reducing must agree with PowerMon's
+  // in-memory measurement of the same trace.
+  const auto rails = gtx580_rails();
+  PowerMonConfig cfg;
+  cfg.sample_hz = 128.0;
+  rme::sim::PowerTrace trace;
+  trace.append(0.5, 150.0);
+  trace.append(0.5, 250.0);
+
+  std::stringstream ss;
+  write_powermon_log(ss, rails, cfg, trace);
+  const Measurement from_log =
+      reduce_log(parse_powermon_log(ss), trace.duration());
+
+  const PowerMon mon(rails, cfg);
+  const Measurement direct = mon.measure(trace);
+  EXPECT_EQ(from_log.samples, direct.samples);
+  EXPECT_NEAR(from_log.avg_watts, direct.avg_watts, 1e-9);
+  EXPECT_NEAR(from_log.energy_joules, direct.energy_joules, 1e-9);
+}
+
+TEST(PowerMonLog, IgnoresBannerLines) {
+  std::stringstream ss(
+      "# PowerMon2 boot\n"
+      "some garbage\n"
+      "PM2 0 0.0 0 rail_A 12.0 5.0\n");
+  const auto records = parse_powermon_log(ss);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].channel_name, "rail A");
+  EXPECT_DOUBLE_EQ(records[0].watts(), 60.0);
+}
+
+TEST(PowerMonLog, MalformedRecordThrowsWithLineNumber) {
+  std::stringstream ss("PM2 0 0.0 zero rail 12.0\n");
+  try {
+    (void)parse_powermon_log(ss);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(PowerMonLog, EmptyReduction) {
+  const Measurement m = reduce_log({}, 1.0);
+  EXPECT_EQ(m.samples, 0u);
+  EXPECT_DOUBLE_EQ(m.energy_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace rme::power

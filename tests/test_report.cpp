@@ -1,0 +1,174 @@
+// Reporting: fixed-width tables, CSV escaping, markdown, ASCII charts.
+
+#include "rme/report/ascii_chart.hpp"
+#include "rme/report/csv.hpp"
+#include "rme/report/markdown.hpp"
+#include "rme/report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace rme::report {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnWidthsFitContent) {
+  Table t({"h", "x"});
+  t.add_row({"longer-cell", "1"});
+  const std::string out = t.to_string();
+  // Every line containing cells is at least as wide as the longest cell.
+  std::istringstream iss(out);
+  std::string line;
+  std::getline(iss, line);
+  EXPECT_GE(line.size(), std::string("longer-cell").size());
+}
+
+TEST(Table, SeparatorRows) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // Header rule + explicit separator = at least two dashed lines.
+  std::size_t dashes = 0;
+  std::istringstream iss(out);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) {
+      ++dashes;
+    }
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(Table, Validation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({"a"}, {Align::kLeft, Align::kRight}),
+               std::invalid_argument);
+}
+
+TEST(Fmt, SignificantDigits) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt(1234.5, 5), "1234.5");
+}
+
+TEST(FmtSi, EngineeringPrefixes) {
+  EXPECT_EQ(fmt_si(212e-12, "J"), "212 pJ");
+  EXPECT_EQ(fmt_si(1.5e9, "FLOP/s"), "1.5 GFLOP/s");
+  EXPECT_EQ(fmt_si(0.0, "W"), "0 W");
+  EXPECT_EQ(fmt_si(122.0, "W"), "122 W");
+  EXPECT_EQ(fmt_si(2.5e-3, "s"), "2.5 ms");
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriteRows) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({"intensity", "gflops"});
+  csv.write_row_numeric({2.0, 106.56});
+  EXPECT_EQ(oss.str(), "intensity,gflops\n2,106.56\n");
+}
+
+TEST(Markdown, TableShape) {
+  MarkdownTable t({"exp", "paper", "measured"});
+  t.add_row({"fig4", "1.0", "1.02"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| exp |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|---|"), std::string::npos);
+  EXPECT_NE(out.find("| fig4 |"), std::string::npos);
+}
+
+TEST(Markdown, EscapesPipes) {
+  EXPECT_EQ(md_escape("a|b"), "a\\|b");
+  MarkdownTable t({"h"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RendersSeriesAndMarkers) {
+  AsciiChart chart;
+  Series s;
+  s.name = "roofline";
+  s.glyph = '*';
+  for (double i = 0.5; i <= 64.0; i *= 2.0) {
+    s.points.push_back(rme::CurvePoint{i, std::min(1.0, i / 4.0)});
+  }
+  chart.add_series(s);
+  chart.add_marker(VerticalMarker{"B_tau", 4.0, '|'});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find("roofline"), std::string::npos);
+  EXPECT_NE(out.find("B_tau"), std::string::npos);
+  EXPECT_NE(out.find("intensity"), std::string::npos);
+}
+
+TEST(FmtSi, NegativeAndSubPicoValues) {
+  EXPECT_EQ(fmt_si(-212e-12, "J"), "-212 pJ");
+  EXPECT_EQ(fmt_si(-1.5e9, "W"), "-1.5 GW");
+  // Below the smallest prefix: falls through to pico.
+  EXPECT_EQ(fmt_si(5e-14, "J"), "0.05 pJ");
+}
+
+TEST(AsciiChart, SinglePointSeriesRendersWithoutCrash) {
+  AsciiChart chart;
+  Series s;
+  s.name = "one point";
+  s.points = {rme::CurvePoint{4.0, 0.5}};
+  chart.add_series(s);
+  // A single x value means no x-range; the chart reports no data rather
+  // than dividing by zero.
+  EXPECT_NE(chart.to_string().find("no plottable data"),
+            std::string::npos);
+}
+
+TEST(AsciiChart, FlatSeriesExpandsYRange) {
+  AsciiChart chart;
+  Series s;
+  s.name = "flat";
+  for (double i = 1.0; i <= 8.0; i *= 2.0) {
+    s.points.push_back(rme::CurvePoint{i, 0.5});
+  }
+  chart.add_series(s);
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("flat"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartDoesNotCrash) {
+  AsciiChart chart;
+  EXPECT_NE(chart.to_string().find("no plottable data"), std::string::npos);
+}
+
+TEST(AsciiChart, SkipsNonPositiveValuesOnLogAxes) {
+  AsciiChart chart;
+  Series s;
+  s.name = "mixed";
+  s.points = {rme::CurvePoint{-1.0, 0.5}, rme::CurvePoint{1.0, 0.5},
+              rme::CurvePoint{2.0, 0.0}, rme::CurvePoint{4.0, 1.0}};
+  chart.add_series(s);
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("mixed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rme::report

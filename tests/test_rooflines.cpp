@@ -1,0 +1,141 @@
+// Curve generators for Figs. 2, 4, and 5.
+
+#include "rme/core/rooflines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+#include "rme/core/powerline.hpp"
+#include "rme/core/units.hpp"
+
+namespace rme {
+namespace {
+
+TEST(IntensityGrid, EndpointsAndMonotonicity) {
+  const std::vector<double> grid = log_intensity_grid(0.5, 512.0, 8);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_DOUBLE_EQ(grid.front(), 0.5);
+  EXPECT_DOUBLE_EQ(grid.back(), 512.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(IntensityGrid, PointsPerOctave) {
+  // 10 octaves from 0.5 to 512 at 8 points/octave: 81 points.
+  const std::vector<double> grid = log_intensity_grid(0.5, 512.0, 8);
+  EXPECT_EQ(grid.size(), 81u);
+}
+
+TEST(IntensityGrid, LogSpacingIsUniform) {
+  const std::vector<double> grid = log_intensity_grid(1.0, 16.0, 4);
+  const double step = std::log2(grid[1] / grid[0]);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(std::log2(grid[i] / grid[i - 1]), step, 1e-9);
+  }
+}
+
+TEST(IntensityGrid, DegenerateInputs) {
+  EXPECT_TRUE(log_intensity_grid(-1.0, 2.0).empty());
+  EXPECT_TRUE(log_intensity_grid(4.0, 2.0).empty());
+  EXPECT_TRUE(log_intensity_grid(1.0, 2.0, 0).empty());
+}
+
+TEST(Curves, RooflineMatchesModelPointwise) {
+  const MachineParams m = presets::fermi_table2();
+  const auto grid = log_intensity_grid(0.5, 512.0, 4);
+  const Curve roof = time_roofline(m, grid);
+  ASSERT_EQ(roof.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(roof[i].intensity, grid[i]);
+    EXPECT_DOUBLE_EQ(roof[i].value, normalized_speed(m, grid[i]));
+  }
+}
+
+TEST(Curves, SerialRooflineIsSmoothAndBelowOverlapped) {
+  const MachineParams m = presets::fermi_table2();
+  const auto grid = log_intensity_grid(0.25, 64.0, 8);
+  const Curve overlap = time_roofline(m, grid);
+  const Curve serial = time_roofline_serial(m, grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].value,
+                     normalized_speed_serial(m, grid[i]));
+    EXPECT_LE(serial[i].value, overlap[i].value + 1e-12);
+    // Serial is never worse than half the overlapped speed.
+    EXPECT_GE(serial[i].value, 0.5 * overlap[i].value - 1e-12);
+  }
+}
+
+TEST(Curves, ArchLineBelowRoofline) {
+  // Fig. 2a: the energy arch line lies at or below the time roofline
+  // when both are normalized to their own peaks and pi0 = 0 with
+  // B_eps > B_tau — energy efficiency is the harder target (§II-D).
+  const MachineParams m = presets::fermi_table2();
+  const auto grid = log_intensity_grid(0.5, 512.0, 8);
+  const Curve roof = time_roofline(m, grid);
+  const Curve arch = energy_arch_line(m, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_LE(arch[i].value, roof[i].value + 1e-12) << grid[i];
+  }
+}
+
+TEST(Curves, ArchLineMonotoneIncreasing) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto grid = log_intensity_grid(0.25, 64.0, 8);
+  const Curve arch = energy_arch_line(m, grid);
+  for (std::size_t i = 1; i < arch.size(); ++i) {
+    EXPECT_GT(arch[i].value, arch[i - 1].value);
+  }
+}
+
+TEST(Curves, PowerLinePeaksAtTimeBalance) {
+  const MachineParams m = presets::fermi_table2();
+  const auto grid = log_intensity_grid(0.5, 512.0, 16);
+  const Curve line = power_line(m, grid);
+  double best_x = 0.0;
+  double best_v = 0.0;
+  for (const CurvePoint& p : line) {
+    if (p.value > best_v) {
+      best_v = p.value;
+      best_x = p.intensity;
+    }
+  }
+  EXPECT_NEAR(std::log2(best_x), std::log2(m.time_balance()), 0.15);
+  EXPECT_NEAR(best_v, 1.0 + m.energy_balance() / m.time_balance(), 0.05);
+}
+
+TEST(Curves, AbsoluteUnitCurves) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto grid = log_intensity_grid(0.25, 16.0, 4);
+  const Curve gflops = achieved_gflops_curve(m, grid);
+  const Curve gfj = achieved_gflops_per_joule_curve(m, grid);
+  const Curve watts = average_power_watts_curve(m, grid);
+  // At the top of the range the GPU is compute-bound: ~197.63 GFLOP/s.
+  EXPECT_NEAR(gflops.back().value, 197.63, 0.1);
+  // Energy efficiency approaches but never reaches 1.21 GFLOP/J.
+  EXPECT_LT(gfj.back().value, 1.21);
+  EXPECT_GT(gfj.back().value, 1.0);
+  // Power stays within [pi0, max_power].
+  for (const CurvePoint& p : watts) {
+    EXPECT_GT(p.value, m.const_power);
+    EXPECT_LE(p.value, max_power(m) + 1e-9);
+  }
+}
+
+TEST(Curves, PowerLineFlopConstNormalization) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const auto grid = log_intensity_grid(0.25, 16.0, 8);
+  const Curve norm = power_line_flop_const(m, grid);
+  const Curve abs = average_power_watts_curve(m, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(norm[i].value * (m.flop_power() + m.const_power),
+                abs[i].value, 1e-9 * abs[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace rme

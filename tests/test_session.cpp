@@ -1,0 +1,138 @@
+// Measurement sessions: the §IV-A protocol (repetitions + PowerMon
+// reduction) and its aggregate statistics.
+
+#include "rme/power/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/power/interposer.hpp"
+
+namespace rme::power {
+namespace {
+
+MeasurementSession make_session(const MachineParams& m, double noise_sigma,
+                                std::size_t reps) {
+  rme::sim::SimConfig sim_cfg;
+  sim_cfg.noise = rme::sim::NoiseModel(2024, noise_sigma);
+  PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;
+  SessionConfig ses_cfg;
+  ses_cfg.repetitions = reps;
+  return MeasurementSession(rme::sim::Executor(m, sim_cfg),
+                            PowerMon(gtx580_rails(), mon_cfg), ses_cfg);
+}
+
+TEST(SampleStats, BasicSummary) {
+  const SampleStats s = summarize({3.0, 1.0, 2.0, 5.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleStats, EvenCountMedian) {
+  const SampleStats s = summarize({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(SampleStats, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(summarize({}).mean, 0.0);
+  const SampleStats s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Session, RunsRequestedRepetitions) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto session = make_session(m, 0.01, 25);
+  const auto kernel =
+      rme::sim::fma_load_mix(2.0, 1e8, Precision::kDouble);
+  const SessionResult r = session.measure(kernel);
+  EXPECT_EQ(r.reps.size(), 25u);
+}
+
+TEST(Session, NoiselessSessionMatchesModel) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto session = make_session(m, 0.0, 5);
+  // A ~1 s kernel: long enough that 128 Hz sampling resolves the power
+  // plateau (short runs alias against the startup ramp, as on the real
+  // instrument).
+  const auto kernel =
+      rme::sim::fma_load_mix(4.0, 6e9, Precision::kDouble);
+  const SessionResult r = session.measure(kernel);
+  const KernelProfile profile = kernel.profile();
+  EXPECT_NEAR(r.seconds.median, predict_time(m, profile).total_seconds,
+              1e-9 * r.seconds.median);
+  // Energy = instrument average power × measured time; the 128 Hz
+  // sampling of the short ramp phase introduces only a small error.
+  EXPECT_NEAR(r.joules.median, predict_energy(m, profile).total_joules,
+              0.02 * r.joules.median);
+  EXPECT_FALSE(r.any_capped);
+}
+
+TEST(Session, MedianRatesAreConsistent) {
+  const MachineParams m = presets::i7_950(Precision::kSingle);
+  const auto session = make_session(m, 0.01, 15);
+  const auto kernel =
+      rme::sim::fma_load_mix(8.0, 1e8, Precision::kSingle);
+  const SessionResult r = session.measure(kernel);
+  EXPECT_NEAR(r.median_gflops(), kernel.flops / r.seconds.median / 1e9,
+              1e-9);
+  EXPECT_NEAR(r.median_gbytes_per_s(), kernel.bytes / r.seconds.median / 1e9,
+              1e-9);
+  EXPECT_DOUBLE_EQ(r.intensity(), 8.0);
+}
+
+TEST(Session, NoiseWidensSpread) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto kernel =
+      rme::sim::fma_load_mix(2.0, 1e8, Precision::kDouble);
+  const SessionResult quiet = make_session(m, 0.001, 40).measure(kernel);
+  const SessionResult noisy = make_session(m, 0.05, 40).measure(kernel);
+  EXPECT_LT(quiet.seconds.stddev, noisy.seconds.stddev);
+}
+
+TEST(Session, CappedRunsAreFlagged) {
+  const MachineParams m = presets::gtx580(Precision::kSingle);
+  rme::sim::SimConfig sim_cfg;
+  sim_cfg.noise = rme::sim::NoiseModel(1, 0.0);
+  sim_cfg.power_cap_watts = presets::kGtx580PowerCapWatts;
+  PowerMonConfig mon_cfg;
+  const MeasurementSession session(rme::sim::Executor(m, sim_cfg),
+                                   PowerMon(gtx580_rails(), mon_cfg),
+                                   SessionConfig{10});
+  const SessionResult r = session.measure(
+      rme::sim::fma_load_mix(m.time_balance(), 1e8, Precision::kSingle));
+  EXPECT_TRUE(r.any_capped);
+}
+
+TEST(Session, SweepMeasuresEveryKernel) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const auto session = make_session(m, 0.01, 5);
+  const auto kernels = rme::sim::intensity_sweep(
+      rme::sim::pow2_grid(0.25, 16.0), 1e7, Precision::kDouble);
+  const auto results = session.measure_sweep(kernels);
+  ASSERT_EQ(results.size(), kernels.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].kernel.flops, kernels[i].flops);
+  }
+}
+
+TEST(Session, MedianEfficiencyBelowPeak) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto session = make_session(m, 0.0, 5);
+  const SessionResult r = session.measure(
+      rme::sim::fma_load_mix(16.0, 2e9, Precision::kDouble));
+  EXPECT_LT(r.median_gflops_per_joule(),
+            m.peak_flops_per_joule() / 1e9);
+  EXPECT_GT(r.median_gflops_per_joule(),
+            0.5 * m.peak_flops_per_joule() / 1e9);
+}
+
+}  // namespace
+}  // namespace rme::power

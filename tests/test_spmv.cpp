@@ -1,0 +1,74 @@
+// Host CSR SpMV kernel.
+
+#include "rme/ubench/spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rme::ubench {
+namespace {
+
+TEST(Spmv, BandedMatrixIsValid) {
+  const CsrMatrix a = banded_matrix(100, 8, 1);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.rows, 100u);
+  // Interior rows carry the full band.
+  EXPECT_EQ(a.row_ptr[51] - a.row_ptr[50], 8u);
+}
+
+TEST(Spmv, MatchesDenseReference) {
+  const CsrMatrix a = banded_matrix(64, 5, 2);
+  std::vector<double> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1 * static_cast<double>(i) - 3.0;
+  }
+  std::vector<double> y;
+  spmv(a, x, y);
+  const std::vector<double> ref = spmv_reference(a, x);
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], 1e-12) << i;
+  }
+}
+
+TEST(Spmv, SizeValidation) {
+  const CsrMatrix a = banded_matrix(16, 3, 3);
+  std::vector<double> x(15), y;
+  EXPECT_THROW(spmv(a, x, y), std::invalid_argument);
+}
+
+TEST(Spmv, ValidityDetectsCorruption) {
+  CsrMatrix a = banded_matrix(16, 3, 4);
+  ASSERT_TRUE(a.valid());
+  CsrMatrix bad_col = a;
+  bad_col.col_idx[0] = 99;  // out of range
+  EXPECT_FALSE(bad_col.valid());
+  CsrMatrix bad_ptr = a;
+  bad_ptr.row_ptr[2] = bad_ptr.row_ptr[3] + 1;  // non-monotone
+  EXPECT_FALSE(bad_ptr.valid());
+}
+
+TEST(Spmv, ProfileAccounting) {
+  const CsrMatrix a = banded_matrix(1000, 8, 5);
+  const KernelProfile p = spmv_profile(a);
+  EXPECT_DOUBLE_EQ(p.flops, 2.0 * static_cast<double>(a.nnz()));
+  // Low intensity, as §II-A expects for sparse kernels.
+  EXPECT_LT(p.intensity(), 0.25);
+  EXPECT_GT(p.intensity(), 0.05);
+}
+
+TEST(Spmv, TimedRunIsPositive) {
+  const CsrMatrix a = banded_matrix(5000, 8, 6);
+  EXPECT_GT(time_spmv(a, 2), 0.0);
+}
+
+TEST(Spmv, DeterministicConstruction) {
+  const CsrMatrix a = banded_matrix(50, 4, 7);
+  const CsrMatrix b = banded_matrix(50, 4, 7);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+}
+
+}  // namespace
+}  // namespace rme::ubench

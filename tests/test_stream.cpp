@@ -1,0 +1,64 @@
+// STREAM kernels: arithmetic correctness and byte accounting.
+
+#include "rme/ubench/stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rme::ubench {
+namespace {
+
+TEST(Stream, CountsPerKernel) {
+  const StreamCounts copy = stream_counts(StreamKernel::kCopy, 8);
+  EXPECT_DOUBLE_EQ(copy.bytes_per_element, 16.0);
+  EXPECT_DOUBLE_EQ(copy.flops_per_element, 0.0);
+  const StreamCounts scale = stream_counts(StreamKernel::kScale, 8);
+  EXPECT_DOUBLE_EQ(scale.bytes_per_element, 16.0);
+  EXPECT_DOUBLE_EQ(scale.flops_per_element, 1.0);
+  const StreamCounts add = stream_counts(StreamKernel::kAdd, 8);
+  EXPECT_DOUBLE_EQ(add.bytes_per_element, 24.0);
+  const StreamCounts triad = stream_counts(StreamKernel::kTriad, 4);
+  EXPECT_DOUBLE_EQ(triad.bytes_per_element, 12.0);
+  EXPECT_DOUBLE_EQ(triad.flops_per_element, 2.0);
+}
+
+TEST(Stream, KernelArithmetic) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0};
+  std::vector<double> c(3);
+
+  stream_copy(a, c);
+  EXPECT_EQ(c, a);
+
+  stream_scale(a, c, 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 4.0);
+
+  stream_add(a, b, c);
+  EXPECT_DOUBLE_EQ(c[2], 33.0);
+
+  stream_triad(a, b, c, 0.5);
+  EXPECT_DOUBLE_EQ(c[0], 6.0);   // 1 + 0.5·10
+  EXPECT_DOUBLE_EQ(c[2], 18.0);  // 3 + 0.5·30
+}
+
+TEST(Stream, RunAllKernels) {
+  const auto results = run_stream(1u << 14, 2);
+  ASSERT_EQ(results.size(), 4u);
+  for (const StreamResult& r : results) {
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.bytes, 0.0);
+    EXPECT_GT(r.gbytes_per_second(), 0.0);
+  }
+  // Copy/scale move 2 words/elem, add/triad 3.
+  EXPECT_DOUBLE_EQ(results[0].bytes, 2.0 * 8.0 * (1 << 14));
+  EXPECT_DOUBLE_EQ(results[3].bytes, 3.0 * 8.0 * (1 << 14));
+}
+
+TEST(Stream, KernelNames) {
+  EXPECT_STREQ(to_string(StreamKernel::kCopy), "copy");
+  EXPECT_STREQ(to_string(StreamKernel::kScale), "scale");
+  EXPECT_STREQ(to_string(StreamKernel::kAdd), "add");
+  EXPECT_STREQ(to_string(StreamKernel::kTriad), "triad");
+}
+
+}  // namespace
+}  // namespace rme::ubench

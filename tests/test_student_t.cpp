@@ -1,0 +1,117 @@
+// Student-t / incomplete-beta special functions.
+
+#include "rme/fit/student_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace rme::fit {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_{1/2}(a, a) = 1/2 by symmetry.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(regularized_incomplete_beta(a, a, 0.5), 0.5, 1e-12) << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.33, 0.5, 0.77, 0.99}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, KnownClosedForm) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 3.0, 0.25),
+              1.0 - std::pow(0.75, 3.0), 1e-12);
+  // I_x(a, 1) = x^a.
+  EXPECT_NEAR(regularized_incomplete_beta(4.0, 1.0, 0.6),
+              std::pow(0.6, 4.0), 1e-12);
+}
+
+TEST(IncompleteBeta, ComplementIdentity) {
+  // I_x(a, b) + I_{1-x}(b, a) = 1.
+  for (double x : {0.05, 0.3, 0.7, 0.95}) {
+    const double lhs = regularized_incomplete_beta(2.5, 4.0, x) +
+                       regularized_incomplete_beta(4.0, 2.5, 1.0 - x);
+    EXPECT_NEAR(lhs, 1.0, 1e-12) << x;
+  }
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW(regularized_incomplete_beta(0.0, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, -1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, 1.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (double dof : {1.0, 2.0, 5.0, 30.0, 200.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, dof), 0.5, 1e-12) << dof;
+  }
+}
+
+TEST(StudentT, Symmetry) {
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-12);
+  }
+}
+
+TEST(StudentT, Dof1IsCauchy) {
+  // With one degree of freedom, CDF(t) = 1/2 + atan(t)/pi.
+  for (double t : {-2.0, -1.0, 0.5, 1.0, 3.0}) {
+    const double cauchy = 0.5 + std::atan(t) / std::numbers::pi;
+    EXPECT_NEAR(student_t_cdf(t, 1.0), cauchy, 1e-10) << t;
+  }
+}
+
+TEST(StudentT, Dof2ClosedForm) {
+  // CDF(t; 2) = 1/2 + t / (2·sqrt(2 + t²)).
+  for (double t : {-1.5, 0.7, 2.0}) {
+    const double expected = 0.5 + t / (2.0 * std::sqrt(2.0 + t * t));
+    EXPECT_NEAR(student_t_cdf(t, 2.0), expected, 1e-10) << t;
+  }
+}
+
+TEST(StudentT, LargeDofApproachesNormal) {
+  // At 1000 dof, CDF(1.96) ≈ Φ(1.96) ≈ 0.975.
+  EXPECT_NEAR(student_t_cdf(1.96, 1000.0), 0.975, 5e-4);
+}
+
+TEST(StudentT, MonotoneInT) {
+  double prev = 0.0;
+  for (double t = -5.0; t <= 5.0; t += 0.25) {
+    const double c = student_t_cdf(t, 9.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(PValue, TwoSidedBasics) {
+  EXPECT_NEAR(two_sided_p_value(0.0, 10.0), 1.0, 1e-12);
+  // p = 2·(1 − CDF(|t|)).
+  const double t = 2.5;
+  const double dof = 12.0;
+  EXPECT_NEAR(two_sided_p_value(t, dof),
+              2.0 * (1.0 - student_t_cdf(t, dof)), 1e-12);
+  EXPECT_NEAR(two_sided_p_value(-t, dof), two_sided_p_value(t, dof), 1e-12);
+}
+
+TEST(PValue, ExtremeStatisticsGiveTinyP) {
+  // Footnote 8 territory: massive t-statistics yield p far below 1e-14.
+  EXPECT_LT(two_sided_p_value(50.0, 100.0), 1e-14);
+}
+
+}  // namespace
+}  // namespace rme::fit

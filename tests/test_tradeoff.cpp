@@ -1,0 +1,213 @@
+// §VII work-communication trade-offs: eq. (10) and the exact model.
+
+#include "rme/core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "rme/core/machine_presets.hpp"
+
+namespace rme {
+namespace {
+
+MachineParams zero_const_power(MachineParams m) {
+  m.const_power = 0.0;
+  return m;
+}
+
+TEST(Tradeoff, IdentityTransformChangesNothing) {
+  const MachineParams m = presets::fermi_table2();
+  const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+  const Transform id{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(speedup(m, k, id), 1.0);
+  EXPECT_DOUBLE_EQ(greenup(m, k, id), 1.0);
+  EXPECT_EQ(classify(m, k, id), TradeoffOutcome::kSpeedupAndGreenup);
+}
+
+TEST(Tradeoff, Equation10BoundaryIsExactWhenNoConstPower) {
+  // At f exactly equal to 1 + ((m-1)/m)·B_eps/I with pi0 = 0, the
+  // greenup is exactly 1 — eq. (10) is tight.
+  const MachineParams m = zero_const_power(presets::fermi_table2());
+  for (double i : {0.5, 1.0, 4.0, 16.0}) {
+    for (double mult : {1.5, 2.0, 8.0, 1e6}) {
+      const KernelProfile base = KernelProfile::from_intensity(i, 1e9);
+      const double f_star = greenup_work_bound(m, i, mult);
+      EXPECT_NEAR(greenup(m, base, Transform{f_star, mult}), 1.0, 1e-9)
+          << "I=" << i << " m=" << mult;
+      // Strictly inside the bound: a genuine greenup.
+      EXPECT_GT(greenup(m, base, Transform{0.99 * f_star, mult}), 1.0);
+      // Strictly outside: energy gets worse.
+      EXPECT_LT(greenup(m, base, Transform{1.01 * f_star, mult}), 1.0);
+    }
+  }
+}
+
+TEST(Tradeoff, HardUpperLimitAsMGoesToInfinity) {
+  // Even eliminating all communication (m → ∞), extra work is bounded by
+  // f < 1 + B_eps/I.
+  const MachineParams m = zero_const_power(presets::fermi_table2());
+  const double i = 2.0;
+  const double limit = greenup_work_limit(m, i);
+  EXPECT_NEAR(limit, 1.0 + m.energy_balance() / i, 1e-12);
+  EXPECT_NEAR(greenup_work_bound(m, i, 1e12), limit, 1e-9);
+  // The bound increases with m toward the limit.
+  EXPECT_LT(greenup_work_bound(m, i, 2.0), greenup_work_bound(m, i, 4.0));
+  EXPECT_LT(greenup_work_bound(m, i, 4.0), limit);
+}
+
+TEST(Tradeoff, ComputeBoundLimitIsOnePlusBalanceGap) {
+  // §VII: "When the baseline algorithm is already compute-bound in time
+  // … f < 1 + B_eps/B_tau."
+  const MachineParams m = presets::fermi_table2();
+  EXPECT_NEAR(greenup_work_limit_compute_bound(m), 1.0 + m.balance_gap(),
+              1e-12);
+  EXPECT_NEAR(greenup_work_limit_compute_bound(m),
+              greenup_work_limit(m, m.time_balance()), 1e-12);
+}
+
+TEST(Tradeoff, NoWorkBoundMeansNoGreenupAtM1) {
+  // m = 1 (no traffic reduction): the bound collapses to f < 1; any
+  // extra work strictly hurts energy.
+  const MachineParams m = zero_const_power(presets::fermi_table2());
+  EXPECT_DOUBLE_EQ(greenup_work_bound(m, 4.0, 1.0), 1.0);
+  const KernelProfile base = KernelProfile::from_intensity(4.0, 1e9);
+  EXPECT_LT(greenup(m, base, Transform{1.1, 1.0}), 1.0);
+}
+
+TEST(Tradeoff, SpeedupRegimes) {
+  const MachineParams m = presets::fermi_table2();
+  // Memory-bound baseline: halving traffic (m=2) at f=1 doubles speed.
+  {
+    const KernelProfile base = KernelProfile::from_intensity(0.5, 1e9);
+    const double s = speedup(m, base, Transform{1.0, 2.0});
+    EXPECT_NEAR(s, 2.0, 1e-9);
+  }
+  // Deeply compute-bound baseline: traffic reduction buys nothing; extra
+  // work costs time directly.
+  {
+    const KernelProfile base = KernelProfile::from_intensity(64.0, 1e9);
+    EXPECT_NEAR(speedup(m, base, Transform{1.0, 4.0}), 1.0, 1e-9);
+    EXPECT_NEAR(speedup(m, base, Transform{2.0, 4.0}), 0.5, 1e-9);
+  }
+}
+
+TEST(Tradeoff, ClassifyAllFourOutcomes) {
+  const MachineParams m = zero_const_power(presets::fermi_table2());
+  // Memory-bound baseline, mild extra work, big traffic cut: both win.
+  {
+    const KernelProfile base = KernelProfile::from_intensity(0.5, 1e9);
+    EXPECT_EQ(classify(m, base, Transform{1.2, 8.0}),
+              TradeoffOutcome::kSpeedupAndGreenup);
+  }
+  // Compute-bound in time but memory-bound in energy (B_tau < I < B_eps):
+  // extra work slows it down while the traffic cut still saves energy.
+  {
+    const KernelProfile base = KernelProfile::from_intensity(8.0, 1e9);
+    EXPECT_EQ(classify(m, base, Transform{1.3, 8.0}),
+              TradeoffOutcome::kGreenupOnly);
+  }
+  // Memory-bound in time with a huge work increase but traffic halved:
+  // time can still win while energy loses.
+  {
+    const KernelProfile base = KernelProfile::from_intensity(0.25, 1e9);
+    // f chosen above the energy bound but below the new time limit.
+    const double f_energy = greenup_work_bound(m, 0.25, 2.0);
+    const Transform t{f_energy * 1.5, 2.0};
+    // Time: baseline T = Q·tau_mem; new T = max(f·W·tau_flop, Q/2·tau_mem).
+    if (speedup(m, base, t) >= 1.0) {
+      EXPECT_EQ(classify(m, base, t), TradeoffOutcome::kSpeedupOnly);
+    }
+  }
+  // Extra work with no traffic reduction: strictly worse everywhere
+  // (compute-bound baseline).
+  {
+    const KernelProfile base = KernelProfile::from_intensity(64.0, 1e9);
+    EXPECT_EQ(classify(m, base, Transform{2.0, 1.0}),
+              TradeoffOutcome::kNeither);
+  }
+}
+
+TEST(Tradeoff, ConstPowerTightensTheRealBound) {
+  // With pi0 > 0 the closed-form eq. (10) bound (which ignores constant
+  // energy) is no longer exact.  For a compute-bound baseline, extra
+  // work stretches T and burns extra constant energy, so the true
+  // break-even f is SMALLER than eq. (10) suggests.
+  const MachineParams m = presets::gtx580(Precision::kDouble);  // pi0 = 122 W
+  const double i = 4.0;  // > B_tau = 1.03: compute-bound
+  const KernelProfile base = KernelProfile::from_intensity(i, 1e9);
+  const double f_eq10 = greenup_work_bound(m, i, 8.0);
+  EXPECT_LT(greenup(m, base, Transform{f_eq10, 8.0}), 1.0);
+}
+
+TEST(Tradeoff, ToStringAndStreaming) {
+  EXPECT_STREQ(to_string(TradeoffOutcome::kSpeedupAndGreenup),
+               "speedup+greenup");
+  EXPECT_STREQ(to_string(TradeoffOutcome::kNeither), "neither");
+  std::ostringstream oss;
+  oss << TradeoffOutcome::kGreenupOnly;
+  EXPECT_EQ(oss.str(), "greenup-only");
+}
+
+TEST(TradeoffBoundariesTest, ExactEqualsEq10WithoutConstPower) {
+  const MachineParams m = zero_const_power(presets::fermi_table2());
+  for (double i : {0.5, 2.0, 8.0, 32.0}) {
+    for (double mult : {2.0, 4.0, 16.0}) {
+      const TradeoffBoundaries b = tradeoff_boundaries(m, i, mult);
+      EXPECT_NEAR(b.f_greenup_exact, b.f_greenup_eq10,
+                  1e-6 * b.f_greenup_eq10)
+          << "I=" << i << " m=" << mult;
+    }
+  }
+}
+
+TEST(TradeoffBoundariesTest, ConstPowerShrinksExactBound) {
+  // Compute-bound baseline on a pi0 > 0 machine: stretching T with
+  // extra work burns constant energy, so the true break-even f is below
+  // the eq. (10) value.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const TradeoffBoundaries b = tradeoff_boundaries(m, 4.0, 8.0);
+  EXPECT_LT(b.f_greenup_exact, b.f_greenup_eq10);
+  // And the exact bound is a genuine root: greenup crosses 1 there.
+  const KernelProfile base = KernelProfile::from_intensity(4.0, 1.0);
+  EXPECT_NEAR(greenup(m, base, Transform{b.f_greenup_exact, 8.0}), 1.0,
+              1e-6);
+}
+
+TEST(TradeoffBoundariesTest, SpeedupBoundShape) {
+  const MachineParams m = presets::fermi_table2();
+  // Memory-bound baseline: extra work hides under memory time up to
+  // f = B_tau / I.
+  const TradeoffBoundaries mem = tradeoff_boundaries(m, 0.5, 4.0);
+  EXPECT_NEAR(mem.f_speedup, m.time_balance() / 0.5, 1e-12);
+  const KernelProfile base = KernelProfile::from_intensity(0.5, 1.0);
+  EXPECT_GE(speedup(m, base, Transform{mem.f_speedup * 0.99, 4.0}), 1.0);
+  EXPECT_LT(speedup(m, base, Transform{mem.f_speedup * 1.01, 4.0}), 1.0);
+  // Compute-bound baseline: no free work at all.
+  const TradeoffBoundaries cb = tradeoff_boundaries(m, 16.0, 4.0);
+  EXPECT_DOUBLE_EQ(cb.f_speedup, 1.0);
+}
+
+class GreenupMonotone
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GreenupMonotone, GreenupDecreasesInWorkIncreasesInTrafficCut) {
+  const MachineParams m = zero_const_power(presets::fermi_table2());
+  const auto [i, mult] = GetParam();
+  const KernelProfile base = KernelProfile::from_intensity(i, 1e9);
+  // More extra work → smaller greenup.
+  EXPECT_GT(greenup(m, base, Transform{1.0, mult}),
+            greenup(m, base, Transform{1.5, mult}));
+  // Bigger traffic cut → larger greenup (at fixed f).
+  EXPECT_LE(greenup(m, base, Transform{1.2, mult}),
+            greenup(m, base, Transform{1.2, mult * 2.0}) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GreenupMonotone,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 4.0, 16.0, 64.0),
+                       ::testing::Values(1.5, 2.0, 4.0, 16.0)));
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,108 @@
+// Unit tests for the strong quantity types and SI helpers.
+
+#include "rme/core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rme {
+namespace {
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+  EXPECT_EQ(Joules{}.value(), 0.0);
+  EXPECT_EQ(Watts{}.value(), 0.0);
+}
+
+TEST(Units, AdditionAndSubtraction) {
+  const Joules a{3.0};
+  const Joules b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((-a).value(), -3.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Seconds t{2.0};
+  t += Seconds{1.0};
+  EXPECT_DOUBLE_EQ(t.value(), 3.0);
+  t -= Seconds{0.5};
+  EXPECT_DOUBLE_EQ(t.value(), 2.5);
+  t *= 4.0;
+  EXPECT_DOUBLE_EQ(t.value(), 10.0);
+  t /= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 5.0);
+}
+
+TEST(Units, ScalarMultiplication) {
+  const Watts p{100.0};
+  EXPECT_DOUBLE_EQ((p * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((0.5 * p).value(), 50.0);
+  EXPECT_DOUBLE_EQ((p / 4.0).value(), 25.0);
+}
+
+TEST(Units, SameDimensionRatioIsPlainDouble) {
+  const Joules a{10.0};
+  const Joules b{4.0};
+  const double ratio = a / b;
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Watts{5.0}, Watts{5.0});
+  EXPECT_NE(Joules{1.0}, Joules{2.0});
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Watts p{130.0};
+  const Seconds t{2.0};
+  EXPECT_DOUBLE_EQ((p * t).value(), 260.0);
+  EXPECT_DOUBLE_EQ((t * p).value(), 260.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  const Joules e{260.0};
+  const Seconds t{2.0};
+  EXPECT_DOUBLE_EQ((e / t).value(), 130.0);
+}
+
+TEST(Units, WorkOverTrafficIsIntensity) {
+  const FlopCount w{800.0};
+  const ByteCount q{100.0};
+  EXPECT_DOUBLE_EQ((w / q).value(), 8.0);
+}
+
+TEST(Units, SiConstructors) {
+  EXPECT_DOUBLE_EQ(picojoules(25.0).value(), 25e-12);
+  EXPECT_DOUBLE_EQ(nanojoules(1.0).value(), 1e-9);
+  EXPECT_DOUBLE_EQ(microjoules(3.0).value(), 3e-6);
+  EXPECT_DOUBLE_EQ(milliseconds(7.8125).value(), 7.8125e-3);
+  EXPECT_DOUBLE_EQ(gigaflops(515.0).value(), 515e9);
+  EXPECT_DOUBLE_EQ(gigabytes(144.0).value(), 144e9);
+}
+
+TEST(Units, ThroughputHelpers) {
+  // Table II: (515 Gflop/s)^-1 ≈ 1.9 ps per flop.
+  EXPECT_NEAR(seconds_per_flop_from_gflops(515.0), 1.9417e-12, 1e-15);
+  // (144 GB/s)^-1 ≈ 6.9 ps per byte.
+  EXPECT_NEAR(seconds_per_byte_from_gbs(144.0), 6.944e-12, 1e-14);
+}
+
+TEST(Units, ApproxEqualRelative) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.001, 1e-9));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+}
+
+TEST(Units, ApproxEqualAbsoluteFloor) {
+  EXPECT_TRUE(approx_equal(0.0, 1e-15, 1e-9, 1e-12));
+  EXPECT_FALSE(approx_equal(0.0, 1e-6, 1e-9, 1e-12));
+}
+
+TEST(Units, ApproxEqualSymmetry) {
+  EXPECT_EQ(approx_equal(3.0, 3.1, 0.05), approx_equal(3.1, 3.0, 0.05));
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,310 @@
+// rme_cli — command-line energy-roofline calculator.
+//
+// Subcommands:
+//   machines
+//       List the built-in machine presets with derived balance points.
+//   balance  <machine>
+//       Balance points, gap, and the race-to-halt verdict.
+//   predict  <machine> <flops> <bytes>
+//       Time/energy/power prediction for an algorithm (W, Q).
+//   chart    <machine> [lo hi]
+//       ASCII roofline + arch line over an intensity range.
+//   greenup  <machine> <I> <f> <m>
+//       Work-communication trade-off evaluation (§VII, eq. 10).
+//   fit      <samples.csv>
+//       Fit eq. (9) energy coefficients from a measurement CSV
+//       (columns: flops,bytes,seconds,joules,precision).
+//   sweep    <machine> [lo hi]
+//       Fig. 4-style table: normalized speed/efficiency/power per
+//       intensity.
+//   cap      <machine> <watts>
+//       Power-cap study: throttle scale and capped performance.
+//   advise   <machine> <flops> <bytes>
+//       Optimization advice (SsII-D): classification, headroom,
+//       intensity targets per metric, and which goal is harder.
+//
+// Machines: fermi | gtx580-sp | gtx580-dp | i7-sp | i7-dp
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "rme/rme.hpp"
+
+using namespace rme;
+
+namespace {
+
+std::optional<MachineParams> machine_by_name(const std::string& name) {
+  if (name == "fermi") return presets::fermi_table2();
+  if (name == "gtx580-sp") return presets::gtx580(Precision::kSingle);
+  if (name == "gtx580-dp") return presets::gtx580(Precision::kDouble);
+  if (name == "i7-sp") return presets::i7_950(Precision::kSingle);
+  if (name == "i7-dp") return presets::i7_950(Precision::kDouble);
+  return std::nullopt;
+}
+
+int usage() {
+  std::cerr
+      << "usage: rme_cli <command> [args]\n"
+         "  machines\n"
+         "  balance <machine>\n"
+         "  predict <machine> <flops> <bytes>\n"
+         "  chart   <machine> [lo hi]\n"
+         "  greenup <machine> <I> <f> <m>\n"
+         "  fit     <samples.csv>\n"
+         "  sweep   <machine> [lo hi]\n"
+         "  cap     <machine> <watts>\n"
+         "  advise  <machine> <flops> <bytes>\n"
+         "machines: fermi gtx580-sp gtx580-dp i7-sp i7-dp\n";
+  return 2;
+}
+
+int cmd_machines() {
+  report::Table t({"Name", "Description", "B_tau", "B_eps", "eff. balance",
+                   "peak GF/s", "peak GF/J"});
+  for (const char* name :
+       {"fermi", "gtx580-sp", "gtx580-dp", "i7-sp", "i7-dp"}) {
+    const MachineParams m = *machine_by_name(name);
+    t.add_row({name, m.name, report::fmt(m.time_balance(), 3),
+               report::fmt(m.energy_balance(), 3),
+               report::fmt(m.balance_fixed_point(), 3),
+               report::fmt(m.peak_flops() / kGiga, 4),
+               report::fmt(m.peak_flops_per_joule() / kGiga, 3)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_balance(const MachineParams& m) {
+  std::cout << m << "\n\n"
+            << "time-balance B_tau      " << m.time_balance() << " flop/B\n"
+            << "energy-balance B_eps    " << m.energy_balance() << " flop/B\n"
+            << "effective balance       " << m.balance_fixed_point()
+            << " flop/B\n"
+            << "balance gap             " << m.balance_gap() << "\n"
+            << "flop efficiency eta     " << m.flop_efficiency() << "\n"
+            << "max power (eq. 8)       " << max_power(m) << " W\n\n";
+  if (m.time_balance() >= m.balance_fixed_point()) {
+    std::cout << "B_tau >= effective balance: time-efficiency implies "
+                 "energy-efficiency here;\nrace-to-halt is a sound "
+                 "first-order energy strategy (SsII-D, SsV-B).\n";
+  } else {
+    std::cout << "Effective balance exceeds B_tau: energy-efficiency is "
+                 "the harder target;\nexpect genuine time-energy "
+                 "trade-offs (SsII-D).\n";
+  }
+  return 0;
+}
+
+int cmd_predict(const MachineParams& m, double flops, double bytes) {
+  const KernelProfile k{flops, bytes};
+  const double i = k.intensity();
+  const TimeBreakdown t = predict_time(m, k);
+  const EnergyBreakdown e = predict_energy(m, k);
+  report::Table out({"Quantity", "Value"});
+  out.add_row({"intensity", report::fmt(i, 4) + " flop/B"});
+  out.add_row({"time", report::fmt_si(t.total_seconds, "s")});
+  out.add_row({"  bound in time", to_string(time_bound(m, i))});
+  out.add_row({"energy", report::fmt_si(e.total_joules, "J")});
+  out.add_row({"  flops / mem / const",
+               report::fmt_si(e.flops_joules, "J") + " / " +
+                   report::fmt_si(e.mem_joules, "J") + " / " +
+                   report::fmt_si(e.const_joules, "J")});
+  out.add_row({"  bound in energy", to_string(energy_bound(m, i))});
+  out.add_row({"avg power", report::fmt(average_power(m, i), 4) + " W"});
+  out.add_row({"speed", report::fmt(achieved_flops(m, i) / kGiga, 4) +
+                            " GFLOP/s (" +
+                            report::fmt(100.0 * normalized_speed(m, i), 3) +
+                            "% of peak)"});
+  out.add_row(
+      {"efficiency",
+       report::fmt(achieved_flops_per_joule(m, i) / kGiga, 4) + " GFLOP/J (" +
+           report::fmt(100.0 * normalized_efficiency(m, i), 3) +
+           "% of peak)"});
+  out.print(std::cout);
+  if (classifications_disagree(m, i)) {
+    std::cout << "\nNote: time and energy classifications DISAGREE at this "
+                 "intensity (SsII-D window).\n";
+  }
+  return 0;
+}
+
+int cmd_chart(const MachineParams& m, double lo, double hi) {
+  const auto grid = log_intensity_grid(lo, hi, 10);
+  report::ChartConfig cfg;
+  cfg.height = 16;
+  cfg.y_label = "normalized performance (log2)";
+  report::AsciiChart chart(cfg);
+  chart.add_series({"time roofline", '#', time_roofline(m, grid)});
+  chart.add_series({"energy arch line", '*', energy_arch_line(m, grid)});
+  chart.add_marker({"B_tau", m.time_balance(), '|'});
+  if (m.energy_balance() >= lo && m.energy_balance() <= hi) {
+    chart.add_marker({"B_eps", m.energy_balance(), ':'});
+  }
+  chart.print(std::cout);
+  return 0;
+}
+
+int cmd_greenup(const MachineParams& m, double intensity, double f,
+                double mult) {
+  const KernelProfile base = KernelProfile::from_intensity(intensity, 1e9);
+  const Transform transform{f, mult};
+  const TradeoffBoundaries b = tradeoff_boundaries(m, intensity, mult);
+  report::Table t({"Quantity", "Value"});
+  t.add_row({"speedup dT", report::fmt(speedup(m, base, transform), 5)});
+  t.add_row({"greenup dE", report::fmt(greenup(m, base, transform), 5)});
+  t.add_row({"outcome", to_string(classify(m, base, transform))});
+  t.add_row({"f bound, eq. (10)", report::fmt(b.f_greenup_eq10, 5)});
+  t.add_row({"f bound, exact (pi0 incl.)", report::fmt(b.f_greenup_exact, 5)});
+  t.add_row({"f bound, speedup", report::fmt(b.f_speedup, 5)});
+  t.add_row({"hard limit (m->inf)",
+             report::fmt(greenup_work_limit(m, intensity), 5)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_fit(const std::string& path) {
+  const auto samples = fit::load_samples(path);
+  std::cout << "Loaded " << samples.size() << " samples from " << path
+            << "\n\n";
+  const fit::EnergyFit result = fit::fit_energy_coefficients(samples);
+  report::Table t({"Coefficient", "Value", "std error", "p-value"});
+  const auto row = [&](const char* label, const char* name, double scale,
+                       const char* unit) {
+    const fit::Coefficient& c = result.regression.by_name(name);
+    t.add_row({label, report::fmt(c.value * scale, 5) + std::string(" ") + unit,
+               report::fmt(c.std_error * scale, 3),
+               report::fmt(c.p_value, 2)});
+  };
+  row("eps_s", "eps_s", 1e12, "pJ/flop");
+  row("delta eps_d", "delta_eps_d", 1e12, "pJ/flop");
+  row("eps_mem", "eps_mem", 1e12, "pJ/B");
+  row("pi0", "pi0", 1.0, "W");
+  t.print(std::cout);
+  std::cout << "\neps_d = "
+            << report::fmt(result.coefficients.eps_double() * 1e12, 5)
+            << " pJ/flop, R^2 = "
+            << report::fmt(result.regression.r_squared, 6) << "\n";
+  return 0;
+}
+
+int cmd_advise(const MachineParams& m, double flops, double bytes) {
+  const Advice a = advise(m, KernelProfile{flops, bytes});
+  report::Table t({"Quantity", "Value"});
+  t.add_row({"intensity", report::fmt(a.intensity, 4) + " flop/B"});
+  t.add_row({"bound in time", to_string(a.bound_in_time)});
+  t.add_row({"bound in energy", to_string(a.bound_in_energy)});
+  t.add_row({"speed", report::fmt(100.0 * a.speed_fraction, 3) +
+                          "% of peak (headroom " +
+                          report::fmt(a.speed_headroom, 3) + "x)"});
+  t.add_row({"efficiency", report::fmt(100.0 * a.efficiency_fraction, 3) +
+                               "% of peak (headroom " +
+                               report::fmt(a.efficiency_headroom, 3) + "x)"});
+  t.add_row({"I for 90% speed",
+             report::fmt(a.intensity_for_target_speed, 4)});
+  t.add_row({"I for 90% efficiency",
+             report::fmt(a.intensity_for_target_efficiency, 4)});
+  t.add_row({"harder goal (milestones)", to_string(a.harder_goal)});
+  t.print(std::cout);
+  std::cout << "\n" << a.summary << "\n";
+  return 0;
+}
+
+int cmd_sweep(const MachineParams& m, double lo, double hi) {
+  report::Table t({"I (flop:B)", "speed (rel.)", "GFLOP/s",
+                   "efficiency (rel.)", "GFLOP/J", "power [W]"});
+  for (double i = lo; i <= hi * (1.0 + 1e-12); i *= 2.0) {
+    t.add_row({report::fmt(i, 4), report::fmt(normalized_speed(m, i), 3),
+               report::fmt(achieved_flops(m, i) / kGiga, 4),
+               report::fmt(normalized_efficiency(m, i), 3),
+               report::fmt(achieved_flops_per_joule(m, i) / kGiga, 3),
+               report::fmt(average_power(m, i), 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nB_tau = " << m.time_balance()
+            << ", effective energy balance = " << m.balance_fixed_point()
+            << ", max power = " << max_power(m) << " W\n";
+  return 0;
+}
+
+int cmd_cap(const MachineParams& m, double cap) {
+  const double onset = cap_violation_onset(m, cap);
+  std::cout << "cap " << cap << " W on " << m.name << ": ";
+  if (onset < 0.0) {
+    std::cout << "never binds (max model power " << max_power(m)
+              << " W)\n";
+    return 0;
+  }
+  std::cout << "binds from I ~ " << onset << " flop/B\n\n";
+  report::Table t({"I (flop:B)", "throttle scale", "capped GFLOP/s",
+                   "energy overhead"});
+  for (double i = 0.25; i <= 256.0; i *= 4.0) {
+    const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+    const CappedRun r = run_with_cap(m, k, cap);
+    if (!r.feasible) {
+      t.add_row({report::fmt(i, 4), "0", "-", "inf"});
+      continue;
+    }
+    t.add_row({report::fmt(i, 4), report::fmt(r.scale, 3),
+               report::fmt(k.flops / r.seconds / kGiga, 4),
+               report::fmt(r.joules /
+                               predict_energy(m, k).total_joules, 4)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "machines") return cmd_machines();
+    if (command == "fit") {
+      if (argc < 3) return usage();
+      return cmd_fit(argv[2]);
+    }
+    // Remaining commands start with a machine name.
+    if (argc < 3) return usage();
+    const auto machine = machine_by_name(argv[2]);
+    if (!machine) {
+      std::cerr << "unknown machine '" << argv[2] << "'\n";
+      return usage();
+    }
+    if (command == "balance") return cmd_balance(*machine);
+    if (command == "predict" && argc >= 5) {
+      return cmd_predict(*machine, std::strtod(argv[3], nullptr),
+                         std::strtod(argv[4], nullptr));
+    }
+    if (command == "chart") {
+      const double lo = argc > 3 ? std::strtod(argv[3], nullptr) : 0.25;
+      const double hi = argc > 4 ? std::strtod(argv[4], nullptr) : 64.0;
+      return cmd_chart(*machine, lo, hi);
+    }
+    if (command == "sweep") {
+      const double lo = argc > 3 ? std::strtod(argv[3], nullptr) : 0.25;
+      const double hi = argc > 4 ? std::strtod(argv[4], nullptr) : 64.0;
+      return cmd_sweep(*machine, lo, hi);
+    }
+    if (command == "cap" && argc >= 4) {
+      return cmd_cap(*machine, std::strtod(argv[3], nullptr));
+    }
+    if (command == "advise" && argc >= 5) {
+      return cmd_advise(*machine, std::strtod(argv[3], nullptr),
+                        std::strtod(argv[4], nullptr));
+    }
+    if (command == "greenup" && argc >= 6) {
+      return cmd_greenup(*machine, std::strtod(argv[3], nullptr),
+                         std::strtod(argv[4], nullptr),
+                         std::strtod(argv[5], nullptr));
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
