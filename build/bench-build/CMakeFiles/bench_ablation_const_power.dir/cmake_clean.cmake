@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_const_power"
+  "../bench/bench_ablation_const_power.pdb"
+  "CMakeFiles/bench_ablation_const_power.dir/bench_ablation_const_power.cpp.o"
+  "CMakeFiles/bench_ablation_const_power.dir/bench_ablation_const_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_const_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

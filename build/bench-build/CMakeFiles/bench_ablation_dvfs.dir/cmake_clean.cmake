@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dvfs"
+  "../bench/bench_ablation_dvfs.pdb"
+  "CMakeFiles/bench_ablation_dvfs.dir/bench_ablation_dvfs.cpp.o"
+  "CMakeFiles/bench_ablation_dvfs.dir/bench_ablation_dvfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

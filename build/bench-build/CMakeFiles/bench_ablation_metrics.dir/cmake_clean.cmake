@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_metrics"
+  "../bench/bench_ablation_metrics.pdb"
+  "CMakeFiles/bench_ablation_metrics.dir/bench_ablation_metrics.cpp.o"
+  "CMakeFiles/bench_ablation_metrics.dir/bench_ablation_metrics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_powercap"
+  "../bench/bench_ablation_powercap.pdb"
+  "CMakeFiles/bench_ablation_powercap.dir/bench_ablation_powercap.cpp.o"
+  "CMakeFiles/bench_ablation_powercap.dir/bench_ablation_powercap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_algorithm_intensities"
+  "../bench/bench_algorithm_intensities.pdb"
+  "CMakeFiles/bench_algorithm_intensities.dir/bench_algorithm_intensities.cpp.o"
+  "CMakeFiles/bench_algorithm_intensities.dir/bench_algorithm_intensities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm_intensities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cluster_rooflines"
+  "../bench/bench_cluster_rooflines.pdb"
+  "CMakeFiles/bench_cluster_rooflines.dir/bench_cluster_rooflines.cpp.o"
+  "CMakeFiles/bench_cluster_rooflines.dir/bench_cluster_rooflines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_rooflines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

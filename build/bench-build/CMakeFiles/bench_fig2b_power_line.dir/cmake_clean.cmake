@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2b_power_line"
+  "../bench/bench_fig2b_power_line.pdb"
+  "CMakeFiles/bench_fig2b_power_line.dir/bench_fig2b_power_line.cpp.o"
+  "CMakeFiles/bench_fig2b_power_line.dir/bench_fig2b_power_line.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_power_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

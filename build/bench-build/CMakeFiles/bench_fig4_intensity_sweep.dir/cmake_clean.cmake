@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_intensity_sweep"
+  "../bench/bench_fig4_intensity_sweep.pdb"
+  "CMakeFiles/bench_fig4_intensity_sweep.dir/bench_fig4_intensity_sweep.cpp.o"
+  "CMakeFiles/bench_fig4_intensity_sweep.dir/bench_fig4_intensity_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_intensity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

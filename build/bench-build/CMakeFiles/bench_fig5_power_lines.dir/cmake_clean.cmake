@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_power_lines"
+  "../bench/bench_fig5_power_lines.pdb"
+  "CMakeFiles/bench_fig5_power_lines.dir/bench_fig5_power_lines.cpp.o"
+  "CMakeFiles/bench_fig5_power_lines.dir/bench_fig5_power_lines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_power_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

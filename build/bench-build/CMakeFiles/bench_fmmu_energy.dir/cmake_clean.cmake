@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fmmu_energy"
+  "../bench/bench_fmmu_energy.pdb"
+  "CMakeFiles/bench_fmmu_energy.dir/bench_fmmu_energy.cpp.o"
+  "CMakeFiles/bench_fmmu_energy.dir/bench_fmmu_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmmu_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

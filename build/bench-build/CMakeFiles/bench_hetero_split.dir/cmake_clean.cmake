@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hetero_split"
+  "../bench/bench_hetero_split.pdb"
+  "CMakeFiles/bench_hetero_split.dir/bench_hetero_split.cpp.o"
+  "CMakeFiles/bench_hetero_split.dir/bench_hetero_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hetero_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

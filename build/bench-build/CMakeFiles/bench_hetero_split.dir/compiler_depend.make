@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_hetero_split.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_host_microbench"
+  "../bench/bench_host_microbench.pdb"
+  "CMakeFiles/bench_host_microbench.dir/bench_host_microbench.cpp.o"
+  "CMakeFiles/bench_host_microbench.dir/bench_host_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_keckler_check"
+  "../bench/bench_keckler_check.pdb"
+  "CMakeFiles/bench_keckler_check.dir/bench_keckler_check.cpp.o"
+  "CMakeFiles/bench_keckler_check.dir/bench_keckler_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keckler_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_keckler_check.
+# This may be replaced when dependencies are built.

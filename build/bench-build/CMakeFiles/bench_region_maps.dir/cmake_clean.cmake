@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_region_maps"
+  "../bench/bench_region_maps.pdb"
+  "CMakeFiles/bench_region_maps.dir/bench_region_maps.cpp.o"
+  "CMakeFiles/bench_region_maps.dir/bench_region_maps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_region_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_region_maps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_parameters"
+  "../bench/bench_table2_parameters.pdb"
+  "CMakeFiles/bench_table2_parameters.dir/bench_table2_parameters.cpp.o"
+  "CMakeFiles/bench_table2_parameters.dir/bench_table2_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_platforms"
+  "../bench/bench_table3_platforms.pdb"
+  "CMakeFiles/bench_table3_platforms.dir/bench_table3_platforms.cpp.o"
+  "CMakeFiles/bench_table3_platforms.dir/bench_table3_platforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

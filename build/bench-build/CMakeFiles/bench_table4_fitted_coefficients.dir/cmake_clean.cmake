@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_fitted_coefficients"
+  "../bench/bench_table4_fitted_coefficients.pdb"
+  "CMakeFiles/bench_table4_fitted_coefficients.dir/bench_table4_fitted_coefficients.cpp.o"
+  "CMakeFiles/bench_table4_fitted_coefficients.dir/bench_table4_fitted_coefficients.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fitted_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_energy_budget.dir/app_energy_budget.cpp.o"
+  "CMakeFiles/app_energy_budget.dir/app_energy_budget.cpp.o.d"
+  "app_energy_budget"
+  "app_energy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_energy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_platform.dir/calibrate_platform.cpp.o"
+  "CMakeFiles/calibrate_platform.dir/calibrate_platform.cpp.o.d"
+  "calibrate_platform"
+  "calibrate_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

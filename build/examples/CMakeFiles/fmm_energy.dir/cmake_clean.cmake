@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmm_energy.dir/fmm_energy.cpp.o"
+  "CMakeFiles/fmm_energy.dir/fmm_energy.cpp.o.d"
+  "fmm_energy"
+  "fmm_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

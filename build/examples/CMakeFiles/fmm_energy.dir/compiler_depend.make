@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fmm_energy.
+# This may be replaced when dependencies are built.

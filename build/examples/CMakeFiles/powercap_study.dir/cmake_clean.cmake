@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercap_study.dir/powercap_study.cpp.o"
+  "CMakeFiles/powercap_study.dir/powercap_study.cpp.o.d"
+  "powercap_study"
+  "powercap_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercap_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for powercap_study.
+# This may be replaced when dependencies are built.

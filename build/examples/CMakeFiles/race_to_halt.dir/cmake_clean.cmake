@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_to_halt.dir/race_to_halt.cpp.o"
+  "CMakeFiles/race_to_halt.dir/race_to_halt.cpp.o.d"
+  "race_to_halt"
+  "race_to_halt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_to_halt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for race_to_halt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/core/advisor.cpp" "src/CMakeFiles/rme_core.dir/rme/core/advisor.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/advisor.cpp.o.d"
+  "/root/repo/src/rme/core/algorithms.cpp" "src/CMakeFiles/rme_core.dir/rme/core/algorithms.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/algorithms.cpp.o.d"
+  "/root/repo/src/rme/core/cluster.cpp" "src/CMakeFiles/rme_core.dir/rme/core/cluster.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/cluster.cpp.o.d"
+  "/root/repo/src/rme/core/depth.cpp" "src/CMakeFiles/rme_core.dir/rme/core/depth.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/depth.cpp.o.d"
+  "/root/repo/src/rme/core/dvfs.cpp" "src/CMakeFiles/rme_core.dir/rme/core/dvfs.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/dvfs.cpp.o.d"
+  "/root/repo/src/rme/core/hetero.cpp" "src/CMakeFiles/rme_core.dir/rme/core/hetero.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/hetero.cpp.o.d"
+  "/root/repo/src/rme/core/hierarchy.cpp" "src/CMakeFiles/rme_core.dir/rme/core/hierarchy.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/hierarchy.cpp.o.d"
+  "/root/repo/src/rme/core/keckler.cpp" "src/CMakeFiles/rme_core.dir/rme/core/keckler.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/keckler.cpp.o.d"
+  "/root/repo/src/rme/core/machine.cpp" "src/CMakeFiles/rme_core.dir/rme/core/machine.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/machine.cpp.o.d"
+  "/root/repo/src/rme/core/machine_presets.cpp" "src/CMakeFiles/rme_core.dir/rme/core/machine_presets.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/machine_presets.cpp.o.d"
+  "/root/repo/src/rme/core/metrics.cpp" "src/CMakeFiles/rme_core.dir/rme/core/metrics.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/metrics.cpp.o.d"
+  "/root/repo/src/rme/core/model.cpp" "src/CMakeFiles/rme_core.dir/rme/core/model.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/model.cpp.o.d"
+  "/root/repo/src/rme/core/powercap.cpp" "src/CMakeFiles/rme_core.dir/rme/core/powercap.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/powercap.cpp.o.d"
+  "/root/repo/src/rme/core/powerline.cpp" "src/CMakeFiles/rme_core.dir/rme/core/powerline.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/powerline.cpp.o.d"
+  "/root/repo/src/rme/core/rooflines.cpp" "src/CMakeFiles/rme_core.dir/rme/core/rooflines.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/rooflines.cpp.o.d"
+  "/root/repo/src/rme/core/tradeoff.cpp" "src/CMakeFiles/rme_core.dir/rme/core/tradeoff.cpp.o" "gcc" "src/CMakeFiles/rme_core.dir/rme/core/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librme_core.a"
+)

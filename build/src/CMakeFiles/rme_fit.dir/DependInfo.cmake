@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/fit/bootstrap.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/bootstrap.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/bootstrap.cpp.o.d"
+  "/root/repo/src/rme/fit/cache_fit.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/cache_fit.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/cache_fit.cpp.o.d"
+  "/root/repo/src/rme/fit/dataset.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/dataset.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/dataset.cpp.o.d"
+  "/root/repo/src/rme/fit/energy_fit.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/energy_fit.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/energy_fit.cpp.o.d"
+  "/root/repo/src/rme/fit/linalg.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/linalg.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/linalg.cpp.o.d"
+  "/root/repo/src/rme/fit/linreg.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/linreg.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/linreg.cpp.o.d"
+  "/root/repo/src/rme/fit/student_t.cpp" "src/CMakeFiles/rme_fit.dir/rme/fit/student_t.cpp.o" "gcc" "src/CMakeFiles/rme_fit.dir/rme/fit/student_t.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_fit.dir/rme/fit/bootstrap.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/bootstrap.cpp.o.d"
+  "CMakeFiles/rme_fit.dir/rme/fit/cache_fit.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/cache_fit.cpp.o.d"
+  "CMakeFiles/rme_fit.dir/rme/fit/dataset.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/dataset.cpp.o.d"
+  "CMakeFiles/rme_fit.dir/rme/fit/energy_fit.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/energy_fit.cpp.o.d"
+  "CMakeFiles/rme_fit.dir/rme/fit/linalg.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/linalg.cpp.o.d"
+  "CMakeFiles/rme_fit.dir/rme/fit/linreg.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/linreg.cpp.o.d"
+  "CMakeFiles/rme_fit.dir/rme/fit/student_t.cpp.o"
+  "CMakeFiles/rme_fit.dir/rme/fit/student_t.cpp.o.d"
+  "librme_fit.a"
+  "librme_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librme_fit.a"
+)

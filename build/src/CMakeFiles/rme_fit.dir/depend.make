@@ -1,0 +1,2 @@
+# Empty dependencies file for rme_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/fmm/driver.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/driver.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/driver.cpp.o.d"
+  "/root/repo/src/rme/fmm/energy_estimator.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/energy_estimator.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/energy_estimator.cpp.o.d"
+  "/root/repo/src/rme/fmm/kernels.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/kernels.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/kernels.cpp.o.d"
+  "/root/repo/src/rme/fmm/morton.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/morton.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/morton.cpp.o.d"
+  "/root/repo/src/rme/fmm/octree.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/octree.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/octree.cpp.o.d"
+  "/root/repo/src/rme/fmm/point.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/point.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/point.cpp.o.d"
+  "/root/repo/src/rme/fmm/traffic.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/traffic.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/traffic.cpp.o.d"
+  "/root/repo/src/rme/fmm/ulist.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/ulist.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/ulist.cpp.o.d"
+  "/root/repo/src/rme/fmm/variants.cpp" "src/CMakeFiles/rme_fmm.dir/rme/fmm/variants.cpp.o" "gcc" "src/CMakeFiles/rme_fmm.dir/rme/fmm/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_fit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

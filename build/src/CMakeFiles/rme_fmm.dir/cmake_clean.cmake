@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_fmm.dir/rme/fmm/driver.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/driver.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/energy_estimator.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/energy_estimator.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/kernels.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/kernels.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/morton.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/morton.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/octree.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/octree.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/point.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/point.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/traffic.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/traffic.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/ulist.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/ulist.cpp.o.d"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/variants.cpp.o"
+  "CMakeFiles/rme_fmm.dir/rme/fmm/variants.cpp.o.d"
+  "librme_fmm.a"
+  "librme_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rme_fmm.
+# This may be replaced when dependencies are built.

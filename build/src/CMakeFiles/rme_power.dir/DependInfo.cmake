@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/power/calibration.cpp" "src/CMakeFiles/rme_power.dir/rme/power/calibration.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/calibration.cpp.o.d"
+  "/root/repo/src/rme/power/channel.cpp" "src/CMakeFiles/rme_power.dir/rme/power/channel.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/channel.cpp.o.d"
+  "/root/repo/src/rme/power/interposer.cpp" "src/CMakeFiles/rme_power.dir/rme/power/interposer.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/interposer.cpp.o.d"
+  "/root/repo/src/rme/power/powermon.cpp" "src/CMakeFiles/rme_power.dir/rme/power/powermon.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/powermon.cpp.o.d"
+  "/root/repo/src/rme/power/powermon_log.cpp" "src/CMakeFiles/rme_power.dir/rme/power/powermon_log.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/powermon_log.cpp.o.d"
+  "/root/repo/src/rme/power/rapl.cpp" "src/CMakeFiles/rme_power.dir/rme/power/rapl.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/rapl.cpp.o.d"
+  "/root/repo/src/rme/power/session.cpp" "src/CMakeFiles/rme_power.dir/rme/power/session.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/session.cpp.o.d"
+  "/root/repo/src/rme/power/trace_stats.cpp" "src/CMakeFiles/rme_power.dir/rme/power/trace_stats.cpp.o" "gcc" "src/CMakeFiles/rme_power.dir/rme/power/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

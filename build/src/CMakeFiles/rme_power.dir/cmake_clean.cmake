@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_power.dir/rme/power/calibration.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/calibration.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/channel.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/channel.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/interposer.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/interposer.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/powermon.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/powermon.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/powermon_log.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/powermon_log.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/rapl.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/rapl.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/session.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/session.cpp.o.d"
+  "CMakeFiles/rme_power.dir/rme/power/trace_stats.cpp.o"
+  "CMakeFiles/rme_power.dir/rme/power/trace_stats.cpp.o.d"
+  "librme_power.a"
+  "librme_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/report/ascii_chart.cpp" "src/CMakeFiles/rme_report.dir/rme/report/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/rme_report.dir/rme/report/ascii_chart.cpp.o.d"
+  "/root/repo/src/rme/report/csv.cpp" "src/CMakeFiles/rme_report.dir/rme/report/csv.cpp.o" "gcc" "src/CMakeFiles/rme_report.dir/rme/report/csv.cpp.o.d"
+  "/root/repo/src/rme/report/heatmap.cpp" "src/CMakeFiles/rme_report.dir/rme/report/heatmap.cpp.o" "gcc" "src/CMakeFiles/rme_report.dir/rme/report/heatmap.cpp.o.d"
+  "/root/repo/src/rme/report/markdown.cpp" "src/CMakeFiles/rme_report.dir/rme/report/markdown.cpp.o" "gcc" "src/CMakeFiles/rme_report.dir/rme/report/markdown.cpp.o.d"
+  "/root/repo/src/rme/report/table.cpp" "src/CMakeFiles/rme_report.dir/rme/report/table.cpp.o" "gcc" "src/CMakeFiles/rme_report.dir/rme/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_report.dir/rme/report/ascii_chart.cpp.o"
+  "CMakeFiles/rme_report.dir/rme/report/ascii_chart.cpp.o.d"
+  "CMakeFiles/rme_report.dir/rme/report/csv.cpp.o"
+  "CMakeFiles/rme_report.dir/rme/report/csv.cpp.o.d"
+  "CMakeFiles/rme_report.dir/rme/report/heatmap.cpp.o"
+  "CMakeFiles/rme_report.dir/rme/report/heatmap.cpp.o.d"
+  "CMakeFiles/rme_report.dir/rme/report/markdown.cpp.o"
+  "CMakeFiles/rme_report.dir/rme/report/markdown.cpp.o.d"
+  "CMakeFiles/rme_report.dir/rme/report/table.cpp.o"
+  "CMakeFiles/rme_report.dir/rme/report/table.cpp.o.d"
+  "librme_report.a"
+  "librme_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/sim/cache.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/cache.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/cache.cpp.o.d"
+  "/root/repo/src/rme/sim/composite.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/composite.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/composite.cpp.o.d"
+  "/root/repo/src/rme/sim/counters.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/counters.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/counters.cpp.o.d"
+  "/root/repo/src/rme/sim/executor.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/executor.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/executor.cpp.o.d"
+  "/root/repo/src/rme/sim/kernel_desc.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/kernel_desc.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/kernel_desc.cpp.o.d"
+  "/root/repo/src/rme/sim/noise.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/noise.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/noise.cpp.o.d"
+  "/root/repo/src/rme/sim/power_trace.cpp" "src/CMakeFiles/rme_sim.dir/rme/sim/power_trace.cpp.o" "gcc" "src/CMakeFiles/rme_sim.dir/rme/sim/power_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

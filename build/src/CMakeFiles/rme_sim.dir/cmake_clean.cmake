@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_sim.dir/rme/sim/cache.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/cache.cpp.o.d"
+  "CMakeFiles/rme_sim.dir/rme/sim/composite.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/composite.cpp.o.d"
+  "CMakeFiles/rme_sim.dir/rme/sim/counters.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/counters.cpp.o.d"
+  "CMakeFiles/rme_sim.dir/rme/sim/executor.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/executor.cpp.o.d"
+  "CMakeFiles/rme_sim.dir/rme/sim/kernel_desc.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/kernel_desc.cpp.o.d"
+  "CMakeFiles/rme_sim.dir/rme/sim/noise.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/noise.cpp.o.d"
+  "CMakeFiles/rme_sim.dir/rme/sim/power_trace.cpp.o"
+  "CMakeFiles/rme_sim.dir/rme/sim/power_trace.cpp.o.d"
+  "librme_sim.a"
+  "librme_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

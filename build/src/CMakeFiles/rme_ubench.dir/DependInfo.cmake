@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rme/ubench/fma_mix.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/fma_mix.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/fma_mix.cpp.o.d"
+  "/root/repo/src/rme/ubench/host_runner.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/host_runner.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/host_runner.cpp.o.d"
+  "/root/repo/src/rme/ubench/matmul.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/matmul.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/matmul.cpp.o.d"
+  "/root/repo/src/rme/ubench/polynomial.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/polynomial.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/polynomial.cpp.o.d"
+  "/root/repo/src/rme/ubench/spmv.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/spmv.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/spmv.cpp.o.d"
+  "/root/repo/src/rme/ubench/stream.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/stream.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/stream.cpp.o.d"
+  "/root/repo/src/rme/ubench/timer.cpp" "src/CMakeFiles/rme_ubench.dir/rme/ubench/timer.cpp.o" "gcc" "src/CMakeFiles/rme_ubench.dir/rme/ubench/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_ubench.dir/rme/ubench/fma_mix.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/fma_mix.cpp.o.d"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/host_runner.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/host_runner.cpp.o.d"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/matmul.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/matmul.cpp.o.d"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/polynomial.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/polynomial.cpp.o.d"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/spmv.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/spmv.cpp.o.d"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/stream.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/stream.cpp.o.d"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/timer.cpp.o"
+  "CMakeFiles/rme_ubench.dir/rme/ubench/timer.cpp.o.d"
+  "librme_ubench.a"
+  "librme_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

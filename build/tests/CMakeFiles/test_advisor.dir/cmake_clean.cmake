@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advisor.dir/test_advisor.cpp.o"
+  "CMakeFiles/test_advisor.dir/test_advisor.cpp.o.d"
+  "test_advisor"
+  "test_advisor.pdb"
+  "test_advisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

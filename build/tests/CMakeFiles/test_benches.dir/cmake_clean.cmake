@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benches.dir/test_benches.cpp.o"
+  "CMakeFiles/test_benches.dir/test_benches.cpp.o.d"
+  "test_benches"
+  "test_benches.pdb"
+  "test_benches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

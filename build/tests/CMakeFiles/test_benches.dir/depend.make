@@ -1,0 +1,2 @@
+# Empty dependencies file for test_benches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_fit.dir/test_cache_fit.cpp.o"
+  "CMakeFiles/test_cache_fit.dir/test_cache_fit.cpp.o.d"
+  "test_cache_fit"
+  "test_cache_fit.pdb"
+  "test_cache_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composite.dir/test_composite.cpp.o"
+  "CMakeFiles/test_composite.dir/test_composite.cpp.o.d"
+  "test_composite"
+  "test_composite.pdb"
+  "test_composite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counters.dir/test_counters.cpp.o"
+  "CMakeFiles/test_counters.dir/test_counters.cpp.o.d"
+  "test_counters"
+  "test_counters.pdb"
+  "test_counters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset.dir/test_dataset.cpp.o"
+  "CMakeFiles/test_dataset.dir/test_dataset.cpp.o.d"
+  "test_dataset"
+  "test_dataset.pdb"
+  "test_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depth.dir/test_depth.cpp.o"
+  "CMakeFiles/test_depth.dir/test_depth.cpp.o.d"
+  "test_depth"
+  "test_depth.pdb"
+  "test_depth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_energy_fit.cpp" "tests/CMakeFiles/test_energy_fit.dir/test_energy_fit.cpp.o" "gcc" "tests/CMakeFiles/test_energy_fit.dir/test_energy_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rme_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rme_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

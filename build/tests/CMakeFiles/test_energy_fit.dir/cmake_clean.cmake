@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_fit.dir/test_energy_fit.cpp.o"
+  "CMakeFiles/test_energy_fit.dir/test_energy_fit.cpp.o.d"
+  "test_energy_fit"
+  "test_energy_fit.pdb"
+  "test_energy_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_examples.dir/test_examples.cpp.o"
+  "CMakeFiles/test_examples.dir/test_examples.cpp.o.d"
+  "test_examples"
+  "test_examples.pdb"
+  "test_examples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_driver.dir/test_fmm_driver.cpp.o"
+  "CMakeFiles/test_fmm_driver.dir/test_fmm_driver.cpp.o.d"
+  "test_fmm_driver"
+  "test_fmm_driver.pdb"
+  "test_fmm_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_energy.dir/test_fmm_energy.cpp.o"
+  "CMakeFiles/test_fmm_energy.dir/test_fmm_energy.cpp.o.d"
+  "test_fmm_energy"
+  "test_fmm_energy.pdb"
+  "test_fmm_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

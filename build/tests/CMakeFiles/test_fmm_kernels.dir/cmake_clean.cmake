@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_kernels.dir/test_fmm_kernels.cpp.o"
+  "CMakeFiles/test_fmm_kernels.dir/test_fmm_kernels.cpp.o.d"
+  "test_fmm_kernels"
+  "test_fmm_kernels.pdb"
+  "test_fmm_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

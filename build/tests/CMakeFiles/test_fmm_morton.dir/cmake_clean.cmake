@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_morton.dir/test_fmm_morton.cpp.o"
+  "CMakeFiles/test_fmm_morton.dir/test_fmm_morton.cpp.o.d"
+  "test_fmm_morton"
+  "test_fmm_morton.pdb"
+  "test_fmm_morton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_octree.dir/test_fmm_octree.cpp.o"
+  "CMakeFiles/test_fmm_octree.dir/test_fmm_octree.cpp.o.d"
+  "test_fmm_octree"
+  "test_fmm_octree.pdb"
+  "test_fmm_octree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

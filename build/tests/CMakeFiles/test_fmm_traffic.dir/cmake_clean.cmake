@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_traffic.dir/test_fmm_traffic.cpp.o"
+  "CMakeFiles/test_fmm_traffic.dir/test_fmm_traffic.cpp.o.d"
+  "test_fmm_traffic"
+  "test_fmm_traffic.pdb"
+  "test_fmm_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm_ulist.dir/test_fmm_ulist.cpp.o"
+  "CMakeFiles/test_fmm_ulist.dir/test_fmm_ulist.cpp.o.d"
+  "test_fmm_ulist"
+  "test_fmm_ulist.pdb"
+  "test_fmm_ulist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm_ulist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heatmap.dir/test_heatmap.cpp.o"
+  "CMakeFiles/test_heatmap.dir/test_heatmap.cpp.o.d"
+  "test_heatmap"
+  "test_heatmap.pdb"
+  "test_heatmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

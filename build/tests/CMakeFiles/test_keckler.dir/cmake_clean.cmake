@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keckler.dir/test_keckler.cpp.o"
+  "CMakeFiles/test_keckler.dir/test_keckler.cpp.o.d"
+  "test_keckler"
+  "test_keckler.pdb"
+  "test_keckler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keckler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linreg.dir/test_linreg.cpp.o"
+  "CMakeFiles/test_linreg.dir/test_linreg.cpp.o.d"
+  "test_linreg"
+  "test_linreg.pdb"
+  "test_linreg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

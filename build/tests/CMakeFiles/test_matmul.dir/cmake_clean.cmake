@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matmul.dir/test_matmul.cpp.o"
+  "CMakeFiles/test_matmul.dir/test_matmul.cpp.o.d"
+  "test_matmul"
+  "test_matmul.pdb"
+  "test_matmul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise.dir/test_noise.cpp.o"
+  "CMakeFiles/test_noise.dir/test_noise.cpp.o.d"
+  "test_noise"
+  "test_noise.pdb"
+  "test_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_trace.dir/test_power_trace.cpp.o"
+  "CMakeFiles/test_power_trace.dir/test_power_trace.cpp.o.d"
+  "test_power_trace"
+  "test_power_trace.pdb"
+  "test_power_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

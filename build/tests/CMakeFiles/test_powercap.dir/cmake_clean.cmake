@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powercap.dir/test_powercap.cpp.o"
+  "CMakeFiles/test_powercap.dir/test_powercap.cpp.o.d"
+  "test_powercap"
+  "test_powercap.pdb"
+  "test_powercap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

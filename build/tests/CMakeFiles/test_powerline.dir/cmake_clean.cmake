@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerline.dir/test_powerline.cpp.o"
+  "CMakeFiles/test_powerline.dir/test_powerline.cpp.o.d"
+  "test_powerline"
+  "test_powerline.pdb"
+  "test_powerline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powermon.dir/test_powermon.cpp.o"
+  "CMakeFiles/test_powermon.dir/test_powermon.cpp.o.d"
+  "test_powermon"
+  "test_powermon.pdb"
+  "test_powermon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powermon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powermon_log.dir/test_powermon_log.cpp.o"
+  "CMakeFiles/test_powermon_log.dir/test_powermon_log.cpp.o.d"
+  "test_powermon_log"
+  "test_powermon_log.pdb"
+  "test_powermon_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powermon_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rapl.dir/test_rapl.cpp.o"
+  "CMakeFiles/test_rapl.dir/test_rapl.cpp.o.d"
+  "test_rapl"
+  "test_rapl.pdb"
+  "test_rapl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

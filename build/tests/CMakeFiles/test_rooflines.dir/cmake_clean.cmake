@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rooflines.dir/test_rooflines.cpp.o"
+  "CMakeFiles/test_rooflines.dir/test_rooflines.cpp.o.d"
+  "test_rooflines"
+  "test_rooflines.pdb"
+  "test_rooflines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rooflines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

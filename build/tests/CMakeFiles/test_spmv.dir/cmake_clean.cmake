@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv.dir/test_spmv.cpp.o"
+  "CMakeFiles/test_spmv.dir/test_spmv.cpp.o.d"
+  "test_spmv"
+  "test_spmv.pdb"
+  "test_spmv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

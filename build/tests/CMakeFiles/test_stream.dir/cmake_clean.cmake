@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream.dir/test_stream.cpp.o"
+  "CMakeFiles/test_stream.dir/test_stream.cpp.o.d"
+  "test_stream"
+  "test_stream.pdb"
+  "test_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_student_t.dir/test_student_t.cpp.o"
+  "CMakeFiles/test_student_t.dir/test_student_t.cpp.o.d"
+  "test_student_t"
+  "test_student_t.pdb"
+  "test_student_t[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_student_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_stats.dir/test_trace_stats.cpp.o"
+  "CMakeFiles/test_trace_stats.dir/test_trace_stats.cpp.o.d"
+  "test_trace_stats"
+  "test_trace_stats.pdb"
+  "test_trace_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tradeoff.dir/test_tradeoff.cpp.o"
+  "CMakeFiles/test_tradeoff.dir/test_tradeoff.cpp.o.d"
+  "test_tradeoff"
+  "test_tradeoff.pdb"
+  "test_tradeoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ubench.dir/test_ubench.cpp.o"
+  "CMakeFiles/test_ubench.dir/test_ubench.cpp.o.d"
+  "test_ubench"
+  "test_ubench.pdb"
+  "test_ubench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_cli.dir/rme_cli.cpp.o"
+  "CMakeFiles/rme_cli.dir/rme_cli.cpp.o.d"
+  "rme_cli"
+  "rme_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
