@@ -1,0 +1,227 @@
+// Ablation: instrument faults vs. the eq. (9) fit — OLS against Huber.
+//
+// The paper's Table IV coefficients come from OLS over clean PowerMon
+// measurements.  This ablation corrupts the measurement stream with a
+// seeded FaultInjector (sample dropouts + transient current spikes, the
+// two dominant PowerMon-class failure modes) at increasing rates, fits
+// the corrupted per-rep (W, Q, T, E) tuples with both estimators, and
+// reports each coefficient's deviation from the clean-run fit.  A third
+// column re-runs OLS behind the session quality-control layer (retry +
+// MAD outlier rejection) to show the two defenses compose.
+//
+// The committed reference output lives at bench/golden/
+// bench_ablation_faults.txt; the headline criterion is that at the
+// 5% dropout + 1% spike profile the Huber coefficients stay within 10%
+// of the clean fit while raw OLS drifts further.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 0xFA117;
+constexpr std::size_t kReps = 16;
+
+sim::FaultProfile fault_profile(double scale) {
+  sim::FaultProfile p;
+  p.sample_dropout_rate = 0.05 * scale;
+  p.spike_rate = 0.01 * scale;
+  p.spike_gain_min = 6.0;
+  p.spike_gain_max = 24.0;
+  return p;
+}
+
+power::MeasurementSession faulty_session(const bench::Platform& platform,
+                                         const sim::FaultProfile& profile,
+                                         bool with_qc) {
+  sim::SimConfig sim_cfg;
+  sim_cfg.flop_fraction = platform.flop_fraction;
+  sim_cfg.bw_fraction = platform.bw_fraction;
+  sim_cfg.power_cap_watts = platform.power_cap;
+  sim_cfg.noise = sim::NoiseModel(0xA11CE, 0.01);
+  power::PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;
+  power::SessionConfig ses_cfg;
+  ses_cfg.repetitions = kReps;
+  ses_cfg.qc.enabled = with_qc;
+  return power::MeasurementSession(
+      sim::Executor(platform.machine, sim_cfg),
+      power::PowerMon(power::gtx580_rails(), mon_cfg,
+                      sim::FaultInjector(profile, kFaultSeed)),
+      ses_cfg);
+}
+
+// Short kernels, each spanning only a handful of PowerMon ticks: a
+// transient spike then corrupts a minority of reps badly instead of
+// every rep mildly — the regime where a bounded-influence estimator
+// matters.  Words per kernel are sized from the machine's time model,
+// cycling through three duration tiers so the T/W regressor decouples
+// from Q/W in the memory-bound region (equal durations would make them
+// collinear there and leave eps_mem / pi0 poorly separated).
+std::vector<sim::KernelDesc> sweep(const MachineParams& m, Precision p) {
+  constexpr double kTierSeconds[] = {0.018, 0.030, 0.050};  // 2-6 ticks
+  const double hi = p == Precision::kSingle ? 64.0 : 16.0;
+  std::vector<sim::KernelDesc> kernels;
+  std::size_t tier = 0;
+  for (const double intensity : sim::pow2_grid(0.25, hi)) {
+    const double target = kTierSeconds[tier++ % 3];
+    const double sec_per_byte =
+        std::max(m.time_per_byte, intensity * m.time_per_flop);
+    const double words = target / sec_per_byte / word_bytes(p);
+    kernels.push_back(sim::fma_load_mix(intensity, words, p));
+  }
+  return kernels;
+}
+
+// Per-rep tuples: every surviving repetition contributes one sample, so
+// instrument faults reach the regression instead of vanishing into the
+// per-kernel median.
+std::vector<fit::EnergySample> collect(const power::MeasurementSession& sp,
+                                       const power::MeasurementSession& dp,
+                                       power::SessionQuality* quality) {
+  std::vector<fit::EnergySample> samples;
+  for (const power::MeasurementSession* session : {&sp, &dp}) {
+    const Precision prec =
+        session == &sp ? Precision::kSingle : Precision::kDouble;
+    for (const auto& r : session->measure_sweep(sweep(presets::i7_950(prec), prec))) {
+      if (quality) {
+        quality->reps_retried += r.quality.reps_retried;
+        quality->reps_kept_degraded += r.quality.reps_kept_degraded;
+        quality->reps_discarded += r.quality.reps_discarded;
+        quality->reps_discarded_outlier += r.quality.reps_discarded_outlier;
+        quality->dropped_samples += r.quality.dropped_samples;
+        quality->saturated_samples += r.quality.saturated_samples;
+      }
+      for (const auto& rep : r.reps) {
+        if (rep.outlier) continue;
+        fit::EnergySample s;
+        s.flops = r.kernel.flops;
+        s.bytes = r.kernel.bytes;
+        s.seconds = rep.seconds;
+        s.joules = rep.joules;
+        s.precision = prec;
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+struct CoeffSet {
+  double eps_s, eps_d, eps_mem, pi0;
+};
+
+CoeffSet coeffs(const fit::EnergyFit& f) {
+  return {f.coefficients.eps_single, f.coefficients.eps_double(),
+          f.coefficients.eps_mem, f.coefficients.const_power};
+}
+
+double pct(double fitted, double clean) {
+  return clean != 0.0 ? 100.0 * (fitted - clean) / clean : 0.0;
+}
+
+double max_abs_dev(const CoeffSet& f, const CoeffSet& clean) {
+  double m = std::fabs(pct(f.eps_s, clean.eps_s));
+  m = std::max(m, std::fabs(pct(f.eps_d, clean.eps_d)));
+  m = std::max(m, std::fabs(pct(f.eps_mem, clean.eps_mem)));
+  return std::max(m, std::fabs(pct(f.pi0, clean.pi0)));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading(
+      "Ablation: instrument faults vs. eq. (9) fit (OLS / Huber / OLS+QC)");
+
+  const bench::Platform sp = bench::i7_950_platform(Precision::kSingle);
+  const bench::Platform dp = bench::i7_950_platform(Precision::kDouble);
+
+  // All fits use relative-error (variance-stabilized) rows: per-rep
+  // tuples span ~10x in E/W across the intensity grid while the noise
+  // is multiplicative, so absolute residuals would be heteroscedastic
+  // for OLS and Huber alike.  With that held fixed, the table isolates
+  // what the estimator itself does under corruption.
+  fit::EnergyFitOptions ols_opts;
+  ols_opts.relative_error = true;
+
+  // Clean baseline: zero-fault profile, the paper's OLS.
+  const auto clean_samples =
+      collect(faulty_session(sp, fault_profile(0.0), false),
+              faulty_session(dp, fault_profile(0.0), false), nullptr);
+  const CoeffSet clean =
+      coeffs(fit::fit_energy_coefficients(clean_samples, ols_opts));
+  std::cout << "Clean-run OLS baseline (Intel i7-950, per-rep tuples):\n"
+            << "  eps_s   = " << report::fmt(clean.eps_s / kPico, 4)
+            << " pJ/FLOP\n"
+            << "  eps_d   = " << report::fmt(clean.eps_d / kPico, 4)
+            << " pJ/FLOP\n"
+            << "  eps_mem = " << report::fmt(clean.eps_mem / kPico, 4)
+            << " pJ/B\n"
+            << "  pi0     = " << report::fmt(clean.pi0, 4) << " W\n\n";
+
+  report::Table t({"dropout", "spike", "estimator", "eps_s dev%",
+                   "eps_d dev%", "eps_mem dev%", "pi0 dev%", "max |dev|%"});
+  fit::EnergyFitOptions huber;
+  huber.method = fit::FitMethod::kHuber;
+  huber.relative_error = true;
+
+  for (const double scale : {0.5, 1.0, 2.0}) {
+    const sim::FaultProfile profile = fault_profile(scale);
+    const auto label_d = report::fmt(100.0 * profile.sample_dropout_rate, 3);
+    const auto label_s = report::fmt(100.0 * profile.spike_rate, 3);
+
+    const auto raw = collect(faulty_session(sp, profile, false),
+                             faulty_session(dp, profile, false), nullptr);
+    const CoeffSet ols_c = coeffs(fit::fit_energy_coefficients(raw, ols_opts));
+    const CoeffSet hub_c = coeffs(fit::fit_energy_coefficients(raw, huber));
+
+    power::SessionQuality qc_quality;
+    const auto qc = collect(faulty_session(sp, profile, true),
+                            faulty_session(dp, profile, true), &qc_quality);
+    const CoeffSet qc_c = coeffs(fit::fit_energy_coefficients(qc, ols_opts));
+
+    const auto row = [&](const char* estimator, const CoeffSet& c) {
+      t.add_row({label_d + "%", label_s + "%", estimator,
+                 report::fmt(pct(c.eps_s, clean.eps_s), 2),
+                 report::fmt(pct(c.eps_d, clean.eps_d), 2),
+                 report::fmt(pct(c.eps_mem, clean.eps_mem), 2),
+                 report::fmt(pct(c.pi0, clean.pi0), 2),
+                 report::fmt(max_abs_dev(c, clean), 2)});
+    };
+    row("OLS (raw)", ols_c);
+    row("Huber (raw)", hub_c);
+    row("OLS + session QC", qc_c);
+
+    if (scale == 1.0) {
+      std::cout << "Reference profile (5% dropout + 1% spikes), session QC: "
+                << qc_quality.reps_retried << " reps retried, "
+                << qc_quality.reps_discarded_outlier
+                << " MAD-rejected, " << qc_quality.dropped_samples
+                << " samples dropped, " << qc_quality.saturated_samples
+                << " saturated.\n\n";
+      const bool huber_ok = max_abs_dev(hub_c, clean) < 10.0;
+      const bool ols_worse =
+          max_abs_dev(ols_c, clean) > max_abs_dev(hub_c, clean);
+      std::cout << "Headline criterion at 5%/1%: Huber within 10% of clean: "
+                << (huber_ok ? "yes" : "NO")
+                << "; OLS deviates more than Huber: "
+                << (ols_worse ? "yes" : "NO") << "\n\n";
+    }
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: sample dropouts alone are absorbed by the gap-aware\n"
+         "trapezoidal integration; transient spikes corrupt a minority of\n"
+         "reps, which drags OLS while Huber's bounded influence holds the\n"
+         "Table IV coefficients near the clean fit.  Session QC (retry +\n"
+         "MAD rejection) recovers OLS by discarding the corrupted reps\n"
+         "before they reach the regression — until fault rates climb high\n"
+         "enough that retries stop finding clean reps, where the robust\n"
+         "estimator keeps degrading gracefully.\n";
+  return 0;
+}

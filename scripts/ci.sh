@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI driver: build and test the repository twice — a plain release build
+# and an ASan+UBSan build (RME_SANITIZE=ON) — failing on any test
+# failure or sanitizer report.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== plain build ==="
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== sanitized build (ASan + UBSan) ==="
+cmake -B build-asan -G Ninja -DRME_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo
+echo "CI OK: plain and sanitized suites passed."

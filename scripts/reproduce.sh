@@ -10,15 +10,25 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Run every bench even if one fails, then exit nonzero if any did.
+faillog=$(mktemp)
+trap 'rm -f "$faillog"' EXIT
 {
   for b in build/bench/*; do
     echo
     echo "################################################################"
     echo "### $b"
     echo "################################################################"
-    "$b"
+    "$b" || echo "$b" >> "$faillog"
   done
 } 2>&1 | tee bench_output.txt
+
+if [ -s "$faillog" ]; then
+  echo
+  echo "FAILED benches:" >&2
+  cat "$faillog" >&2
+  exit 1
+fi
 
 echo
 echo "Done. Tests: test_output.txt  Benches: bench_output.txt"

@@ -1,6 +1,7 @@
 #include "rme/fit/energy_fit.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace rme::fit {
 
@@ -14,6 +15,11 @@ MachineParams EnergyCoefficients::to_machine(const MachineParams& peaks,
 }
 
 EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples) {
+  return fit_energy_coefficients(samples, EnergyFitOptions{});
+}
+
+EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples,
+                                  const EnergyFitOptions& options) {
   bool has_single = false;
   bool has_double = false;
   for (const EnergySample& s : samples) {
@@ -25,19 +31,50 @@ EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples) {
         "identify the double-precision increment");
   }
 
-  DesignBuilder design({"eps_s", "eps_mem", "pi0", "delta_eps_d"});
-  for (const EnergySample& s : samples) {
+  const std::vector<std::string> names = {"eps_s", "eps_mem", "pi0",
+                                          "delta_eps_d"};
+  Matrix x(samples.size(), names.size());
+  std::vector<double> y(samples.size(), 0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const EnergySample& s = samples[i];
     if (s.flops <= 0.0 || s.seconds <= 0.0) {
       throw std::invalid_argument(
           "fit_energy_coefficients: flops and seconds must be positive");
     }
-    const double r = s.precision == Precision::kDouble ? 1.0 : 0.0;
-    design.add({1.0, s.bytes / s.flops, s.seconds / s.flops, r},
-               s.joules / s.flops);
+    x(i, 0) = 1.0;
+    x(i, 1) = s.bytes / s.flops;
+    x(i, 2) = s.seconds / s.flops;
+    x(i, 3) = s.precision == Precision::kDouble ? 1.0 : 0.0;
+    y[i] = s.joules / s.flops;
+  }
+
+  if (options.relative_error) {
+    // Variance stabilization: divide each row through by its response,
+    // turning multiplicative instrument noise into homoscedastic
+    // relative residuals.  The model stays linear in the coefficients.
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (y[i] <= 0.0) {
+        throw std::invalid_argument(
+            "fit_energy_coefficients: relative_error requires positive "
+            "measured energy");
+      }
+      const double inv = 1.0 / y[i];
+      for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) *= inv;
+      y[i] = 1.0;
+    }
   }
 
   EnergyFit fit;
-  fit.regression = design.fit();
+  fit.method = options.method;
+  if (options.method == FitMethod::kHuber) {
+    RobustRegression robust = huber_fit(x, y, names, options.huber);
+    fit.regression = std::move(robust.regression);
+    fit.weights = std::move(robust.weights);
+    fit.robust_scale = robust.scale;
+    fit.converged = robust.converged;
+  } else {
+    fit.regression = ols(x, y, names);
+  }
   fit.coefficients.eps_single = fit.regression.by_name("eps_s").value;
   fit.coefficients.eps_mem = fit.regression.by_name("eps_mem").value;
   fit.coefficients.const_power = fit.regression.by_name("pi0").value;

@@ -12,6 +12,7 @@
 
 #include "rme/core/machine.hpp"
 #include "rme/fit/linreg.hpp"
+#include "rme/fit/robust.hpp"
 
 namespace rme::fit {
 
@@ -41,16 +42,44 @@ struct EnergyCoefficients {
                                          Precision p) const;
 };
 
+/// Estimator choice for the eq. (9) regression.
+enum class FitMethod {
+  kOls,    ///< The paper's method (§IV, footnote 8).
+  kHuber,  ///< Huber-loss IRLS — robust to corrupted (W, Q, T, E) tuples.
+};
+
+/// Fitting options; defaults reproduce the paper's OLS pipeline.
+struct EnergyFitOptions {
+  FitMethod method = FitMethod::kOls;
+  HuberOptions huber{};  ///< Used when method == kHuber.
+  /// Scale each row by 1/(E/W) so the loss is over *relative* residuals.
+  /// Instrument noise is multiplicative, which makes absolute E/W
+  /// residuals heteroscedastic across an intensity sweep; any single
+  /// global residual scale (the OLS loss, or the Huber MAD) then
+  /// over-weights large-E/W rows.  Requires every E > 0.
+  bool relative_error = false;
+};
+
 /// Fit result: coefficients plus the underlying regression diagnostics.
 struct EnergyFit {
   EnergyCoefficients coefficients;
   Regression regression;
+  FitMethod method = FitMethod::kOls;
+  /// Huber only: final IRLS weights (per sample, in input order), the
+  /// robust residual scale, and convergence status.
+  std::vector<double> weights;
+  double robust_scale = 0.0;
+  bool converged = true;
 };
 
 /// Runs the eq. (9) regression.  Requires samples from both precisions
 /// to identify Δε_d; throws std::invalid_argument otherwise.
 [[nodiscard]] EnergyFit fit_energy_coefficients(
     const std::vector<EnergySample>& samples);
+
+/// Same regression with an estimator choice (OLS or Huber IRLS).
+[[nodiscard]] EnergyFit fit_energy_coefficients(
+    const std::vector<EnergySample>& samples, const EnergyFitOptions& options);
 
 /// A fitted derived quantity with its propagated uncertainty.
 struct DerivedQuantity {

@@ -1,0 +1,133 @@
+#include "rme/fit/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rme/fit/linalg.hpp"
+
+namespace rme::fit {
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return (n % 2 == 1) ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double median_abs_deviation(const std::vector<double>& values, double center) {
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (double v : values) dev.push_back(std::fabs(v - center));
+  return median_of(std::move(dev));
+}
+
+std::size_t RobustRegression::downweighted() const noexcept {
+  std::size_t n = 0;
+  for (double w : weights) {
+    if (w < 1.0) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// Scale the rows of (x, y) by sqrt(w) — the weighted-LS transform.
+void apply_weights(const Matrix& x, const std::vector<double>& y,
+                   const std::vector<double>& w, Matrix* xw,
+                   std::vector<double>* yw) {
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double s = std::sqrt(w[i]);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      (*xw)(i, j) = s * x(i, j);
+    }
+    (*yw)[i] = s * y[i];
+  }
+}
+
+}  // namespace
+
+RobustRegression huber_fit(const Matrix& x, const std::vector<double>& y,
+                           std::vector<std::string> names,
+                           const HuberOptions& options) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("huber_fit: row/response count mismatch");
+  }
+  if (options.delta <= 0.0) {
+    throw std::invalid_argument("huber_fit: delta must be positive");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+
+  RobustRegression result;
+  result.weights.assign(n, 1.0);
+
+  // Column equilibration, as in ols(): eq. (9)-style designs mix columns
+  // spanning many orders of magnitude, which wrecks the QR pivot test.
+  // Row weights are orthogonal to column scaling, so the IRLS loop can
+  // run entirely in the scaled space — residuals are unaffected.
+  std::vector<double> col_norm(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) col_norm[j] += x(i, j) * x(i, j);
+  }
+  Matrix xs(n, p);
+  for (std::size_t j = 0; j < p; ++j) {
+    col_norm[j] = std::sqrt(col_norm[j]);
+    if (col_norm[j] == 0.0) {
+      throw SingularMatrixError("huber_fit: zero column in design matrix");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) xs(i, j) = x(i, j) / col_norm[j];
+  }
+
+  // OLS start (in the scaled space).
+  std::vector<double> beta = qr_least_squares(xs, y);
+  std::vector<double> residuals(n, 0.0);
+  Matrix xw(n, p);
+  std::vector<double> yw(n, 0.0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const std::vector<double> fitted = xs.times(beta);
+    for (std::size_t i = 0; i < n; ++i) residuals[i] = y[i] - fitted[i];
+
+    const double mad =
+        median_abs_deviation(residuals, median_of(residuals));
+    result.scale = kMadToSigma * mad;
+    if (result.scale <= 0.0) {
+      // (Near-)exact fit of the majority: nothing left to reweight.
+      result.converged = true;
+      break;
+    }
+
+    const double threshold = options.delta * result.scale;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = std::fabs(residuals[i]);
+      // Huber ψ(r)/r, floored so the weighted design keeps full rank.
+      result.weights[i] = a <= threshold ? 1.0 : std::max(threshold / a, 1e-8);
+    }
+
+    apply_weights(xs, y, result.weights, &xw, &yw);
+    const std::vector<double> next = qr_least_squares(xw, yw);
+
+    double delta_max = 0.0;
+    for (std::size_t j = 0; j < beta.size(); ++j) {
+      const double scale = std::max(1.0, std::fabs(beta[j]));
+      delta_max = std::max(delta_max, std::fabs(next[j] - beta[j]) / scale);
+    }
+    beta = next;
+    if (delta_max <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Inference at the converged weights, through the shared OLS machinery.
+  apply_weights(x, y, result.weights, &xw, &yw);
+  result.regression = ols(xw, yw, std::move(names));
+  return result;
+}
+
+}  // namespace rme::fit

@@ -1,0 +1,62 @@
+#pragma once
+// Robust regression for corrupted measurement sets.
+//
+// OLS is the paper's fitting method (§IV, footnote 8), but a single
+// spiked or truncated energy reading can drag its coefficients
+// arbitrarily far.  This module adds a Huber-loss M-estimator solved by
+// iteratively reweighted least squares (IRLS) on the same linalg/linreg
+// substrate: quadratic loss for small residuals (OLS-efficient on clean
+// data), linear for large ones (bounded influence of outliers).  The
+// residual scale is re-estimated each iteration from the MAD, so the
+// tuning constant `delta` is in units of robust standard deviations.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rme/fit/linreg.hpp"
+
+namespace rme::fit {
+
+/// Median of a sample (0 for an empty sample).
+[[nodiscard]] double median_of(std::vector<double> values);
+
+/// Median absolute deviation about `center`.
+[[nodiscard]] double median_abs_deviation(const std::vector<double>& values,
+                                          double center);
+
+/// Consistency factor: 1.4826·MAD estimates σ for Gaussian data.
+inline constexpr double kMadToSigma = 1.4826;
+
+/// Huber IRLS options.
+struct HuberOptions {
+  /// Residuals beyond delta robust-sigmas get down-weighted; 1.345 gives
+  /// 95% Gaussian efficiency (the standard choice).
+  double delta = 1.345;
+  std::size_t max_iterations = 50;
+  /// Convergence: max relative coefficient change between iterations.
+  double tolerance = 1e-10;
+};
+
+/// Huber fit result.  `regression` holds the weighted-OLS inference at
+/// the converged weights (std errors and p-values are conditional on
+/// those weights — the usual IRLS approximation).
+struct RobustRegression {
+  Regression regression;
+  std::vector<double> weights;  ///< Final IRLS weights in (0, 1].
+  double scale = 0.0;           ///< Robust residual scale (1.4826·MAD).
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  /// Observations with weight < 1 (down-weighted as outliers).
+  [[nodiscard]] std::size_t downweighted() const noexcept;
+};
+
+/// Fits y ≈ X·β under Huber loss.  Shares the shape/rank requirements of
+/// ols(); throws the same exceptions.
+[[nodiscard]] RobustRegression huber_fit(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         std::vector<std::string> names = {},
+                                         const HuberOptions& options = {});
+
+}  // namespace rme::fit

@@ -1,5 +1,6 @@
 #include "rme/power/powermon.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -23,7 +24,19 @@ PowerMon::PowerMon(std::vector<Channel> channels, PowerMonConfig config)
   }
 }
 
-Measurement PowerMon::measure(const rme::sim::PowerTrace& trace) const {
+PowerMon::PowerMon(std::vector<Channel> channels, PowerMonConfig config,
+                   rme::sim::FaultInjector injector)
+    : PowerMon(std::move(channels), config) {
+  injector_ = std::move(injector);
+}
+
+Measurement PowerMon::measure(const rme::sim::PowerTrace& trace,
+                              std::uint64_t run_salt) const {
+  return injector_.enabled() ? measure_faulty(trace, run_salt)
+                             : measure_clean(trace);
+}
+
+Measurement PowerMon::measure_clean(const rme::sim::PowerTrace& trace) const {
   Measurement m;
   m.duration_seconds = trace.duration();
   m.true_energy_joules = trace.energy();
@@ -55,6 +68,144 @@ Measurement PowerMon::measure(const rme::sim::PowerTrace& trace) const {
   }
   m.avg_watts = sum / static_cast<double>(m.samples);
   m.energy_joules = m.avg_watts * m.duration_seconds;
+  return m;
+}
+
+namespace {
+
+/// One delivered channel reading.
+struct TimedReading {
+  double t = 0.0;
+  double watts = 0.0;
+};
+
+/// Gap-aware trapezoidal integral of one channel's delivered readings
+/// over [0, duration]: piecewise-linear between readings, constant
+/// extrapolation at the edges.  Gaps (dropouts, disconnect windows) are
+/// bridged by the trapezoid across the gap rather than being silently
+/// averaged over the full span.
+double integrate_channel(std::vector<TimedReading>& pts, double duration) {
+  if (pts.empty()) return 0.0;
+  std::sort(pts.begin(), pts.end(),
+            [](const TimedReading& a, const TimedReading& b) {
+              return a.t < b.t;
+            });
+  double e = pts.front().watts * pts.front().t;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    e += 0.5 * (pts[i - 1].watts + pts[i].watts) * (pts[i].t - pts[i - 1].t);
+  }
+  e += pts.back().watts * (duration - pts.back().t);
+  return e;
+}
+
+}  // namespace
+
+Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
+                                     std::uint64_t run_salt) const {
+  Measurement m;
+  m.duration_seconds = trace.duration();
+  m.true_energy_joules = trace.energy();
+  const std::size_t nch = channels_.size();
+  m.quality.channels.resize(nch);
+  for (std::size_t c = 0; c < nch; ++c) {
+    m.quality.channels[c].name = channels_[c].name();
+  }
+  if (m.duration_seconds <= 0.0) return m;
+
+  const double dt = 1.0 / config_.sample_hz;
+  const rme::sim::FaultSchedule sched =
+      injector_.schedule(nch, m.duration_seconds, run_salt);
+  for (std::size_t c = 0; c < nch; ++c) {
+    m.quality.channels[c].stuck = sched.channels[c].stuck;
+  }
+
+  std::vector<std::vector<TimedReading>> readings(nch);
+  std::vector<double> stuck_value(nch, 0.0);
+  std::vector<bool> stuck_latched(nch, false);
+
+  // Sample one scheduled tick at actual time `t`; returns the sum of the
+  // delivered channel readings and whether any channel delivered.
+  const auto sample_tick = [&](std::size_t tick, double t, double* tick_sum) {
+    bool any = false;
+    *tick_sum = 0.0;
+    for (std::size_t c = 0; c < nch; ++c) {
+      ChannelHealth& health = m.quality.channels[c];
+      health.expected += 1;
+      if (sched.channels[c].disconnected_at(t)) continue;
+      double w;
+      if (sched.channels[c].stuck) {
+        if (!stuck_latched[c]) {
+          stuck_value[c] = channels_[c].sample(trace, t, config_.adc).watts();
+          stuck_latched[c] = true;
+        }
+        w = stuck_value[c];
+      } else {
+        w = channels_[c].sample(trace, t, config_.adc).watts();
+      }
+      w *= injector_.spike_gain(tick, c, run_salt);
+      bool saturated = false;
+      w = injector_.saturate(w, &saturated);
+      if (saturated) {
+        health.saturated += 1;
+        m.quality.saturated_samples += 1;
+      }
+      health.valid += 1;
+      readings[c].push_back({t, w});
+      *tick_sum += w;
+      any = true;
+    }
+    return any;
+  };
+
+  std::size_t tick = 0;
+  for (double t0 = config_.phase_offset_seconds; t0 < m.duration_seconds;
+       t0 += dt, ++tick) {
+    m.quality.expected_samples += 1;
+    if (injector_.tick_dropped(tick, run_salt)) {
+      // The logger lost the whole tick: the ICs sampled but nothing was
+      // recorded, so every channel's expected count advances.
+      m.quality.dropped_samples += 1;
+      for (std::size_t c = 0; c < nch; ++c) {
+        m.quality.channels[c].expected += 1;
+      }
+      continue;
+    }
+    const double t = std::clamp(
+        injector_.sample_time(t0, tick, dt, run_salt), 0.0,
+        m.duration_seconds);
+    double tick_sum = 0.0;
+    if (sample_tick(tick, t, &tick_sum)) {
+      m.sample_watts.push_back(tick_sum);
+    }
+  }
+
+  if (m.quality.expected_samples == 0) {
+    // Run shorter than one sampling interval: the instrument catches at
+    // most one mid-run tick, still subject to faults.
+    m.quality.expected_samples = 1;
+    if (injector_.tick_dropped(0, run_salt)) {
+      m.quality.dropped_samples = 1;
+      for (std::size_t c = 0; c < nch; ++c) {
+        m.quality.channels[c].expected += 1;
+      }
+    } else {
+      double tick_sum = 0.0;
+      if (sample_tick(0, 0.5 * m.duration_seconds, &tick_sum)) {
+        m.sample_watts.push_back(tick_sum);
+      }
+    }
+  }
+
+  m.samples = m.sample_watts.size();
+  // Gap-aware energy: per-channel trapezoids over the delivered readings
+  // replace the blind P̄·T reduction, so missing samples and disconnect
+  // windows are interpolated instead of biasing the average.
+  double energy = 0.0;
+  for (std::size_t c = 0; c < nch; ++c) {
+    energy += integrate_channel(readings[c], m.duration_seconds);
+  }
+  m.energy_joules = energy;
+  m.avg_watts = m.duration_seconds > 0.0 ? energy / m.duration_seconds : 0.0;
   return m;
 }
 

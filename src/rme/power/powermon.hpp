@@ -7,11 +7,22 @@
 // V·I summed over channels, averaged over samples, and took
 // E = P̄ · T.  This class reproduces exactly that pipeline against a
 // simulated device power trace.
+//
+// Hardened mode: when constructed with an enabled FaultInjector the
+// instrument additionally models sample dropouts, channel disconnects,
+// stuck monitor ICs, transient spikes, clock drift/jitter, and ADC
+// saturation.  Energy is then integrated gap-aware (per-channel
+// trapezoids over the valid timestamped samples) instead of the blind
+// P̄·T reduction, and every Measurement carries QC metadata.  With the
+// injector disabled the original §IV-A path runs bit-identically.
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rme/power/channel.hpp"
+#include "rme/sim/faults.hpp"
 #include "rme/sim/power_trace.hpp"
 
 namespace rme::power {
@@ -30,13 +41,57 @@ struct PowerMonConfig {
   [[nodiscard]] bool within_hardware_limits(std::size_t channels) const noexcept;
 };
 
+/// Per-channel health over one measurement.
+struct ChannelHealth {
+  std::string name;
+  std::size_t expected = 0;   ///< Scheduled readings (instrument ticks).
+  std::size_t valid = 0;      ///< Readings actually delivered.
+  std::size_t saturated = 0;  ///< Readings clamped at ADC full scale.
+  bool stuck = false;         ///< Monitor IC frozen at its first value.
+
+  [[nodiscard]] double valid_fraction() const noexcept {
+    return expected > 0 ? static_cast<double>(valid) /
+                              static_cast<double>(expected)
+                        : 1.0;
+  }
+  /// Channel delivered no data at all while scheduled.
+  [[nodiscard]] bool dead() const noexcept {
+    return expected > 0 && valid == 0;
+  }
+};
+
+/// QC metadata attached to a Measurement (all-zero in fault-free mode).
+struct MeasurementQuality {
+  std::size_t expected_samples = 0;   ///< Scheduled instrument ticks.
+  std::size_t dropped_samples = 0;    ///< Whole ticks lost by the logger.
+  std::size_t saturated_samples = 0;  ///< Channel readings at full scale.
+  std::vector<ChannelHealth> channels;
+
+  [[nodiscard]] double dropped_fraction() const noexcept {
+    return expected_samples > 0 ? static_cast<double>(dropped_samples) /
+                                      static_cast<double>(expected_samples)
+                                : 0.0;
+  }
+  /// A structurally-degraded measurement: a channel died or stuck.
+  [[nodiscard]] bool degraded() const noexcept {
+    for (const ChannelHealth& c : channels) {
+      if (c.stuck || c.dead()) return true;
+    }
+    return false;
+  }
+};
+
 /// The result of measuring one run.
 struct Measurement {
   std::vector<double> sample_watts;  ///< Summed V·I across channels, per tick.
   double avg_watts = 0.0;            ///< Mean of sample_watts.
   double duration_seconds = 0.0;     ///< Trace duration (timestamped span).
-  double energy_joules = 0.0;        ///< avg_watts × duration (§IV-A method).
+  double energy_joules = 0.0;        ///< avg_watts × duration (§IV-A method),
+                                     ///< or the gap-aware integral under faults.
   std::size_t samples = 0;
+
+  /// QC metadata; trivial (zero counts, no channels) in fault-free mode.
+  MeasurementQuality quality;
 
   /// Difference between the instrument's energy and the trace's exact
   /// integral — sampling/quantization error, useful for validation.
@@ -52,9 +107,14 @@ struct Measurement {
 class PowerMon {
  public:
   PowerMon(std::vector<Channel> channels, PowerMonConfig config);
+  PowerMon(std::vector<Channel> channels, PowerMonConfig config,
+           rme::sim::FaultInjector injector);
 
   /// Sample the trace at the configured rate and reduce per §IV-A.
-  [[nodiscard]] Measurement measure(const rme::sim::PowerTrace& trace) const;
+  /// `run_salt` seeds the per-run fault schedule; it is ignored (and the
+  /// original fault-free path runs) when the injector is disabled.
+  [[nodiscard]] Measurement measure(const rme::sim::PowerTrace& trace,
+                                    std::uint64_t run_salt = 0) const;
 
   [[nodiscard]] const std::vector<Channel>& channels() const noexcept {
     return channels_;
@@ -62,10 +122,19 @@ class PowerMon {
   [[nodiscard]] const PowerMonConfig& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] const rme::sim::FaultInjector& injector() const noexcept {
+    return injector_;
+  }
 
  private:
+  [[nodiscard]] Measurement measure_clean(
+      const rme::sim::PowerTrace& trace) const;
+  [[nodiscard]] Measurement measure_faulty(const rme::sim::PowerTrace& trace,
+                                           std::uint64_t run_salt) const;
+
   std::vector<Channel> channels_;
   PowerMonConfig config_;
+  rme::sim::FaultInjector injector_{};  ///< Disabled by default.
 };
 
 }  // namespace rme::power

@@ -1,10 +1,13 @@
 #include "rme/power/session.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 
 #include "rme/core/units.hpp"
+#include "rme/fit/robust.hpp"
+#include "rme/sim/noise.hpp"
 
 namespace rme::power {
 
@@ -46,6 +49,34 @@ MeasurementSession::MeasurementSession(rme::sim::Executor executor,
 
 SessionResult MeasurementSession::measure(
     const rme::sim::KernelDesc& kernel) const {
+  return config_.qc.enabled ? measure_qc(kernel) : measure_plain(kernel);
+}
+
+namespace {
+
+/// Salt for retry attempt `a` of repetition `rep`: attempt 0 reproduces
+/// the plain protocol's stream; each retry jumps to a fresh one.
+std::uint64_t attempt_salt(std::size_t rep, std::size_t attempt) noexcept {
+  return static_cast<std::uint64_t>(rep) +
+         static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL;
+}
+
+/// Fault realizations must decorrelate across kernels: without this,
+/// repetition r of every kernel in a sweep would share one spike and
+/// dropout schedule, and that correlated corruption lies partly inside
+/// the eq. (9) column space where no residual-based estimator can
+/// reject it.  Ignored entirely when the injector is disabled.
+std::uint64_t kernel_salt(const rme::sim::KernelDesc& kernel) noexcept {
+  std::uint64_t h =
+      rme::sim::splitmix64(std::bit_cast<std::uint64_t>(kernel.flops));
+  h = rme::sim::splitmix64(h ^ std::bit_cast<std::uint64_t>(kernel.bytes));
+  return h;
+}
+
+}  // namespace
+
+SessionResult MeasurementSession::measure_plain(
+    const rme::sim::KernelDesc& kernel) const {
   SessionResult result;
   result.kernel = kernel;
   std::vector<double> secs, joules, watts;
@@ -55,7 +86,8 @@ SessionResult MeasurementSession::measure(
 
   for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
     const rme::sim::RunResult run = executor_.run(kernel, rep);
-    const Measurement meas = powermon_.measure(run.trace);
+    const Measurement meas =
+        powermon_.measure(run.trace, kernel_salt(kernel) ^ rep);
     RepMeasurement r;
     // Time comes from the host clock (the run), power/energy from the
     // instrument, exactly as in the paper's protocol.
@@ -63,8 +95,114 @@ SessionResult MeasurementSession::measure(
     r.avg_watts = meas.avg_watts;
     r.joules = meas.avg_watts * run.seconds;
     r.capped = run.capped;
+    r.dropped_samples = meas.quality.dropped_samples;
+    r.saturated_samples = meas.quality.saturated_samples;
     result.any_capped = result.any_capped || r.capped;
     result.reps.push_back(r);
+    secs.push_back(r.seconds);
+    joules.push_back(r.joules);
+    watts.push_back(r.avg_watts);
+  }
+  result.seconds = summarize(std::move(secs));
+  result.joules = summarize(std::move(joules));
+  result.watts = summarize(std::move(watts));
+  return result;
+}
+
+SessionResult MeasurementSession::measure_qc(
+    const rme::sim::KernelDesc& kernel) const {
+  SessionResult result;
+  result.kernel = kernel;
+  const QualityControlConfig& qc = config_.qc;
+
+  for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
+    RepMeasurement best;
+    std::size_t best_samples = 0;
+    bool have = false;
+    bool passed = false;
+
+    for (std::size_t attempt = 0; attempt <= qc.max_retries; ++attempt) {
+      const std::uint64_t salt = attempt_salt(rep, attempt);
+      result.quality.reps_attempted += 1;
+      if (attempt > 0) result.quality.reps_retried += 1;
+
+      const rme::sim::RunResult run = executor_.run(kernel, salt);
+      const Measurement meas =
+          powermon_.measure(run.trace, kernel_salt(kernel) ^ salt);
+
+      RepMeasurement r;
+      r.seconds = run.seconds;
+      r.avg_watts = meas.avg_watts;
+      r.joules = meas.avg_watts * run.seconds;
+      r.capped = run.capped;
+      r.retries = attempt;
+      r.dropped_samples = meas.quality.dropped_samples;
+      r.saturated_samples = meas.quality.saturated_samples;
+
+      const bool usable = meas.samples > 0;
+      const bool ok =
+          usable &&
+          meas.quality.dropped_fraction() <= qc.max_dropped_fraction &&
+          !(qc.reject_degraded && meas.quality.degraded());
+      if (usable && (!have || meas.samples > best_samples)) {
+        best = r;
+        best_samples = meas.samples;
+        have = true;
+      }
+      if (ok) {
+        best = r;
+        passed = true;
+        break;
+      }
+    }
+
+    if (!have) {
+      // Every attempt came back empty: nothing usable to keep.
+      result.quality.reps_discarded += 1;
+      result.quality.degraded = true;
+      continue;
+    }
+    best.passed_qc = passed;
+    if (!passed) {
+      result.quality.reps_kept_degraded += 1;
+      result.quality.degraded = true;
+    }
+    result.quality.dropped_samples += best.dropped_samples;
+    result.quality.saturated_samples += best.saturated_samples;
+    result.reps.push_back(best);
+  }
+
+  // MAD outlier rejection across the kept reps, on energy and time.
+  if (qc.mad_threshold > 0.0 &&
+      result.reps.size() >= qc.min_reps_for_outlier) {
+    std::vector<double> joules, secs;
+    joules.reserve(result.reps.size());
+    secs.reserve(result.reps.size());
+    for (const RepMeasurement& r : result.reps) {
+      joules.push_back(r.joules);
+      secs.push_back(r.seconds);
+    }
+    const double med_j = rme::fit::median_of(joules);
+    const double mad_j = rme::fit::median_abs_deviation(joules, med_j);
+    const double med_s = rme::fit::median_of(secs);
+    const double mad_s = rme::fit::median_abs_deviation(secs, med_s);
+    const double lim_j = qc.mad_threshold * rme::fit::kMadToSigma * mad_j;
+    const double lim_s = qc.mad_threshold * rme::fit::kMadToSigma * mad_s;
+    for (RepMeasurement& r : result.reps) {
+      const bool out_j = mad_j > 0.0 && std::fabs(r.joules - med_j) > lim_j;
+      const bool out_s = mad_s > 0.0 && std::fabs(r.seconds - med_s) > lim_s;
+      if (out_j || out_s) {
+        r.outlier = true;
+        result.quality.reps_discarded_outlier += 1;
+      }
+    }
+  }
+
+  // Aggregate over the surviving reps only.
+  std::vector<double> secs, joules, watts;
+  for (const RepMeasurement& r : result.reps) {
+    if (r.outlier) continue;
+    result.any_capped = result.any_capped || r.capped;
     secs.push_back(r.seconds);
     joules.push_back(r.joules);
     watts.push_back(r.avg_watts);

@@ -6,6 +6,13 @@
 // kernel repeatedly on the simulator, measures each run with PowerMon,
 // and aggregates — producing the (W, Q, T, E) tuples that Fig. 4 plots
 // and the eq. (9) regression consumes.
+//
+// Hardened mode (opt-in via QualityControlConfig): each repetition's
+// Measurement is quality-checked (dropped-sample fraction, dead/stuck
+// channels); failing reps are re-run with a fresh salt under a bounded
+// retry budget; surviving reps pass MAD-based outlier rejection before
+// aggregation; and a SessionQuality report says exactly what survived.
+// With QC disabled the original protocol runs bit-identically.
 
 #include <cstddef>
 #include <vector>
@@ -21,6 +28,11 @@ struct RepMeasurement {
   double joules = 0.0;
   double avg_watts = 0.0;
   bool capped = false;
+  std::size_t retries = 0;     ///< Re-runs consumed by this rep.
+  bool passed_qc = true;       ///< False: kept in degraded mode.
+  bool outlier = false;        ///< Rejected by the MAD filter.
+  std::size_t dropped_samples = 0;
+  std::size_t saturated_samples = 0;
 };
 
 /// Robust location/scale summary of a sample.
@@ -34,14 +46,46 @@ struct SampleStats {
 
 [[nodiscard]] SampleStats summarize(std::vector<double> values);
 
+/// Per-rep quality control and retry policy.  Disabled by default so the
+/// paper's original protocol (and all existing outputs) are untouched.
+struct QualityControlConfig {
+  bool enabled = false;
+  /// A rep fails QC when the instrument lost more than this fraction of
+  /// its scheduled samples.
+  double max_dropped_fraction = 0.10;
+  /// A rep fails QC when a channel died or stuck during the run.
+  bool reject_degraded = true;
+  /// Bounded retry budget per rep; each retry re-runs with a fresh salt.
+  std::size_t max_retries = 2;
+  /// MAD outlier rejection: discard reps with
+  /// |x − median| > mad_threshold · 1.4826 · MAD on joules or seconds.
+  double mad_threshold = 3.5;
+  /// Skip outlier rejection below this many surviving reps.
+  std::size_t min_reps_for_outlier = 8;
+};
+
+/// What the quality-control layer did to one session.
+struct SessionQuality {
+  std::size_t reps_attempted = 0;   ///< Runs performed incl. retries.
+  std::size_t reps_retried = 0;     ///< Retry runs performed.
+  std::size_t reps_kept_degraded = 0;  ///< Failed QC after all retries
+                                       ///< but kept (flagged) anyway.
+  std::size_t reps_discarded = 0;   ///< Dropped: no usable data at all.
+  std::size_t reps_discarded_outlier = 0;  ///< Dropped by the MAD filter.
+  std::size_t dropped_samples = 0;     ///< Instrument ticks lost (kept reps).
+  std::size_t saturated_samples = 0;   ///< Saturated readings (kept reps).
+  bool degraded = false;  ///< Any kept rep failed QC — treat stats with care.
+};
+
 /// Aggregated result of a session over one kernel.
 struct SessionResult {
   rme::sim::KernelDesc kernel;
-  std::vector<RepMeasurement> reps;
+  std::vector<RepMeasurement> reps;  ///< Kept reps (outliers flagged).
   SampleStats seconds;
   SampleStats joules;
   SampleStats watts;
   bool any_capped = false;
+  SessionQuality quality;  ///< Trivial when QC is disabled.
 
   /// Achieved throughput / efficiency from the median rep.
   [[nodiscard]] double median_gflops() const noexcept;
@@ -55,6 +99,7 @@ struct SessionResult {
 /// Session configuration; defaults follow the paper's protocol.
 struct SessionConfig {
   std::size_t repetitions = 100;
+  QualityControlConfig qc{};  ///< Disabled by default.
 };
 
 /// Runs kernels through (Executor → PowerTrace → PowerMon) repeatedly.
@@ -72,8 +117,17 @@ class MeasurementSession {
   [[nodiscard]] const rme::sim::Executor& executor() const noexcept {
     return executor_;
   }
+  [[nodiscard]] const PowerMon& powermon() const noexcept { return powermon_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept {
+    return config_;
+  }
 
  private:
+  [[nodiscard]] SessionResult measure_plain(
+      const rme::sim::KernelDesc& kernel) const;
+  [[nodiscard]] SessionResult measure_qc(
+      const rme::sim::KernelDesc& kernel) const;
+
   rme::sim::Executor executor_;
   PowerMon powermon_;
   SessionConfig config_;

@@ -1,0 +1,112 @@
+#include "rme/sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace rme::sim {
+
+namespace {
+
+// Stream tags keep the fault draws on disjoint SplitMix64 streams; the
+// values are arbitrary odd constants.
+constexpr std::uint64_t kStreamTickDrop = 0xf1e2d3c4b5a69788ULL;
+constexpr std::uint64_t kStreamSpike = 0x8badf00ddeadbeefULL;
+constexpr std::uint64_t kStreamSpikeGain = 0xa5a5a5a55a5a5a5bULL;
+constexpr std::uint64_t kStreamChanDrop = 0x1234567890abcdefULL;
+constexpr std::uint64_t kStreamChanDropAt = 0x0fedcba987654321ULL;
+constexpr std::uint64_t kStreamChanStuck = 0x13579bdf2468ace1ULL;
+constexpr std::uint64_t kStreamJitter = 0x2f4f6f8fafcfefffULL;
+
+}  // namespace
+
+bool FaultProfile::any() const noexcept {
+  return sample_dropout_rate > 0.0 || spike_rate > 0.0 ||
+         channel_dropout_rate > 0.0 || channel_stuck_rate > 0.0 ||
+         clock_drift != 0.0 || clock_jitter_rel_sigma > 0.0 ||
+         adc_saturation_watts < std::numeric_limits<double>::infinity();
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed, 0.0) {}
+
+double FaultInjector::uniform(std::uint64_t stream, std::uint64_t run_salt,
+                              std::uint64_t a, std::uint64_t b) const noexcept {
+  // Fold (stream, run, a, b) into one salt; NoiseModel::uniform mixes it
+  // against the injector seed.
+  std::uint64_t salt = splitmix64(stream ^ splitmix64(run_salt));
+  salt = splitmix64(salt ^ splitmix64(a + 0x9e3779b97f4a7c15ULL));
+  salt = splitmix64(salt ^ splitmix64(b + 0x517cc1b727220a95ULL));
+  return rng_.uniform(salt);
+}
+
+FaultSchedule FaultInjector::schedule(std::size_t channels, double duration,
+                                      std::uint64_t run_salt) const {
+  FaultSchedule s;
+  s.channels.resize(channels);
+  if (!enabled() || duration <= 0.0) return s;
+  for (std::size_t c = 0; c < channels; ++c) {
+    ChannelFaultState& ch = s.channels[c];
+    if (profile_.channel_stuck_rate > 0.0 &&
+        uniform(kStreamChanStuck, run_salt, c, 0) <
+            profile_.channel_stuck_rate) {
+      ch.stuck = true;
+    }
+    if (profile_.channel_dropout_rate > 0.0 &&
+        uniform(kStreamChanDrop, run_salt, c, 0) <
+            profile_.channel_dropout_rate) {
+      const double frac =
+          std::clamp(profile_.channel_dropout_fraction, 0.0, 1.0);
+      const double window = frac * duration;
+      const double latest = duration - window;
+      ch.dropout = window > 0.0;
+      ch.dropout_start = uniform(kStreamChanDropAt, run_salt, c, 0) * latest;
+      ch.dropout_end = ch.dropout_start + window;
+    }
+  }
+  return s;
+}
+
+double FaultInjector::sample_time(double t, std::size_t tick, double period,
+                                  std::uint64_t run_salt) const {
+  double actual = t * (1.0 + profile_.clock_drift);
+  if (profile_.clock_jitter_rel_sigma > 0.0) {
+    // A standard-normal draw on the jitter stream, built from two
+    // uniforms exactly as NoiseModel does internally.
+    const double u1 = uniform(kStreamJitter, run_salt, tick, 1);
+    const double u2 = uniform(kStreamJitter, run_salt, tick, 2);
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    actual += profile_.clock_jitter_rel_sigma * period * z;
+  }
+  return actual;
+}
+
+bool FaultInjector::tick_dropped(std::size_t tick,
+                                 std::uint64_t run_salt) const {
+  return profile_.sample_dropout_rate > 0.0 &&
+         uniform(kStreamTickDrop, run_salt, tick, 0) <
+             profile_.sample_dropout_rate;
+}
+
+double FaultInjector::spike_gain(std::size_t tick, std::size_t channel,
+                                 std::uint64_t run_salt) const {
+  if (profile_.spike_rate <= 0.0) return 1.0;
+  if (uniform(kStreamSpike, run_salt, tick, channel) >= profile_.spike_rate) {
+    return 1.0;
+  }
+  const double u = uniform(kStreamSpikeGain, run_salt, tick, channel);
+  return profile_.spike_gain_min +
+         u * (profile_.spike_gain_max - profile_.spike_gain_min);
+}
+
+double FaultInjector::saturate(double watts, bool* saturated) const noexcept {
+  if (watts >= profile_.adc_saturation_watts) {
+    if (saturated) *saturated = true;
+    return profile_.adc_saturation_watts;
+  }
+  if (saturated) *saturated = false;
+  return watts;
+}
+
+}  // namespace rme::sim

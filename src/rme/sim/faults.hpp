@@ -1,0 +1,122 @@
+#pragma once
+// Deterministic instrument-fault injection for the measurement stack.
+//
+// The paper's fits assume clean PowerMon traces; real DC monitors drop
+// samples, saturate their ADCs, drift their sampling clocks, and lose
+// whole channels mid-run.  A FaultInjector turns those failure modes on
+// in the simulator, the same way NoiseModel turns on measurement noise:
+// every decision is a pure function of (seed, run salt, tick, channel),
+// so a faulty experiment is still bit-stable across runs and machines.
+// A default-constructed (or all-zero-rate) injector is inert and the
+// measurement pipeline takes its original, fault-free path untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rme/sim/noise.hpp"
+
+namespace rme::sim {
+
+/// Fault rates and magnitudes for one instrument setup.  All rates
+/// default to zero and the saturation ceiling to +inf, i.e. no faults.
+struct FaultProfile {
+  /// Per-tick probability that the instrument loses the whole sample
+  /// (logger back-pressure, USB hiccup): nothing is recorded that tick.
+  double sample_dropout_rate = 0.0;
+
+  /// Per-tick, per-channel probability of a transient current spike: the
+  /// reading is multiplied by a gain drawn uniformly from
+  /// [spike_gain_min, spike_gain_max].
+  double spike_rate = 0.0;
+  double spike_gain_min = 4.0;
+  double spike_gain_max = 16.0;
+
+  /// Per-run, per-channel probability that the channel disconnects for a
+  /// contiguous window (loose interposer pin): its readings are missing
+  /// for `channel_dropout_fraction` of the run, then it reconnects.
+  double channel_dropout_rate = 0.0;
+  double channel_dropout_fraction = 0.25;
+
+  /// Per-run, per-channel probability that the channel's monitor IC
+  /// freezes: every reading repeats the first sampled value.
+  double channel_stuck_rate = 0.0;
+
+  /// Sampling-clock rate error (relative, e.g. 1e-4 = 100 ppm fast) and
+  /// per-tick timing jitter (std dev as a fraction of the tick period).
+  double clock_drift = 0.0;
+  double clock_jitter_rel_sigma = 0.0;
+
+  /// ADC full scale per channel reading [W]; readings clamp here and are
+  /// flagged saturated.  +inf disables.
+  double adc_saturation_watts = std::numeric_limits<double>::infinity();
+
+  /// True if any fault mechanism is active.
+  [[nodiscard]] bool any() const noexcept;
+};
+
+/// The per-run, per-channel fault schedule drawn by the injector.
+struct ChannelFaultState {
+  bool stuck = false;      ///< Monitor IC frozen at its first reading.
+  bool dropout = false;    ///< Has a disconnect window this run.
+  double dropout_start = 0.0;  ///< Window start [s].
+  double dropout_end = 0.0;    ///< Window end [s] (reconnect time).
+
+  /// Is the channel disconnected at time t?
+  [[nodiscard]] bool disconnected_at(double t) const noexcept {
+    return dropout && t >= dropout_start && t < dropout_end;
+  }
+};
+
+/// One run's complete channel-level schedule.
+struct FaultSchedule {
+  std::vector<ChannelFaultState> channels;
+};
+
+/// Deterministic, seed-salted fault source.  Tick-level decisions
+/// (dropout, spikes, jitter) are drawn on demand; channel-level events
+/// are drawn once per run via schedule().  Streams are derived with the
+/// same SplitMix64 substrate as NoiseModel, on an independent seed, so
+/// noise and faults compose without interfering.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(FaultProfile profile, std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const noexcept { return profile_.any(); }
+  [[nodiscard]] const FaultProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return rng_.seed(); }
+
+  /// Draw the per-channel events for one run of the given duration.
+  /// Identical (seed, run_salt, channels, duration) ⇒ identical schedule.
+  [[nodiscard]] FaultSchedule schedule(std::size_t channels, double duration,
+                                       std::uint64_t run_salt) const;
+
+  /// Actual sampling time of nominal tick time `t` under clock drift and
+  /// jitter (unclamped; callers clamp into the trace span).
+  [[nodiscard]] double sample_time(double t, std::size_t tick, double period,
+                                   std::uint64_t run_salt) const;
+
+  /// Does the instrument lose the whole tick?
+  [[nodiscard]] bool tick_dropped(std::size_t tick,
+                                  std::uint64_t run_salt) const;
+
+  /// Multiplicative spike gain on one channel reading (1.0 = no spike).
+  [[nodiscard]] double spike_gain(std::size_t tick, std::size_t channel,
+                                  std::uint64_t run_salt) const;
+
+  /// Clamp a reading at the ADC full scale; sets *saturated when it hit.
+  [[nodiscard]] double saturate(double watts, bool* saturated) const noexcept;
+
+ private:
+  [[nodiscard]] double uniform(std::uint64_t stream, std::uint64_t run_salt,
+                               std::uint64_t a, std::uint64_t b) const noexcept;
+
+  FaultProfile profile_{};
+  NoiseModel rng_{};  ///< Zero-sigma model used purely as a seeded stream.
+};
+
+}  // namespace rme::sim

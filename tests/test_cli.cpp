@@ -124,7 +124,34 @@ TEST(Cli, FitFromCsv) {
   EXPECT_NE(r.output.find("eps_mem"), std::string::npos);
   EXPECT_NE(r.output.find("513"), std::string::npos);   // recovered
   EXPECT_NE(r.output.find("122"), std::string::npos);   // pi0
+
+  // The robust estimator recovers the same noise-free coefficients and
+  // reports its IRLS diagnostics.
+  const CliResult h = run_cli("fit " + path + " --huber --relative");
+  EXPECT_EQ(h.exit_code, 0) << h.output;
+  EXPECT_NE(h.output.find("513"), std::string::npos);
+  EXPECT_NE(h.output.find("Huber IRLS"), std::string::npos);
+
+  const CliResult bad = run_cli("fit " + path + " --frobnicate");
+  EXPECT_NE(bad.exit_code, 0);
   std::remove(path.c_str());
+}
+
+TEST(Cli, FaultsComparesEstimators) {
+  // Tiny run to keep the test quick: 2.5% dropout, 0.5% spikes, 8 reps.
+  const CliResult r = run_cli("faults i7 0.025 0.005 8");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Session QC"), std::string::npos);
+  EXPECT_NE(r.output.find("clean OLS"), std::string::npos);
+  EXPECT_NE(r.output.find("faulty Huber"), std::string::npos);
+  EXPECT_NE(r.output.find("faulty OLS + QC"), std::string::npos);
+
+  const CliResult bad = run_cli("faults riscv-v9000");
+  EXPECT_NE(bad.exit_code, 0);
+
+  const CliResult negative = run_cli("faults i7 -0.1 0.01");
+  EXPECT_NE(negative.exit_code, 0);
+  EXPECT_NE(negative.output.find("[0, 1]"), std::string::npos);
 }
 
 TEST(Cli, SweepPrintsFig4StyleTable) {

@@ -1,0 +1,327 @@
+// Fault injection: determinism of the (seed, salt)-derived schedules,
+// the zero-fault identity guarantee, each fault mechanism's effect on
+// the hardened PowerMon, and the session QC/retry/outlier layer.
+
+#include "rme/sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/power/interposer.hpp"
+#include "rme/power/session.hpp"
+#include "rme/sim/kernel_desc.hpp"
+
+namespace rme::sim {
+namespace {
+
+PowerTrace constant_trace(double seconds, double watts) {
+  PowerTrace t;
+  t.append(seconds, watts);
+  return t;
+}
+
+TEST(FaultProfile, DefaultsAreInert) {
+  EXPECT_FALSE(FaultProfile{}.any());
+  EXPECT_FALSE(FaultInjector{}.enabled());
+  FaultProfile p;
+  p.sample_dropout_rate = 0.01;
+  EXPECT_TRUE(p.any());
+  FaultProfile sat;
+  sat.adc_saturation_watts = 100.0;
+  EXPECT_TRUE(sat.any());
+}
+
+TEST(FaultInjector, ScheduleIsDeterministic) {
+  FaultProfile p;
+  p.channel_dropout_rate = 0.5;
+  p.channel_stuck_rate = 0.5;
+  p.sample_dropout_rate = 0.2;
+  p.spike_rate = 0.1;
+  const FaultInjector inj(p, 42);
+  const FaultInjector same(p, 42);
+
+  const FaultSchedule a = inj.schedule(4, 1.0, 7);
+  const FaultSchedule b = same.schedule(4, 1.0, 7);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t c = 0; c < a.channels.size(); ++c) {
+    EXPECT_EQ(a.channels[c].stuck, b.channels[c].stuck);
+    EXPECT_EQ(a.channels[c].dropout, b.channels[c].dropout);
+    EXPECT_DOUBLE_EQ(a.channels[c].dropout_start, b.channels[c].dropout_start);
+    EXPECT_DOUBLE_EQ(a.channels[c].dropout_end, b.channels[c].dropout_end);
+  }
+  for (std::size_t tick = 0; tick < 256; ++tick) {
+    EXPECT_EQ(inj.tick_dropped(tick, 7), same.tick_dropped(tick, 7));
+    EXPECT_DOUBLE_EQ(inj.spike_gain(tick, 1, 7), same.spike_gain(tick, 1, 7));
+  }
+}
+
+TEST(FaultInjector, DifferentSaltsGiveDifferentSchedules) {
+  FaultProfile p;
+  p.sample_dropout_rate = 0.5;
+  const FaultInjector inj(p, 42);
+  bool any_differ = false;
+  for (std::size_t tick = 0; tick < 128 && !any_differ; ++tick) {
+    any_differ = inj.tick_dropped(tick, 1) != inj.tick_dropped(tick, 2);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FaultInjector, ClockDriftAndJitter) {
+  FaultProfile drift_only;
+  drift_only.clock_drift = 1e-3;
+  const FaultInjector drift(drift_only, 1);
+  EXPECT_DOUBLE_EQ(drift.sample_time(1.0, 0, 0.0078125, 5), 1.0 + 1e-3);
+
+  FaultProfile jitter_only;
+  jitter_only.clock_jitter_rel_sigma = 0.1;
+  const FaultInjector jitter(jitter_only, 1);
+  const double t0 = jitter.sample_time(1.0, 3, 0.0078125, 5);
+  EXPECT_DOUBLE_EQ(t0, jitter.sample_time(1.0, 3, 0.0078125, 5));
+  EXPECT_NE(t0, 1.0);
+  EXPECT_NEAR(t0, 1.0, 10 * 0.1 * 0.0078125);
+}
+
+TEST(FaultInjector, SaturationClamps) {
+  FaultProfile p;
+  p.adc_saturation_watts = 100.0;
+  const FaultInjector inj(p, 1);
+  bool saturated = false;
+  EXPECT_DOUBLE_EQ(inj.saturate(250.0, &saturated), 100.0);
+  EXPECT_TRUE(saturated);
+  EXPECT_DOUBLE_EQ(inj.saturate(50.0, &saturated), 50.0);
+  EXPECT_FALSE(saturated);
+}
+
+}  // namespace
+}  // namespace rme::sim
+
+namespace rme::power {
+namespace {
+
+using rme::sim::FaultInjector;
+using rme::sim::FaultProfile;
+using rme::sim::PowerTrace;
+
+PowerTrace constant_trace(double seconds, double watts) {
+  PowerTrace t;
+  t.append(seconds, watts);
+  return t;
+}
+
+PowerMon make_mon(const FaultProfile& profile, std::uint64_t seed = 0xFA117) {
+  PowerMonConfig cfg;
+  cfg.sample_hz = 128.0;
+  return PowerMon(gtx580_rails(), cfg, FaultInjector(profile, seed));
+}
+
+TEST(PowerMonFaults, ZeroFaultInjectorIsAStrictNoOp) {
+  PowerMonConfig cfg;
+  cfg.sample_hz = 128.0;
+  const PowerMon plain(gtx580_rails(), cfg);
+  const PowerMon with_inert(gtx580_rails(), cfg, FaultInjector{});
+  PowerTrace t;
+  t.append(0.3, 120.0);
+  t.append(0.4, 250.0);
+  t.append(0.3, 90.0);
+
+  const Measurement a = plain.measure(t);
+  const Measurement b = with_inert.measure(t, 12345);  // salt must not matter
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.avg_watts, b.avg_watts);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  ASSERT_EQ(a.sample_watts.size(), b.sample_watts.size());
+  for (std::size_t i = 0; i < a.sample_watts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_watts[i], b.sample_watts[i]);
+  }
+  EXPECT_EQ(b.quality.expected_samples, 0u);
+  EXPECT_EQ(b.quality.dropped_samples, 0u);
+  EXPECT_FALSE(b.quality.degraded());
+}
+
+TEST(PowerMonFaults, MeasurementIsBitStablePerSalt) {
+  FaultProfile p;
+  p.sample_dropout_rate = 0.1;
+  p.spike_rate = 0.05;
+  p.channel_dropout_rate = 0.5;
+  const PowerTrace t = constant_trace(1.0, 200.0);
+  const Measurement a = make_mon(p).measure(t, 3);
+  const Measurement b = make_mon(p).measure(t, 3);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.quality.dropped_samples, b.quality.dropped_samples);
+  ASSERT_EQ(a.sample_watts.size(), b.sample_watts.size());
+  for (std::size_t i = 0; i < a.sample_watts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sample_watts[i], b.sample_watts[i]);
+  }
+
+  const Measurement c = make_mon(p).measure(t, 4);
+  EXPECT_NE(a.quality.dropped_samples, c.quality.dropped_samples);
+}
+
+TEST(PowerMonFaults, DropoutsAreBridgedByTrapezoidIntegration) {
+  FaultProfile p;
+  p.sample_dropout_rate = 0.3;
+  const Measurement m = make_mon(p).measure(constant_trace(1.0, 200.0), 1);
+  EXPECT_GT(m.quality.dropped_samples, 0u);
+  EXPECT_EQ(m.quality.expected_samples, 128u);
+  EXPECT_LT(m.samples, m.quality.expected_samples);
+  EXPECT_GT(m.quality.dropped_fraction(), 0.1);
+  // Gap-aware integration holds the energy despite 30% missing samples.
+  EXPECT_NEAR(m.energy_joules, 200.0, 0.5);
+}
+
+TEST(PowerMonFaults, ChannelDropoutWindowIsBridged) {
+  FaultProfile p;
+  p.channel_dropout_rate = 1.0;
+  p.channel_dropout_fraction = 0.25;
+  const Measurement m = make_mon(p).measure(constant_trace(1.0, 200.0), 1);
+  for (const ChannelHealth& c : m.quality.channels) {
+    EXPECT_LT(c.valid, c.expected) << c.name;
+    EXPECT_GT(c.valid, 0u) << c.name;
+    EXPECT_FALSE(c.dead());
+  }
+  // Constant power: interpolation across the disconnect window is exact
+  // up to edge effects.
+  EXPECT_NEAR(m.energy_joules, 200.0, 1.0);
+}
+
+TEST(PowerMonFaults, StuckChannelIsFlaggedAndBiasesEnergy) {
+  FaultProfile p;
+  p.channel_stuck_rate = 1.0;
+  PowerTrace t;
+  t.append(0.5, 100.0);
+  t.append(0.5, 300.0);  // the stuck ICs keep reporting the 100 W shares
+  const Measurement m = make_mon(p).measure(t, 1);
+  EXPECT_TRUE(m.quality.degraded());
+  for (const ChannelHealth& c : m.quality.channels) {
+    EXPECT_TRUE(c.stuck) << c.name;
+  }
+  EXPECT_NEAR(m.energy_joules, 100.0, 2.0);  // frozen at the first phase
+  EXPECT_NEAR(m.true_energy_joules, 200.0, 1e-9);
+}
+
+TEST(PowerMonFaults, SpikesInflateEnergy) {
+  FaultProfile p;
+  p.spike_rate = 1.0;  // every reading spikes…
+  p.spike_gain_min = 2.0;
+  p.spike_gain_max = 2.0;  // …by exactly 2x
+  const Measurement m = make_mon(p).measure(constant_trace(1.0, 200.0), 1);
+  EXPECT_NEAR(m.energy_joules, 400.0, 1.0);
+}
+
+TEST(PowerMonFaults, AdcSaturationClipsAndCounts) {
+  FaultProfile p;
+  // The 8-pin rail carries 50% of 200 W = 100 W; clamp it at 60 W.
+  p.adc_saturation_watts = 60.0;
+  const Measurement m = make_mon(p).measure(constant_trace(1.0, 200.0), 1);
+  EXPECT_GT(m.quality.saturated_samples, 0u);
+  EXPECT_LT(m.energy_joules, 200.0);
+  const ChannelHealth& pin8 = m.quality.channels.front();
+  EXPECT_EQ(pin8.saturated, pin8.valid);  // every 8-pin reading clipped
+}
+
+MeasurementSession qc_session(const MachineParams& m,
+                              const FaultProfile& profile,
+                              QualityControlConfig qc, std::size_t reps,
+                              double noise = 0.01) {
+  rme::sim::SimConfig sim_cfg;
+  sim_cfg.noise = rme::sim::NoiseModel(2024, noise);
+  PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;
+  SessionConfig ses_cfg;
+  ses_cfg.repetitions = reps;
+  ses_cfg.qc = qc;
+  return MeasurementSession(
+      rme::sim::Executor(m, sim_cfg),
+      PowerMon(gtx580_rails(), mon_cfg, FaultInjector(profile, 0xFA117)),
+      ses_cfg);
+}
+
+TEST(SessionQc, ZeroFaultSessionIsByteEqualToPlainPipeline) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const auto kernel = rme::sim::fma_load_mix(4.0, 2e9, Precision::kDouble);
+  QualityControlConfig off;  // defaults: disabled
+  const SessionResult plain =
+      qc_session(m, FaultProfile{}, off, 10).measure(kernel);
+
+  rme::sim::SimConfig sim_cfg;
+  sim_cfg.noise = rme::sim::NoiseModel(2024, 0.01);
+  PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = 128.0;
+  const MeasurementSession legacy(rme::sim::Executor(m, sim_cfg),
+                                  PowerMon(gtx580_rails(), mon_cfg),
+                                  SessionConfig{10});
+  const SessionResult expected = legacy.measure(kernel);
+
+  ASSERT_EQ(plain.reps.size(), expected.reps.size());
+  for (std::size_t i = 0; i < plain.reps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.reps[i].seconds, expected.reps[i].seconds);
+    EXPECT_DOUBLE_EQ(plain.reps[i].joules, expected.reps[i].joules);
+    EXPECT_DOUBLE_EQ(plain.reps[i].avg_watts, expected.reps[i].avg_watts);
+  }
+  EXPECT_DOUBLE_EQ(plain.joules.median, expected.joules.median);
+  EXPECT_DOUBLE_EQ(plain.seconds.mean, expected.seconds.mean);
+  EXPECT_EQ(plain.quality.reps_retried, 0u);
+  EXPECT_FALSE(plain.quality.degraded);
+}
+
+TEST(SessionQc, RetriesRepsThatFailQc) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  FaultProfile p;
+  p.channel_stuck_rate = 0.3;  // ~1 in 3 runs loses a channel IC
+  QualityControlConfig qc;
+  qc.enabled = true;
+  qc.max_retries = 3;
+  const auto session = qc_session(m, p, qc, 20);
+  const SessionResult r =
+      session.measure(rme::sim::fma_load_mix(4.0, 2e9, Precision::kDouble));
+  EXPECT_GT(r.quality.reps_retried, 0u);
+  EXPECT_GT(r.quality.reps_attempted, 20u);
+  EXPECT_EQ(r.reps.size() + r.quality.reps_discarded, 20u);
+  // Retrying with fresh salts rescues most reps from the 30% fault rate.
+  EXPECT_LT(r.quality.reps_kept_degraded, 5u);
+}
+
+TEST(SessionQc, MadRejectsSpikedReps) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  FaultProfile p;
+  p.spike_rate = 0.002;  // rare but huge spikes
+  p.spike_gain_min = 30.0;
+  p.spike_gain_max = 60.0;
+  QualityControlConfig qc;
+  qc.enabled = true;
+  const auto session = qc_session(m, p, qc, 30, 0.002);
+  const SessionResult r =
+      session.measure(rme::sim::fma_load_mix(4.0, 2e9, Precision::kDouble));
+  EXPECT_GT(r.quality.reps_discarded_outlier, 0u);
+  std::size_t flagged = 0;
+  for (const RepMeasurement& rep : r.reps) flagged += rep.outlier ? 1u : 0u;
+  EXPECT_EQ(flagged, r.quality.reps_discarded_outlier);
+  // The aggregate excludes the spiked reps: median and max stay sane.
+  EXPECT_LT(r.joules.max, 2.0 * r.joules.median);
+}
+
+TEST(SessionQc, SessionResultsAreDeterministic) {
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  FaultProfile p;
+  p.sample_dropout_rate = 0.2;
+  p.spike_rate = 0.01;
+  QualityControlConfig qc;
+  qc.enabled = true;
+  const auto kernel = rme::sim::fma_load_mix(2.0, 2e9, Precision::kDouble);
+  const SessionResult a = qc_session(m, p, qc, 12).measure(kernel);
+  const SessionResult b = qc_session(m, p, qc, 12).measure(kernel);
+  ASSERT_EQ(a.reps.size(), b.reps.size());
+  for (std::size_t i = 0; i < a.reps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.reps[i].joules, b.reps[i].joules);
+    EXPECT_EQ(a.reps[i].retries, b.reps[i].retries);
+    EXPECT_EQ(a.reps[i].outlier, b.reps[i].outlier);
+  }
+  EXPECT_EQ(a.quality.reps_retried, b.quality.reps_retried);
+  EXPECT_DOUBLE_EQ(a.joules.median, b.joules.median);
+}
+
+}  // namespace
+}  // namespace rme::power

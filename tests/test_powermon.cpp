@@ -35,10 +35,27 @@ TEST(PowerMonConfig, HardwareLimits) {
 
 TEST(PowerMon, ConstructorEnforcesLimits) {
   PowerMonConfig cfg;
-  cfg.sample_hz = 1024.0;
+  cfg.sample_hz = 1024.0;  // 4 rails x 1024 Hz > 3072 Hz aggregate
   EXPECT_THROW(PowerMon(gtx580_rails(), cfg), std::invalid_argument);
   cfg.sample_hz = 128.0;
   EXPECT_NO_THROW(PowerMon(gtx580_rails(), cfg));
+
+  cfg.sample_hz = 0.0;
+  EXPECT_THROW(PowerMon(gtx580_rails(), cfg), std::invalid_argument);
+  cfg.sample_hz = -128.0;
+  EXPECT_THROW(PowerMon(gtx580_rails(), cfg), std::invalid_argument);
+  cfg.sample_hz = 2000.0;  // > 1024 Hz per channel
+  EXPECT_THROW(PowerMon({Channel{"only", 12.0, 1.0}}, cfg),
+               std::invalid_argument);
+
+  cfg.sample_hz = 128.0;
+  std::vector<Channel> nine(9, Channel{"rail", 12.0, 1.0 / 9.0});
+  EXPECT_THROW(PowerMon(nine, cfg), std::invalid_argument);
+  EXPECT_THROW(PowerMon({}, cfg), std::invalid_argument);
+
+  // The fault-injecting constructor delegates to the same check.
+  EXPECT_THROW(PowerMon(nine, cfg, rme::sim::FaultInjector({}, 1)),
+               std::invalid_argument);
 }
 
 TEST(PowerMon, ConstantTraceIsMeasuredExactly) {

@@ -1,0 +1,184 @@
+// Huber IRLS regression: agreement with OLS on clean data, bounded
+// influence under corruption, and the eq. (9) robust fitting path.
+
+#include "rme/fit/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rme/fit/energy_fit.hpp"
+
+namespace rme::fit {
+namespace {
+
+// y = 3 + 2x over a small grid, optionally with corrupted entries.
+struct Line {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Line make_line(std::size_t n) {
+  Line line;
+  line.x = Matrix(n, 2);
+  line.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = static_cast<double>(i);
+    line.x(i, 0) = 1.0;
+    line.x(i, 1) = xi;
+    line.y[i] = 3.0 + 2.0 * xi;
+  }
+  return line;
+}
+
+TEST(RobustHelpers, MedianOf) {
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(RobustHelpers, MedianAbsDeviation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 100.0};
+  const double med = median_of(v);
+  EXPECT_DOUBLE_EQ(med, 3.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation(v, med), 1.0);
+}
+
+TEST(Huber, MatchesOlsOnCleanData) {
+  Line line = make_line(20);
+  // Mild symmetric noise that keeps all residuals inside the Huber zone.
+  for (std::size_t i = 0; i < line.y.size(); ++i) {
+    line.y[i] += (i % 2 == 0 ? 1.0 : -1.0) * 0.01;
+  }
+  const Regression ls = ols(line.x, line.y);
+  const RobustRegression rob = huber_fit(line.x, line.y);
+  EXPECT_TRUE(rob.converged);
+  EXPECT_NEAR(rob.regression[0].value, ls[0].value, 1e-6);
+  EXPECT_NEAR(rob.regression[1].value, ls[1].value, 1e-6);
+}
+
+TEST(Huber, ExactFitConvergesWithUnitWeights) {
+  const Line line = make_line(10);
+  const RobustRegression rob = huber_fit(line.x, line.y);
+  EXPECT_TRUE(rob.converged);
+  EXPECT_EQ(rob.downweighted(), 0u);
+  EXPECT_NEAR(rob.regression[0].value, 3.0, 1e-9);
+  EXPECT_NEAR(rob.regression[1].value, 2.0, 1e-9);
+}
+
+TEST(Huber, BoundedInfluenceUnderOutliers) {
+  Line line = make_line(30);
+  for (std::size_t i = 0; i < line.y.size(); ++i) {
+    line.y[i] += (i % 2 == 0 ? 1.0 : -1.0) * 0.05;
+  }
+  // Corrupt 10% of the responses catastrophically.
+  line.y[4] += 200.0;
+  line.y[17] += 350.0;
+  line.y[25] -= 150.0;
+
+  const Regression ls = ols(line.x, line.y);
+  const RobustRegression rob = huber_fit(line.x, line.y);
+
+  EXPECT_NEAR(rob.regression[0].value, 3.0, 0.2);
+  EXPECT_NEAR(rob.regression[1].value, 2.0, 0.05);
+  // OLS is dragged away by the corrupted points; Huber is not.
+  const double ols_err = std::fabs(ls[0].value - 3.0);
+  const double rob_err = std::fabs(rob.regression[0].value - 3.0);
+  EXPECT_GT(ols_err, 5.0 * rob_err);
+  // The corrupted observations end up down-weighted.
+  EXPECT_GE(rob.downweighted(), 3u);
+  EXPECT_LT(rob.weights[4], 0.5);
+  EXPECT_LT(rob.weights[17], 0.5);
+  EXPECT_LT(rob.weights[25], 0.5);
+}
+
+TEST(Huber, DeterministicAcrossCalls) {
+  Line line = make_line(25);
+  line.y[3] += 40.0;
+  const RobustRegression a = huber_fit(line.x, line.y);
+  const RobustRegression b = huber_fit(line.x, line.y);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_DOUBLE_EQ(a.regression[0].value, b.regression[0].value);
+  EXPECT_DOUBLE_EQ(a.regression[1].value, b.regression[1].value);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights[i], b.weights[i]);
+  }
+}
+
+TEST(Huber, RejectsBadArguments) {
+  const Line line = make_line(10);
+  std::vector<double> short_y(5, 0.0);
+  EXPECT_THROW(huber_fit(line.x, short_y), std::invalid_argument);
+  HuberOptions bad;
+  bad.delta = 0.0;
+  EXPECT_THROW(huber_fit(line.x, line.y, {}, bad), std::invalid_argument);
+}
+
+// Synthetic eq. (9) data from known coefficients.
+std::vector<EnergySample> synthetic_samples() {
+  constexpr double eps_s = 100e-12, d_eps = 110e-12, eps_mem = 500e-12,
+                   pi0 = 120.0;
+  std::vector<EnergySample> samples;
+  for (int prec = 0; prec < 2; ++prec) {
+    for (int i = 0; i < 12; ++i) {
+      EnergySample s;
+      s.precision = prec == 0 ? Precision::kSingle : Precision::kDouble;
+      s.flops = 1e9 * (1.0 + i);
+      s.bytes = 4e8 * (1.0 + 0.5 * i);
+      // The quadratic term keeps T/W out of span{1, Q/W}: with all three
+      // inputs affine in i, the design would be exactly rank-deficient.
+      s.seconds = 0.01 * (1.0 + 0.3 * i + 0.05 * i * i);
+      const double eps_flop = prec == 0 ? eps_s : eps_s + d_eps;
+      s.joules = eps_flop * s.flops + eps_mem * s.bytes + pi0 * s.seconds;
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+TEST(EnergyFitRobust, HuberRecoversCoefficientsUnderCorruption) {
+  std::vector<EnergySample> samples = synthetic_samples();
+  // Corrupt two measurements the way a transient spike would: the
+  // instrument reports several times the true energy.
+  samples[3].joules *= 4.0;
+  samples[15].joules *= 6.0;
+
+  EnergyFitOptions opts;
+  opts.method = FitMethod::kHuber;
+  const EnergyFit robust = fit_energy_coefficients(samples, opts);
+  const EnergyFit plain = fit_energy_coefficients(samples);
+
+  EXPECT_EQ(robust.method, FitMethod::kHuber);
+  EXPECT_TRUE(robust.converged);
+  EXPECT_NEAR(robust.coefficients.eps_single, 100e-12, 5e-12);
+  EXPECT_NEAR(robust.coefficients.eps_mem, 500e-12, 25e-12);
+  EXPECT_NEAR(robust.coefficients.const_power, 120.0, 6.0);
+  // OLS on the same corrupted tuples lands further from the truth.
+  const double rob_err =
+      std::fabs(robust.coefficients.eps_single - 100e-12);
+  const double ols_err = std::fabs(plain.coefficients.eps_single - 100e-12);
+  EXPECT_GT(ols_err, rob_err);
+  // The corrupted tuples carry the smallest weights.
+  ASSERT_EQ(robust.weights.size(), samples.size());
+  EXPECT_LT(robust.weights[3], 0.5);
+  EXPECT_LT(robust.weights[15], 0.5);
+}
+
+TEST(EnergyFitRobust, DefaultOptionsMatchLegacyOls) {
+  const std::vector<EnergySample> samples = synthetic_samples();
+  const EnergyFit legacy = fit_energy_coefficients(samples);
+  const EnergyFit opt = fit_energy_coefficients(samples, EnergyFitOptions{});
+  EXPECT_EQ(legacy.method, FitMethod::kOls);
+  EXPECT_TRUE(legacy.weights.empty());
+  EXPECT_DOUBLE_EQ(legacy.coefficients.eps_single,
+                   opt.coefficients.eps_single);
+  EXPECT_DOUBLE_EQ(legacy.coefficients.eps_mem, opt.coefficients.eps_mem);
+  EXPECT_DOUBLE_EQ(legacy.coefficients.const_power,
+                   opt.coefficients.const_power);
+}
+
+}  // namespace
+}  // namespace rme::fit

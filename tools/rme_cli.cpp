@@ -11,9 +11,15 @@
 //       ASCII roofline + arch line over an intensity range.
 //   greenup  <machine> <I> <f> <m>
 //       Work-communication trade-off evaluation (§VII, eq. 10).
-//   fit      <samples.csv>
+//   fit      <samples.csv> [--huber] [--relative]
 //       Fit eq. (9) energy coefficients from a measurement CSV
-//       (columns: flops,bytes,seconds,joules,precision).
+//       (columns: flops,bytes,seconds,joules,precision).  --huber
+//       switches to the robust IRLS estimator; --relative fits
+//       relative residuals (for multiplicative instrument noise).
+//   faults   <i7|gtx580> [dropout spike [reps]]
+//       Fault-injection study: run the measurement pipeline with the
+//       given sample-dropout and spike rates, report session quality,
+//       and compare clean/OLS/Huber/QC eq. (9) coefficients.
 //   sweep    <machine> [lo hi]
 //       Fig. 4-style table: normalized speed/efficiency/power per
 //       intensity.
@@ -54,7 +60,8 @@ int usage() {
          "  predict <machine> <flops> <bytes>\n"
          "  chart   <machine> [lo hi]\n"
          "  greenup <machine> <I> <f> <m>\n"
-         "  fit     <samples.csv>\n"
+         "  fit     <samples.csv> [--huber] [--relative]\n"
+         "  faults  <i7|gtx580> [dropout spike [reps]]\n"
          "  sweep   <machine> [lo hi]\n"
          "  cap     <machine> <watts>\n"
          "  advise  <machine> <flops> <bytes>\n"
@@ -166,11 +173,11 @@ int cmd_greenup(const MachineParams& m, double intensity, double f,
   return 0;
 }
 
-int cmd_fit(const std::string& path) {
+int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options) {
   const auto samples = fit::load_samples(path);
   std::cout << "Loaded " << samples.size() << " samples from " << path
             << "\n\n";
-  const fit::EnergyFit result = fit::fit_energy_coefficients(samples);
+  const fit::EnergyFit result = fit::fit_energy_coefficients(samples, options);
   report::Table t({"Coefficient", "Value", "std error", "p-value"});
   const auto row = [&](const char* label, const char* name, double scale,
                        const char* unit) {
@@ -188,6 +195,136 @@ int cmd_fit(const std::string& path) {
             << report::fmt(result.coefficients.eps_double() * 1e12, 5)
             << " pJ/flop, R^2 = "
             << report::fmt(result.regression.r_squared, 6) << "\n";
+  if (result.method == fit::FitMethod::kHuber) {
+    std::size_t down = 0;
+    for (double w : result.weights) {
+      if (w < 1.0) ++down;
+    }
+    std::cout << "Huber IRLS: " << down << "/" << result.weights.size()
+              << " samples down-weighted, robust scale = "
+              << report::fmt(result.robust_scale, 4)
+              << (result.converged ? "" : " (NOT converged)") << "\n";
+  }
+  return 0;
+}
+
+// Fault-injection study: the full hardened pipeline on one machine pair.
+int cmd_faults(const std::string& base, double dropout, double spike,
+               std::size_t reps) {
+  const bool is_i7 = base == "i7";
+  if (!is_i7 && base != "gtx580") {
+    std::cerr << "unknown platform '" << base << "' (want i7 or gtx580)\n";
+    return usage();
+  }
+  if (!(dropout >= 0.0 && dropout <= 1.0) ||
+      !(spike >= 0.0 && spike <= 1.0)) {
+    std::cerr << "fault rates must be probabilities in [0, 1]\n";
+    return usage();
+  }
+
+  sim::FaultProfile profile;
+  profile.sample_dropout_rate = dropout;
+  profile.spike_rate = spike;
+  profile.spike_gain_min = 6.0;
+  profile.spike_gain_max = 24.0;
+
+  const auto session = [&](Precision p, bool faulty, bool with_qc) {
+    const MachineParams m =
+        is_i7 ? presets::i7_950(p) : presets::gtx580(p);
+    sim::SimConfig sim_cfg;
+    sim_cfg.noise = sim::NoiseModel(0xA11CE, 0.01);
+    power::PowerMonConfig mon_cfg;
+    mon_cfg.sample_hz = 128.0;
+    power::SessionConfig ses_cfg;
+    ses_cfg.repetitions = reps;
+    ses_cfg.qc.enabled = with_qc;
+    return power::MeasurementSession(
+        sim::Executor(m, sim_cfg),
+        power::PowerMon(
+            is_i7 ? power::atx_cpu_rails() : power::gtx580_rails(), mon_cfg,
+            sim::FaultInjector(faulty ? profile : sim::FaultProfile{},
+                               0xFA117)),
+        ses_cfg);
+  };
+
+  // Short kernels across the Fig. 4 intensity grid, cycling duration
+  // tiers (see bench_ablation_faults for the regime rationale).
+  const auto sweep = [&](Precision p) {
+    constexpr double kTierSeconds[] = {0.018, 0.030, 0.050};
+    const MachineParams m = is_i7 ? presets::i7_950(p) : presets::gtx580(p);
+    const double hi = p == Precision::kSingle ? 64.0 : 16.0;
+    std::vector<sim::KernelDesc> kernels;
+    std::size_t tier = 0;
+    for (const double intensity : sim::pow2_grid(0.25, hi)) {
+      const double sec_per_byte =
+          std::max(m.time_per_byte, intensity * m.time_per_flop);
+      const double words =
+          kTierSeconds[tier++ % 3] / sec_per_byte / word_bytes(p);
+      kernels.push_back(sim::fma_load_mix(intensity, words, p));
+    }
+    return kernels;
+  };
+
+  power::SessionQuality quality;
+  const auto collect = [&](bool faulty, bool with_qc) {
+    std::vector<fit::EnergySample> samples;
+    for (const Precision p : {Precision::kSingle, Precision::kDouble}) {
+      const auto ses = session(p, faulty, with_qc);
+      for (const auto& r : ses.measure_sweep(sweep(p))) {
+        if (with_qc) {
+          quality.reps_attempted += r.quality.reps_attempted;
+          quality.reps_retried += r.quality.reps_retried;
+          quality.reps_kept_degraded += r.quality.reps_kept_degraded;
+          quality.reps_discarded += r.quality.reps_discarded;
+          quality.reps_discarded_outlier += r.quality.reps_discarded_outlier;
+          quality.dropped_samples += r.quality.dropped_samples;
+          quality.saturated_samples += r.quality.saturated_samples;
+        }
+        for (const auto& rep : r.reps) {
+          if (rep.outlier) continue;
+          samples.push_back(fit::EnergySample{r.kernel.flops, r.kernel.bytes,
+                                              rep.seconds, rep.joules, p});
+        }
+      }
+    }
+    return samples;
+  };
+
+  fit::EnergyFitOptions ols_opts;
+  ols_opts.relative_error = true;
+  fit::EnergyFitOptions huber_opts = ols_opts;
+  huber_opts.method = fit::FitMethod::kHuber;
+
+  const auto clean = fit::fit_energy_coefficients(collect(false, false),
+                                                  ols_opts);
+  const auto raw = collect(true, false);
+  const auto ols = fit::fit_energy_coefficients(raw, ols_opts);
+  const auto huber = fit::fit_energy_coefficients(raw, huber_opts);
+  const auto qc = fit::fit_energy_coefficients(collect(true, true), ols_opts);
+
+  std::cout << "Fault profile: " << report::fmt(100.0 * dropout, 3)
+            << "% sample dropout, " << report::fmt(100.0 * spike, 3)
+            << "% transient spikes, " << reps << " reps/kernel\n"
+            << "Session QC: " << quality.reps_attempted << " attempts, "
+            << quality.reps_retried << " retried, "
+            << quality.reps_kept_degraded << " kept degraded, "
+            << quality.reps_discarded_outlier << " MAD-rejected, "
+            << quality.dropped_samples << " samples dropped, "
+            << quality.saturated_samples << " saturated\n\n";
+
+  report::Table t({"estimator", "eps_s [pJ/flop]", "eps_d [pJ/flop]",
+                   "eps_mem [pJ/B]", "pi0 [W]"});
+  const auto row = [&](const char* label, const fit::EnergyFit& f) {
+    t.add_row({label, report::fmt(f.coefficients.eps_single * 1e12, 4),
+               report::fmt(f.coefficients.eps_double() * 1e12, 4),
+               report::fmt(f.coefficients.eps_mem * 1e12, 4),
+               report::fmt(f.coefficients.const_power, 4)});
+  };
+  row("clean OLS", clean);
+  row("faulty OLS", ols);
+  row("faulty Huber", huber);
+  row("faulty OLS + QC", qc);
+  t.print(std::cout);
   return 0;
 }
 
@@ -266,7 +403,29 @@ int main(int argc, char** argv) {
     if (command == "machines") return cmd_machines();
     if (command == "fit") {
       if (argc < 3) return usage();
-      return cmd_fit(argv[2]);
+      fit::EnergyFitOptions options;
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--huber") {
+          options.method = fit::FitMethod::kHuber;
+        } else if (flag == "--relative") {
+          options.relative_error = true;
+        } else {
+          std::cerr << "unknown fit flag '" << flag << "'\n";
+          return usage();
+        }
+      }
+      return cmd_fit(argv[2], options);
+    }
+    if (command == "faults") {
+      if (argc < 3) return usage();
+      const double dropout =
+          argc > 3 ? std::strtod(argv[3], nullptr) : 0.05;
+      const double spike = argc > 4 ? std::strtod(argv[4], nullptr) : 0.01;
+      const std::size_t reps =
+          argc > 5 ? static_cast<std::size_t>(std::strtoul(argv[5], nullptr, 10))
+                   : 16;
+      return cmd_faults(argv[2], dropout, spike, reps);
     }
     // Remaining commands start with a machine name.
     if (argc < 3) return usage();
