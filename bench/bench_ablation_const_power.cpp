@@ -18,14 +18,14 @@ int main() {
                    "B_tau", "time-eff => energy-eff?", "peak GFLOP/J"});
   for (double pi0 : {0.0, 10.0, 20.0, 40.0, 61.0, 80.0, 122.0, 200.0}) {
     MachineParams m = presets::gtx580(Precision::kDouble);
-    m.const_power = pi0;
+    m.const_power = Watts{pi0};
     const bool race_to_halt = m.time_balance() >= m.balance_fixed_point();
     t.add_row({report::fmt(pi0, 4), report::fmt(m.flop_efficiency(), 3),
                report::fmt(m.energy_balance(), 3),
                report::fmt(m.balance_fixed_point(), 3),
                report::fmt(m.time_balance(), 3),
                race_to_halt ? "yes (race-to-halt works)" : "NO (inverts)",
-               report::fmt(m.peak_flops_per_joule() / kGiga, 3)});
+               report::fmt(m.peak_flops_per_joule().value() / kGiga, 3)});
   }
   t.print(std::cout);
 
@@ -35,7 +35,7 @@ int main() {
   double lo = 0.0, hi = 122.0;
   for (int iter = 0; iter < 60; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    probe.const_power = mid;
+    probe.const_power = Watts{mid};
     (probe.balance_fixed_point() > probe.time_balance() ? lo : hi) = mid;
   }
   std::cout << "\nInversion threshold: pi0 ~ " << report::fmt(hi, 4)
@@ -46,7 +46,7 @@ int main() {
 
   // i7-950 contrast: even pi0 = 0 does not invert (SsV-B).
   MachineParams cpu = presets::i7_950(Precision::kDouble);
-  cpu.const_power = 0.0;
+  cpu.const_power = Watts{0.0};
   std::cout << "\nContrast (i7-950 double, pi0 = 0): B_eps = "
             << report::fmt(cpu.energy_balance(), 3) << " < B_tau = "
             << report::fmt(cpu.time_balance(), 3)

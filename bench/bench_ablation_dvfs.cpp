@@ -16,8 +16,8 @@ void sweep_table(const char* label, const MachineParams& base,
   std::cout << label << "\n";
   report::Table t({"f ratio", "time [ms]", "energy [J]", "avg power [W]"});
   for (const DvfsPoint& p : frequency_sweep(base, dvfs, k, 7)) {
-    t.add_row({report::fmt(p.ratio, 3), report::fmt(p.seconds * 1e3, 4),
-               report::fmt(p.joules, 4), report::fmt(p.avg_watts, 4)});
+    t.add_row({report::fmt(p.ratio, 3), report::fmt(p.seconds.value() * 1e3, 4),
+               report::fmt(p.joules.value(), 4), report::fmt(p.avg_watts.value(), 4)});
   }
   t.print(std::cout);
   const DvfsPoint best = min_energy_point(base, dvfs, k);
@@ -49,7 +49,7 @@ int main() {
               memory_bound);
 
   MachineParams no_const = cpu;
-  no_const.const_power = 0.0;
+  no_const.const_power = Watts{0.0};
   sweep_table("Compute-bound kernel with pi0 = 0 (the SsV-B hypothetical):",
               no_const, dvfs, compute_bound);
 

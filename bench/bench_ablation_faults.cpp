@@ -41,10 +41,10 @@ power::MeasurementSession faulty_session(const bench::Platform& platform,
   sim::SimConfig sim_cfg;
   sim_cfg.flop_fraction = platform.flop_fraction;
   sim_cfg.bw_fraction = platform.bw_fraction;
-  sim_cfg.power_cap_watts = platform.power_cap;
+  sim_cfg.power_cap_watts = Watts{platform.power_cap};
   sim_cfg.noise = sim::NoiseModel(0xA11CE, 0.01);
   power::PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;
+  mon_cfg.sample_hz = Hertz{128.0};
   power::SessionConfig ses_cfg;
   ses_cfg.repetitions = kReps;
   ses_cfg.qc.enabled = with_qc;
@@ -70,7 +70,7 @@ std::vector<sim::KernelDesc> sweep(const MachineParams& m, Precision p) {
   for (const double intensity : sim::pow2_grid(0.25, hi)) {
     const double target = kTierSeconds[tier++ % 3];
     const double sec_per_byte =
-        std::max(m.time_per_byte, intensity * m.time_per_flop);
+        max(m.time_per_byte, Intensity{intensity} * m.time_per_flop).value();
     const double words = target / sec_per_byte / word_bytes(p);
     kernels.push_back(sim::fma_load_mix(intensity, words, p));
   }
@@ -116,8 +116,8 @@ struct CoeffSet {
 };
 
 CoeffSet coeffs(const fit::EnergyFit& f) {
-  return {f.coefficients.eps_single, f.coefficients.eps_double(),
-          f.coefficients.eps_mem, f.coefficients.const_power};
+  return {f.coefficients.eps_single.value(), f.coefficients.eps_double().value(),
+          f.coefficients.eps_mem.value(), f.coefficients.const_power.value()};
 }
 
 double pct(double fitted, double clean) {

@@ -22,15 +22,16 @@ int main() {
   for (double i : {0.25, 0.5, 1.0, 2.0, 3.58, 4.0, 8.0, 16.0, 64.0, 512.0}) {
     const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
     const TimeBreakdown overlap = predict_time(m, k);
-    const double serial = overlap.flops_seconds + overlap.mem_seconds;
+    const double serial = overlap.flops_seconds.value() + overlap.mem_seconds.value();
     const EnergyBreakdown e = predict_energy(m, k);  // energy is additive
     t.add_row({report::fmt(i, 4),
-               report::fmt(overlap.total_seconds / overlap.flops_seconds, 4),
-               report::fmt(serial / overlap.flops_seconds, 4),
-               report::fmt(serial / overlap.total_seconds, 4),
-               report::fmt(e.total_joules / overlap.total_seconds /
-                               m.flop_power(), 4),
-               report::fmt(e.total_joules / serial / m.flop_power(), 4)});
+               report::fmt(overlap.total_seconds.value() / overlap.flops_seconds.value(), 4),
+               report::fmt(serial / overlap.flops_seconds.value(), 4),
+               report::fmt(serial / overlap.total_seconds.value(), 4),
+               report::fmt(e.total_joules.value() /
+                               overlap.total_seconds.value() /
+                               m.flop_power().value(), 4),
+               report::fmt(e.total_joules.value() / serial / m.flop_power().value(), 4)});
   }
   t.print(std::cout);
 

@@ -14,10 +14,10 @@ int main() {
       "Ablation: power caps on the GTX 580 (single precision)");
 
   const MachineParams m = presets::gtx580(Precision::kSingle);
-  std::cout << "Model max power " << report::fmt(max_power(m), 4)
+  std::cout << "Model max power " << report::fmt(max_power(m).value(), 4)
             << " W at I = B_tau = " << report::fmt(m.time_balance(), 3)
             << "; compute-bound limit "
-            << report::fmt(compute_bound_power_limit(m), 4)
+            << report::fmt(compute_bound_power_limit(m).value(), 4)
             << " W; board rating " << presets::kGtx580PowerCapWatts
             << " W.\n\n";
 
@@ -28,18 +28,18 @@ int main() {
       const KernelProfile at_b =
           KernelProfile::from_intensity(m.time_balance(), 1e9);
       const KernelProfile at_64 = KernelProfile::from_intensity(64.0, 1e9);
-      const CappedRun rb = run_with_cap(m, at_b, cap);
-      const CappedRun r64 = run_with_cap(m, at_64, cap);
-      const double t0 = predict_time(m, at_b).total_seconds;
-      const double e0 = predict_energy(m, at_b).total_joules;
-      const double onset = cap_violation_onset(m, cap);
+      const CappedRun rb = run_with_cap(m, at_b, Watts{cap});
+      const CappedRun r64 = run_with_cap(m, at_64, Watts{cap});
+      const double t0 = predict_time(m, at_b).total_seconds.value();
+      const double e0 = predict_energy(m, at_b).total_joules.value();
+      const double onset = cap_violation_onset(m, Watts{cap});
       t.add_row({report::fmt(cap, 4),
                  onset < 0.0 ? "never" : report::fmt(onset, 3),
-                 rb.feasible ? report::fmt(rb.seconds / t0, 4) : "inf",
-                 rb.feasible ? report::fmt(rb.joules / e0, 4) : "inf",
+                 rb.feasible ? report::fmt(rb.seconds.value() / t0, 4) : "inf",
+                 rb.feasible ? report::fmt(rb.joules.value() / e0, 4) : "inf",
                  r64.feasible
-                     ? report::fmt(r64.seconds /
-                                       predict_time(m, at_64).total_seconds,
+                     ? report::fmt(r64.seconds.value() /
+                                       predict_time(m, at_64).total_seconds.value(),
                                    4)
                      : "inf"});
     }
@@ -54,7 +54,7 @@ int main() {
     for (double i = 0.25; i <= 64.0; i *= 2.0) {
       const double uncapped = normalized_speed(m, i);
       const double capped =
-          capped_normalized_speed(m, i, presets::kGtx580PowerCapWatts);
+          capped_normalized_speed(m, i, Watts{presets::kGtx580PowerCapWatts});
       t.add_row({report::fmt(i, 4), report::fmt(uncapped, 3),
                  report::fmt(capped, 3),
                  report::fmt(capped / uncapped, 3)});

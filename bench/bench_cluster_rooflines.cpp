@@ -19,8 +19,8 @@ int main() {
   cluster.name = "i7-950 cluster";
   cluster.node = presets::i7_950(Precision::kDouble);
   cluster.nodes = 64.0;
-  cluster.time_per_net_byte = 1.0 / 10e9;
-  cluster.energy_per_net_byte = 10e-9;  // NIC + switch share
+  cluster.time_per_net_byte = TimePerByte{1.0 / 10e9};
+  cluster.energy_per_net_byte = EnergyPerByte{10e-9};  // NIC + switch share
 
   {
     report::Table t({"Channel", "time-balance [flop/B]",
@@ -65,8 +65,8 @@ int main() {
                  report::fmt_si(row.w.mem_bytes, "B"),
                  report::fmt_si(row.w.net_bytes, "B"),
                  to_string(time.bound),
-                 report::fmt(time.total_seconds * 1e3, 4),
-                 report::fmt(energy.total_joules, 4)});
+                 report::fmt(time.total_seconds.value() * 1e3, 4),
+                 report::fmt(energy.total_joules.value(), 4)});
     }
     t.print(std::cout);
   }
@@ -81,12 +81,12 @@ int main() {
     report::Table t({"Component", "J", "%"});
     const auto row = [&](const char* name, double j) {
       t.add_row({name, report::fmt(j, 4),
-                 report::fmt(100.0 * j / e.total_joules, 3)});
+                 report::fmt(100.0 * j / e.total_joules.value(), 3)});
     };
-    row("flops", e.flops_joules);
-    row("DRAM", e.mem_joules);
-    row("network", e.net_joules);
-    row("constant power", e.const_joules);
+    row("flops", e.flops_joules.value());
+    row("DRAM", e.mem_joules.value());
+    row("network", e.net_joules.value());
+    row("constant power", e.const_joules.value());
     t.print(std::cout);
   }
   return 0;

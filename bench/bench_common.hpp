@@ -17,7 +17,7 @@ struct Platform {
   MachineParams machine;
   double flop_fraction;
   double bw_fraction;
-  double power_cap;  ///< Board cap; huge when effectively uncapped.
+  Watts power_cap;   ///< Board cap; huge when effectively uncapped.
   const char* label;
 };
 
@@ -27,7 +27,7 @@ inline Platform gtx580_platform(Precision p) {
   // precision reaches 1398/1581.06 = 88.4% and 168/192.4 = 87.3%.
   const bool single = p == Precision::kSingle;
   return Platform{presets::gtx580(p), single ? 0.884 : 0.993,
-                  single ? 0.873 : 0.883, presets::kGtx580PowerCapWatts,
+                  single ? 0.873 : 0.883, Watts{presets::kGtx580PowerCapWatts},
                   single ? "NVIDIA GTX 580 (single)"
                          : "NVIDIA GTX 580 (double)"};
 }
@@ -36,7 +36,7 @@ inline Platform i7_950_platform(Precision p) {
   // §IV-B: CPU sustains 93.3% of peak flops / ~73-74% of peak bandwidth.
   return Platform{presets::i7_950(p), 0.933, p == Precision::kSingle ? 0.731
                                                                      : 0.738,
-                  1e18, p == Precision::kSingle ? "Intel i7-950 (single)"
+                  Watts{1e18}, p == Precision::kSingle ? "Intel i7-950 (single)"
                                                 : "Intel i7-950 (double)"};
 }
 
@@ -52,7 +52,7 @@ inline power::MeasurementSession make_session(const Platform& p,
   sim_cfg.power_cap_watts = p.power_cap;
   sim_cfg.noise = sim::NoiseModel(seed, noise);
   power::PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;  // the paper's 7.8125 ms interval
+  mon_cfg.sample_hz = Hertz{128.0};  // the paper's 7.8125 ms interval
   return power::MeasurementSession(
       sim::Executor(p.machine, sim_cfg),
       power::PowerMon(power::gtx580_rails(), mon_cfg),

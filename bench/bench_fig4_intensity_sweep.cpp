@@ -21,8 +21,8 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
   const MachineParams& m = platform.machine;
   bench::print_heading(std::string("Fig. 4 subplot: ") + platform.label);
 
-  std::cout << "Peak = " << report::fmt(m.peak_flops() / kGiga, 4)
-            << " GFLOP/s, " << report::fmt(m.peak_flops_per_joule() / kGiga, 3)
+  std::cout << "Peak = " << report::fmt(m.peak_flops().value() / kGiga, 4)
+            << " GFLOP/s, " << report::fmt(m.peak_flops_per_joule().value() / kGiga, 3)
             << " GFLOP/J.  Balance points: B_tau="
             << report::fmt(m.time_balance(), 3) << ", B_eps(const=0)="
             << report::fmt(m.energy_balance(), 3) << ", effective (y=1/2)="
@@ -38,9 +38,9 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
     const double i = kernel.intensity();
     // Normalized speed: achieved flops over platform peak.
     const double meas_speed =
-        kernel.flops / r.seconds.median / m.peak_flops();
+        kernel.flops / r.seconds.median / m.peak_flops().value();
     const double meas_eff = kernel.flops / r.joules.median /
-                            m.peak_flops_per_joule();
+                            m.peak_flops_per_joule().value();
     t.add_row({report::fmt(i, 4), report::fmt(meas_speed, 3),
                report::fmt(normalized_speed(m, i), 3),
                report::fmt(meas_eff, 3),

@@ -16,12 +16,12 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
   const MachineParams& m = platform.machine;
   bench::print_heading(std::string("Fig. 5 subplot: ") + platform.label);
 
-  const double norm = m.flop_power() + m.const_power;
+  const double norm = (m.flop_power() + m.const_power).value();
   std::cout << "Normalization (pi_flop + pi0) = " << report::fmt(norm, 4)
-            << " W.  Model max power = " << report::fmt(max_power(m), 4)
+            << " W.  Model max power = " << report::fmt(max_power(m).value(), 4)
             << " W at I = B_tau = " << report::fmt(m.time_balance(), 3);
   if (max_power(m) > platform.power_cap) {
-    std::cout << "  [exceeds the " << report::fmt(platform.power_cap, 3)
+    std::cout << "  [exceeds the " << report::fmt(platform.power_cap.value(), 3)
               << " W board cap]";
   }
   std::cout << "\n\n";
@@ -33,7 +33,7 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
     const power::SessionResult r = session.measure(kernel);
     const double i = kernel.intensity();
     t.add_row({report::fmt(i, 4), report::fmt(r.watts.median, 4),
-               report::fmt(average_power(m, i), 4),
+               report::fmt(average_power(m, i).value(), 4),
                report::fmt(r.watts.median / norm, 3),
                report::fmt(normalized_power_flop_const(m, i), 3),
                r.any_capped ? "yes" : ""});

@@ -53,7 +53,7 @@ int main() {
              report::fmt(100.0 * study.two_level.mean_signed_rel_error, 3) +
                  "%"});
   t.add_row({"calibrated cache energy", "187 pJ/Byte",
-             report::fmt_si(study.calibrated_cache_eps, "J/Byte")});
+             report::fmt_si(study.calibrated_cache_eps.value(), "J/Byte")});
   t.add_row({"cache-aware median |error|", "4.1%",
              report::fmt(100.0 * study.cache_aware.median_abs_rel_error, 3) +
                  "%"});
@@ -70,12 +70,16 @@ int main() {
     d.add_row({o.spec.name(),
                report::fmt(o.counters.dram_bytes / 1e6, 3),
                report::fmt(o.counters.cache_bytes() / 1e6, 4),
-               report::fmt(o.sample.joules * 1e3, 4),
+               report::fmt(o.sample.joules.value() * 1e3, 4),
                report::fmt(fit::estimate_energy_two_level(platform.machine,
-                                                          o.sample) * 1e3, 4),
+                                                          o.sample)
+                                   .value() * 1e3,
+                           4),
                report::fmt(fit::estimate_energy_with_cache(
                                platform.machine, o.sample,
-                               study.calibrated_cache_eps) * 1e3, 4)});
+                               study.calibrated_cache_eps)
+                                   .value() * 1e3,
+                           4)});
   }
   d.print(std::cout);
   return 0;

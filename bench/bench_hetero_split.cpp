@@ -26,9 +26,9 @@ int main() {
       const HeteroSplit ts = time_optimal_split(gpu, cpu, k, policy);
       const HeteroSplit es = energy_optimal_split(gpu, cpu, k, policy);
       t.add_row({report::fmt(i, 4), report::fmt(ts.alpha, 3),
-                 report::fmt(ts.seconds, 3), report::fmt(ts.joules, 4),
-                 report::fmt(es.alpha, 3), report::fmt(es.seconds, 3),
-                 report::fmt(es.joules, 4),
+                 report::fmt(ts.seconds.value(), 3), report::fmt(ts.joules.value(), 4),
+                 report::fmt(es.alpha, 3), report::fmt(es.seconds.value(), 3),
+                 report::fmt(es.joules.value(), 4),
                  split_optima_disagree(gpu, cpu, k, policy) ? "YES" : "no"});
     }
     t.print(std::cout);

@@ -82,7 +82,7 @@ void host_roofline_summary() {
       t.add_row({r.kernel, report::fmt(r.intensity(), 3),
                  report::fmt(r.gflops(), 3),
                  report::fmt(r.gbytes_per_second(), 3),
-                 report::fmt(ubench::model_energy(coeffs, r), 3)});
+                 report::fmt(ubench::model_energy(coeffs, r).value(), 3)});
     }
   }
   t.print(std::cout);

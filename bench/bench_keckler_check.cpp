@@ -29,7 +29,8 @@ int main() {
 
   std::cout << "\n";
   const MemEnergyCrossCheck c =
-      mem_energy_cross_check(gtx.energy_per_byte, f.overhead_pj * 1e-12);
+      mem_energy_cross_check(gtx.energy_per_byte,
+                             EnergyPerFlop{f.overhead_pj * 1e-12});
   {
     report::Table t({"Memory-energy component", "Paper", "This library"});
     t.add_row({"DRAM + interface + wire (Keckler)", "253-389 pJ/B",

@@ -18,7 +18,7 @@ int main() {
   {
     const MachineParams m = []() {
       MachineParams f = presets::fermi_table2();
-      f.const_power = 0.0;
+      f.const_power = Watts{0.0};
       return f;
     }();
     const KernelProfile base = KernelProfile::from_intensity(8.0, 1e9);
@@ -68,8 +68,8 @@ int main() {
         xs, pi0s,
         [&](double intensity, double pi0) {
           MachineParams m = base;
-          m.const_power = pi0;
-          return achieved_flops_per_joule(m, intensity) / kGiga;
+          m.const_power = Watts{pi0};
+          return achieved_flops_per_joule(m, intensity).value() / kGiga;
         },
         [] {
           report::HeatmapConfig cfg;

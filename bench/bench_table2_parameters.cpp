@@ -16,15 +16,15 @@ int main() {
   {
     report::Table t({"Variable", "Paper value", "This library"});
     t.add_row({"tau_flop", "(515 Gflop/s)^-1 ~ 1.9 ps/flop",
-               report::fmt_si(fermi.time_per_flop, "s/flop")});
+               report::fmt_si(fermi.time_per_flop.value(), "s/flop")});
     t.add_row({"tau_mem", "(144 GB/s)^-1 ~ 6.9 ps/byte",
-               report::fmt_si(fermi.time_per_byte, "s/B")});
+               report::fmt_si(fermi.time_per_byte.value(), "s/B")});
     t.add_row({"B_tau", "6.9/1.9 ~ 3.6 flop/B",
                report::fmt(fermi.time_balance(), 3) + " flop/B"});
     t.add_row({"eps_flop", "~25 pJ/flop",
-               report::fmt_si(fermi.energy_per_flop, "J/flop")});
+               report::fmt_si(fermi.energy_per_flop.value(), "J/flop")});
     t.add_row({"eps_mem", "~360 pJ/byte",
-               report::fmt_si(fermi.energy_per_byte, "J/B")});
+               report::fmt_si(fermi.energy_per_byte.value(), "J/B")});
     t.add_row({"B_eps", "360/25 = 14.4 flop/B",
                report::fmt(fermi.energy_balance(), 3) + " flop/B"});
     t.print(std::cout);
@@ -40,10 +40,10 @@ int main() {
                  report::fmt(m.energy_balance(), 3),
                  report::fmt(m.balance_fixed_point(), 3),
                  report::fmt(m.flop_efficiency(), 3),
-                 report::fmt(m.flop_power(), 4),
-                 report::fmt(m.peak_flops() / kGiga, 4),
-                 report::fmt(m.peak_bandwidth() / kGiga, 4),
-                 report::fmt(m.peak_flops_per_joule() / kGiga, 3),
+                 report::fmt(m.flop_power().value(), 4),
+                 report::fmt(m.peak_flops().value() / kGiga, 4),
+                 report::fmt(m.peak_bandwidth().value() / kGiga, 4),
+                 report::fmt(m.peak_flops_per_joule().value() / kGiga, 3),
                  report::fmt(m.balance_gap(), 3)});
     };
     add(fermi);

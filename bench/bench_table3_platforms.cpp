@@ -18,7 +18,7 @@ int main() {
                  report::fmt(p.gflops_single, 6) + " (" +
                      report::fmt(p.gflops_double, 6) + ")",
                  report::fmt(p.bandwidth_gbs, 4),
-                 report::fmt(p.tdp_watts, 3)});
+                 report::fmt(p.tdp_watts.value(), 3)});
     };
     add(presets::table3_cpu());
     add(presets::table3_gpu());
@@ -56,10 +56,10 @@ int main() {
           exec.run(sim::fma_load_mix(256.0, 1e9, row.prec));
       const auto memory = exec.run(sim::fma_load_mix(0.125, 1e9, row.prec));
       t.add_row({row.p.label,
-                 report::fmt(compute.achieved_flops() / kGiga, 4),
+                 report::fmt(compute.achieved_flops().value() / kGiga, 4),
                  report::fmt(100.0 * compute.achieved_flops() /
                                  row.p.machine.peak_flops(), 3),
-                 report::fmt(memory.achieved_bandwidth() / kGiga, 4),
+                 report::fmt(memory.achieved_bandwidth().value() / kGiga, 4),
                  report::fmt(100.0 * memory.achieved_bandwidth() /
                                  row.p.machine.peak_bandwidth(), 3),
                  row.paper});

@@ -23,8 +23,8 @@ fit::EnergyFit fit_platform(const bench::Platform& sp,
       fit::EnergySample s;
       s.flops = r.kernel.flops;
       s.bytes = r.kernel.bytes;
-      s.seconds = r.seconds.median;
-      s.joules = r.joules.median;
+      s.seconds = Seconds{r.seconds.median};
+      s.joules = Joules{r.joules.median};
       s.precision = prec;
       samples.push_back(s);
     }
@@ -38,16 +38,16 @@ void print_fit(const char* label, const fit::EnergyFit& f, double eps_s,
   report::Table t({"Coefficient", "Paper (Table IV)", "Fitted here",
                    "p-value"});
   t.add_row({"eps_s [pJ/FLOP]", report::fmt(eps_s, 4),
-             report::fmt(f.coefficients.eps_single / kPico, 4),
+             report::fmt(f.coefficients.eps_single.value() / kPico, 4),
              report::fmt(f.regression.by_name("eps_s").p_value, 2)});
   t.add_row({"eps_d [pJ/FLOP]", report::fmt(eps_d, 4),
-             report::fmt(f.coefficients.eps_double() / kPico, 4),
+             report::fmt(f.coefficients.eps_double().value() / kPico, 4),
              report::fmt(f.regression.by_name("delta_eps_d").p_value, 2)});
   t.add_row({"eps_mem [pJ/Byte]", report::fmt(eps_mem, 4),
-             report::fmt(f.coefficients.eps_mem / kPico, 4),
+             report::fmt(f.coefficients.eps_mem.value() / kPico, 4),
              report::fmt(f.regression.by_name("eps_mem").p_value, 2)});
   t.add_row({"pi0 [W]", report::fmt(pi0, 4),
-             report::fmt(f.coefficients.const_power, 4),
+             report::fmt(f.coefficients.const_power.value(), 4),
              report::fmt(f.regression.by_name("pi0").p_value, 2)});
   t.print(std::cout);
   std::cout << "R^2 = " << report::fmt(f.regression.r_squared, 6)

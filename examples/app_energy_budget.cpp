@@ -53,18 +53,18 @@ void budget(const MachineParams& m, const sim::CompositeKernel& k) {
   for (const sim::KernelDesc& phase : k.phases) {
     const KernelProfile p = phase.profile();
     const double ts =
-        predict_time(m, p).total_seconds / total.seconds * 100.0;
+        predict_time(m, p).total_seconds.value() / total.seconds.value() * 100.0;
     const double es =
-        predict_energy(m, p).total_joules / total.joules * 100.0;
+        predict_energy(m, p).total_joules.value() / total.joules.value() * 100.0;
     t.add_row({phase.name, report::fmt(p.intensity(), 3),
                report::fmt(ts, 3), report::fmt(es, 3),
                to_string(time_bound(m, p.intensity())),
                to_string(energy_bound(m, p.intensity()))});
   }
   t.print(std::cout);
-  std::cout << "total: " << report::fmt_si(total.seconds, "s") << ", "
-            << report::fmt_si(total.joules, "J") << ", avg "
-            << report::fmt(total.joules / total.seconds, 4) << " W\n\n";
+  std::cout << "total: " << report::fmt_si(total.seconds.value(), "s") << ", "
+            << report::fmt_si(total.joules.value(), "J") << ", avg "
+            << report::fmt(total.joules.value() / total.seconds.value(), 4) << " W\n\n";
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ power::MeasurementSession make_apparatus(const MachineParams& m) {
   sim::SimConfig sim_cfg;
   sim_cfg.noise = sim::NoiseModel(0xFEED, 0.01);
   power::PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;
+  mon_cfg.sample_hz = Hertz{128.0};
   return power::MeasurementSession(
       sim::Executor(m, sim_cfg),
       power::PowerMon(power::gtx580_rails(), mon_cfg),
@@ -46,16 +46,16 @@ int main(int argc, char** argv) {
              report::fmt(result.achieved_gflops_double, 5)});
   t.add_row({"achieved GB/s", report::fmt(result.achieved_gbs, 4)});
   t.add_row({"eps_s",
-             report::fmt(result.fit.coefficients.eps_single * 1e12, 4) +
+             report::fmt(result.fit.coefficients.eps_single.value() * 1e12, 4) +
                  " pJ/flop"});
   t.add_row({"eps_d",
-             report::fmt(result.fit.coefficients.eps_double() * 1e12, 4) +
+             report::fmt(result.fit.coefficients.eps_double().value() * 1e12, 4) +
                  " pJ/flop"});
   t.add_row({"eps_mem",
-             report::fmt(result.fit.coefficients.eps_mem * 1e12, 4) +
+             report::fmt(result.fit.coefficients.eps_mem.value() * 1e12, 4) +
                  " pJ/B"});
   t.add_row({"pi0",
-             report::fmt(result.fit.coefficients.const_power, 4) + " W"});
+             report::fmt(result.fit.coefficients.const_power.value(), 4) + " W"});
   t.add_row({"R^2", report::fmt(result.fit.regression.r_squared, 6)});
   t.print(std::cout);
 
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   const fit::EnergyFit refit = fit::fit_energy_coefficients(reloaded);
   std::cout << "Exported " << result.samples.size() << " samples to "
             << csv_path << "; re-fit from file gives eps_mem = "
-            << report::fmt(refit.coefficients.eps_mem * 1e12, 4)
+            << report::fmt(refit.coefficients.eps_mem.value() * 1e12, 4)
             << " pJ/B (fit it yourself: `rme_cli fit " << csv_path
             << "`).\n";
   return 0;

@@ -49,25 +49,25 @@ int main(int argc, char** argv) {
             << obs.counters.cache_bytes() / 1e6 << " MB L1+L2\n";
 
   const double eq2 =
-      fit::estimate_energy_two_level(platform.machine, obs.sample);
-  std::cout << "Measured energy           " << obs.sample.joules * 1e3
+      fit::estimate_energy_two_level(platform.machine, obs.sample).value();
+  std::cout << "Measured energy           " << obs.sample.joules.value() * 1e3
             << " mJ\n"
             << "eq. (2) two-level model   " << eq2 * 1e3 << " mJ  ("
-            << 100.0 * (eq2 - obs.sample.joules) / obs.sample.joules
+            << 100.0 * (eq2 - obs.sample.joules.value()) / obs.sample.joules.value()
             << "% error -- the SsV-C underestimate)\n";
 
   // Calibrate the cache energy from the reference variant, as the paper
   // did, then re-estimate.
   const fmm::VariantObservation ref_obs = fmm::observe_variant(
       tree, ulist, fmm::reference_variant(Precision::kDouble), platform, 1);
-  const double cache_eps =
+  const EnergyPerByte cache_eps =
       fit::calibrate_cache_energy(platform.machine, ref_obs.sample);
   const double aware = fit::estimate_energy_with_cache(
-      platform.machine, obs.sample, cache_eps);
-  std::cout << "Calibrated cache energy   " << cache_eps * 1e12
+      platform.machine, obs.sample, cache_eps).value();
+  std::cout << "Calibrated cache energy   " << cache_eps.value() * 1e12
             << " pJ/B (paper: ~187)\n"
             << "Cache-aware estimate      " << aware * 1e3 << " mJ  ("
-            << 100.0 * (aware - obs.sample.joules) / obs.sample.joules
+            << 100.0 * (aware - obs.sample.joules.value()) / obs.sample.joules.value()
             << "% error)\n";
   return 0;
 }

@@ -18,10 +18,10 @@ int main(int argc, char** argv) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
 
   std::cout << "Machine: " << m.name << "\n"
-            << "Model power: max " << max_power(m) << " W at I = B_tau = "
+            << "Model power: max " << max_power(m).value() << " W at I = B_tau = "
             << m.time_balance() << "; compute-bound limit "
-            << compute_bound_power_limit(m) << " W; cap " << cap << " W.\n";
-  const double onset = cap_violation_onset(m, cap);
+            << compute_bound_power_limit(m).value() << " W; cap " << cap << " W.\n";
+  const double onset = cap_violation_onset(m, Watts{cap});
   if (onset < 0.0) {
     std::cout << "The cap never binds on this machine.\n";
   } else {
@@ -33,15 +33,15 @@ int main(int argc, char** argv) {
                    "throttle", "uncapped GF/J", "capped GF/J", "avg W"});
   for (double i = 0.25; i <= 256.0; i *= 2.0) {
     const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
-    const CappedRun r = run_with_cap(m, k, cap);
+    const CappedRun r = run_with_cap(m, k, Watts{cap});
     t.add_row({report::fmt(i, 4),
-               report::fmt(achieved_flops(m, i) / kGiga, 4),
-               r.feasible ? report::fmt(k.flops / r.seconds / kGiga, 4)
+               report::fmt(achieved_flops(m, i).value() / kGiga, 4),
+               r.feasible ? report::fmt(k.flops / r.seconds.value() / kGiga, 4)
                           : "0",
                report::fmt(r.scale, 3),
-               report::fmt(achieved_flops_per_joule(m, i) / kGiga, 3),
-               r.feasible ? report::fmt(k.flops / r.joules / kGiga, 3) : "0",
-               r.feasible ? report::fmt(r.avg_watts, 4) : "-"});
+               report::fmt(achieved_flops_per_joule(m, i).value() / kGiga, 3),
+               r.feasible ? report::fmt(k.flops / r.joules.value() / kGiga, 3) : "0",
+               r.feasible ? report::fmt(r.avg_watts.value(), 4) : "-"});
   }
   t.print(std::cout);
 

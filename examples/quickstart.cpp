@@ -42,16 +42,16 @@ int main() {
     const EnergyBreakdown e = predict_energy(machine, k.profile);
     std::cout << k.name << ":\n"
               << "  intensity       " << i << " flop/B\n"
-              << "  time            " << t.total_seconds << " s ("
+              << "  time            " << t.total_seconds.value() << " s ("
               << to_string(time_bound(machine, i)) << " in time)\n"
-              << "  energy          " << e.total_joules << " J ("
+              << "  energy          " << e.total_joules.value() << " J ("
               << to_string(energy_bound(machine, i)) << " in energy)\n"
-              << "  avg power       " << average_power(machine, i) << " W\n"
+              << "  avg power       " << average_power(machine, i).value() << " W\n"
               << "  speed           "
-              << achieved_flops(machine, i) / kGiga << " GFLOP/s ("
+              << achieved_flops(machine, i).value() / kGiga << " GFLOP/s ("
               << 100.0 * normalized_speed(machine, i) << "% of peak)\n"
               << "  efficiency      "
-              << achieved_flops_per_joule(machine, i) / kGiga
+              << achieved_flops_per_joule(machine, i).value() / kGiga
               << " GFLOP/J ("
               << 100.0 * normalized_efficiency(machine, i) << "% of peak)\n"
               << "  time/energy classifications "

@@ -21,8 +21,8 @@ void analyze(const char* label, const MachineParams& machine,
             << to_string(time_bound(machine, intensity)) << " in time):\n";
   report::Table t({"f ratio", "time [ms]", "energy [J]", "power [W]"});
   for (const DvfsPoint& p : frequency_sweep(machine, dvfs, k, 7)) {
-    t.add_row({report::fmt(p.ratio, 3), report::fmt(p.seconds * 1e3, 4),
-               report::fmt(p.joules, 4), report::fmt(p.avg_watts, 4)});
+    t.add_row({report::fmt(p.ratio, 3), report::fmt(p.seconds.value() * 1e3, 4),
+               report::fmt(p.joules.value(), 4), report::fmt(p.avg_watts.value(), 4)});
   }
   t.print(std::cout);
   const DvfsPoint best = min_energy_point(machine, dvfs, k);
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
           cpu.time_balance() / 16.0);
 
   MachineParams future = cpu;
-  future.const_power = 0.0;
+  future.const_power = Watts{0.0};
   analyze("Contrast: the same kernel on a pi0 = 0 future machine", future,
           dvfs, intensity);
   return 0;

@@ -1,15 +1,30 @@
 #!/usr/bin/env bash
 # CI driver: build and test the repository twice — a plain release build
-# and an ASan+UBSan build (RME_SANITIZE=ON) — failing on any test
-# failure or sanitizer report.
+# (warnings-as-errors) and an ASan+UBSan build (RME_SANITIZE=ON) —
+# failing on any test failure, sanitizer report, warning, or
+# dimensional-safety lint finding.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== plain build ==="
-cmake -B build -G Ninja
+echo "=== plain build (RME_WERROR=ON) ==="
+cmake -B build -G Ninja -DRME_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== dimensional-safety lint ==="
+./build/tools/rme_lint src
+
+echo
+echo "=== clang-tidy ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Headers are covered transitively via HeaderFilterRegex in .clang-tidy.
+  cmake -B build -G Ninja -DRME_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  git ls-files 'src/rme/**/*.cpp' | xargs clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
 
 echo
 echo "=== sanitized build (ASan + UBSan) ==="
@@ -18,4 +33,4 @@ cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
 echo
-echo "CI OK: plain and sanitized suites passed."
+echo "CI OK: plain (Werror), lint, and sanitized suites passed."

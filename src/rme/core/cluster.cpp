@@ -20,12 +20,11 @@ const char* to_string(Channel c) noexcept {
 DistributedTime predict_time(const ClusterParams& c,
                              const DistributedProfile& w) noexcept {
   DistributedTime t;
-  t.flops_seconds = w.flops * c.node.time_per_flop;
-  t.mem_seconds = w.mem_bytes * c.node.time_per_byte;
-  t.net_seconds = w.net_bytes * c.time_per_net_byte;
-  t.total_seconds =
-      std::max({t.flops_seconds, t.mem_seconds, t.net_seconds});
-  if (t.total_seconds == t.net_seconds && t.net_seconds > 0.0) {
+  t.flops_seconds = FlopCount{w.flops} * c.node.time_per_flop;
+  t.mem_seconds = ByteCount{w.mem_bytes} * c.node.time_per_byte;
+  t.net_seconds = ByteCount{w.net_bytes} * c.time_per_net_byte;
+  t.total_seconds = max(max(t.flops_seconds, t.mem_seconds), t.net_seconds);
+  if (t.total_seconds == t.net_seconds && t.net_seconds > Seconds{0.0}) {
     t.bound = Channel::kNetwork;
   } else if (t.total_seconds == t.mem_seconds &&
              t.mem_seconds > t.flops_seconds) {
@@ -40,10 +39,10 @@ DistributedEnergy predict_energy(const ClusterParams& c,
                                  const DistributedProfile& w) noexcept {
   DistributedEnergy e;
   const DistributedTime t = predict_time(c, w);
-  e.flops_joules = c.nodes * w.flops * c.node.energy_per_flop;
-  e.mem_joules = c.nodes * w.mem_bytes * c.node.energy_per_byte;
-  e.net_joules = c.nodes * w.net_bytes * c.energy_per_net_byte;
-  e.const_joules = c.nodes * c.node.const_power * t.total_seconds;
+  e.flops_joules = FlopCount{c.nodes * w.flops} * c.node.energy_per_flop;
+  e.mem_joules = ByteCount{c.nodes * w.mem_bytes} * c.node.energy_per_byte;
+  e.net_joules = ByteCount{c.nodes * w.net_bytes} * c.energy_per_net_byte;
+  e.const_joules = c.nodes * (c.node.const_power * t.total_seconds);
   e.total_joules =
       e.flops_joules + e.mem_joules + e.net_joules + e.const_joules;
   return e;

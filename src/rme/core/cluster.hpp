@@ -30,17 +30,17 @@ struct ClusterParams {
   std::string name;
   MachineParams node;       ///< Per-node machine (incl. per-node π_0).
   double nodes = 1.0;       ///< p.
-  double time_per_net_byte = 0.0;    ///< τ_net [s/B], per node, throughput.
-  double energy_per_net_byte = 0.0;  ///< ε_net [J/B] (NIC + switch share).
+  TimePerByte time_per_net_byte;    ///< τ_net [s/B], per node, throughput.
+  EnergyPerByte energy_per_net_byte;  ///< ε_net [J/B] (NIC + switch share).
 
   /// Network time-balance: flops per network byte at which compute and
   /// network time break even on a node.
   [[nodiscard]] double net_time_balance() const noexcept {
-    return time_per_net_byte / node.time_per_flop;
+    return (time_per_net_byte / node.time_per_flop).value();
   }
   /// Network energy-balance: ε_net / ε_flop [flop/B].
   [[nodiscard]] double net_energy_balance() const noexcept {
-    return energy_per_net_byte / node.energy_per_flop;
+    return (energy_per_net_byte / node.energy_per_flop).value();
   }
 };
 
@@ -67,19 +67,19 @@ enum class Channel { kCompute, kMemory, kNetwork };
 /// Three-channel time/energy prediction for one node (all nodes are
 /// symmetric, so makespan equals node time).
 struct DistributedTime {
-  double flops_seconds = 0.0;
-  double mem_seconds = 0.0;
-  double net_seconds = 0.0;
-  double total_seconds = 0.0;
+  Seconds flops_seconds;
+  Seconds mem_seconds;
+  Seconds net_seconds;
+  Seconds total_seconds;
   Channel bound = Channel::kCompute;
 };
 
 struct DistributedEnergy {
-  double flops_joules = 0.0;  ///< Whole-cluster (p·node) values.
-  double mem_joules = 0.0;
-  double net_joules = 0.0;
-  double const_joules = 0.0;
-  double total_joules = 0.0;
+  Joules flops_joules;  ///< Whole-cluster (p·node) values.
+  Joules mem_joules;
+  Joules net_joules;
+  Joules const_joules;
+  Joules total_joules;
 };
 
 [[nodiscard]] DistributedTime predict_time(const ClusterParams& c,

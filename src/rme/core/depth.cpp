@@ -13,16 +13,17 @@ TimeBreakdown predict_time_depth(const MachineParams& m,
   // with p explicit lanes each flop-lane sustains p/(peak width) — we keep
   // τ_flop as the *aggregate* throughput cost and add the serial depth term.
   t.flops_seconds =
-      (k.flops / c.processors) * (m.time_per_flop * c.processors) +
-      c.depth * (m.time_per_flop * c.processors);
+      (k.work() / c.processors) * (m.time_per_flop * c.processors) +
+      FlopCount{c.depth} * (m.time_per_flop * c.processors);
   // Equivalent: W·τ_flop + D·p·τ_flop — depth costs a full machine-width
   // stall per critical-path step.
-  const double bw_seconds = k.bytes * m.time_per_byte;
-  const double latency_seconds =
-      c.mem_concurrency > 0.0 ? (k.bytes / c.mem_concurrency) * c.mem_latency
-                              : std::numeric_limits<double>::infinity();
-  t.mem_seconds = std::max(bw_seconds, latency_seconds);
-  t.total_seconds = std::max(t.flops_seconds, t.mem_seconds);
+  const Seconds bw_seconds = k.traffic() * m.time_per_byte;
+  const Seconds latency_seconds =
+      c.mem_concurrency > 0.0
+          ? (k.traffic() / c.mem_concurrency) * c.mem_latency
+          : Seconds{std::numeric_limits<double>::infinity()};
+  t.mem_seconds = max(bw_seconds, latency_seconds);
+  t.total_seconds = max(t.flops_seconds, t.mem_seconds);
   return t;
 }
 
@@ -30,8 +31,8 @@ EnergyBreakdown predict_energy_depth(const MachineParams& m,
                                      const KernelProfile& k,
                                      const ConcurrencyParams& c) noexcept {
   EnergyBreakdown e;
-  e.flops_joules = k.flops * m.energy_per_flop;
-  e.mem_joules = k.bytes * m.energy_per_byte;
+  e.flops_joules = k.work() * m.energy_per_flop;
+  e.mem_joules = k.traffic() * m.energy_per_byte;
   e.const_joules = m.const_power * predict_time_depth(m, k, c).total_seconds;
   e.total_joules = e.flops_joules + e.mem_joules + e.const_joules;
   return e;

@@ -23,7 +23,7 @@ struct ConcurrencyParams {
   double processors = 1.0;        ///< p: parallel work lanes.
   double depth = 0.0;             ///< D: critical-path length in flops.
   double mem_concurrency = 1.0;   ///< c: sustainable outstanding transfers.
-  double mem_latency = 0.0;       ///< L: seconds per (non-overlapped) mop.
+  TimePerByte mem_latency;        ///< L: seconds per (non-overlapped) mop.
 };
 
 /// Time under the work-depth refinement (see file comment).

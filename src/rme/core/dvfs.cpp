@@ -15,10 +15,10 @@ MachineParams at_frequency(const MachineParams& nominal, const DvfsModel& dvfs,
   // time_per_byte unchanged: separate memory clock domain.
   m.energy_per_flop = nominal.energy_per_flop * (v * v) / (v_nom * v_nom);
   // energy_per_byte unchanged: DRAM and interface energy.
-  const double fixed = dvfs.fixed_fraction * nominal.const_power;
-  const double leak = dvfs.static_fraction * nominal.const_power * (v / v_nom);
-  const double clock = (1.0 - dvfs.fixed_fraction - dvfs.static_fraction) *
-                       nominal.const_power * r * (v * v) / (v_nom * v_nom);
+  const Watts fixed = dvfs.fixed_fraction * nominal.const_power;
+  const Watts leak = dvfs.static_fraction * nominal.const_power * (v / v_nom);
+  const Watts clock = (1.0 - dvfs.fixed_fraction - dvfs.static_fraction) *
+                      nominal.const_power * r * (v * v) / (v_nom * v_nom);
   m.const_power = fixed + leak + clock;
   return m;
 }

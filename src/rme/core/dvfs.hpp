@@ -53,10 +53,10 @@ struct DvfsModel {
 
 /// One point of the E(f) / T(f) trade-off sweep.
 struct DvfsPoint {
-  double ratio = 1.0;
-  double seconds = 0.0;
-  double joules = 0.0;
-  double avg_watts = 0.0;
+  double ratio = 1.0;  ///< Frequency ratio relative to nominal.
+  Seconds seconds;
+  Joules joules;
+  Watts avg_watts;
 };
 
 /// Sweep frequency ratios (inclusive grid of `steps` points between the

@@ -11,16 +11,17 @@ const char* to_string(IdlePolicy policy) noexcept {
 
 namespace {
 
-double busy_seconds(const MachineParams& m, const KernelProfile& k,
-                    double share) noexcept {
-  if (share <= 0.0) return 0.0;
+Seconds busy_seconds(const MachineParams& m, const KernelProfile& k,
+                     double share) noexcept {
+  if (share <= 0.0) return Seconds{0.0};
   return predict_time(m, KernelProfile{k.flops * share, k.bytes * share})
       .total_seconds;
 }
 
-double dynamic_joules(const MachineParams& m, const KernelProfile& k,
+Joules dynamic_joules(const MachineParams& m, const KernelProfile& k,
                       double share) noexcept {
-  return share * (k.flops * m.energy_per_flop + k.bytes * m.energy_per_byte);
+  return share *
+         (k.work() * m.energy_per_flop + k.traffic() * m.energy_per_byte);
 }
 
 }  // namespace
@@ -33,11 +34,11 @@ HeteroSplit evaluate_split(const MachineParams& a, const MachineParams& b,
   s.alpha = alpha;
   s.device_a_seconds = busy_seconds(a, k, alpha);
   s.device_b_seconds = busy_seconds(b, k, 1.0 - alpha);
-  s.seconds = std::max(s.device_a_seconds, s.device_b_seconds);
+  s.seconds = max(s.device_a_seconds, s.device_b_seconds);
 
-  const double dyn = dynamic_joules(a, k, alpha) +
+  const Joules dyn = dynamic_joules(a, k, alpha) +
                      dynamic_joules(b, k, 1.0 - alpha);
-  double constant = 0.0;
+  Joules constant;
   if (policy == IdlePolicy::kAlwaysOn) {
     constant = (a.const_power + b.const_power) * s.seconds;
   } else {
@@ -57,8 +58,8 @@ HeteroSplit time_optimal_split(const MachineParams& a, const MachineParams& b,
   double hi = 1.0;
   for (int iter = 0; iter < 100; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    const double ta = busy_seconds(a, k, mid);
-    const double tb = busy_seconds(b, k, 1.0 - mid);
+    const Seconds ta = busy_seconds(a, k, mid);
+    const Seconds tb = busy_seconds(b, k, 1.0 - mid);
     (ta < tb ? lo : hi) = mid;
   }
   return evaluate_split(a, b, k, 0.5 * (lo + hi), policy);
@@ -81,8 +82,8 @@ HeteroSplit energy_optimal_split(const MachineParams& a,
   constexpr double kInvPhi = 0.6180339887498949;
   double x1 = hi - kInvPhi * (hi - lo);
   double x2 = lo + kInvPhi * (hi - lo);
-  double f1 = evaluate_split(a, b, k, x1, policy).joules;
-  double f2 = evaluate_split(a, b, k, x2, policy).joules;
+  Joules f1 = evaluate_split(a, b, k, x1, policy).joules;
+  Joules f2 = evaluate_split(a, b, k, x2, policy).joules;
   for (int iter = 0; iter < 80; ++iter) {
     if (f1 < f2) {
       hi = x2;

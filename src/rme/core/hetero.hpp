@@ -27,10 +27,10 @@ enum class IdlePolicy {
 /// the rest to device B.
 struct HeteroSplit {
   double alpha = 0.5;
-  double seconds = 0.0;       ///< Makespan max(T_A, T_B).
-  double joules = 0.0;        ///< Total energy under the idle policy.
-  double device_a_seconds = 0.0;
-  double device_b_seconds = 0.0;
+  Seconds seconds;  ///< Makespan max(T_A, T_B).
+  Joules joules;    ///< Total energy under the idle policy.
+  Seconds device_a_seconds;
+  Seconds device_b_seconds;
 };
 
 /// Evaluates a specific split.  alpha ∈ [0, 1]; a device receiving zero

@@ -5,11 +5,11 @@ namespace rme {
 HierarchicalEnergy predict_energy_multilevel(
     const MachineParams& m, const HierarchicalProfile& p) noexcept {
   HierarchicalEnergy e;
-  e.flops_joules = p.flops * m.energy_per_flop;
+  e.flops_joules = FlopCount{p.flops} * m.energy_per_flop;
   e.level_joules.reserve(p.levels.size());
-  double traffic_joules = 0.0;
+  Joules traffic_joules;
   for (const LevelTraffic& level : p.levels) {
-    const double j = level.joules();
+    const Joules j = level.joules();
     e.level_joules.push_back(j);
     traffic_joules += j;
   }
@@ -22,7 +22,7 @@ HierarchicalEnergy predict_energy_multilevel(
 
 MachineParams with_cache_charge(const MachineParams& m,
                                 double cache_crossings,
-                                double cache_energy_per_byte) noexcept {
+                                EnergyPerByte cache_energy_per_byte) noexcept {
   MachineParams out = m;
   out.name = m.name + " +cache-charged";
   out.energy_per_byte =
@@ -34,7 +34,7 @@ double effective_intensity(const MachineParams& m,
                            const HierarchicalProfile& p) noexcept {
   double weighted_bytes = 0.0;
   for (const LevelTraffic& level : p.levels) {
-    weighted_bytes += level.bytes * level.energy_per_byte / m.energy_per_byte;
+    weighted_bytes += level.bytes * (level.energy_per_byte / m.energy_per_byte);
   }
   return p.flops / weighted_bytes;
 }

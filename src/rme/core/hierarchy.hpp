@@ -19,12 +19,12 @@ namespace rme {
 
 /// Per-level traffic with its energy cost.
 struct LevelTraffic {
-  std::string name;             ///< e.g. "DRAM", "L2", "L1".
-  double bytes = 0.0;           ///< Traffic observed at this level.
-  double energy_per_byte = 0.0; ///< ε_l [J/B].
+  std::string name;    ///< e.g. "DRAM", "L2", "L1".
+  double bytes = 0.0;  ///< Traffic observed at this level.
+  EnergyPerByte energy_per_byte;  ///< ε_l [J/B].
 
-  [[nodiscard]] double joules() const noexcept {
-    return bytes * energy_per_byte;
+  [[nodiscard]] Joules joules() const noexcept {
+    return ByteCount{bytes} * energy_per_byte;
   }
 };
 
@@ -44,10 +44,10 @@ struct HierarchicalProfile {
 
 /// Energy breakdown for the multi-level model.
 struct HierarchicalEnergy {
-  double flops_joules = 0.0;
-  std::vector<double> level_joules;  ///< Parallel to profile.levels.
-  double const_joules = 0.0;
-  double total_joules = 0.0;
+  Joules flops_joules;
+  std::vector<Joules> level_joules;  ///< Parallel to profile.levels.
+  Joules const_joules;
+  Joules total_joules;
 };
 
 /// E = W·ε_flop + Σ_l Q_l·ε_l + π_0·T, with T from the two-level time
@@ -58,7 +58,7 @@ struct HierarchicalEnergy {
 
 /// The paper's fitted cache-access cost for the GTX 580 (§V-C): about
 /// 187 pJ per byte of combined L1+L2 traffic.
-inline constexpr double kPaperCacheEnergyPerByte = 187.0e-12;
+inline constexpr EnergyPerByte kPaperCacheEnergyPerByte{187.0e-12};
 
 /// "Effective intensity" of a hierarchical profile: W over the
 /// energy-weighted traffic Σ Q_l·ε_l / ε_mem — the intensity a two-level
@@ -76,6 +76,6 @@ inline constexpr double kPaperCacheEnergyPerByte = 187.0e-12;
 /// into the §II model).
 [[nodiscard]] MachineParams with_cache_charge(
     const MachineParams& m, double cache_crossings,
-    double cache_energy_per_byte = kPaperCacheEnergyPerByte) noexcept;
+    EnergyPerByte cache_energy_per_byte = kPaperCacheEnergyPerByte) noexcept;
 
 }  // namespace rme

@@ -2,22 +2,22 @@
 
 namespace rme {
 
-FlopOverhead flop_overhead(double fitted_eps_flop_joules,
+FlopOverhead flop_overhead(EnergyPerFlop fitted_eps_flop,
                            const KecklerEstimates& k) {
   FlopOverhead f;
-  f.fitted_pj = fitted_eps_flop_joules * 1e12;
+  f.fitted_pj = fitted_eps_flop.value() * 1e12;
   f.functional_unit_pj = k.flop_pj;
   f.overhead_pj = f.fitted_pj - f.functional_unit_pj;
   f.overhead_ratio = f.fitted_pj / f.functional_unit_pj;
   return f;
 }
 
-MemEnergyCrossCheck mem_energy_cross_check(double fitted_eps_mem_joules,
-                                           double flop_overhead_joules,
+MemEnergyCrossCheck mem_energy_cross_check(EnergyPerByte fitted_eps_mem,
+                                           EnergyPerFlop flop_overhead,
                                            double word_bytes,
                                            const KecklerEstimates& k) {
   MemEnergyCrossCheck c;
-  c.overhead_pj_per_b = flop_overhead_joules * 1e12 / word_bytes;
+  c.overhead_pj_per_b = flop_overhead.value() * 1e12 / word_bytes;
   // L1 and L2, one read and one write each as the data climbs the
   // hierarchy: 4 SRAM accesses at ~1.75 pJ/B.
   c.cache_pj_per_b = 4.0 * k.cache_rw_pj_per_b;
@@ -25,7 +25,7 @@ MemEnergyCrossCheck mem_energy_cross_check(double fitted_eps_mem_joules,
       k.dram_low_pj_per_b + c.overhead_pj_per_b + c.cache_pj_per_b;
   c.bottom_up_high_pj_per_b =
       k.dram_high_pj_per_b + c.overhead_pj_per_b + c.cache_pj_per_b;
-  c.fitted_pj_per_b = fitted_eps_mem_joules * 1e12;
+  c.fitted_pj_per_b = fitted_eps_mem.value() * 1e12;
   c.unexplained_pj_per_b = c.fitted_pj_per_b - c.bottom_up_high_pj_per_b;
   c.fitted_exceeds_bottom_up =
       c.fitted_pj_per_b > c.bottom_up_high_pj_per_b;

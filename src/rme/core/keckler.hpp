@@ -38,7 +38,7 @@ struct FlopOverhead {
   double overhead_ratio = 0.0;  ///< Fitted over functional-unit cost (~8x).
 };
 
-[[nodiscard]] FlopOverhead flop_overhead(double fitted_eps_flop_joules,
+[[nodiscard]] FlopOverhead flop_overhead(EnergyPerFlop fitted_eps_flop,
                                          const KecklerEstimates& k = {});
 
 /// The memory-side reconciliation: build the bottom-up per-byte
@@ -59,7 +59,7 @@ struct MemEnergyCrossCheck {
 /// `word_bytes` is the precision the overhead is amortized over; the
 /// paper uses single precision (4 B) for this estimate.
 [[nodiscard]] MemEnergyCrossCheck mem_energy_cross_check(
-    double fitted_eps_mem_joules, double flop_overhead_joules,
+    EnergyPerByte fitted_eps_mem, EnergyPerFlop flop_overhead,
     double word_bytes = 4.0, const KecklerEstimates& k = {});
 
 }  // namespace rme

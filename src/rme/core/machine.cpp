@@ -31,16 +31,17 @@ double MachineParams::balance_fixed_point() const noexcept {
 
 bool MachineParams::valid() const noexcept {
   const auto pos = [](double v) { return std::isfinite(v) && v > 0.0; };
-  return pos(time_per_flop) && pos(time_per_byte) && pos(energy_per_flop) &&
-         pos(energy_per_byte) && std::isfinite(const_power) &&
-         const_power >= 0.0;
+  return pos(time_per_flop.value()) && pos(time_per_byte.value()) &&
+         pos(energy_per_flop.value()) && pos(energy_per_byte.value()) &&
+         std::isfinite(const_power.value()) && const_power.value() >= 0.0;
 }
 
 std::ostream& operator<<(std::ostream& os, const MachineParams& m) {
-  os << "MachineParams{" << m.name << ": tau_flop=" << m.time_per_flop
-     << " s/flop, tau_mem=" << m.time_per_byte
-     << " s/B, eps_flop=" << m.energy_per_flop
-     << " J/flop, eps_mem=" << m.energy_per_byte << " J/B, pi0=" << m.const_power
+  os << "MachineParams{" << m.name << ": tau_flop=" << m.time_per_flop.value()
+     << " s/flop, tau_mem=" << m.time_per_byte.value()
+     << " s/B, eps_flop=" << m.energy_per_flop.value()
+     << " J/flop, eps_mem=" << m.energy_per_byte.value()
+     << " J/B, pi0=" << m.const_power.value()
      << " W, B_tau=" << m.time_balance() << ", B_eps=" << m.energy_balance()
      << "}";
   return os;

@@ -1,6 +1,14 @@
 #pragma once
 // MachineParams: the five-coefficient machine characterization of §II
 // (Table I of the paper), plus the derived balance quantities.
+//
+// The five coefficients carry their dimensions in the type system
+// (units.hpp): τ is s/flop or s/byte, ε is J/flop or J/byte, π_0 is
+// Watts — so the exact mix-ups the paper warns about (τ vs ε, B_τ vs a
+// raw τ) cannot compile.  Derived *normalized* scalars (balances in
+// flop/byte, efficiencies in [0,1]) are returned as `double`: they form
+// the model's sweep axes and circulate as plain numbers by design (see
+// the escape-hatch policy in units.hpp).
 
 #include <iosfwd>
 #include <string>
@@ -31,30 +39,30 @@ enum class Precision { kSingle, kDouble };
 /// B_ε, constant energy per flop ε_0, flop energy-efficiency η_flop, and
 /// the effective energy-balance B̂_ε(I) of eq. (6) — are methods here.
 struct MachineParams {
-  std::string name;            ///< Human-readable platform label.
-  double time_per_flop = 0.0;  ///< τ_flop [s/flop], throughput-based.
-  double time_per_byte = 0.0;  ///< τ_mem [s/byte], throughput-based.
-  double energy_per_flop = 0.0;  ///< ε_flop [J/flop].
-  double energy_per_byte = 0.0;  ///< ε_mem [J/byte].
-  double const_power = 0.0;      ///< π_0 [W].
+  std::string name;           ///< Human-readable platform label.
+  TimePerFlop time_per_flop;  ///< τ_flop [s/flop], throughput-based.
+  TimePerByte time_per_byte;  ///< τ_mem [s/byte], throughput-based.
+  EnergyPerFlop energy_per_flop;  ///< ε_flop [J/flop].
+  EnergyPerByte energy_per_byte;  ///< ε_mem [J/byte].
+  Watts const_power;              ///< π_0 [W].
 
   /// Classical time-balance point B_τ = τ_mem / τ_flop [flop/byte], §II-B.
   [[nodiscard]] double time_balance() const noexcept {
-    return time_per_byte / time_per_flop;
+    return (time_per_byte / time_per_flop).value();
   }
 
   /// Energy-balance point B_ε = ε_mem / ε_flop [flop/byte], eq. (4).
   [[nodiscard]] double energy_balance() const noexcept {
-    return energy_per_byte / energy_per_flop;
+    return (energy_per_byte / energy_per_flop).value();
   }
 
   /// Constant energy per flop ε_0 = π_0 · τ_flop [J/flop], §II-B.
-  [[nodiscard]] double const_energy_per_flop() const noexcept {
+  [[nodiscard]] EnergyPerFlop const_energy_per_flop() const noexcept {
     return const_power * time_per_flop;
   }
 
   /// Actual energy to execute one flop, ε̂_flop = ε_flop + ε_0 [J/flop].
-  [[nodiscard]] double actual_energy_per_flop() const noexcept {
+  [[nodiscard]] EnergyPerFlop actual_energy_per_flop() const noexcept {
     return energy_per_flop + const_energy_per_flop();
   }
 
@@ -81,27 +89,29 @@ struct MachineParams {
   }
 
   /// Peak arithmetic throughput [flop/s] — inverse of τ_flop.
-  [[nodiscard]] double peak_flops() const noexcept { return 1.0 / time_per_flop; }
+  [[nodiscard]] FlopsPerSecond peak_flops() const noexcept {
+    return 1.0 / time_per_flop;
+  }
 
   /// Peak memory bandwidth [byte/s] — inverse of τ_mem.
-  [[nodiscard]] double peak_bandwidth() const noexcept {
+  [[nodiscard]] BytesPerSecond peak_bandwidth() const noexcept {
     return 1.0 / time_per_byte;
   }
 
   /// Peak energy efficiency [flop/J] — inverse of ε̂_flop (flops only,
   /// zero traffic, constant power burning for the flop duration).
-  [[nodiscard]] double peak_flops_per_joule() const noexcept {
+  [[nodiscard]] FlopsPerJoule peak_flops_per_joule() const noexcept {
     return 1.0 / actual_energy_per_flop();
   }
 
   /// Power per flop π_flop = ε_flop / τ_flop [W], excluding constant
   /// power (§III).
-  [[nodiscard]] double flop_power() const noexcept {
+  [[nodiscard]] Watts flop_power() const noexcept {
     return energy_per_flop / time_per_flop;
   }
 
   /// Power per mop ε_mem / τ_mem [W], excluding constant power.
-  [[nodiscard]] double mem_power() const noexcept {
+  [[nodiscard]] Watts mem_power() const noexcept {
     return energy_per_byte / time_per_byte;
   }
 
@@ -109,6 +119,24 @@ struct MachineParams {
   /// (π_0 may be zero), i.e. the parameters describe a usable machine.
   [[nodiscard]] bool valid() const noexcept;
 };
+
+// Dimension proofs for the §II-B derived quantities: the balance points
+// are flop/byte, ε_0 is J/flop, π_flop is J/s.
+static_assert(
+    std::is_same_v<decltype(TimePerByte{} / TimePerFlop{}), Intensity>,
+    "B_tau = tau_mem / tau_flop is flop/byte");
+static_assert(
+    std::is_same_v<decltype(EnergyPerByte{} / EnergyPerFlop{}), Intensity>,
+    "B_eps = eps_mem / eps_flop is flop/byte");
+static_assert(
+    std::is_same_v<decltype(Watts{} * TimePerFlop{}), EnergyPerFlop>,
+    "eps_0 = pi_0 x tau_flop is J/flop  (SS II-B)");
+static_assert(
+    std::is_same_v<decltype(EnergyPerFlop{} / TimePerFlop{}), Watts>,
+    "pi_flop = eps_flop / tau_flop is J/s  (SS III)");
+static_assert(
+    std::is_same_v<decltype(EnergyPerFlop{} / EnergyPerFlop{}), double>,
+    "eta_flop = eps_flop / eps_hat_flop is dimensionless");
 
 std::ostream& operator<<(std::ostream& os, const MachineParams& m);
 

@@ -9,9 +9,9 @@ MachineParams fermi_table2() {
   m.name = "NVIDIA Fermi (Table II, Keckler et al.)";
   m.time_per_flop = seconds_per_flop_from_gflops(515.0);  // ~1.9 ps/flop
   m.time_per_byte = seconds_per_byte_from_gbs(144.0);     // ~6.9 ps/B
-  m.energy_per_flop = 25.0 * kPico;                       // 25 pJ/flop
-  m.energy_per_byte = 360.0 * kPico;                      // 360 pJ/B
-  m.const_power = 0.0;
+  m.energy_per_flop = picojoules_per_flop(25.0);                       // 25 pJ/flop
+  m.energy_per_byte = picojoules_per_byte(360.0);                      // 360 pJ/B
+  m.const_power = watts(0.0);
   return m;
 }
 
@@ -20,15 +20,15 @@ MachineParams gtx580(Precision p) {
   if (p == Precision::kSingle) {
     m.name = "NVIDIA GTX 580 (single)";
     m.time_per_flop = seconds_per_flop_from_gflops(1581.06);
-    m.energy_per_flop = 99.7 * kPico;  // eps_s, Table IV
+    m.energy_per_flop = picojoules_per_flop(99.7);  // eps_s, Table IV
   } else {
     m.name = "NVIDIA GTX 580 (double)";
     m.time_per_flop = seconds_per_flop_from_gflops(197.63);
-    m.energy_per_flop = 212.0 * kPico;  // eps_d, Table IV
+    m.energy_per_flop = picojoules_per_flop(212.0);  // eps_d, Table IV
   }
   m.time_per_byte = seconds_per_byte_from_gbs(192.4);
-  m.energy_per_byte = 513.0 * kPico;  // Table IV
-  m.const_power = 122.0;              // Table IV
+  m.energy_per_byte = picojoules_per_byte(513.0);  // Table IV
+  m.const_power = watts(122.0);              // Table IV
   return m;
 }
 
@@ -37,25 +37,26 @@ MachineParams i7_950(Precision p) {
   if (p == Precision::kSingle) {
     m.name = "Intel Core i7-950 (single)";
     m.time_per_flop = seconds_per_flop_from_gflops(106.56);
-    m.energy_per_flop = 371.0 * kPico;  // eps_s, Table IV
+    m.energy_per_flop = picojoules_per_flop(371.0);  // eps_s, Table IV
   } else {
     m.name = "Intel Core i7-950 (double)";
     m.time_per_flop = seconds_per_flop_from_gflops(53.28);
-    m.energy_per_flop = 670.0 * kPico;  // eps_d, Table IV
+    m.energy_per_flop = picojoules_per_flop(670.0);  // eps_d, Table IV
   }
   m.time_per_byte = seconds_per_byte_from_gbs(25.6);
-  m.energy_per_byte = 795.0 * kPico;  // Table IV
-  m.const_power = 122.0;              // Table IV
+  m.energy_per_byte = picojoules_per_byte(795.0);  // Table IV
+  m.const_power = watts(122.0);              // Table IV
   return m;
 }
 
 PlatformPeaks table3_cpu() noexcept {
-  return PlatformPeaks{"CPU", "Intel Core i7-950", 106.56, 53.28, 25.6, 130.0};
+  return PlatformPeaks{"CPU", "Intel Core i7-950", 106.56, 53.28, 25.6,
+                       Watts{130.0}};
 }
 
 PlatformPeaks table3_gpu() noexcept {
   return PlatformPeaks{"GPU", "NVIDIA GeForce GTX 580", 1581.06, 197.63, 192.4,
-                       130.0};
+                       Watts{244.0}};
 }
 
 }  // namespace rme::presets

@@ -48,7 +48,7 @@ struct PlatformPeaks {
   double gflops_single;
   double gflops_double;
   double bandwidth_gbs;
-  double tdp_watts;
+  Watts tdp_watts;
 };
 
 [[nodiscard]] PlatformPeaks table3_cpu() noexcept;

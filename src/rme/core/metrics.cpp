@@ -7,12 +7,13 @@ namespace rme {
 
 double energy_delay_product(const MachineParams& m, const KernelProfile& k,
                             double delay_weight) noexcept {
-  const double t = predict_time(m, k).total_seconds;
-  const double e = predict_energy(m, k).total_joules;
+  const double t = predict_time(m, k).total_seconds.value();
+  const double e = predict_energy(m, k).total_joules.value();
   return e * std::pow(t, delay_weight);
 }
 
-double flops_per_watt(const MachineParams& m, double intensity) noexcept {
+FlopsPerJoule flops_per_watt(const MachineParams& m,
+                             double intensity) noexcept {
   // (flops/second) / (joules/second) == flops/joule.
   return achieved_flops_per_joule(m, intensity);
 }
@@ -35,9 +36,9 @@ double metric_value(Metric metric, const MachineParams& m,
                     const KernelProfile& k) noexcept {
   switch (metric) {
     case Metric::kTime:
-      return predict_time(m, k).total_seconds;
+      return predict_time(m, k).total_seconds.value();
     case Metric::kEnergy:
-      return predict_energy(m, k).total_joules;
+      return predict_energy(m, k).total_joules.value();
     case Metric::kEdp:
       return energy_delay_product(m, k, 1.0);
     case Metric::kEd2p:

@@ -26,8 +26,17 @@ namespace rme {
 /// Flops per Watt = flops per Joule per second... dimensionally it *is*
 /// flops/Joule scaled by nothing: FLOP/s per Watt == FLOP/J.  Exposed
 /// under its Green500 name for clarity at call sites.
-[[nodiscard]] double flops_per_watt(const MachineParams& m,
-                                    double intensity) noexcept;
+[[nodiscard]] FlopsPerJoule flops_per_watt(const MachineParams& m,
+                                           double intensity) noexcept;
+
+// Dimension proof of the Green500 identity the comment above states.
+static_assert(
+    std::is_same_v<decltype(FlopsPerSecond{} / Watts{}), FlopsPerJoule>,
+    "(flop/s) / (J/s) = flop/J");
+
+/// Generalized EDP and the fused metrics below are *not* dimensionful
+/// quantities (E·T^w has fractional dimensions for non-integer w), so
+/// they are plain doubles by design — compare them only to themselves.
 
 /// A metric choice for optimization comparisons.
 enum class Metric {

@@ -1,6 +1,5 @@
 #include "rme/core/model.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <ostream>
 
@@ -10,20 +9,29 @@ const char* to_string(Bound b) noexcept {
   return b == Bound::kCompute ? "compute-bound" : "memory-bound";
 }
 
+KernelProfile KernelProfile::from_intensity(double intensity, double flops) {
+  if (!(intensity > 0.0) || !std::isfinite(intensity) || !(flops > 0.0)) {
+    throw std::invalid_argument(
+        "KernelProfile::from_intensity: requires 0 < intensity < inf and "
+        "flops > 0");
+  }
+  return KernelProfile{flops, flops / intensity};
+}
+
 TimeBreakdown predict_time(const MachineParams& m,
                            const KernelProfile& k) noexcept {
   TimeBreakdown t;
-  t.flops_seconds = k.flops * m.time_per_flop;
-  t.mem_seconds = k.bytes * m.time_per_byte;
-  t.total_seconds = std::max(t.flops_seconds, t.mem_seconds);
+  t.flops_seconds = k.work() * m.time_per_flop;
+  t.mem_seconds = k.traffic() * m.time_per_byte;
+  t.total_seconds = max(t.flops_seconds, t.mem_seconds);
   return t;
 }
 
 TimeBreakdown predict_time_serial(const MachineParams& m,
                                   const KernelProfile& k) noexcept {
   TimeBreakdown t;
-  t.flops_seconds = k.flops * m.time_per_flop;
-  t.mem_seconds = k.bytes * m.time_per_byte;
+  t.flops_seconds = k.work() * m.time_per_flop;
+  t.mem_seconds = k.traffic() * m.time_per_byte;
   t.total_seconds = t.flops_seconds + t.mem_seconds;
   return t;
 }
@@ -36,8 +44,8 @@ double normalized_speed_serial(const MachineParams& m,
 EnergyBreakdown predict_energy(const MachineParams& m,
                                const KernelProfile& k) noexcept {
   EnergyBreakdown e;
-  e.flops_joules = k.flops * m.energy_per_flop;
-  e.mem_joules = k.bytes * m.energy_per_byte;
+  e.flops_joules = k.work() * m.energy_per_flop;
+  e.mem_joules = k.traffic() * m.energy_per_byte;
   e.const_joules = m.const_power * predict_time(m, k).total_seconds;
   e.total_joules = e.flops_joules + e.mem_joules + e.const_joules;
   return e;
@@ -52,12 +60,13 @@ double normalized_efficiency(const MachineParams& m,
   return 1.0 / (1.0 + m.effective_energy_balance(intensity) / intensity);
 }
 
-double achieved_flops(const MachineParams& m, double intensity) noexcept {
+FlopsPerSecond achieved_flops(const MachineParams& m,
+                              double intensity) noexcept {
   return m.peak_flops() * normalized_speed(m, intensity);
 }
 
-double achieved_flops_per_joule(const MachineParams& m,
-                                double intensity) noexcept {
+FlopsPerJoule achieved_flops_per_joule(const MachineParams& m,
+                                       double intensity) noexcept {
   return m.peak_flops_per_joule() * normalized_efficiency(m, intensity);
 }
 
@@ -75,16 +84,16 @@ bool classifications_disagree(const MachineParams& m,
 }
 
 std::ostream& operator<<(std::ostream& os, const TimeBreakdown& t) {
-  os << "Time{flops=" << t.flops_seconds << " s, mem=" << t.mem_seconds
-     << " s, total=" << t.total_seconds << " s, " << to_string(t.bound())
-     << "}";
+  os << "Time{flops=" << t.flops_seconds.value() << " s, mem="
+     << t.mem_seconds.value() << " s, total=" << t.total_seconds.value()
+     << " s, " << to_string(t.bound()) << "}";
   return os;
 }
 
 std::ostream& operator<<(std::ostream& os, const EnergyBreakdown& e) {
-  os << "Energy{flops=" << e.flops_joules << " J, mem=" << e.mem_joules
-     << " J, const=" << e.const_joules << " J, total=" << e.total_joules
-     << " J}";
+  os << "Energy{flops=" << e.flops_joules.value() << " J, mem="
+     << e.mem_joules.value() << " J, const=" << e.const_joules.value()
+     << " J, total=" << e.total_joules.value() << " J}";
   return os;
 }
 

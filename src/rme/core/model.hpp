@@ -6,8 +6,14 @@
 // produce the model's time and energy predictions, their breakdowns, and
 // the compute-/memory-bound classifications in *both* metrics, which can
 // disagree whenever the balance gap B_ε/B_τ differs from one.
+//
+// Each equation carries a `static_assert` dimension proof next to its
+// declaration: the typed-quantity algebra of units.hpp derives the
+// dimension of every term, so the proof is simply "this expression has
+// the dimension the paper says it has".
 
 #include <iosfwd>
+#include <stdexcept>
 
 #include "rme/core/machine.hpp"
 #include "rme/core/units.hpp"
@@ -16,18 +22,34 @@ namespace rme {
 
 /// Algorithm characterization of §II-A: total work W (flops) and total
 /// slow-memory traffic Q (bytes).  Intensity I = W/Q.
+///
+/// W and Q are event *counts* and stay raw doubles (they are summed and
+/// scaled inside kernels and counters); the typed accessors `work()` /
+/// `traffic()` inject them into the dimensional algebra at the model
+/// boundary.
 struct KernelProfile {
   double flops = 0.0;  ///< W: useful arithmetic operations.
   double bytes = 0.0;  ///< Q: slow-memory traffic in bytes.
 
-  [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+  [[nodiscard]] FlopCount work() const noexcept { return FlopCount{flops}; }
+  [[nodiscard]] ByteCount traffic() const noexcept { return ByteCount{bytes}; }
+
+  /// Intensity I = W/Q [flop/byte].  Throws std::invalid_argument when
+  /// Q ≤ 0 or W < 0 — the silent inf/NaN these used to produce
+  /// propagate straight into the eq. (9) fits.
+  [[nodiscard]] double intensity() const {
+    if (!(bytes > 0.0) || flops < 0.0) {
+      throw std::invalid_argument(
+          "KernelProfile::intensity: requires bytes > 0 and flops >= 0");
+    }
+    return flops / bytes;
+  }
 
   /// Profile with unit work at a given intensity; the model is scale
-  /// invariant in W for all normalized quantities.
+  /// invariant in W for all normalized quantities.  Throws
+  /// std::invalid_argument unless 0 < intensity < ∞ and flops > 0.
   [[nodiscard]] static KernelProfile from_intensity(double intensity,
-                                                    double flops = 1.0) {
-    return KernelProfile{flops, flops / intensity};
-  }
+                                                    double flops = 1.0);
 };
 
 /// Which resource bounds the execution.
@@ -38,9 +60,9 @@ enum class Bound { kMemory, kCompute };
 /// Component times of eq. (3): T_flops = W·τ_flop, T_mem = Q·τ_mem and
 /// their overlapped total T = max(T_flops, T_mem)  (eq. (1)).
 struct TimeBreakdown {
-  double flops_seconds = 0.0;
-  double mem_seconds = 0.0;
-  double total_seconds = 0.0;
+  Seconds flops_seconds;
+  Seconds mem_seconds;
+  Seconds total_seconds;
 
   [[nodiscard]] Bound bound() const noexcept {
     return flops_seconds >= mem_seconds ? Bound::kCompute : Bound::kMemory;
@@ -51,13 +73,22 @@ struct TimeBreakdown {
   }
 };
 
+// Dimension proof of eqs. (1)/(3): both time components, hence their
+// max, are seconds.
+static_assert(std::is_same_v<decltype(FlopCount{} * TimePerFlop{}), Seconds>,
+              "eq. (3): T_flops = W x tau_flop is seconds");
+static_assert(std::is_same_v<decltype(ByteCount{} * TimePerByte{}), Seconds>,
+              "eq. (3): T_mem = Q x tau_mem is seconds");
+static_assert(std::is_same_v<decltype(max(Seconds{}, Seconds{})), Seconds>,
+              "eq. (1): T = max(T_flops, T_mem) is seconds");
+
 /// Component energies of eq. (4): E_flops = W·ε_flop, E_mem = Q·ε_mem,
 /// E_0 = π_0·T, and their sum  (eq. (2) — energy does not overlap).
 struct EnergyBreakdown {
-  double flops_joules = 0.0;
-  double mem_joules = 0.0;
-  double const_joules = 0.0;
-  double total_joules = 0.0;
+  Joules flops_joules;
+  Joules mem_joules;
+  Joules const_joules;
+  Joules total_joules;
 
   /// Compute-bound in energy means flops dominate the *dynamic* energy:
   /// the energy-balance comparison E_flops vs E_mem (I vs B_ε).
@@ -71,6 +102,29 @@ struct EnergyBreakdown {
     return total_joules / (flops_joules / m.flop_efficiency());
   }
 };
+
+// Dimension proof of eqs. (2)/(4): every energy term is Joules, so the
+// non-overlapping sum is too.
+static_assert(std::is_same_v<decltype(FlopCount{} * EnergyPerFlop{}), Joules>,
+              "eq. (4): E_flops = W x eps_flop is Joules");
+static_assert(std::is_same_v<decltype(ByteCount{} * EnergyPerByte{}), Joules>,
+              "eq. (4): E_mem = Q x eps_mem is Joules");
+static_assert(std::is_same_v<decltype(Watts{} * Seconds{}), Joules>,
+              "eq. (4): E_0 = pi_0 x T is Joules");
+static_assert(std::is_same_v<decltype(Joules{} + Joules{} + Joules{}), Joules>,
+              "eq. (2): E = E_flops + E_mem + E_0 is Joules");
+
+// Dimension proof of eqs. (5)/(6): the energy communication penalty and
+// the effective balance terms.  B̂_ε(I) combines flop/byte terms with the
+// dimensionless η_flop, and B̂_ε(I)/I cancels to a plain number, so
+// eq. (5)'s penalty 1 + B̂_ε(I)/I is dimensionless.
+static_assert(std::is_same_v<decltype(Joules{} / Joules{}), double>,
+              "eq. (5): E / (W x eps_hat_flop) is dimensionless");
+static_assert(std::is_same_v<decltype(Intensity{} / Intensity{}), double>,
+              "eq. (6): B_eps_hat(I) / I is dimensionless");
+static_assert(
+    std::is_same_v<decltype(Intensity{} * 1.0 + Intensity{} * 1.0), Intensity>,
+    "eq. (6): eta x B_eps + (1 - eta) x max(0, B_tau - I) is flop/byte");
 
 /// Eq. (1)/(3): overlapped execution time.
 [[nodiscard]] TimeBreakdown predict_time(const MachineParams& m,
@@ -105,12 +159,12 @@ struct EnergyBreakdown {
                                            double intensity) noexcept;
 
 /// Achieved arithmetic throughput [flop/s] at a given intensity.
-[[nodiscard]] double achieved_flops(const MachineParams& m,
-                                    double intensity) noexcept;
+[[nodiscard]] FlopsPerSecond achieved_flops(const MachineParams& m,
+                                            double intensity) noexcept;
 
 /// Achieved energy efficiency [flop/J] at a given intensity.
-[[nodiscard]] double achieved_flops_per_joule(const MachineParams& m,
-                                              double intensity) noexcept;
+[[nodiscard]] FlopsPerJoule achieved_flops_per_joule(const MachineParams& m,
+                                                     double intensity) noexcept;
 
 /// Classification in time: I < B_τ is memory-bound (§II-C).
 [[nodiscard]] Bound time_bound(const MachineParams& m,

@@ -11,10 +11,10 @@ namespace rme {
 namespace {
 
 double rate_scale(const MachineParams& m, double intensity,
-                  double cap_watts) noexcept {
-  const double dyn = average_power(m, intensity) - m.const_power;
-  const double headroom = cap_watts - m.const_power;
-  if (headroom <= 0.0) return 0.0;
+                  Watts cap_watts) noexcept {
+  const Watts dyn = average_power(m, intensity) - m.const_power;
+  const Watts headroom = cap_watts - m.const_power;
+  if (headroom <= Watts{0.0}) return 0.0;
   if (dyn <= headroom) return 1.0;
   return headroom / dyn;
 }
@@ -22,15 +22,15 @@ double rate_scale(const MachineParams& m, double intensity,
 }  // namespace
 
 CappedRun run_with_cap(const MachineParams& m, const KernelProfile& k,
-                       double cap_watts) noexcept {
+                       Watts cap_watts) {
   CappedRun r;
   const double s = rate_scale(m, k.intensity(), cap_watts);
   if (s == 0.0) {
     r.feasible = false;
     r.capped = true;
     r.scale = 0.0;
-    r.seconds = std::numeric_limits<double>::infinity();
-    r.joules = std::numeric_limits<double>::infinity();
+    r.seconds = Seconds{std::numeric_limits<double>::infinity()};
+    r.joules = Joules{std::numeric_limits<double>::infinity()};
     r.avg_watts = cap_watts;
     return r;
   }
@@ -38,39 +38,40 @@ CappedRun run_with_cap(const MachineParams& m, const KernelProfile& k,
   r.scale = s;
   r.capped = s < 1.0;
   r.seconds = t.total_seconds / s;
-  const double dynamic_joules =
-      k.flops * m.energy_per_flop + k.bytes * m.energy_per_byte;
+  const Joules dynamic_joules =
+      k.work() * m.energy_per_flop + k.traffic() * m.energy_per_byte;
   r.joules = dynamic_joules + m.const_power * r.seconds;
   r.avg_watts = r.joules / r.seconds;
   return r;
 }
 
 double capped_normalized_speed(const MachineParams& m, double intensity,
-                               double cap_watts) noexcept {
+                               Watts cap_watts) noexcept {
   return normalized_speed(m, intensity) * rate_scale(m, intensity, cap_watts);
 }
 
 double capped_normalized_efficiency(const MachineParams& m, double intensity,
-                                    double cap_watts) noexcept {
+                                    Watts cap_watts) {
   const KernelProfile k = KernelProfile::from_intensity(intensity);
   const CappedRun r = run_with_cap(m, k, cap_watts);
   if (!r.feasible) return 0.0;
-  const double ideal = k.flops * m.actual_energy_per_flop();
+  const Joules ideal = k.work() * m.actual_energy_per_flop();
   return ideal / r.joules;
 }
 
-double capped_average_power(const MachineParams& m, double intensity,
-                            double cap_watts) noexcept {
-  return std::min(average_power(m, intensity), cap_watts);
+Watts capped_average_power(const MachineParams& m, double intensity,
+                           Watts cap_watts) noexcept {
+  return min(average_power(m, intensity), cap_watts);
 }
 
-double cap_violation_onset(const MachineParams& m, double cap_watts) noexcept {
+double cap_violation_onset(const MachineParams& m, Watts cap_watts) noexcept {
   // P(I) rises monotonically on (0, B_tau] and falls on [B_tau, inf).
   if (max_power(m) <= cap_watts) return -1.0;
   // Solve on the rising branch: pf*(I + B_eps)/B_tau + pi0 = cap.
-  const double pf = m.flop_power();
+  const Watts pf = m.flop_power();
   const double onset =
-      (cap_watts - m.const_power) * m.time_balance() / pf - m.energy_balance();
+      ((cap_watts - m.const_power) / pf) * m.time_balance() -
+      m.energy_balance();
   return std::max(onset, 0.0);
 }
 

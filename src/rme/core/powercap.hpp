@@ -22,39 +22,40 @@ namespace rme {
 
 /// Result of executing a profile under a power cap.
 struct CappedRun {
-  double scale = 1.0;          ///< Rate scale s; 1 means the cap is inactive.
-  double seconds = 0.0;        ///< Throttled execution time.
-  double joules = 0.0;         ///< Total energy including inflated E_0.
-  double avg_watts = 0.0;      ///< Average power (≤ cap by construction).
-  bool capped = false;         ///< True if the cap bound the run.
-  bool feasible = true;        ///< False if cap ≤ π_0 (cannot run at all).
+  double scale = 1.0;   ///< Rate scale s; 1 means the cap is inactive.
+  Seconds seconds;      ///< Throttled execution time.
+  Joules joules;        ///< Total energy including inflated E_0.
+  Watts avg_watts;      ///< Average power (≤ cap by construction).
+  bool capped = false;  ///< True if the cap bound the run.
+  bool feasible = true; ///< False if cap ≤ π_0 (cannot run at all).
 };
 
-/// Execute a profile on machine `m` under `cap_watts`.
+/// Execute a profile on machine `m` under cap `cap_watts`.  Throws
+/// std::invalid_argument for a degenerate profile (Q ≤ 0 or W < 0).
 [[nodiscard]] CappedRun run_with_cap(const MachineParams& m,
                                      const KernelProfile& k,
-                                     double cap_watts) noexcept;
+                                     Watts cap_watts);
 
 /// Normalized speed under a cap: min(1, I/B_τ) · s(I).  This is the
 /// "measured" roofline shape of Fig. 4b near B_τ.
 [[nodiscard]] double capped_normalized_speed(const MachineParams& m,
                                              double intensity,
-                                             double cap_watts) noexcept;
+                                             Watts cap_watts) noexcept;
 
 /// Normalized energy efficiency under a cap.
 [[nodiscard]] double capped_normalized_efficiency(const MachineParams& m,
                                                   double intensity,
-                                                  double cap_watts) noexcept;
+                                                  Watts cap_watts);
 
 /// Average power under a cap (the clipped power line of Fig. 5b).
-[[nodiscard]] double capped_average_power(const MachineParams& m,
-                                          double intensity,
-                                          double cap_watts) noexcept;
+[[nodiscard]] Watts capped_average_power(const MachineParams& m,
+                                         double intensity,
+                                         Watts cap_watts) noexcept;
 
 /// The lowest intensity at which the *uncapped* model first demands more
 /// power than the cap, or a negative value if it never does.  Near this
 /// region measurements depart from the ideal roofline.
 [[nodiscard]] double cap_violation_onset(const MachineParams& m,
-                                         double cap_watts) noexcept;
+                                         Watts cap_watts) noexcept;
 
 }  // namespace rme

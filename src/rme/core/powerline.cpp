@@ -2,14 +2,14 @@
 
 namespace rme {
 
-double average_power(const MachineParams& m, double intensity) noexcept {
-  const double pf = m.flop_power();
+Watts average_power(const MachineParams& m, double intensity) noexcept {
+  const Watts pf = m.flop_power();
   const double b_tau = m.time_balance();
   const double b_eps = m.energy_balance();
   if (intensity >= b_tau) {
     return pf * (1.0 + b_eps / intensity) + m.const_power;
   }
-  return pf * (intensity + b_eps) / b_tau + m.const_power;
+  return pf * ((intensity + b_eps) / b_tau) + m.const_power;
 }
 
 double normalized_power(const MachineParams& m, double intensity) noexcept {
@@ -21,17 +21,17 @@ double normalized_power_flop_const(const MachineParams& m,
   return average_power(m, intensity) / (m.flop_power() + m.const_power);
 }
 
-double max_power(const MachineParams& m) noexcept {
+Watts max_power(const MachineParams& m) noexcept {
   return m.flop_power() * (1.0 + m.energy_balance() / m.time_balance()) +
          m.const_power;
 }
 
-double memory_bound_power_limit(const MachineParams& m) noexcept {
-  return m.flop_power() * m.energy_balance() / m.time_balance() +
+Watts memory_bound_power_limit(const MachineParams& m) noexcept {
+  return m.flop_power() * (m.energy_balance() / m.time_balance()) +
          m.const_power;
 }
 
-double compute_bound_power_limit(const MachineParams& m) noexcept {
+Watts compute_bound_power_limit(const MachineParams& m) noexcept {
   return m.flop_power() + m.const_power;
 }
 

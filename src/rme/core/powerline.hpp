@@ -12,8 +12,16 @@ namespace rme {
 ///
 ///   I ≥ B_τ (compute-bound):  P = π_flop·(1 + B_ε/I) + π_0
 ///   I < B_τ (memory-bound):   P = π_flop·(I + B_ε)/B_τ + π_0
-[[nodiscard]] double average_power(const MachineParams& m,
-                                   double intensity) noexcept;
+[[nodiscard]] Watts average_power(const MachineParams& m,
+                                  double intensity) noexcept;
+
+// Dimension proof of eq. (7): P = E/T is J/s, and every term of the
+// closed form is π_flop (J/s) scaled by a dimensionless balance ratio
+// plus π_0 (J/s).
+static_assert(std::is_same_v<decltype(Joules{} / Seconds{}), Watts>,
+              "eq. (7): P = E / T is J/s");
+static_assert(std::is_same_v<decltype(Watts{} * 1.0 + Watts{}), Watts>,
+              "eq. (7): pi_flop x (1 + B_eps/I) + pi_0 is J/s");
 
 /// Average power normalized to the flop power π_flop (Fig. 2b, π_0 = 0
 /// illustration).
@@ -27,13 +35,13 @@ namespace rme {
 
 /// Maximum of P(I) over all intensities — attained at I = B_τ, eq. (8):
 ///   P_max = π_flop·(1 + B_ε/B_τ) + π_0.
-[[nodiscard]] double max_power(const MachineParams& m) noexcept;
+[[nodiscard]] Watts max_power(const MachineParams& m) noexcept;
 
 /// Severely memory-bound limit (I → 0): the memory subsystem's power
 /// ε_mem/τ_mem + π_0, which equals π_flop·B_ε/B_τ + π_0.
-[[nodiscard]] double memory_bound_power_limit(const MachineParams& m) noexcept;
+[[nodiscard]] Watts memory_bound_power_limit(const MachineParams& m) noexcept;
 
 /// Severely compute-bound limit (I → ∞): π_flop + π_0.
-[[nodiscard]] double compute_bound_power_limit(const MachineParams& m) noexcept;
+[[nodiscard]] Watts compute_bound_power_limit(const MachineParams& m) noexcept;
 
 }  // namespace rme

@@ -64,18 +64,18 @@ Curve power_line_flop_const(const MachineParams& m,
 Curve achieved_gflops_curve(const MachineParams& m,
                             const std::vector<double>& grid) {
   return map_grid(grid,
-                  [&](double i) { return achieved_flops(m, i) / kGiga; });
+                  [&](double i) { return achieved_flops(m, i).value() / kGiga; });
 }
 
 Curve achieved_gflops_per_joule_curve(const MachineParams& m,
                                       const std::vector<double>& grid) {
   return map_grid(
-      grid, [&](double i) { return achieved_flops_per_joule(m, i) / kGiga; });
+      grid, [&](double i) { return achieved_flops_per_joule(m, i).value() / kGiga; });
 }
 
 Curve average_power_watts_curve(const MachineParams& m,
                                 const std::vector<double>& grid) {
-  return map_grid(grid, [&](double i) { return average_power(m, i); });
+  return map_grid(grid, [&](double i) { return average_power(m, i).value(); });
 }
 
 }  // namespace rme

@@ -15,15 +15,15 @@ KernelProfile transformed(const KernelProfile& baseline, const Transform& t) {
 
 double speedup(const MachineParams& machine, const KernelProfile& baseline,
                const Transform& t) noexcept {
-  const double before = predict_time(machine, baseline).total_seconds;
-  const double after = predict_time(machine, transformed(baseline, t)).total_seconds;
+  const Seconds before = predict_time(machine, baseline).total_seconds;
+  const Seconds after = predict_time(machine, transformed(baseline, t)).total_seconds;
   return before / after;
 }
 
 double greenup(const MachineParams& machine, const KernelProfile& baseline,
                const Transform& t) noexcept {
-  const double before = predict_energy(machine, baseline).total_joules;
-  const double after =
+  const Joules before = predict_energy(machine, baseline).total_joules;
+  const Joules after =
       predict_energy(machine, transformed(baseline, t)).total_joules;
   return before / after;
 }

@@ -1,30 +1,99 @@
 #pragma once
-// Strong arithmetic quantity types for the energy-roofline model.
+// Compile-time dimensional algebra for the energy-roofline model.
 //
 // The model (Choi, Bedard, Fowler, Vuduc — "A Roofline Model of Energy",
 // IPDPS 2013) mixes quantities with easily-confused dimensions: time per
-// flop, energy per byte, flops per Joule, Joules per second.  These thin
-// wrappers catch unit mix-ups at compile time at API boundaries while
-// staying trivially convertible to `double` for numeric kernels.
+// flop (τ), energy per byte (ε), flops per Joule, Joules per second, and
+// the balance points B_τ / B_ε that share the flop-per-byte dimension.
+// Every quantity here carries its dimension as a template parameter —
+// four integer exponents over the model's base dimensions
+//
+//     time [s] · energy [J] · work [flop] · traffic [byte]
+//
+// so products and quotients *derive* their dimension at compile time
+// (J / s = W, flop / byte = intensity, s / flop = τ) and dimension
+// mix-ups (adding Joules to seconds, passing a τ where an ε is
+// expected) are build errors, not silent reproduction bugs.
+//
+// Escape-hatch policy (see docs/API.md "Units & dimensional safety"):
+// `.value()` unwraps a quantity to a raw double.  It is reserved for
+// numeric kernels (matrix assembly, integrators, statistics) and for
+// normalized model scalars (normalized speed/efficiency, the intensity
+// sweep axis), which circulate as plain `double` by design.  Public
+// struct members and API parameters carry typed quantities; the
+// `tools/rme_lint` checker enforces that rule over all public headers.
 
 #include <cmath>
 #include <compare>
 #include <cstdint>
+#include <type_traits>
 
 namespace rme {
 
+/// A dimension: integer exponents over (time, energy, work, traffic).
+///
+/// `Dim<1,0,-1,0>` is s/flop (τ_flop); `Dim<-1,1,0,0>` is J/s = W.
+template <int TimeExp, int EnergyExp, int WorkExp, int TrafficExp>
+struct Dim {
+  static constexpr int time = TimeExp;
+  static constexpr int energy = EnergyExp;
+  static constexpr int work = WorkExp;
+  static constexpr int traffic = TrafficExp;
+};
+
+/// The trivial dimension: plain numbers.
+using Dimensionless = Dim<0, 0, 0, 0>;
+
+/// Dimension of a product / quotient: exponents add / subtract.
+template <class A, class B>
+using DimProduct = Dim<A::time + B::time, A::energy + B::energy,
+                       A::work + B::work, A::traffic + B::traffic>;
+template <class A, class B>
+using DimQuotient = Dim<A::time - B::time, A::energy - B::energy,
+                        A::work - B::work, A::traffic - B::traffic>;
+template <class A>
+using DimInverse = DimQuotient<Dimensionless, A>;
+
+template <class D>
+class Quantity;
+
+namespace detail {
+/// Maps a derived dimension to its carrier type: `Quantity<D>` in
+/// general, but a plain `double` when the dimensions cancel — so the
+/// ratio of two same-dimension quantities is directly usable as a
+/// number, and no `Quantity<Dimensionless>` ever exists.
+template <class D>
+struct QuantityResult {
+  using type = Quantity<D>;
+  static constexpr type make(double v) noexcept { return type{v}; }
+};
+template <>
+struct QuantityResult<Dimensionless> {
+  using type = double;
+  static constexpr double make(double v) noexcept { return v; }
+};
+}  // namespace detail
+
+/// The carrier type for dimension `D` (double when dimensionless).
+template <class D>
+using QuantityOf = typename detail::QuantityResult<D>::type;
+
 /// A dimension-tagged floating-point quantity.
 ///
-/// `Quantity` supports the closed operations (+, -, scaling by a plain
-/// number, ratio of same dimension) that are always dimensionally valid.
-/// Cross-dimension products/quotients (e.g. Joules / Seconds = Watts) are
-/// declared explicitly below, next to the types they relate.
-template <class Tag>
+/// Closed operations (+, -, scaling by a plain number) require matching
+/// dimensions.  Cross-dimension products and quotients are generic: the
+/// result's dimension is derived from the operands' exponents, and a
+/// fully cancelled dimension collapses to `double`.
+template <class D>
 class Quantity {
  public:
+  using dimension = D;
+
   constexpr Quantity() noexcept = default;
   constexpr explicit Quantity(double v) noexcept : value_(v) {}
 
+  /// Escape hatch to the raw number — for numeric kernels and
+  /// normalized scalars only; see the policy note in the file header.
   [[nodiscard]] constexpr double value() const noexcept { return value_; }
 
   constexpr auto operator<=>(const Quantity&) const noexcept = default;
@@ -64,48 +133,86 @@ class Quantity {
   friend constexpr Quantity operator/(Quantity a, double s) noexcept {
     return Quantity{a.value_ / s};
   }
-  /// Ratio of two same-dimension quantities is a plain number.
-  friend constexpr double operator/(Quantity a, Quantity b) noexcept {
-    return a.value_ / b.value_;
+  /// Inverse quantity: 1/τ_flop = peak flop rate, 1/ε̂_flop = flop/J.
+  friend constexpr QuantityOf<DimInverse<D>> operator/(double s,
+                                                       Quantity a) noexcept {
+    return detail::QuantityResult<DimInverse<D>>::make(s / a.value_);
+  }
+
+  /// Product with exponent-derived dimension; cancellation yields double.
+  template <class D2>
+  friend constexpr QuantityOf<DimProduct<D, D2>> operator*(
+      Quantity a, Quantity<D2> b) noexcept {
+    return detail::QuantityResult<DimProduct<D, D2>>::make(a.value_ *
+                                                           b.value());
+  }
+  /// Quotient with exponent-derived dimension; a same-dimension ratio is
+  /// a plain number.
+  template <class D2>
+  friend constexpr QuantityOf<DimQuotient<D, D2>> operator/(
+      Quantity a, Quantity<D2> b) noexcept {
+    return detail::QuantityResult<DimQuotient<D, D2>>::make(a.value_ /
+                                                            b.value());
   }
 
  private:
   double value_ = 0.0;
 };
 
-namespace tags {
-struct Time {};
-struct Energy {};
-struct Power {};
-struct Work {};       // arithmetic operations (flops)
-struct Traffic {};    // memory traffic (bytes)
-struct Intensity {};  // flops per byte
-}  // namespace tags
-
-using Seconds = Quantity<tags::Time>;
-using Joules = Quantity<tags::Energy>;
-using Watts = Quantity<tags::Power>;
-using FlopCount = Quantity<tags::Work>;
-using ByteCount = Quantity<tags::Traffic>;
-using Intensity = Quantity<tags::Intensity>;
-
-// --- Cross-dimension relations ---------------------------------------------
-
-/// Energy dissipated over a duration at constant power.
-constexpr Joules operator*(Watts p, Seconds t) noexcept {
-  return Joules{p.value() * t.value()};
+/// Same-dimension min/max, kept typed (std::max on .value() loses the
+/// dimension; eq. (1)'s T = max(T_flops, T_mem) should not).
+template <class D>
+[[nodiscard]] constexpr Quantity<D> max(Quantity<D> a, Quantity<D> b) noexcept {
+  return a.value() >= b.value() ? a : b;
 }
-constexpr Joules operator*(Seconds t, Watts p) noexcept { return p * t; }
-
-/// Average power of an energy spent over a duration.
-constexpr Watts operator/(Joules e, Seconds t) noexcept {
-  return Watts{e.value() / t.value()};
+template <class D>
+[[nodiscard]] constexpr Quantity<D> min(Quantity<D> a, Quantity<D> b) noexcept {
+  return a.value() <= b.value() ? a : b;
 }
 
-/// Operational intensity I = W / Q  (flops per byte), §II-A.
-constexpr Intensity operator/(FlopCount w, ByteCount q) noexcept {
-  return Intensity{w.value() / q.value()};
-}
+// --- The model's named dimensions ------------------------------------------
+//
+//                         time  energy  work  traffic
+using Seconds = Quantity<Dim<1, 0, 0, 0>>;
+using Joules = Quantity<Dim<0, 1, 0, 0>>;
+using FlopCount = Quantity<Dim<0, 0, 1, 0>>;     ///< W [flop]
+using ByteCount = Quantity<Dim<0, 0, 0, 1>>;     ///< Q [byte]
+using Watts = Quantity<Dim<-1, 1, 0, 0>>;        ///< J/s
+using Hertz = Quantity<Dim<-1, 0, 0, 0>>;        ///< 1/s (sample rates)
+using Intensity = Quantity<Dim<0, 0, 1, -1>>;    ///< I, B_τ, B_ε [flop/byte]
+using TimePerFlop = Quantity<Dim<1, 0, -1, 0>>;  ///< τ_flop [s/flop]
+using TimePerByte = Quantity<Dim<1, 0, 0, -1>>;  ///< τ_mem [s/byte]
+using EnergyPerFlop = Quantity<Dim<0, 1, -1, 0>>;  ///< ε_flop [J/flop]
+using EnergyPerByte = Quantity<Dim<0, 1, 0, -1>>;  ///< ε_mem [J/byte]
+using FlopsPerSecond = Quantity<Dim<-1, 0, 1, 0>>;   ///< throughput
+using BytesPerSecond = Quantity<Dim<-1, 0, 0, 1>>;   ///< bandwidth
+using FlopsPerJoule = Quantity<Dim<0, -1, 1, 0>>;    ///< energy efficiency
+
+// --- Dimension proofs of the algebra's load-bearing identities --------------
+//
+// Each paper equation gets a `static_assert` "dimension proof" next to
+// its implementation (model.hpp, machine.hpp, powerline.hpp).  The
+// generic identities the proofs build on are pinned here, so a future
+// edit to the exponent arithmetic cannot silently change them.
+
+static_assert(std::is_same_v<decltype(Watts{} * Seconds{}), Joules>,
+              "W x s = J");
+static_assert(std::is_same_v<decltype(Joules{} / Seconds{}), Watts>,
+              "J / s = W");
+static_assert(std::is_same_v<decltype(FlopCount{} / ByteCount{}), Intensity>,
+              "flop / byte = intensity  (I = W/Q, SS II-A)");
+static_assert(std::is_same_v<decltype(FlopCount{} * TimePerFlop{}), Seconds>,
+              "W x tau_flop = s");
+static_assert(std::is_same_v<decltype(FlopCount{} * EnergyPerFlop{}), Joules>,
+              "W x eps_flop = J");
+static_assert(std::is_same_v<decltype(ByteCount{} * EnergyPerByte{}), Joules>,
+              "Q x eps_mem = J");
+static_assert(std::is_same_v<decltype(1.0 / TimePerFlop{}), FlopsPerSecond>,
+              "1 / tau_flop = peak throughput");
+static_assert(std::is_same_v<decltype(1.0 / EnergyPerFlop{}), FlopsPerJoule>,
+              "1 / eps_flop = flops per Joule");
+static_assert(std::is_same_v<decltype(Seconds{} / Seconds{}), double>,
+              "same-dimension ratios are plain numbers");
 
 // --- SI prefixes, as multipliers --------------------------------------------
 
@@ -128,13 +235,19 @@ constexpr Seconds milliseconds(double v) noexcept { return Seconds{v * kMilli}; 
 constexpr Watts watts(double v) noexcept { return Watts{v}; }
 constexpr FlopCount gigaflops(double v) noexcept { return FlopCount{v * kGiga}; }
 constexpr ByteCount gigabytes(double v) noexcept { return ByteCount{v * kGiga}; }
+constexpr EnergyPerFlop picojoules_per_flop(double v) noexcept {
+  return EnergyPerFlop{v * kPico};
+}
+constexpr EnergyPerByte picojoules_per_byte(double v) noexcept {
+  return EnergyPerByte{v * kPico};
+}
 
 /// Throughput helpers: "X Gflop/s" -> seconds per flop, and inverse.
-constexpr double seconds_per_flop_from_gflops(double gflops) noexcept {
-  return 1.0 / (gflops * kGiga);
+constexpr TimePerFlop seconds_per_flop_from_gflops(double gflops) noexcept {
+  return TimePerFlop{1.0 / (gflops * kGiga)};
 }
-constexpr double seconds_per_byte_from_gbs(double gb_per_s) noexcept {
-  return 1.0 / (gb_per_s * kGiga);
+constexpr TimePerByte seconds_per_byte_from_gbs(double gb_per_s) noexcept {
+  return TimePerByte{1.0 / (gb_per_s * kGiga)};
 }
 
 /// Approximate-equality helper used pervasively by tests and fitting code.
@@ -145,6 +258,15 @@ constexpr double seconds_per_byte_from_gbs(double gb_per_s) noexcept {
   if (diff <= abs_tol) return true;
   const double scale = std::fmax(std::fabs(a), std::fabs(b));
   return diff <= rel_tol * scale;
+}
+
+/// Typed overload: quantities only compare approximately to quantities
+/// of the same dimension.
+template <class D>
+[[nodiscard]] bool approx_equal(Quantity<D> a, Quantity<D> b,
+                                double rel_tol = 1e-9,
+                                double abs_tol = 0.0) noexcept {
+  return approx_equal(a.value(), b.value(), rel_tol, abs_tol);
 }
 
 }  // namespace rme

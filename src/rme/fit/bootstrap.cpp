@@ -10,7 +10,7 @@
 namespace rme::fit {
 
 double energy_balance_statistic(const EnergyCoefficients& c) {
-  return c.eps_mem / c.eps_double();
+  return (c.eps_mem / c.eps_double()).value();
 }
 
 BootstrapEstimate bootstrap_energy_fit(

@@ -6,26 +6,26 @@
 
 namespace rme::fit {
 
-double estimate_energy_two_level(const MachineParams& m,
+Joules estimate_energy_two_level(const MachineParams& m,
                                  const CacheSample& s) noexcept {
-  return s.flops * m.energy_per_flop + s.dram_bytes * m.energy_per_byte +
+  return s.work() * m.energy_per_flop + s.dram_traffic() * m.energy_per_byte +
          m.const_power * s.seconds;
 }
 
-double estimate_energy_with_cache(const MachineParams& m, const CacheSample& s,
-                                  double cache_eps) noexcept {
-  return estimate_energy_two_level(m, s) + cache_eps * s.cache_bytes;
+Joules estimate_energy_with_cache(const MachineParams& m, const CacheSample& s,
+                                  EnergyPerByte cache_eps) noexcept {
+  return estimate_energy_two_level(m, s) + s.cache_traffic() * cache_eps;
 }
 
-double calibrate_cache_energy(const MachineParams& m,
-                              const CacheSample& reference) {
+EnergyPerByte calibrate_cache_energy(const MachineParams& m,
+                                     const CacheSample& reference) {
   if (reference.cache_bytes <= 0.0) {
     throw std::invalid_argument(
         "calibrate_cache_energy: reference sample has no cache traffic");
   }
-  const double residual =
+  const Joules residual =
       reference.joules - estimate_energy_two_level(m, reference);
-  return residual / reference.cache_bytes;
+  return residual / reference.cache_traffic();
 }
 
 namespace {
@@ -61,13 +61,13 @@ ErrorStats two_level_error(const MachineParams& m,
   errors.reserve(samples.size());
   for (const CacheSample& s : samples) {
     errors.push_back((estimate_energy_two_level(m, s) - s.joules) / s.joules);
-  }
+  }  // Joules/Joules collapses to double.
   return collect_errors(std::move(errors));
 }
 
 ErrorStats cache_aware_error(const MachineParams& m,
                              const std::vector<CacheSample>& samples,
-                             double cache_eps) {
+                             EnergyPerByte cache_eps) {
   std::vector<double> errors;
   errors.reserve(samples.size());
   for (const CacheSample& s : samples) {

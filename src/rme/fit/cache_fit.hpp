@@ -17,27 +17,36 @@ namespace rme::fit {
 
 /// Per-variant observation: counters plus the measured energy.
 struct CacheSample {
-  double flops = 0.0;
-  double dram_bytes = 0.0;
+  double flops = 0.0;        ///< Raw event count.
+  double dram_bytes = 0.0;   ///< Raw event count.
   double cache_bytes = 0.0;  ///< Combined L1+L2 interface traffic.
-  double seconds = 0.0;      ///< Measured execution time.
-  double joules = 0.0;       ///< Measured total energy.
+  Seconds seconds;           ///< Measured execution time.
+  Joules joules;             ///< Measured total energy.
+
+  /// Typed views of the raw counts (units.hpp raw-count policy).
+  [[nodiscard]] FlopCount work() const noexcept { return FlopCount{flops}; }
+  [[nodiscard]] ByteCount dram_traffic() const noexcept {
+    return ByteCount{dram_bytes};
+  }
+  [[nodiscard]] ByteCount cache_traffic() const noexcept {
+    return ByteCount{cache_bytes};
+  }
 };
 
 /// Two-level (eq. (2)) energy estimate for a sample, using the machine's
 /// fitted ε coefficients and constant power over the measured time.
-[[nodiscard]] double estimate_energy_two_level(const MachineParams& m,
+[[nodiscard]] Joules estimate_energy_two_level(const MachineParams& m,
                                                const CacheSample& s) noexcept;
 
 /// Cache-aware estimate: eq. (2) plus ε_cache · cache_bytes.
-[[nodiscard]] double estimate_energy_with_cache(const MachineParams& m,
-                                                const CacheSample& s,
-                                                double cache_eps) noexcept;
+[[nodiscard]] Joules estimate_energy_with_cache(
+    const MachineParams& m, const CacheSample& s,
+    EnergyPerByte cache_eps) noexcept;
 
 /// Calibrates ε_cache from a reference sample (§V-C): the residual of
 /// the two-level estimate divided by the cache traffic.
-[[nodiscard]] double calibrate_cache_energy(const MachineParams& m,
-                                            const CacheSample& reference);
+[[nodiscard]] EnergyPerByte calibrate_cache_energy(
+    const MachineParams& m, const CacheSample& reference);
 
 /// Relative error statistics of an estimator over a sample set.
 struct ErrorStats {
@@ -54,8 +63,8 @@ struct ErrorStats {
                                          const std::vector<CacheSample>& samples);
 
 /// Error of the cache-aware estimate over `samples`.
-[[nodiscard]] ErrorStats cache_aware_error(const MachineParams& m,
-                                           const std::vector<CacheSample>& samples,
-                                           double cache_eps);
+[[nodiscard]] ErrorStats cache_aware_error(
+    const MachineParams& m, const std::vector<CacheSample>& samples,
+    EnergyPerByte cache_eps);
 
 }  // namespace rme::fit

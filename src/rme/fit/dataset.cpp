@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -65,8 +66,8 @@ void write_samples_csv(std::ostream& os,
   os << "flops,bytes,seconds,joules,precision\n";
   os << std::setprecision(17);
   for (const EnergySample& s : samples) {
-    os << s.flops << ',' << s.bytes << ',' << s.seconds << ',' << s.joules
-       << ',' << to_string(s.precision) << '\n';
+    os << s.flops << ',' << s.bytes << ',' << s.seconds.value() << ','
+       << s.joules.value() << ',' << to_string(s.precision) << '\n';
   }
 }
 
@@ -106,9 +107,27 @@ std::vector<EnergySample> read_samples_csv(std::istream& is) {
     EnergySample s;
     s.flops = parse_number(cells[c_flops], line_no, "flops");
     s.bytes = parse_number(cells[c_bytes], line_no, "bytes");
-    s.seconds = parse_number(cells[c_seconds], line_no, "seconds");
-    s.joules = parse_number(cells[c_joules], line_no, "joules");
+    s.seconds = Seconds{parse_number(cells[c_seconds], line_no, "seconds")};
+    s.joules = Joules{parse_number(cells[c_joules], line_no, "joules")};
     s.precision = parse_precision(cells[c_prec], line_no);
+    // Reject tuples the eq. (9) regression could never consume: the
+    // design matrix divides by W and T.
+    if (!(std::isfinite(s.flops) && s.flops > 0.0)) {
+      throw DatasetError("dataset line " + std::to_string(line_no) +
+                         ": flops must be positive and finite");
+    }
+    if (!(std::isfinite(s.bytes) && s.bytes >= 0.0)) {
+      throw DatasetError("dataset line " + std::to_string(line_no) +
+                         ": bytes must be non-negative and finite");
+    }
+    if (!(std::isfinite(s.seconds.value()) && s.seconds > Seconds{0.0})) {
+      throw DatasetError("dataset line " + std::to_string(line_no) +
+                         ": seconds must be positive and finite");
+    }
+    if (!std::isfinite(s.joules.value())) {
+      throw DatasetError("dataset line " + std::to_string(line_no) +
+                         ": joules must be finite");
+    }
     samples.push_back(s);
   }
   return samples;

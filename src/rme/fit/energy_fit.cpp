@@ -37,15 +37,15 @@ EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples,
   std::vector<double> y(samples.size(), 0.0);
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const EnergySample& s = samples[i];
-    if (s.flops <= 0.0 || s.seconds <= 0.0) {
+    if (s.flops <= 0.0 || s.seconds <= Seconds{0.0}) {
       throw std::invalid_argument(
           "fit_energy_coefficients: flops and seconds must be positive");
     }
     x(i, 0) = 1.0;
     x(i, 1) = s.bytes / s.flops;
-    x(i, 2) = s.seconds / s.flops;
+    x(i, 2) = s.seconds.value() / s.flops;
     x(i, 3) = s.precision == Precision::kDouble ? 1.0 : 0.0;
-    y[i] = s.joules / s.flops;
+    y[i] = s.joules.value() / s.flops;
   }
 
   if (options.relative_error) {
@@ -75,18 +75,22 @@ EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples,
   } else {
     fit.regression = ols(x, y, names);
   }
-  fit.coefficients.eps_single = fit.regression.by_name("eps_s").value;
-  fit.coefficients.eps_mem = fit.regression.by_name("eps_mem").value;
-  fit.coefficients.const_power = fit.regression.by_name("pi0").value;
-  fit.coefficients.delta_double = fit.regression.by_name("delta_eps_d").value;
+  fit.coefficients.eps_single =
+      EnergyPerFlop{fit.regression.by_name("eps_s").value};
+  fit.coefficients.eps_mem =
+      EnergyPerByte{fit.regression.by_name("eps_mem").value};
+  fit.coefficients.const_power = Watts{fit.regression.by_name("pi0").value};
+  fit.coefficients.delta_double =
+      EnergyPerFlop{fit.regression.by_name("delta_eps_d").value};
   return fit;
 }
 
 DerivedQuantity fitted_energy_balance(const EnergyFit& fit, Precision p) {
-  const double eps_mem = fit.coefficients.eps_mem;
-  const double eps_flop = p == Precision::kSingle
-                              ? fit.coefficients.eps_single
-                              : fit.coefficients.eps_double();
+  const double eps_mem = fit.coefficients.eps_mem.value();
+  const double eps_flop = (p == Precision::kSingle
+                               ? fit.coefficients.eps_single
+                               : fit.coefficients.eps_double())
+                              .value();
   DerivedQuantity q;
   q.value = eps_mem / eps_flop;
   // B_ε = ε_mem / ε_flop with ε_flop = ε_s (+ Δε_d for double):
@@ -103,11 +107,12 @@ DerivedQuantity fitted_energy_balance(const EnergyFit& fit, Precision p) {
 }
 
 DerivedQuantity fitted_const_energy_per_flop(const EnergyFit& fit,
-                                             double time_per_flop) {
+                                             TimePerFlop time_per_flop) {
   DerivedQuantity q;
-  q.value = fit.coefficients.const_power * time_per_flop;
+  // ε₀ = π₀·τ_flop is J/flop; DerivedQuantity carries the magnitude.
+  q.value = (fit.coefficients.const_power * time_per_flop).value();
   q.std_error = delta_method_stderr(fit.regression,
-                                    {{"pi0", time_per_flop}});
+                                    {{"pi0", time_per_flop.value()}});
   return q;
 }
 

@@ -18,22 +18,26 @@ namespace rme::fit {
 
 /// One observation: the 4-tuple (W, Q, T, R) plus measured energy E.
 struct EnergySample {
-  double flops = 0.0;     ///< W (precision-native flops).
-  double bytes = 0.0;     ///< Q.
-  double seconds = 0.0;   ///< Measured T.
-  double joules = 0.0;    ///< Measured E.
+  double flops = 0.0;  ///< W (precision-native flops; raw event count).
+  double bytes = 0.0;  ///< Q (raw event count).
+  Seconds seconds;     ///< Measured T.
+  Joules joules;       ///< Measured E.
   Precision precision = Precision::kSingle;  ///< R = 0 single, 1 double.
+
+  /// Typed views of the raw counts (units.hpp raw-count policy).
+  [[nodiscard]] FlopCount work() const noexcept { return FlopCount{flops}; }
+  [[nodiscard]] ByteCount traffic() const noexcept { return ByteCount{bytes}; }
 };
 
 /// The fitted coefficients of eq. (9) — a Table IV row set.
 struct EnergyCoefficients {
-  double eps_single = 0.0;   ///< ε_s  [J/flop].
-  double delta_double = 0.0; ///< Δε_d [J/flop].
-  double eps_mem = 0.0;      ///< ε_mem [J/byte].
-  double const_power = 0.0;  ///< π_0 [W].
+  EnergyPerFlop eps_single;    ///< ε_s  [J/flop].
+  EnergyPerFlop delta_double;  ///< Δε_d [J/flop].
+  EnergyPerByte eps_mem;       ///< ε_mem [J/byte].
+  Watts const_power;           ///< π_0 [W].
 
   /// ε_d = ε_s + Δε_d.
-  [[nodiscard]] double eps_double() const noexcept {
+  [[nodiscard]] EnergyPerFlop eps_double() const noexcept {
     return eps_single + delta_double;
   }
 
@@ -98,6 +102,6 @@ struct DerivedQuantity {
 /// Constant energy per flop ε₀ = π₀·τ_flop with propagated uncertainty
 /// (τ_flop is treated as exact, as the paper takes it from Table III).
 [[nodiscard]] DerivedQuantity fitted_const_energy_per_flop(
-    const EnergyFit& fit, double time_per_flop);
+    const EnergyFit& fit, TimePerFlop time_per_flop);
 
 }  // namespace rme::fit

@@ -21,21 +21,25 @@ VariantObservation observe_variant(const Octree& tree, const UList& ulist,
   const double cache = obs.counters.cache_bytes();
 
   // Ground-truth execution: overlapped time on the derated machine.
-  const double t_flops =
-      flops * m.time_per_flop / platform.flop_fraction;
-  const double t_mem = dram * m.time_per_byte / platform.bw_fraction;
-  const double seconds = std::max(t_flops, t_mem);
+  const Seconds t_flops =
+      FlopCount{flops} * m.time_per_flop / platform.flop_fraction;
+  const Seconds t_mem =
+      ByteCount{dram} * m.time_per_byte / platform.bw_fraction;
+  const Seconds seconds = max(t_flops, t_mem);
   // Ground-truth energy *includes the cache-access cost* — the quantity
   // eq. (2) misses until §V-C's calibration adds it back.
-  const double joules = flops * m.energy_per_flop + dram * m.energy_per_byte +
-                        cache * platform.cache_energy_per_byte +
+  const Joules joules = FlopCount{flops} * m.energy_per_flop +
+                        ByteCount{dram} * m.energy_per_byte +
+                        ByteCount{cache} * platform.cache_energy_per_byte +
                         m.const_power * seconds;
 
   obs.sample.flops = flops;
   obs.sample.dram_bytes = dram;
   obs.sample.cache_bytes = cache;
-  obs.sample.seconds = platform.noise.perturb(seconds, 2 * salt + 1);
-  obs.sample.joules = platform.noise.perturb(joules, 2 * salt + 2);
+  obs.sample.seconds =
+      Seconds{platform.noise.perturb(seconds.value(), 2 * salt + 1)};
+  obs.sample.joules =
+      Joules{platform.noise.perturb(joules.value(), 2 * salt + 2)};
   return obs;
 }
 

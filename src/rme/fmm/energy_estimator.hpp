@@ -28,7 +28,7 @@ struct UlistPlatform {
   MachineParams machine;  ///< Fitted coefficients (e.g. GTX 580).
   /// Ground-truth cache-access energy the estimator must discover
   /// (§V-C fitted ≈187 pJ/B on the GTX 580).
-  double cache_energy_per_byte = 187.0e-12;
+  EnergyPerByte cache_energy_per_byte{187.0e-12};
   /// Achievable fractions of peak for this irregular kernel.
   double flop_fraction = 0.85;
   double bw_fraction = 0.80;
@@ -60,7 +60,7 @@ struct VariantObservation {
 struct UlistStudy {
   rme::fit::ErrorStats two_level;    ///< Errors of the plain eq. (2).
   rme::fit::ErrorStats cache_aware;  ///< Errors with the fitted term.
-  double calibrated_cache_eps = 0.0; ///< Fitted ε_cache [J/B].
+  EnergyPerByte calibrated_cache_eps; ///< Fitted ε_cache [J/B].
   std::size_t validated_variants = 0;
 };
 

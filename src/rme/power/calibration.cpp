@@ -18,8 +18,8 @@ std::vector<rme::fit::EnergySample> sweep_samples(
     rme::fit::EnergySample s;
     s.flops = result.kernel.flops;
     s.bytes = result.kernel.bytes;
-    s.seconds = result.seconds.median;
-    s.joules = result.joules.median;
+    s.seconds = Seconds{result.seconds.median};
+    s.joules = Joules{result.joules.median};
     s.precision = prec;
     samples.push_back(s);
   }
@@ -68,8 +68,8 @@ CalibrationResult calibrate_platform(const MeasurementSession& single_session,
   const auto make_machine = [&](Precision p, double gflops) {
     MachineParams m;
     m.name = std::string("calibrated (") + to_string(p) + ")";
-    m.time_per_flop = 1.0 / (gflops * 1e9);
-    m.time_per_byte = 1.0 / (result.achieved_gbs * 1e9);
+    m.time_per_flop = seconds_per_flop_from_gflops(gflops);
+    m.time_per_byte = seconds_per_byte_from_gbs(result.achieved_gbs);
     return result.fit.coefficients.to_machine(m, p);
   };
   result.single_precision =

@@ -26,11 +26,11 @@ Channel::Channel(std::string name, double nominal_volts, double power_fraction)
   }
 }
 
-ChannelSample Channel::sample(const rme::sim::PowerTrace& trace, double t,
+ChannelSample Channel::sample(const rme::sim::PowerTrace& trace, Seconds t,
                               const AdcModel& adc) const {
   ChannelSample s;
   s.timestamp = t;
-  const double rail_watts = fraction_ * trace.watts_at(t);
+  const double rail_watts = fraction_ * trace.watts_at(t).value();
   s.volts = adc.quantize_volts(volts_);
   const double raw_amps = s.volts > 0.0 ? rail_watts / s.volts : 0.0;
   s.amps = adc.quantize_amps(raw_amps);

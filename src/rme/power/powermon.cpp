@@ -9,7 +9,7 @@ namespace rme::power {
 bool PowerMonConfig::within_hardware_limits(
     std::size_t channels) const noexcept {
   if (channels == 0 || channels > kMaxChannels) return false;
-  if (sample_hz <= 0.0 || sample_hz > kMaxPerChannelHz) return false;
+  if (sample_hz <= Hertz{0.0} || sample_hz > kMaxPerChannelHz) return false;
   if (sample_hz * static_cast<double>(channels) > kMaxAggregateHz) {
     return false;
   }
@@ -40,15 +40,15 @@ Measurement PowerMon::measure_clean(const rme::sim::PowerTrace& trace) const {
   Measurement m;
   m.duration_seconds = trace.duration();
   m.true_energy_joules = trace.energy();
-  if (m.duration_seconds <= 0.0) return m;
+  if (m.duration_seconds <= Seconds{0.0}) return m;
 
-  const double dt = 1.0 / config_.sample_hz;
+  const Seconds dt = 1.0 / config_.sample_hz;
   double sum = 0.0;
-  for (double t = config_.phase_offset_seconds; t < m.duration_seconds;
+  for (Seconds t = config_.phase_offset_seconds; t < m.duration_seconds;
        t += dt) {
     double tick_watts = 0.0;
     for (const Channel& c : channels_) {
-      tick_watts += c.sample(trace, t, config_.adc).watts();
+      tick_watts += c.sample(trace, t, config_.adc).watts().value();
     }
     m.sample_watts.push_back(tick_watts);
     sum += tick_watts;
@@ -58,15 +58,15 @@ Measurement PowerMon::measure_clean(const rme::sim::PowerTrace& trace) const {
     // Run shorter than one sampling interval: fall back to a single
     // mid-run sample, as the real instrument would catch at most one tick.
     double tick_watts = 0.0;
-    const double mid = 0.5 * m.duration_seconds;
+    const Seconds mid = 0.5 * m.duration_seconds;
     for (const Channel& c : channels_) {
-      tick_watts += c.sample(trace, mid, config_.adc).watts();
+      tick_watts += c.sample(trace, mid, config_.adc).watts().value();
     }
     m.sample_watts.push_back(tick_watts);
     m.samples = 1;
     sum = tick_watts;
   }
-  m.avg_watts = sum / static_cast<double>(m.samples);
+  m.avg_watts = Watts{sum / static_cast<double>(m.samples)};
   m.energy_joules = m.avg_watts * m.duration_seconds;
   return m;
 }
@@ -110,11 +110,14 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
   for (std::size_t c = 0; c < nch; ++c) {
     m.quality.channels[c].name = channels_[c].name();
   }
-  if (m.duration_seconds <= 0.0) return m;
+  if (m.duration_seconds <= Seconds{0.0}) return m;
 
-  const double dt = 1.0 / config_.sample_hz;
+  // Fault scheduling and gap integration are numeric kernels: work on the
+  // raw magnitudes and re-wrap at the Measurement boundary.
+  const double duration = m.duration_seconds.value();
+  const double dt = (1.0 / config_.sample_hz).value();
   const rme::sim::FaultSchedule sched =
-      injector_.schedule(nch, m.duration_seconds, run_salt);
+      injector_.schedule(nch, duration, run_salt);
   for (std::size_t c = 0; c < nch; ++c) {
     m.quality.channels[c].stuck = sched.channels[c].stuck;
   }
@@ -135,12 +138,14 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
       double w;
       if (sched.channels[c].stuck) {
         if (!stuck_latched[c]) {
-          stuck_value[c] = channels_[c].sample(trace, t, config_.adc).watts();
+          stuck_value[c] =
+              channels_[c].sample(trace, Seconds{t}, config_.adc).watts()
+                  .value();
           stuck_latched[c] = true;
         }
         w = stuck_value[c];
       } else {
-        w = channels_[c].sample(trace, t, config_.adc).watts();
+        w = channels_[c].sample(trace, Seconds{t}, config_.adc).watts().value();
       }
       w *= injector_.spike_gain(tick, c, run_salt);
       bool saturated = false;
@@ -158,7 +163,7 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
   };
 
   std::size_t tick = 0;
-  for (double t0 = config_.phase_offset_seconds; t0 < m.duration_seconds;
+  for (double t0 = config_.phase_offset_seconds.value(); t0 < duration;
        t0 += dt, ++tick) {
     m.quality.expected_samples += 1;
     if (injector_.tick_dropped(tick, run_salt)) {
@@ -171,8 +176,7 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
       continue;
     }
     const double t = std::clamp(
-        injector_.sample_time(t0, tick, dt, run_salt), 0.0,
-        m.duration_seconds);
+        injector_.sample_time(t0, tick, dt, run_salt), 0.0, duration);
     double tick_sum = 0.0;
     if (sample_tick(tick, t, &tick_sum)) {
       m.sample_watts.push_back(tick_sum);
@@ -190,7 +194,7 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
       }
     } else {
       double tick_sum = 0.0;
-      if (sample_tick(0, 0.5 * m.duration_seconds, &tick_sum)) {
+      if (sample_tick(0, 0.5 * duration, &tick_sum)) {
         m.sample_watts.push_back(tick_sum);
       }
     }
@@ -202,10 +206,10 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
   // windows are interpolated instead of biasing the average.
   double energy = 0.0;
   for (std::size_t c = 0; c < nch; ++c) {
-    energy += integrate_channel(readings[c], m.duration_seconds);
+    energy += integrate_channel(readings[c], duration);
   }
-  m.energy_joules = energy;
-  m.avg_watts = m.duration_seconds > 0.0 ? energy / m.duration_seconds : 0.0;
+  m.energy_joules = Joules{energy};
+  m.avg_watts = m.energy_joules / m.duration_seconds;
   return m;
 }
 

@@ -29,14 +29,14 @@ namespace rme::power {
 
 /// Instrument configuration.
 struct PowerMonConfig {
-  double sample_hz = 128.0;  ///< Per-channel sample rate (paper: 128 Hz).
-  AdcModel adc{};            ///< Quantization; defaults to ideal.
-  double phase_offset_seconds = 0.0;  ///< First-sample offset into the trace.
+  Hertz sample_hz{128.0};  ///< Per-channel sample rate (paper: 128 Hz).
+  AdcModel adc{};          ///< Quantization; defaults to ideal.
+  Seconds phase_offset_seconds;  ///< First-sample offset into the trace.
 
   /// PowerMon 2 hardware limits.
   static constexpr std::size_t kMaxChannels = 8;
-  static constexpr double kMaxPerChannelHz = 1024.0;
-  static constexpr double kMaxAggregateHz = 3072.0;
+  static constexpr Hertz kMaxPerChannelHz{1024.0};
+  static constexpr Hertz kMaxAggregateHz{3072.0};
 
   [[nodiscard]] bool within_hardware_limits(std::size_t channels) const noexcept;
 };
@@ -84,10 +84,10 @@ struct MeasurementQuality {
 /// The result of measuring one run.
 struct Measurement {
   std::vector<double> sample_watts;  ///< Summed V·I across channels, per tick.
-  double avg_watts = 0.0;            ///< Mean of sample_watts.
-  double duration_seconds = 0.0;     ///< Trace duration (timestamped span).
-  double energy_joules = 0.0;        ///< avg_watts × duration (§IV-A method),
-                                     ///< or the gap-aware integral under faults.
+  Watts avg_watts;         ///< Mean of sample_watts.
+  Seconds duration_seconds;  ///< Trace duration (timestamped span).
+  Joules energy_joules;    ///< avg_watts × duration (§IV-A method),
+                           ///< or the gap-aware integral under faults.
   std::size_t samples = 0;
 
   /// QC metadata; trivial (zero counts, no channels) in fault-free mode.
@@ -95,9 +95,9 @@ struct Measurement {
 
   /// Difference between the instrument's energy and the trace's exact
   /// integral — sampling/quantization error, useful for validation.
-  double true_energy_joules = 0.0;
+  Joules true_energy_joules;
   [[nodiscard]] double energy_error() const noexcept {
-    return true_energy_joules != 0.0
+    return true_energy_joules != Joules{0.0}
                ? (energy_joules - true_energy_joules) / true_energy_joules
                : 0.0;
   }

@@ -13,17 +13,17 @@ std::size_t write_powermon_log(std::ostream& os,
                                const PowerMonConfig& config,
                                const rme::sim::PowerTrace& trace) {
   os << "# PowerMon2 " << channels.size() << " channels @ "
-     << config.sample_hz << " Hz\n";
-  const double duration = trace.duration();
-  const double dt = 1.0 / config.sample_hz;
+     << config.sample_hz.value() << " Hz\n";
+  const Seconds duration = trace.duration();
+  const Seconds dt = 1.0 / config.sample_hz;
   std::size_t tick = 0;
   std::ostringstream line;
   line << std::setprecision(12);
-  for (double t = config.phase_offset_seconds; t < duration; t += dt) {
+  for (Seconds t = config.phase_offset_seconds; t < duration; t += dt) {
     for (std::size_t c = 0; c < channels.size(); ++c) {
       const ChannelSample s = channels[c].sample(trace, t, config.adc);
       line.str("");
-      line << "PM2 " << tick << ' ' << t << ' ' << c << ' ';
+      line << "PM2 " << tick << ' ' << t.value() << ' ' << c << ' ';
       // Channel names may contain spaces; encode them with underscores.
       for (char ch : channels[c].name()) {
         line << (ch == ' ' ? '_' : ch);
@@ -46,8 +46,10 @@ std::vector<LogRecord> parse_powermon_log(std::istream& is) {
     std::istringstream iss(line);
     std::string magic;
     LogRecord r;
-    iss >> magic >> r.tick >> r.t_seconds >> r.channel >> r.channel_name >>
+    double t_seconds = 0.0;
+    iss >> magic >> r.tick >> t_seconds >> r.channel >> r.channel_name >>
         r.volts >> r.amps;
+    r.timestamp = Seconds{t_seconds};
     if (!iss) {
       throw std::runtime_error("powermon log: malformed record at line " +
                                std::to_string(line_no));
@@ -61,14 +63,14 @@ std::vector<LogRecord> parse_powermon_log(std::istream& is) {
 }
 
 Measurement reduce_log(const std::vector<LogRecord>& records,
-                       double duration_seconds) {
+                       Seconds duration) {
   Measurement m;
-  m.duration_seconds = duration_seconds;
+  m.duration_seconds = duration;
   if (records.empty()) return m;
   // Group by tick, summing channel powers.
   std::map<std::uint64_t, double> per_tick;
   for (const LogRecord& r : records) {
-    per_tick[r.tick] += r.watts();
+    per_tick[r.tick] += r.watts().value();
   }
   double sum = 0.0;
   for (const auto& [tick, watts] : per_tick) {
@@ -76,8 +78,8 @@ Measurement reduce_log(const std::vector<LogRecord>& records,
     sum += watts;
   }
   m.samples = m.sample_watts.size();
-  m.avg_watts = sum / static_cast<double>(m.samples);
-  m.energy_joules = m.avg_watts * duration_seconds;
+  m.avg_watts = Watts{sum / static_cast<double>(m.samples)};
+  m.energy_joules = m.avg_watts * duration;
   return m;
 }
 

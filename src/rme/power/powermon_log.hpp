@@ -23,13 +23,14 @@ namespace rme::power {
 /// One parsed log record.
 struct LogRecord {
   std::uint64_t tick = 0;
-  double t_seconds = 0.0;
+  Seconds timestamp;
   std::size_t channel = 0;
   std::string channel_name;
-  double volts = 0.0;
-  double amps = 0.0;
+  // Raw serial-stream readings; V/A lie outside the dimension algebra.
+  double volts = 0.0;  // rme-lint: allow(V outside the dimension algebra)
+  double amps = 0.0;   // rme-lint: allow(A outside the dimension algebra)
 
-  [[nodiscard]] double watts() const noexcept { return volts * amps; }
+  [[nodiscard]] Watts watts() const noexcept { return Watts{volts * amps}; }
 };
 
 /// Samples `trace` through `channels` at the configured rate and writes
@@ -47,6 +48,6 @@ std::size_t write_powermon_log(std::ostream& os,
 /// Reduces parsed records the way §IV-A reduces raw samples: sum V·I
 /// across channels per tick, average over ticks, E = P̄·duration.
 [[nodiscard]] Measurement reduce_log(const std::vector<LogRecord>& records,
-                                     double duration_seconds);
+                                     Seconds duration);
 
 }  // namespace rme::power

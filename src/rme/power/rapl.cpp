@@ -6,32 +6,32 @@
 namespace rme::power {
 
 RaplCounter::RaplCounter(const rme::sim::PowerTrace& trace,
-                         double energy_unit_joules)
-    : trace_(&trace), unit_(energy_unit_joules) {}
+                         Joules energy_unit)
+    : trace_(&trace), unit_(energy_unit) {}
 
-std::uint32_t RaplCounter::read_raw(double t) const noexcept {
-  const double joules = trace_->energy_between(0.0, t);
+std::uint32_t RaplCounter::read_raw(Seconds t) const noexcept {
+  const Joules joules = trace_->energy_between(Seconds{0.0}, t);
   const double ticks = std::floor(joules / unit_);
   // Emulate the 32-bit register wraparound.
   return static_cast<std::uint32_t>(
       static_cast<std::uint64_t>(ticks) & 0xffffffffULL);
 }
 
-double RaplReader::update(std::uint32_t raw) noexcept {
+Joules RaplReader::update(std::uint32_t raw) noexcept {
   if (!last_.has_value()) {
     last_ = raw;
-    return 0.0;
+    return Joules{0.0};
   }
   // Unsigned subtraction handles a single wraparound correctly.
   const std::uint32_t delta = raw - *last_;
   last_ = raw;
-  const double joules = static_cast<double>(delta) * unit_;
+  const Joules joules = static_cast<double>(delta) * unit_;
   total_ += joules;
   return joules;
 }
 
 void RaplReader::reset() noexcept {
-  total_ = 0.0;
+  total_ = Joules{0.0};
   last_.reset();
 }
 
@@ -43,13 +43,13 @@ bool SysfsRapl::available() const {
   return f.good();
 }
 
-std::optional<double> SysfsRapl::read_joules() const {
+std::optional<Joules> SysfsRapl::read_joules() const {
   std::ifstream f(energy_file_);
   if (!f.good()) return std::nullopt;
   long long uj = 0;
   f >> uj;
   if (!f) return std::nullopt;
-  return static_cast<double>(uj) * 1e-6;
+  return Joules{static_cast<double>(uj) * 1e-6};
 }
 
 }  // namespace rme::power

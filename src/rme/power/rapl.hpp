@@ -23,26 +23,26 @@ class RaplCounter {
   /// `energy_unit_joules`: value of one counter LSB.  Real parts use
   /// 1/2^ESU joules (often ~15.3 µJ); default 15.2587890625 µJ = 2^-16 J.
   explicit RaplCounter(const rme::sim::PowerTrace& trace,
-                       double energy_unit_joules = 0x1.0p-16);
+                       Joules energy_unit = Joules{0x1.0p-16});
 
   /// Raw 32-bit register value at time `t` (wraps around).
-  [[nodiscard]] std::uint32_t read_raw(double t) const noexcept;
+  [[nodiscard]] std::uint32_t read_raw(Seconds t) const noexcept;
 
-  /// Energy in Joules represented by a raw value.
-  [[nodiscard]] double to_joules(std::uint64_t raw) const noexcept {
+  /// Energy represented by a raw value.
+  [[nodiscard]] Joules to_joules(std::uint64_t raw) const noexcept {
     return static_cast<double>(raw) * unit_;
   }
 
-  [[nodiscard]] double energy_unit() const noexcept { return unit_; }
+  [[nodiscard]] Joules energy_unit() const noexcept { return unit_; }
 
-  /// Wraparound period in Joules: 2^32 × unit.
-  [[nodiscard]] double wrap_joules() const noexcept {
+  /// Wraparound period: 2^32 × unit.
+  [[nodiscard]] Joules wrap_joules() const noexcept {
     return 4294967296.0 * unit_;
   }
 
  private:
   const rme::sim::PowerTrace* trace_;
-  double unit_;
+  Joules unit_;
 };
 
 /// Computes energy deltas between successive raw readings, handling
@@ -50,18 +50,18 @@ class RaplCounter {
 /// that sample faster than the wrap period).
 class RaplReader {
  public:
-  explicit RaplReader(double energy_unit_joules) : unit_(energy_unit_joules) {}
+  explicit RaplReader(Joules energy_unit) : unit_(energy_unit) {}
 
   /// First call primes the reader and returns 0; subsequent calls return
   /// the energy consumed since the previous call.
-  double update(std::uint32_t raw) noexcept;
+  Joules update(std::uint32_t raw) noexcept;
 
-  [[nodiscard]] double total_joules() const noexcept { return total_; }
+  [[nodiscard]] Joules total_joules() const noexcept { return total_; }
   void reset() noexcept;
 
  private:
-  double unit_;
-  double total_ = 0.0;
+  Joules unit_;
+  Joules total_;
   std::optional<std::uint32_t> last_;
 };
 
@@ -76,8 +76,8 @@ class SysfsRapl {
   /// True if the zone's energy_uj file exists and is readable.
   [[nodiscard]] bool available() const;
 
-  /// Current cumulative energy [J], or nullopt if unavailable.
-  [[nodiscard]] std::optional<double> read_joules() const;
+  /// Current cumulative energy, or nullopt if unavailable.
+  [[nodiscard]] std::optional<Joules> read_joules() const;
 
  private:
   std::string energy_file_;

@@ -99,9 +99,9 @@ SessionResult MeasurementSession::measure_plain(
     r.saturated_samples = meas.quality.saturated_samples;
     result.any_capped = result.any_capped || r.capped;
     result.reps.push_back(r);
-    secs.push_back(r.seconds);
-    joules.push_back(r.joules);
-    watts.push_back(r.avg_watts);
+    secs.push_back(r.seconds.value());
+    joules.push_back(r.joules.value());
+    watts.push_back(r.avg_watts.value());
   }
   result.seconds = summarize(std::move(secs));
   result.joules = summarize(std::move(joules));
@@ -179,8 +179,8 @@ SessionResult MeasurementSession::measure_qc(
     joules.reserve(result.reps.size());
     secs.reserve(result.reps.size());
     for (const RepMeasurement& r : result.reps) {
-      joules.push_back(r.joules);
-      secs.push_back(r.seconds);
+      joules.push_back(r.joules.value());
+      secs.push_back(r.seconds.value());
     }
     const double med_j = rme::fit::median_of(joules);
     const double mad_j = rme::fit::median_abs_deviation(joules, med_j);
@@ -189,8 +189,10 @@ SessionResult MeasurementSession::measure_qc(
     const double lim_j = qc.mad_threshold * rme::fit::kMadToSigma * mad_j;
     const double lim_s = qc.mad_threshold * rme::fit::kMadToSigma * mad_s;
     for (RepMeasurement& r : result.reps) {
-      const bool out_j = mad_j > 0.0 && std::fabs(r.joules - med_j) > lim_j;
-      const bool out_s = mad_s > 0.0 && std::fabs(r.seconds - med_s) > lim_s;
+      const bool out_j =
+          mad_j > 0.0 && std::fabs(r.joules.value() - med_j) > lim_j;
+      const bool out_s =
+          mad_s > 0.0 && std::fabs(r.seconds.value() - med_s) > lim_s;
       if (out_j || out_s) {
         r.outlier = true;
         result.quality.reps_discarded_outlier += 1;
@@ -203,9 +205,9 @@ SessionResult MeasurementSession::measure_qc(
   for (const RepMeasurement& r : result.reps) {
     if (r.outlier) continue;
     result.any_capped = result.any_capped || r.capped;
-    secs.push_back(r.seconds);
-    joules.push_back(r.joules);
-    watts.push_back(r.avg_watts);
+    secs.push_back(r.seconds.value());
+    joules.push_back(r.joules.value());
+    watts.push_back(r.avg_watts.value());
   }
   result.seconds = summarize(std::move(secs));
   result.joules = summarize(std::move(joules));

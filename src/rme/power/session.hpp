@@ -24,9 +24,9 @@ namespace rme::power {
 
 /// One repetition's reduced measurement.
 struct RepMeasurement {
-  double seconds = 0.0;
-  double joules = 0.0;
-  double avg_watts = 0.0;
+  Seconds seconds;
+  Joules joules;
+  Watts avg_watts;
   bool capped = false;
   std::size_t retries = 0;     ///< Re-runs consumed by this rep.
   bool passed_qc = true;       ///< False: kept in degraded mode.

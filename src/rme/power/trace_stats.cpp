@@ -6,13 +6,14 @@
 namespace rme::power {
 
 std::vector<TraceSegment> segment_trace(const std::vector<double>& watts,
-                                        double threshold) {
+                                        Watts threshold) {
   std::vector<TraceSegment> segments;
+  const double cut = threshold.value();
   for (std::size_t i = 0; i < watts.size();) {
-    const bool active = watts[i] >= threshold;
+    const bool active = watts[i] >= cut;
     std::size_t j = i;
     double sum = 0.0;
-    while (j < watts.size() && (watts[j] >= threshold) == active) {
+    while (j < watts.size() && (watts[j] >= cut) == active) {
       sum += watts[j];
       ++j;
     }
@@ -20,15 +21,15 @@ std::vector<TraceSegment> segment_trace(const std::vector<double>& watts,
     seg.begin = i;
     seg.end = j;
     seg.active = active;
-    seg.mean_watts = sum / static_cast<double>(j - i);
+    seg.mean_watts = Watts{sum / static_cast<double>(j - i)};
     segments.push_back(seg);
     i = j;
   }
   return segments;
 }
 
-double auto_threshold(const std::vector<double>& watts, double quantile) {
-  if (watts.empty()) return 0.0;
+Watts auto_threshold(const std::vector<double>& watts, double quantile) {
+  if (watts.empty()) return Watts{0.0};
   std::vector<double> sorted = watts;
   std::sort(sorted.begin(), sorted.end());
   const auto clampq = std::clamp(quantile, 0.0, 0.49);
@@ -36,11 +37,11 @@ double auto_threshold(const std::vector<double>& watts, double quantile) {
       clampq * static_cast<double>(sorted.size() - 1));
   const std::size_t hi_idx = static_cast<std::size_t>(
       (1.0 - clampq) * static_cast<double>(sorted.size() - 1));
-  return 0.5 * (sorted[lo_idx] + sorted[hi_idx]);
+  return Watts{0.5 * (sorted[lo_idx] + sorted[hi_idx])};
 }
 
-double plateau_watts(const std::vector<double>& watts, double threshold) {
-  double best_mean = 0.0;
+Watts plateau_watts(const std::vector<double>& watts, Watts threshold) {
+  Watts best_mean;
   std::size_t best_len = 0;
   for (const TraceSegment& seg : segment_trace(watts, threshold)) {
     if (seg.active && seg.samples() > best_len) {
@@ -51,26 +52,27 @@ double plateau_watts(const std::vector<double>& watts, double threshold) {
   return best_mean;
 }
 
-double active_energy(const std::vector<double>& watts, double threshold,
-                     double sample_period_seconds) {
-  double sum = 0.0;
+Joules active_energy(const std::vector<double>& watts, Watts threshold,
+                     Seconds sample_period) {
+  Watts sum;
   for (double w : watts) {
-    if (w >= threshold) sum += w;
+    if (w >= threshold.value()) sum += Watts{w};
   }
-  return sum * sample_period_seconds;
+  return sum * sample_period;
 }
 
 std::vector<double> sample_trace(const rme::sim::PowerTrace& trace,
-                                 double hz) {
+                                 Hertz hz) {
   std::vector<double> samples;
-  if (hz <= 0.0) return samples;
-  const double duration = trace.duration();
+  if (hz <= Hertz{0.0}) return samples;
+  // duration × rate is a dimensionless sample count.
+  const double ticks = trace.duration().value() * hz.value();
   // Integer stepping avoids accumulated floating-point drift producing
   // a spurious extra sample at the end of the window.
-  const auto count = static_cast<std::size_t>(std::ceil(duration * hz - 1e-9));
+  const auto count = static_cast<std::size_t>(std::ceil(ticks - 1e-9));
   samples.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    samples.push_back(trace.watts_at(static_cast<double>(i) / hz));
+    samples.push_back(trace.watts_at(static_cast<double>(i) / hz).value());
   }
   return samples;
 }

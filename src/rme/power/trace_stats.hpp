@@ -21,7 +21,7 @@ struct TraceSegment {
   std::size_t begin = 0;  ///< First sample index (inclusive).
   std::size_t end = 0;    ///< Last sample index (exclusive).
   bool active = false;
-  double mean_watts = 0.0;
+  Watts mean_watts;
 
   [[nodiscard]] std::size_t samples() const noexcept { return end - begin; }
 };
@@ -30,26 +30,26 @@ struct TraceSegment {
 /// `threshold_watts` separates the classes (e.g. midway between idle
 /// power and expected active power).
 [[nodiscard]] std::vector<TraceSegment> segment_trace(
-    const std::vector<double>& sample_watts, double threshold_watts);
+    const std::vector<double>& sample_watts, Watts threshold_watts);
 
 /// Picks a threshold automatically: midpoint between the lowest and
 /// highest `quantile`-trimmed sample values.  Robust to a few outliers.
-[[nodiscard]] double auto_threshold(const std::vector<double>& sample_watts,
-                                    double quantile = 0.05);
+[[nodiscard]] Watts auto_threshold(const std::vector<double>& sample_watts,
+                                   double quantile = 0.05);
 
 /// Mean power over the largest active segment — the plateau estimate.
 /// Returns 0 if no active segment exists.
-[[nodiscard]] double plateau_watts(const std::vector<double>& sample_watts,
-                                   double threshold_watts);
+[[nodiscard]] Watts plateau_watts(const std::vector<double>& sample_watts,
+                                  Watts threshold_watts);
 
 /// Energy of the active window: Σ active-sample power × sample period.
-[[nodiscard]] double active_energy(const std::vector<double>& sample_watts,
-                                   double threshold_watts,
-                                   double sample_period_seconds);
+[[nodiscard]] Joules active_energy(const std::vector<double>& sample_watts,
+                                   Watts threshold_watts,
+                                   Seconds sample_period);
 
 /// Samples a PowerTrace at `hz` into a plain series (no instrument
 /// model — for analysis code and tests).
 [[nodiscard]] std::vector<double> sample_trace(const rme::sim::PowerTrace& trace,
-                                               double hz);
+                                               Hertz hz);
 
 }  // namespace rme::power

@@ -32,8 +32,9 @@ CompositeResult run_composite(const Executor& executor,
     }
     result.phase_runs.push_back(std::move(run));
   }
-  result.avg_watts =
-      result.seconds > 0.0 ? result.joules / result.seconds : 0.0;
+  result.avg_watts = result.seconds > Seconds{0.0}
+                         ? result.joules / result.seconds
+                         : Watts{0.0};
   return result;
 }
 
@@ -49,10 +50,10 @@ CompositePrediction predict_composite(const MachineParams& m,
 
 double phase_separation_penalty(const MachineParams& m,
                                 const CompositeKernel& kernel) noexcept {
-  const double composite = predict_composite(m, kernel).seconds;
+  const Seconds composite = predict_composite(m, kernel).seconds;
   const KernelProfile merged{kernel.total_flops(), kernel.total_bytes()};
-  const double monolithic = predict_time(m, merged).total_seconds;
-  return monolithic > 0.0 ? composite / monolithic : 1.0;
+  const Seconds monolithic = predict_time(m, merged).total_seconds;
+  return monolithic > Seconds{0.0} ? composite / monolithic : 1.0;
 }
 
 }  // namespace rme::sim

@@ -35,10 +35,10 @@ struct CompositeKernel {
 struct CompositeResult {
   CompositeKernel kernel;
   std::vector<RunResult> phase_runs;
-  double seconds = 0.0;   ///< Sum of phase times.
-  double joules = 0.0;    ///< Sum of phase energies.
-  double avg_watts = 0.0;
-  PowerTrace trace;       ///< Stitched phase traces.
+  Seconds seconds;   ///< Sum of phase times.
+  Joules joules;     ///< Sum of phase energies.
+  Watts avg_watts;
+  PowerTrace trace;  ///< Stitched phase traces.
 };
 
 /// Runs the phases sequentially (phase i gets run_id salt `base + i`).
@@ -49,8 +49,8 @@ struct CompositeResult {
 /// Analytic prediction for a composite on a machine: Σ per-phase model
 /// times/energies (no cross-phase overlap).
 struct CompositePrediction {
-  double seconds = 0.0;
-  double joules = 0.0;
+  Seconds seconds;
+  Joules joules;
 };
 
 [[nodiscard]] CompositePrediction predict_composite(

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "rme/core/units.hpp"
 #include "rme/sim/cache.hpp"
 
 namespace rme::sim {
@@ -22,6 +23,14 @@ struct CounterSet {
   /// by the fitted 187 pJ/B cache-access cost).
   [[nodiscard]] double cache_bytes() const noexcept {
     return l1_bytes + l2_bytes;
+  }
+  /// Typed views of the raw event counts (units.hpp raw-count policy).
+  [[nodiscard]] FlopCount work() const noexcept { return FlopCount{flops}; }
+  [[nodiscard]] ByteCount dram_traffic() const noexcept {
+    return ByteCount{dram_bytes};
+  }
+  [[nodiscard]] ByteCount cache_traffic() const noexcept {
+    return ByteCount{cache_bytes()};
   }
 };
 

@@ -37,28 +37,28 @@ RunResult Executor::run(const KernelDesc& kernel, std::uint64_t run_id) const {
 
   const std::uint64_t salt_t = run_id * 2654435761ULL + 1;
   const std::uint64_t salt_e = run_id * 2654435761ULL + 2;
-  r.seconds = config_.noise.perturb(capped.seconds, salt_t);
-  r.joules = config_.noise.perturb(capped.joules, salt_e);
+  r.seconds = Seconds{config_.noise.perturb(capped.seconds.value(), salt_t)};
+  r.joules = Joules{config_.noise.perturb(capped.joules.value(), salt_e)};
   r.avg_watts = r.joules / r.seconds;
 
   // Power trace: idle head, a short ramp at half dynamic power, the
   // compute plateau (total kernel energy preserved exactly), idle tail.
-  const double plateau_watts = r.avg_watts;
-  const double dyn_watts = std::max(plateau_watts - eff.const_power, 0.0);
-  const double ramp_seconds = std::min(0.02 * r.seconds, 1e-3);
-  const double ramp_watts = eff.const_power + 0.5 * dyn_watts;
+  const Watts plateau_watts = r.avg_watts;
+  const Watts dyn_watts = max(plateau_watts - eff.const_power, Watts{0.0});
+  const Seconds ramp_seconds = min(0.02 * r.seconds, Seconds{1e-3});
+  const Watts ramp_watts = eff.const_power + 0.5 * dyn_watts;
   // Keep total kernel-interval energy == r.joules by bumping the plateau.
-  const double plateau_seconds = r.seconds - ramp_seconds;
-  const double plateau_adjust =
-      plateau_seconds > 0.0
+  const Seconds plateau_seconds = r.seconds - ramp_seconds;
+  const Watts plateau_adjust =
+      plateau_seconds > Seconds{0.0}
           ? (r.joules - ramp_seconds * ramp_watts) / plateau_seconds
           : plateau_watts;
-  if (config_.idle_head_seconds > 0.0) {
+  if (config_.idle_head_seconds > Seconds{0.0}) {
     r.trace.append(config_.idle_head_seconds, config_.idle_power_watts);
   }
   r.trace.append(ramp_seconds, ramp_watts);
   r.trace.append(plateau_seconds, plateau_adjust);
-  if (config_.idle_tail_seconds > 0.0) {
+  if (config_.idle_tail_seconds > Seconds{0.0}) {
     r.trace.append(config_.idle_tail_seconds, config_.idle_power_watts);
   }
   return r;

@@ -30,13 +30,13 @@ struct SimConfig {
   /// Fraction of peak memory bandwidth real tuned kernels achieve.
   double bw_fraction = 1.0;
   /// Board power cap [W]; +inf disables (no throttling).
-  double power_cap_watts = std::numeric_limits<double>::infinity();
+  Watts power_cap_watts{std::numeric_limits<double>::infinity()};
   /// Idle power [W] drawn before/after the kernel (e.g. 39.6 W on the
   /// GTX 580, §V-A).
-  double idle_power_watts = 0.0;
+  Watts idle_power_watts;
   /// Duration of the idle head/tail included in the power trace [s].
-  double idle_head_seconds = 0.0;
-  double idle_tail_seconds = 0.0;
+  Seconds idle_head_seconds;
+  Seconds idle_tail_seconds;
   /// Relative Gaussian noise applied to measured time and energy.
   NoiseModel noise{};
 };
@@ -44,22 +44,22 @@ struct SimConfig {
 /// Result of one simulated run.
 struct RunResult {
   KernelDesc kernel;
-  double seconds = 0.0;      ///< Measured (noisy, possibly throttled) time.
-  double joules = 0.0;       ///< Measured energy over the kernel interval.
-  double avg_watts = 0.0;    ///< joules / seconds.
-  double model_seconds = 0.0;  ///< Noise-free uncapped model prediction.
-  double model_joules = 0.0;   ///< Noise-free uncapped model prediction.
+  Seconds seconds;       ///< Measured (noisy, possibly throttled) time.
+  Joules joules;         ///< Measured energy over the kernel interval.
+  Watts avg_watts;       ///< joules / seconds.
+  Seconds model_seconds;  ///< Noise-free uncapped model prediction.
+  Joules model_joules;    ///< Noise-free uncapped model prediction.
   bool capped = false;         ///< True if the power cap throttled the run.
   PowerTrace trace;            ///< Instantaneous power incl. idle phases.
 
-  [[nodiscard]] double achieved_flops() const noexcept {
-    return kernel.flops / seconds;
+  [[nodiscard]] FlopsPerSecond achieved_flops() const noexcept {
+    return kernel.work() / seconds;
   }
-  [[nodiscard]] double achieved_bandwidth() const noexcept {
-    return kernel.bytes / seconds;
+  [[nodiscard]] BytesPerSecond achieved_bandwidth() const noexcept {
+    return kernel.traffic() / seconds;
   }
-  [[nodiscard]] double achieved_flops_per_joule() const noexcept {
-    return kernel.flops / joules;
+  [[nodiscard]] FlopsPerJoule achieved_flops_per_joule() const noexcept {
+    return kernel.work() / joules;
   }
 };
 

@@ -24,7 +24,7 @@ bool FaultProfile::any() const noexcept {
   return sample_dropout_rate > 0.0 || spike_rate > 0.0 ||
          channel_dropout_rate > 0.0 || channel_stuck_rate > 0.0 ||
          clock_drift != 0.0 || clock_jitter_rel_sigma > 0.0 ||
-         adc_saturation_watts < std::numeric_limits<double>::infinity();
+         adc_saturation_watts.value() < std::numeric_limits<double>::infinity();
 }
 
 FaultInjector::FaultInjector(FaultProfile profile, std::uint64_t seed)
@@ -101,9 +101,9 @@ double FaultInjector::spike_gain(std::size_t tick, std::size_t channel,
 }
 
 double FaultInjector::saturate(double watts, bool* saturated) const noexcept {
-  if (watts >= profile_.adc_saturation_watts) {
+  if (watts >= profile_.adc_saturation_watts.value()) {
     if (saturated) *saturated = true;
-    return profile_.adc_saturation_watts;
+    return profile_.adc_saturation_watts.value();
   }
   if (saturated) *saturated = false;
   return watts;

@@ -15,6 +15,7 @@
 #include <limits>
 #include <vector>
 
+#include "rme/core/units.hpp"
 #include "rme/sim/noise.hpp"
 
 namespace rme::sim {
@@ -50,7 +51,7 @@ struct FaultProfile {
 
   /// ADC full scale per channel reading [W]; readings clamp here and are
   /// flagged saturated.  +inf disables.
-  double adc_saturation_watts = std::numeric_limits<double>::infinity();
+  Watts adc_saturation_watts{std::numeric_limits<double>::infinity()};
 
   /// True if any fault mechanism is active.
   [[nodiscard]] bool any() const noexcept;

@@ -25,6 +25,10 @@ struct KernelDesc {
   Precision precision = Precision::kDouble;
 
   [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
+  /// W as a typed flop count (see units.hpp's raw-count policy).
+  [[nodiscard]] FlopCount work() const noexcept { return FlopCount{flops}; }
+  /// Q as a typed byte count.
+  [[nodiscard]] ByteCount traffic() const noexcept { return ByteCount{bytes}; }
   [[nodiscard]] KernelProfile profile() const noexcept {
     return KernelProfile{flops, bytes};
   }
@@ -33,6 +37,7 @@ struct KernelDesc {
 /// The GPU-style microbenchmark: a mix of independent FMAs (two flops
 /// each) and loads.  `flops_per_byte` sets the intensity; `words`
 /// streaming words of the given precision set Q.
+// rme-lint: allow(intensity sweep scalar, dimensionless by policy)
 [[nodiscard]] KernelDesc fma_load_mix(double flops_per_byte, double words,
                                       Precision p);
 

@@ -4,31 +4,31 @@
 
 namespace rme::sim {
 
-void PowerTrace::append(double seconds, double watts) {
-  if (seconds <= 0.0) return;
+void PowerTrace::append(Seconds seconds, Watts watts) {
+  if (seconds <= Seconds{0.0}) return;
   phases_.push_back(PowerPhase{seconds, watts});
 }
 
-double PowerTrace::duration() const noexcept {
-  double total = 0.0;
+Seconds PowerTrace::duration() const noexcept {
+  Seconds total;
   for (const PowerPhase& p : phases_) total += p.seconds;
   return total;
 }
 
-double PowerTrace::energy() const noexcept {
-  double total = 0.0;
+Joules PowerTrace::energy() const noexcept {
+  Joules total;
   for (const PowerPhase& p : phases_) total += p.seconds * p.watts;
   return total;
 }
 
-double PowerTrace::average_power() const noexcept {
-  const double d = duration();
-  return d > 0.0 ? energy() / d : 0.0;
+Watts PowerTrace::average_power() const noexcept {
+  const Seconds d = duration();
+  return d > Seconds{0.0} ? energy() / d : Watts{0.0};
 }
 
-double PowerTrace::watts_at(double t) const noexcept {
-  if (phases_.empty()) return 0.0;
-  double elapsed = 0.0;
+Watts PowerTrace::watts_at(Seconds t) const noexcept {
+  if (phases_.empty()) return Watts{0.0};
+  Seconds elapsed;
   for (const PowerPhase& p : phases_) {
     elapsed += p.seconds;
     if (t < elapsed) return p.watts;
@@ -36,17 +36,17 @@ double PowerTrace::watts_at(double t) const noexcept {
   return phases_.back().watts;
 }
 
-double PowerTrace::energy_between(double t0, double t1) const noexcept {
-  const double d = duration();
-  t0 = std::clamp(t0, 0.0, d);
-  t1 = std::clamp(t1, 0.0, d);
-  if (t1 <= t0) return 0.0;
-  double total = 0.0;
-  double start = 0.0;
+Joules PowerTrace::energy_between(Seconds t0, Seconds t1) const noexcept {
+  const Seconds d = duration();
+  t0 = std::clamp(t0, Seconds{0.0}, d);
+  t1 = std::clamp(t1, Seconds{0.0}, d);
+  if (t1 <= t0) return Joules{0.0};
+  Joules total;
+  Seconds start;
   for (const PowerPhase& p : phases_) {
-    const double end = start + p.seconds;
-    const double lo = std::max(t0, start);
-    const double hi = std::min(t1, end);
+    const Seconds end = start + p.seconds;
+    const Seconds lo = max(t0, start);
+    const Seconds hi = min(t1, end);
     if (hi > lo) total += (hi - lo) * p.watts;
     start = end;
     if (start >= t1) break;

@@ -9,12 +9,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "rme/core/units.hpp"
+
 namespace rme::sim {
 
 /// One constant-power phase of an execution.
 struct PowerPhase {
-  double seconds = 0.0;
-  double watts = 0.0;
+  Seconds seconds;
+  Watts watts;
 };
 
 /// An append-only timeline of power phases starting at t = 0.
@@ -23,7 +25,7 @@ class PowerTrace {
   PowerTrace() = default;
 
   /// Appends a phase; zero- or negative-duration phases are ignored.
-  void append(double seconds, double watts);
+  void append(Seconds seconds, Watts watts);
 
   [[nodiscard]] const std::vector<PowerPhase>& phases() const noexcept {
     return phases_;
@@ -31,20 +33,20 @@ class PowerTrace {
   [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
 
   /// Total duration of the trace.
-  [[nodiscard]] double duration() const noexcept;
+  [[nodiscard]] Seconds duration() const noexcept;
 
   /// Exact integral of power over the trace — ground-truth energy.
-  [[nodiscard]] double energy() const noexcept;
+  [[nodiscard]] Joules energy() const noexcept;
 
   /// Exact average power (energy / duration); 0 for an empty trace.
-  [[nodiscard]] double average_power() const noexcept;
+  [[nodiscard]] Watts average_power() const noexcept;
 
   /// Instantaneous power at time t (clamped to trace bounds; the last
   /// phase's power is returned at or past the end).
-  [[nodiscard]] double watts_at(double t) const noexcept;
+  [[nodiscard]] Watts watts_at(Seconds t) const noexcept;
 
   /// Exact integral of power over [t0, t1] (clamped to trace bounds).
-  [[nodiscard]] double energy_between(double t0, double t1) const noexcept;
+  [[nodiscard]] Joules energy_between(Seconds t0, Seconds t1) const noexcept;
 
  private:
   std::vector<PowerPhase> phases_;

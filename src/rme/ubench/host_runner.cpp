@@ -29,7 +29,7 @@ std::vector<HostResult> run_polynomial_sweep(const std::vector<int>& degrees,
     r.kernel = "polynomial(degree=" + std::to_string(degree) + ")";
     r.flops = counts.flops;
     r.bytes = counts.bytes;
-    r.seconds = t.best_seconds;
+    r.seconds = Seconds{t.best_seconds};
     results.push_back(std::move(r));
   }
   return results;
@@ -54,25 +54,25 @@ std::vector<HostResult> run_fma_mix_sweep(
     r.kernel = "fma_mix(fmas=" + std::to_string(fmas) + ")";
     r.flops = counts.flops;
     r.bytes = counts.bytes;
-    r.seconds = t.best_seconds;
+    r.seconds = Seconds{t.best_seconds};
     results.push_back(std::move(r));
   }
   return results;
 }
 
-double model_energy(const MachineParams& m, const HostResult& r) noexcept {
-  return r.flops * m.energy_per_flop + r.bytes * m.energy_per_byte +
+Joules model_energy(const MachineParams& m, const HostResult& r) noexcept {
+  return r.work() * m.energy_per_flop + r.traffic() * m.energy_per_byte +
          m.const_power * r.seconds;
 }
 
-std::optional<double> rapl_energy_around(const std::function<void()>& fn) {
+std::optional<Joules> rapl_energy_around(const std::function<void()>& fn) {
   // The workload always runs; only the measurement is optional.
   const rme::power::SysfsRapl rapl;
-  const std::optional<double> before =
+  const std::optional<Joules> before =
       rapl.available() ? rapl.read_joules() : std::nullopt;
   fn();
   if (!before) return std::nullopt;
-  const std::optional<double> after = rapl.read_joules();
+  const std::optional<Joules> after = rapl.read_joules();
   if (!after) return std::nullopt;
   return *after - *before;
 }

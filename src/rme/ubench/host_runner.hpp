@@ -18,16 +18,18 @@ namespace rme::ubench {
 /// One measured host kernel run.
 struct HostResult {
   std::string kernel;
-  double flops = 0.0;
-  double bytes = 0.0;
-  double seconds = 0.0;
+  double flops = 0.0;  ///< Raw event count.
+  double bytes = 0.0;  ///< Raw event count.
+  Seconds seconds;
 
+  [[nodiscard]] FlopCount work() const noexcept { return FlopCount{flops}; }
+  [[nodiscard]] ByteCount traffic() const noexcept { return ByteCount{bytes}; }
   [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
   [[nodiscard]] double gflops() const noexcept {
-    return flops / seconds / 1e9;
+    return (work() / seconds).value() / 1e9;
   }
   [[nodiscard]] double gbytes_per_second() const noexcept {
-    return bytes / seconds / 1e9;
+    return (traffic() / seconds).value() / 1e9;
   }
   [[nodiscard]] KernelProfile profile() const noexcept {
     return KernelProfile{flops, bytes};
@@ -51,12 +53,12 @@ struct HostSweepConfig {
 
 /// Attach model-predicted energy to a host result, using machine
 /// coefficients (e.g. Table IV values or a host calibration).
-[[nodiscard]] double model_energy(const MachineParams& m,
+[[nodiscard]] Joules model_energy(const MachineParams& m,
                                   const HostResult& r) noexcept;
 
 /// Read RAPL package energy around a callable if the sysfs interface is
 /// available; returns nullopt otherwise (e.g. in containers).
-[[nodiscard]] std::optional<double> rapl_energy_around(
+[[nodiscard]] std::optional<Joules> rapl_energy_around(
     const std::function<void()>& fn);
 
 }  // namespace rme::ubench

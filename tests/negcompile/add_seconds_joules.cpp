@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: time and energy have different dimensions; eq. (2)
+// only ever adds joules to joules.
+#include "rme/core/units.hpp"
+
+int main() {
+  auto bad = rme::Seconds{1.0} + rme::Joules{2.0};
+  (void)bad;
+  return 0;
+}

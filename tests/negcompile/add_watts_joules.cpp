@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: power [J/s] plus energy [J] is dimensionally
+// meaningless; pi_0 must be multiplied by T before it joins eq. (2).
+#include "rme/core/units.hpp"
+
+int main() {
+  auto bad = rme::Watts{40.0} + rme::Joules{2.0};
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: J/s is power, not energy; the quotient derives
+// Watts and Joules cannot absorb it.
+#include "rme/core/units.hpp"
+
+int main() {
+  rme::Joules bad = rme::Joules{1.0} / rme::Seconds{1.0};
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: ordering across dimensions is undefined; the
+// race-to-halt question compares joules to joules, never to seconds.
+#include "rme/core/units.hpp"
+
+int main() {
+  bool bad = rme::Seconds{1.0} < rme::Joules{1.0};
+  (void)bad;
+  return 0;
+}

@@ -1,0 +1,20 @@
+// POSITIVE CONTROL: the harness itself must be sound -- a well-typed
+// eq. (1)/(2) evaluation compiles cleanly with the same flags the
+// negative cases use.
+#include "rme/core/machine.hpp"
+#include "rme/core/units.hpp"
+
+int main() {
+  rme::MachineParams m;
+  m.time_per_flop = rme::TimePerFlop{1e-11};
+  m.time_per_byte = rme::TimePerByte{5e-11};
+  m.energy_per_flop = rme::EnergyPerFlop{200e-12};
+  m.energy_per_byte = rme::EnergyPerByte{500e-12};
+  m.const_power = rme::Watts{100.0};
+  const rme::FlopCount w{1e9};
+  const rme::ByteCount q{1e8};
+  const rme::Seconds t = rme::max(w * m.time_per_flop, q * m.time_per_byte);
+  const rme::Joules e =
+      w * m.energy_per_flop + q * m.energy_per_byte + m.const_power * t;
+  return e.value() > 0.0 && t.value() > 0.0 ? 0 : 1;
+}

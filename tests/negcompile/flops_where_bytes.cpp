@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: W [flops] and Q [bytes] are distinct dimensions;
+// mixing them silently corrupts intensity I = W/Q.
+#include "rme/core/units.hpp"
+
+int main() {
+  rme::ByteCount bad = rme::FlopCount{1.0e9};
+  (void)bad;
+  return 0;
+}

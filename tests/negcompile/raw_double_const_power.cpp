@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: Quantity construction is explicit; a bare scalar
+// cannot leak into pi_0 without declaring its unit.
+#include "rme/core/machine.hpp"
+
+int main() {
+  rme::MachineParams m;
+  m.const_power = 10.0;
+  return 0;
+}

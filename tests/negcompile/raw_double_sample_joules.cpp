@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: EnergySample's measured E is typed; raw meter
+// readings must be wrapped as Joules at the boundary.
+#include "rme/fit/energy_fit.hpp"
+
+int main() {
+  rme::fit::EnergySample s;
+  s.joules = 3.0;
+  return 0;
+}

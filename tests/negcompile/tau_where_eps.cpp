@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: tau_flop [s/flop] is not eps_flop [J/flop]; the
+// paper's central distinction between the time and energy rooflines.
+#include "rme/core/machine.hpp"
+
+int main() {
+  rme::MachineParams m;
+  rme::EnergyPerFlop bad = m.time_per_flop;
+  (void)bad;
+  return 0;
+}

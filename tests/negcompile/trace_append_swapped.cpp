@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: PowerTrace::append(Seconds, Watts) rejects swapped
+// arguments, the classic transposition a double,double API would accept.
+#include "rme/sim/power_trace.hpp"
+
+int main() {
+  rme::sim::PowerTrace t;
+  t.append(rme::Watts{40.0}, rme::Seconds{1.0});
+  return 0;
+}

@@ -24,8 +24,8 @@ std::vector<EnergySample> noisy_samples(double sigma, std::uint64_t seed) {
         EnergySample s;
         s.flops = k.flops;
         s.bytes = k.bytes;
-        s.seconds = noise.perturb(predict_time(m, k).total_seconds, ++salt);
-        s.joules = noise.perturb(predict_energy(m, k).total_joules, ++salt);
+        s.seconds = Seconds{noise.perturb(predict_time(m, k).total_seconds.value(), ++salt)};
+        s.joules = Joules{noise.perturb(predict_energy(m, k).total_joules.value(), ++salt)};
         s.precision = prec;
         samples.push_back(s);
       }

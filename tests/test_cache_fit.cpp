@@ -10,7 +10,7 @@
 namespace rme::fit {
 namespace {
 
-const double kTrueCacheEps = rme::kPaperCacheEnergyPerByte;  // 187 pJ/B
+const EnergyPerByte kTrueCacheEps = rme::kPaperCacheEnergyPerByte;  // 187 pJ/B
 
 /// Synthesizes a sample whose measured energy includes the cache term.
 CacheSample make_sample(const MachineParams& m, double flops, double dram,
@@ -19,30 +19,33 @@ CacheSample make_sample(const MachineParams& m, double flops, double dram,
   s.flops = flops;
   s.dram_bytes = dram;
   s.cache_bytes = cache;
-  s.seconds = seconds;
-  s.joules = flops * m.energy_per_flop + dram * m.energy_per_byte +
-             cache * kTrueCacheEps + m.const_power * seconds;
+  s.seconds = Seconds{seconds};
+  s.joules = FlopCount{flops} * m.energy_per_flop +
+             ByteCount{dram} * m.energy_per_byte +
+             ByteCount{cache} * kTrueCacheEps +
+             m.const_power * Seconds{seconds};
   return s;
 }
 
 TEST(CacheFit, TwoLevelEstimateMatchesEq2) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const CacheSample s = make_sample(m, 1e9, 2e8, 0.0, 0.01);
-  EXPECT_NEAR(estimate_energy_two_level(m, s), s.joules, 1e-12 * s.joules);
+  EXPECT_NEAR(estimate_energy_two_level(m, s).value(), s.joules.value(),
+              1e-12 * s.joules.value());
 }
 
 TEST(CacheFit, TwoLevelUnderestimatesWithCacheTraffic) {
   // The §V-C observation: eq. (2) misses the cache energy entirely.
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const CacheSample s = make_sample(m, 1e9, 2e8, 5e9, 0.01);
-  EXPECT_LT(estimate_energy_two_level(m, s), s.joules);
+  EXPECT_LT(estimate_energy_two_level(m, s).value(), s.joules.value());
 }
 
 TEST(CacheFit, CalibrationRecoversTrueCacheEnergy) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const CacheSample ref = make_sample(m, 1e9, 2e8, 5e9, 0.01);
-  const double eps = calibrate_cache_energy(m, ref);
-  EXPECT_NEAR(eps, kTrueCacheEps, 1e-9 * kTrueCacheEps);
+  const EnergyPerByte eps = calibrate_cache_energy(m, ref);
+  EXPECT_NEAR(eps.value(), kTrueCacheEps.value(), 1e-9 * kTrueCacheEps.value());
 }
 
 TEST(CacheFit, CalibrationRejectsZeroCacheTraffic) {
@@ -54,8 +57,8 @@ TEST(CacheFit, CalibrationRejectsZeroCacheTraffic) {
 TEST(CacheFit, CacheAwareEstimateIsExactOnCleanData) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const CacheSample s = make_sample(m, 2e9, 3e8, 8e9, 0.02);
-  const double est = estimate_energy_with_cache(m, s, kTrueCacheEps);
-  EXPECT_NEAR(est, s.joules, 1e-12 * s.joules);
+  const double est = estimate_energy_with_cache(m, s, kTrueCacheEps).value();
+  EXPECT_NEAR(est, s.joules.value(), 1e-12 * s.joules.value());
 }
 
 TEST(CacheFit, ErrorStatsOnPopulation) {

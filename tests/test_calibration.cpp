@@ -19,7 +19,7 @@ MeasurementSession apparatus(const MachineParams& m, double flop_frac,
   sim_cfg.bw_fraction = bw_frac;
   sim_cfg.noise = rme::sim::NoiseModel(0xCA11B, noise);
   PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;
+  mon_cfg.sample_hz = Hertz{128.0};
   return MeasurementSession(rme::sim::Executor(m, sim_cfg),
                             PowerMon(gtx580_rails(), mon_cfg),
                             SessionConfig{9});
@@ -33,10 +33,10 @@ TEST(Calibration, RecoversGroundTruthMachine) {
   const CalibrationResult r = calibrate_platform(sp, dp);
 
   // Energy coefficients: Table IV within a few percent.
-  EXPECT_NEAR(r.fit.coefficients.eps_single * 1e12, 99.7, 8.0);
-  EXPECT_NEAR(r.fit.coefficients.eps_double() * 1e12, 212.0, 15.0);
-  EXPECT_NEAR(r.fit.coefficients.eps_mem * 1e12, 513.0, 30.0);
-  EXPECT_NEAR(r.fit.coefficients.const_power, 122.0, 6.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_single.value() * 1e12, 99.7, 8.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_double().value() * 1e12, 212.0, 15.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_mem.value() * 1e12, 513.0, 30.0);
+  EXPECT_NEAR(r.fit.coefficients.const_power.value(), 122.0, 6.0);
   EXPECT_GT(r.fit.regression.r_squared, 0.99);
 
   // Peak rates recovered from the probes (no derating configured).
@@ -64,7 +64,7 @@ TEST(Calibration, DeratedPlatformYieldsAchievableMachine) {
   const CalibrationResult r = calibrate_platform(sp, dp);
   EXPECT_NEAR(r.achieved_gflops_double, 197.63 * 0.993, 2.0);
   EXPECT_NEAR(r.achieved_gbs, 192.4 * 0.883, 2.0);
-  EXPECT_NEAR(r.fit.coefficients.eps_mem * 1e12, 513.0, 30.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_mem.value() * 1e12, 513.0, 30.0);
 }
 
 TEST(Calibration, SamplesAreExposedForExport) {
@@ -79,8 +79,8 @@ TEST(Calibration, SamplesAreExposedForExport) {
   int singles = 0;
   for (const auto& s : r.samples) {
     if (s.precision == Precision::kSingle) ++singles;
-    EXPECT_GT(s.joules, 0.0);
-    EXPECT_GT(s.seconds, 0.0);
+    EXPECT_GT(s.joules.value(), 0.0);
+    EXPECT_GT(s.seconds.value(), 0.0);
   }
   EXPECT_EQ(singles, 3);
 }
@@ -94,8 +94,8 @@ TEST(Calibration, CustomIntensityGridIsUsed) {
   cfg.intensities = {1.0, 4.0, 16.0, 64.0};
   cfg.words = 4e9;
   const CalibrationResult r = calibrate_platform(sp, dp, cfg);
-  EXPECT_NEAR(r.fit.coefficients.eps_mem * 1e12, 795.0, 40.0);
-  EXPECT_NEAR(r.fit.coefficients.const_power, 122.0, 6.0);
+  EXPECT_NEAR(r.fit.coefficients.eps_mem.value() * 1e12, 795.0, 40.0);
+  EXPECT_NEAR(r.fit.coefficients.const_power.value(), 122.0, 6.0);
 }
 
 }  // namespace

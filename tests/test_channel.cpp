@@ -10,7 +10,7 @@ namespace {
 
 rme::sim::PowerTrace constant_trace(double watts, double seconds = 1.0) {
   rme::sim::PowerTrace t;
-  t.append(seconds, watts);
+  t.append(Seconds{seconds}, Watts{watts});
   return t;
 }
 
@@ -39,11 +39,11 @@ TEST(Channel, RejectsInvalidArguments) {
 TEST(Channel, SampleComputesCurrentFromPowerShare) {
   const Channel ch("12V", 12.0, 0.5);
   const auto trace = constant_trace(240.0);
-  const ChannelSample s = ch.sample(trace, 0.5, AdcModel{});
+  const ChannelSample s = ch.sample(trace, Seconds{0.5}, AdcModel{});
   EXPECT_DOUBLE_EQ(s.volts, 12.0);
   EXPECT_DOUBLE_EQ(s.amps, 10.0);  // 120 W / 12 V
-  EXPECT_DOUBLE_EQ(s.watts(), 120.0);
-  EXPECT_DOUBLE_EQ(s.timestamp, 0.5);
+  EXPECT_DOUBLE_EQ(s.watts().value(), 120.0);
+  EXPECT_DOUBLE_EQ(s.timestamp.value(), 0.5);
 }
 
 TEST(Channel, QuantizationChangesMeasuredPower) {
@@ -51,9 +51,9 @@ TEST(Channel, QuantizationChangesMeasuredPower) {
   AdcModel adc;
   adc.amps_lsb = 0.1;
   const auto trace = constant_trace(10.0);  // 3.0303 A → 3.0 A
-  const ChannelSample s = ch.sample(trace, 0.0, adc);
+  const ChannelSample s = ch.sample(trace, Seconds{0.0}, adc);
   EXPECT_NEAR(s.amps, 3.0, 1e-12);
-  EXPECT_NEAR(s.watts(), 9.9, 1e-9);
+  EXPECT_NEAR(s.watts().value(), 9.9, 1e-9);
 }
 
 TEST(Interposer, Gtx580RailsFormPartition) {
@@ -73,7 +73,7 @@ TEST(Interposer, RailPowersSumToDevicePower) {
   const auto trace = constant_trace(200.0);
   double sum = 0.0;
   for (const Channel& ch : rails) {
-    sum += ch.sample(trace, 0.1, AdcModel{}).watts();
+    sum += ch.sample(trace, Seconds{0.1}, AdcModel{}).watts().value();
   }
   EXPECT_NEAR(sum, 200.0, 1e-9);
 }

@@ -20,8 +20,8 @@ ClusterParams test_cluster(double nodes = 64.0) {
   c.nodes = nodes;
   // 10 GB/s injection bandwidth; network bytes are expensive in energy
   // (NIC + switch), a typical HPC ratio.
-  c.time_per_net_byte = 1.0 / 10e9;
-  c.energy_per_net_byte = 10e-9;  // 10 nJ/B
+  c.time_per_net_byte = TimePerByte{1.0 / 10e9};
+  c.energy_per_net_byte = EnergyPerByte{10e-9};  // 10 nJ/B
   return c;
 }
 
@@ -43,12 +43,12 @@ TEST(Cluster, TimeIsMaxOfThreeChannels) {
   w.mem_bytes = 1e8;
   w.net_bytes = 1e7;
   const DistributedTime t = predict_time(c, w);
-  EXPECT_DOUBLE_EQ(t.flops_seconds, 1e9 * c.node.time_per_flop);
-  EXPECT_DOUBLE_EQ(t.mem_seconds, 1e8 * c.node.time_per_byte);
-  EXPECT_DOUBLE_EQ(t.net_seconds, 1e7 * c.time_per_net_byte);
-  EXPECT_DOUBLE_EQ(t.total_seconds,
-                   std::max({t.flops_seconds, t.mem_seconds,
-                             t.net_seconds}));
+  EXPECT_DOUBLE_EQ(t.flops_seconds.value(), 1e9 * c.node.time_per_flop.value());
+  EXPECT_DOUBLE_EQ(t.mem_seconds.value(), 1e8 * c.node.time_per_byte.value());
+  EXPECT_DOUBLE_EQ(t.net_seconds.value(), 1e7 * c.time_per_net_byte.value());
+  EXPECT_DOUBLE_EQ(t.total_seconds.value(),
+                   std::max({t.flops_seconds.value(), t.mem_seconds.value(),
+                             t.net_seconds.value()}));
 }
 
 TEST(Cluster, ChannelClassification) {
@@ -69,23 +69,23 @@ TEST(Cluster, EnergySumsAllChannelsTimesNodes) {
   const ClusterParams c = test_cluster(16.0);
   DistributedProfile w{1e10, 1e9, 1e8};
   const DistributedEnergy e = predict_energy(c, w);
-  EXPECT_DOUBLE_EQ(e.flops_joules, 16.0 * 1e10 * 670e-12);
-  EXPECT_DOUBLE_EQ(e.mem_joules, 16.0 * 1e9 * 795e-12);
-  EXPECT_DOUBLE_EQ(e.net_joules, 16.0 * 1e8 * 10e-9);
-  EXPECT_DOUBLE_EQ(e.const_joules,
-                   16.0 * 122.0 * predict_time(c, w).total_seconds);
-  EXPECT_DOUBLE_EQ(e.total_joules, e.flops_joules + e.mem_joules +
-                                       e.net_joules + e.const_joules);
+  EXPECT_DOUBLE_EQ(e.flops_joules.value(), 16.0 * 1e10 * 670e-12);
+  EXPECT_DOUBLE_EQ(e.mem_joules.value(), 16.0 * 1e9 * 795e-12);
+  EXPECT_DOUBLE_EQ(e.net_joules.value(), 16.0 * 1e8 * 10e-9);
+  EXPECT_DOUBLE_EQ(e.const_joules.value(),
+                   16.0 * 122.0 * predict_time(c, w).total_seconds.value());
+  EXPECT_DOUBLE_EQ(e.total_joules.value(), e.flops_joules.value() + e.mem_joules.value() +
+                                       e.net_joules.value() + e.const_joules.value());
 }
 
 TEST(Cluster, SingleNodeNoNetworkDegeneratesToNodeModel) {
   const ClusterParams c = test_cluster(1.0);
   DistributedProfile w{1e10, 1e9, 0.0};
   const KernelProfile k{1e10, 1e9};
-  EXPECT_NEAR(predict_time(c, w).total_seconds,
-              rme::predict_time(c.node, k).total_seconds, 1e-15);
-  EXPECT_NEAR(predict_energy(c, w).total_joules,
-              rme::predict_energy(c.node, k).total_joules, 1e-9);
+  EXPECT_NEAR(predict_time(c, w).total_seconds.value(),
+              rme::predict_time(c.node, k).total_seconds.value(), 1e-15);
+  EXPECT_NEAR(predict_energy(c, w).total_joules.value(),
+              rme::predict_energy(c.node, k).total_joules.value(), 1e-9);
 }
 
 TEST(Cluster, TrafficModels) {
@@ -141,26 +141,26 @@ TEST_P(ClusterChannelProperties, Invariants) {
   const DistributedTime t = predict_time(c, w);
   const DistributedEnergy e = predict_energy(c, w);
   // 1. Time is the max channel; the named bound is the argmax.
-  EXPECT_GE(t.total_seconds, t.flops_seconds);
-  EXPECT_GE(t.total_seconds, t.mem_seconds);
-  EXPECT_GE(t.total_seconds, t.net_seconds);
+  EXPECT_GE(t.total_seconds.value(), t.flops_seconds.value());
+  EXPECT_GE(t.total_seconds.value(), t.mem_seconds.value());
+  EXPECT_GE(t.total_seconds.value(), t.net_seconds.value());
   const double bound_seconds = t.bound == Channel::kCompute
-                                   ? t.flops_seconds
+                                   ? t.flops_seconds.value()
                                    : t.bound == Channel::kMemory
-                                         ? t.mem_seconds
-                                         : t.net_seconds;
-  EXPECT_DOUBLE_EQ(bound_seconds, t.total_seconds);
+                                         ? t.mem_seconds.value()
+                                         : t.net_seconds.value();
+  EXPECT_DOUBLE_EQ(bound_seconds, t.total_seconds.value());
   // 2. Energy components are nonnegative and sum to the total.
-  EXPECT_GE(e.net_joules, 0.0);
-  EXPECT_NEAR(e.total_joules,
-              e.flops_joules + e.mem_joules + e.net_joules + e.const_joules,
-              1e-9 * e.total_joules);
+  EXPECT_GE(e.net_joules.value(), 0.0);
+  EXPECT_NEAR(e.total_joules.value(),
+              e.flops_joules.value() + e.mem_joules.value() + e.net_joules.value() + e.const_joules.value(),
+              1e-9 * e.total_joules.value());
   // 3. Dropping the network traffic never increases time or energy.
   const DistributedProfile no_net{flops, mem, 0.0};
-  EXPECT_LE(predict_time(c, no_net).total_seconds,
-            t.total_seconds * (1.0 + 1e-12));
-  EXPECT_LE(predict_energy(c, no_net).total_joules,
-            e.total_joules * (1.0 + 1e-12));
+  EXPECT_LE(predict_time(c, no_net).total_seconds.value(),
+            t.total_seconds.value() * (1.0 + 1e-12));
+  EXPECT_LE(predict_energy(c, no_net).total_joules.value(),
+            e.total_joules.value() * (1.0 + 1e-12));
 }
 
 INSTANTIATE_TEST_SUITE_P(

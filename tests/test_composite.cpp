@@ -49,12 +49,12 @@ TEST(Composite, TimesAndEnergiesAdd) {
   double t = 0.0;
   double e = 0.0;
   for (const RunResult& phase : r.phase_runs) {
-    t += phase.seconds;
-    e += phase.joules;
+    t += phase.seconds.value();
+    e += phase.joules.value();
   }
-  EXPECT_DOUBLE_EQ(r.seconds, t);
-  EXPECT_DOUBLE_EQ(r.joules, e);
-  EXPECT_NEAR(r.avg_watts, e / t, 1e-9);
+  EXPECT_DOUBLE_EQ(r.seconds.value(), t);
+  EXPECT_DOUBLE_EQ(r.joules.value(), e);
+  EXPECT_NEAR(r.avg_watts.value(), e / t, 1e-9);
 }
 
 TEST(Composite, MatchesAnalyticPrediction) {
@@ -63,16 +63,18 @@ TEST(Composite, MatchesAnalyticPrediction) {
   const CompositeKernel k = fmm_step_like();
   const CompositeResult run = run_composite(exec, k);
   const CompositePrediction pred = predict_composite(m, k);
-  EXPECT_NEAR(run.seconds, pred.seconds, 1e-9 * pred.seconds);
-  EXPECT_NEAR(run.joules, pred.joules, 1e-9 * pred.joules);
+  EXPECT_NEAR(run.seconds.value(), pred.seconds.value(), 1e-9 * pred.seconds.value());
+  EXPECT_NEAR(run.joules.value(), pred.joules.value(), 1e-9 * pred.joules.value());
 }
 
 TEST(Composite, StitchedTraceCoversWholeRun) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const Executor exec = ideal_executor(m);
   const CompositeResult r = run_composite(exec, fmm_step_like());
-  EXPECT_NEAR(r.trace.duration(), r.seconds, 1e-9 * r.seconds);
-  EXPECT_NEAR(r.trace.energy(), r.joules, 1e-9 * r.joules);
+  EXPECT_NEAR(r.trace.duration().value(), r.seconds.value(),
+              1e-9 * r.seconds.value());
+  EXPECT_NEAR(r.trace.energy().value(), r.joules.value(),
+              1e-9 * r.joules.value());
 }
 
 TEST(Composite, PhasesAreVisibleInThePowerTrace) {
@@ -81,8 +83,8 @@ TEST(Composite, PhasesAreVisibleInThePowerTrace) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const Executor exec = ideal_executor(m);
   const CompositeResult r = run_composite(exec, fmm_step_like());
-  const auto samples = rme::power::sample_trace(r.trace, 1024.0);
-  const double threshold = rme::power::auto_threshold(samples);
+  const auto samples = rme::power::sample_trace(r.trace, Hertz{1024.0});
+  const rme::Watts threshold = rme::power::auto_threshold(samples);
   const auto segments = rme::power::segment_trace(samples, threshold);
   EXPECT_GE(segments.size(), 3u);  // low / high / low at least
 }
@@ -92,10 +94,10 @@ TEST(Composite, PowerMonMeasuresTheComposite) {
   const Executor exec = ideal_executor(m);
   const CompositeResult r = run_composite(exec, fmm_step_like());
   rme::power::PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   const rme::power::PowerMon mon(rme::power::gtx580_rails(), cfg);
   const auto meas = mon.measure(r.trace);
-  EXPECT_NEAR(meas.energy_joules, r.joules, 0.02 * r.joules);
+  EXPECT_NEAR(meas.energy_joules.value(), r.joules.value(), 0.02 * r.joules.value());
 }
 
 TEST(Composite, PhaseSeparationPenalty) {
@@ -126,8 +128,8 @@ TEST(Composite, DeterministicPerRunId) {
   const CompositeResult a = run_composite(exec, k, 3);
   const CompositeResult b = run_composite(exec, k, 3);
   const CompositeResult c = run_composite(exec, k, 4);
-  EXPECT_DOUBLE_EQ(a.joules, b.joules);
-  EXPECT_NE(a.joules, c.joules);
+  EXPECT_DOUBLE_EQ(a.joules.value(), b.joules.value());
+  EXPECT_NE(a.joules.value(), c.joules.value());
 }
 
 }  // namespace

@@ -40,8 +40,8 @@ TEST(Dataset, RoundTripPreservesValues) {
   for (std::size_t i = 0; i < original.size(); ++i) {
     EXPECT_DOUBLE_EQ(loaded[i].flops, original[i].flops);
     EXPECT_DOUBLE_EQ(loaded[i].bytes, original[i].bytes);
-    EXPECT_DOUBLE_EQ(loaded[i].seconds, original[i].seconds);
-    EXPECT_DOUBLE_EQ(loaded[i].joules, original[i].joules);
+    EXPECT_DOUBLE_EQ(loaded[i].seconds.value(), original[i].seconds.value());
+    EXPECT_DOUBLE_EQ(loaded[i].joules.value(), original[i].joules.value());
     EXPECT_EQ(loaded[i].precision, original[i].precision);
   }
 }
@@ -54,7 +54,7 @@ TEST(Dataset, HeaderDrivesColumnOrder) {
   ASSERT_EQ(samples.size(), 1u);
   EXPECT_DOUBLE_EQ(samples[0].flops, 1e9);
   EXPECT_DOUBLE_EQ(samples[0].bytes, 1e8);
-  EXPECT_DOUBLE_EQ(samples[0].joules, 2.5);
+  EXPECT_DOUBLE_EQ(samples[0].joules.value(), 2.5);
   EXPECT_EQ(samples[0].precision, Precision::kDouble);
 }
 
@@ -173,9 +173,9 @@ TEST(Dataset, LoadedSamplesFitCorrectly) {
   std::stringstream ss;
   write_samples_csv(ss, samples);
   const EnergyFit fit = fit_energy_coefficients(read_samples_csv(ss));
-  EXPECT_NEAR(fit.coefficients.eps_single * 1e12, 99.7, 0.01);
-  EXPECT_NEAR(fit.coefficients.eps_mem * 1e12, 513.0, 0.01);
-  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.001);
+  EXPECT_NEAR(fit.coefficients.eps_single.value() * 1e12, 99.7, 0.01);
+  EXPECT_NEAR(fit.coefficients.eps_mem.value() * 1e12, 513.0, 0.01);
+  EXPECT_NEAR(fit.coefficients.const_power.value(), 122.0, 0.001);
 }
 
 }  // namespace

@@ -19,11 +19,11 @@ TEST(Depth, DegeneratesToThroughputModel) {
   c.processors = 512.0;
   c.depth = 0.0;
   c.mem_concurrency = 64.0;
-  c.mem_latency = 0.0;
+  c.mem_latency = TimePerByte{0.0};
   const TimeBreakdown refined = predict_time_depth(m, k, c);
   const TimeBreakdown basic = predict_time(m, k);
-  EXPECT_NEAR(refined.total_seconds, basic.total_seconds,
-              1e-12 * basic.total_seconds);
+  EXPECT_NEAR(refined.total_seconds.value(), basic.total_seconds.value(),
+              1e-12 * basic.total_seconds.value());
 }
 
 TEST(Depth, CriticalPathAddsSerialTime) {
@@ -34,9 +34,9 @@ TEST(Depth, CriticalPathAddsSerialTime) {
   c.depth = 1e5;  // long dependence chain
   const TimeBreakdown refined = predict_time_depth(m, k, c);
   // flops time = (W + D·p)·tau = (1e6 + 1e7)·tau — depth dominates.
-  EXPECT_NEAR(refined.flops_seconds,
-              (1e6 + 1e5 * 100.0) * m.time_per_flop, 1e-18);
-  EXPECT_GT(refined.total_seconds, predict_time(m, k).total_seconds);
+  EXPECT_NEAR(refined.flops_seconds.value(),
+              (1e6 + 1e5 * 100.0) * m.time_per_flop.value(), 1e-18);
+  EXPECT_GT(refined.total_seconds.value(), predict_time(m, k).total_seconds.value());
 }
 
 TEST(Depth, LatencyBoundMemory) {
@@ -45,10 +45,10 @@ TEST(Depth, LatencyBoundMemory) {
   ConcurrencyParams c;
   c.processors = 1.0;
   c.mem_concurrency = 1.0;            // one outstanding transfer
-  c.mem_latency = 100e-9;             // 100 ns per transfer
+  c.mem_latency = TimePerByte{100e-9};             // 100 ns per transfer
   const TimeBreakdown refined = predict_time_depth(m, k, c);
   // Latency term: (Q/c)·L = 1e6·100ns = 0.1 s ≫ bandwidth term.
-  EXPECT_NEAR(refined.mem_seconds, 0.1, 1e-9);
+  EXPECT_NEAR(refined.mem_seconds.value(), 0.1, 1e-9);
   EXPECT_EQ(refined.bound(), Bound::kMemory);
 }
 
@@ -57,12 +57,12 @@ TEST(Depth, SufficientConcurrencyHidesLatency) {
   const KernelProfile k{1e3, 1e6};
   ConcurrencyParams c;
   c.processors = 1.0;
-  c.mem_latency = 100e-9;
+  c.mem_latency = TimePerByte{100e-9};
   // Little's law: need c ≥ L/tau_mem outstanding bytes.
   c.mem_concurrency = c.mem_latency / m.time_per_byte * 2.0;
   const TimeBreakdown refined = predict_time_depth(m, k, c);
-  EXPECT_NEAR(refined.mem_seconds, 1e6 * m.time_per_byte,
-              1e-9 * refined.mem_seconds);
+  EXPECT_NEAR(refined.mem_seconds.value(), 1e6 * m.time_per_byte.value(),
+              1e-9 * refined.mem_seconds.value());
 }
 
 TEST(Depth, ZeroMemConcurrencyIsInfinitelySlow) {
@@ -70,8 +70,8 @@ TEST(Depth, ZeroMemConcurrencyIsInfinitelySlow) {
   const KernelProfile k{1e3, 1e6};
   ConcurrencyParams c;
   c.mem_concurrency = 0.0;
-  c.mem_latency = 1e-9;
-  EXPECT_TRUE(std::isinf(predict_time_depth(m, k, c).total_seconds));
+  c.mem_latency = TimePerByte{1e-9};
+  EXPECT_TRUE(std::isinf(predict_time_depth(m, k, c).total_seconds.value()));
 }
 
 TEST(Depth, EnergyUsesRefinedDuration) {
@@ -83,9 +83,9 @@ TEST(Depth, EnergyUsesRefinedDuration) {
   const EnergyBreakdown refined = predict_energy_depth(m, k, c);
   const EnergyBreakdown basic = predict_energy(m, k);
   // Dynamic energy identical; constant energy grows with the longer T.
-  EXPECT_DOUBLE_EQ(refined.flops_joules, basic.flops_joules);
-  EXPECT_DOUBLE_EQ(refined.mem_joules, basic.mem_joules);
-  EXPECT_GT(refined.const_joules, basic.const_joules);
+  EXPECT_DOUBLE_EQ(refined.flops_joules.value(), basic.flops_joules.value());
+  EXPECT_DOUBLE_EQ(refined.mem_joules.value(), basic.mem_joules.value());
+  EXPECT_GT(refined.const_joules.value(), basic.const_joules.value());
 }
 
 TEST(Depth, MaxProcessorsForThroughput) {

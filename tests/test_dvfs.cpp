@@ -14,20 +14,20 @@ TEST(Dvfs, NominalRatioReproducesBaseMachine) {
   const MachineParams base = presets::i7_950(Precision::kDouble);
   const DvfsModel dvfs;
   const MachineParams at1 = at_frequency(base, dvfs, 1.0);
-  EXPECT_DOUBLE_EQ(at1.time_per_flop, base.time_per_flop);
-  EXPECT_DOUBLE_EQ(at1.time_per_byte, base.time_per_byte);
-  EXPECT_DOUBLE_EQ(at1.energy_per_flop, base.energy_per_flop);
-  EXPECT_DOUBLE_EQ(at1.energy_per_byte, base.energy_per_byte);
-  EXPECT_NEAR(at1.const_power, base.const_power, 1e-9);
+  EXPECT_DOUBLE_EQ(at1.time_per_flop.value(), base.time_per_flop.value());
+  EXPECT_DOUBLE_EQ(at1.time_per_byte.value(), base.time_per_byte.value());
+  EXPECT_DOUBLE_EQ(at1.energy_per_flop.value(), base.energy_per_flop.value());
+  EXPECT_DOUBLE_EQ(at1.energy_per_byte.value(), base.energy_per_byte.value());
+  EXPECT_NEAR(at1.const_power.value(), base.const_power.value(), 1e-9);
 }
 
 TEST(Dvfs, CoreClockScalesFlopTimeOnly) {
   const MachineParams base = presets::i7_950(Precision::kDouble);
   const DvfsModel dvfs;
   const MachineParams half = at_frequency(base, dvfs, 0.5);
-  EXPECT_DOUBLE_EQ(half.time_per_flop, 2.0 * base.time_per_flop);
-  EXPECT_DOUBLE_EQ(half.time_per_byte, base.time_per_byte);  // mem domain
-  EXPECT_DOUBLE_EQ(half.energy_per_byte, base.energy_per_byte);
+  EXPECT_DOUBLE_EQ(half.time_per_flop.value(), 2.0 * base.time_per_flop.value());
+  EXPECT_DOUBLE_EQ(half.time_per_byte.value(), base.time_per_byte.value());  // mem domain
+  EXPECT_DOUBLE_EQ(half.energy_per_byte.value(), base.energy_per_byte.value());
 }
 
 TEST(Dvfs, VoltageScalingReducesFlopEnergy) {
@@ -35,16 +35,16 @@ TEST(Dvfs, VoltageScalingReducesFlopEnergy) {
   const DvfsModel dvfs;  // v_floor = 0.6
   const MachineParams half = at_frequency(base, dvfs, 0.5);
   const double v = dvfs.voltage(0.5);  // 0.8
-  EXPECT_NEAR(half.energy_per_flop, base.energy_per_flop * v * v, 1e-18);
-  EXPECT_LT(half.energy_per_flop, base.energy_per_flop);
+  EXPECT_NEAR(half.energy_per_flop.value(), base.energy_per_flop.value() * v * v, 1e-18);
+  EXPECT_LT(half.energy_per_flop.value(), base.energy_per_flop.value());
 }
 
 TEST(Dvfs, ConstPowerDecreasesWithFrequency) {
   const MachineParams base = presets::i7_950(Precision::kDouble);
   const DvfsModel dvfs;
-  EXPECT_LT(at_frequency(base, dvfs, 0.5).const_power, base.const_power);
-  EXPECT_LT(at_frequency(base, dvfs, 0.25).const_power,
-            at_frequency(base, dvfs, 0.5).const_power);
+  EXPECT_LT(at_frequency(base, dvfs, 0.5).const_power.value(), base.const_power.value());
+  EXPECT_LT(at_frequency(base, dvfs, 0.25).const_power.value(),
+            at_frequency(base, dvfs, 0.5).const_power.value());
 }
 
 TEST(Dvfs, RatiosClampToModelRange) {
@@ -53,7 +53,7 @@ TEST(Dvfs, RatiosClampToModelRange) {
   dvfs.min_ratio = 0.5;
   const MachineParams below = at_frequency(base, dvfs, 0.1);
   const MachineParams at_min = at_frequency(base, dvfs, 0.5);
-  EXPECT_DOUBLE_EQ(below.time_per_flop, at_min.time_per_flop);
+  EXPECT_DOUBLE_EQ(below.time_per_flop.value(), at_min.time_per_flop.value());
 }
 
 TEST(Dvfs, SweepShapeAndMonotoneTimes) {
@@ -66,7 +66,7 @@ TEST(Dvfs, SweepShapeAndMonotoneTimes) {
   EXPECT_DOUBLE_EQ(sweep.back().ratio, dvfs.max_ratio);
   // Compute-bound kernel: time strictly decreases with frequency.
   for (std::size_t i = 1; i < sweep.size(); ++i) {
-    EXPECT_LT(sweep[i].seconds, sweep[i - 1].seconds);
+    EXPECT_LT(sweep[i].seconds.value(), sweep[i - 1].seconds.value());
   }
 }
 
@@ -98,7 +98,7 @@ TEST(Dvfs, RaceToHaltBreaksForMemoryBoundKernel) {
   EXPECT_DOUBLE_EQ(best.ratio, dvfs.min_ratio);
   // And its time is unchanged from nominal (still memory-bound).
   const auto sweep = frequency_sweep(base, dvfs, k, 3);
-  EXPECT_NEAR(sweep.front().seconds, sweep.back().seconds, 1e-12);
+  EXPECT_NEAR(sweep.front().seconds.value(), sweep.back().seconds.value(), 1e-12);
 }
 
 TEST(Dvfs, RaceToHaltBreaksWhenConstPowerVanishes) {
@@ -106,7 +106,7 @@ TEST(Dvfs, RaceToHaltBreaksWhenConstPowerVanishes) {
   // reverse."  With no constant power and a voltage floor below nominal,
   // slowing down strictly reduces compute-bound energy too.
   MachineParams base = presets::i7_950(Precision::kDouble);
-  base.const_power = 0.0;
+  base.const_power = Watts{0.0};
   const DvfsModel dvfs;
   const KernelProfile k = KernelProfile::from_intensity(64.0, 1e9);
   EXPECT_FALSE(race_to_halt_optimal(base, dvfs, k));
@@ -118,9 +118,9 @@ TEST(Dvfs, EnergySweepIsConsistentWithModel) {
   const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
   for (const DvfsPoint& p : frequency_sweep(base, dvfs, k, 5)) {
     const MachineParams m = at_frequency(base, dvfs, p.ratio);
-    EXPECT_NEAR(p.seconds, predict_time(m, k).total_seconds, 1e-15);
-    EXPECT_NEAR(p.joules, predict_energy(m, k).total_joules, 1e-12);
-    EXPECT_NEAR(p.avg_watts, p.joules / p.seconds, 1e-9);
+    EXPECT_NEAR(p.seconds.value(), predict_time(m, k).total_seconds.value(), 1e-15);
+    EXPECT_NEAR(p.joules.value(), predict_energy(m, k).total_joules.value(), 1e-12);
+    EXPECT_NEAR(p.avg_watts.value(), p.joules.value() / p.seconds.value(), 1e-9);
   }
 }
 

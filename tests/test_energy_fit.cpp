@@ -40,10 +40,10 @@ TEST(EnergyFit, RecoversTable4CoefficientsExactly) {
   const auto samples = model_samples(presets::gtx580(Precision::kSingle),
                                      presets::gtx580(Precision::kDouble));
   const EnergyFit fit = fit_energy_coefficients(samples);
-  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 99.7, 0.01);
-  EXPECT_NEAR(fit.coefficients.eps_double() / kPico, 212.0, 0.01);
-  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 513.0, 0.01);
-  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.001);
+  EXPECT_NEAR(fit.coefficients.eps_single.value() / kPico, 99.7, 0.01);
+  EXPECT_NEAR(fit.coefficients.eps_double().value() / kPico, 212.0, 0.01);
+  EXPECT_NEAR(fit.coefficients.eps_mem.value() / kPico, 513.0, 0.01);
+  EXPECT_NEAR(fit.coefficients.const_power.value(), 122.0, 0.001);
   EXPECT_GT(fit.regression.r_squared, 1.0 - 1e-9);
 }
 
@@ -51,10 +51,10 @@ TEST(EnergyFit, RecoversCpuCoefficients) {
   const auto samples = model_samples(presets::i7_950(Precision::kSingle),
                                      presets::i7_950(Precision::kDouble));
   const EnergyFit fit = fit_energy_coefficients(samples);
-  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 371.0, 0.1);
-  EXPECT_NEAR(fit.coefficients.delta_double / kPico, 670.0 - 371.0, 0.1);
-  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 795.0, 0.1);
-  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.01);
+  EXPECT_NEAR(fit.coefficients.eps_single.value() / kPico, 371.0, 0.1);
+  EXPECT_NEAR(fit.coefficients.delta_double.value() / kPico, 670.0 - 371.0, 0.1);
+  EXPECT_NEAR(fit.coefficients.eps_mem.value() / kPico, 795.0, 0.1);
+  EXPECT_NEAR(fit.coefficients.const_power.value(), 122.0, 0.01);
 }
 
 TEST(EnergyFit, RecoversCoefficientsFromNoisySimulatorRuns) {
@@ -82,10 +82,10 @@ TEST(EnergyFit, RecoversCoefficientsFromNoisySimulatorRuns) {
     }
   }
   const EnergyFit fit = fit_energy_coefficients(samples);
-  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 99.7,
+  EXPECT_NEAR(fit.coefficients.eps_single.value() / kPico, 99.7,
               0.10 * 99.7);
-  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 513.0, 0.05 * 513.0);
-  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 0.05 * 122.0);
+  EXPECT_NEAR(fit.coefficients.eps_mem.value() / kPico, 513.0, 0.05 * 513.0);
+  EXPECT_NEAR(fit.coefficients.const_power.value(), 122.0, 0.05 * 122.0);
   EXPECT_GT(fit.regression.r_squared, 0.99);
   EXPECT_LT(fit.regression.by_name("eps_mem").p_value, 1e-14);
   EXPECT_LT(fit.regression.by_name("pi0").p_value, 1e-14);
@@ -97,8 +97,8 @@ TEST(EnergyFit, RequiresBothPrecisions) {
     EnergySample s;
     s.flops = 1e9;
     s.bytes = 1e9 / i;
-    s.seconds = 0.01;
-    s.joules = 1.0;
+    s.seconds = Seconds{0.01};
+    s.joules = Joules{1.0};
     s.precision = Precision::kSingle;
     samples.push_back(s);
   }
@@ -111,8 +111,8 @@ TEST(EnergyFit, RejectsNonPositiveObservations) {
   for (std::size_t i = 0; i < samples.size(); ++i) {
     samples[i].flops = 1e9;
     samples[i].bytes = 1e8 * static_cast<double>(i + 1);
-    samples[i].seconds = 0.01;
-    samples[i].joules = 1.0 + static_cast<double>(i);
+    samples[i].seconds = Seconds{0.01};
+    samples[i].joules = Joules{1.0 + static_cast<double>(i)};
     samples[i].precision = i % 2 ? Precision::kDouble : Precision::kSingle;
   }
   samples[3].flops = 0.0;
@@ -150,8 +150,8 @@ TEST(EnergyFit, DerivedBalanceUncertaintyCoversTruthUnderNoise) {
         EnergySample s;
         s.flops = k.flops;
         s.bytes = k.bytes;
-        s.seconds = noise.perturb(predict_time(m, k).total_seconds, ++salt);
-        s.joules = noise.perturb(predict_energy(m, k).total_joules, ++salt);
+        s.seconds = Seconds{noise.perturb(predict_time(m, k).total_seconds.value(), ++salt)};
+        s.joules = Joules{noise.perturb(predict_energy(m, k).total_joules.value(), ++salt)};
         s.precision = prec;
         samples.push_back(s);
       }
@@ -169,11 +169,11 @@ TEST(EnergyFit, ConstEnergyPerFlopUncertainty) {
   const auto samples = model_samples(presets::gtx580(Precision::kSingle),
                                      presets::gtx580(Precision::kDouble));
   const EnergyFit fit = fit_energy_coefficients(samples);
-  const double tau = presets::gtx580(Precision::kDouble).time_per_flop;
+  const TimePerFlop tau = presets::gtx580(Precision::kDouble).time_per_flop;
   const DerivedQuantity e0 = fitted_const_energy_per_flop(fit, tau);
   EXPECT_NEAR(e0.value / kPico, 617.3, 1.0);  // 122 W / 197.63 Gflop/s
   EXPECT_NEAR(e0.std_error,
-              fit.regression.by_name("pi0").std_error * tau, 1e-18);
+              (fit.regression.by_name("pi0").std_error * tau).value(), 1e-18);
 }
 
 TEST(EnergyFit, CovarianceMatrixIsConsistentWithStdErrors) {
@@ -194,18 +194,18 @@ TEST(EnergyFit, CovarianceMatrixIsConsistentWithStdErrors) {
 
 TEST(EnergyCoefficients, ToMachineInstallsFittedValues) {
   EnergyCoefficients c;
-  c.eps_single = 100e-12;
-  c.delta_double = 110e-12;
-  c.eps_mem = 500e-12;
-  c.const_power = 120.0;
+  c.eps_single = EnergyPerFlop{100e-12};
+  c.delta_double = EnergyPerFlop{110e-12};
+  c.eps_mem = EnergyPerByte{500e-12};
+  c.const_power = Watts{120.0};
   const MachineParams peaks = presets::gtx580(Precision::kDouble);
   const MachineParams m = c.to_machine(peaks, Precision::kDouble);
-  EXPECT_DOUBLE_EQ(m.energy_per_flop, 210e-12);
-  EXPECT_DOUBLE_EQ(m.energy_per_byte, 500e-12);
-  EXPECT_DOUBLE_EQ(m.const_power, 120.0);
-  EXPECT_DOUBLE_EQ(m.time_per_flop, peaks.time_per_flop);
+  EXPECT_DOUBLE_EQ(m.energy_per_flop.value(), 210e-12);
+  EXPECT_DOUBLE_EQ(m.energy_per_byte.value(), 500e-12);
+  EXPECT_DOUBLE_EQ(m.const_power.value(), 120.0);
+  EXPECT_DOUBLE_EQ(m.time_per_flop.value(), peaks.time_per_flop.value());
   const MachineParams msp = c.to_machine(peaks, Precision::kSingle);
-  EXPECT_DOUBLE_EQ(msp.energy_per_flop, 100e-12);
+  EXPECT_DOUBLE_EQ(msp.energy_per_flop.value(), 100e-12);
 }
 
 }  // namespace

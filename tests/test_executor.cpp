@@ -24,10 +24,11 @@ TEST(Executor, IdealRunMatchesModelExactly) {
   const Executor exec(m, ideal_config());
   const KernelDesc k = fma_load_mix(2.0, 1e8, Precision::kDouble);
   const RunResult r = exec.run(k);
-  EXPECT_NEAR(r.seconds, r.model_seconds, 1e-12 * r.seconds);
-  EXPECT_NEAR(r.joules, r.model_joules, 1e-12 * r.joules);
+  EXPECT_NEAR(r.seconds.value(), r.model_seconds.value(), 1e-12 * r.seconds.value());
+  EXPECT_NEAR(r.joules.value(), r.model_joules.value(), 1e-12 * r.joules.value());
   EXPECT_FALSE(r.capped);
-  EXPECT_NEAR(r.avg_watts, average_power(m, 2.0), 1e-9 * r.avg_watts);
+  EXPECT_NEAR(r.avg_watts.value(), average_power(m, 2.0).value(),
+              1e-9 * r.avg_watts.value());
 }
 
 TEST(Executor, ModelValuesAreTheAnalyticModel) {
@@ -35,10 +36,10 @@ TEST(Executor, ModelValuesAreTheAnalyticModel) {
   const Executor exec(m, ideal_config());
   const KernelDesc k = fma_load_mix(4.0, 1e8, Precision::kSingle);
   const RunResult r = exec.run(k);
-  EXPECT_DOUBLE_EQ(r.model_seconds,
-                   predict_time(m, k.profile()).total_seconds);
-  EXPECT_DOUBLE_EQ(r.model_joules,
-                   predict_energy(m, k.profile()).total_joules);
+  EXPECT_DOUBLE_EQ(r.model_seconds.value(),
+                   predict_time(m, k.profile()).total_seconds.value());
+  EXPECT_DOUBLE_EQ(r.model_joules.value(),
+                   predict_energy(m, k.profile()).total_joules.value());
 }
 
 TEST(Executor, DeratingSlowsTheRun) {
@@ -50,7 +51,7 @@ TEST(Executor, DeratingSlowsTheRun) {
   // Memory-bound kernel: time stretches by 1/bw_fraction.
   const KernelDesc k = fma_load_mix(0.25, 1e8, Precision::kDouble);
   const RunResult r = exec.run(k);
-  EXPECT_NEAR(r.seconds, r.model_seconds / 0.738, 1e-9 * r.seconds);
+  EXPECT_NEAR(r.seconds.value(), r.model_seconds.value() / 0.738, 1e-9 * r.seconds.value());
 }
 
 TEST(Executor, EffectiveMachineDeratesPeaks) {
@@ -60,10 +61,10 @@ TEST(Executor, EffectiveMachineDeratesPeaks) {
   cfg.bw_fraction = 0.8;
   const Executor exec(m, cfg);
   const MachineParams eff = exec.effective_machine();
-  EXPECT_NEAR(eff.peak_flops(), 0.9 * m.peak_flops(), 1.0);
-  EXPECT_NEAR(eff.peak_bandwidth(), 0.8 * m.peak_bandwidth(), 1.0);
+  EXPECT_NEAR(eff.peak_flops().value(), 0.9 * m.peak_flops().value(), 1.0);
+  EXPECT_NEAR(eff.peak_bandwidth().value(), 0.8 * m.peak_bandwidth().value(), 1.0);
   // Energy coefficients are untouched by derating.
-  EXPECT_DOUBLE_EQ(eff.energy_per_flop, m.energy_per_flop);
+  EXPECT_DOUBLE_EQ(eff.energy_per_flop.value(), m.energy_per_flop.value());
 }
 
 TEST(Executor, AchievedRatesMatchDeratedPeaksAtExtremes) {
@@ -74,22 +75,22 @@ TEST(Executor, AchievedRatesMatchDeratedPeaksAtExtremes) {
   const Executor exec(m, cfg);
   // Strongly compute-bound kernel: ~196 GFLOP/s (paper's number).
   const RunResult hi = exec.run(fma_load_mix(64.0, 1e8, Precision::kDouble));
-  EXPECT_NEAR(hi.achieved_flops() / 1e9, 196.2, 1.0);
+  EXPECT_NEAR(hi.achieved_flops().value() / 1e9, 196.2, 1.0);
   // Strongly memory-bound kernel: ~170 GB/s (paper's number).
   const RunResult lo = exec.run(fma_load_mix(0.25, 1e8, Precision::kDouble));
-  EXPECT_NEAR(lo.achieved_bandwidth() / 1e9, 169.9, 1.0);
+  EXPECT_NEAR(lo.achieved_bandwidth().value() / 1e9, 169.9, 1.0);
 }
 
 TEST(Executor, PowerCapThrottles) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
   SimConfig cfg = ideal_config();
-  cfg.power_cap_watts = presets::kGtx580PowerCapWatts;
+  cfg.power_cap_watts = Watts{presets::kGtx580PowerCapWatts};
   const Executor exec(m, cfg);
   const double b = m.time_balance();
   const RunResult r = exec.run(fma_load_mix(b, 1e8, Precision::kSingle));
   EXPECT_TRUE(r.capped);
-  EXPECT_GT(r.seconds, r.model_seconds);
-  EXPECT_LE(r.avg_watts, cfg.power_cap_watts * 1.001);
+  EXPECT_GT(r.seconds.value(), r.model_seconds.value());
+  EXPECT_LE(r.avg_watts.value(), cfg.power_cap_watts.value() * 1.001);
 }
 
 TEST(Executor, NoiseIsDeterministicPerRunId) {
@@ -101,9 +102,9 @@ TEST(Executor, NoiseIsDeterministicPerRunId) {
   const RunResult a = exec.run(k, 7);
   const RunResult b = exec.run(k, 7);
   const RunResult c = exec.run(k, 8);
-  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
-  EXPECT_DOUBLE_EQ(a.joules, b.joules);
-  EXPECT_NE(a.seconds, c.seconds);
+  EXPECT_DOUBLE_EQ(a.seconds.value(), b.seconds.value());
+  EXPECT_DOUBLE_EQ(a.joules.value(), b.joules.value());
+  EXPECT_NE(a.seconds.value(), c.seconds.value());
 }
 
 TEST(Executor, NoisyRunsScatterAroundModel) {
@@ -115,10 +116,10 @@ TEST(Executor, NoisyRunsScatterAroundModel) {
   double sum = 0.0;
   const int reps = 200;
   for (int i = 0; i < reps; ++i) {
-    sum += exec.run(k, static_cast<std::uint64_t>(i)).seconds;
+    sum += exec.run(k, static_cast<std::uint64_t>(i)).seconds.value();
   }
   const double mean = sum / reps;
-  EXPECT_NEAR(mean, exec.run(k, 0).model_seconds, 0.01 * mean);
+  EXPECT_NEAR(mean, exec.run(k, 0).model_seconds.value(), 0.01 * mean);
 }
 
 TEST(Executor, TraceEnergyMatchesReportedJoules) {
@@ -128,23 +129,25 @@ TEST(Executor, TraceEnergyMatchesReportedJoules) {
   SimConfig cfg = ideal_config();
   const Executor exec(m, cfg);
   const RunResult r = exec.run(fma_load_mix(1.0, 1e8, Precision::kDouble));
-  EXPECT_NEAR(r.trace.energy(), r.joules, 1e-9 * r.joules);
-  EXPECT_NEAR(r.trace.duration(), r.seconds, 1e-9 * r.seconds);
+  EXPECT_NEAR(r.trace.energy().value(), r.joules.value(), 1e-9 * r.joules.value());
+  EXPECT_NEAR(r.trace.duration().value(), r.seconds.value(),
+              1e-9 * r.seconds.value());
 }
 
 TEST(Executor, IdleHeadAndTailAppearInTrace) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   SimConfig cfg = ideal_config();
-  cfg.idle_power_watts = presets::kGtx580IdleWatts;
-  cfg.idle_head_seconds = 0.5;
-  cfg.idle_tail_seconds = 0.25;
+  cfg.idle_power_watts = Watts{presets::kGtx580IdleWatts};
+  cfg.idle_head_seconds = Seconds{0.5};
+  cfg.idle_tail_seconds = Seconds{0.25};
   const Executor exec(m, cfg);
   const RunResult r = exec.run(fma_load_mix(1.0, 1e8, Precision::kDouble));
-  EXPECT_NEAR(r.trace.duration(), r.seconds + 0.75, 1e-9);
-  EXPECT_DOUBLE_EQ(r.trace.watts_at(0.0), presets::kGtx580IdleWatts);
+  EXPECT_NEAR(r.trace.duration().value(), r.seconds.value() + 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(r.trace.watts_at(Seconds{0.0}).value(), presets::kGtx580IdleWatts);
   // Kernel energy is the integral over the kernel interval only.
-  EXPECT_NEAR(r.trace.energy_between(0.5, 0.5 + r.seconds), r.joules,
-              1e-9 * r.joules);
+  EXPECT_NEAR(r.trace.energy_between(Seconds{0.5}, Seconds{0.5} + r.seconds).value(),
+              r.joules.value(),
+              1e-9 * r.joules.value());
 }
 
 TEST(KernelDesc, FmaLoadMixAccounting) {

@@ -18,7 +18,7 @@ namespace {
 
 PowerTrace constant_trace(double seconds, double watts) {
   PowerTrace t;
-  t.append(seconds, watts);
+  t.append(Seconds{seconds}, Watts{watts});
   return t;
 }
 
@@ -29,7 +29,7 @@ TEST(FaultProfile, DefaultsAreInert) {
   p.sample_dropout_rate = 0.01;
   EXPECT_TRUE(p.any());
   FaultProfile sat;
-  sat.adc_saturation_watts = 100.0;
+  sat.adc_saturation_watts = Watts{100.0};
   EXPECT_TRUE(sat.any());
 }
 
@@ -85,7 +85,7 @@ TEST(FaultInjector, ClockDriftAndJitter) {
 
 TEST(FaultInjector, SaturationClamps) {
   FaultProfile p;
-  p.adc_saturation_watts = 100.0;
+  p.adc_saturation_watts = Watts{100.0};
   const FaultInjector inj(p, 1);
   bool saturated = false;
   EXPECT_DOUBLE_EQ(inj.saturate(250.0, &saturated), 100.0);
@@ -106,31 +106,31 @@ using rme::sim::PowerTrace;
 
 PowerTrace constant_trace(double seconds, double watts) {
   PowerTrace t;
-  t.append(seconds, watts);
+  t.append(Seconds{seconds}, Watts{watts});
   return t;
 }
 
 PowerMon make_mon(const FaultProfile& profile, std::uint64_t seed = 0xFA117) {
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   return PowerMon(gtx580_rails(), cfg, FaultInjector(profile, seed));
 }
 
 TEST(PowerMonFaults, ZeroFaultInjectorIsAStrictNoOp) {
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   const PowerMon plain(gtx580_rails(), cfg);
   const PowerMon with_inert(gtx580_rails(), cfg, FaultInjector{});
   PowerTrace t;
-  t.append(0.3, 120.0);
-  t.append(0.4, 250.0);
-  t.append(0.3, 90.0);
+  t.append(Seconds{0.3}, Watts{120.0});
+  t.append(Seconds{0.4}, Watts{250.0});
+  t.append(Seconds{0.3}, Watts{90.0});
 
   const Measurement a = plain.measure(t);
   const Measurement b = with_inert.measure(t, 12345);  // salt must not matter
   EXPECT_EQ(a.samples, b.samples);
-  EXPECT_DOUBLE_EQ(a.avg_watts, b.avg_watts);
-  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.avg_watts.value(), b.avg_watts.value());
+  EXPECT_DOUBLE_EQ(a.energy_joules.value(), b.energy_joules.value());
   ASSERT_EQ(a.sample_watts.size(), b.sample_watts.size());
   for (std::size_t i = 0; i < a.sample_watts.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.sample_watts[i], b.sample_watts[i]);
@@ -149,7 +149,7 @@ TEST(PowerMonFaults, MeasurementIsBitStablePerSalt) {
   const Measurement a = make_mon(p).measure(t, 3);
   const Measurement b = make_mon(p).measure(t, 3);
   EXPECT_EQ(a.samples, b.samples);
-  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.energy_joules.value(), b.energy_joules.value());
   EXPECT_EQ(a.quality.dropped_samples, b.quality.dropped_samples);
   ASSERT_EQ(a.sample_watts.size(), b.sample_watts.size());
   for (std::size_t i = 0; i < a.sample_watts.size(); ++i) {
@@ -169,7 +169,7 @@ TEST(PowerMonFaults, DropoutsAreBridgedByTrapezoidIntegration) {
   EXPECT_LT(m.samples, m.quality.expected_samples);
   EXPECT_GT(m.quality.dropped_fraction(), 0.1);
   // Gap-aware integration holds the energy despite 30% missing samples.
-  EXPECT_NEAR(m.energy_joules, 200.0, 0.5);
+  EXPECT_NEAR(m.energy_joules.value(), 200.0, 0.5);
 }
 
 TEST(PowerMonFaults, ChannelDropoutWindowIsBridged) {
@@ -184,22 +184,22 @@ TEST(PowerMonFaults, ChannelDropoutWindowIsBridged) {
   }
   // Constant power: interpolation across the disconnect window is exact
   // up to edge effects.
-  EXPECT_NEAR(m.energy_joules, 200.0, 1.0);
+  EXPECT_NEAR(m.energy_joules.value(), 200.0, 1.0);
 }
 
 TEST(PowerMonFaults, StuckChannelIsFlaggedAndBiasesEnergy) {
   FaultProfile p;
   p.channel_stuck_rate = 1.0;
   PowerTrace t;
-  t.append(0.5, 100.0);
-  t.append(0.5, 300.0);  // the stuck ICs keep reporting the 100 W shares
+  t.append(Seconds{0.5}, Watts{100.0});
+  t.append(Seconds{0.5}, Watts{300.0});  // the stuck ICs keep reporting the 100 W shares
   const Measurement m = make_mon(p).measure(t, 1);
   EXPECT_TRUE(m.quality.degraded());
   for (const ChannelHealth& c : m.quality.channels) {
     EXPECT_TRUE(c.stuck) << c.name;
   }
-  EXPECT_NEAR(m.energy_joules, 100.0, 2.0);  // frozen at the first phase
-  EXPECT_NEAR(m.true_energy_joules, 200.0, 1e-9);
+  EXPECT_NEAR(m.energy_joules.value(), 100.0, 2.0);  // frozen at the first phase
+  EXPECT_NEAR(m.true_energy_joules.value(), 200.0, 1e-9);
 }
 
 TEST(PowerMonFaults, SpikesInflateEnergy) {
@@ -208,16 +208,16 @@ TEST(PowerMonFaults, SpikesInflateEnergy) {
   p.spike_gain_min = 2.0;
   p.spike_gain_max = 2.0;  // …by exactly 2x
   const Measurement m = make_mon(p).measure(constant_trace(1.0, 200.0), 1);
-  EXPECT_NEAR(m.energy_joules, 400.0, 1.0);
+  EXPECT_NEAR(m.energy_joules.value(), 400.0, 1.0);
 }
 
 TEST(PowerMonFaults, AdcSaturationClipsAndCounts) {
   FaultProfile p;
   // The 8-pin rail carries 50% of 200 W = 100 W; clamp it at 60 W.
-  p.adc_saturation_watts = 60.0;
+  p.adc_saturation_watts = Watts{60.0};
   const Measurement m = make_mon(p).measure(constant_trace(1.0, 200.0), 1);
   EXPECT_GT(m.quality.saturated_samples, 0u);
-  EXPECT_LT(m.energy_joules, 200.0);
+  EXPECT_LT(m.energy_joules.value(), 200.0);
   const ChannelHealth& pin8 = m.quality.channels.front();
   EXPECT_EQ(pin8.saturated, pin8.valid);  // every 8-pin reading clipped
 }
@@ -229,7 +229,7 @@ MeasurementSession qc_session(const MachineParams& m,
   rme::sim::SimConfig sim_cfg;
   sim_cfg.noise = rme::sim::NoiseModel(2024, noise);
   PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;
+  mon_cfg.sample_hz = Hertz{128.0};
   SessionConfig ses_cfg;
   ses_cfg.repetitions = reps;
   ses_cfg.qc = qc;
@@ -249,7 +249,7 @@ TEST(SessionQc, ZeroFaultSessionIsByteEqualToPlainPipeline) {
   rme::sim::SimConfig sim_cfg;
   sim_cfg.noise = rme::sim::NoiseModel(2024, 0.01);
   PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;
+  mon_cfg.sample_hz = Hertz{128.0};
   const MeasurementSession legacy(rme::sim::Executor(m, sim_cfg),
                                   PowerMon(gtx580_rails(), mon_cfg),
                                   SessionConfig{10});
@@ -257,9 +257,9 @@ TEST(SessionQc, ZeroFaultSessionIsByteEqualToPlainPipeline) {
 
   ASSERT_EQ(plain.reps.size(), expected.reps.size());
   for (std::size_t i = 0; i < plain.reps.size(); ++i) {
-    EXPECT_DOUBLE_EQ(plain.reps[i].seconds, expected.reps[i].seconds);
-    EXPECT_DOUBLE_EQ(plain.reps[i].joules, expected.reps[i].joules);
-    EXPECT_DOUBLE_EQ(plain.reps[i].avg_watts, expected.reps[i].avg_watts);
+    EXPECT_DOUBLE_EQ(plain.reps[i].seconds.value(), expected.reps[i].seconds.value());
+    EXPECT_DOUBLE_EQ(plain.reps[i].joules.value(), expected.reps[i].joules.value());
+    EXPECT_DOUBLE_EQ(plain.reps[i].avg_watts.value(), expected.reps[i].avg_watts.value());
   }
   EXPECT_DOUBLE_EQ(plain.joules.median, expected.joules.median);
   EXPECT_DOUBLE_EQ(plain.seconds.mean, expected.seconds.mean);
@@ -315,7 +315,7 @@ TEST(SessionQc, SessionResultsAreDeterministic) {
   const SessionResult b = qc_session(m, p, qc, 12).measure(kernel);
   ASSERT_EQ(a.reps.size(), b.reps.size());
   for (std::size_t i = 0; i < a.reps.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.reps[i].joules, b.reps[i].joules);
+    EXPECT_DOUBLE_EQ(a.reps[i].joules.value(), b.reps[i].joules.value());
     EXPECT_EQ(a.reps[i].retries, b.reps[i].retries);
     EXPECT_EQ(a.reps[i].outlier, b.reps[i].outlier);
   }

@@ -48,8 +48,8 @@ TEST(UlistEnergy, ObservationsCarryCountersAndMeasurements) {
     EXPECT_GT(o.counters.flops, 0.0) << o.spec.name();
     EXPECT_GT(o.counters.dram_bytes, 0.0);
     EXPECT_GT(o.counters.cache_bytes(), 0.0);
-    EXPECT_GT(o.sample.seconds, 0.0);
-    EXPECT_GT(o.sample.joules, 0.0);
+    EXPECT_GT(o.sample.seconds.value(), 0.0);
+    EXPECT_GT(o.sample.joules.value(), 0.0);
   }
 }
 
@@ -64,9 +64,9 @@ TEST(UlistEnergy, CalibrationRecoversCacheEnergyScale) {
   // ε_cache fitted from one variant's residual lands near the ground
   // truth 187 pJ/B (within noise and model mismatch).
   const Study& s = shared_study();
-  EXPECT_NEAR(s.result.calibrated_cache_eps,
-              s.platform.cache_energy_per_byte,
-              0.25 * s.platform.cache_energy_per_byte);
+  EXPECT_NEAR(s.result.calibrated_cache_eps.value(),
+              s.platform.cache_energy_per_byte.value(),
+              0.25 * s.platform.cache_energy_per_byte.value());
 }
 
 TEST(UlistEnergy, CacheAwareEstimateHasSmallMedianError) {
@@ -97,8 +97,8 @@ TEST(UlistEnergy, ObservationIsDeterministic) {
       observe_variant(s.tree, s.ulist, reference_variant(), s.platform, 3);
   const VariantObservation b =
       observe_variant(s.tree, s.ulist, reference_variant(), s.platform, 3);
-  EXPECT_DOUBLE_EQ(a.sample.joules, b.sample.joules);
-  EXPECT_DOUBLE_EQ(a.sample.seconds, b.sample.seconds);
+  EXPECT_DOUBLE_EQ(a.sample.joules.value(), b.sample.joules.value());
+  EXPECT_DOUBLE_EQ(a.sample.seconds.value(), b.sample.seconds.value());
 }
 
 TEST(UlistEnergy, GroundTruthIncludesCacheTerm) {
@@ -107,17 +107,18 @@ TEST(UlistEnergy, GroundTruthIncludesCacheTerm) {
   const Study& s = shared_study();
   const VariantObservation& o = s.observations.front();
   const MachineParams& m = s.platform.machine;
-  const double t_flops =
-      o.counters.flops * m.time_per_flop / s.platform.flop_fraction;
-  const double t_mem =
-      o.counters.dram_bytes * m.time_per_byte / s.platform.bw_fraction;
-  const double seconds = std::max(t_flops, t_mem);
+  const Seconds t_flops =
+      o.counters.work() * m.time_per_flop / s.platform.flop_fraction;
+  const Seconds t_mem =
+      o.counters.dram_traffic() * m.time_per_byte / s.platform.bw_fraction;
+  const Seconds seconds = max(t_flops, t_mem);
   const double joules =
-      o.counters.flops * m.energy_per_flop +
-      o.counters.dram_bytes * m.energy_per_byte +
-      o.counters.cache_bytes() * s.platform.cache_energy_per_byte +
-      m.const_power * seconds;
-  EXPECT_NEAR(o.sample.joules, joules, 0.05 * joules);
+      (o.counters.work() * m.energy_per_flop +
+       o.counters.dram_traffic() * m.energy_per_byte +
+       ByteCount{o.counters.cache_bytes()} * s.platform.cache_energy_per_byte +
+       m.const_power * seconds)
+          .value();
+  EXPECT_NEAR(o.sample.joules.value(), joules, 0.05 * joules);
 }
 
 }  // namespace

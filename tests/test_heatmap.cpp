@@ -58,8 +58,8 @@ TEST(Heatmap, EfficiencyMapHasExpectedGradient) {
   const MachineParams base = presets::gtx580(Precision::kDouble);
   const auto field = [&](double intensity, double pi0) {
     MachineParams m = base;
-    m.const_power = pi0;
-    return achieved_flops_per_joule(m, intensity);
+    m.const_power = Watts{pi0};
+    return achieved_flops_per_joule(m, intensity).value();
   };
   const std::vector<double> xs = {0.25, 1.0, 4.0, 16.0};
   const std::vector<double> ys = {0.0, 61.0, 122.0};

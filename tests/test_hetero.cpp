@@ -26,15 +26,15 @@ TEST(Hetero, BoundarySplitsMatchSingleDevice) {
   // exactly A's single-device prediction.
   const HeteroSplit all_a =
       evaluate_split(kGpu, kCpu, k, 1.0, IdlePolicy::kPowerGated);
-  EXPECT_NEAR(all_a.seconds, predict_time(kGpu, k).total_seconds, 1e-15);
-  EXPECT_NEAR(all_a.joules, predict_energy(kGpu, k).total_joules,
-              1e-9 * all_a.joules);
-  EXPECT_DOUBLE_EQ(all_a.device_b_seconds, 0.0);
+  EXPECT_NEAR(all_a.seconds.value(), predict_time(kGpu, k).total_seconds.value(), 1e-15);
+  EXPECT_NEAR(all_a.joules.value(), predict_energy(kGpu, k).total_joules.value(),
+              1e-9 * all_a.joules.value());
+  EXPECT_DOUBLE_EQ(all_a.device_b_seconds.value(), 0.0);
 
   const HeteroSplit all_b =
       evaluate_split(kGpu, kCpu, k, 0.0, IdlePolicy::kPowerGated);
-  EXPECT_NEAR(all_b.joules, predict_energy(kCpu, k).total_joules,
-              1e-9 * all_b.joules);
+  EXPECT_NEAR(all_b.joules.value(), predict_energy(kCpu, k).total_joules.value(),
+              1e-9 * all_b.joules.value());
 }
 
 TEST(Hetero, AlwaysOnChargesBothDevicesOverMakespan) {
@@ -43,13 +43,14 @@ TEST(Hetero, AlwaysOnChargesBothDevicesOverMakespan) {
       evaluate_split(kGpu, kCpu, k, 0.7, IdlePolicy::kPowerGated);
   const HeteroSplit on =
       evaluate_split(kGpu, kCpu, k, 0.7, IdlePolicy::kAlwaysOn);
-  EXPECT_DOUBLE_EQ(gated.seconds, on.seconds);  // time is policy-free
-  EXPECT_GT(on.joules, gated.joules);           // idle device burns pi0
+  EXPECT_DOUBLE_EQ(gated.seconds.value(), on.seconds.value());  // time is policy-free
+  EXPECT_GT(on.joules.value(), gated.joules.value());           // idle device burns pi0
   const double expected_extra =
-      kGpu.const_power * (on.seconds - gated.device_a_seconds) +
-      kCpu.const_power * (on.seconds - gated.device_b_seconds);
-  EXPECT_NEAR(on.joules - gated.joules, expected_extra,
-              1e-9 * on.joules);
+      (kGpu.const_power * (on.seconds - gated.device_a_seconds) +
+       kCpu.const_power * (on.seconds - gated.device_b_seconds))
+          .value();
+  EXPECT_NEAR(on.joules.value() - gated.joules.value(), expected_extra,
+              1e-9 * on.joules.value());
 }
 
 TEST(Hetero, AlphaIsClamped) {
@@ -64,13 +65,13 @@ TEST(Hetero, TimeOptimalSplitBalancesCompletionTimes) {
   const HeteroSplit s =
       time_optimal_split(kGpu, kCpu, k, IdlePolicy::kPowerGated);
   // Both devices can contribute, so the optimum equalizes finish times.
-  EXPECT_NEAR(s.device_a_seconds, s.device_b_seconds,
-              1e-6 * s.device_a_seconds);
+  EXPECT_NEAR(s.device_a_seconds.value(), s.device_b_seconds.value(),
+              1e-6 * s.device_a_seconds.value());
   // Compute-bound: the GPU (197.6 GF/s) gets ~78.8% vs CPU 53.28 GF/s.
   EXPECT_NEAR(s.alpha, 197.63 / (197.63 + 53.28), 1e-3);
   // And beats either device alone.
-  EXPECT_LT(s.seconds, predict_time(kGpu, k).total_seconds);
-  EXPECT_LT(s.seconds, predict_time(kCpu, k).total_seconds);
+  EXPECT_LT(s.seconds.value(), predict_time(kGpu, k).total_seconds.value());
+  EXPECT_LT(s.seconds.value(), predict_time(kCpu, k).total_seconds.value());
 }
 
 TEST(Hetero, TimeOptimalSplitIsGridOptimal) {
@@ -80,7 +81,7 @@ TEST(Hetero, TimeOptimalSplitIsGridOptimal) {
   for (double alpha = 0.0; alpha <= 1.0; alpha += 0.01) {
     const HeteroSplit s =
         evaluate_split(kGpu, kCpu, k, alpha, IdlePolicy::kAlwaysOn);
-    EXPECT_GE(s.seconds, best.seconds * (1.0 - 1e-9)) << alpha;
+    EXPECT_GE(s.seconds.value(), best.seconds.value() * (1.0 - 1e-9)) << alpha;
   }
 }
 
@@ -91,7 +92,7 @@ TEST(Hetero, EnergyOptimalSplitIsGridOptimal) {
     const HeteroSplit best = energy_optimal_split(kGpu, kCpu, k, policy);
     for (double alpha = 0.0; alpha <= 1.0; alpha += 0.01) {
       const HeteroSplit s = evaluate_split(kGpu, kCpu, k, alpha, policy);
-      EXPECT_GE(s.joules, best.joules * (1.0 - 1e-9))
+      EXPECT_GE(s.joules.value(), best.joules.value() * (1.0 - 1e-9))
           << alpha << " " << to_string(policy);
     }
   }

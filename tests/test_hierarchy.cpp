@@ -13,7 +13,7 @@ HierarchicalProfile gtx_profile() {
   HierarchicalProfile p;
   p.flops = 1e9;
   p.levels = {
-      LevelTraffic{"DRAM", 2e8, 513e-12},
+      LevelTraffic{"DRAM", 2e8, EnergyPerByte{513e-12}},
       LevelTraffic{"L2", 6e8, kPaperCacheEnergyPerByte},
       LevelTraffic{"L1", 1.2e9, kPaperCacheEnergyPerByte},
   };
@@ -21,8 +21,8 @@ HierarchicalProfile gtx_profile() {
 }
 
 TEST(Hierarchy, LevelJoules) {
-  const LevelTraffic level{"L2", 1e9, 187e-12};
-  EXPECT_DOUBLE_EQ(level.joules(), 0.187);
+  const LevelTraffic level{"L2", 1e9, EnergyPerByte{187e-12}};
+  EXPECT_DOUBLE_EQ(level.joules().value(), 0.187);
 }
 
 TEST(Hierarchy, DegeneratesToTwoLevelModel) {
@@ -34,7 +34,7 @@ TEST(Hierarchy, DegeneratesToTwoLevelModel) {
   const HierarchicalEnergy e = predict_energy_multilevel(m, p);
   const EnergyBreakdown two =
       predict_energy(m, KernelProfile{p.flops, 5e8});
-  EXPECT_NEAR(e.total_joules, two.total_joules, 1e-12 * e.total_joules);
+  EXPECT_NEAR(e.total_joules.value(), two.total_joules.value(), 1e-12 * e.total_joules.value());
 }
 
 TEST(Hierarchy, CacheTrafficAddsEnergyNotTime) {
@@ -45,8 +45,8 @@ TEST(Hierarchy, CacheTrafficAddsEnergyNotTime) {
   without.levels.resize(1);
   const HierarchicalEnergy e1 = predict_energy_multilevel(m, with_cache);
   const HierarchicalEnergy e0 = predict_energy_multilevel(m, without);
-  EXPECT_GT(e1.total_joules, e0.total_joules);
-  EXPECT_DOUBLE_EQ(e1.const_joules, e0.const_joules);  // same runtime
+  EXPECT_GT(e1.total_joules.value(), e0.total_joules.value());
+  EXPECT_DOUBLE_EQ(e1.const_joules.value(), e0.const_joules.value());  // same runtime
 }
 
 TEST(Hierarchy, BreakdownIsConsistent) {
@@ -54,16 +54,16 @@ TEST(Hierarchy, BreakdownIsConsistent) {
   const HierarchicalProfile p = gtx_profile();
   const HierarchicalEnergy e = predict_energy_multilevel(m, p);
   ASSERT_EQ(e.level_joules.size(), p.levels.size());
-  double sum = e.flops_joules + e.const_joules;
+  double sum = e.flops_joules.value() + e.const_joules.value();
   for (std::size_t i = 0; i < p.levels.size(); ++i) {
-    EXPECT_DOUBLE_EQ(e.level_joules[i], p.levels[i].joules());
-    sum += e.level_joules[i];
+    EXPECT_DOUBLE_EQ(e.level_joules[i].value(), p.levels[i].joules().value());
+    sum += e.level_joules[i].value();
   }
-  EXPECT_NEAR(e.total_joules, sum, 1e-12 * sum);
+  EXPECT_NEAR(e.total_joules.value(), sum, 1e-12 * sum);
 }
 
 TEST(Hierarchy, PaperCacheConstant) {
-  EXPECT_DOUBLE_EQ(kPaperCacheEnergyPerByte, 187e-12);
+  EXPECT_DOUBLE_EQ(kPaperCacheEnergyPerByte.value(), 187e-12);
 }
 
 TEST(Hierarchy, EffectiveIntensityWeightsByEnergy) {
@@ -80,10 +80,10 @@ TEST(Hierarchy, EffectiveIntensityWeightsByEnergy) {
 TEST(Hierarchy, CacheChargeAugmentsMemoryEnergy) {
   const MachineParams base = presets::gtx580(Precision::kDouble);
   const MachineParams charged = with_cache_charge(base, 3.0);
-  EXPECT_DOUBLE_EQ(charged.energy_per_byte,
-                   base.energy_per_byte + 3.0 * kPaperCacheEnergyPerByte);
-  EXPECT_DOUBLE_EQ(charged.energy_per_flop, base.energy_per_flop);
-  EXPECT_DOUBLE_EQ(charged.time_per_byte, base.time_per_byte);
+  EXPECT_DOUBLE_EQ(charged.energy_per_byte.value(),
+                   (base.energy_per_byte + 3.0 * kPaperCacheEnergyPerByte).value());
+  EXPECT_DOUBLE_EQ(charged.energy_per_flop.value(), base.energy_per_flop.value());
+  EXPECT_DOUBLE_EQ(charged.time_per_byte.value(), base.time_per_byte.value());
   EXPECT_NE(charged.name, base.name);
 }
 
@@ -114,9 +114,9 @@ TEST(Hierarchy, CacheChargeMatchesMultilevelEnergy) {
   p.levels = {LevelTraffic{"DRAM", dram, base.energy_per_byte},
               LevelTraffic{"cache", crossings * dram,
                            kPaperCacheEnergyPerByte}};
-  const double multilevel = predict_energy_multilevel(base, p).total_joules;
+  const double multilevel = predict_energy_multilevel(base, p).total_joules.value();
   const double two_level =
-      predict_energy(charged, KernelProfile{flops, dram}).total_joules;
+      predict_energy(charged, KernelProfile{flops, dram}).total_joules.value();
   EXPECT_NEAR(two_level, multilevel, 1e-9 * multilevel);
 }
 
@@ -125,7 +125,7 @@ TEST(Hierarchy, EmptyLevelsMeansFlopsAndNoTraffic) {
   HierarchicalProfile p;
   p.flops = 1e9;
   const HierarchicalEnergy e = predict_energy_multilevel(m, p);
-  EXPECT_DOUBLE_EQ(e.total_joules, 1e9 * m.energy_per_flop);
+  EXPECT_DOUBLE_EQ(e.total_joules.value(), 1e9 * m.energy_per_flop.value());
 }
 
 }  // namespace

@@ -32,9 +32,9 @@ MeasurementSession make_apparatus(const MachineParams& m, double noise,
                                   double cap = 1e18) {
   SimConfig sim_cfg;
   sim_cfg.noise = sim::NoiseModel(777, noise);
-  sim_cfg.power_cap_watts = cap;
+  sim_cfg.power_cap_watts = Watts{cap};
   PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;  // the paper's 7.8125 ms interval
+  mon_cfg.sample_hz = Hertz{128.0};  // the paper's 7.8125 ms interval
   return MeasurementSession(Executor(m, sim_cfg),
                             PowerMon(power::gtx580_rails(), mon_cfg),
                             SessionConfig{reps});
@@ -54,18 +54,18 @@ TEST(Integration, Fig4PipelineRecoversTable4OnGtx580) {
       fit::EnergySample s;
       s.flops = r.kernel.flops;
       s.bytes = r.kernel.bytes;
-      s.seconds = r.seconds.median;
-      s.joules = r.joules.median;
+      s.seconds = Seconds{r.seconds.median};
+      s.joules = Joules{r.joules.median};
       s.precision = p;
       samples.push_back(s);
     }
   }
   const fit::EnergyFit fit = fit::fit_energy_coefficients(samples);
   // Table IV, within a few percent despite noise and 128 Hz sampling.
-  EXPECT_NEAR(fit.coefficients.eps_single / kPico, 99.7, 15.0);
-  EXPECT_NEAR(fit.coefficients.eps_double() / kPico, 212.0, 25.0);
-  EXPECT_NEAR(fit.coefficients.eps_mem / kPico, 513.0, 40.0);
-  EXPECT_NEAR(fit.coefficients.const_power, 122.0, 8.0);
+  EXPECT_NEAR(fit.coefficients.eps_single.value() / kPico, 99.7, 15.0);
+  EXPECT_NEAR(fit.coefficients.eps_double().value() / kPico, 212.0, 25.0);
+  EXPECT_NEAR(fit.coefficients.eps_mem.value() / kPico, 513.0, 40.0);
+  EXPECT_NEAR(fit.coefficients.const_power.value(), 122.0, 8.0);
   EXPECT_GT(fit.regression.r_squared, 0.99);
 
   // The recovered machine reproduces the Fig. 4a balance annotations.
@@ -81,9 +81,9 @@ TEST(Integration, MeasuredPointsTrackRooflineAndArchLine) {
   for (const SessionResult& r : session.measure_sweep(sweep(Precision::kDouble))) {
     const double i = r.intensity();
     const double speed =
-        (r.kernel.flops / r.seconds.median) / m.peak_flops();
+        (r.kernel.flops / r.seconds.median) / m.peak_flops().value();
     const double eff = (r.kernel.flops / r.joules.median) /
-                       m.peak_flops_per_joule();
+                       m.peak_flops_per_joule().value();
     EXPECT_NEAR(speed, normalized_speed(m, i), 0.03) << i;
     EXPECT_NEAR(eff, normalized_efficiency(m, i), 0.03) << i;
   }
@@ -93,8 +93,8 @@ TEST(Integration, MeasuredPowerTracksPowerLine) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const auto session = make_apparatus(m, 0.005, 5);
   for (const SessionResult& r : session.measure_sweep(sweep(Precision::kDouble))) {
-    EXPECT_NEAR(r.watts.median, average_power(m, r.intensity()),
-                0.03 * average_power(m, r.intensity()))
+    EXPECT_NEAR(r.watts.median, average_power(m, r.intensity()).value(),
+                0.03 * average_power(m, r.intensity()).value())
         << r.intensity();
   }
 }
@@ -135,7 +135,7 @@ TEST(Integration, RaceToHaltObservationHoldsEndToEnd) {
           2.0 * m.time_balance(), 2e9, p);  // compute-bound in time
       const SessionResult r = session.measure(kernel);
       const double eff = (kernel.flops / r.joules.median) /
-                         m.peak_flops_per_joule();
+                         m.peak_flops_per_joule().value();
       EXPECT_GT(eff, 0.5) << m.name;
     }
   }
@@ -159,9 +159,9 @@ TEST(Integration, CalibrateThenPredictClosedLoop) {
 
   const KernelProfile profile = kernel.profile();
   const double predicted_t =
-      predict_time(calib.double_precision, profile).total_seconds;
+      predict_time(calib.double_precision, profile).total_seconds.value();
   const double predicted_e =
-      predict_energy(calib.double_precision, profile).total_joules;
+      predict_energy(calib.double_precision, profile).total_joules.value();
   EXPECT_NEAR(predicted_t, measured.seconds.median,
               0.03 * measured.seconds.median);
   EXPECT_NEAR(predicted_e, measured.joules.median,
@@ -179,10 +179,10 @@ TEST(Integration, AchievedPeaksMatchPaperNumbers) {
   const Executor exec(m, cfg);
   const auto compute = exec.run(sim::fma_load_mix(64.0, 2e9,
                                                   Precision::kDouble));
-  EXPECT_NEAR(compute.achieved_flops() / 1e9, 196.2, 1.0);
+  EXPECT_NEAR(compute.achieved_flops().value() / 1e9, 196.2, 1.0);
   const auto memory = exec.run(sim::fma_load_mix(0.25, 2e9,
                                                  Precision::kDouble));
-  EXPECT_NEAR(memory.achieved_bandwidth() / 1e9, 169.9, 1.0);
+  EXPECT_NEAR(memory.achieved_bandwidth().value() / 1e9, 169.9, 1.0);
 }
 
 }  // namespace

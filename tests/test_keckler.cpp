@@ -29,7 +29,8 @@ TEST(Keckler, MemoryBottomUpRangeIs307To443) {
   const MachineParams gtx = presets::gtx580(Precision::kDouble);
   const FlopOverhead f = flop_overhead(gtx.energy_per_flop);
   const MemEnergyCrossCheck c =
-      mem_energy_cross_check(gtx.energy_per_byte, f.overhead_pj * 1e-12);
+      mem_energy_cross_check(gtx.energy_per_byte,
+                             EnergyPerFlop{f.overhead_pj * 1e-12});
   // ~187 pJ / 4 B ≈ 47 pJ/B of instruction overhead (single precision).
   EXPECT_NEAR(c.overhead_pj_per_b, 46.75, 0.05);
   // L1+L2 read+write: 4 × 1.75 = 7 pJ/B.
@@ -44,7 +45,8 @@ TEST(Keckler, FittedMemEnergyExceedsBottomUp) {
   const MachineParams gtx = presets::gtx580(Precision::kDouble);
   const FlopOverhead f = flop_overhead(gtx.energy_per_flop);
   const MemEnergyCrossCheck c =
-      mem_energy_cross_check(gtx.energy_per_byte, f.overhead_pj * 1e-12);
+      mem_energy_cross_check(gtx.energy_per_byte,
+                             EnergyPerFlop{f.overhead_pj * 1e-12});
   EXPECT_TRUE(c.fitted_exceeds_bottom_up);
   EXPECT_NEAR(c.fitted_pj_per_b, 513.0, 0.01);
   EXPECT_GT(c.unexplained_pj_per_b, 50.0);
@@ -57,10 +59,11 @@ TEST(Keckler, CustomEstimatesFlowThrough) {
   k.dram_low_pj_per_b = 100.0;
   k.dram_high_pj_per_b = 200.0;
   k.cache_rw_pj_per_b = 1.0;
-  const FlopOverhead f = flop_overhead(50e-12, k);
+  const FlopOverhead f = flop_overhead(EnergyPerFlop{50e-12}, k);
   EXPECT_NEAR(f.overhead_pj, 40.0, 1e-9);
   const MemEnergyCrossCheck c =
-      mem_energy_cross_check(300e-12, f.overhead_pj * 1e-12, 8.0, k);
+      mem_energy_cross_check(EnergyPerByte{300e-12},
+                             EnergyPerFlop{f.overhead_pj * 1e-12}, 8.0, k);
   EXPECT_NEAR(c.overhead_pj_per_b, 5.0, 1e-9);
   EXPECT_NEAR(c.cache_pj_per_b, 4.0, 1e-9);
   EXPECT_NEAR(c.bottom_up_low_pj_per_b, 109.0, 1e-9);

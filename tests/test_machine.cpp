@@ -28,7 +28,7 @@ TEST(MachineParams, Table2FermiBalancePoints) {
   EXPECT_DOUBLE_EQ(m.effective_energy_balance(100.0), 14.4);
   EXPECT_DOUBLE_EQ(m.balance_fixed_point(), 14.4);
   // Peak energy efficiency = 1/25 pJ = 40 Gflop/J (the Fig. 2a y-axis).
-  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 40.0, 1e-9);
+  EXPECT_NEAR(m.peak_flops_per_joule().value() / kGiga, 40.0, 1e-9);
 }
 
 TEST(MachineParams, Gtx580DoubleDerivedPoints) {
@@ -38,7 +38,7 @@ TEST(MachineParams, Gtx580DoubleDerivedPoints) {
   EXPECT_NEAR(m.time_balance(), 1.03, 0.01);
   EXPECT_NEAR(m.energy_balance(), 2.42, 0.01);
   EXPECT_NEAR(m.balance_fixed_point(), 0.79, 0.01);
-  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 1.21, 0.01);
+  EXPECT_NEAR(m.peak_flops_per_joule().value() / kGiga, 1.21, 0.01);
 }
 
 TEST(MachineParams, Gtx580SingleDerivedPoints) {
@@ -47,7 +47,7 @@ TEST(MachineParams, Gtx580SingleDerivedPoints) {
   EXPECT_NEAR(m.time_balance(), 8.22, 0.01);
   EXPECT_NEAR(m.energy_balance(), 5.15, 0.01);
   EXPECT_NEAR(m.balance_fixed_point(), 4.52, 0.01);
-  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 5.65, 0.05);
+  EXPECT_NEAR(m.peak_flops_per_joule().value() / kGiga, 5.65, 0.05);
 }
 
 TEST(MachineParams, I7_950DoubleDerivedPoints) {
@@ -56,7 +56,7 @@ TEST(MachineParams, I7_950DoubleDerivedPoints) {
   EXPECT_NEAR(m.time_balance(), 2.08, 0.01);
   EXPECT_NEAR(m.energy_balance(), 1.19, 0.01);
   EXPECT_NEAR(m.balance_fixed_point(), 1.06, 0.01);
-  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 0.338, 0.005);
+  EXPECT_NEAR(m.peak_flops_per_joule().value() / kGiga, 0.338, 0.005);
 }
 
 TEST(MachineParams, I7_950SingleDerivedPoints) {
@@ -65,7 +65,7 @@ TEST(MachineParams, I7_950SingleDerivedPoints) {
   EXPECT_NEAR(m.time_balance(), 4.16, 0.01);
   EXPECT_NEAR(m.energy_balance(), 2.14, 0.01);
   EXPECT_NEAR(m.balance_fixed_point(), 2.09, 0.01);
-  EXPECT_NEAR(m.peak_flops_per_joule() / kGiga, 0.66, 0.01);
+  EXPECT_NEAR(m.peak_flops_per_joule().value() / kGiga, 0.66, 0.01);
 }
 
 TEST(MachineParams, BalanceGapGtx580DoubleExceedsOne) {
@@ -102,16 +102,16 @@ TEST(MachineParams, RaceToHaltConditionHoldsOnAllMeasuredPlatforms) {
 TEST(MachineParams, ConstEnergyPerFlop) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   // eps0 = pi0 * tau_flop = 122 W / 197.63 Gflop/s ≈ 617 pJ.
-  EXPECT_NEAR(m.const_energy_per_flop() / kPico, 617.3, 0.5);
-  EXPECT_NEAR(m.actual_energy_per_flop() / kPico, 829.3, 0.5);
+  EXPECT_NEAR(m.const_energy_per_flop().value() / kPico, 617.3, 0.5);
+  EXPECT_NEAR(m.actual_energy_per_flop().value() / kPico, 829.3, 0.5);
   EXPECT_NEAR(m.flop_efficiency(), 212.0 / 829.3, 1e-3);
 }
 
 TEST(MachineParams, FlopAndMemPower) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
   // pi_flop = eps_flop / tau_flop = 99.7 pJ × 1581.06 Gflop/s ≈ 158 W.
-  EXPECT_NEAR(m.flop_power(), 99.7e-12 * 1581.06e9, 1e-6);
-  EXPECT_NEAR(m.mem_power(), 513e-12 * 192.4e9, 1e-6);
+  EXPECT_NEAR(m.flop_power().value(), 99.7e-12 * 1581.06e9, 1e-6);
+  EXPECT_NEAR(m.mem_power().value(), 513e-12 * 192.4e9, 1e-6);
 }
 
 TEST(MachineParams, EffectiveBalanceContinuousAtTimeBalance) {
@@ -144,15 +144,15 @@ TEST(MachineParams, FixedPointSolvesEquation) {
 TEST(MachineParams, ValidityChecks) {
   MachineParams m = presets::fermi_table2();
   EXPECT_TRUE(m.valid());
-  m.const_power = 0.0;
+  m.const_power = Watts{0.0};
   EXPECT_TRUE(m.valid());  // zero constant power is legitimate
-  m.time_per_flop = 0.0;
+  m.time_per_flop = TimePerFlop{0.0};
   EXPECT_FALSE(m.valid());
   m = presets::fermi_table2();
-  m.energy_per_byte = -1.0;
+  m.energy_per_byte = EnergyPerByte{-1.0};
   EXPECT_FALSE(m.valid());
   m = presets::fermi_table2();
-  m.const_power = -5.0;
+  m.const_power = Watts{-5.0};
   EXPECT_FALSE(m.valid());
 }
 
@@ -177,28 +177,28 @@ TEST(Presets, Table3Peaks) {
 
 TEST(Presets, SingleEnergyBelowDoubleEnergy) {
   // Table IV: eps_s < eps_d on both platforms.
-  EXPECT_LT(presets::gtx580(Precision::kSingle).energy_per_flop,
-            presets::gtx580(Precision::kDouble).energy_per_flop);
-  EXPECT_LT(presets::i7_950(Precision::kSingle).energy_per_flop,
-            presets::i7_950(Precision::kDouble).energy_per_flop);
+  EXPECT_LT(presets::gtx580(Precision::kSingle).energy_per_flop.value(),
+            presets::gtx580(Precision::kDouble).energy_per_flop.value());
+  EXPECT_LT(presets::i7_950(Precision::kSingle).energy_per_flop.value(),
+            presets::i7_950(Precision::kDouble).energy_per_flop.value());
 }
 
 TEST(Presets, CpuCoefficientsExceedGpu) {
   // §V-A: "the estimates of CPU energy costs for both flops and memory
   // are higher than their GPU counterparts."
   for (Precision p : {Precision::kSingle, Precision::kDouble}) {
-    EXPECT_GT(presets::i7_950(p).energy_per_flop,
-              presets::gtx580(p).energy_per_flop);
-    EXPECT_GT(presets::i7_950(p).energy_per_byte,
-              presets::gtx580(p).energy_per_byte);
+    EXPECT_GT(presets::i7_950(p).energy_per_flop.value(),
+              presets::gtx580(p).energy_per_flop.value());
+    EXPECT_GT(presets::i7_950(p).energy_per_byte.value(),
+              presets::gtx580(p).energy_per_byte.value());
   }
 }
 
 TEST(Presets, IdenticalConstPower) {
   // Table IV: "the pi0 coefficients turned out to be identical to three
   // digits on the two platforms" — both 122 W.
-  EXPECT_DOUBLE_EQ(presets::gtx580(Precision::kSingle).const_power, 122.0);
-  EXPECT_DOUBLE_EQ(presets::i7_950(Precision::kDouble).const_power, 122.0);
+  EXPECT_DOUBLE_EQ(presets::gtx580(Precision::kSingle).const_power.value(), 122.0);
+  EXPECT_DOUBLE_EQ(presets::i7_950(Precision::kDouble).const_power.value(), 122.0);
 }
 
 TEST(Precision, WordBytes) {

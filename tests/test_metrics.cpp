@@ -15,8 +15,8 @@ namespace {
 TEST(Metrics, EdpDefinition) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const KernelProfile k = KernelProfile::from_intensity(4.0, 1e9);
-  const double t = predict_time(m, k).total_seconds;
-  const double e = predict_energy(m, k).total_joules;
+  const double t = predict_time(m, k).total_seconds.value();
+  const double e = predict_energy(m, k).total_joules.value();
   EXPECT_NEAR(energy_delay_product(m, k, 0.0), e, 1e-12 * e);
   EXPECT_NEAR(energy_delay_product(m, k, 1.0), e * t, 1e-12 * e * t);
   EXPECT_NEAR(energy_delay_product(m, k, 2.0), e * t * t,
@@ -27,7 +27,8 @@ TEST(Metrics, FlopsPerWattIsFlopsPerJoule) {
   // Dimensional identity: FLOP/s per Watt == FLOP/J.
   const MachineParams m = presets::i7_950(Precision::kSingle);
   for (double i : {0.5, 2.0, 8.0, 64.0}) {
-    EXPECT_DOUBLE_EQ(flops_per_watt(m, i), achieved_flops_per_joule(m, i));
+    EXPECT_DOUBLE_EQ(flops_per_watt(m, i).value(),
+                     achieved_flops_per_joule(m, i).value());
   }
 }
 
@@ -35,9 +36,9 @@ TEST(Metrics, MetricValueDispatch) {
   const MachineParams m = presets::fermi_table2();
   const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
   EXPECT_DOUBLE_EQ(metric_value(Metric::kTime, m, k),
-                   predict_time(m, k).total_seconds);
+                   predict_time(m, k).total_seconds.value());
   EXPECT_DOUBLE_EQ(metric_value(Metric::kEnergy, m, k),
-                   predict_energy(m, k).total_joules);
+                   predict_energy(m, k).total_joules.value());
   EXPECT_DOUBLE_EQ(metric_value(Metric::kEdp, m, k),
                    energy_delay_product(m, k, 1.0));
   EXPECT_DOUBLE_EQ(metric_value(Metric::kEd2p, m, k),
@@ -61,7 +62,7 @@ TEST(Metrics, TimeMetricAlwaysRacesToHalt) {
     // Memory-bound kernels tie across frequencies; compute-bound ones
     // strictly prefer max.  In both cases max_ratio is optimal.
     const DvfsPoint at_max = frequency_sweep(m, dvfs, k, 64).back();
-    EXPECT_LE(at_max.seconds, best.seconds * (1.0 + 1e-12)) << i;
+    EXPECT_LE(at_max.seconds.value(), best.seconds.value() * (1.0 + 1e-12)) << i;
   }
 }
 
@@ -86,7 +87,7 @@ TEST(Metrics, Ed2pFavorsSpeedMoreThanEdp) {
   // For a compute-bound kernel on a pi0 = 0 machine, energy prefers the
   // slowest ratio; heavier delay weighting pushes the optimum upward.
   MachineParams m = presets::i7_950(Precision::kDouble);
-  m.const_power = 0.0;
+  m.const_power = Watts{0.0};
   const DvfsModel dvfs;
   const KernelProfile k = KernelProfile::from_intensity(64.0, 1e9);
   const double r_e =

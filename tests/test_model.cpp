@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <tuple>
 
 #include "rme/core/machine_presets.hpp"
@@ -35,13 +37,36 @@ TEST(KernelProfile, IntensityAndFromIntensity) {
   EXPECT_DOUBLE_EQ(j.intensity(), 4.0);
 }
 
+TEST(KernelProfile, IntensityGuardsAgainstDegenerateCounters) {
+  // bytes must be strictly positive: I = W/Q is undefined otherwise.
+  EXPECT_THROW((void)(KernelProfile{1.0, 0.0}.intensity()), std::invalid_argument);
+  EXPECT_THROW((void)(KernelProfile{1.0, -4.0}.intensity()), std::invalid_argument);
+  // Negative flop counts are nonsense even with valid traffic.
+  EXPECT_THROW((void)(KernelProfile{-1.0, 4.0}.intensity()), std::invalid_argument);
+  // Zero flops with positive traffic is a legal pure-streaming kernel.
+  EXPECT_DOUBLE_EQ((KernelProfile{0.0, 4.0}.intensity()), 0.0);
+}
+
+TEST(KernelProfile, FromIntensityGuardsAgainstDegenerateInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)KernelProfile::from_intensity(0.0), std::invalid_argument);
+  EXPECT_THROW((void)KernelProfile::from_intensity(-2.0), std::invalid_argument);
+  EXPECT_THROW((void)KernelProfile::from_intensity(inf), std::invalid_argument);
+  EXPECT_THROW((void)KernelProfile::from_intensity(nan), std::invalid_argument);
+  EXPECT_THROW((void)KernelProfile::from_intensity(4.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)KernelProfile::from_intensity(4.0, -1.0), std::invalid_argument);
+  // Round-trip still holds for valid inputs.
+  EXPECT_DOUBLE_EQ(KernelProfile::from_intensity(3.58, 1e6).intensity(), 3.58);
+}
+
 TEST(PredictTime, ComponentsAndOverlap) {
   const MachineParams m = presets::fermi_table2();
   const KernelProfile k{1e9, 1e9};  // I = 1 < B_tau = 3.58: memory bound
   const TimeBreakdown t = predict_time(m, k);
-  EXPECT_DOUBLE_EQ(t.flops_seconds, 1e9 * m.time_per_flop);
-  EXPECT_DOUBLE_EQ(t.mem_seconds, 1e9 * m.time_per_byte);
-  EXPECT_DOUBLE_EQ(t.total_seconds, std::max(t.flops_seconds, t.mem_seconds));
+  EXPECT_DOUBLE_EQ(t.flops_seconds.value(), 1e9 * m.time_per_flop.value());
+  EXPECT_DOUBLE_EQ(t.mem_seconds.value(), 1e9 * m.time_per_byte.value());
+  EXPECT_DOUBLE_EQ(t.total_seconds.value(), std::max(t.flops_seconds.value(), t.mem_seconds.value()));
   EXPECT_EQ(t.bound(), Bound::kMemory);
 }
 
@@ -64,12 +89,12 @@ TEST(PredictEnergy, ComponentsAreAdditive) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const KernelProfile k{1e9, 5e8};
   const EnergyBreakdown e = predict_energy(m, k);
-  EXPECT_DOUBLE_EQ(e.flops_joules, 1e9 * m.energy_per_flop);
-  EXPECT_DOUBLE_EQ(e.mem_joules, 5e8 * m.energy_per_byte);
-  EXPECT_DOUBLE_EQ(e.const_joules,
-                   m.const_power * predict_time(m, k).total_seconds);
-  EXPECT_DOUBLE_EQ(e.total_joules,
-                   e.flops_joules + e.mem_joules + e.const_joules);
+  EXPECT_DOUBLE_EQ(e.flops_joules.value(), 1e9 * m.energy_per_flop.value());
+  EXPECT_DOUBLE_EQ(e.mem_joules.value(), 5e8 * m.energy_per_byte.value());
+  EXPECT_DOUBLE_EQ(e.const_joules.value(),
+                   (m.const_power * predict_time(m, k).total_seconds).value());
+  EXPECT_DOUBLE_EQ(e.total_joules.value(),
+                   e.flops_joules.value() + e.mem_joules.value() + e.const_joules.value());
 }
 
 TEST(PredictEnergy, Equation5Identity) {
@@ -77,8 +102,8 @@ TEST(PredictEnergy, Equation5Identity) {
   const MachineParams m = presets::i7_950(Precision::kSingle);
   for (double i : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
     const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
-    const double direct = predict_energy(m, k).total_joules;
-    const double eq5 = k.flops * m.actual_energy_per_flop() *
+    const double direct = predict_energy(m, k).total_joules.value();
+    const double eq5 = k.flops * m.actual_energy_per_flop().value() *
                        (1.0 + m.effective_energy_balance(i) / i);
     EXPECT_NEAR(direct, eq5, 1e-9 * direct) << "I=" << i;
   }
@@ -148,11 +173,12 @@ TEST(NormalizedEfficiency, ArchLineIsSmoothWhereRooflineKinks) {
 
 TEST(AchievedRates, ScaleWithPeaks) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
-  EXPECT_NEAR(achieved_flops(m, 1e6), m.peak_flops(), 1e-3);
-  EXPECT_NEAR(achieved_flops_per_joule(m, 1e9), m.peak_flops_per_joule(),
+  EXPECT_NEAR(achieved_flops(m, 1e6).value(), m.peak_flops().value(), 1e-3);
+  EXPECT_NEAR(achieved_flops_per_joule(m, 1e9).value(),
+              m.peak_flops_per_joule().value(),
               1.0);
-  EXPECT_NEAR(achieved_flops(m, m.time_balance() / 4.0),
-              m.peak_flops() / 4.0, 1e-3);
+  EXPECT_NEAR(achieved_flops(m, m.time_balance() / 4.0).value(),
+              m.peak_flops().value() / 4.0, 1e-3);
 }
 
 TEST(Classification, DisagreementWindow) {
@@ -184,26 +210,26 @@ TEST(SerialModel, SumsComponentTimes) {
   const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
   const TimeBreakdown serial = predict_time_serial(m, k);
   const TimeBreakdown overlap = predict_time(m, k);
-  EXPECT_DOUBLE_EQ(serial.flops_seconds, overlap.flops_seconds);
-  EXPECT_DOUBLE_EQ(serial.mem_seconds, overlap.mem_seconds);
-  EXPECT_DOUBLE_EQ(serial.total_seconds,
-                   serial.flops_seconds + serial.mem_seconds);
+  EXPECT_DOUBLE_EQ(serial.flops_seconds.value(), overlap.flops_seconds.value());
+  EXPECT_DOUBLE_EQ(serial.mem_seconds.value(), overlap.mem_seconds.value());
+  EXPECT_DOUBLE_EQ(serial.total_seconds.value(),
+                   serial.flops_seconds.value() + serial.mem_seconds.value());
 }
 
 TEST(SerialModel, OverlapBuysAtMostTwoX) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
   for (double i = 0.125; i <= 512.0; i *= 2.0) {
     const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
-    const double ratio = predict_time_serial(m, k).total_seconds /
-                         predict_time(m, k).total_seconds;
+    const double ratio = predict_time_serial(m, k).total_seconds.value() /
+                         predict_time(m, k).total_seconds.value();
     EXPECT_GE(ratio, 1.0);
     EXPECT_LE(ratio, 2.0 + 1e-12);
   }
   // Exactly 2x at the balance point, where both components are equal.
   const KernelProfile at_b =
       KernelProfile::from_intensity(m.time_balance(), 1e9);
-  EXPECT_NEAR(predict_time_serial(m, at_b).total_seconds /
-                  predict_time(m, at_b).total_seconds,
+  EXPECT_NEAR(predict_time_serial(m, at_b).total_seconds.value() /
+                  predict_time(m, at_b).total_seconds.value(),
               2.0, 1e-9);
 }
 
@@ -215,8 +241,8 @@ TEST(SerialModel, NormalizedSpeedIsSmoothHalfAtBalance) {
   for (double i = 0.25; i <= 64.0; i *= 2.0) {
     const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
     EXPECT_NEAR(normalized_speed_serial(m, i),
-                k.flops * m.time_per_flop /
-                    predict_time_serial(m, k).total_seconds,
+                k.flops * m.time_per_flop.value() /
+                    predict_time_serial(m, k).total_seconds.value(),
                 1e-12);
     EXPECT_LE(normalized_speed_serial(m, i), normalized_speed(m, i));
   }
@@ -264,12 +290,12 @@ TEST_P(ModelProperties, TimeScalesLinearlyInWork) {
   const double i = std::get<1>(GetParam());
   const KernelProfile k1 = KernelProfile::from_intensity(i, 1e6);
   const KernelProfile k2 = KernelProfile::from_intensity(i, 3e6);
-  EXPECT_NEAR(predict_time(m, k2).total_seconds,
-              3.0 * predict_time(m, k1).total_seconds,
-              1e-9 * predict_time(m, k2).total_seconds);
-  EXPECT_NEAR(predict_energy(m, k2).total_joules,
-              3.0 * predict_energy(m, k1).total_joules,
-              1e-9 * predict_energy(m, k2).total_joules);
+  EXPECT_NEAR(predict_time(m, k2).total_seconds.value(),
+              3.0 * predict_time(m, k1).total_seconds.value(),
+              1e-9 * predict_time(m, k2).total_seconds.value());
+  EXPECT_NEAR(predict_energy(m, k2).total_joules.value(),
+              3.0 * predict_energy(m, k1).total_joules.value(),
+              1e-9 * predict_energy(m, k2).total_joules.value());
 }
 
 TEST_P(ModelProperties, ReducingTrafficNeverHurts) {
@@ -278,10 +304,10 @@ TEST_P(ModelProperties, ReducingTrafficNeverHurts) {
   const double i = std::get<1>(GetParam());
   const KernelProfile lo = KernelProfile::from_intensity(i, 1e6);
   const KernelProfile hi = KernelProfile::from_intensity(2.0 * i, 1e6);
-  EXPECT_LE(predict_time(m, hi).total_seconds,
-            predict_time(m, lo).total_seconds * (1.0 + 1e-12));
-  EXPECT_LE(predict_energy(m, hi).total_joules,
-            predict_energy(m, lo).total_joules * (1.0 + 1e-12));
+  EXPECT_LE(predict_time(m, hi).total_seconds.value(),
+            predict_time(m, lo).total_seconds.value() * (1.0 + 1e-12));
+  EXPECT_LE(predict_energy(m, hi).total_joules.value(),
+            predict_energy(m, lo).total_joules.value() * (1.0 + 1e-12));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -9,80 +9,85 @@ namespace {
 
 PowerTrace make_trace() {
   PowerTrace t;
-  t.append(1.0, 40.0);   // idle head
-  t.append(2.0, 200.0);  // compute
-  t.append(1.0, 40.0);   // idle tail
+  t.append(Seconds{1.0}, Watts{40.0});   // idle head
+  t.append(Seconds{2.0}, Watts{200.0});  // compute
+  t.append(Seconds{1.0}, Watts{40.0});   // idle tail
   return t;
 }
 
 TEST(PowerTrace, EmptyTrace) {
   const PowerTrace t;
   EXPECT_TRUE(t.empty());
-  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
-  EXPECT_DOUBLE_EQ(t.energy(), 0.0);
-  EXPECT_DOUBLE_EQ(t.average_power(), 0.0);
-  EXPECT_DOUBLE_EQ(t.watts_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.duration().value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.energy().value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.average_power().value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{1.0}).value(), 0.0);
 }
 
 TEST(PowerTrace, IgnoresNonPositivePhases) {
   PowerTrace t;
-  t.append(0.0, 100.0);
-  t.append(-1.0, 100.0);
+  t.append(Seconds{0.0}, Watts{100.0});
+  t.append(Seconds{-1.0}, Watts{100.0});
   EXPECT_TRUE(t.empty());
 }
 
 TEST(PowerTrace, DurationAndEnergy) {
   const PowerTrace t = make_trace();
-  EXPECT_DOUBLE_EQ(t.duration(), 4.0);
-  EXPECT_DOUBLE_EQ(t.energy(), 40.0 + 400.0 + 40.0);
-  EXPECT_DOUBLE_EQ(t.average_power(), 480.0 / 4.0);
+  EXPECT_DOUBLE_EQ(t.duration().value(), 4.0);
+  EXPECT_DOUBLE_EQ(t.energy().value(), 40.0 + 400.0 + 40.0);
+  EXPECT_DOUBLE_EQ(t.average_power().value(), 480.0 / 4.0);
 }
 
 TEST(PowerTrace, InstantaneousLookup) {
   const PowerTrace t = make_trace();
-  EXPECT_DOUBLE_EQ(t.watts_at(0.5), 40.0);
-  EXPECT_DOUBLE_EQ(t.watts_at(1.5), 200.0);
-  EXPECT_DOUBLE_EQ(t.watts_at(2.999), 200.0);
-  EXPECT_DOUBLE_EQ(t.watts_at(3.5), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{0.5}).value(), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{1.5}).value(), 200.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{2.999}).value(), 200.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{3.5}).value(), 40.0);
   // At/after the end: last phase's power.
-  EXPECT_DOUBLE_EQ(t.watts_at(4.0), 40.0);
-  EXPECT_DOUBLE_EQ(t.watts_at(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{4.0}).value(), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{100.0}).value(), 40.0);
 }
 
 TEST(PowerTrace, PhaseBoundaryBelongsToNextPhase) {
   const PowerTrace t = make_trace();
-  EXPECT_DOUBLE_EQ(t.watts_at(1.0), 200.0);
-  EXPECT_DOUBLE_EQ(t.watts_at(3.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{1.0}).value(), 200.0);
+  EXPECT_DOUBLE_EQ(t.watts_at(Seconds{3.0}).value(), 40.0);
 }
 
 TEST(PowerTrace, EnergyBetween) {
   const PowerTrace t = make_trace();
-  EXPECT_DOUBLE_EQ(t.energy_between(0.0, 4.0), t.energy());
-  EXPECT_DOUBLE_EQ(t.energy_between(1.0, 3.0), 400.0);
-  EXPECT_DOUBLE_EQ(t.energy_between(0.5, 1.5), 0.5 * 40.0 + 0.5 * 200.0);
-  EXPECT_DOUBLE_EQ(t.energy_between(2.0, 2.0), 0.0);
-  EXPECT_DOUBLE_EQ(t.energy_between(3.0, 2.0), 0.0);  // inverted interval
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{0.0}, Seconds{4.0}).value(),
+                   t.energy().value());
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{1.0}, Seconds{3.0}).value(), 400.0);
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{0.5}, Seconds{1.5}).value(),
+                   0.5 * 40.0 + 0.5 * 200.0);
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{2.0}, Seconds{2.0}).value(), 0.0);
+  // Inverted interval.
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{3.0}, Seconds{2.0}).value(), 0.0);
 }
 
 TEST(PowerTrace, EnergyBetweenClampsToBounds) {
   const PowerTrace t = make_trace();
-  EXPECT_DOUBLE_EQ(t.energy_between(-5.0, 100.0), t.energy());
-  EXPECT_DOUBLE_EQ(t.energy_between(3.5, 100.0), 0.5 * 40.0);
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{-5.0}, Seconds{100.0}).value(),
+                   t.energy().value());
+  EXPECT_DOUBLE_EQ(t.energy_between(Seconds{3.5}, Seconds{100.0}).value(),
+                   0.5 * 40.0);
 }
 
 TEST(PowerTrace, EnergyBetweenIsAdditive) {
   const PowerTrace t = make_trace();
-  const double parts = t.energy_between(0.0, 1.3) +
-                       t.energy_between(1.3, 2.7) +
-                       t.energy_between(2.7, 4.0);
-  EXPECT_NEAR(parts, t.energy(), 1e-12);
+  const Joules parts = t.energy_between(Seconds{0.0}, Seconds{1.3}) +
+                       t.energy_between(Seconds{1.3}, Seconds{2.7}) +
+                       t.energy_between(Seconds{2.7}, Seconds{4.0});
+  EXPECT_NEAR(parts.value(), t.energy().value(), 1e-12);
 }
 
 TEST(PowerTrace, SinglePhase) {
   PowerTrace t;
-  t.append(0.25, 120.0);
-  EXPECT_DOUBLE_EQ(t.average_power(), 120.0);
-  EXPECT_DOUBLE_EQ(t.energy(), 30.0);
+  t.append(Seconds{0.25}, Watts{120.0});
+  EXPECT_DOUBLE_EQ(t.average_power().value(), 120.0);
+  EXPECT_DOUBLE_EQ(t.energy().value(), 30.0);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@
 namespace rme {
 namespace {
 
-const double kCap = presets::kGtx580PowerCapWatts;  // 244 W
+const Watts kCap{presets::kGtx580PowerCapWatts};  // 244 W
 
 TEST(PowerCap, InactiveWhenDemandBelowCap) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
@@ -24,8 +24,8 @@ TEST(PowerCap, InactiveWhenDemandBelowCap) {
   EXPECT_FALSE(r.capped);
   EXPECT_TRUE(r.feasible);
   EXPECT_DOUBLE_EQ(r.scale, 1.0);
-  EXPECT_DOUBLE_EQ(r.seconds, predict_time(m, k).total_seconds);
-  EXPECT_DOUBLE_EQ(r.joules, predict_energy(m, k).total_joules);
+  EXPECT_DOUBLE_EQ(r.seconds.value(), predict_time(m, k).total_seconds.value());
+  EXPECT_DOUBLE_EQ(r.joules.value(), predict_energy(m, k).total_joules.value());
 }
 
 TEST(PowerCap, ThrottlesNearTimeBalanceInSinglePrecision) {
@@ -37,9 +37,9 @@ TEST(PowerCap, ThrottlesNearTimeBalanceInSinglePrecision) {
   const CappedRun r = run_with_cap(m, k, kCap);
   EXPECT_TRUE(r.capped);
   EXPECT_LT(r.scale, 1.0);
-  EXPECT_GT(r.seconds, predict_time(m, k).total_seconds);
+  EXPECT_GT(r.seconds.value(), predict_time(m, k).total_seconds.value());
   // Average power is exactly at the cap while throttled.
-  EXPECT_NEAR(r.avg_watts, kCap, 1e-6 * kCap);
+  EXPECT_NEAR(r.avg_watts.value(), kCap.value(), 1e-6 * kCap.value());
 }
 
 TEST(PowerCap, CappedEnergyNeverBelowUncapped) {
@@ -49,8 +49,8 @@ TEST(PowerCap, CappedEnergyNeverBelowUncapped) {
   for (double i : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
     const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
     const CappedRun r = run_with_cap(m, k, kCap);
-    EXPECT_GE(r.joules,
-              predict_energy(m, k).total_joules * (1.0 - 1e-12))
+    EXPECT_GE(r.joules.value(),
+              predict_energy(m, k).total_joules.value() * (1.0 - 1e-12))
         << i;
   }
 }
@@ -58,9 +58,9 @@ TEST(PowerCap, CappedEnergyNeverBelowUncapped) {
 TEST(PowerCap, InfeasibleWhenCapBelowConstPower) {
   const MachineParams m = presets::gtx580(Precision::kSingle);  // pi0 = 122
   const KernelProfile k = KernelProfile::from_intensity(8.0, 1e9);
-  const CappedRun r = run_with_cap(m, k, 100.0);
+  const CappedRun r = run_with_cap(m, k, Watts{100.0});
   EXPECT_FALSE(r.feasible);
-  EXPECT_TRUE(std::isinf(r.seconds));
+  EXPECT_TRUE(std::isinf(r.seconds.value()));
 }
 
 TEST(PowerCap, DepartureFromRooflineIsWorstNearBalancePoint) {
@@ -104,9 +104,9 @@ TEST(PowerCap, CappedEfficiencyNeverExceedsUncapped) {
 TEST(PowerCap, CappedAveragePowerClipsAtCap) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
   for (double i = 0.25; i <= 64.0; i *= 2.0) {
-    const double p = capped_average_power(m, i, kCap);
-    EXPECT_LE(p, kCap + 1e-12);
-    EXPECT_NEAR(p, std::min(average_power(m, i), kCap), 1e-9 * p);
+    const double p = capped_average_power(m, i, kCap).value();
+    EXPECT_LE(p, kCap.value() + 1e-12);
+    EXPECT_NEAR(p, min(average_power(m, i), kCap).value(), 1e-9 * p);
   }
 }
 
@@ -122,7 +122,7 @@ TEST(PowerCap, ViolationOnsetBracketsTheCapRegion) {
 
 TEST(PowerCap, NoViolationForGenerousCap) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
-  EXPECT_LT(cap_violation_onset(m, 1000.0), 0.0);
+  EXPECT_LT(cap_violation_onset(m, Watts{1000.0}), 0.0);
 }
 
 // ---- Property suite: machines × caps × intensities --------------------
@@ -150,25 +150,25 @@ TEST_P(PowerCapProperties, Invariants) {
   // Caps are placed relative to each machine's own dynamic power range
   // (pi0 .. max), so every grid point is feasible and the 0.6/0.9
   // factors bind somewhere while 1.1 never does.
-  const double cap =
+  const Watts cap =
       m.const_power + cap_factor * (max_power(m) - m.const_power);
   const KernelProfile k = KernelProfile::from_intensity(intensity, 1e9);
   const CappedRun r = run_with_cap(m, k, cap);
   ASSERT_TRUE(r.feasible);
   // 1. Time never shrinks, energy never shrinks, power never exceeds.
-  EXPECT_GE(r.seconds,
-            predict_time(m, k).total_seconds * (1.0 - 1e-12));
-  EXPECT_GE(r.joules,
-            predict_energy(m, k).total_joules * (1.0 - 1e-12));
-  EXPECT_LE(r.avg_watts, cap * (1.0 + 1e-9));
+  EXPECT_GE(r.seconds.value(),
+            predict_time(m, k).total_seconds.value() * (1.0 - 1e-12));
+  EXPECT_GE(r.joules.value(),
+            predict_energy(m, k).total_joules.value() * (1.0 - 1e-12));
+  EXPECT_LE(r.avg_watts.value(), cap.value() * (1.0 + 1e-9));
   // 2. E = P·T identity.
-  EXPECT_NEAR(r.joules, r.avg_watts * r.seconds, 1e-9 * r.joules);
+  EXPECT_NEAR(r.joules.value(), r.avg_watts.value() * r.seconds.value(), 1e-9 * r.joules.value());
   // 3. Capped flag consistent with the throttle scale.
   EXPECT_EQ(r.capped, r.scale < 1.0);
   // 4. Dynamic energy is invariant under capping.
   const double dyn =
-      k.flops * m.energy_per_flop + k.bytes * m.energy_per_byte;
-  EXPECT_NEAR(r.joules - m.const_power * r.seconds, dyn, 1e-9 * dyn);
+      (k.work() * m.energy_per_flop + k.traffic() * m.energy_per_byte).value();
+  EXPECT_NEAR(r.joules.value() - m.const_power.value() * r.seconds.value(), dyn, 1e-9 * dyn);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -182,7 +182,7 @@ TEST(PowerCap, EnergyTimeConsistency) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
   const KernelProfile k = KernelProfile::from_intensity(8.0, 1e9);
   const CappedRun r = run_with_cap(m, k, kCap);
-  EXPECT_NEAR(r.joules, r.avg_watts * r.seconds, 1e-9 * r.joules);
+  EXPECT_NEAR(r.joules.value(), r.avg_watts.value() * r.seconds.value(), 1e-9 * r.joules.value());
 }
 
 }  // namespace

@@ -33,17 +33,17 @@ TEST_P(PowerLineIdentity, AveragePowerEqualsEnergyOverTime) {
   const MachineParams m = machine_by_name(std::get<0>(GetParam()));
   const double i = std::get<1>(GetParam());
   const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
-  const double e_over_t = predict_energy(m, k).total_joules /
-                          predict_time(m, k).total_seconds;
-  EXPECT_NEAR(average_power(m, i), e_over_t, 1e-9 * e_over_t);
+  const double e_over_t = predict_energy(m, k).total_joules.value() /
+                          predict_time(m, k).total_seconds.value();
+  EXPECT_NEAR(average_power(m, i).value(), e_over_t, 1e-9 * e_over_t);
 }
 
 TEST_P(PowerLineIdentity, PowerBetweenLimits) {
   const MachineParams m = machine_by_name(std::get<0>(GetParam()));
   const double i = std::get<1>(GetParam());
-  const double p = average_power(m, i);
-  EXPECT_GT(p, m.const_power);
-  EXPECT_LE(p, max_power(m) * (1.0 + 1e-12));
+  const double p = average_power(m, i).value();
+  EXPECT_GT(p, m.const_power.value());
+  EXPECT_LE(p, max_power(m).value() * (1.0 + 1e-12));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -62,10 +62,10 @@ TEST(PowerLine, MaxAtTimeBalance) {
   // §III: "The algorithm requires the maximum power when I = B_tau."
   const MachineParams m = presets::fermi_table2();
   const double b = m.time_balance();
-  const double at_b = average_power(m, b);
-  EXPECT_NEAR(at_b, max_power(m), 1e-9 * at_b);
-  EXPECT_LT(average_power(m, b / 2.0), at_b);
-  EXPECT_LT(average_power(m, b * 2.0), at_b);
+  const double at_b = average_power(m, b).value();
+  EXPECT_NEAR(at_b, max_power(m).value(), 1e-9 * at_b);
+  EXPECT_LT(average_power(m, b / 2.0).value(), at_b);
+  EXPECT_LT(average_power(m, b * 2.0).value(), at_b);
 }
 
 TEST(PowerLine, Equation8Bound) {
@@ -73,9 +73,10 @@ TEST(PowerLine, Equation8Bound) {
   for (const char* name : kAllMachines) {
     const MachineParams m = machine_by_name(name);
     const double expected =
-        m.flop_power() * (1.0 + m.energy_balance() / m.time_balance()) +
-        m.const_power;
-    EXPECT_NEAR(max_power(m), expected, 1e-9 * expected) << name;
+        (m.flop_power() * (1.0 + m.energy_balance() / m.time_balance()) +
+         m.const_power)
+            .value();
+    EXPECT_NEAR(max_power(m).value(), expected, 1e-9 * expected) << name;
   }
 }
 
@@ -93,40 +94,43 @@ TEST(PowerLine, Fig2bNormalizedValues) {
 TEST(PowerLine, MemoryBoundLimitIsMemPowerPlusConst) {
   for (const char* name : kAllMachines) {
     const MachineParams m = machine_by_name(name);
-    EXPECT_NEAR(memory_bound_power_limit(m), m.mem_power() + m.const_power,
-                1e-9 * memory_bound_power_limit(m))
+    EXPECT_NEAR(memory_bound_power_limit(m).value(),
+              (m.mem_power() + m.const_power).value(),
+                1e-9 * memory_bound_power_limit(m).value())
         << name;
   }
 }
 
 TEST(PowerLine, ComputeBoundLimit) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
-  EXPECT_NEAR(compute_bound_power_limit(m), m.flop_power() + m.const_power,
+  EXPECT_NEAR(compute_bound_power_limit(m).value(),
+              (m.flop_power() + m.const_power).value(),
               1e-12);
   // P(I) approaches the limit from above as I → ∞.
   EXPECT_GT(average_power(m, 1e4), compute_bound_power_limit(m));
-  EXPECT_NEAR(average_power(m, 1e9), compute_bound_power_limit(m), 1e-3);
+  EXPECT_NEAR(average_power(m, 1e9).value(), compute_bound_power_limit(m).value(),
+              1e-3);
 }
 
 TEST(PowerLine, Gtx580SinglePrecisionDemandExceedsBoardCap) {
   // §V-B: the model demands ≈387 W near B_tau on the GTX 580 in single
   // precision, above the 244 W board limit.
   const MachineParams m = presets::gtx580(Precision::kSingle);
-  EXPECT_GT(max_power(m), 370.0);
-  EXPECT_LT(max_power(m), 400.0);
-  EXPECT_GT(max_power(m), presets::kGtx580PowerCapWatts);
+  EXPECT_GT(max_power(m).value(), 370.0);
+  EXPECT_LT(max_power(m).value(), 400.0);
+  EXPECT_GT(max_power(m).value(), presets::kGtx580PowerCapWatts);
 }
 
 TEST(PowerLine, Gtx580DoubleMaxPowerMatchesFig5a) {
   // Fig. 5a shows the double-precision GTX 580 model peaking near 260 W.
   const MachineParams m = presets::gtx580(Precision::kDouble);
-  EXPECT_NEAR(max_power(m), 262.0, 3.0);
+  EXPECT_NEAR(max_power(m).value(), 262.0, 3.0);
 }
 
 TEST(PowerLine, I7DoubleMaxPowerMatchesFig5a) {
   // Fig. 5a shows the i7-950 model peaking near 180 W.
   const MachineParams m = presets::i7_950(Precision::kDouble);
-  EXPECT_NEAR(max_power(m), 178.0, 3.0);
+  EXPECT_NEAR(max_power(m).value(), 178.0, 3.0);
 }
 
 TEST(PowerLine, NormalizedFlopConstAtExtremes) {

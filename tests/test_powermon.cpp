@@ -14,41 +14,41 @@ namespace {
 
 rme::sim::PowerTrace step_trace() {
   rme::sim::PowerTrace t;
-  t.append(0.5, 100.0);
-  t.append(0.5, 300.0);
+  t.append(Seconds{0.5}, Watts{100.0});
+  t.append(Seconds{0.5}, Watts{300.0});
   return t;
 }
 
 TEST(PowerMonConfig, HardwareLimits) {
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   EXPECT_TRUE(cfg.within_hardware_limits(4));
   EXPECT_TRUE(cfg.within_hardware_limits(8));
   EXPECT_FALSE(cfg.within_hardware_limits(0));
   EXPECT_FALSE(cfg.within_hardware_limits(9));  // > 8 channels
-  cfg.sample_hz = 1024.0;
+  cfg.sample_hz = Hertz{1024.0};
   EXPECT_TRUE(cfg.within_hardware_limits(3));   // 3072 Hz aggregate: OK
   EXPECT_FALSE(cfg.within_hardware_limits(4));  // 4096 Hz aggregate: no
-  cfg.sample_hz = 2000.0;
+  cfg.sample_hz = Hertz{2000.0};
   EXPECT_FALSE(cfg.within_hardware_limits(1));  // > 1024 Hz per channel
 }
 
 TEST(PowerMon, ConstructorEnforcesLimits) {
   PowerMonConfig cfg;
-  cfg.sample_hz = 1024.0;  // 4 rails x 1024 Hz > 3072 Hz aggregate
+  cfg.sample_hz = Hertz{1024.0};  // 4 rails x 1024 Hz > 3072 Hz aggregate
   EXPECT_THROW(PowerMon(gtx580_rails(), cfg), std::invalid_argument);
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   EXPECT_NO_THROW(PowerMon(gtx580_rails(), cfg));
 
-  cfg.sample_hz = 0.0;
+  cfg.sample_hz = Hertz{0.0};
   EXPECT_THROW(PowerMon(gtx580_rails(), cfg), std::invalid_argument);
-  cfg.sample_hz = -128.0;
+  cfg.sample_hz = Hertz{-128.0};
   EXPECT_THROW(PowerMon(gtx580_rails(), cfg), std::invalid_argument);
-  cfg.sample_hz = 2000.0;  // > 1024 Hz per channel
+  cfg.sample_hz = Hertz{2000.0};  // > 1024 Hz per channel
   EXPECT_THROW(PowerMon({Channel{"only", 12.0, 1.0}}, cfg),
                std::invalid_argument);
 
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   std::vector<Channel> nine(9, Channel{"rail", 12.0, 1.0 / 9.0});
   EXPECT_THROW(PowerMon(nine, cfg), std::invalid_argument);
   EXPECT_THROW(PowerMon({}, cfg), std::invalid_argument);
@@ -60,14 +60,14 @@ TEST(PowerMon, ConstructorEnforcesLimits) {
 
 TEST(PowerMon, ConstantTraceIsMeasuredExactly) {
   rme::sim::PowerTrace t;
-  t.append(1.0, 240.0);
+  t.append(Seconds{1.0}, Watts{240.0});
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   const PowerMon mon(gtx580_rails(), cfg);
   const Measurement m = mon.measure(t);
   EXPECT_EQ(m.samples, 128u);
-  EXPECT_NEAR(m.avg_watts, 240.0, 1e-9);
-  EXPECT_NEAR(m.energy_joules, 240.0, 1e-9);
+  EXPECT_NEAR(m.avg_watts.value(), 240.0, 1e-9);
+  EXPECT_NEAR(m.energy_joules.value(), 240.0, 1e-9);
   EXPECT_NEAR(m.energy_error(), 0.0, 1e-12);
 }
 
@@ -78,25 +78,25 @@ TEST(PowerMon, PaperSamplingRate) {
 
 TEST(PowerMon, StepTraceAveragesAcrossPhases) {
   PowerMonConfig cfg;
-  cfg.sample_hz = 512.0;
+  cfg.sample_hz = Hertz{512.0};
   const PowerMon mon(gtx580_rails(), cfg);
   const Measurement m = mon.measure(step_trace());
-  EXPECT_NEAR(m.avg_watts, 200.0, 2.0);  // true mean of the two phases
-  EXPECT_NEAR(m.true_energy_joules, 200.0, 1e-9);
+  EXPECT_NEAR(m.avg_watts.value(), 200.0, 2.0);  // true mean of the two phases
+  EXPECT_NEAR(m.true_energy_joules.value(), 200.0, 1e-9);
 }
 
 TEST(PowerMon, ShortRunStillProducesOneSample) {
   // A run shorter than one 128 Hz tick: the instrument reports a single
   // mid-run sample rather than nothing.
   rme::sim::PowerTrace t;
-  t.append(1e-3, 150.0);
+  t.append(Seconds{1e-3}, Watts{150.0});
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
-  cfg.phase_offset_seconds = 0.5;  // first scheduled tick is past the end
+  cfg.sample_hz = Hertz{128.0};
+  cfg.phase_offset_seconds = Seconds{0.5};  // first scheduled tick is past the end
   const PowerMon mon(gtx580_rails(), cfg);
   const Measurement m = mon.measure(t);
   EXPECT_EQ(m.samples, 1u);
-  EXPECT_NEAR(m.avg_watts, 150.0, 1e-9);
+  EXPECT_NEAR(m.avg_watts.value(), 150.0, 1e-9);
 }
 
 TEST(PowerMon, EmptyTrace) {
@@ -105,7 +105,7 @@ TEST(PowerMon, EmptyTrace) {
   const PowerMon mon(gtx580_rails(), cfg);
   const Measurement m = mon.measure(t);
   EXPECT_EQ(m.samples, 0u);
-  EXPECT_DOUBLE_EQ(m.energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_joules.value(), 0.0);
 }
 
 TEST(PowerMon, HigherSampleRateReducesError) {
@@ -113,13 +113,13 @@ TEST(PowerMon, HigherSampleRateReducesError) {
   // sampling approximates its true energy better on average.
   rme::sim::PowerTrace t;
   for (int i = 0; i < 100; ++i) {
-    t.append(0.003, i % 2 ? 300.0 : 100.0);
-    t.append(0.004, i % 3 ? 120.0 : 280.0);
+    t.append(Seconds{0.003}, Watts{i % 2 ? 300.0 : 100.0});
+    t.append(Seconds{0.004}, Watts{i % 3 ? 120.0 : 280.0});
   }
   PowerMonConfig slow;
-  slow.sample_hz = 64.0;
+  slow.sample_hz = Hertz{64.0};
   PowerMonConfig fast;
-  fast.sample_hz = 768.0;  // 4 channels × 768 Hz = the 3072 Hz aggregate cap
+  fast.sample_hz = Hertz{768.0};  // 4 channels × 768 Hz = the 3072 Hz aggregate cap
   const PowerMon mon_slow(gtx580_rails(), slow);
   const PowerMon mon_fast(gtx580_rails(), fast);
   const double err_slow = std::fabs(mon_slow.measure(t).energy_error());
@@ -129,13 +129,13 @@ TEST(PowerMon, HigherSampleRateReducesError) {
 
 TEST(PowerMon, AdcQuantizationBiasesMeasurement) {
   rme::sim::PowerTrace t;
-  t.append(1.0, 100.0);
+  t.append(Seconds{1.0}, Watts{100.0});
   PowerMonConfig cfg;
   cfg.adc.amps_lsb = 0.5;  // coarse current ADC
   const PowerMon mon(gtx580_rails(), cfg);
   const Measurement m = mon.measure(t);
   // Still close, but generally not exact.
-  EXPECT_NEAR(m.avg_watts, 100.0, 5.0);
+  EXPECT_NEAR(m.avg_watts.value(), 100.0, 5.0);
 }
 
 TEST(PowerMon, MeasurementIsDeterministic) {
@@ -144,7 +144,7 @@ TEST(PowerMon, MeasurementIsDeterministic) {
   const Measurement a = mon.measure(step_trace());
   const Measurement b = mon.measure(step_trace());
   EXPECT_EQ(a.samples, b.samples);
-  EXPECT_DOUBLE_EQ(a.avg_watts, b.avg_watts);
+  EXPECT_DOUBLE_EQ(a.avg_watts.value(), b.avg_watts.value());
 }
 
 }  // namespace

@@ -14,14 +14,14 @@ namespace {
 
 rme::sim::PowerTrace constant_trace(double watts, double seconds) {
   rme::sim::PowerTrace t;
-  t.append(seconds, watts);
+  t.append(Seconds{seconds}, Watts{watts});
   return t;
 }
 
 TEST(PowerMonLog, WritesOneRecordPerChannelPerTick) {
   const auto rails = gtx580_rails();
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   std::stringstream ss;
   const std::size_t ticks =
       write_powermon_log(ss, rails, cfg, constant_trace(240.0, 0.5));
@@ -33,7 +33,7 @@ TEST(PowerMonLog, WritesOneRecordPerChannelPerTick) {
 TEST(PowerMonLog, RoundTripPreservesSamples) {
   const auto rails = gtx580_rails();
   PowerMonConfig cfg;
-  cfg.sample_hz = 64.0;
+  cfg.sample_hz = Hertz{64.0};
   std::stringstream ss;
   write_powermon_log(ss, rails, cfg, constant_trace(200.0, 0.25));
   const auto records = parse_powermon_log(ss);
@@ -43,19 +43,20 @@ TEST(PowerMonLog, RoundTripPreservesSamples) {
     const Channel& ch = rails[r.channel];
     EXPECT_EQ(r.channel_name, ch.name());  // underscores decoded back
     EXPECT_DOUBLE_EQ(r.volts, ch.nominal_volts());
-    EXPECT_NEAR(r.watts(), ch.power_fraction() * 200.0, 1e-9);
+    EXPECT_NEAR(r.watts().value(), ch.power_fraction() * 200.0, 1e-9);
   }
 }
 
 TEST(PowerMonLog, TimestampsAdvanceAtSampleRate) {
   const auto rails = atx_cpu_rails();
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   std::stringstream ss;
   write_powermon_log(ss, rails, cfg, constant_trace(100.0, 0.1));
   const auto records = parse_powermon_log(ss);
   ASSERT_GE(records.size(), 2u * rails.size());
-  const double dt = records[rails.size()].t_seconds - records[0].t_seconds;
+  const double dt =
+      (records[rails.size()].timestamp - records[0].timestamp).value();
   EXPECT_NEAR(dt, 1.0 / 128.0, 1e-12);
   EXPECT_EQ(records[rails.size()].tick, records[0].tick + 1);
 }
@@ -65,10 +66,10 @@ TEST(PowerMonLog, ReductionMatchesDirectMeasurement) {
   // in-memory measurement of the same trace.
   const auto rails = gtx580_rails();
   PowerMonConfig cfg;
-  cfg.sample_hz = 128.0;
+  cfg.sample_hz = Hertz{128.0};
   rme::sim::PowerTrace trace;
-  trace.append(0.5, 150.0);
-  trace.append(0.5, 250.0);
+  trace.append(Seconds{0.5}, Watts{150.0});
+  trace.append(Seconds{0.5}, Watts{250.0});
 
   std::stringstream ss;
   write_powermon_log(ss, rails, cfg, trace);
@@ -78,8 +79,8 @@ TEST(PowerMonLog, ReductionMatchesDirectMeasurement) {
   const PowerMon mon(rails, cfg);
   const Measurement direct = mon.measure(trace);
   EXPECT_EQ(from_log.samples, direct.samples);
-  EXPECT_NEAR(from_log.avg_watts, direct.avg_watts, 1e-9);
-  EXPECT_NEAR(from_log.energy_joules, direct.energy_joules, 1e-9);
+  EXPECT_NEAR(from_log.avg_watts.value(), direct.avg_watts.value(), 1e-9);
+  EXPECT_NEAR(from_log.energy_joules.value(), direct.energy_joules.value(), 1e-9);
 }
 
 TEST(PowerMonLog, IgnoresBannerLines) {
@@ -90,7 +91,7 @@ TEST(PowerMonLog, IgnoresBannerLines) {
   const auto records = parse_powermon_log(ss);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].channel_name, "rail A");
-  EXPECT_DOUBLE_EQ(records[0].watts(), 60.0);
+  EXPECT_DOUBLE_EQ(records[0].watts().value(), 60.0);
 }
 
 TEST(PowerMonLog, MalformedRecordThrowsWithLineNumber) {
@@ -104,9 +105,9 @@ TEST(PowerMonLog, MalformedRecordThrowsWithLineNumber) {
 }
 
 TEST(PowerMonLog, EmptyReduction) {
-  const Measurement m = reduce_log({}, 1.0);
+  const Measurement m = reduce_log({}, Seconds{1.0});
   EXPECT_EQ(m.samples, 0u);
-  EXPECT_DOUBLE_EQ(m.energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy_joules.value(), 0.0);
 }
 
 }  // namespace

@@ -12,31 +12,31 @@ namespace {
 
 rme::sim::PowerTrace constant_trace(double watts, double seconds) {
   rme::sim::PowerTrace t;
-  t.append(seconds, watts);
+  t.append(Seconds{seconds}, Watts{watts});
   return t;
 }
 
 TEST(RaplCounter, DefaultUnitIsTwoToMinus16Joules) {
   const auto t = constant_trace(1.0, 1.0);
   const RaplCounter c(t);
-  EXPECT_DOUBLE_EQ(c.energy_unit(), std::exp2(-16.0));
-  EXPECT_NEAR(c.energy_unit() * 1e6, 15.2588, 1e-3);  // ~15.26 uJ
+  EXPECT_DOUBLE_EQ(c.energy_unit().value(), std::exp2(-16.0));
+  EXPECT_NEAR(c.energy_unit().value() * 1e6, 15.2588, 1e-3);  // ~15.26 uJ
 }
 
 TEST(RaplCounter, RawReadingTracksEnergy) {
   const auto t = constant_trace(100.0, 10.0);  // 1000 J total
   const RaplCounter c(t);
   // At t = 1 s: 100 J = 100 / 2^-16 = 6553600 ticks.
-  EXPECT_EQ(c.read_raw(1.0), 6553600u);
-  EXPECT_DOUBLE_EQ(c.to_joules(c.read_raw(1.0)), 100.0);
-  EXPECT_EQ(c.read_raw(0.0), 0u);
+  EXPECT_EQ(c.read_raw(Seconds{1.0}), 6553600u);
+  EXPECT_DOUBLE_EQ(c.to_joules(c.read_raw(Seconds{1.0})).value(), 100.0);
+  EXPECT_EQ(c.read_raw(Seconds{0.0}), 0u);
 }
 
 TEST(RaplCounter, WrapJoules) {
   const auto t = constant_trace(1.0, 1.0);
   const RaplCounter c(t);
   // 2^32 × 2^-16 = 2^16 = 65536 J until wraparound.
-  EXPECT_DOUBLE_EQ(c.wrap_joules(), 65536.0);
+  EXPECT_DOUBLE_EQ(c.wrap_joules().value(), 65536.0);
 }
 
 TEST(RaplCounter, RegisterWrapsAround) {
@@ -45,31 +45,32 @@ TEST(RaplCounter, RegisterWrapsAround) {
   const RaplCounter c(t);
   const double joules_at_8s = 80000.0;
   const double wrapped = joules_at_8s - 65536.0;
-  EXPECT_NEAR(c.to_joules(c.read_raw(8.0)), wrapped, c.energy_unit());
+  EXPECT_NEAR(c.to_joules(c.read_raw(Seconds{8.0})).value(), wrapped,
+              c.energy_unit().value());
 }
 
 TEST(RaplReader, FirstUpdatePrimes) {
-  RaplReader r(std::exp2(-16.0));
-  EXPECT_DOUBLE_EQ(r.update(123456), 0.0);
-  EXPECT_DOUBLE_EQ(r.total_joules(), 0.0);
+  RaplReader r(Joules{std::exp2(-16.0)});
+  EXPECT_DOUBLE_EQ(r.update(123456).value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_joules().value(), 0.0);
 }
 
 TEST(RaplReader, AccumulatesDeltas) {
   const double unit = std::exp2(-16.0);
-  RaplReader r(unit);
+  RaplReader r(Joules{unit});
   r.update(0);
-  EXPECT_NEAR(r.update(65536), 1.0, 1e-12);  // 65536 ticks = 1 J
-  EXPECT_NEAR(r.update(131072), 1.0, 1e-12);
-  EXPECT_NEAR(r.total_joules(), 2.0, 1e-12);
+  EXPECT_NEAR(r.update(65536).value(), 1.0, 1e-12);  // 65536 ticks = 1 J
+  EXPECT_NEAR(r.update(131072).value(), 1.0, 1e-12);
+  EXPECT_NEAR(r.total_joules().value(), 2.0, 1e-12);
 }
 
 TEST(RaplReader, HandlesWraparound) {
   const double unit = std::exp2(-16.0);
-  RaplReader r(unit);
+  RaplReader r(Joules{unit});
   r.update(0xFFFFFF00u);
   // Wrap: 0xFFFFFF00 → 0x100 is 0x200 ticks forward.
-  const double joules = r.update(0x100u);
-  EXPECT_NEAR(joules, 0x200 * unit, 1e-12);
+  const Joules joules = r.update(0x100u);
+  EXPECT_NEAR(joules.value(), 0x200 * unit, 1e-12);
 }
 
 TEST(RaplReader, EndToEndAgainstTrace) {
@@ -81,19 +82,19 @@ TEST(RaplReader, EndToEndAgainstTrace) {
   const RaplCounter c(t);
   RaplReader r(c.energy_unit());
   for (double time = 0.0; time <= seconds + 1e-9; time += 0.1) {
-    r.update(c.read_raw(time));
+    r.update(c.read_raw(Seconds{time}));
   }
-  EXPECT_NEAR(r.total_joules(), watts * seconds, 1.0);
+  EXPECT_NEAR(r.total_joules().value(), watts * seconds, 1.0);
 }
 
 TEST(RaplReader, ResetClearsState) {
-  RaplReader r(1e-6);
+  RaplReader r(Joules{1e-6});
   r.update(0);
   r.update(1000);
-  ASSERT_GT(r.total_joules(), 0.0);
+  ASSERT_GT(r.total_joules().value(), 0.0);
   r.reset();
-  EXPECT_DOUBLE_EQ(r.total_joules(), 0.0);
-  EXPECT_DOUBLE_EQ(r.update(5000), 0.0);  // primes again
+  EXPECT_DOUBLE_EQ(r.total_joules().value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.update(5000).value(), 0.0);  // primes again
 }
 
 TEST(SysfsRapl, GracefulWhenAbsent) {
@@ -108,7 +109,7 @@ TEST(SysfsRapl, DefaultZonePathDoesNotCrash) {
   if (rapl.available()) {
     const auto j = rapl.read_joules();
     ASSERT_TRUE(j.has_value());
-    EXPECT_GE(*j, 0.0);
+    EXPECT_GE(j->value(), 0.0);
   } else {
     EXPECT_FALSE(rapl.read_joules().has_value());
   }

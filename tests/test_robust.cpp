@@ -130,9 +130,10 @@ std::vector<EnergySample> synthetic_samples() {
       s.bytes = 4e8 * (1.0 + 0.5 * i);
       // The quadratic term keeps T/W out of span{1, Q/W}: with all three
       // inputs affine in i, the design would be exactly rank-deficient.
-      s.seconds = 0.01 * (1.0 + 0.3 * i + 0.05 * i * i);
+      s.seconds = Seconds{0.01 * (1.0 + 0.3 * i + 0.05 * i * i)};
       const double eps_flop = prec == 0 ? eps_s : eps_s + d_eps;
-      s.joules = eps_flop * s.flops + eps_mem * s.bytes + pi0 * s.seconds;
+      s.joules =
+        Joules{eps_flop * s.flops + eps_mem * s.bytes + pi0 * s.seconds.value()};
       samples.push_back(s);
     }
   }
@@ -153,13 +154,14 @@ TEST(EnergyFitRobust, HuberRecoversCoefficientsUnderCorruption) {
 
   EXPECT_EQ(robust.method, FitMethod::kHuber);
   EXPECT_TRUE(robust.converged);
-  EXPECT_NEAR(robust.coefficients.eps_single, 100e-12, 5e-12);
-  EXPECT_NEAR(robust.coefficients.eps_mem, 500e-12, 25e-12);
-  EXPECT_NEAR(robust.coefficients.const_power, 120.0, 6.0);
+  EXPECT_NEAR(robust.coefficients.eps_single.value(), 100e-12, 5e-12);
+  EXPECT_NEAR(robust.coefficients.eps_mem.value(), 500e-12, 25e-12);
+  EXPECT_NEAR(robust.coefficients.const_power.value(), 120.0, 6.0);
   // OLS on the same corrupted tuples lands further from the truth.
   const double rob_err =
-      std::fabs(robust.coefficients.eps_single - 100e-12);
-  const double ols_err = std::fabs(plain.coefficients.eps_single - 100e-12);
+      std::fabs(robust.coefficients.eps_single.value() - 100e-12);
+  const double ols_err =
+      std::fabs(plain.coefficients.eps_single.value() - 100e-12);
   EXPECT_GT(ols_err, rob_err);
   // The corrupted tuples carry the smallest weights.
   ASSERT_EQ(robust.weights.size(), samples.size());
@@ -173,11 +175,11 @@ TEST(EnergyFitRobust, DefaultOptionsMatchLegacyOls) {
   const EnergyFit opt = fit_energy_coefficients(samples, EnergyFitOptions{});
   EXPECT_EQ(legacy.method, FitMethod::kOls);
   EXPECT_TRUE(legacy.weights.empty());
-  EXPECT_DOUBLE_EQ(legacy.coefficients.eps_single,
-                   opt.coefficients.eps_single);
-  EXPECT_DOUBLE_EQ(legacy.coefficients.eps_mem, opt.coefficients.eps_mem);
-  EXPECT_DOUBLE_EQ(legacy.coefficients.const_power,
-                   opt.coefficients.const_power);
+  EXPECT_DOUBLE_EQ(legacy.coefficients.eps_single.value(),
+                   opt.coefficients.eps_single.value());
+  EXPECT_DOUBLE_EQ(legacy.coefficients.eps_mem.value(), opt.coefficients.eps_mem.value());
+  EXPECT_DOUBLE_EQ(legacy.coefficients.const_power.value(),
+                   opt.coefficients.const_power.value());
 }
 
 }  // namespace

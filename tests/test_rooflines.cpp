@@ -121,8 +121,8 @@ TEST(Curves, AbsoluteUnitCurves) {
   EXPECT_GT(gfj.back().value, 1.0);
   // Power stays within [pi0, max_power].
   for (const CurvePoint& p : watts) {
-    EXPECT_GT(p.value, m.const_power);
-    EXPECT_LE(p.value, max_power(m) + 1e-9);
+    EXPECT_GT(p.value, m.const_power.value());
+    EXPECT_LE(p.value, max_power(m).value() + 1e-9);
   }
 }
 
@@ -132,7 +132,7 @@ TEST(Curves, PowerLineFlopConstNormalization) {
   const Curve norm = power_line_flop_const(m, grid);
   const Curve abs = average_power_watts_curve(m, grid);
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    EXPECT_NEAR(norm[i].value * (m.flop_power() + m.const_power),
+    EXPECT_NEAR(norm[i].value * (m.flop_power() + m.const_power).value(),
                 abs[i].value, 1e-9 * abs[i].value);
   }
 }

@@ -18,7 +18,7 @@ MeasurementSession make_session(const MachineParams& m, double noise_sigma,
   rme::sim::SimConfig sim_cfg;
   sim_cfg.noise = rme::sim::NoiseModel(2024, noise_sigma);
   PowerMonConfig mon_cfg;
-  mon_cfg.sample_hz = 128.0;
+  mon_cfg.sample_hz = Hertz{128.0};
   SessionConfig ses_cfg;
   ses_cfg.repetitions = reps;
   return MeasurementSession(rme::sim::Executor(m, sim_cfg),
@@ -66,11 +66,11 @@ TEST(Session, NoiselessSessionMatchesModel) {
       rme::sim::fma_load_mix(4.0, 6e9, Precision::kDouble);
   const SessionResult r = session.measure(kernel);
   const KernelProfile profile = kernel.profile();
-  EXPECT_NEAR(r.seconds.median, predict_time(m, profile).total_seconds,
+  EXPECT_NEAR(r.seconds.median, predict_time(m, profile).total_seconds.value(),
               1e-9 * r.seconds.median);
   // Energy = instrument average power × measured time; the 128 Hz
   // sampling of the short ramp phase introduces only a small error.
-  EXPECT_NEAR(r.joules.median, predict_energy(m, profile).total_joules,
+  EXPECT_NEAR(r.joules.median, predict_energy(m, profile).total_joules.value(),
               0.02 * r.joules.median);
   EXPECT_FALSE(r.any_capped);
 }
@@ -101,7 +101,7 @@ TEST(Session, CappedRunsAreFlagged) {
   const MachineParams m = presets::gtx580(Precision::kSingle);
   rme::sim::SimConfig sim_cfg;
   sim_cfg.noise = rme::sim::NoiseModel(1, 0.0);
-  sim_cfg.power_cap_watts = presets::kGtx580PowerCapWatts;
+  sim_cfg.power_cap_watts = Watts{presets::kGtx580PowerCapWatts};
   PowerMonConfig mon_cfg;
   const MeasurementSession session(rme::sim::Executor(m, sim_cfg),
                                    PowerMon(gtx580_rails(), mon_cfg),
@@ -129,9 +129,9 @@ TEST(Session, MedianEfficiencyBelowPeak) {
   const SessionResult r = session.measure(
       rme::sim::fma_load_mix(16.0, 2e9, Precision::kDouble));
   EXPECT_LT(r.median_gflops_per_joule(),
-            m.peak_flops_per_joule() / 1e9);
+            m.peak_flops_per_joule().value() / 1e9);
   EXPECT_GT(r.median_gflops_per_joule(),
-            0.5 * m.peak_flops_per_joule() / 1e9);
+            0.5 * m.peak_flops_per_joule().value() / 1e9);
 }
 
 }  // namespace

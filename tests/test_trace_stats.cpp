@@ -20,7 +20,7 @@ std::vector<double> idle_active_idle() {
 }
 
 TEST(TraceStats, SegmentationFindsThreePhases) {
-  const auto segments = segment_trace(idle_active_idle(), 120.0);
+  const auto segments = segment_trace(idle_active_idle(), Watts{120.0});
   ASSERT_EQ(segments.size(), 3u);
   EXPECT_FALSE(segments[0].active);
   EXPECT_TRUE(segments[1].active);
@@ -28,7 +28,7 @@ TEST(TraceStats, SegmentationFindsThreePhases) {
   EXPECT_EQ(segments[0].samples(), 20u);
   EXPECT_EQ(segments[1].samples(), 50u);
   EXPECT_EQ(segments[2].samples(), 30u);
-  EXPECT_DOUBLE_EQ(segments[1].mean_watts, 200.0);
+  EXPECT_DOUBLE_EQ(segments[1].mean_watts.value(), 200.0);
   // Segments must tile the series.
   EXPECT_EQ(segments[0].begin, 0u);
   EXPECT_EQ(segments[2].end, 100u);
@@ -36,26 +36,26 @@ TEST(TraceStats, SegmentationFindsThreePhases) {
 
 TEST(TraceStats, AllActiveOrAllIdle) {
   const std::vector<double> flat(10, 100.0);
-  const auto above = segment_trace(flat, 50.0);
+  const auto above = segment_trace(flat, Watts{50.0});
   ASSERT_EQ(above.size(), 1u);
   EXPECT_TRUE(above[0].active);
-  const auto below = segment_trace(flat, 150.0);
+  const auto below = segment_trace(flat, Watts{150.0});
   ASSERT_EQ(below.size(), 1u);
   EXPECT_FALSE(below[0].active);
-  EXPECT_TRUE(segment_trace({}, 50.0).empty());
+  EXPECT_TRUE(segment_trace({}, Watts{50.0}).empty());
 }
 
 TEST(TraceStats, AutoThresholdSplitsTheClasses) {
-  const double threshold = auto_threshold(idle_active_idle());
+  const double threshold = auto_threshold(idle_active_idle()).value();
   EXPECT_GT(threshold, 40.0);
   EXPECT_LT(threshold, 200.0);
-  EXPECT_DOUBLE_EQ(auto_threshold({}), 0.0);
+  EXPECT_DOUBLE_EQ(auto_threshold({}).value(), 0.0);
 }
 
 TEST(TraceStats, AutoThresholdRobustToOutliers) {
   auto w = idle_active_idle();
   w.push_back(5000.0);  // a glitch sample
-  const double threshold = auto_threshold(w, 0.05);
+  const double threshold = auto_threshold(w, 0.05).value();
   EXPECT_LT(threshold, 300.0);  // not dragged up by the outlier
 }
 
@@ -64,26 +64,28 @@ TEST(TraceStats, PlateauPicksLargestActiveSegment) {
   // Add a short, hotter spike elsewhere — plateau = longest, not hottest.
   w.push_back(400.0);
   w.push_back(400.0);
-  EXPECT_DOUBLE_EQ(plateau_watts(w, 120.0), 200.0);
-  EXPECT_DOUBLE_EQ(plateau_watts(std::vector<double>(5, 10.0), 120.0), 0.0);
+  EXPECT_DOUBLE_EQ(plateau_watts(w, Watts{120.0}).value(), 200.0);
+  EXPECT_DOUBLE_EQ(plateau_watts(std::vector<double>(5, 10.0), Watts{120.0}).value(),
+                   0.0);
 }
 
 TEST(TraceStats, ActiveEnergyIntegratesAboveThreshold) {
   const double dt = 1.0 / 128.0;
-  const double e = active_energy(idle_active_idle(), 120.0, dt);
+  const double e =
+      active_energy(idle_active_idle(), Watts{120.0}, Seconds{dt}).value();
   EXPECT_NEAR(e, 50.0 * 200.0 * dt, 1e-9);
 }
 
 TEST(TraceStats, SampleTraceMatchesTimeline) {
   rme::sim::PowerTrace trace;
-  trace.append(0.5, 100.0);
-  trace.append(0.5, 300.0);
-  const auto samples = sample_trace(trace, 10.0);
+  trace.append(Seconds{0.5}, Watts{100.0});
+  trace.append(Seconds{0.5}, Watts{300.0});
+  const auto samples = sample_trace(trace, Hertz{10.0});
   ASSERT_EQ(samples.size(), 10u);
   EXPECT_DOUBLE_EQ(samples[0], 100.0);
   EXPECT_DOUBLE_EQ(samples[4], 100.0);
   EXPECT_DOUBLE_EQ(samples[5], 300.0);
-  EXPECT_TRUE(sample_trace(trace, 0.0).empty());
+  EXPECT_TRUE(sample_trace(trace, Hertz{0.0}).empty());
 }
 
 TEST(TraceStats, EndToEndKernelEnergyRecovery) {
@@ -91,19 +93,20 @@ TEST(TraceStats, EndToEndKernelEnergyRecovery) {
   // recover the kernel's energy from the sampled series alone.
   const MachineParams m = presets::gtx580(Precision::kDouble);
   rme::sim::SimConfig cfg;
-  cfg.idle_power_watts = presets::kGtx580IdleWatts;
-  cfg.idle_head_seconds = 0.3;
-  cfg.idle_tail_seconds = 0.3;
+  cfg.idle_power_watts = Watts{presets::kGtx580IdleWatts};
+  cfg.idle_head_seconds = Seconds{0.3};
+  cfg.idle_tail_seconds = Seconds{0.3};
   const rme::sim::Executor exec(m, cfg);
   const auto run = exec.run(rme::sim::fma_load_mix(4.0, 6e9,
                                                    Precision::kDouble));
   const double hz = 1024.0;
-  const auto samples = sample_trace(run.trace, hz);
-  const double threshold = auto_threshold(samples);
-  const double recovered = active_energy(samples, threshold, 1.0 / hz);
-  EXPECT_NEAR(recovered, run.joules, 0.02 * run.joules);
-  EXPECT_NEAR(plateau_watts(samples, threshold), run.avg_watts,
-              0.05 * run.avg_watts);
+  const auto samples = sample_trace(run.trace, Hertz{hz});
+  const Watts threshold = auto_threshold(samples);
+  const double recovered =
+      active_energy(samples, threshold, Seconds{1.0 / hz}).value();
+  EXPECT_NEAR(recovered, run.joules.value(), 0.02 * run.joules.value());
+  EXPECT_NEAR(plateau_watts(samples, threshold).value(), run.avg_watts.value(),
+              0.05 * run.avg_watts.value());
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ namespace rme {
 namespace {
 
 MachineParams zero_const_power(MachineParams m) {
-  m.const_power = 0.0;
+  m.const_power = Watts{0.0};
   return m;
 }
 

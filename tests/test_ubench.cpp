@@ -148,7 +148,7 @@ TEST(HostRunner, PolynomialSweepAccounting) {
   const auto results = run_polynomial_sweep({2, 8, 32}, cfg);
   ASSERT_EQ(results.size(), 3u);
   for (std::size_t i = 0; i < results.size(); ++i) {
-    EXPECT_GT(results[i].seconds, 0.0);
+    EXPECT_GT(results[i].seconds.value(), 0.0);
     EXPECT_GT(results[i].gflops(), 0.0);
   }
   // Intensity grows linearly with degree.
@@ -170,14 +170,14 @@ TEST(HostRunner, ModelEnergyAttachesCoefficients) {
   r.kernel = "synthetic";
   r.flops = 1e9;
   r.bytes = 1e8;
-  r.seconds = 0.01;
+  r.seconds = Seconds{0.01};
   MachineParams m;
-  m.energy_per_flop = 100e-12;
-  m.energy_per_byte = 500e-12;
-  m.const_power = 50.0;
-  m.time_per_flop = 1e-11;
-  m.time_per_byte = 1e-11;
-  EXPECT_NEAR(model_energy(m, r), 0.1 + 0.05 + 0.5, 1e-12);
+  m.energy_per_flop = EnergyPerFlop{100e-12};
+  m.energy_per_byte = EnergyPerByte{500e-12};
+  m.const_power = Watts{50.0};
+  m.time_per_flop = TimePerFlop{1e-11};
+  m.time_per_byte = TimePerByte{1e-11};
+  EXPECT_NEAR(model_energy(m, r).value(), 0.1 + 0.05 + 0.5, 1e-12);
 }
 
 TEST(HostRunner, RaplEnergyAroundDegradesGracefully) {
@@ -187,7 +187,7 @@ TEST(HostRunner, RaplEnergyAroundDegradesGracefully) {
   // powercap interface is absent (e.g. in containers).
   EXPECT_TRUE(ran);
   if (j.has_value()) {
-    EXPECT_GE(*j, 0.0);
+    EXPECT_GE(j->value(), 0.0);
   }
 }
 

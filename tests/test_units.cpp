@@ -83,9 +83,82 @@ TEST(Units, SiConstructors) {
 
 TEST(Units, ThroughputHelpers) {
   // Table II: (515 Gflop/s)^-1 ≈ 1.9 ps per flop.
-  EXPECT_NEAR(seconds_per_flop_from_gflops(515.0), 1.9417e-12, 1e-15);
+  EXPECT_NEAR(seconds_per_flop_from_gflops(515.0).value(), 1.9417e-12, 1e-15);
   // (144 GB/s)^-1 ≈ 6.9 ps per byte.
-  EXPECT_NEAR(seconds_per_byte_from_gbs(144.0), 6.944e-12, 1e-14);
+  EXPECT_NEAR(seconds_per_byte_from_gbs(144.0).value(), 6.944e-12, 1e-14);
+}
+
+// --- Dimensional-algebra identities ---------------------------------------
+
+TEST(Units, DerivedUnitIdentities) {
+  // W·s = J and J/s = W — the closure the paper's eq. (2)/(7) relies on.
+  static_assert(std::is_same_v<decltype(Watts{} * Seconds{}), Joules>);
+  static_assert(std::is_same_v<decltype(Joules{} / Seconds{}), Watts>);
+  // τ_flop·W = s: a unit of work at the machine's time cost.
+  static_assert(std::is_same_v<decltype(TimePerFlop{} * FlopCount{}), Seconds>);
+  // Q·ε_mem = J and W·ε_flop = J — the additive energy channels.
+  static_assert(
+      std::is_same_v<decltype(ByteCount{} * EnergyPerByte{}), Joules>);
+  static_assert(
+      std::is_same_v<decltype(FlopCount{} * EnergyPerFlop{}), Joules>);
+  // Q·B_ε = W: traffic at the balance intensity costs that much work.
+  static_assert(std::is_same_v<decltype(ByteCount{} * Intensity{}), FlopCount>);
+}
+
+TEST(Units, ExponentArithmetic) {
+  // Exponents add under multiplication and subtract under division.
+  using A = Dim<1, 2, 0, -1>;
+  using B = Dim<-1, 1, 1, 0>;
+  static_assert(std::is_same_v<DimProduct<A, B>, Dim<0, 3, 1, -1>>);
+  static_assert(std::is_same_v<DimQuotient<A, B>, Dim<2, 1, -1, -1>>);
+  static_assert(std::is_same_v<DimInverse<A>, Dim<-1, -2, 0, 1>>);
+  // Double inversion and A/A round-trip.
+  static_assert(std::is_same_v<DimInverse<DimInverse<A>>, A>);
+  static_assert(std::is_same_v<DimQuotient<A, A>, Dimensionless>);
+}
+
+TEST(Units, DimensionlessResultsCollapseToDouble) {
+  // Same-dimension quotients and full cancellations are plain doubles —
+  // no Quantity<Dimensionless> wrapper survives.
+  static_assert(std::is_same_v<decltype(Seconds{} / Seconds{}), double>);
+  static_assert(
+      std::is_same_v<decltype(Intensity{} / Intensity{}), double>);
+  static_assert(
+      std::is_same_v<decltype((Watts{} * Seconds{}) / Joules{}), double>);
+  const double b_ratio = TimePerByte{6.9e-12} / TimePerByte{6.9e-12};
+  EXPECT_DOUBLE_EQ(b_ratio, 1.0);
+}
+
+TEST(Units, InverseOfThroughputCost) {
+  // 1/τ_flop is a rate [flop/s]; 1/τ_mem is bandwidth [byte/s].
+  static_assert(
+      std::is_same_v<decltype(1.0 / TimePerFlop{}), FlopsPerSecond>);
+  static_assert(
+      std::is_same_v<decltype(1.0 / TimePerByte{}), BytesPerSecond>);
+  const FlopsPerSecond peak = 1.0 / seconds_per_flop_from_gflops(515.0);
+  EXPECT_NEAR(peak.value(), 515e9, 1e3);
+}
+
+TEST(Units, AccumulationSemantics) {
+  // Quantities accumulate like their underlying magnitudes.
+  Joules total;
+  for (int i = 1; i <= 4; ++i) total += Joules{static_cast<double>(i)};
+  EXPECT_DOUBLE_EQ(total.value(), 10.0);
+  total -= Joules{4.0};
+  EXPECT_DOUBLE_EQ(total.value(), 6.0);
+}
+
+TEST(Units, MinMaxOnQuantities) {
+  const Seconds a{2.0};
+  const Seconds b{3.0};
+  EXPECT_DOUBLE_EQ(max(a, b).value(), 3.0);
+  EXPECT_DOUBLE_EQ(min(a, b).value(), 2.0);
+}
+
+TEST(Units, TypedApproxEqual) {
+  EXPECT_TRUE(approx_equal(Watts{100.0}, Watts{100.0}));
+  EXPECT_TRUE(approx_equal(Joules{1.0}, Joules{1.0 + 1e-12}, 1e-9));
+  EXPECT_FALSE(approx_equal(Seconds{1.0}, Seconds{1.001}, 1e-9));
 }
 
 TEST(Units, ApproxEqualRelative) {

@@ -78,8 +78,8 @@ int cmd_machines() {
     t.add_row({name, m.name, report::fmt(m.time_balance(), 3),
                report::fmt(m.energy_balance(), 3),
                report::fmt(m.balance_fixed_point(), 3),
-               report::fmt(m.peak_flops() / kGiga, 4),
-               report::fmt(m.peak_flops_per_joule() / kGiga, 3)});
+               report::fmt(m.peak_flops().value() / kGiga, 4),
+               report::fmt(m.peak_flops_per_joule().value() / kGiga, 3)});
   }
   t.print(std::cout);
   return 0;
@@ -93,7 +93,7 @@ int cmd_balance(const MachineParams& m) {
             << " flop/B\n"
             << "balance gap             " << m.balance_gap() << "\n"
             << "flop efficiency eta     " << m.flop_efficiency() << "\n"
-            << "max power (eq. 8)       " << max_power(m) << " W\n\n";
+            << "max power (eq. 8)       " << max_power(m).value() << " W\n\n";
   if (m.time_balance() >= m.balance_fixed_point()) {
     std::cout << "B_tau >= effective balance: time-efficiency implies "
                  "energy-efficiency here;\nrace-to-halt is a sound "
@@ -113,22 +113,23 @@ int cmd_predict(const MachineParams& m, double flops, double bytes) {
   const EnergyBreakdown e = predict_energy(m, k);
   report::Table out({"Quantity", "Value"});
   out.add_row({"intensity", report::fmt(i, 4) + " flop/B"});
-  out.add_row({"time", report::fmt_si(t.total_seconds, "s")});
+  out.add_row({"time", report::fmt_si(t.total_seconds.value(), "s")});
   out.add_row({"  bound in time", to_string(time_bound(m, i))});
-  out.add_row({"energy", report::fmt_si(e.total_joules, "J")});
+  out.add_row({"energy", report::fmt_si(e.total_joules.value(), "J")});
   out.add_row({"  flops / mem / const",
-               report::fmt_si(e.flops_joules, "J") + " / " +
-                   report::fmt_si(e.mem_joules, "J") + " / " +
-                   report::fmt_si(e.const_joules, "J")});
+               report::fmt_si(e.flops_joules.value(), "J") + " / " +
+                   report::fmt_si(e.mem_joules.value(), "J") + " / " +
+                   report::fmt_si(e.const_joules.value(), "J")});
   out.add_row({"  bound in energy", to_string(energy_bound(m, i))});
-  out.add_row({"avg power", report::fmt(average_power(m, i), 4) + " W"});
-  out.add_row({"speed", report::fmt(achieved_flops(m, i) / kGiga, 4) +
+  out.add_row({"avg power", report::fmt(average_power(m, i).value(), 4) + " W"});
+  out.add_row({"speed", report::fmt(achieved_flops(m, i).value() / kGiga, 4) +
                             " GFLOP/s (" +
                             report::fmt(100.0 * normalized_speed(m, i), 3) +
                             "% of peak)"});
   out.add_row(
       {"efficiency",
-       report::fmt(achieved_flops_per_joule(m, i) / kGiga, 4) + " GFLOP/J (" +
+       report::fmt(achieved_flops_per_joule(m, i).value() / kGiga, 4) +
+           " GFLOP/J (" +
            report::fmt(100.0 * normalized_efficiency(m, i), 3) +
            "% of peak)"});
   out.print(std::cout);
@@ -192,7 +193,7 @@ int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options) {
   row("pi0", "pi0", 1.0, "W");
   t.print(std::cout);
   std::cout << "\neps_d = "
-            << report::fmt(result.coefficients.eps_double() * 1e12, 5)
+            << report::fmt(result.coefficients.eps_double().value() * 1e12, 5)
             << " pJ/flop, R^2 = "
             << report::fmt(result.regression.r_squared, 6) << "\n";
   if (result.method == fit::FitMethod::kHuber) {
@@ -234,7 +235,7 @@ int cmd_faults(const std::string& base, double dropout, double spike,
     sim::SimConfig sim_cfg;
     sim_cfg.noise = sim::NoiseModel(0xA11CE, 0.01);
     power::PowerMonConfig mon_cfg;
-    mon_cfg.sample_hz = 128.0;
+    mon_cfg.sample_hz = Hertz{128.0};
     power::SessionConfig ses_cfg;
     ses_cfg.repetitions = reps;
     ses_cfg.qc.enabled = with_qc;
@@ -256,10 +257,10 @@ int cmd_faults(const std::string& base, double dropout, double spike,
     std::vector<sim::KernelDesc> kernels;
     std::size_t tier = 0;
     for (const double intensity : sim::pow2_grid(0.25, hi)) {
-      const double sec_per_byte =
-          std::max(m.time_per_byte, intensity * m.time_per_flop);
+      const TimePerByte sec_per_byte =
+          max(m.time_per_byte, Intensity{intensity} * m.time_per_flop);
       const double words =
-          kTierSeconds[tier++ % 3] / sec_per_byte / word_bytes(p);
+          kTierSeconds[tier++ % 3] / sec_per_byte.value() / word_bytes(p);
       kernels.push_back(sim::fma_load_mix(intensity, words, p));
     }
     return kernels;
@@ -315,10 +316,11 @@ int cmd_faults(const std::string& base, double dropout, double spike,
   report::Table t({"estimator", "eps_s [pJ/flop]", "eps_d [pJ/flop]",
                    "eps_mem [pJ/B]", "pi0 [W]"});
   const auto row = [&](const char* label, const fit::EnergyFit& f) {
-    t.add_row({label, report::fmt(f.coefficients.eps_single * 1e12, 4),
-               report::fmt(f.coefficients.eps_double() * 1e12, 4),
-               report::fmt(f.coefficients.eps_mem * 1e12, 4),
-               report::fmt(f.coefficients.const_power, 4)});
+    t.add_row({label,
+               report::fmt(f.coefficients.eps_single.value() * 1e12, 4),
+               report::fmt(f.coefficients.eps_double().value() * 1e12, 4),
+               report::fmt(f.coefficients.eps_mem.value() * 1e12, 4),
+               report::fmt(f.coefficients.const_power.value(), 4)});
   };
   row("clean OLS", clean);
   row("faulty OLS", ols);
@@ -355,23 +357,23 @@ int cmd_sweep(const MachineParams& m, double lo, double hi) {
                    "efficiency (rel.)", "GFLOP/J", "power [W]"});
   for (double i = lo; i <= hi * (1.0 + 1e-12); i *= 2.0) {
     t.add_row({report::fmt(i, 4), report::fmt(normalized_speed(m, i), 3),
-               report::fmt(achieved_flops(m, i) / kGiga, 4),
+               report::fmt(achieved_flops(m, i).value() / kGiga, 4),
                report::fmt(normalized_efficiency(m, i), 3),
-               report::fmt(achieved_flops_per_joule(m, i) / kGiga, 3),
-               report::fmt(average_power(m, i), 4)});
+               report::fmt(achieved_flops_per_joule(m, i).value() / kGiga, 3),
+               report::fmt(average_power(m, i).value(), 4)});
   }
   t.print(std::cout);
   std::cout << "\nB_tau = " << m.time_balance()
             << ", effective energy balance = " << m.balance_fixed_point()
-            << ", max power = " << max_power(m) << " W\n";
+            << ", max power = " << max_power(m).value() << " W\n";
   return 0;
 }
 
-int cmd_cap(const MachineParams& m, double cap) {
+int cmd_cap(const MachineParams& m, Watts cap) {
   const double onset = cap_violation_onset(m, cap);
-  std::cout << "cap " << cap << " W on " << m.name << ": ";
+  std::cout << "cap " << cap.value() << " W on " << m.name << ": ";
   if (onset < 0.0) {
-    std::cout << "never binds (max model power " << max_power(m)
+    std::cout << "never binds (max model power " << max_power(m).value()
               << " W)\n";
     return 0;
   }
@@ -386,9 +388,8 @@ int cmd_cap(const MachineParams& m, double cap) {
       continue;
     }
     t.add_row({report::fmt(i, 4), report::fmt(r.scale, 3),
-               report::fmt(k.flops / r.seconds / kGiga, 4),
-               report::fmt(r.joules /
-                               predict_energy(m, k).total_joules, 4)});
+               report::fmt((k.work() / r.seconds).value() / kGiga, 4),
+               report::fmt(r.joules / predict_energy(m, k).total_joules, 4)});
   }
   t.print(std::cout);
   return 0;
@@ -450,7 +451,7 @@ int main(int argc, char** argv) {
       return cmd_sweep(*machine, lo, hi);
     }
     if (command == "cap" && argc >= 4) {
-      return cmd_cap(*machine, std::strtod(argv[3], nullptr));
+      return cmd_cap(*machine, Watts{std::strtod(argv[3], nullptr)});
     }
     if (command == "advise" && argc >= 5) {
       return cmd_advise(*machine, std::strtod(argv[3], nullptr),

@@ -1,0 +1,130 @@
+// rme_lint: enforce the dimensional-safety boundary of units.hpp.
+//
+// Scans header files for raw `double` declarations whose names carry a
+// unit suffix (_seconds, _joules, _watts, _volts, _amps, _hz, _per_flop,
+// _per_byte).  Such names promise a dimension the type system cannot
+// check; the fix is to use the matching Quantity alias (Seconds, Joules,
+// Watts, ...) from rme/core/units.hpp, keeping `.value()` escape hatches
+// inside numeric kernels only.
+//
+// A finding is suppressed when the flagged line, or the line directly
+// above it, contains `rme-lint: allow(<reason>)`.  The reason is
+// mandatory by convention: it documents why the value stays outside the
+// dimension algebra (e.g. volts/amps, host wall-clock statistics).
+//
+// Usage:  rme_lint <dir-or-file>...
+// Exit status: 0 when clean, 1 when any finding remains, 2 on bad usage.
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string name;
+  std::string text;
+};
+
+bool is_header(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh";
+}
+
+bool is_comment_line(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t");
+  if (first == std::string::npos) return false;
+  return line.compare(first, 2, "//") == 0 ||
+         line.compare(first, 2, "/*") == 0 ||
+         line.compare(first, 1, "*") == 0;
+}
+
+bool has_allow(const std::string& line) {
+  return line.find("rme-lint: allow(") != std::string::npos;
+}
+
+void scan_file(const fs::path& path, const std::regex& pattern,
+               std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "rme_lint: cannot open " << path.string() << "\n";
+    return;
+  }
+  std::string line;
+  std::string prev;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const bool suppressed = has_allow(line) || has_allow(prev);
+    prev = line;
+    if (suppressed || is_comment_line(line)) continue;
+    auto begin = std::sregex_iterator(line.begin(), line.end(), pattern);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      // Ignore matches that sit inside a trailing // comment.
+      const auto comment = line.find("//");
+      if (comment != std::string::npos &&
+          static_cast<std::size_t>(it->position()) > comment) {
+        continue;
+      }
+      findings.push_back(Finding{path.string(), lineno, (*it)[1].str(), line});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rme_lint <dir-or-file>...\n";
+    return 2;
+  }
+
+  // `double` followed by a name ending in a unit suffix (optionally with
+  // a member trailing underscore).  Catches members, parameters, and
+  // getter declarations alike.
+  const std::regex pattern(
+      R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)"
+      R"((?:_seconds|_joules|_watts|_volts|_amps|_hz|_per_flop|_per_byte)_?)\b)");
+
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      std::cerr << "rme_lint: no such path: " << root.string() << "\n";
+      return 2;
+    }
+    if (fs::is_regular_file(root)) {
+      ++files_scanned;
+      scan_file(root, pattern, findings);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file() || !is_header(entry.path())) continue;
+      ++files_scanned;
+      scan_file(entry.path(), pattern, findings);
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::cerr << f.file << ":" << f.line << ": raw double '" << f.name
+              << "' has a unit-suffixed name; use the typed quantity from "
+                 "rme/core/units.hpp or add '// rme-lint: allow(reason)'\n"
+              << "    " << f.text << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "rme_lint: " << findings.size() << " finding(s) across "
+              << files_scanned << " header(s)\n";
+    return 1;
+  }
+  std::cout << "rme_lint: clean (" << files_scanned << " headers scanned)\n";
+  return 0;
+}
