@@ -82,12 +82,14 @@ std::vector<sim::KernelDesc> sweep(const MachineParams& m, Precision p) {
 // per-kernel median.
 std::vector<fit::EnergySample> collect(const power::MeasurementSession& sp,
                                        const power::MeasurementSession& dp,
-                                       power::SessionQuality* quality) {
+                                       power::SessionQuality* quality,
+                                       unsigned jobs) {
   std::vector<fit::EnergySample> samples;
   for (const power::MeasurementSession* session : {&sp, &dp}) {
     const Precision prec =
         session == &sp ? Precision::kSingle : Precision::kDouble;
-    for (const auto& r : session->measure_sweep(sweep(presets::i7_950(prec), prec))) {
+    for (const auto& r : session->measure_sweep(
+             sweep(presets::i7_950(prec), prec), jobs)) {
       if (quality) {
         quality->reps_retried += r.quality.reps_retried;
         quality->reps_kept_degraded += r.quality.reps_kept_degraded;
@@ -133,7 +135,8 @@ double max_abs_dev(const CoeffSet& f, const CoeffSet& clean) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_heading(
       "Ablation: instrument faults vs. eq. (9) fit (OLS / Huber / OLS+QC)");
 
@@ -151,7 +154,8 @@ int main() {
   // Clean baseline: zero-fault profile, the paper's OLS.
   const auto clean_samples =
       collect(faulty_session(sp, fault_profile(0.0), false),
-              faulty_session(dp, fault_profile(0.0), false), nullptr);
+              faulty_session(dp, fault_profile(0.0), false), nullptr,
+              args.jobs);
   const CoeffSet clean =
       coeffs(fit::fit_energy_coefficients(clean_samples, ols_opts));
   std::cout << "Clean-run OLS baseline (Intel i7-950, per-rep tuples):\n"
@@ -175,13 +179,15 @@ int main() {
     const auto label_s = report::fmt(100.0 * profile.spike_rate, 3);
 
     const auto raw = collect(faulty_session(sp, profile, false),
-                             faulty_session(dp, profile, false), nullptr);
+                             faulty_session(dp, profile, false), nullptr,
+                             args.jobs);
     const CoeffSet ols_c = coeffs(fit::fit_energy_coefficients(raw, ols_opts));
     const CoeffSet hub_c = coeffs(fit::fit_energy_coefficients(raw, huber));
 
     power::SessionQuality qc_quality;
     const auto qc = collect(faulty_session(sp, profile, true),
-                            faulty_session(dp, profile, true), &qc_quality);
+                            faulty_session(dp, profile, true), &qc_quality,
+                            args.jobs);
     const CoeffSet qc_c = coeffs(fit::fit_energy_coefficients(qc, ols_opts));
 
     const auto row = [&](const char* estimator, const CoeffSet& c) {

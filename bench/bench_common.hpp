@@ -4,12 +4,41 @@
 // PowerMon sessions) used by the Fig. 4 / Table IV / Fig. 5 benches.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "rme/rme.hpp"
 
 namespace rme::bench {
+
+/// Shared bench harness flags.
+///
+///   --jobs N   parallelize the bench's sweep over an rme::exec pool
+///              (0 = hardware concurrency; default 1 = serial).  All
+///              sweeps are deterministic: any N prints the same bytes.
+///   --csv PATH additionally emit the sweep's numbers as CSV (goldens
+///              under tests/golden/ pin this output).
+struct BenchArgs {
+  unsigned jobs = 1;
+  std::string csv_path;  ///< Empty: no CSV emission.
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N] [--csv PATH]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
 
 /// A platform under test: machine ground truth plus the achieved
 /// fractions §IV-B reports for tuned kernels on it.

@@ -8,8 +8,14 @@
 // repetitions per point on the simulated machine (achieved-fraction
 // derating + GTX 580 board power cap + 1% run noise), 128 Hz PowerMon
 // sampling summed over the interposer rails.
+//
+// --jobs N runs each subplot's kernel sweep on an rme::exec pool; the
+// printed table (and --csv output) is bit-identical for every N, which
+// tests/golden/bench_fig4_intensity_sweep.csv pins.
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 
@@ -17,7 +23,8 @@ using namespace rme;
 
 namespace {
 
-void run_subplot(const bench::Platform& platform, Precision prec) {
+void run_subplot(const bench::Platform& platform, Precision prec,
+                 unsigned jobs, report::CsvWriter* csv) {
   const MachineParams& m = platform.machine;
   bench::print_heading(std::string("Fig. 4 subplot: ") + platform.label);
 
@@ -30,33 +37,55 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
 
   const auto session = bench::make_session(platform);
   const auto kernels = bench::fig4_sweep(prec);
+  const auto results = session.measure_sweep(kernels, jobs);
 
   report::Table t({"I (flop:B)", "time: measured", "time: model",
                    "energy: measured", "energy: model", "capped"});
-  for (const auto& kernel : kernels) {
-    const power::SessionResult r = session.measure(kernel);
-    const double i = kernel.intensity();
+  for (const power::SessionResult& r : results) {
+    const double i = r.kernel.intensity();
     // Normalized speed: achieved flops over platform peak.
     const double meas_speed =
-        kernel.flops / r.seconds.median / m.peak_flops().value();
-    const double meas_eff = kernel.flops / r.joules.median /
+        r.kernel.flops / r.seconds.median / m.peak_flops().value();
+    const double meas_eff = r.kernel.flops / r.joules.median /
                             m.peak_flops_per_joule().value();
     t.add_row({report::fmt(i, 4), report::fmt(meas_speed, 3),
                report::fmt(normalized_speed(m, i), 3),
                report::fmt(meas_eff, 3),
                report::fmt(normalized_efficiency(m, i), 3),
                r.any_capped ? "yes" : ""});
+    if (csv) {
+      csv->write_row({platform.label, report::fmt(i, 4),
+                      report::fmt(meas_speed, 3),
+                      report::fmt(normalized_speed(m, i), 3),
+                      report::fmt(meas_eff, 3),
+                      report::fmt(normalized_efficiency(m, i), 3),
+                      r.any_capped ? "yes" : "no"});
+    }
   }
   t.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
-  run_subplot(bench::gtx580_platform(Precision::kDouble), Precision::kDouble);
-  run_subplot(bench::i7_950_platform(Precision::kDouble), Precision::kDouble);
-  run_subplot(bench::gtx580_platform(Precision::kSingle), Precision::kSingle);
-  run_subplot(bench::i7_950_platform(Precision::kSingle), Precision::kSingle);
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  std::ofstream csv_file;
+  std::unique_ptr<report::CsvWriter> csv;
+  if (!args.csv_path.empty()) {
+    csv_file.open(args.csv_path);
+    csv = std::make_unique<report::CsvWriter>(csv_file);
+    csv->write_row({"platform", "intensity", "time_measured", "time_model",
+                    "energy_measured", "energy_model", "capped"});
+  }
+
+  run_subplot(bench::gtx580_platform(Precision::kDouble), Precision::kDouble,
+              args.jobs, csv.get());
+  run_subplot(bench::i7_950_platform(Precision::kDouble), Precision::kDouble,
+              args.jobs, csv.get());
+  run_subplot(bench::gtx580_platform(Precision::kSingle), Precision::kSingle,
+              args.jobs, csv.get());
+  run_subplot(bench::i7_950_platform(Precision::kSingle), Precision::kSingle,
+              args.jobs, csv.get());
 
   std::cout
       << "\nPaper shape checks reproduced:\n"

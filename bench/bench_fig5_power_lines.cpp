@@ -12,7 +12,8 @@ using namespace rme;
 
 namespace {
 
-void run_subplot(const bench::Platform& platform, Precision prec) {
+void run_subplot(const bench::Platform& platform, Precision prec,
+                 unsigned jobs) {
   const MachineParams& m = platform.machine;
   bench::print_heading(std::string("Fig. 5 subplot: ") + platform.label);
 
@@ -29,9 +30,9 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
   const auto session = bench::make_session(platform);
   report::Table t({"I (flop:B)", "measured W", "model W",
                    "measured/(flop+const)", "model/(flop+const)", "capped"});
-  for (const auto& kernel : bench::fig4_sweep(prec)) {
-    const power::SessionResult r = session.measure(kernel);
-    const double i = kernel.intensity();
+  for (const power::SessionResult& r :
+       session.measure_sweep(bench::fig4_sweep(prec), jobs)) {
+    const double i = r.kernel.intensity();
     t.add_row({report::fmt(i, 4), report::fmt(r.watts.median, 4),
                report::fmt(average_power(m, i).value(), 4),
                report::fmt(r.watts.median / norm, 3),
@@ -44,11 +45,16 @@ void run_subplot(const bench::Platform& platform, Precision prec) {
 
 }  // namespace
 
-int main() {
-  run_subplot(bench::gtx580_platform(Precision::kDouble), Precision::kDouble);
-  run_subplot(bench::i7_950_platform(Precision::kDouble), Precision::kDouble);
-  run_subplot(bench::gtx580_platform(Precision::kSingle), Precision::kSingle);
-  run_subplot(bench::i7_950_platform(Precision::kSingle), Precision::kSingle);
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  run_subplot(bench::gtx580_platform(Precision::kDouble), Precision::kDouble,
+              args.jobs);
+  run_subplot(bench::i7_950_platform(Precision::kDouble), Precision::kDouble,
+              args.jobs);
+  run_subplot(bench::gtx580_platform(Precision::kSingle), Precision::kSingle,
+              args.jobs);
+  run_subplot(bench::i7_950_platform(Precision::kSingle), Precision::kSingle,
+              args.jobs);
 
   std::cout << "Shape checks: power peaks at I = B_tau in every subplot; "
                "the GTX 580 single-\nprecision measured points clip at the "

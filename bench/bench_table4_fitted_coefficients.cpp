@@ -4,7 +4,9 @@
 // exactly as §IV instantiated the model (fitted because manufacturers
 // publish no energy specs).
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 
@@ -13,13 +15,13 @@ using namespace rme;
 namespace {
 
 fit::EnergyFit fit_platform(const bench::Platform& sp,
-                            const bench::Platform& dp) {
+                            const bench::Platform& dp, unsigned jobs) {
   std::vector<fit::EnergySample> samples;
   for (const bench::Platform* platform : {&sp, &dp}) {
     const Precision prec = platform == &sp ? Precision::kSingle
                                            : Precision::kDouble;
     const auto session = bench::make_session(*platform, 25);
-    for (const auto& r : session.measure_sweep(bench::fig4_sweep(prec))) {
+    for (const auto& r : session.measure_sweep(bench::fig4_sweep(prec), jobs)) {
       fit::EnergySample s;
       s.flops = r.kernel.flops;
       s.bytes = r.kernel.bytes;
@@ -33,7 +35,23 @@ fit::EnergyFit fit_platform(const bench::Platform& sp,
 }
 
 void print_fit(const char* label, const fit::EnergyFit& f, double eps_s,
-               double eps_d, double eps_mem, double pi0) {
+               double eps_d, double eps_mem, double pi0,
+               report::CsvWriter* csv) {
+  if (csv) {
+    const auto cell = [&](const char* name, double fitted, double p_value) {
+      csv->write_row({label, name, report::fmt(fitted, 4),
+                      report::fmt(p_value, 2),
+                      report::fmt(f.regression.r_squared, 6)});
+    };
+    cell("eps_s_pJ_per_flop", f.coefficients.eps_single.value() / kPico,
+         f.regression.by_name("eps_s").p_value);
+    cell("eps_d_pJ_per_flop", f.coefficients.eps_double().value() / kPico,
+         f.regression.by_name("delta_eps_d").p_value);
+    cell("eps_mem_pJ_per_byte", f.coefficients.eps_mem.value() / kPico,
+         f.regression.by_name("eps_mem").p_value);
+    cell("pi0_W", f.coefficients.const_power.value(),
+         f.regression.by_name("pi0").p_value);
+  }
   std::cout << label << "\n";
   report::Table t({"Coefficient", "Paper (Table IV)", "Fitted here",
                    "p-value"});
@@ -57,7 +75,17 @@ void print_fit(const char* label, const fit::EnergyFit& f, double eps_s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  std::ofstream csv_file;
+  std::unique_ptr<report::CsvWriter> csv;
+  if (!args.csv_path.empty()) {
+    csv_file.open(args.csv_path);
+    csv = std::make_unique<report::CsvWriter>(csv_file);
+    csv->write_row({"platform", "coefficient", "fitted", "p_value",
+                    "r_squared"});
+  }
+
   bench::print_heading("Table IV: fitted energy coefficients (eq. 9)");
 
   // NOTE: the GTX 580 single-precision sweep crosses the 244 W board
@@ -66,14 +94,15 @@ int main() {
   // the authors fit through.
   const fit::EnergyFit gpu =
       fit_platform(bench::gtx580_platform(Precision::kSingle),
-                   bench::gtx580_platform(Precision::kDouble));
+                   bench::gtx580_platform(Precision::kDouble), args.jobs);
   print_fit("NVIDIA GTX 580 (GPU-only power):", gpu, 99.7, 212.0, 513.0,
-            122.0);
+            122.0, csv.get());
 
   const fit::EnergyFit cpu =
       fit_platform(bench::i7_950_platform(Precision::kSingle),
-                   bench::i7_950_platform(Precision::kDouble));
-  print_fit("Intel Core i7-950 (desktop):", cpu, 371.0, 670.0, 795.0, 122.0);
+                   bench::i7_950_platform(Precision::kDouble), args.jobs);
+  print_fit("Intel Core i7-950 (desktop):", cpu, 371.0, 670.0, 795.0, 122.0,
+            csv.get());
 
   return 0;
 }

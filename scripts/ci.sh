@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI driver: build and test the repository twice — a plain release build
-# (warnings-as-errors) and an ASan+UBSan build (RME_SANITIZE=ON) —
+# CI driver: build and test the repository three times — a plain release
+# build (warnings-as-errors), an ASan+UBSan build (RME_SANITIZE=ON), and
+# a TSan build (RME_SANITIZE=thread) running the threaded suites —
 # failing on any test failure, sanitizer report, warning, or
 # dimensional-safety lint finding.
 set -euo pipefail
@@ -33,4 +34,18 @@ cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
 echo
-echo "CI OK: plain (Werror), lint, and sanitized suites passed."
+echo "=== sanitized build (TSan) ==="
+# Races hide in the rme::exec pool and its call sites, so TSan runs the
+# suites that actually spawn workers: the pool itself, the parallel
+# bootstrap, the threaded session sweep, and the threaded FMM variants.
+# Bench and examples are serial deliverables already covered above.
+cmake -B build-tsan -G Ninja -DRME_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
+      -DRME_BUILD_BENCH=OFF -DRME_BUILD_EXAMPLES=OFF
+cmake --build build-tsan --target test_exec test_bootstrap test_ubench \
+      test_session test_fmm_kernels
+for t in test_exec test_bootstrap test_ubench test_session test_fmm_kernels; do
+  ./build-tsan/tests/"$t"
+done
+
+echo
+echo "CI OK: plain (Werror), lint, ASan+UBSan, and TSan suites passed."

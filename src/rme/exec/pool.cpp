@@ -1,0 +1,108 @@
+#include "rme/exec/pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace rme::exec {
+
+unsigned hardware_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned resolve_jobs(unsigned jobs) noexcept {
+  return jobs == 0 ? hardware_jobs() : jobs;
+}
+
+ThreadPool::ThreadPool(unsigned jobs) {
+  const unsigned n = resolve_jobs(jobs);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Workers claim indices from a shared counter: the *assignment* of
+  // indices to threads is scheduling-dependent, but each index runs
+  // exactly once and writes only its own outputs, so results are not.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const unsigned tasks =
+      static_cast<unsigned>(std::min<std::size_t>(jobs(), n));
+  for (unsigned t = 0; t < tasks; ++t) {
+    submit([next, n, &body] {
+      for (std::size_t i = (*next)++; i < n; i = (*next)++) {
+        body(i);
+      }
+    });
+  }
+  wait();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  unsigned jobs) {
+  if (n == 0) return;
+  if (resolve_jobs(jobs) <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(resolve_jobs(jobs));
+  pool.parallel_for(n, body);
+}
+
+}  // namespace rme::exec

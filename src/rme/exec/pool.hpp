@@ -1,0 +1,145 @@
+#pragma once
+// rme::exec — deterministic parallel sweep substrate.
+//
+// Every sweep in this repository (bootstrap resamples, intensity grids,
+// FMM variant populations) is a map over an index range whose tasks are
+// independent and seeded.  This module provides exactly that shape:
+//
+//   * ThreadPool         — a small work-queue pool (mutex + condvar);
+//   * parallel_for/map   — index-space primitives that claim indices
+//                          from a shared atomic counter and write each
+//                          result to its own slot, so the output is a
+//                          pure function of the index — independent of
+//                          thread count and scheduling order;
+//   * derive_seed        — the seeding contract: task r of a sweep with
+//                          base seed s draws from derive_seed(s, r), a
+//                          splitmix-style mix of (s, r).  No task ever
+//                          shares or advances another task's stream, so
+//                          inserting, removing, or reordering tasks
+//                          leaves every other task's draws untouched.
+//
+// Determinism guarantee: for the same (n, base seed) a parallel_map is
+// bit-identical at jobs = 1, 2, 7, hardware_concurrency(), ... — the
+// tests assert this and the benches' golden files rely on it.
+//
+// jobs == 1 runs inline on the caller's thread (no pool is created);
+// jobs == 0 means "use the hardware concurrency".
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rme::exec {
+
+/// SplitMix64 finalizer-style mixer (Steele et al.); bijective on u64.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The per-task seeding contract: the RNG seed for task `task_index` of
+/// a sweep with `base_seed`.  Double-mixed so that neither nearby seeds
+/// nor nearby indices produce correlated streams.
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t base_seed, std::uint64_t task_index) noexcept {
+  return mix64(mix64(base_seed) ^ mix64(task_index ^ 0xd1b54a32d192ed03ULL));
+}
+
+/// max(1, std::thread::hardware_concurrency()).
+[[nodiscard]] unsigned hardware_jobs() noexcept;
+
+/// Resolves a --jobs style request: 0 → hardware_jobs(), else the value.
+[[nodiscard]] unsigned resolve_jobs(unsigned jobs) noexcept;
+
+/// A fixed-size work-queue thread pool.  Tasks are arbitrary closures;
+/// submission order is FIFO, execution order is unspecified — callers
+/// that need deterministic *results* must make each task write to its
+/// own output slot (which is what parallel_for/parallel_map do).
+class ThreadPool {
+ public:
+  /// Spawns `resolve_jobs(jobs)` workers.  A 1-worker pool still runs
+  /// tasks on its worker thread; use the free parallel_* functions if
+  /// you want jobs == 1 to mean "inline on the caller".
+  explicit ThreadPool(unsigned jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task.  Exceptions escaping the task are captured; the
+  /// first one is rethrown from the next wait() call.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first captured task exception, if any.
+  void wait();
+
+  /// Runs body(i) for i in [0, n) across the pool's workers and blocks
+  /// until every index completed.  Indices are claimed from a shared
+  /// atomic counter, so the partition adapts to load while each index
+  /// is executed exactly once.  The first exception is rethrown after
+  /// all workers have drained.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs body(i) for i in [0, n).  jobs <= 1 runs inline on the caller's
+/// thread; otherwise a transient pool of resolve_jobs(jobs) workers is
+/// used.  Rethrows the first exception a body raised.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  unsigned jobs = 1);
+
+/// Maps fn over [0, n) into a vector indexed by task: out[i] = fn(i).
+/// The result type must be default-constructible and must not be bool
+/// (std::vector<bool> slots are not independently writable).  Because
+/// each slot is written exactly once by its own task, the result is
+/// bit-identical for every jobs value.
+template <class Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn, unsigned jobs = 1)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  static_assert(!std::is_same_v<R, bool>,
+                "parallel_map cannot target std::vector<bool>");
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, jobs);
+  return out;
+}
+
+/// Maps fn over a vector of items: out[i] = fn(items[i]).
+template <class T, class Fn>
+[[nodiscard]] auto parallel_map_items(const std::vector<T>& items, Fn&& fn,
+                                      unsigned jobs = 1) {
+  return parallel_map(
+      items.size(), [&](std::size_t i) { return fn(items[i]); }, jobs);
+}
+
+}  // namespace rme::exec

@@ -1,9 +1,11 @@
 #include "rme/fit/bootstrap.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
+#include "rme/exec/pool.hpp"
 #include "rme/fit/linalg.hpp"
 #include "rme/sim/noise.hpp"
 
@@ -13,36 +15,69 @@ double energy_balance_statistic(const EnergyCoefficients& c) {
   return (c.eps_mem / c.eps_double()).value();
 }
 
-BootstrapEstimate bootstrap_energy_fit(
-    const std::vector<EnergySample>& samples,
-    const std::function<double(const EnergyCoefficients&)>& statistic,
-    std::size_t resamples, std::uint64_t seed, double confidence) {
+std::vector<std::size_t> bootstrap_draw_indices(std::size_t sample_count,
+                                                std::uint64_t seed,
+                                                std::size_t resample) {
+  // One stream per resample (see the header's seeding contract): the
+  // previous implementation threaded a single salt counter through all
+  // resamples, so inserting or removing one resample perturbed every
+  // subsequent draw — and serialized the loop.
+  const rme::sim::NoiseModel rng(exec::derive_seed(seed, resample), 0.0);
+  std::vector<std::size_t> indices(sample_count);
+  std::uint64_t salt = 0;
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform(++salt) * static_cast<double>(sample_count));
+    indices[i] = std::min(idx, sample_count - 1);
+  }
+  return indices;
+}
+
+namespace {
+
+/// One resample's refit, or failure (rank-deficient draw).
+struct RefitOutcome {
+  EnergyCoefficients coefficients;
+  bool ok = false;
+};
+
+/// Runs the resample/refit sweep; outcome r is a pure function of
+/// (samples, seed, r), so any `jobs` value yields identical outcomes.
+std::vector<RefitOutcome> refit_resamples(
+    const std::vector<EnergySample>& samples, const EnergyFitOptions& options,
+    std::size_t resamples, std::uint64_t seed, unsigned jobs) {
   if (samples.size() < 8) {
     throw std::invalid_argument(
         "bootstrap_energy_fit: need at least 8 samples");
   }
-  const rme::sim::NoiseModel rng(seed, 0.0);
+  return exec::parallel_map(
+      resamples,
+      [&](std::size_t r) -> RefitOutcome {
+        const std::vector<std::size_t> indices =
+            bootstrap_draw_indices(samples.size(), seed, r);
+        std::vector<EnergySample> draw(samples.size());
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+          draw[i] = samples[indices[i]];
+        }
+        try {
+          return RefitOutcome{
+              fit_energy_coefficients(draw, options).coefficients, true};
+        } catch (const std::invalid_argument&) {
+          return RefitOutcome{};  // e.g. a draw with one precision only
+        } catch (const SingularMatrixError&) {
+          return RefitOutcome{};
+        }
+      },
+      jobs);
+}
 
+/// Reduces one statistic's per-resample values (in resample order, so
+/// the floating-point sums match the serial run bit-for-bit).
+BootstrapEstimate summarize_bootstrap(std::vector<double> values,
+                                      std::size_t failures,
+                                      double confidence) {
   BootstrapEstimate est;
-  std::vector<double> values;
-  values.reserve(resamples);
-  std::vector<EnergySample> draw(samples.size());
-  std::uint64_t salt = 0;
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      const auto idx = static_cast<std::size_t>(
-          rng.uniform(++salt) * static_cast<double>(samples.size()));
-      draw[i] = samples[std::min(idx, samples.size() - 1)];
-    }
-    try {
-      const EnergyFit fit = fit_energy_coefficients(draw);
-      values.push_back(statistic(fit.coefficients));
-    } catch (const std::invalid_argument&) {
-      ++est.failures;  // e.g. a draw with one precision only
-    } catch (const SingularMatrixError&) {
-      ++est.failures;
-    }
-  }
+  est.failures = failures;
   est.resamples = values.size();
   if (values.empty()) return est;
 
@@ -66,6 +101,58 @@ BootstrapEstimate bootstrap_energy_fit(
   est.ci_lo = pick(alpha);
   est.ci_hi = pick(1.0 - alpha);
   return est;
+}
+
+}  // namespace
+
+BootstrapEstimate bootstrap_energy_fit(
+    const std::vector<EnergySample>& samples,
+    const std::function<double(const EnergyCoefficients&)>& statistic,
+    std::size_t resamples, std::uint64_t seed, double confidence,
+    unsigned jobs) {
+  const std::vector<RefitOutcome> outcomes =
+      refit_resamples(samples, EnergyFitOptions{}, resamples, seed, jobs);
+  std::vector<double> values;
+  values.reserve(resamples);
+  std::size_t failures = 0;
+  for (const RefitOutcome& o : outcomes) {
+    if (o.ok) {
+      values.push_back(statistic(o.coefficients));
+    } else {
+      ++failures;
+    }
+  }
+  return summarize_bootstrap(std::move(values), failures, confidence);
+}
+
+CoefficientCis bootstrap_coefficient_cis(
+    const std::vector<EnergySample>& samples, const EnergyFitOptions& options,
+    std::size_t resamples, std::uint64_t seed, double confidence,
+    unsigned jobs) {
+  const std::vector<RefitOutcome> outcomes =
+      refit_resamples(samples, options, resamples, seed, jobs);
+  std::array<std::vector<double>, 4> values;
+  for (auto& v : values) v.reserve(resamples);
+  std::size_t failures = 0;
+  for (const RefitOutcome& o : outcomes) {
+    if (!o.ok) {
+      ++failures;
+      continue;
+    }
+    values[0].push_back(o.coefficients.eps_single.value());
+    values[1].push_back(o.coefficients.eps_double().value());
+    values[2].push_back(o.coefficients.eps_mem.value());
+    values[3].push_back(o.coefficients.const_power.value());
+  }
+  CoefficientCis cis;
+  cis.eps_single =
+      summarize_bootstrap(std::move(values[0]), failures, confidence);
+  cis.eps_double =
+      summarize_bootstrap(std::move(values[1]), failures, confidence);
+  cis.eps_mem = summarize_bootstrap(std::move(values[2]), failures, confidence);
+  cis.const_power =
+      summarize_bootstrap(std::move(values[3]), failures, confidence);
+  return cis;
 }
 
 }  // namespace rme::fit

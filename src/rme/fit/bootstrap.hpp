@@ -7,6 +7,12 @@
 // with replacement, refit, and read the dispersion of the refitted
 // quantities.  Deterministic given the seed, like everything else in
 // this library.
+//
+// Seeding contract (rme::exec): resample r draws its indices from an
+// RNG seeded with exec::derive_seed(seed, r).  Each resample owns its
+// stream, so (a) adding or removing resamples never perturbs the draws
+// of the others, and (b) the resample loop parallelizes with results
+// bit-identical to the serial run at any `jobs` value.
 
 #include <cstdint>
 #include <functional>
@@ -26,16 +32,38 @@ struct BootstrapEstimate {
   std::size_t failures = 0;  ///< Resamples whose refit was singular.
 };
 
+/// The with-replacement index draw of resample `r`: sample_count indices
+/// into the observation set, a pure function of (sample_count, seed, r).
+/// Exposed so tests can pin the exact sequence the estimator consumes.
+[[nodiscard]] std::vector<std::size_t> bootstrap_draw_indices(
+    std::size_t sample_count, std::uint64_t seed, std::size_t resample);
+
 /// Bootstrap a scalar functional of the energy fit.  `statistic` maps a
 /// fitted coefficient set to the quantity of interest (e.g. B_ε).
 /// `confidence` sets the percentile interval (default 95%).  Resamples
 /// that fail to fit (rank-deficient draws, e.g. all-one-precision) are
-/// skipped and counted.
+/// skipped and counted.  `jobs` parallelizes the resample loop (0 =
+/// hardware concurrency); the result is bit-identical for every value.
 [[nodiscard]] BootstrapEstimate bootstrap_energy_fit(
     const std::vector<EnergySample>& samples,
     const std::function<double(const EnergyCoefficients&)>& statistic,
     std::size_t resamples = 200, std::uint64_t seed = 1,
-    double confidence = 0.95);
+    double confidence = 0.95, unsigned jobs = 1);
+
+/// Bootstrap CIs for all four eq. (9) coefficients at once (one shared
+/// resample/refit pass, amortized across the statistics).  Used by
+/// `rme_cli fit --bootstrap`.
+struct CoefficientCis {
+  BootstrapEstimate eps_single;   ///< ε_s  [J/flop].
+  BootstrapEstimate eps_double;   ///< ε_d = ε_s + Δε_d [J/flop].
+  BootstrapEstimate eps_mem;      ///< ε_mem [J/byte].
+  BootstrapEstimate const_power;  ///< π_0 [W].
+};
+
+[[nodiscard]] CoefficientCis bootstrap_coefficient_cis(
+    const std::vector<EnergySample>& samples,
+    const EnergyFitOptions& options, std::size_t resamples = 200,
+    std::uint64_t seed = 1, double confidence = 0.95, unsigned jobs = 1);
 
 /// Convenience statistic: the double-precision energy balance.
 [[nodiscard]] double energy_balance_statistic(const EnergyCoefficients& c);

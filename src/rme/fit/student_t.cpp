@@ -3,9 +3,21 @@
 #include <cmath>
 #include <stdexcept>
 
+// glibc's lgamma writes the global `signgam`, which races when fits run
+// concurrently on the exec pool; lgamma_r takes the sign out-param
+// instead.  Declared here because strict -std=c++20 hides it.
+extern "C" double lgamma_r(double, int*);
+
 namespace rme::fit {
 
 namespace {
+
+/// Thread-safe log-gamma (all call sites pass positive arguments, so
+/// the sign is always +1 and can be dropped).
+double lgamma_safe(double v) {
+  int sign = 0;
+  return ::lgamma_r(v, &sign);
+}
 
 /// Continued-fraction evaluation of the incomplete beta (Lentz's method,
 /// as in standard numerical references).
@@ -55,8 +67,8 @@ double regularized_incomplete_beta(double a, double b, double x) {
   }
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
-                          std::lgamma(b) + a * std::log(x) +
+  const double ln_front = lgamma_safe(a + b) - lgamma_safe(a) -
+                          lgamma_safe(b) + a * std::log(x) +
                           b * std::log1p(-x);
   const double front = std::exp(ln_front);
   // Use the continued fraction directly when it converges fast, else the

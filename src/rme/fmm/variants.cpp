@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
+#include "rme/exec/pool.hpp"
 #include "rme/ubench/timer.hpp"
 
 namespace rme::fmm {
@@ -155,19 +155,20 @@ void ulist_engine(const Octree& tree, const UList& ulist, int block,
                                       get_y, get_z, get_q, phi);
     return;
   }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
+  // Same static partition as the old ad-hoc thread vector; each chunk
+  // writes a disjoint phi range, so the potentials are bit-identical to
+  // the serial evaluation regardless of worker count or scheduling.
   const std::size_t chunk = (num_leaves + threads - 1) / threads;
-  for (unsigned w = 0; w < threads; ++w) {
-    const std::size_t begin = w * chunk;
-    if (begin >= num_leaves) break;
-    const std::size_t end = std::min(begin + chunk, num_leaves);
-    pool.emplace_back([&, begin, end] {
-      ulist_engine_leafrange<T, Unroll>(tree, ulist, begin, end, block, get_x,
-                                        get_y, get_z, get_q, phi);
-    });
-  }
-  for (std::thread& th : pool) th.join();
+  const std::size_t num_chunks = (num_leaves + chunk - 1) / chunk;
+  rme::exec::parallel_for(
+      num_chunks,
+      [&](std::size_t w) {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(begin + chunk, num_leaves);
+        ulist_engine_leafrange<T, Unroll>(tree, ulist, begin, end, block,
+                                          get_x, get_y, get_z, get_q, phi);
+      },
+      threads);
 }
 
 template <class T, int Unroll>

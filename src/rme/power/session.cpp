@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "rme/core/units.hpp"
+#include "rme/exec/pool.hpp"
 #include "rme/fit/robust.hpp"
 #include "rme/sim/noise.hpp"
 
@@ -216,13 +217,10 @@ SessionResult MeasurementSession::measure_qc(
 }
 
 std::vector<SessionResult> MeasurementSession::measure_sweep(
-    const std::vector<rme::sim::KernelDesc>& kernels) const {
-  std::vector<SessionResult> results;
-  results.reserve(kernels.size());
-  for (const rme::sim::KernelDesc& k : kernels) {
-    results.push_back(measure(k));
-  }
-  return results;
+    const std::vector<rme::sim::KernelDesc>& kernels, unsigned jobs) const {
+  return rme::exec::parallel_map_items(
+      kernels, [this](const rme::sim::KernelDesc& k) { return measure(k); },
+      jobs);
 }
 
 }  // namespace rme::power

@@ -110,9 +110,15 @@ class MeasurementSession {
 
   [[nodiscard]] SessionResult measure(const rme::sim::KernelDesc& kernel) const;
 
-  /// Convenience: measure a whole intensity sweep.
+  /// Convenience: measure a whole intensity sweep.  `jobs` spreads the
+  /// kernels over an rme::exec pool (0 = hardware concurrency).  Each
+  /// kernel's measurement is a pure function of (session config,
+  /// kernel) — all RNG salts derive from the kernel and repetition, not
+  /// from sweep order — so the results are bit-identical to the serial
+  /// sweep at any jobs value.
   [[nodiscard]] std::vector<SessionResult> measure_sweep(
-      const std::vector<rme::sim::KernelDesc>& kernels) const;
+      const std::vector<rme::sim::KernelDesc>& kernels,
+      unsigned jobs = 1) const;
 
   [[nodiscard]] const rme::sim::Executor& executor() const noexcept {
     return executor_;

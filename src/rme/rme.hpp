@@ -5,6 +5,8 @@
 //
 //   rme::        — the analytic model (machine params, rooflines, arch
 //                  lines, power lines, trade-offs, extensions)
+//   rme::exec    — deterministic parallel sweep engine (thread pool,
+//                  parallel_for/map, per-task seed derivation)
 //   rme::sim     — the machine/cache simulator substrate
 //   rme::power   — PowerMon 2 / PCIe interposer / RAPL measurement stack
 //   rme::fit     — OLS regression and the eq. (9)/§V-C fitting pipelines
@@ -29,6 +31,7 @@
 #include "rme/core/rooflines.hpp"
 #include "rme/core/tradeoff.hpp"
 #include "rme/core/units.hpp"
+#include "rme/exec/pool.hpp"
 #include "rme/fit/bootstrap.hpp"
 #include "rme/fit/cache_fit.hpp"
 #include "rme/fit/dataset.hpp"

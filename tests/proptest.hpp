@@ -1,0 +1,84 @@
+#pragma once
+// Property-based test harness: seeded generators for random *valid*
+// model inputs.
+//
+// Each generator is a pure function of the Rng state, which is itself a
+// splitmix64 stream — so a failing case is reproduced exactly by its
+// (seed, case index), printed by RME_PROP_CASE below.  Ranges span the
+// physically plausible envelope around the paper's platforms (Table
+// III: GFLOP/s–TFLOP/s machines, GB/s–hundreds of GB/s memory, pJ-scale
+// per-op energies, up to a few hundred watts of constant power) plus an
+// order of magnitude on each side, so the identities are exercised well
+// beyond the two fitted machines.
+
+#include <cmath>
+#include <cstdint>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+#include "rme/exec/pool.hpp"
+
+namespace rme::proptest {
+
+/// Deterministic generator over a splitmix64 stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() { return exec::mix64(state_++); }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Log-uniform in [lo, hi] — the natural measure for rates, energies,
+  /// and intensities that span decades.
+  double log_uniform(double lo, double hi) {
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+  }
+
+  Precision precision() {
+    return (next_u64() & 1u) == 0 ? Precision::kSingle : Precision::kDouble;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A random valid machine: every coefficient positive and finite, π_0
+/// possibly zero (the paper's idealized no-constant-power machine).
+inline MachineParams random_machine(Rng& rng) {
+  MachineParams m;
+  m.name = "prop";
+  m.time_per_flop = TimePerFlop{rng.log_uniform(1e-13, 1e-9)};
+  m.time_per_byte = TimePerByte{rng.log_uniform(1e-12, 1e-8)};
+  m.energy_per_flop = EnergyPerFlop{rng.log_uniform(1e-12, 1e-9)};
+  m.energy_per_byte = EnergyPerByte{rng.log_uniform(1e-12, 1e-8)};
+  // 1-in-8 machines are the π_0 = 0 ideal, where B̂_ε(I) = B_ε exactly.
+  m.const_power =
+      Watts{(rng.next_u64() & 7u) == 0 ? 0.0 : rng.log_uniform(1.0, 500.0)};
+  return m;
+}
+
+/// A random valid kernel profile: positive work and traffic spanning
+/// intensities from deeply memory-bound to deeply compute-bound.
+inline KernelProfile random_kernel(Rng& rng) {
+  const double intensity = rng.log_uniform(1e-3, 1e4);
+  const double flops = rng.log_uniform(1.0, 1e13);
+  return KernelProfile{flops, flops / intensity};
+}
+
+/// Number of generated cases per property (the ISSUE floor is 1000).
+inline constexpr int kCases = 1000;
+
+/// Base seed for every property suite; each case c uses
+/// exec::derive_seed(kSeed, c) so cases are independent streams.
+inline constexpr std::uint64_t kSeed = 0xC0FFEE;
+
+}  // namespace rme::proptest
+
+/// Attach the reproducing case index to a gtest assertion scope.
+#define RME_PROP_CASE(c) SCOPED_TRACE(::testing::Message() << "case " << (c))

@@ -100,8 +100,63 @@ TEST(Bootstrap, Determinism) {
 }
 
 TEST(Bootstrap, RejectsTinySamples) {
-  EXPECT_THROW(bootstrap_energy_fit({}, energy_balance_statistic),
+  EXPECT_THROW((void)bootstrap_energy_fit({}, energy_balance_statistic),
                std::invalid_argument);
+}
+
+// Regression for the shared-RNG-stream bug: the old implementation
+// threaded one salt counter through all resamples, so adding or
+// removing a resample perturbed every subsequent draw.  Draws are now a
+// pure function of (sample_count, seed, resample index); this pins the
+// exact sequences the estimator consumes under the exec::derive_seed
+// contract.
+TEST(Bootstrap, DrawIndicesPinnedSequence) {
+  const std::vector<std::size_t> r0 = {0, 0, 8, 5, 0, 4, 5, 5, 10, 8, 8, 0};
+  const std::vector<std::size_t> r3 = {6, 2, 1, 10, 10, 10, 4, 7, 10, 6, 1, 4};
+  EXPECT_EQ(bootstrap_draw_indices(12, 42, 0), r0);
+  EXPECT_EQ(bootstrap_draw_indices(12, 42, 3), r3);
+}
+
+TEST(Bootstrap, DrawsAreIndependentPerResample) {
+  // Resample r's draws cannot depend on how many other resamples run —
+  // this is exactly what makes the resample loop order-independent and
+  // hence parallelizable.
+  const auto lone = bootstrap_draw_indices(16, 7, 5);
+  for (std::size_t r = 0; r < 10; ++r) {
+    (void)bootstrap_draw_indices(16, 7, r);
+  }
+  EXPECT_EQ(bootstrap_draw_indices(16, 7, 5), lone);
+  // Distinct resamples get distinct streams.
+  EXPECT_NE(bootstrap_draw_indices(16, 7, 5), bootstrap_draw_indices(16, 7, 6));
+  // All indices are in range.
+  for (std::size_t idx : lone) EXPECT_LT(idx, 16u);
+}
+
+TEST(Bootstrap, ParallelReproducesSerialCiExactly) {
+  const auto samples = noisy_samples(0.02, 5);
+  const BootstrapEstimate serial =
+      bootstrap_energy_fit(samples, energy_balance_statistic, 60, 42, 0.95, 1);
+  const BootstrapEstimate par =
+      bootstrap_energy_fit(samples, energy_balance_statistic, 60, 42, 0.95, 4);
+  EXPECT_EQ(par.mean, serial.mean);
+  EXPECT_EQ(par.std_error, serial.std_error);
+  EXPECT_EQ(par.ci_lo, serial.ci_lo);
+  EXPECT_EQ(par.ci_hi, serial.ci_hi);
+  EXPECT_EQ(par.resamples, serial.resamples);
+}
+
+TEST(Bootstrap, CoefficientCisCoverTruthOnCleanishData) {
+  const auto samples = noisy_samples(0.01, 321);
+  const CoefficientCis cis = bootstrap_coefficient_cis(samples, {}, 80, 9);
+  // GTX 580 ground truth (Table IV): eps_s 99.7 pJ, eps_d 212 pJ,
+  // eps_mem 513 pJ, pi0 122 W.
+  EXPECT_LE(cis.eps_double.ci_lo, 212e-12 * 1.1);
+  EXPECT_GE(cis.eps_double.ci_hi, 212e-12 * 0.9);
+  EXPECT_LE(cis.eps_mem.ci_lo, 513e-12 * 1.1);
+  EXPECT_GE(cis.eps_mem.ci_hi, 513e-12 * 0.9);
+  EXPECT_LE(cis.const_power.ci_lo, 122.0 * 1.1);
+  EXPECT_GE(cis.const_power.ci_hi, 122.0 * 0.9);
+  EXPECT_GT(cis.eps_single.resamples, 60u);
 }
 
 }  // namespace

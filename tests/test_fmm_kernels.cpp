@@ -66,7 +66,7 @@ TEST(Kernels, SelfPairContributesNothing) {
 }
 
 TEST(Kernels, MaxRelativeDifferenceValidation) {
-  EXPECT_THROW(max_relative_difference({1.0}, {1.0, 2.0}),
+  EXPECT_THROW((void)max_relative_difference({1.0}, {1.0, 2.0}),
                std::invalid_argument);
   EXPECT_DOUBLE_EQ(max_relative_difference({2.0, 4.0}, {2.0, 4.0}), 0.0);
   EXPECT_NEAR(max_relative_difference({0.0, 4.0}, {0.0, 4.4}), 0.1, 1e-12);
@@ -123,6 +123,26 @@ TEST(Variants, BlockLargerThanLeafIsClamped) {
 TEST(Variants, LayoutToString) {
   EXPECT_STREQ(to_string(Layout::kAoS), "aos");
   EXPECT_STREQ(to_string(Layout::kSoA), "soa");
+}
+
+TEST(Variants, ThreadedPotentialsBitIdenticalToSerial) {
+  // The threaded path partitions target leaves into disjoint chunks, so
+  // every phi entry is accumulated in the same order regardless of how
+  // many workers run — the result must be bitwise equal, not merely
+  // within tolerance.
+  const Fixture& f = shared_fixture();
+  VariantSpec spec = reference_variant();
+  const VariantResult serial = run_variant(f.tree, f.ulist, spec);
+  for (unsigned threads : {2u, 4u, 7u}) {
+    spec.threads = threads;
+    const VariantResult par = run_variant(f.tree, f.ulist, spec);
+    ASSERT_EQ(par.phi.size(), serial.phi.size());
+    for (std::size_t i = 0; i < serial.phi.size(); ++i) {
+      ASSERT_EQ(par.phi[i], serial.phi[i])
+          << "threads=" << threads << " i=" << i;
+    }
+    EXPECT_DOUBLE_EQ(par.counts.pairs, serial.counts.pairs);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+// Golden-file regression for the bench harness's published numbers:
+// bench_fig4_intensity_sweep and bench_table4_fitted_coefficients emit
+// CSV that must match the checked-in goldens under tests/golden/ byte
+// for byte — at --jobs 1 AND --jobs 4, proving that sweep parallelism
+// never changes a published number.  (Regenerate a golden by running
+// the bench with --csv onto the golden path after an intentional model
+// change.)
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef RME_BENCH_DIR
+#error "RME_BENCH_DIR must be defined by the build"
+#endif
+#ifndef RME_GOLDEN_DIR
+#error "RME_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void check_against_golden(const std::string& bench, unsigned jobs) {
+  const std::string csv =
+      std::string("/tmp/rme_golden_") + bench + "_j" + std::to_string(jobs) +
+      ".csv";
+  const std::string cmd = std::string(RME_BENCH_DIR) + "/" + bench +
+                          " --jobs " + std::to_string(jobs) + " --csv " + csv +
+                          " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  const std::string actual = slurp(csv);
+  const std::string golden =
+      slurp(std::string(RME_GOLDEN_DIR) + "/" + bench + ".csv");
+  EXPECT_FALSE(golden.empty());
+  EXPECT_EQ(actual, golden) << bench << " --jobs " << jobs
+                            << " diverged from tests/golden/" << bench
+                            << ".csv";
+  std::remove(csv.c_str());
+}
+
+TEST(Golden, Fig4IntensitySweepSerial) {
+  check_against_golden("bench_fig4_intensity_sweep", 1);
+}
+
+TEST(Golden, Fig4IntensitySweepParallel) {
+  check_against_golden("bench_fig4_intensity_sweep", 4);
+}
+
+TEST(Golden, Table4FittedCoefficientsSerial) {
+  check_against_golden("bench_table4_fitted_coefficients", 1);
+}
+
+TEST(Golden, Table4FittedCoefficientsParallel) {
+  check_against_golden("bench_table4_fitted_coefficients", 4);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Property-based coverage of the paper's model identities (eqs. 1-6):
+// each property is asserted over proptest::kCases (= 1000) randomly
+// generated valid Machine/KernelProfile instances from a fixed seed.
+// Where the paper states an algebraic identity the test asserts it to
+// floating-point round-off; where it states a shape (monotonicity,
+// continuity, half-peak at the balance fixed point) the test asserts
+// the shape across the whole generated envelope.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "proptest.hpp"
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+
+namespace rme {
+namespace {
+
+using proptest::kCases;
+using proptest::kSeed;
+using proptest::Rng;
+
+/// |a - b| within `rel` of magnitude (plus a denormal-safe floor).
+void expect_rel_near(double a, double b, double rel) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  EXPECT_LE(std::fabs(a - b), rel * scale) << a << " vs " << b;
+}
+
+TEST(Properties, EnergyDecompositionEq2) {
+  // Eq. (2): E = W·ε_flop + Q·ε_mem + π_0·T, with T from eq. (1).
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    const KernelProfile k = proptest::random_kernel(rng);
+    const TimeBreakdown t = predict_time(m, k);
+    const EnergyBreakdown e = predict_energy(m, k);
+    expect_rel_near(e.flops_joules.value(),
+                    (k.work() * m.energy_per_flop).value(), 1e-12);
+    expect_rel_near(e.mem_joules.value(),
+                    (k.traffic() * m.energy_per_byte).value(), 1e-12);
+    expect_rel_near(e.const_joules.value(),
+                    (m.const_power * t.total_seconds).value(), 1e-12);
+    expect_rel_near(
+        e.total_joules.value(),
+        e.flops_joules.value() + e.mem_joules.value() + e.const_joules.value(),
+        1e-12);
+  }
+}
+
+TEST(Properties, TimeOverlapEq1) {
+  // Eq. (1): T = max(W·τ_flop, Q·τ_mem) — overlap, not addition.
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 1000u + static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    const KernelProfile k = proptest::random_kernel(rng);
+    const TimeBreakdown t = predict_time(m, k);
+    expect_rel_near(t.flops_seconds.value(),
+                    (k.work() * m.time_per_flop).value(), 1e-12);
+    expect_rel_near(t.mem_seconds.value(),
+                    (k.traffic() * m.time_per_byte).value(), 1e-12);
+    EXPECT_EQ(t.total_seconds.value(),
+              std::max(t.flops_seconds.value(), t.mem_seconds.value()));
+  }
+}
+
+TEST(Properties, RooflineContinuityAtTimeBalance) {
+  // Eq. (3)'s normalized form min(1, I/B_τ) is continuous at B_τ and
+  // saturates at exactly 1 there.
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 2000u + static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    const double b = m.time_balance();
+    expect_rel_near(normalized_speed(m, b), 1.0, 1e-9);
+    expect_rel_near(normalized_speed(m, b * (1.0 - 1e-9)),
+                    normalized_speed(m, b * (1.0 + 1e-9)), 1e-6);
+  }
+}
+
+TEST(Properties, ArchLineContinuityAndHalfPeakAtFixedPoint) {
+  // The arch line 1/(1 + B̂_ε(I)/I) is continuous at the balance fixed
+  // point and reaches exactly half the peak there (the "true energy-
+  // balance point" annotated on Fig. 4).
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 3000u + static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    const double fixed = m.balance_fixed_point();
+    ASSERT_TRUE(std::isfinite(fixed));
+    ASSERT_GT(fixed, 0.0);
+    // Fixed-point identity B̂_ε(I*) = I*.
+    expect_rel_near(m.effective_energy_balance(fixed), fixed, 1e-6);
+    expect_rel_near(normalized_efficiency(m, fixed), 0.5, 1e-6);
+    expect_rel_near(normalized_efficiency(m, fixed * (1.0 - 1e-9)),
+                    normalized_efficiency(m, fixed * (1.0 + 1e-9)), 1e-6);
+    // π_0 = 0 machines: the fixed point collapses to B_ε exactly.
+    if (m.const_power.value() == 0.0) {
+      expect_rel_near(fixed, m.energy_balance(), 1e-9);
+    }
+  }
+}
+
+TEST(Properties, EfficiencyAndSpeedMonotoneInIntensity) {
+  // More intensity never hurts: both normalized speed (eq. 3) and
+  // normalized energy efficiency (eq. 5) are non-decreasing in I.
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 4000u + static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    double i1 = rng.log_uniform(1e-3, 1e4);
+    double i2 = rng.log_uniform(1e-3, 1e4);
+    if (i1 > i2) std::swap(i1, i2);
+    EXPECT_LE(normalized_speed(m, i1), normalized_speed(m, i2) + 1e-12);
+    EXPECT_LE(normalized_efficiency(m, i1),
+              normalized_efficiency(m, i2) + 1e-12);
+    // Both land in (0, 1].
+    EXPECT_GT(normalized_efficiency(m, i1), 0.0);
+    EXPECT_LE(normalized_efficiency(m, i2), 1.0 + 1e-12);
+    EXPECT_LE(normalized_speed(m, i2), 1.0 + 1e-12);
+  }
+}
+
+TEST(Properties, FromIntensityRoundTrip) {
+  // from_intensity(intensity(k), W) reproduces k, and the round-trip
+  // through a raw intensity is the identity on the intensity itself.
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 5000u + static_cast<std::uint64_t>(c)));
+    const KernelProfile k = proptest::random_kernel(rng);
+    const KernelProfile back =
+        KernelProfile::from_intensity(k.intensity(), k.flops);
+    expect_rel_near(back.flops, k.flops, 1e-12);
+    expect_rel_near(back.bytes, k.bytes, 1e-12);
+    expect_rel_near(back.intensity(), k.intensity(), 1e-12);
+  }
+}
+
+TEST(Properties, EnergyPerWorkIdentityEq9Form) {
+  // The eq. (9) regression's row identity on noise-free model data:
+  //   E/W = ε_flop + ε_mem/I + π_0·(T/W).
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 6000u + static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    const KernelProfile k = proptest::random_kernel(rng);
+    const TimeBreakdown t = predict_time(m, k);
+    const EnergyBreakdown e = predict_energy(m, k);
+    const double lhs = e.total_joules.value() / k.flops;
+    const double rhs = m.energy_per_flop.value() +
+                       m.energy_per_byte.value() / k.intensity() +
+                       m.const_power.value() * t.total_seconds.value() /
+                           k.flops;
+    expect_rel_near(lhs, rhs, 1e-12);
+  }
+}
+
+TEST(Properties, BalanceOrderingImpliesClassificationWindow) {
+  // §II-D: time and energy classifications disagree exactly inside the
+  // open interval between B_τ and the energy fixed point.
+  for (int c = 0; c < kCases; ++c) {
+    RME_PROP_CASE(c);
+    Rng rng(exec::derive_seed(kSeed, 7000u + static_cast<std::uint64_t>(c)));
+    const MachineParams m = proptest::random_machine(rng);
+    const double i = rng.log_uniform(1e-3, 1e4);
+    const bool disagree = time_bound(m, i) != energy_bound(m, i);
+    EXPECT_EQ(classifications_disagree(m, i), disagree);
+  }
+}
+
+}  // namespace
+}  // namespace rme

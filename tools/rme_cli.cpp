@@ -11,16 +11,17 @@
 //       ASCII roofline + arch line over an intensity range.
 //   greenup  <machine> <I> <f> <m>
 //       Work-communication trade-off evaluation (§VII, eq. 10).
-//   fit      <samples.csv> [--huber] [--relative]
+//   fit      <samples.csv> [--huber] [--relative] [--bootstrap N] [--jobs N]
 //       Fit eq. (9) energy coefficients from a measurement CSV
 //       (columns: flops,bytes,seconds,joules,precision).  --huber
 //       switches to the robust IRLS estimator; --relative fits
-//       relative residuals (for multiplicative instrument noise).
-//   faults   <i7|gtx580> [dropout spike [reps]]
+//       relative residuals (for multiplicative instrument noise);
+//       --bootstrap N adds percentile CIs from N resamples.
+//   faults   <i7|gtx580> [dropout spike [reps]] [--jobs N]
 //       Fault-injection study: run the measurement pipeline with the
 //       given sample-dropout and spike rates, report session quality,
 //       and compare clean/OLS/Huber/QC eq. (9) coefficients.
-//   sweep    <machine> [lo hi]
+//   sweep    <machine> [lo hi] [--jobs N]
 //       Fig. 4-style table: normalized speed/efficiency/power per
 //       intensity.
 //   cap      <machine> <watts>
@@ -30,12 +31,18 @@
 //       intensity targets per metric, and which goal is harder.
 //
 // Machines: fermi | gtx580-sp | gtx580-dp | i7-sp | i7-dp
+//
+// --jobs N runs the subcommand's sweep on an rme::exec thread pool
+// (0 = hardware concurrency).  Every sweep is deterministic: the output
+// is byte-identical for every N (see docs/API.md, "Parallel execution
+// & determinism").
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "rme/rme.hpp"
 
@@ -60,9 +67,10 @@ int usage() {
          "  predict <machine> <flops> <bytes>\n"
          "  chart   <machine> [lo hi]\n"
          "  greenup <machine> <I> <f> <m>\n"
-         "  fit     <samples.csv> [--huber] [--relative]\n"
-         "  faults  <i7|gtx580> [dropout spike [reps]]\n"
-         "  sweep   <machine> [lo hi]\n"
+         "  fit     <samples.csv> [--huber] [--relative] [--bootstrap N]"
+         " [--jobs N]\n"
+         "  faults  <i7|gtx580> [dropout spike [reps]] [--jobs N]\n"
+         "  sweep   <machine> [lo hi] [--jobs N]\n"
          "  cap     <machine> <watts>\n"
          "  advise  <machine> <flops> <bytes>\n"
          "machines: fermi gtx580-sp gtx580-dp i7-sp i7-dp\n";
@@ -174,7 +182,8 @@ int cmd_greenup(const MachineParams& m, double intensity, double f,
   return 0;
 }
 
-int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options) {
+int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options,
+            std::size_t bootstrap_resamples, unsigned jobs) {
   const auto samples = fit::load_samples(path);
   std::cout << "Loaded " << samples.size() << " samples from " << path
             << "\n\n";
@@ -206,12 +215,33 @@ int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options) {
               << report::fmt(result.robust_scale, 4)
               << (result.converged ? "" : " (NOT converged)") << "\n";
   }
+  if (bootstrap_resamples > 0) {
+    const fit::CoefficientCis cis = fit::bootstrap_coefficient_cis(
+        samples, options, bootstrap_resamples, /*seed=*/1,
+        /*confidence=*/0.95, jobs);
+    std::cout << "\nBootstrap 95% percentile CIs (" << bootstrap_resamples
+              << " resamples, " << cis.eps_single.failures
+              << " singular draws skipped):\n";
+    report::Table ci({"Coefficient", "mean", "CI lo", "CI hi", "std error"});
+    const auto ci_row = [&](const char* label, const fit::BootstrapEstimate& e,
+                            double scale) {
+      ci.add_row({label, report::fmt(e.mean * scale, 5),
+                  report::fmt(e.ci_lo * scale, 5),
+                  report::fmt(e.ci_hi * scale, 5),
+                  report::fmt(e.std_error * scale, 3)});
+    };
+    ci_row("eps_s [pJ/flop]", cis.eps_single, 1e12);
+    ci_row("eps_d [pJ/flop]", cis.eps_double, 1e12);
+    ci_row("eps_mem [pJ/B]", cis.eps_mem, 1e12);
+    ci_row("pi0 [W]", cis.const_power, 1.0);
+    ci.print(std::cout);
+  }
   return 0;
 }
 
 // Fault-injection study: the full hardened pipeline on one machine pair.
 int cmd_faults(const std::string& base, double dropout, double spike,
-               std::size_t reps) {
+               std::size_t reps, unsigned jobs) {
   const bool is_i7 = base == "i7";
   if (!is_i7 && base != "gtx580") {
     std::cerr << "unknown platform '" << base << "' (want i7 or gtx580)\n";
@@ -271,7 +301,7 @@ int cmd_faults(const std::string& base, double dropout, double spike,
     std::vector<fit::EnergySample> samples;
     for (const Precision p : {Precision::kSingle, Precision::kDouble}) {
       const auto ses = session(p, faulty, with_qc);
-      for (const auto& r : ses.measure_sweep(sweep(p))) {
+      for (const auto& r : ses.measure_sweep(sweep(p), jobs)) {
         if (with_qc) {
           quality.reps_attempted += r.quality.reps_attempted;
           quality.reps_retried += r.quality.reps_retried;
@@ -352,16 +382,25 @@ int cmd_advise(const MachineParams& m, double flops, double bytes) {
   return 0;
 }
 
-int cmd_sweep(const MachineParams& m, double lo, double hi) {
+int cmd_sweep(const MachineParams& m, double lo, double hi, unsigned jobs) {
   report::Table t({"I (flop:B)", "speed (rel.)", "GFLOP/s",
                    "efficiency (rel.)", "GFLOP/J", "power [W]"});
-  for (double i = lo; i <= hi * (1.0 + 1e-12); i *= 2.0) {
-    t.add_row({report::fmt(i, 4), report::fmt(normalized_speed(m, i), 3),
-               report::fmt(achieved_flops(m, i).value() / kGiga, 4),
-               report::fmt(normalized_efficiency(m, i), 3),
-               report::fmt(achieved_flops_per_joule(m, i).value() / kGiga, 3),
-               report::fmt(average_power(m, i).value(), 4)});
-  }
+  std::vector<double> grid;
+  for (double i = lo; i <= hi * (1.0 + 1e-12); i *= 2.0) grid.push_back(i);
+  // Rows are computed in parallel but appended in grid order, so the
+  // table is byte-identical for every --jobs value.
+  const auto rows = exec::parallel_map_items(
+      grid,
+      [&](double i) {
+        return std::vector<std::string>{
+            report::fmt(i, 4), report::fmt(normalized_speed(m, i), 3),
+            report::fmt(achieved_flops(m, i).value() / kGiga, 4),
+            report::fmt(normalized_efficiency(m, i), 3),
+            report::fmt(achieved_flops_per_joule(m, i).value() / kGiga, 3),
+            report::fmt(average_power(m, i).value(), 4)};
+      },
+      jobs);
+  for (const auto& row : rows) t.add_row(row);
   t.print(std::cout);
   std::cout << "\nB_tau = " << m.time_balance()
             << ", effective energy balance = " << m.balance_fixed_point()
@@ -405,28 +444,46 @@ int main(int argc, char** argv) {
     if (command == "fit") {
       if (argc < 3) return usage();
       fit::EnergyFitOptions options;
+      std::size_t bootstrap_resamples = 0;
+      unsigned jobs = 1;
       for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--huber") {
           options.method = fit::FitMethod::kHuber;
         } else if (flag == "--relative") {
           options.relative_error = true;
+        } else if (flag == "--bootstrap" && i + 1 < argc) {
+          bootstrap_resamples = static_cast<std::size_t>(
+              std::strtoul(argv[++i], nullptr, 10));
+        } else if (flag == "--jobs" && i + 1 < argc) {
+          jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
         } else {
           std::cerr << "unknown fit flag '" << flag << "'\n";
           return usage();
         }
       }
-      return cmd_fit(argv[2], options);
+      return cmd_fit(argv[2], options, bootstrap_resamples, jobs);
     }
     if (command == "faults") {
       if (argc < 3) return usage();
+      std::vector<const char*> positional;
+      unsigned jobs = 1;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+          jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+          positional.push_back(argv[i]);
+        }
+      }
       const double dropout =
-          argc > 3 ? std::strtod(argv[3], nullptr) : 0.05;
-      const double spike = argc > 4 ? std::strtod(argv[4], nullptr) : 0.01;
+          positional.size() > 0 ? std::strtod(positional[0], nullptr) : 0.05;
+      const double spike =
+          positional.size() > 1 ? std::strtod(positional[1], nullptr) : 0.01;
       const std::size_t reps =
-          argc > 5 ? static_cast<std::size_t>(std::strtoul(argv[5], nullptr, 10))
-                   : 16;
-      return cmd_faults(argv[2], dropout, spike, reps);
+          positional.size() > 2
+              ? static_cast<std::size_t>(std::strtoul(positional[2], nullptr, 10))
+              : 16;
+      return cmd_faults(argv[2], dropout, spike, reps, jobs);
     }
     // Remaining commands start with a machine name.
     if (argc < 3) return usage();
@@ -446,9 +503,20 @@ int main(int argc, char** argv) {
       return cmd_chart(*machine, lo, hi);
     }
     if (command == "sweep") {
-      const double lo = argc > 3 ? std::strtod(argv[3], nullptr) : 0.25;
-      const double hi = argc > 4 ? std::strtod(argv[4], nullptr) : 64.0;
-      return cmd_sweep(*machine, lo, hi);
+      std::vector<const char*> positional;
+      unsigned jobs = 1;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+          jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+          positional.push_back(argv[i]);
+        }
+      }
+      const double lo =
+          positional.size() > 0 ? std::strtod(positional[0], nullptr) : 0.25;
+      const double hi =
+          positional.size() > 1 ? std::strtod(positional[1], nullptr) : 64.0;
+      return cmd_sweep(*machine, lo, hi, jobs);
     }
     if (command == "cap" && argc >= 4) {
       return cmd_cap(*machine, Watts{std::strtod(argv[3], nullptr)});
