@@ -69,9 +69,9 @@ std::vector<sim::KernelDesc> sweep(const MachineParams& m, Precision p) {
   std::size_t tier = 0;
   for (const double intensity : sim::pow2_grid(0.25, hi)) {
     const double target = kTierSeconds[tier++ % 3];
-    const double sec_per_byte =
-        max(m.time_per_byte, Intensity{intensity} * m.time_per_flop).value();
-    const double words = target / sec_per_byte / word_bytes(p);
+    const auto sec_per_byte =
+        max(m.time_per_byte, Intensity{intensity} * m.time_per_flop);
+    const double words = target / sec_per_byte.value() / word_bytes(p);
     kernels.push_back(sim::fma_load_mix(intensity, words, p));
   }
   return kernels;

@@ -3,7 +3,7 @@
 # build (warnings-as-errors), an ASan+UBSan build (RME_SANITIZE=ON), and
 # a TSan build (RME_SANITIZE=thread) running the threaded suites —
 # failing on any test failure, sanitizer report, warning, or
-# dimensional-safety lint finding.
+# rme_analyze static-analysis finding.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,8 +14,19 @@ cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo
-echo "=== dimensional-safety lint ==="
-./build/tools/rme_lint src
+echo "=== static analysis (rme_analyze) ==="
+# rme_analyze replaced the old rme_lint in PR 4: comment/string-aware
+# lexing, six rules, and scoped reasoned suppressions, run over the
+# whole tree (the old tool scanned headers under src/ only).
+./build/tools/rme_analyze src tools bench tests
+
+echo
+echo "=== format check (clang-format) ==="
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run --Werror
+else
+  echo "clang-format not installed; skipping (config: .clang-format)"
+fi
 
 echo
 echo "=== clang-tidy ==="
@@ -48,4 +59,4 @@ for t in test_exec test_bootstrap test_ubench test_session test_fmm_kernels; do
 done
 
 echo
-echo "CI OK: plain (Werror), lint, ASan+UBSan, and TSan suites passed."
+echo "CI OK: plain (Werror), analysis, ASan+UBSan, and TSan suites passed."

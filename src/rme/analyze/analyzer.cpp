@@ -1,0 +1,174 @@
+#include "rme/analyze/analyzer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool scannable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx" ||
+         ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".c";
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const Rule*> select_rules(
+    const std::vector<std::string>& selectors) {
+  if (selectors.empty()) return all_rules();
+  std::vector<const Rule*> rules;
+  for (const std::string& sel : selectors) {
+    const Rule* r = find_rule(sel);
+    if (r == nullptr) {
+      throw std::invalid_argument("rme_analyze: unknown rule '" + sel +
+                                  "' (see --list-rules)");
+    }
+    if (std::find(rules.begin(), rules.end(), r) == rules.end()) {
+      rules.push_back(r);
+    }
+  }
+  return rules;
+}
+
+std::vector<fs::path> collect_files(const std::vector<fs::path>& paths,
+                                    std::vector<std::string>& errors) {
+  std::vector<fs::path> files;
+  for (const fs::path& root : paths) {
+    if (!fs::exists(root)) {
+      errors.push_back("no such path: " + root.string());
+      continue;
+    }
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && scannable_extension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Finding> run_rules(const SourceFile& file,
+                               const std::vector<const Rule*>& rules) {
+  std::vector<Finding> raw;
+  for (const Rule* rule : rules) {
+    rule->check(file, raw);
+  }
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (!file.suppressed(f.rule, f.line)) {
+      kept.push_back(std::move(f));
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.column != b.column) return a.column < b.column;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+Report analyze_paths(const std::vector<fs::path>& paths,
+                     const std::vector<const Rule*>& rules) {
+  Report report;
+  for (const Rule* r : rules) {
+    report.rules_run.emplace_back(r->name());
+  }
+  for (const fs::path& file : collect_files(paths, report.errors)) {
+    try {
+      const SourceFile source = SourceFile::load(file);
+      ++report.files_scanned;
+      std::vector<Finding> findings = run_rules(source, rules);
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(findings.begin()),
+                             std::make_move_iterator(findings.end()));
+    } catch (const std::exception& e) {
+      report.errors.emplace_back(e.what());
+    }
+  }
+  return report;
+}
+
+void write_text(std::ostream& os, const Report& report) {
+  for (const Finding& f : report.findings) {
+    os << f.file << ":" << f.line;
+    if (f.column != 0) os << ":" << f.column;
+    os << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  for (const std::string& e : report.errors) {
+    os << "rme_analyze: error: " << e << "\n";
+  }
+  if (report.findings.empty() && report.errors.empty()) {
+    os << "rme_analyze: clean (" << report.files_scanned << " files, "
+       << report.rules_run.size() << " rules)\n";
+  } else {
+    os << "rme_analyze: " << report.findings.size() << " finding(s) across "
+       << report.files_scanned << " file(s), " << report.rules_run.size()
+       << " rule(s)\n";
+  }
+}
+
+void write_json(std::ostream& os, const Report& report) {
+  os << "{\"files_scanned\":" << report.files_scanned << ",\"rules\":[";
+  for (std::size_t i = 0; i < report.rules_run.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"";
+    json_escape(os, report.rules_run[i]);
+    os << "\"";
+  }
+  os << "],\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i != 0) os << ",";
+    os << "{\"rule\":\"";
+    json_escape(os, f.rule);
+    os << "\",\"file\":\"";
+    json_escape(os, f.file);
+    os << "\",\"line\":" << f.line << ",\"column\":" << f.column
+       << ",\"message\":\"";
+    json_escape(os, f.message);
+    os << "\"}";
+  }
+  os << "],\"errors\":[";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"";
+    json_escape(os, report.errors[i]);
+    os << "\"";
+  }
+  os << "]}\n";
+}
+
+}  // namespace rme::analyze

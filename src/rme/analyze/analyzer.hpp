@@ -1,0 +1,54 @@
+#pragma once
+// rme::analyze — drives the rule registry over a file set.
+//
+// The analyzer walks the given paths (directories recurse; explicit
+// files are scanned whatever their extension), lexes each C++ file into
+// a SourceFile, runs the selected rules, filters findings through the
+// file's reasoned suppressions, and reports.  tools/rme_analyze is a
+// thin CLI over this; tests/test_analyze.cpp drives the same entry
+// points over an in-repo fixture corpus.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/finding.hpp"
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+
+struct Report {
+  std::vector<Finding> findings;      ///< Unsuppressed, in file order.
+  std::size_t files_scanned = 0;
+  std::vector<std::string> rules_run;
+  std::vector<std::string> errors;    ///< Unreadable paths/files.
+};
+
+/// Resolves --rule selectors (rule names; empty = every registered
+/// rule).  Throws std::invalid_argument on an unknown name.
+[[nodiscard]] std::vector<const Rule*> select_rules(
+    const std::vector<std::string>& selectors);
+
+/// Collects the C++ files (.hpp/.h/.hh/.hxx/.cpp/.cc/.cxx/.c) under
+/// each path, sorted; a path that is itself a regular file is taken
+/// as-is.  Missing paths are recorded in `errors`.
+[[nodiscard]] std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& paths,
+    std::vector<std::string>& errors);
+
+/// Runs `rules` over one lexed file, dropping suppressed findings.
+[[nodiscard]] std::vector<Finding> run_rules(
+    const SourceFile& file, const std::vector<const Rule*>& rules);
+
+/// Full pipeline: collect, lex, run, filter.
+[[nodiscard]] Report analyze_paths(
+    const std::vector<std::filesystem::path>& paths,
+    const std::vector<const Rule*>& rules);
+
+/// Human-readable findings + summary line.
+void write_text(std::ostream& os, const Report& report);
+/// Machine-readable single JSON object with a "findings" array.
+void write_json(std::ostream& os, const Report& report);
+
+}  // namespace rme::analyze

@@ -1,0 +1,17 @@
+#pragma once
+// rme::analyze — one diagnostic from one rule at one source location.
+
+#include <cstddef>
+#include <string>
+
+namespace rme::analyze {
+
+struct Finding {
+  std::string rule;     ///< Rule name, e.g. "banned-globals".
+  std::string file;     ///< Path as scanned (or the virtual path).
+  std::size_t line = 0;    ///< 1-based.
+  std::size_t column = 0;  ///< 1-based; 0 when the rule is line-granular.
+  std::string message;  ///< What is wrong and what to do instead.
+};
+
+}  // namespace rme::analyze

@@ -1,0 +1,39 @@
+#pragma once
+// rme::analyze — the pluggable rule interface.
+//
+// A rule scans one SourceFile at a time through the masked code view
+// (comments and literal contents are spaces, so naive token matches are
+// safe) and emits findings.  Rules do not handle suppressions — the
+// analyzer filters findings against the file's allow directives
+// afterwards — and must not keep per-file state between check() calls.
+//
+// To add a rule: implement this interface in a new
+// src/rme/analyze/rule_<name>.cpp, declare its factory in rules.hpp,
+// and append it to make_all_rules() in rules.cpp.  docs/ANALYSIS.md
+// walks through a complete example.
+
+#include <string_view>
+#include <vector>
+
+#include "rme/analyze/finding.hpp"
+#include "rme/analyze/source.hpp"
+
+namespace rme::analyze {
+
+class Rule {
+ public:
+  Rule() = default;
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+  virtual ~Rule() = default;
+
+  /// Stable kebab-case identifier used by --rule= and allow(...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// One-line summary for --list-rules.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  /// Appends this rule's findings for `file` to `out`.
+  virtual void check(const SourceFile& file,
+                     std::vector<Finding>& out) const = 0;
+};
+
+}  // namespace rme::analyze

@@ -1,0 +1,85 @@
+// banned-globals: calls into thread-unsafe / global-state libc.  This
+// is exactly the PR 3 bug class — glibc's lgamma writes the global
+// `signgam`, which TSan caught racing under the rme::exec pool — made
+// statically detectable.  Each banned function names its safe
+// replacement in the finding message.
+
+#include <array>
+#include <regex>
+#include <string>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+namespace {
+
+struct Banned {
+  const char* fn;
+  const char* replacement;
+};
+
+// Longest-first where one name is a prefix of another (srand / rand)
+// so the alternation cannot stop early.
+constexpr std::array<Banned, 9> kBanned{{
+    {"lgamma", "lgamma_r (writes the global signgam; races under the "
+               "rme::exec pool — the PR 3 TSan bug)"},
+    {"strtok", "strtok_r (static internal state)"},
+    {"srand", "an RNG seeded via rme::exec::derive_seed (global PRNG state)"},
+    {"rand", "rme::sim::NoiseModel or a <random> engine seeded via "
+             "rme::exec::derive_seed (global PRNG state)"},
+    {"localtime", "localtime_r (static struct tm)"},
+    {"gmtime", "gmtime_r (static struct tm)"},
+    {"asctime", "strftime into a caller-owned buffer (static buffer)"},
+    {"strerror", "strerror_r (static buffer)"},
+    {"setenv", "explicit configuration plumbing (environ mutation races "
+               "concurrent getenv)"},
+}};
+
+class BannedGlobalsRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "banned-globals";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "thread-unsafe/global-state libc call (lgamma, strtok, rand, "
+           "localtime, ...); use the _r/owned-state replacement";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    // A call: the bare name (optionally std:: / :: qualified) followed
+    // by '('.  The leading class rejects identifier continuations
+    // (my_rand) and foreign qualification (other::rand); the suffix is
+    // protected because `lgamma_r(` leaves no '(' right after `lgamma`.
+    static const std::regex kCall(
+        R"((^|[^A-Za-z0-9_:])((?:std::|::)?)"
+        R"((lgamma|strtok|srand|rand|localtime|gmtime|asctime|strerror|setenv))\s*\()");
+    for (std::size_t line = 1; line <= file.line_count(); ++line) {
+      const std::string& code = file.code_line(line);
+      const auto begin = std::sregex_iterator(code.begin(), code.end(), kCall);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string fn = (*it)[3].str();
+        const char* replacement = "";
+        for (const Banned& b : kBanned) {
+          if (fn == b.fn) {
+            replacement = b.replacement;
+            break;
+          }
+        }
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(2)) + 1,
+            "'" + fn + "' relies on process-global state and is not "
+                "thread-safe; use " + replacement});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_banned_globals_rule() {
+  return std::make_unique<BannedGlobalsRule>();
+}
+
+}  // namespace rme::analyze

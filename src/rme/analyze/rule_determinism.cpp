@@ -1,0 +1,114 @@
+// determinism: the exec-pool contract says every result is a pure
+// function of (inputs, base seed, task index).  Three things break that
+// statically-visibly:
+//
+//   1. std::random_device — nondeterministic entropy, anywhere;
+//   2. raw standard RNG engine construction (std::mt19937{...} et al.)
+//      not seeded through rme::exec::derive_seed — such engines create
+//      ad-hoc streams whose draws depend on call order, the latent bug
+//      class PR 3 removed from fit::bootstrap;
+//   3. wall-clock reads (std::chrono::system_clock, ::time(),
+//      gettimeofday) in result-producing library code under src/rme/ —
+//      timestamps there must come from the simulated trace.
+//      steady_clock stays legal: ubench timing is measurement, not a
+//      model input.
+//
+// Engine constructions inside src/rme/exec/ are exempt: that module
+// *is* the derive_seed path.
+
+#include <regex>
+#include <string>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+namespace {
+
+bool in_exec_module(const std::string& path) {
+  return path.find("src/rme/exec/") != std::string::npos;
+}
+
+class DeterminismRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "determinism";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "nondeterministic seed/clock source (random_device, raw engine "
+           "construction, wall clock in src/rme/)";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    static const std::regex kDevice(
+        R"((^|[^A-Za-z0-9_])((?:std::)?random_device)\b)");
+    static const std::regex kEngine(
+        R"((^|[^A-Za-z0-9_])((?:std::)?)"
+        R"((mt19937_64|mt19937|minstd_rand0|minstd_rand|ranlux24_base)"
+        R"(|ranlux48_base|ranlux24|ranlux48|knuth_b|default_random_engine))\b)");
+    static const std::regex kWallClock(
+        R"((^|[^A-Za-z0-9_])((?:std::chrono::)?system_clock)\b)");
+    static const std::regex kWallCall(
+        R"((^|[^A-Za-z0-9_.>])((?:std::|::)?(time|gettimeofday|ftime))\s*\()");
+
+    const bool exec_exempt = in_exec_module(file.path());
+    for (std::size_t line = 1; line <= file.line_count(); ++line) {
+      const std::string& code = file.code_line(line);
+
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), kDevice);
+           it != std::sregex_iterator(); ++it) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(2)) + 1,
+            "std::random_device is nondeterministic; seed from the sweep's "
+            "base seed via rme::exec::derive_seed(base, task_index)"});
+      }
+
+      if (!exec_exempt && code.find("derive_seed") == std::string::npos) {
+        for (auto it =
+                 std::sregex_iterator(code.begin(), code.end(), kEngine);
+             it != std::sregex_iterator(); ++it) {
+          const std::string engine = (*it)[3].str();
+          out.push_back(Finding{
+              std::string(name()), file.path(), line,
+              static_cast<std::size_t>(it->position(2)) + 1,
+              "raw '" + engine +
+                  "' construction creates an ad-hoc RNG stream; seed it "
+                  "with rme::exec::derive_seed(base, task_index) so "
+                  "parallel sweeps stay order-independent"});
+        }
+      }
+
+      if (!file.in_library()) continue;
+      for (auto it =
+               std::sregex_iterator(code.begin(), code.end(), kWallClock);
+           it != std::sregex_iterator(); ++it) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(2)) + 1,
+            "wall clock in library code makes results time-dependent; "
+            "derive timestamps from the simulated trace (steady_clock is "
+            "fine for host measurement)"});
+      }
+      for (auto it =
+               std::sregex_iterator(code.begin(), code.end(), kWallCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string fn = (*it)[3].str();
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(2)) + 1,
+            "'" + fn +
+                "' reads the wall clock in library code; derive timestamps "
+                "from the simulated trace"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_determinism_rule() {
+  return std::make_unique<DeterminismRule>();
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,71 @@
+// lock-discipline: manual .lock()/.unlock()/.try_lock() on a mutex
+// leaks the lock on every early return and exception path; the repo
+// standard is RAII guards (std::lock_guard, std::unique_lock,
+// std::scoped_lock) throughout — see rme::exec::ThreadPool.
+//
+// Without type information the receiver is judged by name: identifiers
+// containing "mutex"/"mtx" (any case) or conventionally mutex-named
+// (m, m_, mu, mu_).  unique_lock variables named `lock`/`guard`/`lk`
+// therefore keep their legitimate .unlock() calls.
+
+#include <cctype>
+#include <regex>
+#include <string>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+namespace {
+
+bool mutex_named(const std::string& ident) {
+  std::string lower;
+  lower.reserve(ident.size());
+  for (const char c : ident) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower.find("mutex") != std::string::npos) return true;
+  if (lower.find("mtx") != std::string::npos) return true;
+  return lower == "m" || lower == "m_" || lower == "mu" || lower == "mu_";
+}
+
+class LockDisciplineRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lock-discipline";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "raw .lock()/.unlock() on a mutex; hold it through an RAII "
+           "guard instead";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    static const std::regex kCall(
+        R"((^|[^A-Za-z0-9_])([A-Za-z_][A-Za-z0-9_]*)\s*(\.|->)\s*)"
+        R"((try_lock|unlock|lock)\s*\()");
+    for (std::size_t line = 1; line <= file.line_count(); ++line) {
+      const std::string& code = file.code_line(line);
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), kCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string receiver = (*it)[2].str();
+        const std::string method = (*it)[4].str();
+        if (!mutex_named(receiver)) continue;
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(2)) + 1,
+            "manual ." + method + "() on mutex '" + receiver +
+                "' leaks the lock on exception paths; hold it through "
+                "std::lock_guard / std::unique_lock / std::scoped_lock"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_lock_discipline_rule() {
+  return std::make_unique<LockDisciplineRule>();
+}
+
+}  // namespace rme::analyze

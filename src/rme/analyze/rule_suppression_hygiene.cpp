@@ -1,0 +1,54 @@
+// suppression-hygiene: every allow directive must name the rule it
+// silences and carry a written reason — the `rme-lint:` marker followed
+// by `allow(<rule>[,<rule>...]: <reason>)`.  The pre-PR 4 form named no
+// rule; it is rejected here and, being malformed, suppresses nothing.
+// Unknown rule names are flagged so a typo cannot silently disarm a
+// directive.
+
+#include <string>
+
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class SuppressionHygieneRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "suppression-hygiene";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "allow(...) directive missing its rule name, reason, or naming "
+           "an unknown rule";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    for (const Suppression& s : file.suppressions()) {
+      if (s.malformed) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), s.line, 0,
+            "malformed suppression 'allow(" + s.raw +
+                ")'; write '// rme-lint: allow(<rule>: <reason>)' with "
+                "both a rule name and a reason"});
+        continue;
+      }
+      for (const std::string& r : s.rules) {
+        if (r != "*" && find_rule(r) == nullptr) {
+          out.push_back(Finding{
+              std::string(name()), file.path(), s.line, 0,
+              "suppression names unknown rule '" + r +
+                  "'; see rme_analyze --list-rules"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_suppression_hygiene_rule() {
+  return std::make_unique<SuppressionHygieneRule>();
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,56 @@
+// units-suffix: a raw `double` whose name carries a unit suffix
+// (_seconds, _joules, _watts, ...) promises a dimension the type system
+// cannot check.  Port of the original tools/rme_lint rule onto the
+// masked source model: string literals and block comments no longer
+// defeat it, and translation units are scanned alongside headers (the
+// old tool covered headers only).
+
+#include <regex>
+#include <string>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class UnitsSuffixRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "units-suffix";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "raw double with a unit-suffixed name; use the typed Quantity "
+           "from rme/core/units.hpp";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    static const std::regex kPattern(
+        R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)"
+        R"((?:_seconds|_joules|_watts|_volts|_amps|_hz|_per_flop|_per_byte)_?)\b)");
+    // Group 1 is the full identifier: the leading [A-Za-z0-9_]* backtracks
+    // until the alternation can claim the unit suffix.
+    for (std::size_t line = 1; line <= file.line_count(); ++line) {
+      const std::string& code = file.code_line(line);
+      const auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                              kPattern);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(0)) + 1,
+            "raw double '" + (*it)[1].str() +
+                "' has a unit-suffixed name; use the typed quantity from "
+                "rme/core/units.hpp (Seconds, Joules, Watts, ...) and keep "
+                ".value() escape hatches inside numeric kernels"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_units_suffix_rule() {
+  return std::make_unique<UnitsSuffixRule>();
+}
+
+}  // namespace rme::analyze

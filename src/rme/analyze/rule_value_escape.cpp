@@ -1,0 +1,59 @@
+// value-escape: `.value()` unwraps a Quantity to a raw double.  The
+// units.hpp policy reserves that hatch for numeric kernels and
+// normalized scalars inside translation units; a public header that
+// unwraps leaks raw doubles straight into the API surface.  Findings
+// fire only in headers under src/rme/ — .cpp kernels stay free — and
+// rme/core/units.hpp itself is exempt, being the algebra's own
+// implementation.
+
+#include <regex>
+#include <string>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+namespace {
+
+bool is_units_header(const std::string& path) {
+  static constexpr std::string_view kSuffix = "rme/core/units.hpp";
+  return path.size() >= kSuffix.size() &&
+         path.compare(path.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
+
+class ValueEscapeRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "value-escape";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return ".value() escape hatch in a public header; unwrap inside .cpp "
+           "numeric kernels instead";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    if (!file.public_header() || is_units_header(file.path())) return;
+    static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
+    for (std::size_t line = 1; line <= file.line_count(); ++line) {
+      const std::string& code = file.code_line(line);
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), kValue);
+           it != std::sregex_iterator(); ++it) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(it->position(0)) + 1,
+            ".value() in a public header leaks a raw double through the "
+            "API; move the unwrap into a .cpp numeric kernel or justify "
+            "it with a reasoned allow"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_value_escape_rule() {
+  return std::make_unique<ValueEscapeRule>();
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,32 @@
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+
+const std::vector<const Rule*>& all_rules() {
+  static const std::vector<std::unique_ptr<Rule>> owned = [] {
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(make_units_suffix_rule());
+    rules.push_back(make_banned_globals_rule());
+    rules.push_back(make_determinism_rule());
+    rules.push_back(make_value_escape_rule());
+    rules.push_back(make_lock_discipline_rule());
+    rules.push_back(make_suppression_hygiene_rule());
+    return rules;
+  }();
+  static const std::vector<const Rule*> view = [] {
+    std::vector<const Rule*> v;
+    v.reserve(owned.size());
+    for (const auto& r : owned) v.push_back(r.get());
+    return v;
+  }();
+  return view;
+}
+
+const Rule* find_rule(std::string_view name) {
+  for (const Rule* r : all_rules()) {
+    if (r->name() == name) return r;
+  }
+  return nullptr;
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,30 @@
+#pragma once
+// rme::analyze — the rule registry.
+//
+// Rules live one-per-translation-unit under src/rme/analyze/; this
+// header names their factories and the registry that owns one instance
+// of each.  Registry order is presentation order in --list-rules and in
+// reports, so keep it stable.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+
+[[nodiscard]] std::unique_ptr<Rule> make_units_suffix_rule();
+[[nodiscard]] std::unique_ptr<Rule> make_banned_globals_rule();
+[[nodiscard]] std::unique_ptr<Rule> make_determinism_rule();
+[[nodiscard]] std::unique_ptr<Rule> make_value_escape_rule();
+[[nodiscard]] std::unique_ptr<Rule> make_lock_discipline_rule();
+[[nodiscard]] std::unique_ptr<Rule> make_suppression_hygiene_rule();
+
+/// All registered rules, constructed once, in registry order.
+[[nodiscard]] const std::vector<const Rule*>& all_rules();
+
+/// Looks up a rule by name; nullptr when unknown.
+[[nodiscard]] const Rule* find_rule(std::string_view name);
+
+}  // namespace rme::analyze

@@ -1,0 +1,277 @@
+#include "rme/analyze/source.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rme::analyze {
+
+namespace {
+
+FileKind classify_extension(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return FileKind::kOther;
+  const std::string ext = path.substr(dot);
+  if (ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx") {
+    return FileKind::kHeader;
+  }
+  if (ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".c") {
+    return FileKind::kSource;
+  }
+  return FileKind::kOther;
+}
+
+bool path_in_library(const std::string& path) {
+  return path.find("src/rme/") != std::string::npos ||
+         path.find("src\\rme\\") != std::string::npos;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the `"` at content[i] opens a raw string literal, i.e. is
+/// preceded by R with an optional u8/u/U/L encoding prefix.
+bool opens_raw_string(const std::string& s, std::size_t i) {
+  if (i == 0 || s[i - 1] != 'R') return false;
+  // The R must start the prefix token: before it sits a non-identifier
+  // char or one of the encoding prefixes.
+  if (i == 1) return true;
+  const char before = s[i - 2];
+  if (!is_ident_char(before)) return true;
+  if (before == 'u' || before == 'U' || before == 'L') {
+    return i == 2 || !is_ident_char(s[i - 3]);
+  }
+  if (before == '8' && i >= 3 && s[i - 3] == 'u') {
+    return i == 3 || !is_ident_char(s[i - 4]);
+  }
+  return false;
+}
+
+/// Lexes `content` into a masked copy (comments and literal contents
+/// replaced by spaces) and a comment-only copy (everything but comment
+/// text replaced by spaces).  Newlines survive in both.
+struct LexResult {
+  std::string code;
+  std::string comments;
+};
+
+LexResult lex(const std::string& content) {
+  enum class St { kCode, kLine, kBlock, kString, kChar, kRaw };
+  LexResult out;
+  out.code.assign(content.size(), ' ');
+  out.comments.assign(content.size(), ' ');
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') {
+      out.code[i] = '\n';
+      out.comments[i] = '\n';
+    }
+  }
+
+  St st = St::kCode;
+  std::string raw_delim;  // the )delim" closer for the active raw string
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          ++i;  // do not re-read the '*' as a closer
+        } else if (c == '"' && opens_raw_string(content, i)) {
+          st = St::kRaw;
+          raw_delim = ")";
+          for (std::size_t j = i + 1; j < content.size() && content[j] != '(';
+               ++j) {
+            raw_delim += content[j];
+          }
+          raw_delim += '"';
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'' && i > 0 && i + 1 < content.size() &&
+                   std::isalnum(static_cast<unsigned char>(content[i - 1])) &&
+                   std::isalnum(static_cast<unsigned char>(next))) {
+          // C++14 digit separator (1'000'000): not a character literal.
+          out.code[i] = c;
+        } else if (c == '\'') {
+          st = St::kChar;
+        } else if (c != '\n') {
+          out.code[i] = c;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out.comments[i] = c;
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out.comments[i] = c;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        }
+        break;
+      case St::kRaw:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  // A trailing newline yields a phantom empty final line; drop it so
+  // line_count() matches what an editor shows.
+  if (!lines.empty() && lines.back().empty() && !text.empty() &&
+      text.back() == '\n') {
+    lines.pop_back();
+  }
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+bool valid_rule_token(const std::string& token) {
+  if (token == "*") return true;
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+Suppression parse_directive(std::size_t line, bool whole_line,
+                            const std::string& inner) {
+  Suppression s;
+  s.line = line;
+  s.whole_line = whole_line;
+  s.raw = inner;
+  const auto colon = inner.find(':');
+  if (colon == std::string::npos) {
+    s.malformed = true;  // legacy `allow(reason)` form: names no rule
+    s.reason = trim(inner);
+    return s;
+  }
+  std::vector<std::string> rules;
+  std::stringstream list(inner.substr(0, colon));
+  std::string token;
+  while (std::getline(list, token, ',')) {
+    const std::string t = trim(token);
+    if (!valid_rule_token(t)) {
+      s.malformed = true;
+      s.reason = trim(inner);
+      return s;
+    }
+    rules.push_back(t);
+  }
+  s.reason = trim(inner.substr(colon + 1));
+  if (rules.empty() || s.reason.empty()) {
+    s.malformed = true;
+    return s;
+  }
+  s.rules = std::move(rules);
+  return s;
+}
+
+}  // namespace
+
+const std::string& SourceFile::raw_line(std::size_t line) const {
+  return raw_lines_.at(line - 1);
+}
+
+const std::string& SourceFile::code_line(std::size_t line) const {
+  return code_lines_.at(line - 1);
+}
+
+bool SourceFile::suppressed(std::string_view rule,
+                            std::size_t line) const noexcept {
+  for (const Suppression& s : suppressions_) {
+    if (s.malformed) continue;
+    const bool covers =
+        s.line == line || (s.whole_line && s.line + 1 == line);
+    if (!covers) continue;
+    for (const std::string& r : s.rules) {
+      if (r == "*" || r == rule) return true;
+    }
+  }
+  return false;
+}
+
+SourceFile SourceFile::from_string(std::string path, std::string content) {
+  SourceFile f;
+  f.path_ = std::move(path);
+  f.kind_ = classify_extension(f.path_);
+  f.in_library_ = path_in_library(f.path_);
+
+  const LexResult lexed = lex(content);
+  f.raw_lines_ = split_lines(content);
+  f.code_lines_ = split_lines(lexed.code);
+  const std::vector<std::string> comment_lines = split_lines(lexed.comments);
+
+  static const std::regex kAllow(R"(rme-lint:\s*allow\(([^)]*)\))");
+  for (std::size_t i = 0; i < comment_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(comment_lines[i], m, kAllow)) continue;
+    const std::string& code = f.code_lines_[i];
+    const bool whole_line =
+        code.find_first_not_of(" \t") == std::string::npos;
+    f.suppressions_.push_back(parse_directive(i + 1, whole_line, m[1].str()));
+  }
+  return f;
+}
+
+SourceFile SourceFile::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("rme_analyze: cannot open " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_string(path.generic_string(), buf.str());
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,94 @@
+#pragma once
+// rme::analyze — source model for the project static analyzer.
+//
+// A SourceFile is a lexed view of one translation unit or header:
+//
+//   * raw lines     — the file exactly as written;
+//   * code lines    — the same lines with comments and the contents of
+//                     string/character literals masked to spaces (column
+//                     positions are preserved), so rules match code and
+//                     only code.  The lexer understands line comments,
+//                     block comments (including multi-line), ordinary
+//                     and raw string literals, character literals, and
+//                     C++14 digit separators;
+//   * suppressions  — parsed allow directives: the `rme-lint:` marker
+//                     followed by `allow(<rule>: <reason>)`.  A trailing
+//                     directive suppresses its own line; a directive on
+//                     a comment-only line suppresses the next line.
+//                     `<rule>` is a single rule name, a comma-separated
+//                     list, or `*`; the reason is mandatory (the
+//                     suppression-hygiene rule flags directives without
+//                     one, and malformed directives suppress nothing).
+//
+// Rules never re-tokenize: they see masked code through code_line() and
+// query suppressed() per finding.
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rme::analyze {
+
+enum class FileKind { kHeader, kSource, kOther };
+
+/// One parsed allow directive.
+struct Suppression {
+  std::size_t line = 0;            ///< 1-based line of the directive.
+  bool whole_line = false;         ///< Comment-only line: covers line+1.
+  bool malformed = false;          ///< Missing `<rule>:` prefix or reason.
+  std::vector<std::string> rules;  ///< Rule names; "*" matches any rule.
+  std::string reason;              ///< Free text after the rule list.
+  std::string raw;                 ///< Inner text as written, for messages.
+};
+
+class SourceFile {
+ public:
+  /// Loads and lexes a file from disk.  Throws std::runtime_error when
+  /// the file cannot be read.
+  [[nodiscard]] static SourceFile load(const std::filesystem::path& path);
+
+  /// Lexes in-memory content under a virtual path.  Path-derived
+  /// properties (kind, library membership) follow the virtual path, so
+  /// tests can model "a public header" without touching src/.
+  [[nodiscard]] static SourceFile from_string(std::string path,
+                                              std::string content);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] FileKind kind() const noexcept { return kind_; }
+
+  /// True when the file lives under src/rme/ — the library proper, as
+  /// opposed to tools, benches, and tests.
+  [[nodiscard]] bool in_library() const noexcept { return in_library_; }
+  /// A header under src/rme/: the API surface the escape-hatch rules
+  /// hold to a stricter standard than translation units.
+  [[nodiscard]] bool public_header() const noexcept {
+    return in_library_ && kind_ == FileKind::kHeader;
+  }
+
+  [[nodiscard]] std::size_t line_count() const noexcept {
+    return raw_lines_.size();
+  }
+  /// 1-based; the line exactly as written.
+  [[nodiscard]] const std::string& raw_line(std::size_t line) const;
+  /// 1-based; comments and literal contents masked to spaces.
+  [[nodiscard]] const std::string& code_line(std::size_t line) const;
+
+  [[nodiscard]] const std::vector<Suppression>& suppressions() const noexcept {
+    return suppressions_;
+  }
+  /// True when a well-formed directive covers `rule` at `line`.
+  [[nodiscard]] bool suppressed(std::string_view rule,
+                                std::size_t line) const noexcept;
+
+ private:
+  std::string path_;
+  FileKind kind_ = FileKind::kOther;
+  bool in_library_ = false;
+  std::vector<std::string> raw_lines_;
+  std::vector<std::string> code_lines_;
+  std::vector<Suppression> suppressions_;
+};
+
+}  // namespace rme::analyze

@@ -36,10 +36,12 @@ struct ClusterParams {
   /// Network time-balance: flops per network byte at which compute and
   /// network time break even on a node.
   [[nodiscard]] double net_time_balance() const noexcept {
+    // rme-lint: allow(value-escape: balance point is the raw intensity scalar by policy)
     return (time_per_net_byte / node.time_per_flop).value();
   }
   /// Network energy-balance: ε_net / ε_flop [flop/B].
   [[nodiscard]] double net_energy_balance() const noexcept {
+    // rme-lint: allow(value-escape: balance point is the raw intensity scalar by policy)
     return (energy_per_net_byte / node.energy_per_flop).value();
   }
 };

@@ -48,11 +48,13 @@ struct MachineParams {
 
   /// Classical time-balance point B_τ = τ_mem / τ_flop [flop/byte], §II-B.
   [[nodiscard]] double time_balance() const noexcept {
+    // rme-lint: allow(value-escape: balance point is the raw intensity scalar by policy)
     return (time_per_byte / time_per_flop).value();
   }
 
   /// Energy-balance point B_ε = ε_mem / ε_flop [flop/byte], eq. (4).
   [[nodiscard]] double energy_balance() const noexcept {
+    // rme-lint: allow(value-escape: balance point is the raw intensity scalar by policy)
     return (energy_per_byte / energy_per_flop).value();
   }
 

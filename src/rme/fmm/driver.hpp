@@ -39,7 +39,7 @@ struct DriverResult {
   double mean_leaf_population = 0.0;
   double mean_ulist_length = 0.0;
   InteractionCounts counts;
-  // rme-lint: allow(host wall-clock, outside the model algebra)
+  // rme-lint: allow(units-suffix: host wall-clock, outside the model algebra)
   double host_seconds = 0.0;      ///< Real execution time of the variant.
   double max_deviation = 0.0;     ///< vs reference (0 when verify off).
   rme::sim::CounterSet counters;  ///< Profiler-style traffic counters.

@@ -16,6 +16,7 @@ double AdcModel::quantize_amps(double a) const noexcept {
   return std::round(a / amps_lsb) * amps_lsb;
 }
 
+// rme-lint: allow(units-suffix: V outside the dimension algebra)
 Channel::Channel(std::string name, double nominal_volts, double power_fraction)
     : name_(std::move(name)), volts_(nominal_volts), fraction_(power_fraction) {
   if (nominal_volts <= 0.0) {
@@ -30,9 +31,10 @@ ChannelSample Channel::sample(const rme::sim::PowerTrace& trace, Seconds t,
                               const AdcModel& adc) const {
   ChannelSample s;
   s.timestamp = t;
-  const double rail_watts = fraction_ * trace.watts_at(t).value();
+  const Watts rail = fraction_ * trace.watts_at(t);
   s.volts = adc.quantize_volts(volts_);
-  const double raw_amps = s.volts > 0.0 ? rail_watts / s.volts : 0.0;
+  // rme-lint: allow(units-suffix: A outside the dimension algebra)
+  const double raw_amps = s.volts > 0.0 ? rail.value() / s.volts : 0.0;
   s.amps = adc.quantize_amps(raw_amps);
   return s;
 }

@@ -16,28 +16,28 @@ struct ChannelSample {
   Seconds timestamp;
   // Volts and amps are not representable in the four-dimension algebra
   // (time/energy/work/traffic); their product immediately becomes Watts.
-  double volts = 0.0;  // rme-lint: allow(V outside the dimension algebra)
-  double amps = 0.0;   // rme-lint: allow(A outside the dimension algebra)
+  double volts = 0.0;  // rme-lint: allow(units-suffix: V outside the dimension algebra)
+  double amps = 0.0;   // rme-lint: allow(units-suffix: A outside the dimension algebra)
 
   [[nodiscard]] Watts watts() const noexcept { return Watts{volts * amps}; }
 };
 
 /// ADC quantization applied to raw voltage/current readings.
 struct AdcModel {
-  // rme-lint: allow(V/A resolutions outside the dimension algebra)
+  // rme-lint: allow(units-suffix: V/A resolutions outside the dimension algebra)
   double volts_lsb = 0.0;  ///< Voltage resolution; 0 disables quantization.
   double amps_lsb = 0.0;   ///< Current resolution; 0 disables quantization.
 
-  // rme-lint: allow(V/A outside the dimension algebra)
+  // rme-lint: allow(units-suffix: V/A outside the dimension algebra)
   [[nodiscard]] double quantize_volts(double v) const noexcept;
-  // rme-lint: allow(V/A outside the dimension algebra)
+  // rme-lint: allow(units-suffix: V/A outside the dimension algebra)
   [[nodiscard]] double quantize_amps(double a) const noexcept;
 };
 
 /// A rail carrying a fixed share of the device's total power.
 class Channel {
  public:
-  // rme-lint: allow(V outside the dimension algebra)
+  // rme-lint: allow(units-suffix: V outside the dimension algebra)
   Channel(std::string name, double nominal_volts, double power_fraction);
 
   /// Sample this channel at time `t` of the device trace: the channel's
@@ -47,14 +47,13 @@ class Channel {
                                      Seconds t, const AdcModel& adc) const;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  // rme-lint: allow(V outside the dimension algebra)
-  // rme-lint: allow(V outside the dimension algebra)
+  // rme-lint: allow(units-suffix: V outside the dimension algebra)
   [[nodiscard]] double nominal_volts() const noexcept { return volts_; }
   [[nodiscard]] double power_fraction() const noexcept { return fraction_; }
 
  private:
   std::string name_;
-  double volts_;  // rme-lint: allow(V outside the dimension algebra)
+  double volts_;  // rme-lint: allow(units-suffix: V outside the dimension algebra)
   double fraction_;
 };
 

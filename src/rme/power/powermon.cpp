@@ -46,25 +46,25 @@ Measurement PowerMon::measure_clean(const rme::sim::PowerTrace& trace) const {
   double sum = 0.0;
   for (Seconds t = config_.phase_offset_seconds; t < m.duration_seconds;
        t += dt) {
-    double tick_watts = 0.0;
+    Watts tick{0.0};
     for (const Channel& c : channels_) {
-      tick_watts += c.sample(trace, t, config_.adc).watts().value();
+      tick += c.sample(trace, t, config_.adc).watts();
     }
-    m.sample_watts.push_back(tick_watts);
-    sum += tick_watts;
+    m.sample_watts.push_back(tick.value());
+    sum += tick.value();
   }
   m.samples = m.sample_watts.size();
   if (m.samples == 0) {
     // Run shorter than one sampling interval: fall back to a single
     // mid-run sample, as the real instrument would catch at most one tick.
-    double tick_watts = 0.0;
+    Watts tick{0.0};
     const Seconds mid = 0.5 * m.duration_seconds;
     for (const Channel& c : channels_) {
-      tick_watts += c.sample(trace, mid, config_.adc).watts().value();
+      tick += c.sample(trace, mid, config_.adc).watts();
     }
-    m.sample_watts.push_back(tick_watts);
+    m.sample_watts.push_back(tick.value());
     m.samples = 1;
-    sum = tick_watts;
+    sum = tick.value();
   }
   m.avg_watts = Watts{sum / static_cast<double>(m.samples)};
   m.energy_joules = m.avg_watts * m.duration_seconds;

@@ -46,6 +46,7 @@ std::vector<LogRecord> parse_powermon_log(std::istream& is) {
     std::istringstream iss(line);
     std::string magic;
     LogRecord r;
+    // rme-lint: allow(units-suffix: wire-format field, wrapped as Seconds below)
     double t_seconds = 0.0;
     iss >> magic >> r.tick >> t_seconds >> r.channel >> r.channel_name >>
         r.volts >> r.amps;

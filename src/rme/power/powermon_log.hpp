@@ -27,8 +27,8 @@ struct LogRecord {
   std::size_t channel = 0;
   std::string channel_name;
   // Raw serial-stream readings; V/A lie outside the dimension algebra.
-  double volts = 0.0;  // rme-lint: allow(V outside the dimension algebra)
-  double amps = 0.0;   // rme-lint: allow(A outside the dimension algebra)
+  double volts = 0.0;  // rme-lint: allow(units-suffix: V outside the dimension algebra)
+  double amps = 0.0;   // rme-lint: allow(units-suffix: A outside the dimension algebra)
 
   [[nodiscard]] Watts watts() const noexcept { return Watts{volts * amps}; }
 };

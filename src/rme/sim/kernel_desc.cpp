@@ -4,6 +4,7 @@
 
 namespace rme::sim {
 
+// rme-lint: allow(units-suffix: intensity sweep scalar, dimensionless by policy)
 KernelDesc fma_load_mix(double flops_per_byte, double words, Precision p) {
   KernelDesc k;
   const double bytes = words * word_bytes(p);

@@ -37,7 +37,7 @@ struct KernelDesc {
 /// The GPU-style microbenchmark: a mix of independent FMAs (two flops
 /// each) and loads.  `flops_per_byte` sets the intensity; `words`
 /// streaming words of the given precision set Q.
-// rme-lint: allow(intensity sweep scalar, dimensionless by policy)
+// rme-lint: allow(units-suffix: intensity sweep scalar, dimensionless by policy)
 [[nodiscard]] KernelDesc fma_load_mix(double flops_per_byte, double words,
                                       Precision p);
 

@@ -26,9 +26,11 @@ struct HostResult {
   [[nodiscard]] ByteCount traffic() const noexcept { return ByteCount{bytes}; }
   [[nodiscard]] double intensity() const noexcept { return flops / bytes; }
   [[nodiscard]] double gflops() const noexcept {
+    // rme-lint: allow(value-escape: normalized GF/s display rate is raw by policy)
     return (work() / seconds).value() / 1e9;
   }
   [[nodiscard]] double gbytes_per_second() const noexcept {
+    // rme-lint: allow(value-escape: normalized GB/s display rate is raw by policy)
     return (traffic() / seconds).value() / 1e9;
   }
   [[nodiscard]] KernelProfile profile() const noexcept {

@@ -30,9 +30,9 @@ class Stopwatch {
 
 /// Timing summary over repetitions.
 struct Timing {
-  double best_seconds = 0.0;    // rme-lint: allow(host wall-clock stats stay raw)
-  double median_seconds = 0.0;  // rme-lint: allow(host wall-clock stats stay raw)
-  double mean_seconds = 0.0;    // rme-lint: allow(host wall-clock stats stay raw)
+  double best_seconds = 0.0;    // rme-lint: allow(units-suffix: host wall-clock stats stay raw)
+  double median_seconds = 0.0;  // rme-lint: allow(units-suffix: host wall-clock stats stay raw)
+  double mean_seconds = 0.0;    // rme-lint: allow(units-suffix: host wall-clock stats stay raw)
   std::size_t repetitions = 0;
 };
 

@@ -1,0 +1,5 @@
+#include <cmath>
+double a(double x) { return lgamma(x); }
+double b(double x) { return std::lgamma(x); }
+int c() { return rand(); }
+char* d(char* s) { return strtok(s, ","); }

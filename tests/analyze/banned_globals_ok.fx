@@ -1,0 +1,7 @@
+extern "C" double lgamma_r(double, int*);
+double a(double x) { int s = 0; return lgamma_r(x, &s); }
+char* d(char* s, char** save) { return strtok_r(s, ",", save); }
+int my_rand();
+int e() { return my_rand(); }
+const char* msg = "calling rand() inside a string literal is fine";
+// and rand() in a comment is fine too

@@ -1,0 +1,3 @@
+#include <cstdlib>
+// rme-lint: allow(banned-globals: exercising the legacy libc PRNG on purpose)
+int f() { return rand(); }

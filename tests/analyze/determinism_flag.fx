@@ -1,0 +1,10 @@
+#include <chrono>
+#include <random>
+unsigned g() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  auto now = std::chrono::system_clock::now();
+  auto stamp = ::time(nullptr);
+  return gen() + static_cast<unsigned>(now.time_since_epoch().count()) +
+         static_cast<unsigned>(stamp);
+}

@@ -1,0 +1,13 @@
+#include <chrono>
+#include <cstdint>
+#include <random>
+namespace rme::exec {
+std::uint64_t derive_seed(std::uint64_t, std::uint64_t);
+}
+std::uint64_t h(std::uint64_t base, std::uint64_t i) {
+  std::mt19937_64 gen(rme::exec::derive_seed(base, i));
+  return gen();
+}
+long tick() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+#include <random>
+unsigned seed_cli() {
+  // rme-lint: allow(determinism: CLI --seed=random entropy request, not a sweep result)
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,10 @@
+#include <mutex>
+std::mutex mtx_;
+int counter = 0;
+int bump() {
+  mtx_.lock();
+  const int v = ++counter;
+  mtx_.unlock();
+  return v;
+}
+bool try_bump(std::mutex* queue_mutex) { return queue_mutex->try_lock(); }

@@ -1,0 +1,12 @@
+#include <mutex>
+std::mutex mtx_;
+int counter = 0;
+int bump() {
+  const std::lock_guard<std::mutex> lock(mtx_);
+  return ++counter;
+}
+int wait_style() {
+  std::unique_lock<std::mutex> lock(mtx_);
+  lock.unlock();
+  return counter;
+}

@@ -1,0 +1,7 @@
+#include <mutex>
+std::mutex mtx_;
+void adopt() {
+  // rme-lint: allow(lock-discipline: handing the lock to std::adopt_lock below)
+  mtx_.lock();
+  const std::lock_guard<std::mutex> guard(mtx_, std::adopt_lock);
+}

@@ -1,0 +1,5 @@
+int a = 0;  // rme-lint: allow(no rule named here)
+// rme-lint: allow(units-suffix:)
+int b = 0;
+// rme-lint: allow(not-a-rule: reason text)
+int c = 0;

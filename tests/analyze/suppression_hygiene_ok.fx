@@ -1,0 +1,6 @@
+// rme-lint: allow(units-suffix: V outside the dimension algebra)
+double bus_volts = 0.0;
+// rme-lint: allow(units-suffix,value-escape: multi-rule directive with reason)
+double leak_watts = 0.0;
+// rme-lint: allow(*: wildcard directive with reason)
+double any_joules = 0.0;

@@ -1,0 +1,3 @@
+// rme-lint: allow(suppression-hygiene: the next directive is a deliberate legacy example)
+// rme-lint: allow(legacy reason with no rule)
+int d = 0;

@@ -1,0 +1,8 @@
+struct Power {
+  double idle_watts = 0.0;
+};
+double scale(double peak_joules) {
+  return peak_joules * 2.0;
+}
+int separated = 1'000'000;
+double tail_seconds = 0.0;

@@ -1,0 +1,7 @@
+// double commented_joules = 1.0;
+/* block comments span lines:
+   double hidden_watts = 0.0;
+   and must not reach the scanner */
+const char* msg = "double fake_seconds = 0.0;";
+const char* raw = R"(double raw_joules = 1.0;)";
+double plain = 0.0;

@@ -1,0 +1,5 @@
+struct Rail {
+  double bus_volts = 0.0;  // rme-lint: allow(units-suffix: V outside the dimension algebra)
+  // rme-lint: allow(units-suffix: host wall-clock stat stays raw)
+  double wall_seconds = 0.0;
+};

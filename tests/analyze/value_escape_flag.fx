@@ -1,0 +1,6 @@
+#pragma once
+#include "rme/core/units.hpp"
+struct Widget {
+  rme::Joules e;
+  double raw() const { return e.value(); }
+};

@@ -1,0 +1,2 @@
+#include "rme/core/units.hpp"
+double raw_kernel(rme::Joules e) { return e.value(); }

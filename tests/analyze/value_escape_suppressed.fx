@@ -1,0 +1,7 @@
+#pragma once
+#include "rme/core/units.hpp"
+struct Widget {
+  rme::Joules e;
+  // rme-lint: allow(value-escape: normalized display scalar by policy)
+  double raw() const { return e.value(); }
+};

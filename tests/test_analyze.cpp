@@ -1,0 +1,326 @@
+// rme::analyze — source model, rule registry, and the fixture corpus.
+//
+// Every rule is exercised three ways from files under tests/analyze/:
+// a positive fixture that must flag (with exact locations), a negative
+// fixture that must stay quiet, and a suppressed fixture whose reasoned
+// allow directives silence the findings.  Fixtures carry the .fx
+// extension so the project-wide `rme_analyze src tools bench tests`
+// gate never walks into the deliberate violations; the tests lex them
+// under virtual paths to model library/header placement.
+
+#include "rme/analyze/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rme/analyze/rules.hpp"
+#include "rme/analyze/source.hpp"
+
+namespace rme::analyze {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(RME_ANALYZE_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lexes fixture `name` under `virtual_path` and runs one rule (or all
+/// rules when `rule_name` is empty).
+std::vector<Finding> run_fixture(const std::string& name,
+                                 const std::string& virtual_path,
+                                 const std::string& rule_name = "") {
+  const SourceFile file = SourceFile::from_string(virtual_path, fixture(name));
+  const std::vector<const Rule*> rules =
+      rule_name.empty() ? all_rules()
+                        : select_rules({rule_name});
+  return run_rules(file, rules);
+}
+
+std::vector<std::pair<std::string, std::size_t>> locations(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, std::size_t>> locs;
+  locs.reserve(findings.size());
+  for (const Finding& f : findings) {
+    locs.emplace_back(f.rule, f.line);
+  }
+  return locs;
+}
+
+using Locs = std::vector<std::pair<std::string, std::size_t>>;
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, AtLeastFiveActiveRules) {
+  EXPECT_GE(all_rules().size(), 5u);
+}
+
+TEST(Registry, NamesAreUniqueAndFindable) {
+  for (const Rule* r : all_rules()) {
+    EXPECT_EQ(find_rule(r->name()), r);
+  }
+  EXPECT_EQ(find_rule("no-such-rule"), nullptr);
+}
+
+TEST(Registry, SelectRulesRejectsUnknownNames) {
+  EXPECT_THROW((void)select_rules({"no-such-rule"}), std::invalid_argument);
+}
+
+TEST(Registry, SelectRulesSubsets) {
+  const auto rules = select_rules({"banned-globals"});
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0]->name(), "banned-globals");
+  // A selected subset really is a subset: a units-suffix violation is
+  // invisible to a banned-globals-only run.
+  const SourceFile file =
+      SourceFile::from_string("x.cpp", "double idle_watts = 0.0;\n");
+  EXPECT_TRUE(run_rules(file, rules).empty());
+}
+
+// --- source model -----------------------------------------------------------
+
+TEST(SourceModel, MasksCommentsAndLiterals) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp",
+      "int a = 0;  // trailing comment\n"
+      "/* block\n"
+      "   spans lines */ int b = 1;\n"
+      "const char* s = \"quoted \\\" text\";\n"
+      "const char* r = R\"(raw text)\";\n");
+  EXPECT_EQ(f.code_line(1).substr(0, 10), "int a = 0;");
+  EXPECT_EQ(f.code_line(1).find("trailing"), std::string::npos);
+  EXPECT_EQ(f.code_line(2).find("block"), std::string::npos);
+  EXPECT_NE(f.code_line(3).find("int b = 1;"), std::string::npos);
+  EXPECT_EQ(f.code_line(4).find("quoted"), std::string::npos);
+  EXPECT_EQ(f.code_line(5).find("raw text"), std::string::npos);
+  // Masking preserves column positions.
+  EXPECT_EQ(f.code_line(3).find("int b"), f.raw_line(3).find("int b"));
+}
+
+TEST(SourceModel, DigitSeparatorIsNotACharLiteral) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp", "int n = 1'000'000;\nint later = 2;\n");
+  EXPECT_NE(f.code_line(2).find("later"), std::string::npos);
+}
+
+TEST(SourceModel, PathClassification) {
+  EXPECT_TRUE(SourceFile::from_string("src/rme/core/a.hpp", "")
+                  .public_header());
+  EXPECT_FALSE(SourceFile::from_string("src/rme/core/a.cpp", "")
+                   .public_header());
+  EXPECT_TRUE(SourceFile::from_string("src/rme/core/a.cpp", "").in_library());
+  EXPECT_FALSE(SourceFile::from_string("tests/a.hpp", "").in_library());
+}
+
+TEST(SourceModel, ParsesScopedSuppressions) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp",
+      "// rme-lint: allow(units-suffix: reasoned)\n"
+      "double idle_watts = 0.0;\n"
+      "double bus_volts = 0.0;  // rme-lint: allow(units-suffix,value-escape: two rules)\n"
+      "// rme-lint: allow(*: wildcard)\n"
+      "double any_joules = 0.0;\n");
+  ASSERT_EQ(f.suppressions().size(), 3u);
+  EXPECT_TRUE(f.suppressed("units-suffix", 2));  // whole-line covers next
+  EXPECT_TRUE(f.suppressed("units-suffix", 1));  // ...and its own line
+  EXPECT_FALSE(f.suppressed("banned-globals", 2));
+  EXPECT_TRUE(f.suppressed("units-suffix", 3));   // trailing covers own line
+  EXPECT_TRUE(f.suppressed("value-escape", 3));
+  EXPECT_TRUE(f.suppressed("lock-discipline", 5));  // wildcard
+}
+
+TEST(SourceModel, MalformedDirectivesSuppressNothing) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp",
+      "// rme-lint: allow(legacy reason with no rule)\n"
+      "double idle_watts = 0.0;\n");
+  EXPECT_FALSE(f.suppressed("units-suffix", 2));
+  ASSERT_EQ(f.suppressions().size(), 1u);
+  EXPECT_TRUE(f.suppressions()[0].malformed);
+}
+
+// --- units-suffix -----------------------------------------------------------
+
+TEST(UnitsSuffix, FlagsRawDoublesInTranslationUnits) {
+  // A .cpp virtual path: the old rme_lint scanned headers only, so this
+  // doubles as the regression test for that false negative.
+  const auto findings =
+      run_fixture("units_suffix_flag.fx", "bench/fixture.cpp", "units-suffix");
+  EXPECT_EQ(locations(findings), (Locs{{"units-suffix", 2},
+                                       {"units-suffix", 4},
+                                       {"units-suffix", 8}}));
+  EXPECT_NE(findings[0].message.find("idle_watts"), std::string::npos);
+}
+
+TEST(UnitsSuffix, StringsAndBlockCommentsDoNotFlag) {
+  // Regression: block comments and string literals defeated the regex
+  // scanner in the old tool by flagging (or hiding) their contents.
+  EXPECT_TRUE(
+      run_fixture("units_suffix_ok.fx", "bench/fixture.cpp", "units-suffix")
+          .empty());
+}
+
+TEST(UnitsSuffix, ReasonedAllowsSuppress) {
+  EXPECT_TRUE(run_fixture("units_suffix_suppressed.fx", "bench/fixture.cpp",
+                          "units-suffix")
+                  .empty());
+}
+
+// --- banned-globals ---------------------------------------------------------
+
+TEST(BannedGlobals, FlagsThreadUnsafeLibcCalls) {
+  const auto findings = run_fixture("banned_globals_flag.fx",
+                                    "src/rme/fit/fixture.cpp",
+                                    "banned-globals");
+  EXPECT_EQ(locations(findings), (Locs{{"banned-globals", 2},
+                                       {"banned-globals", 3},
+                                       {"banned-globals", 4},
+                                       {"banned-globals", 5}}));
+  // The PR 3 race class: lgamma's message must name the signgam global
+  // and the lgamma_r replacement.
+  EXPECT_NE(findings[0].message.find("signgam"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("lgamma_r"), std::string::npos);
+}
+
+TEST(BannedGlobals, SafeVariantsAndStringsDoNotFlag) {
+  EXPECT_TRUE(run_fixture("banned_globals_ok.fx", "src/rme/fit/fixture.cpp",
+                          "banned-globals")
+                  .empty());
+}
+
+TEST(BannedGlobals, ReasonedAllowsSuppress) {
+  EXPECT_TRUE(run_fixture("banned_globals_suppressed.fx",
+                          "tools/fixture.cpp", "banned-globals")
+                  .empty());
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(Determinism, FlagsEntropyEnginesAndWallClock) {
+  const auto findings = run_fixture("determinism_flag.fx",
+                                    "src/rme/sim/fixture.cpp", "determinism");
+  EXPECT_EQ(locations(findings), (Locs{{"determinism", 4},
+                                       {"determinism", 5},
+                                       {"determinism", 6},
+                                       {"determinism", 7}}));
+}
+
+TEST(Determinism, DeriveSeedPathAndSteadyClockStayQuiet) {
+  EXPECT_TRUE(run_fixture("determinism_ok.fx", "src/rme/sim/fixture.cpp",
+                          "determinism")
+                  .empty());
+}
+
+TEST(Determinism, WallClockOutsideLibraryIsNotFlagged) {
+  // bench/tests/tools may read clocks; only src/rme/ result-producing
+  // code is held to the simulated-time contract.
+  const SourceFile f = SourceFile::from_string(
+      "bench/fixture.cpp",
+      "#include <chrono>\n"
+      "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_TRUE(run_rules(f, select_rules({"determinism"})).empty());
+}
+
+TEST(Determinism, ReasonedAllowsSuppress) {
+  EXPECT_TRUE(run_fixture("determinism_suppressed.fx",
+                          "src/rme/sim/fixture.cpp", "determinism")
+                  .empty());
+}
+
+// --- value-escape -----------------------------------------------------------
+
+TEST(ValueEscape, FlagsPublicHeaderUnwraps) {
+  const auto findings = run_fixture("value_escape_flag.fx",
+                                    "src/rme/fake/widget.hpp", "value-escape");
+  EXPECT_EQ(locations(findings), (Locs{{"value-escape", 5}}));
+}
+
+TEST(ValueEscape, CppKernelsMayUnwrap) {
+  EXPECT_TRUE(run_fixture("value_escape_ok.fx", "src/rme/fake/widget.cpp",
+                          "value-escape")
+                  .empty());
+}
+
+TEST(ValueEscape, UnitsHeaderItselfIsExempt) {
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/core/units.hpp", "double unwrap() { return q.value(); }\n");
+  EXPECT_TRUE(run_rules(f, select_rules({"value-escape"})).empty());
+}
+
+TEST(ValueEscape, ReasonedAllowsSuppress) {
+  EXPECT_TRUE(run_fixture("value_escape_suppressed.fx",
+                          "src/rme/fake/widget.hpp", "value-escape")
+                  .empty());
+}
+
+// --- lock-discipline --------------------------------------------------------
+
+TEST(LockDiscipline, FlagsManualMutexCalls) {
+  const auto findings =
+      run_fixture("lock_discipline_flag.fx", "src/rme/power/fixture.cpp",
+                  "lock-discipline");
+  EXPECT_EQ(locations(findings), (Locs{{"lock-discipline", 5},
+                                       {"lock-discipline", 7},
+                                       {"lock-discipline", 10}}));
+}
+
+TEST(LockDiscipline, RaiiGuardsStayQuiet) {
+  EXPECT_TRUE(run_fixture("lock_discipline_ok.fx",
+                          "src/rme/power/fixture.cpp", "lock-discipline")
+                  .empty());
+}
+
+TEST(LockDiscipline, ReasonedAllowsSuppress) {
+  EXPECT_TRUE(run_fixture("lock_discipline_suppressed.fx",
+                          "src/rme/power/fixture.cpp", "lock-discipline")
+                  .empty());
+}
+
+// --- suppression-hygiene ----------------------------------------------------
+
+TEST(SuppressionHygiene, FlagsLegacyEmptyAndUnknown) {
+  const auto findings =
+      run_fixture("suppression_hygiene_flag.fx", "src/rme/core/fixture.cpp",
+                  "suppression-hygiene");
+  EXPECT_EQ(locations(findings), (Locs{{"suppression-hygiene", 1},
+                                       {"suppression-hygiene", 2},
+                                       {"suppression-hygiene", 4}}));
+}
+
+TEST(SuppressionHygiene, WellFormedDirectivesStayQuiet) {
+  EXPECT_TRUE(run_fixture("suppression_hygiene_ok.fx",
+                          "src/rme/core/fixture.cpp", "suppression-hygiene")
+                  .empty());
+  // And those directives really do suppress their target rules.
+  EXPECT_TRUE(run_fixture("suppression_hygiene_ok.fx",
+                          "src/rme/core/fixture.cpp", "units-suffix")
+                  .empty());
+}
+
+TEST(SuppressionHygiene, HygieneFindingsAreThemselvesSuppressible) {
+  EXPECT_TRUE(run_fixture("suppression_hygiene_suppressed.fx",
+                          "src/rme/core/fixture.cpp", "suppression-hygiene")
+                  .empty());
+}
+
+// --- end-to-end over all rules ----------------------------------------------
+
+TEST(AllRules, PositiveFixturesOnlyFireTheirOwnRule) {
+  // Running every rule over the banned-globals fixture must produce
+  // banned-globals findings only: fixtures are rule-pure by design.
+  for (const Finding& f :
+       run_fixture("banned_globals_flag.fx", "src/rme/fit/fixture.cpp")) {
+    EXPECT_EQ(f.rule, "banned-globals") << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace rme::analyze

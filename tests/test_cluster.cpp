@@ -144,12 +144,10 @@ TEST_P(ClusterChannelProperties, Invariants) {
   EXPECT_GE(t.total_seconds.value(), t.flops_seconds.value());
   EXPECT_GE(t.total_seconds.value(), t.mem_seconds.value());
   EXPECT_GE(t.total_seconds.value(), t.net_seconds.value());
-  const double bound_seconds = t.bound == Channel::kCompute
-                                   ? t.flops_seconds.value()
-                                   : t.bound == Channel::kMemory
-                                         ? t.mem_seconds.value()
-                                         : t.net_seconds.value();
-  EXPECT_DOUBLE_EQ(bound_seconds, t.total_seconds.value());
+  const Seconds bound = t.bound == Channel::kCompute ? t.flops_seconds
+                        : t.bound == Channel::kMemory ? t.mem_seconds
+                                                      : t.net_seconds;
+  EXPECT_DOUBLE_EQ(bound.value(), t.total_seconds.value());
   // 2. Energy components are nonnegative and sum to the total.
   EXPECT_GE(e.net_joules.value(), 0.0);
   EXPECT_NEAR(e.total_joules.value(),

@@ -1,0 +1,106 @@
+// rme_analyze: the project static analyzer.  Successor to the old
+// single-rule rme_lint — see src/rme/analyze/ for the source model and
+// the rule registry, docs/ANALYSIS.md for the rule catalogue and the
+// suppression syntax.
+//
+// Usage:
+//   rme_analyze [--list-rules] [--rule=<name>[,<name>...]]
+//               [--format=text|json] <dir-or-file>...
+//
+// Exit status: 0 clean, 1 findings remain, 2 bad usage / IO error.
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/analyzer.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: rme_analyze [--list-rules] [--rule=<name>[,<name>...]]\n"
+        "                   [--format=text|json] <dir-or-file>...\n"
+        "exit status: 0 clean, 1 findings, 2 bad usage or IO error\n";
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list_rules = false;
+  std::string format = "text";
+  std::vector<std::string> selectors;
+  std::vector<std::filesystem::path> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      for (std::string& s : split_csv(arg.substr(7))) {
+        selectors.push_back(std::move(s));
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "rme_analyze: unknown format '" << format << "'\n";
+        print_usage(std::cerr);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "rme_analyze: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const rme::analyze::Rule* r : rme::analyze::all_rules()) {
+      std::cout << r->name() << "\n    " << r->description() << "\n";
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  std::vector<const rme::analyze::Rule*> rules;
+  try {
+    rules = rme::analyze::select_rules(selectors);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  const rme::analyze::Report report =
+      rme::analyze::analyze_paths(paths, rules);
+  if (format == "json") {
+    rme::analyze::write_json(std::cout, report);
+  } else {
+    rme::analyze::write_text(report.findings.empty() && report.errors.empty()
+                                 ? std::cout
+                                 : std::cerr,
+                             report);
+  }
+  if (!report.errors.empty()) return 2;
+  return report.findings.empty() ? 0 : 1;
+}
