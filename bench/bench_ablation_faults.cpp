@@ -83,13 +83,13 @@ std::vector<sim::KernelDesc> sweep(const MachineParams& m, Precision p) {
 std::vector<fit::EnergySample> collect(const power::MeasurementSession& sp,
                                        const power::MeasurementSession& dp,
                                        power::SessionQuality* quality,
-                                       unsigned jobs) {
+                                       unsigned jobs, obs::Tracer* tracer) {
   std::vector<fit::EnergySample> samples;
   for (const power::MeasurementSession* session : {&sp, &dp}) {
     const Precision prec =
         session == &sp ? Precision::kSingle : Precision::kDouble;
     for (const auto& r : session->measure_sweep(
-             sweep(presets::i7_950(prec), prec), jobs)) {
+             sweep(presets::i7_950(prec), prec), jobs, tracer)) {
       if (quality) {
         quality->reps_retried += r.quality.reps_retried;
         quality->reps_kept_degraded += r.quality.reps_kept_degraded;
@@ -137,6 +137,7 @@ double max_abs_dev(const CoeffSet& f, const CoeffSet& clean) {
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchObs bobs(args);
   bench::print_heading(
       "Ablation: instrument faults vs. eq. (9) fit (OLS / Huber / OLS+QC)");
 
@@ -155,7 +156,7 @@ int main(int argc, char** argv) {
   const auto clean_samples =
       collect(faulty_session(sp, fault_profile(0.0), false),
               faulty_session(dp, fault_profile(0.0), false), nullptr,
-              args.jobs);
+              args.jobs, bobs.tracer());
   const CoeffSet clean =
       coeffs(fit::fit_energy_coefficients(clean_samples, ols_opts));
   std::cout << "Clean-run OLS baseline (Intel i7-950, per-rep tuples):\n"
@@ -180,14 +181,14 @@ int main(int argc, char** argv) {
 
     const auto raw = collect(faulty_session(sp, profile, false),
                              faulty_session(dp, profile, false), nullptr,
-                             args.jobs);
+                             args.jobs, bobs.tracer());
     const CoeffSet ols_c = coeffs(fit::fit_energy_coefficients(raw, ols_opts));
     const CoeffSet hub_c = coeffs(fit::fit_energy_coefficients(raw, huber));
 
     power::SessionQuality qc_quality;
     const auto qc = collect(faulty_session(sp, profile, true),
                             faulty_session(dp, profile, true), &qc_quality,
-                            args.jobs);
+                            args.jobs, bobs.tracer());
     const CoeffSet qc_c = coeffs(fit::fit_energy_coefficients(qc, ols_opts));
 
     const auto row = [&](const char* estimator, const CoeffSet& c) {
@@ -229,5 +230,5 @@ int main(int argc, char** argv) {
          "before they reach the regression — until fault rates climb high\n"
          "enough that retries stop finding clean reps, where the robust\n"
          "estimator keeps degrading gracefully.\n";
-  return 0;
+  return bobs.finish() ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,30 +17,97 @@ namespace rme::bench {
 
 /// Shared bench harness flags.
 ///
-///   --jobs N   parallelize the bench's sweep over an rme::exec pool
-///              (0 = hardware concurrency; default 1 = serial).  All
-///              sweeps are deterministic: any N prints the same bytes.
-///   --csv PATH additionally emit the sweep's numbers as CSV (goldens
-///              under tests/golden/ pin this output).
+///   --jobs N     parallelize the bench's sweep over an rme::exec pool
+///                (0 = hardware concurrency; default 1 = serial).  All
+///                sweeps are deterministic: any N prints the same bytes.
+///                N must be a plain non-negative integer; anything else
+///                (e.g. `--jobs abc`) exits 2 naming the flag.
+///   --csv PATH   additionally emit the sweep's numbers as CSV (goldens
+///                under tests/golden/ pin this output).
+///   --trace PATH write a Chrome trace-event JSON of the run to PATH
+///                (load in chrome://tracing or ui.perfetto.dev).  The
+///                trace observes but never perturbs: CSV and stdout are
+///                byte-identical with or without it.
+///   --metrics    print an rme::obs metrics summary (counters, span
+///                stats, latency histograms) to stderr after the run.
 struct BenchArgs {
   unsigned jobs = 1;
-  std::string csv_path;  ///< Empty: no CSV emission.
+  std::string csv_path;    ///< Empty: no CSV emission.
+  std::string trace_path;  ///< Empty: no Chrome-trace export.
+  bool metrics = false;    ///< Print a metrics summary to stderr.
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
+  const auto fail = [&](const std::string& message) {
+    if (!message.empty()) std::fprintf(stderr, "%s\n", message.c_str());
+    std::fprintf(
+        stderr,
+        "usage: %s [--jobs N] [--csv PATH] [--trace PATH] [--metrics]\n",
+        argv[0]);
+    std::exit(2);
+  };
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      args.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      try {
+        args.jobs = cli::parse_unsigned32(argv[++i], "--jobs");
+      } catch (const cli::UsageError& e) {
+        fail(e.what());
+      }
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       args.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      args.metrics = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs N] [--csv PATH]\n", argv[0]);
-      std::exit(2);
+      fail("");
     }
   }
   return args;
 }
+
+/// The bench harness's observability rig: owns the RealClock + Tracer
+/// when `--trace` or `--metrics` asked for one, and hands out a Tracer*
+/// that is null otherwise — so instrumented library calls are no-ops on
+/// an untraced run.  This is the designated tool/bench-layer home of
+/// obs::make_real_clock() (see rme/obs/clock.hpp).
+class BenchObs {
+ public:
+  explicit BenchObs(const BenchArgs& args)
+      : trace_path_(args.trace_path), metrics_(args.metrics) {
+    if (!trace_path_.empty() || metrics_) {
+      clock_ = obs::make_real_clock();
+      tracer_ = std::make_unique<obs::Tracer>(*clock_);
+    }
+  }
+
+  /// The sink to pass into library calls; null when tracing is off.
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Writes the trace file and/or the stderr metrics summary (stderr so
+  /// CSV/stdout stay byte-identical).  Returns false when the trace
+  /// file could not be written.
+  bool finish() {
+    if (tracer_ == nullptr) return true;
+    bool ok = true;
+    if (!trace_path_.empty()) {
+      ok = obs::write_chrome_trace_file(trace_path_, *tracer_);
+      if (!ok) {
+        std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (metrics_) obs::write_metrics_summary(std::cerr, tracer_->snapshot());
+    return ok;
+  }
+
+ private:
+  std::string trace_path_;
+  bool metrics_;
+  std::unique_ptr<obs::Clock> clock_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 /// A platform under test: machine ground truth plus the achieved
 /// fractions §IV-B reports for tuned kernels on it.

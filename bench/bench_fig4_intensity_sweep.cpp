@@ -24,7 +24,7 @@ using namespace rme;
 namespace {
 
 void run_subplot(const bench::Platform& platform, Precision prec,
-                 unsigned jobs, report::CsvWriter* csv) {
+                 unsigned jobs, report::CsvWriter* csv, obs::Tracer* tracer) {
   const MachineParams& m = platform.machine;
   bench::print_heading(std::string("Fig. 4 subplot: ") + platform.label);
 
@@ -35,9 +35,14 @@ void run_subplot(const bench::Platform& platform, Precision prec,
             << report::fmt(m.energy_balance(), 3) << ", effective (y=1/2)="
             << report::fmt(m.balance_fixed_point(), 3) << "\n\n";
 
+  const obs::Span span(tracer,
+                       tracer == nullptr ? std::string()
+                                         : std::string("subplot ") +
+                                               platform.label,
+                       "bench");
   const auto session = bench::make_session(platform);
   const auto kernels = bench::fig4_sweep(prec);
-  const auto results = session.measure_sweep(kernels, jobs);
+  const auto results = session.measure_sweep(kernels, jobs, tracer);
 
   report::Table t({"I (flop:B)", "time: measured", "time: model",
                    "energy: measured", "energy: model", "capped"});
@@ -69,6 +74,7 @@ void run_subplot(const bench::Platform& platform, Precision prec,
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchObs bobs(args);
   std::ofstream csv_file;
   std::unique_ptr<report::CsvWriter> csv;
   if (!args.csv_path.empty()) {
@@ -79,13 +85,13 @@ int main(int argc, char** argv) {
   }
 
   run_subplot(bench::gtx580_platform(Precision::kDouble), Precision::kDouble,
-              args.jobs, csv.get());
+              args.jobs, csv.get(), bobs.tracer());
   run_subplot(bench::i7_950_platform(Precision::kDouble), Precision::kDouble,
-              args.jobs, csv.get());
+              args.jobs, csv.get(), bobs.tracer());
   run_subplot(bench::gtx580_platform(Precision::kSingle), Precision::kSingle,
-              args.jobs, csv.get());
+              args.jobs, csv.get(), bobs.tracer());
   run_subplot(bench::i7_950_platform(Precision::kSingle), Precision::kSingle,
-              args.jobs, csv.get());
+              args.jobs, csv.get(), bobs.tracer());
 
   std::cout
       << "\nPaper shape checks reproduced:\n"
@@ -95,5 +101,5 @@ int main(int argc, char** argv) {
          "  * in all subplots B_tau exceeds the effective energy-balance "
          "point, so\n    time-efficiency implies energy-efficiency "
          "(race-to-halt works, SsV-B).\n";
-  return 0;
+  return bobs.finish() ? 0 : 1;
 }

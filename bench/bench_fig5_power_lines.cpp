@@ -13,7 +13,7 @@ using namespace rme;
 namespace {
 
 void run_subplot(const bench::Platform& platform, Precision prec,
-                 unsigned jobs) {
+                 unsigned jobs, obs::Tracer* tracer) {
   const MachineParams& m = platform.machine;
   bench::print_heading(std::string("Fig. 5 subplot: ") + platform.label);
 
@@ -31,7 +31,7 @@ void run_subplot(const bench::Platform& platform, Precision prec,
   report::Table t({"I (flop:B)", "measured W", "model W",
                    "measured/(flop+const)", "model/(flop+const)", "capped"});
   for (const power::SessionResult& r :
-       session.measure_sweep(bench::fig4_sweep(prec), jobs)) {
+       session.measure_sweep(bench::fig4_sweep(prec), jobs, tracer)) {
     const double i = r.kernel.intensity();
     t.add_row({report::fmt(i, 4), report::fmt(r.watts.median, 4),
                report::fmt(average_power(m, i).value(), 4),
@@ -47,18 +47,19 @@ void run_subplot(const bench::Platform& platform, Precision prec,
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchObs bobs(args);
   run_subplot(bench::gtx580_platform(Precision::kDouble), Precision::kDouble,
-              args.jobs);
+              args.jobs, bobs.tracer());
   run_subplot(bench::i7_950_platform(Precision::kDouble), Precision::kDouble,
-              args.jobs);
+              args.jobs, bobs.tracer());
   run_subplot(bench::gtx580_platform(Precision::kSingle), Precision::kSingle,
-              args.jobs);
+              args.jobs, bobs.tracer());
   run_subplot(bench::i7_950_platform(Precision::kSingle), Precision::kSingle,
-              args.jobs);
+              args.jobs, bobs.tracer());
 
   std::cout << "Shape checks: power peaks at I = B_tau in every subplot; "
                "the GTX 580 single-\nprecision measured points clip at the "
                "244 W cap near B_tau while the model\ndemands ~380 W "
                "(paper: 387 W), reproducing the Fig. 5b discrepancy.\n";
-  return 0;
+  return bobs.finish() ? 0 : 1;
 }

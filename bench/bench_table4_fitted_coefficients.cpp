@@ -15,13 +15,15 @@ using namespace rme;
 namespace {
 
 fit::EnergyFit fit_platform(const bench::Platform& sp,
-                            const bench::Platform& dp, unsigned jobs) {
+                            const bench::Platform& dp, unsigned jobs,
+                            obs::Tracer* tracer) {
   std::vector<fit::EnergySample> samples;
   for (const bench::Platform* platform : {&sp, &dp}) {
     const Precision prec = platform == &sp ? Precision::kSingle
                                            : Precision::kDouble;
     const auto session = bench::make_session(*platform, 25);
-    for (const auto& r : session.measure_sweep(bench::fig4_sweep(prec), jobs)) {
+    for (const auto& r :
+         session.measure_sweep(bench::fig4_sweep(prec), jobs, tracer)) {
       fit::EnergySample s;
       s.flops = r.kernel.flops;
       s.bytes = r.kernel.bytes;
@@ -31,7 +33,8 @@ fit::EnergyFit fit_platform(const bench::Platform& sp,
       samples.push_back(s);
     }
   }
-  return fit::fit_energy_coefficients(samples);
+  return fit::fit_energy_coefficients(samples, fit::EnergyFitOptions{},
+                                      tracer);
 }
 
 void print_fit(const char* label, const fit::EnergyFit& f, double eps_s,
@@ -77,6 +80,7 @@ void print_fit(const char* label, const fit::EnergyFit& f, double eps_s,
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  bench::BenchObs bobs(args);
   std::ofstream csv_file;
   std::unique_ptr<report::CsvWriter> csv;
   if (!args.csv_path.empty()) {
@@ -94,15 +98,17 @@ int main(int argc, char** argv) {
   // the authors fit through.
   const fit::EnergyFit gpu =
       fit_platform(bench::gtx580_platform(Precision::kSingle),
-                   bench::gtx580_platform(Precision::kDouble), args.jobs);
+                   bench::gtx580_platform(Precision::kDouble), args.jobs,
+                   bobs.tracer());
   print_fit("NVIDIA GTX 580 (GPU-only power):", gpu, 99.7, 212.0, 513.0,
             122.0, csv.get());
 
   const fit::EnergyFit cpu =
       fit_platform(bench::i7_950_platform(Precision::kSingle),
-                   bench::i7_950_platform(Precision::kDouble), args.jobs);
+                   bench::i7_950_platform(Precision::kDouble), args.jobs,
+                   bobs.tracer());
   print_fit("Intel Core i7-950 (desktop):", cpu, 371.0, 670.0, 795.0, 122.0,
             csv.get());
 
-  return 0;
+  return bobs.finish() ? 0 : 1;
 }

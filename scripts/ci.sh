@@ -21,6 +21,26 @@ echo "=== static analysis (rme_analyze) ==="
 ./build/tools/rme_analyze src tools bench tests
 
 echo
+echo "=== observability: traced bench run ==="
+# Tracing must be a pure observer: run a figure bench with and without
+# --trace, byte-diff the CSVs, and validate the trace as JSON.
+obs_dir=$(mktemp -d)
+./build/bench/bench_fig4_intensity_sweep --jobs 4 \
+  --csv "$obs_dir/plain.csv" > /dev/null
+./build/bench/bench_fig4_intensity_sweep --jobs 4 \
+  --csv "$obs_dir/traced.csv" --trace "$obs_dir/trace.json" --metrics \
+  > /dev/null 2> "$obs_dir/metrics.txt"
+diff "$obs_dir/plain.csv" "$obs_dir/traced.csv"
+grep -q "== rme::obs metrics" "$obs_dir/metrics.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$obs_dir/trace.json" > /dev/null
+  echo "trace JSON valid ($(wc -c < "$obs_dir/trace.json") bytes)"
+else
+  echo "python3 not installed; skipping JSON validation of trace output"
+fi
+rm -rf "$obs_dir"
+
+echo
 echo "=== format check (clang-format) ==="
 if command -v clang-format >/dev/null 2>&1; then
   git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run --Werror

@@ -1,0 +1,67 @@
+#include "rme/cli/args.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace rme::cli {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view flag, std::string_view text,
+                       std::string_view want) {
+  throw UsageError(std::string(flag) + ": invalid value '" +
+                   std::string(text) + "' (expected " + std::string(want) +
+                   ")");
+}
+
+}  // namespace
+
+unsigned long parse_unsigned(std::string_view text, std::string_view flag) {
+  unsigned long value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    fail(flag, text, "a non-negative integer in range");
+  }
+  // from_chars accepts neither leading '+'/whitespace nor, for unsigned
+  // types, a '-' sign; a partial parse leaves ptr short of end.
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    fail(flag, text, "a non-negative integer");
+  }
+  return value;
+}
+
+unsigned parse_unsigned32(std::string_view text, std::string_view flag) {
+  const unsigned long value = parse_unsigned(text, flag);
+  if (value > std::numeric_limits<unsigned>::max()) {
+    fail(flag, text, "a non-negative integer in range");
+  }
+  return static_cast<unsigned>(value);
+}
+
+std::size_t parse_size(std::string_view text, std::string_view flag) {
+  static_assert(sizeof(std::size_t) >= sizeof(unsigned long),
+                "parse_size assumes size_t can hold unsigned long");
+  return parse_unsigned(text, flag);
+}
+
+double parse_double(std::string_view text, std::string_view flag) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    fail(flag, text, "a finite number in range");
+  }
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    fail(flag, text, "a number");
+  }
+  if (!std::isfinite(value)) {
+    fail(flag, text, "a finite number");
+  }
+  return value;
+}
+
+}  // namespace rme::cli

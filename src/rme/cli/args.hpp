@@ -1,0 +1,51 @@
+#pragma once
+// rme::cli — strict numeric argument parsing shared by the bench
+// harness (bench/bench_common.hpp) and tools/rme_cli.
+//
+// The harnesses used to parse numeric flags with unchecked strtoul /
+// strtod, so `--jobs abc` silently became 0 — which rme::exec resolves
+// to "hardware concurrency", a silently nondeterministic thread count
+// on exactly the flag whose contract is determinism.  These parsers
+// reject non-numeric input, trailing garbage, embedded signs, and
+// out-of-range values, and name the offending flag in the error; the
+// harness catches UsageError and exits 2 with usage.
+//
+// Parsing is locale-independent (std::from_chars): "3.14" means 3.14
+// under every global locale, unlike strtod.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rme::cli {
+
+/// A malformed command line: the message names the offending flag and
+/// value.  Harness mains catch this and exit 2 with their usage text.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a non-negative decimal integer strictly: the whole of `text`
+/// must be digits (no sign, no whitespace, no trailing characters) and
+/// fit the return type.  `flag` names the argument in the UsageError.
+[[nodiscard]] unsigned long parse_unsigned(std::string_view text,
+                                           std::string_view flag);
+
+/// parse_unsigned narrowed to unsigned (for --jobs style flags).
+[[nodiscard]] unsigned parse_unsigned32(std::string_view text,
+                                        std::string_view flag);
+
+/// parse_unsigned widened to std::size_t (for counts like --bootstrap).
+[[nodiscard]] std::size_t parse_size(std::string_view text,
+                                     std::string_view flag);
+
+/// Parses a finite decimal floating-point value strictly: the whole of
+/// `text` must parse (optional leading '-', no trailing characters),
+/// and the result must be finite.  Locale-independent: the decimal
+/// separator is '.' regardless of the global locale.
+[[nodiscard]] double parse_double(std::string_view text,
+                                  std::string_view flag);
+
+}  // namespace rme::cli

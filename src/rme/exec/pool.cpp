@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "rme/obs/trace.hpp"
+
 namespace rme::exec {
 
 unsigned hardware_jobs() noexcept {
@@ -14,11 +16,14 @@ unsigned resolve_jobs(unsigned jobs) noexcept {
   return jobs == 0 ? hardware_jobs() : jobs;
 }
 
-ThreadPool::ThreadPool(unsigned jobs) {
+ThreadPool::ThreadPool(unsigned jobs, obs::Tracer* tracer) : tracer_(tracer) {
   const unsigned n = resolve_jobs(jobs);
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (tracer_ != nullptr) {
+    tracer_->add_counter("pool.workers", static_cast<std::int64_t>(n));
   }
 }
 
@@ -36,15 +41,23 @@ void ThreadPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  if (tracer_ != nullptr) {
+    tracer_->add_counter("pool.submitted", 1);
+    tracer_->add_counter("pool.queue_depth", 1);
+  }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait() {
+  const obs::Span span(tracer_, "pool.wait", "pool");
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
   if (first_error_) {
     const std::exception_ptr err = std::exchange(first_error_, nullptr);
     lock.unlock();
+    if (tracer_ != nullptr) {
+      tracer_->record_instant("pool.rethrow", "pool");
+    }
     std::rethrow_exception(err);
   }
 }
@@ -61,9 +74,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    if (tracer_ != nullptr) {
+      tracer_->add_counter("pool.queue_depth", -1);
+    }
     try {
+      const obs::Span span(tracer_, "pool.task", "pool");
       task();
     } catch (...) {
+      if (tracer_ != nullptr) {
+        tracer_->add_counter("pool.task_exceptions", 1);
+        tracer_->record_instant("pool.task_exception", "pool");
+      }
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
@@ -95,13 +116,13 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  unsigned jobs) {
+                  unsigned jobs, obs::Tracer* tracer) {
   if (n == 0) return;
   if (resolve_jobs(jobs) <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  ThreadPool pool(resolve_jobs(jobs));
+  ThreadPool pool(resolve_jobs(jobs), tracer);
   pool.parallel_for(n, body);
 }
 

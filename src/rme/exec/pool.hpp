@@ -38,6 +38,10 @@
 #include <utility>
 #include <vector>
 
+namespace rme::obs {
+class Tracer;  // rme/obs/trace.hpp — optional tracing sink
+}  // namespace rme::obs
+
 namespace rme::exec {
 
 /// SplitMix64 finalizer-style mixer (Steele et al.); bijective on u64.
@@ -71,7 +75,12 @@ class ThreadPool {
   /// Spawns `resolve_jobs(jobs)` workers.  A 1-worker pool still runs
   /// tasks on its worker thread; use the free parallel_* functions if
   /// you want jobs == 1 to mean "inline on the caller".
-  explicit ThreadPool(unsigned jobs = 0);
+  ///
+  /// A non-null `tracer` records per-task spans, a `pool.queue_depth`
+  /// counter, submit/exception totals, and wait/rethrow events (see
+  /// rme/obs/trace.hpp).  Tracing never affects results: tasks run
+  /// identically, and the null default is a branch-only no-op.
+  explicit ThreadPool(unsigned jobs = 0, obs::Tracer* tracer = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -108,14 +117,17 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  obs::Tracer* tracer_ = nullptr;  ///< Optional; null = no-op sink.
 };
 
 /// Runs body(i) for i in [0, n).  jobs <= 1 runs inline on the caller's
 /// thread; otherwise a transient pool of resolve_jobs(jobs) workers is
-/// used.  Rethrows the first exception a body raised.
+/// used.  Rethrows the first exception a body raised.  A non-null
+/// `tracer` instruments the transient pool (inline runs record
+/// nothing — there is no pool to observe).
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t)>& body,
-                  unsigned jobs = 1);
+                  unsigned jobs = 1, obs::Tracer* tracer = nullptr);
 
 /// Maps fn over [0, n) into a vector indexed by task: out[i] = fn(i).
 /// The result type must be default-constructible and must not be bool
@@ -123,23 +135,26 @@ void parallel_for(std::size_t n,
 /// each slot is written exactly once by its own task, the result is
 /// bit-identical for every jobs value.
 template <class Fn>
-[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn, unsigned jobs = 1)
+[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn, unsigned jobs = 1,
+                                obs::Tracer* tracer = nullptr)
     -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
   using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
   static_assert(!std::is_same_v<R, bool>,
                 "parallel_map cannot target std::vector<bool>");
   std::vector<R> out(n);
   parallel_for(
-      n, [&](std::size_t i) { out[i] = fn(i); }, jobs);
+      n, [&](std::size_t i) { out[i] = fn(i); }, jobs, tracer);
   return out;
 }
 
 /// Maps fn over a vector of items: out[i] = fn(items[i]).
 template <class T, class Fn>
 [[nodiscard]] auto parallel_map_items(const std::vector<T>& items, Fn&& fn,
-                                      unsigned jobs = 1) {
+                                      unsigned jobs = 1,
+                                      obs::Tracer* tracer = nullptr) {
   return parallel_map(
-      items.size(), [&](std::size_t i) { return fn(items[i]); }, jobs);
+      items.size(), [&](std::size_t i) { return fn(items[i]); }, jobs,
+      tracer);
 }
 
 }  // namespace rme::exec

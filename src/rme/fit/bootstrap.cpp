@@ -7,6 +7,7 @@
 
 #include "rme/exec/pool.hpp"
 #include "rme/fit/linalg.hpp"
+#include "rme/obs/trace.hpp"
 #include "rme/sim/noise.hpp"
 
 namespace rme::fit {
@@ -45,7 +46,8 @@ struct RefitOutcome {
 /// (samples, seed, r), so any `jobs` value yields identical outcomes.
 std::vector<RefitOutcome> refit_resamples(
     const std::vector<EnergySample>& samples, const EnergyFitOptions& options,
-    std::size_t resamples, std::uint64_t seed, unsigned jobs) {
+    std::size_t resamples, std::uint64_t seed, unsigned jobs,
+    obs::Tracer* tracer) {
   if (samples.size() < 8) {
     throw std::invalid_argument(
         "bootstrap_energy_fit: need at least 8 samples");
@@ -53,22 +55,34 @@ std::vector<RefitOutcome> refit_resamples(
   return exec::parallel_map(
       resamples,
       [&](std::size_t r) -> RefitOutcome {
+        const obs::Span span(
+            tracer,
+            tracer == nullptr ? std::string()
+                              : "resample " + std::to_string(r),
+            "fit");
         const std::vector<std::size_t> indices =
             bootstrap_draw_indices(samples.size(), seed, r);
         std::vector<EnergySample> draw(samples.size());
         for (std::size_t i = 0; i < samples.size(); ++i) {
           draw[i] = samples[indices[i]];
         }
+        if (tracer != nullptr) tracer->add_counter("fit.resamples", 1);
         try {
           return RefitOutcome{
               fit_energy_coefficients(draw, options).coefficients, true};
         } catch (const std::invalid_argument&) {
+          if (tracer != nullptr) {
+            tracer->add_counter("fit.resample_failures", 1);
+          }
           return RefitOutcome{};  // e.g. a draw with one precision only
         } catch (const SingularMatrixError&) {
+          if (tracer != nullptr) {
+            tracer->add_counter("fit.resample_failures", 1);
+          }
           return RefitOutcome{};
         }
       },
-      jobs);
+      jobs, tracer);
 }
 
 /// Reduces one statistic's per-resample values (in resample order, so
@@ -109,9 +123,10 @@ BootstrapEstimate bootstrap_energy_fit(
     const std::vector<EnergySample>& samples,
     const std::function<double(const EnergyCoefficients&)>& statistic,
     std::size_t resamples, std::uint64_t seed, double confidence,
-    unsigned jobs) {
+    unsigned jobs, obs::Tracer* tracer) {
   const std::vector<RefitOutcome> outcomes =
-      refit_resamples(samples, EnergyFitOptions{}, resamples, seed, jobs);
+      refit_resamples(samples, EnergyFitOptions{}, resamples, seed, jobs,
+                      tracer);
   std::vector<double> values;
   values.reserve(resamples);
   std::size_t failures = 0;
@@ -128,9 +143,9 @@ BootstrapEstimate bootstrap_energy_fit(
 CoefficientCis bootstrap_coefficient_cis(
     const std::vector<EnergySample>& samples, const EnergyFitOptions& options,
     std::size_t resamples, std::uint64_t seed, double confidence,
-    unsigned jobs) {
+    unsigned jobs, obs::Tracer* tracer) {
   const std::vector<RefitOutcome> outcomes =
-      refit_resamples(samples, options, resamples, seed, jobs);
+      refit_resamples(samples, options, resamples, seed, jobs, tracer);
   std::array<std::vector<double>, 4> values;
   for (auto& v : values) v.reserve(resamples);
   std::size_t failures = 0;

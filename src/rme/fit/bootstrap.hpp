@@ -44,11 +44,14 @@ struct BootstrapEstimate {
 /// that fail to fit (rank-deficient draws, e.g. all-one-precision) are
 /// skipped and counted.  `jobs` parallelizes the resample loop (0 =
 /// hardware concurrency); the result is bit-identical for every value.
+/// A non-null `tracer` records one span per resample (category "fit")
+/// and fit.resample* counters; results are unaffected by tracing.
 [[nodiscard]] BootstrapEstimate bootstrap_energy_fit(
     const std::vector<EnergySample>& samples,
     const std::function<double(const EnergyCoefficients&)>& statistic,
     std::size_t resamples = 200, std::uint64_t seed = 1,
-    double confidence = 0.95, unsigned jobs = 1);
+    double confidence = 0.95, unsigned jobs = 1,
+    obs::Tracer* tracer = nullptr);
 
 /// Bootstrap CIs for all four eq. (9) coefficients at once (one shared
 /// resample/refit pass, amortized across the statistics).  Used by
@@ -63,7 +66,8 @@ struct CoefficientCis {
 [[nodiscard]] CoefficientCis bootstrap_coefficient_cis(
     const std::vector<EnergySample>& samples,
     const EnergyFitOptions& options, std::size_t resamples = 200,
-    std::uint64_t seed = 1, double confidence = 0.95, unsigned jobs = 1);
+    std::uint64_t seed = 1, double confidence = 0.95, unsigned jobs = 1,
+    obs::Tracer* tracer = nullptr);
 
 /// Convenience statistic: the double-precision energy balance.
 [[nodiscard]] double energy_balance_statistic(const EnergyCoefficients& c);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rme/obs/trace.hpp"
+
 namespace rme::fit {
 
 MachineParams EnergyCoefficients::to_machine(const MachineParams& peaks,
@@ -19,7 +21,9 @@ EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples) {
 }
 
 EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples,
-                                  const EnergyFitOptions& options) {
+                                  const EnergyFitOptions& options,
+                                  obs::Tracer* tracer) {
+  const obs::Span span(tracer, "fit.energy", "fit");
   bool has_single = false;
   bool has_double = false;
   for (const EnergySample& s : samples) {
@@ -67,7 +71,7 @@ EnergyFit fit_energy_coefficients(const std::vector<EnergySample>& samples,
   EnergyFit fit;
   fit.method = options.method;
   if (options.method == FitMethod::kHuber) {
-    RobustRegression robust = huber_fit(x, y, names, options.huber);
+    RobustRegression robust = huber_fit(x, y, names, options.huber, tracer);
     fit.regression = std::move(robust.regression);
     fit.weights = std::move(robust.weights);
     fit.robust_scale = robust.scale;

@@ -81,9 +81,12 @@ struct EnergyFit {
 [[nodiscard]] EnergyFit fit_energy_coefficients(
     const std::vector<EnergySample>& samples);
 
-/// Same regression with an estimator choice (OLS or Huber IRLS).
+/// Same regression with an estimator choice (OLS or Huber IRLS).  A
+/// non-null `tracer` records a "fit.energy" span plus the IRLS
+/// counters from huber_fit; the fit itself is unaffected.
 [[nodiscard]] EnergyFit fit_energy_coefficients(
-    const std::vector<EnergySample>& samples, const EnergyFitOptions& options);
+    const std::vector<EnergySample>& samples, const EnergyFitOptions& options,
+    obs::Tracer* tracer = nullptr);
 
 /// A fitted derived quantity with its propagated uncertainty.
 struct DerivedQuantity {

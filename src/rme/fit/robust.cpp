@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "rme/fit/linalg.hpp"
+#include "rme/obs/trace.hpp"
 
 namespace rme::fit {
 
@@ -50,7 +51,8 @@ void apply_weights(const Matrix& x, const std::vector<double>& y,
 
 RobustRegression huber_fit(const Matrix& x, const std::vector<double>& y,
                            std::vector<std::string> names,
-                           const HuberOptions& options) {
+                           const HuberOptions& options, obs::Tracer* tracer) {
+  const obs::Span irls_span(tracer, "fit.huber_irls", "fit");
   if (x.rows() != y.size()) {
     throw std::invalid_argument("huber_fit: row/response count mismatch");
   }
@@ -127,6 +129,15 @@ RobustRegression huber_fit(const Matrix& x, const std::vector<double>& y,
   // Inference at the converged weights, through the shared OLS machinery.
   apply_weights(x, y, result.weights, &xw, &yw);
   result.regression = ols(xw, yw, std::move(names));
+  if (tracer != nullptr) {
+    tracer->add_counter("fit.irls_iterations",
+                        static_cast<std::int64_t>(result.iterations));
+    tracer->add_counter("fit.irls_downweighted",
+                        static_cast<std::int64_t>(result.downweighted()));
+    if (!result.converged) {
+      tracer->record_instant("fit.irls_not_converged", "fit");
+    }
+  }
   return result;
 }
 

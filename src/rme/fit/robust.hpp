@@ -16,6 +16,10 @@
 
 #include "rme/fit/linreg.hpp"
 
+namespace rme::obs {
+class Tracer;  // rme/obs/trace.hpp — optional tracing sink
+}  // namespace rme::obs
+
 namespace rme::fit {
 
 /// Median of a sample (0 for an empty sample).
@@ -53,10 +57,13 @@ struct RobustRegression {
 };
 
 /// Fits y ≈ X·β under Huber loss.  Shares the shape/rank requirements of
-/// ols(); throws the same exceptions.
+/// ols(); throws the same exceptions.  A non-null `tracer` records an
+/// IRLS span (category "fit") and `fit.irls_iterations` /
+/// `fit.irls_downweighted` counters; the fit itself is unaffected.
 [[nodiscard]] RobustRegression huber_fit(const Matrix& x,
                                          const std::vector<double>& y,
                                          std::vector<std::string> names = {},
-                                         const HuberOptions& options = {});
+                                         const HuberOptions& options = {},
+                                         obs::Tracer* tracer = nullptr);
 
 }  // namespace rme::fit

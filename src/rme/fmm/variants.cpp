@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rme/exec/pool.hpp"
+#include "rme/obs/trace.hpp"
 #include "rme/ubench/timer.hpp"
 
 namespace rme::fmm {
@@ -212,7 +213,9 @@ void dispatch_unroll(const Octree& tree, const UList& ulist,
 }  // namespace
 
 VariantResult run_variant(const Octree& tree, const UList& ulist,
-                          const VariantSpec& spec) {
+                          const VariantSpec& spec, obs::Tracer* tracer) {
+  const obs::Span span(tracer,
+                       tracer == nullptr ? std::string() : spec.name(), "fmm");
   VariantResult result;
   result.spec = spec;
   result.counts = count_interactions(tree, ulist);

@@ -1,0 +1,91 @@
+#include "rme/obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <locale>
+#include <ostream>
+
+namespace rme::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, const TraceSnapshot& snapshot) {
+  // The global locale must not leak separators into the JSON numbers.
+  const std::locale previous = os.imbue(std::locale::classic());
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const TraceEvent& e : snapshot.events) {
+    comma();
+    if (e.instant) {
+      os << R"({"name":")" << json_escape(e.name) << R"(","cat":")"
+         << json_escape(e.category) << R"(","ph":"i","s":"t","ts":)"
+         << e.start_us << R"(,"pid":1,"tid":)" << e.thread << "}";
+    } else {
+      os << R"({"name":")" << json_escape(e.name) << R"(","cat":")"
+         << json_escape(e.category) << R"(","ph":"X","ts":)" << e.start_us
+         << R"(,"dur":)" << e.duration_us << R"(,"pid":1,"tid":)" << e.thread
+         << "}";
+    }
+  }
+  for (const CounterSample& c : snapshot.counter_samples) {
+    comma();
+    os << R"({"name":")" << json_escape(c.name)
+       << R"(","ph":"C","ts":)" << c.at_us << R"(,"pid":1,"args":{"value":)"
+       << c.value << "}}";
+  }
+
+  os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+     << R"("tool":"rme::obs","clock":")"
+     << json_escape(snapshot.clock_description) << R"(","threads":)"
+     << snapshot.threads_seen << "}}\n";
+
+  os.imbue(previous);
+}
+
+bool write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  write_chrome_trace(out, tracer.snapshot());
+  return out.good();
+}
+
+}  // namespace rme::obs

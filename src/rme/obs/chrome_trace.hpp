@@ -1,0 +1,36 @@
+#pragma once
+// Chrome trace-event export for rme::obs traces.
+//
+// Writes the JSON object form of the Trace Event Format — loadable in
+// chrome://tracing and Perfetto (ui.perfetto.dev) — from a Tracer
+// snapshot:
+//
+//   * spans     -> "ph":"X" complete events (ts/dur in microseconds);
+//   * instants  -> "ph":"i" instant events (thread scope);
+//   * counters  -> "ph":"C" counter events, one per buffered sample,
+//                  so queue depths and retry totals render as tracks.
+//
+// All numeric output is locale-independent (classic locale), and the
+// writer emits deterministic bytes for a deterministic snapshot (same
+// events in the same order — what ManualClock-driven tests pin).
+
+#include <iosfwd>
+#include <string>
+
+#include "rme/obs/trace.hpp"
+
+namespace rme::obs {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Writes `snapshot` as one Chrome trace-event JSON object.
+void write_chrome_trace(std::ostream& os, const TraceSnapshot& snapshot);
+
+/// Convenience: snapshots `tracer` and writes it to `path`.  Returns
+/// false (with no throw) when the file cannot be opened.
+[[nodiscard]] bool write_chrome_trace_file(const std::string& path,
+                                           const Tracer& tracer);
+
+}  // namespace rme::obs

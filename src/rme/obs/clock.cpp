@@ -1,0 +1,56 @@
+#include "rme/obs/clock.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace rme::obs {
+
+namespace {
+
+/// Formats a wall-clock epoch as UTC ISO-8601 for trace metadata.
+std::string iso8601_utc(std::time_t t) {
+  std::tm tm{};
+  if (gmtime_r(&t, &tm) == nullptr) return "unknown";
+  char buf[80];  // worst-case %04d on a full-range int, per field
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
+}
+
+/// The one sanctioned wall-clock read in src/rme/: a trace-metadata
+/// stamp that never feeds a model result.  Tools and benches are the
+/// only constructors of RealClock (see clock.hpp).
+std::time_t wall_epoch() noexcept {
+  using wall = std::chrono::system_clock;  // rme-lint: allow(determinism: trace-epoch metadata stamp only; RealClock is tool/bench-layer, never a model input)
+  return wall::to_time_t(wall::now());
+}
+
+class RealClock final : public Clock {
+ public:
+  RealClock()
+      : origin_(std::chrono::steady_clock::now()), epoch_(wall_epoch()) {}
+
+  [[nodiscard]] std::int64_t now_us() noexcept override {
+    const auto delta = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(delta)
+        .count();
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "steady, origin " + iso8601_utc(epoch_);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::time_t epoch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Clock> make_real_clock() {
+  return std::make_unique<RealClock>();
+}
+
+}  // namespace rme::obs

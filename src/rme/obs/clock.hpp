@@ -1,0 +1,74 @@
+#pragma once
+// rme::obs — injected clocks for the tracing layer.
+//
+// Every timestamp the observability subsystem records flows through the
+// Clock interface.  Model code under src/rme/ never constructs a real
+// clock: library APIs accept an obs::Tracer* (which owns no clock) and
+// the *tool/bench layer* decides which clock backs it —
+//
+//   * ManualClock  — a deterministic, test-controlled counter.  Tests
+//                    and golden comparisons use it so trace output is a
+//                    pure function of the recorded operations;
+//   * RealClock    — monotonic host time (steady_clock deltas) for the
+//                    `--trace` / `--metrics` harness flags, constructed
+//                    only by tools/ and bench/ binaries.
+//
+// This split is what keeps the rme::analyze `determinism` rule honest:
+// wall-clock reads stay out of model code, and the one real-clock
+// translation unit (clock.cpp) carries a rule-scoped, reasoned
+// suppression for its trace-epoch stamp.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rme::obs {
+
+/// Monotonic time source for trace events, in microseconds.  The origin
+/// is implementation-defined (RealClock: process start of tracing;
+/// ManualClock: 0); only differences and ordering are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since this clock's origin.  Must be
+  /// monotonic non-decreasing and safe to call from any thread.
+  [[nodiscard]] virtual std::int64_t now_us() noexcept = 0;
+
+  /// Human-readable description of the time base, recorded in trace
+  /// metadata (e.g. "manual", "steady, epoch 2026-08-07T...").
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Deterministic clock for tests: time moves only when told to.
+/// Thread-safe; concurrent readers see the last value set/advanced.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_us = 0) noexcept
+      : now_us_(start_us) {}
+
+  [[nodiscard]] std::int64_t now_us() noexcept override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::string describe() const override { return "manual"; }
+
+  /// Moves time forward by `delta_us` (negative deltas are ignored —
+  /// the Clock contract is monotonic).
+  void advance_us(std::int64_t delta_us) noexcept {
+    if (delta_us > 0) {
+      now_us_.fetch_add(delta_us, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> now_us_;
+};
+
+/// Monotonic host clock (steady_clock deltas from construction, plus a
+/// wall-clock epoch stamp for trace metadata).  Construct this ONLY at
+/// the tool/bench layer — model code receives time through a Tracer and
+/// must stay reproducible under ManualClock.
+[[nodiscard]] std::unique_ptr<Clock> make_real_clock();
+
+}  // namespace rme::obs

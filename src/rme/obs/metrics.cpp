@@ -1,0 +1,62 @@
+#include "rme/obs/metrics.hpp"
+
+#include <locale>
+#include <map>
+#include <ostream>
+
+namespace rme::obs {
+
+void write_metrics_summary(std::ostream& os, const TraceSnapshot& snapshot) {
+  const std::locale previous = os.imbue(std::locale::classic());
+
+  os << "== rme::obs metrics (clock: " << snapshot.clock_description
+     << ", threads: " << snapshot.threads_seen << ") ==\n";
+
+  // Span statistics per category, in name order.
+  struct CategoryStats {
+    std::uint64_t spans = 0;
+    std::uint64_t instants = 0;
+    std::int64_t total_us = 0;
+  };
+  std::map<std::string, CategoryStats> by_category;
+  for (const TraceEvent& e : snapshot.events) {
+    CategoryStats& s = by_category[e.category];
+    if (e.instant) {
+      s.instants += 1;
+    } else {
+      s.spans += 1;
+      s.total_us += e.duration_us;
+    }
+  }
+  os << "spans:\n";
+  if (by_category.empty()) os << "  (none)\n";
+  for (const auto& [category, s] : by_category) {
+    os << "  " << category << ": " << s.spans << " spans, total "
+       << s.total_us << " us";
+    if (s.spans > 0) {
+      os << ", mean "
+         << s.total_us / static_cast<std::int64_t>(s.spans) << " us";
+    }
+    if (s.instants > 0) os << ", " << s.instants << " instants";
+    os << "\n";
+  }
+
+  os << "counters:\n";
+  if (snapshot.counters.empty()) os << "  (none)\n";
+  for (const auto& [name, total] : snapshot.counters) {
+    os << "  " << name << " = " << total << "\n";
+  }
+
+  os << "latency histograms (us, log2 buckets):\n";
+  if (snapshot.histograms.empty()) os << "  (none)\n";
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "  " << name << ": count " << h.count() << ", min " << h.min_us()
+       << ", p50 <= " << h.quantile_bound_us(0.50) << ", p95 <= "
+       << h.quantile_bound_us(0.95) << ", max " << h.max_us() << ", total "
+       << h.total_us() << "\n";
+  }
+
+  os.imbue(previous);
+}
+
+}  // namespace rme::obs

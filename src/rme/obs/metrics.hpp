@@ -1,0 +1,17 @@
+#pragma once
+// Plain-text metrics summary for rme::obs traces: final counter totals,
+// per-category span statistics, and log2 latency histograms — the
+// `--metrics` companion to the Chrome-trace `--trace` export.
+
+#include <iosfwd>
+
+#include "rme/obs/trace.hpp"
+
+namespace rme::obs {
+
+/// Writes a human-readable summary of `snapshot`: counters, span counts
+/// and total/mean durations per category, histogram min/p50/p95/max.
+/// Deterministic for a deterministic snapshot; locale-independent.
+void write_metrics_summary(std::ostream& os, const TraceSnapshot& snapshot);
+
+}  // namespace rme::obs

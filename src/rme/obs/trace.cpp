@@ -1,0 +1,135 @@
+#include "rme/obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+namespace rme::obs {
+
+std::size_t LatencyHistogram::bucket_of(std::int64_t value_us) noexcept {
+  if (value_us <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(value_us)));
+}
+
+void LatencyHistogram::record(std::int64_t value_us) noexcept {
+  const std::int64_t v = std::max<std::int64_t>(value_us, 0);
+  buckets_[std::min(bucket_of(v), kBuckets - 1)] += 1;
+  if (count_ == 0) {
+    min_us_ = v;
+    max_us_ = v;
+  } else {
+    min_us_ = std::min(min_us_, v);
+    max_us_ = std::max(max_us_, v);
+  }
+  total_us_ += v;
+  count_ += 1;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_us_ = other.min_us_;
+    max_us_ = other.max_us_;
+  } else {
+    min_us_ = std::min(min_us_, other.min_us_);
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+  total_us_ += other.total_us_;
+  count_ += other.count_;
+}
+
+std::int64_t LatencyHistogram::quantile_bound_us(double p) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      return b == 0 ? 0 : std::int64_t{1} << b;
+    }
+  }
+  return max_us_;
+}
+
+std::uint32_t Tracer::thread_id_locked() {
+  const auto id = std::this_thread::get_id();
+  const auto [it, inserted] =
+      thread_ids_.emplace(id, static_cast<std::uint32_t>(thread_ids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Tracer::record_span(std::string_view name, std::string_view category,
+                         std::int64_t start_us, std::int64_t end_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent e;
+  e.name.assign(name);
+  e.category.assign(category);
+  e.start_us = start_us;
+  e.duration_us = std::max<std::int64_t>(end_us - start_us, 0);
+  e.thread = thread_id_locked();
+  events_.push_back(std::move(e));
+}
+
+void Tracer::record_instant(std::string_view name,
+                            std::string_view category) {
+  const std::int64_t at = now_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent e;
+  e.name.assign(name);
+  e.category.assign(category);
+  e.start_us = at;
+  e.thread = thread_id_locked();
+  e.instant = true;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::add_counter(std::string_view name, std::int64_t delta) {
+  const std::int64_t at = now_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  std::int64_t total = delta;
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+    total = it->second;
+  }
+  counter_samples_.push_back(CounterSample{std::string(name), at, total});
+}
+
+void Tracer::record_latency(std::string_view name, std::int64_t value_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), LatencyHistogram{}).first;
+  }
+  it->second.record(value_us);
+}
+
+TraceSnapshot Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceSnapshot snap;
+  snap.events = events_;
+  snap.counter_samples = counter_samples_;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.histograms.insert(histograms_.begin(), histograms_.end());
+  snap.threads_seen = static_cast<std::uint32_t>(thread_ids_.size());
+  snap.clock_description = clock_->describe();
+  return snap;
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream oss;
+  oss.imbue(std::locale::classic());
+  oss << std::setprecision(digits) << value;
+  return oss.str();
+}
+
+}  // namespace rme::obs

@@ -1,0 +1,190 @@
+#pragma once
+// rme::obs — tracing spans, counters, and latency histograms.
+//
+// The library's hot paths (exec::ThreadPool, measure_sweep, the
+// bootstrap/IRLS loops, fmm::run_variant) accept an optional
+// `obs::Tracer*`.  A null tracer is the no-op sink: every instrument
+// site guards on the pointer, so disabled tracing costs one branch and
+// no allocation, and pinned outputs are byte-identical with tracing on
+// or off.  A live Tracer records, thread-safely:
+//
+//   * spans       — RAII Span objects emit Chrome-trace "complete"
+//                   events (name, category, start, duration, thread);
+//   * counters    — named monotonic/running totals; every update also
+//                   buffers a (time, value) sample so queue depths and
+//                   retry counts graph as Chrome counter tracks;
+//   * histograms  — log2-bucketed latency histograms (microseconds),
+//                   merged across all recording threads;
+//   * instants    — point-in-time markers (task exceptions, rethrows).
+//
+// Timestamps come exclusively from the injected Clock (clock.hpp):
+// ManualClock makes traces deterministic for tests, RealClock is the
+// tool/bench-layer choice.  Export lives in chrome_trace.hpp (JSON) and
+// metrics.hpp (plain-text summary).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "rme/obs/clock.hpp"
+
+namespace rme::obs {
+
+/// One finished span or instant marker.  Threads are identified by a
+/// small stable id assigned in first-record order (0 = first thread the
+/// tracer ever saw), not by the opaque std::thread::id.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;  ///< 0 and instant=true for markers.
+  std::uint32_t thread = 0;
+  bool instant = false;
+};
+
+/// One buffered counter update: the running total `value` at `at_us`.
+struct CounterSample {
+  std::string name;
+  std::int64_t at_us = 0;
+  std::int64_t value = 0;
+};
+
+/// Log2-bucketed histogram of non-negative microsecond latencies.
+/// Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds zeros.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::int64_t value_us) noexcept;
+  /// Adds every bucket/extreme of `other` into this histogram.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t min_us() const noexcept { return min_us_; }
+  [[nodiscard]] std::int64_t max_us() const noexcept { return max_us_; }
+  [[nodiscard]] std::int64_t total_us() const noexcept { return total_us_; }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return buckets_;
+  }
+  /// Upper bound (exclusive) of the bucket containing the p-quantile,
+  /// 0 <= p <= 1 — a log2-resolution percentile estimate.
+  [[nodiscard]] std::int64_t quantile_bound_us(double p) const noexcept;
+
+  /// Bucket index for a value (0 for values <= 0).
+  [[nodiscard]] static std::size_t bucket_of(std::int64_t value_us) noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t min_us_ = 0;
+  std::int64_t max_us_ = 0;
+  std::int64_t total_us_ = 0;
+};
+
+/// Everything a Tracer recorded, copied out under the lock at snapshot
+/// time.  Ordered maps keep export output deterministic given the same
+/// recorded operations.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;          ///< In completion order.
+  std::vector<CounterSample> counter_samples;  ///< In update order.
+  std::map<std::string, std::int64_t> counters;      ///< Final totals.
+  std::map<std::string, LatencyHistogram> histograms;
+  std::uint32_t threads_seen = 0;
+  std::string clock_description;
+};
+
+/// Thread-safe event/counter/histogram recorder around an injected
+/// Clock.  The Clock must outlive the Tracer.  All methods may be
+/// called concurrently from any thread.
+class Tracer {
+ public:
+  explicit Tracer(Clock& clock) : clock_(&clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Reads the injected clock (spans use this for their endpoints).
+  [[nodiscard]] std::int64_t now_us() noexcept { return clock_->now_us(); }
+
+  /// Records a finished span attributed to the calling thread.
+  void record_span(std::string_view name, std::string_view category,
+                   std::int64_t start_us, std::int64_t end_us);
+
+  /// Records an instant marker attributed to the calling thread.
+  void record_instant(std::string_view name, std::string_view category);
+
+  /// Adds `delta` to the named running counter and buffers a sample of
+  /// the new total at the current clock time.
+  void add_counter(std::string_view name, std::int64_t delta);
+
+  /// Records one latency observation into the named histogram.
+  void record_latency(std::string_view name, std::int64_t value_us);
+
+  /// Copies out everything recorded so far.
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+ private:
+  /// Stable small id of the calling thread; assigns on first use.
+  [[nodiscard]] std::uint32_t thread_id_locked();
+
+  Clock* clock_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<CounterSample> counter_samples_;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+  std::map<std::thread::id, std::uint32_t> thread_ids_;
+};
+
+/// RAII span: reads the clock at construction and records a complete
+/// event (plus a latency observation under "span:<category>") at
+/// destruction.  With a null tracer every operation is a no-op — this
+/// is the disabled path on which instrumented code relies for zero
+/// cost.  Not copyable or movable; scope it where the work happens.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name, std::string_view category)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    name_.assign(name);
+    category_.assign(category);
+    start_us_ = tracer_->now_us();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { close(); }
+
+  /// Ends the span early (idempotent).
+  void close() noexcept {
+    if (tracer_ == nullptr) return;
+    Tracer* t = tracer_;
+    tracer_ = nullptr;
+    try {
+      const std::int64_t end_us = t->now_us();
+      t->record_span(name_, category_, start_us_, end_us);
+      t->record_latency("span:" + category_, end_us - start_us_);
+    } catch (...) {
+      // Tracing must never take down the traced computation.
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::string category_;
+  std::int64_t start_us_ = 0;
+};
+
+/// Classic-locale double formatting for span names and trace output —
+/// immune to the global locale (see report::CsvWriter's regression).
+[[nodiscard]] std::string format_double(double value, int digits = 6);
+
+}  // namespace rme::obs

@@ -8,6 +8,7 @@
 #include "rme/core/units.hpp"
 #include "rme/exec/pool.hpp"
 #include "rme/fit/robust.hpp"
+#include "rme/obs/trace.hpp"
 #include "rme/sim/noise.hpp"
 
 namespace rme::power {
@@ -217,10 +218,45 @@ SessionResult MeasurementSession::measure_qc(
 }
 
 std::vector<SessionResult> MeasurementSession::measure_sweep(
-    const std::vector<rme::sim::KernelDesc>& kernels, unsigned jobs) const {
+    const std::vector<rme::sim::KernelDesc>& kernels, unsigned jobs,
+    obs::Tracer* tracer) const {
   return rme::exec::parallel_map_items(
-      kernels, [this](const rme::sim::KernelDesc& k) { return measure(k); },
-      jobs);
+      kernels,
+      [this, tracer](const rme::sim::KernelDesc& k) {
+        const obs::Span span(
+            tracer,
+            tracer == nullptr
+                ? std::string()
+                : "measure I=" + obs::format_double(k.intensity(), 4),
+            "sweep");
+        SessionResult result = measure(k);
+        if (tracer != nullptr) {
+          const SessionQuality& q = result.quality;
+          tracer->add_counter("session.kernels", 1);
+          tracer->add_counter(
+              "session.reps",
+              static_cast<std::int64_t>(result.reps.size()));
+          if (config_.qc.enabled) {
+            tracer->add_counter(
+                "session.qc.retries",
+                static_cast<std::int64_t>(q.reps_retried));
+            tracer->add_counter(
+                "session.qc.outliers",
+                static_cast<std::int64_t>(q.reps_discarded_outlier));
+            tracer->add_counter(
+                "session.qc.kept_degraded",
+                static_cast<std::int64_t>(q.reps_kept_degraded));
+            tracer->add_counter(
+                "session.qc.discarded",
+                static_cast<std::int64_t>(q.reps_discarded));
+            tracer->add_counter(
+                "session.qc.dropped_samples",
+                static_cast<std::int64_t>(q.dropped_samples));
+          }
+        }
+        return result;
+      },
+      jobs, tracer);
 }
 
 }  // namespace rme::power

@@ -20,6 +20,10 @@
 #include "rme/power/powermon.hpp"
 #include "rme/sim/executor.hpp"
 
+namespace rme::obs {
+class Tracer;  // rme/obs/trace.hpp — optional tracing sink
+}  // namespace rme::obs
+
 namespace rme::power {
 
 /// One repetition's reduced measurement.
@@ -115,10 +119,12 @@ class MeasurementSession {
   /// kernel's measurement is a pure function of (session config,
   /// kernel) — all RNG salts derive from the kernel and repetition, not
   /// from sweep order — so the results are bit-identical to the serial
-  /// sweep at any jobs value.
+  /// sweep at any jobs value.  A non-null `tracer` records one span per
+  /// kernel (category "sweep") plus session.* counters for the QC
+  /// retry/outlier path; results are unaffected by tracing.
   [[nodiscard]] std::vector<SessionResult> measure_sweep(
-      const std::vector<rme::sim::KernelDesc>& kernels,
-      unsigned jobs = 1) const;
+      const std::vector<rme::sim::KernelDesc>& kernels, unsigned jobs = 1,
+      obs::Tracer* tracer = nullptr) const;
 
   [[nodiscard]] const rme::sim::Executor& executor() const noexcept {
     return executor_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -92,8 +93,11 @@ void AsciiChart::print(std::ostream& os) const {
     }
   }
 
-  // Render with a y-axis gutter.
+  // Render with a y-axis gutter.  Axis labels go through "C"-locale
+  // streams so a non-"C" global locale cannot alter the glyphs.
   std::ostringstream top, bottom;
+  top.imbue(std::locale::classic());
+  bottom.imbue(std::locale::classic());
   top << std::setprecision(3) << y_max;
   bottom << std::setprecision(3) << y_min;
   const std::size_t gutter =
@@ -112,6 +116,8 @@ void AsciiChart::print(std::ostream& os) const {
   os << std::string(gutter, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
      << '\n';
   std::ostringstream lo, hi;
+  lo.imbue(std::locale::classic());
+  hi.imbue(std::locale::classic());
   lo << std::setprecision(3) << x_min;
   hi << std::setprecision(3) << x_max;
   os << std::string(gutter + 1, ' ') << lo.str()
@@ -126,7 +132,10 @@ void AsciiChart::print(std::ostream& os) const {
     os << "  " << s.glyph << " " << s.name << '\n';
   }
   for (const VerticalMarker& m : markers_) {
-    os << "  " << m.glyph << " " << m.name << " (x=" << m.x << ")\n";
+    std::ostringstream x;
+    x.imbue(std::locale::classic());
+    x << m.x;
+    os << "  " << m.glyph << " " << m.name << " (x=" << x.str() << ")\n";
   }
 }
 

@@ -1,6 +1,7 @@
 #include "rme/report/csv.hpp"
 
 #include <iomanip>
+#include <locale>
 #include <ostream>
 #include <sstream>
 
@@ -30,6 +31,11 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 void CsvWriter::write_row_numeric(const std::vector<double>& values,
                                   int digits) {
   std::ostringstream oss;
+  // Pin the "C" locale: a default-constructed stream inherits the global
+  // locale, and e.g. de_DE would print ',' decimal points — corrupting
+  // the CSV both as a format (ambiguous separators) and byte-wise
+  // against the pinned goldens.
+  oss.imbue(std::locale::classic());
   oss << std::setprecision(digits);
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) oss << ',';

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 #include <limits>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -37,6 +38,8 @@ void check_rect(const std::vector<std::vector<Cell>>& grid) {
 void print_axes(std::ostream& os, const std::vector<double>& xs,
                 const std::string& x_label, const std::string& y_label) {
   std::ostringstream lo, hi;
+  lo.imbue(std::locale::classic());
+  hi.imbue(std::locale::classic());
   lo << std::setprecision(3) << xs.front();
   hi << std::setprecision(3) << xs.back();
   os << "  +" << std::string(xs.size(), '-') << "\n   " << lo.str();
@@ -91,6 +94,7 @@ void Heatmap::print(std::ostream& os) const {
   const std::string& ramp = config_.ramp;
   for (std::size_t r = 0; r < values_.size(); ++r) {
     std::ostringstream label;
+    label.imbue(std::locale::classic());
     label << std::setprecision(3) << ys_[r];
     os << std::setw(8) << std::right << label.str() << " |";
     for (double v : values_[r]) {
@@ -103,8 +107,11 @@ void Heatmap::print(std::ostream& os) const {
   }
   os << std::string(8, ' ');
   print_axes(os, xs_, config_.x_label, config_.y_label);
-  os << "   scale: '" << ramp.front() << "' = " << std::setprecision(4)
-     << min_ << "  ..  '" << ramp.back() << "' = " << max_ << "\n";
+  std::ostringstream scale;
+  scale.imbue(std::locale::classic());
+  scale << std::setprecision(4) << "   scale: '" << ramp.front() << "' = "
+        << min_ << "  ..  '" << ramp.back() << "' = " << max_ << "\n";
+  os << scale.str();
 }
 
 std::string Heatmap::to_string() const {
@@ -137,6 +144,7 @@ void CategoryMap::print(std::ostream& os) const {
   if (!config_.title.empty()) os << config_.title << "\n";
   for (std::size_t r = 0; r < cats_.size(); ++r) {
     std::ostringstream label;
+    label.imbue(std::locale::classic());
     label << std::setprecision(3) << ys_[r];
     os << std::setw(8) << std::right << label.str() << " |";
     for (int c : cats_[r]) {

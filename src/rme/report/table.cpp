@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <iomanip>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -84,6 +85,9 @@ std::string Table::to_string() const {
 
 std::string fmt(double value, int digits) {
   std::ostringstream oss;
+  // "C"-locale always: every table/CSV number funnels through here, and
+  // the global locale must not change the decimal point (see csv.cpp).
+  oss.imbue(std::locale::classic());
   oss << std::setprecision(digits) << value;
   return oss.str();
 }

@@ -7,6 +7,9 @@
 //                  lines, power lines, trade-offs, extensions)
 //   rme::exec    — deterministic parallel sweep engine (thread pool,
 //                  parallel_for/map, per-task seed derivation)
+//   rme::obs     — observability: tracing spans, counters, histograms,
+//                  Chrome-trace export (docs/OBSERVABILITY.md)
+//   rme::cli     — strict numeric flag parsing for tools and benches
 //   rme::sim     — the machine/cache simulator substrate
 //   rme::power   — PowerMon 2 / PCIe interposer / RAPL measurement stack
 //   rme::fit     — OLS regression and the eq. (9)/§V-C fitting pipelines
@@ -31,6 +34,7 @@
 #include "rme/core/rooflines.hpp"
 #include "rme/core/tradeoff.hpp"
 #include "rme/core/units.hpp"
+#include "rme/cli/args.hpp"
 #include "rme/exec/pool.hpp"
 #include "rme/fit/bootstrap.hpp"
 #include "rme/fit/cache_fit.hpp"
@@ -49,6 +53,10 @@
 #include "rme/fmm/traffic.hpp"
 #include "rme/fmm/ulist.hpp"
 #include "rme/fmm/variants.hpp"
+#include "rme/obs/chrome_trace.hpp"
+#include "rme/obs/clock.hpp"
+#include "rme/obs/metrics.hpp"
+#include "rme/obs/trace.hpp"
 #include "rme/power/calibration.hpp"
 #include "rme/power/channel.hpp"
 #include "rme/power/interposer.hpp"

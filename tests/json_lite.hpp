@@ -1,0 +1,234 @@
+#pragma once
+// Minimal JSON parser for test-side validation of Chrome-trace output.
+// Supports the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null) into a tiny DOM.  Test-only: it
+// favors clarity over speed and throws std::runtime_error on any
+// malformed input, which is exactly what the well-formedness tests
+// assert on.
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace json_lite {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<ValuePtr> items;
+  std::map<std::string, ValuePtr> members;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return is_object() && members.count(key) > 0;
+  }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("missing key: " + key);
+    return *members.at(key);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("trailing characters at " +
+                               std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_ - 1));
+    }
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string_value();
+      case 't': return parse_literal("true", true);
+      case 'f': return parse_literal("false", false);
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  ValuePtr parse_object() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v->members[key] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') throw std::runtime_error("expected ',' or '}' in object");
+    }
+    return v;
+  }
+
+  ValuePtr parse_array() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return v;
+    }
+    while (true) {
+      v->items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') throw std::runtime_error("expected ',' or ']' in array");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw std::runtime_error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw std::runtime_error("bad \\u escape");
+          }
+          // Tests only need ASCII round-trips; wider code points are
+          // accepted but replaced.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: throw std::runtime_error("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  ValuePtr parse_string_value() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kString;
+    v->text = parse_string();
+    return v;
+  }
+
+  ValuePtr parse_literal(const char* word, bool value) {
+    for (const char* p = word; *p; ++p) expect(*p);
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kBool;
+    v->boolean = value;
+    return v;
+  }
+
+  ValuePtr parse_null() {
+    for (const char* p = "null"; *p; ++p) expect(*p);
+    return std::make_shared<Value>();
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      throw std::runtime_error("bad number at " + std::to_string(start));
+    }
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kNumber;
+    try {
+      std::size_t used = 0;
+      v->number = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad number token: " + token);
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace json_lite

@@ -1,0 +1,108 @@
+// rme::cli strict argument parsing — the fix for the harness bug where
+// `--jobs abc` silently became 0 (and thence "hardware concurrency").
+// Every rejection must throw UsageError with a message that names the
+// offending flag, so the harness error text is actionable.
+
+#include "rme/cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <locale>
+#include <string>
+
+namespace rme::cli {
+namespace {
+
+template <typename Fn>
+std::string usage_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const UsageError& err) {
+    return err.what();
+  }
+  ADD_FAILURE() << "expected UsageError";
+  return {};
+}
+
+TEST(ParseUnsigned, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_unsigned("0", "--jobs"), 0ul);
+  EXPECT_EQ(parse_unsigned("42", "--jobs"), 42ul);
+  EXPECT_EQ(parse_unsigned("007", "--jobs"), 7ul);
+}
+
+TEST(ParseUnsigned, RejectsGarbageNamingTheFlag) {
+  const std::string msg =
+      usage_message([] { (void)parse_unsigned("abc", "--jobs"); });
+  EXPECT_NE(msg.find("--jobs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("abc"), std::string::npos) << msg;
+
+  EXPECT_THROW((void)parse_unsigned("", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned("12x", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned("4.5", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned("-3", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned("+5", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned(" 12", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned("12 ", "--jobs"), UsageError);
+  EXPECT_THROW((void)parse_unsigned("0x10", "--jobs"), UsageError);
+}
+
+TEST(ParseUnsigned, RejectsOutOfRange) {
+  EXPECT_THROW((void)parse_unsigned("99999999999999999999999", "--reps"),
+               UsageError);
+}
+
+TEST(ParseUnsigned32, NarrowsWithRangeCheck) {
+  EXPECT_EQ(parse_unsigned32("8", "--jobs"), 8u);
+  const auto beyond = static_cast<unsigned long>(
+                          std::numeric_limits<unsigned>::max()) +
+                      1ul;
+  if (beyond != 0ul) {  // only meaningful where ulong is wider
+    EXPECT_THROW((void)parse_unsigned32(std::to_string(beyond), "--jobs"),
+                 UsageError);
+  }
+}
+
+TEST(ParseSize, AcceptsCountsRejectsSigns) {
+  EXPECT_EQ(parse_size("2000", "--bootstrap"), 2000u);
+  EXPECT_THROW((void)parse_size("-1", "--bootstrap"), UsageError);
+  EXPECT_THROW((void)parse_size("2e3", "--bootstrap"), UsageError);
+}
+
+TEST(ParseDouble, AcceptsDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25", "dropout"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-0.5", "x"), -0.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3", "x"), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("3", "x"), 3.0);
+}
+
+TEST(ParseDouble, RejectsGarbageAndNonFinite) {
+  const std::string msg =
+      usage_message([] { (void)parse_double("fast", "dropout"); });
+  EXPECT_NE(msg.find("dropout"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fast"), std::string::npos) << msg;
+
+  EXPECT_THROW((void)parse_double("", "x"), UsageError);
+  EXPECT_THROW((void)parse_double("1.5.2", "x"), UsageError);
+  EXPECT_THROW((void)parse_double("0.5 ", "x"), UsageError);
+  EXPECT_THROW((void)parse_double("inf", "x"), UsageError);
+  EXPECT_THROW((void)parse_double("-inf", "x"), UsageError);
+  EXPECT_THROW((void)parse_double("nan", "x"), UsageError);
+  EXPECT_THROW((void)parse_double("1e999", "x"), UsageError);
+}
+
+TEST(ParseDouble, IsLocaleIndependent) {
+  // strtod under de_DE-style locales reads "0.25" as 0; from_chars
+  // must not.  Install a comma-decimal facet globally and re-parse.
+  struct CommaDecimal : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+  };
+  const std::locale previous = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimal));
+  const double value = parse_double("0.25", "x");
+  std::locale::global(previous);
+  EXPECT_DOUBLE_EQ(value, 0.25);
+}
+
+}  // namespace
+}  // namespace rme::cli

@@ -21,8 +21,9 @@ struct RunResult {
   std::string output;
 };
 
-RunResult run_bench(const std::string& name) {
-  const std::string cmd = std::string(RME_BENCH_DIR) + "/" + name + " 2>&1";
+RunResult run_bench(const std::string& name, const std::string& args = "") {
+  const std::string cmd = std::string(RME_BENCH_DIR) + "/" + name +
+                          (args.empty() ? "" : " " + args) + " 2>&1";
   RunResult result;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (!pipe) return result;
@@ -135,6 +136,30 @@ TEST(Benches, ClusterRooflines) {
 TEST(Benches, RegionMaps) {
   expect_contains(run_bench("bench_region_maps"),
                   {"speedup+greenup", "scale:"});
+}
+
+// Regression: `--jobs abc` used to strtoul to 0, which rme::exec
+// resolves to hardware concurrency — nondeterminism on exactly the flag
+// whose contract is determinism.  Now: exit 2, error names the flag.
+TEST(Benches, RejectsNonNumericJobs) {
+  const RunResult r = run_bench("bench_fig4_intensity_sweep", "--jobs abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--jobs"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(Benches, RejectsUnknownFlag) {
+  const RunResult r = run_bench("bench_fig5_power_lines", "--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(Benches, MetricsSummaryGoesToStderrNotStdout) {
+  const RunResult r = run_bench("bench_fig5_power_lines", "--metrics");
+  EXPECT_EQ(r.exit_code, 0);
+  // run_bench merges the streams, so the summary must appear here...
+  EXPECT_NE(r.output.find("== rme::obs metrics"), std::string::npos);
+  EXPECT_NE(r.output.find("sweep:"), std::string::npos) << r.output;
 }
 
 }  // namespace

@@ -188,4 +188,46 @@ TEST(Cli, FitMissingFileErrors) {
   EXPECT_NE(r.output.find("error:"), std::string::npos);
 }
 
+// Regression: numeric flags used to fall through unchecked strtoul /
+// strtod, so `--jobs abc` silently became jobs=0 (hardware concurrency)
+// and `faults i7 fast ...` became dropout=0.  Strict parsing now exits
+// 2 and names the offending flag.
+TEST(Cli, RejectsNonNumericJobs) {
+  const CliResult r = run_cli("sweep i7-dp 0.25 16 --jobs abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--jobs"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, RejectsNonNumericBootstrap) {
+  const CliResult r = run_cli("fit /tmp/whatever.csv --bootstrap 2e3");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--bootstrap"), std::string::npos) << r.output;
+}
+
+TEST(Cli, RejectsNonNumericPositionals) {
+  const CliResult dropout = run_cli("faults i7 fast 0.01 8");
+  EXPECT_EQ(dropout.exit_code, 2);
+  EXPECT_NE(dropout.output.find("dropout"), std::string::npos)
+      << dropout.output;
+
+  const CliResult flops = run_cli("predict fermi lots 1e9");
+  EXPECT_EQ(flops.exit_code, 2);
+  EXPECT_NE(flops.output.find("flops"), std::string::npos) << flops.output;
+}
+
+TEST(Cli, SweepWritesParsableTrace) {
+  const std::string trace = "/tmp/rme_cli_sweep_trace.json";
+  const CliResult r =
+      run_cli("sweep i7-dp 0.25 4 --jobs 2 --trace " + trace + " --metrics");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("== rme::obs metrics"), std::string::npos);
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.good()) << "trace file not written";
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.rfind("{\"traceEvents\":", 0), 0u) << first_line;
+  std::remove(trace.c_str());
+}
+
 }  // namespace

@@ -14,6 +14,8 @@
 #include <sstream>
 #include <string>
 
+#include "json_lite.hpp"
+
 #ifndef RME_BENCH_DIR
 #error "RME_BENCH_DIR must be defined by the build"
 #endif
@@ -63,6 +65,39 @@ TEST(Golden, Table4FittedCoefficientsSerial) {
 
 TEST(Golden, Table4FittedCoefficientsParallel) {
   check_against_golden("bench_table4_fitted_coefficients", 4);
+}
+
+// Observability must be a pure observer: running the same bench with
+// --trace enabled yields the byte-identical CSV, and the trace itself
+// is well-formed Chrome-trace JSON with a non-empty event stream.
+TEST(Golden, Fig4TracedRunMatchesGoldenAndEmitsValidTrace) {
+  const std::string bench = "bench_fig4_intensity_sweep";
+  const std::string csv = "/tmp/rme_golden_traced.csv";
+  const std::string trace = "/tmp/rme_golden_traced.json";
+  const std::string cmd = std::string(RME_BENCH_DIR) + "/" + bench +
+                          " --jobs 4 --csv " + csv + " --trace " + trace +
+                          " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string golden =
+      slurp(std::string(RME_GOLDEN_DIR) + "/" + bench + ".csv");
+  EXPECT_EQ(slurp(csv), golden)
+      << bench << " --trace changed the published CSV";
+
+  const json_lite::ValuePtr root = json_lite::parse(slurp(trace));
+  ASSERT_TRUE(root->is_object());
+  const json_lite::Value& events = root->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  EXPECT_FALSE(events.items.empty());
+  for (const auto& event : events.items) {
+    EXPECT_TRUE(event->has("name"));
+    EXPECT_TRUE(event->has("ph"));
+    EXPECT_TRUE(event->at("ts").is_number());
+  }
+  EXPECT_EQ(root->at("otherData").at("tool").text, "rme::obs");
+
+  std::remove(csv.c_str());
+  std::remove(trace.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,339 @@
+// rme::obs — spans, counters, histograms, Chrome-trace export.
+//
+// All timing goes through ManualClock, so every expectation here is a
+// deterministic function of the recorded operations: span endpoints,
+// counter running totals, histogram buckets, and the exported JSON are
+// pinned exactly.  The JSON well-formedness checks parse the writer's
+// output back with the test-side json_lite parser.
+
+#include "rme/obs/chrome_trace.hpp"
+#include "rme/obs/clock.hpp"
+#include "rme/obs/metrics.hpp"
+#include "rme/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <locale>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rme/exec/pool.hpp"
+#include "json_lite.hpp"
+
+namespace rme::obs {
+namespace {
+
+TEST(ManualClock, AdvancesMonotonically) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now_us(), 100);
+  clock.advance_us(50);
+  EXPECT_EQ(clock.now_us(), 150);
+  clock.advance_us(-10);  // negative deltas ignored: clocks are monotonic
+  EXPECT_EQ(clock.now_us(), 150);
+  EXPECT_EQ(clock.describe(), "manual");
+}
+
+TEST(RealClock, IsMonotonicAndDescribesItself) {
+  const auto clock = make_real_clock();
+  const std::int64_t a = clock->now_us();
+  const std::int64_t b = clock->now_us();
+  EXPECT_LE(a, b);
+  EXPECT_NE(clock->describe().find("steady"), std::string::npos);
+}
+
+TEST(Span, NullTracerIsANoOp) {
+  Span span(nullptr, "anything", "cat");
+  span.close();
+  span.close();  // idempotent
+  // Nothing to observe: the contract is simply "no crash, no effect".
+}
+
+TEST(Span, RecordsNestedSpansWithManualTimes) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    const Span outer(&tracer, "outer", "test");
+    clock.advance_us(10);
+    {
+      const Span inner(&tracer, "inner", "test");
+      clock.advance_us(5);
+    }
+    clock.advance_us(3);
+  }
+  const TraceSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.events.size(), 2u);
+  // Inner closes first.
+  EXPECT_EQ(snap.events[0].name, "inner");
+  EXPECT_EQ(snap.events[0].start_us, 10);
+  EXPECT_EQ(snap.events[0].duration_us, 5);
+  EXPECT_EQ(snap.events[1].name, "outer");
+  EXPECT_EQ(snap.events[1].start_us, 0);
+  EXPECT_EQ(snap.events[1].duration_us, 18);
+  EXPECT_EQ(snap.events[0].category, "test");
+  // Both spans fed the per-category latency histogram.
+  ASSERT_TRUE(snap.histograms.count("span:test"));
+  EXPECT_EQ(snap.histograms.at("span:test").count(), 2u);
+  EXPECT_EQ(snap.clock_description, "manual");
+}
+
+TEST(Tracer, CountersKeepRunningTotalsAndSamples) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  tracer.add_counter("retries", 2);
+  clock.advance_us(7);
+  tracer.add_counter("retries", 3);
+  tracer.add_counter("other", 1);
+  const TraceSnapshot snap = tracer.snapshot();
+  EXPECT_EQ(snap.counters.at("retries"), 5);
+  EXPECT_EQ(snap.counters.at("other"), 1);
+  ASSERT_EQ(snap.counter_samples.size(), 3u);
+  EXPECT_EQ(snap.counter_samples[0].value, 2);  // running totals
+  EXPECT_EQ(snap.counter_samples[1].value, 5);
+  EXPECT_EQ(snap.counter_samples[1].at_us, 7);
+}
+
+TEST(Tracer, InstantsAreMarked) {
+  ManualClock clock(42);
+  Tracer tracer(clock);
+  tracer.record_instant("boom", "pool");
+  const TraceSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_TRUE(snap.events[0].instant);
+  EXPECT_EQ(snap.events[0].start_us, 42);
+  EXPECT_EQ(snap.events[0].duration_us, 0);
+}
+
+TEST(LatencyHistogram, BucketsByLog2) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(-5), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11u);
+
+  LatencyHistogram h;
+  h.record(3);
+  h.record(100);
+  h.record(-7);  // clamped to 0
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_us(), 0);
+  EXPECT_EQ(h.max_us(), 100);
+  EXPECT_EQ(h.total_us(), 103);
+  EXPECT_EQ(h.quantile_bound_us(0.0), 0);
+  EXPECT_GE(h.quantile_bound_us(1.0), 100);
+}
+
+TEST(LatencyHistogram, MergeCombinesExtremesAndCounts) {
+  LatencyHistogram a, b;
+  a.record(5);
+  b.record(1000);
+  b.record(2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min_us(), 2);
+  EXPECT_EQ(a.max_us(), 1000);
+  EXPECT_EQ(a.total_us(), 1007);
+  LatencyHistogram empty;
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min_us(), 2);
+}
+
+TEST(Tracer, AttributesThreadsWithStableSmallIds) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  tracer.record_instant("main-first", "t");  // main thread claims id 0
+  std::thread other([&] {
+    const Span span(&tracer, "from-other", "t");
+  });
+  other.join();
+  const TraceSnapshot snap = tracer.snapshot();
+  EXPECT_EQ(snap.threads_seen, 2u);
+  ASSERT_EQ(snap.events.size(), 2u);
+  EXPECT_EQ(snap.events[0].thread, 0u);
+  EXPECT_EQ(snap.events[1].thread, 1u);
+}
+
+TEST(Tracer, ThreadPoolRecordsTasksAndQueueDepth) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  std::vector<int> out(16, 0);
+  {
+    exec::ThreadPool pool(4, &tracer);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<int>(i) * 2;
+    });
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+  }
+  const TraceSnapshot snap = tracer.snapshot();
+  EXPECT_EQ(snap.counters.at("pool.workers"), 4);
+  const std::int64_t submitted = snap.counters.at("pool.submitted");
+  EXPECT_GE(submitted, 1);
+  // Every submitted task drained: the queue-depth counter nets to zero.
+  EXPECT_EQ(snap.counters.at("pool.queue_depth"), 0);
+  std::int64_t task_spans = 0;
+  bool saw_wait = false;
+  for (const TraceEvent& e : snap.events) {
+    if (e.name == "pool.task") ++task_spans;
+    if (e.name == "pool.wait") saw_wait = true;
+  }
+  EXPECT_EQ(task_spans, submitted);
+  EXPECT_TRUE(saw_wait);
+  ASSERT_TRUE(snap.histograms.count("span:pool"));
+}
+
+TEST(Tracer, ThreadPoolRecordsTaskExceptions) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  EXPECT_THROW(
+      exec::parallel_for(
+          8,
+          [](std::size_t i) {
+            if (i == 3) throw std::runtime_error("boom");
+          },
+          /*jobs=*/2, &tracer),
+      std::runtime_error);
+  const TraceSnapshot snap = tracer.snapshot();
+  EXPECT_GE(snap.counters.at("pool.task_exceptions"), 1);
+  bool saw_rethrow = false;
+  for (const TraceEvent& e : snap.events) {
+    if (e.name == "pool.rethrow") saw_rethrow = true;
+  }
+  EXPECT_TRUE(saw_rethrow);
+}
+
+TEST(Tracer, TracingDoesNotChangeParallelMapResults) {
+  const auto square = [](std::size_t i) { return 3.5 * static_cast<double>(i); };
+  const auto plain = exec::parallel_map(64, square, 4);
+  ManualClock clock;
+  Tracer tracer(clock);
+  const auto traced = exec::parallel_map(64, square, 4, &tracer);
+  EXPECT_EQ(plain, traced);
+  EXPECT_FALSE(tracer.snapshot().events.empty());
+}
+
+TEST(ChromeTrace, EscapesJsonStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\t!"), "line\\nbreak\\t!");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ChromeTrace, ExportParsesBackAsWellFormedJson) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    const Span span(&tracer, "measure I=0.25", "sweep");
+    clock.advance_us(12);
+  }
+  tracer.record_instant("qc \"retry\"", "session");
+  tracer.add_counter("session.retries", 3);
+  tracer.add_counter("session.retries", 1);
+
+  std::ostringstream os;
+  write_chrome_trace(os, tracer.snapshot());
+  const json_lite::ValuePtr root = json_lite::parse(os.str());
+
+  ASSERT_TRUE(root->is_object());
+  const json_lite::Value& events = root->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  // 1 span + 1 instant + 2 counter samples.
+  ASSERT_EQ(events.items.size(), 4u);
+
+  const json_lite::Value& span = *events.items[0];
+  EXPECT_EQ(span.at("name").text, "measure I=0.25");
+  EXPECT_EQ(span.at("ph").text, "X");
+  EXPECT_EQ(span.at("cat").text, "sweep");
+  EXPECT_EQ(span.at("ts").number, 0.0);
+  EXPECT_EQ(span.at("dur").number, 12.0);
+  EXPECT_EQ(span.at("pid").number, 1.0);
+
+  const json_lite::Value& instant = *events.items[1];
+  EXPECT_EQ(instant.at("ph").text, "i");
+  EXPECT_EQ(instant.at("name").text, "qc \"retry\"");
+
+  const json_lite::Value& counter = *events.items[2];
+  EXPECT_EQ(counter.at("ph").text, "C");
+  EXPECT_EQ(counter.at("args").at("value").number, 3.0);
+  EXPECT_EQ(events.items[3]->at("args").at("value").number, 4.0);
+
+  const json_lite::Value& other = root->at("otherData");
+  EXPECT_EQ(other.at("clock").text, "manual");
+  EXPECT_EQ(other.at("tool").text, "rme::obs");
+}
+
+TEST(ChromeTrace, FileWriterReportsOpenFailure) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  EXPECT_FALSE(
+      write_chrome_trace_file("/nonexistent-dir/trace.json", tracer));
+  const std::string path = "/tmp/rme_test_obs_trace.json";
+  EXPECT_TRUE(write_chrome_trace_file(path, tracer));
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, OutputIsLocaleIndependent) {
+  // A grouping locale would render int64 timestamps as "1,234,567".
+  struct Grouping : std::numpunct<char> {
+    char do_thousands_sep() const override { return ','; }
+    std::string do_grouping() const override { return "\3"; }
+    char do_decimal_point() const override { return ','; }
+  };
+  const std::locale previous = std::locale::global(
+      std::locale(std::locale::classic(), new Grouping));
+
+  ManualClock clock(1234567);
+  Tracer tracer(clock);
+  tracer.record_instant("tick", "t");
+  std::ostringstream os;  // inherits the hostile global locale
+  write_chrome_trace(os, tracer.snapshot());
+  std::ostringstream ms;
+  write_metrics_summary(ms, tracer.snapshot());
+  std::locale::global(previous);
+
+  EXPECT_NE(os.str().find("\"ts\":1234567"), std::string::npos) << os.str();
+  EXPECT_NO_THROW(json_lite::parse(os.str()));
+  EXPECT_EQ(ms.str().find("1,234"), std::string::npos);
+}
+
+TEST(Metrics, SummarizesSpansCountersHistograms) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    const Span span(&tracer, "work", "fit");
+    clock.advance_us(8);
+  }
+  tracer.add_counter("fit.resamples", 200);
+  std::ostringstream os;
+  write_metrics_summary(os, tracer.snapshot());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== rme::obs metrics"), std::string::npos);
+  EXPECT_NE(out.find("fit: 1 spans, total 8 us, mean 8 us"),
+            std::string::npos);
+  EXPECT_NE(out.find("fit.resamples = 200"), std::string::npos);
+  EXPECT_NE(out.find("span:fit: count 1"), std::string::npos);
+}
+
+TEST(Metrics, EmptyTracerSummarizesAsNone) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  std::ostringstream os;
+  write_metrics_summary(os, tracer.snapshot());
+  EXPECT_NE(os.str().find("(none)"), std::string::npos);
+}
+
+TEST(FormatDouble, ClassicLocaleAlways) {
+  EXPECT_EQ(format_double(0.25, 4), "0.25");
+  EXPECT_EQ(format_double(1234.5, 6), "1234.5");
+}
+
+}  // namespace
+}  // namespace rme::obs

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <locale>
 #include <sstream>
 
 namespace rme::report {
@@ -87,6 +88,63 @@ TEST(Csv, WriteRows) {
   csv.write_row({"intensity", "gflops"});
   csv.write_row_numeric({2.0, 106.56});
   EXPECT_EQ(oss.str(), "intensity,gflops\n2,106.56\n");
+}
+
+// Regression: under a de_DE-style global locale the report layer used
+// to emit "2,5" decimals and "1.234" int grouping, corrupting CSVs and
+// goldens.  Every numeric formatter must imbue the classic locale.
+// gtest runs all tests in one process, so the hostile locale is
+// installed and restored via RAII.
+class ScopedGlobalLocale {
+ public:
+  explicit ScopedGlobalLocale(const std::locale& loc)
+      : previous_(std::locale::global(loc)) {}
+  ~ScopedGlobalLocale() { std::locale::global(previous_); }
+  ScopedGlobalLocale(const ScopedGlobalLocale&) = delete;
+  ScopedGlobalLocale& operator=(const ScopedGlobalLocale&) = delete;
+
+ private:
+  std::locale previous_;
+};
+
+std::locale comma_locale() {
+  struct CommaGrouping : std::numpunct<char> {
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+  };
+  return std::locale(std::locale::classic(), new CommaGrouping);
+}
+
+TEST(Csv, NumericRowsAreLocaleIndependent) {
+  const ScopedGlobalLocale hostile(comma_locale());
+  std::ostringstream oss;  // picks up the hostile global locale
+  CsvWriter csv(oss);
+  csv.write_row({"intensity", "gflops"});
+  csv.write_row_numeric({2.0, 106.56, 1234567.0});
+  EXPECT_EQ(oss.str(), "intensity,gflops\n2,106.56,1234567\n");
+}
+
+TEST(Fmt, IsLocaleIndependent) {
+  const ScopedGlobalLocale hostile(comma_locale());
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt(123456.0, 6), "123456");
+  EXPECT_EQ(fmt_si(2.5e-3, "s"), "2.5 ms");
+}
+
+TEST(AsciiChart, MarkersAreLocaleIndependent) {
+  const ScopedGlobalLocale hostile(comma_locale());
+  AsciiChart chart;
+  Series s;
+  s.name = "roofline";
+  for (double i = 0.5; i <= 64.0; i *= 2.0) {
+    s.points.push_back(rme::CurvePoint{i, std::min(1.0, i / 4.0)});
+  }
+  chart.add_series(s);
+  chart.add_marker(VerticalMarker{"B_tau", 4.5, '|'});
+  const std::string out = chart.to_string();
+  EXPECT_NE(out.find("(x=4.5)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("4,5"), std::string::npos) << out;
 }
 
 TEST(Markdown, TableShape) {

@@ -12,16 +12,18 @@
 //   greenup  <machine> <I> <f> <m>
 //       Work-communication trade-off evaluation (§VII, eq. 10).
 //   fit      <samples.csv> [--huber] [--relative] [--bootstrap N] [--jobs N]
+//            [--trace PATH] [--metrics]
 //       Fit eq. (9) energy coefficients from a measurement CSV
 //       (columns: flops,bytes,seconds,joules,precision).  --huber
 //       switches to the robust IRLS estimator; --relative fits
 //       relative residuals (for multiplicative instrument noise);
 //       --bootstrap N adds percentile CIs from N resamples.
-//   faults   <i7|gtx580> [dropout spike [reps]] [--jobs N]
+//   faults   <i7|gtx580> [dropout spike [reps]] [--jobs N] [--trace PATH]
+//            [--metrics]
 //       Fault-injection study: run the measurement pipeline with the
 //       given sample-dropout and spike rates, report session quality,
 //       and compare clean/OLS/Huber/QC eq. (9) coefficients.
-//   sweep    <machine> [lo hi] [--jobs N]
+//   sweep    <machine> [lo hi] [--jobs N] [--trace PATH] [--metrics]
 //       Fig. 4-style table: normalized speed/efficiency/power per
 //       intensity.
 //   cap      <machine> <watts>
@@ -36,12 +38,22 @@
 // (0 = hardware concurrency).  Every sweep is deterministic: the output
 // is byte-identical for every N (see docs/API.md, "Parallel execution
 // & determinism").
+//
+// --trace PATH writes a Chrome trace-event JSON of the run (load in
+// chrome://tracing or ui.perfetto.dev); --metrics prints an rme::obs
+// summary to stderr.  Both observe without perturbing stdout.
+//
+// Numeric arguments are parsed strictly (rme::cli): `--jobs abc` or
+// trailing garbage exits 2 with a message naming the flag, instead of
+// silently becoming 0.
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rme/rme.hpp"
@@ -69,13 +81,51 @@ int usage() {
          "  greenup <machine> <I> <f> <m>\n"
          "  fit     <samples.csv> [--huber] [--relative] [--bootstrap N]"
          " [--jobs N]\n"
-         "  faults  <i7|gtx580> [dropout spike [reps]] [--jobs N]\n"
-         "  sweep   <machine> [lo hi] [--jobs N]\n"
+         "          [--trace PATH] [--metrics]\n"
+         "  faults  <i7|gtx580> [dropout spike [reps]] [--jobs N]"
+         " [--trace PATH]\n"
+         "          [--metrics]\n"
+         "  sweep   <machine> [lo hi] [--jobs N] [--trace PATH] [--metrics]\n"
          "  cap     <machine> <watts>\n"
          "  advise  <machine> <flops> <bytes>\n"
          "machines: fermi gtx580-sp gtx580-dp i7-sp i7-dp\n";
   return 2;
 }
+
+// Tool-layer observability rig: owns the RealClock + Tracer when
+// --trace/--metrics asked for one (rme_cli's analogue of
+// bench::BenchObs; see rme/obs/clock.hpp for the layering contract).
+class CliObs {
+ public:
+  CliObs(std::string trace_path, bool metrics)
+      : trace_path_(std::move(trace_path)), metrics_(metrics) {
+    if (!trace_path_.empty() || metrics_) {
+      clock_ = obs::make_real_clock();
+      tracer_ = std::make_unique<obs::Tracer>(*clock_);
+    }
+  }
+
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Writes the trace/metrics outputs and folds failures into the
+  /// subcommand's exit code.
+  [[nodiscard]] int finish(int code) {
+    if (tracer_ == nullptr) return code;
+    if (!trace_path_.empty() &&
+        !obs::write_chrome_trace_file(trace_path_, *tracer_)) {
+      std::cerr << "error: cannot write trace file '" << trace_path_ << "'\n";
+      if (code == 0) code = 1;
+    }
+    if (metrics_) obs::write_metrics_summary(std::cerr, tracer_->snapshot());
+    return code;
+  }
+
+ private:
+  std::string trace_path_;
+  bool metrics_;
+  std::unique_ptr<obs::Clock> clock_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 int cmd_machines() {
   report::Table t({"Name", "Description", "B_tau", "B_eps", "eff. balance",
@@ -183,11 +233,13 @@ int cmd_greenup(const MachineParams& m, double intensity, double f,
 }
 
 int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options,
-            std::size_t bootstrap_resamples, unsigned jobs) {
+            std::size_t bootstrap_resamples, unsigned jobs,
+            obs::Tracer* tracer) {
   const auto samples = fit::load_samples(path);
   std::cout << "Loaded " << samples.size() << " samples from " << path
             << "\n\n";
-  const fit::EnergyFit result = fit::fit_energy_coefficients(samples, options);
+  const fit::EnergyFit result =
+      fit::fit_energy_coefficients(samples, options, tracer);
   report::Table t({"Coefficient", "Value", "std error", "p-value"});
   const auto row = [&](const char* label, const char* name, double scale,
                        const char* unit) {
@@ -218,7 +270,7 @@ int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options,
   if (bootstrap_resamples > 0) {
     const fit::CoefficientCis cis = fit::bootstrap_coefficient_cis(
         samples, options, bootstrap_resamples, /*seed=*/1,
-        /*confidence=*/0.95, jobs);
+        /*confidence=*/0.95, jobs, tracer);
     std::cout << "\nBootstrap 95% percentile CIs (" << bootstrap_resamples
               << " resamples, " << cis.eps_single.failures
               << " singular draws skipped):\n";
@@ -241,7 +293,7 @@ int cmd_fit(const std::string& path, const fit::EnergyFitOptions& options,
 
 // Fault-injection study: the full hardened pipeline on one machine pair.
 int cmd_faults(const std::string& base, double dropout, double spike,
-               std::size_t reps, unsigned jobs) {
+               std::size_t reps, unsigned jobs, obs::Tracer* tracer) {
   const bool is_i7 = base == "i7";
   if (!is_i7 && base != "gtx580") {
     std::cerr << "unknown platform '" << base << "' (want i7 or gtx580)\n";
@@ -301,7 +353,7 @@ int cmd_faults(const std::string& base, double dropout, double spike,
     std::vector<fit::EnergySample> samples;
     for (const Precision p : {Precision::kSingle, Precision::kDouble}) {
       const auto ses = session(p, faulty, with_qc);
-      for (const auto& r : ses.measure_sweep(sweep(p), jobs)) {
+      for (const auto& r : ses.measure_sweep(sweep(p), jobs, tracer)) {
         if (with_qc) {
           quality.reps_attempted += r.quality.reps_attempted;
           quality.reps_retried += r.quality.reps_retried;
@@ -326,12 +378,13 @@ int cmd_faults(const std::string& base, double dropout, double spike,
   fit::EnergyFitOptions huber_opts = ols_opts;
   huber_opts.method = fit::FitMethod::kHuber;
 
-  const auto clean = fit::fit_energy_coefficients(collect(false, false),
-                                                  ols_opts);
+  const auto clean =
+      fit::fit_energy_coefficients(collect(false, false), ols_opts, tracer);
   const auto raw = collect(true, false);
-  const auto ols = fit::fit_energy_coefficients(raw, ols_opts);
-  const auto huber = fit::fit_energy_coefficients(raw, huber_opts);
-  const auto qc = fit::fit_energy_coefficients(collect(true, true), ols_opts);
+  const auto ols = fit::fit_energy_coefficients(raw, ols_opts, tracer);
+  const auto huber = fit::fit_energy_coefficients(raw, huber_opts, tracer);
+  const auto qc =
+      fit::fit_energy_coefficients(collect(true, true), ols_opts, tracer);
 
   std::cout << "Fault profile: " << report::fmt(100.0 * dropout, 3)
             << "% sample dropout, " << report::fmt(100.0 * spike, 3)
@@ -382,7 +435,8 @@ int cmd_advise(const MachineParams& m, double flops, double bytes) {
   return 0;
 }
 
-int cmd_sweep(const MachineParams& m, double lo, double hi, unsigned jobs) {
+int cmd_sweep(const MachineParams& m, double lo, double hi, unsigned jobs,
+              obs::Tracer* tracer) {
   report::Table t({"I (flop:B)", "speed (rel.)", "GFLOP/s",
                    "efficiency (rel.)", "GFLOP/J", "power [W]"});
   std::vector<double> grid;
@@ -399,7 +453,7 @@ int cmd_sweep(const MachineParams& m, double lo, double hi, unsigned jobs) {
             report::fmt(achieved_flops_per_joule(m, i).value() / kGiga, 3),
             report::fmt(average_power(m, i).value(), 4)};
       },
-      jobs);
+      jobs, tracer);
   for (const auto& row : rows) t.add_row(row);
   t.print(std::cout);
   std::cout << "\nB_tau = " << m.time_balance()
@@ -446,6 +500,8 @@ int main(int argc, char** argv) {
       fit::EnergyFitOptions options;
       std::size_t bootstrap_resamples = 0;
       unsigned jobs = 1;
+      std::string trace_path;
+      bool metrics = false;
       for (int i = 3; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--huber") {
@@ -453,37 +509,50 @@ int main(int argc, char** argv) {
         } else if (flag == "--relative") {
           options.relative_error = true;
         } else if (flag == "--bootstrap" && i + 1 < argc) {
-          bootstrap_resamples = static_cast<std::size_t>(
-              std::strtoul(argv[++i], nullptr, 10));
+          bootstrap_resamples = cli::parse_size(argv[++i], "--bootstrap");
         } else if (flag == "--jobs" && i + 1 < argc) {
-          jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+          jobs = cli::parse_unsigned32(argv[++i], "--jobs");
+        } else if (flag == "--trace" && i + 1 < argc) {
+          trace_path = argv[++i];
+        } else if (flag == "--metrics") {
+          metrics = true;
         } else {
           std::cerr << "unknown fit flag '" << flag << "'\n";
           return usage();
         }
       }
-      return cmd_fit(argv[2], options, bootstrap_resamples, jobs);
+      CliObs cli_obs(trace_path, metrics);
+      return cli_obs.finish(cmd_fit(argv[2], options, bootstrap_resamples,
+                                    jobs, cli_obs.tracer()));
     }
     if (command == "faults") {
       if (argc < 3) return usage();
       std::vector<const char*> positional;
       unsigned jobs = 1;
+      std::string trace_path;
+      bool metrics = false;
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-          jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+          jobs = cli::parse_unsigned32(argv[++i], "--jobs");
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+          trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+          metrics = true;
         } else {
           positional.push_back(argv[i]);
         }
       }
       const double dropout =
-          positional.size() > 0 ? std::strtod(positional[0], nullptr) : 0.05;
+          positional.size() > 0 ? cli::parse_double(positional[0], "dropout")
+                                : 0.05;
       const double spike =
-          positional.size() > 1 ? std::strtod(positional[1], nullptr) : 0.01;
+          positional.size() > 1 ? cli::parse_double(positional[1], "spike")
+                                : 0.01;
       const std::size_t reps =
-          positional.size() > 2
-              ? static_cast<std::size_t>(std::strtoul(positional[2], nullptr, 10))
-              : 16;
-      return cmd_faults(argv[2], dropout, spike, reps, jobs);
+          positional.size() > 2 ? cli::parse_size(positional[2], "reps") : 16;
+      CliObs cli_obs(trace_path, metrics);
+      return cli_obs.finish(
+          cmd_faults(argv[2], dropout, spike, reps, jobs, cli_obs.tracer()));
     }
     // Remaining commands start with a machine name.
     if (argc < 3) return usage();
@@ -494,42 +563,55 @@ int main(int argc, char** argv) {
     }
     if (command == "balance") return cmd_balance(*machine);
     if (command == "predict" && argc >= 5) {
-      return cmd_predict(*machine, std::strtod(argv[3], nullptr),
-                         std::strtod(argv[4], nullptr));
+      return cmd_predict(*machine, cli::parse_double(argv[3], "flops"),
+                         cli::parse_double(argv[4], "bytes"));
     }
     if (command == "chart") {
-      const double lo = argc > 3 ? std::strtod(argv[3], nullptr) : 0.25;
-      const double hi = argc > 4 ? std::strtod(argv[4], nullptr) : 64.0;
+      const double lo = argc > 3 ? cli::parse_double(argv[3], "lo") : 0.25;
+      const double hi = argc > 4 ? cli::parse_double(argv[4], "hi") : 64.0;
       return cmd_chart(*machine, lo, hi);
     }
     if (command == "sweep") {
       std::vector<const char*> positional;
       unsigned jobs = 1;
+      std::string trace_path;
+      bool metrics = false;
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-          jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+          jobs = cli::parse_unsigned32(argv[++i], "--jobs");
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+          trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+          metrics = true;
         } else {
           positional.push_back(argv[i]);
         }
       }
       const double lo =
-          positional.size() > 0 ? std::strtod(positional[0], nullptr) : 0.25;
+          positional.size() > 0 ? cli::parse_double(positional[0], "lo")
+                                : 0.25;
       const double hi =
-          positional.size() > 1 ? std::strtod(positional[1], nullptr) : 64.0;
-      return cmd_sweep(*machine, lo, hi, jobs);
+          positional.size() > 1 ? cli::parse_double(positional[1], "hi")
+                                : 64.0;
+      CliObs cli_obs(trace_path, metrics);
+      return cli_obs.finish(
+          cmd_sweep(*machine, lo, hi, jobs, cli_obs.tracer()));
     }
     if (command == "cap" && argc >= 4) {
-      return cmd_cap(*machine, Watts{std::strtod(argv[3], nullptr)});
+      return cmd_cap(*machine, Watts{cli::parse_double(argv[3], "watts")});
     }
     if (command == "advise" && argc >= 5) {
-      return cmd_advise(*machine, std::strtod(argv[3], nullptr),
-                        std::strtod(argv[4], nullptr));
+      return cmd_advise(*machine, cli::parse_double(argv[3], "flops"),
+                        cli::parse_double(argv[4], "bytes"));
     }
     if (command == "greenup" && argc >= 6) {
-      return cmd_greenup(*machine, std::strtod(argv[3], nullptr),
-                         std::strtod(argv[4], nullptr),
-                         std::strtod(argv[5], nullptr));
+      return cmd_greenup(*machine, cli::parse_double(argv[3], "I"),
+                         cli::parse_double(argv[4], "f"),
+                         cli::parse_double(argv[5], "m"));
     }
+  } catch (const cli::UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return usage();
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << "\n";
     return 1;
