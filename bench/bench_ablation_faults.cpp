@@ -230,5 +230,5 @@ int main(int argc, char** argv) {
          "before they reach the regression — until fault rates climb high\n"
          "enough that retries stop finding clean reps, where the robust\n"
          "estimator keeps degrading gracefully.\n";
-  return bobs.finish() ? 0 : 1;
+  return bobs.finish() ? cli::kExitOk : cli::kExitDegraded;
 }

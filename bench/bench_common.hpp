@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -30,6 +31,10 @@ namespace rme::bench {
 ///                byte-identical with or without it.
 ///   --metrics    print an rme::obs metrics summary (counters, span
 ///                stats, latency histograms) to stderr after the run.
+///
+/// Benches follow the project exit-code contract (rme/cli/exit_codes.hpp,
+/// docs/API.md "Process exit codes"): kExitOk on success, kExitDegraded
+/// when an output file could not be written, kExitUsage on bad flags.
 struct BenchArgs {
   unsigned jobs = 1;
   std::string csv_path;    ///< Empty: no CSV emission.
@@ -44,7 +49,7 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
         stderr,
         "usage: %s [--jobs N] [--csv PATH] [--trace PATH] [--metrics]\n",
         argv[0]);
-    std::exit(2);
+    std::exit(cli::kExitUsage);
   };
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -65,6 +70,18 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Flushes a bench's CSV stream and reports whether every byte landed
+/// (std::ofstream swallows write failures silently — disk full, dead
+/// mount — and goldens pinned to a partial CSV would mislead).  True
+/// when no CSV was requested; on failure, names the file on stderr.
+inline bool finish_csv(std::ofstream& csv_file, const std::string& path) {
+  if (path.empty()) return true;
+  csv_file.flush();
+  if (csv_file.good()) return true;
+  std::fprintf(stderr, "error: cannot write CSV file '%s'\n", path.c_str());
+  return false;
 }
 
 /// The bench harness's observability rig: owns the RealClock + Tracer

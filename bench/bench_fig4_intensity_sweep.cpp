@@ -101,5 +101,6 @@ int main(int argc, char** argv) {
          "  * in all subplots B_tau exceeds the effective energy-balance "
          "point, so\n    time-efficiency implies energy-efficiency "
          "(race-to-halt works, SsV-B).\n";
-  return bobs.finish() ? 0 : 1;
+  const bool csv_ok = bench::finish_csv(csv_file, args.csv_path);
+  return bobs.finish() && csv_ok ? cli::kExitOk : cli::kExitDegraded;
 }

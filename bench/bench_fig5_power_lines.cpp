@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
                "the GTX 580 single-\nprecision measured points clip at the "
                "244 W cap near B_tau while the model\ndemands ~380 W "
                "(paper: 387 W), reproducing the Fig. 5b discrepancy.\n";
-  return bobs.finish() ? 0 : 1;
+  return bobs.finish() ? cli::kExitOk : cli::kExitDegraded;
 }

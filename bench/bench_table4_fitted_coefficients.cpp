@@ -110,5 +110,6 @@ int main(int argc, char** argv) {
   print_fit("Intel Core i7-950 (desktop):", cpu, 371.0, 670.0, 795.0, 122.0,
             csv.get());
 
-  return bobs.finish() ? 0 : 1;
+  const bool csv_ok = bench::finish_csv(csv_file, args.csv_path);
+  return bobs.finish() && csv_ok ? cli::kExitOk : cli::kExitDegraded;
 }

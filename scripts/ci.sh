@@ -16,7 +16,7 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 echo
 echo "=== static analysis (rme_analyze) ==="
 # rme_analyze replaced the old rme_lint in PR 4: comment/string-aware
-# lexing, six rules, and scoped reasoned suppressions, run over the
+# lexing, seven rules, and scoped reasoned suppressions, run over the
 # whole tree (the old tool scanned headers under src/ only).
 ./build/tools/rme_analyze src tools bench tests
 
@@ -63,6 +63,20 @@ echo "=== sanitized build (ASan + UBSan) ==="
 cmake -B build-asan -G Ninja -DRME_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== crash safety: chaos/resume suite under ASan ==="
+# The chaos harness kills real rme_cli subprocesses at 36 seeded record
+# boundaries (plain and torn-append), truncates and byte-flips the
+# journal, then resumes — byte-diffing artifact and CSV against the
+# uninterrupted golden.  test_artifact additionally pins the checked-in
+# fixtures (tests/golden/session_i7.rmea / .csv) for format stability.
+# The full ctest pass above already ran these; this explicit re-run
+# serializes them with verbose output so a crash-recovery regression is
+# unmistakable in the CI log, and exercises every recovery path —
+# torn-tail truncation, resume, replay, corruption refusal — under ASan.
+ctest --test-dir build-asan --output-on-failure \
+      -R '^(ChaosTest|Artifact|Framing|Crc32|Json|Golden)\.'
 
 echo
 echo "=== sanitized build (TSan) ==="

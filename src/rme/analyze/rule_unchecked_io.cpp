@@ -1,0 +1,159 @@
+// unchecked-io: a library file stream that is written and never has its
+// state checked afterwards.  std::ofstream swallows write failures
+// silently (disk full, quota, dead NFS mount): every << succeeds at the
+// call site and the data simply never lands.  For a measurement library
+// whose outputs feed fits and goldens, a silent partial write is a
+// silently wrong result — the failure mode the session-artifact layer
+// exists to prevent (docs/REPLAY.md).
+//
+// The rule tracks each `std::ofstream` variable declared in a file
+// under src/rme/ and requires a stream-state check (`!f`, `f.good()`,
+// `f.fail()`, `f.bad()`, `f.is_open()`, `if (f)`, or a bool cast) on or
+// after the line of its *last* write-ish use (`f << ...`, `f.write(...)`,
+// `f.flush()`, or `f` passed to a writer function).  A check that only
+// guards the open — the classic `if (!f) throw` right after the
+// constructor — does not count: it proves the file opened, not that the
+// bytes arrived.  Discarded `fwrite` return values are flagged the same
+// way.  Scoped to the library proper; tools, benches, and tests own
+// their error handling.
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/rule.hpp"
+
+namespace rme::analyze {
+namespace {
+
+struct StreamVar {
+  std::string name;
+  std::size_t declared_line = 0;
+  int declared_depth = 0;  ///< Brace depth at declaration.
+  std::size_t last_write_line = 0;
+  std::size_t last_write_col = 0;
+  std::size_t last_check_line = 0;
+};
+
+class UncheckedIoRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "unchecked-io";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "file stream written without a state check after the last "
+           "write; stream errors are silently lost";
+  }
+
+  void check(const SourceFile& file,
+             std::vector<Finding>& out) const override {
+    if (!file.in_library()) return;
+
+    static const std::regex kDecl(
+        R"((?:^|[^A-Za-z0-9_:])(?:std\s*::\s*)?ofstream\s+)"
+        R"(([A-Za-z_][A-Za-z0-9_]*)\s*[;({])");
+    static const std::regex kDiscardedFwrite(
+        R"(^\s*(?:std\s*::\s*)?fwrite\s*\()");
+
+    std::vector<StreamVar> vars;
+    int depth = 0;
+    const auto finalize = [&](const StreamVar& v) {
+      if (v.last_write_line == 0) return;  // Declared but never written.
+      if (v.last_check_line >= v.last_write_line) return;
+      out.push_back(Finding{
+          std::string(name()), file.path(), v.last_write_line,
+          v.last_write_col,
+          "std::ofstream '" + v.name +
+              "' is never checked after its last write (a check before "
+              "the writes only proves the open succeeded); verify " +
+              v.name + ".good() or !" + v.name +
+              " before relying on the output"});
+    };
+
+    for (std::size_t line = 1; line <= file.line_count(); ++line) {
+      const std::string& code = file.code_line(line);
+
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), kDecl);
+           it != std::sregex_iterator(); ++it) {
+        vars.push_back(StreamVar{(*it)[1].str(), line, depth, 0, 0, 0});
+      }
+
+      for (StreamVar& v : vars) {
+        if (write_use_col(code, v.name) != 0) {
+          v.last_write_line = line;
+          v.last_write_col = write_use_col(code, v.name);
+        }
+        if (has_state_check(code, v.name)) v.last_check_line = line;
+      }
+
+      std::smatch m;
+      if (std::regex_search(code, m, kDiscardedFwrite)) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), line,
+            static_cast<std::size_t>(m.position(0)) + m.length(0),
+            "fwrite return value discarded; a short write goes unnoticed "
+            "— compare it against the element count"});
+      }
+
+      // Close lexical scopes: a stream that went out of scope can no
+      // longer be checked, so judge it now.  This also keeps same-named
+      // locals in different functions from shadowing each other.
+      for (const char c : code) {
+        if (c == '{') {
+          depth += 1;
+        } else if (c == '}') {
+          depth -= 1;
+          for (std::size_t i = vars.size(); i-- > 0;) {
+            if (vars[i].declared_depth > depth) {
+              finalize(vars[i]);
+              vars.erase(vars.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+          }
+        }
+      }
+    }
+    for (const StreamVar& v : vars) finalize(v);
+  }
+
+ private:
+  /// Column (1-based) of a write-ish use of `var` on this line; 0 when
+  /// none: `var << ...`, `var.write/put/flush(...)`, or `var` passed as
+  /// a plain function argument (a writer taking the stream by
+  /// reference).
+  static std::size_t write_use_col(const std::string& code,
+                                   const std::string& var) {
+    const std::regex direct(
+        R"((^|[^A-Za-z0-9_]))" + var +
+        R"(\s*(<<|\.\s*(write|put|flush)\s*\())");
+    std::smatch m;
+    if (std::regex_search(code, m, direct)) {
+      return static_cast<std::size_t>(m.position(1)) + m.length(1) + 1;
+    }
+    const std::regex as_arg(R"([(,]\s*)" + var + R"(\s*[,)])");
+    if (std::regex_search(code, m, as_arg)) {
+      return static_cast<std::size_t>(m.position(0)) + 2;
+    }
+    return 0;
+  }
+
+  static bool has_state_check(const std::string& code,
+                              const std::string& var) {
+    const std::regex check(
+        R"((!\s*)" + var + R"(\b))"
+        R"(|(\b)" + var + R"(\s*\.\s*(good|fail|bad|is_open)\s*\())"
+        R"(|(\bif\s*\(\s*)" + var + R"(\s*\)))"
+        R"(|(static_cast\s*<\s*bool\s*>\s*\(\s*)" + var + R"(\s*\)))");
+    return std::regex_search(code, check);
+  }
+};
+
+}  // namespace
+}  // namespace rme::analyze
+
+namespace rme::analyze {
+
+std::unique_ptr<Rule> make_unchecked_io_rule() {
+  return std::make_unique<UncheckedIoRule>();
+}
+
+}  // namespace rme::analyze

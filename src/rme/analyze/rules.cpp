@@ -10,6 +10,7 @@ const std::vector<const Rule*>& all_rules() {
     rules.push_back(make_determinism_rule());
     rules.push_back(make_value_escape_rule());
     rules.push_back(make_lock_discipline_rule());
+    rules.push_back(make_unchecked_io_rule());
     rules.push_back(make_suppression_hygiene_rule());
     return rules;
   }();

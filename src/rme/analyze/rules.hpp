@@ -19,6 +19,7 @@ namespace rme::analyze {
 [[nodiscard]] std::unique_ptr<Rule> make_determinism_rule();
 [[nodiscard]] std::unique_ptr<Rule> make_value_escape_rule();
 [[nodiscard]] std::unique_ptr<Rule> make_lock_discipline_rule();
+[[nodiscard]] std::unique_ptr<Rule> make_unchecked_io_rule();
 [[nodiscard]] std::unique_ptr<Rule> make_suppression_hygiene_rule();
 
 /// All registered rules, constructed once, in registry order.

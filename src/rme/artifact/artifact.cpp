@@ -1,0 +1,352 @@
+#include "rme/artifact/artifact.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace rme::artifact {
+
+namespace {
+
+Json precision_json(Precision p) { return Json::string(to_string(p)); }
+
+Precision precision_from(const Json& j) {
+  const std::string& s = j.as_string();
+  if (s == "single") return Precision::kSingle;
+  if (s == "double") return Precision::kDouble;
+  throw JsonError("unknown precision '" + s + "'");
+}
+
+std::size_t size_from(const Json& j) {
+  return static_cast<std::size_t>(j.as_count());
+}
+
+}  // namespace
+
+Json to_json(const ArtifactHeader& h) {
+  Json j = Json::object();
+  j.set("kind", Json::string("header"));
+  j.set("schema", Json::number(static_cast<double>(h.schema)));
+  j.set("platform", Json::string(h.platform));
+  j.set("reps", Json::number(static_cast<double>(h.repetitions)));
+  j.set("qc", Json::boolean(h.qc));
+  j.set("dropout", Json::number(h.dropout));
+  j.set("spike", Json::number(h.spike));
+  j.set("noise_seed", Json::number(static_cast<double>(h.noise_seed)));
+  j.set("fault_seed", Json::number(static_cast<double>(h.fault_seed)));
+  j.set("sample_hz", Json::number(h.sample_hz));
+  Json retry = Json::object();
+  retry.set("max_attempts",
+            Json::number(static_cast<double>(h.retry.max_attempts)));
+  retry.set("initial_backoff", Json::number(h.retry.initial_backoff.value()));
+  retry.set("multiplier", Json::number(h.retry.backoff_multiplier));
+  retry.set("max_backoff", Json::number(h.retry.max_backoff.value()));
+  retry.set("deadline", Json::number(h.retry.step_deadline.value()));
+  retry.set("jitter", Json::number(h.retry.jitter));
+  j.set("retry", std::move(retry));
+  return j;
+}
+
+ArtifactHeader header_from_json(const Json& j) {
+  ArtifactHeader h;
+  h.schema = j.at("schema").as_count();
+  h.platform = j.at("platform").as_string();
+  h.repetitions = size_from(j.at("reps"));
+  h.qc = j.at("qc").as_bool();
+  h.dropout = j.at("dropout").as_number();
+  h.spike = j.at("spike").as_number();
+  h.noise_seed = j.at("noise_seed").as_count();
+  h.fault_seed = j.at("fault_seed").as_count();
+  h.sample_hz = j.at("sample_hz").as_number();
+  const Json& r = j.at("retry");
+  h.retry.max_attempts = size_from(r.at("max_attempts"));
+  h.retry.initial_backoff = Seconds{r.at("initial_backoff").as_number()};
+  h.retry.backoff_multiplier = r.at("multiplier").as_number();
+  h.retry.max_backoff = Seconds{r.at("max_backoff").as_number()};
+  h.retry.step_deadline = Seconds{r.at("deadline").as_number()};
+  h.retry.jitter = r.at("jitter").as_number();
+  return h;
+}
+
+Json to_json(const StepRecord& s) {
+  Json j = Json::object();
+  j.set("kind", Json::string("step"));
+  j.set("index", Json::number(static_cast<double>(s.index)));
+  Json kernel = Json::object();
+  kernel.set("name", Json::string(s.kernel_name));
+  kernel.set("flops", Json::number(s.flops));
+  kernel.set("bytes", Json::number(s.bytes));
+  kernel.set("precision", precision_json(s.precision));
+  j.set("kernel", std::move(kernel));
+  Json reps = Json::array();
+  for (const RepRecord& r : s.reps) {
+    Json rep = Json::object();
+    rep.set("s", Json::number(r.seconds));
+    rep.set("j", Json::number(r.joules));
+    rep.set("w", Json::number(r.watts));
+    rep.set("capped", Json::boolean(r.capped));
+    rep.set("attempts", Json::number(static_cast<double>(r.attempts)));
+    rep.set("qc", Json::boolean(r.passed_qc));
+    rep.set("outlier", Json::boolean(r.outlier));
+    rep.set("backoff", Json::number(r.backoff_seconds));
+    rep.set("deadline_hit", Json::boolean(r.deadline_hit));
+    Json trace = Json::array();
+    for (const auto& [sec, watts] : r.trace) {
+      Json phase = Json::array();
+      phase.push(Json::number(sec));
+      phase.push(Json::number(watts));
+      trace.push(std::move(phase));
+    }
+    rep.set("trace", std::move(trace));
+    reps.push(std::move(rep));
+  }
+  j.set("reps", std::move(reps));
+  Json q = Json::object();
+  Json attempts = Json::array();
+  for (std::size_t a : s.attempts_per_rep) {
+    attempts.push(Json::number(static_cast<double>(a)));
+  }
+  q.set("attempts", std::move(attempts));
+  q.set("attempted", Json::number(static_cast<double>(s.reps_attempted)));
+  q.set("retried", Json::number(static_cast<double>(s.reps_retried)));
+  q.set("kept_degraded",
+        Json::number(static_cast<double>(s.reps_kept_degraded)));
+  q.set("discarded", Json::number(static_cast<double>(s.reps_discarded)));
+  q.set("outliers",
+        Json::number(static_cast<double>(s.reps_discarded_outlier)));
+  q.set("dropped", Json::number(static_cast<double>(s.dropped_samples)));
+  q.set("saturated", Json::number(static_cast<double>(s.saturated_samples)));
+  q.set("deadline_exhausted",
+        Json::number(static_cast<double>(s.reps_deadline_exhausted)));
+  q.set("backoff", Json::number(s.backoff_seconds));
+  q.set("degraded", Json::boolean(s.degraded));
+  j.set("quality", std::move(q));
+  return j;
+}
+
+StepRecord step_from_json(const Json& j) {
+  StepRecord s;
+  s.index = size_from(j.at("index"));
+  const Json& kernel = j.at("kernel");
+  s.kernel_name = kernel.at("name").as_string();
+  s.flops = kernel.at("flops").as_number();
+  s.bytes = kernel.at("bytes").as_number();
+  s.precision = precision_from(kernel.at("precision"));
+  for (const Json& rep : j.at("reps").items()) {
+    RepRecord r;
+    r.seconds = rep.at("s").as_number();
+    r.joules = rep.at("j").as_number();
+    r.watts = rep.at("w").as_number();
+    r.capped = rep.at("capped").as_bool();
+    r.attempts = size_from(rep.at("attempts"));
+    r.passed_qc = rep.at("qc").as_bool();
+    r.outlier = rep.at("outlier").as_bool();
+    r.backoff_seconds = rep.at("backoff").as_number();
+    r.deadline_hit = rep.at("deadline_hit").as_bool();
+    for (const Json& phase : rep.at("trace").items()) {
+      if (phase.items().size() != 2) {
+        throw JsonError("trace phase must be a [seconds, watts] pair");
+      }
+      r.trace.emplace_back(phase.items()[0].as_number(),
+                           phase.items()[1].as_number());
+    }
+    s.reps.push_back(std::move(r));
+  }
+  const Json& q = j.at("quality");
+  for (const Json& a : q.at("attempts").items()) {
+    s.attempts_per_rep.push_back(size_from(a));
+  }
+  s.reps_attempted = size_from(q.at("attempted"));
+  s.reps_retried = size_from(q.at("retried"));
+  s.reps_kept_degraded = size_from(q.at("kept_degraded"));
+  s.reps_discarded = size_from(q.at("discarded"));
+  s.reps_discarded_outlier = size_from(q.at("outliers"));
+  s.dropped_samples = size_from(q.at("dropped"));
+  s.saturated_samples = size_from(q.at("saturated"));
+  s.reps_deadline_exhausted = size_from(q.at("deadline_exhausted"));
+  s.backoff_seconds = q.at("backoff").as_number();
+  s.degraded = q.at("degraded").as_bool();
+  return s;
+}
+
+Json to_json(const FitRecord& f) {
+  Json j = Json::object();
+  j.set("kind", Json::string("fit"));
+  j.set("eps_single", Json::number(f.eps_single));
+  j.set("delta_double", Json::number(f.delta_double));
+  j.set("eps_mem", Json::number(f.eps_mem));
+  j.set("const_power", Json::number(f.const_power));
+  j.set("r_squared", Json::number(f.r_squared));
+  j.set("samples", Json::number(static_cast<double>(f.samples)));
+  return j;
+}
+
+FitRecord fit_from_json(const Json& j) {
+  FitRecord f;
+  f.eps_single = j.at("eps_single").as_number();
+  f.delta_double = j.at("delta_double").as_number();
+  f.eps_mem = j.at("eps_mem").as_number();
+  f.const_power = j.at("const_power").as_number();
+  f.r_squared = j.at("r_squared").as_number();
+  f.samples = size_from(j.at("samples"));
+  return f;
+}
+
+StepRecord make_step_record(std::size_t index,
+                            const rme::power::SessionResult& result) {
+  StepRecord s;
+  s.index = index;
+  s.kernel_name = result.kernel.name;
+  s.flops = result.kernel.flops;
+  s.bytes = result.kernel.bytes;
+  s.precision = result.kernel.precision;
+  for (const rme::power::RepMeasurement& r : result.reps) {
+    RepRecord rep;
+    rep.seconds = r.seconds.value();
+    rep.joules = r.joules.value();
+    rep.watts = r.avg_watts.value();
+    rep.capped = r.capped;
+    rep.attempts = r.retries + 1;
+    rep.passed_qc = r.passed_qc;
+    rep.outlier = r.outlier;
+    rep.backoff_seconds = r.backoff_seconds.value();
+    rep.deadline_hit = r.deadline_hit;
+    for (const rme::sim::PowerPhase& phase : r.trace.phases()) {
+      rep.trace.emplace_back(phase.seconds.value(), phase.watts.value());
+    }
+    s.reps.push_back(std::move(rep));
+  }
+  const rme::power::SessionQuality& q = result.quality;
+  s.attempts_per_rep = q.attempts_per_rep;
+  s.reps_attempted = q.reps_attempted;
+  s.reps_retried = q.reps_retried;
+  s.reps_kept_degraded = q.reps_kept_degraded;
+  s.reps_discarded = q.reps_discarded;
+  s.reps_discarded_outlier = q.reps_discarded_outlier;
+  s.dropped_samples = q.dropped_samples;
+  s.saturated_samples = q.saturated_samples;
+  s.reps_deadline_exhausted = q.reps_deadline_exhausted;
+  s.backoff_seconds = q.backoff_seconds.value();
+  s.degraded = q.degraded || q.reps_deadline_exhausted > 0;
+  return s;
+}
+
+FitRecord make_fit_record(const rme::fit::EnergyFit& fit,
+                          std::size_t samples) {
+  FitRecord f;
+  f.eps_single = fit.coefficients.eps_single.value();
+  f.delta_double = fit.coefficients.delta_double.value();
+  f.eps_mem = fit.coefficients.eps_mem.value();
+  f.const_power = fit.coefficients.const_power.value();
+  f.r_squared = fit.regression.r_squared;
+  f.samples = samples;
+  return f;
+}
+
+ArtifactWriter::ArtifactWriter(std::string path,
+                               std::size_t existing_records,
+                               ChaosConfig chaos)
+    : path_(std::move(path)), records_(existing_records), chaos_(chaos) {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw ArtifactError("artifact: cannot open " + path_ + " for append");
+  }
+}
+
+void ArtifactWriter::append(const Json& record) {
+  const std::string frame = frame_record(record.dump());
+  if (chaos_.kill_after_records >= 0 &&
+      records_ == static_cast<std::size_t>(chaos_.kill_after_records)) {
+    if (chaos_.tear && frame.size() > 1) {
+      // A torn append: half the frame reaches disk, then the process
+      // dies without running destructors — the crash the WAL design
+      // must recover from.
+      out_.write(frame.data(),
+                 static_cast<std::streamsize>(frame.size() / 2));
+      out_.flush();
+    }
+    std::_Exit(137);
+  }
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_.good()) {
+    throw ArtifactError("artifact: write failed on " + path_);
+  }
+  records_ += 1;
+}
+
+ReadResult read_artifact(const std::string& path) {
+  ReadResult result;
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return result;  // Missing file: an empty, valid artifact.
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+      result.status = ScanStatus::kCorrupt;
+      result.message = "artifact: read failed on " + path;
+      return result;
+    }
+    image = buf.str();
+  }
+
+  const FrameScan scan = scan_frames(image);
+  result.status = scan.status;
+  result.message = scan.error;
+  result.valid_bytes = scan.valid_bytes;
+  result.dropped_bytes = scan.dropped_bytes;
+  if (scan.status == ScanStatus::kCorrupt) return result;
+
+  const auto corrupt = [&](std::size_t record_no, const std::string& what) {
+    result.status = ScanStatus::kCorrupt;
+    result.message =
+        "record " + std::to_string(record_no + 1) + ": " + what;
+    return result;
+  };
+
+  for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+    Json record;
+    try {
+      record = Json::parse(scan.payloads[i]);
+      const std::string& kind = record.at("kind").as_string();
+      if (i == 0) {
+        if (kind != "header") {
+          return corrupt(i, "expected a header record, got '" + kind + "'");
+        }
+        const std::uint64_t schema = record.at("schema").as_count();
+        if (schema != kSchemaVersion) {
+          return corrupt(
+              i, "unsupported schema version " + std::to_string(schema) +
+                     " (this build reads version " +
+                     std::to_string(kSchemaVersion) + ")");
+        }
+        result.header = header_from_json(record);
+        result.has_header = true;
+      } else if (kind == "step") {
+        if (result.has_fit) {
+          return corrupt(i, "step record after the fit record");
+        }
+        StepRecord step = step_from_json(record);
+        if (step.index != result.steps.size()) {
+          return corrupt(i, "step index " + std::to_string(step.index) +
+                                " out of order (expected " +
+                                std::to_string(result.steps.size()) + ")");
+        }
+        result.steps.push_back(std::move(step));
+      } else if (kind == "fit") {
+        if (result.has_fit) return corrupt(i, "duplicate fit record");
+        result.fit = fit_from_json(record);
+        result.has_fit = true;
+      } else {
+        return corrupt(i, "unknown record kind '" + kind + "'");
+      }
+    } catch (const JsonError& err) {
+      return corrupt(i, err.what());
+    }
+    result.records += 1;
+  }
+  return result;
+}
+
+}  // namespace rme::artifact

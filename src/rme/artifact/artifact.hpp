@@ -1,0 +1,191 @@
+#pragma once
+// rme::artifact — versioned, crash-safe session artifacts (.rmea).
+//
+// An artifact is a write-ahead journal of one measurement session: a
+// header record capturing everything needed to re-derive the run (the
+// machine platform, fault schedule, seeds, repetition count, and retry
+// policy), one step record per swept kernel (raw per-rep measurements,
+// power-trace phases, and QC accounting), and a closing fit record with
+// the eq. (9) coefficients.  Records use the rme::artifact framing
+// (format.hpp): one checksummed JSON line each, appended and flushed
+// before the session advances, so the file on disk is always a valid
+// prefix of the completed run.
+//
+// The contract the chaos harness (tests/chaos_runner.cpp) enforces:
+//
+//   * every step is a pure function of (header, step index) — the
+//     rme::exec derive_seed discipline — so a crashed sweep resumed
+//     from its journal produces a final artifact *byte-identical* to
+//     the uninterrupted run;
+//   * a truncated tail is silently recoverable (the torn record is
+//     re-executed); a corrupted record is detected and reported, never
+//     silently mis-read (docs/REPLAY.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rme/artifact/format.hpp"
+#include "rme/artifact/json.hpp"
+#include "rme/fit/energy_fit.hpp"
+#include "rme/power/retry.hpp"
+#include "rme/power/session.hpp"
+#include "rme/sim/kernel_desc.hpp"
+
+namespace rme::artifact {
+
+/// Artifact schema version written by this build.  Readers accept
+/// exactly this version; anything else is reported as a schema
+/// mismatch (docs/REPLAY.md, "Versioning").
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// Thrown when an artifact cannot be written (I/O failure).
+class ArtifactError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The session configuration captured in the header record — enough to
+/// re-derive every step without the original command line.
+struct ArtifactHeader {
+  std::uint64_t schema = kSchemaVersion;
+  std::string platform;      ///< "i7" or "gtx580" (both precisions swept).
+  std::size_t repetitions = 16;
+  bool qc = true;            ///< Quality-control layer enabled.
+  double dropout = 0.0;      ///< FaultProfile::sample_dropout_rate.
+  double spike = 0.0;        ///< FaultProfile::spike_rate.
+  std::uint64_t noise_seed = 0xA11CE;  ///< Simulator NoiseModel seed.
+  std::uint64_t fault_seed = 0xFA117;  ///< FaultInjector base seed.
+  // rme-lint: allow(units-suffix: raw journal field, serialized as a plain JSON number)
+  double sample_hz = 128.0;  ///< PowerMon sampling rate.
+  rme::power::RetryPolicy retry{};
+
+  /// Two headers describe the same run iff every field matches.
+  [[nodiscard]] bool operator==(const ArtifactHeader&) const = default;
+};
+
+/// One repetition inside a step record (the kept reps only, mirroring
+/// power::SessionResult::reps).
+struct RepRecord {
+  double seconds = 0.0;
+  double joules = 0.0;
+  double watts = 0.0;
+  bool capped = false;
+  std::size_t attempts = 1;   ///< Runs consumed (retries + 1).
+  bool passed_qc = true;
+  bool outlier = false;
+  // rme-lint: allow(units-suffix: raw journal field, serialized as a plain JSON number)
+  double backoff_seconds = 0.0;
+  bool deadline_hit = false;
+  /// Raw power-trace phases [seconds, watts] of the kept attempt.
+  std::vector<std::pair<double, double>> trace;
+};
+
+/// One journal step: a measured kernel with its QC accounting.
+struct StepRecord {
+  std::size_t index = 0;
+  std::string kernel_name;
+  double flops = 0.0;
+  double bytes = 0.0;
+  Precision precision = Precision::kSingle;
+  std::vector<RepRecord> reps;
+  std::vector<std::size_t> attempts_per_rep;
+  std::size_t reps_attempted = 0;
+  std::size_t reps_retried = 0;
+  std::size_t reps_kept_degraded = 0;
+  std::size_t reps_discarded = 0;
+  std::size_t reps_discarded_outlier = 0;
+  std::size_t dropped_samples = 0;
+  std::size_t saturated_samples = 0;
+  std::size_t reps_deadline_exhausted = 0;
+  // rme-lint: allow(units-suffix: raw journal field, serialized as a plain JSON number)
+  double backoff_seconds = 0.0;
+  bool degraded = false;
+};
+
+/// The closing record: fitted eq. (9) coefficients over all steps.
+struct FitRecord {
+  double eps_single = 0.0;    ///< [J/flop]
+  double delta_double = 0.0;  ///< [J/flop]
+  double eps_mem = 0.0;       ///< [J/byte]
+  double const_power = 0.0;   ///< [W]
+  double r_squared = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Record (de)serialization.  Serialization is deterministic: member
+/// order is fixed and numbers use to_chars shortest round-trip form,
+/// so serialize(parse(serialize(x))) == serialize(x) byte-for-byte.
+[[nodiscard]] Json to_json(const ArtifactHeader& h);
+[[nodiscard]] Json to_json(const StepRecord& s);
+[[nodiscard]] Json to_json(const FitRecord& f);
+[[nodiscard]] ArtifactHeader header_from_json(const Json& j);
+[[nodiscard]] StepRecord step_from_json(const Json& j);
+[[nodiscard]] FitRecord fit_from_json(const Json& j);
+
+/// Builds a StepRecord from a measured session result.
+[[nodiscard]] StepRecord make_step_record(
+    std::size_t index, const rme::power::SessionResult& result);
+
+/// Builds a FitRecord from a fit result.
+[[nodiscard]] FitRecord make_fit_record(const rme::fit::EnergyFit& fit,
+                                        std::size_t samples);
+
+/// Chaos hooks for the crash harness: after `kill_after_records`
+/// appends the writer terminates the process abruptly (std::_Exit, no
+/// destructors — the moral equivalent of SIGKILL at a seeded point).
+/// With `tear` set, it first writes a partial prefix of the next
+/// record, simulating a torn append.  Negative = disabled.
+struct ChaosConfig {
+  long long kill_after_records = -1;
+  bool tear = false;
+};
+
+/// Append-only journal writer.  Every append frames, writes, and
+/// flushes one record, then verifies the stream — an I/O failure
+/// throws ArtifactError rather than continuing with a silent hole.
+class ArtifactWriter {
+ public:
+  /// Opens `path` for append (creating it); `existing_records` is how
+  /// many records the file already holds (0 for a fresh artifact) so
+  /// the chaos hook counts records in the *file*, not per process.
+  ArtifactWriter(std::string path, std::size_t existing_records = 0,
+                 ChaosConfig chaos = {});
+
+  void append(const Json& record);
+
+  [[nodiscard]] std::size_t records_written() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t records_ = 0;
+  ChaosConfig chaos_;
+};
+
+/// Outcome of reading an artifact file.
+struct ReadResult {
+  ScanStatus status = ScanStatus::kOk;
+  std::string message;       ///< For kCorrupt: what failed and where.
+  bool has_header = false;
+  ArtifactHeader header;
+  std::vector<StepRecord> steps;  ///< Contiguous prefix, ordered by index.
+  bool has_fit = false;
+  FitRecord fit;
+  std::size_t records = 0;       ///< Valid records accepted.
+  std::size_t valid_bytes = 0;   ///< Prefix length covered by valid records.
+  std::size_t dropped_bytes = 0; ///< Torn-tail bytes dropped (resume-safe).
+};
+
+/// Reads and validates an artifact.  Framing errors, schema mismatches,
+/// malformed records, and out-of-order steps all surface as kCorrupt
+/// with a message; a torn final line surfaces as kTruncatedTail with
+/// every complete record intact.  A missing file reads as an empty,
+/// valid artifact (no header).
+[[nodiscard]] ReadResult read_artifact(const std::string& path);
+
+}  // namespace rme::artifact

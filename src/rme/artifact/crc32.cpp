@@ -1,0 +1,44 @@
+#include "rme/artifact/crc32.hpp"
+
+#include <array>
+
+namespace rme::artifact {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::string_view data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::uint32_t c = crc32(data);
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(7 - i)] = kDigits[(c >> (4 * i)) & 0xFu];
+  }
+  return out;
+}
+
+}  // namespace rme::artifact

@@ -1,0 +1,23 @@
+#pragma once
+// rme::artifact — CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// over byte ranges.  Every record line of a session artifact carries the
+// checksum of its JSON payload so torn writes and byte flips are
+// detected at read time instead of surfacing as silently wrong fits
+// (docs/REPLAY.md, "Record framing").
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rme::artifact {
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final xor 0xFFFFFFFF —
+/// the zlib/PNG convention, so `crc32("123456789") == 0xCBF43926`).
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// The checksum as exactly eight lowercase hex digits — the fixed-width
+/// form embedded in record frames.
+[[nodiscard]] std::string crc32_hex(std::string_view data);
+
+}  // namespace rme::artifact

@@ -1,0 +1,95 @@
+#include "rme/artifact/format.hpp"
+
+#include "rme/artifact/crc32.hpp"
+
+namespace rme::artifact {
+
+namespace {
+constexpr std::string_view kMagic = "RMEA ";
+constexpr std::size_t kCrcDigits = 8;
+// "RMEA " + 8 hex digits + ' ' + payload.
+constexpr std::size_t kPrefixLen = 5 + kCrcDigits + 1;
+}  // namespace
+
+std::string_view to_string(ScanStatus s) noexcept {
+  switch (s) {
+    case ScanStatus::kOk: return "ok";
+    case ScanStatus::kTruncatedTail: return "truncated-tail";
+    case ScanStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::string frame_record(std::string_view payload) {
+  std::string line;
+  line.reserve(kPrefixLen + payload.size() + 1);
+  line += kMagic;
+  line += crc32_hex(payload);
+  line += ' ';
+  line += payload;
+  line += '\n';
+  return line;
+}
+
+namespace {
+
+/// Verifies one complete (newline-stripped) line; returns the payload
+/// through `payload` or an explanation through `error`.
+bool verify_line(std::string_view line, std::string_view* payload,
+                 std::string* error) {
+  if (line.size() < kPrefixLen || line.substr(0, kMagic.size()) != kMagic) {
+    *error = "bad record magic (expected 'RMEA ')";
+    return false;
+  }
+  const std::string_view crc_text = line.substr(kMagic.size(), kCrcDigits);
+  for (const char c : crc_text) {
+    const bool hex =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) {
+      *error = "malformed checksum field";
+      return false;
+    }
+  }
+  if (line[kMagic.size() + kCrcDigits] != ' ') {
+    *error = "malformed checksum field";
+    return false;
+  }
+  const std::string_view body = line.substr(kPrefixLen);
+  if (crc32_hex(body) != crc_text) {
+    *error = "checksum mismatch";
+    return false;
+  }
+  *payload = body;
+  return true;
+}
+
+}  // namespace
+
+FrameScan scan_frames(std::string_view image) {
+  FrameScan scan;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < image.size()) {
+    const std::size_t nl = image.find('\n', pos);
+    ++line_no;
+    if (nl == std::string_view::npos) {
+      // Torn final line: a crashed append never wrote its newline.
+      scan.status = ScanStatus::kTruncatedTail;
+      scan.dropped_bytes = image.size() - pos;
+      return scan;
+    }
+    std::string_view payload;
+    std::string error;
+    if (!verify_line(image.substr(pos, nl - pos), &payload, &error)) {
+      scan.status = ScanStatus::kCorrupt;
+      scan.error = "record " + std::to_string(line_no) + ": " + error;
+      return scan;
+    }
+    scan.payloads.emplace_back(payload);
+    pos = nl + 1;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+}  // namespace rme::artifact

@@ -1,0 +1,56 @@
+#pragma once
+// rme::artifact — record framing for the .rmea session artifact.
+//
+// An artifact is an append-only, line-oriented write-ahead journal.
+// Each record is one line:
+//
+//   RMEA <crc32-hex, 8 digits> <json-payload>\n
+//
+// where the checksum covers exactly the payload bytes.  The framing is
+// what makes crash recovery decidable (docs/REPLAY.md):
+//
+//   * a file that is a prefix of a valid artifact ends either on a
+//     record boundary or inside a torn final line.  A torn line cannot
+//     end in '\n', so "last chunk lacks its newline" ⇒ torn write ⇒
+//     drop the tail, keep every complete record (kTruncatedTail);
+//   * a '\n'-terminated line whose magic, checksum, or payload does not
+//     verify cannot be produced by a torn append — something rewrote
+//     bytes ⇒ kCorrupt, never a silent mis-read.
+//
+// An unterminated tail that happens to verify is still dropped: it is
+// indistinguishable from the prefix of a longer torn record, and
+// re-executing one journal step is always safe (steps are pure
+// functions of their index — the rme::exec derive_seed contract).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rme::artifact {
+
+/// Classification of one scanned file image.
+enum class ScanStatus {
+  kOk,             ///< Every byte accounted for by valid records.
+  kTruncatedTail,  ///< Valid records then a torn final line (dropped).
+  kCorrupt,        ///< A complete line failed verification.
+};
+
+[[nodiscard]] std::string_view to_string(ScanStatus s) noexcept;
+
+/// Result of scanning a raw artifact image.
+struct FrameScan {
+  ScanStatus status = ScanStatus::kOk;
+  std::vector<std::string> payloads;  ///< Verified JSON payloads, in order.
+  std::size_t valid_bytes = 0;  ///< Prefix length covered by valid records.
+  std::size_t dropped_bytes = 0;  ///< Torn-tail bytes past valid_bytes.
+  std::string error;  ///< For kCorrupt: what failed, with a line number.
+};
+
+/// Frames one payload into its record line (including the newline).
+[[nodiscard]] std::string frame_record(std::string_view payload);
+
+/// Scans a whole artifact image into verified payloads.
+[[nodiscard]] FrameScan scan_frames(std::string_view image);
+
+}  // namespace rme::artifact

@@ -1,0 +1,381 @@
+#include "rme/artifact/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace rme::artifact {
+
+std::string format_number(double v) {
+  // Integers up to 2^53 print without an exponent or fraction so counts
+  // and indices stay human-readable (and re-parse as the same double).
+  char buf[64];
+  std::to_chars_result r{};
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+    r = std::to_chars(buf, buf + sizeof buf,
+                      static_cast<long long>(v));
+  } else {
+    r = std::to_chars(buf, buf + sizeof buf, v);
+  }
+  return std::string(buf, r.ptr);
+}
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  if (!std::isfinite(v)) throw JsonError("non-finite number in record");
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) throw JsonError("set() on non-object");
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push(Json value) {
+  if (kind_ != Kind::kArray) throw JsonError("push() on non-array");
+  items_.push_back(std::move(value));
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (kind_ != Kind::kObject) throw JsonError("at() on non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  throw JsonError("missing record field '" + std::string(key) + "'");
+}
+
+bool Json::has(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw JsonError("expected a boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber) throw JsonError("expected a number");
+  return number_;
+}
+
+std::uint64_t Json::as_count() const {
+  const double v = as_number();
+  if (!(v >= 0.0) || std::nearbyint(v) != v || v > 9.007199254740992e15) {
+    throw JsonError("expected a non-negative integer count");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) throw JsonError("expected a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::kArray) throw JsonError("expected an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (kind_ != Kind::kObject) throw JsonError("expected an object");
+  return members_;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(u >> 4) & 0xF];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_into(std::string& out, const Json& j) {
+  switch (j.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      break;
+    case Json::Kind::kBool:
+      out += j.as_bool() ? "true" : "false";
+      break;
+    case Json::Kind::kNumber:
+      out += format_number(j.as_number());
+      break;
+    case Json::Kind::kString:
+      escape_into(out, j.as_string());
+      break;
+    case Json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& item : j.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(out, item);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : j.members()) {
+        if (!first) out += ',';
+        first = false;
+        escape_into(out, k);
+        out += ':';
+        dump_into(out, v);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of record");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expect_word(std::string_view word) {
+    for (const char c : word) expect(c);
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+        expect_word("true");
+        return Json::boolean(true);
+      case 'f':
+        expect_word("false");
+        return Json::boolean(false);
+      case 'n':
+        expect_word("null");
+        return Json{};
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    Json v = Json::object();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return v;
+  }
+
+  Json parse_array() {
+    Json v = Json::array();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return v;
+    }
+    while (true) {
+      v.push(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // The writer only emits \u00XX for control bytes; reject
+          // anything it could not have produced.
+          if (code >= 0x20) fail("unsupported \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    const auto r =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (r.ec != std::errc{} || r.ptr != text_.data() + pos_ ||
+        pos_ == start || !std::isfinite(value)) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return Json::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_into(out, *this);
+  return out;
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace rme::artifact

@@ -1,0 +1,88 @@
+#pragma once
+// rme::artifact — a minimal, deterministic JSON value for artifact
+// records.
+//
+// Why not reuse a DOM with map-ordered members: artifact records must
+// survive write → read → write *byte-identically* (the resume proof in
+// tests/chaos_runner.cpp diffs whole artifacts), so objects here keep
+// insertion order, and numbers are formatted with std::to_chars
+// shortest round-trip form — locale-free, and guaranteed to parse back
+// to the same double bit pattern.  The parser accepts exactly the JSON
+// grammar this writer emits plus standard whitespace; anything else
+// throws JsonError with a byte offset.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rme::artifact {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value.  Objects preserve member insertion order.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  [[nodiscard]] static Json boolean(bool b);
+  [[nodiscard]] static Json number(double v);
+  [[nodiscard]] static Json string(std::string s);
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Appends an object member (no duplicate check; callers own schema).
+  void set(std::string key, Json value);
+  /// Appends an array element.
+  void push(Json value);
+
+  /// Object lookup; throws JsonError when absent or not an object.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number checked to be an exact non-negative integer <= 2^53.
+  [[nodiscard]] std::uint64_t as_count() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Compact single-line serialization (no spaces, members in insertion
+  /// order, numbers in to_chars shortest form).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses one JSON document; trailing non-whitespace throws.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Shortest round-trip decimal form of `v` (std::to_chars); the one
+/// number format used across artifact records.
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace rme::artifact

@@ -1,0 +1,370 @@
+#include "rme/artifact/replay.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "rme/cli/exit_codes.hpp"
+#include "rme/core/machine_presets.hpp"
+#include "rme/obs/trace.hpp"
+#include "rme/power/interposer.hpp"
+#include "rme/power/powermon.hpp"
+#include "rme/report/table.hpp"
+#include "rme/sim/executor.hpp"
+#include "rme/sim/faults.hpp"
+#include "rme/sim/noise.hpp"
+
+namespace rme::artifact {
+
+bool valid_platform(const std::string& platform) {
+  return platform == "i7" || platform == "gtx580";
+}
+
+std::vector<rme::sim::KernelDesc> platform_sweep_kernels(
+    const std::string& platform) {
+  const bool is_i7 = platform == "i7";
+  std::vector<rme::sim::KernelDesc> kernels;
+  // Short kernels across the Fig. 4 intensity grid, cycling duration
+  // tiers — the `rme_cli faults` schedule (see bench_ablation_faults
+  // for the regime rationale).  Kept in lock-step with cmd_faults so
+  // artifacts and fault studies sample the same design space.
+  constexpr double kTierSeconds[] = {0.018, 0.030, 0.050};
+  for (const Precision p : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams m =
+        is_i7 ? presets::i7_950(p) : presets::gtx580(p);
+    const double hi = p == Precision::kSingle ? 64.0 : 16.0;
+    std::size_t tier = 0;
+    for (const double intensity : sim::pow2_grid(0.25, hi)) {
+      const TimePerByte sec_per_byte =
+          max(m.time_per_byte, Intensity{intensity} * m.time_per_flop);
+      const double words =
+          kTierSeconds[tier++ % 3] / sec_per_byte.value() / word_bytes(p);
+      kernels.push_back(sim::fma_load_mix(intensity, words, p));
+    }
+  }
+  return kernels;
+}
+
+std::vector<rme::fit::EnergySample> samples_from_steps(
+    const std::vector<StepRecord>& steps) {
+  std::vector<rme::fit::EnergySample> samples;
+  for (const StepRecord& step : steps) {
+    for (const RepRecord& rep : step.reps) {
+      if (rep.outlier) continue;
+      samples.push_back(rme::fit::EnergySample{
+          step.flops, step.bytes, Seconds{rep.seconds}, Joules{rep.joules},
+          step.precision});
+    }
+  }
+  return samples;
+}
+
+void write_steps_csv(std::ostream& os,
+                     const std::vector<StepRecord>& steps) {
+  os << "step,kernel,precision,rep,seconds,joules,watts,attempts,"
+        "passed_qc,outlier\n";
+  for (const StepRecord& step : steps) {
+    for (std::size_t i = 0; i < step.reps.size(); ++i) {
+      const RepRecord& rep = step.reps[i];
+      os << step.index << ',' << step.kernel_name << ','
+         << to_string(step.precision) << ',' << i << ','
+         << format_number(rep.seconds) << ',' << format_number(rep.joules)
+         << ',' << format_number(rep.watts) << ',' << rep.attempts << ','
+         << (rep.passed_qc ? 1 : 0) << ',' << (rep.outlier ? 1 : 0) << '\n';
+    }
+  }
+}
+
+namespace {
+
+rme::power::MeasurementSession make_session(const ArtifactHeader& header,
+                                            Precision p) {
+  const bool is_i7 = header.platform == "i7";
+  const MachineParams m =
+      is_i7 ? presets::i7_950(p) : presets::gtx580(p);
+  sim::SimConfig sim_cfg;
+  sim_cfg.noise = sim::NoiseModel(header.noise_seed, 0.01);
+  sim::FaultProfile profile;
+  profile.sample_dropout_rate = header.dropout;
+  profile.spike_rate = header.spike;
+  profile.spike_gain_min = 6.0;
+  profile.spike_gain_max = 24.0;
+  power::PowerMonConfig mon_cfg;
+  mon_cfg.sample_hz = Hertz{header.sample_hz};
+  power::SessionConfig ses_cfg;
+  ses_cfg.repetitions = header.repetitions;
+  ses_cfg.qc.enabled = header.qc;
+  ses_cfg.qc.retry = header.retry;
+  ses_cfg.capture_traces = true;
+  return power::MeasurementSession(
+      sim::Executor(m, sim_cfg),
+      power::PowerMon(is_i7 ? power::atx_cpu_rails() : power::gtx580_rails(),
+                      mon_cfg,
+                      sim::FaultInjector(profile, header.fault_seed)),
+      ses_cfg);
+}
+
+rme::fit::EnergyFit fit_steps(const std::vector<StepRecord>& steps) {
+  rme::fit::EnergyFitOptions options;
+  options.relative_error = true;
+  return rme::fit::fit_energy_coefficients(samples_from_steps(steps),
+                                           options);
+}
+
+/// Null-safe counter bump for the artifact-layer obs counters.
+void count(obs::Tracer* tracer, std::string_view name, std::size_t delta) {
+  if (tracer != nullptr && delta > 0) {
+    tracer->add_counter(name, static_cast<std::int64_t>(delta));
+  }
+}
+
+bool any_degraded(const std::vector<StepRecord>& steps) {
+  for (const StepRecord& step : steps) {
+    if (step.degraded) return true;
+  }
+  return false;
+}
+
+void add_fit_row(report::Table& t, const char* label, const FitRecord& f) {
+  t.add_row({label, report::fmt(f.eps_single * 1e12, 4),
+             report::fmt((f.eps_single + f.delta_double) * 1e12, 4),
+             report::fmt(f.eps_mem * 1e12, 4),
+             report::fmt(f.const_power, 4),
+             report::fmt(f.r_squared, 6)});
+}
+
+/// Writes `steps` as CSV to `path`; returns false (with a message on
+/// `err`) when the file cannot be written.
+bool write_csv_file(const std::string& path,
+                    const std::vector<StepRecord>& steps,
+                    std::ostream& err) {
+  std::ofstream csv(path, std::ios::binary);
+  if (!csv) {
+    err << "error: cannot open csv file '" << path << "'\n";
+    return false;
+  }
+  write_steps_csv(csv, steps);
+  csv.flush();
+  if (!csv.good()) {
+    err << "error: write failed on csv file '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void render_session_report(std::ostream& os, const ArtifactHeader& header,
+                           const std::vector<StepRecord>& steps,
+                           const FitRecord& fit) {
+  os << "Artifact session: platform " << header.platform << ", "
+     << steps.size() << " steps x " << header.repetitions << " reps, QC "
+     << (header.qc ? "on" : "off") << ", dropout "
+     << report::fmt(100.0 * header.dropout, 3) << "%, spikes "
+     << report::fmt(100.0 * header.spike, 3) << "%\n"
+     << "Retry policy: " << header.retry.max_attempts << " attempts";
+  if (header.retry.initial_backoff > Seconds{0.0}) {
+    os << ", backoff " << report::fmt(header.retry.initial_backoff.value(), 4)
+       << "s x" << report::fmt(header.retry.backoff_multiplier, 3);
+  }
+  if (header.retry.step_deadline > Seconds{0.0}) {
+    os << ", deadline " << report::fmt(header.retry.step_deadline.value(), 4)
+       << "s";
+  }
+  os << "\n";
+
+  std::size_t attempted = 0, retried = 0, kept_degraded = 0, discarded = 0;
+  std::size_t outliers = 0, deadline_exhausted = 0, max_attempts = 0;
+  double backoff = 0.0;
+  for (const StepRecord& step : steps) {
+    attempted += step.reps_attempted;
+    retried += step.reps_retried;
+    kept_degraded += step.reps_kept_degraded;
+    discarded += step.reps_discarded;
+    outliers += step.reps_discarded_outlier;
+    deadline_exhausted += step.reps_deadline_exhausted;
+    backoff += step.backoff_seconds;
+    for (const std::size_t a : step.attempts_per_rep) {
+      if (a > max_attempts) max_attempts = a;
+    }
+  }
+  os << "Session QC: " << attempted << " attempts, " << retried
+     << " retried, " << kept_degraded << " kept degraded, " << discarded
+     << " discarded, " << outliers << " MAD-rejected, " << deadline_exhausted
+     << " deadline-exhausted, max " << max_attempts
+     << " attempts on one rep, " << report::fmt(backoff, 4)
+     << "s backoff\n";
+  if (any_degraded(steps)) {
+    os << "DEGRADED: at least one step exhausted its retry policy or kept "
+          "failing reps (exit code 1).\n";
+  }
+  os << "\n";
+
+  report::Table t({"fit", "eps_s [pJ/flop]", "eps_d [pJ/flop]",
+                   "eps_mem [pJ/B]", "pi0 [W]", "R^2"});
+  add_fit_row(t, "eq. (9)", fit);
+  t.print(os);
+  os << "\n" << fit.samples << " samples fitted\n";
+}
+
+int run_capture_sweep(const ArtifactHeader& requested,
+                      const SweepOptions& options, std::ostream& out,
+                      std::ostream& err) {
+  ArtifactHeader header = requested;
+  ReadResult existing;
+
+  if (options.resume) {
+    count(options.tracer, "artifact.resumes", 1);
+    existing = read_artifact(options.artifact_path);
+    if (existing.status == ScanStatus::kCorrupt) {
+      count(options.tracer, "artifact.corruption_detected", 1);
+      err << "error: corrupt artifact '" << options.artifact_path
+          << "': " << existing.message << "\n";
+      return rme::cli::kExitCorruptArtifact;
+    }
+    if (existing.status == ScanStatus::kTruncatedTail) {
+      count(options.tracer, "artifact.torn_tails_dropped", 1);
+      count(options.tracer, "artifact.torn_tail_bytes",
+            existing.dropped_bytes);
+      err << "warning: dropping " << existing.dropped_bytes
+          << " torn tail byte(s) from '" << options.artifact_path
+          << "' (last record was interrupted mid-write)\n";
+      std::filesystem::resize_file(options.artifact_path,
+                                   existing.valid_bytes);
+    }
+    if (existing.has_header) {
+      // Resume re-derives the whole run from the stored header; the
+      // CLI already rejects config flags next to --resume, so only the
+      // platform positional can disagree here.
+      if (!requested.platform.empty() &&
+          requested.platform != existing.header.platform) {
+        err << "error: platform '" << requested.platform
+            << "' does not match artifact header platform '"
+            << existing.header.platform << "' of '" << options.artifact_path
+            << "'\n";
+        return rme::cli::kExitUsage;
+      }
+      header = existing.header;
+    } else if (requested.platform.empty()) {
+      err << "error: artifact '" << options.artifact_path
+          << "' has no header; --resume needs the platform argument to "
+          << "start it\n";
+      return rme::cli::kExitUsage;
+    }
+  } else {
+    // A fresh capture replaces any stale file so the journal is a
+    // clean prefix of this run.
+    std::filesystem::remove(options.artifact_path);
+  }
+
+  if (!valid_platform(header.platform)) {
+    err << "unknown platform '" << header.platform
+        << "' (want i7 or gtx580)\n";
+    return rme::cli::kExitUsage;
+  }
+
+  const std::vector<rme::sim::KernelDesc> kernels =
+      platform_sweep_kernels(header.platform);
+  if (existing.steps.size() > kernels.size()) {
+    err << "error: artifact '" << options.artifact_path << "' has "
+        << existing.steps.size() << " steps but the schedule has only "
+        << kernels.size() << "\n";
+    return rme::cli::kExitCorruptArtifact;
+  }
+
+  std::vector<StepRecord> steps = std::move(existing.steps);
+  count(options.tracer, "artifact.steps_resumed", steps.size());
+  count(options.tracer, "artifact.steps_measured",
+        kernels.size() - steps.size());
+  ArtifactWriter writer(options.artifact_path, existing.records,
+                        options.chaos);
+  if (!existing.has_header) writer.append(to_json(header));
+
+  if (steps.size() < kernels.size()) {
+    const power::MeasurementSession single =
+        make_session(header, Precision::kSingle);
+    const power::MeasurementSession dbl =
+        make_session(header, Precision::kDouble);
+    for (std::size_t i = steps.size(); i < kernels.size(); ++i) {
+      const rme::sim::KernelDesc& kernel = kernels[i];
+      const power::SessionResult result =
+          (kernel.precision == Precision::kSingle ? single : dbl)
+              .measure(kernel);
+      StepRecord step = make_step_record(i, result);
+      writer.append(to_json(step));
+      steps.push_back(std::move(step));
+    }
+  }
+
+  FitRecord fit;
+  if (existing.has_fit) {
+    fit = existing.fit;
+  } else {
+    fit = make_fit_record(fit_steps(steps), samples_from_steps(steps).size());
+    writer.append(to_json(fit));
+  }
+
+  int code = any_degraded(steps) ? rme::cli::kExitDegraded
+                                 : rme::cli::kExitOk;
+  if (!options.csv_path.empty() &&
+      !write_csv_file(options.csv_path, steps, err)) {
+    code = rme::cli::kExitDegraded;
+  }
+  render_session_report(out, header, steps, fit);
+  return code;
+}
+
+int run_replay(const ReplayOptions& options, std::ostream& out,
+               std::ostream& err) {
+  const ReadResult artifact = read_artifact(options.artifact_path);
+  if (artifact.status == ScanStatus::kCorrupt) {
+    count(options.tracer, "artifact.corruption_detected", 1);
+    err << "error: corrupt artifact '" << options.artifact_path
+        << "': " << artifact.message << "\n";
+    return rme::cli::kExitCorruptArtifact;
+  }
+  if (!artifact.has_header) {
+    err << "error: artifact '" << options.artifact_path
+        << "' is empty or missing\n";
+    return rme::cli::kExitCorruptArtifact;
+  }
+  const std::size_t expected =
+      platform_sweep_kernels(artifact.header.platform).size();
+  if (artifact.status == ScanStatus::kTruncatedTail || !artifact.has_fit ||
+      artifact.steps.size() != expected) {
+    err << "error: artifact '" << options.artifact_path
+        << "' is incomplete (" << artifact.steps.size() << "/" << expected
+        << " steps" << (artifact.has_fit ? "" : ", no fit record")
+        << "); resume the sweep before replaying\n";
+    return rme::cli::kExitCorruptArtifact;
+  }
+
+  count(options.tracer, "artifact.steps_replayed", artifact.steps.size());
+  for (const StepRecord& step : artifact.steps) {
+    count(options.tracer, "artifact.reps_replayed", step.reps.size());
+  }
+
+  FitRecord fit = artifact.fit;
+  if (options.refit) {
+    fit = make_fit_record(fit_steps(artifact.steps),
+                          samples_from_steps(artifact.steps).size());
+    report::Table t({"fit", "eps_s [pJ/flop]", "eps_d [pJ/flop]",
+                     "eps_mem [pJ/B]", "pi0 [W]", "R^2"});
+    add_fit_row(t, "recorded", artifact.fit);
+    add_fit_row(t, "refit", fit);
+    t.print(out);
+    out << "\n";
+  }
+
+  int code = any_degraded(artifact.steps) ? rme::cli::kExitDegraded
+                                          : rme::cli::kExitOk;
+  if (!options.csv_path.empty() &&
+      !write_csv_file(options.csv_path, artifact.steps, err)) {
+    code = rme::cli::kExitDegraded;
+  }
+  render_session_report(out, artifact.header, artifact.steps, fit);
+  return code;
+}
+
+}  // namespace rme::artifact

@@ -1,0 +1,86 @@
+#pragma once
+// rme::artifact — the capture/resume/replay drivers behind
+// `rme_cli sweep --artifact` and `rme_cli replay` (docs/REPLAY.md).
+//
+// Capture runs the fault-injection measurement sweep (both precisions
+// of a platform, the same kernel schedule as `rme_cli faults`) as a
+// write-ahead journal: header first, one step record per kernel as it
+// completes, then the eq. (9) fit.  Resume reads the journal back,
+// keeps every completed step, and re-executes only the missing tail —
+// each step is a pure function of (header, index), so the resumed
+// artifact, report, and CSV are byte-identical to an uninterrupted
+// run.  Replay re-derives the analysis (and optionally the fit) from
+// the captured records alone, with no simulation at all.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rme/artifact/artifact.hpp"
+
+namespace rme::obs {
+class Tracer;
+}
+
+namespace rme::artifact {
+
+/// True for the platforms an artifact sweep knows how to drive.
+[[nodiscard]] bool valid_platform(const std::string& platform);
+
+/// The kernel schedule of one artifact sweep: the Fig. 4 intensity
+/// grid at cycling duration tiers, single precision then double —
+/// identical to the `rme_cli faults` sweep.  Step index i always maps
+/// to the same kernel for a given platform.
+[[nodiscard]] std::vector<rme::sim::KernelDesc> platform_sweep_kernels(
+    const std::string& platform);
+
+/// Flattens step records into eq. (9) fit samples (outliers skipped).
+[[nodiscard]] std::vector<rme::fit::EnergySample> samples_from_steps(
+    const std::vector<StepRecord>& steps);
+
+/// Deterministic per-rep CSV of a step list (to_chars number format;
+/// byte-identical across capture, resume, and replay).
+void write_steps_csv(std::ostream& os, const std::vector<StepRecord>& steps);
+
+/// Renders the human-readable session report shared by capture and
+/// replay: header summary, QC accounting, and the fit table.
+void render_session_report(std::ostream& os, const ArtifactHeader& header,
+                           const std::vector<StepRecord>& steps,
+                           const FitRecord& fit);
+
+/// Options for a capture/resume sweep.
+struct SweepOptions {
+  std::string artifact_path;
+  bool resume = false;
+  std::string csv_path;       ///< Empty: no CSV output.
+  ChaosConfig chaos{};        ///< Crash-harness hooks (tests only).
+  obs::Tracer* tracer = nullptr;  ///< Counters: steps resumed/measured,
+                                  ///< torn-tail bytes, corruption events.
+};
+
+/// Runs (or resumes) an artifact sweep.  `requested.platform` may be
+/// empty only when resuming an artifact that already has its header.
+/// Returns an rme::cli exit code: kExitOk, kExitDegraded (a step
+/// exhausted its retry policy or kept degraded reps), kExitUsage
+/// (bad platform, or flags inconsistent with the stored header), or
+/// kExitCorruptArtifact.
+[[nodiscard]] int run_capture_sweep(const ArtifactHeader& requested,
+                                    const SweepOptions& options,
+                                    std::ostream& out, std::ostream& err);
+
+/// Options for replaying a completed artifact.
+struct ReplayOptions {
+  std::string artifact_path;
+  bool refit = false;    ///< Re-run the eq. (9) fit from the records.
+  std::string csv_path;  ///< Empty: no CSV output.
+  obs::Tracer* tracer = nullptr;  ///< Counters: steps/reps replayed,
+                                  ///< corruption events.
+};
+
+/// Replays a completed artifact without re-simulating.  An incomplete
+/// journal (missing steps or fit) replays as kExitCorruptArtifact:
+/// replay promises analysis of a *finished* session.
+[[nodiscard]] int run_replay(const ReplayOptions& options, std::ostream& out,
+                             std::ostream& err);
+
+}  // namespace rme::artifact

@@ -1,0 +1,31 @@
+#pragma once
+// rme::cli — the stable process exit codes shared by rme_cli, the bench
+// harness, and the test tooling (documented in docs/API.md, "Process
+// exit codes", and docs/REPLAY.md).
+//
+// The contract matters because the chaos/resume harness and CI scripts
+// branch on these values: a degraded-but-complete session must be
+// distinguishable from a usage error, and a corrupt artifact must never
+// be conflated with either.
+
+namespace rme::cli {
+
+/// Success: the run completed and every step passed.
+inline constexpr int kExitOk = 0;
+
+/// The run completed but degraded: a measurement step exhausted its
+/// retry policy (results are recorded and flagged), or a non-fatal
+/// runtime failure occurred.  Outputs exist and are trustworthy about
+/// their own quality.
+inline constexpr int kExitDegraded = 1;
+
+/// Usage error: unknown flag/subcommand, malformed numeric argument,
+/// or arguments inconsistent with a resumed artifact's header.
+inline constexpr int kExitUsage = 2;
+
+/// A session artifact failed verification (bad magic, checksum
+/// mismatch, schema mismatch, or replay of an incomplete journal).
+/// Never returned for a cleanly resumable truncated tail.
+inline constexpr int kExitCorruptArtifact = 3;
+
+}  // namespace rme::cli

@@ -138,6 +138,10 @@ void save_samples(const std::string& path,
   std::ofstream f(path);
   if (!f) throw DatasetError("dataset: cannot open " + path + " for write");
   write_samples_csv(f, samples);
+  f.flush();
+  if (!f.good()) {
+    throw DatasetError("dataset: write failed on " + path);
+  }
 }
 
 std::vector<EnergySample> load_samples(const std::string& path) {

@@ -1,0 +1,34 @@
+#include "rme/power/retry.hpp"
+
+#include <algorithm>
+
+#include "rme/sim/noise.hpp"
+
+namespace rme::power {
+
+Seconds RetryPolicy::backoff_before(std::size_t attempt,
+                                    std::uint64_t seed) const noexcept {
+  if (attempt == 0 || initial_backoff <= Seconds{0.0}) return Seconds{0.0};
+  double backoff = initial_backoff.value();
+  for (std::size_t i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  if (max_backoff > Seconds{0.0}) {
+    backoff = std::min(backoff, max_backoff.value());
+  }
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  if (j > 0.0) {
+    // A uniform draw in [0, 1) from (seed, attempt), same substrate as
+    // every other stream in the simulator.
+    const std::uint64_t bits =
+        rme::sim::splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * attempt));
+    const double u =
+        static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    backoff *= 1.0 - j + 2.0 * j * u;
+  }
+  return Seconds{backoff};
+}
+
+bool RetryPolicy::within_deadline(Seconds spent) const noexcept {
+  return step_deadline <= Seconds{0.0} || spent < step_deadline;
+}
+
+}  // namespace rme::power

@@ -1,0 +1,75 @@
+#pragma once
+// rme::power — the retry/backoff policy for measurement steps.
+//
+// The original quality-control loop re-ran a failing repetition up to a
+// fixed `max_retries` count with no notion of cost: a session facing a
+// dying instrument would burn its whole retry budget on every rep and
+// still abort downstream.  RetryPolicy replaces that loop with the
+// shape production measurement schedulers use:
+//
+//   * a bounded attempt count (attempts = 1 first run + retries);
+//   * exponential backoff between attempts, expressed in *simulated*
+//     seconds — the simulator has no wall clock, and sleeping in tests
+//     would be nondeterministic; the backoff instead charges the step's
+//     simulated-time budget, exactly like a cooldown on hardware whose
+//     instrument needs to settle;
+//   * seeded jitter (a pure function of (seed, attempt), never a global
+//     RNG) so concurrent steps of a sweep decorrelate their retries
+//     while the whole session stays bit-reproducible;
+//   * a per-step deadline over time spent (runs + backoff): when the
+//     budget is exhausted the step stops retrying and degrades
+//     gracefully instead of stalling the session.
+//
+// A step that exhausts its policy is *recorded* as degraded — in the
+// SessionQuality accounting and in the session artifact — and the
+// session completes with the degraded exit code (rme::cli::kExitDegraded)
+// rather than aborting (docs/REPLAY.md, "Degraded sessions").
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rme/core/units.hpp"
+
+namespace rme::power {
+
+/// Bounded exponential backoff with seeded jitter and a step deadline.
+/// The defaults reproduce the legacy fixed loop exactly: 3 attempts
+/// (1 + the old max_retries = 2), no backoff, no deadline.
+struct RetryPolicy {
+  /// Total attempts per repetition, including the first run (>= 1).
+  std::size_t max_attempts = 3;
+  /// Cooldown before the first retry; 0 disables backoff entirely.
+  Seconds initial_backoff{0.0};
+  /// Growth factor per further retry (bounded by max_backoff).
+  double backoff_multiplier = 2.0;
+  /// Ceiling on a single cooldown; 0 means "no ceiling".
+  Seconds max_backoff{0.0};
+  /// Simulated-time budget per step (runs + cooldowns); 0 disables.
+  Seconds step_deadline{0.0};
+  /// Backoff jitter: each cooldown is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter], derived from (seed,
+  /// attempt).  Clamped to [0, 1].
+  double jitter = 0.0;
+
+  /// The cooldown charged before attempt `attempt` (1-based retry
+  /// index: attempt 1 is the first *retry*).  Pure in (this, seed,
+  /// attempt) — the determinism the resume proof relies on.
+  [[nodiscard]] Seconds backoff_before(std::size_t attempt,
+                                       std::uint64_t seed) const noexcept;
+
+  /// True when a retry may start given time already spent on the step.
+  [[nodiscard]] bool within_deadline(Seconds spent) const noexcept;
+
+  [[nodiscard]] bool operator==(const RetryPolicy&) const = default;
+};
+
+/// What the policy did to one repetition (rolled up per step into
+/// SessionQuality and captured per rep in the artifact).
+struct RetryOutcome {
+  std::size_t attempts = 0;       ///< Runs performed (>= 1).
+  Seconds backoff_spent{0.0};     ///< Total cooldown charged.
+  bool deadline_hit = false;      ///< Stopped by the step deadline.
+  bool exhausted = false;         ///< Stopped by max_attempts.
+};
+
+}  // namespace rme::power

@@ -99,6 +99,7 @@ SessionResult MeasurementSession::measure_plain(
     r.capped = run.capped;
     r.dropped_samples = meas.quality.dropped_samples;
     r.saturated_samples = meas.quality.saturated_samples;
+    if (config_.capture_traces) r.trace = run.trace;
     result.any_capped = result.any_capped || r.capped;
     result.reps.push_back(r);
     secs.push_back(r.seconds.value());
@@ -123,14 +124,42 @@ SessionResult MeasurementSession::measure_qc(
     bool have = false;
     bool passed = false;
 
-    for (std::size_t attempt = 0; attempt <= qc.max_retries; ++attempt) {
+    // The retry budget is charged in simulated seconds: each attempt
+    // costs its run time, each retry additionally costs the policy's
+    // cooldown.  The jitter seed derives from (kernel, rep) only, so a
+    // resumed sweep replays the same backoff schedule.
+    const std::uint64_t backoff_seed = kernel_salt(kernel) ^ rep;
+    Seconds spent{0.0};
+    Seconds backoff_total{0.0};
+    std::size_t attempts = 0;
+    bool deadline_hit = false;
+
+    for (std::size_t attempt = 0; attempt < qc.retry.max_attempts;
+         ++attempt) {
+      if (attempt > 0) {
+        if (!qc.retry.within_deadline(spent)) {
+          deadline_hit = true;
+          break;
+        }
+        const Seconds cooldown =
+            qc.retry.backoff_before(attempt, backoff_seed);
+        spent = spent + cooldown;
+        backoff_total = backoff_total + cooldown;
+        if (!qc.retry.within_deadline(spent)) {
+          deadline_hit = true;
+          break;
+        }
+      }
+
       const std::uint64_t salt = attempt_salt(rep, attempt);
       result.quality.reps_attempted += 1;
       if (attempt > 0) result.quality.reps_retried += 1;
+      attempts += 1;
 
       const rme::sim::RunResult run = executor_.run(kernel, salt);
       const Measurement meas =
           powermon_.measure(run.trace, kernel_salt(kernel) ^ salt);
+      spent = spent + run.seconds;
 
       RepMeasurement r;
       r.seconds = run.seconds;
@@ -140,6 +169,7 @@ SessionResult MeasurementSession::measure_qc(
       r.retries = attempt;
       r.dropped_samples = meas.quality.dropped_samples;
       r.saturated_samples = meas.quality.saturated_samples;
+      if (config_.capture_traces) r.trace = run.trace;
 
       const bool usable = meas.samples > 0;
       const bool ok =
@@ -158,6 +188,13 @@ SessionResult MeasurementSession::measure_qc(
       }
     }
 
+    result.quality.attempts_per_rep.push_back(attempts);
+    result.quality.max_attempts_one_rep =
+        std::max(result.quality.max_attempts_one_rep, attempts);
+    result.quality.backoff_seconds =
+        result.quality.backoff_seconds + backoff_total;
+    if (deadline_hit) result.quality.reps_deadline_exhausted += 1;
+
     if (!have) {
       // Every attempt came back empty: nothing usable to keep.
       result.quality.reps_discarded += 1;
@@ -165,6 +202,8 @@ SessionResult MeasurementSession::measure_qc(
       continue;
     }
     best.passed_qc = passed;
+    best.backoff_seconds = backoff_total;
+    best.deadline_hit = deadline_hit;
     if (!passed) {
       result.quality.reps_kept_degraded += 1;
       result.quality.degraded = true;
@@ -252,6 +291,16 @@ std::vector<SessionResult> MeasurementSession::measure_sweep(
             tracer->add_counter(
                 "session.qc.dropped_samples",
                 static_cast<std::int64_t>(q.dropped_samples));
+            tracer->add_counter(
+                "session.qc.attempts",
+                static_cast<std::int64_t>(q.reps_attempted));
+            tracer->add_counter(
+                "session.qc.backoff_ms",
+                static_cast<std::int64_t>(q.backoff_seconds.value() *
+                                          1.0e3));
+            tracer->add_counter(
+                "session.qc.deadline_exhausted",
+                static_cast<std::int64_t>(q.reps_deadline_exhausted));
           }
         }
         return result;

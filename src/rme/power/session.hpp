@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rme/power/powermon.hpp"
+#include "rme/power/retry.hpp"
 #include "rme/sim/executor.hpp"
 
 namespace rme::obs {
@@ -37,6 +38,11 @@ struct RepMeasurement {
   bool outlier = false;        ///< Rejected by the MAD filter.
   std::size_t dropped_samples = 0;
   std::size_t saturated_samples = 0;
+  Seconds backoff_seconds;     ///< Retry cooldown charged to this rep.
+  bool deadline_hit = false;   ///< Retries cut short by the deadline.
+  /// Raw instrument-facing power trace of the kept attempt; captured
+  /// only when SessionConfig::capture_traces is set (artifact mode).
+  rme::sim::PowerTrace trace;
 };
 
 /// Robust location/scale summary of a sample.
@@ -59,8 +65,11 @@ struct QualityControlConfig {
   double max_dropped_fraction = 0.10;
   /// A rep fails QC when a channel died or stuck during the run.
   bool reject_degraded = true;
-  /// Bounded retry budget per rep; each retry re-runs with a fresh salt.
-  std::size_t max_retries = 2;
+  /// Retry/backoff policy per rep (replaces the old fixed `max_retries`
+  /// loop; the default — 3 attempts, no backoff, no deadline — runs the
+  /// legacy protocol bit-identically).  Each retry re-runs with a fresh
+  /// salt.
+  RetryPolicy retry{};
   /// MAD outlier rejection: discard reps with
   /// |x − median| > mad_threshold · 1.4826 · MAD on joules or seconds.
   double mad_threshold = 3.5;
@@ -79,6 +88,15 @@ struct SessionQuality {
   std::size_t dropped_samples = 0;     ///< Instrument ticks lost (kept reps).
   std::size_t saturated_samples = 0;   ///< Saturated readings (kept reps).
   bool degraded = false;  ///< Any kept rep failed QC — treat stats with care.
+
+  /// Per-repetition attempt counts, in repetition order (the session
+  /// used to report only the aggregate, which hid a single rep burning
+  /// the whole budget).  attempts_per_rep[r] >= 1 for every rep that
+  /// produced any run, including reps later discarded.
+  std::vector<std::size_t> attempts_per_rep;
+  std::size_t max_attempts_one_rep = 0;  ///< max of attempts_per_rep.
+  Seconds backoff_seconds;  ///< Total retry cooldown charged (simulated).
+  std::size_t reps_deadline_exhausted = 0;  ///< Retries cut by deadline.
 };
 
 /// Aggregated result of a session over one kernel.
@@ -104,6 +122,10 @@ struct SessionResult {
 struct SessionConfig {
   std::size_t repetitions = 100;
   QualityControlConfig qc{};  ///< Disabled by default.
+  /// Keep each kept rep's raw PowerTrace on the RepMeasurement so the
+  /// session can be captured into an artifact (rme::artifact).  Off by
+  /// default: traces cost memory and no legacy caller reads them.
+  bool capture_traces = false;
 };
 
 /// Runs kernels through (Executor → PowerTrace → PowerMon) repeatedly.

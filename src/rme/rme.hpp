@@ -9,7 +9,10 @@
 //                  parallel_for/map, per-task seed derivation)
 //   rme::obs     — observability: tracing spans, counters, histograms,
 //                  Chrome-trace export (docs/OBSERVABILITY.md)
-//   rme::cli     — strict numeric flag parsing for tools and benches
+//   rme::cli     — strict numeric flag parsing for tools and benches,
+//                  plus the stable process exit-code contract
+//   rme::artifact— crash-safe session artifacts: checksummed journal,
+//                  capture/resume sweeps, trace replay (docs/REPLAY.md)
 //   rme::sim     — the machine/cache simulator substrate
 //   rme::power   — PowerMon 2 / PCIe interposer / RAPL measurement stack
 //   rme::fit     — OLS regression and the eq. (9)/§V-C fitting pipelines
@@ -34,7 +37,13 @@
 #include "rme/core/rooflines.hpp"
 #include "rme/core/tradeoff.hpp"
 #include "rme/core/units.hpp"
+#include "rme/artifact/artifact.hpp"
+#include "rme/artifact/crc32.hpp"
+#include "rme/artifact/format.hpp"
+#include "rme/artifact/json.hpp"
+#include "rme/artifact/replay.hpp"
 #include "rme/cli/args.hpp"
+#include "rme/cli/exit_codes.hpp"
 #include "rme/exec/pool.hpp"
 #include "rme/fit/bootstrap.hpp"
 #include "rme/fit/cache_fit.hpp"
@@ -63,6 +72,7 @@
 #include "rme/power/powermon.hpp"
 #include "rme/power/powermon_log.hpp"
 #include "rme/power/rapl.hpp"
+#include "rme/power/retry.hpp"
 #include "rme/power/session.hpp"
 #include "rme/power/trace_stats.hpp"
 #include "rme/report/ascii_chart.hpp"

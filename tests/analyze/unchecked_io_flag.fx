@@ -1,0 +1,14 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void save_report(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) return;  // Only proves the open worked, not the writes.
+  f << "report v1\n";
+  f << body;
+}
+
+void dump_raw(std::FILE* fp, const char* buf) {
+  fwrite(buf, 1, 64, fp);
+}

@@ -1,0 +1,25 @@
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+// Writers taking an ostream& do not own the sink's error handling.
+void emit(std::ostream& os, const std::string& body) { os << body; }
+
+void save_report(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("open failed");
+  emit(f, body);
+  f.flush();
+  if (!f.good()) throw std::runtime_error("write failed");
+}
+
+bool dump_raw(std::FILE* fp, const char* buf) {
+  const std::size_t written = fwrite(buf, 1, 64, fp);
+  return written == 64;
+}
+
+void never_written(const std::string& path) {
+  std::ofstream unused(path);
+}

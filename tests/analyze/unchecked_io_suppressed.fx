@@ -1,0 +1,13 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void save_scratch(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  // rme-lint: allow(unchecked-io: scratch file, caller re-reads and validates)
+  f << body;
+}
+
+void dump_raw(std::FILE* fp, const char* buf) {
+  fwrite(buf, 1, 64, fp);  // rme-lint: allow(unchecked-io: best-effort debug dump)
+}

@@ -1,0 +1,265 @@
+// Chaos harness for the crash-safe artifact layer (ISSUE 6 acceptance
+// criteria): runs real `rme_cli sweep --artifact` subprocesses, kills
+// them at every seeded record boundary (and again mid-record with a
+// torn append), truncates and byte-flips the journal, then resumes —
+// asserting the recovered run is *byte-identical* to the uninterrupted
+// golden, and that corruption always surfaces as exit code 3, never as
+// silently wrong output.
+//
+// The kill points are deterministic, not timing-based: the writer's
+// ChaosConfig hook (--chaos-kill-after N / --chaos-tear) calls
+// std::_Exit(137) — no destructors, no flush, the moral equivalent of
+// SIGKILL — once the artifact holds N records.  The golden i7 schedule
+// is 18 records (header + 16 steps + fit), so N in [0, 18) plus the 18
+// torn variants gives 36 distinct seeded crash sites.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef RME_CLI_PATH
+#error "RME_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitDegraded = 1;
+constexpr int kExitCorruptArtifact = 3;
+constexpr int kChaosKillStatus = 137;  // std::_Exit at the seeded point.
+constexpr std::size_t kGoldenRecords = 18;  // header + 16 steps + fit.
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(RME_CLI_PATH) + " " + args + " 2>&1";
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  std::array<char, 512> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe)) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// The uninterrupted golden run this whole file diffs against, captured
+/// once per process with default sweep flags.
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    artifact_ = new std::string(temp_path("chaos_golden.rmea"));
+    csv_ = new std::string(temp_path("chaos_golden.csv"));
+    std::filesystem::remove(*artifact_);
+    const CliResult r = run_cli("sweep i7 --artifact " + *artifact_ +
+                                " --csv " + *csv_);
+    ASSERT_EQ(r.exit_code, kExitOk) << r.output;
+    golden_rmea_ = new std::string(read_file(*artifact_));
+    golden_csv_ = new std::string(read_file(*csv_));
+    ASSERT_FALSE(golden_rmea_->empty());
+    ASSERT_FALSE(golden_csv_->empty());
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove(*artifact_);
+    std::filesystem::remove(*csv_);
+    delete artifact_;
+    delete csv_;
+    delete golden_rmea_;
+    delete golden_csv_;
+  }
+
+  static const std::string& golden_rmea() { return *golden_rmea_; }
+  static const std::string& golden_csv() { return *golden_csv_; }
+
+  /// Kills a fresh sweep at seeded point `kill_after` (optionally with
+  /// a torn half-record), resumes it, and asserts the final artifact
+  /// and CSV are byte-identical to the golden run.
+  void kill_and_resume(std::size_t kill_after, bool tear) {
+    const std::string tag =
+        std::to_string(kill_after) + (tear ? "t" : "k");
+    const std::string rmea = temp_path("chaos_" + tag + ".rmea");
+    const std::string csv = temp_path("chaos_" + tag + ".csv");
+    std::filesystem::remove(rmea);
+
+    const CliResult killed = run_cli(
+        "sweep i7 --artifact " + rmea + " --csv " + csv +
+        " --chaos-kill-after " + std::to_string(kill_after) +
+        (tear ? " --chaos-tear" : ""));
+    ASSERT_EQ(killed.exit_code, kChaosKillStatus)
+        << "kill point " << tag << " did not fire: " << killed.output;
+
+    const CliResult resumed =
+        run_cli("sweep i7 --artifact " + rmea + " --resume --csv " + csv);
+    ASSERT_EQ(resumed.exit_code, kExitOk)
+        << "resume after " << tag << ": " << resumed.output;
+    if (tear) {
+      EXPECT_NE(resumed.output.find("torn tail"), std::string::npos)
+          << "tear at " << tag << " left no torn bytes: " << resumed.output;
+    }
+
+    EXPECT_EQ(read_file(rmea), golden_rmea())
+        << "artifact diverged after kill point " << tag;
+    EXPECT_EQ(read_file(csv), golden_csv())
+        << "CSV diverged after kill point " << tag;
+    std::filesystem::remove(rmea);
+    std::filesystem::remove(csv);
+  }
+
+ private:
+  static std::string* artifact_;
+  static std::string* csv_;
+  static std::string* golden_rmea_;
+  static std::string* golden_csv_;
+};
+
+std::string* ChaosTest::artifact_ = nullptr;
+std::string* ChaosTest::csv_ = nullptr;
+std::string* ChaosTest::golden_rmea_ = nullptr;
+std::string* ChaosTest::golden_csv_ = nullptr;
+
+// 18 seeded kill points: before the header, after each of the 17
+// record boundaries.  Every resumed run must reproduce the golden
+// bytes exactly.
+TEST_F(ChaosTest, KilledAtEveryRecordBoundaryResumesByteIdentical) {
+  for (std::size_t k = 0; k < kGoldenRecords; ++k) {
+    kill_and_resume(k, /*tear=*/false);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// 18 more: at each point the writer first tears a half-record onto the
+// file, so resume must also drop the torn tail before continuing.
+TEST_F(ChaosTest, TornWriteAtEveryRecordBoundaryResumesByteIdentical) {
+  for (std::size_t k = 0; k < kGoldenRecords; ++k) {
+    kill_and_resume(k, /*tear=*/true);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Truncating the journal at arbitrary byte offsets (not just record
+// boundaries) still resumes to the golden bytes: complete records are
+// kept, the torn tail is dropped and re-measured.
+TEST_F(ChaosTest, TruncatedJournalResumesByteIdentical) {
+  const std::string& image = golden_rmea();
+  const std::string rmea = temp_path("chaos_trunc.rmea");
+  const std::string csv = temp_path("chaos_trunc.csv");
+  for (const double frac : {0.0, 0.01, 0.17, 0.33, 0.5, 0.71, 0.9, 0.999}) {
+    const auto len =
+        static_cast<std::size_t>(frac * static_cast<double>(image.size()));
+    write_file(rmea, image.substr(0, len));
+    const CliResult resumed =
+        run_cli("sweep i7 --artifact " + rmea + " --resume --csv " + csv);
+    ASSERT_EQ(resumed.exit_code, kExitOk)
+        << "truncated at " << len << ": " << resumed.output;
+    EXPECT_EQ(read_file(rmea), image) << "truncated at " << len;
+    EXPECT_EQ(read_file(csv), golden_csv()) << "truncated at " << len;
+  }
+  std::filesystem::remove(rmea);
+  std::filesystem::remove(csv);
+}
+
+// A byte flip inside a complete record is corruption, not a resume
+// case: both resume and replay must refuse with exit code 3 and touch
+// nothing.
+TEST_F(ChaosTest, ByteFlippedJournalExitsCorrupt) {
+  std::string image = golden_rmea();
+  const std::size_t pos = image.size() / 2;
+  image[pos] = static_cast<char>(image[pos] ^ 0x01);
+  const std::string rmea = temp_path("chaos_flip.rmea");
+  write_file(rmea, image);
+
+  const CliResult resumed =
+      run_cli("sweep i7 --artifact " + rmea + " --resume");
+  EXPECT_EQ(resumed.exit_code, kExitCorruptArtifact) << resumed.output;
+  EXPECT_NE(resumed.output.find("corrupt artifact"), std::string::npos)
+      << resumed.output;
+  EXPECT_EQ(read_file(rmea), image) << "corrupt journal was modified";
+
+  const CliResult replayed = run_cli("replay " + rmea);
+  EXPECT_EQ(replayed.exit_code, kExitCorruptArtifact) << replayed.output;
+  std::filesystem::remove(rmea);
+}
+
+// Resuming an already-complete journal is a no-op that still emits the
+// full report and CSV.
+TEST_F(ChaosTest, ResumeOfCompleteJournalIsIdempotent) {
+  const std::string rmea = temp_path("chaos_noop.rmea");
+  const std::string csv = temp_path("chaos_noop.csv");
+  write_file(rmea, golden_rmea());
+  const CliResult resumed =
+      run_cli("sweep i7 --artifact " + rmea + " --resume --csv " + csv);
+  EXPECT_EQ(resumed.exit_code, kExitOk) << resumed.output;
+  EXPECT_EQ(read_file(rmea), golden_rmea());
+  EXPECT_EQ(read_file(csv), golden_csv());
+  std::filesystem::remove(rmea);
+  std::filesystem::remove(csv);
+}
+
+// Replay of the completed journal derives the same CSV with no
+// simulation, and --refit reproduces the recorded coefficients.
+TEST_F(ChaosTest, ReplayDerivesGoldenCsvWithoutSimulation) {
+  const std::string rmea = temp_path("chaos_replay.rmea");
+  const std::string csv = temp_path("chaos_replay.csv");
+  write_file(rmea, golden_rmea());
+  const CliResult replayed =
+      run_cli("replay " + rmea + " --refit --csv " + csv);
+  EXPECT_EQ(replayed.exit_code, kExitOk) << replayed.output;
+  EXPECT_EQ(read_file(csv), golden_csv());
+  EXPECT_NE(replayed.output.find("recorded"), std::string::npos);
+  EXPECT_NE(replayed.output.find("refit"), std::string::npos);
+  std::filesystem::remove(rmea);
+  std::filesystem::remove(csv);
+}
+
+// A fault-heavy session exhausts its retry budget on some steps but
+// still completes, reporting DEGRADED with exit code 1 — graceful
+// degradation, not an abort.
+TEST_F(ChaosTest, ExhaustedRetriesDegradeGracefully) {
+  const std::string rmea = temp_path("chaos_degraded.rmea");
+  std::filesystem::remove(rmea);
+  const CliResult r = run_cli(
+      "sweep i7 --artifact " + rmea +
+      " --reps 6 --dropout 0.4 --spike 0.2 --attempts 3 --deadline 0.2");
+  EXPECT_EQ(r.exit_code, kExitDegraded) << r.output;
+  EXPECT_NE(r.output.find("DEGRADED"), std::string::npos) << r.output;
+
+  // The degraded journal is still complete: replay works and reports
+  // the same degradation.
+  const CliResult replayed = run_cli("replay " + rmea);
+  EXPECT_EQ(replayed.exit_code, kExitDegraded) << replayed.output;
+  EXPECT_NE(replayed.output.find("DEGRADED"), std::string::npos)
+      << replayed.output;
+  std::filesystem::remove(rmea);
+}
+
+}  // namespace

@@ -284,6 +284,38 @@ TEST(LockDiscipline, ReasonedAllowsSuppress) {
                   .empty());
 }
 
+// --- unchecked-io -----------------------------------------------------------
+
+TEST(UncheckedIo, FlagsWriteWithoutPostWriteCheck) {
+  const auto findings = run_fixture("unchecked_io_flag.fx",
+                                    "src/rme/fit/fixture.cpp", "unchecked-io");
+  // Line 9: last `f <<` write, with only the open-guard before it.
+  // Line 13: discarded fwrite return.
+  EXPECT_EQ(locations(findings), (Locs{{"unchecked-io", 9},
+                                       {"unchecked-io", 13}}));
+  EXPECT_NE(findings[0].message.find("open succeeded"), std::string::npos);
+}
+
+TEST(UncheckedIo, PostWriteChecksAndOstreamSinksStayQuiet) {
+  EXPECT_TRUE(run_fixture("unchecked_io_ok.fx", "src/rme/fit/fixture.cpp",
+                          "unchecked-io")
+                  .empty());
+}
+
+TEST(UncheckedIo, OutsideLibraryIsNotFlagged) {
+  // Tools, benches, and tests own their error handling; only the
+  // library proper is held to the checked-write contract.
+  EXPECT_TRUE(run_fixture("unchecked_io_flag.fx", "bench/fixture.cpp",
+                          "unchecked-io")
+                  .empty());
+}
+
+TEST(UncheckedIo, ReasonedAllowsSuppress) {
+  EXPECT_TRUE(run_fixture("unchecked_io_suppressed.fx",
+                          "src/rme/fit/fixture.cpp", "unchecked-io")
+                  .empty());
+}
+
 // --- suppression-hygiene ----------------------------------------------------
 
 TEST(SuppressionHygiene, FlagsLegacyEmptyAndUnknown) {

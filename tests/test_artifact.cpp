@@ -1,0 +1,389 @@
+// rme::artifact unit and property tests: CRC vectors, deterministic
+// JSON, record framing, and the crash-safety contract of the .rmea
+// journal — write → read → write is byte-identical, truncation at
+// *every* byte offset reads as a clean prefix (resumable), and a
+// flipped byte is always detected, never silently mis-read.  The
+// subprocess-level version of the same contract (kill/resume against
+// the real CLI) lives in tests/chaos_runner.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rme/rme.hpp"
+
+#ifndef RME_GOLDEN_DIR
+#error "RME_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using namespace rme;
+using namespace rme::artifact;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// A small but fully-populated synthetic session: non-default retry
+/// policy, two steps with traces/outliers/retries, and a fit.
+ArtifactHeader small_header() {
+  ArtifactHeader h;
+  h.platform = "i7";
+  h.repetitions = 2;
+  h.dropout = 0.015;
+  h.spike = 0.002;
+  h.retry.max_attempts = 4;
+  h.retry.initial_backoff = Seconds{0.0125};
+  h.retry.backoff_multiplier = 2.0;
+  h.retry.max_backoff = Seconds{0.05};
+  h.retry.step_deadline = Seconds{0.2};
+  h.retry.jitter = 0.1;
+  return h;
+}
+
+StepRecord small_step(std::size_t index) {
+  StepRecord s;
+  s.index = index;
+  s.kernel_name = "fma_load_mix I=4";
+  s.flops = 4.0e8;
+  s.bytes = 1.0e8;
+  s.precision = index % 2 == 0 ? Precision::kSingle : Precision::kDouble;
+  RepRecord r;
+  r.seconds = 0.0181234 + 0.001 * static_cast<double>(index);
+  r.joules = 1.75;
+  r.watts = 96.5625;
+  r.capped = index == 1;
+  r.attempts = 2;
+  r.passed_qc = true;
+  r.outlier = false;
+  r.backoff_seconds = 0.0125;
+  r.deadline_hit = false;
+  r.trace = {{0.0, 95.5}, {0.0078125, 97.25}};
+  s.reps.push_back(r);
+  r.attempts = 1;
+  r.outlier = true;
+  r.backoff_seconds = 0.0;
+  s.reps.push_back(r);
+  s.attempts_per_rep = {2, 1};
+  s.reps_attempted = 3;
+  s.reps_retried = 1;
+  s.reps_kept_degraded = 0;
+  s.reps_discarded = 1;
+  s.reps_discarded_outlier = 1;
+  s.dropped_samples = 2;
+  s.saturated_samples = 1;
+  s.reps_deadline_exhausted = 0;
+  s.backoff_seconds = 0.0125;
+  s.degraded = false;
+  return s;
+}
+
+FitRecord small_fit() {
+  FitRecord f;
+  f.eps_single = 371.4e-12;
+  f.delta_double = 298.6e-12;
+  f.eps_mem = 795.1e-12;
+  f.const_power = 122.3;
+  f.r_squared = 0.999732;
+  f.samples = 3;
+  return f;
+}
+
+/// The synthetic session framed into a complete artifact image.
+std::string small_image() {
+  std::string image = frame_record(to_json(small_header()).dump());
+  image += frame_record(to_json(small_step(0)).dump());
+  image += frame_record(to_json(small_step(1)).dump());
+  image += frame_record(to_json(small_fit()).dump());
+  return image;
+}
+
+// --- CRC32 -----------------------------------------------------------
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 reflected polynomial's canonical check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(crc32_hex("123456789"), "cbf43926");
+  EXPECT_EQ(crc32_hex(""), "00000000");
+  EXPECT_EQ(crc32_hex("{}").size(), 8u);
+}
+
+// --- Deterministic JSON ----------------------------------------------
+
+TEST(Json, DumpParseDumpIsByteIdentical) {
+  Json j = Json::object();
+  j.set("kind", Json::string("probe"));
+  j.set("tenth", Json::number(0.1));
+  j.set("tiny", Json::number(513e-12));
+  j.set("big", Json::number(1.58106e12));
+  j.set("count", Json::number(16.0));
+  j.set("neg", Json::number(-0.0078125));
+  j.set("flag", Json::boolean(true));
+  j.set("text", Json::string("quote \" backslash \\ tab \t"));
+  Json arr = Json::array();
+  arr.push(Json::number(0.25));
+  arr.push(Json::number(64.0));
+  j.set("grid", std::move(arr));
+
+  const std::string once = j.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(Json, NumbersUseShortestRoundTripForm) {
+  EXPECT_EQ(format_number(16.0), "16");
+  EXPECT_EQ(format_number(0.1), "0.1");
+  EXPECT_EQ(format_number(-2.5), "-2.5");
+  // Round-trip exactness: the shortest form parses back bit-identical.
+  for (const double v : {0.1, 1.0 / 3.0, 513e-12, 1.58106e12, 7.8125e-3}) {
+    EXPECT_EQ(Json::parse(format_number(v)).as_number(), v);
+  }
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("{}x"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+}
+
+// --- Record framing --------------------------------------------------
+
+TEST(Framing, ScanRecoversFramedPayloads) {
+  const std::string image =
+      frame_record("{\"kind\":\"a\"}") + frame_record("{\"kind\":\"b\"}");
+  const FrameScan scan = scan_frames(image);
+  EXPECT_EQ(scan.status, ScanStatus::kOk);
+  ASSERT_EQ(scan.payloads.size(), 2u);
+  EXPECT_EQ(scan.payloads[0], "{\"kind\":\"a\"}");
+  EXPECT_EQ(scan.payloads[1], "{\"kind\":\"b\"}");
+  EXPECT_EQ(scan.valid_bytes, image.size());
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+}
+
+// The crash-recovery property: cutting a valid artifact at ANY byte
+// offset yields either a clean record boundary (kOk) or a torn tail
+// (kTruncatedTail) — never corruption, and never a payload that the
+// full image did not contain.
+TEST(Framing, TruncationAtEveryOffsetIsACleanPrefix) {
+  const std::string image = small_image();
+  const FrameScan full = scan_frames(image);
+  ASSERT_EQ(full.status, ScanStatus::kOk);
+
+  for (std::size_t len = 0; len <= image.size(); ++len) {
+    const FrameScan scan = scan_frames(image.substr(0, len));
+    ASSERT_NE(scan.status, ScanStatus::kCorrupt) << "offset " << len;
+    ASSERT_LE(scan.payloads.size(), full.payloads.size()) << "offset " << len;
+    for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+      ASSERT_EQ(scan.payloads[i], full.payloads[i])
+          << "offset " << len << " record " << i;
+    }
+    // Every byte is accounted for: kept prefix + dropped torn tail.
+    ASSERT_EQ(scan.valid_bytes + scan.dropped_bytes, len)
+        << "offset " << len;
+    if (len == image.size()) EXPECT_EQ(scan.status, ScanStatus::kOk);
+  }
+}
+
+// The tamper-detection property: flipping ANY single byte of a valid
+// artifact never smuggles a modified payload through the scan — the
+// damaged record (and everything after it) is reported, not mis-read.
+TEST(Framing, ByteFlipAtEveryOffsetNeverYieldsAWrongPayload) {
+  const std::string image = small_image();
+  const FrameScan full = scan_frames(image);
+  ASSERT_EQ(full.status, ScanStatus::kOk);
+
+  for (std::size_t pos = 0; pos < image.size(); ++pos) {
+    std::string flipped = image;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x01);
+    const FrameScan scan = scan_frames(flipped);
+    // The flip damaged some record, so the scan cannot accept them all.
+    ASSERT_LT(scan.payloads.size(), full.payloads.size()) << "pos " << pos;
+    for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+      ASSERT_EQ(scan.payloads[i], full.payloads[i])
+          << "pos " << pos << " record " << i;
+    }
+  }
+}
+
+// --- Record (de)serialization ----------------------------------------
+
+TEST(Artifact, RecordsRoundTripThroughJson) {
+  const ArtifactHeader h = small_header();
+  const std::string h_dump = to_json(h).dump();
+  const ArtifactHeader h2 = header_from_json(Json::parse(h_dump));
+  EXPECT_TRUE(h2 == h);
+  EXPECT_EQ(to_json(h2).dump(), h_dump);
+
+  const StepRecord s = small_step(1);
+  const std::string s_dump = to_json(s).dump();
+  EXPECT_EQ(to_json(step_from_json(Json::parse(s_dump))).dump(), s_dump);
+
+  const FitRecord f = small_fit();
+  const std::string f_dump = to_json(f).dump();
+  EXPECT_EQ(to_json(fit_from_json(Json::parse(f_dump))).dump(), f_dump);
+}
+
+// --- File-level journal contract -------------------------------------
+
+TEST(Artifact, WriteReadWriteIsByteIdentical) {
+  const std::string path = temp_path("artifact_rt.rmea");
+  std::filesystem::remove(path);
+  {
+    ArtifactWriter writer(path);
+    writer.append(to_json(small_header()));
+    writer.append(to_json(small_step(0)));
+    writer.append(to_json(small_step(1)));
+    writer.append(to_json(small_fit()));
+    EXPECT_EQ(writer.records_written(), 4u);
+  }
+  const std::string first = read_file(path);
+
+  const ReadResult r = read_artifact(path);
+  ASSERT_EQ(r.status, ScanStatus::kOk) << r.message;
+  ASSERT_TRUE(r.has_header);
+  ASSERT_TRUE(r.has_fit);
+  ASSERT_EQ(r.steps.size(), 2u);
+  EXPECT_TRUE(r.header == small_header());
+
+  // Re-serialize what was read: the bytes must match exactly.
+  std::string second = frame_record(to_json(r.header).dump());
+  for (const StepRecord& step : r.steps) {
+    second += frame_record(to_json(step).dump());
+  }
+  second += frame_record(to_json(r.fit).dump());
+  EXPECT_EQ(second, first);
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, TruncatedFileAtEveryOffsetReadsAsResumablePrefix) {
+  const std::string path = temp_path("artifact_trunc.rmea");
+  const std::string image = small_image();
+  const ReadResult full = [&] {
+    write_file(path, image);
+    return read_artifact(path);
+  }();
+  ASSERT_EQ(full.status, ScanStatus::kOk) << full.message;
+
+  for (std::size_t len = 0; len <= image.size(); ++len) {
+    write_file(path, image.substr(0, len));
+    const ReadResult r = read_artifact(path);
+    ASSERT_NE(r.status, ScanStatus::kCorrupt)
+        << "offset " << len << ": " << r.message;
+    ASSERT_LE(r.steps.size(), full.steps.size()) << "offset " << len;
+    for (std::size_t i = 0; i < r.steps.size(); ++i) {
+      ASSERT_EQ(to_json(r.steps[i]).dump(), to_json(full.steps[i]).dump())
+          << "offset " << len << " step " << i;
+    }
+    if (r.has_header) EXPECT_TRUE(r.header == full.header);
+    ASSERT_EQ(r.valid_bytes + r.dropped_bytes, len) << "offset " << len;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, ByteFlipIsDetectedAsCorrupt) {
+  const std::string path = temp_path("artifact_flip.rmea");
+  std::string image = small_image();
+  // Flip one byte inside the second record's payload.
+  const std::size_t first_len = frame_record(to_json(small_header()).dump()).size();
+  image[first_len + 20] = static_cast<char>(image[first_len + 20] ^ 0x01);
+  write_file(path, image);
+  const ReadResult r = read_artifact(path);
+  EXPECT_EQ(r.status, ScanStatus::kCorrupt);
+  EXPECT_NE(r.message.find("checksum mismatch"), std::string::npos)
+      << r.message;
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, FutureSchemaVersionIsRejectedNotGuessed) {
+  const std::string path = temp_path("artifact_schema.rmea");
+  ArtifactHeader h = small_header();
+  h.schema = 999;
+  write_file(path, frame_record(to_json(h).dump()));
+  const ReadResult r = read_artifact(path);
+  EXPECT_EQ(r.status, ScanStatus::kCorrupt);
+  EXPECT_NE(r.message.find("unsupported schema version 999"),
+            std::string::npos)
+      << r.message;
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, OutOfOrderStepIsCorrupt) {
+  const std::string path = temp_path("artifact_order.rmea");
+  std::string image = frame_record(to_json(small_header()).dump());
+  image += frame_record(to_json(small_step(1)).dump());  // Skips index 0.
+  write_file(path, image);
+  const ReadResult r = read_artifact(path);
+  EXPECT_EQ(r.status, ScanStatus::kCorrupt);
+  EXPECT_NE(r.message.find("out of order"), std::string::npos) << r.message;
+  std::filesystem::remove(path);
+}
+
+TEST(Artifact, MissingFileReadsAsEmptyValidArtifact) {
+  const ReadResult r = read_artifact(temp_path("no_such_artifact.rmea"));
+  EXPECT_EQ(r.status, ScanStatus::kOk);
+  EXPECT_FALSE(r.has_header);
+  EXPECT_EQ(r.records, 0u);
+}
+
+// --- Golden fixture: format stability across builds -------------------
+
+// tests/golden/session_i7.rmea was captured by `rme_cli sweep i7
+// --artifact ... --reps 2` and checked in.  Every future build must
+// keep reading it (schema compatibility) and keep re-serializing and
+// re-deriving its CSV byte-identically (docs/REPLAY.md, "Versioning").
+TEST(Golden, CheckedInArtifactReadsAndReplaysByteStable) {
+  const std::string rmea = std::string(RME_GOLDEN_DIR) + "/session_i7.rmea";
+  const std::string csv = std::string(RME_GOLDEN_DIR) + "/session_i7.csv";
+
+  const ReadResult r = read_artifact(rmea);
+  ASSERT_EQ(r.status, ScanStatus::kOk) << r.message;
+  ASSERT_TRUE(r.has_header);
+  EXPECT_EQ(r.header.schema, kSchemaVersion);
+  EXPECT_EQ(r.header.platform, "i7");
+  EXPECT_EQ(r.header.repetitions, 2u);
+  ASSERT_TRUE(r.has_fit);
+  EXPECT_EQ(r.steps.size(), platform_sweep_kernels("i7").size());
+
+  // Re-serialization reproduces the checked-in bytes exactly.
+  std::string again = frame_record(to_json(r.header).dump());
+  for (const StepRecord& step : r.steps) {
+    again += frame_record(to_json(step).dump());
+  }
+  again += frame_record(to_json(r.fit).dump());
+  EXPECT_EQ(again, read_file(rmea));
+
+  // The derived per-rep CSV reproduces its checked-in golden.
+  std::ostringstream derived;
+  write_steps_csv(derived, r.steps);
+  EXPECT_EQ(derived.str(), read_file(csv));
+}
+
+}  // namespace

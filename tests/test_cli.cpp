@@ -216,6 +216,63 @@ TEST(Cli, RejectsNonNumericPositionals) {
   EXPECT_NE(flops.output.find("flops"), std::string::npos) << flops.output;
 }
 
+// Exit-code contract of the artifact subcommands (docs/API.md,
+// "Process exit codes"): 0 ok, 1 degraded, 2 usage, 3 corrupt.  The
+// crash/kill/corruption drills live in tests/chaos_runner.cpp; these
+// cover the flag-validation surface.
+TEST(Cli, ArtifactSweepCapturesThenReplays) {
+  const std::string rmea = "/tmp/rme_cli_artifact_test.rmea";
+  std::remove(rmea.c_str());
+  const CliResult sweep =
+      run_cli("sweep i7 --artifact " + rmea + " --reps 2");
+  EXPECT_EQ(sweep.exit_code, 0) << sweep.output;
+  EXPECT_NE(sweep.output.find("Artifact session"), std::string::npos);
+  EXPECT_NE(sweep.output.find("Session QC"), std::string::npos);
+
+  const CliResult replay = run_cli("replay " + rmea + " --refit");
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("recorded"), std::string::npos);
+  EXPECT_NE(replay.output.find("refit"), std::string::npos);
+  std::remove(rmea.c_str());
+}
+
+TEST(Cli, ArtifactSweepRejectsConfigFlagsNextToResume) {
+  const CliResult r = run_cli(
+      "sweep i7 --artifact /tmp/rme_cli_conflict.rmea --resume --reps 4");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("conflict"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ArtifactSweepValidatesItsFlags) {
+  const CliResult no_path = run_cli("sweep i7 --artifact");
+  EXPECT_EQ(no_path.exit_code, 2) << no_path.output;
+
+  const CliResult no_platform =
+      run_cli("sweep --artifact /tmp/rme_cli_noplat.rmea");
+  EXPECT_EQ(no_platform.exit_code, 2);
+  EXPECT_NE(no_platform.output.find("platform"), std::string::npos)
+      << no_platform.output;
+
+  const CliResult bad_platform =
+      run_cli("sweep fermi --artifact /tmp/rme_cli_badplat.rmea");
+  EXPECT_EQ(bad_platform.exit_code, 2);
+  EXPECT_NE(bad_platform.output.find("i7 or gtx580"), std::string::npos)
+      << bad_platform.output;
+
+  const CliResult zero_attempts = run_cli(
+      "sweep i7 --artifact /tmp/rme_cli_att.rmea --attempts 0");
+  EXPECT_EQ(zero_attempts.exit_code, 2);
+  EXPECT_NE(zero_attempts.output.find("--attempts"), std::string::npos)
+      << zero_attempts.output;
+}
+
+TEST(Cli, ReplayOfMissingArtifactExitsCorrupt) {
+  const CliResult r = run_cli("replay /nonexistent/session.rmea");
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("empty or missing"), std::string::npos)
+      << r.output;
+}
+
 TEST(Cli, SweepWritesParsableTrace) {
   const std::string trace = "/tmp/rme_cli_sweep_trace.json";
   const CliResult r =

@@ -273,7 +273,7 @@ TEST(SessionQc, RetriesRepsThatFailQc) {
   p.channel_stuck_rate = 0.3;  // ~1 in 3 runs loses a channel IC
   QualityControlConfig qc;
   qc.enabled = true;
-  qc.max_retries = 3;
+  qc.retry.max_attempts = 4;
   const auto session = qc_session(m, p, qc, 20);
   const SessionResult r =
       session.measure(rme::sim::fma_load_mix(4.0, 2e9, Precision::kDouble));

@@ -18,6 +18,7 @@
 
 #include "rme/analyze/analyzer.hpp"
 #include "rme/analyze/rules.hpp"
+#include "rme/cli/exit_codes.hpp"
 
 namespace {
 
@@ -58,15 +59,15 @@ int main(int argc, char** argv) {
       if (format != "text" && format != "json") {
         std::cerr << "rme_analyze: unknown format '" << format << "'\n";
         print_usage(std::cerr);
-        return 2;
+        return rme::cli::kExitUsage;
       }
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout);
-      return 0;
+      return rme::cli::kExitOk;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "rme_analyze: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
-      return 2;
+      return rme::cli::kExitUsage;
     } else {
       paths.emplace_back(arg);
     }
@@ -76,11 +77,11 @@ int main(int argc, char** argv) {
     for (const rme::analyze::Rule* r : rme::analyze::all_rules()) {
       std::cout << r->name() << "\n    " << r->description() << "\n";
     }
-    return 0;
+    return rme::cli::kExitOk;
   }
   if (paths.empty()) {
     print_usage(std::cerr);
-    return 2;
+    return rme::cli::kExitUsage;
   }
 
   std::vector<const rme::analyze::Rule*> rules;
@@ -88,7 +89,7 @@ int main(int argc, char** argv) {
     rules = rme::analyze::select_rules(selectors);
   } catch (const std::invalid_argument& e) {
     std::cerr << e.what() << "\n";
-    return 2;
+    return rme::cli::kExitUsage;
   }
 
   const rme::analyze::Report report =
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
                                  : std::cerr,
                              report);
   }
-  if (!report.errors.empty()) return 2;
-  return report.findings.empty() ? 0 : 1;
+  if (!report.errors.empty()) return rme::cli::kExitUsage;
+  return report.findings.empty() ? rme::cli::kExitOk
+                                 : rme::cli::kExitDegraded;
 }

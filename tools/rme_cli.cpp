@@ -26,6 +26,16 @@
 //   sweep    <machine> [lo hi] [--jobs N] [--trace PATH] [--metrics]
 //       Fig. 4-style table: normalized speed/efficiency/power per
 //       intensity.
+//   sweep    <i7|gtx580> --artifact PATH [--resume] [--csv PATH] [...]
+//       Crash-safe measurement sweep journaled to a .rmea artifact:
+//       each step is appended (checksummed) before the next starts, so
+//       an interrupted run resumes with --resume and finishes with an
+//       artifact byte-identical to the uninterrupted one.  Retry flags
+//       (--attempts/--backoff/--deadline/--jitter) shape the per-step
+//       RetryPolicy (docs/REPLAY.md).
+//   replay   <artifact.rmea> [--refit] [--csv PATH]
+//       Re-run the analysis (and optionally the eq. (9) fit) from a
+//       completed artifact's captured records, with no simulation.
 //   cap      <machine> <watts>
 //       Power-cap study: throttle scale and capped performance.
 //   advise   <machine> <flops> <bytes>
@@ -86,10 +96,20 @@ int usage() {
          " [--trace PATH]\n"
          "          [--metrics]\n"
          "  sweep   <machine> [lo hi] [--jobs N] [--trace PATH] [--metrics]\n"
+         "  sweep   <i7|gtx580> --artifact PATH [--resume] [--csv PATH]\n"
+         "          [--reps N] [--no-qc] [--dropout X] [--spike X]"
+         " [--seed N]\n"
+         "          [--attempts N] [--backoff S] [--backoff-mult X]\n"
+         "          [--max-backoff S] [--deadline S] [--jitter X]\n"
+         "          [--trace PATH] [--metrics]\n"
+         "  replay  <artifact.rmea> [--refit] [--csv PATH] [--trace PATH]"
+         " [--metrics]\n"
          "  cap     <machine> <watts>\n"
          "  advise  <machine> <flops> <bytes>\n"
-         "machines: fermi gtx580-sp gtx580-dp i7-sp i7-dp\n";
-  return 2;
+         "machines: fermi gtx580-sp gtx580-dp i7-sp i7-dp\n"
+         "exit codes: 0 ok, 1 degraded/runtime failure, 2 usage, 3 corrupt"
+         " artifact\n";
+  return cli::kExitUsage;
 }
 
 // Tool-layer observability rig: owns the RealClock + Tracer when
@@ -462,6 +482,157 @@ int cmd_sweep(const MachineParams& m, double lo, double hi, unsigned jobs,
   return 0;
 }
 
+// Artifact capture/resume sweep: `sweep <platform> --artifact PATH`.
+// All heavy lifting lives in rme::artifact (replay.hpp); this parser
+// only builds the requested header and rejects flag combinations that
+// would contradict a resumed header.
+int cmd_artifact_sweep(const std::vector<std::string>& args) {
+  artifact::ArtifactHeader header;
+  artifact::SweepOptions options;
+  header.repetitions = 12;
+  bool config_flag_seen = false;
+  bool metrics = false;
+  std::string trace_path;
+  std::vector<std::string> positional;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw cli::UsageError("flag '" + flag + "' needs a value");
+      }
+      return args[++i];
+    };
+    if (flag == "--artifact") {
+      options.artifact_path = value();
+    } else if (flag == "--resume") {
+      options.resume = true;
+    } else if (flag == "--csv") {
+      options.csv_path = value();
+    } else if (flag == "--reps") {
+      header.repetitions = cli::parse_size(value().c_str(), "--reps");
+      config_flag_seen = true;
+    } else if (flag == "--no-qc") {
+      header.qc = false;
+      config_flag_seen = true;
+    } else if (flag == "--dropout") {
+      header.dropout = cli::parse_double(value().c_str(), "--dropout");
+      config_flag_seen = true;
+    } else if (flag == "--spike") {
+      header.spike = cli::parse_double(value().c_str(), "--spike");
+      config_flag_seen = true;
+    } else if (flag == "--seed") {
+      header.fault_seed = cli::parse_size(value().c_str(), "--seed");
+      config_flag_seen = true;
+    } else if (flag == "--attempts") {
+      header.retry.max_attempts =
+          cli::parse_size(value().c_str(), "--attempts");
+      config_flag_seen = true;
+    } else if (flag == "--backoff") {
+      header.retry.initial_backoff =
+          Seconds{cli::parse_double(value().c_str(), "--backoff")};
+      config_flag_seen = true;
+    } else if (flag == "--backoff-mult") {
+      header.retry.backoff_multiplier =
+          cli::parse_double(value().c_str(), "--backoff-mult");
+      config_flag_seen = true;
+    } else if (flag == "--max-backoff") {
+      header.retry.max_backoff =
+          Seconds{cli::parse_double(value().c_str(), "--max-backoff")};
+      config_flag_seen = true;
+    } else if (flag == "--deadline") {
+      header.retry.step_deadline =
+          Seconds{cli::parse_double(value().c_str(), "--deadline")};
+      config_flag_seen = true;
+    } else if (flag == "--jitter") {
+      header.retry.jitter = cli::parse_double(value().c_str(), "--jitter");
+      config_flag_seen = true;
+    } else if (flag == "--metrics") {
+      metrics = true;
+    } else if (flag == "--trace") {
+      trace_path = value();
+    } else if (flag == "--chaos-kill-after") {
+      // Test-harness hook (tests/chaos_runner.cpp): terminate the
+      // process abruptly once the artifact holds this many records.
+      options.chaos.kill_after_records = static_cast<long long>(
+          cli::parse_size(value().c_str(), "--chaos-kill-after"));
+    } else if (flag == "--chaos-tear") {
+      options.chaos.tear = true;
+    } else if (!flag.empty() && flag.front() == '-') {
+      std::cerr << "unknown sweep flag '" << flag << "'\n";
+      return usage();
+    } else {
+      positional.push_back(flag);
+    }
+  }
+
+  if (options.artifact_path.empty()) {
+    std::cerr << "artifact sweep needs --artifact PATH\n";
+    return usage();
+  }
+  if (positional.size() > 1) {
+    std::cerr << "artifact sweep takes at most one platform argument\n";
+    return usage();
+  }
+  if (!positional.empty()) header.platform = positional.front();
+  if (options.resume && config_flag_seen) {
+    std::cerr << "config flags conflict with --resume (the run is "
+                 "re-derived from the artifact header)\n";
+    return usage();
+  }
+  if (!options.resume && header.platform.empty()) {
+    std::cerr << "artifact sweep needs a platform (i7 or gtx580)\n";
+    return usage();
+  }
+  if (!header.platform.empty() &&
+      !artifact::valid_platform(header.platform)) {
+    std::cerr << "unknown platform '" << header.platform
+              << "' (want i7 or gtx580)\n";
+    return usage();
+  }
+  if (header.retry.max_attempts == 0) {
+    std::cerr << "--attempts must be at least 1\n";
+    return usage();
+  }
+  CliObs rig(trace_path, metrics);
+  options.tracer = rig.tracer();
+  return rig.finish(
+      artifact::run_capture_sweep(header, options, std::cout, std::cerr));
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  artifact::ReplayOptions options;
+  bool metrics = false;
+  std::string trace_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--refit") {
+      options.refit = true;
+    } else if (flag == "--csv" && i + 1 < args.size()) {
+      options.csv_path = args[++i];
+    } else if (flag == "--metrics") {
+      metrics = true;
+    } else if (flag == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (!flag.empty() && flag.front() == '-') {
+      std::cerr << "unknown replay flag '" << flag << "'\n";
+      return usage();
+    } else if (options.artifact_path.empty()) {
+      options.artifact_path = flag;
+    } else {
+      std::cerr << "replay takes exactly one artifact path\n";
+      return usage();
+    }
+  }
+  if (options.artifact_path.empty()) {
+    std::cerr << "replay needs an artifact path\n";
+    return usage();
+  }
+  CliObs rig(trace_path, metrics);
+  options.tracer = rig.tracer();
+  return rig.finish(artifact::run_replay(options, std::cout, std::cerr));
+}
+
 int cmd_cap(const MachineParams& m, Watts cap) {
   const double onset = cap_violation_onset(m, cap);
   std::cout << "cap " << cap.value() << " W on " << m.name << ": ";
@@ -554,6 +725,18 @@ int main(int argc, char** argv) {
       return cli_obs.finish(
           cmd_faults(argv[2], dropout, spike, reps, jobs, cli_obs.tracer()));
     }
+    if (command == "replay") {
+      return cmd_replay(std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (command == "sweep") {
+      // `sweep ... --artifact PATH` is the capture/resume journal mode
+      // (platform-keyed, optional under --resume); without --artifact
+      // the classic model sweep below handles it.
+      const std::vector<std::string> args(argv + 2, argv + argc);
+      for (const std::string& a : args) {
+        if (a == "--artifact") return cmd_artifact_sweep(args);
+      }
+    }
     // Remaining commands start with a machine name.
     if (argc < 3) return usage();
     const auto machine = machine_by_name(argv[2]);
@@ -614,7 +797,7 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << "\n";
-    return 1;
+    return cli::kExitDegraded;
   }
   return usage();
 }
