@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI driver: build and test the repository three times — a plain release
-# build (warnings-as-errors), an ASan+UBSan build (RME_SANITIZE=ON), and
-# a TSan build (RME_SANITIZE=thread) running the threaded suites —
-# failing on any test failure, sanitizer report, warning, or
-# rme_analyze static-analysis finding.
+# CI driver: build and test the repository four times — a plain release
+# build (warnings-as-errors), an ASan+UBSan build (RME_SANITIZE=ON), a
+# pure-UBSan build (RME_SANITIZE=undefined), and a TSan build
+# (RME_SANITIZE=thread) running the threaded suites — failing on any
+# test failure, sanitizer report, warning, unbaselined rme_analyze
+# finding, or analyzer output that breaks its JSON/SARIF schema.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,11 +15,32 @@ cmake --build build
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo
-echo "=== static analysis (rme_analyze) ==="
-# rme_analyze replaced the old rme_lint in PR 4: comment/string-aware
-# lexing, seven rules, and scoped reasoned suppressions, run over the
-# whole tree (the old tool scanned headers under src/ only).
-./build/tools/rme_analyze src tools bench tests
+echo "=== static analysis (rme_analyze, cross-TU, parallel) ==="
+# The cross-TU engine: seven per-file rules plus layering and
+# lock-order over the project include graph, run parallel with the
+# checked-in baseline (tools/analyze_baseline.txt).  Any finding not in
+# the baseline fails CI; shrink the baseline as debt is paid down.
+./build/tools/rme_analyze --jobs=0 \
+  --baseline=tools/analyze_baseline.txt src tools bench tests
+
+echo
+echo "=== analyzer output contracts (JSON + SARIF schemas) ==="
+# Both machine formats must validate against the checked-in schemas —
+# the emitter cannot drift without a reviewed schema change.
+an_dir=$(mktemp -d)
+./build/tools/rme_analyze --jobs=0 --format=json \
+  src tools bench tests > "$an_dir/report.json" || true
+./build/tools/rme_analyze --jobs=0 --format=sarif \
+  src tools bench tests > "$an_dir/report.sarif" || true
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_schema.py \
+    docs/schema/rme_analyze.schema.json "$an_dir/report.json"
+  python3 scripts/validate_schema.py \
+    docs/schema/sarif-2.1.0-subset.schema.json "$an_dir/report.sarif"
+else
+  echo "python3 not installed; skipping schema validation"
+fi
+rm -rf "$an_dir"
 
 echo
 echo "=== observability: traced bench run ==="
@@ -79,6 +101,17 @@ ctest --test-dir build-asan --output-on-failure \
       -R '^(ChaosTest|Artifact|Framing|Crc32|Json|Golden)\.'
 
 echo
+echo "=== sanitized build (UBSan alone) ==="
+# UBSan without ASan: shadow memory changes allocation patterns and can
+# mask the UB it rides along with, and the uninstrumented-address build
+# is close enough to production codegen that alignment/overflow traps
+# here mean they are real.  Fast enough to run the full suite.
+cmake -B build-ubsan -G Ninja -DRME_SANITIZE=undefined \
+      -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-ubsan
+ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
+
+echo
 echo "=== sanitized build (TSan) ==="
 # Races hide in the rme::exec pool and its call sites, so TSan runs the
 # suites that actually spawn workers: the pool itself, the parallel
@@ -93,4 +126,5 @@ for t in test_exec test_bootstrap test_ubench test_session test_fmm_kernels; do
 done
 
 echo
-echo "CI OK: plain (Werror), analysis, ASan+UBSan, and TSan suites passed."
+echo "CI OK: plain (Werror), analysis + schemas, ASan+UBSan, UBSan," \
+     "and TSan suites passed."

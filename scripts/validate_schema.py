@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a JSON Schema subset (stdlib only).
+
+Usage: validate_schema.py <schema.json> <document.json>
+
+CI uses this to hold `rme_analyze --format=json|sarif` to the checked-in
+contracts under docs/schema/.  The container has no jsonschema package,
+so this implements exactly the draft-07 subset those schemas use:
+
+  type, const, enum, required, properties, additionalProperties,
+  items, minItems, maxItems, minimum, minLength
+
+Unknown keywords are an error, not a silent pass: a schema edit that
+reaches for an unimplemented keyword must extend this validator too.
+"""
+
+import json
+import sys
+
+HANDLED = {
+    "$schema", "title", "description",
+    "type", "const", "enum", "required", "properties",
+    "additionalProperties", "items", "minItems", "maxItems",
+    "minimum", "minLength",
+}
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    # bool is an int subclass in Python; JSON booleans are not integers.
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported type keyword: {expected!r}")
+
+
+def validate(value, schema, path, errors):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        raise ValueError(
+            f"schema at {path or '$'} uses unimplemented keywords: "
+            f"{sorted(unknown)}")
+
+    loc = path or "$"
+    if "type" in schema and not type_ok(value, schema["type"]):
+        errors.append(f"{loc}: expected {schema['type']}, "
+                      f"got {type(value).__name__}")
+        return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{loc}: expected constant {schema['const']!r}, "
+                      f"got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{loc}: {value!r} not one of {schema['enum']!r}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{loc}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{loc}.{key}", errors)
+        if schema.get("additionalProperties", True) is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{loc}: unexpected property {key!r}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{loc}: {len(value)} items < "
+                          f"minItems {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{loc}: {len(value)} items > "
+                          f"maxItems {schema['maxItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], f"{loc}[{i}]", errors)
+
+    if isinstance(value, str):
+        if "minLength" in schema and len(value) < schema["minLength"]:
+            errors.append(f"{loc}: string shorter than "
+                          f"minLength {schema['minLength']}")
+
+    if (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and "minimum" in schema and value < schema["minimum"]):
+        errors.append(f"{loc}: {value} < minimum {schema['minimum']}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        schema = json.load(fh)
+    with open(argv[2], encoding="utf-8") as fh:
+        document = json.load(fh)
+    errors = []
+    validate(document, schema, "", errors)
+    if errors:
+        for err in errors:
+            print(f"schema violation: {err}", file=sys.stderr)
+        print(f"{argv[2]}: {len(errors)} violation(s) against {argv[1]}",
+              file=sys.stderr)
+        return 1
+    print(f"{argv[2]}: valid against {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,10 +1,17 @@
 #include "rme/analyze/analyzer.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <map>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "rme/analyze/baseline.hpp"
+#include "rme/analyze/cache.hpp"
 #include "rme/analyze/rules.hpp"
+#include "rme/exec/pool.hpp"
+#include "rme/obs/trace.hpp"
 
 namespace rme::analyze {
 
@@ -138,6 +145,326 @@ void write_text(std::ostream& os, const Report& report) {
        << report.files_scanned << " file(s), " << report.rules_run.size()
        << " rule(s)\n";
   }
+}
+
+void select_all_rules(const std::vector<std::string>& selectors,
+                      std::vector<const Rule*>& rules,
+                      std::vector<const ProjectRule*>& project_rules) {
+  if (selectors.empty()) {
+    rules = all_rules();
+    project_rules = all_project_rules();
+    return;
+  }
+  for (const std::string& sel : selectors) {
+    if (const Rule* r = find_rule(sel); r != nullptr) {
+      if (std::find(rules.begin(), rules.end(), r) == rules.end()) {
+        rules.push_back(r);
+      }
+      continue;
+    }
+    if (const ProjectRule* r = find_project_rule(sel); r != nullptr) {
+      if (std::find(project_rules.begin(), project_rules.end(), r) ==
+          project_rules.end()) {
+        project_rules.push_back(r);
+      }
+      continue;
+    }
+    throw std::invalid_argument("rme_analyze: unknown rule '" + sel +
+                                "' (see --list-rules)");
+  }
+}
+
+namespace {
+
+/// The per-file result of one parallel-map slot.  Slots are merged in
+/// index order, so the report is independent of worker scheduling.
+struct FileSlot {
+  bool ok = false;
+  bool cache_hit = false;
+  std::string error;
+  std::string rel;           ///< Repo-relative path (cache/baseline key).
+  std::uint64_t hash = 0;    ///< FNV-1a of the file bytes.
+  FileFacts facts;           ///< facts.path is the as-scanned path.
+  std::vector<Finding> findings;  ///< Per-file rules, as-scanned paths.
+};
+
+/// Runs the per-file rules with per-rule latency instrumentation and
+/// drops suppressed findings.  Unlike run_rules, keeps the per-rule
+/// timing visible to --metrics.
+std::vector<Finding> run_rules_timed(const SourceFile& file,
+                                     const std::vector<const Rule*>& rules,
+                                     rme::obs::Tracer* tracer) {
+  std::vector<Finding> raw;
+  for (const Rule* rule : rules) {
+    const std::int64_t t0 = tracer != nullptr ? tracer->now_us() : 0;
+    rule->check(file, raw);
+    if (tracer != nullptr) {
+      tracer->record_latency("analyze.rule." + std::string(rule->name()),
+                             tracer->now_us() - t0);
+    }
+  }
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    if (!file.suppressed(f.rule, f.line)) {
+      kept.push_back(std::move(f));
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.column != b.column) return a.column < b.column;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool finding_before(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.column != b.column) return a.column < b.column;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace
+
+ProjectReport analyze_project(const std::vector<fs::path>& paths,
+                              const ProjectOptions& options) {
+  ProjectReport report;
+  std::vector<const Rule*> rules;
+  std::vector<const ProjectRule*> project_rules;
+  select_all_rules(options.selectors, rules, project_rules);
+  for (const Rule* r : rules) report.rules_run.emplace_back(r->name());
+  for (const ProjectRule* r : project_rules) {
+    report.rules_run.emplace_back(r->name());
+  }
+
+  const std::vector<fs::path> files = collect_files(paths, report.errors);
+  const AnalysisCache cache = options.cache_path.empty()
+                                  ? AnalysisCache{}
+                                  : AnalysisCache::load(options.cache_path);
+
+  // Phase 1 (parallel): hash, lex, per-file rules, fact extraction.
+  // Each slot is a pure function of its file's bytes, so the map is
+  // byte-identical at any jobs value; the cache is read-only here.
+  rme::obs::Tracer* const tracer = options.tracer;
+  const auto analyze_one = [&](std::size_t i) -> FileSlot {
+    FileSlot slot;
+    const std::string scanned = files[i].generic_string();
+    try {
+      const std::string bytes = read_file_bytes(files[i]);
+      slot.rel = repo_relative(scanned);
+      slot.hash = fnv1a64(bytes);
+      if (const CacheEntry* hit = cache.lookup(slot.rel, slot.hash)) {
+        slot.facts = hit->facts;
+        slot.facts.path = scanned;
+        slot.findings = hit->findings;
+        for (Finding& f : slot.findings) f.file = scanned;
+        slot.cache_hit = true;
+        slot.ok = true;
+        return slot;
+      }
+      const obs::Span span(tracer, scanned, "analyze.file");
+      const SourceFile source = SourceFile::from_string(scanned, bytes);
+      slot.findings = run_rules_timed(source, rules, tracer);
+      slot.facts = extract_facts(source);
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    }
+    return slot;
+  };
+  std::vector<FileSlot> slots = rme::exec::parallel_map(
+      files.size(), analyze_one, options.jobs, tracer);
+
+  // Phase 2 (sequential, index order): merge slots, refresh the cache.
+  AnalysisCache updated;
+  ProjectIndex index;
+  for (FileSlot& slot : slots) {
+    if (!slot.ok) {
+      report.errors.push_back(std::move(slot.error));
+      continue;
+    }
+    ++report.files_scanned;
+    report.tokens_scanned += slot.facts.token_count;
+    if (slot.cache_hit) ++report.cache_hits;
+    if (!options.cache_path.empty()) {
+      CacheEntry entry;
+      entry.hash = slot.hash;
+      entry.facts = slot.facts;
+      entry.facts.path = slot.rel;
+      entry.findings = slot.findings;
+      for (Finding& f : entry.findings) f.file = slot.rel;
+      updated.store(slot.rel, std::move(entry));
+    }
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(slot.findings.begin()),
+                           std::make_move_iterator(slot.findings.end()));
+    index.files.push_back(std::move(slot.facts));
+  }
+  std::sort(index.files.begin(), index.files.end(),
+            [](const FileFacts& a, const FileFacts& b) {
+              return a.path < b.path;
+            });
+
+  // Phase 3 (sequential): project rules over the assembled index.
+  // Their findings cite repo-relative paths (the graph's identity);
+  // remap to as-scanned so the whole report is uniform.
+  std::map<std::string, std::string> scanned_of;
+  for (const FileFacts& f : index.files) {
+    scanned_of.emplace(repo_relative(f.path), f.path);
+  }
+  for (const ProjectRule* rule : project_rules) {
+    std::vector<Finding> project_findings;
+    const std::int64_t t0 = tracer != nullptr ? tracer->now_us() : 0;
+    rule->check(index, project_findings);
+    if (tracer != nullptr) {
+      tracer->record_latency("analyze.rule." + std::string(rule->name()),
+                             tracer->now_us() - t0);
+    }
+    for (Finding& f : project_findings) {
+      const auto it = scanned_of.find(f.file);
+      if (it != scanned_of.end()) f.file = it->second;
+      report.findings.push_back(std::move(f));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(), finding_before);
+
+  if (!options.baseline_path.empty()) {
+    std::string baseline_error;
+    const Baseline baseline =
+        Baseline::load(options.baseline_path, &baseline_error);
+    if (!baseline_error.empty()) report.errors.push_back(baseline_error);
+    report.findings =
+        baseline.filter(std::move(report.findings), &report.baselined);
+  }
+
+  report.graph = build_include_graph(index);
+
+  if (!options.cache_path.empty() && !updated.save(options.cache_path)) {
+    report.errors.push_back("cannot write cache file " +
+                            options.cache_path.string());
+  }
+  if (tracer != nullptr) {
+    tracer->add_counter("analyze.files",
+                        static_cast<std::int64_t>(report.files_scanned));
+    tracer->add_counter("analyze.tokens",
+                        static_cast<std::int64_t>(report.tokens_scanned));
+    tracer->add_counter("analyze.findings",
+                        static_cast<std::int64_t>(report.findings.size()));
+    tracer->add_counter("analyze.cache_hits",
+                        static_cast<std::int64_t>(report.cache_hits));
+  }
+  return report;
+}
+
+void write_text(std::ostream& os, const ProjectReport& report) {
+  for (const Finding& f : report.findings) {
+    os << f.file << ":" << f.line;
+    if (f.column != 0) os << ":" << f.column;
+    os << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  for (const std::string& e : report.errors) {
+    os << "rme_analyze: error: " << e << "\n";
+  }
+  os << "rme_analyze: ";
+  if (report.findings.empty() && report.errors.empty()) {
+    os << "clean";
+  } else {
+    os << report.findings.size() << " finding(s)";
+  }
+  os << " (" << report.files_scanned << " files, " << report.rules_run.size()
+     << " rules, " << report.cache_hits << " cache hits";
+  if (report.baselined != 0) os << ", " << report.baselined << " baselined";
+  os << ")\n";
+}
+
+void write_json(std::ostream& os, const ProjectReport& report) {
+  os << "{\"files_scanned\":" << report.files_scanned
+     << ",\"tokens_scanned\":" << report.tokens_scanned
+     << ",\"cache_hits\":" << report.cache_hits
+     << ",\"baselined\":" << report.baselined << ",\"rules\":[";
+  for (std::size_t i = 0; i < report.rules_run.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"";
+    json_escape(os, report.rules_run[i]);
+    os << "\"";
+  }
+  os << "],\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i != 0) os << ",";
+    os << "{\"rule\":\"";
+    json_escape(os, f.rule);
+    os << "\",\"file\":\"";
+    json_escape(os, f.file);
+    os << "\",\"line\":" << f.line << ",\"column\":" << f.column
+       << ",\"message\":\"";
+    json_escape(os, f.message);
+    os << "\"}";
+  }
+  os << "],\"errors\":[";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"";
+    json_escape(os, report.errors[i]);
+    os << "\"";
+  }
+  os << "]}\n";
+}
+
+void write_sarif(std::ostream& os, const ProjectReport& report) {
+  // SARIF 2.1.0, one run.  Columns: SARIF wants 1-based startColumn and
+  // forbids 0 — line-granular findings omit the column property.
+  os << "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/"
+        "sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":"
+        "{\"name\":\"rme_analyze\",\"informationUri\":"
+        "\"docs/ANALYSIS.md\",\"rules\":[";
+  bool first = true;
+  for (const std::string& name : report.rules_run) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"";
+    json_escape(os, name);
+    os << "\"";
+    std::string_view desc;
+    if (const Rule* r = find_rule(name); r != nullptr) {
+      desc = r->description();
+    } else if (const ProjectRule* p = find_project_rule(name); p != nullptr) {
+      desc = p->description();
+    }
+    if (!desc.empty()) {
+      os << ",\"shortDescription\":{\"text\":\"";
+      json_escape(os, std::string(desc));
+      os << "\"}";
+    }
+    os << "}";
+  }
+  os << "]}},\"results\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i != 0) os << ",";
+    os << "{\"ruleId\":\"";
+    json_escape(os, f.rule);
+    os << "\",\"level\":\"warning\",\"message\":{\"text\":\"";
+    json_escape(os, f.message);
+    os << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+          "{\"uri\":\"";
+    json_escape(os, repo_relative(f.file));
+    os << "\"},\"region\":{\"startLine\":" << f.line;
+    if (f.column != 0) os << ",\"startColumn\":" << f.column;
+    os << "}}}]}";
+  }
+  os << "]}]}\n";
 }
 
 void write_json(std::ostream& os, const Report& report) {

@@ -1,12 +1,21 @@
 #pragma once
 // rme::analyze — drives the rule registry over a file set.
 //
-// The analyzer walks the given paths (directories recurse; explicit
-// files are scanned whatever their extension), lexes each C++ file into
-// a SourceFile, runs the selected rules, filters findings through the
-// file's reasoned suppressions, and reports.  tools/rme_analyze is a
-// thin CLI over this; tests/test_analyze.cpp drives the same entry
-// points over an in-repo fixture corpus.
+// Two pipelines share this header:
+//
+//   * analyze_paths — the original per-file pass: walk, lex, run the
+//     per-file rules, filter suppressions.  Kept as the simple
+//     embedding API and the fixture-test entry point;
+//   * analyze_project — the cross-TU engine: the per-file pass runs in
+//     parallel through rme::exec::parallel_map (byte-identical output
+//     at any --jobs value, because every file writes its own slot and
+//     the merge is index-ordered), an incremental content-hash cache
+//     (cache.hpp) skips unchanged files, FileFacts feed the project
+//     rules (layering, lock-order), and a checked-in baseline
+//     (baseline.hpp) separates accepted debt from new findings.
+//
+// tools/rme_analyze is a thin CLI over analyze_project;
+// tests/test_analyze.cpp drives both over an in-repo fixture corpus.
 
 #include <filesystem>
 #include <iosfwd>
@@ -14,7 +23,13 @@
 #include <vector>
 
 #include "rme/analyze/finding.hpp"
+#include "rme/analyze/include_graph.hpp"
+#include "rme/analyze/index.hpp"
 #include "rme/analyze/rule.hpp"
+
+namespace rme::obs {
+class Tracer;  // rme/obs/trace.hpp — optional instrumentation sink
+}  // namespace rme::obs
 
 namespace rme::analyze {
 
@@ -50,5 +65,55 @@ struct Report {
 void write_text(std::ostream& os, const Report& report);
 /// Machine-readable single JSON object with a "findings" array.
 void write_json(std::ostream& os, const Report& report);
+
+/// Configuration for the cross-TU pipeline.
+struct ProjectOptions {
+  /// Worker count for the per-file pass: 1 = inline, 0 = hardware.
+  /// Output is byte-identical across values (the determinism ctest
+  /// asserts jobs=1 vs jobs=4).
+  unsigned jobs = 1;
+  /// Rule names (per-file or project); empty = the full registry.
+  std::vector<std::string> selectors;
+  /// Incremental cache file; empty disables caching.
+  std::filesystem::path cache_path;
+  /// Baseline file; empty disables baseline filtering.
+  std::filesystem::path baseline_path;
+  /// Optional instrumentation: analyze.{files,tokens,findings,
+  /// cache_hits} counters and per-rule `analyze.rule.<name>` latency
+  /// histograms.  Never affects findings.
+  rme::obs::Tracer* tracer = nullptr;
+};
+
+struct ProjectReport {
+  /// Survived suppression and baseline, sorted by
+  /// (file, line, column, rule, message).
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t tokens_scanned = 0;
+  std::size_t cache_hits = 0;
+  std::size_t baselined = 0;   ///< Findings absorbed by the baseline.
+  std::vector<std::string> rules_run;  ///< Per-file then project rules.
+  std::vector<std::string> errors;
+  IncludeGraph graph;          ///< For --dot export.
+};
+
+/// Resolves selectors against both registries.  Throws
+/// std::invalid_argument on an unknown name.
+void select_all_rules(const std::vector<std::string>& selectors,
+                      std::vector<const Rule*>& rules,
+                      std::vector<const ProjectRule*>& project_rules);
+
+/// The cross-TU pipeline (see the header comment).
+[[nodiscard]] ProjectReport analyze_project(
+    const std::vector<std::filesystem::path>& paths,
+    const ProjectOptions& options);
+
+/// Human-readable findings + summary (adds cache/baseline stats).
+void write_text(std::ostream& os, const ProjectReport& report);
+/// Single JSON object; schema docs/schema/rme_analyze.schema.json.
+void write_json(std::ostream& os, const ProjectReport& report);
+/// SARIF 2.1.0 (one run, one result per finding); schema
+/// docs/schema/sarif-2.1.0-subset.schema.json.
+void write_sarif(std::ostream& os, const ProjectReport& report);
 
 }  // namespace rme::analyze

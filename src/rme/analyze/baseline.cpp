@@ -1,0 +1,99 @@
+#include "rme/analyze/baseline.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "rme/analyze/cache.hpp"
+#include "rme/analyze/index.hpp"
+
+namespace rme::analyze {
+namespace {
+
+/// The drift-stable identity of a finding, before occurrence
+/// disambiguation: rule, repo-relative file, message hash.
+std::string identity_key(const Finding& f) {
+  std::ostringstream key;
+  key << f.rule << "|" << repo_relative(f.file) << "|" << std::hex
+      << fnv1a64(f.message);
+  return key.str();
+}
+
+}  // namespace
+
+std::string finding_fingerprint(const Finding& f, std::size_t occurrence) {
+  return identity_key(f) + "|" + std::to_string(occurrence);
+}
+
+Baseline Baseline::load(const std::filesystem::path& file,
+                        std::string* error) {
+  Baseline baseline;
+  std::ifstream in(file);
+  if (!in) return baseline;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const std::size_t tab = line.find('\t'); tab != std::string::npos) {
+      line.resize(tab);  // Human excerpt, not part of the fingerprint.
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') continue;
+    // A fingerprint has exactly three '|' separators.
+    std::size_t bars = 0;
+    for (const char c : line) bars += c == '|' ? 1 : 0;
+    if (bars != 3) {
+      if (error != nullptr && error->empty()) {
+        *error = file.string() + ":" + std::to_string(lineno) +
+                 ": malformed baseline entry '" + line + "'";
+      }
+      return Baseline{};
+    }
+    baseline.entries_.insert(line);
+  }
+  return baseline;
+}
+
+std::vector<Finding> Baseline::filter(std::vector<Finding> findings,
+                                      std::size_t* baselined) const {
+  std::map<std::string, std::size_t> occurrence;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  std::size_t removed = 0;
+  for (Finding& f : findings) {
+    const std::string key = identity_key(f);
+    const std::size_t occ = occurrence[key]++;
+    if (entries_.count(key + "|" + std::to_string(occ)) != 0) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  if (baselined != nullptr) *baselined = removed;
+  return kept;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "# rme_analyze baseline: accepted findings, one fingerprint per\n"
+         "# line (rule|file|message-hash|occurrence).  Text after a tab\n"
+         "# is a human excerpt and ignored.  Regenerate with\n"
+         "# rme_analyze --write-baseline=<this file> <paths>; burn down\n"
+         "# by fixing the cited site and deleting its line.\n";
+  std::map<std::string, std::size_t> occurrence;
+  for (const Finding& f : findings) {
+    const std::string key = identity_key(f);
+    const std::size_t occ = occurrence[key]++;
+    std::string excerpt = f.message.substr(0, 70);
+    for (char& c : excerpt) {
+      if (c == '\n' || c == '\t') c = ' ';
+    }
+    out << key << "|" << occ << "\t" << repo_relative(f.file) << ":"
+        << f.line << " " << excerpt << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,66 @@
+#pragma once
+// rme::analyze — the checked-in findings baseline.
+//
+// A baseline is the set of findings a project has decided to live with
+// (for now): CI runs the analyzer with `--baseline=<file>` and fails
+// only on findings *not* in the set, so new debt is blocked while old
+// debt is visible and burn-downable (delete lines from the baseline as
+// sites get fixed; regenerate wholesale with `--write-baseline`).
+//
+// Entries are fingerprints, not line numbers:
+//
+//   <rule>|<repo-relative path>|<fnv1a64(message) hex>|<occurrence>
+//
+// so unrelated edits that shift a finding down the file do not
+// invalidate the baseline, and an absolute-path ctest invocation and a
+// relative-path CI invocation agree on identity.  `occurrence`
+// disambiguates identical findings in one file (0-based, in report
+// order).  The trade-off: a finding whose *message* embeds drifting
+// detail (lock-order cites peer file:line sites) re-fingerprints when
+// that detail moves — conservative in the right direction, since a
+// moved witness deserves a fresh look.
+//
+// Each line may carry a tab plus a human-readable excerpt; everything
+// from the first tab on is ignored by the parser, as are blank lines
+// and `#` comments.
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/finding.hpp"
+
+namespace rme::analyze {
+
+/// The fingerprint of `f` as its `occurrence`-th identical instance.
+[[nodiscard]] std::string finding_fingerprint(const Finding& f,
+                                              std::size_t occurrence);
+
+class Baseline {
+ public:
+  /// Reads a baseline file.  A missing file is an empty baseline; a
+  /// malformed line is reported through `error` (first one wins) and
+  /// the baseline loads as empty so CI fails loudly rather than
+  /// silently admitting everything.
+  [[nodiscard]] static Baseline load(const std::filesystem::path& file,
+                                     std::string* error);
+
+  /// Returns the findings not covered by the baseline, preserving
+  /// order; `baselined` (if non-null) receives the number removed.
+  /// `findings` must be the full report in final report order —
+  /// occurrence numbering depends on it.
+  [[nodiscard]] std::vector<Finding> filter(std::vector<Finding> findings,
+                                            std::size_t* baselined) const;
+
+  /// Renders `findings` (in final report order) as a baseline file.
+  [[nodiscard]] static std::string render(
+      const std::vector<Finding>& findings);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::set<std::string> entries_;
+};
+
+}  // namespace rme::analyze

@@ -1,0 +1,180 @@
+#include "rme/analyze/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+constexpr std::string_view kMagic = "rme-analyze-cache v1";
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 'n' ? '\n' : s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Reads the rest of `in` after the current token as one trailing
+/// field (the one place spaces are legal: messages, include targets).
+std::string rest_of(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  const std::size_t start = rest.find_first_not_of(' ');
+  return start == std::string::npos ? std::string{} : rest.substr(start);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+AnalysisCache AnalysisCache::load(const std::filesystem::path& file) {
+  AnalysisCache cache;
+  std::ifstream in(file);
+  if (!in) return cache;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return cache;
+  if (!std::getline(in, line) ||
+      line != "fingerprint " + std::string(rules_fingerprint())) {
+    return cache;
+  }
+
+  std::string rel;
+  CacheEntry entry;
+  bool in_entry = false;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "file") {
+      if (in_entry) return AnalysisCache{};  // Previous entry unterminated.
+      std::size_t token_count = 0;
+      fields >> std::hex >> entry.hash >> std::dec >> token_count;
+      rel = rest_of(fields);
+      if (fields.bad() || rel.empty()) return AnalysisCache{};
+      entry.facts = FileFacts{};
+      entry.facts.path = rel;
+      entry.facts.token_count = token_count;
+      entry.findings.clear();
+      in_entry = true;
+    } else if (!in_entry) {
+      return AnalysisCache{};
+    } else if (tag == "i") {
+      IncludeSite inc;
+      int angled = 0, supp = 0;
+      fields >> inc.line >> inc.column >> angled >> supp;
+      inc.target = rest_of(fields);
+      if (fields.fail() || inc.target.empty()) return AnalysisCache{};
+      inc.angled = angled != 0;
+      inc.suppressed = supp != 0;
+      entry.facts.includes.push_back(std::move(inc));
+    } else if (tag == "g") {
+      GuardSite g;
+      int supp = 0;
+      fields >> g.line >> g.column >> supp >> g.guard >> g.mutex;
+      if (fields.fail() || g.mutex.empty()) return AnalysisCache{};
+      g.suppressed = supp != 0;
+      entry.facts.guard_sites.push_back(std::move(g));
+    } else if (tag == "e") {
+      LockEdge e;
+      int supp = 0;
+      fields >> e.from_line >> e.from_column >> e.to_line >> e.to_column >>
+          supp >> e.from >> e.to;
+      if (fields.fail() || e.to.empty()) return AnalysisCache{};
+      e.suppressed = supp != 0;
+      entry.facts.lock_edges.push_back(std::move(e));
+    } else if (tag == "f") {
+      Finding f;
+      f.file = rel;
+      fields >> f.rule >> f.line >> f.column;
+      f.message = unescape(rest_of(fields));
+      if (fields.fail() || f.rule.empty()) return AnalysisCache{};
+      entry.findings.push_back(std::move(f));
+    } else if (tag == "end") {
+      cache.entries_.emplace(rel, std::move(entry));
+      entry = CacheEntry{};
+      in_entry = false;
+    } else {
+      return AnalysisCache{};  // Unknown tag: treat the cache as corrupt.
+    }
+  }
+  if (in_entry) return AnalysisCache{};  // Truncated final entry.
+  return cache;
+}
+
+const CacheEntry* AnalysisCache::lookup(const std::string& rel_path,
+                                        std::uint64_t hash) const {
+  const auto it = entries_.find(rel_path);
+  if (it == entries_.end() || it->second.hash != hash) return nullptr;
+  return &it->second;
+}
+
+void AnalysisCache::store(const std::string& rel_path, CacheEntry entry) {
+  entries_[rel_path] = std::move(entry);
+}
+
+bool AnalysisCache::save(const std::filesystem::path& file) const {
+  std::ofstream out(file, std::ios::trunc);
+  if (!out) return false;
+  out << kMagic << "\n"
+      << "fingerprint " << rules_fingerprint() << "\n";
+  for (const auto& [rel, entry] : entries_) {
+    out << "file " << std::hex << entry.hash << std::dec << " "
+        << entry.facts.token_count << " " << rel << "\n";
+    for (const IncludeSite& inc : entry.facts.includes) {
+      out << "i " << inc.line << " " << inc.column << " "
+          << (inc.angled ? 1 : 0) << " " << (inc.suppressed ? 1 : 0) << " "
+          << inc.target << "\n";
+    }
+    for (const GuardSite& g : entry.facts.guard_sites) {
+      out << "g " << g.line << " " << g.column << " "
+          << (g.suppressed ? 1 : 0) << " " << g.guard << " " << g.mutex
+          << "\n";
+    }
+    for (const LockEdge& e : entry.facts.lock_edges) {
+      out << "e " << e.from_line << " " << e.from_column << " " << e.to_line
+          << " " << e.to_column << " " << (e.suppressed ? 1 : 0) << " "
+          << e.from << " " << e.to << "\n";
+    }
+    for (const Finding& f : entry.findings) {
+      out << "f " << f.rule << " " << f.line << " " << f.column << " "
+          << escape(f.message) << "\n";
+    }
+    out << "end\n";
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,69 @@
+#pragma once
+// rme::analyze — content-hash incremental cache.
+//
+// Analyzing a file is pure: (bytes, rule registry) fully determine its
+// facts and findings.  The cache exploits that by storing, per
+// repo-relative path, the FNV-1a hash of the bytes last analyzed plus
+// the FileFacts and per-file findings they produced.  On the next run
+// a file whose bytes hash the same is served from the cache — no lex,
+// no rules — which turns warm `rme_analyze --cache=...` runs into a
+// hash-and-compare pass.  Cross-TU rules always run (they are global),
+// but they consume cached facts like fresh ones.
+//
+// Invalidation is wholesale on rule change: the file embeds
+// rules_fingerprint(), and a mismatch discards everything.  Entries
+// store repo-relative paths only, so a cache written by a relative
+// invocation (scripts/ci.sh) is valid for an absolute one (ctest) and
+// vice versa — the driver rehydrates as-scanned paths on lookup.
+//
+// The format is a versioned line-oriented text file; a corrupt or
+// truncated cache loads as empty (analysis still succeeds, just cold).
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rme/analyze/finding.hpp"
+#include "rme/analyze/index.hpp"
+
+namespace rme::analyze {
+
+/// FNV-1a, 64-bit: the content hash for cache keys.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// One cached file: content hash, extracted facts, per-file findings.
+/// `facts.path` and every finding's `file` are repo-relative.
+struct CacheEntry {
+  std::uint64_t hash = 0;
+  FileFacts facts;
+  std::vector<Finding> findings;
+};
+
+class AnalysisCache {
+ public:
+  /// Reads a cache file; a missing, corrupt, or fingerprint-mismatched
+  /// file yields an empty cache (never an error — cold is correct).
+  [[nodiscard]] static AnalysisCache load(const std::filesystem::path& file);
+
+  /// The entry for `rel_path` when its stored hash equals `hash`;
+  /// nullptr otherwise.
+  [[nodiscard]] const CacheEntry* lookup(const std::string& rel_path,
+                                         std::uint64_t hash) const;
+
+  /// Inserts or replaces the entry for `rel_path`.
+  void store(const std::string& rel_path, CacheEntry entry);
+
+  /// Writes the cache atomically enough for a tool (temp-free, single
+  /// stream); returns false on I/O failure.
+  [[nodiscard]] bool save(const std::filesystem::path& file) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace rme::analyze

@@ -1,0 +1,239 @@
+#include "rme/analyze/include_graph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rme::analyze {
+namespace {
+
+/// The declared layer DAG.  Order matters only for diagnostics; every
+/// module implicitly allows itself.  Modules absent from this table
+/// ("tools", "bench", "tests", "examples", the "rme" umbrella) are
+/// unconstrained consumers.
+struct Layer {
+  std::string_view module;
+  std::vector<std::string_view> allowed;
+};
+
+const std::vector<Layer>& layers() {
+  static const std::vector<Layer> kLayers = {
+      {"core", {}},
+      {"obs", {}},
+      {"cli", {}},
+      {"exec", {"obs"}},
+      {"sim", {"core"}},
+      {"report", {"core"}},
+      {"analyze", {"exec", "obs"}},
+      {"fit", {"core", "sim", "exec", "obs"}},
+      {"power", {"core", "sim", "fit", "exec", "obs"}},
+      {"ubench", {"core", "sim", "power"}},
+      {"fmm", {"core", "sim", "fit", "ubench", "exec", "obs"}},
+      {"artifact", {"core", "sim", "power", "fit", "report", "cli", "obs"}},
+  };
+  return kLayers;
+}
+
+const Layer* find_layer(const std::string& module) {
+  for (const Layer& l : layers()) {
+    if (module == l.module) return &l;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& repo_rel) {
+  static constexpr std::string_view kLib = "src/rme/";
+  if (repo_rel.compare(0, kLib.size(), kLib) == 0) {
+    const std::size_t start = kLib.size();
+    const std::size_t slash = repo_rel.find('/', start);
+    if (slash == std::string::npos) return "rme";  // src/rme/rme.hpp et al.
+    return repo_rel.substr(start, slash - start);
+  }
+  static constexpr std::array<std::string_view, 4> kTrees{
+      "tools/", "bench/", "tests/", "examples/"};
+  for (const std::string_view tree : kTrees) {
+    if (repo_rel.compare(0, tree.size(), tree) == 0) {
+      return std::string(tree.substr(0, tree.size() - 1));
+    }
+  }
+  return std::string{};
+}
+
+bool layer_allows(const std::string& from, const std::string& to) {
+  if (from == to) return true;
+  const Layer* layer = find_layer(from);
+  if (layer == nullptr) return true;  // Unconstrained consumer.
+  for (const std::string_view a : layer->allowed) {
+    if (to == a) return true;
+  }
+  return false;
+}
+
+std::string allowed_list(const std::string& module) {
+  const Layer* layer = find_layer(module);
+  if (layer == nullptr) return "*";
+  if (layer->allowed.size() == 0) return "nothing";
+  std::string out;
+  for (const std::string_view a : layer->allowed) {
+    if (!out.empty()) out += ", ";
+    out += a;
+  }
+  return out;
+}
+
+IncludeGraph build_include_graph(const ProjectIndex& index) {
+  IncludeGraph graph;
+  graph.files.reserve(index.files.size());
+  for (const FileFacts& f : index.files) {
+    graph.files.push_back(repo_relative(f.path));
+  }
+  std::sort(graph.files.begin(), graph.files.end());
+  graph.files.erase(std::unique(graph.files.begin(), graph.files.end()),
+                    graph.files.end());
+  graph.modules.reserve(graph.files.size());
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < graph.files.size(); ++i) {
+    graph.modules.push_back(module_of(graph.files[i]));
+    by_path.emplace(graph.files[i], i);
+  }
+
+  for (const FileFacts& f : index.files) {
+    const auto from_it = by_path.find(repo_relative(f.path));
+    if (from_it == by_path.end()) continue;
+    const std::size_t from = from_it->second;
+    for (const IncludeSite& inc : f.includes) {
+      if (inc.angled) continue;  // System headers are out of scope.
+      // The repo's include root is src/: `#include "rme/core/units.hpp"`
+      // names src/rme/core/units.hpp.  Fixture corpora use verbatim
+      // relative targets, so try those second.
+      auto to_it = by_path.find("src/" + inc.target);
+      if (to_it == by_path.end()) to_it = by_path.find(inc.target);
+      if (to_it == by_path.end()) continue;
+      if (to_it->second == from) continue;
+      graph.edges.push_back(IncludeGraph::Edge{
+          from, to_it->second, inc.line, inc.column, inc.suppressed});
+    }
+  }
+  std::sort(graph.edges.begin(), graph.edges.end(),
+            [](const IncludeGraph::Edge& a, const IncludeGraph::Edge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.line != b.line) return a.line < b.line;
+              return a.column < b.column;
+            });
+  return graph;
+}
+
+std::vector<std::vector<std::size_t>> strongly_connected_components(
+    const std::vector<std::vector<std::size_t>>& adj) {
+  // Iterative Tarjan; recursion would be fine for module graphs but
+  // file-level include chains can get deep.
+  const std::size_t n = adj.size();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> idx(n, kUnvisited), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  std::size_t counter = 0;
+
+  struct Frame {
+    std::size_t v = 0;
+    std::size_t next_edge = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (idx[root] != kUnvisited) continue;
+    std::vector<Frame> frames{Frame{root, 0}};
+    idx[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next_edge < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.next_edge++];
+        if (idx[w] == kUnvisited) {
+          idx[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], idx[w]);
+        }
+      } else {
+        if (low[f.v] == idx[f.v]) {
+          std::vector<std::size_t> scc;
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == f.v) break;
+          }
+          if (scc.size() >= 2) {
+            std::sort(scc.begin(), scc.end());
+            sccs.push_back(std::move(scc));
+          }
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  std::sort(sccs.begin(), sccs.end(),
+            [](const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+              return a.front() < b.front();
+            });
+  return sccs;
+}
+
+std::vector<std::vector<std::size_t>> include_cycles(
+    const IncludeGraph& graph) {
+  std::vector<std::vector<std::size_t>> adj(graph.files.size());
+  for (const IncludeGraph::Edge& e : graph.edges) {
+    adj[e.from].push_back(e.to);
+  }
+  return strongly_connected_components(adj);
+}
+
+std::string write_dot(const IncludeGraph& graph) {
+  // Aggregate file edges to module edges; files outside any module
+  // (module "") are skipped.
+  std::set<std::string> nodes;
+  std::map<std::pair<std::string, std::string>, std::size_t> edges;
+  for (std::size_t i = 0; i < graph.files.size(); ++i) {
+    if (!graph.modules[i].empty()) nodes.insert(graph.modules[i]);
+  }
+  for (const IncludeGraph::Edge& e : graph.edges) {
+    const std::string& from = graph.modules[e.from];
+    const std::string& to = graph.modules[e.to];
+    if (from.empty() || to.empty() || from == to) continue;
+    ++edges[{from, to}];
+  }
+  std::string out = "digraph rme_includes {\n  rankdir=BT;\n"
+                    "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const std::string& n : nodes) {
+    out += "  \"" + n + "\";\n";
+  }
+  for (const auto& [key, count] : edges) {
+    const auto& [from, to] = key;
+    out += "  \"" + from + "\" -> \"" + to + "\" [label=\"" +
+           std::to_string(count) + "\"";
+    if (!layer_allows(from, to)) {
+      out += ", color=red, penwidth=2";
+    }
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rme::analyze

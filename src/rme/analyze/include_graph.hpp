@@ -1,0 +1,93 @@
+#pragma once
+// rme::analyze — project include graph and the declared layer DAG.
+//
+// The repo's architecture is a layered DAG over modules:
+//
+//   core ──────────────────────────────┐ (leaf: depends on nothing)
+//   obs, cli ──────────────────────────┤ (leaves)
+//   exec → obs                         │
+//   sim, report → core                 │  middle layers
+//   fit → core, sim, exec, obs         │
+//   power → core, sim, fit, exec, obs  │
+//   ubench → core, sim, power          │
+//   fmm → core, sim, fit, ubench, exec, obs
+//   analyze → exec, obs                │
+//   artifact → core, sim, power, fit, report, cli, obs
+//   rme (umbrella header) → *          │
+//   tools, bench, tests, examples → *  ┘ (top: may use anything)
+//
+// build_include_graph() resolves each file's quoted includes against
+// the scanned file set, maps files to modules, and exposes file-level
+// edges.  The layering rule (rule_layering.cpp) turns edges that leave
+// a module's allowed set — and include *cycles* — into findings; DOT
+// export (write_dot) renders the module-level graph for docs and the
+// golden test.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/index.hpp"
+
+namespace rme::analyze {
+
+struct IncludeGraph {
+  /// One resolved include: file `from` includes file `to` (indices
+  /// into `files`), at the cited site.
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    std::size_t line = 0;
+    std::size_t column = 0;
+    bool suppressed = false;
+  };
+
+  std::vector<std::string> files;    ///< Repo-relative, sorted, unique.
+  std::vector<std::string> modules;  ///< modules[i] = module_of(files[i]).
+  std::vector<Edge> edges;           ///< Sorted by (from, line, column).
+};
+
+/// Maps a repo-relative path to its module: `src/rme/<m>/...` → `<m>`,
+/// the umbrella `src/rme/rme.hpp` → "rme", top-level trees to their
+/// directory name ("tools", "bench", "tests", "examples"), anything
+/// else → "".
+[[nodiscard]] std::string module_of(const std::string& repo_rel);
+
+/// True when the declared layer DAG lets module `from` include module
+/// `to`.  Every module may use itself; unknown modules are
+/// unconstrained (the layering rule reports only declared modules).
+[[nodiscard]] bool layer_allows(const std::string& from,
+                                const std::string& to);
+
+/// The declared dependencies of `module`, comma-separated, for
+/// diagnostics ("(allowed: core, sim)"); "(allowed: nothing)" for
+/// leaves, "*" for unconstrained modules.
+[[nodiscard]] std::string allowed_list(const std::string& module);
+
+/// Builds the graph from extracted facts.  Quoted targets resolve
+/// against the scanned set as `src/<target>` first (the repo's include
+/// root) and verbatim second; unresolved and angled includes are
+/// dropped — the graph covers the project, not the system.
+[[nodiscard]] IncludeGraph build_include_graph(const ProjectIndex& index);
+
+/// Tarjan strongly connected components over an adjacency list.
+/// Returns only components of ≥2 nodes (the cyclic ones), each sorted
+/// ascending, components ordered by smallest member.  Shared by the
+/// include-cycle check here and the lock-order cycle check
+/// (rule_lock_order.cpp).
+[[nodiscard]] std::vector<std::vector<std::size_t>>
+strongly_connected_components(
+    const std::vector<std::vector<std::size_t>>& adj);
+
+/// Strongly connected components with ≥2 files, i.e. include cycles.
+/// Each cycle lists file indices sorted ascending; cycles are sorted
+/// by their smallest member.  (Self-includes cannot happen: an edge to
+/// oneself is dropped at build time.)
+[[nodiscard]] std::vector<std::vector<std::size_t>> include_cycles(
+    const IncludeGraph& graph);
+
+/// Module-level DOT rendering, deterministic: nodes and edges sorted,
+/// layer-violating edges drawn red and labeled.  Ends with '\n'.
+[[nodiscard]] std::string write_dot(const IncludeGraph& graph);
+
+}  // namespace rme::analyze

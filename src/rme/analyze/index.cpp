@@ -1,0 +1,217 @@
+#include "rme/analyze/index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rme::analyze {
+namespace {
+
+constexpr std::array<std::string_view, 4> kGuardTypes{
+    "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+
+bool is_guard_type(const std::string& ident) {
+  return std::find(kGuardTypes.begin(), kGuardTypes.end(), ident) !=
+         kGuardTypes.end();
+}
+
+/// Skips a balanced template argument list.  `i` points at the `<`;
+/// returns the index one past the matching `>`.  `>>` closes two
+/// levels, mirroring the maximal-munch token the lexer emits.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int angle = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<" || t == "<<") {
+      angle += t == "<<" ? 2 : 1;
+    } else if (t == ">" || t == ">>") {
+      angle -= t == ">>" ? 2 : 1;
+      if (angle <= 0) return i + 1;
+    } else if (t == ";" || t == "{") {
+      break;  // Not a template argument list after all.
+    }
+  }
+  return i;
+}
+
+/// One constructor argument as a token slice [begin, end).
+struct ArgSlice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Splits the argument list starting at the `(` or `{` at `open` into
+/// top-level comma-separated slices.  Returns the index one past the
+/// closing delimiter, or `open` when no balanced list is found.
+std::size_t split_args(const std::vector<Token>& toks, std::size_t open,
+                       std::vector<ArgSlice>& out) {
+  int nest = 0;
+  std::size_t arg_begin = open + 1;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "{" || t == "[") {
+      ++nest;
+    } else if (t == ")" || t == "}" || t == "]") {
+      --nest;
+      if (nest == 0) {
+        if (i > arg_begin) out.push_back(ArgSlice{arg_begin, i});
+        return i + 1;
+      }
+    } else if (t == "," && nest == 1) {
+      if (i > arg_begin) out.push_back(ArgSlice{arg_begin, i});
+      arg_begin = i + 1;
+    }
+  }
+  out.clear();
+  return open;
+}
+
+/// Renders one argument slice as a normalized mutex expression:
+/// `this->` is dropped, `->` flattens to `.`, address-of / dereference
+/// decoration and grouping parens vanish.  Returns "" for slices that
+/// are not a name path (e.g. a call result) — callers skip those.
+std::string normalize_mutex(const std::vector<Token>& toks,
+                            const ArgSlice& arg) {
+  std::string out;
+  for (std::size_t i = arg.begin; i < arg.end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "this") continue;  // `this->m_` and `m_` are one mutex.
+      out += t.text;
+    } else if (t.text == "." || t.text == "->") {
+      if (!out.empty() && out.back() != '.') out += '.';
+    } else if (t.text == "::") {
+      out += "::";
+    } else if (t.text == "*" || t.text == "&" || t.text == "(" ||
+               t.text == ")") {
+      continue;  // Decoration, not identity.
+    } else {
+      return std::string{};  // Arithmetic, literals, calls: not a name.
+    }
+  }
+  while (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+bool is_lock_tag(const std::string& name) {
+  return name == "std::defer_lock" || name == "defer_lock" ||
+         name == "std::adopt_lock" || name == "adopt_lock" ||
+         name == "std::try_to_lock" || name == "try_to_lock";
+}
+
+/// One guard in scope: the mutexes it holds plus where it was declared.
+struct ActiveGuard {
+  std::vector<std::size_t> mutexes;  ///< Indices into facts.guard_sites.
+  int depth = 0;                     ///< Brace depth of the declaration.
+};
+
+}  // namespace
+
+FileFacts extract_facts(const SourceFile& file) {
+  FileFacts facts;
+  facts.path = file.path();
+  const TokenScan& scan = file.tokens();
+  const std::vector<Token>& toks = scan.tokens;
+  facts.token_count = toks.size();
+
+  facts.includes.reserve(scan.includes.size());
+  for (const IncludeDirective& inc : scan.includes) {
+    facts.includes.push_back(IncludeSite{
+        inc.target, inc.line, inc.column, inc.angled,
+        file.suppressed("layering", inc.line)});
+  }
+
+  // Walk the token stream tracking which RAII guards are in scope.  A
+  // guard declared at brace depth d dies when the `}` closing depth d
+  // goes by; a guard constructed while others live yields held→new
+  // acquired-before edges.  std::scoped_lock's variadic arguments are
+  // one atomic acquisition: edges from what was already held into each
+  // of them, none among them.
+  std::vector<ActiveGuard> active;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.text == "}" && t.kind == TokKind::kPunct) {
+      while (!active.empty() && active.back().depth >= t.depth) {
+        active.pop_back();
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || !is_guard_type(t.text)) continue;
+    // Reject member access (`x.lock_guard`) but allow `std::` and bare.
+    if (i >= 1 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      j = skip_template_args(toks, j);
+    }
+    // Named variable or a temporary: `guard g(m);` / `guard{m};`.
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) ++j;
+    if (j >= toks.size() || (toks[j].text != "(" && toks[j].text != "{")) {
+      continue;
+    }
+    std::vector<ArgSlice> args;
+    const std::size_t past = split_args(toks, j, args);
+    if (past == j || args.empty()) continue;
+
+    bool deferred = false;
+    std::vector<std::size_t> group;  // guard_sites indices this guard holds.
+    for (const ArgSlice& arg : args) {
+      const std::string name = normalize_mutex(toks, arg);
+      if (name.empty()) continue;
+      if (is_lock_tag(name)) {
+        // defer_lock constructs without acquiring; the eventual .lock()
+        // is out of lexical reach, so the guard contributes nothing.
+        if (name == "std::defer_lock" || name == "defer_lock") {
+          deferred = true;
+        }
+        continue;
+      }
+      facts.guard_sites.push_back(GuardSite{
+          name, t.text, t.line, t.column,
+          file.suppressed("lock-order", t.line)});
+      group.push_back(facts.guard_sites.size() - 1);
+    }
+    if (deferred || group.empty()) {
+      i = past - 1;
+      continue;
+    }
+    for (const ActiveGuard& held : active) {
+      for (const std::size_t h : held.mutexes) {
+        const GuardSite& from = facts.guard_sites[h];
+        for (const std::size_t g : group) {
+          const GuardSite& to = facts.guard_sites[g];
+          if (from.mutex == to.mutex) continue;
+          facts.lock_edges.push_back(LockEdge{
+              from.mutex, to.mutex, from.line, from.column, to.line,
+              to.column, from.suppressed || to.suppressed});
+        }
+      }
+    }
+    active.push_back(ActiveGuard{std::move(group), t.depth});
+    i = past - 1;
+  }
+  return facts;
+}
+
+std::string repo_relative(const std::string& path) {
+  static constexpr std::array<std::string_view, 5> kRoots{
+      "src", "tools", "bench", "tests", "examples"};
+  std::size_t start = 0;
+  while (start < path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) slash = path.size();
+    const std::string_view component(path.data() + start, slash - start);
+    for (const std::string_view root : kRoots) {
+      if (component == root) return path.substr(start);
+    }
+    start = slash + 1;
+  }
+  return path;
+}
+
+}  // namespace rme::analyze

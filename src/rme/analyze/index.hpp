@@ -1,0 +1,111 @@
+#pragma once
+// rme::analyze — the cross-TU project index.
+//
+// Per-file rules see one SourceFile at a time; whole-project rules
+// (layering, lock-order) need facts from *every* file at once.  The
+// driver extracts a small, serializable FileFacts record from each
+// lexed file (in parallel — extraction is pure), assembles them into a
+// ProjectIndex sorted by path, and runs ProjectRules over the index
+// sequentially.  Because FileFacts is a plain value, it is also the
+// unit of the content-hash incremental cache (cache.hpp): a file whose
+// bytes did not change contributes yesterday's facts without re-lexing.
+//
+// Facts captured per file:
+//   * include directives (target, site, and whether a `layering`
+//     suppression covers the site);
+//   * RAII guard sites — every std::lock_guard / scoped_lock /
+//     unique_lock / shared_lock construction, with the normalized
+//     mutex expression it acquires;
+//   * acquired-before edges — guard B constructed while guard A is
+//     still in scope yields the edge A→B with both sites;
+//   * a per-rule suppression summary so cross-TU findings can be
+//     silenced at the site they cite.
+//
+// Mutex identity is lexical: the normalized argument expression
+// (`this->` stripped, `.`/`->` flattened to `.`), matched by name
+// across translation units.  That is deliberately coarse — same-named
+// members of unrelated classes alias — but edges only arise from
+// *nested* guards, so aliasing is harmless unless two unrelated
+// nestings also disagree on order, which the baseline workflow absorbs.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rme/analyze/finding.hpp"
+#include "rme/analyze/source.hpp"
+
+namespace rme::analyze {
+
+/// One #include directive plus its suppression status.
+struct IncludeSite {
+  std::string target;      ///< Path between the delimiters.
+  std::size_t line = 0;
+  std::size_t column = 0;
+  bool angled = false;
+  bool suppressed = false;  ///< `layering` allow covers this line.
+};
+
+/// One RAII guard construction acquiring one mutex.
+struct GuardSite {
+  std::string mutex;       ///< Normalized expression, e.g. "pool.mutex_".
+  std::string guard;       ///< lock_guard | scoped_lock | unique_lock | shared_lock
+  std::size_t line = 0;
+  std::size_t column = 0;
+  bool suppressed = false;  ///< `lock-order` allow covers this line.
+};
+
+/// Guard `to` constructed while guard `from` was still in scope.
+struct LockEdge {
+  std::string from;  ///< Mutex already held.
+  std::string to;    ///< Mutex acquired under it.
+  std::size_t from_line = 0, from_column = 0;
+  std::size_t to_line = 0, to_column = 0;
+  bool suppressed = false;  ///< Either endpoint's line is covered.
+};
+
+/// Everything the cross-TU rules need from one file.
+struct FileFacts {
+  std::string path;             ///< As scanned.
+  std::size_t token_count = 0;
+  std::vector<IncludeSite> includes;
+  std::vector<GuardSite> guard_sites;
+  std::vector<LockEdge> lock_edges;
+};
+
+/// Extracts facts from a lexed file.  Pure; safe to call in parallel.
+[[nodiscard]] FileFacts extract_facts(const SourceFile& file);
+
+/// The assembled project: facts for every scanned file, sorted by
+/// path so downstream analysis is independent of scan order.
+struct ProjectIndex {
+  std::vector<FileFacts> files;
+};
+
+/// A rule over the whole project rather than one file.  Findings must
+/// be emitted in a deterministic order (the index is pre-sorted).
+/// Inline suppression is the rule's own job — the per-site
+/// `suppressed` flags exist for exactly that — because the driver no
+/// longer holds the SourceFiles when project rules run.
+class ProjectRule {
+ public:
+  ProjectRule() = default;
+  ProjectRule(const ProjectRule&) = delete;
+  ProjectRule& operator=(const ProjectRule&) = delete;
+  virtual ~ProjectRule() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  virtual void check(const ProjectIndex& index,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// Strips everything up to the repository-root marker (`src/`,
+/// `tools/`, `bench/`, `tests/`, `examples/`) so absolute and relative
+/// invocations agree on file identity (baseline fingerprints, module
+/// mapping, DOT and SARIF output).  Paths containing no marker are
+/// returned unchanged.
+[[nodiscard]] std::string repo_relative(const std::string& path);
+
+}  // namespace rme::analyze

@@ -3,9 +3,13 @@
 // `signgam`, which TSan caught racing under the rme::exec pool — made
 // statically detectable.  Each banned function names its safe
 // replacement in the finding message.
+//
+// Token-stream port: a call is a banned identifier token directly
+// followed by `(`, optionally qualified `std::` / `::`.  Foreign
+// qualification (`other::rand`) does not flag, and `lgamma_r` is a
+// different identifier token altogether — no suffix games needed.
 
 #include <array>
-#include <regex>
 #include <string>
 
 #include "rme/analyze/rule.hpp"
@@ -18,8 +22,6 @@ struct Banned {
   const char* replacement;
 };
 
-// Longest-first where one name is a prefix of another (srand / rand)
-// so the alternation cannot stop early.
 constexpr std::array<Banned, 9> kBanned{{
     {"lgamma", "lgamma_r (writes the global signgam; races under the "
                "rme::exec pool — the PR 3 TSan bug)"},
@@ -35,6 +37,13 @@ constexpr std::array<Banned, 9> kBanned{{
                "concurrent getenv)"},
 }};
 
+const char* banned_replacement(const std::string& ident) {
+  for (const Banned& b : kBanned) {
+    if (ident == b.fn) return b.replacement;
+  }
+  return nullptr;
+}
+
 class BannedGlobalsRule final : public Rule {
  public:
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -47,31 +56,31 @@ class BannedGlobalsRule final : public Rule {
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {
-    // A call: the bare name (optionally std:: / :: qualified) followed
-    // by '('.  The leading class rejects identifier continuations
-    // (my_rand) and foreign qualification (other::rand); the suffix is
-    // protected because `lgamma_r(` leaves no '(' right after `lgamma`.
-    static const std::regex kCall(
-        R"((^|[^A-Za-z0-9_:])((?:std::|::)?)"
-        R"((lgamma|strtok|srand|rand|localtime|gmtime|asctime|strerror|setenv))\s*\()");
-    for (std::size_t line = 1; line <= file.line_count(); ++line) {
-      const std::string& code = file.code_line(line);
-      const auto begin = std::sregex_iterator(code.begin(), code.end(), kCall);
-      for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        const std::string fn = (*it)[3].str();
-        const char* replacement = "";
-        for (const Banned& b : kBanned) {
-          if (fn == b.fn) {
-            replacement = b.replacement;
-            break;
-          }
-        }
-        out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(2)) + 1,
-            "'" + fn + "' relies on process-global state and is not "
-                "thread-safe; use " + replacement});
+    const std::vector<Token>& toks = file.tokens().tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      const char* replacement = banned_replacement(t.text);
+      if (replacement == nullptr) continue;
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(" ||
+          toks[i + 1].line != t.line) {
+        continue;  // Not a call: lgamma_r is its own token, `rand;` no call.
       }
+      // Qualification: bare, `::name`, and `std::name` flag (column at
+      // the qualifier); `other::name` is a different function.
+      std::size_t column = t.column;
+      if (i >= 1 && toks[i - 1].text == "::") {
+        if (i >= 2 && toks[i - 2].kind == TokKind::kIdent) {
+          if (toks[i - 2].text != "std") continue;
+          column = toks[i - 2].column;
+        } else {
+          column = toks[i - 1].column;
+        }
+      }
+      out.push_back(Finding{
+          std::string(name()), file.path(), t.line, column,
+          "'" + t.text + "' relies on process-global state and is not "
+              "thread-safe; use " + replacement});
     }
   }
 };

@@ -14,10 +14,13 @@
 //      model input.
 //
 // Engine constructions inside src/rme/exec/ are exempt: that module
-// *is* the derive_seed path.
+// *is* the derive_seed path.  Token-stream port: matches identifier
+// tokens (so strings/comments are structurally invisible) and treats a
+// `derive_seed` identifier on the same line as proof of proper seeding.
 
-#include <regex>
+#include <array>
 #include <string>
+#include <string_view>
 
 #include "rme/analyze/rule.hpp"
 
@@ -26,6 +29,32 @@ namespace {
 
 bool in_exec_module(const std::string& path) {
   return path.find("src/rme/exec/") != std::string::npos;
+}
+
+constexpr std::array<std::string_view, 10> kEngines{
+    "mt19937_64",    "mt19937",  "minstd_rand0", "minstd_rand",
+    "ranlux24_base", "ranlux48_base", "ranlux24", "ranlux48",
+    "knuth_b",       "default_random_engine"};
+
+bool is_engine(const std::string& ident) {
+  for (const std::string_view e : kEngines) {
+    if (ident == e) return true;
+  }
+  return false;
+}
+
+bool is_wall_call(const std::string& ident) {
+  return ident == "time" || ident == "gettimeofday" || ident == "ftime";
+}
+
+/// Column of the `std::` qualifier when tokens i-2,i-1 are `std` `::`,
+/// else the identifier's own column.
+std::size_t qualified_column(const std::vector<Token>& toks, std::size_t i) {
+  if (i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std" &&
+      toks[i - 2].line == toks[i].line) {
+    return toks[i - 2].column;
+  }
+  return toks[i].column;
 }
 
 class DeterminismRule final : public Rule {
@@ -40,64 +69,70 @@ class DeterminismRule final : public Rule {
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {
-    static const std::regex kDevice(
-        R"((^|[^A-Za-z0-9_])((?:std::)?random_device)\b)");
-    static const std::regex kEngine(
-        R"((^|[^A-Za-z0-9_])((?:std::)?)"
-        R"((mt19937_64|mt19937|minstd_rand0|minstd_rand|ranlux24_base)"
-        R"(|ranlux48_base|ranlux24|ranlux48|knuth_b|default_random_engine))\b)");
-    static const std::regex kWallClock(
-        R"((^|[^A-Za-z0-9_])((?:std::chrono::)?system_clock)\b)");
-    static const std::regex kWallCall(
-        R"((^|[^A-Za-z0-9_.>])((?:std::|::)?(time|gettimeofday|ftime))\s*\()");
-
     const bool exec_exempt = in_exec_module(file.path());
-    for (std::size_t line = 1; line <= file.line_count(); ++line) {
-      const std::string& code = file.code_line(line);
+    const TokenScan& scan = file.tokens();
+    const std::vector<Token>& toks = scan.tokens;
 
-      for (auto it = std::sregex_iterator(code.begin(), code.end(), kDevice);
-           it != std::sregex_iterator(); ++it) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+
+      if (t.text == "random_device") {
         out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(2)) + 1,
+            std::string(name()), file.path(), t.line,
+            qualified_column(toks, i),
             "std::random_device is nondeterministic; seed from the sweep's "
             "base seed via rme::exec::derive_seed(base, task_index)"});
+        continue;
       }
 
-      if (!exec_exempt && code.find("derive_seed") == std::string::npos) {
-        for (auto it =
-                 std::sregex_iterator(code.begin(), code.end(), kEngine);
-             it != std::sregex_iterator(); ++it) {
-          const std::string engine = (*it)[3].str();
-          out.push_back(Finding{
-              std::string(name()), file.path(), line,
-              static_cast<std::size_t>(it->position(2)) + 1,
-              "raw '" + engine +
-                  "' construction creates an ad-hoc RNG stream; seed it "
-                  "with rme::exec::derive_seed(base, task_index) so "
-                  "parallel sweeps stay order-independent"});
-        }
+      if (!exec_exempt && is_engine(t.text) &&
+          !scan.line_has_ident(t.line, "derive_seed")) {
+        out.push_back(Finding{
+            std::string(name()), file.path(), t.line,
+            qualified_column(toks, i),
+            "raw '" + t.text +
+                "' construction creates an ad-hoc RNG stream; seed it "
+                "with rme::exec::derive_seed(base, task_index) so "
+                "parallel sweeps stay order-independent"});
+        continue;
       }
 
       if (!file.in_library()) continue;
-      for (auto it =
-               std::sregex_iterator(code.begin(), code.end(), kWallClock);
-           it != std::sregex_iterator(); ++it) {
+
+      if (t.text == "system_clock") {
+        // std::chrono::system_clock anchors the column at `std`.
+        std::size_t column = t.column;
+        if (i >= 4 && toks[i - 1].text == "::" &&
+            toks[i - 2].text == "chrono" && toks[i - 3].text == "::" &&
+            toks[i - 4].text == "std" && toks[i - 4].line == t.line) {
+          column = toks[i - 4].column;
+        }
         out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(2)) + 1,
+            std::string(name()), file.path(), t.line, column,
             "wall clock in library code makes results time-dependent; "
             "derive timestamps from the simulated trace (steady_clock is "
             "fine for host measurement)"});
+        continue;
       }
-      for (auto it =
-               std::sregex_iterator(code.begin(), code.end(), kWallCall);
-           it != std::sregex_iterator(); ++it) {
-        const std::string fn = (*it)[3].str();
+
+      if (is_wall_call(t.text) && i + 1 < toks.size() &&
+          toks[i + 1].text == "(" && toks[i + 1].line == t.line) {
+        // Member calls (`tracer.time(...)`) are someone else's method.
+        if (i >= 1 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+          continue;
+        }
+        std::size_t column = t.column;
+        if (i >= 1 && toks[i - 1].text == "::" && toks[i - 1].line == t.line) {
+          if (i >= 2 && toks[i - 2].kind == TokKind::kIdent) {
+            if (toks[i - 2].text == "std") column = toks[i - 2].column;
+          } else {
+            column = toks[i - 1].column;
+          }
+        }
         out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(2)) + 1,
-            "'" + fn +
+            std::string(name()), file.path(), t.line, column,
+            "'" + t.text +
                 "' reads the wall clock in library code; derive timestamps "
                 "from the simulated trace"});
       }

@@ -1,0 +1,97 @@
+// layering (cross-TU): the module dependency architecture, enforced.
+//
+// Two finding shapes:
+//
+//   * back-edge — a resolved project include whose (from-module,
+//     to-module) pair is outside the declared layer DAG
+//     (include_graph.hpp).  The finding sits on the include directive
+//     and names both modules plus the module's allowed set;
+//   * cycle — a strongly connected component of ≥2 files in the
+//     include graph.  One finding per cycle, anchored at the
+//     lexicographically smallest file's offending include, citing
+//     every member.
+//
+// Suppression: a `layering` allow on the include line silences the
+// back-edge; a cycle is silenced only when every edge inside the SCC
+// is suppressed (anything less and the cycle still exists).
+//
+// ROADMAP context: the planned rme::serve module must sit above report
+// and artifact without growing hidden upward edges — this rule is the
+// gate that keeps that graph honest before serve lands.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "rme/analyze/include_graph.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class LayeringRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "layering";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "include edge violates the declared module layer DAG, or "
+           "project headers form an include cycle";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    const IncludeGraph graph = build_include_graph(index);
+
+    for (const IncludeGraph::Edge& e : graph.edges) {
+      if (e.suppressed) continue;
+      const std::string& from_mod = graph.modules[e.from];
+      const std::string& to_mod = graph.modules[e.to];
+      if (from_mod.empty() || to_mod.empty()) continue;
+      if (layer_allows(from_mod, to_mod)) continue;
+      out.push_back(Finding{
+          std::string(name()), graph.files[e.from], e.line, e.column,
+          "module '" + from_mod + "' may not include '" +
+              graph.files[e.to] + "' (module '" + to_mod +
+              "'); declared dependencies of '" + from_mod + "': " +
+              allowed_list(from_mod)});
+    }
+
+    for (const std::vector<std::size_t>& scc : include_cycles(graph)) {
+      std::string members;
+      bool all_suppressed = true;
+      for (const std::size_t f : scc) {
+        if (!members.empty()) members += " -> ";
+        members += graph.files[f];
+      }
+      // Anchor at the smallest member's first edge that stays inside
+      // the SCC; a cycle is suppressed only when every internal edge is.
+      std::size_t line = 0, column = 0;
+      for (const IncludeGraph::Edge& e : graph.edges) {
+        const bool from_in =
+            std::binary_search(scc.begin(), scc.end(), e.from);
+        const bool to_in = std::binary_search(scc.begin(), scc.end(), e.to);
+        if (!from_in || !to_in) continue;
+        if (!e.suppressed) all_suppressed = false;
+        if (e.from == scc.front() && line == 0) {
+          line = e.line;
+          column = e.column;
+        }
+      }
+      if (all_suppressed) continue;
+      out.push_back(Finding{
+          std::string(name()), graph.files[scc.front()], line, column,
+          "include cycle: " + members +
+              "; break the cycle with a forward declaration or by "
+              "moving the shared type down a layer"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_layering_rule() {
+  return std::make_unique<LayeringRule>();
+}
+
+}  // namespace rme::analyze

@@ -7,9 +7,14 @@
 // containing "mutex"/"mtx" (any case) or conventionally mutex-named
 // (m, m_, mu, mu_).  unique_lock variables named `lock`/`guard`/`lk`
 // therefore keep their legitimate .unlock() calls.
+//
+// Token-stream port: the pattern is the token quad
+// `<receiver> .|-> lock|unlock|try_lock (` on one line.
+//
+// The cross-TU companion rule `lock-order` (rule_lock_order.cpp) checks
+// the *ordering* of the RAII guards this rule pushes code towards.
 
 #include <cctype>
-#include <regex>
 #include <string>
 
 #include "rme/analyze/rule.hpp"
@@ -29,6 +34,10 @@ bool mutex_named(const std::string& ident) {
   return lower == "m" || lower == "m_" || lower == "mu" || lower == "mu_";
 }
 
+bool lockish_method(const std::string& ident) {
+  return ident == "lock" || ident == "unlock" || ident == "try_lock";
+}
+
 class LockDisciplineRule final : public Rule {
  public:
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -41,23 +50,24 @@ class LockDisciplineRule final : public Rule {
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {
-    static const std::regex kCall(
-        R"((^|[^A-Za-z0-9_])([A-Za-z_][A-Za-z0-9_]*)\s*(\.|->)\s*)"
-        R"((try_lock|unlock|lock)\s*\()");
-    for (std::size_t line = 1; line <= file.line_count(); ++line) {
-      const std::string& code = file.code_line(line);
-      for (auto it = std::sregex_iterator(code.begin(), code.end(), kCall);
-           it != std::sregex_iterator(); ++it) {
-        const std::string receiver = (*it)[2].str();
-        const std::string method = (*it)[4].str();
-        if (!mutex_named(receiver)) continue;
-        out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(2)) + 1,
-            "manual ." + method + "() on mutex '" + receiver +
-                "' leaks the lock on exception paths; hold it through "
-                "std::lock_guard / std::unique_lock / std::scoped_lock"});
+    const std::vector<Token>& toks = file.tokens().tokens;
+    for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+      const Token& method = toks[i];
+      if (method.kind != TokKind::kIdent || !lockish_method(method.text)) {
+        continue;
       }
+      const Token& access = toks[i - 1];
+      const Token& receiver = toks[i - 2];
+      if (access.text != "." && access.text != "->") continue;
+      if (receiver.kind != TokKind::kIdent) continue;
+      if (toks[i + 1].text != "(" || toks[i + 1].line != method.line) continue;
+      if (receiver.line != method.line) continue;
+      if (!mutex_named(receiver.text)) continue;
+      out.push_back(Finding{
+          std::string(name()), file.path(), receiver.line, receiver.column,
+          "manual ." + method.text + "() on mutex '" + receiver.text +
+              "' leaks the lock on exception paths; hold it through "
+              "std::lock_guard / std::unique_lock / std::scoped_lock"});
     }
   }
 };

@@ -1,0 +1,170 @@
+// lock-order (cross-TU): inconsistent mutex acquisition order is the
+// classic two-thread deadlock — thread 1 holds A and wants B, thread 2
+// holds B and wants A.  Single-file rules cannot see it: the two
+// nestings usually live in different translation units.
+//
+// The fact extractor (index.cpp) records, per file, every RAII guard
+// site and every acquired-before edge (guard B constructed while
+// guard A's scope is still open ⇒ edge A→B).  This rule merges the
+// edges from all files into one project-wide acquired-before graph
+// over normalized mutex names and reports:
+//
+//   * order inversion — both A→B and B→A exist.  One finding per
+//     unordered mutex pair, citing both witness sites (file:line each
+//     way), anchored at the lexicographically first witness;
+//   * cycle — a strongly connected component of ≥3 mutexes with no
+//     direct inversion inside it (A→B→C→A).  Pairwise inversions are
+//     reported by the first shape; this catches the rest.
+//
+// Suppression: an edge is born suppressed when either endpoint's line
+// carries a `lock-order` allow; suppressed edges never witness a
+// finding.  std::scoped_lock's variadic form acquires atomically and
+// contributes no internal edges — it is also the fix this rule's
+// message recommends.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/include_graph.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+/// One witness of "held `from`, then acquired `to`".
+struct Witness {
+  std::string file;  ///< Repo-relative.
+  std::size_t from_line = 0, from_column = 0;
+  std::size_t to_line = 0, to_column = 0;
+};
+
+bool witness_before(const Witness& a, const Witness& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.to_line != b.to_line) return a.to_line < b.to_line;
+  return a.to_column < b.to_column;
+}
+
+std::string site(const Witness& w) {
+  return w.file + ":" + std::to_string(w.to_line);
+}
+
+class LockOrderRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lock-order";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "mutexes acquired in inconsistent order across the project "
+           "(deadlock risk); acquire in one global order or use "
+           "std::scoped_lock";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    // Merge per-file edges into ordered-pair → witnesses.  The map
+    // key order makes every downstream walk deterministic.
+    std::map<std::pair<std::string, std::string>, std::vector<Witness>>
+        edges;
+    for (const FileFacts& f : index.files) {
+      const std::string rel = repo_relative(f.path);
+      for (const LockEdge& e : f.lock_edges) {
+        if (e.suppressed) continue;
+        edges[{e.from, e.to}].push_back(Witness{
+            rel, e.from_line, e.from_column, e.to_line, e.to_column});
+      }
+    }
+    for (auto& [pair, ws] : edges) {
+      std::sort(ws.begin(), ws.end(), witness_before);
+    }
+
+    // Shape 1: direct inversions.  Visit each unordered pair once.
+    std::set<std::pair<std::string, std::string>> inverted;
+    for (const auto& [pair, ws] : edges) {
+      const auto& [a, b] = pair;
+      if (a >= b) continue;  // The (b, a) iteration handles the rest.
+      const auto rev = edges.find({b, a});
+      if (rev == edges.end()) continue;
+      inverted.insert(pair);
+      const Witness& fwd = ws.front();
+      const Witness& bwd = rev->second.front();
+      const Witness& anchor = witness_before(fwd, bwd) ? fwd : bwd;
+      out.push_back(Finding{
+          std::string(name()), anchor.file, anchor.to_line,
+          anchor.to_column,
+          "mutexes '" + a + "' and '" + b + "' are acquired in both "
+              "orders: '" + a + "' before '" + b + "' at " + site(fwd) +
+              ", '" + b + "' before '" + a + "' at " + site(bwd) +
+              "; pick one global order or acquire both with "
+              "std::scoped_lock"});
+    }
+
+    // Shape 2: longer cycles.  Tarjan over the mutex-name graph; SCCs
+    // of ≥3 whose members have no pairwise inversion already reported.
+    std::vector<std::string> names;
+    for (const auto& [pair, ws] : edges) {
+      names.push_back(pair.first);
+      names.push_back(pair.second);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    std::map<std::string, std::size_t> id;
+    for (std::size_t i = 0; i < names.size(); ++i) id[names[i]] = i;
+    std::vector<std::vector<std::size_t>> adj(names.size());
+    for (const auto& [pair, ws] : edges) {
+      adj[id[pair.first]].push_back(id[pair.second]);
+    }
+    for (const std::vector<std::size_t>& scc :
+         strongly_connected_components(adj)) {
+      if (scc.size() < 3) continue;
+      bool has_inversion = false;
+      for (std::size_t i = 0; i < scc.size() && !has_inversion; ++i) {
+        for (std::size_t j = i + 1; j < scc.size(); ++j) {
+          std::pair<std::string, std::string> key{names[scc[i]],
+                                                  names[scc[j]]};
+          if (key.first > key.second) std::swap(key.first, key.second);
+          if (inverted.count(key) != 0) {
+            has_inversion = true;
+            break;
+          }
+        }
+      }
+      if (has_inversion) continue;  // Already reported pairwise.
+      std::string ring;
+      Witness anchor;
+      bool have_anchor = false;
+      for (const std::size_t m : scc) {
+        if (!ring.empty()) ring += " -> ";
+        ring += "'" + names[m] + "'";
+        for (const std::size_t n : scc) {
+          const auto it = edges.find({names[m], names[n]});
+          if (it == edges.end()) continue;
+          const Witness& w = it->second.front();
+          if (!have_anchor || witness_before(w, anchor)) {
+            anchor = w;
+            have_anchor = true;
+          }
+        }
+      }
+      if (!have_anchor) continue;
+      out.push_back(Finding{
+          std::string(name()), anchor.file, anchor.to_line,
+          anchor.to_column,
+          "acquisition cycle across " + ring +
+              ": no global order exists, so three threads can "
+              "deadlock; impose a single order or acquire the set "
+              "with std::scoped_lock"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_lock_order_rule() {
+  return std::make_unique<LockOrderRule>();
+}
+
+}  // namespace rme::analyze

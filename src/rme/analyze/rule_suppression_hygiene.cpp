@@ -34,7 +34,9 @@ class SuppressionHygieneRule final : public Rule {
         continue;
       }
       for (const std::string& r : s.rules) {
-        if (r != "*" && find_rule(r) == nullptr) {
+        // Project rules (layering, lock-order) are legal targets too.
+        if (r != "*" && find_rule(r) == nullptr &&
+            find_project_rule(r) == nullptr) {
           out.push_back(Finding{
               std::string(name()), file.path(), s.line, 0,
               "suppression names unknown rule '" + r +

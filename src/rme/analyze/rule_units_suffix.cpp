@@ -1,17 +1,39 @@
 // units-suffix: a raw `double` whose name carries a unit suffix
 // (_seconds, _joules, _watts, ...) promises a dimension the type system
-// cannot check.  Port of the original tools/rme_lint rule onto the
-// masked source model: string literals and block comments no longer
-// defeat it, and translation units are scanned alongside headers (the
-// old tool covered headers only).
+// cannot check.  Ported onto the shared token stream (tokens.hpp): the
+// pattern is an adjacent `double` + identifier token pair on one line,
+// so string literals, comments, and pointer/reference declarators are
+// structurally invisible instead of regex-escaped.
 
-#include <regex>
+#include <array>
 #include <string>
+#include <string_view>
 
 #include "rme/analyze/rule.hpp"
 
 namespace rme::analyze {
 namespace {
+
+constexpr std::array<std::string_view, 8> kUnitSuffixes{
+    "_seconds", "_joules", "_watts",    "_volts",
+    "_amps",    "_hz",     "_per_flop", "_per_byte"};
+
+bool has_unit_suffix(const std::string& ident) {
+  for (const std::string_view suffix : kUnitSuffixes) {
+    // The suffix may be followed by a single trailing underscore (the
+    // member-variable convention): idle_watts and idle_watts_ both flag.
+    std::string_view tail(ident);
+    if (!tail.empty() && tail.back() == '_' &&
+        tail.size() > suffix.size()) {
+      tail.remove_suffix(1);
+    }
+    if (tail.size() > suffix.size() &&
+        tail.substr(tail.size() - suffix.size()) == suffix) {
+      return true;
+    }
+  }
+  return false;
+}
 
 class UnitsSuffixRule final : public Rule {
  public:
@@ -25,24 +47,19 @@ class UnitsSuffixRule final : public Rule {
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {
-    static const std::regex kPattern(
-        R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*)"
-        R"((?:_seconds|_joules|_watts|_volts|_amps|_hz|_per_flop|_per_byte)_?)\b)");
-    // Group 1 is the full identifier: the leading [A-Za-z0-9_]* backtracks
-    // until the alternation can claim the unit suffix.
-    for (std::size_t line = 1; line <= file.line_count(); ++line) {
-      const std::string& code = file.code_line(line);
-      const auto begin = std::sregex_iterator(code.begin(), code.end(),
-                                              kPattern);
-      for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(0)) + 1,
-            "raw double '" + (*it)[1].str() +
-                "' has a unit-suffixed name; use the typed quantity from "
-                "rme/core/units.hpp (Seconds, Joules, Watts, ...) and keep "
-                ".value() escape hatches inside numeric kernels"});
-      }
+    const std::vector<Token>& toks = file.tokens().tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || t.text != "double") continue;
+      const Token& next = toks[i + 1];
+      if (next.kind != TokKind::kIdent || next.line != t.line) continue;
+      if (!has_unit_suffix(next.text)) continue;
+      out.push_back(Finding{
+          std::string(name()), file.path(), t.line, t.column,
+          "raw double '" + next.text +
+              "' has a unit-suffixed name; use the typed quantity from "
+              "rme/core/units.hpp (Seconds, Joules, Watts, ...) and keep "
+              ".value() escape hatches inside numeric kernels"});
     }
   }
 };

@@ -4,10 +4,11 @@
 // unwraps leaks raw doubles straight into the API surface.  Findings
 // fire only in headers under src/rme/ — .cpp kernels stay free — and
 // rme/core/units.hpp itself is exempt, being the algebra's own
-// implementation.
+// implementation.  Token-stream port: the pattern is the token quad
+// `. value ( )`.
 
-#include <regex>
 #include <string>
+#include <string_view>
 
 #include "rme/analyze/rule.hpp"
 
@@ -34,18 +35,20 @@ class ValueEscapeRule final : public Rule {
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {
     if (!file.public_header() || is_units_header(file.path())) return;
-    static const std::regex kValue(R"(\.\s*value\s*\(\s*\))");
-    for (std::size_t line = 1; line <= file.line_count(); ++line) {
-      const std::string& code = file.code_line(line);
-      for (auto it = std::sregex_iterator(code.begin(), code.end(), kValue);
-           it != std::sregex_iterator(); ++it) {
-        out.push_back(Finding{
-            std::string(name()), file.path(), line,
-            static_cast<std::size_t>(it->position(0)) + 1,
-            ".value() in a public header leaks a raw double through the "
-            "API; move the unwrap into a .cpp numeric kernel or justify "
-            "it with a reasoned allow"});
+    const std::vector<Token>& toks = file.tokens().tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].text != "." || toks[i].kind != TokKind::kPunct) continue;
+      if (toks[i + 1].kind != TokKind::kIdent ||
+          toks[i + 1].text != "value") {
+        continue;
       }
+      if (toks[i + 2].text != "(" || toks[i + 3].text != ")") continue;
+      if (toks[i + 3].line != toks[i].line) continue;
+      out.push_back(Finding{
+          std::string(name()), file.path(), toks[i].line, toks[i].column,
+          ".value() in a public header leaks a raw double through the "
+          "API; move the unwrap into a .cpp numeric kernel or justify "
+          "it with a reasoned allow"});
     }
   }
 };

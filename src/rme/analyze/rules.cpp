@@ -23,11 +23,54 @@ const std::vector<const Rule*>& all_rules() {
   return view;
 }
 
+const std::vector<const ProjectRule*>& all_project_rules() {
+  static const std::vector<std::unique_ptr<ProjectRule>> owned = [] {
+    std::vector<std::unique_ptr<ProjectRule>> rules;
+    rules.push_back(make_layering_rule());
+    rules.push_back(make_lock_order_rule());
+    return rules;
+  }();
+  static const std::vector<const ProjectRule*> view = [] {
+    std::vector<const ProjectRule*> v;
+    v.reserve(owned.size());
+    for (const auto& r : owned) v.push_back(r.get());
+    return v;
+  }();
+  return view;
+}
+
 const Rule* find_rule(std::string_view name) {
   for (const Rule* r : all_rules()) {
     if (r->name() == name) return r;
   }
   return nullptr;
+}
+
+const ProjectRule* find_project_rule(std::string_view name) {
+  for (const ProjectRule* r : all_project_rules()) {
+    if (r->name() == name) return r;
+  }
+  return nullptr;
+}
+
+std::string_view rules_fingerprint() {
+  // kRevision is bumped by hand whenever any rule's logic or the fact
+  // extractor changes shape — names alone cannot see that, and a stale
+  // cache must not survive it.
+  static constexpr std::string_view kRevision = "rev2";
+  static const std::string fingerprint = [] {
+    std::string fp(kRevision);
+    for (const Rule* r : all_rules()) {
+      fp += '|';
+      fp += r->name();
+    }
+    for (const ProjectRule* r : all_project_rules()) {
+      fp += '|';
+      fp += r->name();
+    }
+    return fp;
+  }();
+  return fingerprint;
 }
 
 }  // namespace rme::analyze

@@ -2,14 +2,17 @@
 // rme::analyze — the rule registry.
 //
 // Rules live one-per-translation-unit under src/rme/analyze/; this
-// header names their factories and the registry that owns one instance
-// of each.  Registry order is presentation order in --list-rules and in
-// reports, so keep it stable.
+// header names their factories and the registries that own one
+// instance of each.  There are two kinds: per-file Rules (rule.hpp)
+// and whole-project ProjectRules (index.hpp).  Registry order is
+// presentation order in --list-rules and in reports, so keep it
+// stable.
 
 #include <memory>
 #include <string_view>
 #include <vector>
 
+#include "rme/analyze/index.hpp"
 #include "rme/analyze/rule.hpp"
 
 namespace rme::analyze {
@@ -22,10 +25,24 @@ namespace rme::analyze {
 [[nodiscard]] std::unique_ptr<Rule> make_unchecked_io_rule();
 [[nodiscard]] std::unique_ptr<Rule> make_suppression_hygiene_rule();
 
-/// All registered rules, constructed once, in registry order.
+[[nodiscard]] std::unique_ptr<ProjectRule> make_layering_rule();
+[[nodiscard]] std::unique_ptr<ProjectRule> make_lock_order_rule();
+
+/// All registered per-file rules, constructed once, in registry order.
 [[nodiscard]] const std::vector<const Rule*>& all_rules();
 
-/// Looks up a rule by name; nullptr when unknown.
+/// All registered project rules, constructed once, in registry order.
+[[nodiscard]] const std::vector<const ProjectRule*>& all_project_rules();
+
+/// Looks up a per-file rule by name; nullptr when unknown.
 [[nodiscard]] const Rule* find_rule(std::string_view name);
+
+/// Looks up a project rule by name; nullptr when unknown.
+[[nodiscard]] const ProjectRule* find_project_rule(std::string_view name);
+
+/// A stable fingerprint of the full rule registry (names of every
+/// per-file and project rule).  The incremental cache embeds it so a
+/// rule change invalidates cached facts and findings wholesale.
+[[nodiscard]] std::string_view rules_fingerprint();
 
 }  // namespace rme::analyze

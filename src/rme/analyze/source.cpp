@@ -250,15 +250,19 @@ SourceFile SourceFile::from_string(std::string path, std::string content) {
   const LexResult lexed = lex(content);
   f.raw_lines_ = split_lines(content);
   f.code_lines_ = split_lines(lexed.code);
+  f.scan_ = scan_tokens(f.code_lines_, f.raw_lines_);
   const std::vector<std::string> comment_lines = split_lines(lexed.comments);
 
   static const std::regex kAllow(R"(rme-lint:\s*allow\(([^)]*)\))");
   for (std::size_t i = 0; i < comment_lines.size(); ++i) {
     std::smatch m;
     if (!std::regex_search(comment_lines[i], m, kAllow)) continue;
-    const std::string& code = f.code_lines_[i];
+    // Guard the masked-line lookup: a final line without a trailing
+    // newline must still honor its directive even if the comment and
+    // code views ever disagree about the phantom last line.
     const bool whole_line =
-        code.find_first_not_of(" \t") == std::string::npos;
+        i >= f.code_lines_.size() ||
+        f.code_lines_[i].find_first_not_of(" \t") == std::string::npos;
     f.suppressions_.push_back(parse_directive(i + 1, whole_line, m[1].str()));
   }
   return f;

@@ -20,14 +20,17 @@
 //                     suppression-hygiene rule flags directives without
 //                     one, and malformed directives suppress nothing).
 //
-// Rules never re-tokenize: they see masked code through code_line() and
-// query suppressed() per finding.
+// Rules never re-tokenize: they see masked code through code_line(),
+// structured tokens and include directives through tokens() (the shared
+// token-stream layer, tokens.hpp), and query suppressed() per finding.
 
 #include <cstddef>
 #include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "rme/analyze/tokens.hpp"
 
 namespace rme::analyze {
 
@@ -75,6 +78,10 @@ class SourceFile {
   /// 1-based; comments and literal contents masked to spaces.
   [[nodiscard]] const std::string& code_line(std::size_t line) const;
 
+  /// The shared token stream: identifiers/numbers/punctuation with
+  /// line, column, and brace depth, plus parsed #include directives.
+  [[nodiscard]] const TokenScan& tokens() const noexcept { return scan_; }
+
   [[nodiscard]] const std::vector<Suppression>& suppressions() const noexcept {
     return suppressions_;
   }
@@ -89,6 +96,7 @@ class SourceFile {
   std::vector<std::string> raw_lines_;
   std::vector<std::string> code_lines_;
   std::vector<Suppression> suppressions_;
+  TokenScan scan_;
 };
 
 }  // namespace rme::analyze

@@ -1,0 +1,132 @@
+#include "rme/analyze/tokens.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace rme::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Two-char operators tokenized as one unit.  Only the ones rules
+/// inspect structurally; every other punctuation char stands alone.
+bool two_char_op(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+         (a == '<' && b == '<') || (a == '>' && b == '>');
+}
+
+}  // namespace
+
+std::size_t TokenScan::first_token_on_line(std::size_t line) const {
+  const auto it = std::lower_bound(
+      tokens.begin(), tokens.end(), line,
+      [](const Token& t, std::size_t l) { return t.line < l; });
+  return static_cast<std::size_t>(it - tokens.begin());
+}
+
+bool TokenScan::line_has_ident(std::size_t line,
+                               const std::string& ident) const {
+  for (std::size_t i = first_token_on_line(line);
+       i < tokens.size() && tokens[i].line == line; ++i) {
+    if (tokens[i].kind == TokKind::kIdent && tokens[i].text == ident) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TokenScan scan_tokens(const std::vector<std::string>& code_lines,
+                      const std::vector<std::string>& raw_lines) {
+  TokenScan scan;
+  int depth = 0;
+
+  // Matched against the *masked* line, so `// #include "x"` (masked to
+  // spaces) never registers; the target is then read from the raw line
+  // because masking blanks quoted paths (including the quotes, so the
+  // skeleton must not require a delimiter).
+  static const std::regex kIncludeSkeleton(R"(^\s*#\s*include\b)");
+  static const std::regex kIncludeTarget(
+      R"rx(^\s*#\s*include\s*(?:<([^>]*)>|"([^"]*)"))rx");
+
+  for (std::size_t li = 0; li < code_lines.size(); ++li) {
+    const std::string& code = code_lines[li];
+    const std::size_t line = li + 1;
+
+    if (std::regex_search(code, kIncludeSkeleton)) {
+      std::smatch m;
+      if (li < raw_lines.size() &&
+          std::regex_search(raw_lines[li], m, kIncludeTarget)) {
+        IncludeDirective inc;
+        inc.angled = m[1].matched;
+        inc.target = inc.angled ? m[1].str() : m[2].str();
+        inc.line = line;
+        inc.column = raw_lines[li].find('#') + 1;
+        scan.includes.push_back(std::move(inc));
+      }
+      continue;  // Preprocessor lines carry no code tokens for rules.
+    }
+
+    for (std::size_t i = 0; i < code.size();) {
+      const char c = code[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = line;
+      t.column = i + 1;
+      if (ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        t.kind = TokKind::kIdent;
+        t.text = code.substr(i, j - i);
+        t.depth = depth;
+        i = j;
+      } else if (digit(c)) {
+        // pp-number: digits, ident chars, '.', and masked-literal digit
+        // separators all glue into one token.
+        std::size_t j = i + 1;
+        while (j < code.size() &&
+               (ident_char(code[j]) || code[j] == '.' || code[j] == '\'')) {
+          ++j;
+        }
+        t.kind = TokKind::kNumber;
+        t.text = code.substr(i, j - i);
+        t.depth = depth;
+        i = j;
+      } else {
+        t.kind = TokKind::kPunct;
+        if (i + 1 < code.size() && two_char_op(c, code[i + 1])) {
+          t.text = code.substr(i, 2);
+          i += 2;
+        } else {
+          t.text = std::string(1, c);
+          i += 1;
+        }
+        if (t.text == "{") {
+          ++depth;
+          t.depth = depth;  // The depth this brace opens.
+        } else if (t.text == "}") {
+          t.depth = depth;  // The depth this brace closes.
+          depth = std::max(0, depth - 1);
+        } else {
+          t.depth = depth;
+        }
+      }
+      scan.tokens.push_back(std::move(t));
+    }
+  }
+  return scan;
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,78 @@
+#pragma once
+// rme::analyze — the shared token-stream layer on top of SourceFile
+// masking.
+//
+// The masked code view (source.hpp) already guarantees that comments
+// and literal contents are spaces; this layer lexes that view once per
+// file into a flat token stream so rules match *structure* instead of
+// re-running per-rule regexes over raw text:
+//
+//   * tokens      — identifiers, numbers, and punctuation with 1-based
+//                   line/column and the brace depth in effect at the
+//                   token.  Multi-char operators that rules care about
+//                   (`::`, `->`, `<<`, `>>`) are single tokens;
+//   * includes    — `#include` directives with the target path and
+//                   quote style.  The directive skeleton is recognised
+//                   on the masked view (so a commented-out include never
+//                   registers) while the target itself is read back
+//                   from the raw line, because string masking blanks
+//                   quoted paths;
+//   * brace depth — `{` tokens carry the depth they open, `}` tokens
+//                   the depth they close, every other token the depth
+//                   it lives at.  File scope is depth 0; namespaces
+//                   count like any other brace.
+//
+// SourceFile owns one TokenScan per file (SourceFile::tokens()), built
+// at lex time; rules and the cross-TU fact extractor (index.hpp) share
+// it and never re-tokenize.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rme::analyze {
+
+enum class TokKind {
+  kIdent,   ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,  ///< pp-number: digits plus trailing ident chars / separators
+  kPunct,   ///< everything else; `::` `->` `<<` `>>` are one token
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;    ///< 1-based.
+  std::size_t column = 0;  ///< 1-based.
+  int depth = 0;           ///< Brace depth in effect at this token.
+};
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string target;      ///< The path between the delimiters.
+  bool angled = false;     ///< `<...>` rather than `"..."`.
+  std::size_t line = 0;    ///< 1-based line of the directive.
+  std::size_t column = 0;  ///< 1-based column of the `#`.
+};
+
+/// The token stream of one file: flat token vector in source order plus
+/// the include directives.
+struct TokenScan {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+
+  /// Index of the first token on `line` (1-based) in `tokens`, or
+  /// tokens.size() when the line has none.  O(log n).
+  [[nodiscard]] std::size_t first_token_on_line(std::size_t line) const;
+
+  /// True when any identifier token on `line` equals `ident`.
+  [[nodiscard]] bool line_has_ident(std::size_t line,
+                                    const std::string& ident) const;
+};
+
+/// Lexes the masked code lines into a TokenScan; `raw_lines` supplies
+/// the unmasked text of include targets.  Both vectors must be the
+/// same length (SourceFile guarantees this).
+[[nodiscard]] TokenScan scan_tokens(const std::vector<std::string>& code_lines,
+                                    const std::vector<std::string>& raw_lines);
+
+}  // namespace rme::analyze

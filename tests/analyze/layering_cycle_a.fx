@@ -1,0 +1,9 @@
+// Include-cycle fixture, half 1: lexed as src/rme/core/cycle_a.hpp,
+// includes cycle_b which includes this file back.  Both edges stay
+// inside module core (self-dependency is always layer-legal), so the
+// only finding is the cycle itself.
+#pragma once
+
+#include "rme/core/cycle_b.hpp"
+
+struct CycleA {};

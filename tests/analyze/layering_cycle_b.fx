@@ -1,0 +1,6 @@
+// Include-cycle fixture, half 2: lexed as src/rme/core/cycle_b.hpp.
+#pragma once
+
+#include "rme/core/cycle_a.hpp"
+
+struct CycleB {};

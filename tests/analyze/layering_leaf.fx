@@ -1,0 +1,6 @@
+// Supporting fixture: a plain header lexed under whatever virtual
+// path a layering test needs as an include target (power/channel.hpp,
+// sim/noise.hpp, ...).  Includes nothing; never flags.
+#pragma once
+
+struct Leaf {};

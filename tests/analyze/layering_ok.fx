@@ -1,0 +1,8 @@
+// Negative fixture: lexed under the virtual path
+// src/rme/power/uses_sim.hpp.  power declares {core, sim, fit, exec,
+// obs}, so a sim include is a legal downward edge.
+#pragma once
+
+#include "rme/sim/noise.hpp"
+
+struct UsesSim {};

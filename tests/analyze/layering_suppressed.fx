@@ -1,0 +1,8 @@
+// Suppressed fixture: the same sim→power back-edge as
+// layering_violation.fx, excused by a reasoned layering allow on the
+// include line.
+#pragma once
+
+#include "rme/power/channel.hpp"  // rme-lint: allow(layering: transitional; splits into sim-side half in the next PR)
+
+struct UsesPowerExcused {};

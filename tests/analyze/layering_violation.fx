@@ -1,0 +1,8 @@
+// Positive fixture: lexed under the virtual path
+// src/rme/sim/uses_power.hpp.  sim's declared dependencies are {core}
+// only, so including a power header is a back-edge in the layer DAG.
+#pragma once
+
+#include "rme/power/channel.hpp"
+
+struct UsesPower {};

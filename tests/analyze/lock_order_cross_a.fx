@@ -1,0 +1,15 @@
+// Cross-TU inversion, half 1: pool_mutex_ is acquired before
+// queue_mutex_ here; lock_order_cross_b.fx acquires them the other way
+// round.  Neither file alone is wrong — only the project-wide merge
+// sees the deadlock.
+#include <mutex>
+
+struct Submitter {
+  std::mutex pool_mutex_;
+  std::mutex queue_mutex_;
+
+  void submit() {
+    std::lock_guard<std::mutex> pool(pool_mutex_);
+    std::lock_guard<std::mutex> queue(queue_mutex_);
+  }
+};

@@ -1,0 +1,14 @@
+// Cross-TU inversion, half 2: queue_mutex_ before pool_mutex_ — the
+// reverse of lock_order_cross_a.fx.  Mutex identity is matched by
+// normalized member name across translation units.
+#include <mutex>
+
+struct Drainer {
+  std::mutex pool_mutex_;
+  std::mutex queue_mutex_;
+
+  void drain() {
+    std::lock_guard<std::mutex> queue(queue_mutex_);
+    std::lock_guard<std::mutex> pool(pool_mutex_);
+  }
+};

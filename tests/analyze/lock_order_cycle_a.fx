@@ -1,0 +1,15 @@
+// Three-mutex acquisition cycle, edge 1 of 3: ring_a_ before ring_b_.
+// With lock_order_cycle_b.fx (b before c) and lock_order_cycle_c.fx
+// (c before a) no pair is directly inverted, yet no global order
+// exists — the rule must report the cycle through the SCC check.
+#include <mutex>
+
+struct StageOne {
+  std::mutex ring_a_;
+  std::mutex ring_b_;
+
+  void run() {
+    std::lock_guard<std::mutex> a(ring_a_);
+    std::lock_guard<std::mutex> b(ring_b_);
+  }
+};

@@ -1,0 +1,12 @@
+// Three-mutex acquisition cycle, edge 2 of 3: ring_b_ before ring_c_.
+#include <mutex>
+
+struct StageTwo {
+  std::mutex ring_b_;
+  std::mutex ring_c_;
+
+  void run() {
+    std::lock_guard<std::mutex> b(ring_b_);
+    std::lock_guard<std::mutex> c(ring_c_);
+  }
+};

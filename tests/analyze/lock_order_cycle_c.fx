@@ -1,0 +1,13 @@
+// Three-mutex acquisition cycle, edge 3 of 3: ring_c_ before ring_a_ —
+// closing the ring.
+#include <mutex>
+
+struct StageThree {
+  std::mutex ring_c_;
+  std::mutex ring_a_;
+
+  void run() {
+    std::lock_guard<std::mutex> c(ring_c_);
+    std::lock_guard<std::mutex> a(ring_a_);
+  }
+};

@@ -1,0 +1,19 @@
+// Positive fixture: the same two mutexes acquired in both orders in
+// one translation unit.  The lock-order rule must report exactly one
+// inversion for the pair, citing both witness sites.
+#include <mutex>
+
+struct Inverted {
+  std::mutex a_mutex;
+  std::mutex b_mutex;
+
+  void first() {
+    std::lock_guard<std::mutex> ga(a_mutex);
+    std::lock_guard<std::mutex> gb(b_mutex);
+  }
+
+  void second() {
+    std::lock_guard<std::mutex> gb(b_mutex);
+    std::lock_guard<std::mutex> ga(a_mutex);
+  }
+};

@@ -1,0 +1,30 @@
+// Negative fixture: nested acquisition is fine as long as every
+// nesting agrees on the order (a_mutex strictly before b_mutex), and
+// guards whose scopes never overlap contribute no edges at all.
+#include <mutex>
+
+struct Consistent {
+  std::mutex a_mutex;
+  std::mutex b_mutex;
+
+  void first() {
+    std::lock_guard<std::mutex> ga(a_mutex);
+    std::lock_guard<std::mutex> gb(b_mutex);
+  }
+
+  void second() {
+    std::lock_guard<std::mutex> ga(a_mutex);
+    {
+      std::lock_guard<std::mutex> gb(b_mutex);
+    }
+  }
+
+  void sequential() {
+    {
+      std::lock_guard<std::mutex> gb(b_mutex);
+    }
+    {
+      std::lock_guard<std::mutex> ga(a_mutex);
+    }
+  }
+};

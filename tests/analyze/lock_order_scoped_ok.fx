@@ -1,0 +1,24 @@
+// Negative fixture: std::scoped_lock's variadic form acquires its
+// whole argument list atomically (internally deadlock-avoiding), so
+// two call sites listing the mutexes in different textual orders are
+// NOT an inversion.  A defer_lock guard acquires nothing at its
+// construction site and must contribute no edges either.
+#include <mutex>
+
+struct Atomic {
+  std::mutex a_mutex;
+  std::mutex b_mutex;
+
+  void one_order() {
+    std::scoped_lock guard(a_mutex, b_mutex);
+  }
+
+  void other_order() {
+    std::scoped_lock guard(b_mutex, a_mutex);
+  }
+
+  void deferred() {
+    std::unique_lock<std::mutex> lk(b_mutex, std::defer_lock);
+    std::lock_guard<std::mutex> ga(a_mutex);
+  }
+};

@@ -1,0 +1,21 @@
+// Suppressed fixture: the same inversion as lock_order_inversion.fx,
+// but the reversed acquisition carries a reasoned lock-order allow —
+// an edge is suppressed when either of its endpoints' lines is
+// covered, so the pair never reports.
+#include <mutex>
+
+struct Excused {
+  std::mutex a_mutex;
+  std::mutex b_mutex;
+
+  void first() {
+    std::lock_guard<std::mutex> ga(a_mutex);
+    std::lock_guard<std::mutex> gb(b_mutex);
+  }
+
+  void second() {
+    std::lock_guard<std::mutex> gb(b_mutex);
+    // rme-lint: allow(lock-order: shutdown path; first() can no longer run once second() is reachable)
+    std::lock_guard<std::mutex> ga(a_mutex);
+  }
+};

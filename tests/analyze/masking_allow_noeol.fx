@@ -1,0 +1,4 @@
+// Regression fixture for the final-line masking edge case: the
+// trailing allow directive below sits on the LAST line of a file that
+// ends without a newline.  It must still suppress its own line.
+double idle_watts = 0.0;  // rme-lint: allow(units-suffix: legacy fixture value, no Quantity yet)

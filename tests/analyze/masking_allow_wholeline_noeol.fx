@@ -1,0 +1,6 @@
+// Regression fixture: a comment-only (whole-line) allow directive
+// immediately before the final line of a file that ends without a
+// newline.  whole_line detection reads the directive line itself from
+// code_lines_ -- the bounds-guarded lookup must not mis-classify here.
+// rme-lint: allow(units-suffix: legacy fixture value, no Quantity yet)
+double idle_watts = 0.0;

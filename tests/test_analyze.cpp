@@ -12,12 +12,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "rme/analyze/baseline.hpp"
+#include "rme/analyze/cache.hpp"
+#include "rme/analyze/include_graph.hpp"
+#include "rme/analyze/index.hpp"
 #include "rme/analyze/rules.hpp"
 #include "rme/analyze/source.hpp"
 
@@ -352,6 +358,631 @@ TEST(AllRules, PositiveFixturesOnlyFireTheirOwnRule) {
        run_fixture("banned_globals_flag.fx", "src/rme/fit/fixture.cpp")) {
     EXPECT_EQ(f.rule, "banned-globals") << f.message;
   }
+}
+
+// --- token stream -----------------------------------------------------------
+
+TEST(Tokens, LexesIdentifiersNumbersAndOperators) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp", "int value = 1'000;  // comment\nstd::mutex* p = &mu_;\n");
+  const std::vector<Token>& toks = f.tokens().tokens;
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].column, 1u);
+  EXPECT_EQ(toks[2].text, "=");
+  // The masked digit separator glues into one pp-number token.
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  // `::` and `->` are single tokens; comment text never tokenizes.
+  EXPECT_TRUE(f.tokens().line_has_ident(2, "std"));
+  EXPECT_FALSE(f.tokens().line_has_ident(1, "comment"));
+  bool saw_scope = false;
+  for (const Token& t : toks) {
+    if (t.text == "::") saw_scope = true;
+  }
+  EXPECT_TRUE(saw_scope);
+}
+
+TEST(Tokens, BraceDepthOpensAndCloses) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp", "void fn() {\n  int inner = 0;\n}\nint outer = 0;\n");
+  for (const Token& t : f.tokens().tokens) {
+    if (t.text == "inner") {
+      EXPECT_EQ(t.depth, 1);
+    } else if (t.text == "outer") {
+      EXPECT_EQ(t.depth, 0);
+    } else if (t.text == "{" || t.text == "}") {
+      // `{` carries the depth it opens, `}` the depth it closes.
+      EXPECT_EQ(t.depth, 1);
+    }
+  }
+}
+
+TEST(Tokens, IncludeDirectivesParsedCommentedOnesIgnored) {
+  const SourceFile f = SourceFile::from_string(
+      "x.cpp",
+      "#include \"rme/core/units.hpp\"\n"
+      "#include <vector>\n"
+      "// #include \"rme/power/channel.hpp\"\n"
+      "  #  include \"spaced/form.hpp\"\n");
+  const std::vector<IncludeDirective>& incs = f.tokens().includes;
+  ASSERT_EQ(incs.size(), 3u);
+  EXPECT_EQ(incs[0].target, "rme/core/units.hpp");
+  EXPECT_FALSE(incs[0].angled);
+  EXPECT_EQ(incs[0].line, 1u);
+  EXPECT_EQ(incs[1].target, "vector");
+  EXPECT_TRUE(incs[1].angled);
+  EXPECT_EQ(incs[2].target, "spaced/form.hpp");
+  EXPECT_EQ(incs[2].column, 3u);  // Column of the '#'.
+  // Include lines contribute no code tokens.
+  EXPECT_FALSE(f.tokens().line_has_ident(1, "include"));
+}
+
+// --- paths and modules ------------------------------------------------------
+
+TEST(IncludeGraphModel, RepoRelativeStripsInvocationPrefixes) {
+  EXPECT_EQ(repo_relative("/root/repo/src/rme/core/a.hpp"),
+            "src/rme/core/a.hpp");
+  EXPECT_EQ(repo_relative("src/rme/core/a.hpp"), "src/rme/core/a.hpp");
+  EXPECT_EQ(repo_relative("../repo/tools/rme_cli.cpp"), "tools/rme_cli.cpp");
+  EXPECT_EQ(repo_relative("no/marker/here.hpp"), "no/marker/here.hpp");
+}
+
+TEST(IncludeGraphModel, ModuleOfMapsTheTree) {
+  EXPECT_EQ(module_of("src/rme/core/machine.hpp"), "core");
+  EXPECT_EQ(module_of("src/rme/analyze/rules.cpp"), "analyze");
+  EXPECT_EQ(module_of("src/rme/rme.hpp"), "rme");
+  EXPECT_EQ(module_of("tools/rme_analyze.cpp"), "tools");
+  EXPECT_EQ(module_of("tests/test_analyze.cpp"), "tests");
+  EXPECT_EQ(module_of("bench/bench_common.hpp"), "bench");
+  EXPECT_EQ(module_of("somewhere/else.hpp"), "");
+}
+
+TEST(IncludeGraphModel, LayerDagSpotChecks) {
+  // Leaves depend on nothing; everything may use itself.
+  EXPECT_TRUE(layer_allows("core", "core"));
+  EXPECT_FALSE(layer_allows("core", "sim"));
+  EXPECT_FALSE(layer_allows("sim", "power"));   // The classic back-edge.
+  EXPECT_TRUE(layer_allows("power", "sim"));
+  EXPECT_TRUE(layer_allows("analyze", "exec"));
+  EXPECT_FALSE(layer_allows("analyze", "core"));
+  EXPECT_TRUE(layer_allows("tools", "power"));  // Top layer: unconstrained.
+  EXPECT_TRUE(layer_allows("rme", "artifact"));
+  EXPECT_EQ(allowed_list("core"), "nothing");
+  EXPECT_EQ(allowed_list("sim"), "core");
+  EXPECT_EQ(allowed_list("tools"), "*");
+}
+
+// --- fact extraction --------------------------------------------------------
+
+TEST(ExtractFacts, RecordsGuardSitesAndNestingEdges) {
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/exec/x.cpp",
+      "#include <mutex>\n"
+      "void fn(std::mutex& a_mutex, std::mutex& b_mutex) {\n"
+      "  std::lock_guard<std::mutex> ga(a_mutex);\n"
+      "  std::lock_guard<std::mutex> gb(b_mutex);\n"
+      "}\n");
+  const FileFacts facts = extract_facts(f);
+  ASSERT_EQ(facts.guard_sites.size(), 2u);
+  EXPECT_EQ(facts.guard_sites[0].mutex, "a_mutex");
+  EXPECT_EQ(facts.guard_sites[0].guard, "lock_guard");
+  EXPECT_EQ(facts.guard_sites[0].line, 3u);
+  ASSERT_EQ(facts.lock_edges.size(), 1u);
+  EXPECT_EQ(facts.lock_edges[0].from, "a_mutex");
+  EXPECT_EQ(facts.lock_edges[0].to, "b_mutex");
+}
+
+TEST(ExtractFacts, ScopeEndsAtClosingBrace) {
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/exec/x.cpp",
+      "#include <mutex>\n"
+      "void fn(std::mutex& a_mutex, std::mutex& b_mutex) {\n"
+      "  { std::lock_guard<std::mutex> ga(a_mutex); }\n"
+      "  std::lock_guard<std::mutex> gb(b_mutex);\n"
+      "}\n");
+  EXPECT_TRUE(extract_facts(f).lock_edges.empty());
+}
+
+TEST(ExtractFacts, NormalizesThisAndArrows) {
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/exec/x.cpp",
+      "void T::fn() {\n"
+      "  std::lock_guard<std::mutex> g1(this->state_.mutex_);\n"
+      "  std::lock_guard<std::mutex> g2(peer->mutex_);\n"
+      "}\n");
+  const FileFacts facts = extract_facts(f);
+  ASSERT_EQ(facts.guard_sites.size(), 2u);
+  EXPECT_EQ(facts.guard_sites[0].mutex, "state_.mutex_");
+  EXPECT_EQ(facts.guard_sites[1].mutex, "peer.mutex_");
+}
+
+TEST(ExtractFacts, ScopedLockGroupHasNoInternalEdges) {
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/exec/x.cpp",
+      "void fn(std::mutex& a, std::mutex& b) {\n"
+      "  std::scoped_lock guard(a, b);\n"
+      "}\n");
+  const FileFacts facts = extract_facts(f);
+  EXPECT_EQ(facts.guard_sites.size(), 2u);
+  EXPECT_TRUE(facts.lock_edges.empty());
+}
+
+TEST(ExtractFacts, IncludesCarrySuppressionState) {
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/sim/x.hpp",
+      "#include \"rme/power/a.hpp\"\n"
+      "#include \"rme/power/b.hpp\"  // rme-lint: allow(layering: testing)\n");
+  const FileFacts facts = extract_facts(f);
+  ASSERT_EQ(facts.includes.size(), 2u);
+  EXPECT_FALSE(facts.includes[0].suppressed);
+  EXPECT_TRUE(facts.includes[1].suppressed);
+}
+
+// --- project rules: helpers -------------------------------------------------
+
+/// Builds a ProjectIndex by lexing fixture files under virtual paths.
+ProjectIndex index_of(
+    const std::vector<std::pair<std::string, std::string>>& fx_and_path) {
+  ProjectIndex index;
+  for (const auto& [fx, vpath] : fx_and_path) {
+    index.files.push_back(
+        extract_facts(SourceFile::from_string(vpath, fixture(fx))));
+  }
+  std::sort(index.files.begin(), index.files.end(),
+            [](const FileFacts& a, const FileFacts& b) {
+              return a.path < b.path;
+            });
+  return index;
+}
+
+std::vector<Finding> run_project_rule(const ProjectIndex& index,
+                                      const std::string& rule_name) {
+  const ProjectRule* rule = find_project_rule(rule_name);
+  EXPECT_NE(rule, nullptr) << rule_name;
+  std::vector<Finding> out;
+  if (rule != nullptr) rule->check(index, out);
+  return out;
+}
+
+// --- lock-order -------------------------------------------------------------
+
+TEST(LockOrder, FlagsSameFileInversionOncePerPair) {
+  const auto findings = run_project_rule(
+      index_of({{"lock_order_inversion.fx", "src/rme/exec/inverted.cpp"}}),
+      "lock-order");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  EXPECT_EQ(findings[0].file, "src/rme/exec/inverted.cpp");
+  EXPECT_NE(findings[0].message.find("both orders"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("a_mutex"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("b_mutex"), std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderAndDisjointScopesStayQuiet) {
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"lock_order_ok.fx", "src/rme/exec/ok.cpp"}}),
+                  "lock-order")
+                  .empty());
+}
+
+TEST(LockOrder, ScopedLockAndDeferLockStayQuiet) {
+  EXPECT_TRUE(
+      run_project_rule(
+          index_of({{"lock_order_scoped_ok.fx", "src/rme/exec/scoped.cpp"}}),
+          "lock-order")
+          .empty());
+}
+
+TEST(LockOrder, FlagsCrossTuInversion) {
+  const auto findings = run_project_rule(
+      index_of({{"lock_order_cross_a.fx", "src/rme/exec/submit.cpp"},
+                {"lock_order_cross_b.fx", "src/rme/fit/drain.cpp"}}),
+      "lock-order");
+  ASSERT_EQ(findings.size(), 1u);
+  // Both witness sites are cited, one per translation unit.
+  EXPECT_NE(findings[0].message.find("src/rme/exec/submit.cpp"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/rme/fit/drain.cpp"),
+            std::string::npos);
+  // Neither half alone has anything to report.
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"lock_order_cross_a.fx",
+                             "src/rme/exec/submit.cpp"}}),
+                  "lock-order")
+                  .empty());
+}
+
+TEST(LockOrder, FlagsThreeMutexCycleAcrossThreeTus) {
+  const auto findings = run_project_rule(
+      index_of({{"lock_order_cycle_a.fx", "src/rme/exec/stage1.cpp"},
+                {"lock_order_cycle_b.fx", "src/rme/exec/stage2.cpp"},
+                {"lock_order_cycle_c.fx", "src/rme/exec/stage3.cpp"}}),
+      "lock-order");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("acquisition cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("ring_a_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("ring_b_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("ring_c_"), std::string::npos);
+}
+
+TEST(LockOrder, ReasonedAllowSuppressesTheEdge) {
+  EXPECT_TRUE(
+      run_project_rule(
+          index_of(
+              {{"lock_order_suppressed.fx", "src/rme/exec/excused.cpp"}}),
+          "lock-order")
+          .empty());
+}
+
+// --- layering ---------------------------------------------------------------
+
+TEST(Layering, FlagsBackEdgeWithModuleAndAllowedSet) {
+  const auto findings = run_project_rule(
+      index_of({{"layering_violation.fx", "src/rme/sim/uses_power.hpp"},
+                {"layering_leaf.fx", "src/rme/power/channel.hpp"}}),
+      "layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/rme/sim/uses_power.hpp");
+  EXPECT_EQ(findings[0].line, 6u);
+  EXPECT_NE(findings[0].message.find("module 'sim'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("declared dependencies of 'sim': core"),
+            std::string::npos);
+}
+
+TEST(Layering, DownwardEdgeIsQuiet) {
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"layering_ok.fx", "src/rme/power/uses_sim.hpp"},
+                            {"layering_leaf.fx", "src/rme/sim/noise.hpp"}}),
+                  "layering")
+                  .empty());
+}
+
+TEST(Layering, ReasonedAllowSuppressesTheBackEdge) {
+  EXPECT_TRUE(
+      run_project_rule(
+          index_of(
+              {{"layering_suppressed.fx", "src/rme/sim/uses_power.hpp"},
+               {"layering_leaf.fx", "src/rme/power/channel.hpp"}}),
+          "layering")
+          .empty());
+}
+
+TEST(Layering, FlagsIncludeCycle) {
+  const auto findings = run_project_rule(
+      index_of({{"layering_cycle_a.fx", "src/rme/core/cycle_a.hpp"},
+                {"layering_cycle_b.fx", "src/rme/core/cycle_b.hpp"}}),
+      "layering");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/rme/core/cycle_a.hpp"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/rme/core/cycle_b.hpp"),
+            std::string::npos);
+}
+
+TEST(Layering, UnresolvedAndAngledIncludesAreIgnored) {
+  // <mutex> and an include of a file outside the scanned set must not
+  // produce edges (the graph covers the project only).
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/core/x.hpp",
+      "#include <mutex>\n#include \"rme/nowhere/gone.hpp\"\n");
+  ProjectIndex index;
+  index.files.push_back(extract_facts(f));
+  EXPECT_TRUE(run_project_rule(index, "layering").empty());
+  EXPECT_TRUE(build_include_graph(index).edges.empty());
+}
+
+TEST(Layering, DotExportMarksViolations) {
+  const IncludeGraph graph = build_include_graph(
+      index_of({{"layering_violation.fx", "src/rme/sim/uses_power.hpp"},
+                {"layering_leaf.fx", "src/rme/power/channel.hpp"}}));
+  const std::string dot = write_dot(graph);
+  EXPECT_NE(dot.find("digraph rme_includes"), std::string::npos);
+  EXPECT_NE(dot.find("\"sim\" -> \"power\""), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+// --- cache ------------------------------------------------------------------
+
+TEST(Cache, RoundTripsFactsAndFindings) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "rme_analyze_cache_rt.txt";
+  AnalysisCache cache;
+  CacheEntry entry;
+  entry.hash = fnv1a64("content");
+  entry.facts.path = "src/rme/exec/x.cpp";
+  entry.facts.token_count = 42;
+  entry.facts.includes.push_back(
+      IncludeSite{"rme/core/units.hpp", 3, 1, false, false});
+  entry.facts.guard_sites.push_back(
+      GuardSite{"a_mutex", "lock_guard", 7, 3, false});
+  entry.facts.lock_edges.push_back(
+      LockEdge{"a_mutex", "b_mutex", 7, 3, 8, 3, false});
+  entry.findings.push_back(Finding{"banned-globals", "src/rme/exec/x.cpp",
+                                   9, 5, "multi word message\nwith newline"});
+  cache.store("src/rme/exec/x.cpp", entry);
+  ASSERT_TRUE(cache.save(path));
+
+  const AnalysisCache loaded = AnalysisCache::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  const CacheEntry* hit =
+      loaded.lookup("src/rme/exec/x.cpp", fnv1a64("content"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->facts.token_count, 42u);
+  ASSERT_EQ(hit->facts.includes.size(), 1u);
+  EXPECT_EQ(hit->facts.includes[0].target, "rme/core/units.hpp");
+  ASSERT_EQ(hit->facts.lock_edges.size(), 1u);
+  EXPECT_EQ(hit->facts.lock_edges[0].to, "b_mutex");
+  ASSERT_EQ(hit->findings.size(), 1u);
+  EXPECT_EQ(hit->findings[0].message, "multi word message\nwith newline");
+  // A changed hash is a miss, not a stale hit.
+  EXPECT_EQ(loaded.lookup("src/rme/exec/x.cpp", fnv1a64("changed")), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(Cache, CorruptOrMismatchedFilesLoadEmpty) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "rme_analyze_cache_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "rme-analyze-cache v1\nfingerprint something-else\n";
+  }
+  EXPECT_EQ(AnalysisCache::load(path).size(), 0u);
+  {
+    std::ofstream out(path);
+    out << "not a cache at all\n";
+  }
+  EXPECT_EQ(AnalysisCache::load(path).size(), 0u);
+  EXPECT_EQ(AnalysisCache::load("/no/such/dir/cache.txt").size(), 0u);
+  std::filesystem::remove(path);
+}
+
+// --- baseline ---------------------------------------------------------------
+
+TEST(Baseline, FingerprintSurvivesLineDrift) {
+  const Finding at_10{"layering", "src/rme/sim/a.hpp", 10, 1, "same msg"};
+  const Finding at_99{"layering", "/abs/src/rme/sim/a.hpp", 99, 7,
+                      "same msg"};
+  // Same rule+file+message → same fingerprint despite line/col/prefix.
+  EXPECT_EQ(finding_fingerprint(at_10, 0), finding_fingerprint(at_99, 0));
+  EXPECT_NE(finding_fingerprint(at_10, 0), finding_fingerprint(at_10, 1));
+}
+
+TEST(Baseline, RenderFilterRoundTrip) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "rme_analyze_baseline.txt";
+  std::vector<Finding> findings{
+      {"layering", "src/rme/sim/a.hpp", 6, 1, "back edge"},
+      {"lock-order", "src/rme/exec/b.cpp", 9, 3, "inversion"},
+  };
+  {
+    std::ofstream out(path);
+    out << Baseline::render(findings);
+  }
+  std::string error;
+  const Baseline baseline = Baseline::load(path, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(baseline.size(), 2u);
+
+  std::size_t baselined = 0;
+  // Both baselined findings vanish; a new one survives.
+  findings.push_back(
+      {"layering", "src/rme/sim/c.hpp", 2, 1, "fresh back edge"});
+  const std::vector<Finding> kept =
+      baseline.filter(std::move(findings), &baselined);
+  EXPECT_EQ(baselined, 2u);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].file, "src/rme/sim/c.hpp");
+  std::filesystem::remove(path);
+}
+
+TEST(Baseline, MalformedEntryReportsAndAdmitsNothing) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "rme_analyze_baseline_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment is fine\nnot-a-fingerprint\n";
+  }
+  std::string error;
+  const Baseline baseline = Baseline::load(path, &error);
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  EXPECT_EQ(baseline.size(), 0u);
+  std::filesystem::remove(path);
+}
+
+// --- masking: final line without trailing newline ---------------------------
+
+TEST(MaskingNoEol, TrailingAllowOnFinalUnterminatedLineIsHonored) {
+  EXPECT_TRUE(run_fixture("masking_allow_noeol.fx",
+                          "src/rme/core/fixture.cpp", "units-suffix")
+                  .empty());
+  // Control: the same declaration without the allow does flag.
+  const SourceFile control = SourceFile::from_string(
+      "src/rme/core/fixture.cpp", "double idle_watts = 0.0;");
+  EXPECT_EQ(run_rules(control, select_rules({"units-suffix"})).size(), 1u);
+}
+
+TEST(MaskingNoEol, WholeLineAllowBeforeFinalUnterminatedLineIsHonored) {
+  EXPECT_TRUE(run_fixture("masking_allow_wholeline_noeol.fx",
+                          "src/rme/core/fixture.cpp", "units-suffix")
+                  .empty());
+  // And a whole-line directive as the very last line of an
+  // unterminated file must not crash the bounds-guarded lookup.
+  const SourceFile f = SourceFile::from_string(
+      "src/rme/core/fixture.cpp",
+      "int x = 0;\n// rme-lint: allow(units-suffix: covers nothing)");
+  EXPECT_EQ(f.suppressions().size(), 1u);
+}
+
+// --- project registry and pipeline ------------------------------------------
+
+TEST(ProjectRegistry, ProjectRulesAreRegisteredAndFindable) {
+  EXPECT_GE(all_project_rules().size(), 2u);
+  EXPECT_NE(find_project_rule("layering"), nullptr);
+  EXPECT_NE(find_project_rule("lock-order"), nullptr);
+  EXPECT_EQ(find_project_rule("no-such-rule"), nullptr);
+  // The registry fingerprint covers both kinds of rules.
+  EXPECT_NE(rules_fingerprint().find("layering"), std::string::npos);
+  EXPECT_NE(rules_fingerprint().find("units-suffix"), std::string::npos);
+}
+
+TEST(ProjectRegistry, SelectAllRulesSplitsByKind) {
+  std::vector<const Rule*> rules;
+  std::vector<const ProjectRule*> project_rules;
+  select_all_rules({"banned-globals", "lock-order"}, rules, project_rules);
+  ASSERT_EQ(rules.size(), 1u);
+  ASSERT_EQ(project_rules.size(), 1u);
+  EXPECT_EQ(rules[0]->name(), "banned-globals");
+  EXPECT_EQ(project_rules[0]->name(), "lock-order");
+  rules.clear();
+  project_rules.clear();
+  EXPECT_THROW(select_all_rules({"bogus"}, rules, project_rules),
+               std::invalid_argument);
+}
+
+namespace fs = std::filesystem;
+
+/// Writes a small analyzable tree under a temp directory: one clean
+/// file, one banned-globals violation, one cross-file lock inversion.
+fs::path write_temp_tree() {
+  const fs::path root =
+      fs::temp_directory_path() / "rme_analyze_project_tree" / "src" / "rme" /
+      "exec";
+  fs::create_directories(root);
+  std::ofstream(root / "clean.cpp")
+      << "int answer() { return 42; }\n";
+  std::ofstream(root / "banned.cpp")
+      << "#include <cmath>\n"
+         "double g(double x) { return lgamma(x); }\n";
+  std::ofstream(root / "order_a.cpp")
+      << "#include <mutex>\n"
+         "void a(std::mutex& first_mutex, std::mutex& second_mutex) {\n"
+         "  std::lock_guard<std::mutex> g1(first_mutex);\n"
+         "  std::lock_guard<std::mutex> g2(second_mutex);\n"
+         "}\n";
+  std::ofstream(root / "order_b.cpp")
+      << "#include <mutex>\n"
+         "void b(std::mutex& first_mutex, std::mutex& second_mutex) {\n"
+         "  std::lock_guard<std::mutex> g2(second_mutex);\n"
+         "  std::lock_guard<std::mutex> g1(first_mutex);\n"
+         "}\n";
+  return fs::temp_directory_path() / "rme_analyze_project_tree";
+}
+
+std::string report_as_json(const ProjectReport& report) {
+  std::ostringstream os;
+  write_json(os, report);
+  return os.str();
+}
+
+TEST(AnalyzeProject, FindsPerFileAndCrossTuFindings) {
+  const fs::path tree = write_temp_tree();
+  ProjectOptions options;
+  const ProjectReport report = analyze_project({tree}, options);
+  EXPECT_EQ(report.files_scanned, 4u);
+  ASSERT_EQ(report.findings.size(), 2u);
+  // Globally sorted: banned.cpp before order_a.cpp.
+  EXPECT_EQ(report.findings[0].rule, "banned-globals");
+  EXPECT_EQ(report.findings[1].rule, "lock-order");
+  fs::remove_all(tree);
+}
+
+TEST(AnalyzeProject, OutputIsIdenticalAcrossJobCounts) {
+  const fs::path tree = write_temp_tree();
+  ProjectOptions jobs1;
+  jobs1.jobs = 1;
+  ProjectOptions jobs4;
+  jobs4.jobs = 4;
+  const std::string r1 = report_as_json(analyze_project({tree}, jobs1));
+  const std::string r4 = report_as_json(analyze_project({tree}, jobs4));
+  EXPECT_EQ(r1, r4);
+  fs::remove_all(tree);
+}
+
+TEST(AnalyzeProject, CacheHitsOnSecondRunSameFindings) {
+  const fs::path tree = write_temp_tree();
+  const fs::path cache = fs::temp_directory_path() / "rme_analyze_pc.txt";
+  fs::remove(cache);
+  ProjectOptions options;
+  options.cache_path = cache;
+  const ProjectReport cold = analyze_project({tree}, options);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  const ProjectReport warm = analyze_project({tree}, options);
+  EXPECT_EQ(warm.cache_hits, 4u);
+  // Hits change the stats but never the findings.
+  ASSERT_EQ(cold.findings.size(), warm.findings.size());
+  for (std::size_t i = 0; i < cold.findings.size(); ++i) {
+    EXPECT_EQ(cold.findings[i].file, warm.findings[i].file);
+    EXPECT_EQ(cold.findings[i].line, warm.findings[i].line);
+    EXPECT_EQ(cold.findings[i].message, warm.findings[i].message);
+  }
+  EXPECT_EQ(cold.tokens_scanned, warm.tokens_scanned);
+  fs::remove(cache);
+  fs::remove_all(tree);
+}
+
+TEST(AnalyzeProject, BaselineAbsorbsKnownFindings) {
+  const fs::path tree = write_temp_tree();
+  const fs::path baseline_path =
+      fs::temp_directory_path() / "rme_analyze_pb.txt";
+  ProjectOptions options;
+  const ProjectReport unfiltered = analyze_project({tree}, options);
+  ASSERT_EQ(unfiltered.findings.size(), 2u);
+  {
+    std::ofstream out(baseline_path);
+    out << Baseline::render(unfiltered.findings);
+  }
+  options.baseline_path = baseline_path;
+  const ProjectReport filtered = analyze_project({tree}, options);
+  EXPECT_TRUE(filtered.findings.empty());
+  EXPECT_EQ(filtered.baselined, 2u);
+  fs::remove(baseline_path);
+  fs::remove_all(tree);
+}
+
+TEST(AnalyzeProject, SarifAndJsonCarryTheFindings) {
+  const fs::path tree = write_temp_tree();
+  ProjectOptions options;
+  const ProjectReport report = analyze_project({tree}, options);
+  std::ostringstream sarif;
+  write_sarif(sarif, report);
+  EXPECT_NE(sarif.str().find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.str().find("\"ruleId\":\"banned-globals\""),
+            std::string::npos);
+  EXPECT_NE(sarif.str().find("\"ruleId\":\"lock-order\""),
+            std::string::npos);
+  // SARIF locations are repo-relative even under an absolute scan.
+  EXPECT_NE(sarif.str().find("src/rme/exec/banned.cpp"), std::string::npos);
+  EXPECT_EQ(sarif.str().find(tree.generic_string()), std::string::npos);
+  const std::string json = report_as_json(report);
+  EXPECT_NE(json.find("\"cache_hits\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"lock-order\""), std::string::npos);
+  fs::remove_all(tree);
+}
+
+// --- golden include-graph DOT -----------------------------------------------
+
+TEST(IncludeGraphGolden, RealTreeDotMatchesGolden) {
+  // The real repository's module-level include graph, pinned.  When
+  // module dependencies legitimately change, regenerate with
+  //   rme_analyze --dot=tests/golden/include_graph.dot src tools bench
+  //               tests
+  // and re-review the diff — that diff IS the architectural change.
+  const fs::path src_root = fs::path(RME_PROJECT_SOURCE_DIR);
+  ProjectOptions options;
+  options.jobs = 0;  // Hardware: the graph is jobs-independent anyway.
+  const ProjectReport report = analyze_project(
+      {src_root / "src", src_root / "tools", src_root / "bench",
+       src_root / "tests"},
+      options);
+  const std::string dot = write_dot(report.graph);
+  std::ifstream golden(src_root / "tests" / "golden" / "include_graph.dot");
+  ASSERT_TRUE(golden.is_open());
+  std::ostringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(dot, want.str());
 }
 
 }  // namespace

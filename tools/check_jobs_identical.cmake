@@ -1,0 +1,37 @@
+# ctest helper: the rme_analyze report must be byte-identical at
+# --jobs=1 and --jobs=4.  Runs the analyzer twice over the real tree in
+# JSON mode (stdout regardless of findings) and diffs the bytes.
+# Variables: ANALYZER, SOURCE_DIR, WORK_DIR.
+
+set(paths ${SOURCE_DIR}/src ${SOURCE_DIR}/tools ${SOURCE_DIR}/bench
+    ${SOURCE_DIR}/tests)
+
+execute_process(
+  COMMAND ${ANALYZER} --jobs=1 --format=json ${paths}
+  OUTPUT_FILE ${WORK_DIR}/analyze_jobs1.json
+  RESULT_VARIABLE rc1)
+execute_process(
+  COMMAND ${ANALYZER} --jobs=4 --format=json ${paths}
+  OUTPUT_FILE ${WORK_DIR}/analyze_jobs4.json
+  RESULT_VARIABLE rc4)
+
+# Exit 0 (clean) and 1 (findings) are both legitimate analyzer results
+# here — the baseline-gated rme_analyze.project test owns cleanliness;
+# this test owns determinism.  2 means the run itself broke.
+if(rc1 GREATER 1 OR rc4 GREATER 1)
+  message(FATAL_ERROR "rme_analyze failed: --jobs=1 rc=${rc1}, "
+          "--jobs=4 rc=${rc4}")
+endif()
+if(NOT rc1 EQUAL rc4)
+  message(FATAL_ERROR "exit status differs: --jobs=1 rc=${rc1}, "
+          "--jobs=4 rc=${rc4}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/analyze_jobs1.json ${WORK_DIR}/analyze_jobs4.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "rme_analyze output differs between --jobs=1 and "
+          "--jobs=4 (see ${WORK_DIR}/analyze_jobs{1,4}.json)")
+endif()

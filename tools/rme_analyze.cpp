@@ -1,30 +1,57 @@
 // rme_analyze: the project static analyzer.  Successor to the old
-// single-rule rme_lint — see src/rme/analyze/ for the source model and
-// the rule registry, docs/ANALYSIS.md for the rule catalogue and the
-// suppression syntax.
+// single-rule rme_lint — see src/rme/analyze/ for the source model,
+// the rule registry, and the cross-TU engine; docs/ANALYSIS.md for the
+// rule catalogue, the layer DAG, the suppression syntax, and the
+// baseline workflow.
 //
 // Usage:
 //   rme_analyze [--list-rules] [--rule=<name>[,<name>...]]
-//               [--format=text|json] <dir-or-file>...
+//               [--jobs=N] [--cache=<file>] [--baseline=<file>]
+//               [--write-baseline=<file>] [--format=text|json|sarif]
+//               [--dot=<file>] [--metrics] <dir-or-file>...
+//
+// The analysis itself is deterministic: for a fixed tree the report is
+// byte-identical at every --jobs value (a ctest asserts 1 vs 4).
 //
 // Exit status: 0 clean, 1 findings remain, 2 bad usage / IO error.
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "rme/analyze/analyzer.hpp"
+#include "rme/analyze/baseline.hpp"
+#include "rme/analyze/include_graph.hpp"
 #include "rme/analyze/rules.hpp"
+#include "rme/cli/args.hpp"
 #include "rme/cli/exit_codes.hpp"
+#include "rme/obs/clock.hpp"
+#include "rme/obs/metrics.hpp"
+#include "rme/obs/trace.hpp"
 
 namespace {
 
 void print_usage(std::ostream& os) {
   os << "usage: rme_analyze [--list-rules] [--rule=<name>[,<name>...]]\n"
-        "                   [--format=text|json] <dir-or-file>...\n"
+        "                   [--jobs=N] [--cache=<file>] "
+        "[--baseline=<file>]\n"
+        "                   [--write-baseline=<file>] "
+        "[--format=text|json|sarif]\n"
+        "                   [--dot=<file>] [--metrics] <dir-or-file>...\n"
+        "  --jobs=N            parallel per-file analysis (0 = hardware);\n"
+        "                      output is byte-identical for every N\n"
+        "  --cache=<file>      incremental cache keyed by content hash\n"
+        "  --baseline=<file>   suppress the checked-in accepted findings\n"
+        "  --write-baseline=F  write current findings as the new baseline\n"
+        "  --dot=<file>        export the module include graph (- = "
+        "stdout)\n"
+        "  --metrics           print counters and per-rule latencies to "
+        "stderr\n"
         "exit status: 0 clean, 1 findings, 2 bad usage or IO error\n";
 }
 
@@ -42,40 +69,66 @@ std::vector<std::string> split_csv(const std::string& list) {
 
 int main(int argc, char** argv) {
   bool list_rules = false;
+  bool metrics = false;
   std::string format = "text";
-  std::vector<std::string> selectors;
+  std::string dot_target;
+  std::filesystem::path write_baseline;
+  rme::analyze::ProjectOptions options;
   std::vector<std::filesystem::path> paths;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list-rules") {
-      list_rules = true;
-    } else if (arg.rfind("--rule=", 0) == 0) {
-      for (std::string& s : split_csv(arg.substr(7))) {
-        selectors.push_back(std::move(s));
-      }
-    } else if (arg.rfind("--format=", 0) == 0) {
-      format = arg.substr(9);
-      if (format != "text" && format != "json") {
-        std::cerr << "rme_analyze: unknown format '" << format << "'\n";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list-rules") {
+        list_rules = true;
+      } else if (arg.rfind("--rule=", 0) == 0) {
+        for (std::string& s : split_csv(arg.substr(7))) {
+          options.selectors.push_back(std::move(s));
+        }
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        options.jobs = rme::cli::parse_unsigned32(arg.substr(7), "--jobs");
+      } else if (arg.rfind("--cache=", 0) == 0) {
+        options.cache_path = arg.substr(8);
+      } else if (arg.rfind("--baseline=", 0) == 0) {
+        options.baseline_path = arg.substr(11);
+      } else if (arg.rfind("--write-baseline=", 0) == 0) {
+        write_baseline = arg.substr(17);
+      } else if (arg.rfind("--dot=", 0) == 0) {
+        dot_target = arg.substr(6);
+      } else if (arg == "--metrics") {
+        metrics = true;
+      } else if (arg.rfind("--format=", 0) == 0) {
+        format = arg.substr(9);
+        if (format != "text" && format != "json" && format != "sarif") {
+          std::cerr << "rme_analyze: unknown format '" << format << "'\n";
+          print_usage(std::cerr);
+          return rme::cli::kExitUsage;
+        }
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage(std::cout);
+        return rme::cli::kExitOk;
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "rme_analyze: unknown option '" << arg << "'\n";
         print_usage(std::cerr);
         return rme::cli::kExitUsage;
+      } else {
+        paths.emplace_back(arg);
       }
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      return rme::cli::kExitOk;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "rme_analyze: unknown option '" << arg << "'\n";
-      print_usage(std::cerr);
-      return rme::cli::kExitUsage;
-    } else {
-      paths.emplace_back(arg);
     }
+  } catch (const rme::cli::UsageError& e) {
+    std::cerr << "rme_analyze: " << e.what() << "\n";
+    print_usage(std::cerr);
+    return rme::cli::kExitUsage;
   }
 
   if (list_rules) {
     for (const rme::analyze::Rule* r : rme::analyze::all_rules()) {
       std::cout << r->name() << "\n    " << r->description() << "\n";
+    }
+    for (const rme::analyze::ProjectRule* r :
+         rme::analyze::all_project_rules()) {
+      std::cout << r->name() << " (cross-TU)\n    " << r->description()
+                << "\n";
     }
     return rme::cli::kExitOk;
   }
@@ -84,23 +137,59 @@ int main(int argc, char** argv) {
     return rme::cli::kExitUsage;
   }
 
-  std::vector<const rme::analyze::Rule*> rules;
+  const std::unique_ptr<rme::obs::Clock> clock = rme::obs::make_real_clock();
+  rme::obs::Tracer tracer(*clock);
+  if (metrics) options.tracer = &tracer;
+
+  rme::analyze::ProjectReport report;
   try {
-    rules = rme::analyze::select_rules(selectors);
+    report = rme::analyze::analyze_project(paths, options);
   } catch (const std::invalid_argument& e) {
     std::cerr << e.what() << "\n";
     return rme::cli::kExitUsage;
   }
 
-  const rme::analyze::Report report =
-      rme::analyze::analyze_paths(paths, rules);
+  if (!dot_target.empty()) {
+    const std::string dot = rme::analyze::write_dot(report.graph);
+    if (dot_target == "-") {
+      std::cout << dot;
+    } else {
+      std::ofstream out(dot_target, std::ios::trunc);
+      out << dot;
+      if (!out) {
+        std::cerr << "rme_analyze: cannot write " << dot_target << "\n";
+        return rme::cli::kExitUsage;
+      }
+    }
+  }
+
+  if (!write_baseline.empty()) {
+    // The baseline captures what the run *would* report — findings that
+    // survived inline suppression and any --baseline already applied.
+    std::ofstream out(write_baseline, std::ios::trunc);
+    out << rme::analyze::Baseline::render(report.findings);
+    if (!out) {
+      std::cerr << "rme_analyze: cannot write " << write_baseline.string()
+                << "\n";
+      return rme::cli::kExitUsage;
+    }
+    std::cout << "rme_analyze: wrote " << report.findings.size()
+              << " fingerprint(s) to " << write_baseline.string() << "\n";
+    return rme::cli::kExitOk;
+  }
+
   if (format == "json") {
     rme::analyze::write_json(std::cout, report);
+  } else if (format == "sarif") {
+    rme::analyze::write_sarif(std::cout, report);
   } else {
     rme::analyze::write_text(report.findings.empty() && report.errors.empty()
                                  ? std::cout
                                  : std::cerr,
                              report);
+  }
+  if (metrics) {
+    rme::obs::write_metrics_summary(std::cerr, tracer.snapshot());
   }
   if (!report.errors.empty()) return rme::cli::kExitUsage;
   return report.findings.empty() ? rme::cli::kExitOk
