@@ -1,0 +1,167 @@
+// Load generator for the rme::serve daemon (docs/SERVE.md): synthesizes
+// a seeded, deterministic request mix (predict batches, rank panels,
+// whatif edits, periodic ingest + stats frames), drives it through the
+// real serve path (Server::serve_stream — frame loop, arena, engine),
+// and reports the per-endpoint traffic breakdown.
+//
+//   --requests N  number of frames to generate (default 2000; the last
+//                 frame is always `shutdown` so the drain path runs)
+//   --jobs N      within-batch parallelism (byte-identical responses at
+//                 any N — the rme::exec determinism contract)
+//   --csv PATH    emit the traffic breakdown as CSV
+//   --trace PATH / --metrics
+//                 per-endpoint latency histograms live under
+//                 span:serve.<op> in the obs summary / Chrome trace
+//
+// The generated mix and every response byte are pure functions of the
+// request count: reruns (and any --jobs) reproduce the same stream.
+
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace rme;
+using artifact::Json;
+
+namespace {
+
+/// Deterministic request mix, one frame per index (the derive_seed
+/// discipline: frame i's shape depends only on (seed, i)).
+std::string make_request(std::size_t i, const std::string& artifact_path) {
+  const std::uint64_t seed = exec::derive_seed(0x5E4E, i);
+  if (i % 251 == 0 && !artifact_path.empty()) {
+    return R"({"op":"ingest","name":"load","artifact":")" + artifact_path +
+           "\"}";
+  }
+  if (i % 59 == 0) return R"({"op":"stats"})";
+  static const char* kMachines[] = {"fermi", "gtx580-sp", "gtx580-dp",
+                                    "i7-sp", "i7-dp"};
+  const std::string machine = kMachines[seed % 5];
+  if (i % 17 == 0) {
+    return R"({"op":"whatif","machine":")" + machine +
+           R"(","edits":{"pi0_w":0},"batch":[)"
+           R"({"name":"axpy","flops":2e6,"bytes":24e6},)"
+           R"({"name":"dgemm","flops":4e9,"bytes":25e7}]})";
+  }
+  if (i % 11 == 0) {
+    return R"({"op":"rank","machine":")" + machine +
+           R"(","by":"edp","variants":[{"flops":2e9,"bytes":1e9},)"
+           R"({"flops":2e9,"bytes":25e7},{"flops":4e9,"bytes":25e7}]})";
+  }
+  const std::size_t batch = 1 + seed % 8;
+  std::string frame =
+      R"({"op":"predict","machine":")" + machine + R"(","batch":[)";
+  for (std::size_t k = 0; k < batch; ++k) {
+    const std::uint64_t s = exec::derive_seed(seed, k);
+    if (k != 0) frame += ',';
+    frame += "{\"flops\":" +
+             artifact::format_number(1e6 + double(s % 1000000)) +
+             ",\"bytes\":" +
+             artifact::format_number(1e5 + double((s >> 24) % 100000)) + "}";
+  }
+  frame += "]}";
+  return frame;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Pull --requests out before handing the standard flags to the
+  // shared parser (which rejects flags it does not know).
+  std::size_t requests = 2000;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--requests" && i + 1 < argc) {
+      try {
+        requests = cli::parse_size(argv[++i], "--requests");
+      } catch (const cli::UsageError& e) {
+        std::cerr << e.what() << "\n";
+        return cli::kExitUsage;
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::BenchArgs args = bench::parse_bench_args(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  bench::BenchObs obs_rig(args);
+  if (requests < 2) requests = 2;
+
+  bench::print_heading("rme::serve load generator (docs/SERVE.md)");
+
+  // Ingest frames re-load the checked-in golden session journal.
+  const std::string artifact_path = RME_SESSION_ARTIFACT;
+
+  std::string input;
+  input.reserve(requests * 96);
+  for (std::size_t i = 0; i + 1 < requests; ++i) {
+    input += make_request(i, artifact_path);
+    input += '\n';
+  }
+  input += "{\"op\":\"shutdown\"}\n";
+
+  serve::ServerOptions options;
+  options.jobs = args.jobs;
+  options.tracer = obs_rig.tracer();
+  serve::Server server(options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  const serve::ServeStats stats = server.serve_stream(in, out);
+  const serve::EngineStats engine_stats = server.engine().stats();
+
+  // Per-endpoint traffic breakdown off the response stream itself.
+  std::map<std::string, std::size_t> ok_by_op;
+  std::size_t error_responses = 0;
+  std::uint64_t last_generation = 0;
+  bool generations_monotonic = true;
+  std::istringstream responses(out.str());
+  std::string line;
+  while (std::getline(responses, line)) {
+    const Json response = Json::parse(line);
+    if (!response.at("ok").as_bool()) {
+      ++error_responses;
+      continue;
+    }
+    ++ok_by_op[response.at("op").as_string()];
+    const std::uint64_t generation = response.at("gen").as_count();
+    if (generation < last_generation) generations_monotonic = false;
+    last_generation = generation;
+  }
+
+  report::Table table({"endpoint", "ok responses"});
+  for (const auto& [op, count] : ok_by_op) {
+    table.add_row({op, std::to_string(count)});
+  }
+  table.print(std::cout);
+  std::cout << "\nframes=" << stats.frames_in
+            << " responses=" << stats.responses
+            << " errors=" << error_responses
+            << " stalls=" << engine_stats.queue_stalls
+            << " batch_items=" << engine_stats.batch_items
+            << " gen=" << engine_stats.generation
+            << " arena_high_water=" << stats.arena_high_water
+            << "\ngenerations " << (generations_monotonic ? "monotonic" : "NOT MONOTONIC")
+            << "; responses are byte-identical at any --jobs.\n";
+
+  std::ofstream csv_file;
+  if (!args.csv_path.empty()) {
+    csv_file.open(args.csv_path);
+    csv_file << "endpoint,ok_responses\n";
+    for (const auto& [op, count] : ok_by_op) {
+      csv_file << op << ',' << count << '\n';
+    }
+    csv_file << "errors," << error_responses << '\n';
+  }
+
+  int code = cli::kExitOk;
+  if (!bench::finish_csv(csv_file, args.csv_path)) code = cli::kExitDegraded;
+  if (!obs_rig.finish()) code = cli::kExitDegraded;
+  if (!generations_monotonic || stats.responses != requests) {
+    code = cli::kExitDegraded;
+  }
+  return code;
+}

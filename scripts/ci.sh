@@ -101,6 +101,28 @@ ctest --test-dir build-asan --output-on-failure \
       -R '^(ChaosTest|Artifact|Framing|Crc32|Json|Golden)\.'
 
 echo
+echo "=== serve daemon: conformance corpus + soak (plain and ASan) ==="
+# The protocol-conformance corpus (tests/serve/*.req pinned to golden
+# .resp byte-for-byte), the transport/jobs determinism proofs, and the
+# 10k-request soak all live in test_serve; the full ctest passes above
+# already ran them in both builds.  This explicit re-run serializes
+# them with verbose output so a protocol regression is unmistakable in
+# the CI log, then pushes a larger seeded load mix through the real
+# serve path — pipe transport, arena reuse, ingest generation bumps —
+# under ASan, where a leak or overflow in the per-connection arena or
+# the frame reader would surface.
+ctest --test-dir build --output-on-failure \
+      -R '^(Serve|Corpus/|CoefficientScan)'
+./build-asan/bench/bench_serve_load --requests 5000 --jobs 4 > /dev/null
+serve_dir=$(mktemp -d)
+./build/bench/bench_serve_load --requests 2000 --csv "$serve_dir/a.csv" \
+  > /dev/null
+./build-asan/bench/bench_serve_load --requests 2000 \
+  --csv "$serve_dir/b.csv" > /dev/null
+diff "$serve_dir/a.csv" "$serve_dir/b.csv"
+rm -rf "$serve_dir"
+
+echo
 echo "=== sanitized build (UBSan alone) ==="
 # UBSan without ASan: shadow memory changes allocation patterns and can
 # mask the UB it rides along with, and the uninstrumented-address build

@@ -35,6 +35,7 @@ const std::vector<Layer>& layers() {
       {"ubench", {"core", "sim", "power"}},
       {"fmm", {"core", "sim", "fit", "ubench", "exec", "obs"}},
       {"artifact", {"core", "sim", "power", "fit", "report", "cli", "obs"}},
+      {"serve", {"core", "sim", "fit", "exec", "obs", "cli", "artifact"}},
   };
   return kLayers;
 }

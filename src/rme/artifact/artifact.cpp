@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 namespace rme::artifact {
@@ -334,6 +335,86 @@ ReadResult read_artifact(const std::string& path) {
                                 std::to_string(result.steps.size()) + ")");
         }
         result.steps.push_back(std::move(step));
+      } else if (kind == "fit") {
+        if (result.has_fit) return corrupt(i, "duplicate fit record");
+        result.fit = fit_from_json(record);
+        result.has_fit = true;
+      } else {
+        return corrupt(i, "unknown record kind '" + kind + "'");
+      }
+    } catch (const JsonError& err) {
+      return corrupt(i, err.what());
+    }
+    result.records += 1;
+  }
+  return result;
+}
+
+CoefficientScan read_artifact_coefficients(const std::string& path) {
+  CoefficientScan result;
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return result;  // Missing file: an empty, valid artifact.
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+      result.status = ScanStatus::kCorrupt;
+      result.message = "artifact: read failed on " + path;
+      return result;
+    }
+    image = buf.str();
+  }
+
+  const FrameScan scan = scan_frames(image);
+  result.status = scan.status;
+  result.message = scan.error;
+  if (scan.status == ScanStatus::kCorrupt) return result;
+
+  const auto corrupt = [&](std::size_t record_no, const std::string& what) {
+    result.status = ScanStatus::kCorrupt;
+    result.message =
+        "record " + std::to_string(record_no + 1) + ": " + what;
+    return result;
+  };
+
+  // Step records are the journal's bulk; the writer serializes them
+  // with "kind" first (to_json member order is fixed), so this prefix
+  // identifies them without parsing.  Anything else — including a step
+  // some other writer serialized differently — takes the full parse.
+  constexpr std::string_view kStepPrefix = "{\"kind\":\"step\",";
+
+  for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+    const std::string& payload = scan.payloads[i];
+    if (i > 0 && payload.compare(0, kStepPrefix.size(), kStepPrefix) == 0) {
+      if (result.has_fit) {
+        return corrupt(i, "step record after the fit record");
+      }
+      result.steps_skipped += 1;
+      result.records += 1;
+      continue;
+    }
+    try {
+      const Json record = Json::parse(payload);
+      const std::string& kind = record.at("kind").as_string();
+      if (i == 0) {
+        if (kind != "header") {
+          return corrupt(i, "expected a header record, got '" + kind + "'");
+        }
+        const std::uint64_t schema = record.at("schema").as_count();
+        if (schema != kSchemaVersion) {
+          return corrupt(
+              i, "unsupported schema version " + std::to_string(schema) +
+                     " (this build reads version " +
+                     std::to_string(kSchemaVersion) + ")");
+        }
+        result.header = header_from_json(record);
+        result.has_header = true;
+      } else if (kind == "step") {
+        if (result.has_fit) {
+          return corrupt(i, "step record after the fit record");
+        }
+        result.steps_skipped += 1;
       } else if (kind == "fit") {
         if (result.has_fit) return corrupt(i, "duplicate fit record");
         result.fit = fit_from_json(record);

@@ -188,4 +188,27 @@ struct ReadResult {
 /// valid artifact (no header).
 [[nodiscard]] ReadResult read_artifact(const std::string& path);
 
+/// Outcome of the coefficients-only fast path.
+struct CoefficientScan {
+  ScanStatus status = ScanStatus::kOk;
+  std::string message;       ///< For kCorrupt: what failed and where.
+  bool has_header = false;
+  ArtifactHeader header;
+  bool has_fit = false;
+  FitRecord fit;
+  std::size_t steps_skipped = 0;  ///< Step records skipped unparsed.
+  std::size_t records = 0;        ///< Records accepted (incl. skipped).
+};
+
+/// Bulk-load fast path for consumers that only need the header and the
+/// closing fit record (rme::serve `ingest`).  Framing checksums are
+/// still verified for every record, but step payloads — the bulk of a
+/// session journal, with their per-rep power traces — are recognized by
+/// their deterministic serialized prefix and skipped without JSON
+/// parsing, instead of parsed and discarded.  Validation matches
+/// read_artifact for everything it does look at: schema version, record
+/// ordering relative to the fit, and duplicate fits.
+[[nodiscard]] CoefficientScan read_artifact_coefficients(
+    const std::string& path);
+
 }  // namespace rme::artifact

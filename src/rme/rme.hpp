@@ -19,6 +19,7 @@
 //   rme::ubench  — host intensity microbenchmarks
 //   rme::fmm     — the FMM U-list application of §V-C
 //   rme::report  — tables, CSV, ASCII charts
+//   rme::serve   — roofline-model-as-a-service daemon (docs/SERVE.md)
 
 #include "rme/core/advisor.hpp"
 #include "rme/core/algorithms.hpp"
@@ -80,6 +81,10 @@
 #include "rme/report/heatmap.hpp"
 #include "rme/report/markdown.hpp"
 #include "rme/report/table.hpp"
+#include "rme/serve/arena.hpp"
+#include "rme/serve/engine.hpp"
+#include "rme/serve/protocol.hpp"
+#include "rme/serve/server.hpp"
 #include "rme/sim/cache.hpp"
 #include "rme/sim/composite.hpp"
 #include "rme/sim/counters.hpp"

@@ -1,0 +1,104 @@
+#pragma once
+// rme::serve — per-connection arena allocation.
+//
+// Every connection the daemon serves owns one Arena: request frames are
+// copied into arena storage, handed to the protocol layer as views, and
+// the arena is reset (not freed) between frames.  Steady-state serving
+// therefore performs zero per-request heap allocation for frame I/O —
+// the block list grows to the largest frame the connection ever saw and
+// is reused from then on.  The high-water mark is exported through the
+// server stats so capacity planning is observable (docs/SERVE.md).
+//
+// This is a bump allocator: alloc() never frees, reset() rewinds every
+// block.  It is deliberately not thread-safe — a connection is served
+// by one thread at a time (request *batches* parallelize inside
+// rme::exec, not across the arena).
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace rme::serve {
+
+class Arena {
+ public:
+  /// Initial block size; subsequent blocks double until a frame fits.
+  explicit Arena(std::size_t initial_bytes = 4096)
+      : block_bytes_(initial_bytes == 0 ? 1 : initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `n` bytes (uninitialized).  Grows the block list
+  /// when the current block cannot hold the request.
+  [[nodiscard]] char* alloc(std::size_t n) {
+    if (current_ >= blocks_.size() ||
+        blocks_[current_].size - used_ < n) {
+      advance_to_fit(n);
+    }
+    char* p = blocks_[current_].data.get() + used_;
+    used_ += n;
+    live_ += n;
+    if (live_ > high_water_) high_water_ = live_;
+    return p;
+  }
+
+  /// Copies `text` into arena storage and returns a view of the copy
+  /// (valid until the next reset()).
+  [[nodiscard]] std::string_view intern(std::string_view text) {
+    char* p = alloc(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) p[i] = text[i];
+    return std::string_view(p, text.size());
+  }
+
+  /// Rewinds every block for reuse; capacity is retained.
+  void reset() noexcept {
+    current_ = 0;
+    used_ = 0;
+    live_ = 0;
+  }
+
+  /// Largest number of live bytes ever held between resets.
+  [[nodiscard]] std::size_t high_water_bytes() const noexcept {
+    return high_water_;
+  }
+
+  /// Total capacity across all blocks (allocated once, then reused).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void advance_to_fit(std::size_t n) {
+    // Move to the next existing block that fits, else append one that
+    // does (doubling keeps the block count logarithmic in frame size).
+    while (current_ + 1 < blocks_.size()) {
+      ++current_;
+      used_ = 0;
+      if (blocks_[current_].size >= n) return;
+    }
+    std::size_t size = blocks_.empty() ? block_bytes_
+                                       : blocks_.back().size * 2;
+    while (size < n) size *= 2;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    current_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;     ///< Index of the block being bumped.
+  std::size_t used_ = 0;        ///< Bytes used in the current block.
+  std::size_t live_ = 0;        ///< Live bytes since the last reset.
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace rme::serve

@@ -1,0 +1,447 @@
+#include "rme/serve/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "rme/artifact/artifact.hpp"
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+#include "rme/core/units.hpp"
+#include "rme/exec/pool.hpp"
+#include "rme/fit/energy_fit.hpp"
+
+namespace rme::serve {
+
+namespace {
+
+using artifact::JsonError;
+
+/// One evaluated descriptor: the full T/E/P readout of the model.
+Json predict_row(const MachineParams& m, const sim::KernelDesc& desc) {
+  const KernelProfile profile = desc.profile();
+  const double intensity = profile.intensity();
+  const TimeBreakdown t = predict_time(m, profile);
+  const EnergyBreakdown e = predict_energy(m, profile);
+  const Watts average_power = e.total_joules / t.total_seconds;
+
+  Json row = Json::object();
+  row.set("name", Json::string(desc.name));
+  row.set("precision", Json::string(to_string(desc.precision)));
+  row.set("flops", Json::number(desc.flops));
+  row.set("bytes", Json::number(desc.bytes));
+  row.set("intensity", Json::number(intensity));
+  row.set("seconds", Json::number(t.total_seconds.value()));
+  row.set("joules", Json::number(e.total_joules.value()));
+  row.set("watts", Json::number(average_power.value()));
+  row.set("flops_joules", Json::number(e.flops_joules.value()));
+  row.set("mem_joules", Json::number(e.mem_joules.value()));
+  row.set("const_joules", Json::number(e.const_joules.value()));
+  row.set("time_bound", Json::string(to_string(t.bound())));
+  row.set("energy_bound", Json::string(to_string(energy_bound(m, intensity))));
+  row.set("disagree",
+          Json::boolean(classifications_disagree(m, intensity)));
+  row.set("speed", Json::number(normalized_speed(m, intensity)));
+  row.set("efficiency", Json::number(normalized_efficiency(m, intensity)));
+  return row;
+}
+
+/// The derived-quantity summary used by `whatif` to show what an edit
+/// did to the machine's character (balance points move, peaks move).
+Json machine_summary(const MachineParams& m) {
+  Json summary = Json::object();
+  summary.set("gflops", Json::number(m.peak_flops().value() / kGiga));
+  summary.set("gbs", Json::number(m.peak_bandwidth().value() / kGiga));
+  summary.set("eps_flop_pj",
+              Json::number(m.energy_per_flop.value() / kPico));
+  summary.set("eps_mem_pj", Json::number(m.energy_per_byte.value() / kPico));
+  summary.set("pi0_w", Json::number(m.const_power.value()));
+  summary.set("b_tau", Json::number(m.time_balance()));
+  summary.set("b_eps", Json::number(m.energy_balance()));
+  summary.set("b_eps_fixed", Json::number(m.balance_fixed_point()));
+  return summary;
+}
+
+/// Applies whatif edits; peaks and energies replace wholesale.
+MachineParams apply_edits(const MachineParams& base,
+                          const MachineEdits& edits) {
+  MachineParams edited = base;
+  edited.name = base.name + " (edited)";
+  if (edits.gflops) {
+    edited.time_per_flop = seconds_per_flop_from_gflops(*edits.gflops);
+  }
+  if (edits.gbs) {
+    edited.time_per_byte = seconds_per_byte_from_gbs(*edits.gbs);
+  }
+  if (edits.eps_flop_pj) {
+    edited.energy_per_flop = picojoules_per_flop(*edits.eps_flop_pj);
+  }
+  if (edits.eps_mem_pj) {
+    edited.energy_per_byte = picojoules_per_byte(*edits.eps_mem_pj);
+  }
+  if (edits.pi0_w) {
+    edited.const_power = watts(*edits.pi0_w);
+  }
+  return edited;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  machines_["fermi"] = Entry{presets::fermi_table2(), 1};
+  machines_["gtx580-sp"] = Entry{presets::gtx580(Precision::kSingle), 1};
+  machines_["gtx580-dp"] = Entry{presets::gtx580(Precision::kDouble), 1};
+  machines_["i7-sp"] = Entry{presets::i7_950(Precision::kSingle), 1};
+  machines_["i7-dp"] = Entry{presets::i7_950(Precision::kDouble), 1};
+}
+
+Json Engine::handle(std::string_view frame) {
+  obs::Span request_span(options_.tracer, "request", "serve");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    requests_ += 1;
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->add_counter("serve.requests", 1);
+  }
+
+  Json document;
+  try {
+    document = Json::parse(frame);
+  } catch (const JsonError& err) {
+    return reject(ProtocolError(ErrorCode::kParseError, err.what()), nullptr);
+  }
+  if (!document.is_object()) {
+    return reject(ProtocolError(ErrorCode::kParseError,
+                                "request frame must be a JSON object"),
+                  nullptr);
+  }
+  const Json* id = document.has("id") ? &document.at("id") : nullptr;
+  try {
+    const Request request = parse_frame(document, options_.max_batch);
+    const char* op_name = to_string(request.op);
+    obs::Span op_span(options_.tracer, op_name,
+                      std::string("serve.") + op_name);
+    return dispatch(request);
+  } catch (const ProtocolError& err) {
+    return reject(err, id);
+  }
+}
+
+Json Engine::dispatch(const Request& request) {
+  switch (request.op) {
+    case Op::kPredict: return do_predict(request);
+    case Op::kRank: return do_rank(request);
+    case Op::kWhatif: return do_whatif(request);
+    case Op::kIngest: return do_ingest(request);
+    case Op::kStats: return do_stats(request);
+    case Op::kShutdown: {
+      std::uint64_t generation = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+        generation = generation_;
+      }
+      Json response = ok_response_head(Op::kShutdown, request, generation);
+      response.set("draining", Json::boolean(true));
+      return response;
+    }
+  }
+  throw ProtocolError(ErrorCode::kUnknownOp, "unhandled op");
+}
+
+Json Engine::do_predict(const Request& request) {
+  const Entry entry = find_machine(request.machine);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_items_ += request.batch.size();
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->add_counter(
+        "serve.batch_items", static_cast<std::int64_t>(request.batch.size()));
+  }
+  std::vector<Json> rows = exec::parallel_map(
+      request.batch.size(),
+      [&](std::size_t i) { return predict_row(entry.params, request.batch[i]); },
+      options_.jobs, options_.tracer);
+
+  Json response =
+      ok_response_head(Op::kPredict, request, current_generation());
+  response.set("machine", Json::string(request.machine));
+  Json results = Json::array();
+  for (Json& row : rows) results.push(std::move(row));
+  response.set("results", std::move(results));
+  return response;
+}
+
+Json Engine::do_rank(const Request& request) {
+  const Entry entry = find_machine(request.machine);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_items_ += request.batch.size();
+  }
+
+  struct Scored {
+    Seconds time;
+    Joules energy;
+  };
+  const std::vector<Scored> scored = exec::parallel_map(
+      request.batch.size(),
+      [&](std::size_t i) {
+        const KernelProfile profile = request.batch[i].profile();
+        return Scored{predict_time(entry.params, profile).total_seconds,
+                      predict_energy(entry.params, profile).total_joules};
+      },
+      options_.jobs, options_.tracer);
+
+  // Speedup/greenup are relative to the *first* variant as submitted —
+  // the client's baseline — not to the eventual winner.
+  const Scored baseline = scored.front();
+  std::vector<std::size_t> order(scored.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     switch (request.rank_by) {
+                       case RankBy::kTime:
+                         return scored[a].time < scored[b].time;
+                       case RankBy::kEdp:
+                         return scored[a].time * scored[a].energy <
+                                scored[b].time * scored[b].energy;
+                       case RankBy::kEnergy:
+                       case RankBy::kGreenup:
+                         // Descending greenup E0/Ei == ascending Ei.
+                         return scored[a].energy < scored[b].energy;
+                     }
+                     return a < b;
+                   });
+
+  Json response = ok_response_head(Op::kRank, request, current_generation());
+  response.set("machine", Json::string(request.machine));
+  response.set("by", Json::string(to_string(request.rank_by)));
+  response.set("baseline", Json::string(request.batch.front().name));
+  Json ranked = Json::array();
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    const std::size_t i = order[position];
+    Json row = Json::object();
+    row.set("rank", Json::number(static_cast<double>(position + 1)));
+    row.set("name", Json::string(request.batch[i].name));
+    row.set("seconds", Json::number(scored[i].time.value()));
+    row.set("joules", Json::number(scored[i].energy.value()));
+    row.set("edp", Json::number((scored[i].time * scored[i].energy).value()));
+    row.set("speedup", Json::number(baseline.time / scored[i].time));
+    row.set("greenup", Json::number(baseline.energy / scored[i].energy));
+    ranked.push(std::move(row));
+  }
+  response.set("ranked", std::move(ranked));
+  return response;
+}
+
+Json Engine::do_whatif(const Request& request) {
+  const Entry entry = find_machine(request.machine);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_items_ += request.batch.size();
+  }
+  const MachineParams edited = apply_edits(entry.params, request.edits);
+
+  struct Delta {
+    Seconds base_time;
+    Joules base_energy;
+    Seconds edited_time;
+    Joules edited_energy;
+  };
+  const std::vector<Delta> deltas = exec::parallel_map(
+      request.batch.size(),
+      [&](std::size_t i) {
+        const KernelProfile profile = request.batch[i].profile();
+        return Delta{predict_time(entry.params, profile).total_seconds,
+                     predict_energy(entry.params, profile).total_joules,
+                     predict_time(edited, profile).total_seconds,
+                     predict_energy(edited, profile).total_joules};
+      },
+      options_.jobs, options_.tracer);
+
+  Json response =
+      ok_response_head(Op::kWhatif, request, current_generation());
+  response.set("machine", Json::string(request.machine));
+  response.set("base", machine_summary(entry.params));
+  response.set("edited", machine_summary(edited));
+  Json kernels = Json::array();
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Delta& d = deltas[i];
+    Json row = Json::object();
+    row.set("name", Json::string(request.batch[i].name));
+    row.set("base_seconds", Json::number(d.base_time.value()));
+    row.set("base_joules", Json::number(d.base_energy.value()));
+    row.set("edited_seconds", Json::number(d.edited_time.value()));
+    row.set("edited_joules", Json::number(d.edited_energy.value()));
+    row.set("speedup", Json::number(d.base_time / d.edited_time));
+    row.set("greenup", Json::number(d.base_energy / d.edited_energy));
+    kernels.push(std::move(row));
+  }
+  response.set("kernels", std::move(kernels));
+  return response;
+}
+
+Json Engine::do_ingest(const Request& request) {
+  const artifact::CoefficientScan scan =
+      artifact::read_artifact_coefficients(request.ingest_artifact);
+  if (scan.status == artifact::ScanStatus::kCorrupt) {
+    throw ProtocolError(ErrorCode::kIngestFailed,
+                        "corrupt artifact: " + scan.message);
+  }
+  if (!scan.has_header) {
+    throw ProtocolError(ErrorCode::kIngestFailed,
+                        "artifact '" + request.ingest_artifact +
+                            "' is missing or empty");
+  }
+  if (!scan.has_fit) {
+    throw ProtocolError(ErrorCode::kIngestFailed,
+                        "artifact has no fit record; run the sweep to "
+                        "completion before ingesting");
+  }
+
+  MachineParams peaks_single;
+  MachineParams peaks_double;
+  if (scan.header.platform == "i7") {
+    peaks_single = presets::i7_950(Precision::kSingle);
+    peaks_double = presets::i7_950(Precision::kDouble);
+  } else if (scan.header.platform == "gtx580") {
+    peaks_single = presets::gtx580(Precision::kSingle);
+    peaks_double = presets::gtx580(Precision::kDouble);
+  } else {
+    throw ProtocolError(ErrorCode::kIngestFailed,
+                        "unknown artifact platform '" + scan.header.platform +
+                            "' (want i7 or gtx580)");
+  }
+
+  fit::EnergyCoefficients coefficients;
+  coefficients.eps_single = EnergyPerFlop{scan.fit.eps_single};
+  coefficients.delta_double = EnergyPerFlop{scan.fit.delta_double};
+  coefficients.eps_mem = EnergyPerByte{scan.fit.eps_mem};
+  coefficients.const_power = Watts{scan.fit.const_power};
+
+  MachineParams fitted_single =
+      coefficients.to_machine(peaks_single, Precision::kSingle);
+  MachineParams fitted_double =
+      coefficients.to_machine(peaks_double, Precision::kDouble);
+  fitted_single.name =
+      request.ingest_name + "-sp (fitted on " + scan.header.platform + ")";
+  fitted_double.name =
+      request.ingest_name + "-dp (fitted on " + scan.header.platform + ")";
+
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    generation_ += 1;
+    generation = generation_;
+    machines_[request.ingest_name + "-sp"] =
+        Entry{std::move(fitted_single), generation};
+    machines_[request.ingest_name + "-dp"] =
+        Entry{std::move(fitted_double), generation};
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->add_counter("serve.ingests", 1);
+  }
+
+  Json response = ok_response_head(Op::kIngest, request, generation);
+  Json installed = Json::array();
+  installed.push(Json::string(request.ingest_name + "-sp"));
+  installed.push(Json::string(request.ingest_name + "-dp"));
+  response.set("installed", std::move(installed));
+  response.set("platform", Json::string(scan.header.platform));
+  response.set("r_squared", Json::number(scan.fit.r_squared));
+  response.set("fit_samples",
+               Json::number(static_cast<double>(scan.fit.samples)));
+  response.set("steps_skipped",
+               Json::number(static_cast<double>(scan.steps_skipped)));
+  return response;
+}
+
+Json Engine::do_stats(const Request& request) {
+  const EngineStats snapshot = stats();
+  Json response =
+      ok_response_head(Op::kStats, request, snapshot.generation);
+  response.set("requests",
+               Json::number(static_cast<double>(snapshot.requests)));
+  response.set("errors", Json::number(static_cast<double>(snapshot.errors)));
+  response.set("queue_stalls",
+               Json::number(static_cast<double>(snapshot.queue_stalls)));
+  response.set("batch_items",
+               Json::number(static_cast<double>(snapshot.batch_items)));
+  response.set("max_batch",
+               Json::number(static_cast<double>(options_.max_batch)));
+  Json machines = Json::array();
+  for (const std::string& name : snapshot.machines) {
+    machines.push(Json::string(name));
+  }
+  response.set("machines", std::move(machines));
+  return response;
+}
+
+Json Engine::reject(const ProtocolError& error, const Json* id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    errors_ += 1;
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->add_counter("serve.errors", 1);
+    options_.tracer->record_instant(to_string(error.code()), "serve.reject");
+  }
+  return error_response(error, id);
+}
+
+Engine::Entry Engine::find_machine(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = machines_.find(name);
+  if (it == machines_.end()) {
+    std::string known;
+    for (const auto& [key, entry] : machines_) {
+      (void)entry;
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw ProtocolError(ErrorCode::kUnknownMachine,
+                        "unknown machine '" + name + "' (registered: " +
+                            known + ")");
+  }
+  return it->second;
+}
+
+std::uint64_t Engine::current_generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+bool Engine::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+void Engine::note_queue_stall() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_stalls_ += 1;
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->add_counter("serve.queue_stalls", 1);
+  }
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats snapshot;
+  snapshot.generation = generation_;
+  snapshot.requests = requests_;
+  snapshot.errors = errors_;
+  snapshot.queue_stalls = queue_stalls_;
+  snapshot.batch_items = batch_items_;
+  snapshot.machines.reserve(machines_.size());
+  for (const auto& [key, entry] : machines_) {
+    (void)entry;
+    snapshot.machines.push_back(key);
+  }
+  return snapshot;
+}
+
+}  // namespace rme::serve

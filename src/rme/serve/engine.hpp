@@ -1,0 +1,109 @@
+#pragma once
+// rme::serve — the model engine behind the daemon.
+//
+// The Engine owns the machine registry: the five paper presets are
+// loaded once at construction, and `ingest` installs fitted coefficient
+// sets from .rmea artifacts at runtime.  The registry is *generation
+// versioned*: every successful ingest bumps a monotonic generation
+// counter, every response carries the generation it was computed
+// against (`gen`), and cached machine lookups are invalidated by the
+// bump — a client that pins a generation can detect that a reload
+// happened between two of its requests.
+//
+// Determinism contract (tests/test_serve.cpp): handle() is a pure
+// function of (registry state, frame bytes).  Batches evaluate through
+// exec::parallel_map, whose results are a pure function of the batch
+// index — so responses are byte-identical at any --jobs value, and
+// `predict` numbers are bit-equal to direct predict_time/predict_energy
+// calls (responses serialize through artifact::format_number, the
+// shortest-round-trip form).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rme/artifact/json.hpp"
+#include "rme/core/machine.hpp"
+#include "rme/obs/trace.hpp"
+#include "rme/serve/protocol.hpp"
+
+namespace rme::serve {
+
+/// Engine configuration; jobs follows the exec convention (0 = hardware
+/// concurrency, 1 = inline).
+struct EngineOptions {
+  unsigned jobs = 1;             ///< Parallelism *within* one batch.
+  std::size_t max_batch = 1024;  ///< Largest accepted batch/variants.
+  obs::Tracer* tracer = nullptr;  ///< Optional; null = no-op sink.
+};
+
+/// A point-in-time copy of the engine counters (the `stats` endpoint).
+struct EngineStats {
+  std::uint64_t generation = 0;
+  std::uint64_t requests = 0;      ///< Frames handled (incl. rejected).
+  std::uint64_t errors = 0;        ///< Frames answered with an error.
+  std::uint64_t queue_stalls = 0;  ///< Overload rejections (server-fed).
+  std::uint64_t batch_items = 0;   ///< Descriptors evaluated in total.
+  std::vector<std::string> machines;  ///< Registry keys, sorted.
+};
+
+/// The request handler.  Thread-safe; one instance serves every
+/// connection of a daemon process.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Handles one request frame and returns the response document.
+  /// Never throws for malformed input — protocol violations become
+  /// structured error responses so the connection stays serviceable.
+  [[nodiscard]] Json handle(std::string_view frame);
+
+  /// True once a `shutdown` frame was handled; the transport loop
+  /// drains and exits when it sees this.
+  [[nodiscard]] bool shutdown_requested() const;
+
+  /// Server-side hook: counts one backpressure rejection (the server
+  /// sheds load before the engine ever sees the frame).
+  void note_queue_stall();
+
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct Entry {
+    MachineParams params;
+    std::uint64_t generation = 1;  ///< Generation that installed it.
+  };
+
+  /// Registry lookup; copies out under the lock.  Throws ProtocolError
+  /// (kUnknownMachine) naming the registered keys.
+  [[nodiscard]] Entry find_machine(const std::string& name) const;
+
+  [[nodiscard]] Json dispatch(const Request& request);
+  [[nodiscard]] Json do_predict(const Request& request);
+  [[nodiscard]] Json do_rank(const Request& request);
+  [[nodiscard]] Json do_whatif(const Request& request);
+  [[nodiscard]] Json do_ingest(const Request& request);
+  [[nodiscard]] Json do_stats(const Request& request);
+  [[nodiscard]] Json reject(const ProtocolError& error, const Json* id);
+
+  [[nodiscard]] std::uint64_t current_generation() const;
+
+  EngineOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> machines_;
+  std::uint64_t generation_ = 1;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t queue_stalls_ = 0;
+  std::uint64_t batch_items_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rme::serve

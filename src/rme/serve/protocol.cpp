@@ -1,0 +1,337 @@
+#include "rme/serve/protocol.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace rme::serve {
+
+namespace {
+
+using artifact::JsonError;
+
+/// Wraps Json lookups so shape errors surface as kBadRequest with the
+/// offending path instead of a raw JsonError.
+const Json& member(const Json& j, std::string_view key,
+                   const std::string& where) {
+  if (!j.is_object() || !j.has(key)) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        where + " is missing required field '" +
+                            std::string(key) + "'");
+  }
+  return j.at(key);
+}
+
+double number_field(const Json& j, std::string_view key,
+                    const std::string& where) {
+  try {
+    return member(j, key, where).as_number();
+  } catch (const JsonError&) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        where + " field '" + std::string(key) +
+                            "' must be a finite number");
+  }
+}
+
+std::string string_field(const Json& j, std::string_view key,
+                         const std::string& where) {
+  try {
+    return member(j, key, where).as_string();
+  } catch (const JsonError&) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        where + " field '" + std::string(key) +
+                            "' must be a string");
+  }
+}
+
+Precision precision_field(const Json& j, const std::string& where) {
+  if (!j.has("precision")) return Precision::kDouble;
+  const std::string p = string_field(j, "precision", where);
+  if (p == "single") return Precision::kSingle;
+  if (p == "double") return Precision::kDouble;
+  throw ProtocolError(ErrorCode::kBadRequest,
+                      where + " precision must be 'single' or 'double', got '" +
+                          p + "'");
+}
+
+/// One batch entry: either explicit {flops, bytes} or a
+/// {"mix":{"intensity":I,"words":N}} microbenchmark spec.
+sim::KernelDesc parse_descriptor(const Json& j, std::size_t index) {
+  const std::string where = "batch[" + std::to_string(index) + "]";
+  if (!j.is_object()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        where + " must be an object");
+  }
+  const Precision precision = precision_field(j, where);
+  sim::KernelDesc desc;
+  if (j.has("mix")) {
+    const Json& mix = j.at("mix");
+    if (!mix.is_object()) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          where + " mix must be an object");
+    }
+    const double intensity = number_field(mix, "intensity", where + ".mix");
+    const double words = number_field(mix, "words", where + ".mix");
+    if (!(intensity > 0.0)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          where + ".mix intensity must be > 0");
+    }
+    if (!(words > 0.0)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          where + ".mix words must be > 0");
+    }
+    desc = sim::fma_load_mix(intensity, words, precision);
+  } else {
+    desc.flops = number_field(j, "flops", where);
+    desc.bytes = number_field(j, "bytes", where);
+    desc.precision = precision;
+    if (!(desc.flops >= 0.0)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          where + " flops must be >= 0");
+    }
+    if (!(desc.bytes > 0.0)) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          where + " bytes must be > 0");
+    }
+  }
+  if (j.has("name")) {
+    desc.name = string_field(j, "name", where);
+  } else if (desc.name.empty()) {
+    desc.name = "k" + std::to_string(index);
+  }
+  return desc;
+}
+
+std::vector<sim::KernelDesc> parse_batch(const Json& request,
+                                         std::string_view key,
+                                         std::size_t max_batch) {
+  const Json& batch = member(request, key, "request");
+  if (!batch.is_array()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "request field '" + std::string(key) +
+                            "' must be an array");
+  }
+  const std::vector<Json>& items = batch.items();
+  if (items.empty()) {
+    throw ProtocolError(ErrorCode::kEmptyBatch,
+                        "'" + std::string(key) + "' must not be empty");
+  }
+  if (items.size() > max_batch) {
+    throw ProtocolError(
+        ErrorCode::kOverCapacity,
+        "'" + std::string(key) + "' has " + std::to_string(items.size()) +
+            " entries; this server accepts at most " +
+            std::to_string(max_batch) + " per request");
+  }
+  std::vector<sim::KernelDesc> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out.push_back(parse_descriptor(items[i], i));
+  }
+  return out;
+}
+
+std::optional<double> optional_edit(const Json& edits, std::string_view key,
+                                    bool positive_required) {
+  if (!edits.has(key)) return std::nullopt;
+  double value = 0.0;
+  try {
+    value = edits.at(key).as_number();
+  } catch (const JsonError&) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "edits field '" + std::string(key) +
+                            "' must be a finite number");
+  }
+  if (positive_required ? !(value > 0.0) : !(value >= 0.0)) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "edits field '" + std::string(key) + "' must be " +
+                            (positive_required ? "> 0" : ">= 0"));
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kUnknownMachine: return "unknown_machine";
+    case ErrorCode::kEmptyBatch: return "empty_batch";
+    case ErrorCode::kOverCapacity: return "over_capacity";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kIngestFailed: return "ingest_failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kPredict: return "predict";
+    case Op::kRank: return "rank";
+    case Op::kWhatif: return "whatif";
+    case Op::kIngest: return "ingest";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(RankBy by) noexcept {
+  switch (by) {
+    case RankBy::kEnergy: return "energy";
+    case RankBy::kTime: return "time";
+    case RankBy::kEdp: return "edp";
+    case RankBy::kGreenup: return "greenup";
+  }
+  return "unknown";
+}
+
+Request parse_request(std::string_view line, std::size_t max_batch) {
+  Json frame;
+  try {
+    frame = Json::parse(line);
+  } catch (const JsonError& err) {
+    throw ProtocolError(ErrorCode::kParseError, err.what());
+  }
+  if (!frame.is_object()) {
+    throw ProtocolError(ErrorCode::kParseError,
+                        "request frame must be a JSON object");
+  }
+  return parse_frame(frame, max_batch);
+}
+
+Request parse_frame(const Json& frame, std::size_t max_batch) {
+  Request request;
+  if (frame.has("id")) {
+    request.has_id = true;
+    request.id = frame.at("id");
+  }
+
+  const std::string op = string_field(frame, "op", "request");
+  if (op == "predict") {
+    request.op = Op::kPredict;
+  } else if (op == "rank") {
+    request.op = Op::kRank;
+  } else if (op == "whatif") {
+    request.op = Op::kWhatif;
+  } else if (op == "ingest") {
+    request.op = Op::kIngest;
+  } else if (op == "stats") {
+    request.op = Op::kStats;
+    return request;
+  } else if (op == "shutdown") {
+    request.op = Op::kShutdown;
+    return request;
+  } else {
+    throw ProtocolError(ErrorCode::kUnknownOp,
+                        "unknown op '" + op +
+                            "' (want predict, rank, whatif, ingest, stats, "
+                            "or shutdown)");
+  }
+
+  if (request.op == Op::kIngest) {
+    request.ingest_name = string_field(frame, "name", "request");
+    request.ingest_artifact = string_field(frame, "artifact", "request");
+    if (request.ingest_name.empty()) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "ingest name must not be empty");
+    }
+    if (request.ingest_artifact.empty()) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "ingest artifact path must not be empty");
+    }
+    return request;
+  }
+
+  request.machine = string_field(frame, "machine", "request");
+
+  if (request.op == Op::kRank) {
+    request.batch = parse_batch(frame, "variants", max_batch);
+    if (frame.has("by")) {
+      const std::string by = string_field(frame, "by", "request");
+      if (by == "energy") {
+        request.rank_by = RankBy::kEnergy;
+      } else if (by == "time") {
+        request.rank_by = RankBy::kTime;
+      } else if (by == "edp") {
+        request.rank_by = RankBy::kEdp;
+      } else if (by == "greenup") {
+        request.rank_by = RankBy::kGreenup;
+      } else {
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "rank 'by' must be energy, time, edp, or "
+                            "greenup, got '" + by + "'");
+      }
+    }
+    return request;
+  }
+
+  request.batch = parse_batch(frame, "batch", max_batch);
+
+  if (request.op == Op::kWhatif) {
+    const Json& edits = member(frame, "edits", "request");
+    if (!edits.is_object()) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "request field 'edits' must be an object");
+    }
+    for (const auto& [key, value] : edits.members()) {
+      (void)value;
+      if (key != "eps_flop_pj" && key != "eps_mem_pj" && key != "pi0_w" &&
+          key != "gflops" && key != "gbs") {
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "unknown edits field '" + key +
+                                "' (want eps_flop_pj, eps_mem_pj, pi0_w, "
+                                "gflops, gbs)");
+      }
+    }
+    request.edits.eps_flop_pj = optional_edit(edits, "eps_flop_pj", true);
+    request.edits.eps_mem_pj = optional_edit(edits, "eps_mem_pj", true);
+    request.edits.pi0_w = optional_edit(edits, "pi0_w", false);
+    request.edits.gflops = optional_edit(edits, "gflops", true);
+    request.edits.gbs = optional_edit(edits, "gbs", true);
+    if (!request.edits.any()) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          "edits must set at least one of eps_flop_pj, "
+                          "eps_mem_pj, pi0_w, gflops, gbs");
+    }
+  }
+  return request;
+}
+
+Json error_response(const ProtocolError& error, const Json* id) {
+  Json response = Json::object();
+  response.set("ok", Json::boolean(false));
+  if (id != nullptr) response.set("id", *id);
+  Json detail = Json::object();
+  detail.set("code", Json::string(to_string(error.code())));
+  detail.set("message", Json::string(error.what()));
+  response.set("error", std::move(detail));
+  return response;
+}
+
+Json overloaded_response(std::int64_t retry_after_ms) {
+  Json response = Json::object();
+  response.set("ok", Json::boolean(false));
+  Json detail = Json::object();
+  detail.set("code", Json::string(to_string(ErrorCode::kOverloaded)));
+  detail.set("message",
+             Json::string("request queue is full; retry after the hint"));
+  response.set("error", std::move(detail));
+  response.set("retry_after_ms",
+               Json::number(static_cast<double>(retry_after_ms)));
+  return response;
+}
+
+Json ok_response_head(Op op, const Request& request,
+                      std::uint64_t generation) {
+  Json response = Json::object();
+  response.set("ok", Json::boolean(true));
+  response.set("op", Json::string(to_string(op)));
+  if (request.has_id) response.set("id", request.id);
+  response.set("gen", Json::number(static_cast<double>(generation)));
+  return response;
+}
+
+}  // namespace rme::serve

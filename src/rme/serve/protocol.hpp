@@ -1,0 +1,130 @@
+#pragma once
+// rme::serve — the roofline-as-a-service wire protocol.
+//
+// Frames are newline-delimited JSON: one request object per line in,
+// one response object per line out, in request order.  The grammar is
+// the deterministic rme::artifact::Json dialect (insertion-ordered
+// members, to_chars shortest-round-trip numbers), so a response number
+// parses back to the exact double the model computed — the conformance
+// suite pins responses byte-for-byte and proves `predict` bit-equal to
+// direct library calls (docs/SERVE.md).
+//
+// Every malformed frame yields a *structured error response* on the
+// same connection, which stays serviceable: parse errors never tear
+// down the session, and overload is an explicit `overloaded` error with
+// a `retry_after_ms` hint — never a silent drop.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rme/artifact/json.hpp"
+#include "rme/core/machine.hpp"
+#include "rme/sim/kernel_desc.hpp"
+
+namespace rme::serve {
+
+using artifact::Json;
+
+/// Stable machine-readable error codes (the `error.code` field).
+enum class ErrorCode {
+  kParseError,      ///< Frame is not a valid JSON object.
+  kBadRequest,      ///< Valid JSON, invalid shape/field/value.
+  kUnknownOp,       ///< `op` names no endpoint.
+  kUnknownMachine,  ///< `machine` names no registered preset.
+  kEmptyBatch,      ///< `batch`/`variants` present but empty.
+  kOverCapacity,    ///< Batch larger than the server's --max-batch.
+  kOverloaded,      ///< Request queue full; retry after the hint.
+  kIngestFailed,    ///< Artifact missing, corrupt, or incomplete.
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+
+/// A rejected request: `code` is the wire error code, what() the
+/// human-readable message carried in `error.message`.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// The endpoints.  `stats` and `shutdown` are operational endpoints
+/// used by the soak harness and orderly drains.
+enum class Op { kPredict, kRank, kWhatif, kIngest, kStats, kShutdown };
+
+[[nodiscard]] const char* to_string(Op op) noexcept;
+
+/// Ranking metric for the `rank` endpoint.
+enum class RankBy {
+  kEnergy,   ///< Ascending predicted joules.
+  kTime,     ///< Ascending predicted seconds.
+  kEdp,      ///< Ascending energy-delay product.
+  kGreenup,  ///< Descending greenup vs the first variant (baseline).
+};
+
+[[nodiscard]] const char* to_string(RankBy by) noexcept;
+
+/// Machine-edit deltas for `whatif`.  All optional; at least one must
+/// be present.  Peaks replace, energies replace, pi0 replaces.
+struct MachineEdits {
+  std::optional<double> eps_flop_pj;  ///< New ε_flop [pJ/flop].
+  std::optional<double> eps_mem_pj;   ///< New ε_mem [pJ/byte].
+  std::optional<double> pi0_w;        ///< New π_0 [W].
+  std::optional<double> gflops;       ///< New peak arithmetic rate.
+  std::optional<double> gbs;          ///< New peak bandwidth [GB/s].
+
+  [[nodiscard]] bool any() const noexcept {
+    return eps_flop_pj || eps_mem_pj || pi0_w || gflops || gbs;
+  }
+};
+
+/// One parsed request frame.  Fields beyond `op`/`id` are populated
+/// per endpoint; parse_request validates shapes and value ranges.
+struct Request {
+  Op op = Op::kStats;
+  bool has_id = false;
+  Json id;  ///< Echoed verbatim in the response when present.
+
+  std::string machine;                  ///< predict / rank / whatif.
+  std::vector<sim::KernelDesc> batch;   ///< predict / whatif / rank.
+  RankBy rank_by = RankBy::kEnergy;     ///< rank.
+  MachineEdits edits;                   ///< whatif.
+  std::string ingest_name;              ///< ingest: registry key stem.
+  std::string ingest_artifact;          ///< ingest: .rmea path.
+};
+
+/// Parses and validates one frame.  Throws ProtocolError with the
+/// appropriate code on any malformation; messages name the offending
+/// field (and batch index) so clients can self-diagnose.
+[[nodiscard]] Request parse_request(std::string_view line,
+                                    std::size_t max_batch);
+
+/// The validation stage alone, for callers that already parsed the
+/// JSON (the engine parses first so a validation error can still echo
+/// the request's `id`).  `frame` must be a JSON object.
+[[nodiscard]] Request parse_frame(const Json& frame, std::size_t max_batch);
+
+/// The error response for a rejected frame; echoes `id` when the
+/// request parsed far enough to yield one.
+[[nodiscard]] Json error_response(const ProtocolError& error,
+                                  const Json* id);
+
+/// The backpressure response: queue full, retry after the hint.
+/// Emitted by the server before parsing (shedding load must be cheap),
+/// so it never carries an id.
+[[nodiscard]] Json overloaded_response(std::int64_t retry_after_ms);
+
+/// Starts an ok response: {"ok":true,"op":...,("id":...,)"gen":...}.
+[[nodiscard]] Json ok_response_head(Op op, const Request& request,
+                                    std::uint64_t generation);
+
+}  // namespace rme::serve

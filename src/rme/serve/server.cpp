@@ -1,0 +1,203 @@
+#include "rme/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#include "rme/serve/arena.hpp"
+
+namespace rme::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(
+      "serve: " + what + ": " +
+      std::system_category().message(errno));
+}
+
+/// Writes the whole buffer to `fd`, resuming across short writes and
+/// EINTR.  Returns false when the peer is gone (EPIPE & friends).
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Minimal line reader over a file descriptor; one heap buffer per
+/// connection, reused across frames.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  /// Reads the next '\n'-terminated line (newline stripped).  Returns
+  /// false on EOF or read error.  A final unterminated line is
+  /// delivered as-is, matching std::getline.
+  bool next_line(std::string& line) {
+    line.clear();
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n', scanned_);
+      if (nl != std::string::npos) {
+        line.assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        scanned_ = 0;
+        return true;
+      }
+      scanned_ = buffer_.size();
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) {
+        if (buffer_.empty()) return false;
+        line.swap(buffer_);
+        scanned_ = 0;
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;  ///< Prefix already searched for '\n'.
+};
+
+/// RAII file descriptor (close on scope exit, EINTR-safe enough for
+/// sockets on Linux where close always invalidates the fd).
+class UniqueFd {
+ public:
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      engine_(EngineOptions{options.jobs, options.max_batch,
+                            options.tracer}) {}
+
+std::string Server::respond(std::string_view line, ServeStats& stats) {
+  stats.frames_in += 1;
+  // The sequential transports answer each frame before reading the
+  // next, so the live queue depth is at most one and a real overflow of
+  // `queue_limit` is unreachable here; the chaos hook injects the
+  // rejection deterministically so the shed path stays tested.
+  const bool shed =
+      (options_.chaos_full_at >= 0 &&
+       frame_index_ ==
+           static_cast<std::uint64_t>(options_.chaos_full_at)) ||
+      options_.queue_limit == 0;
+  frame_index_ += 1;
+  std::string payload;
+  if (shed) {
+    engine_.note_queue_stall();
+    stats.overload_rejections += 1;
+    payload = overloaded_response(options_.retry_after_ms).dump();
+  } else {
+    payload = engine_.handle(line).dump();
+  }
+  stats.responses += 1;
+  payload += '\n';
+  return payload;
+}
+
+ServeStats Server::serve_stream(std::istream& in, std::ostream& out) {
+  ServeStats stats;
+  Arena arena;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view frame = arena.intern(line);
+    const std::string payload = respond(frame, stats);
+    out << payload;
+    out.flush();
+    arena.reset();
+    if (!out) break;  // Peer gone; nothing left to serve.
+    if (engine_.shutdown_requested()) break;
+  }
+  stats.arena_high_water = arena.high_water_bytes();
+  stats.arena_capacity = arena.capacity_bytes();
+  return stats;
+}
+
+ServeStats Server::serve_unix(const std::string& path) {
+  ServeStats stats;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  path.copy(addr.sun_path, path.size());
+
+  UniqueFd listener(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (listener.get() < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // Replace a stale socket file, if any.
+  if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind " + path);
+  }
+  if (::listen(listener.get(), 8) != 0) throw_errno("listen " + path);
+
+  while (!engine_.shutdown_requested()) {
+    const int accepted = ::accept(listener.get(), nullptr, nullptr);
+    if (accepted < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("accept");
+    }
+    UniqueFd conn(accepted);
+    stats.connections += 1;
+
+    Arena arena;
+    FdLineReader reader(conn.get());
+    std::string line;
+    while (reader.next_line(line)) {
+      const std::string_view frame = arena.intern(line);
+      const std::string payload = respond(frame, stats);
+      const bool delivered = write_all(conn.get(), payload);
+      arena.reset();
+      if (!delivered) break;  // Peer gone; await the next connection.
+      if (engine_.shutdown_requested()) break;
+    }
+    if (arena.high_water_bytes() > stats.arena_high_water) {
+      stats.arena_high_water = arena.high_water_bytes();
+    }
+    if (arena.capacity_bytes() > stats.arena_capacity) {
+      stats.arena_capacity = arena.capacity_bytes();
+    }
+  }
+
+  ::unlink(path.c_str());
+  return stats;
+}
+
+}  // namespace rme::serve

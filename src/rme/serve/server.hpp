@@ -1,0 +1,87 @@
+#pragma once
+// rme::serve — transports for the daemon.
+//
+// Two transports answer the same newline-delimited protocol with the
+// same Engine, so their outputs are byte-identical for the same frame
+// sequence (pinned by tests/test_serve.cpp):
+//
+//   * pipe   — serve_stream(istream, ostream): stdin/stdout serving for
+//              tests, CI, and `rme_served --pipe | jq` pipelines; no
+//              networking involved;
+//   * socket — serve_unix(path): an AF_UNIX stream socket, one
+//              connection at a time, connections served until a
+//              `shutdown` frame drains the daemon.
+//
+// Backpressure: the ingress queue is bounded (ServerOptions::
+// queue_limit).  A frame that arrives when the queue is full is
+// answered immediately with an `overloaded` error carrying a
+// `retry_after_ms` hint — never silently dropped, and the connection
+// stays serviceable.  The sequential transports answer each frame
+// before reading the next, so their live queue depth never exceeds one;
+// the deterministic `chaos_full_at` hook (the moral twin of
+// artifact::ChaosConfig) makes the overload path reachable — and
+// therefore testable — at a seeded frame index.
+//
+// Each connection owns one Arena: frames are interned into it and it is
+// reset between frames, so steady-state serving does not grow the heap
+// per request; the high-water mark is exported through ServeStats.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "rme/serve/engine.hpp"
+
+namespace rme::serve {
+
+/// Daemon configuration, filled from flags by tools/rme_served.
+struct ServerOptions {
+  unsigned jobs = 1;             ///< Within-batch parallelism.
+  std::size_t max_batch = 1024;  ///< Largest accepted batch.
+  std::size_t queue_limit = 64;  ///< Bounded ingress queue depth.
+  std::int64_t retry_after_ms = 50;  ///< Overload back-off hint.
+  /// Chaos hook: treat the queue as full at this 0-based global frame
+  /// index (one rejection, then normal service).  Negative = disabled.
+  long long chaos_full_at = -1;
+  obs::Tracer* tracer = nullptr;  ///< Optional; null = no-op sink.
+};
+
+/// Transport-level accounting across a serve loop's lifetime.
+struct ServeStats {
+  std::uint64_t frames_in = 0;   ///< Lines read off the transport.
+  std::uint64_t responses = 0;   ///< Lines written back (1:1 with in).
+  std::uint64_t overload_rejections = 0;  ///< Backpressure answers.
+  std::uint64_t connections = 0;          ///< Socket mode: accepts.
+  std::size_t arena_high_water = 0;  ///< Max live frame bytes seen.
+  std::size_t arena_capacity = 0;    ///< Arena capacity at loop exit.
+};
+
+/// The daemon: one Engine plus the two transports.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+
+  /// Pipe mode: answers frames from `in` on `out` until EOF, a
+  /// `shutdown` frame, or an unwritable output stream.
+  ServeStats serve_stream(std::istream& in, std::ostream& out);
+
+  /// Socket mode: binds an AF_UNIX stream socket at `path` (replacing
+  /// any stale file), accepts connections one at a time, and returns
+  /// after a `shutdown` frame.  Throws std::runtime_error on socket
+  /// setup failures.
+  ServeStats serve_unix(const std::string& path);
+
+ private:
+  /// Answers one frame (or sheds it); returns the response line
+  /// including its trailing newline.
+  [[nodiscard]] std::string respond(std::string_view line, ServeStats& stats);
+
+  ServerOptions options_;
+  Engine engine_;
+  std::uint64_t frame_index_ = 0;  ///< Global across connections.
+};
+
+}  // namespace rme::serve

@@ -353,6 +353,76 @@ TEST(Artifact, MissingFileReadsAsEmptyValidArtifact) {
   EXPECT_EQ(r.records, 0u);
 }
 
+// --- Coefficients-only fast path (rme::serve ingest) ------------------
+
+TEST(CoefficientScan, AgreesWithFullReadWhileSkippingSteps) {
+  const std::string path = temp_path("coeffs.rmea");
+  write_file(path, small_image());
+
+  const ReadResult full = read_artifact(path);
+  const CoefficientScan fast = read_artifact_coefficients(path);
+  ASSERT_EQ(fast.status, ScanStatus::kOk);
+  ASSERT_TRUE(fast.has_header);
+  ASSERT_TRUE(fast.has_fit);
+  EXPECT_EQ(fast.steps_skipped, full.steps.size());
+  EXPECT_EQ(fast.records, full.records);
+  // Byte-stable serialization makes "same record" checkable exactly.
+  EXPECT_EQ(to_json(fast.header).dump(), to_json(full.header).dump());
+  EXPECT_EQ(to_json(fast.fit).dump(), to_json(full.fit).dump());
+}
+
+TEST(CoefficientScan, GoldenSessionSkipsEveryStepUnparsed) {
+  const CoefficientScan fast = read_artifact_coefficients(
+      std::string(RME_GOLDEN_DIR) + "/session_i7.rmea");
+  ASSERT_EQ(fast.status, ScanStatus::kOk);
+  EXPECT_TRUE(fast.has_header);
+  EXPECT_EQ(fast.header.platform, "i7");
+  ASSERT_TRUE(fast.has_fit);
+  EXPECT_EQ(fast.steps_skipped, 16u);
+  EXPECT_EQ(fast.records, 18u);  // header + 16 steps + fit.
+}
+
+TEST(CoefficientScan, DetectsCorruptionAndTornTailLikeTheFullRead) {
+  const std::string image = small_image();
+  const std::string path = temp_path("coeffs_damaged.rmea");
+
+  // A checksum flip inside a *step* payload must still surface as
+  // corruption: the fast path skips JSON parsing, never CRC checking.
+  std::string flipped = image;
+  flipped[image.size() / 2] ^= 0x01;
+  write_file(path, flipped);
+  EXPECT_EQ(read_artifact_coefficients(path).status, ScanStatus::kCorrupt);
+
+  // A torn final line is a clean truncated-tail prefix, as for
+  // read_artifact — the fit is simply not there yet.
+  write_file(path, image.substr(0, image.size() - 7));
+  const CoefficientScan torn = read_artifact_coefficients(path);
+  EXPECT_EQ(torn.status, ScanStatus::kTruncatedTail);
+  EXPECT_TRUE(torn.has_header);
+  EXPECT_FALSE(torn.has_fit);
+  EXPECT_EQ(torn.steps_skipped, 2u);
+
+  // Missing file: empty, valid, fit-less — same contract as the full
+  // read; rme::serve turns this into an `ingest_failed` response.
+  const CoefficientScan missing =
+      read_artifact_coefficients(temp_path("no_such_coeffs.rmea"));
+  EXPECT_EQ(missing.status, ScanStatus::kOk);
+  EXPECT_FALSE(missing.has_header);
+  EXPECT_FALSE(missing.has_fit);
+}
+
+TEST(CoefficientScan, StepAfterFitIsCorrupt) {
+  std::string image = frame_record(to_json(small_header()).dump());
+  image += frame_record(to_json(small_fit()).dump());
+  image += frame_record(to_json(small_step(0)).dump());
+  const std::string path = temp_path("coeffs_misordered.rmea");
+  write_file(path, image);
+  const CoefficientScan scan = read_artifact_coefficients(path);
+  EXPECT_EQ(scan.status, ScanStatus::kCorrupt);
+  EXPECT_NE(scan.message.find("step record after the fit"),
+            std::string::npos);
+}
+
 // --- Golden fixture: format stability across builds -------------------
 
 // tests/golden/session_i7.rmea was captured by `rme_cli sweep i7

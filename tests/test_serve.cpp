@@ -1,0 +1,491 @@
+// rme::serve tests: protocol-conformance corpus, determinism proofs
+// (jobs 1 vs 4, pipe vs socket, serve vs direct library calls), arena
+// and protocol units, chaos backpressure, and the 10k-request soak.
+//
+// The conformance corpus lives in tests/serve/: each NN_name.req file
+// is a frame sequence piped into `rme_served --pipe --max-batch 8`, and
+// the golden NN_name.resp is pinned byte-for-byte.  Regenerate after an
+// intentional protocol change with:
+//   for f in tests/serve/*.req; do
+//     build/tools/rme_served --pipe --max-batch 8 \
+//       < "$f" > "${f%.req}.resp" 2>/dev/null; done
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rme/rme.hpp"
+
+#ifndef RME_SERVED_PATH
+#error "RME_SERVED_PATH must be defined by the build"
+#endif
+#ifndef RME_SERVE_FIXTURE_DIR
+#error "RME_SERVE_FIXTURE_DIR must be defined by the build"
+#endif
+#ifndef RME_GOLDEN_DIR
+#error "RME_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using namespace rme;
+using artifact::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+struct ServedRun {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+/// Runs rme_served as a subprocess with `input` on stdin.
+ServedRun run_served(const std::string& args, const std::string& input,
+                     const std::string& tag) {
+  const std::string dir = ::testing::TempDir();
+  const std::string in_path = dir + "/served_" + tag + ".in";
+  const std::string out_path = dir + "/served_" + tag + ".out";
+  const std::string err_path = dir + "/served_" + tag + ".err";
+  {
+    std::ofstream in(in_path, std::ios::binary);
+    in << input;
+  }
+  const std::string cmd = std::string(RME_SERVED_PATH) + " " + args + " < " +
+                          in_path + " > " + out_path + " 2> " + err_path;
+  const int status = std::system(cmd.c_str());
+  ServedRun run;
+  run.exit_code = WEXITSTATUS(status);
+  run.out = read_file(out_path);
+  run.err = read_file(err_path);
+  return run;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-conformance corpus: every fixture's response stream is
+// pinned byte-for-byte, and every malformed frame yields a structured
+// error while the connection stays serviceable.
+
+class ServeConformance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServeConformance, GoldenResponseByteForByte) {
+  const std::string stem = GetParam();
+  const std::string req =
+      read_file(std::string(RME_SERVE_FIXTURE_DIR) + "/" + stem + ".req");
+  const std::string golden =
+      read_file(std::string(RME_SERVE_FIXTURE_DIR) + "/" + stem + ".resp");
+  ASSERT_FALSE(req.empty()) << stem;
+  ASSERT_FALSE(golden.empty()) << stem;
+
+  const ServedRun run = run_served("--pipe --max-batch 8", req, stem);
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(run.out, golden) << stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ServeConformance,
+    ::testing::Values("01_predict_single", "02_predict_batch_mix",
+                      "03_rank_energy", "04_rank_greenup", "05_whatif_edit",
+                      "06_stats", "07_shutdown", "08_truncated_json",
+                      "09_unknown_endpoint", "10_nan_field",
+                      "11_overflow_field", "12_empty_batch",
+                      "13_oversized_batch", "14_unknown_machine",
+                      "15_bad_edit_field", "16_recovery_sequence"));
+
+TEST(ServeConformance, EveryMalformedFrameLeavesConnectionServiceable) {
+  // Concatenate every malformed fixture, then a valid stats + shutdown:
+  // the daemon must answer one structured error per bad frame and still
+  // serve the tail.
+  const char* malformed[] = {"08_truncated_json", "09_unknown_endpoint",
+                             "10_nan_field",      "11_overflow_field",
+                             "12_empty_batch",    "13_oversized_batch",
+                             "14_unknown_machine", "15_bad_edit_field"};
+  std::string input;
+  for (const char* stem : malformed) {
+    input +=
+        read_file(std::string(RME_SERVE_FIXTURE_DIR) + "/" + stem + ".req");
+  }
+  input += "{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+
+  const ServedRun run = run_served("--pipe --max-batch 8", input, "recovery");
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  const std::vector<std::string> lines = split_lines(run.out);
+  ASSERT_EQ(lines.size(), std::size(malformed) + 2);
+  for (std::size_t i = 0; i < std::size(malformed); ++i) {
+    const Json response = Json::parse(lines[i]);
+    EXPECT_FALSE(response.at("ok").as_bool()) << lines[i];
+    EXPECT_TRUE(response.at("error").has("code")) << lines[i];
+    EXPECT_TRUE(response.at("error").has("message")) << lines[i];
+  }
+  const Json stats = Json::parse(lines[std::size(malformed)]);
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("errors").as_count(), std::size(malformed));
+  const Json bye = Json::parse(lines.back());
+  EXPECT_TRUE(bye.at("ok").as_bool());
+  EXPECT_EQ(bye.at("op").as_string(), "shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: serve must never drift from the model.
+
+TEST(ServeDeterminism, PredictBitEqualToDirectLibraryCalls) {
+  serve::Engine engine;
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const KernelProfile profile{3.2e11, 1e10};
+
+  const Json response = engine.handle(
+      R"({"op":"predict","machine":"gtx580-dp","batch":[)"
+      R"({"flops":3.2e11,"bytes":1e10}]})");
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  const Json& row = response.at("results").items().front();
+
+  const TimeBreakdown t = predict_time(m, profile);
+  const EnergyBreakdown e = predict_energy(m, profile);
+  const double intensity = profile.intensity();
+  // Bit-equality, not approximate: responses serialize through
+  // format_number's shortest-round-trip form, so the parsed double is
+  // the exact double the model computed.
+  EXPECT_EQ(row.at("seconds").as_number(), t.total_seconds.value());
+  EXPECT_EQ(row.at("joules").as_number(), e.total_joules.value());
+  EXPECT_EQ(row.at("watts").as_number(),
+            (e.total_joules / t.total_seconds).value());
+  EXPECT_EQ(row.at("flops_joules").as_number(), e.flops_joules.value());
+  EXPECT_EQ(row.at("mem_joules").as_number(), e.mem_joules.value());
+  EXPECT_EQ(row.at("const_joules").as_number(), e.const_joules.value());
+  EXPECT_EQ(row.at("speed").as_number(), normalized_speed(m, intensity));
+  EXPECT_EQ(row.at("efficiency").as_number(),
+            normalized_efficiency(m, intensity));
+  EXPECT_EQ(row.at("time_bound").as_string(),
+            to_string(time_bound(m, intensity)));
+  EXPECT_EQ(row.at("energy_bound").as_string(),
+            to_string(energy_bound(m, intensity)));
+}
+
+std::string big_batch_frame(std::size_t n) {
+  std::string frame =
+      R"({"op":"predict","machine":"i7-dp","batch":[)";
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = exec::derive_seed(0xC0FFEE, i);
+    const double flops = 1e6 + static_cast<double>(seed % 100000);
+    const double bytes = 1e5 + static_cast<double>((seed >> 32) % 100000);
+    if (i != 0) frame += ',';
+    frame += "{\"flops\":" + artifact::format_number(flops) +
+             ",\"bytes\":" + artifact::format_number(bytes) + "}";
+  }
+  frame += "]}";
+  return frame;
+}
+
+TEST(ServeDeterminism, JobsOneVersusFourByteIdentical) {
+  const std::string frame = big_batch_frame(64);
+  serve::Engine serial(serve::EngineOptions{1, 1024, nullptr});
+  serve::Engine parallel(serve::EngineOptions{4, 1024, nullptr});
+  EXPECT_EQ(serial.handle(frame).dump(), parallel.handle(frame).dump());
+}
+
+TEST(ServeDeterminism, PipeAndSocketTransportsByteIdentical) {
+  std::string frames;
+  for (const char* stem :
+       {"01_predict_single", "03_rank_energy", "05_whatif_edit", "06_stats"}) {
+    frames +=
+        read_file(std::string(RME_SERVE_FIXTURE_DIR) + "/" + stem + ".req");
+  }
+  frames += "{\"op\":\"shutdown\"}\n";
+
+  const ServedRun pipe = run_served("--pipe --max-batch 8", frames, "pvs");
+  ASSERT_EQ(pipe.exit_code, 0) << pipe.err;
+
+  // Socket flavor: spawn the daemon, connect, send the same frames.
+  const std::string socket_path = ::testing::TempDir() + "/rme_serve.sock";
+  const std::string cmd = std::string(RME_SERVED_PATH) + " --socket " +
+                          socket_path + " --max-batch 8 2>/dev/null";
+  FILE* daemon = popen(cmd.c_str(), "r");
+  ASSERT_NE(daemon, nullptr);
+
+  int fd = -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  socket_path.copy(addr.sun_path, socket_path.size());
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_GE(fd, 0) << "daemon never bound " << socket_path;
+
+  std::size_t off = 0;
+  while (off < frames.size()) {
+    const ssize_t n = ::write(fd, frames.data() + off, frames.size() - off);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+  std::string socket_out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    socket_out.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  pclose(daemon);
+
+  EXPECT_EQ(socket_out, pipe.out);
+}
+
+// ---------------------------------------------------------------------------
+// Generations & ingest.
+
+TEST(ServeIngest, InstallsFittedMachinesAndBumpsGeneration) {
+  serve::Engine engine;
+  const std::string artifact_path =
+      std::string(RME_GOLDEN_DIR) + "/session_i7.rmea";
+
+  const Json before = engine.handle(R"({"op":"stats"})");
+  EXPECT_EQ(before.at("gen").as_count(), 1u);
+
+  const Json ingested = engine.handle(
+      R"({"op":"ingest","name":"lab","artifact":")" + artifact_path +
+      R"("})");
+  ASSERT_TRUE(ingested.at("ok").as_bool()) << ingested.dump();
+  EXPECT_EQ(ingested.at("gen").as_count(), 2u);
+  EXPECT_EQ(ingested.at("platform").as_string(), "i7");
+  const std::vector<Json>& installed = ingested.at("installed").items();
+  ASSERT_EQ(installed.size(), 2u);
+  EXPECT_EQ(installed[0].as_string(), "lab-sp");
+  EXPECT_EQ(installed[1].as_string(), "lab-dp");
+
+  // The ingested machine answers bit-equal to the coefficients the
+  // artifact carries, applied to the preset peaks.
+  const artifact::CoefficientScan scan =
+      artifact::read_artifact_coefficients(artifact_path);
+  ASSERT_TRUE(scan.has_fit);
+  fit::EnergyCoefficients coefficients;
+  coefficients.eps_single = EnergyPerFlop{scan.fit.eps_single};
+  coefficients.delta_double = EnergyPerFlop{scan.fit.delta_double};
+  coefficients.eps_mem = EnergyPerByte{scan.fit.eps_mem};
+  coefficients.const_power = Watts{scan.fit.const_power};
+  const MachineParams fitted = coefficients.to_machine(
+      presets::i7_950(Precision::kDouble), Precision::kDouble);
+  const KernelProfile profile{1e9, 1e8};
+
+  const Json response = engine.handle(
+      R"({"op":"predict","machine":"lab-dp","batch":[)"
+      R"({"flops":1e9,"bytes":1e8}]})");
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  EXPECT_EQ(response.at("gen").as_count(), 2u);
+  const Json& row = response.at("results").items().front();
+  EXPECT_EQ(row.at("seconds").as_number(),
+            predict_time(fitted, profile).total_seconds.value());
+  EXPECT_EQ(row.at("joules").as_number(),
+            predict_energy(fitted, profile).total_joules.value());
+
+  // Re-ingest under another name: the generation keeps climbing.
+  const Json again = engine.handle(
+      R"({"op":"ingest","name":"lab2","artifact":")" + artifact_path +
+      R"("})");
+  EXPECT_EQ(again.at("gen").as_count(), 3u);
+}
+
+TEST(ServeIngest, RejectsMissingAndFitlessArtifacts) {
+  serve::Engine engine;
+  const Json missing = engine.handle(
+      R"({"op":"ingest","name":"x","artifact":"/nonexistent/a.rmea"})");
+  EXPECT_FALSE(missing.at("ok").as_bool());
+  EXPECT_EQ(missing.at("error").at("code").as_string(), "ingest_failed");
+
+  // A header-only journal (incomplete session) has no fit to ingest.
+  const std::string path = ::testing::TempDir() + "/headeronly.rmea";
+  std::remove(path.c_str());
+  {
+    artifact::ArtifactWriter writer(path);
+    artifact::ArtifactHeader header;
+    header.platform = "i7";
+    writer.append(artifact::to_json(header));
+  }
+  const Json fitless = engine.handle(
+      R"({"op":"ingest","name":"x","artifact":")" + path + R"("})");
+  EXPECT_FALSE(fitless.at("ok").as_bool());
+  EXPECT_EQ(fitless.at("error").at("code").as_string(), "ingest_failed");
+  EXPECT_NE(fitless.at("error").at("message").as_string().find("no fit"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: overload is an explicit retry_after error, never a
+// silent drop, and the chaos hook makes it deterministic.
+
+TEST(ServeBackpressure, ChaosHookShedsExactlyOneFrameWithRetryHint) {
+  const std::string frames =
+      "{\"op\":\"stats\"}\n{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+  const ServedRun run = run_served(
+      "--pipe --chaos-full-at 1 --retry-after 75", frames, "chaos");
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  const std::vector<std::string> lines = split_lines(run.out);
+  ASSERT_EQ(lines.size(), 3u);
+
+  const Json first = Json::parse(lines[0]);
+  EXPECT_TRUE(first.at("ok").as_bool());
+  const Json shed = Json::parse(lines[1]);
+  EXPECT_FALSE(shed.at("ok").as_bool());
+  EXPECT_EQ(shed.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(shed.at("retry_after_ms").as_count(), 75u);
+  const Json last = Json::parse(lines[2]);
+  EXPECT_TRUE(last.at("ok").as_bool());
+  EXPECT_EQ(last.at("op").as_string(), "shutdown");
+
+  EXPECT_NE(run.err.find("stalls=1"), std::string::npos) << run.err;
+}
+
+TEST(ServeBackpressure, ZeroQueueLimitShedsEveryFrame) {
+  const ServedRun run =
+      run_served("--pipe --queue-limit 0", "{\"op\":\"stats\"}\n", "shed");
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  const Json shed = Json::parse(split_lines(run.out).at(0));
+  EXPECT_EQ(shed.at("error").at("code").as_string(), "overloaded");
+  EXPECT_TRUE(shed.has("retry_after_ms"));
+}
+
+// ---------------------------------------------------------------------------
+// Arena & protocol units.
+
+TEST(Arena, InternReusesCapacityAcrossResets) {
+  serve::Arena arena(16);
+  const std::string_view a = arena.intern("hello, serve");
+  EXPECT_EQ(a, "hello, serve");
+  arena.reset();
+  const std::string_view b = arena.intern("another frame");
+  EXPECT_EQ(b, "another frame");
+  EXPECT_EQ(arena.high_water_bytes(), 13u);  // Larger of the two frames.
+
+  const std::size_t capacity_after_two = arena.capacity_bytes();
+  for (int i = 0; i < 100; ++i) {
+    arena.reset();
+    (void)arena.intern("another frame");
+  }
+  EXPECT_EQ(arena.capacity_bytes(), capacity_after_two);
+}
+
+TEST(Arena, GrowsAcrossBlocksForLargeFrames) {
+  serve::Arena arena(16);
+  const std::string big(10000, 'x');
+  const std::string_view view = arena.intern(big);
+  EXPECT_EQ(view, big);
+  EXPECT_GE(arena.capacity_bytes(), big.size());
+  EXPECT_EQ(arena.high_water_bytes(), big.size());
+}
+
+TEST(Protocol, AcceptsExactlyMaxBatchEntries) {
+  std::string frame = R"({"op":"predict","machine":"fermi","batch":[)";
+  for (int i = 0; i < 8; ++i) {
+    if (i != 0) frame += ',';
+    frame += R"({"flops":1,"bytes":1})";
+  }
+  frame += "]}";
+  const serve::Request request = serve::parse_request(frame, 8);
+  EXPECT_EQ(request.batch.size(), 8u);
+  EXPECT_THROW((void)serve::parse_request(frame, 7), serve::ProtocolError);
+}
+
+TEST(Protocol, ErrorCodesRoundTripTheirWireNames) {
+  EXPECT_STREQ(serve::to_string(serve::ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(serve::to_string(serve::Op::kWhatif), "whatif");
+  EXPECT_STREQ(serve::to_string(serve::RankBy::kEdp), "edp");
+}
+
+// ---------------------------------------------------------------------------
+// Soak: 10k requests through pipe mode — zero queue stalls, monotonic
+// generation counters, clean shutdown.
+
+TEST(ServeSoak, TenThousandRequestsMonotonicGenerationsZeroStalls) {
+  const std::string artifact_path =
+      std::string(RME_GOLDEN_DIR) + "/session_i7.rmea";
+  const char* machines[] = {"fermi", "gtx580-sp", "gtx580-dp", "i7-sp",
+                            "i7-dp"};
+  constexpr std::size_t kRequests = 10000;
+
+  std::string input;
+  input.reserve(kRequests * 96);
+  for (std::size_t i = 0; i + 1 < kRequests; ++i) {
+    const std::uint64_t seed = exec::derive_seed(0x50AC, i);
+    if (i % 97 == 0) {
+      input += R"({"op":"ingest","name":"soak","artifact":")" +
+               artifact_path + "\"}\n";
+    } else if (i % 13 == 0) {
+      input += "{\"op\":\"stats\"}\n";
+    } else if (i % 7 == 0) {
+      input += R"({"op":"rank","machine":"i7-dp","variants":[)"
+               R"({"flops":2e9,"bytes":1e9},{"flops":2e9,"bytes":25e7},)"
+               R"({"flops":4e9,"bytes":25e7}]})"
+               "\n";
+    } else {
+      // The first frame is an ingest, so the installed machines are
+      // also fair game from frame 1 on.
+      const char* machine = (seed % 7 == 0) ? "soak-dp"
+                                            : machines[seed % 5];
+      const double flops = 1e6 + static_cast<double>(seed % 1000000);
+      const double bytes = 1e5 + static_cast<double>((seed >> 24) % 100000);
+      input += R"({"op":"predict","machine":")" + std::string(machine) +
+               R"(","batch":[{"flops":)" + artifact::format_number(flops) +
+               ",\"bytes\":" + artifact::format_number(bytes) + "}]}\n";
+    }
+  }
+  input += "{\"op\":\"shutdown\"}\n";
+
+  const ServedRun run = run_served("--pipe --jobs 2", input, "soak");
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+
+  const std::vector<std::string> lines = split_lines(run.out);
+  ASSERT_EQ(lines.size(), kRequests);
+
+  std::uint64_t last_generation = 0;
+  for (const std::string& line : lines) {
+    const Json response = Json::parse(line);
+    ASSERT_TRUE(response.at("ok").as_bool()) << line;
+    const std::uint64_t generation = response.at("gen").as_count();
+    ASSERT_GE(generation, last_generation) << line;
+    last_generation = generation;
+  }
+  // ~103 ingests, each bumping the generation once.
+  EXPECT_GT(last_generation, 100u);
+
+  EXPECT_NE(run.err.find("stalls=0"), std::string::npos) << run.err;
+  EXPECT_NE(run.err.find("frames=10000"), std::string::npos) << run.err;
+  EXPECT_NE(run.err.find("responses=10000"), std::string::npos) << run.err;
+}
+
+}  // namespace

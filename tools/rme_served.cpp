@@ -1,0 +1,180 @@
+// rme_served — the roofline-model-as-a-service daemon.
+//
+// Loads the machine presets once, then answers newline-delimited JSON
+// requests (docs/SERVE.md): predict, rank, whatif, ingest, plus the
+// operational stats and shutdown endpoints.
+//
+//   rme_served --pipe [options]
+//       Serve stdin/stdout.  No networking: this is the transport the
+//       conformance corpus, the determinism proofs, and the soak test
+//       drive, and it composes with shell pipelines.
+//   rme_served --socket PATH [options]
+//       Serve an AF_UNIX stream socket at PATH, one connection at a
+//       time, until a `shutdown` frame drains the daemon.
+//
+// Options:
+//   --jobs N           parallelism *within* one batch (0 = hardware
+//                      concurrency; responses are byte-identical for
+//                      every N — the rme::exec determinism contract)
+//   --max-batch N      largest accepted batch/variants array (default
+//                      1024; larger batches get an over_capacity error)
+//   --queue-limit N    bounded ingress queue depth (default 64; 0 sheds
+//                      every frame — useful to probe client back-off)
+//   --retry-after MS   the retry hint carried by overloaded responses
+//                      (default 50)
+//   --chaos-full-at N  deterministic backpressure hook: treat the queue
+//                      as full at 0-based frame index N (the serve twin
+//                      of the artifact chaos kill hooks; used by tests)
+//   --trace PATH       write a Chrome trace-event JSON of the serve run
+//   --metrics          print the rme::obs summary (per-endpoint latency
+//                      histograms under span:serve.<op>) to stderr
+//
+// At exit the daemon prints one machine-parsable summary line to
+// stderr:
+//   serve: frames=N responses=N errors=N stalls=N gen=G arena=B
+// The soak harness asserts stalls=0 and a monotonic gen off this line.
+//
+// Exit codes (rme/cli/exit_codes.hpp): 0 ok, 1 runtime failure
+// (unwritable trace file, socket error), 2 usage.
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "rme/rme.hpp"
+
+using namespace rme;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: rme_served (--pipe | --socket PATH) [options]\n"
+         "  --jobs N           within-batch parallelism (0 = hardware)\n"
+         "  --max-batch N      largest accepted batch (default 1024)\n"
+         "  --queue-limit N    ingress queue bound (default 64)\n"
+         "  --retry-after MS   overload retry hint (default 50)\n"
+         "  --chaos-full-at N  reject frame N with `overloaded` (tests)\n"
+         "  --trace PATH       write Chrome trace JSON\n"
+         "  --metrics          print obs summary to stderr\n"
+         "exit codes: 0 ok, 1 runtime failure, 2 usage\n";
+  return cli::kExitUsage;
+}
+
+// Tool-layer observability rig (the rme_cli CliObs idiom): owns the
+// RealClock + Tracer when --trace/--metrics asked for one.
+class ServeObs {
+ public:
+  ServeObs(std::string trace_path, bool metrics)
+      : trace_path_(std::move(trace_path)), metrics_(metrics) {
+    if (!trace_path_.empty() || metrics_) {
+      clock_ = obs::make_real_clock();
+      tracer_ = std::make_unique<obs::Tracer>(*clock_);
+    }
+  }
+
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  [[nodiscard]] int finish(int code) {
+    if (tracer_ == nullptr) return code;
+    if (!trace_path_.empty() &&
+        !obs::write_chrome_trace_file(trace_path_, *tracer_)) {
+      std::cerr << "error: cannot write trace file '" << trace_path_
+                << "'\n";
+      if (code == 0) code = cli::kExitDegraded;
+    }
+    if (metrics_) obs::write_metrics_summary(std::cerr, tracer_->snapshot());
+    return code;
+  }
+
+ private:
+  std::string trace_path_;
+  bool metrics_;
+  std::unique_ptr<obs::Clock> clock_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool pipe_mode = false;
+  std::string socket_path;
+  std::string trace_path;
+  bool metrics = false;
+  serve::ServerOptions options;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&](const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+          throw cli::UsageError(std::string(flag) + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--pipe") {
+        pipe_mode = true;
+      } else if (arg == "--socket") {
+        socket_path = value("--socket");
+      } else if (arg == "--jobs") {
+        options.jobs = cli::parse_unsigned32(value("--jobs"), "--jobs");
+      } else if (arg == "--max-batch") {
+        options.max_batch =
+            cli::parse_size(value("--max-batch"), "--max-batch");
+        if (options.max_batch == 0) {
+          throw cli::UsageError("--max-batch must be >= 1");
+        }
+      } else if (arg == "--queue-limit") {
+        options.queue_limit =
+            cli::parse_size(value("--queue-limit"), "--queue-limit");
+      } else if (arg == "--retry-after") {
+        options.retry_after_ms = static_cast<std::int64_t>(
+            cli::parse_size(value("--retry-after"), "--retry-after"));
+      } else if (arg == "--chaos-full-at") {
+        options.chaos_full_at = static_cast<long long>(
+            cli::parse_size(value("--chaos-full-at"), "--chaos-full-at"));
+      } else if (arg == "--trace") {
+        trace_path = value("--trace");
+      } else if (arg == "--metrics") {
+        metrics = true;
+      } else {
+        throw cli::UsageError("unknown flag '" + arg + "'");
+      }
+    }
+    if (pipe_mode == !socket_path.empty()) {
+      throw cli::UsageError(
+          "exactly one of --pipe / --socket PATH is required");
+    }
+  } catch (const cli::UsageError& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return usage();
+  }
+
+  ServeObs obs_rig(trace_path, metrics);
+  options.tracer = obs_rig.tracer();
+
+  int code = cli::kExitOk;
+  serve::Server server(options);
+  serve::ServeStats stats;
+  try {
+    if (pipe_mode) {
+      stats = server.serve_stream(std::cin, std::cout);
+    } else {
+      stats = server.serve_unix(socket_path);
+    }
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    code = cli::kExitDegraded;
+  }
+
+  const serve::EngineStats engine_stats = server.engine().stats();
+  std::cerr << "serve: frames=" << stats.frames_in
+            << " responses=" << stats.responses
+            << " errors=" << engine_stats.errors
+            << " stalls=" << engine_stats.queue_stalls
+            << " gen=" << engine_stats.generation
+            << " arena=" << stats.arena_high_water << "\n";
+
+  return obs_rig.finish(code);
+}
