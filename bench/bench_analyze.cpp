@@ -1,0 +1,177 @@
+// Analyzer throughput bench (ROADMAP item 5 trajectory): times
+// rme::analyze::analyze_project over the real tree — src, tools,
+// bench, tests — and emits a machine-readable BENCH_analyze.json so
+// perf PRs have a committed before/after record.
+//
+// Three arms, no cache, best-of-`--repeats` wall time:
+//   * per-file rules + layering + lock-order at jobs=1 — the PR-7
+//     registry, i.e. the analyzer *before* the call-graph family;
+//   * the full registry (call graph + hot-path + wire rules) at
+//     jobs=1 — the overhead the semantic layer adds;
+//   * the full registry at jobs=N (default: hardware concurrency).
+//
+// The committed JSON pins the acceptance bound for this subsystem:
+// the call-graph family must add <= 25% to full-tree wall time at
+// jobs=1 (`callgraph_overhead_pct_jobs1`).
+//
+//   --jobs N       parallel arm's worker count (0 = hardware, default)
+//   --repeats R    timed repetitions per arm, minimum kept (default 3)
+//   --json PATH    output path (default BENCH_analyze.json in cwd)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rme/analyze/analyzer.hpp"
+#include "rme/analyze/rules.hpp"
+#include "rme/rme.hpp"
+
+namespace {
+
+namespace an = rme::analyze;
+
+struct Arm {
+  std::string name;
+  double best_ms = 0.0;
+  an::ProjectReport report;
+};
+
+/// Best-of-`repeats` wall time for one configuration.
+Arm run_arm(const std::string& name,
+            const std::vector<std::filesystem::path>& roots,
+            const std::vector<std::string>& selectors, unsigned jobs,
+            int repeats) {
+  Arm arm;
+  arm.name = name;
+  arm.best_ms = 1e300;
+  an::ProjectOptions options;
+  options.jobs = jobs;
+  options.selectors = selectors;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    an::ProjectReport report = an::analyze_project(roots, options);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < arm.best_ms) arm.best_ms = ms;
+    if (r == 0) arm.report = std::move(report);
+  }
+  return arm;
+}
+
+double files_per_s(const Arm& arm) {
+  return arm.best_ms > 0.0
+             ? double(arm.report.files_scanned) / (arm.best_ms / 1000.0)
+             : 0.0;
+}
+
+double ns_per_file(const Arm& arm) {
+  return arm.report.files_scanned > 0
+             ? arm.best_ms * 1e6 / double(arm.report.files_scanned)
+             : 0.0;
+}
+
+/// Two-decimal fixed formatting keeps the committed JSON readable.
+std::string fixed2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 0;
+  int repeats = 3;
+  std::string json_path = "BENCH_analyze.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto fail = [&](const char* message) {
+      std::fprintf(stderr, "%s\nusage: %s [--jobs N] [--repeats R] "
+                           "[--json PATH]\n",
+                   message, argv[0]);
+      return rme::cli::kExitUsage;
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      try {
+        jobs = rme::cli::parse_unsigned32(argv[++i], "--jobs");
+      } catch (const rme::cli::UsageError& e) {
+        return fail(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      try {
+        repeats = std::max(
+            1, int(rme::cli::parse_unsigned32(argv[++i], "--repeats")));
+      } catch (const rme::cli::UsageError& e) {
+        return fail(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return fail("unknown flag");
+    }
+  }
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+
+  const std::filesystem::path root = RME_TREE_ROOT;
+  const std::vector<std::filesystem::path> roots{
+      root / "src", root / "tools", root / "bench", root / "tests"};
+
+  // The PR-7 registry: every per-file rule plus the two original
+  // project rules.  Comparing against it isolates what the call-graph
+  // family costs.
+  std::vector<std::string> before;
+  for (const an::Rule* rule : an::all_rules()) {
+    before.emplace_back(rule->name());
+  }
+  before.emplace_back("layering");
+  before.emplace_back("lock-order");
+
+  const Arm base1 = run_arm("per-file+layering+lock-order, jobs=1", roots,
+                            before, 1, repeats);
+  const Arm full1 = run_arm("full registry, jobs=1", roots, {}, 1, repeats);
+  const Arm fullN = run_arm("full registry, jobs=" + std::to_string(jobs),
+                            roots, {}, jobs, repeats);
+  const double overhead_pct =
+      base1.best_ms > 0.0
+          ? (full1.best_ms - base1.best_ms) / base1.best_ms * 100.0
+          : 0.0;
+
+  for (const Arm* arm : {&base1, &full1, &fullN}) {
+    std::printf("%-42s %8.2f ms  %7.0f files/s  %9.0f ns/file\n",
+                arm->name.c_str(), arm->best_ms, files_per_s(*arm),
+                ns_per_file(*arm));
+  }
+  std::printf("call-graph family overhead at jobs=1: %+.1f%%\n",
+              overhead_pct);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_analyze: cannot write %s\n",
+                 json_path.c_str());
+    return rme::cli::kExitDegraded;
+  }
+  out << "{\n"
+      << "  \"bench\": \"rme_analyze full tree (src tools bench tests)\",\n"
+      << "  \"files\": " << full1.report.files_scanned << ",\n"
+      << "  \"tokens\": " << full1.report.tokens_scanned << ",\n"
+      << "  \"rules\": " << full1.report.rules_run.size() << ",\n"
+      << "  \"repeats\": " << repeats << ",\n"
+      << "  \"jobs_parallel_arm\": " << jobs << ",\n"
+      << "  \"before_ms_jobs1\": " << fixed2(base1.best_ms) << ",\n"
+      << "  \"full_ms_jobs1\": " << fixed2(full1.best_ms) << ",\n"
+      << "  \"full_ms_jobsN\": " << fixed2(fullN.best_ms) << ",\n"
+      << "  \"files_per_s_jobs1\": " << fixed2(files_per_s(full1)) << ",\n"
+      << "  \"files_per_s_jobsN\": " << fixed2(files_per_s(fullN)) << ",\n"
+      << "  \"ns_per_file_jobs1\": " << fixed2(ns_per_file(full1)) << ",\n"
+      << "  \"ns_per_file_jobsN\": " << fixed2(ns_per_file(fullN)) << ",\n"
+      << "  \"callgraph_overhead_pct_jobs1\": " << fixed2(overhead_pct)
+      << "\n"
+      << "}\n";
+  return rme::cli::kExitOk;
+}

@@ -16,12 +16,33 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 echo
 echo "=== static analysis (rme_analyze, cross-TU, parallel) ==="
-# The cross-TU engine: seven per-file rules plus layering and
-# lock-order over the project include graph, run parallel with the
-# checked-in baseline (tools/analyze_baseline.txt).  Any finding not in
-# the baseline fails CI; shrink the baseline as debt is paid down.
+# The cross-TU engine: seven per-file rules plus layering, lock-order,
+# the hot-path family (call graph from rme-hot roots), and
+# wire-error-exhaustiveness, run parallel with the checked-in baseline
+# (tools/analyze_baseline.txt).  Any finding not in the baseline fails
+# CI; shrink the baseline as debt is paid down.
 ./build/tools/rme_analyze --jobs=0 \
   --baseline=tools/analyze_baseline.txt src tools bench tests
+
+echo
+echo "=== analyzer throughput (bench_analyze) ==="
+# ROADMAP item 5 trajectory: time the full-tree run and hold the
+# call-graph family to <= 25% overhead at jobs=1 (the acceptance bound
+# pinned by the committed bench/golden/BENCH_analyze.json snapshot).
+bench_dir=$(mktemp -d)
+./build/bench/bench_analyze --jobs 4 --json "$bench_dir/BENCH_analyze.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$bench_dir/BENCH_analyze.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+overhead = report["callgraph_overhead_pct_jobs1"]
+assert overhead <= 25.0, f"call-graph overhead {overhead}% > 25%"
+print(f"call-graph overhead {overhead}% (bound: 25%)")
+PY
+else
+  echo "python3 not installed; skipping overhead bound check"
+fi
+rm -rf "$bench_dir"
 
 echo
 echo "=== analyzer output contracts (JSON + SARIF schemas) ==="
@@ -39,6 +60,35 @@ if command -v python3 >/dev/null 2>&1; then
     docs/schema/sarif-2.1.0-subset.schema.json "$an_dir/report.sarif"
 else
   echo "python3 not installed; skipping schema validation"
+fi
+# Negative test: a hot-path finding must flow through both machine
+# formats and still validate — proving the schemas cover the new rule
+# family, not just the clean-tree shape.
+neg_tree="$an_dir/neg/src/rme/exec"
+mkdir -p "$neg_tree"
+cat > "$neg_tree/hot.cpp" <<'EOF'
+#include <string>
+// rme-hot: negative-test root
+std::string f(int i) {
+  std::string s = "x" + std::to_string(i);
+  return s;
+}
+EOF
+if ./build/tools/rme_analyze --format=json "$an_dir/neg" \
+    > "$an_dir/neg.json"; then
+  echo "expected a hot-path finding"; exit 1
+fi
+if ./build/tools/rme_analyze --format=sarif "$an_dir/neg" \
+    > "$an_dir/neg.sarif"; then
+  echo "expected a hot-path finding"; exit 1
+fi
+grep -q '"rule":"alloc-in-hot-path"' "$an_dir/neg.json"
+grep -q '"ruleId":"alloc-in-hot-path"' "$an_dir/neg.sarif"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_schema.py \
+    docs/schema/rme_analyze.schema.json "$an_dir/neg.json"
+  python3 scripts/validate_schema.py \
+    docs/schema/sarif-2.1.0-subset.schema.json "$an_dir/neg.sarif"
 fi
 rm -rf "$an_dir"
 
@@ -85,6 +135,14 @@ echo "=== sanitized build (ASan + UBSan) ==="
 cmake -B build-asan -G Ninja -DRME_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== static analysis gate under ASan ==="
+# Re-run the full analyzer gate (call graph and hot-path rules
+# included) with the instrumented binary: a lexer/call-graph/cache
+# heap bug fails here even when the findings themselves are clean.
+./build-asan/tools/rme_analyze --jobs=0 \
+  --baseline=tools/analyze_baseline.txt src tools bench tests
 
 echo
 echo "=== crash safety: chaos/resume suite under ASan ==="

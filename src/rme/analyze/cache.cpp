@@ -114,6 +114,40 @@ AnalysisCache AnalysisCache::load(const std::filesystem::path& file) {
       if (fields.fail() || e.to.empty()) return AnalysisCache{};
       e.suppressed = supp != 0;
       entry.facts.lock_edges.push_back(std::move(e));
+    } else if (tag == "d") {
+      FunctionDef d;
+      int lambda = 0, hot = 0, cold = 0;
+      fields >> d.line >> d.column >> d.end_line >> lambda >> hot >> cold >>
+          d.parent;
+      d.name = rest_of(fields);
+      if (fields.fail() || d.name.empty()) return AnalysisCache{};
+      d.is_lambda = lambda != 0;
+      d.hot_root = hot != 0;
+      d.cold = cold != 0;
+      entry.facts.functions.push_back(std::move(d));
+    } else if (tag == "c") {
+      if (entry.facts.functions.empty()) return AnalysisCache{};
+      CallSite c;
+      fields >> c.line >> c.column;
+      c.callee = rest_of(fields);
+      if (fields.fail() || c.callee.empty()) return AnalysisCache{};
+      entry.facts.functions.back().calls.push_back(std::move(c));
+    } else if (tag == "o") {
+      if (entry.facts.functions.empty()) return AnalysisCache{};
+      HotOp op;
+      int in_loop = 0, supp = 0;
+      fields >> op.line >> op.column >> in_loop >> supp >> op.kind;
+      op.detail = unescape(rest_of(fields));
+      if (fields.fail() || op.kind.empty()) return AnalysisCache{};
+      op.in_loop = in_loop != 0;
+      op.suppressed = supp != 0;
+      entry.facts.functions.back().ops.push_back(std::move(op));
+    } else if (tag == "w") {
+      WireCode w;
+      fields >> w.line;
+      w.enumerator = rest_of(fields);
+      if (fields.fail() || w.enumerator.empty()) return AnalysisCache{};
+      entry.facts.wire_codes.push_back(std::move(w));
     } else if (tag == "f") {
       Finding f;
       f.file = rel;
@@ -166,6 +200,22 @@ bool AnalysisCache::save(const std::filesystem::path& file) const {
       out << "e " << e.from_line << " " << e.from_column << " " << e.to_line
           << " " << e.to_column << " " << (e.suppressed ? 1 : 0) << " "
           << e.from << " " << e.to << "\n";
+    }
+    for (const FunctionDef& d : entry.facts.functions) {
+      out << "d " << d.line << " " << d.column << " " << d.end_line << " "
+          << (d.is_lambda ? 1 : 0) << " " << (d.hot_root ? 1 : 0) << " "
+          << (d.cold ? 1 : 0) << " " << d.parent << " " << d.name << "\n";
+      for (const CallSite& c : d.calls) {
+        out << "c " << c.line << " " << c.column << " " << c.callee << "\n";
+      }
+      for (const HotOp& op : d.ops) {
+        out << "o " << op.line << " " << op.column << " "
+            << (op.in_loop ? 1 : 0) << " " << (op.suppressed ? 1 : 0) << " "
+            << op.kind << " " << escape(op.detail) << "\n";
+      }
+    }
+    for (const WireCode& w : entry.facts.wire_codes) {
+      out << "w " << w.line << " " << w.enumerator << "\n";
     }
     for (const Finding& f : entry.findings) {
       out << "f " << f.rule << " " << f.line << " " << f.column << " "

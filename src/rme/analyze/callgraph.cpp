@@ -1,0 +1,208 @@
+#include "rme/analyze/callgraph.hpp"
+
+#include <deque>
+#include <map>
+#include <string_view>
+
+namespace rme::analyze {
+namespace {
+
+/// Last `::` component of a qualified name (Engine::handle → handle).
+std::string_view last_component(std::string_view name) {
+  const std::size_t pos = name.rfind("::");
+  return pos == std::string_view::npos ? name : name.substr(pos + 2);
+}
+
+/// True for files that never join the hot graph: hot-path discipline
+/// is a src/tools/bench contract, not a tests/examples one.
+bool excluded(const std::string& path) {
+  const std::string rel = repo_relative(path);
+  return rel.rfind("tests/", 0) == 0 || rel.rfind("examples/", 0) == 0;
+}
+
+struct Node {
+  const FileFacts* file = nullptr;
+  const FunctionDef* def = nullptr;
+};
+
+/// Header a TU's out-of-line definitions are declared in: same path,
+/// .hpp extension.  "src/rme/fit/robust.cpp" → "src/rme/fit/robust.hpp".
+std::string paired_header(const std::string& rel) {
+  const std::size_t dot = rel.rfind('.');
+  if (dot == std::string::npos) return rel;
+  return rel.substr(0, dot) + ".hpp";
+}
+
+/// Include visibility between indexed files, by repo-relative path.
+/// visible(caller, target) is true when the caller's file transitively
+/// includes the target definition's file — or, for a definition in a
+/// .cpp, that TU's paired header.  Name-matched call edges are only
+/// admitted between visible files, which is what keeps a `.load()` on
+/// an atomic in one subsystem from aliasing a `Baseline::load` it
+/// could never actually call.
+class Visibility {
+ public:
+  explicit Visibility(const ProjectIndex& index) {
+    std::map<std::string, std::size_t> by_rel;
+    rels_.reserve(index.files.size());
+    for (const FileFacts& facts : index.files) {
+      by_rel.emplace(repo_relative(facts.path), rels_.size());
+      rels_.push_back(repo_relative(facts.path));
+    }
+    // Direct include edges.  Include targets are written relative to
+    // the src/ include root ("rme/fit/robust.hpp"); files are indexed
+    // repo-relative ("src/rme/fit/robust.hpp").
+    std::vector<std::vector<std::size_t>> direct(rels_.size());
+    std::size_t from = 0;
+    for (const FileFacts& facts : index.files) {
+      for (const IncludeSite& inc : facts.includes) {
+        auto it = by_rel.find("src/" + inc.target);
+        if (it == by_rel.end()) it = by_rel.find(inc.target);
+        if (it != by_rel.end()) direct[from].push_back(it->second);
+      }
+      ++from;
+    }
+    // Transitive closure by BFS from each file (the project include
+    // graph is small; this stays well under a millisecond).
+    closure_.assign(rels_.size(), {});
+    for (std::size_t start = 0; start < rels_.size(); ++start) {
+      std::vector<bool>& reach = closure_[start];
+      reach.assign(rels_.size(), false);
+      std::deque<std::size_t> queue{start};
+      reach[start] = true;
+      while (!queue.empty()) {
+        const std::size_t at = queue.front();
+        queue.pop_front();
+        for (const std::size_t next : direct[at]) {
+          if (reach[next]) continue;
+          reach[next] = true;
+          queue.push_back(next);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < rels_.size(); ++i) {
+      header_of_.push_back(by_rel.count(paired_header(rels_[i])) != 0
+                               ? by_rel.at(paired_header(rels_[i]))
+                               : i);
+    }
+  }
+
+  /// Both arguments are indices into the (path-sorted) file list.
+  [[nodiscard]] bool visible(std::size_t caller, std::size_t target) const {
+    return closure_[caller][target] || closure_[caller][header_of_[target]];
+  }
+
+ private:
+  std::vector<std::string> rels_;
+  std::vector<std::vector<bool>> closure_;
+  std::vector<std::size_t> header_of_;  ///< TU → paired header (or self).
+};
+
+}  // namespace
+
+std::vector<HotFunction> compute_hot_set(const ProjectIndex& index) {
+  const Visibility vis(index);
+
+  // Flatten the index into nodes; the index is path-sorted and
+  // per-file definition order is token order, so node ids are stable.
+  std::vector<Node> nodes;
+  std::vector<std::size_t> node_file;  ///< Node id → file index.
+  // callee name → node ids, for call-site matching.  std::map keeps
+  // the grouping itself deterministic (not that it matters: targets
+  // are pushed in node order).
+  std::map<std::string_view, std::vector<std::size_t>> by_name;
+  // Per file, definition index → node id, for parent links.
+  std::vector<std::size_t> def_base;
+  std::size_t file_index = 0;
+  for (const FileFacts& facts : index.files) {
+    def_base.push_back(nodes.size());
+    if (excluded(facts.path)) {
+      ++file_index;
+      continue;
+    }
+    for (const FunctionDef& def : facts.functions) {
+      const std::size_t id = nodes.size();
+      nodes.push_back(Node{&facts, &def});
+      node_file.push_back(file_index);
+      if (!def.is_lambda) {
+        by_name[last_component(def.name)].push_back(id);
+      }
+    }
+    ++file_index;
+  }
+
+  // Lambda children per node: a lambda is hot whenever its lexically
+  // enclosing definition is (the enclosing body runs it, directly or
+  // by handing it to an algorithm).
+  std::vector<std::vector<std::size_t>> lambda_children(nodes.size());
+  {
+    std::size_t file_idx = 0;
+    std::size_t node_id = 0;
+    for (const FileFacts& facts : index.files) {
+      if (excluded(facts.path)) {
+        ++file_idx;
+        continue;
+      }
+      const std::size_t base = def_base[file_idx];
+      for (const FunctionDef& def : facts.functions) {
+        if (def.is_lambda && def.parent >= 0) {
+          lambda_children[base + static_cast<std::size_t>(def.parent)]
+              .push_back(node_id);
+        }
+        ++node_id;
+      }
+      ++file_idx;
+    }
+  }
+
+  // BFS from the roots, first trace wins.  The queue is seeded in node
+  // order and edges are expanded in definition order, so traces and
+  // the visit order are independent of how the index was built.
+  std::vector<std::string> trace(nodes.size());
+  std::vector<bool> hot(nodes.size(), false);
+  std::deque<std::size_t> queue;
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const FunctionDef& def = *nodes[id].def;
+    if (def.hot_root && !def.cold) {
+      hot[id] = true;
+      // A bare "<lambda:57>" names nothing the reader can find; anchor
+      // root lambdas to their file.
+      trace[id] = def.is_lambda
+                      ? repo_relative(nodes[id].file->path) + ":" + def.name
+                      : def.name;
+      queue.push_back(id);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t id = queue.front();
+    queue.pop_front();
+    const auto mark = [&](std::size_t target) {
+      const FunctionDef& def = *nodes[target].def;
+      if (hot[target] || def.cold) return;
+      hot[target] = true;
+      trace[target] = trace[id] + " -> " + def.name;
+      queue.push_back(target);
+    };
+    for (const std::size_t child : lambda_children[id]) mark(child);
+    for (const CallSite& call : nodes[id].def->calls) {
+      const auto it = by_name.find(std::string_view(call.callee));
+      if (it == by_name.end()) continue;
+      for (const std::size_t target : it->second) {
+        // A name-matched edge only counts when the caller's file can
+        // actually see the target's declaration.
+        if (!vis.visible(node_file[id], node_file[target])) continue;
+        mark(target);
+      }
+    }
+  }
+
+  std::vector<HotFunction> out;
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    if (!hot[id]) continue;
+    out.push_back(HotFunction{nodes[id].file, nodes[id].def,
+                              std::move(trace[id])});
+  }
+  return out;
+}
+
+}  // namespace rme::analyze

@@ -1,0 +1,45 @@
+#pragma once
+// rme::analyze — the project call graph and its hot set.
+//
+// The hot-path rule family needs one shared question answered: which
+// function definitions are reachable from a hot root?  Roots are
+// definitions annotated `// rme-hot: <reason>` plus lambdas handed
+// directly to exec::parallel_for / parallel_map / parallel_map_items
+// (the pool invokes those once per index — they *are* the loop body).
+// Reachability is lexical and name-based: a call site matches every
+// definition in the project whose qualified name ends in the same last
+// component.  That deliberately over-approximates (overloads and
+// same-named methods of unrelated classes alias), which is the right
+// bias for a lint: a false edge can be silenced with `rme-cold:` or a
+// scoped allow, a missed edge silently hides a regression.
+//
+// Propagation stops at `// rme-cold: <reason>` boundaries, and
+// definitions in tests/ and examples/ never join the graph — hot-path
+// discipline is a src/tools/bench contract.
+//
+// Each rule in the family recomputes the hot set from the index; the
+// computation is linear in functions + call sites and keeps ProjectRule
+// stateless, which the parallel driver relies on.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/index.hpp"
+
+namespace rme::analyze {
+
+/// One hot definition: where it lives and why it is hot.
+struct HotFunction {
+  const FileFacts* file = nullptr;   ///< Owning file's facts.
+  const FunctionDef* def = nullptr;  ///< The hot definition.
+  std::string trace;  ///< Deterministic chain, e.g. "Engine::handle -> emit".
+};
+
+/// Computes the hot set over a (path-sorted) project index.  Output
+/// order follows the index — file order, then definition order — so
+/// downstream findings are deterministic at any --jobs value.
+[[nodiscard]] std::vector<HotFunction> compute_hot_set(
+    const ProjectIndex& index);
+
+}  // namespace rme::analyze

@@ -1,0 +1,646 @@
+// rme::analyze — the function-level sub-extractor behind the hot-path
+// rule family (docs/ANALYSIS.md, "Hot-path discipline").
+//
+// From one lexed file this pass recovers, purely lexically:
+//
+//   * function definitions — a qualified-id followed by a balanced
+//     parameter list, optional specifiers (const/noexcept/override/
+//     final/try), an optional trailing return type or constructor
+//     initializer list, and then a body brace.  Control-flow keywords
+//     (if/for/while/switch/catch) are excluded, so `while (x) {` never
+//     registers;
+//   * lambda bodies — `[captures](params) {...}` introducers, named
+//     "<lambda:LINE>", parented to the lexically enclosing definition.
+//     A lambda written directly as an argument of a call whose callee
+//     is exec::parallel_for / parallel_map / parallel_map_items is an
+//     *implicit hot root*: the pool invokes it once per index, which
+//     is exactly the per-item loop the hot-path rules price;
+//   * hot annotations — a `// rme-hot: <reason>` comment on the
+//     definition line or the line immediately above marks the next
+//     definition a hot root; `// rme-cold: <reason>` marks it a cold
+//     boundary (never hot, and reachability does not pass through it).
+//     The reason is mandatory; a bare marker is inert, mirroring the
+//     suppression grammar;
+//   * call sites — any identifier directly followed by `(` inside a
+//     body (member calls included; the receiver is ignored), keyed by
+//     the last path component and deduplicated per definition;
+//   * hot ops — the per-iteration costs the rules price (see HotOp in
+//     index.hpp), each tagged with loop context and its rule's
+//     suppression state;
+//   * wire codes — the ErrorCode enumerators when the file is
+//     src/rme/serve/protocol.hpp (wire-error-exhaustiveness).
+//
+// Everything here is an approximation over tokens, deliberately in the
+// same spirit as the lock index: coarse, deterministic, and cheap.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rme/analyze/index.hpp"
+
+namespace rme::analyze {
+namespace {
+
+constexpr std::array<std::string_view, 34> kNonCalleeKeywords{
+    "if",           "for",          "while",      "switch",
+    "catch",        "return",       "sizeof",     "alignof",
+    "alignas",      "decltype",     "noexcept",   "static_assert",
+    "static_cast",  "dynamic_cast", "const_cast", "reinterpret_cast",
+    "new",          "delete",       "throw",      "case",
+    "do",           "else",         "goto",       "operator",
+    "template",     "typename",     "using",      "namespace",
+    "requires",     "co_await",     "co_return",  "co_yield",
+    "assert",       "defined"};
+
+constexpr std::array<std::string_view, 4> kGuardTypes{
+    "lock_guard", "scoped_lock", "unique_lock", "shared_lock"};
+
+constexpr std::array<std::string_view, 3> kParallelCallees{
+    "parallel_for", "parallel_map", "parallel_map_items"};
+
+constexpr std::array<std::string_view, 3> kStreamTypes{
+    "ifstream", "ofstream", "fstream"};
+
+constexpr std::array<std::string_view, 15> kBlockingCalls{
+    "fopen",   "fread",     "fwrite",      "fgets",  "fscanf",
+    "fprintf", "fflush",    "getline",     "system", "popen",
+    "sleep",   "usleep",    "nanosleep",   "sleep_for", "sleep_until"};
+
+constexpr std::array<std::string_view, 4> kConsoleStreams{
+    "cin", "cout", "cerr", "clog"};
+
+constexpr std::array<std::string_view, 2> kFormatStreams{
+    "ostringstream", "stringstream"};
+
+constexpr std::array<std::string_view, 3> kFormatCalls{
+    "snprintf", "sprintf", "vsnprintf"};
+
+constexpr std::array<std::string_view, 3> kGrowthCalls{
+    "push_back", "emplace_back", "append"};
+
+template <std::size_t N>
+bool contains(const std::array<std::string_view, N>& set,
+              const std::string& s) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+/// The rule a HotOp kind reports under, for suppression lookup.
+std::string_view rule_of(std::string_view kind) {
+  if (kind == "lock") return "lock-in-hot-path";
+  if (kind == "blocking") return "blocking-in-hot-path";
+  if (kind == "format") return "format-in-hot-path";
+  return "alloc-in-hot-path";  // "alloc" and "growth".
+}
+
+/// One parsed `rme-hot:` / `rme-cold:` annotation.
+struct Annotation {
+  std::size_t line = 0;
+  bool cold = false;
+};
+
+/// Scans the raw lines for annotation comments.  The marker must live
+/// in a `//` comment and carry a non-empty reason; anything else is
+/// inert (same contract as allow directives).
+std::vector<Annotation> parse_annotations(const SourceFile& file) {
+  std::vector<Annotation> out;
+  for (std::size_t line = 1; line <= file.line_count(); ++line) {
+    const std::string& raw = file.raw_line(line);
+    const std::size_t comment = raw.find("//");
+    if (comment == std::string::npos) continue;
+    for (const bool cold : {false, true}) {
+      const std::string_view marker = cold ? "rme-cold:" : "rme-hot:";
+      const std::size_t at = raw.find(marker, comment);
+      if (at == std::string::npos) continue;
+      const std::string reason = raw.substr(at + marker.size());
+      if (reason.find_first_not_of(" \t") == std::string::npos) {
+        continue;  // Reason is mandatory; a bare marker binds nothing.
+      }
+      out.push_back(Annotation{line, cold});
+    }
+  }
+  return out;
+}
+
+/// Matching token index of the brace/paren/bracket opened at `open`,
+/// or toks.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open) {
+  int nest = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "{" || t == "[") {
+      ++nest;
+    } else if (t == ")" || t == "}" || t == "]") {
+      if (--nest == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// Skips a balanced template argument list; `i` points at the `<`.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int angle = 0;
+  for (; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<" || t == "<<") {
+      angle += t == "<<" ? 2 : 1;
+    } else if (t == ">" || t == ">>") {
+      angle -= t == ">>" ? 2 : 1;
+      if (angle <= 0) return i + 1;
+    } else if (t == ";" || t == "{") {
+      break;
+    }
+  }
+  return i;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+/// A definition candidate under construction during the first pass.
+struct DefRange {
+  FunctionDef def;
+  std::size_t body_begin = 0;  ///< Token index of the `{`.
+  std::size_t body_end = 0;    ///< Token index of the matching `}`.
+  int body_depth = 0;          ///< Depth the body brace opens.
+};
+
+/// True when, starting one past the `)` of a parameter list, the token
+/// stream reads like a function definition and `body` receives the
+/// index of the body's `{`.  Accepts cv/ref/noexcept/override/final/
+/// try specifiers, a trailing return type, and a constructor
+/// initializer list.
+bool find_body_brace(const std::vector<Token>& toks, std::size_t after_params,
+                     std::size_t& body) {
+  std::size_t i = after_params;
+  // Specifiers and trailing return type.
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_ident(t)) {
+      if (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+          t.text == "final" || t.text == "mutable" || t.text == "try") {
+        ++i;
+        continue;
+      }
+      return false;  // An identifier here means a declaration/call shape.
+    }
+    if (t.text == "(") {  // noexcept(...)
+      const std::size_t close = skip_balanced(toks, i);
+      if (close >= toks.size()) return false;
+      i = close + 1;
+      continue;
+    }
+    if (t.text == "->") {  // Trailing return type: skip to `{` or `;`.
+      ++i;
+      while (i < toks.size() && toks[i].text != "{" && toks[i].text != ";") {
+        if (toks[i].text == "<") {
+          i = skip_template_args(toks, i);
+        } else {
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (t.text == "&" || t.text == "&&") {
+      ++i;
+      continue;
+    }
+    if (t.text == ":") {  // Constructor initializer list.
+      ++i;
+      while (i < toks.size()) {
+        while (i < toks.size() && (is_ident(toks[i]) || toks[i].text == "::")) {
+          ++i;
+        }
+        if (i < toks.size() && toks[i].text == "<") {
+          i = skip_template_args(toks, i);
+        }
+        if (i >= toks.size() ||
+            (toks[i].text != "(" && toks[i].text != "{")) {
+          return false;
+        }
+        const std::size_t close = skip_balanced(toks, i);
+        if (close >= toks.size()) return false;
+        i = close + 1;
+        if (i < toks.size() && toks[i].text == ",") {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (t.text == "{") {
+      body = i;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// True when the `[` at `i` opens a lambda introducer and `body`
+/// receives the body's `{`.  `[[` attributes and subscripts (previous
+/// token is a value) are rejected.
+bool find_lambda_body(const std::vector<Token>& toks, std::size_t i,
+                      std::size_t& body) {
+  if (i + 1 < toks.size() && toks[i + 1].text == "[") return false;
+  if (i > 0) {
+    const Token& prev = toks[i - 1];
+    if (is_ident(prev) || prev.kind == TokKind::kNumber ||
+        prev.text == ")" || prev.text == "]") {
+      return false;  // Subscript, not an introducer.
+    }
+  }
+  const std::size_t close = skip_balanced(toks, i);
+  if (close >= toks.size()) return false;
+  std::size_t j = close + 1;
+  if (j < toks.size() && toks[j].text == "(") {
+    const std::size_t params_close = skip_balanced(toks, j);
+    if (params_close >= toks.size()) return false;
+    j = params_close + 1;
+  }
+  return find_body_brace(toks, j, body);
+}
+
+/// Binds annotations to a definition starting at `line`: the
+/// annotation may sit on the definition's first line or the line
+/// immediately above it.
+void apply_annotations(const std::vector<Annotation>& notes,
+                       std::size_t line, FunctionDef& def) {
+  for (const Annotation& a : notes) {
+    if (a.line != line && a.line + 1 != line) continue;
+    if (a.cold) {
+      def.cold = true;
+    } else {
+      def.hot_root = true;
+    }
+  }
+}
+
+/// Innermost definition whose body token range contains `i`; -1 none.
+int innermost_def(const std::vector<DefRange>& defs, std::size_t i) {
+  int best = -1;
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    if (defs[d].body_begin < i && i < defs[d].body_end) {
+      if (best < 0 || defs[d].body_begin >
+                          defs[static_cast<std::size_t>(best)].body_begin) {
+        best = static_cast<int>(d);
+      }
+    }
+  }
+  return best;
+}
+
+/// Walks back from the `.`/`->` before a member call, collecting the
+/// receiver path; normalized like the mutex index (`this->` dropped,
+/// separators flattened to `.`).
+std::string receiver_before(const std::vector<Token>& toks,
+                            std::size_t dot) {
+  std::vector<std::string> parts;
+  std::size_t i = dot;
+  while (i > 0) {
+    const Token& t = toks[i - 1];
+    if (is_ident(t)) {
+      if (t.text != "this") parts.push_back(t.text);
+      --i;
+      if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                    toks[i - 1].text == "::")) {
+        --i;
+        continue;
+      }
+    }
+    break;
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out += '.';
+    out += *it;
+  }
+  return out;
+}
+
+}  // namespace
+
+void extract_function_facts(const SourceFile& file, FileFacts& facts) {
+  const std::vector<Token>& toks = file.tokens().tokens;
+  const std::vector<Annotation> notes = parse_annotations(file);
+
+  // Pass 1: definitions and lambdas with their body ranges.  A paren
+  // context stack tracks the callee owning each open `(`, so a lambda
+  // argument can see whether it is being handed to an exec parallel
+  // primitive.
+  std::vector<DefRange> defs;
+  std::vector<std::string> paren_callees;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.text == "(" && t.kind == TokKind::kPunct) {
+      std::string callee;
+      if (i > 0 && is_ident(toks[i - 1]) &&
+          !contains(kNonCalleeKeywords, toks[i - 1].text)) {
+        callee = toks[i - 1].text;
+      }
+      paren_callees.push_back(std::move(callee));
+      continue;
+    }
+    if (t.text == ")" && t.kind == TokKind::kPunct) {
+      if (!paren_callees.empty()) paren_callees.pop_back();
+      continue;
+    }
+    if (t.text == "[" && t.kind == TokKind::kPunct) {
+      std::size_t body = 0;
+      if (!find_lambda_body(toks, i, body)) continue;
+      DefRange range;
+      range.def.name = "<lambda:" + std::to_string(t.line) + ">";
+      range.def.line = t.line;
+      range.def.column = t.column;
+      range.def.is_lambda = true;
+      range.body_begin = body;
+      range.body_end = skip_balanced(toks, body);
+      if (range.body_end >= toks.size()) continue;
+      range.body_depth = toks[body].depth;
+      range.def.end_line = toks[range.body_end].line;
+      apply_annotations(notes, t.line, range.def);
+      if (!range.def.cold && !paren_callees.empty() &&
+          contains(kParallelCallees, paren_callees.back())) {
+        range.def.hot_root = true;  // exec callable: runs once per index.
+      }
+      defs.push_back(std::move(range));
+      continue;
+    }
+    if (!is_ident(t) || contains(kNonCalleeKeywords, t.text)) continue;
+    // A definition fires from the *first* token of its (possibly
+    // qualified) name, so each definition is seen exactly once: skip
+    // tail components and member accesses outright.
+    if (i > 0 && (toks[i - 1].text == "::" || toks[i - 1].text == "~" ||
+                  toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    // Walk forward over `:: ident` pairs to the last name component;
+    // destructors (`~`) are deliberately not modelled.
+    std::size_t last = i;
+    std::string qualified = t.text;
+    while (last + 2 < toks.size() && toks[last + 1].text == "::" &&
+           is_ident(toks[last + 2]) &&
+           !contains(kNonCalleeKeywords, toks[last + 2].text)) {
+      last += 2;
+      qualified += "::";
+      qualified += toks[last].text;
+    }
+    if (last + 1 >= toks.size() || toks[last + 1].text != "(") continue;
+    const std::size_t open = last + 1;
+    const std::size_t params_close = skip_balanced(toks, open);
+    if (params_close >= toks.size()) continue;
+    std::size_t body = 0;
+    if (!find_body_brace(toks, params_close + 1, body)) continue;
+    DefRange range;
+    range.def.name = qualified;
+    range.def.line = t.line;
+    range.def.column = t.column;
+    range.body_begin = body;
+    range.body_end = skip_balanced(toks, body);
+    if (range.body_end >= toks.size()) continue;
+    range.body_depth = toks[body].depth;
+    range.def.end_line = toks[range.body_end].line;
+    apply_annotations(notes, t.line, range.def);
+    defs.push_back(std::move(range));
+  }
+
+  // Parent links: innermost enclosing definition (a def's own range
+  // does not contain its body brace, so self-parenting cannot happen).
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    defs[d].def.parent = innermost_def(defs, defs[d].body_begin);
+  }
+
+  // Pass 2: calls and hot ops, attributed to the innermost definition.
+  // The loop stack tracks open for/while/do bodies by brace depth.
+  std::vector<int> loop_depths;
+  bool pending_loop = false;
+  bool pending_throw = false;
+  int paren_nest = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") {
+        ++paren_nest;
+      } else if (t.text == ")") {
+        paren_nest = std::max(0, paren_nest - 1);
+      } else if (t.text == ";" && paren_nest == 0) {
+        pending_loop = false;
+        pending_throw = false;
+      } else if (t.text == "{") {
+        if (pending_loop) {
+          loop_depths.push_back(t.depth);
+          pending_loop = false;
+        }
+      } else if (t.text == "}") {
+        if (!loop_depths.empty() && loop_depths.back() == t.depth) {
+          loop_depths.pop_back();
+        }
+      }
+      continue;
+    }
+    if (!is_ident(t)) continue;
+    if (t.text == "for" || t.text == "while" || t.text == "do") {
+      pending_loop = true;
+      continue;
+    }
+    if (t.text == "throw") {
+      pending_throw = true;
+      continue;
+    }
+    // Everything inside a `throw <expr>;` statement — the message
+    // assembly, the helpers it calls — runs only when the request is
+    // already being rejected.  The exception path is cold by
+    // definition, so neither ops nor call edges are recorded from it.
+    if (pending_throw) continue;
+    const int owner = innermost_def(defs, i);
+    if (owner < 0) {
+      continue;  // File-scope token: no body to attribute to.
+    }
+    DefRange& range = defs[static_cast<std::size_t>(owner)];
+    FunctionDef& def = range.def;
+    // In a loop when the innermost open loop body is inside this def's
+    // body, or a loop header/unbraced loop statement is pending.
+    const bool in_loop =
+        pending_loop ||
+        (!loop_depths.empty() && loop_depths.back() > range.body_depth);
+    const bool member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    const bool calls_next =
+        i + 1 < toks.size() && toks[i + 1].text == "(";
+
+    const auto record_op = [&](std::string kind, std::string detail) {
+      HotOp op;
+      op.kind = std::move(kind);
+      op.detail = std::move(detail);
+      op.line = t.line;
+      op.column = t.column;
+      op.in_loop = in_loop;
+      op.suppressed = file.suppressed(rule_of(op.kind), op.line);
+      def.ops.push_back(std::move(op));
+    };
+
+    // Call sites (deduplicated per callee, first occurrence kept).
+    if (calls_next && !contains(kNonCalleeKeywords, t.text)) {
+      const bool seen =
+          std::any_of(def.calls.begin(), def.calls.end(),
+                      [&](const CallSite& c) { return c.callee == t.text; });
+      if (!seen) {
+        def.calls.push_back(CallSite{t.text, t.line, t.column});
+      }
+    }
+
+    // Hot ops.
+    if (t.text == "new" ) {
+      record_op("alloc", "operator new");
+      continue;
+    }
+    if ((t.text == "make_unique" || t.text == "make_shared") &&
+        i + 1 < toks.size() &&
+        (toks[i + 1].text == "(" || toks[i + 1].text == "<")) {
+      record_op("alloc", "std::" + t.text);
+      continue;
+    }
+    if (t.text == "string" && i >= 2 && toks[i - 1].text == "::" &&
+        toks[i - 2].text == "std" && i + 1 < toks.size()) {
+      const Token& next = toks[i + 1];
+      const bool constructs =
+          is_ident(next) || next.text == "(" || next.text == "{";
+      // `std::string()` / `std::string{}` / `std::string s;` is the
+      // empty string: SSO, never allocates (the common "no label"
+      // ternary arm and the accumulate-into pattern).
+      bool benign =
+          i + 2 < toks.size() &&
+          ((next.text == "(" && toks[i + 2].text == ")") ||
+           (next.text == "{" && toks[i + 2].text == "}") ||
+           (is_ident(next) && toks[i + 2].text == ";"));
+      // `std::string v = f(...);` — a prvalue call initializer is
+      // copy-elided into `v`; any allocation happened (and is priced)
+      // inside f.  Only a pure call chain qualifies: an operator at
+      // the top level (`a + b`) or a trailing non-`)` (`= other;`,
+      // `= "literal";`) is a real construction.
+      if (!benign && is_ident(next) && i + 2 < toks.size() &&
+          toks[i + 2].text == "=") {
+        benign = true;
+        int nest = 0;
+        std::string_view last;
+        for (std::size_t k = i + 3; k < toks.size(); ++k) {
+          const std::string& s = toks[k].text;
+          if (s == "(" || s == "{" || s == "[") {
+            ++nest;
+          } else if (s == ")" || s == "}" || s == "]") {
+            --nest;
+          } else if (nest == 0) {
+            if (s == ";") break;
+            if (!is_ident(toks[k]) && s != "::" && s != "." && s != "->") {
+              benign = false;
+              break;
+            }
+          }
+          last = s;
+        }
+        if (last != ")") benign = false;
+      }
+      const bool is_static =
+          i >= 3 && is_ident(toks[i - 3]) && toks[i - 3].text == "static";
+      if (constructs && !benign && !is_static) {
+        record_op("alloc", "std::string construction");
+      }
+      continue;
+    }
+    if (member_access && calls_next && contains(kGrowthCalls, t.text)) {
+      const std::string receiver = receiver_before(toks, i - 1);
+      // A reserve anywhere earlier in the *outermost* enclosing
+      // definition counts: lambdas grow captured containers their
+      // parent reserved.
+      std::size_t scan_from = range.body_begin;
+      for (int p = def.parent; p >= 0;
+           p = defs[static_cast<std::size_t>(p)].def.parent) {
+        scan_from = defs[static_cast<std::size_t>(p)].body_begin;
+      }
+      bool reserved = false;
+      for (std::size_t k = scan_from; k < i && !reserved; ++k) {
+        if (is_ident(toks[k]) && toks[k].text == "reserve" && k > 0 &&
+            (toks[k - 1].text == "." || toks[k - 1].text == "->") &&
+            receiver_before(toks, k - 1) == receiver) {
+          reserved = true;
+        }
+      }
+      if (!reserved) {
+        record_op("growth", t.text + " on '" + receiver + "'");
+      }
+      continue;
+    }
+    if (!member_access && contains(kGuardTypes, t.text)) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        j = skip_template_args(toks, j);
+      }
+      if (j < toks.size() && is_ident(toks[j])) ++j;
+      if (j < toks.size() && (toks[j].text == "(" || toks[j].text == "{")) {
+        record_op("lock", "std::" + t.text + " acquisition");
+      }
+      continue;
+    }
+    if (!member_access && contains(kStreamTypes, t.text)) {
+      record_op("blocking", "std::" + t.text);
+      continue;
+    }
+    if (contains(kConsoleStreams, t.text)) {
+      record_op("blocking", "std::" + t.text);
+      continue;
+    }
+    if (calls_next && contains(kBlockingCalls, t.text)) {
+      record_op("blocking", t.text + "()");
+      continue;
+    }
+    if (t.text == "to_string" && calls_next && i >= 2 &&
+        toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+      record_op("format", "std::to_string");
+      continue;
+    }
+    if (!member_access && contains(kFormatStreams, t.text)) {
+      record_op("format", "std::" + t.text);
+      continue;
+    }
+    if (calls_next && contains(kFormatCalls, t.text)) {
+      record_op("format", t.text + "()");
+      continue;
+    }
+  }
+
+  facts.functions.reserve(defs.size());
+  for (DefRange& range : defs) {
+    facts.functions.push_back(std::move(range.def));
+  }
+
+  // Wire codes: the serve protocol's error enum, captured only from
+  // the canonical header so fixture trees can model it by path.
+  if (repo_relative(file.path()) == "src/rme/serve/protocol.hpp") {
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!(is_ident(toks[i]) && toks[i].text == "enum" &&
+            is_ident(toks[i + 1]) && toks[i + 1].text == "class" &&
+            is_ident(toks[i + 2]) && toks[i + 2].text == "ErrorCode")) {
+        continue;
+      }
+      std::size_t j = i + 3;
+      while (j < toks.size() && toks[j].text != "{") ++j;
+      const std::size_t close = skip_balanced(toks, j);
+      bool expect_name = true;
+      for (std::size_t k = j + 1; k < close && k < toks.size(); ++k) {
+        if (toks[k].text == ",") {
+          expect_name = true;
+        } else if (expect_name && is_ident(toks[k])) {
+          facts.wire_codes.push_back(WireCode{toks[k].text, toks[k].line});
+          expect_name = false;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace rme::analyze

@@ -195,6 +195,8 @@ FileFacts extract_facts(const SourceFile& file) {
     active.push_back(ActiveGuard{std::move(group), t.depth});
     i = past - 1;
   }
+
+  extract_function_facts(file, facts);
   return facts;
 }
 

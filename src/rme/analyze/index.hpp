@@ -18,6 +18,13 @@
 //     mutex expression it acquires;
 //   * acquired-before edges — guard B constructed while guard A is
 //     still in scope yields the edge A→B with both sites;
+//   * function definitions and lambda bodies (functions.cpp) with
+//     their call sites, hot-path annotations (`// rme-hot:` /
+//     `// rme-cold:`), and the per-iteration-cost operations the
+//     hot-path rule family cares about (allocation, container growth,
+//     lock acquisition, blocking I/O, string formatting);
+//   * the serve wire-error enumerators when the file is
+//     src/rme/serve/protocol.hpp (wire-error-exhaustiveness);
 //   * a per-rule suppression summary so cross-TU findings can be
 //     silenced at the site they cite.
 //
@@ -65,6 +72,55 @@ struct LockEdge {
   bool suppressed = false;  ///< Either endpoint's line is covered.
 };
 
+/// One call site inside a function body.  `callee` is the last
+/// component of the spelled name (`exec::parallel_map` → parallel_map;
+/// `row.set(...)` → set); call sites are deduplicated per callee per
+/// function, keeping the first occurrence.
+struct CallSite {
+  std::string callee;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+/// One operation the hot-path rule family prices per iteration.
+/// `kind` is the family bucket: "alloc" (new / make_unique /
+/// make_shared / std::string construction), "growth" (push_back /
+/// emplace_back / append with no earlier reserve on the receiver),
+/// "lock" (RAII guard acquisition), "blocking" (file/console I/O,
+/// sleeps), "format" (std::to_string, *stringstream, snprintf).
+struct HotOp {
+  std::string kind;
+  std::string detail;       ///< Human-readable operation, for messages.
+  std::size_t line = 0;
+  std::size_t column = 0;
+  bool in_loop = false;     ///< Inside a lexical for/while/do in the body.
+  bool suppressed = false;  ///< The kind's rule is allowed at this line.
+};
+
+/// One function definition or lambda body.  Lambdas are named
+/// "<lambda:LINE>" and point at their lexically enclosing definition
+/// via `parent`; calls and ops always belong to the innermost
+/// enclosing definition.
+struct FunctionDef {
+  std::string name;         ///< Qualified as spelled (Engine::handle).
+  std::size_t line = 0;     ///< Of the name (lambdas: the introducer).
+  std::size_t column = 0;
+  std::size_t end_line = 0; ///< Line of the body's closing brace.
+  bool is_lambda = false;
+  bool hot_root = false;    ///< `rme-hot:` annotated, or an implicit
+                            ///< exec::parallel_for/map callable.
+  bool cold = false;        ///< `rme-cold:` annotated boundary.
+  int parent = -1;          ///< Index of the enclosing def, -1 at top.
+  std::vector<CallSite> calls;
+  std::vector<HotOp> ops;
+};
+
+/// One wire-error enumerator from serve/protocol.hpp's ErrorCode.
+struct WireCode {
+  std::string enumerator;   ///< As spelled, e.g. "kParseError".
+  std::size_t line = 0;
+};
+
 /// Everything the cross-TU rules need from one file.
 struct FileFacts {
   std::string path;             ///< As scanned.
@@ -72,10 +128,16 @@ struct FileFacts {
   std::vector<IncludeSite> includes;
   std::vector<GuardSite> guard_sites;
   std::vector<LockEdge> lock_edges;
+  std::vector<FunctionDef> functions;
+  std::vector<WireCode> wire_codes;
 };
 
 /// Extracts facts from a lexed file.  Pure; safe to call in parallel.
 [[nodiscard]] FileFacts extract_facts(const SourceFile& file);
+
+/// The function/call/op/annotation sub-extractor (functions.cpp);
+/// extract_facts calls it, fixtures call it directly.
+void extract_function_facts(const SourceFile& file, FileFacts& facts);
 
 /// The assembled project: facts for every scanned file, sorted by
 /// path so downstream analysis is independent of scan order.
@@ -97,6 +159,9 @@ class ProjectRule {
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  /// One-paragraph rationale plus safe-replacement guidance, rendered
+  /// verbatim by `rme_analyze --explain=<rule>`.
+  [[nodiscard]] virtual std::string_view explain() const noexcept = 0;
   virtual void check(const ProjectIndex& index,
                      std::vector<Finding>& out) const = 0;
 };

@@ -31,6 +31,9 @@ class Rule {
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   /// One-line summary for --list-rules.
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  /// One-paragraph rationale plus safe-replacement guidance, rendered
+  /// verbatim by `rme_analyze --explain=<rule>`.
+  [[nodiscard]] virtual std::string_view explain() const noexcept = 0;
   /// Appends this rule's findings for `file` to `out`.
   virtual void check(const SourceFile& file,
                      std::vector<Finding>& out) const = 0;

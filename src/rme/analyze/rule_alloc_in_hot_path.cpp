@@ -1,0 +1,92 @@
+// alloc-in-hot-path (cross-TU): heap traffic on the paths the roofline
+// model prices per iteration.  The paper's balance analysis assumes
+// the hot loop's per-item cost is the kernel's flops and bytes; a
+// malloc per item adds an unpriced, allocator-lock-contended term that
+// both slows the loop and pollutes it as a measurement surface.
+//
+// Fired ops (functions.cpp tags them kind "alloc" / "growth"):
+//   * operator new, std::make_unique, std::make_shared;
+//   * std::string construction (each carries a potential allocation;
+//     `static` locals are exempt — they run once);
+//   * push_back / emplace_back / append with no earlier `reserve` on
+//     the same receiver — but only inside a lexical loop or a hot
+//     lambda body (a parallel_map callable *is* the loop body), so an
+//     amortized single append outside any loop stays quiet.
+//
+// A definition is on the hot path when the call-graph walk
+// (callgraph.hpp) reaches it from a `// rme-hot:` root or an implicit
+// exec::parallel_* callable.  Fixes, in preference order: hoist the
+// allocation out of the per-item path, reserve the destination once,
+// reuse a caller-owned buffer, or mark a genuine cold boundary with
+// `// rme-cold: <reason>`.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/callgraph.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class AllocInHotPathRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "alloc-in-hot-path";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "heap allocation or unreserved container growth reachable "
+           "from a hot root; hoist, reserve, or reuse a buffer";
+  }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "The energy roofline prices a hot loop by what each iteration "
+           "does per flop and per byte; a heap allocation per item adds an "
+           "unpriced cost — allocator lock contention, cache pollution, and "
+           "latency jitter — that both slows the loop and corrupts it as a "
+           "measurement surface for joule benchmarking.  This rule walks "
+           "the project call graph from every `// rme-hot: <reason>` root "
+           "(and every lambda handed to exec::parallel_for/parallel_map) "
+           "and flags operator new, std::make_unique/make_shared, "
+           "std::string construction, and push_back/emplace_back/append "
+           "without a visible reserve on the receiver.  Safe replacements: "
+           "hoist the allocation before the loop, reserve the final size "
+           "once, reuse a caller-owned scratch buffer, or — when the path "
+           "is genuinely cold, like error reporting — cut it out of the "
+           "graph with `// rme-cold: <reason>` or a scoped "
+           "`rme-lint: allow(alloc-in-hot-path: <reason>)`.";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    for (const HotFunction& hf : compute_hot_set(index)) {
+      const std::string rel = repo_relative(hf.file->path);
+      for (const HotOp& op : hf.def->ops) {
+        if (op.suppressed) continue;
+        if (op.kind == "alloc") {
+          out.push_back(Finding{
+              std::string(name()), rel, op.line, op.column,
+              "heap allocation (" + op.detail + ") on the hot path " +
+                  (op.in_loop ? "inside a loop " : "") + "via " + hf.trace +
+                  "; hoist it out of the per-item path or reuse a "
+                  "caller-owned buffer"});
+        } else if (op.kind == "growth" &&
+                   (op.in_loop || hf.def->is_lambda)) {
+          out.push_back(Finding{
+              std::string(name()), rel, op.line, op.column,
+              "container growth (" + op.detail + ") with no earlier "
+                  "reserve on the receiver, on the hot path via " +
+                  hf.trace + "; reserve the final size before the loop"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_alloc_in_hot_path_rule() {
+  return std::make_unique<AllocInHotPathRule>();
+}
+
+}  // namespace rme::analyze

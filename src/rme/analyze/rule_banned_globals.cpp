@@ -53,6 +53,18 @@ class BannedGlobalsRule final : public Rule {
     return "thread-unsafe/global-state libc call (lgamma, strtok, rand, "
            "localtime, ...); use the _r/owned-state replacement";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "These libc functions communicate through hidden global state "
+           "— strtok's save pointer, rand's seed, lgamma's signgam, "
+           "localtime's static tm — so two threads calling them race even "
+           "when every visible argument is thread-local, and results can "
+           "change with call interleaving, which breaks this project's "
+           "any-jobs-value determinism contract.  Safe replacements: the "
+           "_r variants (strtok_r, localtime_r, lgamma_r) that take the "
+           "state as an argument, an explicitly seeded <random> engine "
+           "owned by the caller instead of rand, and std::chrono in place "
+           "of time-formatting statics.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

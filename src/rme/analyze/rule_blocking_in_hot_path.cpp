@@ -1,0 +1,73 @@
+// blocking-in-hot-path (cross-TU): operations that can park the
+// calling thread — file and console I/O, process spawns, sleeps — on
+// paths the call graph reaches from a hot root.  A blocked worker
+// idles at static power (the paper's π₀ term) while producing zero
+// flops, the single worst point on the energy roofline; and a syscall
+// in a measured region swamps the counters joule benchmarking reads.
+//
+// Fired ops (kind "blocking"): std::ifstream/ofstream/fstream
+// construction, std::cin/cout/cerr/clog use, C stdio (fopen, fread,
+// fwrite, fgets, fscanf, fprintf, fflush), getline, system, popen,
+// and the sleep family (sleep, usleep, nanosleep, sleep_for,
+// sleep_until).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/callgraph.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class BlockingInHotPathRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "blocking-in-hot-path";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "file/console I/O, process spawn, or sleep reachable from a "
+           "hot root; stage the I/O outside the hot region";
+  }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "A blocking call on the hot path parks the worker at static "
+           "power — the paper's pi0 term keeps burning joules while the "
+           "thread produces zero flops, which is the single worst "
+           "operating point on the energy roofline — and a syscall inside "
+           "a measured region swamps the counters RAPL-style joule "
+           "benchmarking would read.  This rule flags stream "
+           "construction (std::ifstream/ofstream/fstream), console "
+           "streams (std::cin/cout/cerr/clog), C stdio calls, getline, "
+           "system/popen, and sleeps inside any definition the call "
+           "graph reaches from a hot root.  Safe replacements: read "
+           "inputs and open outputs before the hot region, buffer "
+           "results and flush after the join, record events through "
+           "rme::obs (designed to be a pure observer), or mark a true "
+           "cold boundary — error reporting, startup ingest — with "
+           "`// rme-cold: <reason>`.";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    for (const HotFunction& hf : compute_hot_set(index)) {
+      const std::string rel = repo_relative(hf.file->path);
+      for (const HotOp& op : hf.def->ops) {
+        if (op.kind != "blocking" || op.suppressed) continue;
+        out.push_back(Finding{
+            std::string(name()), rel, op.line, op.column,
+            "blocking operation (" + op.detail + ") on the hot path via " +
+                hf.trace + "; stage the I/O outside the hot region or "
+                "record through rme::obs"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_blocking_in_hot_path_rule() {
+  return std::make_unique<BlockingInHotPathRule>();
+}
+
+}  // namespace rme::analyze

@@ -66,6 +66,21 @@ class DeterminismRule final : public Rule {
     return "nondeterministic seed/clock source (random_device, raw engine "
            "construction, wall clock in src/rme/)";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "The library's contract is that every model result is a pure "
+           "function of its inputs: same machine description, same "
+           "kernel, same seed, same answer — at any --jobs value, on any "
+           "run.  std::random_device, default-constructed engines, and "
+           "wall-clock reads each smuggle in an input nobody recorded, "
+           "which breaks byte-identical artifact replay, the golden-file "
+           "tests, and bisectability of numeric regressions.  Safe "
+           "replacements: accept a std::uint64_t seed parameter and "
+           "construct the engine from it (the bootstrap/session code "
+           "shows the idiom), derive per-worker seeds deterministically "
+           "from the root seed, and take timestamps only at the "
+           "observability boundary (rme::obs), never inside a model "
+           "computation.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

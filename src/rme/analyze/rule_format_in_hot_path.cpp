@@ -1,0 +1,74 @@
+// format-in-hot-path (cross-TU): text formatting on the per-item
+// paths.  std::to_string, ostringstream, and snprintf each cost
+// hundreds of cycles plus (for the first two) heap traffic — per-item
+// work that exists only to produce bytes nobody reads until the cold
+// boundary.  The serve daemon's request loop is the motivating case:
+// the response text must be assembled once, at the edge, not
+// piecemeal inside the engine.
+//
+// Fired ops (kind "format"): std::to_string (only when
+// std::-qualified — the project's own unqualified to_string overloads
+// are enum-to-const-char* tables and cost nothing), ostringstream /
+// stringstream construction, and snprintf / sprintf / vsnprintf
+// calls.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/callgraph.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class FormatInHotPathRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "format-in-hot-path";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "string formatting (std::to_string, stringstream, snprintf) "
+           "reachable from a hot root; format at the boundary";
+  }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "Formatting converts numbers to text at a cost of hundreds of "
+           "cycles per value plus, for std::to_string and stringstreams, "
+           "a heap allocation — per-item work that produces bytes nobody "
+           "reads until the cold boundary, and locale-sensitive work at "
+           "that.  On the serve hot path it competes directly with the "
+           "model evaluation the request paid for.  This rule flags "
+           "std::-qualified to_string (the project's own unqualified "
+           "to_string overloads are constant-table lookups and stay "
+           "quiet), ostringstream/stringstream construction, and "
+           "snprintf-family calls inside definitions the call graph "
+           "reaches from a hot root.  Safe replacements: format once at "
+           "the reporting boundary after the join, precompute invariant "
+           "text when inputs change (generation bumps, registry edits) "
+           "instead of per request, or append into a caller-owned buffer "
+           "reused across items.";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    for (const HotFunction& hf : compute_hot_set(index)) {
+      const std::string rel = repo_relative(hf.file->path);
+      for (const HotOp& op : hf.def->ops) {
+        if (op.kind != "format" || op.suppressed) continue;
+        out.push_back(Finding{
+            std::string(name()), rel, op.line, op.column,
+            "string formatting (" + op.detail + ") on the hot path via " +
+                hf.trace + "; format at the reporting boundary or "
+                "precompute the text when its inputs change"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_format_in_hot_path_rule() {
+  return std::make_unique<FormatInHotPathRule>();
+}
+
+}  // namespace rme::analyze

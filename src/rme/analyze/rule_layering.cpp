@@ -38,6 +38,22 @@ class LayeringRule final : public ProjectRule {
     return "include edge violates the declared module layer DAG, or "
            "project headers form an include cycle";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "The library's modules form a declared DAG (core at the "
+           "bottom, then model/exec, up through fit/session/serve; the "
+           "table lives in include_graph.cpp and docs/ANALYSIS.md).  An "
+           "include edge against that order — core reaching up into fit, "
+           "or a header cycle — makes the lower layer untestable in "
+           "isolation and turns every change into a potential rebuild of "
+           "everything, which is how layered codebases rot into a ball.  "
+           "Safe replacements: depend on the lower layer's abstraction "
+           "instead of reaching up (invert the dependency), move the "
+           "shared type down into the layer both sides may use, or pass "
+           "the upper-layer behavior in as a callback/interface.  If an "
+           "edge is genuinely intended, change the declared DAG in "
+           "include_graph.cpp — in review — rather than suppressing "
+           "file by file.";
+  }
 
   void check(const ProjectIndex& index,
              std::vector<Finding>& out) const override {

@@ -47,6 +47,19 @@ class LockDisciplineRule final : public Rule {
     return "raw .lock()/.unlock() on a mutex; hold it through an RAII "
            "guard instead";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "A manual .lock() demands that every path out of the region — "
+           "early returns, exceptions, added break statements — remembers "
+           "the matching .unlock(); the one path that forgets leaves the "
+           "mutex held forever and the next acquirer deadlocked.  RAII "
+           "guards make release structural: the scope ends, the lock "
+           "drops, on every path including unwinding.  Safe replacements: "
+           "std::lock_guard for a plain critical section, std::scoped_lock "
+           "to acquire several mutexes atomically, std::unique_lock when "
+           "a condition variable needs to drop and reacquire.  Raw calls "
+           "are also invisible to the cross-TU lock-order analysis, which "
+           "models RAII guard scopes only.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

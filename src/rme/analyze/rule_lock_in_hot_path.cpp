@@ -1,0 +1,74 @@
+// lock-in-hot-path (cross-TU): mutex acquisition on the per-item
+// paths.  A contended lock serializes exactly the loop the roofline
+// model wants running at machine balance, and even an uncontended
+// acquisition is an atomic RMW on a shared line — a per-iteration
+// memory-traffic term the model does not price.
+//
+// The fact extractor tags every RAII guard construction
+// (std::lock_guard / scoped_lock / unique_lock / shared_lock) as a
+// "lock" op; this rule reports the ones inside definitions the
+// call-graph walk (callgraph.hpp) reaches from a hot root.  The
+// lock-order rule answers a different question (is the order globally
+// consistent?); this one asks whether the acquisition belongs on the
+// path at all.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/callgraph.hpp"
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+class LockInHotPathRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lock-in-hot-path";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "mutex acquisition reachable from a hot root; move locking "
+           "to the enqueue/drain boundary or use per-worker state";
+  }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "A mutex on the hot path serializes the very loop the energy "
+           "roofline wants running at machine balance: under contention "
+           "workers convoy, and even uncontended the acquisition is an "
+           "atomic read-modify-write on a shared cache line — per-item "
+           "memory traffic the model does not price.  This rule flags "
+           "every RAII guard construction (std::lock_guard, scoped_lock, "
+           "unique_lock, shared_lock) inside a definition reachable from "
+           "a `// rme-hot: <reason>` root or an exec::parallel_* callable. "
+           "Safe replacements: partition the state per worker and merge "
+           "once at the join, move the lock to the enqueue/drain boundary "
+           "so it runs per batch instead of per item, or publish "
+           "read-mostly state through a snapshot taken before the loop.  "
+           "Locks that are structurally per-batch (the pool's own queue "
+           "mutex) belong under a scoped "
+           "`rme-lint: allow(lock-in-hot-path: <reason>)`.";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    for (const HotFunction& hf : compute_hot_set(index)) {
+      const std::string rel = repo_relative(hf.file->path);
+      for (const HotOp& op : hf.def->ops) {
+        if (op.kind != "lock" || op.suppressed) continue;
+        out.push_back(Finding{
+            std::string(name()), rel, op.line, op.column,
+            op.detail + " on the hot path via " + hf.trace +
+                "; move locking to the enqueue/drain boundary or keep "
+                "per-worker state and merge at the join"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_lock_in_hot_path_rule() {
+  return std::make_unique<LockInHotPathRule>();
+}
+
+}  // namespace rme::analyze

@@ -62,6 +62,22 @@ class LockOrderRule final : public ProjectRule {
            "(deadlock risk); acquire in one global order or use "
            "std::scoped_lock";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "If one code path locks A then B while another locks B then "
+           "A, two threads can each hold one and wait forever on the "
+           "other — the classic deadlock, invisible to per-file review "
+           "because the two nestings usually live in different "
+           "translation units.  This rule merges every RAII guard "
+           "nesting in the project into one acquired-before graph over "
+           "normalized mutex names and reports direct inversions and "
+           "longer cycles (A->B->C->A).  Safe replacements: pick one "
+           "global acquisition order and route every path through it, or "
+           "acquire the whole set atomically with std::scoped_lock(m1, "
+           "m2, ...), which contributes no internal edges.  Mutex "
+           "identity is lexical (same normalized member name aliases "
+           "across classes); a finding born from aliasing is the case "
+           "for a scoped `rme-lint: allow(lock-order: <reason>)`.";
+  }
 
   void check(const ProjectIndex& index,
              std::vector<Finding>& out) const override {

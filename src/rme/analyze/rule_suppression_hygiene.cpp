@@ -21,6 +21,20 @@ class SuppressionHygieneRule final : public Rule {
     return "allow(...) directive missing its rule name, reason, or naming "
            "an unknown rule";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "Suppressions are load-bearing exceptions to the lint "
+           "contract, so they are held to their own grammar: "
+           "`rme-lint: allow(<rule>: <reason>)` with a real rule name "
+           "(or a comma-separated list, or *) and a non-empty reason.  A "
+           "directive with no reason hides a finding without recording "
+           "why it is safe, which is indistinguishable from hiding a bug; "
+           "one naming an unknown rule suppresses nothing and usually "
+           "means a typo is letting the real finding through unseen.  "
+           "Safe replacement: name the exact rule, write the reason a "
+           "future reader needs (`allow(lock-in-hot-path: queue mutex is "
+           "per-batch, not per-item)`), and prefer fixing the finding "
+           "over suppressing it when the fix is comparable effort.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

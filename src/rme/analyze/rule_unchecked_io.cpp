@@ -44,6 +44,20 @@ class UncheckedIoRule final : public Rule {
     return "file stream written without a state check after the last "
            "write; stream errors are silently lost";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "Stream writes do not throw by default: a full disk, a "
+           "vanished directory, or a failed flush just sets failbit and "
+           "every later operation becomes a silent no-op.  For this "
+           "project the payload is session artifacts and benchmark CSVs "
+           "— files whose whole value is being trustworthy on replay — "
+           "so a truncated artifact that nobody noticed is strictly worse "
+           "than a crash.  Safe replacement: after the last write (or "
+           "before destruction) check the stream and surface the failure "
+           "— `if (!out) return Error{...}` in library code, or flush "
+           "explicitly and check; the artifact writer's commit path "
+           "shows the idiom.  Checks on any path after the final write "
+           "satisfy the rule.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

@@ -44,6 +44,19 @@ class UnitsSuffixRule final : public Rule {
     return "raw double with a unit-suffixed name; use the typed Quantity "
            "from rme/core/units.hpp";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "A `double energy_pj` keeps its unit in the variable name, "
+           "where the type system cannot see it: nothing stops the value "
+           "from being added to seconds or passed where joules were "
+           "meant, and the roofline algebra silently produces garbage "
+           "with plausible magnitudes.  The typed quantities in "
+           "rme/core/units.hpp carry the dimension in the type, so those "
+           "mistakes fail to compile and conversions are explicit, named "
+           "operations.  Safe replacement: declare the value as the "
+           "matching Quantity (Picojoules, Seconds, Watts, ...) and "
+           "unwrap with .value() only inside a .cpp numeric kernel at "
+           "the arithmetic boundary, never in an interface.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

@@ -31,6 +31,19 @@ class ValueEscapeRule final : public Rule {
     return ".value() escape hatch in a public header; unwrap inside .cpp "
            "numeric kernels instead";
   }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "Calling .value() strips a typed quantity back to a raw "
+           "double.  Inside a .cpp numeric kernel that is the intended "
+           "arithmetic boundary; in a public header it leaks untyped "
+           "values into every includer, so the unit-safety the Quantity "
+           "types exist for quietly ends at the API surface and callers "
+           "re-wrap (or forget to) with no compiler help.  Safe "
+           "replacement: keep header-level interfaces in Quantity terms "
+           "end to end and move the unwrap into the implementation file "
+           "next to the arithmetic that needs it; if a header truly must "
+           "unwrap (constexpr math), carry a scoped "
+           "`rme-lint: allow(value-escape: <reason>)` explaining why.";
+  }
 
   void check(const SourceFile& file,
              std::vector<Finding>& out) const override {

@@ -1,0 +1,149 @@
+// wire-error-exhaustiveness (cross-TU): every error code the serve
+// protocol can emit must be pinned by a conformance fixture.  The
+// corpus under tests/serve/ (NN_name.req → NN_name.resp, byte-for-
+// byte) is the protocol's compatibility contract; an ErrorCode
+// enumerator with no fixture is a wire shape clients can receive but
+// nothing defends, so it can drift silently.
+//
+// The fact extractor records the ErrorCode enumerators when it scans
+// src/rme/serve/protocol.hpp (matched by repo-relative path, so
+// fixture trees can model the layout).  At check time this rule maps
+// each enumerator to its wire name — strip the `k`, snake_case the
+// rest: kParseError → parse_error, exactly the to_string convention —
+// and requires `"code":"<wire>"` to appear in at least one
+// tests/serve/*.resp under the same tree.  One finding per missing
+// code, anchored at the enumerator; a missing corpus directory is a
+// single finding at the enum.
+//
+// This rule reads the fixture corpus from disk at check time (project
+// rules never enter the incremental cache, so there is no staleness
+// hazard), iterating the directory in sorted order for determinism.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rme/analyze/rules.hpp"
+
+namespace rme::analyze {
+namespace {
+
+/// kParseError → parse_error (the serve to_string convention).
+std::string wire_name(const std::string& enumerator) {
+  std::string out;
+  std::size_t start = 0;
+  if (enumerator.size() > 1 && enumerator[0] == 'k' &&
+      std::isupper(static_cast<unsigned char>(enumerator[1])) != 0) {
+    start = 1;
+  }
+  for (std::size_t i = start; i < enumerator.size(); ++i) {
+    const char c = enumerator[i];
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+      if (!out.empty()) out += '_';
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Concatenated contents of every *.resp in `dir`, in sorted order;
+/// false when the directory does not exist.
+bool read_corpus(const std::filesystem::path& dir, std::string& out) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return false;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".resp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out += buf.str();
+    out += '\n';
+  }
+  return true;
+}
+
+class WireErrorsRule final : public ProjectRule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "wire-error-exhaustiveness";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "every serve ErrorCode must be pinned by a tests/serve "
+           "conformance fixture; unpinned wire shapes drift silently";
+  }
+  [[nodiscard]] std::string_view explain() const noexcept override {
+    return "The serve conformance corpus (tests/serve/NN_name.req pinned "
+           "byte-for-byte to NN_name.resp) is the wire protocol's "
+           "compatibility contract: a response shape a fixture pins "
+           "cannot change without a reviewed golden update.  An ErrorCode "
+           "enumerator with no fixture is the opposite — a shape clients "
+           "can receive that nothing defends, free to drift with any "
+           "refactor of the error path.  This rule reads the enumerators "
+           "from src/rme/serve/protocol.hpp, maps each to its wire name "
+           "(kParseError → parse_error, the to_string convention), and "
+           "requires \"code\":\"<wire>\" to appear in at least one .resp "
+           "file.  To fix a finding: add a NN_name.req that provokes the "
+           "code deterministically (rme_served's --chaos-full-at and "
+           "--queue-limit exist to make even overload reproducible), "
+           "capture the exact response as NN_name.resp, and register the "
+           "pair in test_serve's corpus list.";
+  }
+
+  void check(const ProjectIndex& index,
+             std::vector<Finding>& out) const override {
+    constexpr std::string_view kProtocol = "src/rme/serve/protocol.hpp";
+    for (const FileFacts& facts : index.files) {
+      if (facts.wire_codes.empty()) continue;
+      if (repo_relative(facts.path) != kProtocol) continue;
+      // The corpus lives under the same tree root the protocol header
+      // was scanned from: strip the repo-relative suffix, append
+      // tests/serve.  Works for absolute and relative invocations.
+      std::string root = facts.path;
+      if (root.size() >= kProtocol.size()) {
+        root.erase(root.size() - kProtocol.size());
+      }
+      const std::filesystem::path dir =
+          std::filesystem::path(root) / "tests" / "serve";
+      std::string corpus;
+      if (!read_corpus(dir, corpus)) {
+        out.push_back(Finding{
+            std::string(name()), repo_relative(facts.path),
+            facts.wire_codes.front().line, 0,
+            "conformance corpus directory tests/serve/ not found; every "
+            "ErrorCode needs a pinned .req/.resp fixture"});
+        continue;
+      }
+      for (const WireCode& code : facts.wire_codes) {
+        const std::string wire = wire_name(code.enumerator);
+        if (corpus.find("\"code\":\"" + wire + "\"") != std::string::npos) {
+          continue;
+        }
+        out.push_back(Finding{
+            std::string(name()), repo_relative(facts.path), code.line, 0,
+            "error code '" + wire + "' (" + code.enumerator + ") has no "
+                "conformance fixture: no tests/serve/*.resp contains "
+                "\"code\":\"" + wire + "\"; add a pinned .req/.resp pair "
+                "that provokes it deterministically"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProjectRule> make_wire_errors_rule() {
+  return std::make_unique<WireErrorsRule>();
+}
+
+}  // namespace rme::analyze

@@ -28,6 +28,11 @@ const std::vector<const ProjectRule*>& all_project_rules() {
     std::vector<std::unique_ptr<ProjectRule>> rules;
     rules.push_back(make_layering_rule());
     rules.push_back(make_lock_order_rule());
+    rules.push_back(make_alloc_in_hot_path_rule());
+    rules.push_back(make_lock_in_hot_path_rule());
+    rules.push_back(make_blocking_in_hot_path_rule());
+    rules.push_back(make_format_in_hot_path_rule());
+    rules.push_back(make_wire_errors_rule());
     return rules;
   }();
   static const std::vector<const ProjectRule*> view = [] {
@@ -57,7 +62,7 @@ std::string_view rules_fingerprint() {
   // kRevision is bumped by hand whenever any rule's logic or the fact
   // extractor changes shape — names alone cannot see that, and a stale
   // cache must not survive it.
-  static constexpr std::string_view kRevision = "rev2";
+  static constexpr std::string_view kRevision = "rev3";
   static const std::string fingerprint = [] {
     std::string fp(kRevision);
     for (const Rule* r : all_rules()) {

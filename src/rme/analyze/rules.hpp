@@ -27,6 +27,11 @@ namespace rme::analyze {
 
 [[nodiscard]] std::unique_ptr<ProjectRule> make_layering_rule();
 [[nodiscard]] std::unique_ptr<ProjectRule> make_lock_order_rule();
+[[nodiscard]] std::unique_ptr<ProjectRule> make_alloc_in_hot_path_rule();
+[[nodiscard]] std::unique_ptr<ProjectRule> make_lock_in_hot_path_rule();
+[[nodiscard]] std::unique_ptr<ProjectRule> make_blocking_in_hot_path_rule();
+[[nodiscard]] std::unique_ptr<ProjectRule> make_format_in_hot_path_rule();
+[[nodiscard]] std::unique_ptr<ProjectRule> make_wire_errors_rule();
 
 /// All registered per-file rules, constructed once, in registry order.
 [[nodiscard]] const std::vector<const Rule*>& all_rules();

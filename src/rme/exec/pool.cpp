@@ -38,6 +38,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
+    // rme-lint: allow(lock-in-hot-path: enqueue handoff, once per task)
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
@@ -50,6 +51,7 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait() {
   const obs::Span span(tracer_, "pool.wait", "pool");
+  // rme-lint: allow(lock-in-hot-path: join-boundary drain, once per batch)
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
   if (first_error_) {
@@ -102,6 +104,7 @@ void ThreadPool::parallel_for(std::size_t n,
   // Workers claim indices from a shared counter: the *assignment* of
   // indices to threads is scheduling-dependent, but each index runs
   // exactly once and writes only its own outputs, so results are not.
+  // rme-lint: allow(alloc-in-hot-path: one shared counter per batch)
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   const unsigned tasks =
       static_cast<unsigned>(std::min<std::size_t>(jobs(), n));
@@ -115,6 +118,7 @@ void ThreadPool::parallel_for(std::size_t n,
   wait();
 }
 
+// rme-hot: fan-out entry point; every sweep and resample runs under it
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   unsigned jobs, obs::Tracer* tracer) {
   if (n == 0) return;

@@ -16,6 +16,7 @@ double energy_balance_statistic(const EnergyCoefficients& c) {
   return (c.eps_mem / c.eps_double()).value();
 }
 
+// rme-hot: called once per resample; draws dominate small-sample fits
 std::vector<std::size_t> bootstrap_draw_indices(std::size_t sample_count,
                                                 std::uint64_t seed,
                                                 std::size_t resample) {
@@ -57,8 +58,10 @@ std::vector<RefitOutcome> refit_resamples(
       [&](std::size_t r) -> RefitOutcome {
         const obs::Span span(
             tracer,
-            tracer == nullptr ? std::string()
-                              : "resample " + std::to_string(r),
+            tracer == nullptr
+                ? std::string()
+                // rme-lint: allow(format-in-hot-path: traced-only span label)
+                : "resample " + std::to_string(r),
             "fit");
         const std::vector<std::size_t> indices =
             bootstrap_draw_indices(samples.size(), seed, r);

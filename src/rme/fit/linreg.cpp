@@ -44,9 +44,13 @@ Regression ols(const Matrix& x, const std::vector<double>& y,
   if (y.size() != n) throw std::invalid_argument("ols: y size mismatch");
   if (n <= p) throw std::invalid_argument("ols: need more rows than columns");
   if (names.empty()) {
+    // Default column names: built once per fit, at most p of them, and
+    // only when the caller named nothing (the fit hot path never does).
     names.reserve(p);
     for (std::size_t j = 0; j < p; ++j) {
+      // rme-lint: allow(alloc-in-hot-path: cold default-name branch)
       std::string generated = "x";
+      // rme-lint: allow(format-in-hot-path: cold default-name branch)
       generated += std::to_string(j);
       names.push_back(std::move(generated));
     }

@@ -49,6 +49,7 @@ void apply_weights(const Matrix& x, const std::vector<double>& y,
 
 }  // namespace
 
+// rme-hot: IRLS inner loop; runs once per bootstrap resample
 RobustRegression huber_fit(const Matrix& x, const std::vector<double>& y,
                            std::vector<std::string> names,
                            const HuberOptions& options, obs::Tracer* tracer) {

@@ -65,6 +65,10 @@ std::uint32_t Tracer::thread_id_locked() {
   return it->second;
 }
 
+// Observability boundary: per-event cost is bounded and paid only when
+// a caller opted into --trace/--metrics; the hot-path rules measure the
+// instrumented code, not the instrument.
+// rme-cold: observability boundary, active only under --trace/--metrics
 void Tracer::record_span(std::string_view name, std::string_view category,
                          std::int64_t start_us, std::int64_t end_us) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -77,6 +81,7 @@ void Tracer::record_span(std::string_view name, std::string_view category,
   events_.push_back(std::move(e));
 }
 
+// rme-cold: observability boundary — see record_span.
 void Tracer::record_instant(std::string_view name,
                             std::string_view category) {
   const std::int64_t at = now_us();
@@ -90,6 +95,7 @@ void Tracer::record_instant(std::string_view name,
   events_.push_back(std::move(e));
 }
 
+// rme-cold: observability boundary — see record_span.
 void Tracer::add_counter(std::string_view name, std::int64_t delta) {
   const std::int64_t at = now_us();
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -104,6 +110,7 @@ void Tracer::add_counter(std::string_view name, std::int64_t delta) {
   counter_samples_.push_back(CounterSample{std::string(name), at, total});
 }
 
+// rme-cold: observability boundary — see record_span.
 void Tracer::record_latency(std::string_view name, std::int64_t value_us) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -125,6 +132,7 @@ TraceSnapshot Tracer::snapshot() const {
   return snap;
 }
 
+// rme-cold: builds trace span labels; runs only when a tracer is attached
 std::string format_double(double value, int digits) {
   std::ostringstream oss;
   oss.imbue(std::locale::classic());

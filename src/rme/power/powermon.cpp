@@ -43,6 +43,14 @@ Measurement PowerMon::measure_clean(const rme::sim::PowerTrace& trace) const {
   if (m.duration_seconds <= Seconds{0.0}) return m;
 
   const Seconds dt = 1.0 / config_.sample_hz;
+  // One tick per dt between the phase offset and the trace end; the +1
+  // absorbs rounding so the loop never reallocates.
+  m.sample_watts.reserve(
+      static_cast<std::size_t>(std::max(
+          0.0, (m.duration_seconds.value() -
+                config_.phase_offset_seconds.value()) /
+                   dt.value())) +
+      1);
   double sum = 0.0;
   for (Seconds t = config_.phase_offset_seconds; t < m.duration_seconds;
        t += dt) {
@@ -84,6 +92,7 @@ struct TimedReading {
 /// extrapolation at the edges.  Gaps (dropouts, disconnect windows) are
 /// bridged by the trapezoid across the gap rather than being silently
 /// averaged over the full span.
+// rme-hot: per-channel trace integration; runs once per measurement
 double integrate_channel(std::vector<TimedReading>& pts, double duration) {
   if (pts.empty()) return 0.0;
   std::sort(pts.begin(), pts.end(),
@@ -123,6 +132,14 @@ Measurement PowerMon::measure_faulty(const rme::sim::PowerTrace& trace,
   }
 
   std::vector<std::vector<TimedReading>> readings(nch);
+  // Every channel sees at most one reading per scheduled tick; reserve
+  // the schedule's upper bound so the sampling loop never reallocates.
+  const std::size_t max_ticks =
+      static_cast<std::size_t>(std::max(
+          0.0, (duration - config_.phase_offset_seconds.value()) / dt)) +
+      1;
+  for (std::size_t c = 0; c < nch; ++c) readings[c].reserve(max_ticks);
+  m.sample_watts.reserve(max_ticks);
   std::vector<double> stuck_value(nch, 0.0);
   std::vector<bool> stuck_latched(nch, false);
 

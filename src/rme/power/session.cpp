@@ -82,6 +82,7 @@ SessionResult MeasurementSession::measure_plain(
   SessionResult result;
   result.kernel = kernel;
   std::vector<double> secs, joules, watts;
+  result.reps.reserve(config_.repetitions);
   secs.reserve(config_.repetitions);
   joules.reserve(config_.repetitions);
   watts.reserve(config_.repetitions);
@@ -117,6 +118,8 @@ SessionResult MeasurementSession::measure_qc(
   SessionResult result;
   result.kernel = kernel;
   const QualityControlConfig& qc = config_.qc;
+  result.reps.reserve(config_.repetitions);
+  result.quality.attempts_per_rep.reserve(config_.repetitions);
 
   for (std::size_t rep = 0; rep < config_.repetitions; ++rep) {
     RepMeasurement best;
@@ -243,6 +246,9 @@ SessionResult MeasurementSession::measure_qc(
 
   // Aggregate over the surviving reps only.
   std::vector<double> secs, joules, watts;
+  secs.reserve(result.reps.size());
+  joules.reserve(result.reps.size());
+  watts.reserve(result.reps.size());
   for (const RepMeasurement& r : result.reps) {
     if (r.outlier) continue;
     result.any_capped = result.any_capped || r.capped;

@@ -85,6 +85,12 @@ class Engine {
   /// (kUnknownMachine) naming the registered keys.
   [[nodiscard]] Entry find_machine(const std::string& name) const;
 
+  /// Rebuilds the ", "-joined registry key list used by find_machine's
+  /// error message.  Called with mutex_ held (or from the constructor),
+  /// once per registry mutation — lookups misses then serve the
+  /// precomputed text instead of re-joining the keys per miss.
+  void rebuild_known_machines_locked();
+
   [[nodiscard]] Json dispatch(const Request& request);
   [[nodiscard]] Json do_predict(const Request& request);
   [[nodiscard]] Json do_rank(const Request& request);
@@ -98,6 +104,7 @@ class Engine {
   EngineOptions options_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> machines_;
+  std::string known_machines_;  ///< ", "-joined keys, rebuilt on ingest.
   std::uint64_t generation_ = 1;
   std::uint64_t requests_ = 0;
   std::uint64_t errors_ = 0;

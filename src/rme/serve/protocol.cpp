@@ -57,6 +57,7 @@ Precision precision_field(const Json& j, const std::string& where) {
 /// One batch entry: either explicit {flops, bytes} or a
 /// {"mix":{"intensity":I,"words":N}} microbenchmark spec.
 sim::KernelDesc parse_descriptor(const Json& j, std::size_t index) {
+  // rme-lint: allow(alloc-in-hot-path, format-in-hot-path: SSO-sized context label, built once per descriptor)
   const std::string where = "batch[" + std::to_string(index) + "]";
   if (!j.is_object()) {
     throw ProtocolError(ErrorCode::kBadRequest,
@@ -97,6 +98,7 @@ sim::KernelDesc parse_descriptor(const Json& j, std::size_t index) {
   if (j.has("name")) {
     desc.name = string_field(j, "name", where);
   } else if (desc.name.empty()) {
+    // rme-lint: allow(format-in-hot-path: default name for unnamed entries)
     desc.name = "k" + std::to_string(index);
   }
   return desc;

@@ -8,6 +8,7 @@ namespace rme::sim {
 KernelDesc fma_load_mix(double flops_per_byte, double words, Precision p) {
   KernelDesc k;
   const double bytes = words * word_bytes(p);
+  // rme-lint: allow(format-in-hot-path: the name is part of the value)
   k.name = "fma_load_mix(I=" + std::to_string(flops_per_byte) + ")";
   k.bytes = bytes;
   k.flops = flops_per_byte * bytes;

@@ -1,0 +1,14 @@
+#include <fstream>
+#include <string>
+
+namespace rme::fake {
+
+// rme-hot: per-item refresh
+double refresh(const std::string& path) {
+  std::ifstream in(path);
+  double v = 0.0;
+  in >> v;
+  return v;
+}
+
+}  // namespace rme::fake

@@ -1,0 +1,21 @@
+#include <sstream>
+#include <string>
+
+namespace rme::fake {
+
+// rme-cold: diagnostics boundary, runs only when tracing is attached
+std::string describe(double value) {
+  std::ostringstream oss;
+  oss << value;
+  return oss.str();
+}
+
+// rme-hot: per-sample path
+double process(double value) {
+  if (value < 0.0) {
+    (void)describe(value);
+  }
+  return value * 2.0;
+}
+
+}  // namespace rme::fake

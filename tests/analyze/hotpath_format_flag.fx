@@ -1,0 +1,13 @@
+#include <sstream>
+#include <string>
+
+namespace rme::fake {
+
+// rme-hot: per-sample label path
+std::string label(double value) {
+  std::ostringstream oss;
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace rme::fake

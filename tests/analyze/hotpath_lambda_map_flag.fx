@@ -1,0 +1,20 @@
+#include <cstddef>
+#include <string>
+
+#include "rme/exec/pool.hpp"
+
+namespace rme::fake {
+
+void consume(const std::string& label);
+
+void sweep(std::size_t n, unsigned jobs) {
+  exec::parallel_map(
+      n,
+      [&](std::size_t i) {
+        std::string label = "item " + std::to_string(i);
+        consume(label);
+      },
+      jobs, nullptr);
+}
+
+}  // namespace rme::fake

@@ -1,0 +1,14 @@
+#include <mutex>
+
+namespace rme::fake {
+
+std::mutex mu;
+int counter = 0;
+
+// rme-hot: request accounting path
+void bump() {
+  std::lock_guard<std::mutex> lock(mu);
+  ++counter;
+}
+
+}  // namespace rme::fake

@@ -1,0 +1,15 @@
+#include <mutex>
+
+namespace rme::fake {
+
+std::mutex mu;
+int counter = 0;
+
+// rme-hot: request accounting path
+void bump() {
+  // rme-lint: allow(lock-in-hot-path: O(1) counter bump by design)
+  std::lock_guard<std::mutex> lock(mu);
+  ++counter;
+}
+
+}  // namespace rme::fake

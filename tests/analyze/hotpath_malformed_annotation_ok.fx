@@ -1,0 +1,12 @@
+#include <vector>
+
+namespace rme::fake {
+
+// rme-hot:
+void fill(std::vector<int>& out) {
+  for (int i = 0; i < 64; ++i) {
+    out.push_back(i);
+  }
+}
+
+}  // namespace rme::fake

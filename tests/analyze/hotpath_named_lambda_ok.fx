@@ -1,0 +1,21 @@
+#include <cstddef>
+#include <string>
+
+#include "rme/exec/pool.hpp"
+
+namespace rme::fake {
+
+void consume(const std::string& label);
+
+// A lambda bound to a named variable first is NOT an implicit hot
+// root (docs/ANALYSIS.md): only a lambda written directly as the
+// argument of an exec parallel primitive is.  Opt in with rme-hot.
+void sweep(std::size_t n, unsigned jobs) {
+  const auto work = [&](std::size_t i) {
+    std::string label = "item " + std::to_string(i);
+    consume(label);
+  };
+  exec::parallel_map(n, work, jobs, nullptr);
+}
+
+}  // namespace rme::fake

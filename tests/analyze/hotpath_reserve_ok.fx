@@ -1,0 +1,14 @@
+#include <cstddef>
+#include <vector>
+
+namespace rme::fake {
+
+// rme-hot: per-tick sampling loop
+void sample(std::vector<double>& out, std::size_t ticks) {
+  out.reserve(ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    out.push_back(static_cast<double>(t));
+  }
+}
+
+}  // namespace rme::fake

@@ -1,0 +1,14 @@
+#include <stdexcept>
+#include <string>
+
+namespace rme::fake {
+
+// rme-hot: per-item validation; the message assembly is rejection-only
+double validate(double value) {
+  if (value < 0.0) {
+    throw std::invalid_argument("negative value " + std::to_string(value));
+  }
+  return value;
+}
+
+}  // namespace rme::fake

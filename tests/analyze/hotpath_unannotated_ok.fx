@@ -1,0 +1,15 @@
+#include <vector>
+
+namespace rme::fake {
+
+void fill(std::vector<int>& out) {
+  for (int i = 0; i < 64; ++i) {
+    out.push_back(i);
+  }
+}
+
+void stage(std::vector<int>& out) { fill(out); }
+
+void decode(std::vector<int>& out) { stage(out); }
+
+}  // namespace rme::fake

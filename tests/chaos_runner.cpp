@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -69,7 +71,12 @@ void write_file(const std::string& path, const std::string& bytes) {
 }
 
 std::string temp_path(const std::string& name) {
-  return (std::filesystem::path(::testing::TempDir()) / name).string();
+  // ctest runs each TEST as its own process, in parallel: scope every
+  // scratch file to the process so concurrent cases never share paths
+  // (each process re-captures its own golden in SetUpTestSuite).
+  static const std::string pid = std::to_string(::getpid());
+  return (std::filesystem::path(::testing::TempDir()) / (pid + "_" + name))
+      .string();
 }
 
 /// The uninterrupted golden run this whole file diffs against, captured

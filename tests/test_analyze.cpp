@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -684,6 +687,235 @@ TEST(Layering, DotExportMarksViolations) {
   EXPECT_NE(dot.find("color=red"), std::string::npos);
 }
 
+// --- hot-path family --------------------------------------------------------
+//
+// Single-file fixtures work because visibility is include-closure
+// based and every file is in its own closure; the call graph therefore
+// links same-file edges without any #include modelling.
+
+TEST(HotPath, FlagsGrowthThroughTwoHopCallChain) {
+  const auto findings = run_project_rule(
+      index_of({{"hotpath_chain_flag.fx", "src/rme/fake/chain.cpp"}}),
+      "alloc-in-hot-path");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "alloc-in-hot-path");
+  EXPECT_EQ(findings[0].file, "src/rme/fake/chain.cpp");
+  EXPECT_EQ(findings[0].line, 7u);
+  // The trace names the whole chain from the annotated root.
+  EXPECT_NE(findings[0].message.find("decode -> stage -> fill"),
+            std::string::npos);
+}
+
+TEST(HotPath, SameChainWithoutAnnotationIsQuiet) {
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"hotpath_unannotated_ok.fx",
+                             "src/rme/fake/chain.cpp"}}),
+                  "alloc-in-hot-path")
+                  .empty());
+}
+
+TEST(HotPath, LambdaPassedToParallelMapIsAnImplicitRoot) {
+  const ProjectIndex index =
+      index_of({{"hotpath_lambda_map_flag.fx", "src/rme/fake/sweep.cpp"}});
+  const auto allocs = run_project_rule(index, "alloc-in-hot-path");
+  ASSERT_EQ(allocs.size(), 1u);
+  EXPECT_EQ(allocs[0].line, 14u);
+  // Root lambdas are anchored to their file and introducer line.
+  EXPECT_NE(allocs[0].message.find("src/rme/fake/sweep.cpp:<lambda:13>"),
+            std::string::npos);
+  const auto formats = run_project_rule(index, "format-in-hot-path");
+  ASSERT_EQ(formats.size(), 1u);
+  EXPECT_EQ(formats[0].line, 14u);
+}
+
+TEST(HotPath, NamedLambdaVariableIsNotAnImplicitRoot) {
+  const ProjectIndex index =
+      index_of({{"hotpath_named_lambda_ok.fx", "src/rme/fake/sweep.cpp"}});
+  EXPECT_TRUE(run_project_rule(index, "alloc-in-hot-path").empty());
+  EXPECT_TRUE(run_project_rule(index, "format-in-hot-path").empty());
+}
+
+TEST(HotPath, ReserveBeforePushBackIsQuiet) {
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"hotpath_reserve_ok.fx",
+                             "src/rme/fake/sample.cpp"}}),
+                  "alloc-in-hot-path")
+                  .empty());
+}
+
+TEST(HotPath, FlagsGuardConstructionInHotFunction) {
+  const auto findings = run_project_rule(
+      index_of({{"hotpath_lock_flag.fx", "src/rme/fake/bump.cpp"}}),
+      "lock-in-hot-path");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-in-hot-path");
+  EXPECT_EQ(findings[0].line, 10u);
+  EXPECT_NE(findings[0].message.find("bump"), std::string::npos);
+}
+
+TEST(HotPath, ReasonedAllowSuppressesTheLock) {
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"hotpath_lock_suppressed.fx",
+                             "src/rme/fake/bump.cpp"}}),
+                  "lock-in-hot-path")
+                  .empty());
+}
+
+TEST(HotPath, FlagsBlockingIoInHotFunction) {
+  const auto findings = run_project_rule(
+      index_of({{"hotpath_blocking_flag.fx", "src/rme/fake/refresh.cpp"}}),
+      "blocking-in-hot-path");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "blocking-in-hot-path");
+  EXPECT_EQ(findings[0].line, 8u);
+}
+
+TEST(HotPath, FlagsStreamFormattingInHotFunction) {
+  const auto findings = run_project_rule(
+      index_of({{"hotpath_format_flag.fx", "src/rme/fake/label.cpp"}}),
+      "format-in-hot-path");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "format-in-hot-path");
+  EXPECT_EQ(findings[0].line, 8u);
+}
+
+TEST(HotPath, ColdAnnotationCutsPropagation) {
+  // process (hot) calls describe (cold): the walk stops at the cold
+  // boundary, so describe's ostringstream is never reported.
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"hotpath_cold_boundary_ok.fx",
+                             "src/rme/fake/process.cpp"}}),
+                  "format-in-hot-path")
+                  .empty());
+}
+
+TEST(HotPath, AnnotationWithoutReasonIsInert) {
+  EXPECT_TRUE(run_project_rule(
+                  index_of({{"hotpath_malformed_annotation_ok.fx",
+                             "src/rme/fake/chain.cpp"}}),
+                  "alloc-in-hot-path")
+                  .empty());
+}
+
+TEST(HotPath, ThrowStatementIsColdByDefinition) {
+  const ProjectIndex index =
+      index_of({{"hotpath_throw_ok.fx", "src/rme/fake/validate.cpp"}});
+  EXPECT_TRUE(run_project_rule(index, "alloc-in-hot-path").empty());
+  EXPECT_TRUE(run_project_rule(index, "format-in-hot-path").empty());
+}
+
+// --- wire-error-exhaustiveness ----------------------------------------------
+
+namespace wire_fs = std::filesystem;
+
+/// Builds a ProjectIndex holding one protocol.hpp under `root` with
+/// two ErrorCode enumerators.  The rule resolves the conformance
+/// corpus at `root`/tests/serve from the header's path at check time.
+ProjectIndex wire_index(const wire_fs::path& root) {
+  const wire_fs::path header = root / "src" / "rme" / "serve" / "protocol.hpp";
+  ProjectIndex index;
+  index.files.push_back(extract_facts(SourceFile::from_string(
+      header.string(),
+      "enum class ErrorCode {\n"
+      "  kParseError,\n"
+      "  kOverloaded,\n"
+      "};\n")));
+  return index;
+}
+
+TEST(WireErrors, MissingCorpusDirectoryIsOneFinding) {
+  const wire_fs::path root =
+      wire_fs::temp_directory_path() / "rme_wire_tree_missing";
+  wire_fs::remove_all(root);
+  const auto findings =
+      run_project_rule(wire_index(root), "wire-error-exhaustiveness");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/rme/serve/protocol.hpp");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_NE(findings[0].message.find("tests/serve/ not found"),
+            std::string::npos);
+}
+
+TEST(WireErrors, MissingFixtureFlipsRedAndAddingItClears) {
+  const wire_fs::path root =
+      wire_fs::temp_directory_path() / "rme_wire_tree_partial";
+  wire_fs::remove_all(root);
+  wire_fs::create_directories(root / "tests" / "serve");
+  const ProjectIndex index = wire_index(root);
+
+  // Empty-but-existing corpus: one finding per enumerator.
+  const auto empty_corpus =
+      run_project_rule(index, "wire-error-exhaustiveness");
+  EXPECT_EQ(locations(empty_corpus),
+            (Locs{{"wire-error-exhaustiveness", 2},
+                  {"wire-error-exhaustiveness", 3}}));
+
+  // Pin one of the two codes: exactly the other must still flag.
+  std::ofstream(root / "tests" / "serve" / "01_parse.resp")
+      << "{\"ok\":false,\"error\":{\"code\":\"parse_error\"}}\n";
+  const auto partial = run_project_rule(index, "wire-error-exhaustiveness");
+  ASSERT_EQ(partial.size(), 1u);
+  EXPECT_EQ(partial[0].line, 3u);
+  EXPECT_NE(partial[0].message.find("'overloaded'"), std::string::npos);
+  EXPECT_NE(partial[0].message.find("kOverloaded"), std::string::npos);
+
+  // Pin the second code: the rule goes quiet.
+  std::ofstream(root / "tests" / "serve" / "02_overloaded.resp")
+      << "{\"ok\":false,\"error\":{\"code\":\"overloaded\"}}\n";
+  EXPECT_TRUE(
+      run_project_rule(index, "wire-error-exhaustiveness").empty());
+  wire_fs::remove_all(root);
+}
+
+// --- rule documentation (--explain) -----------------------------------------
+
+TEST(Explain, EveryRegisteredRuleDocumentsItself) {
+  for (const Rule* rule : all_rules()) {
+    EXPECT_FALSE(rule->description().empty()) << rule->name();
+    EXPECT_GT(rule->explain().size(), 80u) << rule->name();
+  }
+  for (const ProjectRule* rule : all_project_rules()) {
+    EXPECT_FALSE(rule->description().empty()) << rule->name();
+    EXPECT_GT(rule->explain().size(), 80u) << rule->name();
+  }
+}
+
+#ifdef RME_ANALYZE_TOOL
+/// Runs the installed rme_analyze with `args`; returns its exit code
+/// and captures stdout into `out`.
+int run_tool(const std::string& args, std::string& out) {
+  const wire_fs::path tmp =
+      wire_fs::temp_directory_path() /
+      ("rme_analyze_explain_out_" + std::to_string(::getpid()) + ".txt");
+  const std::string cmd = std::string(RME_ANALYZE_TOOL) + " " + args + " > " +
+                          tmp.string() + " 2>/dev/null";
+  const int status = std::system(cmd.c_str());
+  std::ifstream in(tmp);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  wire_fs::remove(tmp);
+  return WEXITSTATUS(status);
+}
+
+TEST(Explain, CliPrintsRegistryDocForAKnownRule) {
+  std::string out;
+  EXPECT_EQ(run_tool("--explain=wire-error-exhaustiveness", out), 0);
+  EXPECT_NE(out.find("wire-error-exhaustiveness (cross-TU)"),
+            std::string::npos);
+  // The paragraph comes from the registry, not a second copy in the CLI.
+  EXPECT_NE(out.find(find_project_rule("wire-error-exhaustiveness")
+                         ->description()),
+            std::string::npos);
+}
+
+TEST(Explain, CliExitsTwoForAnUnknownRule) {
+  std::string out;
+  EXPECT_EQ(run_tool("--explain=no-such-rule", out), 2);
+  EXPECT_TRUE(out.empty());
+}
+#endif  // RME_ANALYZE_TOOL
+
 // --- cache ------------------------------------------------------------------
 
 TEST(Cache, RoundTripsFactsAndFindings) {
@@ -846,10 +1078,17 @@ namespace fs = std::filesystem;
 
 /// Writes a small analyzable tree under a temp directory: one clean
 /// file, one banned-globals violation, one cross-file lock inversion.
+/// The tree is process-scoped: ctest runs each TEST in its own
+/// process, in parallel, and several tests build-then-remove it.
+fs::path project_tree_root() {
+  static const fs::path root =
+      fs::temp_directory_path() /
+      ("rme_analyze_project_tree_" + std::to_string(::getpid()));
+  return root;
+}
+
 fs::path write_temp_tree() {
-  const fs::path root =
-      fs::temp_directory_path() / "rme_analyze_project_tree" / "src" / "rme" /
-      "exec";
+  const fs::path root = project_tree_root() / "src" / "rme" / "exec";
   fs::create_directories(root);
   std::ofstream(root / "clean.cpp")
       << "int answer() { return 42; }\n";
@@ -868,7 +1107,7 @@ fs::path write_temp_tree() {
          "  std::lock_guard<std::mutex> g2(second_mutex);\n"
          "  std::lock_guard<std::mutex> g1(first_mutex);\n"
          "}\n";
-  return fs::temp_directory_path() / "rme_analyze_project_tree";
+  return project_tree_root();
 }
 
 std::string report_as_json(const ProjectReport& report) {

@@ -119,7 +119,26 @@ INSTANTIATE_TEST_SUITE_P(
                       "09_unknown_endpoint", "10_nan_field",
                       "11_overflow_field", "12_empty_batch",
                       "13_oversized_batch", "14_unknown_machine",
-                      "15_bad_edit_field", "16_recovery_sequence"));
+                      "15_bad_edit_field", "16_recovery_sequence",
+                      "17_ingest_failed"));
+
+// The `overloaded` rejection is produced by the server's shed path, not
+// by Engine::handle, so its fixture runs under the deterministic chaos
+// hook instead of the fixed-args corpus runner above.  Together with
+// the corpus this pins every ErrorCode wire name to a fixture — the
+// wire-error-exhaustiveness analyzer rule checks exactly that.
+TEST(ServeConformance, OverloadedFixturePinnedByteForByte) {
+  const std::string req =
+      read_file(std::string(RME_SERVE_FIXTURE_DIR) + "/18_overloaded.req");
+  const std::string golden =
+      read_file(std::string(RME_SERVE_FIXTURE_DIR) + "/18_overloaded.resp");
+  ASSERT_FALSE(req.empty());
+  ASSERT_FALSE(golden.empty());
+  const ServedRun run = run_served("--pipe --max-batch 8 --chaos-full-at 0",
+                                   req, "18_overloaded");
+  EXPECT_EQ(run.exit_code, 0) << run.err;
+  EXPECT_EQ(run.out, golden);
+}
 
 TEST(ServeConformance, EveryMalformedFrameLeavesConnectionServiceable) {
   // Concatenate every malformed fixture, then a valid stats + shutdown:
@@ -343,6 +362,37 @@ TEST(ServeIngest, RejectsMissingAndFitlessArtifacts) {
   EXPECT_EQ(fitless.at("error").at("code").as_string(), "ingest_failed");
   EXPECT_NE(fitless.at("error").at("message").as_string().find("no fit"),
             std::string::npos);
+}
+
+TEST(ServeErrors, UnknownMachineErrorBodyTracksRegistryByteForByte) {
+  // find_machine serves a *precomputed* registered-key list, rebuilt
+  // only when the registry mutates; the error body must stay
+  // byte-identical to joining the live registry on every miss.
+  serve::Engine engine;
+  const auto check = [&engine]() {
+    const Json stats = engine.handle(R"({"op":"stats"})");
+    std::string known;
+    for (const Json& m : stats.at("machines").items()) {
+      if (!known.empty()) known += ", ";
+      known += m.as_string();
+    }
+    const Json miss = engine.handle(
+        R"({"op":"predict","machine":"cray-1",)"
+        R"("batch":[{"flops":1,"bytes":1}]})");
+    ASSERT_FALSE(miss.at("ok").as_bool());
+    EXPECT_EQ(miss.at("error").at("code").as_string(), "unknown_machine");
+    EXPECT_EQ(miss.at("error").at("message").as_string(),
+              "unknown machine 'cray-1' (registered: " + known + ")");
+  };
+  check();  // Preset registry, joined at construction.
+
+  const std::string artifact_path =
+      std::string(RME_GOLDEN_DIR) + "/session_i7.rmea";
+  const Json ingested = engine.handle(
+      R"({"op":"ingest","name":"lab","artifact":")" + artifact_path +
+      R"("})");
+  ASSERT_TRUE(ingested.at("ok").as_bool()) << ingested.dump();
+  check();  // Rebuilt at the generation bump, not re-joined per miss.
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,8 @@
 // baseline workflow.
 //
 // Usage:
-//   rme_analyze [--list-rules] [--rule=<name>[,<name>...]]
+//   rme_analyze [--list-rules] [--explain=<rule>]
+//               [--rule=<name>[,<name>...]]
 //               [--jobs=N] [--cache=<file>] [--baseline=<file>]
 //               [--write-baseline=<file>] [--format=text|json|sarif]
 //               [--dot=<file>] [--metrics] <dir-or-file>...
@@ -37,12 +38,15 @@
 namespace {
 
 void print_usage(std::ostream& os) {
-  os << "usage: rme_analyze [--list-rules] [--rule=<name>[,<name>...]]\n"
+  os << "usage: rme_analyze [--list-rules] [--explain=<rule>]\n"
+        "                   [--rule=<name>[,<name>...]]\n"
         "                   [--jobs=N] [--cache=<file>] "
         "[--baseline=<file>]\n"
         "                   [--write-baseline=<file>] "
         "[--format=text|json|sarif]\n"
         "                   [--dot=<file>] [--metrics] <dir-or-file>...\n"
+        "  --explain=<rule>    print the rule's rationale and safe\n"
+        "                      replacements (from the registry), then exit\n"
         "  --jobs=N            parallel per-file analysis (0 = hardware);\n"
         "                      output is byte-identical for every N\n"
         "  --cache=<file>      incremental cache keyed by content hash\n"
@@ -53,6 +57,30 @@ void print_usage(std::ostream& os) {
         "  --metrics           print counters and per-rule latencies to "
         "stderr\n"
         "exit status: 0 clean, 1 findings, 2 bad usage or IO error\n";
+}
+
+/// Prints one rule's registry documentation; exit 2 when unknown.
+int explain_rule(const std::string& name) {
+  std::string_view description;
+  std::string_view paragraph;
+  bool cross_tu = false;
+  if (const rme::analyze::Rule* r = rme::analyze::find_rule(name)) {
+    description = r->description();
+    paragraph = r->explain();
+  } else if (const rme::analyze::ProjectRule* p =
+                 rme::analyze::find_project_rule(name)) {
+    description = p->description();
+    paragraph = p->explain();
+    cross_tu = true;
+  } else {
+    std::cerr << "rme_analyze: unknown rule '" << name
+              << "' (--list-rules prints the catalogue)\n";
+    return rme::cli::kExitUsage;
+  }
+  std::cout << name << (cross_tu ? " (cross-TU)" : "") << "\n    "
+            << description << "\n\n"
+            << paragraph << "\n";
+  return rme::cli::kExitOk;
 }
 
 std::vector<std::string> split_csv(const std::string& list) {
@@ -70,6 +98,8 @@ std::vector<std::string> split_csv(const std::string& list) {
 int main(int argc, char** argv) {
   bool list_rules = false;
   bool metrics = false;
+  bool explain = false;
+  std::string explain_name;
   std::string format = "text";
   std::string dot_target;
   std::filesystem::path write_baseline;
@@ -81,6 +111,17 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg == "--list-rules") {
         list_rules = true;
+      } else if (arg.rfind("--explain=", 0) == 0) {
+        explain = true;
+        explain_name = arg.substr(10);
+      } else if (arg == "--explain") {
+        if (i + 1 >= argc) {
+          std::cerr << "rme_analyze: --explain needs a rule name\n";
+          print_usage(std::cerr);
+          return rme::cli::kExitUsage;
+        }
+        explain = true;
+        explain_name = argv[++i];
       } else if (arg.rfind("--rule=", 0) == 0) {
         for (std::string& s : split_csv(arg.substr(7))) {
           options.selectors.push_back(std::move(s));
@@ -121,6 +162,7 @@ int main(int argc, char** argv) {
     return rme::cli::kExitUsage;
   }
 
+  if (explain) return explain_rule(explain_name);
   if (list_rules) {
     for (const rme::analyze::Rule* r : rme::analyze::all_rules()) {
       std::cout << r->name() << "\n    " << r->description() << "\n";

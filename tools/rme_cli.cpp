@@ -465,6 +465,7 @@ int cmd_sweep(const MachineParams& m, double lo, double hi, unsigned jobs,
   // table is byte-identical for every --jobs value.
   const auto rows = exec::parallel_map_items(
       grid,
+      // rme-cold: formatting the rows IS the deliverable of this command
       [&](double i) {
         return std::vector<std::string>{
             report::fmt(i, 4), report::fmt(normalized_speed(m, i), 3),
