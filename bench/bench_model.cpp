@@ -1,0 +1,441 @@
+// Model-evaluation throughput bench (ROADMAP item 5): times the five
+// hot kernels of the library — single model evaluation (the eq. (1)-(6)
+// breakdown readout), the measurement sweep step, one Huber IRLS
+// iteration, one bootstrap resample, and one power-trace integration —
+// and emits a machine-readable BENCH_model.json so perf PRs have a
+// committed before/after record (snapshot: bench/golden/BENCH_model.json,
+// schema: docs/schema/bench_model.schema.json).
+//
+// The model-evaluation arm is the PR's acceptance gate: the scalar path
+// (predict_time / predict_energy / normalized_* / *_bound per kernel,
+// re-deriving the machine's balance points every call) against the
+// batch SoA path (rme/core/batch.hpp: MachineEval caches the derived
+// parameters once, evaluate_batch_into writes into a preallocated
+// arena).  Both paths reduce to one checksum per pass in the same
+// per-item order, so the bench also proves bit-identity: a checksum
+// mismatch exits non-zero.  `batch_speedup_jobs1` must stay >= 5.
+//
+// All arms are best-of-`--repeats` wall time; everything is seeded and
+// deterministic.
+//
+//   --jobs N       parallel arms' worker count (0 = hardware, default)
+//   --repeats R    timed repetitions per arm, minimum kept (default 3)
+//   --json PATH    output path (default BENCH_model.json in cwd)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using rme::Bound;
+using rme::KernelProfile;
+using rme::MachineParams;
+using rme::ModelBatch;
+using rme::Precision;
+using rme::Seconds;
+
+/// Best-of-`repeats` wall time of `fn`, in milliseconds.
+template <typename Fn>
+double best_ms(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+double ns_per_op(double ms, double ops) {
+  return ops > 0.0 ? ms * 1e6 / ops : 0.0;
+}
+
+double ops_per_s(double ms, double ops) {
+  return ms > 0.0 ? ops / (ms / 1000.0) : 0.0;
+}
+
+/// Two-decimal fixed formatting keeps the committed JSON readable.
+std::string fixed2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+/// The model-evaluation workload: a deterministic grid of profiles
+/// spanning the intensity range of Fig. 4 with varied work magnitudes.
+std::vector<KernelProfile> make_profiles(std::size_t count) {
+  std::vector<KernelProfile> profiles;
+  profiles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double intensity =
+        0.25 * std::pow(2.0, 8.0 * double(i) / double(count));
+    const double flops = 1e9 * double(1 + i % 7);
+    profiles.push_back(KernelProfile{flops, flops / intensity});
+  }
+  return profiles;
+}
+
+/// One model evaluation's scalar readout — everything a serve predict
+/// row carries (breakdowns, normalized curves, both classifications and
+/// their disagreement) — reduced to a double in a fixed order (the
+/// batch arm reduces its columns in the same order, so equal checksums
+/// mean identical results).
+double scalar_row(const MachineParams& m, const KernelProfile& k) {
+  const rme::TimeBreakdown t = rme::predict_time(m, k);
+  const rme::EnergyBreakdown e = rme::predict_energy(m, k);
+  const double intensity = k.flops / k.bytes;
+  const double speed = rme::normalized_speed(m, intensity);
+  const double efficiency = rme::normalized_efficiency(m, intensity);
+  const double bounds =
+      (rme::time_bound(m, intensity) == Bound::kCompute ? 1.0 : 0.0) +
+      (rme::energy_bound(m, intensity) == Bound::kCompute ? 2.0 : 0.0) +
+      (rme::classifications_disagree(m, intensity) ? 4.0 : 0.0);
+  return t.total_seconds.value() + e.total_joules.value() + speed +
+         efficiency + bounds;
+}
+
+/// The batch row reduction, mirroring scalar_row's summation order.
+double batch_row(const ModelBatch& batch, std::size_t i) {
+  const double bounds =
+      (batch.time_class[i] == Bound::kCompute ? 1.0 : 0.0) +
+      (batch.energy_class[i] == Bound::kCompute ? 2.0 : 0.0) +
+      (batch.disagree(i) ? 4.0 : 0.0);
+  return batch.total_seconds[i] + batch.total_joules[i] +
+         batch.speed[i] + batch.efficiency[i] + bounds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 0;
+  int repeats = 3;
+  std::string json_path = "BENCH_model.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto fail = [&](const char* message) {
+      std::fprintf(stderr,
+                   "%s\nusage: %s [--jobs N] [--repeats R] [--json PATH]\n",
+                   message, argv[0]);
+      return rme::cli::kExitUsage;
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      try {
+        jobs = rme::cli::parse_unsigned32(argv[++i], "--jobs");
+      } catch (const rme::cli::UsageError& e) {
+        return fail(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      try {
+        repeats = std::max(
+            1, int(rme::cli::parse_unsigned32(argv[++i], "--repeats")));
+      } catch (const rme::cli::UsageError& e) {
+        return fail(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return fail("unknown flag");
+    }
+  }
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+
+  // ---- 1. model evaluation: scalar vs batch (the acceptance gate) ----
+  const MachineParams machine = rme::presets::i7_950(Precision::kDouble);
+  const std::vector<KernelProfile> profiles = make_profiles(4096);
+  constexpr int kEvalPasses = 32;
+  const double eval_ops = double(profiles.size()) * kEvalPasses;
+
+  // Every pass recomputes the same per-pass checksum (kept, not
+  // accumulated): the adds keep the scalar calls' results live at
+  // negligible cost, and the kept value is compared against the batch
+  // arena's reduction below — equal sums mean identical results.
+  double scalar_sum = 0.0;
+  const double scalar_ms = best_ms(repeats, [&] {
+    for (int pass = 0; pass < kEvalPasses; ++pass) {
+      double pass_sum = 0.0;
+      for (const KernelProfile& k : profiles) {
+        pass_sum += scalar_row(machine, k);
+      }
+      scalar_sum = pass_sum;
+    }
+  });
+
+  // The batch arm times evaluation alone — the arena's columns are the
+  // externally visible result, so no in-loop readout is needed to
+  // defeat dead-code elimination.  The checksum reduction runs once on
+  // the final arena, outside the timed region.
+  const rme::MachineEval eval = rme::MachineEval::from(machine);
+  ModelBatch arena;
+  const double batch_ms_jobs1 = best_ms(repeats, [&] {
+    for (int pass = 0; pass < kEvalPasses; ++pass) {
+      rme::evaluate_batch_into(eval, profiles, arena);
+    }
+  });
+  double batch_sum = 0.0;
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    batch_sum += batch_row(arena, i);
+  }
+
+  // Parallel arm: fixed-size chunks into per-chunk arenas (one slot per
+  // chunk, reused across passes — exec::parallel_map's slot contract
+  // keeps the result identical at any jobs value).
+  constexpr std::size_t kChunk = 256;
+  const std::size_t chunks = (profiles.size() + kChunk - 1) / kChunk;
+  std::vector<ModelBatch> chunk_arenas(chunks);
+  const double batch_ms_jobsn = best_ms(repeats, [&] {
+    for (int pass = 0; pass < kEvalPasses; ++pass) {
+      (void)rme::exec::parallel_map(
+          chunks,
+          [&](std::size_t c) {
+            const std::size_t lo = c * kChunk;
+            const std::size_t len = std::min(kChunk, profiles.size() - lo);
+            rme::evaluate_batch_into(
+                eval, std::span<const KernelProfile>(&profiles[lo], len),
+                chunk_arenas[c]);
+            return 0;
+          },
+          jobs);
+    }
+  });
+  double batch_sum_jobsn = 0.0;
+  for (const ModelBatch& chunk : chunk_arenas) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      batch_sum_jobsn += batch_row(chunk, i);
+    }
+  }
+
+  if (scalar_sum != batch_sum || scalar_sum != batch_sum_jobsn) {
+    std::fprintf(stderr,
+                 "bench_model: scalar/batch checksum mismatch "
+                 "(%.17g vs %.17g vs %.17g) — batch path is not "
+                 "bit-identical\n",
+                 scalar_sum, batch_sum, batch_sum_jobsn);
+    return rme::cli::kExitDegraded;
+  }
+  const double batch_speedup =
+      batch_ms_jobs1 > 0.0 ? scalar_ms / batch_ms_jobs1 : 0.0;
+
+  // ---- 2. sweep step: one kernel through the §IV-A session ----------
+  const rme::bench::Platform platform =
+      rme::bench::i7_950_platform(Precision::kDouble);
+  const rme::power::MeasurementSession session =
+      rme::bench::make_session(platform, /*reps=*/10);
+  const std::vector<rme::sim::KernelDesc> sweep =
+      rme::bench::fig4_sweep(Precision::kDouble);
+  const double sweep_ops = double(sweep.size());
+
+  double sweep_sum = 0.0;
+  const double sweep_ms_jobs1 = best_ms(repeats, [&] {
+    sweep_sum = 0.0;
+    for (const auto& r : session.measure_sweep(sweep, 1)) {
+      sweep_sum += r.joules.median;
+    }
+  });
+  const double sweep_ms_jobsn = best_ms(repeats, [&] {
+    for (const auto& r : session.measure_sweep(sweep, jobs)) {
+      sweep_sum += r.joules.median;
+    }
+  });
+
+  // ---- 3. one Huber IRLS iteration ----------------------------------
+  // A 1024x4 design with 5% gross outliers: enough rows that the
+  // iteration cost (residuals, MAD rescale, weighted QR) dominates.
+  constexpr std::size_t kRows = 1024;
+  constexpr std::size_t kCols = 4;
+  const rme::sim::NoiseModel irls_noise(0xF17, 0.05);
+  rme::fit::Matrix design(kRows, kCols);
+  std::vector<double> response(kRows, 0.0);
+  std::uint64_t salt = 0;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    design(r, 0) = 1.0;
+    for (std::size_t c = 1; c < kCols; ++c) {
+      design(r, c) = irls_noise.uniform(++salt) * 10.0;
+    }
+    response[r] = 2.0 + 0.5 * design(r, 1) - 1.5 * design(r, 2) +
+                  3.0 * design(r, 3);
+    response[r] = irls_noise.perturb(response[r], ++salt);
+    if (r % 20 == 0) response[r] += 50.0;  // the outliers IRLS must shed
+  }
+  rme::fit::RobustRegression robust;
+  const double irls_ms = best_ms(repeats, [&] {
+    robust = rme::fit::huber_fit(design, response);
+  });
+  const double irls_iters = double(std::max<std::size_t>(1, robust.iterations));
+
+  // ---- 4. one bootstrap resample ------------------------------------
+  // The test_bootstrap workload: two precisions x the Fig. 4 grid x 6
+  // noisy repetitions on the GTX 580 ground truth.
+  std::vector<rme::fit::EnergySample> samples;
+  const rme::sim::NoiseModel fit_noise(99, 0.02);
+  salt = 0;
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    const MachineParams m = rme::presets::gtx580(prec);
+    for (double i = 0.25; i <= 64.0; i *= 2.0) {
+      for (int rep = 0; rep < 6; ++rep) {
+        const KernelProfile k = KernelProfile::from_intensity(i, 1e9);
+        rme::fit::EnergySample s;
+        s.flops = k.flops;
+        s.bytes = k.bytes;
+        s.seconds = Seconds{
+            fit_noise.perturb(rme::predict_time(m, k).total_seconds.value(),
+                              ++salt)};
+        s.joules = rme::Joules{
+            fit_noise.perturb(rme::predict_energy(m, k).total_joules.value(),
+                              ++salt)};
+        s.precision = prec;
+        samples.push_back(s);
+      }
+    }
+  }
+  constexpr std::size_t kResamples = 200;
+  rme::fit::BootstrapEstimate boot;
+  const double boot_ms_jobs1 = best_ms(repeats, [&] {
+    boot = rme::fit::bootstrap_energy_fit(
+        samples, rme::fit::energy_balance_statistic, kResamples, 7, 0.95, 1);
+  });
+  const double boot_ms_jobsn = best_ms(repeats, [&] {
+    boot = rme::fit::bootstrap_energy_fit(
+        samples, rme::fit::energy_balance_statistic, kResamples, 7, 0.95,
+        jobs);
+  });
+
+  // ---- 5. power-trace integration -----------------------------------
+  // Integrate the instrument over real executor traces: one Measurement
+  // per (trace, rep) pair is the op being priced.
+  const rme::power::PowerMon powermon(
+      rme::power::gtx580_rails(),
+      rme::power::PowerMonConfig{rme::Hertz{128.0}});
+  std::vector<rme::sim::PowerTrace> traces;
+  {
+    rme::sim::SimConfig sim_cfg;
+    sim_cfg.flop_fraction = platform.flop_fraction;
+    sim_cfg.bw_fraction = platform.bw_fraction;
+    sim_cfg.power_cap_watts = platform.power_cap;
+    sim_cfg.noise = rme::sim::NoiseModel(0xA11CE, 0.01);
+    const rme::sim::Executor executor(platform.machine, sim_cfg);
+    traces.reserve(sweep.size());
+    for (const auto& kernel : sweep) {
+      traces.push_back(executor.run(kernel).trace);
+    }
+  }
+  constexpr int kIntegrationReps = 200;
+  const double integ_ops = double(traces.size()) * kIntegrationReps;
+  double integ_sum = 0.0;
+  const double integ_ms_jobs1 = best_ms(repeats, [&] {
+    integ_sum = 0.0;
+    for (const auto& trace : traces) {
+      for (int r = 0; r < kIntegrationReps; ++r) {
+        integ_sum += powermon.measure(trace).energy_joules.value();
+      }
+    }
+  });
+  const double integ_ms_jobsn = best_ms(repeats, [&] {
+    const std::vector<double> partials = rme::exec::parallel_map(
+        traces.size(),
+        [&](std::size_t t) {
+          double s = 0.0;
+          for (int r = 0; r < kIntegrationReps; ++r) {
+            s += powermon.measure(traces[t]).energy_joules.value();
+          }
+          return s;
+        },
+        jobs);
+    integ_sum = 0.0;
+    for (double p : partials) integ_sum += p;
+  });
+
+  // ---- report -------------------------------------------------------
+  std::printf("%-44s %10.1f ns/op  %12.0f ops/s\n", "model eval (scalar)",
+              ns_per_op(scalar_ms, eval_ops), ops_per_s(scalar_ms, eval_ops));
+  std::printf("%-44s %10.1f ns/op  %12.0f ops/s\n", "model eval (batch, jobs=1)",
+              ns_per_op(batch_ms_jobs1, eval_ops),
+              ops_per_s(batch_ms_jobs1, eval_ops));
+  std::printf("%-44s %10.1f ns/op  %12.0f ops/s\n",
+              ("model eval (batch, jobs=" + std::to_string(jobs) + ")").c_str(),
+              ns_per_op(batch_ms_jobsn, eval_ops),
+              ops_per_s(batch_ms_jobsn, eval_ops));
+  std::printf("batch speedup over scalar at jobs=1: %.2fx\n", batch_speedup);
+  std::printf("%-44s %10.1f us/op\n", "sweep step (jobs=1)",
+              ns_per_op(sweep_ms_jobs1, sweep_ops) / 1e3);
+  std::printf("%-44s %10.1f us/op\n", "sweep step (jobs=N)",
+              ns_per_op(sweep_ms_jobsn, sweep_ops) / 1e3);
+  std::printf("%-44s %10.1f us/iter (%zu iters)\n", "huber IRLS",
+              ns_per_op(irls_ms, irls_iters) / 1e3, robust.iterations);
+  std::printf("%-44s %10.1f us/resample (%zu ok)\n", "bootstrap (jobs=1)",
+              ns_per_op(boot_ms_jobs1, double(kResamples)) / 1e3,
+              boot.resamples);
+  std::printf("%-44s %10.1f us/resample\n", "bootstrap (jobs=N)",
+              ns_per_op(boot_ms_jobsn, double(kResamples)) / 1e3);
+  std::printf("%-44s %10.1f us/op\n", "power-trace integration (jobs=1)",
+              ns_per_op(integ_ms_jobs1, integ_ops) / 1e3);
+  std::printf("%-44s %10.1f us/op\n", "power-trace integration (jobs=N)",
+              ns_per_op(integ_ms_jobsn, integ_ops) / 1e3);
+  std::printf("checksums: eval %.6g  sweep %.6g  integration %.6g\n",
+              batch_sum, sweep_sum, integ_sum);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_model: cannot write %s\n", json_path.c_str());
+    return rme::cli::kExitDegraded;
+  }
+  out << "{\n"
+      << "  \"bench\": \"rme model hot kernels (batch eval, sweep, IRLS, "
+         "bootstrap, power integration)\",\n"
+      << "  \"repeats\": " << repeats << ",\n"
+      << "  \"jobs_parallel_arm\": " << jobs << ",\n"
+      << "  \"model_eval_profiles\": " << profiles.size() << ",\n"
+      << "  \"model_eval_scalar_ns_per_op_jobs1\": "
+      << fixed2(ns_per_op(scalar_ms, eval_ops)) << ",\n"
+      << "  \"model_eval_batch_ns_per_op_jobs1\": "
+      << fixed2(ns_per_op(batch_ms_jobs1, eval_ops)) << ",\n"
+      << "  \"model_eval_batch_ns_per_op_jobsN\": "
+      << fixed2(ns_per_op(batch_ms_jobsn, eval_ops)) << ",\n"
+      << "  \"model_eval_scalar_ops_per_s_jobs1\": "
+      << fixed2(ops_per_s(scalar_ms, eval_ops)) << ",\n"
+      << "  \"model_eval_batch_ops_per_s_jobs1\": "
+      << fixed2(ops_per_s(batch_ms_jobs1, eval_ops)) << ",\n"
+      << "  \"model_eval_batch_ops_per_s_jobsN\": "
+      << fixed2(ops_per_s(batch_ms_jobsn, eval_ops)) << ",\n"
+      << "  \"batch_speedup_jobs1\": " << fixed2(batch_speedup) << ",\n"
+      << "  \"sweep_step_ns_per_op_jobs1\": "
+      << fixed2(ns_per_op(sweep_ms_jobs1, sweep_ops)) << ",\n"
+      << "  \"sweep_step_ns_per_op_jobsN\": "
+      << fixed2(ns_per_op(sweep_ms_jobsn, sweep_ops)) << ",\n"
+      << "  \"sweep_step_ops_per_s_jobs1\": "
+      << fixed2(ops_per_s(sweep_ms_jobs1, sweep_ops)) << ",\n"
+      << "  \"sweep_step_ops_per_s_jobsN\": "
+      << fixed2(ops_per_s(sweep_ms_jobsn, sweep_ops)) << ",\n"
+      << "  \"huber_irls_iterations\": " << robust.iterations << ",\n"
+      << "  \"huber_irls_ns_per_iteration\": "
+      << fixed2(ns_per_op(irls_ms, irls_iters)) << ",\n"
+      << "  \"huber_irls_iterations_per_s\": "
+      << fixed2(ops_per_s(irls_ms, irls_iters)) << ",\n"
+      << "  \"bootstrap_ns_per_resample_jobs1\": "
+      << fixed2(ns_per_op(boot_ms_jobs1, double(kResamples))) << ",\n"
+      << "  \"bootstrap_ns_per_resample_jobsN\": "
+      << fixed2(ns_per_op(boot_ms_jobsn, double(kResamples))) << ",\n"
+      << "  \"bootstrap_resamples_per_s_jobs1\": "
+      << fixed2(ops_per_s(boot_ms_jobs1, double(kResamples))) << ",\n"
+      << "  \"bootstrap_resamples_per_s_jobsN\": "
+      << fixed2(ops_per_s(boot_ms_jobsn, double(kResamples))) << ",\n"
+      << "  \"power_integration_ns_per_op_jobs1\": "
+      << fixed2(ns_per_op(integ_ms_jobs1, integ_ops)) << ",\n"
+      << "  \"power_integration_ns_per_op_jobsN\": "
+      << fixed2(ns_per_op(integ_ms_jobsn, integ_ops)) << ",\n"
+      << "  \"power_integration_ops_per_s_jobs1\": "
+      << fixed2(ops_per_s(integ_ms_jobs1, integ_ops)) << ",\n"
+      << "  \"power_integration_ops_per_s_jobsN\": "
+      << fixed2(ops_per_s(integ_ms_jobsn, integ_ops)) << "\n"
+      << "}\n";
+  return rme::cli::kExitOk;
+}

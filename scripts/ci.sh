@@ -45,6 +45,44 @@ fi
 rm -rf "$bench_dir"
 
 echo
+echo "=== model-evaluation throughput (bench_model) ==="
+# ROADMAP item 5 acceptance: the committed snapshot must show the
+# batch/SoA evaluator at >= 5x the scalar path at jobs=1 (pinned by
+# bench/golden/BENCH_model.json; regenerate with
+# scripts/regen_bench_golden.sh).  The fresh run is gated looser —
+# shared CI hosts add tens of percent of timing noise — but 3.5x and
+# the 2x-of-golden ns/op ceiling still separate a real regression
+# (the pre-batch path plateaued near 1.9x) from a noisy neighbor.
+model_dir=$(mktemp -d)
+./build/bench/bench_model --jobs 4 --repeats 7 \
+  --json "$model_dir/BENCH_model.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_schema.py \
+    docs/schema/bench_model.schema.json bench/golden/BENCH_model.json
+  python3 scripts/validate_schema.py \
+    docs/schema/bench_model.schema.json "$model_dir/BENCH_model.json"
+  python3 - bench/golden/BENCH_model.json "$model_dir/BENCH_model.json" <<'PY'
+import json, sys
+golden = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+gold_speedup = golden["batch_speedup_jobs1"]
+assert gold_speedup >= 5.0, \
+    f"committed golden batch_speedup_jobs1 {gold_speedup} < 5.0"
+speedup = fresh["batch_speedup_jobs1"]
+assert speedup >= 3.5, f"fresh batch_speedup_jobs1 {speedup} < 3.5"
+batch_ns = fresh["model_eval_batch_ns_per_op_jobs1"]
+ceiling = 2.0 * golden["model_eval_batch_ns_per_op_jobs1"]
+assert batch_ns <= ceiling, \
+    f"batch eval {batch_ns} ns/op > 2x golden ({ceiling} ns/op)"
+print(f"batch eval {batch_ns} ns/op, speedup {speedup}x "
+      f"(golden {gold_speedup}x, gates: >= 3.5x fresh, >= 5x golden)")
+PY
+else
+  echo "python3 not installed; skipping model throughput gates"
+fi
+rm -rf "$model_dir"
+
+echo
 echo "=== analyzer output contracts (JSON + SARIF schemas) ==="
 # Both machine formats must validate against the checked-in schemas —
 # the emitter cannot drift without a reviewed schema change.

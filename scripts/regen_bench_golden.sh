@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerates the committed perf snapshots under bench/golden/:
+#
+#   BENCH_analyze.json — analyzer throughput over the real tree
+#   BENCH_model.json   — the five hot model kernels (docs/PERF.md)
+#
+# Run from a quiet machine after a Release build; the snapshots pin the
+# perf trajectory (ROADMAP item 5) and scripts/ci.sh gates against them
+# (batch-vs-scalar speedup >= 5x, call-graph overhead <= 25%), so
+# re-review the diff before committing — a slower snapshot IS a perf
+# regression landing in review.  Repeats are best-of: more repeats
+# tighten the estimate on a shared/noisy host.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build=${BUILD_DIR:-build}
+repeats=${REPEATS:-11}
+jobs=${JOBS:-4}
+
+if [[ ! -x "$build/bench/bench_model" || ! -x "$build/bench/bench_analyze" ]]; then
+  echo "error: $build/bench binaries missing — build first:" >&2
+  echo "  cmake -B $build && cmake --build $build -j" >&2
+  exit 1
+fi
+
+echo "== bench_model (jobs=$jobs, repeats=$repeats) =="
+"$build/bench/bench_model" --jobs "$jobs" --repeats "$repeats" \
+  --json bench/golden/BENCH_model.json
+
+echo
+echo "== bench_analyze (jobs=$jobs) =="
+"$build/bench/bench_analyze" --jobs "$jobs" \
+  --json bench/golden/BENCH_analyze.json
+
+echo
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_schema.py \
+    docs/schema/bench_model.schema.json bench/golden/BENCH_model.json
+  python3 - bench/golden/BENCH_model.json <<'PY'
+import json, sys
+speedup = json.load(open(sys.argv[1]))["batch_speedup_jobs1"]
+if speedup < 5.0:
+    sys.exit(f"batch_speedup_jobs1 = {speedup} < 5.0: rerun on a quiet "
+             "machine (the committed snapshot must hold the acceptance "
+             "bound, see docs/PERF.md)")
+print(f"batch_speedup_jobs1 = {speedup} (bound: >= 5.0)")
+PY
+fi
+git --no-pager diff --stat bench/golden/ || true

@@ -1,0 +1,147 @@
+#include "rme/core/batch.hpp"
+
+#include <algorithm>
+
+namespace rme {
+
+MachineEval MachineEval::from(const MachineParams& m) noexcept {
+  MachineEval eval;
+  eval.time_per_flop = m.time_per_flop;
+  eval.time_per_byte = m.time_per_byte;
+  eval.energy_per_flop = m.energy_per_flop;
+  eval.energy_per_byte = m.energy_per_byte;
+  eval.const_power = m.const_power;
+  eval.eta = m.flop_efficiency();
+  eval.b_tau = m.time_balance();
+  eval.b_eps = m.energy_balance();
+  eval.fixed_point = m.balance_fixed_point();
+  return eval;
+}
+
+void ModelBatch::resize_for(std::size_t n) {
+  intensity.resize(n);
+  flops_seconds.resize(n);
+  mem_seconds.resize(n);
+  total_seconds.resize(n);
+  flops_joules.resize(n);
+  mem_joules.resize(n);
+  const_joules.resize(n);
+  total_joules.resize(n);
+  speed.resize(n);
+  efficiency.resize(n);
+  overlap_bound.resize(n);
+  time_class.resize(n);
+  energy_class.resize(n);
+}
+
+namespace {
+
+static_assert(static_cast<int>(Bound::kMemory) == 0 &&
+                  static_cast<int>(Bound::kCompute) == 1,
+              "the comparison-to-Bound casts below encode this mapping");
+
+// The two vectorized passes.  The `__restrict` parameters assert what
+// the ModelBatch layout already guarantees — each column is its own
+// allocation and none aliases the input span — so the vectorizer needs
+// no runtime alias versioning and tolerates the multi-stream loop
+// bodies.  (They are function parameters, not locals, because that is
+// where the compiler honors restrict reliably.)  Fusing each pass
+// touches each cache line once instead of once per column; fusion only
+// reorders work *across* elements — each element's operations, and
+// their order, are exactly those of the scalar path, and every packed
+// IEEE op rounds identically to its scalar form, so the bit-identity
+// contract is unaffected.
+
+// Eq. (1)-(4): each product is one IEEE multiply, the max one compare,
+// the energy sum left-to-right exactly as predict_energy associates it
+// — so the columns match the scalar breakdowns bit for bit.  kCompute
+// iff T_flops >= T_mem, as TimeBreakdown::bound().
+void breakdown_pass(const KernelProfile* __restrict prof, std::size_t n,
+                    double tau_f, double tau_m, double eps_f, double eps_m,
+                    double pi0, double* __restrict flops_seconds,
+                    double* __restrict mem_seconds,
+                    double* __restrict total_seconds,
+                    double* __restrict flops_joules,
+                    double* __restrict mem_joules,
+                    double* __restrict const_joules,
+                    double* __restrict total_joules,
+                    Bound* __restrict overlap_bound) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t_f = prof[i].flops * tau_f;
+    const double t_m = prof[i].bytes * tau_m;
+    const double t = std::max(t_f, t_m);
+    flops_seconds[i] = t_f;
+    mem_seconds[i] = t_m;
+    total_seconds[i] = t;
+    overlap_bound[i] = static_cast<Bound>(static_cast<int>(t_f >= t_m));
+    const double e_f = prof[i].flops * eps_f;
+    const double e_m = prof[i].bytes * eps_m;
+    const double e_0 = pi0 * t;
+    flops_joules[i] = e_f;
+    mem_joules[i] = e_m;
+    const_joules[i] = e_0;
+    total_joules[i] = e_f + e_m + e_0;
+  }
+}
+
+// Normalized readout on the cached scalars.  The quotient W/Q is the
+// same division KernelProfile::intensity performs (sans the throwing
+// validation — degenerate profiles flow through as IEEE values).
+// kCompute iff !(I < balance), matching time_bound/energy_bound.
+void readout_pass(const KernelProfile* __restrict prof, std::size_t n,
+                  double eta, double b_tau, double b_eps, double fixed_point,
+                  double* __restrict intensity, double* __restrict speed,
+                  double* __restrict efficiency,
+                  Bound* __restrict time_class,
+                  Bound* __restrict energy_class) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inten = prof[i].flops / prof[i].bytes;
+    intensity[i] = inten;
+    speed[i] = std::min(1.0, inten / b_tau);
+    efficiency[i] =
+        1.0 / (1.0 +
+               detail::effective_energy_balance(eta, b_eps, b_tau, inten) /
+                   inten);
+    time_class[i] = static_cast<Bound>(static_cast<int>(!(inten < b_tau)));
+    energy_class[i] =
+        static_cast<Bound>(static_cast<int>(!(inten < fixed_point)));
+  }
+}
+
+}  // namespace
+
+// rme-hot: serve predict/rank and the sweep/fit loops funnel through here
+void evaluate_batch_into(const MachineEval& eval,
+                         std::span<const KernelProfile> profiles,
+                         ModelBatch& out) {
+  const std::size_t n = profiles.size();
+  out.resize_for(n);
+
+  // The Quantity unwrap happens once per machine here — the columns'
+  // units are part of the ModelBatch contract.
+  breakdown_pass(profiles.data(), n, eval.time_per_flop.value(),
+                 eval.time_per_byte.value(), eval.energy_per_flop.value(),
+                 eval.energy_per_byte.value(), eval.const_power.value(),
+                 out.flops_seconds.data(), out.mem_seconds.data(),
+                 out.total_seconds.data(), out.flops_joules.data(),
+                 out.mem_joules.data(), out.const_joules.data(),
+                 out.total_joules.data(), out.overlap_bound.data());
+  readout_pass(profiles.data(), n, eval.eta, eval.b_tau, eval.b_eps,
+               eval.fixed_point, out.intensity.data(), out.speed.data(),
+               out.efficiency.data(), out.time_class.data(),
+               out.energy_class.data());
+}
+
+ModelBatch evaluate_batch(const MachineEval& eval,
+                          std::span<const KernelProfile> profiles) {
+  ModelBatch batch;
+  evaluate_batch_into(eval, profiles, batch);
+  return batch;
+}
+
+ModelBatch evaluate_batch(const MachineParams& m,
+                          std::span<const KernelProfile> profiles) {
+  return evaluate_batch(MachineEval::from(m), profiles);
+}
+
+}  // namespace rme

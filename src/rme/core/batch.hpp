@@ -1,0 +1,129 @@
+#pragma once
+// Batch/SoA model evaluation — the ROADMAP item-5 fast path.
+//
+// The scalar functions in model.hpp answer one question about one
+// kernel, and every call re-derives the machine's normalized scalars
+// (η_flop, B_τ, B_ε, the B̂_ε fixed point) from the five coefficients.
+// That is the right shape for a figure bench; it is the wrong shape for
+// `rme::serve` predict/rank, the sweep loop, and the future autotuner,
+// all of which evaluate many descriptors against one machine.
+//
+// `evaluate_batch` extracts the derived scalars once per machine into a
+// MachineEval and fills structure-of-arrays output columns with the full
+// eqs. (1)-(6) readout in a single pass.  The branchy derived math is
+// the *same inline code* the scalar path runs (detail:: helpers in
+// machine.hpp) and every remaining operation is an individually rounded
+// IEEE op applied in the same order, so batch results are bit-identical
+// to the scalar functions — property-tested in tests/test_batch.cpp and
+// relied on by the byte-pinned serve conformance corpus.
+//
+// rme::core is a leaf of the module DAG (it cannot see rme::exec), so
+// evaluation here is serial; parallel call sites chunk index ranges and
+// evaluate one ModelBatch per chunk (see serve::Engine).
+//
+// Degenerate profiles: KernelProfile accepts W = 0 (pure-memory) and
+// even Q = 0.  The batch evaluator never throws — intensity is the IEEE
+// quotient W/Q (±inf or NaN when Q = 0), and the derived columns follow
+// the same explicit limits the scalar path defines (speed 0 at I = 0,
+// efficiency 0, memory-bound).  Callers that need throwing validation
+// use KernelProfile::intensity() up front, as the serve protocol layer
+// does.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rme/core/machine.hpp"
+#include "rme/core/model.hpp"
+#include "rme/core/units.hpp"
+
+namespace rme {
+
+/// Machine-derived constants, extracted once per machine instead of once
+/// per evaluated kernel.  The five coefficients stay typed; the derived
+/// values are the normalized scalars of the escape-hatch policy
+/// (units.hpp) and are produced by exactly the scalar-path accessors, so
+/// a MachineEval is a cache, never a reinterpretation.
+struct MachineEval {
+  TimePerFlop time_per_flop;      ///< τ_flop [s/flop].
+  TimePerByte time_per_byte;      ///< τ_mem [s/byte].
+  EnergyPerFlop energy_per_flop;  ///< ε_flop [J/flop].
+  EnergyPerByte energy_per_byte;  ///< ε_mem [J/byte].
+  Watts const_power;              ///< π_0 [W].
+  double eta = 1.0;               ///< η_flop = ε_flop / ε̂_flop.
+  double b_tau = 0.0;             ///< B_τ = τ_mem / τ_flop [flop/byte].
+  double b_eps = 0.0;             ///< B_ε = ε_mem / ε_flop [flop/byte].
+  double fixed_point = 0.0;       ///< Fixed point of B̂_ε (energy class).
+
+  /// Extracts the cache from a machine via the scalar accessors.
+  [[nodiscard]] static MachineEval from(const MachineParams& m) noexcept;
+};
+
+/// Structure-of-arrays output of `evaluate_batch`: column i of every
+/// array describes profile i.  Columns are plain vectors so call sites
+/// can reuse a ModelBatch as a preallocated arena — `resize_for` keeps
+/// capacity across calls and a steady-state serve loop does not touch
+/// the allocator.
+///
+/// The numeric columns are raw doubles, not Quantity wrappers: the
+/// wrapper's aggregate loads/stores defeat the auto-vectorizer in the
+/// evaluation kernel, and a wrapped element-by-element interface would
+/// defeat the point of the SoA layout.  Each column's unit is fixed by
+/// its name and documented dimension (this is the units.hpp escape-hatch
+/// policy for numeric kernels); `time_at`/`energy_at` reassemble the
+/// typed breakdowns at the boundary for consumers that want them.
+struct ModelBatch {
+  std::vector<double> intensity;      ///< I = W/Q [flop/byte].
+  std::vector<double> flops_seconds;  ///< T_flops = W·τ_flop [s] (eq. 3).
+  std::vector<double> mem_seconds;    ///< T_mem = Q·τ_mem [s] (eq. 3).
+  std::vector<double> total_seconds;  ///< T = max(T_f, T_m) [s] (eq. 1).
+  std::vector<double> flops_joules;   ///< E_flops = W·ε_flop [J] (eq. 4).
+  std::vector<double> mem_joules;     ///< E_mem = Q·ε_mem [J] (eq. 4).
+  std::vector<double> const_joules;   ///< E_0 = π_0·T [J] (eq. 4).
+  std::vector<double> total_joules;   ///< E = E_f + E_m + E_0 [J] (eq. 2).
+  std::vector<double> speed;          ///< min(1, I/B_τ) — the roofline.
+  std::vector<double> efficiency;     ///< 1 / (1 + B̂_ε(I)/I) (eq. 5).
+  std::vector<Bound> overlap_bound;   ///< TimeBreakdown::bound().
+  std::vector<Bound> time_class;      ///< time_bound(m, I): I vs B_τ.
+  std::vector<Bound> energy_class;    ///< energy_bound(m, I): I vs fixed pt.
+
+  [[nodiscard]] std::size_t size() const noexcept { return intensity.size(); }
+
+  /// §II-D: time/energy classifications disagree for profile i.
+  [[nodiscard]] bool disagree(std::size_t i) const noexcept {
+    return time_class[i] != energy_class[i];
+  }
+
+  /// Reassembles the scalar TimeBreakdown for profile i (bit-identical
+  /// to predict_time on that profile).
+  [[nodiscard]] TimeBreakdown time_at(std::size_t i) const noexcept {
+    return TimeBreakdown{Seconds{flops_seconds[i]}, Seconds{mem_seconds[i]},
+                         Seconds{total_seconds[i]}};
+  }
+
+  /// Reassembles the scalar EnergyBreakdown for profile i (bit-identical
+  /// to predict_energy on that profile).
+  [[nodiscard]] EnergyBreakdown energy_at(std::size_t i) const noexcept {
+    return EnergyBreakdown{Joules{flops_joules[i]}, Joules{mem_joules[i]},
+                           Joules{const_joules[i]}, Joules{total_joules[i]}};
+  }
+
+  /// Resizes every column to n, keeping capacity (arena reuse).
+  void resize_for(std::size_t n);
+};
+
+/// Evaluates every profile against the cached machine, writing into a
+/// caller-owned batch (arena form; reuses `out`'s capacity).
+void evaluate_batch_into(const MachineEval& eval,
+                         std::span<const KernelProfile> profiles,
+                         ModelBatch& out);
+
+/// Convenience form: fresh batch from a cached machine.
+[[nodiscard]] ModelBatch evaluate_batch(const MachineEval& eval,
+                                        std::span<const KernelProfile> profiles);
+
+/// Convenience form: extracts the MachineEval and evaluates.
+[[nodiscard]] ModelBatch evaluate_batch(const MachineParams& m,
+                                        std::span<const KernelProfile> profiles);
+
+}  // namespace rme

@@ -10,9 +10,8 @@ const char* to_string(Precision p) noexcept {
 }
 
 double MachineParams::effective_energy_balance(double intensity) const noexcept {
-  const double eta = flop_efficiency();
-  const double slack = std::fmax(0.0, time_balance() - intensity);
-  return eta * energy_balance() + (1.0 - eta) * slack;
+  return detail::effective_energy_balance(flop_efficiency(), energy_balance(),
+                                          time_balance(), intensity);
 }
 
 double MachineParams::balance_fixed_point() const noexcept {
@@ -21,12 +20,8 @@ double MachineParams::balance_fixed_point() const noexcept {
   //   I = (η·B_ε + (1-η)·B_τ) / (2 - η).
   // If that solution lands at or above B_τ, the max() term vanishes and the
   // fixed point is simply η·B_ε (which is ≥ B_τ in that branch).
-  const double eta = flop_efficiency();
-  const double b_tau = time_balance();
-  const double b_eps = energy_balance();
-  const double below = (eta * b_eps + (1.0 - eta) * b_tau) / (2.0 - eta);
-  if (below < b_tau) return below;
-  return eta * b_eps;
+  return detail::balance_fixed_point(flop_efficiency(), energy_balance(),
+                                     time_balance());
 }
 
 bool MachineParams::valid() const noexcept {

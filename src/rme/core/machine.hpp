@@ -10,12 +10,41 @@
 // the model's sweep axes and circulate as plain numbers by design (see
 // the escape-hatch policy in units.hpp).
 
+#include <cmath>
 #include <iosfwd>
 #include <string>
 
 #include "rme/core/units.hpp"
 
 namespace rme {
+
+namespace detail {
+
+/// Eq. (6) on pre-extracted scalars.  This is the *single* definition of
+/// the arithmetic: MachineParams::effective_energy_balance and the batch
+/// evaluator (batch.hpp) both call it, so the two paths are bit-identical
+/// by construction rather than by accident of matching codegen.
+[[nodiscard]] inline double effective_energy_balance(
+    double eta, double b_eps, double b_tau, double intensity) noexcept {
+  // max(0, B_τ − I) as a select rather than std::fmax: identical results
+  // (NaN gaps map to 0 either way, and the zero's sign cannot reach the
+  // sum since η·B_ε > 0), but the compare/blend form auto-vectorizes in
+  // the batch evaluator where the libm-semantics fmax does not.
+  const double gap = b_tau - intensity;
+  const double slack = gap > 0.0 ? gap : 0.0;
+  return eta * b_eps + (1.0 - eta) * slack;
+}
+
+/// Fixed point B̂_ε(I) = I on pre-extracted scalars; shared between the
+/// scalar and batch paths for the same bit-identity reason.
+[[nodiscard]] inline double balance_fixed_point(double eta, double b_eps,
+                                                double b_tau) noexcept {
+  const double below = (eta * b_eps + (1.0 - eta) * b_tau) / (2.0 - eta);
+  if (below < b_tau) return below;
+  return eta * b_eps;
+}
+
+}  // namespace detail
 
 /// Floating-point precision of a kernel / machine configuration.
 enum class Precision { kSingle, kDouble };

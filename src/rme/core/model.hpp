@@ -13,6 +13,7 @@
 // the dimension the paper says it has".
 
 #include <iosfwd>
+#include <limits>
 #include <stdexcept>
 
 #include "rme/core/machine.hpp"
@@ -68,7 +69,19 @@ struct TimeBreakdown {
     return flops_seconds >= mem_seconds ? Bound::kCompute : Bound::kMemory;
   }
   /// Communication penalty max(1, B_τ/I): total over flop-only time.
+  ///
+  /// Degenerate kernels are defined explicitly rather than left to IEEE
+  /// division: a pure-memory kernel (W = 0 is accepted by KernelProfile,
+  /// so T_flops = 0 while T_mem > 0) has penalty +∞ — the I → 0 limit of
+  /// max(1, B_τ/I) — and an empty kernel (W = Q = 0) has penalty 1, the
+  /// no-op executing at "peak".  The result is never NaN.
   [[nodiscard]] double communication_penalty() const noexcept {
+    if (flops_seconds == Seconds{}) {
+      if (total_seconds > Seconds{}) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return 1.0;
+    }
     return total_seconds / flops_seconds;
   }
 };
@@ -97,8 +110,19 @@ struct EnergyBreakdown {
   }
   /// Effective energy communication penalty 1 + B̂_ε(I)/I of eq. (5):
   /// total over the ideal flops-only energy W·ε̂_flop.
+  ///
+  /// Degenerate kernels mirror TimeBreakdown::communication_penalty():
+  /// a pure-memory kernel (W = 0, so E_flops = 0 but E_mem + E_0 > 0)
+  /// has penalty +∞ — the I → 0 limit of eq. (5) — and an empty kernel
+  /// (all components zero) has penalty 1.  The result is never NaN.
   [[nodiscard]] double communication_penalty(
       const MachineParams& m) const noexcept {
+    if (flops_joules == Joules{}) {
+      if (total_joules > Joules{}) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return 1.0;
+    }
     return total_joules / (flops_joules / m.flop_efficiency());
   }
 };

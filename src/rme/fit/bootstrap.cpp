@@ -17,21 +17,28 @@ double energy_balance_statistic(const EnergyCoefficients& c) {
 }
 
 // rme-hot: called once per resample; draws dominate small-sample fits
-std::vector<std::size_t> bootstrap_draw_indices(std::size_t sample_count,
-                                                std::uint64_t seed,
-                                                std::size_t resample) {
+void bootstrap_draw_indices_into(std::size_t sample_count, std::uint64_t seed,
+                                 std::size_t resample,
+                                 std::vector<std::size_t>& out) {
   // One stream per resample (see the header's seeding contract): the
   // previous implementation threaded a single salt counter through all
   // resamples, so inserting or removing one resample perturbed every
   // subsequent draw — and serialized the loop.
   const rme::sim::NoiseModel rng(exec::derive_seed(seed, resample), 0.0);
-  std::vector<std::size_t> indices(sample_count);
+  out.resize(sample_count);
   std::uint64_t salt = 0;
   for (std::size_t i = 0; i < sample_count; ++i) {
     const auto idx = static_cast<std::size_t>(
         rng.uniform(++salt) * static_cast<double>(sample_count));
-    indices[i] = std::min(idx, sample_count - 1);
+    out[i] = std::min(idx, sample_count - 1);
   }
+}
+
+std::vector<std::size_t> bootstrap_draw_indices(std::size_t sample_count,
+                                                std::uint64_t seed,
+                                                std::size_t resample) {
+  std::vector<std::size_t> indices;
+  bootstrap_draw_indices_into(sample_count, seed, resample, indices);
   return indices;
 }
 
@@ -63,9 +70,13 @@ std::vector<RefitOutcome> refit_resamples(
                 // rme-lint: allow(format-in-hot-path: traced-only span label)
                 : "resample " + std::to_string(r),
             "fit");
-        const std::vector<std::size_t> indices =
-            bootstrap_draw_indices(samples.size(), seed, r);
-        std::vector<EnergySample> draw(samples.size());
+        // Thread-local arenas: each worker reuses its buffers across the
+        // resamples it runs; every element is overwritten per call, so
+        // the outcome stays a pure function of (samples, seed, r).
+        thread_local std::vector<std::size_t> indices;
+        thread_local std::vector<EnergySample> draw;
+        bootstrap_draw_indices_into(samples.size(), seed, r, indices);
+        draw.resize(samples.size());
         for (std::size_t i = 0; i < samples.size(); ++i) {
           draw[i] = samples[indices[i]];
         }

@@ -38,6 +38,13 @@ struct BootstrapEstimate {
 [[nodiscard]] std::vector<std::size_t> bootstrap_draw_indices(
     std::size_t sample_count, std::uint64_t seed, std::size_t resample);
 
+/// Arena form: writes the draw into `out` (resized to sample_count,
+/// capacity reused across resamples).  Identical sequence to
+/// bootstrap_draw_indices — same seeding contract.
+void bootstrap_draw_indices_into(std::size_t sample_count, std::uint64_t seed,
+                                 std::size_t resample,
+                                 std::vector<std::size_t>& out);
+
 /// Bootstrap a scalar functional of the energy fit.  `statistic` maps a
 /// fitted coefficient set to the quantity of interest (e.g. B_ε).
 /// `confidence` sets the percentile interval (default 95%).  Resamples

@@ -32,8 +32,15 @@ std::vector<double> Matrix::transpose_times(const std::vector<double>& y) const 
 }
 
 std::vector<double> Matrix::times(const std::vector<double>& x) const {
+  std::vector<double> out;
+  times_into(x, out);
+  return out;
+}
+
+void Matrix::times_into(const std::vector<double>& x,
+                        std::vector<double>& out) const {
   if (x.size() != cols_) throw std::invalid_argument("times: size");
-  std::vector<double> out(rows_, 0.0);
+  out.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double s = 0.0;
     for (std::size_t c = 0; c < cols_; ++c) {
@@ -41,7 +48,6 @@ std::vector<double> Matrix::times(const std::vector<double>& x) const {
     }
     out[r] = s;
   }
-  return out;
 }
 
 Matrix cholesky_factor(const Matrix& a) {

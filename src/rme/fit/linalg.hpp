@@ -43,6 +43,12 @@ class Matrix {
   /// A · x  for a length-cols vector.
   [[nodiscard]] std::vector<double> times(const std::vector<double>& x) const;
 
+  /// A · x into a caller-owned buffer (resized to rows, capacity kept) —
+  /// the arena form the IRLS inner loop uses to stay allocation-free in
+  /// steady state.  Identical arithmetic and results to times().
+  void times_into(const std::vector<double>& x,
+                  std::vector<double>& out) const;
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -9,19 +9,40 @@
 
 namespace rme::fit {
 
+namespace {
+
+/// Sort-based median of a scratch buffer already holding the sample.
+double median_of_sorted_scratch(std::vector<double>& scratch) {
+  if (scratch.empty()) return 0.0;
+  std::sort(scratch.begin(), scratch.end());
+  const std::size_t n = scratch.size();
+  return (n % 2 == 1) ? scratch[n / 2]
+                      : 0.5 * (scratch[n / 2 - 1] + scratch[n / 2]);
+}
+
+}  // namespace
+
 double median_of(std::vector<double> values) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const std::size_t n = values.size();
-  return (n % 2 == 1) ? values[n / 2]
-                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  return median_of_sorted_scratch(values);
+}
+
+double median_of(const std::vector<double>& values,
+                 std::vector<double>& scratch) {
+  scratch.assign(values.begin(), values.end());
+  return median_of_sorted_scratch(scratch);
 }
 
 double median_abs_deviation(const std::vector<double>& values, double center) {
   std::vector<double> dev;
-  dev.reserve(values.size());
-  for (double v : values) dev.push_back(std::fabs(v - center));
-  return median_of(std::move(dev));
+  return median_abs_deviation(values, center, dev);
+}
+
+double median_abs_deviation(const std::vector<double>& values, double center,
+                            std::vector<double>& scratch) {
+  scratch.clear();
+  scratch.reserve(values.size());
+  for (double v : values) scratch.push_back(std::fabs(v - center));
+  return median_of_sorted_scratch(scratch);
 }
 
 std::size_t RobustRegression::downweighted() const noexcept {
@@ -85,19 +106,25 @@ RobustRegression huber_fit(const Matrix& x, const std::vector<double>& y,
     for (std::size_t j = 0; j < p; ++j) xs(i, j) = x(i, j) / col_norm[j];
   }
 
-  // OLS start (in the scaled space).
+  // OLS start (in the scaled space).  Everything the iteration loop
+  // touches is preallocated here — `fitted` and the median scratch are
+  // arenas, so steady-state iterations perform no allocation beyond the
+  // QR solve itself.
   std::vector<double> beta = qr_least_squares(xs, y);
   std::vector<double> residuals(n, 0.0);
+  std::vector<double> fitted(n, 0.0);
+  std::vector<double> median_scratch;
+  median_scratch.reserve(n);
   Matrix xw(n, p);
   std::vector<double> yw(n, 0.0);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const std::vector<double> fitted = xs.times(beta);
+    xs.times_into(beta, fitted);
     for (std::size_t i = 0; i < n; ++i) residuals[i] = y[i] - fitted[i];
 
-    const double mad =
-        median_abs_deviation(residuals, median_of(residuals));
+    const double mad = median_abs_deviation(
+        residuals, median_of(residuals, median_scratch), median_scratch);
     result.scale = kMadToSigma * mad;
     if (result.scale <= 0.0) {
       // (Near-)exact fit of the majority: nothing left to reweight.

@@ -25,9 +25,19 @@ namespace rme::fit {
 /// Median of a sample (0 for an empty sample).
 [[nodiscard]] double median_of(std::vector<double> values);
 
+/// Arena form: copies the sample into `scratch` (capacity reused across
+/// calls) instead of allocating.  Identical result to median_of.
+[[nodiscard]] double median_of(const std::vector<double>& values,
+                               std::vector<double>& scratch);
+
 /// Median absolute deviation about `center`.
 [[nodiscard]] double median_abs_deviation(const std::vector<double>& values,
                                           double center);
+
+/// Arena form of median_abs_deviation; `scratch` holds the deviations.
+[[nodiscard]] double median_abs_deviation(const std::vector<double>& values,
+                                          double center,
+                                          std::vector<double>& scratch);
 
 /// Consistency factor: 1.4826·MAD estimates σ for Gaussian data.
 inline constexpr double kMadToSigma = 1.4826;

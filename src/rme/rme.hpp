@@ -23,6 +23,7 @@
 
 #include "rme/core/advisor.hpp"
 #include "rme/core/algorithms.hpp"
+#include "rme/core/batch.hpp"
 #include "rme/core/cluster.hpp"
 #include "rme/core/depth.hpp"
 #include "rme/core/dvfs.hpp"

@@ -1,10 +1,12 @@
 #include "rme/serve/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <utility>
 
 #include "rme/artifact/artifact.hpp"
+#include "rme/core/batch.hpp"
 #include "rme/core/machine_presets.hpp"
 #include "rme/core/model.hpp"
 #include "rme/core/units.hpp"
@@ -17,32 +19,76 @@ namespace {
 
 using artifact::JsonError;
 
-/// One evaluated descriptor: the full T/E/P readout of the model.
-Json predict_row(const MachineParams& m, const sim::KernelDesc& desc) {
-  const KernelProfile profile = desc.profile();
-  const double intensity = profile.intensity();
-  const TimeBreakdown t = predict_time(m, profile);
-  const EnergyBreakdown e = predict_energy(m, profile);
-  const Watts average_power = e.total_joules / t.total_seconds;
+/// Below this batch size, row serialization runs inline: spinning up the
+/// exec pool costs more than serializing a handful of rows, and the
+/// rows are a pure function of the batch index either way, so response
+/// bytes do not depend on the choice.
+constexpr std::size_t kParallelRowThreshold = 32;
+
+/// Wire-safe number: computed model quantities can overflow to ±inf (an
+/// EDP product of two huge finite inputs) or hit a degenerate-ratio NaN,
+/// and Json::number throws on non-finite input — which would tear down
+/// the response mid-frame.  Non-finite computed values serialize as JSON
+/// null instead; finite values are byte-identical to Json::number.
+Json wire_number(double v) {
+  if (!std::isfinite(v)) return Json();
+  return Json::number(v);
+}
+
+/// Extracts the KernelProfiles of a parsed batch (already validated:
+/// finite, flops >= 0, bytes > 0) into a reused arena for the SoA
+/// evaluator.
+void batch_profiles_into(const std::vector<sim::KernelDesc>& batch,
+                         std::vector<KernelProfile>& out) {
+  out.clear();
+  out.reserve(batch.size());
+  for (const sim::KernelDesc& desc : batch) {
+    out.push_back(desc.profile());
+  }
+}
+
+/// Per-thread request arenas: the profile scratch and the ModelBatch
+/// columns keep their capacity across requests (resize_for / clear
+/// never shrink), so a steady-state predict/rank/whatif loop does not
+/// touch the allocator.  Every element is overwritten per request and
+/// no handler lets a reference escape the call, so reuse cannot leak
+/// one request's readout into the next.  (whatif needs a second batch
+/// for the edited machine, hence the pair.)
+struct EvalArena {
+  std::vector<KernelProfile> profiles;
+  ModelBatch batch;
+  ModelBatch edited_batch;
+};
+
+EvalArena& eval_arena() {
+  thread_local EvalArena arena;
+  return arena;
+}
+
+/// One evaluated descriptor: the full T/E/P readout of the model, read
+/// out of the batch-evaluated SoA columns (bit-identical to the scalar
+/// predict_time/predict_energy path — tests/test_batch.cpp).
+Json predict_row(const sim::KernelDesc& desc, const ModelBatch& batch,
+                 std::size_t i) {
+  const double average_power = batch.total_joules[i] / batch.total_seconds[i];
 
   Json row = Json::object();
   row.set("name", Json::string(desc.name));
   row.set("precision", Json::string(to_string(desc.precision)));
   row.set("flops", Json::number(desc.flops));
   row.set("bytes", Json::number(desc.bytes));
-  row.set("intensity", Json::number(intensity));
-  row.set("seconds", Json::number(t.total_seconds.value()));
-  row.set("joules", Json::number(e.total_joules.value()));
-  row.set("watts", Json::number(average_power.value()));
-  row.set("flops_joules", Json::number(e.flops_joules.value()));
-  row.set("mem_joules", Json::number(e.mem_joules.value()));
-  row.set("const_joules", Json::number(e.const_joules.value()));
-  row.set("time_bound", Json::string(to_string(t.bound())));
-  row.set("energy_bound", Json::string(to_string(energy_bound(m, intensity))));
-  row.set("disagree",
-          Json::boolean(classifications_disagree(m, intensity)));
-  row.set("speed", Json::number(normalized_speed(m, intensity)));
-  row.set("efficiency", Json::number(normalized_efficiency(m, intensity)));
+  row.set("intensity", wire_number(batch.intensity[i]));
+  row.set("seconds", wire_number(batch.total_seconds[i]));
+  row.set("joules", wire_number(batch.total_joules[i]));
+  row.set("watts", wire_number(average_power));
+  row.set("flops_joules", wire_number(batch.flops_joules[i]));
+  row.set("mem_joules", wire_number(batch.mem_joules[i]));
+  row.set("const_joules", wire_number(batch.const_joules[i]));
+  row.set("time_bound", Json::string(to_string(batch.overlap_bound[i])));
+  row.set("energy_bound", Json::string(to_string(batch.energy_class[i])));
+  row.set("disagree", Json::boolean(batch.disagree(i)));
+  row.set("speed", wire_number(batch.speed[i]));
+  row.set("efficiency", wire_number(batch.efficiency[i]));
   return row;
 }
 
@@ -50,15 +96,15 @@ Json predict_row(const MachineParams& m, const sim::KernelDesc& desc) {
 /// did to the machine's character (balance points move, peaks move).
 Json machine_summary(const MachineParams& m) {
   Json summary = Json::object();
-  summary.set("gflops", Json::number(m.peak_flops().value() / kGiga));
-  summary.set("gbs", Json::number(m.peak_bandwidth().value() / kGiga));
+  summary.set("gflops", wire_number(m.peak_flops().value() / kGiga));
+  summary.set("gbs", wire_number(m.peak_bandwidth().value() / kGiga));
   summary.set("eps_flop_pj",
-              Json::number(m.energy_per_flop.value() / kPico));
-  summary.set("eps_mem_pj", Json::number(m.energy_per_byte.value() / kPico));
-  summary.set("pi0_w", Json::number(m.const_power.value()));
-  summary.set("b_tau", Json::number(m.time_balance()));
-  summary.set("b_eps", Json::number(m.energy_balance()));
-  summary.set("b_eps_fixed", Json::number(m.balance_fixed_point()));
+              wire_number(m.energy_per_flop.value() / kPico));
+  summary.set("eps_mem_pj", wire_number(m.energy_per_byte.value() / kPico));
+  summary.set("pi0_w", wire_number(m.const_power.value()));
+  summary.set("b_tau", wire_number(m.time_balance()));
+  summary.set("b_eps", wire_number(m.energy_balance()));
+  summary.set("b_eps_fixed", wire_number(m.balance_fixed_point()));
   return summary;
 }
 
@@ -87,12 +133,21 @@ MachineParams apply_edits(const MachineParams& base,
 
 }  // namespace
 
+Engine::Entry Engine::make_entry(MachineParams params,
+                                 std::uint64_t generation) {
+  Entry entry;
+  entry.eval = MachineEval::from(params);
+  entry.params = std::move(params);
+  entry.generation = generation;
+  return entry;
+}
+
 Engine::Engine(EngineOptions options) : options_(options) {
-  machines_["fermi"] = Entry{presets::fermi_table2(), 1};
-  machines_["gtx580-sp"] = Entry{presets::gtx580(Precision::kSingle), 1};
-  machines_["gtx580-dp"] = Entry{presets::gtx580(Precision::kDouble), 1};
-  machines_["i7-sp"] = Entry{presets::i7_950(Precision::kSingle), 1};
-  machines_["i7-dp"] = Entry{presets::i7_950(Precision::kDouble), 1};
+  machines_["fermi"] = make_entry(presets::fermi_table2(), 1);
+  machines_["gtx580-sp"] = make_entry(presets::gtx580(Precision::kSingle), 1);
+  machines_["gtx580-dp"] = make_entry(presets::gtx580(Precision::kDouble), 1);
+  machines_["i7-sp"] = make_entry(presets::i7_950(Precision::kSingle), 1);
+  machines_["i7-dp"] = make_entry(presets::i7_950(Precision::kDouble), 1);
   rebuild_known_machines_locked();
 }
 
@@ -174,16 +229,26 @@ Json Engine::do_predict(const Request& request) {
     options_.tracer->add_counter(
         "serve.batch_items", static_cast<std::int64_t>(request.batch.size()));
   }
-  std::vector<Json> rows = exec::parallel_map(
-      request.batch.size(),
-      [&](std::size_t i) { return predict_row(entry.params, request.batch[i]); },
-      options_.jobs, options_.tracer);
+  EvalArena& arena = eval_arena();
+  batch_profiles_into(request.batch, arena.profiles);
+  evaluate_batch_into(entry.eval, arena.profiles, arena.batch);
+  const ModelBatch& batch = arena.batch;
 
   Json response =
       ok_response_head(Op::kPredict, request, current_generation());
   response.set("machine", Json::string(request.machine));
   Json results = Json::array();
-  for (Json& row : rows) results.push(std::move(row));
+  if (options_.jobs <= 1 || batch.size() < kParallelRowThreshold) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      results.push(predict_row(request.batch[i], batch, i));
+    }
+  } else {
+    std::vector<Json> rows = exec::parallel_map(
+        batch.size(),
+        [&](std::size_t i) { return predict_row(request.batch[i], batch, i); },
+        options_.jobs, options_.tracer);
+    for (Json& row : rows) results.push(std::move(row));
+  }
   response.set("results", std::move(results));
   return response;
 }
@@ -196,36 +261,29 @@ Json Engine::do_rank(const Request& request) {
     batch_items_ += request.batch.size();
   }
 
-  struct Scored {
-    Seconds time;
-    Joules energy;
-  };
-  const std::vector<Scored> scored = exec::parallel_map(
-      request.batch.size(),
-      [&](std::size_t i) {
-        const KernelProfile profile = request.batch[i].profile();
-        return Scored{predict_time(entry.params, profile).total_seconds,
-                      predict_energy(entry.params, profile).total_joules};
-      },
-      options_.jobs, options_.tracer);
+  EvalArena& arena = eval_arena();
+  batch_profiles_into(request.batch, arena.profiles);
+  evaluate_batch_into(entry.eval, arena.profiles, arena.batch);
+  const ModelBatch& batch = arena.batch;
 
   // Speedup/greenup are relative to the *first* variant as submitted —
   // the client's baseline — not to the eventual winner.
-  const Scored baseline = scored.front();
-  std::vector<std::size_t> order(scored.size());
+  const double baseline_time = batch.total_seconds.front();
+  const double baseline_energy = batch.total_joules.front();
+  std::vector<std::size_t> order(batch.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
                      switch (request.rank_by) {
                        case RankBy::kTime:
-                         return scored[a].time < scored[b].time;
+                         return batch.total_seconds[a] < batch.total_seconds[b];
                        case RankBy::kEdp:
-                         return scored[a].time * scored[a].energy <
-                                scored[b].time * scored[b].energy;
+                         return batch.total_seconds[a] * batch.total_joules[a] <
+                                batch.total_seconds[b] * batch.total_joules[b];
                        case RankBy::kEnergy:
                        case RankBy::kGreenup:
                          // Descending greenup E0/Ei == ascending Ei.
-                         return scored[a].energy < scored[b].energy;
+                         return batch.total_joules[a] < batch.total_joules[b];
                      }
                      return a < b;
                    });
@@ -240,11 +298,15 @@ Json Engine::do_rank(const Request& request) {
     Json row = Json::object();
     row.set("rank", Json::number(static_cast<double>(position + 1)));
     row.set("name", Json::string(request.batch[i].name));
-    row.set("seconds", Json::number(scored[i].time.value()));
-    row.set("joules", Json::number(scored[i].energy.value()));
-    row.set("edp", Json::number((scored[i].time * scored[i].energy).value()));
-    row.set("speedup", Json::number(baseline.time / scored[i].time));
-    row.set("greenup", Json::number(baseline.energy / scored[i].energy));
+    row.set("seconds", wire_number(batch.total_seconds[i]));
+    row.set("joules", wire_number(batch.total_joules[i]));
+    // The EDP product of two huge-but-valid predictions can overflow to
+    // +inf; wire_number turns that (and any degenerate ratio below)
+    // into null instead of a torn frame.
+    row.set("edp", wire_number(batch.total_seconds[i] *
+                               batch.total_joules[i]));
+    row.set("speedup", wire_number(baseline_time / batch.total_seconds[i]));
+    row.set("greenup", wire_number(baseline_energy / batch.total_joules[i]));
     ranked.push(std::move(row));
   }
   response.set("ranked", std::move(ranked));
@@ -260,22 +322,13 @@ Json Engine::do_whatif(const Request& request) {
   }
   const MachineParams edited = apply_edits(entry.params, request.edits);
 
-  struct Delta {
-    Seconds base_time;
-    Joules base_energy;
-    Seconds edited_time;
-    Joules edited_energy;
-  };
-  const std::vector<Delta> deltas = exec::parallel_map(
-      request.batch.size(),
-      [&](std::size_t i) {
-        const KernelProfile profile = request.batch[i].profile();
-        return Delta{predict_time(entry.params, profile).total_seconds,
-                     predict_energy(entry.params, profile).total_joules,
-                     predict_time(edited, profile).total_seconds,
-                     predict_energy(edited, profile).total_joules};
-      },
-      options_.jobs, options_.tracer);
+  EvalArena& arena = eval_arena();
+  batch_profiles_into(request.batch, arena.profiles);
+  evaluate_batch_into(entry.eval, arena.profiles, arena.batch);
+  evaluate_batch_into(MachineEval::from(edited), arena.profiles,
+                      arena.edited_batch);
+  const ModelBatch& base_batch = arena.batch;
+  const ModelBatch& edited_batch = arena.edited_batch;
 
   Json response =
       ok_response_head(Op::kWhatif, request, current_generation());
@@ -283,16 +336,19 @@ Json Engine::do_whatif(const Request& request) {
   response.set("base", machine_summary(entry.params));
   response.set("edited", machine_summary(edited));
   Json kernels = Json::array();
-  for (std::size_t i = 0; i < deltas.size(); ++i) {
-    const Delta& d = deltas[i];
+  for (std::size_t i = 0; i < base_batch.size(); ++i) {
     Json row = Json::object();
     row.set("name", Json::string(request.batch[i].name));
-    row.set("base_seconds", Json::number(d.base_time.value()));
-    row.set("base_joules", Json::number(d.base_energy.value()));
-    row.set("edited_seconds", Json::number(d.edited_time.value()));
-    row.set("edited_joules", Json::number(d.edited_energy.value()));
-    row.set("speedup", Json::number(d.base_time / d.edited_time));
-    row.set("greenup", Json::number(d.base_energy / d.edited_energy));
+    row.set("base_seconds", wire_number(base_batch.total_seconds[i]));
+    row.set("base_joules", wire_number(base_batch.total_joules[i]));
+    row.set("edited_seconds",
+            wire_number(edited_batch.total_seconds[i]));
+    row.set("edited_joules",
+            wire_number(edited_batch.total_joules[i]));
+    row.set("speedup", wire_number(base_batch.total_seconds[i] /
+                                   edited_batch.total_seconds[i]));
+    row.set("greenup", wire_number(base_batch.total_joules[i] /
+                                   edited_batch.total_joules[i]));
     kernels.push(std::move(row));
   }
   response.set("kernels", std::move(kernels));
@@ -347,15 +403,24 @@ Json Engine::do_ingest(const Request& request) {
   fitted_double.name =
       request.ingest_name + "-dp (fitted on " + scan.header.platform + ")";
 
+  // A fit record with a non-finite, zero, or negative coefficient would
+  // install a machine whose every prediction is inf/NaN (and whose rank
+  // greenup baselines divide by zero).  Refuse it at the door.
+  if (!fitted_single.valid() || !fitted_double.valid()) {
+    throw ProtocolError(ErrorCode::kIngestFailed,
+                        "fitted coefficients do not describe a usable "
+                        "machine (non-finite or non-positive parameter)");
+  }
+
   std::uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     generation_ += 1;
     generation = generation_;
     machines_[request.ingest_name + "-sp"] =
-        Entry{std::move(fitted_single), generation};
+        make_entry(std::move(fitted_single), generation);
     machines_[request.ingest_name + "-dp"] =
-        Entry{std::move(fitted_double), generation};
+        make_entry(std::move(fitted_double), generation);
     rebuild_known_machines_locked();
   }
   if (options_.tracer != nullptr) {

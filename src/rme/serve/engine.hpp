@@ -12,11 +12,16 @@
 //
 // Determinism contract (tests/test_serve.cpp): handle() is a pure
 // function of (registry state, frame bytes).  Batches evaluate through
-// exec::parallel_map, whose results are a pure function of the batch
-// index — so responses are byte-identical at any --jobs value, and
-// `predict` numbers are bit-equal to direct predict_time/predict_energy
-// calls (responses serialize through artifact::format_number, the
-// shortest-round-trip form).
+// core::evaluate_batch — the SoA fast path, bit-identical to the scalar
+// model by construction — and row serialization is a pure function of
+// the batch index (inlined for small batches, exec::parallel_map above
+// kParallelRowThreshold), so responses are byte-identical at any --jobs
+// value and `predict` numbers are bit-equal to direct
+// predict_time/predict_energy calls (responses serialize through
+// artifact::format_number, the shortest-round-trip form).  Non-finite
+// computed values (overflowed EDP products, degenerate ratios)
+// serialize as JSON null via wire_number — a malformed frame from a
+// degenerate request is structurally impossible.
 
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "rme/artifact/json.hpp"
+#include "rme/core/batch.hpp"
 #include "rme/core/machine.hpp"
 #include "rme/obs/trace.hpp"
 #include "rme/serve/protocol.hpp"
@@ -78,8 +84,14 @@ class Engine {
  private:
   struct Entry {
     MachineParams params;
+    MachineEval eval;  ///< Derived scalars, cached once at install time.
     std::uint64_t generation = 1;  ///< Generation that installed it.
   };
+
+  /// Builds a registry entry, extracting the MachineEval cache so the
+  /// per-request hot path never re-derives balance points.
+  [[nodiscard]] static Entry make_entry(MachineParams params,
+                                        std::uint64_t generation);
 
   /// Registry lookup; copies out under the lock.  Throws ProtocolError
   /// (kUnknownMachine) naming the registered keys.

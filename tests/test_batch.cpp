@@ -1,0 +1,256 @@
+// Batch/SoA model evaluation (rme/core/batch.hpp): the bit-equality
+// contract against the scalar eqs. (1)-(6) path, proven property-style
+// over randomized machines × profiles × batch sizes, serial and
+// chunk-parallel (jobs 1 vs 4), plus the edge batches (empty, size 1,
+// all-degenerate) and the arena-reuse semantics serve/fit rely on.
+//
+// Every numeric comparison here is EXPECT_EQ on raw doubles — exact bit
+// equality, not tolerance.  The serve conformance corpus is pinned
+// byte-for-byte on top of this guarantee.
+
+#include "rme/core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "rme/core/machine_presets.hpp"
+#include "rme/core/model.hpp"
+#include "rme/exec/pool.hpp"
+
+namespace rme {
+namespace {
+
+/// Deterministic random machine: coefficients log-uniform across the
+/// ranges real platforms span (Table III/IV decades), always valid().
+// rme-lint: allow(determinism: callers seed via derive_seed at construction)
+MachineParams random_machine(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> exponent(-1.0, 1.0);
+  MachineParams m;
+  m.name = "random";
+  m.time_per_flop = TimePerFlop{1e-11 * std::pow(10.0, exponent(rng))};
+  m.time_per_byte = TimePerByte{4e-11 * std::pow(10.0, exponent(rng))};
+  m.energy_per_flop = EnergyPerFlop{2e-10 * std::pow(10.0, exponent(rng))};
+  m.energy_per_byte = EnergyPerByte{6e-10 * std::pow(10.0, exponent(rng))};
+  // Every third machine has pi0 = 0 (the Fermi shape): eta = 1 exactly,
+  // which exercises the fixed-point branch where B_eps_hat == B_eps.
+  std::uniform_int_distribution<int> zero_pi(0, 2);
+  m.const_power =
+      zero_pi(rng) == 0 ? Watts{0.0} : Watts{50.0 + 100.0 * exponent(rng)};
+  return m;
+}
+
+/// Deterministic random profile; ~1 in 8 is pure-memory (W = 0).
+// rme-lint: allow(determinism: callers seed via derive_seed at construction)
+KernelProfile random_profile(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> mag(3.0, 12.0);
+  std::uniform_int_distribution<int> pure_memory(0, 7);
+  KernelProfile k;
+  k.flops = pure_memory(rng) == 0 ? 0.0 : std::pow(10.0, mag(rng));
+  k.bytes = std::pow(10.0, mag(rng));
+  return k;
+}
+
+/// Asserts every column of `batch` row i is bit-identical to the scalar
+/// functions evaluated on profile i.
+void expect_row_matches_scalar(const MachineParams& m, const KernelProfile& k,
+                               const ModelBatch& batch, std::size_t i) {
+  const TimeBreakdown t = predict_time(m, k);
+  const EnergyBreakdown e = predict_energy(m, k);
+  EXPECT_EQ(batch.flops_seconds[i], t.flops_seconds.value());
+  EXPECT_EQ(batch.mem_seconds[i], t.mem_seconds.value());
+  EXPECT_EQ(batch.total_seconds[i], t.total_seconds.value());
+  EXPECT_EQ(batch.flops_joules[i], e.flops_joules.value());
+  EXPECT_EQ(batch.mem_joules[i], e.mem_joules.value());
+  EXPECT_EQ(batch.const_joules[i], e.const_joules.value());
+  EXPECT_EQ(batch.total_joules[i], e.total_joules.value());
+  EXPECT_EQ(batch.overlap_bound[i], t.bound());
+
+  const double intensity = k.intensity();
+  EXPECT_EQ(batch.intensity[i], intensity);
+  EXPECT_EQ(batch.speed[i], normalized_speed(m, intensity));
+  EXPECT_EQ(batch.efficiency[i], normalized_efficiency(m, intensity));
+  EXPECT_EQ(batch.time_class[i], time_bound(m, intensity));
+  EXPECT_EQ(batch.energy_class[i], energy_bound(m, intensity));
+  EXPECT_EQ(batch.disagree(i), classifications_disagree(m, intensity));
+  EXPECT_EQ(batch.time_at(i).communication_penalty(),
+            t.communication_penalty());
+  EXPECT_EQ(batch.energy_at(i).communication_penalty(m),
+            e.communication_penalty(m));
+}
+
+TEST(MachineEval, CachesExactlyTheScalarAccessors) {
+  std::mt19937_64 rng(exec::derive_seed(2013, 0));
+  for (int trial = 0; trial < 50; ++trial) {
+    const MachineParams m = random_machine(rng);
+    const MachineEval eval = MachineEval::from(m);
+    EXPECT_EQ(eval.eta, m.flop_efficiency());
+    EXPECT_EQ(eval.b_tau, m.time_balance());
+    EXPECT_EQ(eval.b_eps, m.energy_balance());
+    EXPECT_EQ(eval.fixed_point, m.balance_fixed_point());
+    EXPECT_EQ(eval.time_per_flop.value(), m.time_per_flop.value());
+    EXPECT_EQ(eval.const_power.value(), m.const_power.value());
+  }
+}
+
+TEST(EvaluateBatch, BitIdenticalToScalarPathOnPresets) {
+  std::mt19937_64 rng(exec::derive_seed(42, 0));
+  std::vector<KernelProfile> profiles;
+  for (int n = 0; n < 64; ++n) profiles.push_back(random_profile(rng));
+  for (const MachineParams& m :
+       {presets::fermi_table2(), presets::gtx580(Precision::kSingle),
+        presets::gtx580(Precision::kDouble),
+        presets::i7_950(Precision::kSingle),
+        presets::i7_950(Precision::kDouble)}) {
+    const ModelBatch batch = evaluate_batch(m, profiles);
+    ASSERT_EQ(batch.size(), profiles.size());
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      expect_row_matches_scalar(m, profiles[i], batch, i);
+    }
+  }
+}
+
+TEST(EvaluateBatch, BitIdenticalToScalarPathOnRandomMachines) {
+  // The property grid: machines × profiles × batch sizes, all seeded.
+  std::mt19937_64 rng(exec::derive_seed(7919, 0));
+  const std::size_t sizes[] = {1, 2, 3, 7, 16, 33, 100, 257};
+  for (int machine_trial = 0; machine_trial < 12; ++machine_trial) {
+    const MachineParams m = random_machine(rng);
+    const MachineEval eval = MachineEval::from(m);
+    for (const std::size_t n : sizes) {
+      std::vector<KernelProfile> profiles;
+      profiles.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        profiles.push_back(random_profile(rng));
+      }
+      const ModelBatch batch = evaluate_batch(eval, profiles);
+      ASSERT_EQ(batch.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        expect_row_matches_scalar(m, profiles[i], batch, i);
+      }
+    }
+  }
+}
+
+TEST(EvaluateBatch, ChunkParallelEvaluationMatchesSerialBitForBit) {
+  // The serve/sweep call-site pattern: core stays serial (it is a module
+  // DAG leaf), callers chunk the index space through rme::exec.  Chunked
+  // evaluation at jobs=4 must reproduce the serial columns bit for bit.
+  std::mt19937_64 rng(exec::derive_seed(1234, 0));
+  const MachineParams m = random_machine(rng);
+  const MachineEval eval = MachineEval::from(m);
+  std::vector<KernelProfile> profiles;
+  for (int n = 0; n < 1000; ++n) profiles.push_back(random_profile(rng));
+
+  const ModelBatch serial = evaluate_batch(eval, profiles);
+
+  constexpr std::size_t kChunk = 64;
+  const std::size_t chunks = (profiles.size() + kChunk - 1) / kChunk;
+  for (const unsigned jobs : {1U, 4U}) {
+    const std::vector<ModelBatch> parts = exec::parallel_map(
+        chunks,
+        [&](std::size_t c) {
+          const std::size_t begin = c * kChunk;
+          const std::size_t count =
+              std::min(kChunk, profiles.size() - begin);
+          return evaluate_batch(
+              eval, std::span<const KernelProfile>(profiles)
+                        .subspan(begin, count));
+        },
+        jobs);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * kChunk;
+      for (std::size_t i = 0; i < parts[c].size(); ++i) {
+        EXPECT_EQ(parts[c].total_seconds[i],
+                  serial.total_seconds[begin + i]);
+        EXPECT_EQ(parts[c].total_joules[i],
+                  serial.total_joules[begin + i]);
+        EXPECT_EQ(parts[c].speed[i], serial.speed[begin + i]);
+        EXPECT_EQ(parts[c].efficiency[i], serial.efficiency[begin + i]);
+        EXPECT_EQ(parts[c].energy_class[i], serial.energy_class[begin + i]);
+      }
+    }
+  }
+}
+
+TEST(EvaluateBatch, EmptyBatch) {
+  const ModelBatch batch =
+      evaluate_batch(presets::fermi_table2(), std::span<const KernelProfile>{});
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_TRUE(batch.total_seconds.empty());
+  EXPECT_TRUE(batch.energy_class.empty());
+}
+
+TEST(EvaluateBatch, SingleProfileBatch) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const KernelProfile k{2e9, 1e9};
+  const std::vector<KernelProfile> profiles{k};
+  const ModelBatch batch = evaluate_batch(m, profiles);
+  ASSERT_EQ(batch.size(), 1u);
+  expect_row_matches_scalar(m, k, batch, 0);
+}
+
+TEST(EvaluateBatch, AllDegenerateBatchIsDefined) {
+  // Pure-memory (W = 0) and truly empty (W = Q = 0) profiles: the batch
+  // evaluator never throws; breakdown columns stay bit-identical to the
+  // scalar functions (which accept both), and the normalized columns
+  // take the documented IEEE limits instead of trapping.
+  const MachineParams m = presets::gtx580(Precision::kDouble);
+  const std::vector<KernelProfile> profiles{
+      KernelProfile{0.0, 1e9}, KernelProfile{0.0, 4.0},
+      KernelProfile{0.0, 0.0}};
+  const ModelBatch batch = evaluate_batch(m, profiles);
+  ASSERT_EQ(batch.size(), 3u);
+
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const TimeBreakdown t = predict_time(m, profiles[i]);
+    const EnergyBreakdown e = predict_energy(m, profiles[i]);
+    EXPECT_EQ(batch.total_seconds[i], t.total_seconds.value());
+    EXPECT_EQ(batch.total_joules[i], e.total_joules.value());
+    EXPECT_EQ(batch.time_at(i).communication_penalty(),
+              t.communication_penalty());
+    EXPECT_EQ(batch.energy_at(i).communication_penalty(m),
+              e.communication_penalty(m));
+  }
+
+  // Pure-memory rows: I = 0, speed 0, efficiency 0, memory-bound.
+  EXPECT_EQ(batch.intensity[0], 0.0);
+  EXPECT_EQ(batch.speed[0], 0.0);
+  EXPECT_EQ(batch.efficiency[0], 0.0);
+  EXPECT_EQ(batch.time_class[0], Bound::kMemory);
+  EXPECT_EQ(batch.energy_class[0], Bound::kMemory);
+  // Empty row: 0/0 intensity is NaN by IEEE — defined, not a trap; the
+  // breakdown columns above are still exact zeros.
+  EXPECT_TRUE(std::isnan(batch.intensity[2]));
+  EXPECT_EQ(batch.total_seconds[2], 0.0);
+}
+
+TEST(ModelBatch, ArenaReuseKeepsCapacityAndStaysCorrect) {
+  std::mt19937_64 rng(exec::derive_seed(5, 0));
+  const MachineParams m = random_machine(rng);
+  const MachineEval eval = MachineEval::from(m);
+  ModelBatch arena;
+
+  std::vector<KernelProfile> big;
+  for (int n = 0; n < 512; ++n) big.push_back(random_profile(rng));
+  evaluate_batch_into(eval, big, arena);
+  ASSERT_EQ(arena.size(), big.size());
+  const std::size_t capacity = arena.total_seconds.capacity();
+
+  // Shrinking reuses storage: capacity must not drop, results must stay
+  // bit-exact for the smaller batch.
+  std::vector<KernelProfile> small(big.begin(), big.begin() + 9);
+  evaluate_batch_into(eval, small, arena);
+  ASSERT_EQ(arena.size(), small.size());
+  EXPECT_GE(arena.total_seconds.capacity(), capacity);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    expect_row_matches_scalar(m, small[i], arena, i);
+  }
+}
+
+}  // namespace
+}  // namespace rme

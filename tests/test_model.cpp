@@ -85,6 +85,50 @@ TEST(PredictTime, CommunicationPenaltyEqualsMaxOfOneAndBalanceOverI) {
   }
 }
 
+TEST(PredictTime, CommunicationPenaltyDegenerateKernelsAreDefined) {
+  const MachineParams m = presets::fermi_table2();
+  const double inf = std::numeric_limits<double>::infinity();
+  // Pure-memory kernel (W = 0 is legal): T_flops = 0 but T_mem > 0.
+  // The penalty is the I → 0 limit of max(1, B_tau/I) — +inf, not the
+  // 0/0 NaN the raw quotient used to produce the moment total == flops.
+  {
+    const TimeBreakdown t = predict_time(m, KernelProfile{0.0, 1e9});
+    EXPECT_EQ(t.communication_penalty(), inf);
+    EXPECT_FALSE(std::isnan(t.communication_penalty()));
+  }
+  // Empty kernel (W = Q = 0): a no-op runs at "peak"; penalty is 1,
+  // never the 0/0 NaN.
+  {
+    const TimeBreakdown t = predict_time(m, KernelProfile{0.0, 0.0});
+    EXPECT_DOUBLE_EQ(t.communication_penalty(), 1.0);
+  }
+}
+
+TEST(PredictEnergy, CommunicationPenaltyDegenerateKernelsAreDefined) {
+  const MachineParams m = presets::i7_950(Precision::kDouble);
+  const double inf = std::numeric_limits<double>::infinity();
+  // Pure-memory kernel: E_flops = 0, E_mem + E_0 > 0 → +inf, not NaN.
+  {
+    const EnergyBreakdown e = predict_energy(m, KernelProfile{0.0, 1e9});
+    EXPECT_EQ(e.communication_penalty(m), inf);
+    EXPECT_FALSE(std::isnan(e.communication_penalty(m)));
+  }
+  // Empty kernel: every component zero → penalty 1, never NaN.
+  {
+    const EnergyBreakdown e = predict_energy(m, KernelProfile{0.0, 0.0});
+    EXPECT_DOUBLE_EQ(e.communication_penalty(m), 1.0);
+  }
+  // The sibling fix must not disturb the well-defined case: a machine
+  // with pi0 = 0 keeps the exact eq. (5) identity.
+  {
+    const MachineParams fermi = presets::fermi_table2();
+    const KernelProfile k = KernelProfile::from_intensity(2.0, 1e9);
+    const EnergyBreakdown e = predict_energy(fermi, k);
+    EXPECT_NEAR(e.communication_penalty(fermi),
+                1.0 + fermi.effective_energy_balance(2.0) / 2.0, 1e-12);
+  }
+}
+
 TEST(PredictEnergy, ComponentsAreAdditive) {
   const MachineParams m = presets::gtx580(Precision::kDouble);
   const KernelProfile k{1e9, 5e8};

@@ -120,7 +120,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "11_overflow_field", "12_empty_batch",
                       "13_oversized_batch", "14_unknown_machine",
                       "15_bad_edit_field", "16_recovery_sequence",
-                      "17_ingest_failed"));
+                      "17_ingest_failed", "19_rank_edp_overflow",
+                      "20_predict_pure_memory"));
 
 // The `overloaded` rejection is produced by the server's shed path, not
 // by Engine::handle, so its fixture runs under the deterministic chaos
